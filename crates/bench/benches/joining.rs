@@ -1,0 +1,70 @@
+//! Eq. 5–7 joining machinery: correction construction (fractional powers +
+//! inverses per patch) across chain lengths and overlap degrees.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qem_core::calibration::CalibrationMatrix;
+use qem_core::joining::join_corrections;
+use qem_linalg::dense::Matrix;
+use qem_linalg::power::rational_power;
+use std::hint::black_box;
+
+fn flip(p0: f64, p1: f64) -> Matrix {
+    Matrix::from_rows(&[&[1.0 - p0, p1], &[p0, 1.0 - p1]])
+}
+
+fn chain_patches(n: usize) -> Vec<CalibrationMatrix> {
+    (0..n - 1)
+        .map(|i| {
+            let lo = flip(0.02 + 0.0005 * i as f64, 0.05);
+            let hi = flip(0.03, 0.06 - 0.0005 * i as f64);
+            CalibrationMatrix::new(vec![i, i + 1], hi.kron(&lo)).unwrap()
+        })
+        .collect()
+}
+
+fn star_patches(leaves: usize) -> Vec<CalibrationMatrix> {
+    let hub = flip(0.04, 0.07);
+    (1..=leaves)
+        .map(|leaf| {
+            let l = flip(0.02, 0.05);
+            CalibrationMatrix::new(vec![0, leaf], l.kron(&hub)).unwrap()
+        })
+        .collect()
+}
+
+fn bench_join_chain(c: &mut Criterion) {
+    let mut group = c.benchmark_group("join_corrections_chain");
+    for &n in &[5usize, 20, 50, 100] {
+        let patches = chain_patches(n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| black_box(join_corrections(&patches).unwrap().len()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_join_star(c: &mut Criterion) {
+    // High overlap count v on the hub: stresses the rational-power path.
+    let mut group = c.benchmark_group("join_corrections_star");
+    for &leaves in &[3usize, 8, 16] {
+        let patches = star_patches(leaves);
+        group.bench_with_input(BenchmarkId::from_parameter(leaves), &leaves, |b, _| {
+            b.iter(|| black_box(join_corrections(&patches).unwrap().len()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_fractional_power(c: &mut Criterion) {
+    let m = flip(0.05, 0.08);
+    c.bench_function("rational_power_2x2_1_3", |b| {
+        b.iter(|| black_box(rational_power(&m, 1, 3).unwrap()))
+    });
+    let m4 = flip(0.05, 0.08).kron(&flip(0.03, 0.06));
+    c.bench_function("rational_power_4x4_1_3_newton", |b| {
+        b.iter(|| black_box(rational_power(&m4, 1, 3).unwrap()))
+    });
+}
+
+criterion_group!(benches, bench_join_chain, bench_join_star, bench_fractional_power);
+criterion_main!(benches);

@@ -1,0 +1,71 @@
+//! End-to-end mitigation application cost per strategy: one calibrated
+//! mitigator applied to a fresh histogram (the amortised per-circuit cost
+//! of §VII-A — calibration methods pay characterisation once, then this).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qem_core::cmc::{calibrate_cmc, CmcOptions};
+use qem_core::full::FullCalibration;
+use qem_core::tensored::LinearCalibration;
+use qem_sim::backend::Backend;
+use qem_sim::circuit::ghz_bfs;
+use qem_sim::noise::NoiseModel;
+use qem_topology::coupling::linear;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn backend(n: usize) -> Backend {
+    let mut noise = NoiseModel::random_biased(n, 0.02, 0.08, 3);
+    noise.gate_error_1q = 0.0;
+    noise.gate_error_2q = 0.0;
+    Backend::new(linear(n), noise)
+}
+
+fn bench_cmc_apply(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mitigate_ghz_counts");
+    group.sample_size(20);
+    for &n in &[5usize, 8, 10] {
+        let b = backend(n);
+        let mut rng = StdRng::seed_from_u64(1);
+        let opts = CmcOptions { k: 1, shots_per_circuit: 2048, cull_threshold: 1e-10 };
+        let cal = calibrate_cmc(&b, &opts, &mut rng).unwrap();
+        let counts = b.execute(&ghz_bfs(&b.coupling.graph, 0), 16_000, &mut rng);
+        group.bench_with_input(BenchmarkId::new("cmc_sparse", n), &n, |bench, _| {
+            bench.iter(|| black_box(cal.mitigator.mitigate(&counts).unwrap().len()))
+        });
+
+        let lin = LinearCalibration::calibrate(&b, 2048, &mut rng).unwrap();
+        let lin_mit = lin.mitigator().unwrap();
+        group.bench_with_input(BenchmarkId::new("linear_sparse", n), &n, |bench, _| {
+            bench.iter(|| black_box(lin_mit.mitigate(&counts).unwrap().len()))
+        });
+
+        if n <= 8 {
+            let full = FullCalibration::calibrate(&b, 1024, &mut rng).unwrap();
+            group.bench_with_input(BenchmarkId::new("full_dense", n), &n, |bench, _| {
+                bench.iter(|| black_box(full.mitigate(&counts).unwrap().len()))
+            });
+        }
+    }
+    group.finish();
+}
+
+fn bench_calibration_build(c: &mut Criterion) {
+    // One-time cost: run the whole CMC pipeline (circuits simulated).
+    let mut group = c.benchmark_group("cmc_calibration_pipeline");
+    group.sample_size(10);
+    for &n in &[5usize, 8] {
+        let b = backend(n);
+        let opts = CmcOptions { k: 1, shots_per_circuit: 1024, cull_threshold: 1e-10 };
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |bench, _| {
+            bench.iter(|| {
+                let mut rng = StdRng::seed_from_u64(2);
+                black_box(calibrate_cmc(&b, &opts, &mut rng).unwrap().patches.len())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_cmc_apply, bench_calibration_build);
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! Algorithm 1 (greedy distance-k patch scheduling) and Algorithm 2 (ERR
+//! map construction) throughput on device-scale and frontier-scale maps.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qem_topology::coupling::{grid, random_map};
+use qem_topology::devices::tokyo;
+use qem_topology::err_map::{error_coupling_map, WeightedPair};
+use qem_topology::patches::patch_construct;
+use std::hint::black_box;
+
+fn bench_algorithm1(c: &mut Criterion) {
+    let mut group = c.benchmark_group("algorithm1_patch_construct");
+    group.sample_size(20);
+    let tokyo_map = tokyo();
+    group.bench_function("tokyo_20q", |b| {
+        b.iter(|| black_box(patch_construct(&tokyo_map.graph, 1).rounds.len()))
+    });
+    for &n in &[100usize, 200, 400] {
+        let cm = random_map(n, 4.0, 7);
+        group.bench_with_input(BenchmarkId::new("random_deg4", n), &n, |b, _| {
+            b.iter(|| black_box(patch_construct(&cm.graph, 1).rounds.len()))
+        });
+    }
+    let g = grid(10, 10);
+    group.bench_function("grid_10x10", |b| {
+        b.iter(|| black_box(patch_construct(&g.graph, 1).rounds.len()))
+    });
+    group.finish();
+}
+
+fn bench_algorithm2(c: &mut Criterion) {
+    let mut group = c.benchmark_group("algorithm2_err_map");
+    for &n in &[50usize, 200, 1000] {
+        // Dense candidate set: every pair weighted.
+        let pairs: Vec<WeightedPair> = (0..n)
+            .flat_map(|i| {
+                (i + 1..n).map(move |j| WeightedPair::new(i, j, ((i * 31 + j * 17) % 97) as f64))
+            })
+            .collect();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| black_box(error_coupling_map(n, &pairs, n).graph.num_edges()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_algorithm1, bench_algorithm2);
+criterion_main!(benches);

@@ -1,0 +1,144 @@
+//! §VII-A: applying a chain of sparse CMC patches to a measured histogram
+//! versus one dense `2^n × 2^n` calibration matrix. The dense path is
+//! benchmarked only up to 12 qubits — beyond that it cannot reasonably be
+//! allocated (the paper's 32 GB @ n=14 example) — while the sparse path
+//! scales to 30 qubits because its cost depends on the histogram size, not
+//! the register width.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qem_linalg::dense::Matrix;
+use qem_linalg::sparse_apply::{apply_operator_sparse, SparseDist};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::hint::black_box;
+
+fn flip(p0: f64, p1: f64) -> Matrix {
+    Matrix::from_rows(&[&[1.0 - p0, p1], &[p0, 1.0 - p1]])
+}
+
+/// A histogram with `entries` random outcomes over `n` qubits — the shape
+/// of real measured data (≤ shots distinct outcomes).
+fn histogram(n: usize, entries: usize, rng: &mut StdRng) -> SparseDist {
+    let mask = if n >= 64 { u64::MAX } else { (1u64 << n) - 1 };
+    SparseDist::from_pairs((0..entries).map(|_| (rng.gen::<u64>() & mask, 1.0 / entries as f64)))
+}
+
+/// Chain of inverted two-qubit patches along a line.
+fn patch_chain(n: usize) -> Vec<([usize; 2], Matrix)> {
+    (0..n - 1)
+        .map(|i| {
+            let m = flip(0.03, 0.05).kron(&flip(0.04, 0.06));
+            let inv = qem_linalg::lu::inverse(&m).unwrap();
+            ([i, i + 1], inv)
+        })
+        .collect()
+}
+
+fn bench_sparse_chain(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sparse_patch_chain");
+    group.sample_size(10);
+    for &n in &[8usize, 14, 20, 30] {
+        let mut rng = StdRng::seed_from_u64(1);
+        let entries = 1024;
+        let hist = histogram(n, entries, &mut rng);
+        let patches = patch_chain(n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| {
+                let mut d = hist.clone();
+                for (qs, m) in &patches {
+                    d = apply_operator_sparse(m, qs, &d).unwrap();
+                    // Cull at 1 % of the histogram resolution — the
+                    // operational setting; un-culled fill grows 4^depth.
+                    d.cull(1e-2 / entries as f64);
+                }
+                black_box(d.len())
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_dense_matvec(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dense_full_calibration");
+    group.sample_size(10);
+    for &n in &[8usize, 10, 12] {
+        // Dense per-qubit product calibration matrix of dimension 2^n.
+        let dim = 1usize << n;
+        let mut m = Matrix::identity(1);
+        for q in 0..n {
+            m = flip(0.03 + 0.001 * q as f64, 0.05).kron(&m);
+        }
+        let v: Vec<f64> = (0..dim).map(|i| (i + 1) as f64 / (dim * dim) as f64).collect();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| black_box(m.matvec(&v).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_memory_footprint(c: &mut Criterion) {
+    // Builds the CSR form of a CMC patch embedded at n = 20, keeping the
+    // §VII memory claim exercised under `cargo bench`.
+    c.bench_function("csr_patch_embed_n20", |b| {
+        use qem_linalg::sparse::Coo;
+        let m = flip(0.03, 0.05).kron(&flip(0.04, 0.06));
+        b.iter(|| {
+            let n = 20usize;
+            let dim = 1usize << n;
+            // Two-qubit operator on qubits (0,1): block-diagonal CSR.
+            let mut coo = Coo::new(dim, dim);
+            for block in 0..(dim / 4) {
+                for r in 0..4 {
+                    for col in 0..4 {
+                        coo.push(block * 4 + r, block * 4 + col, m[(r, col)]);
+                    }
+                }
+            }
+            let csr = coo.to_csr();
+            black_box(csr.memory_bytes())
+        })
+    });
+}
+
+fn bench_solve_vs_invert(c: &mut Criterion) {
+    // Mitigation as a linear solve (BiCGSTAB over the sparse calibration)
+    // vs the dense LU-invert-then-matvec route.
+    use qem_linalg::iterative::bicgstab;
+    use qem_linalg::sparse::Coo;
+
+    let mut group = c.benchmark_group("mitigate_solve_vs_invert");
+    group.sample_size(10);
+    for &n in &[8usize, 10] {
+        let dim = 1usize << n;
+        let mut dense = Matrix::identity(1);
+        for q in 0..n {
+            dense = flip(0.02 + 0.002 * q as f64, 0.05).kron(&dense);
+        }
+        let csr = Coo::from_dense(&dense, 1e-14).to_csr();
+        let mut observed = vec![0.0; dim];
+        observed[0] = 0.45;
+        observed[dim - 1] = 0.4;
+        observed[1] = 0.15;
+        let observed = dense.matvec(&observed).unwrap();
+
+        group.bench_with_input(BenchmarkId::new("bicgstab_sparse", n), &n, |b, _| {
+            b.iter(|| black_box(bicgstab(&csr, &observed, 1e-10, 200).unwrap().iterations))
+        });
+        group.bench_with_input(BenchmarkId::new("lu_invert_dense", n), &n, |b, _| {
+            b.iter(|| {
+                let inv = qem_linalg::lu::inverse(&dense).unwrap();
+                black_box(inv.matvec(&observed).unwrap()[0])
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_sparse_chain,
+    bench_dense_matvec,
+    bench_memory_footprint,
+    bench_solve_vs_invert
+);
+criterion_main!(benches);

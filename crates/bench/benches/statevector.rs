@@ -1,0 +1,55 @@
+//! Statevector engine throughput: gate application across register sizes,
+//! including the rayon-parallel regime, and full GHZ construction.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use qem_sim::circuit::ghz_bfs;
+use qem_sim::gate::Gate;
+use qem_sim::state::Statevector;
+use qem_topology::coupling::linear;
+use std::hint::black_box;
+
+fn bench_single_gate(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hadamard_gate");
+    for &n in &[10usize, 16, 20, 22] {
+        group.throughput(Throughput::Elements(1u64 << n));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            let mut sv = Statevector::zero_state(n);
+            b.iter(|| {
+                sv.apply(&Gate::H(n / 2));
+                black_box(sv.amplitude(0))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_cnot(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cnot_gate");
+    for &n in &[16usize, 20, 22] {
+        group.throughput(Throughput::Elements(1u64 << n));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            let mut sv = Statevector::zero_state(n);
+            sv.apply(&Gate::H(0));
+            b.iter(|| {
+                sv.apply(&Gate::CNOT { control: 0, target: n - 1 });
+                black_box(sv.amplitude(0))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_ghz_circuit(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ghz_full_circuit");
+    group.sample_size(10);
+    for &n in &[12usize, 16, 20] {
+        let circuit = ghz_bfs(&linear(n).graph, 0);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| black_box(circuit.ideal_probabilities()[0]))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_single_gate, bench_cnot, bench_ghz_circuit);
+criterion_main!(benches);

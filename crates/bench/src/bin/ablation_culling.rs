@@ -1,0 +1,74 @@
+//! Ablation: the sparse-mitigation culling threshold (paper §IV-C's
+//! "periodically culled of very low weight entries") — accuracy vs support
+//! size across thresholds.
+//!
+//! ```sh
+//! cargo run --release -p qem-bench --bin ablation_culling
+//! ```
+
+use qem_bench::{print_table, write_json, HarnessArgs};
+use qem_core::cmc::{calibrate_cmc, CmcOptions};
+use qem_mitigation::metrics::ghz_ideal;
+use qem_sim::circuit::ghz_bfs;
+use qem_sim::devices::biased_backend;
+use qem_topology::coupling::grid;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Row {
+    threshold: f64,
+    one_norm: f64,
+    support: usize,
+}
+
+fn main() {
+    let args = HarnessArgs::parse(3, 32_000);
+    let backend = biased_backend(grid(3, 4), args.seed);
+    let n = backend.num_qubits();
+    let ghz = ghz_bfs(&backend.coupling.graph, 0);
+    let ideal = ghz_ideal(n);
+
+    let mut rows = Vec::new();
+    let mut out = Vec::new();
+    for &threshold in &[0.0, 1e-10, 1e-6, 1e-4, 1e-3, 1e-2] {
+        let opts = CmcOptions {
+            k: 1,
+            shots_per_circuit: args.budget / 2 / 20,
+            cull_threshold: threshold,
+        };
+        let mut rng = StdRng::seed_from_u64(args.seed);
+        let cal = calibrate_cmc(&backend, &opts, &mut rng).expect("calibration");
+        let mut one_sum = 0.0;
+        let mut support = 0usize;
+        for t in 0..args.trials {
+            let mut trng = StdRng::seed_from_u64(args.seed + 50 + t);
+            let raw = backend.execute(&ghz, args.budget / 2, &mut trng);
+            let d = cal.mitigator.mitigate(&raw).unwrap();
+            one_sum += d.l1_distance(&ideal);
+            support = support.max(d.len());
+        }
+        let row = Row { threshold, one_norm: one_sum / args.trials as f64, support };
+        rows.push(vec![
+            format!("{threshold:.0e}"),
+            format!("{:.4}", row.one_norm),
+            row.support.to_string(),
+        ]);
+        out.push(row);
+    }
+    println!(
+        "=== Ablation — culling threshold on {} ({} qubits) ===\n",
+        backend.name, n
+    );
+    print_table(&["threshold", "1-norm", "max support"], &rows);
+    println!(
+        "\nCulling shrinks the working set (the \u{00a7}VII memory story) and, for \
+         sparse ideal distributions like GHZ, also denoises: the dropped \
+         low-weight entries are mostly quasi-probability fill-in from the \
+         inverted patches, so aggressive thresholds can improve the 1-norm. \
+         For dense target distributions the trade-off reverses; pick the \
+         threshold per workload."
+    );
+    write_json("ablation_culling", &out);
+}

@@ -1,0 +1,81 @@
+//! Ablation: Algorithm 1's distance-k separation. With k = 0, patches
+//! sharing a round sit next to each other, so correlated errors *between*
+//! simultaneously-calibrated patches contaminate each patch's columns;
+//! k ≥ 1 buys isolation at the cost of more rounds.
+//!
+//! ```sh
+//! cargo run --release -p qem-bench --bin ablation_separation
+//! ```
+
+use qem_bench::{print_table, write_json, HarnessArgs};
+use qem_core::cmc::{calibrate_cmc, CmcOptions};
+use qem_mitigation::metrics::ghz_ideal;
+use qem_sim::backend::Backend;
+use qem_sim::circuit::ghz_bfs;
+use qem_sim::noise::NoiseModel;
+use qem_topology::coupling::linear;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Row {
+    k: usize,
+    circuits: usize,
+    one_norm: f64,
+}
+
+fn main() {
+    let args = HarnessArgs::parse(5, 32_000);
+    // A 10-qubit chain with *state-dependent* correlated decays on every
+    // edge: a decay on edge (i, i+1) fires only when both qubits are |1>,
+    // so calibrating adjacent patches simultaneously (k = 0) excites
+    // cross-patch events and contaminates each patch's columns -- exactly
+    // what Algorithm 1's separation prevents.
+    let n = 10;
+    let mut noise = NoiseModel::random_biased(n, 0.02, 0.08, args.seed);
+    for i in 0..n - 1 {
+        noise.add_correlated_decay(&[i, i + 1], 0.08);
+    }
+    let backend = Backend::new(linear(n), noise);
+    let ghz = ghz_bfs(&backend.coupling.graph, 0);
+    let ideal = ghz_ideal(n);
+
+    let mut rows = Vec::new();
+    let mut out = Vec::new();
+    for k in [0usize, 1, 2, 3] {
+        let schedule =
+            qem_topology::patches::patch_construct(&backend.coupling.graph, k);
+        let circuits = 4 * schedule.rounds.len();
+        let opts = CmcOptions {
+            k,
+            shots_per_circuit: (args.budget / 2) / circuits as u64,
+            cull_threshold: 1e-10,
+        };
+        let mut rng = StdRng::seed_from_u64(args.seed);
+        let cal = calibrate_cmc(&backend, &opts, &mut rng).expect("calibration");
+        let mut one_sum = 0.0;
+        for t in 0..args.trials {
+            let mut trng = StdRng::seed_from_u64(args.seed + 70 + t);
+            let raw = backend.execute(&ghz, args.budget / 2, &mut trng);
+            one_sum += cal.mitigator.mitigate(&raw).unwrap().l1_distance(&ideal);
+        }
+        let row = Row { k, circuits: cal.circuits_used, one_norm: one_sum / args.trials as f64 };
+        rows.push(vec![
+            k.to_string(),
+            row.circuits.to_string(),
+            format!("{:.4}", row.one_norm),
+        ]);
+        out.push(row);
+    }
+    println!(
+        "=== Ablation — Algorithm 1 separation k on a correlated 10-qubit chain ===\n"
+    );
+    print_table(&["k", "calibration circuits", "GHZ 1-norm after CMC"], &rows);
+    println!(
+        "\nk trades circuit count against patch isolation: k = 0 contaminates \
+         simultaneous patches through the inter-patch correlated errors; large k \
+         wastes budget on extra rounds (fewer shots per circuit)."
+    );
+    write_json("ablation_separation", &out);
+}

@@ -1,0 +1,143 @@
+//! Fig. 1: Frobenius norm `‖C_ij − C_i ⊗ C_j‖_F` for all qubit pairs over
+//! the evaluation devices, averaged across three weeks of drifting
+//! calibrations; plus the §IV-D ERR-map stability claim (week-to-week
+//! Jaccard similarity of the selected error maps).
+//!
+//! ```sh
+//! cargo run --release -p qem-bench --bin fig01_frobenius [-- --fast]
+//! ```
+
+use qem_bench::{print_table, write_json, HarnessArgs};
+use qem_core::err::{characterize_err, ErrOptions};
+use qem_core::CmcOptions;
+use qem_sim::backend::Backend;
+use qem_sim::devices;
+use qem_topology::err_map::{edge_jaccard, error_coupling_map, WeightedPair};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::Serialize;
+use std::collections::HashMap;
+
+#[derive(Serialize)]
+struct PairRecord {
+    device: String,
+    i: usize,
+    j: usize,
+    on_coupling_map: bool,
+    mean_weight: f64,
+    min_weight: f64,
+    max_weight: f64,
+}
+
+#[derive(Serialize)]
+struct Output {
+    pairs: Vec<PairRecord>,
+    weekly_jaccard: Vec<(String, f64, f64)>,
+}
+
+fn main() {
+    let args = HarnessArgs::parse(1, 0);
+    let days = if args.fast { 3 } else { 21 };
+    let shots = if args.fast { 2_000 } else { 8_192 };
+
+    let mut out = Output { pairs: Vec::new(), weekly_jaccard: Vec::new() };
+
+    for (label, base) in [
+        ("quito", devices::simulated_quito(args.seed)),
+        ("lima", devices::simulated_lima(args.seed)),
+        ("manila", devices::simulated_manila(args.seed)),
+        ("nairobi", devices::simulated_nairobi(args.seed)),
+    ] {
+        let n = base.num_qubits();
+        let opts = ErrOptions {
+            locality: 2,
+            max_edges: None,
+            cmc: CmcOptions { k: 1, shots_per_circuit: shots, cull_threshold: 1e-10 },
+        };
+
+        // Day-by-day drift: jitter the base model, re-characterise.
+        let mut per_pair: HashMap<(usize, usize), Vec<f64>> = HashMap::new();
+        let mut weekly_maps = Vec::new();
+        let mut week_weights: Vec<WeightedPair> = Vec::new();
+        let mut drift_rng = StdRng::seed_from_u64(args.seed ^ 0xD21F7);
+        for day in 0..days {
+            let noise = base.noise.jittered(0.15, &mut drift_rng);
+            let backend = Backend::new(base.coupling.clone(), noise);
+            let mut rng = StdRng::seed_from_u64(args.seed + day as u64);
+            let err = characterize_err(&backend, &opts, &mut rng).expect("characterisation");
+            for w in &err.weights {
+                per_pair.entry((w.i, w.j)).or_default().push(w.weight);
+            }
+            week_weights.extend(err.weights.iter().copied());
+            // Close out a "week" every 7 days: build its ERR map.
+            if (day + 1) % 7 == 0 || day + 1 == days {
+                let mut acc: HashMap<(usize, usize), (f64, usize)> = HashMap::new();
+                for w in &week_weights {
+                    let e = acc.entry((w.i, w.j)).or_insert((0.0, 0));
+                    e.0 += w.weight;
+                    e.1 += 1;
+                }
+                let avg: Vec<WeightedPair> = acc
+                    .into_iter()
+                    .map(|((i, j), (s, c))| WeightedPair::new(i, j, s / c as f64))
+                    .collect();
+                weekly_maps.push(error_coupling_map(n, &avg, n).graph);
+                week_weights.clear();
+            }
+        }
+
+        // Per-pair table.
+        println!("\n=== Fig. 1 — {} ({} days of drifting calibrations) ===", base.name, days);
+        let mut rows = Vec::new();
+        let mut pairs: Vec<(&(usize, usize), &Vec<f64>)> = per_pair.iter().collect();
+        pairs.sort_by(|a, b| {
+            let ma = a.1.iter().sum::<f64>() / a.1.len() as f64;
+            let mb = b.1.iter().sum::<f64>() / b.1.len() as f64;
+            mb.partial_cmp(&ma).unwrap()
+        });
+        for (&(i, j), ws) in pairs {
+            let mean = ws.iter().sum::<f64>() / ws.len() as f64;
+            let min = ws.iter().cloned().fold(f64::MAX, f64::min);
+            let max = ws.iter().cloned().fold(f64::MIN, f64::max);
+            let on_map = base.coupling.graph.has_edge(i, j);
+            rows.push(vec![
+                format!("q{i}-q{j}"),
+                if on_map { "edge".into() } else { "non-edge".into() },
+                format!("{mean:.4}"),
+                format!("{min:.4}"),
+                format!("{max:.4}"),
+                "#".repeat((mean * 150.0).min(40.0) as usize),
+            ]);
+            out.pairs.push(PairRecord {
+                device: label.to_string(),
+                i,
+                j,
+                on_coupling_map: on_map,
+                mean_weight: mean,
+                min_weight: min,
+                max_weight: max,
+            });
+        }
+        print_table(
+            &["pair", "coupling", "mean ‖C_ij − C_i⊗C_j‖", "min", "max", "thickness"],
+            &rows,
+        );
+
+        // Stability: pairwise Jaccard between weekly ERR maps.
+        if weekly_maps.len() >= 2 {
+            let mut js = Vec::new();
+            for w in 1..weekly_maps.len() {
+                js.push(edge_jaccard(&weekly_maps[w - 1], &weekly_maps[w]));
+            }
+            let mean_j = js.iter().sum::<f64>() / js.len() as f64;
+            let min_j = js.iter().cloned().fold(f64::MAX, f64::min);
+            println!(
+                "ERR-map stability across weeks: mean Jaccard {mean_j:.2}, min {min_j:.2} \
+                 (paper: stable on the order of several weeks)"
+            );
+            out.weekly_jaccard.push((label.to_string(), mean_j, min_j));
+        }
+    }
+
+    write_json("fig01_frobenius", &out);
+}

@@ -1,0 +1,88 @@
+//! Fig. 10: Hinton diagrams of the simulated measurement-error channels
+//! over four qubits — the correlated family (single-qubit, all-pairs,
+//! all-triplets, global flip) and the state-dependent family (per-qubit
+//! decay up to the single four-qubit decay with one off-diagonal entry).
+//!
+//! Rendered as text Hinton plots: glyph size tracks the transition
+//! probability `P(observed | prepared)`.
+//!
+//! ```sh
+//! cargo run --release -p qem-bench --bin fig10_channels
+//! ```
+
+use qem_linalg::dense::Matrix;
+use qem_sim::channel::MeasurementChannel;
+
+fn glyph(p: f64) -> char {
+    match p {
+        p if p >= 0.5 => '@',
+        p if p >= 0.2 => 'O',
+        p if p >= 0.05 => 'o',
+        p if p >= 0.005 => '.',
+        _ => ' ',
+    }
+}
+
+fn hinton(title: &str, m: &Matrix) {
+    println!("\n--- {title} ---");
+    print!("      ");
+    for c in 0..m.cols() {
+        print!("{c:02x} ");
+    }
+    println!("  (columns = prepared state)");
+    for r in 0..m.rows() {
+        print!("  {r:02x}  ");
+        for c in 0..m.cols() {
+            print!(" {} ", glyph(m[(r, c)]));
+        }
+        println!();
+    }
+    let offdiag: f64 = (0..m.rows())
+        .flat_map(|r| (0..m.cols()).map(move |c| (r, c)))
+        .filter(|&(r, c)| r != c)
+        .map(|(r, c)| m[(r, c)])
+        .sum();
+    let nonzero_offdiag = (0..m.rows())
+        .flat_map(|r| (0..m.cols()).map(move |c| (r, c)))
+        .filter(|&(r, c)| r != c && m[(r, c)] > 1e-12)
+        .count();
+    println!("  off-diagonal mass {offdiag:.3} across {nonzero_offdiag} entries");
+}
+
+fn main() {
+    let n = 4;
+    let p = 0.08;
+
+    println!("=== Fig. 10 (left) — correlated measurement-error channels over {n} qubits ===");
+    let single = MeasurementChannel::uniform_flips(n, p);
+    hinton("single qubit (uncorrelated)", &single.full_matrix());
+    let pairs = MeasurementChannel::all_pairs_correlated(n, p / 6.0);
+    hinton("two qubit (all pairs)", &pairs.full_matrix());
+    let triplets = MeasurementChannel::all_triplets_correlated(n, p / 4.0);
+    hinton("three qubit (triplets)", &triplets.full_matrix());
+    let global = MeasurementChannel::global_flip(n, p);
+    hinton("four qubit (flip all bits)", &global.full_matrix());
+
+    println!("\n=== Fig. 10 (right) — state-dependent measurement-error channels ===");
+    let decay1 = MeasurementChannel::state_dependent(n, &[0.0; 4], &[p; 4]);
+    hinton("single qubit decay", &decay1.full_matrix());
+    let mut decay2 = MeasurementChannel::identity(n);
+    for i in 0..n {
+        for j in i + 1..n {
+            decay2.add_joint_decay(&[i, j], p / 6.0);
+        }
+    }
+    hinton("two qubit decay (all pairs)", &decay2.full_matrix());
+    let mut decay3 = MeasurementChannel::identity(n);
+    for i in 0..n {
+        for j in i + 1..n {
+            for k in j + 1..n {
+                decay3.add_joint_decay(&[i, j, k], p / 4.0);
+            }
+        }
+    }
+    hinton("three qubit decay (triplets)", &decay3.full_matrix());
+    let mut decay4 = MeasurementChannel::identity(n);
+    decay4.add_joint_decay(&[0, 1, 2, 3], p);
+    hinton("four qubit decay (single non-diagonal entry)", &decay4.full_matrix());
+}

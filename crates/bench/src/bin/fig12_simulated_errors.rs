@@ -1,0 +1,117 @@
+//! Fig. 12: distributions of success probability per mitigation method
+//! under (a) a purely correlated and (b) a purely state-dependent
+//! measurement-error model, over the full set of 2⁴ computational basis
+//! states with an equal measurement budget per method (the paper uses
+//! 136 000 total trials; scale with `--trials`/`--budget`).
+//!
+//! ```sh
+//! cargo run --release -p qem-bench --bin fig12_simulated_errors [-- --fast]
+//! ```
+
+use qem_bench::{print_table, write_json, HarnessArgs};
+use qem_mitigation::standard_strategies;
+use qem_sim::backend::Backend;
+use qem_sim::circuit::basis_prep;
+use qem_sim::noise::NoiseModel;
+use qem_topology::coupling::fully_connected;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct MethodDistribution {
+    model: String,
+    method: String,
+    success_probabilities: Vec<f64>,
+    mean: f64,
+    min: f64,
+    max: f64,
+}
+
+fn error_models(n: usize) -> Vec<(&'static str, NoiseModel)> {
+    // (a) correlated: two-qubit joint flips on all pairs, no bias.
+    let mut correlated = NoiseModel::noiseless(n);
+    for i in 0..n {
+        for j in i + 1..n {
+            correlated.add_correlated(&[i, j], 0.03);
+        }
+    }
+    // (b) state-dependent: per-qubit decay only — |0…0⟩ is error-free.
+    let mut state_dep = NoiseModel::noiseless(n);
+    state_dep.p_flip1 = vec![0.08; n];
+    vec![("correlated", correlated), ("state-dependent", state_dep)]
+}
+
+fn main() {
+    let args = HarnessArgs::parse(0, 8_500);
+    let n = 4;
+    // Equal budget per (method, prepared state): 8500 × 16 states = 136 000
+    // quantum-device trials per method, the paper's total.
+    let budget = args.budget;
+
+    let mut records = Vec::new();
+    for (model_name, noise) in error_models(n) {
+        // Fully-connected map so CMC's patches can cover the all-pairs
+        // correlations of model (a).
+        let backend = Backend::new(fully_connected(n), noise);
+        println!(
+            "\n=== Fig. 12 ({model_name}) — success probability over all 2^{n} basis states, \
+             {budget} shots per state per method ==="
+        );
+        let mut rows = Vec::new();
+        for strategy in standard_strategies(true) {
+            if !strategy.feasible(&backend, budget) {
+                rows.push(vec![strategy.name().to_string(), "N/A".into(), String::new(), String::new()]);
+                continue;
+            }
+            let mut successes = Vec::new();
+            for state in 0..(1u64 << n) {
+                let circuit = basis_prep(n, state);
+                let mut rng = StdRng::seed_from_u64(args.seed + state * 977);
+                let out = strategy
+                    .run(&backend, &circuit, budget, &mut rng)
+                    .expect("strategy run");
+                successes.push(out.distribution.get(state));
+            }
+            let mean = successes.iter().sum::<f64>() / successes.len() as f64;
+            let min = successes.iter().cloned().fold(f64::MAX, f64::min);
+            let max = successes.iter().cloned().fold(f64::MIN, f64::max);
+            // Text violin: 10-bucket histogram of the 16 success probs.
+            let mut hist = [0usize; 10];
+            for &s in &successes {
+                hist[((s * 10.0) as usize).min(9)] += 1;
+            }
+            let sparkline: String = hist
+                .iter()
+                .map(|&c| match c {
+                    0 => ' ',
+                    1..=2 => '.',
+                    3..=5 => 'o',
+                    _ => '@',
+                })
+                .collect();
+            rows.push(vec![
+                strategy.name().to_string(),
+                format!("{mean:.3}"),
+                format!("[{min:.3}, {max:.3}]"),
+                format!("0.0|{sparkline}|1.0"),
+            ]);
+            records.push(MethodDistribution {
+                model: model_name.to_string(),
+                method: strategy.name().to_string(),
+                success_probabilities: successes,
+                mean,
+                min,
+                max,
+            });
+        }
+        print_table(&["method", "mean succ.", "range", "distribution"], &rows);
+    }
+
+    println!(
+        "\nExpected shape (paper Fig. 12): averaging methods (AIM/SIM) do nothing for (a), \
+         narrow the spread for (b); JIGSAW bifurcates; Full/Linear best; CMC close behind \
+         without exponential cost."
+    );
+    write_json("fig12_simulated_errors", &records);
+}

@@ -1,0 +1,34 @@
+//! Fig. 13: GHZ error rate vs device size for the **grid** (Google
+//! Sycamore-style, Fig. 11c) simulated family, 16 000 shots per method.
+//!
+//! ```sh
+//! cargo run --release -p qem-bench --bin fig13_grid [-- --fast]
+//! ```
+
+use qem_bench::{ghz_scaling_experiment, print_scaling_table, write_json, HarnessArgs};
+use qem_sim::devices::grid_backend;
+
+fn main() {
+    let args = HarnessArgs::parse(3, 16_000);
+    let shapes: &[(usize, usize)] = if args.fast {
+        &[(2, 2), (2, 3), (3, 3)]
+    } else {
+        &[(2, 2), (2, 3), (3, 3), (3, 4), (4, 4), (4, 5)]
+    };
+    let backends: Vec<_> = shapes
+        .iter()
+        .map(|&(r, c)| grid_backend(r, c, args.seed + (r * 31 + c) as u64))
+        .collect();
+    println!(
+        "=== Fig. 13 — GHZ error rate on grid devices ({} shots, {} trials) ===",
+        args.budget, args.trials
+    );
+    let points = ghz_scaling_experiment("fig13", &backends, args.budget, args.trials, args.seed);
+    print_scaling_table(&points);
+    println!(
+        "\nExpected shape (paper Fig. 13): Full/Linear best where feasible; CMC best \
+         non-exponential; JIGSAW between CMC and the averaging methods; AIM/SIM ≈ bare."
+    );
+    qem_bench::svg::scaling_chart("Fig. 13: GHZ error rate, grid family", &points).save("fig13_grid");
+    write_json("fig13_grid", &points);
+}

@@ -1,0 +1,35 @@
+//! Fig. 14: GHZ error rate vs device size for the **hexagonal**
+//! (Rigetti Acorn / IBM heavy-hex style, Fig. 11a) simulated family,
+//! 16 000 shots per method.
+//!
+//! ```sh
+//! cargo run --release -p qem-bench --bin fig14_hexagonal [-- --fast]
+//! ```
+
+use qem_bench::{ghz_scaling_experiment, print_scaling_table, write_json, HarnessArgs};
+use qem_sim::devices::hexagonal_backend;
+
+fn main() {
+    let args = HarnessArgs::parse(3, 16_000);
+    let shapes: &[(usize, usize)] = if args.fast {
+        &[(2, 2), (2, 3), (2, 4)]
+    } else {
+        &[(2, 2), (2, 3), (2, 4), (3, 4), (3, 5), (4, 5)]
+    };
+    let backends: Vec<_> = shapes
+        .iter()
+        .map(|&(r, c)| hexagonal_backend(r, c, args.seed + (r * 37 + c) as u64))
+        .collect();
+    println!(
+        "=== Fig. 14 — GHZ error rate on hexagonal devices ({} shots, {} trials) ===",
+        args.budget, args.trials
+    );
+    let points = ghz_scaling_experiment("fig14", &backends, args.budget, args.trials, args.seed);
+    print_scaling_table(&points);
+    println!(
+        "\nExpected shape (paper Fig. 14): as Fig. 13 — CMC/CMC-ERR lead the \
+         non-exponential field on sparse lattices."
+    );
+    qem_bench::svg::scaling_chart("Fig. 14: GHZ error rate, hexagonal family", &points).save("fig14_hexagonal");
+    write_json("fig14_hexagonal", &points);
+}

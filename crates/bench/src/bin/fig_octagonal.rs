@@ -1,0 +1,45 @@
+//! §VI-B (text): the 16-qubit octagonal (Rigetti Aspen style, Fig. 11b)
+//! device — the paper reports JIGSAW −23 %, CMC −37 % error-rate reduction
+//! over bare, with AIM/SIM within 1 % of bare.
+//!
+//! ```sh
+//! cargo run --release -p qem-bench --bin fig_octagonal [-- --fast]
+//! ```
+
+use qem_bench::{ghz_scaling_experiment, write_json, HarnessArgs};
+use qem_sim::devices::octagonal_backend;
+
+fn main() {
+    let args = HarnessArgs::parse(3, 16_000);
+    let cells = if args.fast { 1 } else { 2 }; // 8 or 16 qubits
+    let backend = octagonal_backend(cells, args.seed);
+    println!(
+        "=== §VI-B — GHZ on the {}-qubit octagonal device ({} shots, {} trials) ===",
+        backend.num_qubits(),
+        args.budget,
+        args.trials
+    );
+    let points =
+        ghz_scaling_experiment("octagonal", &[backend], args.budget, args.trials, args.seed);
+
+    let bare = points
+        .iter()
+        .find(|p| p.method == "Bare")
+        .and_then(|p| p.error_rate)
+        .expect("bare ran");
+    println!("\nmethod      error-rate   reduction vs bare");
+    for p in &points {
+        match p.error_rate {
+            Some(e) => println!(
+                "{:<10}  {e:.3}        {:+.0}%",
+                p.method,
+                100.0 * (bare - e) / bare
+            ),
+            None => println!("{:<10}  N/A", p.method),
+        }
+    }
+    println!(
+        "\nPaper reference points at 16 qubits: JIGSAW -23%, CMC -37%, AIM/SIM within 1%."
+    );
+    write_json("fig_octagonal", &points);
+}

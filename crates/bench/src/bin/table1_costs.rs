@@ -1,0 +1,58 @@
+//! Table I: characterisation cost (quantum circuit executions) per method,
+//! with the paper's closed forms alongside the counts our implementations
+//! actually schedule on the 20-qubit IBM Tokyo map (§IV-A's worked
+//! example: 40 / 140 / ~54 / 760 / 2^20 circuits).
+//!
+//! ```sh
+//! cargo run --release -p qem-bench --bin table1_costs
+//! ```
+
+use qem_bench::print_table;
+use qem_mitigation::aim::aim_masks;
+use qem_topology::devices::tokyo;
+use qem_topology::patches::{patch_construct, schedule_pairs, schedule_pairs_coloring};
+
+fn main() {
+    let cm = tokyo();
+    let n = cm.num_qubits();
+    let e = cm.num_edges();
+    let g = &cm.graph;
+
+    let cmc = patch_construct(g, 1);
+    let cmc_pairs: Vec<(usize, usize)> = g.edges().iter().map(|e| (e.a, e.b)).collect();
+    let cmc_dsatur = schedule_pairs_coloring(g, &cmc_pairs, 1);
+    let all_pairs: Vec<(usize, usize)> =
+        (0..n).flat_map(|i| (i + 1..n).map(move |j| (i, j))).collect();
+    let local_pairs = g.pairs_within_distance(2);
+    let err_sweep = schedule_pairs(g, &local_pairs, 1);
+
+    println!("=== Table I — characterisation circuit counts (IBM Tokyo, n = {n}, |E| = {e}) ===\n");
+    let rows = vec![
+        vec!["Process Tomography".into(), "r·4^n".into(), format!("{:.1e}", 4f64.powi(n as i32)), "SPAM + gate errors".into()],
+        vec!["Complete Calibration".into(), "r·2^n".into(), format!("{}", 1u64 << n), "all SPAM errors".into()],
+        vec!["Tensored Calibration".into(), "2nr (or 2r joint)".into(), format!("{} (or 2)", 2 * n), "uncorrelated SPAM".into()],
+        vec!["Randomised Benchmarking".into(), "Poly(n)".into(), "~40".into(), "average SPAM+gate".into()],
+        vec!["SIM".into(), "4r".into(), "4".into(), "average biased SPAM".into()],
+        vec!["AIM".into(), "(n/2)r + kr".into(), format!("{} + k", aim_masks(n).len()), "top-k biased SPAM".into()],
+        vec!["JIGSAW".into(), "nk/2 + k".into(), format!("{} + 1 (k=2 rounds)", n), "Bayesian filter".into()],
+        vec!["CMC edge-by-edge".into(), "4|E|".into(), format!("{}", 4 * e), "local SPAM".into()],
+        vec!["CMC (Algorithm 1, k=1)".into(), "4|E|/k_speedup".into(), format!("{}", cmc.circuit_count()), "local SPAM".into()],
+        vec!["CMC (DSATUR colouring)".into(), "4·chromatic(conflict)".into(), format!("{}", cmc_dsatur.circuit_count()), "local SPAM".into()],
+        vec!["All-pairs calibration".into(), "4·n(n-1)/2".into(), format!("{}", 4 * all_pairs.len()), "pairwise SPAM".into()],
+        vec!["ERR sweep (d<=2, Alg. 1)".into(), "4·|pairs|/k_speedup".into(), format!("{}", err_sweep.circuit_count()), "tailored local SPAM".into()],
+    ];
+    print_table(&["Method", "Closed form", "Tokyo circuits", "Output"], &rows);
+
+    println!(
+        "\nAlgorithm 1 on Tokyo: {} edges in {} rounds -> {} circuits \
+         ({}x fewer than edge-by-edge).",
+        cmc.patch_count(),
+        cmc.rounds.len(),
+        cmc.circuit_count(),
+        cmc.sequential_circuit_count() / cmc.circuit_count().max(1)
+    );
+    println!(
+        "Paper's worked example (directed-edge counting): 40 single-qubit, 140 per-edge, \
+         ~54 coupling-map patched, 760 all-pairs, 2^20 full."
+    );
+}

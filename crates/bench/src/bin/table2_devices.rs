@@ -1,0 +1,134 @@
+//! Table II: GHZ benchmarks on the four simulated evaluation devices —
+//! 1-norm distance between the output distribution and the ideal GHZ
+//! state, 32 000 shots per method (calibration + execution), reported as
+//! median with +max/−min bands. The best non-exponential method per device
+//! is starred.
+//!
+//! ```sh
+//! cargo run --release -p qem-bench --bin table2_devices [-- --fast]
+//! ```
+
+use qem_bench::{compare_methods, print_table, write_json, HarnessArgs, MethodResult};
+use qem_mitigation::metrics::ghz_ideal;
+use qem_mitigation::standard_strategies;
+use qem_sim::circuit::ghz_bfs;
+use qem_sim::devices;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Cell {
+    device: String,
+    method: String,
+    result: Option<MethodResult>,
+}
+
+fn main() {
+    let args = HarnessArgs::parse(5, 32_000);
+    let backends = [
+        devices::simulated_manila(args.seed),
+        devices::simulated_lima(args.seed),
+        devices::simulated_quito(args.seed),
+        devices::simulated_nairobi(args.seed),
+    ];
+
+    let method_names: Vec<String> =
+        standard_strategies(true).iter().map(|s| s.name().to_string()).collect();
+    let non_exponential =
+        ["AIM", "SIM", "JIGSAW", "CMC", "CMC-ERR"].map(str::to_string);
+
+    let mut all: Vec<Cell> = Vec::new();
+    let mut columns: Vec<Vec<(String, Option<MethodResult>)>> = Vec::new();
+    for backend in &backends {
+        let n = backend.num_qubits();
+        let ghz = ghz_bfs(&backend.coupling.graph, 0);
+        let ideal = ghz_ideal(n);
+        let correct = [0u64, (1u64 << n) - 1];
+        let strategies = standard_strategies(true);
+        let results = compare_methods(
+            backend, &ghz, &ideal, &correct, &strategies, args.budget, args.trials, args.seed,
+        );
+        for (m, r) in &results {
+            all.push(Cell { device: backend.name.clone(), method: m.clone(), result: r.clone() });
+        }
+        eprintln!("[table2] {} done", backend.name);
+        columns.push(results);
+    }
+
+    // Best non-exponential per device.
+    let best_per_device: Vec<Option<String>> = columns
+        .iter()
+        .map(|col| {
+            col.iter()
+                .filter(|(m, r)| non_exponential.contains(m) && r.is_some())
+                .min_by(|a, b| {
+                    let ma = a.1.as_ref().unwrap().one_norm_median;
+                    let mb = b.1.as_ref().unwrap().one_norm_median;
+                    ma.partial_cmp(&mb).unwrap()
+                })
+                .map(|(m, _)| m.clone())
+        })
+        .collect();
+
+    println!(
+        "\n=== Table II — GHZ 1-norm distance to ideal ({} shots, {} trials, median +max/-min) ===",
+        args.budget, args.trials
+    );
+    let mut headers: Vec<String> = vec!["Method".into()];
+    for b in &backends {
+        headers.push(format!("{} - {}", b.name, b.num_qubits()));
+    }
+    let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
+    let rows: Vec<Vec<String>> = method_names
+        .iter()
+        .map(|m| {
+            let mut row = vec![m.clone()];
+            for (col, best) in columns.iter().zip(&best_per_device) {
+                let cell = col
+                    .iter()
+                    .find(|(name, _)| name == m)
+                    .and_then(|(_, r)| r.as_ref())
+                    .map(|r| {
+                        let star = if best.as_deref() == Some(m.as_str()) { " *" } else { "" };
+                        format!("{}{star}", r.band_cell())
+                    })
+                    .unwrap_or_else(|| "N/A".into());
+                row.push(cell);
+            }
+            row
+        })
+        .collect();
+    print_table(&header_refs, &rows);
+    println!("\n(* = best non-exponential method for that device)");
+
+    // The headline reductions.
+    println!("\nerror-rate reductions vs bare (mean over trials):");
+    for (backend, col) in backends.iter().zip(&columns) {
+        let bare = col
+            .iter()
+            .find(|(m, _)| m == "Bare")
+            .and_then(|(_, r)| r.as_ref())
+            .map(|r| r.mean_one_norm)
+            .unwrap_or(f64::NAN);
+        let best = best_per_device
+            .iter()
+            .zip(&columns)
+            .find(|(_, c)| std::ptr::eq(*c, col))
+            .and_then(|(b, _)| b.clone());
+        if let Some(best_name) = best {
+            let v = col
+                .iter()
+                .find(|(m, _)| *m == best_name)
+                .and_then(|(_, r)| r.as_ref())
+                .map(|r| r.mean_one_norm)
+                .unwrap_or(f64::NAN);
+            println!(
+                "  {:<14} best non-exp {best_name:<8} {:.0}% reduction",
+                backend.name,
+                100.0 * (bare - v) / bare
+            );
+        }
+    }
+    println!("\nPaper reference: CMC/CMC-ERR average 35% reduction, up to 41% (Nairobi, CMC-ERR).");
+
+    write_json("table2_devices", &all);
+}

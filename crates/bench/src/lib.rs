@@ -1,0 +1,365 @@
+//! # qem-bench
+//!
+//! Shared harness machinery for regenerating every table and figure of the
+//! paper's evaluation. One binary per artefact (see DESIGN.md §4); each
+//! prints the paper's rows/series as an aligned table and writes a JSON
+//! record under `results/`.
+
+#![warn(missing_docs)]
+
+pub mod svg;
+
+use qem_linalg::sparse_apply::SparseDist;
+use qem_mitigation::metrics::BandStats;
+use qem_mitigation::MitigationStrategy;
+use qem_sim::backend::Backend;
+use qem_sim::circuit::Circuit;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rayon::prelude::*;
+use serde::Serialize;
+
+/// One trial's figures of merit.
+#[derive(Clone, Copy, Debug, Serialize)]
+pub struct Trial {
+    /// One-norm distance to the ideal distribution (Table II metric).
+    pub one_norm: f64,
+    /// `1 − mass on the classically verified correct outcomes`
+    /// (Figs. 12–15 metric).
+    pub error_rate: f64,
+    /// Calibration circuits the strategy executed.
+    pub calibration_circuits: usize,
+    /// Shots actually consumed.
+    pub shots_used: u64,
+}
+
+/// Aggregated result of one method on one configuration.
+#[derive(Clone, Debug, Serialize)]
+pub struct MethodResult {
+    /// Strategy name.
+    pub method: String,
+    /// Per-trial raw data.
+    pub trials: Vec<Trial>,
+    /// Mean one-norm distance.
+    pub mean_one_norm: f64,
+    /// Mean error rate.
+    pub mean_error_rate: f64,
+    /// Median ± band over one-norm (the Table II presentation).
+    pub one_norm_median: f64,
+    /// `max − median` band.
+    pub one_norm_plus: f64,
+    /// `median − min` band.
+    pub one_norm_minus: f64,
+}
+
+impl MethodResult {
+    fn from_trials(method: &str, trials: Vec<Trial>) -> MethodResult {
+        let one: Vec<f64> = trials.iter().map(|t| t.one_norm).collect();
+        let err: Vec<f64> = trials.iter().map(|t| t.error_rate).collect();
+        let bands = BandStats::from_samples(&one);
+        MethodResult {
+            method: method.to_string(),
+            mean_one_norm: mean(&one),
+            mean_error_rate: mean(&err),
+            one_norm_median: bands.median,
+            one_norm_plus: bands.plus,
+            one_norm_minus: bands.minus,
+            trials,
+        }
+    }
+
+    /// Table II-style cell: `0.14 +0.09/-0.05`.
+    pub fn band_cell(&self) -> String {
+        format!(
+            "{:.2} +{:.2}/-{:.2}",
+            self.one_norm_median, self.one_norm_plus, self.one_norm_minus
+        )
+    }
+}
+
+fn mean(v: &[f64]) -> f64 {
+    if v.is_empty() {
+        f64::NAN
+    } else {
+        v.iter().sum::<f64>() / v.len() as f64
+    }
+}
+
+/// Runs `trials` independent repetitions of one strategy under a fixed
+/// budget, fanned out with rayon. Trial `t` uses seed `seed0 + t`, so every
+/// number in every report is reproducible.
+pub fn run_trials(
+    backend: &Backend,
+    circuit: &Circuit,
+    ideal: &SparseDist,
+    correct: &[u64],
+    strategy: &dyn MitigationStrategy,
+    budget: u64,
+    trials: u64,
+    seed0: u64,
+) -> MethodResult {
+    let results: Vec<Trial> = (0..trials)
+        .into_par_iter()
+        .map(|t| {
+            let mut rng = StdRng::seed_from_u64(seed0 + t);
+            let out = strategy
+                .run(backend, circuit, budget, &mut rng)
+                .unwrap_or_else(|e| panic!("{} failed: {e}", strategy.name()));
+            Trial {
+                one_norm: out.distribution.l1_distance(ideal),
+                error_rate: 1.0 - out.distribution.mass_on(correct),
+                calibration_circuits: out.calibration_circuits,
+                shots_used: out.total_shots(),
+            }
+        })
+        .collect();
+    MethodResult::from_trials(strategy.name(), results)
+}
+
+/// Compares a strategy set on one backend/circuit, skipping infeasible
+/// methods (reported with `None`).
+pub fn compare_methods(
+    backend: &Backend,
+    circuit: &Circuit,
+    ideal: &SparseDist,
+    correct: &[u64],
+    strategies: &[Box<dyn MitigationStrategy>],
+    budget: u64,
+    trials: u64,
+    seed0: u64,
+) -> Vec<(String, Option<MethodResult>)> {
+    strategies
+        .iter()
+        .map(|s| {
+            if s.feasible(backend, budget) {
+                let r =
+                    run_trials(backend, circuit, ideal, correct, s.as_ref(), budget, trials, seed0);
+                (s.name().to_string(), Some(r))
+            } else {
+                (s.name().to_string(), None)
+            }
+        })
+        .collect()
+}
+
+/// Prints an aligned text table.
+pub fn print_table(headers: &[&str], rows: &[Vec<String>]) {
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (w, cell) in widths.iter_mut().zip(row) {
+            *w = (*w).max(cell.len());
+        }
+    }
+    let line = |cells: Vec<String>| {
+        let mut s = String::new();
+        for (w, c) in widths.iter().zip(cells) {
+            s.push_str(&format!("{c:<width$}  ", width = w));
+        }
+        println!("{}", s.trim_end());
+    };
+    line(headers.iter().map(|h| h.to_string()).collect());
+    line(widths.iter().map(|w| "-".repeat(*w)).collect());
+    for row in rows {
+        line(row.clone());
+    }
+}
+
+/// Writes a JSON record under `results/<name>.json` (creating the
+/// directory), so EXPERIMENTS.md numbers are regenerable artifacts.
+pub fn write_json<T: Serialize>(name: &str, value: &T) {
+    let dir = std::path::Path::new("results");
+    if let Err(e) = std::fs::create_dir_all(dir) {
+        eprintln!("warning: cannot create results/: {e}");
+        return;
+    }
+    let path = dir.join(format!("{name}.json"));
+    match serde_json::to_string_pretty(value) {
+        Ok(s) => {
+            if let Err(e) = std::fs::write(&path, s) {
+                eprintln!("warning: cannot write {}: {e}", path.display());
+            } else {
+                eprintln!("[wrote {}]", path.display());
+            }
+        }
+        Err(e) => eprintln!("warning: serialisation failed: {e}"),
+    }
+}
+
+/// Standard CLI knobs shared by the figure binaries: `--trials N`,
+/// `--budget N`, `--seed N`, `--fast` (shrinks everything for CI).
+#[derive(Clone, Copy, Debug)]
+pub struct HarnessArgs {
+    /// Repetitions per configuration.
+    pub trials: u64,
+    /// Total shot budget per method.
+    pub budget: u64,
+    /// Base RNG seed.
+    pub seed: u64,
+    /// Reduced-size run for smoke testing.
+    pub fast: bool,
+}
+
+impl HarnessArgs {
+    /// Parses from `std::env::args`, with the given defaults.
+    pub fn parse(default_trials: u64, default_budget: u64) -> HarnessArgs {
+        let mut out =
+            HarnessArgs { trials: default_trials, budget: default_budget, seed: 2023, fast: false };
+        let args: Vec<String> = std::env::args().skip(1).collect();
+        let mut i = 0;
+        while i < args.len() {
+            match args[i].as_str() {
+                "--trials" => {
+                    out.trials = args.get(i + 1).and_then(|s| s.parse().ok()).unwrap_or(out.trials);
+                    i += 1;
+                }
+                "--budget" => {
+                    out.budget = args.get(i + 1).and_then(|s| s.parse().ok()).unwrap_or(out.budget);
+                    i += 1;
+                }
+                "--seed" => {
+                    out.seed = args.get(i + 1).and_then(|s| s.parse().ok()).unwrap_or(out.seed);
+                    i += 1;
+                }
+                "--fast" => out.fast = true,
+                other => eprintln!("warning: unknown argument {other}"),
+            }
+            i += 1;
+        }
+        if out.fast {
+            out.trials = out.trials.min(2);
+            out.budget = out.budget.min(8_000);
+        }
+        out
+    }
+}
+
+/// One row of a GHZ-scaling figure (Figs. 13–15): device size × method.
+#[derive(Clone, Debug, Serialize)]
+pub struct ScalingPoint {
+    /// Device qubit count.
+    pub qubits: usize,
+    /// Device name.
+    pub device: String,
+    /// Method name.
+    pub method: String,
+    /// Mean GHZ error rate (`None` ⇒ infeasible at this size).
+    pub error_rate: Option<f64>,
+    /// Mean one-norm distance.
+    pub one_norm: Option<f64>,
+}
+
+/// Shared driver for the Figs. 13–15 GHZ-scaling experiments: every method
+/// reconstructs `GHZ_n` on each backend of a device family under the same
+/// shot budget (paper: 16 000), and the mean error rate is reported per
+/// size × method.
+pub fn ghz_scaling_experiment(
+    figure: &str,
+    backends: &[Backend],
+    budget: u64,
+    trials: u64,
+    seed: u64,
+) -> Vec<ScalingPoint> {
+    use qem_mitigation::metrics::ghz_ideal;
+    use qem_mitigation::standard_strategies;
+    use qem_sim::circuit::ghz_bfs;
+
+    let mut points = Vec::new();
+    for backend in backends {
+        let n = backend.num_qubits();
+        let ghz = ghz_bfs(&backend.coupling.graph, 0);
+        let ideal = ghz_ideal(n);
+        let correct = [0u64, ((1u128 << n) - 1) as u64];
+        // Exponential methods included wherever their own feasibility
+        // gates allow (Full caps itself; Linear always runs).
+        let strategies = standard_strategies(true);
+        let results =
+            compare_methods(backend, &ghz, &ideal, &correct, &strategies, budget, trials, seed);
+        for (method, result) in results {
+            points.push(ScalingPoint {
+                qubits: n,
+                device: backend.name.clone(),
+                method,
+                error_rate: result.as_ref().map(|r| r.mean_error_rate),
+                one_norm: result.as_ref().map(|r| r.mean_one_norm),
+            });
+        }
+        eprintln!("[{figure}] {} done", backend.name);
+    }
+    points
+}
+
+/// Prints a scaling experiment as a size × method error-rate matrix.
+pub fn print_scaling_table(points: &[ScalingPoint]) {
+    let mut methods: Vec<String> = Vec::new();
+    for p in points {
+        if !methods.contains(&p.method) {
+            methods.push(p.method.clone());
+        }
+    }
+    let mut sizes: Vec<usize> = points.iter().map(|p| p.qubits).collect();
+    sizes.sort_unstable();
+    sizes.dedup();
+
+    let mut headers: Vec<&str> = vec!["n"];
+    let method_names: Vec<String> = methods.clone();
+    for m in &method_names {
+        headers.push(m);
+    }
+    let rows: Vec<Vec<String>> = sizes
+        .iter()
+        .map(|&n| {
+            let mut row = vec![n.to_string()];
+            for m in &methods {
+                let cell = points
+                    .iter()
+                    .find(|p| p.qubits == n && &p.method == m)
+                    .map(|p| match p.error_rate {
+                        Some(e) => format!("{e:.3}"),
+                        None => "N/A".into(),
+                    })
+                    .unwrap_or_default();
+                row.push(cell);
+            }
+            row
+        })
+        .collect();
+    print_table(&headers, &rows);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qem_mitigation::Bare;
+    use qem_sim::circuit::ghz_bfs;
+    use qem_sim::noise::NoiseModel;
+    use qem_topology::coupling::linear;
+
+    #[test]
+    fn run_trials_is_reproducible() {
+        let b = Backend::new(linear(3), NoiseModel::random_biased(3, 0.02, 0.08, 1));
+        let c = ghz_bfs(&b.coupling.graph, 0);
+        let ideal = qem_mitigation::metrics::ghz_ideal(3);
+        let r1 = run_trials(&b, &c, &ideal, &[0, 7], &Bare, 2000, 4, 7);
+        let r2 = run_trials(&b, &c, &ideal, &[0, 7], &Bare, 2000, 4, 7);
+        // Shot streams are seed-identical; hash-map summation order may
+        // differ by an ulp, so compare with a tolerance.
+        for (a, b) in r1.trials.iter().zip(&r2.trials) {
+            assert!((a.one_norm - b.one_norm).abs() < 1e-12);
+        }
+        assert!(r1.mean_error_rate >= 0.0 && r1.mean_error_rate <= 1.0);
+    }
+
+    #[test]
+    fn method_result_bands() {
+        let trials = vec![
+            Trial { one_norm: 0.1, error_rate: 0.05, calibration_circuits: 0, shots_used: 10 },
+            Trial { one_norm: 0.3, error_rate: 0.15, calibration_circuits: 0, shots_used: 10 },
+            Trial { one_norm: 0.2, error_rate: 0.10, calibration_circuits: 0, shots_used: 10 },
+        ];
+        let r = MethodResult::from_trials("x", trials);
+        assert!((r.one_norm_median - 0.2).abs() < 1e-12);
+        assert!((r.one_norm_plus - 0.1).abs() < 1e-12);
+        assert!((r.mean_one_norm - 0.2).abs() < 1e-12);
+        assert!(r.band_cell().starts_with("0.20"));
+    }
+}

@@ -1,0 +1,274 @@
+//! Minimal SVG line charts — the figure binaries emit real plot files
+//! alongside their tables, with zero plotting dependencies.
+
+use std::fmt::Write as _;
+
+/// Categorical palette (colourblind-safe Okabe–Ito subset).
+const PALETTE: [&str; 8] = [
+    "#0072B2", "#D55E00", "#009E73", "#CC79A7", "#E69F00", "#56B4E9", "#000000", "#F0E442",
+];
+
+/// A multi-series scatter/line chart.
+#[derive(Clone, Debug, Default)]
+pub struct LineChart {
+    /// Chart title.
+    pub title: String,
+    /// X-axis label.
+    pub x_label: String,
+    /// Y-axis label.
+    pub y_label: String,
+    series: Vec<(String, Vec<(f64, f64)>)>,
+}
+
+impl LineChart {
+    /// Creates an empty chart.
+    pub fn new(title: &str, x_label: &str, y_label: &str) -> LineChart {
+        LineChart {
+            title: title.into(),
+            x_label: x_label.into(),
+            y_label: y_label.into(),
+            series: Vec::new(),
+        }
+    }
+
+    /// Adds a named series; points need not be sorted.
+    pub fn add_series(&mut self, name: &str, mut points: Vec<(f64, f64)>) {
+        points.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+        points.retain(|p| p.0.is_finite() && p.1.is_finite());
+        if !points.is_empty() {
+            self.series.push((name.into(), points));
+        }
+    }
+
+    /// Number of series present.
+    pub fn num_series(&self) -> usize {
+        self.series.len()
+    }
+
+    /// Renders the SVG document.
+    pub fn render(&self) -> String {
+        const W: f64 = 720.0;
+        const H: f64 = 440.0;
+        const ML: f64 = 70.0; // margins
+        const MR: f64 = 150.0;
+        const MT: f64 = 50.0;
+        const MB: f64 = 60.0;
+        let plot_w = W - ML - MR;
+        let plot_h = H - MT - MB;
+
+        let (mut x_min, mut x_max) = (f64::MAX, f64::MIN);
+        let (mut y_min, mut y_max) = (0.0f64, f64::MIN);
+        for (_, pts) in &self.series {
+            for &(x, y) in pts {
+                x_min = x_min.min(x);
+                x_max = x_max.max(x);
+                y_min = y_min.min(y);
+                y_max = y_max.max(y);
+            }
+        }
+        if self.series.is_empty() {
+            x_min = 0.0;
+            x_max = 1.0;
+            y_max = 1.0;
+        }
+        if (x_max - x_min).abs() < 1e-12 {
+            x_max = x_min + 1.0;
+        }
+        if (y_max - y_min).abs() < 1e-12 {
+            y_max = y_min + 1.0;
+        }
+        y_max *= 1.05;
+
+        let sx = |x: f64| ML + (x - x_min) / (x_max - x_min) * plot_w;
+        let sy = |y: f64| MT + plot_h - (y - y_min) / (y_max - y_min) * plot_h;
+
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            r#"<svg xmlns="http://www.w3.org/2000/svg" width="{W}" height="{H}" viewBox="0 0 {W} {H}">"#
+        );
+        let _ = writeln!(out, r#"<rect width="{W}" height="{H}" fill="white"/>"#);
+        let _ = writeln!(
+            out,
+            r#"<text x="{}" y="24" font-family="sans-serif" font-size="16" text-anchor="middle">{}</text>"#,
+            ML + plot_w / 2.0,
+            escape(&self.title)
+        );
+
+        // Axes box + grid + ticks.
+        let _ = writeln!(
+            out,
+            r##"<rect x="{ML}" y="{MT}" width="{plot_w}" height="{plot_h}" fill="none" stroke="#333"/>"##
+        );
+        for t in 0..=4 {
+            let frac = t as f64 / 4.0;
+            let y_val = y_min + frac * (y_max - y_min);
+            let y_pix = sy(y_val);
+            let _ = writeln!(
+                out,
+                r##"<line x1="{ML}" y1="{y_pix:.1}" x2="{:.1}" y2="{y_pix:.1}" stroke="#ddd"/>"##,
+                ML + plot_w
+            );
+            let _ = writeln!(
+                out,
+                r#"<text x="{:.1}" y="{:.1}" font-family="sans-serif" font-size="11" text-anchor="end">{:.3}</text>"#,
+                ML - 6.0,
+                y_pix + 4.0,
+                y_val
+            );
+            let x_val = x_min + frac * (x_max - x_min);
+            let x_pix = sx(x_val);
+            let _ = writeln!(
+                out,
+                r#"<text x="{:.1}" y="{:.1}" font-family="sans-serif" font-size="11" text-anchor="middle">{:.1}</text>"#,
+                x_pix,
+                MT + plot_h + 18.0,
+                x_val
+            );
+        }
+        let _ = writeln!(
+            out,
+            r#"<text x="{}" y="{}" font-family="sans-serif" font-size="13" text-anchor="middle">{}</text>"#,
+            ML + plot_w / 2.0,
+            H - 14.0,
+            escape(&self.x_label)
+        );
+        let _ = writeln!(
+            out,
+            r#"<text x="18" y="{}" font-family="sans-serif" font-size="13" text-anchor="middle" transform="rotate(-90 18 {})">{}</text>"#,
+            MT + plot_h / 2.0,
+            MT + plot_h / 2.0,
+            escape(&self.y_label)
+        );
+
+        // Series.
+        for (idx, (name, pts)) in self.series.iter().enumerate() {
+            let color = PALETTE[idx % PALETTE.len()];
+            let path: Vec<String> =
+                pts.iter().map(|&(x, y)| format!("{:.1},{:.1}", sx(x), sy(y))).collect();
+            let _ = writeln!(
+                out,
+                r#"<polyline points="{}" fill="none" stroke="{color}" stroke-width="2"/>"#,
+                path.join(" ")
+            );
+            for &(x, y) in pts {
+                let _ = writeln!(
+                    out,
+                    r#"<circle cx="{:.1}" cy="{:.1}" r="3" fill="{color}"/>"#,
+                    sx(x),
+                    sy(y)
+                );
+            }
+            // Legend entry.
+            let ly = MT + 14.0 + idx as f64 * 18.0;
+            let _ = writeln!(
+                out,
+                r#"<line x1="{:.1}" y1="{ly:.1}" x2="{:.1}" y2="{ly:.1}" stroke="{color}" stroke-width="2"/>"#,
+                W - MR + 10.0,
+                W - MR + 34.0
+            );
+            let _ = writeln!(
+                out,
+                r#"<text x="{:.1}" y="{:.1}" font-family="sans-serif" font-size="12">{}</text>"#,
+                W - MR + 40.0,
+                ly + 4.0,
+                escape(name)
+            );
+        }
+        out.push_str("</svg>\n");
+        out
+    }
+
+    /// Writes `results/<name>.svg`.
+    pub fn save(&self, name: &str) {
+        let dir = std::path::Path::new("results");
+        if std::fs::create_dir_all(dir).is_err() {
+            return;
+        }
+        let path = dir.join(format!("{name}.svg"));
+        if std::fs::write(&path, self.render()).is_ok() {
+            eprintln!("[wrote {}]", path.display());
+        }
+    }
+}
+
+fn escape(s: &str) -> String {
+    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+}
+
+/// Builds the standard Figs. 13–15 chart from scaling points.
+pub fn scaling_chart(title: &str, points: &[crate::ScalingPoint]) -> LineChart {
+    let mut chart = LineChart::new(title, "qubits", "GHZ error rate");
+    let mut methods: Vec<String> = Vec::new();
+    for p in points {
+        if !methods.contains(&p.method) {
+            methods.push(p.method.clone());
+        }
+    }
+    for m in methods {
+        let pts: Vec<(f64, f64)> = points
+            .iter()
+            .filter(|p| p.method == m)
+            .filter_map(|p| p.error_rate.map(|e| (p.qubits as f64, e)))
+            .collect();
+        chart.add_series(&m, pts);
+    }
+    chart
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_valid_svg_shell() {
+        let mut c = LineChart::new("t", "x", "y");
+        c.add_series("a", vec![(1.0, 0.5), (2.0, 0.25)]);
+        c.add_series("b", vec![(1.0, 0.4)]);
+        let svg = c.render();
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.trim_end().ends_with("</svg>"));
+        assert_eq!(svg.matches("<polyline").count(), 2);
+        assert!(svg.contains("#0072B2"));
+        assert!(svg.contains(">a</text>"));
+    }
+
+    #[test]
+    fn empty_chart_renders() {
+        let c = LineChart::new("empty", "x", "y");
+        let svg = c.render();
+        assert!(svg.contains("</svg>"));
+        assert_eq!(c.num_series(), 0);
+    }
+
+    #[test]
+    fn series_sorted_and_filtered() {
+        let mut c = LineChart::new("t", "x", "y");
+        c.add_series("a", vec![(3.0, 0.1), (1.0, f64::NAN), (2.0, 0.2)]);
+        // NaN point dropped; chart still renders.
+        assert_eq!(c.num_series(), 1);
+        assert!(c.render().contains("<polyline"));
+    }
+
+    #[test]
+    fn escapes_markup() {
+        let mut c = LineChart::new("a<b>&c", "x", "y");
+        c.add_series("s<1>", vec![(0.0, 0.0), (1.0, 1.0)]);
+        let svg = c.render();
+        assert!(svg.contains("a&lt;b&gt;&amp;c"));
+        assert!(!svg.contains("<b>"));
+    }
+
+    #[test]
+    fn scaling_chart_groups_methods() {
+        use crate::ScalingPoint;
+        let points = vec![
+            ScalingPoint { qubits: 4, device: "d".into(), method: "CMC".into(), error_rate: Some(0.1), one_norm: Some(0.2) },
+            ScalingPoint { qubits: 8, device: "d".into(), method: "CMC".into(), error_rate: Some(0.2), one_norm: Some(0.4) },
+            ScalingPoint { qubits: 4, device: "d".into(), method: "Full".into(), error_rate: None, one_norm: None },
+        ];
+        let chart = scaling_chart("fig", &points);
+        // Full has no feasible points ⇒ only CMC series.
+        assert_eq!(chart.num_series(), 1);
+    }
+}

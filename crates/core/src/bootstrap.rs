@@ -1,0 +1,161 @@
+//! Bootstrap uncertainty for mitigated estimates.
+//!
+//! Inverted calibration matrices amplify shot noise (by roughly the patch
+//! condition numbers), so a mitigated probability needs an error bar. The
+//! nonparametric bootstrap resamples the measured histogram with
+//! replacement, re-mitigates each resample, and reports per-quantity
+//! spread — the machinery behind Table II-style ± bands.
+
+use crate::mitigator::SparseMitigator;
+use qem_linalg::error::Result;
+use qem_sim::counts::Counts;
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Mean and standard deviation of a bootstrapped quantity.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Estimate {
+    /// Bootstrap mean.
+    pub mean: f64,
+    /// Bootstrap standard deviation (the error bar).
+    pub std: f64,
+}
+
+/// Resamples a histogram with replacement (same total shot count).
+pub fn resample_counts(counts: &Counts, rng: &mut StdRng) -> Counts {
+    let total = counts.shots();
+    let outcomes: Vec<(u64, u64)> = counts.iter().collect();
+    // Cumulative counts for O(log) sampling.
+    let mut cum = Vec::with_capacity(outcomes.len());
+    let mut acc = 0u64;
+    for &(_, k) in &outcomes {
+        acc += k;
+        cum.push(acc);
+    }
+    let mut out = Counts::new(counts.num_bits());
+    for _ in 0..total {
+        let r = rng.gen_range(0..total);
+        let idx = cum.partition_point(|&c| c <= r);
+        out.record(outcomes[idx].0);
+    }
+    out
+}
+
+/// Bootstraps the mitigated probability mass on `states` (e.g. the GHZ
+/// success probability): `resamples` rounds of resample → mitigate →
+/// evaluate.
+pub fn bootstrap_mass_on(
+    mitigator: &SparseMitigator,
+    counts: &Counts,
+    states: &[u64],
+    resamples: usize,
+    rng: &mut StdRng,
+) -> Result<Estimate> {
+    bootstrap_statistic(mitigator, counts, resamples, rng, |d| d.mass_on(states))
+}
+
+/// Bootstraps an arbitrary statistic of the mitigated distribution.
+pub fn bootstrap_statistic<F>(
+    mitigator: &SparseMitigator,
+    counts: &Counts,
+    resamples: usize,
+    rng: &mut StdRng,
+    statistic: F,
+) -> Result<Estimate>
+where
+    F: Fn(&qem_linalg::sparse_apply::SparseDist) -> f64,
+{
+    assert!(resamples >= 2, "bootstrap needs at least two resamples");
+    let mut values = Vec::with_capacity(resamples);
+    for _ in 0..resamples {
+        let resampled = resample_counts(counts, rng);
+        let mitigated = mitigator.mitigate(&resampled)?;
+        values.push(statistic(&mitigated));
+    }
+    let mean = values.iter().sum::<f64>() / values.len() as f64;
+    let var = values.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>()
+        / (values.len() - 1) as f64;
+    Ok(Estimate { mean, std: var.sqrt() })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::calibration::CalibrationMatrix;
+    use qem_linalg::dense::Matrix;
+    use rand::SeedableRng;
+
+    fn rng(seed: u64) -> StdRng {
+        StdRng::seed_from_u64(seed)
+    }
+
+    fn flip(p0: f64, p1: f64) -> Matrix {
+        Matrix::from_rows(&[&[1.0 - p0, p1], &[p0, 1.0 - p1]])
+    }
+
+    #[test]
+    fn resample_preserves_shots_and_support() {
+        let counts = Counts::from_pairs(3, [(0u64, 700u64), (7u64, 300u64)]);
+        let r = resample_counts(&counts, &mut rng(1));
+        assert_eq!(r.shots(), 1000);
+        // Only original outcomes can appear.
+        for (s, _) in r.iter() {
+            assert!(s == 0 || s == 7);
+        }
+        // Statistically close to the original proportions.
+        assert!((r.probability(0) - 0.7).abs() < 0.08);
+    }
+
+    #[test]
+    fn bootstrap_error_bar_shrinks_with_shots() {
+        let mit = {
+            let mut m = SparseMitigator::identity(2);
+            for q in 0..2 {
+                let cal = CalibrationMatrix::new(vec![q], flip(0.05, 0.08)).unwrap();
+                m.push_inverse(&cal).unwrap();
+            }
+            m
+        };
+        let spread = |shots: u64, seed: u64| {
+            let counts = Counts::from_pairs(
+                2,
+                [(0u64, shots * 45 / 100), (3u64, shots * 45 / 100), (1u64, shots / 10)],
+            );
+            bootstrap_mass_on(&mit, &counts, &[0, 3], 40, &mut rng(seed)).unwrap()
+        };
+        let small = spread(500, 2);
+        let large = spread(50_000, 3);
+        assert!(small.std > large.std * 3.0, "{} vs {}", small.std, large.std);
+        // ~1/√N scaling: 10× shots ⇒ ~√100 = 10× smaller bars.
+        assert!(large.std < 0.02);
+        assert!((small.mean - large.mean).abs() < 0.1);
+    }
+
+    #[test]
+    fn bootstrap_mean_tracks_point_estimate() {
+        let mit = SparseMitigator::identity(2);
+        let counts = Counts::from_pairs(2, [(0u64, 8000u64), (3u64, 2000u64)]);
+        let est = bootstrap_mass_on(&mit, &counts, &[0], 60, &mut rng(4)).unwrap();
+        assert!((est.mean - 0.8).abs() < 0.02);
+        assert!(est.std > 0.0);
+    }
+
+    #[test]
+    fn custom_statistic() {
+        let mit = SparseMitigator::identity(1);
+        let counts = Counts::from_pairs(1, [(0u64, 500u64), (1u64, 500u64)]);
+        let est = bootstrap_statistic(&mit, &counts, 30, &mut rng(5), |d| {
+            d.get(0) - d.get(1)
+        })
+        .unwrap();
+        assert!(est.mean.abs() < 0.1);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two")]
+    fn resample_count_validated() {
+        let mit = SparseMitigator::identity(1);
+        let counts = Counts::from_pairs(1, [(0u64, 10u64)]);
+        let _ = bootstrap_mass_on(&mit, &counts, &[0], 1, &mut rng(6));
+    }
+}

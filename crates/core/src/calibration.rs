@@ -1,0 +1,288 @@
+//! Calibration matrices over qubit subsets: construction from device
+//! counts, marginals, inversion and correlation weights.
+
+use qem_linalg::dense::Matrix;
+use qem_linalg::error::{LinalgError, Result};
+use qem_linalg::lu;
+use qem_linalg::stochastic::{is_column_stochastic, normalize_columns, normalized_partial_trace};
+use qem_sim::backend::Backend;
+use qem_sim::circuit::basis_prep;
+use qem_sim::counts::Counts;
+use rand::rngs::StdRng;
+
+/// A column-stochastic measurement calibration over an ordered qubit set:
+/// `matrix[observed, prepared] = P(observe | prepared)`, with matrix bit `k`
+/// corresponding to `qubits[k]`.
+#[derive(Clone, Debug)]
+pub struct CalibrationMatrix {
+    qubits: Vec<usize>,
+    matrix: Matrix,
+}
+
+impl CalibrationMatrix {
+    /// Wraps a validated matrix.
+    pub fn new(qubits: Vec<usize>, matrix: Matrix) -> Result<Self> {
+        if matrix.rows() != 1 << qubits.len() || !matrix.is_square() {
+            return Err(LinalgError::DimensionMismatch {
+                op: "CalibrationMatrix::new",
+                detail: format!("{} qubits vs {}x{}", qubits.len(), matrix.rows(), matrix.cols()),
+            });
+        }
+        let mut sorted = qubits.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        if sorted.len() != qubits.len() {
+            return Err(LinalgError::DimensionMismatch {
+                op: "CalibrationMatrix::new",
+                detail: "duplicate qubit".into(),
+            });
+        }
+        if !is_column_stochastic(&matrix, 1e-6) {
+            return Err(LinalgError::InvalidDistribution {
+                detail: "calibration matrix not column-stochastic".into(),
+            });
+        }
+        Ok(CalibrationMatrix { qubits, matrix: normalize_columns(&matrix) })
+    }
+
+    /// The identity calibration (error-free measurement).
+    pub fn identity(qubits: Vec<usize>) -> Self {
+        let dim = 1usize << qubits.len();
+        CalibrationMatrix { matrix: Matrix::identity(dim), qubits }
+    }
+
+    /// The qubits, in matrix bit order.
+    pub fn qubits(&self) -> &[usize] {
+        &self.qubits
+    }
+
+    /// Number of qubits.
+    pub fn num_qubits(&self) -> usize {
+        self.qubits.len()
+    }
+
+    /// The stochastic matrix.
+    pub fn matrix(&self) -> &Matrix {
+        &self.matrix
+    }
+
+    /// Inverse of the stochastic matrix (the mitigation operator).
+    pub fn inverse(&self) -> Result<Matrix> {
+        lu::inverse(&self.matrix)
+    }
+
+    /// One-norm condition number of the calibration block — inversion
+    /// amplifies shot noise by roughly this factor, so values far above 1
+    /// (readout fidelity approaching 50 %) flag an untrustworthy patch.
+    pub fn condition(&self) -> Result<f64> {
+        lu::condition_estimate(&self.matrix)
+    }
+
+    /// Single-qubit marginal `|Tr_other(C)|` (paper Eq. 4) for a qubit in
+    /// this calibration's set.
+    pub fn marginal_1q(&self, qubit: usize) -> Result<CalibrationMatrix> {
+        let local = self
+            .qubits
+            .iter()
+            .position(|&q| q == qubit)
+            .ok_or_else(|| LinalgError::DimensionMismatch {
+                op: "marginal_1q",
+                detail: format!("qubit {qubit} not in calibration"),
+            })?;
+        let traced: Vec<usize> = (0..self.qubits.len()).filter(|&k| k != local).collect();
+        let m = normalized_partial_trace(&self.matrix, &traced)?;
+        CalibrationMatrix::new(vec![qubit], m)
+    }
+
+    /// Tensor product of the single-qubit marginals — what the calibration
+    /// *would be* were the errors uncorrelated.
+    pub fn product_of_marginals(&self) -> Result<Matrix> {
+        let mut out = Matrix::identity(1);
+        for &q in &self.qubits {
+            let m = self.marginal_1q(q)?;
+            out = m.matrix.kron(&out);
+        }
+        Ok(out)
+    }
+
+    /// Correlation weight `‖C − C₀ ⊗ C₁ ⊗ …‖_F` — the Fig. 1 edge metric and
+    /// Algorithm 2's `w_ij`. Zero (up to sampling noise) for independent
+    /// errors.
+    pub fn correlation_weight(&self) -> Result<f64> {
+        let product = self.product_of_marginals()?;
+        Ok((&self.matrix - &product).frobenius_norm())
+    }
+}
+
+/// Builds one calibration column from a measured histogram over the
+/// calibration's qubits (counts bit `k` = `qubits[k]`).
+fn column_from_counts(counts: &Counts, dim: usize) -> Vec<f64> {
+    let total = counts.shots().max(1) as f64;
+    let mut col = vec![0.0; dim];
+    for (s, k) in counts.iter() {
+        col[(s as usize).min(dim - 1)] += k as f64 / total;
+    }
+    col
+}
+
+/// Characterises the calibration matrix of `qubits` on a backend by
+/// preparing each of the `2^k` basis states and measuring those qubits:
+/// `2^k` circuits × `shots_per_circuit` shots (the exponential primitive
+/// from which Full calibration and per-patch CMC circuits are built).
+pub fn characterize(
+    backend: &Backend,
+    qubits: &[usize],
+    shots_per_circuit: u64,
+    rng: &mut StdRng,
+) -> Result<CalibrationMatrix> {
+    let k = qubits.len();
+    let dim = 1usize << k;
+    let n = backend.num_qubits();
+    let mut m = Matrix::zeros(dim, dim);
+    for prepared in 0..dim {
+        // Scatter the prepared pattern onto the physical qubits.
+        let mut state = 0u64;
+        for (bit, &q) in qubits.iter().enumerate() {
+            state |= (((prepared >> bit) & 1) as u64) << q;
+        }
+        let mut circuit = basis_prep(n, state);
+        circuit.measure_only(qubits);
+        let counts = backend.execute(&circuit, shots_per_circuit, rng);
+        let col = column_from_counts(&counts, dim);
+        for (obs, &p) in col.iter().enumerate() {
+            m[(obs, prepared)] = p;
+        }
+    }
+    CalibrationMatrix::new(qubits.to_vec(), m)
+}
+
+/// Builds a calibration matrix from pre-measured per-column histograms
+/// (used when several patches share calibration circuits).
+pub fn from_columns(qubits: Vec<usize>, columns: &[Counts]) -> Result<CalibrationMatrix> {
+    let dim = 1usize << qubits.len();
+    if columns.len() != dim {
+        return Err(LinalgError::DimensionMismatch {
+            op: "from_columns",
+            detail: format!("{} columns for {} qubits", columns.len(), qubits.len()),
+        });
+    }
+    let mut m = Matrix::zeros(dim, dim);
+    for (prepared, counts) in columns.iter().enumerate() {
+        let col = column_from_counts(counts, dim);
+        for (obs, &p) in col.iter().enumerate() {
+            m[(obs, prepared)] = p;
+        }
+    }
+    CalibrationMatrix::new(qubits, m)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qem_sim::noise::NoiseModel;
+    use qem_topology::coupling::linear;
+    use rand::SeedableRng;
+
+    fn rng(seed: u64) -> StdRng {
+        StdRng::seed_from_u64(seed)
+    }
+
+    fn backend_with(noise: NoiseModel) -> Backend {
+        Backend::new(linear(noise.n), noise)
+    }
+
+    #[test]
+    fn identity_calibration() {
+        let c = CalibrationMatrix::identity(vec![0, 2]);
+        assert_eq!(c.num_qubits(), 2);
+        assert!((c.correlation_weight().unwrap()).abs() < 1e-12);
+        assert!(c.inverse().unwrap().max_abs_diff(&Matrix::identity(4)).unwrap() < 1e-12);
+    }
+
+    #[test]
+    fn new_rejects_bad_inputs() {
+        assert!(CalibrationMatrix::new(vec![0], Matrix::identity(4)).is_err());
+        assert!(CalibrationMatrix::new(vec![0, 0], Matrix::identity(4)).is_err());
+        let not_stochastic = Matrix::from_rows(&[&[0.5, 0.5], &[0.4, 0.5]]);
+        assert!(CalibrationMatrix::new(vec![0], not_stochastic).is_err());
+    }
+
+    #[test]
+    fn characterize_recovers_independent_noise() {
+        let mut noise = NoiseModel::noiseless(2);
+        noise.p_flip0 = vec![0.1, 0.05];
+        noise.p_flip1 = vec![0.2, 0.15];
+        let b = backend_with(noise);
+        let c = characterize(&b, &[0, 1], 60_000, &mut rng(1)).unwrap();
+        // Expected: C_1 ⊗ C_0 (bit 0 = qubit 0).
+        let c0 = Matrix::from_rows(&[&[0.9, 0.2], &[0.1, 0.8]]);
+        let c1 = Matrix::from_rows(&[&[0.95, 0.15], &[0.05, 0.85]]);
+        let expect = c1.kron(&c0);
+        assert!(
+            c.matrix().max_abs_diff(&expect).unwrap() < 0.01,
+            "diff {}",
+            c.matrix().max_abs_diff(&expect).unwrap()
+        );
+        // Marginals recover the single-qubit channels.
+        let m0 = c.marginal_1q(0).unwrap();
+        assert!(m0.matrix().max_abs_diff(&c0).unwrap() < 0.01);
+        // Independent noise ⇒ tiny correlation weight.
+        assert!(c.correlation_weight().unwrap() < 0.05);
+    }
+
+    #[test]
+    fn characterize_detects_correlations() {
+        let mut noise = NoiseModel::noiseless(2);
+        noise.add_correlated(&[0, 1], 0.15);
+        let b = backend_with(noise);
+        let c = characterize(&b, &[0, 1], 60_000, &mut rng(2)).unwrap();
+        let w = c.correlation_weight().unwrap();
+        assert!(w > 0.15, "correlation weight {w} too small");
+    }
+
+    #[test]
+    fn characterize_subset_of_larger_device() {
+        let mut noise = NoiseModel::noiseless(4);
+        noise.p_flip1 = vec![0.0, 0.3, 0.0, 0.1];
+        let b = backend_with(noise);
+        let c = characterize(&b, &[1, 3], 60_000, &mut rng(3)).unwrap();
+        assert_eq!(c.qubits(), &[1, 3]);
+        // Column 0b01 = prepared |1⟩ on qubit 1, |0⟩ on qubit 3.
+        let m = c.matrix();
+        assert!((m[(0b01, 0b01)] - 0.7).abs() < 0.01);
+        assert!((m[(0b00, 0b01)] - 0.3).abs() < 0.01);
+    }
+
+    #[test]
+    fn inverse_mitigates_characterized_noise() {
+        let mut noise = NoiseModel::noiseless(2);
+        noise.p_flip0 = vec![0.08, 0.03];
+        noise.p_flip1 = vec![0.12, 0.09];
+        let b = backend_with(noise);
+        let c = characterize(&b, &[0, 1], 100_000, &mut rng(4)).unwrap();
+        let inv = c.inverse().unwrap();
+        // Apply to the noisy distribution of |11⟩: should sharpen to ~[0,0,0,1].
+        let noisy = b.noise.measurement_channel().apply_dense(&[0.0, 0.0, 0.0, 1.0]);
+        let mitigated = inv.matvec(&noisy).unwrap();
+        assert!((mitigated[3] - 1.0).abs() < 0.02, "p11 = {}", mitigated[3]);
+    }
+
+    #[test]
+    fn from_columns_roundtrip() {
+        let c0 = Counts::from_pairs(1, [(0u64, 90u64), (1u64, 10u64)]);
+        let c1 = Counts::from_pairs(1, [(0u64, 20u64), (1u64, 80u64)]);
+        let c = from_columns(vec![2], &[c0, c1]).unwrap();
+        assert!((c.matrix()[(1, 0)] - 0.1).abs() < 1e-12);
+        assert!((c.matrix()[(0, 1)] - 0.2).abs() < 1e-12);
+        assert!(from_columns(vec![0, 1], &[Counts::new(2)]).is_err());
+    }
+
+    #[test]
+    fn product_of_marginals_exact_for_product_channel() {
+        let c0 = Matrix::from_rows(&[&[0.9, 0.2], &[0.1, 0.8]]);
+        let c1 = Matrix::from_rows(&[&[0.95, 0.15], &[0.05, 0.85]]);
+        let joint = CalibrationMatrix::new(vec![0, 1], c1.kron(&c0)).unwrap();
+        let p = joint.product_of_marginals().unwrap();
+        assert!(p.max_abs_diff(joint.matrix()).unwrap() < 1e-12);
+    }
+}

@@ -1,0 +1,147 @@
+//! Calibration drift tracking (paper §VII-A): calibration-matrix methods
+//! amortise across circuits *"as long as the error profile of the device
+//! does not drift significantly"* — this module supplies the cheap probe
+//! that decides when a stored CMC calibration must be rebuilt.
+//!
+//! The probe is the two-circuit Linear calibration (`|0…0⟩`, `|1…1⟩`):
+//! per-qubit flip rates are compared against the rates recorded when the
+//! expensive calibration was taken. Correlation structure drifts far more
+//! slowly than marginal rates on real devices (the paper's "ERR maps are
+//! stable on the order of several weeks"), so marginal drift is the right
+//! cheap trigger.
+
+use crate::tensored::LinearCalibration;
+use qem_linalg::error::Result;
+use qem_sim::backend::Backend;
+use rand::rngs::StdRng;
+
+/// A drift probe anchored to the per-qubit rates at calibration time.
+#[derive(Clone, Debug)]
+pub struct DriftMonitor {
+    /// Per-qubit `P(1|0)` at calibration time.
+    reference_flip0: Vec<f64>,
+    /// Per-qubit `P(0|1)` at calibration time.
+    reference_flip1: Vec<f64>,
+    /// Absolute rate change that triggers recalibration.
+    pub threshold: f64,
+}
+
+/// The outcome of one drift check.
+#[derive(Clone, Debug)]
+pub struct DriftReport {
+    /// Largest absolute per-qubit rate change observed.
+    pub max_rate_change: f64,
+    /// Qubit exhibiting it.
+    pub worst_qubit: usize,
+    /// Whether the stored calibration should be rebuilt.
+    pub should_recalibrate: bool,
+    /// Shots the probe consumed (2 circuits).
+    pub shots_used: u64,
+}
+
+impl DriftMonitor {
+    /// Anchors a monitor to the marginal rates of a just-taken calibration.
+    /// `reference` is typically the Linear calibration run alongside CMC,
+    /// or the per-qubit marginals of the CMC patches themselves.
+    pub fn new(reference: &LinearCalibration, threshold: f64) -> DriftMonitor {
+        let reference_flip0 =
+            reference.per_qubit.iter().map(|c| c.matrix()[(1, 0)]).collect();
+        let reference_flip1 =
+            reference.per_qubit.iter().map(|c| c.matrix()[(0, 1)]).collect();
+        DriftMonitor { reference_flip0, reference_flip1, threshold }
+    }
+
+    /// Anchors a monitor to per-qubit rates extracted from CMC patch
+    /// marginals (`qubit → (p_flip0, p_flip1)` in qubit order).
+    pub fn from_rates(flip0: Vec<f64>, flip1: Vec<f64>, threshold: f64) -> DriftMonitor {
+        assert_eq!(flip0.len(), flip1.len());
+        DriftMonitor { reference_flip0: flip0, reference_flip1: flip1, threshold }
+    }
+
+    /// Number of qubits tracked.
+    pub fn num_qubits(&self) -> usize {
+        self.reference_flip0.len()
+    }
+
+    /// Runs the two-circuit probe and compares against the anchor.
+    pub fn check(
+        &self,
+        backend: &Backend,
+        shots_per_circuit: u64,
+        rng: &mut StdRng,
+    ) -> Result<DriftReport> {
+        let probe = LinearCalibration::calibrate(backend, shots_per_circuit, rng)?;
+        let mut max_rate_change = 0.0;
+        let mut worst_qubit = 0;
+        for (q, cal) in probe.per_qubit.iter().enumerate() {
+            let d0 = (cal.matrix()[(1, 0)] - self.reference_flip0[q]).abs();
+            let d1 = (cal.matrix()[(0, 1)] - self.reference_flip1[q]).abs();
+            let d = d0.max(d1);
+            if d > max_rate_change {
+                max_rate_change = d;
+                worst_qubit = q;
+            }
+        }
+        Ok(DriftReport {
+            max_rate_change,
+            worst_qubit,
+            should_recalibrate: max_rate_change > self.threshold,
+            shots_used: probe.shots_used,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qem_sim::noise::NoiseModel;
+    use qem_topology::coupling::linear;
+    use rand::SeedableRng;
+
+    fn rng(seed: u64) -> StdRng {
+        StdRng::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn stable_device_passes() {
+        let n = 4;
+        let noise = NoiseModel::random_biased(n, 0.02, 0.08, 1);
+        let b = Backend::new(linear(n), noise);
+        let reference = LinearCalibration::calibrate(&b, 40_000, &mut rng(1)).unwrap();
+        let monitor = DriftMonitor::new(&reference, 0.02);
+        let report = monitor.check(&b, 40_000, &mut rng(2)).unwrap();
+        assert!(!report.should_recalibrate, "stable device flagged: {report:?}");
+        assert!(report.max_rate_change < 0.01);
+        assert_eq!(report.shots_used, 80_000);
+    }
+
+    #[test]
+    fn drifted_device_triggers() {
+        let n = 4;
+        let noise = NoiseModel::random_biased(n, 0.02, 0.08, 1);
+        let b = Backend::new(linear(n), noise.clone());
+        let reference = LinearCalibration::calibrate(&b, 40_000, &mut rng(1)).unwrap();
+        let monitor = DriftMonitor::new(&reference, 0.02);
+
+        // The device's qubit 2 degrades sharply.
+        let mut drifted_noise = noise;
+        drifted_noise.p_flip1[2] += 0.10;
+        let drifted = Backend::new(linear(n), drifted_noise);
+        let report = monitor.check(&drifted, 40_000, &mut rng(3)).unwrap();
+        assert!(report.should_recalibrate);
+        assert_eq!(report.worst_qubit, 2);
+        assert!(report.max_rate_change > 0.08);
+    }
+
+    #[test]
+    fn from_rates_anchor() {
+        let monitor = DriftMonitor::from_rates(vec![0.03, 0.04], vec![0.06, 0.05], 0.02);
+        assert_eq!(monitor.num_qubits(), 2);
+        let mut noise = NoiseModel::noiseless(2);
+        noise.p_flip0 = vec![0.03, 0.04];
+        noise.p_flip1 = vec![0.06, 0.05];
+        let b = Backend::new(linear(2), noise);
+        let report = monitor.check(&b, 60_000, &mut rng(4)).unwrap();
+        assert!(!report.should_recalibrate);
+    }
+}

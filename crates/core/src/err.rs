@@ -1,0 +1,266 @@
+//! ERR: device-tailored error coupling maps (paper §IV-D, Algorithm 2) and
+//! the CMC-ERR scheme built on them.
+//!
+//! ERR characterises every qubit pair within physical distance `k`, weights
+//! each by `‖C_a ⊗ C_b − C_ab‖_F` and greedily assembles an error coupling
+//! map of at most `n` edges. CMC is then run over that map — reusing the
+//! pair calibrations already measured, so the tailoring costs no extra
+//! shots beyond the wider characterisation sweep.
+
+use crate::calibration::CalibrationMatrix;
+use crate::cmc::{measure_round, CmcCalibration, CmcOptions};
+use crate::joining::join_corrections;
+use crate::mitigator::SparseMitigator;
+use qem_linalg::error::Result;
+use qem_sim::backend::Backend;
+use qem_topology::err_map::{error_coupling_map, ErrorMap, WeightedPair};
+use qem_topology::patches::{schedule_pairs, PatchSchedule};
+use rand::rngs::StdRng;
+
+/// Options for ERR characterisation.
+#[derive(Clone, Copy, Debug)]
+pub struct ErrOptions {
+    /// Locality: only pairs within physical distance `locality` are
+    /// candidates (Algorithm 2's `k`).
+    pub locality: usize,
+    /// Maximum error-map edges; `None` means the paper's default of `n`.
+    pub max_edges: Option<usize>,
+    /// CMC options used for scheduling and the final mitigator.
+    pub cmc: CmcOptions,
+}
+
+impl Default for ErrOptions {
+    fn default() -> Self {
+        ErrOptions { locality: 2, max_edges: None, cmc: CmcOptions::default() }
+    }
+}
+
+/// The output of an ERR characterisation sweep.
+#[derive(Clone, Debug)]
+pub struct ErrCharacterization {
+    /// Calibration matrices for every candidate pair, in schedule order.
+    pub pair_calibrations: Vec<CalibrationMatrix>,
+    /// Correlation weights per candidate pair.
+    pub weights: Vec<WeightedPair>,
+    /// The Algorithm 2 error coupling map.
+    pub error_map: ErrorMap,
+    /// The schedule used for the characterisation sweep.
+    pub schedule: PatchSchedule,
+    /// Circuits executed for the sweep.
+    pub circuits_used: usize,
+    /// Shots consumed by the sweep.
+    pub shots_used: u64,
+}
+
+/// Characterises all candidate pairs and builds the error coupling map.
+pub fn characterize_err(
+    backend: &Backend,
+    opts: &ErrOptions,
+    rng: &mut StdRng,
+) -> Result<ErrCharacterization> {
+    let n = backend.num_qubits();
+    let candidates = backend.coupling.graph.pairs_within_distance(opts.locality);
+    let schedule = schedule_pairs(&backend.coupling.graph, &candidates, opts.cmc.k);
+
+    let mut pair_calibrations = Vec::with_capacity(candidates.len());
+    let mut circuits_used = 0usize;
+    let mut shots_used = 0u64;
+    for round in &schedule.rounds {
+        let pairs: Vec<(usize, usize)> = round.iter().map(|e| (e.a, e.b)).collect();
+        let patches = measure_round(backend, &pairs, opts.cmc.shots_per_circuit, rng)?;
+        circuits_used += 4;
+        shots_used += 4 * opts.cmc.shots_per_circuit;
+        pair_calibrations.extend(patches);
+    }
+
+    let weights: Vec<WeightedPair> = pair_calibrations
+        .iter()
+        .map(|p| {
+            let w = p.correlation_weight()?;
+            Ok(WeightedPair::new(p.qubits()[0], p.qubits()[1], w))
+        })
+        .collect::<Result<_>>()?;
+
+    let max_edges = opts.max_edges.unwrap_or(n);
+    let error_map = error_coupling_map(n, &weights, max_edges);
+    Ok(ErrCharacterization {
+        pair_calibrations,
+        weights,
+        error_map,
+        schedule,
+        circuits_used,
+        shots_used,
+    })
+}
+
+/// CMC-ERR: ERR characterisation followed by CMC over the error coupling
+/// map, reusing the already-measured pair calibrations. Qubits outside the
+/// error map are covered by their single-qubit marginals, also extracted
+/// from the sweep data — so the scheme consumes no shots beyond the sweep.
+pub fn calibrate_cmc_err(
+    backend: &Backend,
+    opts: &ErrOptions,
+    rng: &mut StdRng,
+) -> Result<(ErrCharacterization, CmcCalibration)> {
+    let err = characterize_err(backend, opts, rng)?;
+    let n = backend.num_qubits();
+
+    // Selected pairs, in Algorithm 2 acceptance order.
+    let mut patches: Vec<CalibrationMatrix> = Vec::new();
+    for wp in &err.error_map.selected {
+        let cal = err
+            .pair_calibrations
+            .iter()
+            .find(|c| c.qubits() == [wp.i, wp.j])
+            .expect("selected pair was characterised")
+            .clone();
+        patches.push(cal);
+    }
+
+    // Coverage: single-qubit marginals for qubits outside the error map,
+    // taken from the heaviest-weight candidate pair containing the qubit.
+    let mut covered = vec![false; n];
+    for p in &patches {
+        for &q in p.qubits() {
+            covered[q] = true;
+        }
+    }
+    for q in 0..n {
+        if covered[q] {
+            continue;
+        }
+        let best = err
+            .pair_calibrations
+            .iter()
+            .zip(&err.weights)
+            .filter(|(c, _)| c.qubits().contains(&q))
+            .max_by(|a, b| a.1.weight.partial_cmp(&b.1.weight).unwrap());
+        if let Some((cal, _)) = best {
+            patches.push(cal.marginal_1q(q)?);
+            covered[q] = true;
+        }
+    }
+
+    let joined = join_corrections(&patches)?;
+    let mut mitigator = SparseMitigator::identity(n);
+    mitigator.cull_threshold = opts.cmc.cull_threshold;
+    for p in joined.iter().rev() {
+        let inv = qem_linalg::lu::inverse(&p.matrix)?;
+        mitigator.push_step(p.qubits.clone(), inv);
+    }
+
+    let schedule = err.schedule.clone();
+    let circuits_used = err.circuits_used;
+    let shots_used = err.shots_used;
+    let cal = CmcCalibration { patches, joined, mitigator, schedule, circuits_used, shots_used };
+    Ok((err, cal))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qem_sim::circuit::ghz_bfs;
+    use qem_sim::devices::{simulated_nairobi, simulated_quito};
+    use qem_sim::noise::NoiseModel;
+    use qem_topology::coupling::linear;
+    use rand::SeedableRng;
+
+    fn rng(seed: u64) -> StdRng {
+        StdRng::seed_from_u64(seed)
+    }
+
+    fn err_opts(shots: u64) -> ErrOptions {
+        ErrOptions {
+            locality: 2,
+            max_edges: None,
+            cmc: CmcOptions { k: 1, shots_per_circuit: shots, cull_threshold: 1e-10 },
+        }
+    }
+
+    #[test]
+    fn err_finds_anti_aligned_correlations() {
+        // Correlations on non-edges of a 5-line: ERR must select them.
+        let n = 5;
+        let mut noise = NoiseModel::noiseless(n);
+        noise.p_flip0 = vec![0.03; n];
+        noise.p_flip1 = vec![0.05; n];
+        noise.add_correlated(&[0, 2], 0.08);
+        noise.add_correlated(&[1, 3], 0.08);
+        let b = Backend::new(linear(n), noise);
+        let err = characterize_err(&b, &err_opts(30_000), &mut rng(1)).unwrap();
+        assert!(err.error_map.graph.has_edge(0, 2));
+        assert!(err.error_map.graph.has_edge(1, 3));
+        // The top-2 weights are the injected ones.
+        let mut ws = err.weights.clone();
+        ws.sort_by(|a, b| b.weight.partial_cmp(&a.weight).unwrap());
+        let top: Vec<(usize, usize)> = ws[..2].iter().map(|w| (w.i, w.j)).collect();
+        assert!(top.contains(&(0, 2)));
+        assert!(top.contains(&(1, 3)));
+    }
+
+    #[test]
+    fn err_characterises_all_local_pairs() {
+        let b = simulated_quito(3);
+        let err = characterize_err(&b, &err_opts(3000), &mut rng(2)).unwrap();
+        let candidates = b.coupling.graph.pairs_within_distance(2);
+        assert_eq!(err.pair_calibrations.len(), candidates.len());
+        assert_eq!(err.weights.len(), candidates.len());
+        assert_eq!(err.circuits_used, 4 * err.schedule.rounds.len());
+    }
+
+    #[test]
+    fn cmc_err_mitigates_anti_aligned_noise_better_than_cmc() {
+        // The paper's Nairobi story: anti-aligned correlations favour
+        // CMC-ERR over base CMC.
+        let b = simulated_nairobi(5);
+        let shots = 30_000;
+        let (_, err_cal) = calibrate_cmc_err(&b, &err_opts(shots), &mut rng(3)).unwrap();
+        let cmc_cal =
+            crate::cmc::calibrate_cmc(&b, &err_opts(shots).cmc, &mut rng(4)).unwrap();
+
+        let ghz = ghz_bfs(&b.coupling.graph, 0);
+        let correct = [0u64, (1 << 7) - 1];
+        let ideal = {
+            let mut d = qem_linalg::sparse_apply::SparseDist::new();
+            d.add(correct[0], 0.5);
+            d.add(correct[1], 0.5);
+            d
+        };
+        let mut bare_sum = 0.0;
+        let mut cmc_sum = 0.0;
+        let mut err_sum = 0.0;
+        let trials = 3;
+        for t in 0..trials {
+            let raw = b.execute(&ghz, shots, &mut rng(100 + t));
+            bare_sum += raw.to_distribution().l1_distance(&ideal);
+            cmc_sum += cmc_cal.mitigator.mitigate(&raw).unwrap().l1_distance(&ideal);
+            err_sum += err_cal.mitigator.mitigate(&raw).unwrap().l1_distance(&ideal);
+        }
+        assert!(
+            err_sum < bare_sum,
+            "CMC-ERR did not improve on bare: {err_sum:.3} vs {bare_sum:.3}"
+        );
+        assert!(
+            err_sum < cmc_sum,
+            "CMC-ERR {err_sum:.3} not better than CMC {cmc_sum:.3} on anti-aligned noise"
+        );
+    }
+
+    #[test]
+    fn cmc_err_covers_whole_register() {
+        let b = simulated_nairobi(7);
+        let (_, cal) = calibrate_cmc_err(&b, &err_opts(4000), &mut rng(6)).unwrap();
+        let covered: std::collections::HashSet<usize> =
+            cal.patches.iter().flat_map(|p| p.qubits().to_vec()).collect();
+        assert_eq!(covered.len(), b.num_qubits());
+    }
+
+    #[test]
+    fn err_edge_budget_respected() {
+        let b = simulated_quito(8);
+        let mut o = err_opts(2000);
+        o.max_edges = Some(2);
+        let err = characterize_err(&b, &o, &mut rng(7)).unwrap();
+        assert!(err.error_map.graph.num_edges() <= 2);
+    }
+}

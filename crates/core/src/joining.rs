@@ -1,0 +1,321 @@
+//! Joining overlapping calibration patches — the paper's Eqs. (3)–(7).
+//!
+//! When `v` patches share a qubit `j`, each patch's measured matrix contains
+//! a *full* copy of `C_j`'s single-qubit error. Multiplying the embedded
+//! patches as-is would apply `C_j` `v` times. The fix (Eq. 5): give the
+//! patch with order parameter `a ∈ {0, …, v−1}` the correction
+//!
+//! ```text
+//! C'(a) = (… ⊗ C_j^{(v−1−a)/v} ⊗ …)⁻¹ · C_patch · (… ⊗ C_j^{a/v} ⊗ …)⁻¹
+//! ```
+//!
+//! so each corrected patch carries `C_j^{1/v}` of the marginal and the
+//! ordered product `Embed(C'_{last}) ⋯ Embed(C'_{first})` (Eq. 7) counts
+//! `C_j` exactly once. For uncorrelated (product) noise the reconstruction
+//! is **exact**; the fractional powers come from
+//! [`qem_linalg::power::rational_power`].
+
+use crate::calibration::CalibrationMatrix;
+use qem_linalg::dense::Matrix;
+use qem_linalg::error::{LinalgError, Result};
+use qem_linalg::lu;
+use qem_linalg::power::rational_power;
+use qem_linalg::stochastic::{normalize_columns, qubitwise_kron};
+use std::collections::HashMap;
+
+/// A corrected patch `C'` ready for embedding. Not necessarily stochastic —
+/// the corrections redistribute probability across patches.
+#[derive(Clone, Debug)]
+pub struct JoinedPatch {
+    /// Target qubits (matrix bit `k` = `qubits[k]`).
+    pub qubits: Vec<usize>,
+    /// The corrected matrix `C'`.
+    pub matrix: Matrix,
+}
+
+/// Canonical single-qubit marginals: for each qubit, the column-normalised
+/// elementwise mean of `|Tr_other(C_patch)|` over every patch containing it.
+/// Averaging makes the correction independent of patch enumeration order
+/// and halves the sampling noise of any single patch's marginal.
+pub fn qubit_marginals(patches: &[CalibrationMatrix]) -> Result<HashMap<usize, Matrix>> {
+    let mut sums: HashMap<usize, (Matrix, usize)> = HashMap::new();
+    for p in patches {
+        for &q in p.qubits() {
+            let m = p.marginal_1q(q)?;
+            match sums.get_mut(&q) {
+                Some((acc, count)) => {
+                    *acc = &*acc + m.matrix();
+                    *count += 1;
+                }
+                None => {
+                    sums.insert(q, (m.matrix().clone(), 1));
+                }
+            }
+        }
+    }
+    Ok(sums
+        .into_iter()
+        .map(|(q, (sum, count))| (q, normalize_columns(&sum.scale(1.0 / count as f64))))
+        .collect())
+}
+
+/// Number of patches containing each qubit (the `v` of Eq. 5).
+pub fn overlap_counts(patches: &[CalibrationMatrix]) -> HashMap<usize, usize> {
+    let mut v = HashMap::new();
+    for p in patches {
+        for &q in p.qubits() {
+            *v.entry(q).or_insert(0) += 1;
+        }
+    }
+    v
+}
+
+/// Applies the Eq. 5/6 corrections to an **ordered** patch list, returning
+/// the corrected patches `C'` in the same order. Patch order defines the
+/// order parameters: the `a`-th patch (in list order) containing qubit `j`
+/// gets order parameter `a` for `j`.
+pub fn join_corrections(patches: &[CalibrationMatrix]) -> Result<Vec<JoinedPatch>> {
+    let marginals = qubit_marginals(patches)?;
+    let v = overlap_counts(patches);
+    let mut occurrence: HashMap<usize, u32> = HashMap::new();
+    let mut out = Vec::with_capacity(patches.len());
+
+    for p in patches {
+        let mut left_factors = Vec::with_capacity(p.num_qubits());
+        let mut right_factors = Vec::with_capacity(p.num_qubits());
+        for &q in p.qubits() {
+            let vq = v[&q] as u32;
+            let a = *occurrence.get(&q).unwrap_or(&0);
+            debug_assert!(a < vq, "order parameter exceeded overlap count");
+            if vq == 1 {
+                left_factors.push(Matrix::identity(2));
+                right_factors.push(Matrix::identity(2));
+            } else {
+                let cq = marginals.get(&q).ok_or_else(|| LinalgError::DimensionMismatch {
+                    op: "join_corrections",
+                    detail: format!("no marginal for qubit {q}"),
+                })?;
+                left_factors.push(rational_power(cq, vq - 1 - a, vq)?);
+                right_factors.push(rational_power(cq, a, vq)?);
+            }
+            *occurrence.entry(q).or_insert(0) += 1;
+        }
+        let left = qubitwise_kron(&left_factors);
+        let right = qubitwise_kron(&right_factors);
+        let corrected = lu::inverse(&left)?
+            .matmul(p.matrix())?
+            .matmul(&lu::inverse(&right)?)?;
+        out.push(JoinedPatch { qubits: p.qubits().to_vec(), matrix: corrected });
+    }
+    Ok(out)
+}
+
+/// Dense forward reconstruction `Embed(C'_last) ⋯ Embed(C'_first)` over `n`
+/// qubits — the joined global calibration matrix (Eq. 7). Exponential in
+/// `n`; used by tests and the Full-vs-CMC comparisons.
+pub fn joined_forward_matrix(n: usize, joined: &[JoinedPatch]) -> Result<Matrix> {
+    use qem_linalg::stochastic::embed;
+    let mut m = Matrix::identity(1 << n);
+    for p in joined {
+        let e = embed(&p.matrix, &p.qubits, n)?;
+        m = e.matmul(&m)?;
+    }
+    Ok(m)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qem_linalg::stochastic::{is_column_stochastic, normalized_partial_trace};
+
+    fn flip(p0: f64, p1: f64) -> Matrix {
+        Matrix::from_rows(&[&[1.0 - p0, p1], &[p0, 1.0 - p1]])
+    }
+
+    /// Product-noise patch on (lo, hi): kron(C_hi, C_lo).
+    fn product_patch(lo: usize, hi: usize, c_lo: &Matrix, c_hi: &Matrix) -> CalibrationMatrix {
+        CalibrationMatrix::new(vec![lo, hi], c_hi.kron(c_lo)).unwrap()
+    }
+
+    fn per_qubit_channels(n: usize) -> Vec<Matrix> {
+        (0..n)
+            .map(|q| flip(0.02 + 0.01 * q as f64, 0.05 + 0.008 * q as f64))
+            .collect()
+    }
+
+    #[test]
+    fn overlap_counts_and_marginals() {
+        let cs = per_qubit_channels(3);
+        let patches = vec![
+            product_patch(0, 1, &cs[0], &cs[1]),
+            product_patch(1, 2, &cs[1], &cs[2]),
+        ];
+        let v = overlap_counts(&patches);
+        assert_eq!(v[&0], 1);
+        assert_eq!(v[&1], 2);
+        assert_eq!(v[&2], 1);
+        let m = qubit_marginals(&patches).unwrap();
+        assert!(m[&1].max_abs_diff(&cs[1]).unwrap() < 1e-12);
+        assert!(m[&0].max_abs_diff(&cs[0]).unwrap() < 1e-12);
+    }
+
+    #[test]
+    fn two_patch_chain_reconstructs_product_channel_exactly() {
+        let cs = per_qubit_channels(3);
+        let patches = vec![
+            product_patch(0, 1, &cs[0], &cs[1]),
+            product_patch(1, 2, &cs[1], &cs[2]),
+        ];
+        let joined = join_corrections(&patches).unwrap();
+        let forward = joined_forward_matrix(3, &joined).unwrap();
+        let expect = qubitwise_kron(&cs);
+        assert!(
+            forward.max_abs_diff(&expect).unwrap() < 1e-10,
+            "diff {}",
+            forward.max_abs_diff(&expect).unwrap()
+        );
+    }
+
+    #[test]
+    fn corrected_patch_trace_condition() {
+        // Eq. 5's stated invariant: |Tr_i(C'_ij)| ≈ C_j^{1/v}.
+        let cs = per_qubit_channels(3);
+        let patches = vec![
+            product_patch(0, 1, &cs[0], &cs[1]),
+            product_patch(1, 2, &cs[1], &cs[2]),
+        ];
+        let joined = join_corrections(&patches).unwrap();
+        // First patch: trace out qubit 0 (bit 0) → C_1^{1/2}.
+        let t = normalized_partial_trace(&joined[0].matrix, &[0]).unwrap();
+        let half = rational_power(&cs[1], 1, 2).unwrap();
+        assert!(t.max_abs_diff(&half).unwrap() < 1e-10);
+        // Non-shared qubit: |Tr_1(C'_01)| ≈ C_0 (unchanged).
+        let t0 = normalized_partial_trace(&joined[0].matrix, &[1]).unwrap();
+        assert!(t0.max_abs_diff(&cs[0]).unwrap() < 1e-10);
+    }
+
+    #[test]
+    fn star_overlap_three_patches_on_hub() {
+        // Star: hub qubit 0 shared by patches (0,1), (0,2), (0,3): v=3 on
+        // the hub, exercising thirds.
+        let cs = per_qubit_channels(4);
+        let patches = vec![
+            product_patch(0, 1, &cs[0], &cs[1]),
+            product_patch(0, 2, &cs[0], &cs[2]),
+            product_patch(0, 3, &cs[0], &cs[3]),
+        ];
+        let joined = join_corrections(&patches).unwrap();
+        let forward = joined_forward_matrix(4, &joined).unwrap();
+        let expect = qubitwise_kron(&cs);
+        assert!(
+            forward.max_abs_diff(&expect).unwrap() < 1e-9,
+            "diff {}",
+            forward.max_abs_diff(&expect).unwrap()
+        );
+    }
+
+    #[test]
+    fn plaquette_cycle_reconstructs() {
+        // The Fig. 8 square plaquette: edges (0,1),(1,2),(2,3),(0,3); every
+        // qubit has v = 2.
+        let cs = per_qubit_channels(4);
+        let patches = vec![
+            product_patch(0, 1, &cs[0], &cs[1]),
+            product_patch(1, 2, &cs[1], &cs[2]),
+            product_patch(2, 3, &cs[2], &cs[3]),
+            product_patch(0, 3, &cs[0], &cs[3]),
+        ];
+        let joined = join_corrections(&patches).unwrap();
+        let forward = joined_forward_matrix(4, &joined).unwrap();
+        let expect = qubitwise_kron(&cs);
+        assert!(forward.max_abs_diff(&expect).unwrap() < 1e-9);
+    }
+
+    #[test]
+    fn joined_forward_is_stochastic_for_product_noise() {
+        let cs = per_qubit_channels(3);
+        let patches = vec![
+            product_patch(0, 1, &cs[0], &cs[1]),
+            product_patch(1, 2, &cs[1], &cs[2]),
+        ];
+        let joined = join_corrections(&patches).unwrap();
+        let forward = joined_forward_matrix(3, &joined).unwrap();
+        assert!(is_column_stochastic(&forward, 1e-9));
+    }
+
+    #[test]
+    fn correlated_patch_approximation_beats_tensored() {
+        // One correlated patch (0,1) + one product patch (1,2). The joined
+        // reconstruction can't be exact, but it must be closer to the true
+        // channel than the product-of-marginals (Linear) model.
+        let cs = per_qubit_channels(3);
+        // True channel: product noise + joint flip on (0,1).
+        let p_joint = 0.08;
+        let mut joint01 = Matrix::zeros(4, 4);
+        for c in 0..4usize {
+            joint01[(c, c)] += 1.0 - p_joint;
+            joint01[(c ^ 3, c)] += p_joint;
+        }
+        let c01_true = joint01.matmul(&cs[1].kron(&cs[0])).unwrap();
+        let true_global = {
+            use qem_linalg::stochastic::embed;
+            let e01 = embed(&c01_true, &[0, 1], 3).unwrap();
+            let e2 = embed(&cs[2], &[2], 3).unwrap();
+            e2.matmul(&e01).unwrap()
+        };
+
+        let patches = vec![
+            CalibrationMatrix::new(vec![0, 1], c01_true.clone()).unwrap(),
+            product_patch(1, 2, &cs[1], &cs[2]),
+        ];
+        let joined = join_corrections(&patches).unwrap();
+        let cmc_forward = joined_forward_matrix(3, &joined).unwrap();
+
+        // Linear model: product of single-qubit marginals only.
+        let m = qubit_marginals(&patches).unwrap();
+        let linear = qubitwise_kron(&[m[&0].clone(), m[&1].clone(), m[&2].clone()]);
+
+        let cmc_err = (&cmc_forward - &true_global).frobenius_norm();
+        let lin_err = (&linear - &true_global).frobenius_norm();
+        assert!(
+            cmc_err < lin_err * 0.5,
+            "CMC {cmc_err:.4} not clearly better than Linear {lin_err:.4}"
+        );
+    }
+
+    #[test]
+    fn single_patch_passthrough() {
+        // One patch, no overlaps: corrections are identities.
+        let cs = per_qubit_channels(2);
+        let p = product_patch(0, 1, &cs[0], &cs[1]);
+        let joined = join_corrections(std::slice::from_ref(&p)).unwrap();
+        assert!(joined[0].matrix.max_abs_diff(p.matrix()).unwrap() < 1e-12);
+    }
+
+    #[test]
+    fn chain_of_five_qubits_exact() {
+        let cs = per_qubit_channels(5);
+        let patches: Vec<CalibrationMatrix> = (0..4)
+            .map(|i| product_patch(i, i + 1, &cs[i], &cs[i + 1]))
+            .collect();
+        let joined = join_corrections(&patches).unwrap();
+        let forward = joined_forward_matrix(5, &joined).unwrap();
+        let expect = qubitwise_kron(&cs);
+        assert!(forward.max_abs_diff(&expect).unwrap() < 1e-9);
+    }
+
+    #[test]
+    fn order_parameters_assigned_by_list_order() {
+        // Reversing the patch list must still reconstruct exactly for
+        // product noise (corrections adapt to the order).
+        let cs = per_qubit_channels(3);
+        let patches = vec![
+            product_patch(1, 2, &cs[1], &cs[2]),
+            product_patch(0, 1, &cs[0], &cs[1]),
+        ];
+        let joined = join_corrections(&patches).unwrap();
+        let forward = joined_forward_matrix(3, &joined).unwrap();
+        let expect = qubitwise_kron(&cs);
+        assert!(forward.max_abs_diff(&expect).unwrap() < 1e-10);
+    }
+}

@@ -1,0 +1,43 @@
+//! # qem-core
+//!
+//! The paper's primary contribution: **Coupling Map Calibration (CMC)** and
+//! its device-tailored extension **CMC-ERR** — sparse, scalable measurement
+//! error calibration for NISQ devices (Robertson & Song, SC 2023).
+//!
+//! * [`calibration`] — calibration matrices over qubit subsets (§III-B);
+//! * [`full`] / [`tensored`] — the exponential Full and 2-circuit Linear
+//!   calibration baselines;
+//! * [`joining`] — the Eq. (3)–(7) machinery: normalised partial traces,
+//!   order parameters and fractional-power overlap corrections;
+//! * [`cmc`] — the CMC pipeline: Algorithm 1 scheduling → simultaneous
+//!   4-circuit rounds → per-patch matrices → joined sparse mitigator;
+//! * [`err`] — ERR (Algorithm 2) error-map characterisation and CMC-ERR;
+//! * [`mitigator`] — the chained sparse inverse-patch operator (§IV-C).
+
+#![warn(missing_docs)]
+
+pub mod bootstrap;
+pub mod calibration;
+pub mod cmc;
+pub mod drift;
+pub mod err;
+pub mod full;
+pub mod joining;
+pub mod mitigator;
+pub mod persist;
+pub mod rb;
+pub mod tensored;
+pub mod tomography;
+
+pub use bootstrap::{bootstrap_mass_on, Estimate};
+pub use calibration::{characterize, CalibrationMatrix};
+pub use cmc::{calibrate_cmc, calibrate_cmc_pairs, calibrate_cmc_patch_sets, CmcCalibration, CmcOptions};
+pub use err::{calibrate_cmc_err, characterize_err, ErrCharacterization, ErrOptions};
+pub use drift::{DriftMonitor, DriftReport};
+pub use full::FullCalibration;
+pub use joining::{join_corrections, JoinedPatch};
+pub use mitigator::SparseMitigator;
+pub use persist::{load_or_calibrate, CmcRecord};
+pub use rb::{single_qubit_rb, RbResult};
+pub use tensored::LinearCalibration;
+pub use tomography::{process_tomography_1q, state_tomography, ProcessTomography, StateTomography};

@@ -1,0 +1,267 @@
+//! Calibration persistence.
+//!
+//! Calibration-matrix methods amortise across circuits and across *time*
+//! (§VII-A: the same matrices serve until the device drifts; ERR maps are
+//! stable for weeks). Operators therefore store calibrations between
+//! sessions; this module serialises the measured forward patches to JSON
+//! and reconstructs the full mitigator — joining corrections, inverses and
+//! application order are all deterministic functions of the patch list, so
+//! only the patches (plus bookkeeping) are stored.
+
+use crate::calibration::CalibrationMatrix;
+use crate::cmc::{CmcCalibration, CmcOptions};
+use crate::joining::join_corrections;
+use crate::mitigator::SparseMitigator;
+use qem_linalg::dense::Matrix;
+use qem_linalg::error::{LinalgError, Result};
+use qem_topology::patches::PatchSchedule;
+use serde::{Deserialize, Serialize};
+use std::path::Path;
+
+/// Serialisable form of one calibration patch.
+#[derive(Clone, Debug, Serialize, Deserialize, PartialEq)]
+pub struct CalibrationRecord {
+    /// Target qubits (matrix bit `k` = `qubits[k]`).
+    pub qubits: Vec<usize>,
+    /// Matrix dimension (`2^qubits.len()`), stored for validation.
+    pub dim: usize,
+    /// Row-major column-stochastic matrix entries.
+    pub matrix: Vec<f64>,
+}
+
+impl CalibrationRecord {
+    /// Captures a calibration matrix.
+    pub fn from_calibration(cal: &CalibrationMatrix) -> CalibrationRecord {
+        CalibrationRecord {
+            qubits: cal.qubits().to_vec(),
+            dim: cal.matrix().rows(),
+            matrix: cal.matrix().as_slice().to_vec(),
+        }
+    }
+
+    /// Restores (re-validating stochasticity and shape).
+    pub fn to_calibration(&self) -> Result<CalibrationMatrix> {
+        if self.dim != 1 << self.qubits.len() {
+            return Err(LinalgError::DimensionMismatch {
+                op: "CalibrationRecord::to_calibration",
+                detail: format!("dim {} for {} qubits", self.dim, self.qubits.len()),
+            });
+        }
+        let m = Matrix::from_vec(self.dim, self.dim, self.matrix.clone())?;
+        CalibrationMatrix::new(self.qubits.clone(), m)
+    }
+}
+
+/// A stored CMC calibration: everything needed to rebuild the mitigator.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct CmcRecord {
+    /// Device name the calibration was taken on.
+    pub device: String,
+    /// Register width.
+    pub num_qubits: usize,
+    /// Algorithm 1 separation used.
+    pub k: usize,
+    /// Culling threshold for sparse application.
+    pub cull_threshold: f64,
+    /// The measured forward patches, in joining order.
+    pub patches: Vec<CalibrationRecord>,
+    /// Calibration circuits spent.
+    pub circuits_used: usize,
+    /// Calibration shots spent.
+    pub shots_used: u64,
+}
+
+impl CmcRecord {
+    /// Captures a calibration for storage.
+    pub fn from_calibration(device: &str, n: usize, cal: &CmcCalibration) -> CmcRecord {
+        CmcRecord {
+            device: device.to_string(),
+            num_qubits: n,
+            k: cal.schedule.k,
+            cull_threshold: cal.mitigator.cull_threshold,
+            patches: cal.patches.iter().map(CalibrationRecord::from_calibration).collect(),
+            circuits_used: cal.circuits_used,
+            shots_used: cal.shots_used,
+        }
+    }
+
+    /// Rebuilds the full calibration: re-joins the stored patches and
+    /// re-inverts. The reconstruction is bit-for-bit the original
+    /// mitigator, because joining and inversion are deterministic in the
+    /// patch list and order.
+    pub fn to_calibration(&self) -> Result<CmcCalibration> {
+        let patches: Vec<CalibrationMatrix> = self
+            .patches
+            .iter()
+            .map(CalibrationRecord::to_calibration)
+            .collect::<Result<_>>()?;
+        for p in &patches {
+            for &q in p.qubits() {
+                if q >= self.num_qubits {
+                    return Err(LinalgError::DimensionMismatch {
+                        op: "CmcRecord::to_calibration",
+                        detail: format!("patch qubit {q} outside {}-qubit record", self.num_qubits),
+                    });
+                }
+            }
+        }
+        let joined = join_corrections(&patches)?;
+        let mut mitigator = SparseMitigator::identity(self.num_qubits);
+        mitigator.cull_threshold = self.cull_threshold;
+        for p in joined.iter().rev() {
+            let inv = qem_linalg::lu::inverse(&p.matrix)?;
+            mitigator.push_step(p.qubits.clone(), inv);
+        }
+        Ok(CmcCalibration {
+            patches,
+            joined,
+            mitigator,
+            schedule: PatchSchedule { k: self.k, rounds: Vec::new() },
+            circuits_used: self.circuits_used,
+            shots_used: self.shots_used,
+        })
+    }
+
+    /// JSON serialisation.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("plain-data serialisation cannot fail")
+    }
+
+    /// JSON deserialisation.
+    pub fn from_json(json: &str) -> Result<CmcRecord> {
+        serde_json::from_str(json).map_err(|e| LinalgError::InvalidDistribution {
+            detail: format!("calibration record parse error: {e}"),
+        })
+    }
+
+    /// Writes to a file.
+    pub fn save(&self, path: &Path) -> Result<()> {
+        std::fs::write(path, self.to_json()).map_err(|e| LinalgError::InvalidDistribution {
+            detail: format!("cannot write {}: {e}", path.display()),
+        })
+    }
+
+    /// Reads from a file.
+    pub fn load(path: &Path) -> Result<CmcRecord> {
+        let json = std::fs::read_to_string(path).map_err(|e| LinalgError::InvalidDistribution {
+            detail: format!("cannot read {}: {e}", path.display()),
+        })?;
+        CmcRecord::from_json(&json)
+    }
+}
+
+/// Convenience: calibrate-or-load against a stored file, the operational
+/// pattern for daily runs (recalibrate only when [`crate::drift`] demands).
+pub fn load_or_calibrate(
+    path: &Path,
+    device: &str,
+    backend: &qem_sim::backend::Backend,
+    opts: &CmcOptions,
+    rng: &mut rand::rngs::StdRng,
+) -> Result<CmcCalibration> {
+    if path.exists() {
+        if let Ok(record) = CmcRecord::load(path) {
+            if record.device == device && record.num_qubits == backend.num_qubits() {
+                return record.to_calibration();
+            }
+        }
+    }
+    let cal = crate::cmc::calibrate_cmc(backend, opts, rng)?;
+    CmcRecord::from_calibration(device, backend.num_qubits(), &cal).save(path)?;
+    Ok(cal)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cmc::calibrate_cmc;
+    use qem_sim::backend::Backend;
+    use qem_sim::circuit::ghz_bfs;
+    use qem_sim::noise::NoiseModel;
+    use qem_topology::coupling::linear;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn calibrated_backend() -> (Backend, CmcCalibration) {
+        let n = 4;
+        let mut noise = NoiseModel::random_biased(n, 0.02, 0.08, 3);
+        noise.add_correlated(&[1, 2], 0.05);
+        let b = Backend::new(linear(n), noise);
+        let opts = CmcOptions { k: 1, shots_per_circuit: 20_000, cull_threshold: 1e-10 };
+        let cal = calibrate_cmc(&b, &opts, &mut StdRng::seed_from_u64(1)).unwrap();
+        (b, cal)
+    }
+
+    #[test]
+    fn record_roundtrip_preserves_patches() {
+        let (_, cal) = calibrated_backend();
+        let record = CmcRecord::from_calibration("test-device", 4, &cal);
+        let json = record.to_json();
+        let parsed = CmcRecord::from_json(&json).unwrap();
+        assert_eq!(parsed.patches.len(), record.patches.len());
+        for (a, b) in parsed.patches.iter().zip(&record.patches) {
+            assert_eq!(a.qubits, b.qubits);
+            assert_eq!(a.dim, b.dim);
+            // JSON float formatting may differ in the last ulp.
+            for (x, y) in a.matrix.iter().zip(&b.matrix) {
+                assert!((x - y).abs() < 1e-12);
+            }
+        }
+        assert_eq!(parsed.device, "test-device");
+        assert_eq!(parsed.shots_used, cal.shots_used);
+    }
+
+    #[test]
+    fn reconstructed_mitigator_identical_behaviour() {
+        let (b, cal) = calibrated_backend();
+        let record = CmcRecord::from_calibration("test-device", 4, &cal);
+        let rebuilt = record.to_calibration().unwrap();
+
+        let ghz = ghz_bfs(&b.coupling.graph, 0);
+        let raw = b.execute(&ghz, 20_000, &mut StdRng::seed_from_u64(2));
+        let original = cal.mitigator.mitigate(&raw).unwrap();
+        let restored = rebuilt.mitigator.mitigate(&raw).unwrap();
+        assert!(original.l1_distance(&restored) < 1e-12);
+    }
+
+    #[test]
+    fn corrupt_records_rejected() {
+        assert!(CmcRecord::from_json("not json").is_err());
+        let (_, cal) = calibrated_backend();
+        let mut record = CmcRecord::from_calibration("d", 4, &cal);
+        record.patches[0].dim = 8; // wrong for 2 qubits
+        assert!(record.to_calibration().is_err());
+        let mut record2 = CmcRecord::from_calibration("d", 4, &cal);
+        record2.num_qubits = 2; // patches address qubit 3
+        assert!(record2.to_calibration().is_err());
+        // Non-stochastic matrix data.
+        let mut record3 = CmcRecord::from_calibration("d", 4, &cal);
+        record3.patches[0].matrix[0] = -5.0;
+        assert!(record3.to_calibration().is_err());
+    }
+
+    #[test]
+    fn file_roundtrip_and_load_or_calibrate() {
+        let (b, cal) = calibrated_backend();
+        let dir = std::env::temp_dir().join("qem-persist-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("cal.json");
+        let _ = std::fs::remove_file(&path);
+
+        // First call calibrates and saves…
+        let opts = CmcOptions { k: 1, shots_per_circuit: 20_000, cull_threshold: 1e-10 };
+        let first =
+            load_or_calibrate(&path, "dev", &b, &opts, &mut StdRng::seed_from_u64(5)).unwrap();
+        assert!(path.exists());
+        // …second call loads without spending shots (same mitigator).
+        let second =
+            load_or_calibrate(&path, "dev", &b, &opts, &mut StdRng::seed_from_u64(99)).unwrap();
+        let ghz = ghz_bfs(&b.coupling.graph, 0);
+        let raw = b.execute(&ghz, 10_000, &mut StdRng::seed_from_u64(6));
+        let a = first.mitigator.mitigate(&raw).unwrap();
+        let bdist = second.mitigator.mitigate(&raw).unwrap();
+        assert!(a.l1_distance(&bdist) < 1e-12);
+        let _ = cal;
+        let _ = std::fs::remove_file(&path);
+    }
+}

@@ -1,0 +1,457 @@
+//! State and process tomography (paper §III-A): the exponential-cost gold
+//! standard that CMC is measured against in Table I.
+//!
+//! * **State tomography**: measure a prepared state in all `3^k` Pauli
+//!   basis settings, estimate every `4^k` Pauli expectation, reconstruct
+//!   `ρ = 2^{-k} Σ_P ⟨P⟩ P` by linear inversion.
+//! * **Process tomography** (single qubit): drive the process with the four
+//!   informationally-complete inputs `{|0⟩, |1⟩, |+⟩, |+i⟩}`, tomograph
+//!   each output and solve for the **Pauli transfer matrix** — `4 × 3 = 12
+//!   = r·4^n` circuits at `n = 1`, exactly the Table I scaling.
+//!
+//! The reconstruction deliberately *includes* SPAM: "an error is
+//! simultaneously an error and an operation that evolves the state and can
+//! hence be characterised" (§III-A) — so tomography of a noiselessly
+//! prepared state directly exhibits the device's measurement errors.
+
+use qem_linalg::cdense::{pauli_string, CMatrix};
+use qem_linalg::complex::{c64, C64};
+use qem_linalg::dense::Matrix;
+use qem_linalg::error::{LinalgError, Result};
+use qem_sim::backend::Backend;
+use qem_sim::circuit::Circuit;
+use qem_sim::counts::Counts;
+use qem_sim::gate::Gate;
+use rand::rngs::StdRng;
+use std::f64::consts::FRAC_PI_2;
+
+/// A reconstructed density matrix plus its resource ledger.
+#[derive(Clone, Debug)]
+pub struct StateTomography {
+    /// The qubits tomographed (matrix bit `k` = `qubits[k]`).
+    pub qubits: Vec<usize>,
+    /// The reconstructed density matrix (Hermitian, unit trace; may be
+    /// slightly non-positive from sampling noise — linear inversion).
+    pub rho: CMatrix,
+    /// Circuits executed (`3^k`).
+    pub circuits_used: usize,
+    /// Shots consumed.
+    pub shots_used: u64,
+}
+
+/// Appends the basis-rotation gates for one measurement setting:
+/// `0 = Z` (none), `1 = X` (H), `2 = Y` (S† then H, via `RZ(−π/2)`).
+fn apply_basis_rotation(circuit: &mut Circuit, qubit: usize, basis: usize) {
+    match basis {
+        0 => {}
+        1 => circuit.push(Gate::H(qubit)),
+        2 => {
+            circuit.push(Gate::RZ(qubit, -FRAC_PI_2));
+            circuit.push(Gate::H(qubit));
+        }
+        _ => unreachable!("basis label out of range"),
+    }
+}
+
+/// Expectation of the ±1-valued parity over `mask` bits of a histogram.
+fn parity_expectation(counts: &Counts, mask: u64) -> f64 {
+    let total = counts.shots().max(1) as f64;
+    let mut acc = 0.0;
+    for (s, k) in counts.iter() {
+        let parity = (s & mask).count_ones() % 2;
+        acc += if parity == 0 { k as f64 } else { -(k as f64) };
+    }
+    acc / total
+}
+
+/// Full state tomography of the state `preparation` leaves on `qubits`.
+///
+/// Runs `3^k` basis settings at `shots_per_setting` each. Each Pauli
+/// string's expectation is averaged over **every** compatible setting
+/// (a string with identities is measurable in several settings), which
+/// reduces estimator variance at no extra quantum cost.
+pub fn state_tomography(
+    backend: &Backend,
+    preparation: &Circuit,
+    qubits: &[usize],
+    shots_per_setting: u64,
+    rng: &mut StdRng,
+) -> Result<StateTomography> {
+    let k = qubits.len();
+    if k == 0 || k > 5 {
+        return Err(LinalgError::DimensionMismatch {
+            op: "state_tomography",
+            detail: format!("{k} qubits (supported: 1–5; cost is 3^k circuits)"),
+        });
+    }
+    let settings = 3usize.pow(k as u32);
+    let strings = 4usize.pow(k as u32);
+
+    // Run every setting.
+    let mut setting_counts: Vec<Counts> = Vec::with_capacity(settings);
+    for setting in 0..settings {
+        let mut circuit = preparation.clone();
+        let mut digits = setting;
+        for &q in qubits {
+            apply_basis_rotation(&mut circuit, q, digits % 3);
+            digits /= 3;
+        }
+        circuit.measure_only(qubits);
+        setting_counts.push(backend.execute(&circuit, shots_per_setting, rng));
+    }
+
+    // Estimate every Pauli-string expectation.
+    let mut expectations = vec![0.0f64; strings];
+    expectations[0] = 1.0; // ⟨I…I⟩
+    for p in 1..strings {
+        // Per-qubit labels of the string: 0=I, 1=X, 2=Y, 3=Z.
+        let mut labels = Vec::with_capacity(k);
+        let mut digits = p;
+        for _ in 0..k {
+            labels.push(digits % 4);
+            digits /= 4;
+        }
+        let mut acc = 0.0;
+        let mut compatible = 0usize;
+        for setting in 0..settings {
+            let mut sdigits = setting;
+            let mut ok = true;
+            let mut mask = 0u64;
+            for (bit, &label) in labels.iter().enumerate() {
+                let basis = sdigits % 3; // 0=Z,1=X,2=Y
+                sdigits /= 3;
+                if label == 0 {
+                    continue;
+                }
+                // Label X(1)↔basis 1, Y(2)↔basis 2, Z(3)↔basis 0.
+                let needed = match label {
+                    1 => 1,
+                    2 => 2,
+                    _ => 0,
+                };
+                if basis != needed {
+                    ok = false;
+                    break;
+                }
+                mask |= 1 << bit;
+            }
+            if ok {
+                acc += parity_expectation(&setting_counts[setting], mask);
+                compatible += 1;
+            }
+        }
+        debug_assert!(compatible > 0, "every Pauli string has a compatible setting");
+        expectations[p] = acc / compatible as f64;
+    }
+
+    // ρ = 2^{-k} Σ ⟨P⟩ P.
+    let dim = 1usize << k;
+    let mut rho = CMatrix::zeros(dim, dim);
+    for p in 0..strings {
+        let mut labels = Vec::with_capacity(k);
+        let mut digits = p;
+        for _ in 0..k {
+            labels.push(digits % 4);
+            digits /= 4;
+        }
+        let pauli = pauli_string(&labels);
+        rho = &rho + &pauli.scale(c64(expectations[p] / dim as f64, 0.0));
+    }
+
+    Ok(StateTomography {
+        qubits: qubits.to_vec(),
+        rho,
+        circuits_used: settings,
+        shots_used: settings as u64 * shots_per_setting,
+    })
+}
+
+/// Fidelity `⟨ψ|ρ|ψ⟩` of a reconstructed state with a pure target given by
+/// its amplitude vector over the tomographed qubits.
+pub fn fidelity_with_pure(rho: &CMatrix, target: &[C64]) -> Result<f64> {
+    let dim = rho.rows();
+    if target.len() != dim {
+        return Err(LinalgError::DimensionMismatch {
+            op: "fidelity_with_pure",
+            detail: format!("target length {} vs ρ dim {dim}", target.len()),
+        });
+    }
+    let mut acc = C64::ZERO;
+    for i in 0..dim {
+        for j in 0..dim {
+            acc += target[i].conj() * rho[(i, j)] * target[j];
+        }
+    }
+    Ok(acc.re)
+}
+
+/// Purity `Tr(ρ²)`.
+pub fn purity(rho: &CMatrix) -> Result<f64> {
+    Ok(rho.matmul(rho)?.trace().re)
+}
+
+/// Single-qubit process tomography: the Pauli transfer matrix of whatever
+/// `process` does to `qubit` (SPAM included), from `4 × 3^1 = 12` circuits.
+#[derive(Clone, Debug)]
+pub struct ProcessTomography {
+    /// The 4×4 real Pauli transfer matrix `R[i,j] = ½ Tr(P_i E(P_j))`,
+    /// Pauli order `I, X, Y, Z`.
+    pub ptm: Matrix,
+    /// Circuits executed.
+    pub circuits_used: usize,
+    /// Shots consumed.
+    pub shots_used: u64,
+}
+
+/// Tomographs the process implemented by `process` (a circuit fragment
+/// applied after state preparation) on `qubit`.
+pub fn process_tomography_1q(
+    backend: &Backend,
+    process: &[Gate],
+    qubit: usize,
+    shots_per_setting: u64,
+    rng: &mut StdRng,
+) -> Result<ProcessTomography> {
+    let n = backend.num_qubits();
+    // The four informationally complete inputs and their preparations.
+    let preparations: [(&str, Vec<Gate>); 4] = [
+        ("0", vec![]),
+        ("1", vec![Gate::X(qubit)]),
+        ("+", vec![Gate::H(qubit)]),
+        ("+i", vec![Gate::H(qubit), Gate::S(qubit)]),
+    ];
+
+    let mut circuits_used = 0;
+    let mut shots_used = 0;
+    // Bloch vectors (⟨X⟩, ⟨Y⟩, ⟨Z⟩) of each output state.
+    let mut bloch = Vec::with_capacity(4);
+    for (_, prep) in &preparations {
+        let mut circuit = Circuit::new(n);
+        for g in prep {
+            circuit.push(*g);
+        }
+        for g in process {
+            circuit.push(*g);
+        }
+        let tomo = state_tomography(backend, &circuit, &[qubit], shots_per_setting, rng)?;
+        circuits_used += tomo.circuits_used;
+        shots_used += tomo.shots_used;
+        let [_, x, y, z] = qem_linalg::cdense::pauli_matrices();
+        bloch.push([
+            x.expectation(&tomo.rho)?.re,
+            y.expectation(&tomo.rho)?.re,
+            z.expectation(&tomo.rho)?.re,
+        ]);
+    }
+
+    // Pauli decompositions: |0⟩=(I+Z)/2, |1⟩=(I−Z)/2, |+⟩=(I+X)/2,
+    // |+i⟩=(I+Y)/2 ⇒ E acting on I/X/Y/Z in Bloch coordinates:
+    //   E(I)  = out(|0⟩) + out(|1⟩)
+    //   E(Z)  = out(|0⟩) − out(|1⟩)
+    //   E(X)  = 2·out(|+⟩) − E(I)
+    //   E(Y)  = 2·out(|+i⟩) − E(I)
+    let mut ptm = Matrix::zeros(4, 4);
+    ptm[(0, 0)] = 1.0; // trace preservation
+    let e_i: Vec<f64> = (0..3).map(|c| bloch[0][c] + bloch[1][c]).collect();
+    let e_z: Vec<f64> = (0..3).map(|c| bloch[0][c] - bloch[1][c]).collect();
+    let e_x: Vec<f64> = (0..3).map(|c| 2.0 * bloch[2][c] - e_i[c]).collect();
+    let e_y: Vec<f64> = (0..3).map(|c| 2.0 * bloch[3][c] - e_i[c]).collect();
+    // With bloch(input)[i] = Σ_j c_j R[i,j] for input = Σ_j c_j P_j / 1,
+    // each combination above equals 2·R[:,col]; halve to land on the PTM.
+    for row in 0..3 {
+        ptm[(row + 1, 0)] = e_i[row] / 2.0;
+        ptm[(row + 1, 1)] = e_x[row] / 2.0;
+        ptm[(row + 1, 2)] = e_y[row] / 2.0;
+        ptm[(row + 1, 3)] = e_z[row] / 2.0;
+    }
+    Ok(ProcessTomography { ptm, circuits_used, shots_used })
+}
+
+/// The ideal PTM of a single-qubit unitary.
+pub fn ideal_ptm(gate: &Gate) -> Result<Matrix> {
+    let m = gate.matrix1q().ok_or_else(|| LinalgError::DimensionMismatch {
+        op: "ideal_ptm",
+        detail: "two-qubit gate".into(),
+    })?;
+    let u = CMatrix::from_rows(&[&[m[0][0], m[0][1]], &[m[1][0], m[1][1]]]);
+    let paulis = qem_linalg::cdense::pauli_matrices();
+    let mut ptm = Matrix::zeros(4, 4);
+    for i in 0..4 {
+        for j in 0..4 {
+            // R[i,j] = ½ Tr(P_i U P_j U†)
+            let inner = u.matmul(&paulis[j])?.matmul(&u.dagger())?;
+            ptm[(i, j)] = paulis[i].matmul(&inner)?.trace().re / 2.0;
+        }
+    }
+    Ok(ptm)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qem_sim::circuit::ghz_bfs;
+    use qem_sim::noise::NoiseModel;
+    use qem_topology::coupling::linear;
+    use rand::SeedableRng;
+
+    fn rng(seed: u64) -> StdRng {
+        StdRng::seed_from_u64(seed)
+    }
+
+    fn noiseless(n: usize) -> Backend {
+        Backend::new(linear(n), NoiseModel::noiseless(n))
+    }
+
+    #[test]
+    fn tomography_of_plus_state() {
+        let b = noiseless(1);
+        let prep = Circuit::new(1).with(Gate::H(0));
+        let t = state_tomography(&b, &prep, &[0], 50_000, &mut rng(1)).unwrap();
+        assert_eq!(t.circuits_used, 3);
+        assert!(t.rho.is_hermitian(1e-9));
+        assert!((t.rho.trace().re - 1.0).abs() < 1e-9);
+        let inv_sqrt2 = std::f64::consts::FRAC_1_SQRT_2;
+        let plus = [c64(inv_sqrt2, 0.0), c64(inv_sqrt2, 0.0)];
+        let f = fidelity_with_pure(&t.rho, &plus).unwrap();
+        assert!(f > 0.995, "fidelity {f}");
+        assert!(purity(&t.rho).unwrap() > 0.99);
+    }
+
+    #[test]
+    fn tomography_of_y_eigenstate() {
+        // |+i⟩ = HS… prepared by H then S: distinguishes Y-basis handling.
+        let b = noiseless(1);
+        let prep = Circuit::new(1).with(Gate::H(0)).with(Gate::S(0));
+        let t = state_tomography(&b, &prep, &[0], 50_000, &mut rng(2)).unwrap();
+        let inv_sqrt2 = std::f64::consts::FRAC_1_SQRT_2;
+        let plus_i = [c64(inv_sqrt2, 0.0), c64(0.0, inv_sqrt2)];
+        let f = fidelity_with_pure(&t.rho, &plus_i).unwrap();
+        assert!(f > 0.995, "fidelity {f}");
+    }
+
+    #[test]
+    fn tomography_of_bell_pair() {
+        let b = noiseless(2);
+        let prep = Circuit::new(2)
+            .with(Gate::H(0))
+            .with(Gate::CNOT { control: 0, target: 1 });
+        let t = state_tomography(&b, &prep, &[0, 1], 30_000, &mut rng(3)).unwrap();
+        assert_eq!(t.circuits_used, 9);
+        let inv_sqrt2 = std::f64::consts::FRAC_1_SQRT_2;
+        let bell = [
+            c64(inv_sqrt2, 0.0),
+            C64::ZERO,
+            C64::ZERO,
+            c64(inv_sqrt2, 0.0),
+        ];
+        let f = fidelity_with_pure(&t.rho, &bell).unwrap();
+        assert!(f > 0.99, "Bell fidelity {f}");
+        // Entanglement witness: ⟨XX⟩ ≈ 1 — impossible for product states
+        // with ⟨ZZ⟩ ≈ 1 too.
+        let xx = pauli_string(&[1, 1]);
+        assert!(xx.expectation(&t.rho).unwrap().re > 0.98);
+    }
+
+    #[test]
+    fn tomography_sees_measurement_errors() {
+        // The §III-A point: errors are processes; SPAM shows up in ρ̂.
+        let mut noise = NoiseModel::noiseless(1);
+        noise.p_flip1 = vec![0.2];
+        let b = Backend::new(linear(1), noise);
+        let prep = Circuit::new(1).with(Gate::X(0)); // ideal |1⟩
+        let t = state_tomography(&b, &prep, &[0], 60_000, &mut rng(4)).unwrap();
+        let one = [C64::ZERO, C64::ONE];
+        let f = fidelity_with_pure(&t.rho, &one).unwrap();
+        assert!((f - 0.8).abs() < 0.02, "SPAM-visible fidelity {f}");
+    }
+
+    #[test]
+    fn tomography_of_ghz_marginal() {
+        // Tomograph 2 qubits of a 3-qubit GHZ: the reduced state is the
+        // classical mixture (|00⟩⟨00| + |11⟩⟨11|)/2 with purity ½.
+        let b = noiseless(3);
+        let prep = ghz_bfs(&b.coupling.graph, 0);
+        let t = state_tomography(&b, &prep, &[0, 1], 40_000, &mut rng(5)).unwrap();
+        let p = purity(&t.rho).unwrap();
+        assert!((p - 0.5).abs() < 0.02, "GHZ marginal purity {p}");
+        let zz = pauli_string(&[3, 3]);
+        assert!(zz.expectation(&t.rho).unwrap().re > 0.97);
+        let xx = pauli_string(&[1, 1]);
+        assert!(xx.expectation(&t.rho).unwrap().re.abs() < 0.03);
+    }
+
+    #[test]
+    fn process_tomography_of_x_gate() {
+        let b = noiseless(1);
+        let t = process_tomography_1q(&b, &[Gate::X(0)], 0, 40_000, &mut rng(6)).unwrap();
+        assert_eq!(t.circuits_used, 12);
+        let ideal = ideal_ptm(&Gate::X(0)).unwrap();
+        assert!(
+            t.ptm.max_abs_diff(&ideal).unwrap() < 0.02,
+            "PTM error {}",
+            t.ptm.max_abs_diff(&ideal).unwrap()
+        );
+    }
+
+    #[test]
+    fn process_tomography_of_hadamard() {
+        let b = noiseless(1);
+        let t = process_tomography_1q(&b, &[Gate::H(0)], 0, 40_000, &mut rng(7)).unwrap();
+        let ideal = ideal_ptm(&Gate::H(0)).unwrap();
+        assert!(t.ptm.max_abs_diff(&ideal).unwrap() < 0.02);
+    }
+
+    #[test]
+    fn ideal_ptm_shapes() {
+        // Identity gate: PTM = I₄. Z gate: diag(1, −1, −1, 1).
+        let id = ideal_ptm(&Gate::U3(0, 0.0, 0.0, 0.0)).unwrap();
+        assert!(id.max_abs_diff(&Matrix::identity(4)).unwrap() < 1e-12);
+        let z = ideal_ptm(&Gate::Z(0)).unwrap();
+        let expect = Matrix::from_rows(&[
+            &[1.0, 0.0, 0.0, 0.0],
+            &[0.0, -1.0, 0.0, 0.0],
+            &[0.0, 0.0, -1.0, 0.0],
+            &[0.0, 0.0, 0.0, 1.0],
+        ]);
+        assert!(z.max_abs_diff(&expect).unwrap() < 1e-12);
+        assert!(ideal_ptm(&Gate::CZ(0, 1)).is_err());
+    }
+
+    #[test]
+    fn process_tomography_sees_readout_errors_as_uniform_shrinkage() {
+        // Identity process on a symmetric-readout-error device: every
+        // expectation is measured through the same flawed readout (flips
+        // act after the basis rotation), so the whole reconstructed Bloch
+        // action shrinks by (1 − 2p) = 0.8. This is exactly why RB-style
+        // and tomography-style characterisation conflate SPAM with the
+        // process (§III) — and why dedicated measurement calibration exists.
+        let mut noise = NoiseModel::noiseless(1);
+        noise.p_flip0 = vec![0.1];
+        noise.p_flip1 = vec![0.1];
+        let b = Backend::new(linear(1), noise);
+        let t = process_tomography_1q(&b, &[], 0, 60_000, &mut rng(8)).unwrap();
+        for axis in 1..4 {
+            assert!(
+                (t.ptm[(axis, axis)] - 0.8).abs() < 0.02,
+                "axis {axis} entry {}",
+                t.ptm[(axis, axis)]
+            );
+        }
+        // Asymmetric flips additionally show up as a non-unital Z offset.
+        let mut biased = NoiseModel::noiseless(1);
+        biased.p_flip1 = vec![0.2];
+        let b2 = Backend::new(linear(1), biased);
+        let t2 = process_tomography_1q(&b2, &[], 0, 60_000, &mut rng(9)).unwrap();
+        // Observed ⟨Z⟩ = (1 − p₁)·true + p₁ for decay-only noise, so the
+        // affine (non-unital) Z offset equals p₁ = 0.2.
+        assert!((t2.ptm[(3, 0)] - 0.2).abs() < 0.02, "non-unital Z {}", t2.ptm[(3, 0)]);
+    }
+
+    #[test]
+    fn fidelity_input_validated() {
+        let rho = CMatrix::identity(2).scale(c64(0.5, 0.0));
+        assert!(fidelity_with_pure(&rho, &[C64::ONE]).is_err());
+        let f = fidelity_with_pure(&rho, &[C64::ONE, C64::ZERO]).unwrap();
+        assert!((f - 0.5).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,167 @@
+//! Property-based tests of qem-core: joining invariants under random
+//! channels, calibration round-trips, and persistence.
+
+use proptest::prelude::*;
+use qem_core::calibration::CalibrationMatrix;
+use qem_core::joining::{join_corrections, joined_forward_matrix};
+use qem_core::persist::{CalibrationRecord, CmcRecord};
+use qem_core::SparseMitigator;
+use qem_linalg::dense::Matrix;
+use qem_linalg::sparse_apply::SparseDist;
+use qem_linalg::stochastic::{is_column_stochastic, normalize_columns, qubitwise_kron};
+
+fn flip(p0: f64, p1: f64) -> Matrix {
+    Matrix::from_rows(&[&[1.0 - p0, p1], &[p0, 1.0 - p1]])
+}
+
+fn channel2() -> impl Strategy<Value = Matrix> {
+    (0.0..0.2f64, 0.0..0.2f64).prop_map(|(a, b)| flip(a, b))
+}
+
+/// Random mildly-correlated 4×4 stochastic channel: product noise plus a
+/// joint flip.
+fn correlated4() -> impl Strategy<Value = Matrix> {
+    (channel2(), channel2(), 0.0..0.15f64).prop_map(|(a, b, p)| {
+        let mut joint = Matrix::zeros(4, 4);
+        for c in 0..4usize {
+            joint[(c, c)] += 1.0 - p;
+            joint[(c ^ 3, c)] += p;
+        }
+        normalize_columns(&joint.matmul(&b.kron(&a)).unwrap())
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    /// Joined forward matrices stay column-stochastic for *correlated*
+    /// patch inputs too (the corrections redistribute but never create or
+    /// destroy probability) — up to the approximation's small leakage.
+    #[test]
+    fn joined_forward_nearly_stochastic_under_correlations(
+        c01 in correlated4(),
+        c12 in correlated4(),
+    ) {
+        let patches = vec![
+            CalibrationMatrix::new(vec![0, 1], c01).unwrap(),
+            CalibrationMatrix::new(vec![1, 2], c12).unwrap(),
+        ];
+        let joined = join_corrections(&patches).unwrap();
+        let forward = joined_forward_matrix(3, &joined).unwrap();
+        let sums = forward.column_sums();
+        for s in sums {
+            prop_assert!((s - 1.0).abs() < 0.05, "column sum {s}");
+        }
+    }
+
+    /// The mitigator built from joined patches exactly inverts the joined
+    /// forward matrix, correlated or not.
+    #[test]
+    fn mitigator_inverts_joined_forward(
+        c01 in correlated4(),
+        c12 in correlated4(),
+        ideal in prop::collection::vec(0.0..1.0f64, 8),
+    ) {
+        let total: f64 = ideal.iter().sum();
+        prop_assume!(total > 0.1);
+        let ideal: Vec<f64> = ideal.iter().map(|x| x / total).collect();
+        let patches = vec![
+            CalibrationMatrix::new(vec![0, 1], c01).unwrap(),
+            CalibrationMatrix::new(vec![1, 2], c12).unwrap(),
+        ];
+        let joined = join_corrections(&patches).unwrap();
+        let forward = joined_forward_matrix(3, &joined).unwrap();
+        let observed = forward.matvec(&ideal).unwrap();
+
+        let mut mit = SparseMitigator::identity(3);
+        mit.cull_threshold = 0.0;
+        for p in joined.iter().rev() {
+            mit.push_step(p.qubits.clone(), qem_linalg::lu::inverse(&p.matrix).unwrap());
+        }
+        let recovered = mit
+            .mitigate_dense_raw(&observed)
+            .unwrap();
+        for (r, i) in recovered.iter().zip(&ideal) {
+            prop_assert!((r - i).abs() < 1e-8);
+        }
+    }
+
+    /// Calibration records survive JSON round-trips for arbitrary channels.
+    #[test]
+    fn calibration_record_roundtrip(c in correlated4()) {
+        let cal = CalibrationMatrix::new(vec![2, 5], c).unwrap();
+        let rec = CalibrationRecord::from_calibration(&cal);
+        let json = serde_json::to_string(&rec).unwrap();
+        let back: CalibrationRecord = serde_json::from_str(&json).unwrap();
+        let restored = back.to_calibration().unwrap();
+        prop_assert!(restored.matrix().max_abs_diff(cal.matrix()).unwrap() < 1e-12);
+        prop_assert_eq!(restored.qubits(), cal.qubits());
+    }
+
+    /// A full CmcRecord reconstructs a mitigator with identical behaviour.
+    #[test]
+    fn cmc_record_behavioural_roundtrip(
+        c01 in correlated4(),
+        c12 in correlated4(),
+        weights in prop::collection::vec((0u64..8, 0.01..1.0f64), 1..6),
+    ) {
+        let patches = vec![
+            CalibrationMatrix::new(vec![0, 1], c01).unwrap(),
+            CalibrationMatrix::new(vec![1, 2], c12).unwrap(),
+        ];
+        let joined = join_corrections(&patches).unwrap();
+        let mut mitigator = SparseMitigator::identity(3);
+        for p in joined.iter().rev() {
+            mitigator.push_step(p.qubits.clone(), qem_linalg::lu::inverse(&p.matrix).unwrap());
+        }
+        let cal = qem_core::CmcCalibration {
+            patches,
+            joined,
+            mitigator,
+            schedule: qem_topology::patches::PatchSchedule { k: 1, rounds: Vec::new() },
+            circuits_used: 8,
+            shots_used: 800,
+        };
+        let record = CmcRecord::from_calibration("prop-device", 3, &cal);
+        let rebuilt = record.to_calibration().unwrap();
+
+        let mut dist = SparseDist::from_pairs(weights);
+        dist.normalize();
+        let a = cal.mitigator.mitigate_dist(&dist).unwrap();
+        let b = rebuilt.mitigator.mitigate_dist(&dist).unwrap();
+        prop_assert!(a.l1_distance(&b) < 1e-12);
+    }
+
+    /// Correlation weight is zero iff the channel is (numerically) a
+    /// product of its marginals.
+    #[test]
+    fn correlation_weight_detects_joint_flips(a in channel2(), b in channel2(), p in 0.02..0.2f64) {
+        let product = CalibrationMatrix::new(vec![0, 1], b.kron(&a)).unwrap();
+        prop_assert!(product.correlation_weight().unwrap() < 1e-9);
+
+        let mut joint = Matrix::zeros(4, 4);
+        for c in 0..4usize {
+            joint[(c, c)] += 1.0 - p;
+            joint[(c ^ 3, c)] += p;
+        }
+        let correlated =
+            CalibrationMatrix::new(vec![0, 1], normalize_columns(&joint.matmul(&b.kron(&a)).unwrap()))
+                .unwrap();
+        prop_assert!(correlated.correlation_weight().unwrap() > p / 2.0);
+    }
+
+    /// Joining is exact for arbitrary product chains (beyond the fixed
+    /// fixtures in the unit tests).
+    #[test]
+    fn product_chain_joining_exact(chain in prop::collection::vec(channel2(), 3..6)) {
+        let n = chain.len();
+        let patches: Vec<CalibrationMatrix> = (0..n - 1)
+            .map(|i| CalibrationMatrix::new(vec![i, i + 1], chain[i + 1].kron(&chain[i])).unwrap())
+            .collect();
+        let joined = join_corrections(&patches).unwrap();
+        let forward = joined_forward_matrix(n, &joined).unwrap();
+        let expect = qubitwise_kron(&chain);
+        prop_assert!(forward.max_abs_diff(&expect).unwrap() < 1e-7);
+        prop_assert!(is_column_stochastic(&forward, 1e-7));
+    }
+}

@@ -1,0 +1,343 @@
+//! Dense complex matrices — the representation for density matrices and
+//! process matrices in the tomography baselines (paper §III-A).
+//!
+//! Calibration matrices stay real ([`crate::dense::Matrix`]); this type
+//! exists for ρ and χ reconstruction, where Hermiticity and trace live.
+
+use crate::complex::{c64, C64};
+use crate::error::{LinalgError, Result};
+use std::fmt;
+use std::ops::{Add, Index, IndexMut, Mul, Sub};
+
+/// Dense row-major complex matrix.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CMatrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<C64>,
+}
+
+impl CMatrix {
+    /// Creates a matrix of complex zeros.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        CMatrix { rows, cols, data: vec![C64::ZERO; rows * cols] }
+    }
+
+    /// Complex identity.
+    pub fn identity(n: usize) -> Self {
+        let mut m = CMatrix::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = C64::ONE;
+        }
+        m
+    }
+
+    /// Builds from a row-major vector.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<C64>) -> Result<Self> {
+        if data.len() != rows * cols {
+            return Err(LinalgError::DimensionMismatch {
+                op: "CMatrix::from_vec",
+                detail: format!("{} elements for {rows}x{cols}", data.len()),
+            });
+        }
+        Ok(CMatrix { rows, cols, data })
+    }
+
+    /// Builds from nested rows (fixture constructor).
+    ///
+    /// # Panics
+    /// Panics on ragged rows.
+    pub fn from_rows(rows: &[&[C64]]) -> Self {
+        let r = rows.len();
+        let c = rows.first().map_or(0, |row| row.len());
+        let mut data = Vec::with_capacity(r * c);
+        for row in rows {
+            assert_eq!(row.len(), c, "ragged rows");
+            data.extend_from_slice(row);
+        }
+        CMatrix { rows: r, cols: c, data }
+    }
+
+    /// Lifts a real matrix.
+    pub fn from_real(m: &crate::dense::Matrix) -> Self {
+        CMatrix {
+            rows: m.rows(),
+            cols: m.cols(),
+            data: m.as_slice().iter().map(|&x| c64(x, 0.0)).collect(),
+        }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// True when square.
+    pub fn is_square(&self) -> bool {
+        self.rows == self.cols
+    }
+
+    /// Matrix product.
+    pub fn matmul(&self, rhs: &CMatrix) -> Result<CMatrix> {
+        if self.cols != rhs.rows {
+            return Err(LinalgError::DimensionMismatch {
+                op: "CMatrix::matmul",
+                detail: format!("{}x{} * {}x{}", self.rows, self.cols, rhs.rows, rhs.cols),
+            });
+        }
+        let mut out = CMatrix::zeros(self.rows, rhs.cols);
+        for i in 0..self.rows {
+            for k in 0..self.cols {
+                let a = self[(i, k)];
+                if a == C64::ZERO {
+                    continue;
+                }
+                for j in 0..rhs.cols {
+                    let v = a * rhs[(k, j)];
+                    out[(i, j)] += v;
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Conjugate transpose.
+    pub fn dagger(&self) -> CMatrix {
+        let mut t = CMatrix::zeros(self.cols, self.rows);
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                t[(j, i)] = self[(i, j)].conj();
+            }
+        }
+        t
+    }
+
+    /// Trace.
+    pub fn trace(&self) -> C64 {
+        (0..self.rows.min(self.cols)).map(|i| self[(i, i)]).sum()
+    }
+
+    /// Kronecker product (`self` on the high-order index block).
+    pub fn kron(&self, rhs: &CMatrix) -> CMatrix {
+        let mut out = CMatrix::zeros(self.rows * rhs.rows, self.cols * rhs.cols);
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                let a = self[(i, j)];
+                if a == C64::ZERO {
+                    continue;
+                }
+                for p in 0..rhs.rows {
+                    for q in 0..rhs.cols {
+                        out[(i * rhs.rows + p, j * rhs.cols + q)] = a * rhs[(p, q)];
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Elementwise scaling by a complex scalar.
+    pub fn scale(&self, s: C64) -> CMatrix {
+        let mut m = self.clone();
+        for a in &mut m.data {
+            *a = *a * s;
+        }
+        m
+    }
+
+    /// Largest absolute elementwise difference; `None` on shape mismatch.
+    pub fn max_abs_diff(&self, other: &CMatrix) -> Option<f64> {
+        if self.rows != other.rows || self.cols != other.cols {
+            return None;
+        }
+        Some(
+            self.data
+                .iter()
+                .zip(&other.data)
+                .fold(0.0_f64, |m, (a, b)| m.max((*a - *b).abs())),
+        )
+    }
+
+    /// Hermiticity check: `‖M − M†‖∞ < tol`.
+    pub fn is_hermitian(&self, tol: f64) -> bool {
+        self.is_square() && self.max_abs_diff(&self.dagger()).is_some_and(|d| d < tol)
+    }
+
+    /// Frobenius norm.
+    pub fn frobenius_norm(&self) -> f64 {
+        self.data.iter().map(|a| a.norm_sqr()).sum::<f64>().sqrt()
+    }
+
+    /// Expectation `Tr(M ρ)` of this (observable) matrix in state `rho`.
+    pub fn expectation(&self, rho: &CMatrix) -> Result<C64> {
+        Ok(self.matmul(rho)?.trace())
+    }
+}
+
+impl Index<(usize, usize)> for CMatrix {
+    type Output = C64;
+    #[inline(always)]
+    fn index(&self, (i, j): (usize, usize)) -> &C64 {
+        debug_assert!(i < self.rows && j < self.cols);
+        &self.data[i * self.cols + j]
+    }
+}
+
+impl IndexMut<(usize, usize)> for CMatrix {
+    #[inline(always)]
+    fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut C64 {
+        debug_assert!(i < self.rows && j < self.cols);
+        &mut self.data[i * self.cols + j]
+    }
+}
+
+impl Add for &CMatrix {
+    type Output = CMatrix;
+    fn add(self, rhs: &CMatrix) -> CMatrix {
+        assert_eq!((self.rows, self.cols), (rhs.rows, rhs.cols));
+        let data = self.data.iter().zip(&rhs.data).map(|(&a, &b)| a + b).collect();
+        CMatrix { rows: self.rows, cols: self.cols, data }
+    }
+}
+
+impl Sub for &CMatrix {
+    type Output = CMatrix;
+    fn sub(self, rhs: &CMatrix) -> CMatrix {
+        assert_eq!((self.rows, self.cols), (rhs.rows, rhs.cols));
+        let data = self.data.iter().zip(&rhs.data).map(|(&a, &b)| a - b).collect();
+        CMatrix { rows: self.rows, cols: self.cols, data }
+    }
+}
+
+impl Mul for &CMatrix {
+    type Output = CMatrix;
+    fn mul(self, rhs: &CMatrix) -> CMatrix {
+        self.matmul(rhs).expect("CMatrix Mul shape mismatch")
+    }
+}
+
+impl fmt::Display for CMatrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                write!(f, "{:>24}", format!("{}", self[(i, j)]))?;
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+/// The single-qubit Pauli matrices `[I, X, Y, Z]`.
+pub fn pauli_matrices() -> [CMatrix; 4] {
+    let z = C64::ZERO;
+    let o = C64::ONE;
+    let i = C64::I;
+    [
+        CMatrix::from_rows(&[&[o, z], &[z, o]]),
+        CMatrix::from_rows(&[&[z, o], &[o, z]]),
+        CMatrix::from_rows(&[&[z, -i], &[i, z]]),
+        CMatrix::from_rows(&[&[o, z], &[z, -o]]),
+    ]
+}
+
+/// The `k`-qubit Pauli string with per-qubit labels `labels[q] ∈ 0..4`
+/// (`I, X, Y, Z`), qubit 0 on the LSB.
+pub fn pauli_string(labels: &[usize]) -> CMatrix {
+    let paulis = pauli_matrices();
+    let mut out = CMatrix::identity(1);
+    for &l in labels {
+        out = paulis[l].kron(&out);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_and_products() {
+        let x = pauli_matrices()[1].clone();
+        let eye = CMatrix::identity(2);
+        assert_eq!(x.matmul(&eye).unwrap(), x);
+        // X² = I
+        assert!(x.matmul(&x).unwrap().max_abs_diff(&eye).unwrap() < 1e-15);
+    }
+
+    #[test]
+    fn pauli_algebra() {
+        let [_, x, y, z] = pauli_matrices();
+        // XY = iZ
+        let xy = x.matmul(&y).unwrap();
+        let iz = z.scale(C64::I);
+        assert!(xy.max_abs_diff(&iz).unwrap() < 1e-15);
+        // Traceless, Hermitian, involutive.
+        for p in [&x, &y, &z] {
+            assert!(p.trace().abs() < 1e-15);
+            assert!(p.is_hermitian(1e-15));
+            assert!(
+                p.matmul(p).unwrap().max_abs_diff(&CMatrix::identity(2)).unwrap() < 1e-15
+            );
+        }
+    }
+
+    #[test]
+    fn dagger_of_product_reverses() {
+        let [_, x, y, _] = pauli_matrices();
+        let a = x.scale(c64(0.5, 0.25));
+        let lhs = a.matmul(&y).unwrap().dagger();
+        let rhs = y.dagger().matmul(&a.dagger()).unwrap();
+        assert!(lhs.max_abs_diff(&rhs).unwrap() < 1e-15);
+    }
+
+    #[test]
+    fn kron_mixed_product() {
+        let [_, x, y, z] = pauli_matrices();
+        let lhs = x.kron(&y).matmul(&z.kron(&y)).unwrap();
+        let rhs = x.matmul(&z).unwrap().kron(&y.matmul(&y).unwrap());
+        assert!(lhs.max_abs_diff(&rhs).unwrap() < 1e-14);
+    }
+
+    #[test]
+    fn pauli_string_dimensions_and_identity() {
+        let s = pauli_string(&[0, 0, 0]);
+        assert!(s.max_abs_diff(&CMatrix::identity(8)).unwrap() < 1e-15);
+        let zx = pauli_string(&[1, 3]); // X on qubit 0, Z on qubit 1
+        assert_eq!(zx.rows(), 4);
+        // ⟨00| Z⊗X |01⟩: X flips qubit 0 → entry (0, 1) = +1 (Z on |0⟩).
+        assert!((zx[(0, 1)] - C64::ONE).abs() < 1e-15);
+        // On qubit-1 = 1 states, Z contributes −1: entry (2, 3) = −1.
+        assert!((zx[(2, 3)] + C64::ONE).abs() < 1e-15);
+    }
+
+    #[test]
+    fn expectation_of_density_state() {
+        // ρ = |+⟩⟨+| has ⟨X⟩ = 1, ⟨Z⟩ = 0.
+        let h = c64(0.5, 0.0);
+        let rho = CMatrix::from_rows(&[&[h, h], &[h, h]]);
+        let [_, x, _, z] = pauli_matrices();
+        assert!((x.expectation(&rho).unwrap() - C64::ONE).abs() < 1e-15);
+        assert!(z.expectation(&rho).unwrap().abs() < 1e-15);
+        assert!((rho.trace() - C64::ONE).abs() < 1e-15);
+        assert!(rho.is_hermitian(1e-15));
+    }
+
+    #[test]
+    fn from_real_roundtrip() {
+        let r = crate::dense::Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        let c = CMatrix::from_real(&r);
+        assert_eq!(c[(1, 0)], c64(3.0, 0.0));
+        assert!((c.frobenius_norm() - r.frobenius_norm()).abs() < 1e-15);
+    }
+
+    #[test]
+    fn from_vec_checks_shape() {
+        assert!(CMatrix::from_vec(2, 2, vec![C64::ZERO; 3]).is_err());
+    }
+}

@@ -1,0 +1,315 @@
+//! Minimal complex arithmetic.
+//!
+//! The statevector simulator and the 2×2 eigendecompositions need complex
+//! numbers but nothing close to a full `num-complex`; implementing the small
+//! surface we use keeps the dependency tree to the offline-approved set.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, MulAssign, Neg, Sub, SubAssign};
+
+/// A double-precision complex number.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct C64 {
+    /// Real part.
+    pub re: f64,
+    /// Imaginary part.
+    pub im: f64,
+}
+
+/// Shorthand constructor: `c64(re, im)`.
+#[inline(always)]
+pub const fn c64(re: f64, im: f64) -> C64 {
+    C64 { re, im }
+}
+
+impl C64 {
+    /// Additive identity.
+    pub const ZERO: C64 = c64(0.0, 0.0);
+    /// Multiplicative identity.
+    pub const ONE: C64 = c64(1.0, 0.0);
+    /// The imaginary unit.
+    pub const I: C64 = c64(0.0, 1.0);
+
+    /// Builds a purely real complex number.
+    #[inline(always)]
+    pub const fn real(re: f64) -> Self {
+        c64(re, 0.0)
+    }
+
+    /// Complex conjugate.
+    #[inline(always)]
+    pub fn conj(self) -> Self {
+        c64(self.re, -self.im)
+    }
+
+    /// Squared modulus `|z|²` — the Born-rule probability of an amplitude.
+    #[inline(always)]
+    pub fn norm_sqr(self) -> f64 {
+        self.re * self.re + self.im * self.im
+    }
+
+    /// Modulus `|z|`.
+    #[inline(always)]
+    pub fn abs(self) -> f64 {
+        self.re.hypot(self.im)
+    }
+
+    /// Argument (phase) in radians.
+    #[inline(always)]
+    pub fn arg(self) -> f64 {
+        self.im.atan2(self.re)
+    }
+
+    /// Complex exponential `e^z`.
+    pub fn exp(self) -> Self {
+        let r = self.re.exp();
+        c64(r * self.im.cos(), r * self.im.sin())
+    }
+
+    /// `e^{iθ}` for real θ — the workhorse for gate phases.
+    #[inline(always)]
+    pub fn cis(theta: f64) -> Self {
+        c64(theta.cos(), theta.sin())
+    }
+
+    /// Principal square root.
+    pub fn sqrt(self) -> Self {
+        let r = self.abs();
+        let re = ((r + self.re) / 2.0).max(0.0).sqrt();
+        let im_mag = ((r - self.re) / 2.0).max(0.0).sqrt();
+        c64(re, if self.im < 0.0 { -im_mag } else { im_mag })
+    }
+
+    /// Principal natural logarithm.
+    pub fn ln(self) -> Self {
+        c64(self.abs().ln(), self.arg())
+    }
+
+    /// Principal complex power `z^w = exp(w ln z)`.
+    pub fn powc(self, w: Self) -> Self {
+        if self == Self::ZERO {
+            return Self::ZERO;
+        }
+        (w * self.ln()).exp()
+    }
+
+    /// Real power of a complex base.
+    pub fn powf(self, p: f64) -> Self {
+        self.powc(C64::real(p))
+    }
+
+    /// Multiplicative inverse.
+    #[inline]
+    pub fn recip(self) -> Self {
+        let d = self.norm_sqr();
+        c64(self.re / d, -self.im / d)
+    }
+
+    /// True when both components are finite.
+    pub fn is_finite(self) -> bool {
+        self.re.is_finite() && self.im.is_finite()
+    }
+}
+
+impl From<f64> for C64 {
+    fn from(re: f64) -> Self {
+        C64::real(re)
+    }
+}
+
+impl Add for C64 {
+    type Output = C64;
+    #[inline(always)]
+    fn add(self, o: C64) -> C64 {
+        c64(self.re + o.re, self.im + o.im)
+    }
+}
+
+impl Sub for C64 {
+    type Output = C64;
+    #[inline(always)]
+    fn sub(self, o: C64) -> C64 {
+        c64(self.re - o.re, self.im - o.im)
+    }
+}
+
+impl Mul for C64 {
+    type Output = C64;
+    #[inline(always)]
+    fn mul(self, o: C64) -> C64 {
+        c64(
+            self.re * o.re - self.im * o.im,
+            self.re * o.im + self.im * o.re,
+        )
+    }
+}
+
+impl Div for C64 {
+    type Output = C64;
+    #[inline]
+    fn div(self, o: C64) -> C64 {
+        self * o.recip()
+    }
+}
+
+impl Mul<f64> for C64 {
+    type Output = C64;
+    #[inline(always)]
+    fn mul(self, s: f64) -> C64 {
+        c64(self.re * s, self.im * s)
+    }
+}
+
+impl Mul<C64> for f64 {
+    type Output = C64;
+    #[inline(always)]
+    fn mul(self, z: C64) -> C64 {
+        z * self
+    }
+}
+
+impl Neg for C64 {
+    type Output = C64;
+    #[inline(always)]
+    fn neg(self) -> C64 {
+        c64(-self.re, -self.im)
+    }
+}
+
+impl AddAssign for C64 {
+    #[inline(always)]
+    fn add_assign(&mut self, o: C64) {
+        self.re += o.re;
+        self.im += o.im;
+    }
+}
+
+impl SubAssign for C64 {
+    #[inline(always)]
+    fn sub_assign(&mut self, o: C64) {
+        self.re -= o.re;
+        self.im -= o.im;
+    }
+}
+
+impl MulAssign for C64 {
+    #[inline(always)]
+    fn mul_assign(&mut self, o: C64) {
+        *self = *self * o;
+    }
+}
+
+impl Sum for C64 {
+    fn sum<I: Iterator<Item = C64>>(iter: I) -> C64 {
+        iter.fold(C64::ZERO, |a, b| a + b)
+    }
+}
+
+impl fmt::Display for C64 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.im >= 0.0 {
+            write!(f, "{}+{}i", self.re, self.im)
+        } else {
+            write!(f, "{}{}i", self.re, self.im)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: C64, b: C64) -> bool {
+        (a - b).abs() < 1e-12
+    }
+
+    #[test]
+    fn arithmetic_identities() {
+        let z = c64(3.0, -4.0);
+        assert_eq!(z + C64::ZERO, z);
+        assert_eq!(z * C64::ONE, z);
+        assert!(close(z * z.recip(), C64::ONE));
+        assert_eq!(z.conj().conj(), z);
+        assert_eq!((-z) + z, C64::ZERO);
+    }
+
+    #[test]
+    fn modulus_and_norm() {
+        let z = c64(3.0, 4.0);
+        assert!((z.abs() - 5.0).abs() < 1e-15);
+        assert!((z.norm_sqr() - 25.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn i_squared_is_minus_one() {
+        assert!(close(C64::I * C64::I, c64(-1.0, 0.0)));
+    }
+
+    #[test]
+    fn division_matches_multiplication_by_inverse() {
+        let a = c64(1.5, -2.5);
+        let b = c64(0.3, 0.7);
+        assert!(close(a / b, a * b.recip()));
+    }
+
+    #[test]
+    fn exp_of_i_pi_is_minus_one() {
+        let z = (C64::I * std::f64::consts::PI).exp();
+        assert!(close(z, c64(-1.0, 0.0)));
+    }
+
+    #[test]
+    fn cis_matches_exp() {
+        for k in 0..8 {
+            let t = k as f64 * 0.7;
+            assert!(close(C64::cis(t), (C64::I * t).exp()));
+        }
+    }
+
+    #[test]
+    fn sqrt_squares_back() {
+        for &(re, im) in &[(4.0, 0.0), (0.0, 2.0), (-1.0, 0.0), (3.0, -4.0), (-2.0, 5.0)] {
+            let z = c64(re, im);
+            let s = z.sqrt();
+            assert!(close(s * s, z), "sqrt({z})^2 = {}", s * s);
+        }
+    }
+
+    #[test]
+    fn sqrt_principal_branch_nonnegative_real_part() {
+        for &(re, im) in &[(-1.0, 0.1), (-1.0, -0.1), (2.0, 3.0)] {
+            assert!(c64(re, im).sqrt().re >= 0.0);
+        }
+    }
+
+    #[test]
+    fn ln_exp_roundtrip() {
+        let z = c64(0.5, 1.2);
+        assert!(close(z.ln().exp(), z));
+    }
+
+    #[test]
+    fn powf_matches_repeated_multiplication() {
+        let z = c64(0.9, 0.1);
+        assert!(close(z.powf(3.0), z * z * z));
+        assert!(close(z.powf(0.5), z.sqrt()));
+    }
+
+    #[test]
+    fn zero_power_is_zero() {
+        assert_eq!(C64::ZERO.powf(0.5), C64::ZERO);
+    }
+
+    #[test]
+    fn sum_folds() {
+        let s: C64 = [c64(1.0, 1.0), c64(2.0, -3.0)].into_iter().sum();
+        assert_eq!(s, c64(3.0, -2.0));
+    }
+
+    #[test]
+    fn display_formats_sign() {
+        assert_eq!(format!("{}", c64(1.0, 2.0)), "1+2i");
+        assert_eq!(format!("{}", c64(1.0, -2.0)), "1-2i");
+    }
+}

@@ -1,0 +1,425 @@
+//! Dense row-major `f64` matrices.
+//!
+//! Calibration matrices are real stochastic matrices, so the dense substrate
+//! is real-valued; complex arithmetic lives only in the statevector engine.
+//! Matrices here are small (patches are 2–4 qubits ⇒ 4×4 to 16×16) except for
+//! the deliberately-exponential Full calibration baseline, so clarity beats
+//! blocking tricks. Hot paths (mat-mul inner loop, kron) are written to be
+//! allocation-free per element.
+
+use crate::error::{LinalgError, Result};
+use std::fmt;
+use std::ops::{Add, Index, IndexMut, Mul, Sub};
+
+/// Dense row-major matrix of `f64`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl Matrix {
+    /// Creates a matrix of zeros.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Matrix { rows, cols, data: vec![0.0; rows * cols] }
+    }
+
+    /// Creates the identity matrix of size `n`.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Matrix::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = 1.0;
+        }
+        m
+    }
+
+    /// Builds a matrix from a row-major data vector.
+    ///
+    /// Returns an error when `data.len() != rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f64>) -> Result<Self> {
+        if data.len() != rows * cols {
+            return Err(LinalgError::DimensionMismatch {
+                op: "Matrix::from_vec",
+                detail: format!("{} elements for a {rows}x{cols} matrix", data.len()),
+            });
+        }
+        Ok(Matrix { rows, cols, data })
+    }
+
+    /// Builds a matrix from nested row slices (test/fixture convenience).
+    ///
+    /// # Panics
+    /// Panics if the rows are ragged; this is a fixture constructor.
+    pub fn from_rows(rows: &[&[f64]]) -> Self {
+        let r = rows.len();
+        let c = rows.first().map_or(0, |row| row.len());
+        let mut data = Vec::with_capacity(r * c);
+        for row in rows {
+            assert_eq!(row.len(), c, "ragged rows in Matrix::from_rows");
+            data.extend_from_slice(row);
+        }
+        Matrix { rows: r, cols: c, data }
+    }
+
+    /// Number of rows.
+    #[inline(always)]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline(always)]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// True when the matrix is square.
+    #[inline(always)]
+    pub fn is_square(&self) -> bool {
+        self.rows == self.cols
+    }
+
+    /// Immutable view of the underlying row-major buffer.
+    #[inline(always)]
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Mutable view of the underlying row-major buffer.
+    #[inline(always)]
+    pub fn as_mut_slice(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
+    /// Borrow of row `r` as a slice.
+    #[inline(always)]
+    pub fn row(&self, r: usize) -> &[f64] {
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Matrix transpose.
+    pub fn transpose(&self) -> Matrix {
+        let mut t = Matrix::zeros(self.cols, self.rows);
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                t[(j, i)] = self[(i, j)];
+            }
+        }
+        t
+    }
+
+    /// Matrix product `self * rhs`.
+    pub fn matmul(&self, rhs: &Matrix) -> Result<Matrix> {
+        if self.cols != rhs.rows {
+            return Err(LinalgError::DimensionMismatch {
+                op: "matmul",
+                detail: format!("{}x{} * {}x{}", self.rows, self.cols, rhs.rows, rhs.cols),
+            });
+        }
+        let mut out = Matrix::zeros(self.rows, rhs.cols);
+        // ikj loop order: streams over rhs rows, cache-friendly for row-major.
+        for i in 0..self.rows {
+            for k in 0..self.cols {
+                let a = self[(i, k)];
+                if a == 0.0 {
+                    continue;
+                }
+                let rhs_row = rhs.row(k);
+                let out_row = &mut out.data[i * rhs.cols..(i + 1) * rhs.cols];
+                for (o, &b) in out_row.iter_mut().zip(rhs_row) {
+                    *o += a * b;
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Matrix–vector product `self * v`.
+    pub fn matvec(&self, v: &[f64]) -> Result<Vec<f64>> {
+        if self.cols != v.len() {
+            return Err(LinalgError::DimensionMismatch {
+                op: "matvec",
+                detail: format!("{}x{} * vec[{}]", self.rows, self.cols, v.len()),
+            });
+        }
+        let mut out = vec![0.0; self.rows];
+        for (i, o) in out.iter_mut().enumerate() {
+            let row = self.row(i);
+            *o = row.iter().zip(v).map(|(a, b)| a * b).sum();
+        }
+        Ok(out)
+    }
+
+    /// Kronecker (tensor) product `self ⊗ rhs`.
+    ///
+    /// With the LSB-first qubit convention used throughout this workspace,
+    /// `kron(A, B)` acts with `A` on the *higher-order* index block and `B`
+    /// on the lower-order one, i.e. index `i = a * B.rows + b`.
+    pub fn kron(&self, rhs: &Matrix) -> Matrix {
+        let rr = self.rows * rhs.rows;
+        let cc = self.cols * rhs.cols;
+        let mut out = Matrix::zeros(rr, cc);
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                let a = self[(i, j)];
+                if a == 0.0 {
+                    continue;
+                }
+                for p in 0..rhs.rows {
+                    let dst = (i * rhs.rows + p) * cc + j * rhs.cols;
+                    let src = p * rhs.cols;
+                    for q in 0..rhs.cols {
+                        out.data[dst + q] = a * rhs.data[src + q];
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Sum of the diagonal.
+    pub fn trace(&self) -> f64 {
+        let n = self.rows.min(self.cols);
+        (0..n).map(|i| self[(i, i)]).sum()
+    }
+
+    /// Frobenius norm `sqrt(Σ a_ij²)` — the edge-weight metric of Fig. 1 and
+    /// Algorithm 2.
+    pub fn frobenius_norm(&self) -> f64 {
+        self.data.iter().map(|a| a * a).sum::<f64>().sqrt()
+    }
+
+    /// Largest absolute entry.
+    pub fn max_abs(&self) -> f64 {
+        self.data.iter().fold(0.0_f64, |m, a| m.max(a.abs()))
+    }
+
+    /// Largest absolute elementwise difference to `other`.
+    ///
+    /// Returns `None` when shapes differ.
+    pub fn max_abs_diff(&self, other: &Matrix) -> Option<f64> {
+        if self.rows != other.rows || self.cols != other.cols {
+            return None;
+        }
+        Some(
+            self.data
+                .iter()
+                .zip(&other.data)
+                .fold(0.0_f64, |m, (a, b)| m.max((a - b).abs())),
+        )
+    }
+
+    /// Elementwise scaling by `s`.
+    pub fn scale(&self, s: f64) -> Matrix {
+        let mut m = self.clone();
+        for a in &mut m.data {
+            *a *= s;
+        }
+        m
+    }
+
+    /// Sums of each column (index = column).
+    pub fn column_sums(&self) -> Vec<f64> {
+        let mut sums = vec![0.0; self.cols];
+        for i in 0..self.rows {
+            for (s, &a) in sums.iter_mut().zip(self.row(i)) {
+                *s += a;
+            }
+        }
+        sums
+    }
+
+    /// True when every entry is finite.
+    pub fn is_finite(&self) -> bool {
+        self.data.iter().all(|a| a.is_finite())
+    }
+}
+
+impl Index<(usize, usize)> for Matrix {
+    type Output = f64;
+    #[inline(always)]
+    fn index(&self, (i, j): (usize, usize)) -> &f64 {
+        debug_assert!(i < self.rows && j < self.cols);
+        &self.data[i * self.cols + j]
+    }
+}
+
+impl IndexMut<(usize, usize)> for Matrix {
+    #[inline(always)]
+    fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut f64 {
+        debug_assert!(i < self.rows && j < self.cols);
+        &mut self.data[i * self.cols + j]
+    }
+}
+
+impl Add for &Matrix {
+    type Output = Matrix;
+    fn add(self, rhs: &Matrix) -> Matrix {
+        assert_eq!((self.rows, self.cols), (rhs.rows, rhs.cols), "add shape mismatch");
+        let data = self.data.iter().zip(&rhs.data).map(|(a, b)| a + b).collect();
+        Matrix { rows: self.rows, cols: self.cols, data }
+    }
+}
+
+impl Sub for &Matrix {
+    type Output = Matrix;
+    fn sub(self, rhs: &Matrix) -> Matrix {
+        assert_eq!((self.rows, self.cols), (rhs.rows, rhs.cols), "sub shape mismatch");
+        let data = self.data.iter().zip(&rhs.data).map(|(a, b)| a - b).collect();
+        Matrix { rows: self.rows, cols: self.cols, data }
+    }
+}
+
+impl Mul for &Matrix {
+    type Output = Matrix;
+    fn mul(self, rhs: &Matrix) -> Matrix {
+        self.matmul(rhs).expect("Mul shape mismatch")
+    }
+}
+
+impl fmt::Display for Matrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                write!(f, "{:10.6}", self[(i, j)])?;
+                if j + 1 < self.cols {
+                    write!(f, " ")?;
+                }
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_is_multiplicative_identity() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        let i = Matrix::identity(2);
+        assert_eq!(a.matmul(&i).unwrap(), a);
+        assert_eq!(i.matmul(&a).unwrap(), a);
+    }
+
+    #[test]
+    fn matmul_known_product() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        let b = Matrix::from_rows(&[&[5.0, 6.0], &[7.0, 8.0]]);
+        let c = a.matmul(&b).unwrap();
+        assert_eq!(c, Matrix::from_rows(&[&[19.0, 22.0], &[43.0, 50.0]]));
+    }
+
+    #[test]
+    fn matmul_rectangular() {
+        let a = Matrix::from_rows(&[&[1.0, 0.0, 2.0]]);
+        let b = Matrix::from_rows(&[&[1.0], &[1.0], &[1.0]]);
+        let c = a.matmul(&b).unwrap();
+        assert_eq!(c.rows(), 1);
+        assert_eq!(c.cols(), 1);
+        assert_eq!(c[(0, 0)], 3.0);
+    }
+
+    #[test]
+    fn matmul_dimension_mismatch_errors() {
+        let a = Matrix::zeros(2, 3);
+        let b = Matrix::zeros(2, 3);
+        assert!(matches!(a.matmul(&b), Err(LinalgError::DimensionMismatch { .. })));
+    }
+
+    #[test]
+    fn matvec_matches_matmul() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        let v = vec![5.0, 6.0];
+        assert_eq!(a.matvec(&v).unwrap(), vec![17.0, 39.0]);
+    }
+
+    #[test]
+    fn matvec_wrong_length_errors() {
+        let a = Matrix::zeros(2, 2);
+        assert!(a.matvec(&[1.0]).is_err());
+    }
+
+    #[test]
+    fn transpose_involution() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]]);
+        assert_eq!(a.transpose().transpose(), a);
+        assert_eq!(a.transpose()[(2, 1)], 6.0);
+    }
+
+    #[test]
+    fn kron_identity_blocks() {
+        let x = Matrix::from_rows(&[&[0.0, 1.0], &[1.0, 0.0]]);
+        let i = Matrix::identity(2);
+        let xi = x.kron(&i);
+        // (X ⊗ I)(a ⊗ b): index (row_hi * 2 + row_lo)
+        assert_eq!(xi[(0, 2)], 1.0);
+        assert_eq!(xi[(1, 3)], 1.0);
+        assert_eq!(xi[(2, 0)], 1.0);
+        assert_eq!(xi[(3, 1)], 1.0);
+        assert_eq!(xi.trace(), 0.0);
+    }
+
+    #[test]
+    fn kron_of_column_stochastic_is_column_stochastic() {
+        let a = Matrix::from_rows(&[&[0.9, 0.2], &[0.1, 0.8]]);
+        let b = Matrix::from_rows(&[&[0.7, 0.05], &[0.3, 0.95]]);
+        let k = a.kron(&b);
+        for s in k.column_sums() {
+            assert!((s - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn kron_mixed_product_property() {
+        // (A ⊗ B)(C ⊗ D) = (AC) ⊗ (BD)
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[0.0, 1.0]]);
+        let b = Matrix::from_rows(&[&[0.5, 0.0], &[1.0, 2.0]]);
+        let c = Matrix::from_rows(&[&[2.0, 1.0], &[1.0, 1.0]]);
+        let d = Matrix::from_rows(&[&[1.0, 3.0], &[0.0, 1.0]]);
+        let lhs = a.kron(&b).matmul(&c.kron(&d)).unwrap();
+        let rhs = a.matmul(&c).unwrap().kron(&b.matmul(&d).unwrap());
+        assert!(lhs.max_abs_diff(&rhs).unwrap() < 1e-12);
+    }
+
+    #[test]
+    fn frobenius_norm_known_value() {
+        let a = Matrix::from_rows(&[&[3.0, 0.0], &[0.0, 4.0]]);
+        assert!((a.frobenius_norm() - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn trace_and_column_sums() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        assert_eq!(a.trace(), 5.0);
+        assert_eq!(a.column_sums(), vec![4.0, 6.0]);
+    }
+
+    #[test]
+    fn from_vec_checks_length() {
+        assert!(Matrix::from_vec(2, 2, vec![1.0; 3]).is_err());
+        assert!(Matrix::from_vec(2, 2, vec![1.0; 4]).is_ok());
+    }
+
+    #[test]
+    fn add_sub_roundtrip() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        let b = Matrix::from_rows(&[&[0.5, 0.5], &[0.5, 0.5]]);
+        let c = &(&a + &b) - &b;
+        assert!(c.max_abs_diff(&a).unwrap() < 1e-15);
+    }
+
+    #[test]
+    fn max_abs_diff_shape_mismatch_is_none() {
+        assert!(Matrix::zeros(2, 2).max_abs_diff(&Matrix::zeros(2, 3)).is_none());
+    }
+
+    #[test]
+    fn scale_scales_norm() {
+        let a = Matrix::identity(3);
+        assert!((a.scale(2.0).frobenius_norm() - 2.0 * 3.0_f64.sqrt()).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,282 @@
+//! Eigendecompositions: analytic 2×2, symmetric Jacobi, power iteration.
+//!
+//! The CMC joining step (Eqs. 5–6 of the paper) needs fractional powers of
+//! single-qubit calibration matrices, which are 2×2 column-stochastic
+//! matrices with real spectrum `{1, 1 − p01 − p10}`. The analytic 2×2 path
+//! covers that exactly; Jacobi handles the symmetric matrices arising in
+//! characterisation statistics; power iteration provides spectral radii for
+//! convergence checks in the Newton root iterations.
+
+use crate::complex::{c64, C64};
+use crate::dense::Matrix;
+use crate::error::{LinalgError, Result};
+
+/// Eigendecomposition of a 2×2 real matrix.
+#[derive(Clone, Debug)]
+pub struct Eigen2 {
+    /// Eigenvalues (possibly complex-conjugate pair).
+    pub values: [C64; 2],
+    /// Eigenvectors as columns (complex to cover the rotation case).
+    pub vectors: [[C64; 2]; 2],
+}
+
+/// Analytic eigendecomposition of a 2×2 matrix.
+///
+/// Returns an error when the matrix is defective (repeated eigenvalue with a
+/// single eigenvector), which cannot occur for the stochastic matrices CMC
+/// manipulates unless the readout channel is a perfect identity — handled as
+/// a special case by callers via [`is_approximately_identity`].
+pub fn eigen_2x2(m: &Matrix) -> Result<Eigen2> {
+    if m.rows() != 2 || m.cols() != 2 {
+        return Err(LinalgError::DimensionMismatch {
+            op: "eigen_2x2",
+            detail: format!("{}x{}", m.rows(), m.cols()),
+        });
+    }
+    let (a, b, c, d) = (m[(0, 0)], m[(0, 1)], m[(1, 0)], m[(1, 1)]);
+    let tr = a + d;
+    let det = a * d - b * c;
+    let disc = c64(tr * tr - 4.0 * det, 0.0).sqrt();
+    let l0 = (c64(tr, 0.0) + disc) * 0.5;
+    let l1 = (c64(tr, 0.0) - disc) * 0.5;
+
+    let vector_for = |l: C64| -> Result<[C64; 2]> {
+        // Rows of (M - λI) are proportional; an eigenvector is orthogonal to
+        // either row. Use the row with larger magnitude for stability.
+        let r0 = (c64(a, 0.0) - l, c64(b, 0.0));
+        let r1 = (c64(c, 0.0), c64(d, 0.0) - l);
+        let m0 = r0.0.norm_sqr() + r0.1.norm_sqr();
+        let m1 = r1.0.norm_sqr() + r1.1.norm_sqr();
+        let (x, y) = if m0 >= m1 { r0 } else { r1 };
+        let v = if x.norm_sqr() + y.norm_sqr() < 1e-28 {
+            // Row is ~zero: any vector works (λ has full eigenspace).
+            [C64::ONE, C64::ZERO]
+        } else {
+            [-y, x] // orthogonal to (x, y)
+        };
+        let norm = (v[0].norm_sqr() + v[1].norm_sqr()).sqrt();
+        if norm < 1e-14 {
+            return Err(LinalgError::NoConvergence { routine: "eigen_2x2", iterations: 0 });
+        }
+        Ok([v[0] * (1.0 / norm), v[1] * (1.0 / norm)])
+    };
+
+    let v0 = vector_for(l0)?;
+    let v1 = vector_for(l1)?;
+    Ok(Eigen2 { values: [l0, l1], vectors: [v0, v1] })
+}
+
+/// True when `m` is within `tol` of the identity (elementwise).
+pub fn is_approximately_identity(m: &Matrix, tol: f64) -> bool {
+    m.is_square()
+        && m.max_abs_diff(&Matrix::identity(m.rows()))
+            .is_some_and(|d| d < tol)
+}
+
+/// Jacobi eigenvalue iteration for symmetric matrices.
+///
+/// Returns `(eigenvalues, eigenvectors)` with eigenvectors as columns of the
+/// returned matrix, sorted by descending eigenvalue.
+pub fn jacobi_symmetric(a: &Matrix, max_sweeps: usize) -> Result<(Vec<f64>, Matrix)> {
+    if !a.is_square() {
+        return Err(LinalgError::NotSquare { rows: a.rows(), cols: a.cols() });
+    }
+    let n = a.rows();
+    let mut m = a.clone();
+    let mut v = Matrix::identity(n);
+
+    for sweep in 0..max_sweeps {
+        // Off-diagonal Frobenius mass.
+        let mut off = 0.0;
+        for i in 0..n {
+            for j in i + 1..n {
+                off += m[(i, j)] * m[(i, j)];
+            }
+        }
+        if off.sqrt() < 1e-13 {
+            let mut pairs: Vec<(f64, usize)> =
+                (0..n).map(|i| (m[(i, i)], i)).collect();
+            pairs.sort_by(|x, y| y.0.partial_cmp(&x.0).unwrap());
+            let values: Vec<f64> = pairs.iter().map(|p| p.0).collect();
+            let mut vectors = Matrix::zeros(n, n);
+            for (new_col, &(_, old_col)) in pairs.iter().enumerate() {
+                for r in 0..n {
+                    vectors[(r, new_col)] = v[(r, old_col)];
+                }
+            }
+            return Ok((values, vectors));
+        }
+        let _ = sweep;
+        for p in 0..n {
+            for q in p + 1..n {
+                let apq = m[(p, q)];
+                if apq.abs() < 1e-300 {
+                    continue;
+                }
+                let app = m[(p, p)];
+                let aqq = m[(q, q)];
+                let theta = (aqq - app) / (2.0 * apq);
+                let t = {
+                    let s = if theta >= 0.0 { 1.0 } else { -1.0 };
+                    s / (theta.abs() + (theta * theta + 1.0).sqrt())
+                };
+                let cth = 1.0 / (t * t + 1.0).sqrt();
+                let sth = t * cth;
+                // Apply rotation to rows/columns p, q.
+                for k in 0..n {
+                    let mkp = m[(k, p)];
+                    let mkq = m[(k, q)];
+                    m[(k, p)] = cth * mkp - sth * mkq;
+                    m[(k, q)] = sth * mkp + cth * mkq;
+                }
+                for k in 0..n {
+                    let mpk = m[(p, k)];
+                    let mqk = m[(q, k)];
+                    m[(p, k)] = cth * mpk - sth * mqk;
+                    m[(q, k)] = sth * mpk + cth * mqk;
+                }
+                for k in 0..n {
+                    let vkp = v[(k, p)];
+                    let vkq = v[(k, q)];
+                    v[(k, p)] = cth * vkp - sth * vkq;
+                    v[(k, q)] = sth * vkp + cth * vkq;
+                }
+            }
+        }
+    }
+    Err(LinalgError::NoConvergence { routine: "jacobi_symmetric", iterations: max_sweeps })
+}
+
+/// Power iteration estimate of the spectral radius of `a`.
+pub fn spectral_radius(a: &Matrix, iterations: usize) -> Result<f64> {
+    if !a.is_square() {
+        return Err(LinalgError::NotSquare { rows: a.rows(), cols: a.cols() });
+    }
+    let n = a.rows();
+    if n == 0 {
+        return Ok(0.0);
+    }
+    // Deterministic, non-degenerate start vector.
+    let mut x: Vec<f64> = (0..n).map(|i| 1.0 + (i as f64) * 0.37).collect();
+    let mut lambda = 0.0;
+    for _ in 0..iterations {
+        let y = a.matvec(&x)?;
+        let norm = y.iter().map(|v| v * v).sum::<f64>().sqrt();
+        if norm < 1e-300 {
+            return Ok(0.0);
+        }
+        lambda = norm / x.iter().map(|v| v * v).sum::<f64>().sqrt();
+        x = y.into_iter().map(|v| v / norm).collect();
+    }
+    Ok(lambda)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eigen_2x2_diagonal() {
+        let m = Matrix::from_rows(&[&[3.0, 0.0], &[0.0, 1.0]]);
+        let e = eigen_2x2(&m).unwrap();
+        assert!((e.values[0].re - 3.0).abs() < 1e-12);
+        assert!((e.values[1].re - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn eigen_2x2_stochastic_spectrum() {
+        // Column-stochastic: eigenvalues are 1 and 1 - p01 - p10.
+        let p01 = 0.07;
+        let p10 = 0.03;
+        let m = Matrix::from_rows(&[&[1.0 - p10, p01], &[p10, 1.0 - p01]]);
+        let e = eigen_2x2(&m).unwrap();
+        let mut vals = [e.values[0].re, e.values[1].re];
+        vals.sort_by(|a, b| b.partial_cmp(a).unwrap());
+        assert!((vals[0] - 1.0).abs() < 1e-12);
+        assert!((vals[1] - (1.0 - p01 - p10)).abs() < 1e-12);
+        assert!(e.values[0].im.abs() < 1e-12);
+    }
+
+    #[test]
+    fn eigen_2x2_eigenvector_property() {
+        let m = Matrix::from_rows(&[&[0.9, 0.2], &[0.1, 0.8]]);
+        let e = eigen_2x2(&m).unwrap();
+        for k in 0..2 {
+            let v = e.vectors[k];
+            let l = e.values[k];
+            // (M v) - λ v ≈ 0, computed in complex arithmetic.
+            let mv0 = c64(m[(0, 0)], 0.0) * v[0] + c64(m[(0, 1)], 0.0) * v[1];
+            let mv1 = c64(m[(1, 0)], 0.0) * v[0] + c64(m[(1, 1)], 0.0) * v[1];
+            assert!((mv0 - l * v[0]).abs() < 1e-10);
+            assert!((mv1 - l * v[1]).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn eigen_2x2_rotation_complex_pair() {
+        let m = Matrix::from_rows(&[&[0.0, -1.0], &[1.0, 0.0]]);
+        let e = eigen_2x2(&m).unwrap();
+        assert!(e.values[0].im.abs() > 0.9);
+        assert!((e.values[0].abs() - 1.0).abs() < 1e-12);
+        assert!((e.values[0] - e.values[1].conj()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn identity_detection() {
+        assert!(is_approximately_identity(&Matrix::identity(4), 1e-12));
+        let mut m = Matrix::identity(4);
+        m[(0, 1)] = 0.01;
+        assert!(!is_approximately_identity(&m, 1e-3));
+        assert!(is_approximately_identity(&m, 0.1));
+    }
+
+    #[test]
+    fn jacobi_recovers_known_spectrum() {
+        let a = Matrix::from_rows(&[&[2.0, 1.0], &[1.0, 2.0]]);
+        let (vals, vecs) = jacobi_symmetric(&a, 50).unwrap();
+        assert!((vals[0] - 3.0).abs() < 1e-10);
+        assert!((vals[1] - 1.0).abs() < 1e-10);
+        // A v = λ v for the first column.
+        let v0: Vec<f64> = (0..2).map(|r| vecs[(r, 0)]).collect();
+        let av = a.matvec(&v0).unwrap();
+        for i in 0..2 {
+            assert!((av[i] - vals[0] * v0[i]).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn jacobi_reconstructs_matrix() {
+        let a = Matrix::from_rows(&[
+            &[4.0, 1.0, 0.5],
+            &[1.0, 3.0, 0.2],
+            &[0.5, 0.2, 2.0],
+        ]);
+        let (vals, v) = jacobi_symmetric(&a, 100).unwrap();
+        // A = V diag(vals) V^T
+        let mut d = Matrix::zeros(3, 3);
+        for i in 0..3 {
+            d[(i, i)] = vals[i];
+        }
+        let rec = v.matmul(&d).unwrap().matmul(&v.transpose()).unwrap();
+        assert!(rec.max_abs_diff(&a).unwrap() < 1e-9);
+    }
+
+    #[test]
+    fn jacobi_rejects_non_square() {
+        assert!(jacobi_symmetric(&Matrix::zeros(2, 3), 10).is_err());
+    }
+
+    #[test]
+    fn spectral_radius_of_diagonal() {
+        let m = Matrix::from_rows(&[&[0.5, 0.0], &[0.0, -2.0]]);
+        let r = spectral_radius(&m, 200).unwrap();
+        assert!((r - 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn spectral_radius_of_stochastic_is_one() {
+        let m = Matrix::from_rows(&[&[0.9, 0.2], &[0.1, 0.8]]);
+        let r = spectral_radius(&m, 500).unwrap();
+        assert!((r - 1.0).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,96 @@
+//! Error type shared across the linear-algebra substrate.
+
+use std::fmt;
+
+/// Errors produced by linear-algebra operations.
+#[derive(Clone, Debug, PartialEq)]
+pub enum LinalgError {
+    /// Matrix dimensions incompatible with the requested operation.
+    DimensionMismatch {
+        /// Human-readable description of the operation that failed.
+        op: &'static str,
+        /// Dimensions observed, formatted by the caller.
+        detail: String,
+    },
+    /// Matrix is singular (or numerically singular) and cannot be inverted.
+    Singular {
+        /// Pivot magnitude that triggered the failure.
+        pivot: f64,
+    },
+    /// An iterative routine failed to converge within its iteration budget.
+    NoConvergence {
+        /// Which routine failed.
+        routine: &'static str,
+        /// Iterations performed.
+        iterations: usize,
+    },
+    /// Operation requires a square matrix.
+    NotSquare {
+        /// Rows of the offending matrix.
+        rows: usize,
+        /// Columns of the offending matrix.
+        cols: usize,
+    },
+    /// Fractional matrix power undefined (e.g. non-positive eigenvalue on the
+    /// principal branch of a real routine).
+    InvalidPower {
+        /// Description of why the power is undefined.
+        detail: String,
+    },
+    /// Input probability data was invalid (negative entries, zero mass, ...).
+    InvalidDistribution {
+        /// Description of the violation.
+        detail: String,
+    },
+}
+
+impl fmt::Display for LinalgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LinalgError::DimensionMismatch { op, detail } => {
+                write!(f, "dimension mismatch in {op}: {detail}")
+            }
+            LinalgError::Singular { pivot } => {
+                write!(f, "matrix is singular (pivot magnitude {pivot:.3e})")
+            }
+            LinalgError::NoConvergence { routine, iterations } => {
+                write!(f, "{routine} failed to converge after {iterations} iterations")
+            }
+            LinalgError::NotSquare { rows, cols } => {
+                write!(f, "operation requires a square matrix, got {rows}x{cols}")
+            }
+            LinalgError::InvalidPower { detail } => {
+                write!(f, "fractional matrix power undefined: {detail}")
+            }
+            LinalgError::InvalidDistribution { detail } => {
+                write!(f, "invalid distribution: {detail}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for LinalgError {}
+
+/// Convenience alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, LinalgError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = LinalgError::Singular { pivot: 1e-18 };
+        assert!(e.to_string().contains("singular"));
+        let e = LinalgError::NotSquare { rows: 2, cols: 3 };
+        assert!(e.to_string().contains("2x3"));
+        let e = LinalgError::NoConvergence { routine: "jacobi", iterations: 50 };
+        assert!(e.to_string().contains("jacobi"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<LinalgError>();
+    }
+}

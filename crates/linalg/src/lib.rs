@@ -1,0 +1,47 @@
+//! # qem-linalg
+//!
+//! Dense and sparse linear-algebra substrate for the `qem` workspace — the
+//! Rust reproduction of *“Mitigating Coupling Map Constrained Correlated
+//! Measurement Errors on Quantum Devices”* (Robertson & Song, SC 2023).
+//!
+//! Everything a measurement-error-calibration stack needs and nothing more:
+//!
+//! * [`dense::Matrix`] — real row-major matrices with Kronecker products;
+//! * [`lu`] — LU factorisation for the calibration-matrix inversions;
+//! * [`eig`] / [`power`] — eigendecompositions and the **fractional matrix
+//!   powers** at the heart of CMC patch joining (paper Eqs. 5–7);
+//! * [`stochastic`] — column-stochastic helpers, partial traces over qubit
+//!   subsets and operator embedding (paper Eqs. 3–4);
+//! * [`sparse`] / [`sparse_apply`] — COO/CSR matrices and sparse-histogram
+//!   operator application, realising the paper's §VII claim that chained
+//!   sparse patch products scale where a dense `2^n × 2^n` matrix cannot;
+//! * [`complex`] — minimal complex arithmetic for the statevector engine.
+//!
+//! ## Conventions
+//!
+//! Basis state `s` of an `n`-qubit register is an integer whose bit `q` is
+//! qubit `q`'s value (LSB = qubit 0). Calibration matrices are
+//! column-stochastic: `C[observed, prepared]`.
+
+#![warn(missing_docs)]
+
+pub mod cdense;
+pub mod complex;
+pub mod dense;
+pub mod eig;
+pub mod error;
+pub mod iterative;
+pub mod lu;
+pub mod power;
+pub mod sparse;
+pub mod sparse_apply;
+pub mod stochastic;
+pub mod vector;
+
+pub use cdense::CMatrix;
+pub use complex::{c64, C64};
+pub use dense::Matrix;
+pub use error::{LinalgError, Result};
+pub use iterative::{bicgstab, LinearOperator};
+pub use sparse::{Coo, Csr};
+pub use sparse_apply::{apply_operator_sparse, SparseDist};

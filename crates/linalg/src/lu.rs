@@ -1,0 +1,281 @@
+//! LU decomposition with partial pivoting: solve, inverse, determinant.
+//!
+//! Calibration matrices are diagonally dominant (readout fidelities well
+//! above 50 %), so partial pivoting is numerically comfortable; we still
+//! pivot because joined CMC matrices after fractional-power corrections can
+//! drift from dominance.
+
+use crate::dense::Matrix;
+use crate::error::{LinalgError, Result};
+
+/// Pivot magnitudes below this are treated as singular.
+const SINGULAR_EPS: f64 = 1e-13;
+
+/// An LU factorisation `P·A = L·U` stored compactly.
+#[derive(Clone, Debug)]
+pub struct Lu {
+    /// Combined L (unit lower, below diagonal) and U (upper incl. diagonal).
+    lu: Matrix,
+    /// Row permutation: `perm[i]` is the original row now in position `i`.
+    perm: Vec<usize>,
+    /// Sign of the permutation, for determinants.
+    perm_sign: f64,
+}
+
+impl Lu {
+    /// Factorises a square matrix.
+    pub fn factor(a: &Matrix) -> Result<Lu> {
+        if !a.is_square() {
+            return Err(LinalgError::NotSquare { rows: a.rows(), cols: a.cols() });
+        }
+        let n = a.rows();
+        let mut lu = a.clone();
+        let mut perm: Vec<usize> = (0..n).collect();
+        let mut perm_sign = 1.0;
+
+        for k in 0..n {
+            // Partial pivot: largest |entry| in column k at/below row k.
+            let mut p = k;
+            let mut pmax = lu[(k, k)].abs();
+            for i in k + 1..n {
+                let v = lu[(i, k)].abs();
+                if v > pmax {
+                    pmax = v;
+                    p = i;
+                }
+            }
+            if pmax < SINGULAR_EPS {
+                return Err(LinalgError::Singular { pivot: pmax });
+            }
+            if p != k {
+                for j in 0..n {
+                    let tmp = lu[(k, j)];
+                    lu[(k, j)] = lu[(p, j)];
+                    lu[(p, j)] = tmp;
+                }
+                perm.swap(k, p);
+                perm_sign = -perm_sign;
+            }
+            let pivot = lu[(k, k)];
+            for i in k + 1..n {
+                let factor = lu[(i, k)] / pivot;
+                lu[(i, k)] = factor;
+                for j in k + 1..n {
+                    let u = lu[(k, j)];
+                    lu[(i, j)] -= factor * u;
+                }
+            }
+        }
+        Ok(Lu { lu, perm, perm_sign })
+    }
+
+    /// Dimension of the factored matrix.
+    pub fn dim(&self) -> usize {
+        self.lu.rows()
+    }
+
+    /// Solves `A x = b` using the stored factorisation.
+    pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>> {
+        let n = self.dim();
+        if b.len() != n {
+            return Err(LinalgError::DimensionMismatch {
+                op: "Lu::solve",
+                detail: format!("rhs length {} for dimension {n}", b.len()),
+            });
+        }
+        // Apply permutation, then forward- and back-substitute.
+        let mut x: Vec<f64> = self.perm.iter().map(|&i| b[i]).collect();
+        for i in 1..n {
+            let mut s = x[i];
+            for j in 0..i {
+                s -= self.lu[(i, j)] * x[j];
+            }
+            x[i] = s;
+        }
+        for i in (0..n).rev() {
+            let mut s = x[i];
+            for j in i + 1..n {
+                s -= self.lu[(i, j)] * x[j];
+            }
+            x[i] = s / self.lu[(i, i)];
+        }
+        Ok(x)
+    }
+
+    /// Determinant of the original matrix.
+    pub fn determinant(&self) -> f64 {
+        let n = self.dim();
+        (0..n).map(|i| self.lu[(i, i)]).product::<f64>() * self.perm_sign
+    }
+
+    /// Full inverse, one solve per unit vector.
+    pub fn inverse(&self) -> Result<Matrix> {
+        let n = self.dim();
+        let mut inv = Matrix::zeros(n, n);
+        let mut e = vec![0.0; n];
+        for j in 0..n {
+            e[j] = 1.0;
+            let col = self.solve(&e)?;
+            e[j] = 0.0;
+            for (i, v) in col.into_iter().enumerate() {
+                inv[(i, j)] = v;
+            }
+        }
+        Ok(inv)
+    }
+}
+
+/// Convenience: inverse of a square matrix.
+pub fn inverse(a: &Matrix) -> Result<Matrix> {
+    Lu::factor(a)?.inverse()
+}
+
+/// Convenience: solve `A x = b`.
+pub fn solve(a: &Matrix, b: &[f64]) -> Result<Vec<f64>> {
+    Lu::factor(a)?.solve(b)
+}
+
+/// Convenience: determinant.
+pub fn determinant(a: &Matrix) -> Result<f64> {
+    Ok(Lu::factor(a)?.determinant())
+}
+
+/// One-norm condition number estimate `κ₁ = ‖A‖₁ · ‖A⁻¹‖₁` (exact, via the
+/// full inverse — these are small calibration blocks). Inverting a
+/// calibration matrix amplifies shot noise by roughly κ, so CMC warns when
+/// readout fidelities drive κ up.
+pub fn condition_estimate(a: &Matrix) -> Result<f64> {
+    let one_norm = |m: &Matrix| -> f64 {
+        (0..m.cols())
+            .map(|j| (0..m.rows()).map(|i| m[(i, j)].abs()).sum::<f64>())
+            .fold(0.0, f64::max)
+    };
+    let inv = inverse(a)?;
+    Ok(one_norm(a) * one_norm(&inv))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_close(a: &Matrix, b: &Matrix, tol: f64) {
+        assert!(
+            a.max_abs_diff(b).unwrap() < tol,
+            "matrices differ by {}",
+            a.max_abs_diff(b).unwrap()
+        );
+    }
+
+    #[test]
+    fn inverse_of_identity() {
+        let i = Matrix::identity(4);
+        assert_close(&inverse(&i).unwrap(), &i, 1e-14);
+    }
+
+    #[test]
+    fn inverse_times_original_is_identity() {
+        let a = Matrix::from_rows(&[
+            &[0.95, 0.03, 0.01, 0.00],
+            &[0.02, 0.90, 0.02, 0.05],
+            &[0.02, 0.03, 0.95, 0.03],
+            &[0.01, 0.04, 0.02, 0.92],
+        ]);
+        let ainv = inverse(&a).unwrap();
+        assert_close(&a.matmul(&ainv).unwrap(), &Matrix::identity(4), 1e-12);
+        assert_close(&ainv.matmul(&a).unwrap(), &Matrix::identity(4), 1e-12);
+    }
+
+    #[test]
+    fn solve_known_system() {
+        let a = Matrix::from_rows(&[&[2.0, 1.0], &[1.0, 3.0]]);
+        let x = solve(&a, &[5.0, 10.0]).unwrap();
+        assert!((x[0] - 1.0).abs() < 1e-12);
+        assert!((x[1] - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn solve_requires_pivoting() {
+        // Zero in the (0,0) position forces a row swap.
+        let a = Matrix::from_rows(&[&[0.0, 1.0], &[1.0, 0.0]]);
+        let x = solve(&a, &[2.0, 3.0]).unwrap();
+        assert_eq!(x, vec![3.0, 2.0]);
+    }
+
+    #[test]
+    fn singular_matrix_rejected() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 4.0]]);
+        assert!(matches!(Lu::factor(&a), Err(LinalgError::Singular { .. })));
+    }
+
+    #[test]
+    fn non_square_rejected() {
+        let a = Matrix::zeros(2, 3);
+        assert!(matches!(Lu::factor(&a), Err(LinalgError::NotSquare { .. })));
+    }
+
+    #[test]
+    fn determinant_known_values() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        assert!((determinant(&a).unwrap() + 2.0).abs() < 1e-12);
+        assert!((determinant(&Matrix::identity(5)).unwrap() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn determinant_sign_tracks_permutation() {
+        let a = Matrix::from_rows(&[&[0.0, 1.0], &[1.0, 0.0]]);
+        assert!((determinant(&a).unwrap() + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn solve_rhs_length_checked() {
+        let lu = Lu::factor(&Matrix::identity(3)).unwrap();
+        assert!(lu.solve(&[1.0, 2.0]).is_err());
+    }
+
+    #[test]
+    fn inverse_of_stochastic_calibration_matrix() {
+        // Typical single-qubit calibration: P(0|0)=0.97, P(1|1)=0.93.
+        let c = Matrix::from_rows(&[&[0.97, 0.07], &[0.03, 0.93]]);
+        let cinv = inverse(&c).unwrap();
+        // Mitigating the observed distribution of a perfect |1> prep should
+        // recover the ideal [0, 1].
+        let observed = c.matvec(&[0.0, 1.0]).unwrap();
+        let mitigated = cinv.matvec(&observed).unwrap();
+        assert!(mitigated[0].abs() < 1e-12);
+        assert!((mitigated[1] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn condition_estimates() {
+        assert!((condition_estimate(&Matrix::identity(4)).unwrap() - 1.0).abs() < 1e-12);
+        // Good readout: condition near 1.
+        let good = Matrix::from_rows(&[&[0.97, 0.05], &[0.03, 0.95]]);
+        let k_good = condition_estimate(&good).unwrap();
+        assert!(k_good < 1.5, "κ = {k_good}");
+        // Near-50 % readout: condition blows up.
+        let bad = Matrix::from_rows(&[&[0.52, 0.49], &[0.48, 0.51]]);
+        let k_bad = condition_estimate(&bad).unwrap();
+        assert!(k_bad > 20.0, "κ = {k_bad}");
+        assert!(condition_estimate(&Matrix::from_rows(&[&[1.0, 1.0], &[1.0, 1.0]])).is_err());
+    }
+
+    #[test]
+    fn random_matrices_roundtrip() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        for n in [2usize, 3, 5, 8] {
+            // Diagonally dominant ⇒ nonsingular.
+            let mut a = Matrix::zeros(n, n);
+            for i in 0..n {
+                for j in 0..n {
+                    a[(i, j)] = rng.gen_range(-1.0..1.0);
+                }
+                a[(i, i)] += n as f64;
+            }
+            let ainv = inverse(&a).unwrap();
+            assert!(
+                a.matmul(&ainv).unwrap().max_abs_diff(&Matrix::identity(n)).unwrap() < 1e-10
+            );
+        }
+    }
+}

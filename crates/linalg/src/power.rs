@@ -1,0 +1,372 @@
+//! Integer and fractional matrix powers.
+//!
+//! CMC's joining rule (paper Eqs. 5–6) divides fractional powers of the
+//! shared single-qubit marginal `C_j^{v_a/v}` out of each overlapping patch.
+//! Those marginals are 2×2 column-stochastic matrices, handled analytically
+//! via their eigendecomposition. For completeness (and for joining larger
+//! overlaps in extensions) general small matrices are covered by a
+//! Denman–Beavers square root and a coupled Newton p-th-root iteration.
+
+use crate::complex::{c64, C64};
+use crate::dense::Matrix;
+use crate::eig::eigen_2x2;
+use crate::error::{LinalgError, Result};
+use crate::lu;
+
+/// Integer power by binary exponentiation. `a^0 = I`.
+pub fn matrix_power(a: &Matrix, mut e: u32) -> Result<Matrix> {
+    if !a.is_square() {
+        return Err(LinalgError::NotSquare { rows: a.rows(), cols: a.cols() });
+    }
+    let mut result = Matrix::identity(a.rows());
+    let mut base = a.clone();
+    while e > 0 {
+        if e & 1 == 1 {
+            result = result.matmul(&base)?;
+        }
+        e >>= 1;
+        if e > 0 {
+            base = base.matmul(&base)?;
+        }
+    }
+    Ok(result)
+}
+
+/// Analytic real power `a^t` of a 2×2 matrix via eigendecomposition.
+///
+/// Works for any diagonalisable 2×2 with eigenvalues off the closed negative
+/// real axis (principal branch); calibration matrices have spectrum in
+/// `(0, 1]` so this always applies. A defective matrix falls back to the
+/// exact Jordan-block formula `λ^t I + t λ^{t-1} (A − λI)`.
+pub fn fractional_power_2x2(a: &Matrix, t: f64) -> Result<Matrix> {
+    if a.rows() != 2 || a.cols() != 2 {
+        return Err(LinalgError::DimensionMismatch {
+            op: "fractional_power_2x2",
+            detail: format!("{}x{}", a.rows(), a.cols()),
+        });
+    }
+    let e = eigen_2x2(a)?;
+    let [l0, l1] = e.values;
+
+    for l in [l0, l1] {
+        if l.re <= 0.0 && l.im.abs() < 1e-14 {
+            return Err(LinalgError::InvalidPower {
+                detail: format!("eigenvalue {l} on the non-positive real axis"),
+            });
+        }
+    }
+
+    if (l0 - l1).abs() < 1e-12 {
+        // Possibly defective: Jordan formula, exact in either case.
+        let l = l0;
+        let lt = l.powf(t);
+        let dlt = l.powf(t - 1.0) * t;
+        let mut out = Matrix::zeros(2, 2);
+        for i in 0..2 {
+            for j in 0..2 {
+                let aij = c64(a[(i, j)], 0.0);
+                let lij = if i == j { l } else { C64::ZERO };
+                let idij = if i == j { C64::ONE } else { C64::ZERO };
+                let v = idij * lt + (aij - lij) * dlt;
+                out[(i, j)] = v.re;
+            }
+        }
+        return Ok(out);
+    }
+
+    // Sylvester / Lagrange interpolation form for diagonalisable 2×2:
+    //   A^t = [ (A − λ1 I) λ0^t − (A − λ0 I) λ1^t ] / (λ0 − λ1)
+    let l0t = l0.powf(t);
+    let l1t = l1.powf(t);
+    let denom = l0 - l1;
+    let mut out = Matrix::zeros(2, 2);
+    let mut max_im = 0.0_f64;
+    for i in 0..2 {
+        for j in 0..2 {
+            let aij = c64(a[(i, j)], 0.0);
+            let id = if i == j { C64::ONE } else { C64::ZERO };
+            let v = ((aij - id * l1) * l0t - (aij - id * l0) * l1t) / denom;
+            max_im = max_im.max(v.im.abs());
+            out[(i, j)] = v.re;
+        }
+    }
+    if max_im > 1e-8 {
+        return Err(LinalgError::InvalidPower {
+            detail: format!("complex residue {max_im:.3e} in real fractional power"),
+        });
+    }
+    Ok(out)
+}
+
+/// Denman–Beavers iteration for the principal matrix square root.
+///
+/// Returns `(sqrt(A), sqrt(A)^{-1})`. Converges quadratically for matrices
+/// with no eigenvalues on the closed negative real axis.
+pub fn sqrt_denman_beavers(a: &Matrix, max_iter: usize) -> Result<(Matrix, Matrix)> {
+    if !a.is_square() {
+        return Err(LinalgError::NotSquare { rows: a.rows(), cols: a.cols() });
+    }
+    let n = a.rows();
+    let mut y = a.clone();
+    let mut z = Matrix::identity(n);
+    for it in 0..max_iter {
+        let y_inv = lu::inverse(&y)?;
+        let z_inv = lu::inverse(&z)?;
+        let y_next = (&y + &z_inv).scale(0.5);
+        let z_next = (&z + &y_inv).scale(0.5);
+        let delta = y_next.max_abs_diff(&y).unwrap_or(f64::INFINITY);
+        y = y_next;
+        z = z_next;
+        if delta < 1e-14 {
+            let _ = it;
+            return Ok((y, z));
+        }
+    }
+    // Accept slightly looser convergence before failing outright.
+    let check = y.matmul(&y)?;
+    if check.max_abs_diff(a).is_some_and(|d| d < 1e-9) {
+        return Ok((y, z));
+    }
+    Err(LinalgError::NoConvergence { routine: "sqrt_denman_beavers", iterations: max_iter })
+}
+
+/// Coupled Newton iteration (Iannazzo) for the principal p-th root `A^{1/p}`.
+///
+/// The input is pre-scaled by `c = tr(A)/n` so the spectrum sits near 1,
+/// inside the iteration's convergence region; the result is rescaled by
+/// `c^{1/p}`. Suitable for the near-identity stochastic matrices this crate
+/// manipulates.
+pub fn nth_root_newton(a: &Matrix, p: u32, max_iter: usize) -> Result<Matrix> {
+    if !a.is_square() {
+        return Err(LinalgError::NotSquare { rows: a.rows(), cols: a.cols() });
+    }
+    if p == 0 {
+        return Err(LinalgError::InvalidPower { detail: "0th root".into() });
+    }
+    if p == 1 {
+        return Ok(a.clone());
+    }
+    let n = a.rows();
+    let c = a.trace() / n as f64;
+    if !(c > 0.0) {
+        return Err(LinalgError::InvalidPower {
+            detail: format!("non-positive scaling trace/n = {c}"),
+        });
+    }
+    let b = a.scale(1.0 / c);
+    let id = Matrix::identity(n);
+    let pf = p as f64;
+
+    // Coupled iteration with invariant X_k^p = M_k · B^{-1}: at convergence
+    // (M → I) X is the *inverse* p-th root of B; recover B^{1/p} = B · X^{p−1}.
+    let mut x = Matrix::identity(n);
+    let mut m = b.clone();
+    for _ in 0..max_iter {
+        // H = ((p+1) I - M) / p
+        let h = (&id.scale(pf + 1.0) - &m).scale(1.0 / pf);
+        x = x.matmul(&h)?;
+        m = matrix_power(&h, p)?.matmul(&m)?;
+        if m.max_abs_diff(&id).is_some_and(|d| d < 1e-14) {
+            break;
+        }
+    }
+    if m.max_abs_diff(&id).is_none_or(|d| d > 1e-9) {
+        return Err(LinalgError::NoConvergence {
+            routine: "nth_root_newton",
+            iterations: max_iter,
+        });
+    }
+    let root = b.matmul(&matrix_power(&x, p - 1)?)?;
+    Ok(root.scale(c.powf(1.0 / pf)))
+}
+
+/// Rational power `a^{num/den}` of a square matrix.
+///
+/// 2×2 matrices take the exact analytic path; larger matrices compute the
+/// `den`-th root iteratively, then raise to `num`.
+pub fn rational_power(a: &Matrix, num: u32, den: u32) -> Result<Matrix> {
+    if den == 0 {
+        return Err(LinalgError::InvalidPower { detail: "denominator 0".into() });
+    }
+    if !a.is_square() {
+        return Err(LinalgError::NotSquare { rows: a.rows(), cols: a.cols() });
+    }
+    if num == 0 {
+        return Ok(Matrix::identity(a.rows()));
+    }
+    if num % den == 0 {
+        return matrix_power(a, num / den);
+    }
+    if a.rows() == 2 {
+        return fractional_power_2x2(a, num as f64 / den as f64);
+    }
+    let root = if den == 2 {
+        sqrt_denman_beavers(a, 100)?.0
+    } else {
+        nth_root_newton(a, den, 200)?
+    };
+    matrix_power(&root, num)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: &Matrix, b: &Matrix, tol: f64) -> bool {
+        a.max_abs_diff(b).is_some_and(|d| d < tol)
+    }
+
+    fn stochastic2(p01: f64, p10: f64) -> Matrix {
+        Matrix::from_rows(&[&[1.0 - p10, p01], &[p10, 1.0 - p01]])
+    }
+
+    #[test]
+    fn integer_power_matches_repeated_mul() {
+        let a = Matrix::from_rows(&[&[1.0, 1.0], &[0.0, 1.0]]);
+        let a3 = matrix_power(&a, 3).unwrap();
+        assert_eq!(a3, Matrix::from_rows(&[&[1.0, 3.0], &[0.0, 1.0]]));
+        assert_eq!(matrix_power(&a, 0).unwrap(), Matrix::identity(2));
+        assert_eq!(matrix_power(&a, 1).unwrap(), a);
+    }
+
+    #[test]
+    fn half_power_squares_to_original() {
+        let c = stochastic2(0.07, 0.03);
+        let h = fractional_power_2x2(&c, 0.5).unwrap();
+        assert!(close(&h.matmul(&h).unwrap(), &c, 1e-12));
+    }
+
+    #[test]
+    fn third_powers_compose() {
+        let c = stochastic2(0.05, 0.02);
+        let a = fractional_power_2x2(&c, 1.0 / 3.0).unwrap();
+        let b = fractional_power_2x2(&c, 2.0 / 3.0).unwrap();
+        assert!(close(&a.matmul(&b).unwrap(), &c, 1e-12));
+        assert!(close(&a.matmul(&a).unwrap(), &b, 1e-12));
+    }
+
+    #[test]
+    fn power_one_is_identity_map() {
+        let c = stochastic2(0.04, 0.08);
+        assert!(close(&fractional_power_2x2(&c, 1.0).unwrap(), &c, 1e-12));
+    }
+
+    #[test]
+    fn power_zero_is_identity() {
+        let c = stochastic2(0.04, 0.08);
+        assert!(close(
+            &fractional_power_2x2(&c, 0.0).unwrap(),
+            &Matrix::identity(2),
+            1e-12
+        ));
+    }
+
+    #[test]
+    fn negative_power_inverts() {
+        let c = stochastic2(0.06, 0.01);
+        let inv = fractional_power_2x2(&c, -1.0).unwrap();
+        assert!(close(&c.matmul(&inv).unwrap(), &Matrix::identity(2), 1e-11));
+    }
+
+    #[test]
+    fn identity_fractional_power() {
+        let i = Matrix::identity(2);
+        assert!(close(&fractional_power_2x2(&i, 0.5).unwrap(), &i, 1e-12));
+    }
+
+    #[test]
+    fn jordan_block_power_exact() {
+        // Defective matrix: [[1,1],[0,1]]^t = [[1,t],[0,1]].
+        let a = Matrix::from_rows(&[&[1.0, 1.0], &[0.0, 1.0]]);
+        let h = fractional_power_2x2(&a, 0.5).unwrap();
+        assert!(close(&h, &Matrix::from_rows(&[&[1.0, 0.5], &[0.0, 1.0]]), 1e-12));
+    }
+
+    #[test]
+    fn negative_eigenvalue_rejected() {
+        let a = Matrix::from_rows(&[&[-1.0, 0.0], &[0.0, 2.0]]);
+        assert!(matches!(
+            fractional_power_2x2(&a, 0.5),
+            Err(LinalgError::InvalidPower { .. })
+        ));
+    }
+
+    #[test]
+    fn denman_beavers_sqrt() {
+        let a = Matrix::from_rows(&[
+            &[4.0, 1.0, 0.0],
+            &[1.0, 5.0, 1.0],
+            &[0.0, 1.0, 6.0],
+        ]);
+        let (s, s_inv) = sqrt_denman_beavers(&a, 60).unwrap();
+        assert!(close(&s.matmul(&s).unwrap(), &a, 1e-10));
+        assert!(close(&s.matmul(&s_inv).unwrap(), &Matrix::identity(3), 1e-10));
+    }
+
+    #[test]
+    fn newton_cube_root_of_4x4_stochastic() {
+        let c2 = stochastic2(0.05, 0.03);
+        let c4 = c2.kron(&stochastic2(0.02, 0.06));
+        let r = nth_root_newton(&c4, 3, 200).unwrap();
+        let cube = matrix_power(&r, 3).unwrap();
+        assert!(close(&cube, &c4, 1e-9));
+    }
+
+    #[test]
+    fn rational_power_dispatches_consistently() {
+        let c = stochastic2(0.03, 0.09);
+        // 2/4 must equal 1/2.
+        let a = rational_power(&c, 2, 4).unwrap();
+        let b = rational_power(&c, 1, 2).unwrap();
+        assert!(close(&a, &b, 1e-11));
+        // 4/2 = integer power 2.
+        let d = rational_power(&c, 4, 2).unwrap();
+        assert!(close(&d, &c.matmul(&c).unwrap(), 1e-12));
+    }
+
+    #[test]
+    fn rational_power_4x4_half() {
+        let c4 = stochastic2(0.05, 0.03).kron(&stochastic2(0.02, 0.06));
+        let h = rational_power(&c4, 1, 2).unwrap();
+        assert!(close(&h.matmul(&h).unwrap(), &c4, 1e-9));
+    }
+
+    #[test]
+    fn rational_power_zero_is_identity() {
+        let c = stochastic2(0.05, 0.03);
+        assert_eq!(rational_power(&c, 0, 3).unwrap(), Matrix::identity(2));
+    }
+
+    #[test]
+    fn rational_power_zero_denominator_rejected() {
+        let c = stochastic2(0.05, 0.03);
+        assert!(rational_power(&c, 1, 0).is_err());
+    }
+
+    #[test]
+    fn fractional_powers_commute_with_original() {
+        // A^t A = A A^t — catches eigenvector bookkeeping mistakes.
+        let c = stochastic2(0.11, 0.04);
+        let h = fractional_power_2x2(&c, 0.37).unwrap();
+        assert!(close(
+            &h.matmul(&c).unwrap(),
+            &c.matmul(&h).unwrap(),
+            1e-12
+        ));
+    }
+
+    #[test]
+    fn overlap_split_reconstructs_marginal() {
+        // The CMC joining invariant: splitting C_j across v patches as
+        // C^{1/v} each must multiply back to C.
+        for v in 2u32..=5 {
+            let c = stochastic2(0.06, 0.02);
+            let part = rational_power(&c, 1, v).unwrap();
+            let mut acc = Matrix::identity(2);
+            for _ in 0..v {
+                acc = acc.matmul(&part).unwrap();
+            }
+            assert!(close(&acc, &c, 1e-10), "v = {v}");
+        }
+    }
+}

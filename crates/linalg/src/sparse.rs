@@ -1,0 +1,366 @@
+//! Sparse matrices (COO and CSR) for calibration operators.
+//!
+//! The paper's §VII scalability argument: a CMC calibration matrix for a
+//! 2-qubit patch embedded in an `n`-qubit space is block-sparse with at most
+//! `4·2^n` non-zeros (four per column), so a *sequence* of sparse products
+//! beats one dense `2^n × 2^n` matrix both in memory (the paper's 32 GB @
+//! n=14 example) and time. We keep a COO builder plus a CSR execution format.
+
+use crate::dense::Matrix;
+use crate::error::{LinalgError, Result};
+
+/// Coordinate-format sparse matrix builder.
+#[derive(Clone, Debug, Default)]
+pub struct Coo {
+    rows: usize,
+    cols: usize,
+    entries: Vec<(usize, usize, f64)>,
+}
+
+impl Coo {
+    /// Creates an empty COO matrix of the given shape.
+    pub fn new(rows: usize, cols: usize) -> Self {
+        Coo { rows, cols, entries: Vec::new() }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Number of explicit entries (duplicates not yet merged).
+    pub fn nnz(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Pushes an entry; duplicates accumulate on conversion.
+    pub fn push(&mut self, row: usize, col: usize, value: f64) {
+        debug_assert!(row < self.rows && col < self.cols);
+        if value != 0.0 {
+            self.entries.push((row, col, value));
+        }
+    }
+
+    /// Builds a COO from a dense matrix, dropping entries with
+    /// `|a| <= drop_tol`.
+    pub fn from_dense(m: &Matrix, drop_tol: f64) -> Self {
+        let mut coo = Coo::new(m.rows(), m.cols());
+        for i in 0..m.rows() {
+            for j in 0..m.cols() {
+                let v = m[(i, j)];
+                if v.abs() > drop_tol {
+                    coo.push(i, j, v);
+                }
+            }
+        }
+        coo
+    }
+
+    /// Converts to CSR, merging duplicate coordinates by summation.
+    pub fn to_csr(&self) -> Csr {
+        let mut entries = self.entries.clone();
+        entries.sort_unstable_by_key(|&(r, c, _)| (r, c));
+        let mut merged: Vec<(usize, usize, f64)> = Vec::with_capacity(entries.len());
+        for (r, c, v) in entries {
+            if let Some(last) = merged.last_mut() {
+                if last.0 == r && last.1 == c {
+                    last.2 += v;
+                    continue;
+                }
+            }
+            merged.push((r, c, v));
+        }
+        let mut row_ptr = vec![0usize; self.rows + 1];
+        for &(r, _, _) in &merged {
+            row_ptr[r + 1] += 1;
+        }
+        for i in 0..self.rows {
+            row_ptr[i + 1] += row_ptr[i];
+        }
+        let col_idx = merged.iter().map(|&(_, c, _)| c).collect();
+        let values = merged.iter().map(|&(_, _, v)| v).collect();
+        Csr { rows: self.rows, cols: self.cols, row_ptr, col_idx, values }
+    }
+}
+
+/// Compressed sparse row matrix.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Csr {
+    rows: usize,
+    cols: usize,
+    row_ptr: Vec<usize>,
+    col_idx: Vec<usize>,
+    values: Vec<f64>,
+}
+
+impl Csr {
+    /// Sparse identity.
+    pub fn identity(n: usize) -> Self {
+        Csr {
+            rows: n,
+            cols: n,
+            row_ptr: (0..=n).collect(),
+            col_idx: (0..n).collect(),
+            values: vec![1.0; n],
+        }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Number of stored non-zeros.
+    pub fn nnz(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Iterates the entries of row `r` as `(col, value)`.
+    pub fn row_entries(&self, r: usize) -> impl Iterator<Item = (usize, f64)> + '_ {
+        let lo = self.row_ptr[r];
+        let hi = self.row_ptr[r + 1];
+        self.col_idx[lo..hi]
+            .iter()
+            .copied()
+            .zip(self.values[lo..hi].iter().copied())
+    }
+
+    /// Dense reconstruction (tests / small matrices).
+    pub fn to_dense(&self) -> Matrix {
+        let mut m = Matrix::zeros(self.rows, self.cols);
+        for r in 0..self.rows {
+            for (c, v) in self.row_entries(r) {
+                m[(r, c)] += v;
+            }
+        }
+        m
+    }
+
+    /// Sparse mat-vec `y = A x`.
+    pub fn matvec(&self, x: &[f64]) -> Result<Vec<f64>> {
+        if x.len() != self.cols {
+            return Err(LinalgError::DimensionMismatch {
+                op: "Csr::matvec",
+                detail: format!("{}x{} * vec[{}]", self.rows, self.cols, x.len()),
+            });
+        }
+        let mut y = vec![0.0; self.rows];
+        for (r, out) in y.iter_mut().enumerate() {
+            let mut s = 0.0;
+            for (c, v) in self.row_entries(r) {
+                s += v * x[c];
+            }
+            *out = s;
+        }
+        Ok(y)
+    }
+
+    /// Sparse–sparse product `self * rhs` (row-by-row accumulation).
+    pub fn matmul(&self, rhs: &Csr) -> Result<Csr> {
+        if self.cols != rhs.rows {
+            return Err(LinalgError::DimensionMismatch {
+                op: "Csr::matmul",
+                detail: format!("{}x{} * {}x{}", self.rows, self.cols, rhs.rows, rhs.cols),
+            });
+        }
+        let mut out = Coo::new(self.rows, rhs.cols);
+        // Dense scratch row: fine because rhs.cols ≤ 2^n workloads here are
+        // bounded; for very wide products callers should chain matvecs.
+        let mut scratch = vec![0.0; rhs.cols];
+        let mut touched: Vec<usize> = Vec::new();
+        for r in 0..self.rows {
+            for (k, va) in self.row_entries(r) {
+                for (c, vb) in rhs.row_entries(k) {
+                    if scratch[c] == 0.0 {
+                        touched.push(c);
+                    }
+                    scratch[c] += va * vb;
+                }
+            }
+            for &c in &touched {
+                out.push(r, c, scratch[c]);
+                scratch[c] = 0.0;
+            }
+            touched.clear();
+        }
+        Ok(out.to_csr())
+    }
+
+    /// Kronecker product `self ⊗ rhs` staying sparse — the Fig. 8 “each
+    /// column is itself a sparse matrix” construction.
+    pub fn kron(&self, rhs: &Csr) -> Csr {
+        let mut out = Coo::new(self.rows * rhs.rows, self.cols * rhs.cols);
+        for ra in 0..self.rows {
+            for (ca, va) in self.row_entries(ra) {
+                for rb in 0..rhs.rows {
+                    for (cb, vb) in rhs.row_entries(rb) {
+                        out.push(ra * rhs.rows + rb, ca * rhs.cols + cb, va * vb);
+                    }
+                }
+            }
+        }
+        out.to_csr()
+    }
+
+    /// Transpose.
+    pub fn transpose(&self) -> Csr {
+        let mut out = Coo::new(self.cols, self.rows);
+        for r in 0..self.rows {
+            for (c, v) in self.row_entries(r) {
+                out.push(c, r, v);
+            }
+        }
+        out.to_csr()
+    }
+
+    /// Bytes of heap memory held by the three CSR arrays — the §VII memory
+    /// comparison against a dense `2^n × 2^n` matrix.
+    pub fn memory_bytes(&self) -> usize {
+        self.row_ptr.len() * std::mem::size_of::<usize>()
+            + self.col_idx.len() * std::mem::size_of::<usize>()
+            + self.values.len() * std::mem::size_of::<f64>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dense_fixture() -> Matrix {
+        Matrix::from_rows(&[
+            &[1.0, 0.0, 2.0],
+            &[0.0, 0.0, 0.0],
+            &[3.0, 4.0, 0.0],
+        ])
+    }
+
+    #[test]
+    fn coo_to_csr_roundtrip() {
+        let d = dense_fixture();
+        let csr = Coo::from_dense(&d, 0.0).to_csr();
+        assert_eq!(csr.nnz(), 4);
+        assert!(csr.to_dense().max_abs_diff(&d).unwrap() < 1e-15);
+    }
+
+    #[test]
+    fn duplicate_entries_merge() {
+        let mut coo = Coo::new(2, 2);
+        coo.push(0, 0, 1.0);
+        coo.push(0, 0, 2.0);
+        coo.push(1, 1, 5.0);
+        let csr = coo.to_csr();
+        assert_eq!(csr.nnz(), 2);
+        assert_eq!(csr.to_dense()[(0, 0)], 3.0);
+    }
+
+    #[test]
+    fn zero_entries_dropped_on_push() {
+        let mut coo = Coo::new(2, 2);
+        coo.push(0, 0, 0.0);
+        assert_eq!(coo.nnz(), 0);
+    }
+
+    #[test]
+    fn drop_tolerance_prunes() {
+        let d = Matrix::from_rows(&[&[1.0, 1e-12], &[0.0, 1.0]]);
+        let csr = Coo::from_dense(&d, 1e-9).to_csr();
+        assert_eq!(csr.nnz(), 2);
+    }
+
+    #[test]
+    fn matvec_matches_dense() {
+        let d = dense_fixture();
+        let csr = Coo::from_dense(&d, 0.0).to_csr();
+        let x = vec![1.0, 2.0, 3.0];
+        assert_eq!(csr.matvec(&x).unwrap(), d.matvec(&x).unwrap());
+    }
+
+    #[test]
+    fn matvec_length_checked() {
+        let csr = Csr::identity(3);
+        assert!(csr.matvec(&[1.0]).is_err());
+    }
+
+    #[test]
+    fn matmul_matches_dense() {
+        let a = dense_fixture();
+        let b = Matrix::from_rows(&[
+            &[0.0, 1.0, 0.0],
+            &[2.0, 0.0, 1.0],
+            &[1.0, 1.0, 1.0],
+        ]);
+        let sa = Coo::from_dense(&a, 0.0).to_csr();
+        let sb = Coo::from_dense(&b, 0.0).to_csr();
+        let sc = sa.matmul(&sb).unwrap();
+        let dc = a.matmul(&b).unwrap();
+        assert!(sc.to_dense().max_abs_diff(&dc).unwrap() < 1e-14);
+    }
+
+    #[test]
+    fn matmul_shape_checked() {
+        let a = Csr::identity(2);
+        let b = Csr::identity(3);
+        assert!(a.matmul(&b).is_err());
+    }
+
+    #[test]
+    fn identity_behaves() {
+        let i = Csr::identity(4);
+        assert_eq!(i.nnz(), 4);
+        let x = vec![1.0, 2.0, 3.0, 4.0];
+        assert_eq!(i.matvec(&x).unwrap(), x);
+    }
+
+    #[test]
+    fn kron_matches_dense_kron() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[0.0, 1.0]]);
+        let b = Matrix::from_rows(&[&[0.0, 1.0], &[1.0, 0.0]]);
+        let sk = Coo::from_dense(&a, 0.0).to_csr().kron(&Coo::from_dense(&b, 0.0).to_csr());
+        assert!(sk.to_dense().max_abs_diff(&a.kron(&b)).unwrap() < 1e-14);
+    }
+
+    #[test]
+    fn transpose_matches_dense() {
+        let d = dense_fixture();
+        let t = Coo::from_dense(&d, 0.0).to_csr().transpose();
+        assert!(t.to_dense().max_abs_diff(&d.transpose()).unwrap() < 1e-15);
+    }
+
+    #[test]
+    fn memory_is_linear_in_nnz() {
+        // The §VII claim in miniature: a 2-qubit patch on n qubits has
+        // 4·2^n nnz, far below (2^n)^2 dense entries.
+        let n = 8usize;
+        let dim = 1usize << n;
+        let mut coo = Coo::new(dim, dim);
+        for c in 0..dim {
+            for k in 0..4usize {
+                coo.push((c ^ (k & 0b11)) & (dim - 1), c, 0.25);
+            }
+        }
+        let csr = coo.to_csr();
+        assert!(csr.nnz() <= 4 * dim);
+        let dense_bytes = dim * dim * std::mem::size_of::<f64>();
+        assert!(csr.memory_bytes() * 10 < dense_bytes);
+    }
+
+    #[test]
+    fn row_entries_sorted_by_column() {
+        let mut coo = Coo::new(1, 4);
+        coo.push(0, 3, 1.0);
+        coo.push(0, 1, 2.0);
+        let csr = coo.to_csr();
+        let cols: Vec<usize> = csr.row_entries(0).map(|(c, _)| c).collect();
+        assert_eq!(cols, vec![1, 3]);
+    }
+}

@@ -1,0 +1,386 @@
+//! Sparse distributions over bitstrings and the application of small
+//! calibration operators to them.
+//!
+//! A measured histogram has at most `shots` distinct outcomes regardless of
+//! the register width, so CMC mitigation on a 50+ qubit device never touches
+//! a dense `2^n` vector: each inverted patch is a `2^k × 2^k` dense block
+//! applied to a sparse map from bitstring to weight (paper §IV-C and §VII).
+//! Fill-in per patch is bounded by `2^k` per entry and can be culled.
+
+use crate::dense::Matrix;
+use crate::error::{LinalgError, Result};
+use crate::stochastic::qubit_count;
+use std::collections::HashMap;
+
+/// Sparse quasi-probability distribution over `n`-qubit bitstrings.
+///
+/// Weights may go negative during mitigation (inverted calibration matrices
+/// are not stochastic); [`SparseDist::clamp_negative`] projects back.
+#[derive(Clone, Debug, Default)]
+pub struct SparseDist {
+    weights: HashMap<u64, f64>,
+}
+
+impl SparseDist {
+    /// Empty distribution.
+    pub fn new() -> Self {
+        SparseDist { weights: HashMap::new() }
+    }
+
+    /// Builds from `(bitstring, weight)` pairs, accumulating duplicates.
+    pub fn from_pairs(pairs: impl IntoIterator<Item = (u64, f64)>) -> Self {
+        let mut d = SparseDist::new();
+        for (s, w) in pairs {
+            d.add(s, w);
+        }
+        d
+    }
+
+    /// Builds from integer shot counts, normalising to probabilities.
+    pub fn from_counts(counts: &HashMap<u64, u64>) -> Result<Self> {
+        let total: u64 = counts.values().sum();
+        if total == 0 {
+            return Err(LinalgError::InvalidDistribution {
+                detail: "zero total shots".into(),
+            });
+        }
+        Ok(SparseDist {
+            weights: counts
+                .iter()
+                .map(|(&s, &c)| (s, c as f64 / total as f64))
+                .collect(),
+        })
+    }
+
+    /// Adds `w` to the weight of `state`.
+    pub fn add(&mut self, state: u64, w: f64) {
+        if w != 0.0 {
+            *self.weights.entry(state).or_insert(0.0) += w;
+        }
+    }
+
+    /// Weight of `state` (0 when absent).
+    pub fn get(&self, state: u64) -> f64 {
+        self.weights.get(&state).copied().unwrap_or(0.0)
+    }
+
+    /// Number of stored entries.
+    pub fn len(&self) -> usize {
+        self.weights.len()
+    }
+
+    /// True when no entries are stored.
+    pub fn is_empty(&self) -> bool {
+        self.weights.is_empty()
+    }
+
+    /// Iterates `(state, weight)` pairs in arbitrary order.
+    pub fn iter(&self) -> impl Iterator<Item = (u64, f64)> + '_ {
+        self.weights.iter().map(|(&s, &w)| (s, w))
+    }
+
+    /// Sum of all weights.
+    pub fn total(&self) -> f64 {
+        self.weights.values().sum()
+    }
+
+    /// Scales every weight so the total is 1. No-op on zero mass.
+    pub fn normalize(&mut self) {
+        let t = self.total();
+        if t.abs() > 1e-300 {
+            for w in self.weights.values_mut() {
+                *w /= t;
+            }
+        }
+    }
+
+    /// Removes entries with `|w| < threshold` — the paper's periodic culling
+    /// of very low weight entries. Returns the number removed.
+    pub fn cull(&mut self, threshold: f64) -> usize {
+        let before = self.weights.len();
+        self.weights.retain(|_, w| w.abs() >= threshold);
+        before - self.weights.len()
+    }
+
+    /// Zeroes negative weights and renormalises (projection onto the
+    /// probability simplex after quasi-probability mitigation).
+    pub fn clamp_negative(&mut self) {
+        self.weights.retain(|_, w| *w > 0.0);
+        self.normalize();
+    }
+
+    /// Dense probability vector of length `2^n` (small-n cross-checks).
+    pub fn to_dense(&self, n_qubits: usize) -> Result<Vec<f64>> {
+        let dim = 1usize
+            .checked_shl(n_qubits as u32)
+            .ok_or_else(|| LinalgError::InvalidDistribution {
+                detail: format!("{n_qubits} qubits too large for dense"),
+            })?;
+        let mut v = vec![0.0; dim];
+        for (s, w) in self.iter() {
+            let idx = s as usize;
+            if idx >= dim {
+                return Err(LinalgError::InvalidDistribution {
+                    detail: format!("state {s} outside {n_qubits}-qubit space"),
+                });
+            }
+            v[idx] += w;
+        }
+        Ok(v)
+    }
+
+    /// Builds from a dense vector, dropping exact zeros.
+    pub fn from_dense(v: &[f64]) -> Self {
+        SparseDist::from_pairs(
+            v.iter().enumerate().filter(|(_, &w)| w != 0.0).map(|(s, &w)| (s as u64, w)),
+        )
+    }
+
+    /// Total-variation (½·ℓ1) distance to another sparse distribution.
+    pub fn tv_distance(&self, other: &SparseDist) -> f64 {
+        self.l1_distance(other) / 2.0
+    }
+
+    /// ℓ1 distance — the paper's "one norm distance" figure of merit.
+    pub fn l1_distance(&self, other: &SparseDist) -> f64 {
+        let mut sum = 0.0;
+        for (s, w) in self.iter() {
+            sum += (w - other.get(s)).abs();
+        }
+        for (s, w) in other.iter() {
+            if !self.weights.contains_key(&s) {
+                sum += w.abs();
+            }
+        }
+        sum
+    }
+
+    /// Probability mass assigned to `states` (success probability when
+    /// `states` are the classically verified correct outcomes).
+    pub fn mass_on(&self, states: &[u64]) -> f64 {
+        states.iter().map(|&s| self.get(s)).sum()
+    }
+
+    /// The single most probable state, ties broken toward the smaller
+    /// bitstring. `None` on an empty distribution.
+    pub fn argmax(&self) -> Option<u64> {
+        self.iter()
+            .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap().then(b.0.cmp(&a.0)))
+            .map(|(s, _)| s)
+    }
+
+    /// Marginal distribution over the qubits in `qs` (ascending output bit
+    /// order: output bit k = input bit `qs[k]`).
+    pub fn marginalize(&self, qs: &[usize]) -> SparseDist {
+        let mut out = SparseDist::new();
+        for (s, w) in self.iter() {
+            let mut sub = 0u64;
+            for (k, &q) in qs.iter().enumerate() {
+                sub |= ((s >> q) & 1) << k;
+            }
+            out.add(sub, w);
+        }
+        out
+    }
+}
+
+/// Applies a dense `2^k × 2^k` operator on qubits `qs` to a sparse
+/// distribution: `out = M_(qs) · dist`.
+///
+/// Cost is `O(len · 2^k)` — independent of the register width, which is the
+/// entire point of sparse CMC application.
+pub fn apply_operator_sparse(m: &Matrix, qs: &[usize], dist: &SparseDist) -> Result<SparseDist> {
+    let k = qubit_count(m)?;
+    if qs.len() != k {
+        return Err(LinalgError::DimensionMismatch {
+            op: "apply_operator_sparse",
+            detail: format!("{k}-qubit operator given {} targets", qs.len()),
+        });
+    }
+    for &q in qs {
+        if q >= 64 {
+            return Err(LinalgError::DimensionMismatch {
+                op: "apply_operator_sparse",
+                detail: format!("qubit index {q} exceeds u64 bitstring width"),
+            });
+        }
+    }
+    let sub_dim = 1usize << k;
+    let mut mask = 0u64;
+    for &q in qs {
+        mask |= 1u64 << q;
+    }
+    let mut out = SparseDist::new();
+    for (s, w) in dist.iter() {
+        // Extract the operator-local index of this state.
+        let mut col = 0usize;
+        for (bit, &q) in qs.iter().enumerate() {
+            col |= (((s >> q) & 1) as usize) << bit;
+        }
+        let base = s & !mask;
+        for row in 0..sub_dim {
+            let a = m[(row, col)];
+            if a == 0.0 {
+                continue;
+            }
+            let mut scattered = 0u64;
+            for (bit, &q) in qs.iter().enumerate() {
+                scattered |= (((row >> bit) & 1) as u64) << q;
+            }
+            out.add(base | scattered, w * a);
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stochastic::apply_on_qubits;
+
+    fn stochastic2(p01: f64, p10: f64) -> Matrix {
+        Matrix::from_rows(&[&[1.0 - p10, p01], &[p10, 1.0 - p01]])
+    }
+
+    #[test]
+    fn from_counts_normalises() {
+        let mut counts = HashMap::new();
+        counts.insert(0b00u64, 3000u64);
+        counts.insert(0b11u64, 1000u64);
+        let d = SparseDist::from_counts(&counts).unwrap();
+        assert!((d.get(0b00) - 0.75).abs() < 1e-12);
+        assert!((d.get(0b11) - 0.25).abs() < 1e-12);
+        assert!((d.total() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn from_counts_rejects_empty() {
+        let counts = HashMap::new();
+        assert!(SparseDist::from_counts(&counts).is_err());
+    }
+
+    #[test]
+    fn add_accumulates_and_drops_zero() {
+        let mut d = SparseDist::new();
+        d.add(5, 0.25);
+        d.add(5, 0.25);
+        d.add(7, 0.0);
+        assert_eq!(d.len(), 1);
+        assert!((d.get(5) - 0.5).abs() < 1e-15);
+    }
+
+    #[test]
+    fn sparse_apply_matches_dense_apply() {
+        let op = stochastic2(0.07, 0.02).kron(&stochastic2(0.05, 0.01));
+        let qs = [3usize, 1];
+        let dense: Vec<f64> = (0..16).map(|i| (i as f64 + 1.0) / 136.0).collect();
+        let sparse = SparseDist::from_dense(&dense);
+        let expect = apply_on_qubits(&op, &qs, &dense).unwrap();
+        let got = apply_operator_sparse(&op, &qs, &sparse).unwrap();
+        for (s, e) in expect.iter().enumerate() {
+            assert!((got.get(s as u64) - e).abs() < 1e-13, "state {s}");
+        }
+    }
+
+    #[test]
+    fn sparse_apply_preserves_mass_for_stochastic() {
+        let op = stochastic2(0.3, 0.1);
+        let d = SparseDist::from_pairs([(0u64, 0.5), (0b10u64, 0.5)]);
+        let out = apply_operator_sparse(&op, &[1], &d).unwrap();
+        assert!((out.total() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sparse_apply_beyond_dense_reach() {
+        // 60-qubit register: impossible densely, trivial sparsely.
+        let op = stochastic2(0.1, 0.05);
+        let s0 = (1u64 << 59) | 1;
+        let d = SparseDist::from_pairs([(s0, 1.0)]);
+        let out = apply_operator_sparse(&op, &[59], &d).unwrap();
+        // Bit 59 is 1: stays with 1 − p01 = 0.9, decays to |0⟩ with p01 = 0.1.
+        assert!((out.get(s0) - 0.90).abs() < 1e-12);
+        assert!((out.get(1) - 0.10).abs() < 1e-12);
+        assert_eq!(out.len(), 2);
+    }
+
+    #[test]
+    fn sparse_apply_rejects_bad_targets() {
+        let op = stochastic2(0.1, 0.05);
+        let d = SparseDist::from_pairs([(0u64, 1.0)]);
+        assert!(apply_operator_sparse(&op, &[64], &d).is_err());
+        assert!(apply_operator_sparse(&op, &[0, 1], &d).is_err());
+    }
+
+    #[test]
+    fn cull_removes_small_entries() {
+        let mut d = SparseDist::from_pairs([(0u64, 0.999), (1u64, 1e-9), (2u64, -1e-9)]);
+        let removed = d.cull(1e-6);
+        assert_eq!(removed, 2);
+        assert_eq!(d.len(), 1);
+    }
+
+    #[test]
+    fn clamp_negative_projects_to_simplex() {
+        let mut d = SparseDist::from_pairs([(0u64, 1.1), (1u64, -0.1)]);
+        d.clamp_negative();
+        assert!((d.total() - 1.0).abs() < 1e-12);
+        assert_eq!(d.get(1), 0.0);
+    }
+
+    #[test]
+    fn l1_distance_symmetric_and_zero_on_self() {
+        let a = SparseDist::from_pairs([(0u64, 0.5), (3u64, 0.5)]);
+        let b = SparseDist::from_pairs([(0u64, 0.25), (1u64, 0.75)]);
+        assert!((a.l1_distance(&b) - b.l1_distance(&a)).abs() < 1e-15);
+        assert!(a.l1_distance(&a) < 1e-15);
+        // |0.5-0.25| + |0.5-0| + |0-0.75| = 1.5
+        assert!((a.l1_distance(&b) - 1.5).abs() < 1e-12);
+        assert!((a.tv_distance(&b) - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn marginalize_sums_other_qubits() {
+        let d = SparseDist::from_pairs([
+            (0b00u64, 0.1),
+            (0b01u64, 0.2),
+            (0b10u64, 0.3),
+            (0b11u64, 0.4),
+        ]);
+        let m = d.marginalize(&[0]);
+        assert!((m.get(0) - 0.4).abs() < 1e-12);
+        assert!((m.get(1) - 0.6).abs() < 1e-12);
+        let m1 = d.marginalize(&[1]);
+        assert!((m1.get(0) - 0.3).abs() < 1e-12);
+        assert!((m1.get(1) - 0.7).abs() < 1e-12);
+    }
+
+    #[test]
+    fn argmax_and_mass_on() {
+        let d = SparseDist::from_pairs([(4u64, 0.5), (2u64, 0.3), (9u64, 0.2)]);
+        assert_eq!(d.argmax(), Some(4));
+        assert!((d.mass_on(&[2, 9]) - 0.5).abs() < 1e-12);
+        assert_eq!(SparseDist::new().argmax(), None);
+    }
+
+    #[test]
+    fn dense_roundtrip() {
+        let v = vec![0.0, 0.25, 0.0, 0.75];
+        let d = SparseDist::from_dense(&v);
+        assert_eq!(d.len(), 2);
+        assert_eq!(d.to_dense(2).unwrap(), v);
+        assert!(d.to_dense(1).is_err());
+    }
+
+    #[test]
+    fn chained_patch_application_stays_sparse() {
+        // Three 2-qubit patches over 40 qubits applied to a 2-point
+        // distribution: entry count bounded by len · 4 per patch, not 2^40.
+        let op = stochastic2(0.05, 0.02).kron(&stochastic2(0.03, 0.04));
+        let mut d = SparseDist::from_pairs([(0u64, 0.5), ((1u64 << 39) - 1, 0.5)]);
+        for pair in [[0usize, 1], [13, 14], [38, 39]] {
+            d = apply_operator_sparse(&op, &pair, &d).unwrap();
+        }
+        assert!(d.len() <= 2 * 4 * 4 * 4);
+        assert!((d.total() - 1.0).abs() < 1e-9);
+    }
+}

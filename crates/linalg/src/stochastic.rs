@@ -1,0 +1,503 @@
+//! Column-stochastic calibration-matrix helpers on qubit-indexed spaces:
+//! normalisation, partial traces, and embedding small operators onto chosen
+//! qubits of a larger register.
+//!
+//! Index convention (workspace-wide): basis state `s` of an `n`-qubit space
+//! is a `usize` whose bit `q` is the value of qubit `q` (LSB = qubit 0).
+//! `Matrix::kron(A, B)` therefore puts `A` on the *high* bits: for a register
+//! `[q0, q1]`, the joint matrix is `kron(C_{q1}, C_{q0})`.
+
+use crate::dense::Matrix;
+use crate::error::{LinalgError, Result};
+
+/// Extracts the bits of `state` at `positions` (result bit `k` = bit
+/// `positions[k]` of `state`).
+#[inline]
+pub fn extract_bits(state: usize, positions: &[usize]) -> usize {
+    let mut out = 0usize;
+    for (k, &p) in positions.iter().enumerate() {
+        out |= ((state >> p) & 1) << k;
+    }
+    out
+}
+
+/// Scatters the low bits of `sub` into `positions` of a zero background.
+#[inline]
+pub fn scatter_bits(sub: usize, positions: &[usize]) -> usize {
+    let mut out = 0usize;
+    for (k, &p) in positions.iter().enumerate() {
+        out |= ((sub >> k) & 1) << p;
+    }
+    out
+}
+
+/// Overwrites the bits of `state` at `positions` with the low bits of `sub`.
+#[inline]
+pub fn replace_bits(state: usize, sub: usize, positions: &[usize]) -> usize {
+    let mut mask = 0usize;
+    for &p in positions {
+        mask |= 1 << p;
+    }
+    (state & !mask) | scatter_bits(sub, positions)
+}
+
+/// True when every entry is ≥ `-tol` and every column sums to 1 ± `tol`.
+pub fn is_column_stochastic(m: &Matrix, tol: f64) -> bool {
+    if !m.is_square() {
+        return false;
+    }
+    if m.as_slice().iter().any(|&a| a < -tol) {
+        return false;
+    }
+    m.column_sums().iter().all(|s| (s - 1.0).abs() <= tol)
+}
+
+/// Normalises each column to sum 1 (the `|·|` operation the paper applies
+/// after partial traces). Zero columns become the uniform column so the
+/// result stays stochastic.
+pub fn normalize_columns(m: &Matrix) -> Matrix {
+    let mut out = m.clone();
+    let rows = m.rows();
+    let sums = m.column_sums();
+    for j in 0..m.cols() {
+        let s = sums[j];
+        if s.abs() < 1e-300 {
+            let u = 1.0 / rows as f64;
+            for i in 0..rows {
+                out[(i, j)] = u;
+            }
+        } else {
+            for i in 0..rows {
+                out[(i, j)] /= s;
+            }
+        }
+    }
+    out
+}
+
+/// Clamps tiny negative entries (mitigation can produce quasi-probabilities)
+/// to zero and renormalises the columns.
+pub fn clamp_to_stochastic(m: &Matrix) -> Matrix {
+    let mut out = m.clone();
+    for a in out.as_mut_slice() {
+        if *a < 0.0 {
+            *a = 0.0;
+        }
+    }
+    normalize_columns(&out)
+}
+
+/// Number of qubits for a `2^n`-dimensional square matrix.
+pub fn qubit_count(m: &Matrix) -> Result<usize> {
+    if !m.is_square() {
+        return Err(LinalgError::NotSquare { rows: m.rows(), cols: m.cols() });
+    }
+    let n = m.rows();
+    if n == 0 || n & (n - 1) != 0 {
+        return Err(LinalgError::DimensionMismatch {
+            op: "qubit_count",
+            detail: format!("dimension {n} is not a power of two"),
+        });
+    }
+    Ok(n.trailing_zeros() as usize)
+}
+
+/// Partial trace of a `2^m × 2^m` matrix over the qubits in `traced`
+/// (workspace qubit positions `0..m`). The result acts on the remaining
+/// qubits in ascending order.
+pub fn partial_trace(m: &Matrix, traced: &[usize]) -> Result<Matrix> {
+    let total = qubit_count(m)?;
+    for &q in traced {
+        if q >= total {
+            return Err(LinalgError::DimensionMismatch {
+                op: "partial_trace",
+                detail: format!("qubit {q} out of range for {total} qubits"),
+            });
+        }
+    }
+    let mut sorted = traced.to_vec();
+    sorted.sort_unstable();
+    sorted.dedup();
+    if sorted.len() != traced.len() {
+        return Err(LinalgError::DimensionMismatch {
+            op: "partial_trace",
+            detail: "duplicate traced qubit".into(),
+        });
+    }
+    let kept: Vec<usize> = (0..total).filter(|q| !sorted.contains(q)).collect();
+    let kd = 1usize << kept.len();
+    let td = 1usize << sorted.len();
+    let mut out = Matrix::zeros(kd, kd);
+    for a in 0..kd {
+        for b in 0..kd {
+            let mut s = 0.0;
+            for x in 0..td {
+                let row = scatter_bits(a, &kept) | scatter_bits(x, &sorted);
+                let col = scatter_bits(b, &kept) | scatter_bits(x, &sorted);
+                s += m[(row, col)];
+            }
+            out[(a, b)] = s;
+        }
+    }
+    Ok(out)
+}
+
+/// `|Tr_traced(M)|`: partial trace followed by column normalisation —
+/// Eq. (3)/(4) of the paper. For a product channel `C_i ⊗ C_j` this recovers
+/// the factors exactly; for correlated channels it is the paper's
+/// approximation (it only counts events that leave the traced qubits fixed —
+/// see [`true_marginal`] for the exact probabilistic marginal).
+pub fn normalized_partial_trace(m: &Matrix, traced: &[usize]) -> Result<Matrix> {
+    Ok(normalize_columns(&partial_trace(m, traced)?))
+}
+
+/// Exact probabilistic marginal of a stochastic channel over the non-traced
+/// qubits: average over traced *inputs* (uniform prior), sum over traced
+/// *outputs* — `R[a,b] = 2^{-t} Σ_{x,y} M[(a,y),(b,x)]`.
+///
+/// Unlike [`normalized_partial_trace`], this captures transitions in which
+/// the traced qubits change (e.g. the marginal of a joint two-qubit flip is
+/// a genuine single-qubit flip, not the identity).
+pub fn true_marginal(m: &Matrix, traced: &[usize]) -> Result<Matrix> {
+    let total = qubit_count(m)?;
+    let mut sorted = traced.to_vec();
+    sorted.sort_unstable();
+    sorted.dedup();
+    if sorted.len() != traced.len() {
+        return Err(LinalgError::DimensionMismatch {
+            op: "true_marginal",
+            detail: "duplicate traced qubit".into(),
+        });
+    }
+    for &q in &sorted {
+        if q >= total {
+            return Err(LinalgError::DimensionMismatch {
+                op: "true_marginal",
+                detail: format!("qubit {q} out of range for {total} qubits"),
+            });
+        }
+    }
+    let kept: Vec<usize> = (0..total).filter(|q| !sorted.contains(q)).collect();
+    let kd = 1usize << kept.len();
+    let td = 1usize << sorted.len();
+    let mut out = Matrix::zeros(kd, kd);
+    let weight = 1.0 / td as f64;
+    for a in 0..kd {
+        for b in 0..kd {
+            let mut s = 0.0;
+            for x in 0..td {
+                let col = scatter_bits(b, &kept) | scatter_bits(x, &sorted);
+                for y in 0..td {
+                    let row = scatter_bits(a, &kept) | scatter_bits(y, &sorted);
+                    s += m[(row, col)];
+                }
+            }
+            out[(a, b)] = s * weight;
+        }
+    }
+    Ok(out)
+}
+
+/// Dense embedding of a `k`-qubit operator onto qubits `qs` of an `n`-qubit
+/// space: `I ⊗ … ⊗ M ⊗ … ⊗ I` up to qubit ordering. Exponential in `n`;
+/// intended for tests and the Full-calibration baseline only — production
+/// paths use [`apply_on_qubits`] or the sparse machinery.
+pub fn embed(m: &Matrix, qs: &[usize], n: usize) -> Result<Matrix> {
+    let k = qubit_count(m)?;
+    if qs.len() != k {
+        return Err(LinalgError::DimensionMismatch {
+            op: "embed",
+            detail: format!("{k}-qubit operator given {} target qubits", qs.len()),
+        });
+    }
+    for &q in qs {
+        if q >= n {
+            return Err(LinalgError::DimensionMismatch {
+                op: "embed",
+                detail: format!("qubit {q} out of range for {n} qubits"),
+            });
+        }
+    }
+    let dim = 1usize << n;
+    let mut out = Matrix::zeros(dim, dim);
+    let rest: Vec<usize> = (0..n).filter(|q| !qs.contains(q)).collect();
+    let restd = 1usize << rest.len();
+    let sub = 1usize << k;
+    for r in 0..restd {
+        let base = scatter_bits(r, &rest);
+        for a in 0..sub {
+            let row = base | scatter_bits(a, qs);
+            for b in 0..sub {
+                let col = base | scatter_bits(b, qs);
+                out[(row, col)] = m[(a, b)];
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Applies a `k`-qubit operator on qubits `qs` to a dense length-`2^n`
+/// vector in `O(2^n · 2^k)` without materialising the embedding.
+pub fn apply_on_qubits(m: &Matrix, qs: &[usize], v: &[f64]) -> Result<Vec<f64>> {
+    let k = qubit_count(m)?;
+    if qs.len() != k {
+        return Err(LinalgError::DimensionMismatch {
+            op: "apply_on_qubits",
+            detail: format!("{k}-qubit operator given {} target qubits", qs.len()),
+        });
+    }
+    let dim = v.len();
+    if dim == 0 || dim & (dim - 1) != 0 {
+        return Err(LinalgError::DimensionMismatch {
+            op: "apply_on_qubits",
+            detail: format!("vector length {dim} is not a power of two"),
+        });
+    }
+    let n = dim.trailing_zeros() as usize;
+    for &q in qs {
+        if q >= n {
+            return Err(LinalgError::DimensionMismatch {
+                op: "apply_on_qubits",
+                detail: format!("qubit {q} out of range for {n} qubits"),
+            });
+        }
+    }
+    let rest: Vec<usize> = (0..n).filter(|q| !qs.contains(q)).collect();
+    let restd = 1usize << rest.len();
+    let sub = 1usize << k;
+    let mut out = vec![0.0; dim];
+    let mut block = vec![0.0; sub];
+    for r in 0..restd {
+        let base = scatter_bits(r, &rest);
+        for (b, slot) in block.iter_mut().enumerate() {
+            *slot = v[base | scatter_bits(b, qs)];
+        }
+        for a in 0..sub {
+            let row = m.row(a);
+            let mut s = 0.0;
+            for (b, &x) in block.iter().enumerate() {
+                s += row[b] * x;
+            }
+            out[base | scatter_bits(a, qs)] = s;
+        }
+    }
+    Ok(out)
+}
+
+/// Kronecker product of per-qubit matrices in workspace order:
+/// `qubitwise_kron(&[C0, C1, C2])` acts as `C2 ⊗ C1 ⊗ C0` on bit-indexed
+/// states (qubit 0 = LSB).
+pub fn qubitwise_kron(factors: &[Matrix]) -> Matrix {
+    let mut out = Matrix::identity(1);
+    for f in factors {
+        out = f.kron(&out);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stochastic2(p01: f64, p10: f64) -> Matrix {
+        Matrix::from_rows(&[&[1.0 - p10, p01], &[p10, 1.0 - p01]])
+    }
+
+    #[test]
+    fn bit_surgery_roundtrip() {
+        let pos = [1usize, 3, 4];
+        for sub in 0..8usize {
+            let s = scatter_bits(sub, &pos);
+            assert_eq!(extract_bits(s, &pos), sub);
+        }
+        assert_eq!(replace_bits(0b11111, 0b000, &pos), 0b00101);
+        assert_eq!(extract_bits(0b10110, &[1, 2, 4]), 0b111);
+    }
+
+    #[test]
+    fn stochastic_check() {
+        assert!(is_column_stochastic(&stochastic2(0.1, 0.2), 1e-12));
+        assert!(!is_column_stochastic(&Matrix::from_rows(&[&[0.5, 0.5], &[0.4, 0.5]]), 1e-6));
+        assert!(!is_column_stochastic(&Matrix::zeros(2, 3), 1e-6));
+        let neg = Matrix::from_rows(&[&[1.1, 0.0], &[-0.1, 1.0]]);
+        assert!(!is_column_stochastic(&neg, 1e-6));
+    }
+
+    #[test]
+    fn normalize_columns_recovers_stochastic() {
+        let m = Matrix::from_rows(&[&[2.0, 1.0], &[2.0, 3.0]]);
+        let n = normalize_columns(&m);
+        assert!(is_column_stochastic(&n, 1e-12));
+        assert!((n[(0, 0)] - 0.5).abs() < 1e-12);
+        assert!((n[(1, 1)] - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn normalize_zero_column_becomes_uniform() {
+        let m = Matrix::from_rows(&[&[0.0, 1.0], &[0.0, 1.0]]);
+        let n = normalize_columns(&m);
+        assert!((n[(0, 0)] - 0.5).abs() < 1e-12);
+        assert!((n[(1, 0)] - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn clamp_removes_negatives() {
+        let m = Matrix::from_rows(&[&[1.1, 0.0], &[-0.1, 1.0]]);
+        let c = clamp_to_stochastic(&m);
+        assert!(is_column_stochastic(&c, 1e-12));
+        assert_eq!(c[(1, 0)], 0.0);
+    }
+
+    #[test]
+    fn qubit_count_checks_power_of_two() {
+        assert_eq!(qubit_count(&Matrix::identity(8)).unwrap(), 3);
+        assert!(qubit_count(&Matrix::identity(6)).is_err());
+        assert!(qubit_count(&Matrix::zeros(2, 4)).is_err());
+    }
+
+    #[test]
+    fn partial_trace_recovers_product_factors() {
+        let c0 = stochastic2(0.07, 0.02);
+        let c1 = stochastic2(0.04, 0.09);
+        // Joint on [q0, q1] = kron(C1, C0).
+        let joint = c1.kron(&c0);
+        let t0 = normalized_partial_trace(&joint, &[1]).unwrap();
+        let t1 = normalized_partial_trace(&joint, &[0]).unwrap();
+        assert!(t0.max_abs_diff(&c0).unwrap() < 1e-12);
+        assert!(t1.max_abs_diff(&c1).unwrap() < 1e-12);
+    }
+
+    #[test]
+    fn partial_trace_full_trace_matches() {
+        let c = stochastic2(0.07, 0.02);
+        let t = partial_trace(&c, &[0]).unwrap();
+        assert_eq!(t.rows(), 1);
+        assert!((t[(0, 0)] - c.trace()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn partial_trace_three_qubits() {
+        let c0 = stochastic2(0.01, 0.02);
+        let c1 = stochastic2(0.03, 0.04);
+        let c2 = stochastic2(0.05, 0.06);
+        let joint = qubitwise_kron(&[c0.clone(), c1.clone(), c2.clone()]);
+        let mid = normalized_partial_trace(&joint, &[0, 2]).unwrap();
+        assert!(mid.max_abs_diff(&c1).unwrap() < 1e-12);
+        let pair = normalized_partial_trace(&joint, &[1]).unwrap();
+        assert!(pair.max_abs_diff(&c2.kron(&c0)).unwrap() < 1e-12);
+    }
+
+    #[test]
+    fn true_marginal_of_product_matches_partial_trace() {
+        let c0 = stochastic2(0.07, 0.02);
+        let c1 = stochastic2(0.04, 0.09);
+        let joint = c1.kron(&c0);
+        let a = true_marginal(&joint, &[1]).unwrap();
+        let b = normalized_partial_trace(&joint, &[1]).unwrap();
+        assert!(a.max_abs_diff(&c0).unwrap() < 1e-12);
+        assert!(a.max_abs_diff(&b).unwrap() < 1e-12);
+    }
+
+    #[test]
+    fn true_marginal_of_joint_flip_is_single_flip() {
+        // Joint flip on 2 qubits with p: both marginals are single flips
+        // with the same p — the case normalized_partial_trace misses.
+        let p = 0.1;
+        let mut m = Matrix::zeros(4, 4);
+        for c in 0..4usize {
+            m[(c, c)] = 1.0 - p;
+            m[(c ^ 3, c)] = p;
+        }
+        let marg = true_marginal(&m, &[1]).unwrap();
+        let expect = Matrix::from_rows(&[&[1.0 - p, p], &[p, 1.0 - p]]);
+        assert!(marg.max_abs_diff(&expect).unwrap() < 1e-12);
+        // The paper's diagonal-sum trace sees identity here.
+        let npt = normalized_partial_trace(&m, &[1]).unwrap();
+        assert!(npt.max_abs_diff(&Matrix::identity(2)).unwrap() < 1e-12);
+    }
+
+    #[test]
+    fn true_marginal_stays_stochastic() {
+        let c0 = stochastic2(0.07, 0.02);
+        let c1 = stochastic2(0.04, 0.09);
+        let c2 = stochastic2(0.15, 0.06);
+        let joint = qubitwise_kron(&[c0, c1, c2]);
+        let m = true_marginal(&joint, &[0, 2]).unwrap();
+        assert!(is_column_stochastic(&m, 1e-12));
+    }
+
+    #[test]
+    fn partial_trace_rejects_bad_inputs() {
+        let m = Matrix::identity(4);
+        assert!(partial_trace(&m, &[5]).is_err());
+        assert!(partial_trace(&m, &[0, 0]).is_err());
+    }
+
+    #[test]
+    fn embed_matches_kron_on_adjacent_qubits() {
+        let c = stochastic2(0.1, 0.2);
+        // Embed on qubit 0 of 2 ⇒ I ⊗ C (I on the high bit).
+        let e = embed(&c, &[0], 2).unwrap();
+        let expect = Matrix::identity(2).kron(&c);
+        assert!(e.max_abs_diff(&expect).unwrap() < 1e-14);
+        // Embed on qubit 1 of 2 ⇒ C ⊗ I.
+        let e = embed(&c, &[1], 2).unwrap();
+        let expect = c.kron(&Matrix::identity(2));
+        assert!(e.max_abs_diff(&expect).unwrap() < 1e-14);
+    }
+
+    #[test]
+    fn embed_two_qubit_operator_reversed_order() {
+        // A 2-qubit operator placed on (q1, q0) must be the qubit-swap of
+        // placing it on (q0, q1).
+        let c0 = stochastic2(0.1, 0.0);
+        let c1 = stochastic2(0.0, 0.2);
+        let op = c1.kron(&c0); // op's low bit = its first target
+        let direct = embed(&op, &[0, 1], 2).unwrap();
+        assert!(direct.max_abs_diff(&op).unwrap() < 1e-14);
+        let swapped = embed(&op, &[1, 0], 2).unwrap();
+        let expect = c0.kron(&c1);
+        assert!(swapped.max_abs_diff(&expect).unwrap() < 1e-14);
+    }
+
+    #[test]
+    fn apply_on_qubits_matches_dense_embed() {
+        let c = stochastic2(0.07, 0.02).kron(&stochastic2(0.05, 0.01));
+        let n = 4;
+        let qs = [3usize, 1];
+        let dense = embed(&c, &qs, n).unwrap();
+        let v: Vec<f64> = (0..16).map(|i| (i as f64 + 1.0) / 136.0).collect();
+        let via_embed = dense.matvec(&v).unwrap();
+        let via_apply = apply_on_qubits(&c, &qs, &v).unwrap();
+        for (a, b) in via_embed.iter().zip(&via_apply) {
+            assert!((a - b).abs() < 1e-13);
+        }
+    }
+
+    #[test]
+    fn apply_on_qubits_preserves_total_mass_for_stochastic() {
+        let c = stochastic2(0.3, 0.4);
+        let v = vec![0.1, 0.2, 0.3, 0.4];
+        let out = apply_on_qubits(&c, &[1], &v).unwrap();
+        assert!((out.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn apply_on_qubits_rejects_bad_lengths() {
+        let c = stochastic2(0.1, 0.1);
+        assert!(apply_on_qubits(&c, &[0], &[0.1, 0.2, 0.3]).is_err());
+        assert!(apply_on_qubits(&c, &[2], &[0.25; 4]).is_err());
+        assert!(apply_on_qubits(&c, &[0, 1], &[0.25; 4]).is_err());
+    }
+
+    #[test]
+    fn qubitwise_kron_ordering() {
+        let x = Matrix::from_rows(&[&[0.0, 1.0], &[1.0, 0.0]]);
+        let i = Matrix::identity(2);
+        // X on qubit 0, I on qubit 1 → flips bit 0: state 0 -> 1, 2 -> 3.
+        let m = qubitwise_kron(&[x, i]);
+        assert_eq!(m[(1, 0)], 1.0);
+        assert_eq!(m[(3, 2)], 1.0);
+        assert_eq!(m[(0, 0)], 0.0);
+    }
+}

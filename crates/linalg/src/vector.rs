@@ -1,0 +1,113 @@
+//! Norms and distances on dense vectors and distributions.
+
+use crate::error::{LinalgError, Result};
+
+/// ℓ1 norm `Σ |v_i|`.
+pub fn l1_norm(v: &[f64]) -> f64 {
+    v.iter().map(|a| a.abs()).sum()
+}
+
+/// ℓ2 (Euclidean) norm.
+pub fn l2_norm(v: &[f64]) -> f64 {
+    v.iter().map(|a| a * a).sum::<f64>().sqrt()
+}
+
+/// ℓ∞ norm `max |v_i|`.
+pub fn linf_norm(v: &[f64]) -> f64 {
+    v.iter().fold(0.0_f64, |m, a| m.max(a.abs()))
+}
+
+/// ℓ1 distance between two equal-length vectors — the paper's "one norm
+/// distance" between measured and ideal distributions.
+pub fn l1_distance(a: &[f64], b: &[f64]) -> Result<f64> {
+    if a.len() != b.len() {
+        return Err(LinalgError::DimensionMismatch {
+            op: "l1_distance",
+            detail: format!("{} vs {}", a.len(), b.len()),
+        });
+    }
+    Ok(a.iter().zip(b).map(|(x, y)| (x - y).abs()).sum())
+}
+
+/// Total-variation distance `½ Σ |a_i − b_i|`.
+pub fn tv_distance(a: &[f64], b: &[f64]) -> Result<f64> {
+    Ok(l1_distance(a, b)? / 2.0)
+}
+
+/// Normalises a non-negative vector to sum 1 in place.
+///
+/// Returns an error when the vector has zero (or negative) total mass.
+pub fn normalize_in_place(v: &mut [f64]) -> Result<()> {
+    let t: f64 = v.iter().sum();
+    if t <= 0.0 {
+        return Err(LinalgError::InvalidDistribution {
+            detail: format!("total mass {t}"),
+        });
+    }
+    for a in v.iter_mut() {
+        *a /= t;
+    }
+    Ok(())
+}
+
+/// Clamps negatives to zero and renormalises — simplex projection used after
+/// applying inverted (non-stochastic) calibration matrices.
+pub fn project_to_simplex(v: &mut [f64]) -> Result<()> {
+    for a in v.iter_mut() {
+        if *a < 0.0 {
+            *a = 0.0;
+        }
+    }
+    normalize_in_place(v)
+}
+
+/// Shannon entropy (bits) of a probability vector; zero entries contribute 0.
+pub fn entropy_bits(p: &[f64]) -> f64 {
+    p.iter()
+        .filter(|&&x| x > 0.0)
+        .map(|&x| -x * x.log2())
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn norms_known_values() {
+        let v = [3.0, -4.0];
+        assert!((l1_norm(&v) - 7.0).abs() < 1e-15);
+        assert!((l2_norm(&v) - 5.0).abs() < 1e-15);
+        assert!((linf_norm(&v) - 4.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn distances() {
+        let a = [0.5, 0.5, 0.0];
+        let b = [0.25, 0.25, 0.5];
+        assert!((l1_distance(&a, &b).unwrap() - 1.0).abs() < 1e-15);
+        assert!((tv_distance(&a, &b).unwrap() - 0.5).abs() < 1e-15);
+        assert!(l1_distance(&a, &[0.0]).is_err());
+    }
+
+    #[test]
+    fn normalize_and_project() {
+        let mut v = [2.0, 2.0];
+        normalize_in_place(&mut v).unwrap();
+        assert_eq!(v, [0.5, 0.5]);
+
+        let mut q = [1.5, -0.5];
+        project_to_simplex(&mut q).unwrap();
+        assert_eq!(q, [1.0, 0.0]);
+
+        let mut z = [0.0, 0.0];
+        assert!(normalize_in_place(&mut z).is_err());
+    }
+
+    #[test]
+    fn entropy_extremes() {
+        assert!(entropy_bits(&[1.0, 0.0]).abs() < 1e-15);
+        assert!((entropy_bits(&[0.5, 0.5]) - 1.0).abs() < 1e-15);
+        assert!((entropy_bits(&[0.25; 4]) - 2.0).abs() < 1e-15);
+    }
+}

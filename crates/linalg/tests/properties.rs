@@ -1,0 +1,197 @@
+//! Property-based tests of the linear-algebra substrate.
+
+use proptest::prelude::*;
+use qem_linalg::dense::Matrix;
+use qem_linalg::lu;
+use qem_linalg::power::{matrix_power, rational_power, sqrt_denman_beavers};
+use qem_linalg::sparse::Coo;
+use qem_linalg::sparse_apply::{apply_operator_sparse, SparseDist};
+use qem_linalg::stochastic::{
+    apply_on_qubits, embed, is_column_stochastic, normalize_columns, normalized_partial_trace,
+    true_marginal,
+};
+use qem_linalg::vector::{l1_distance, l1_norm};
+
+/// Random column-stochastic 2×2 (a readout channel).
+fn channel2() -> impl Strategy<Value = Matrix> {
+    (0.0..0.4f64, 0.0..0.4f64).prop_map(|(p0, p1)| {
+        Matrix::from_rows(&[&[1.0 - p0, p1], &[p0, 1.0 - p1]])
+    })
+}
+
+/// Random column-stochastic 4×4 built from dirichlet-ish columns.
+fn channel4() -> impl Strategy<Value = Matrix> {
+    prop::collection::vec(0.01..1.0f64, 16).prop_map(|raw| {
+        let mut m = Matrix::from_vec(4, 4, raw).unwrap();
+        // Boost the diagonal so the channel is invertible/realistic.
+        for i in 0..4 {
+            m[(i, i)] += 5.0;
+        }
+        normalize_columns(&m)
+    })
+}
+
+fn small_matrix(n: usize) -> impl Strategy<Value = Matrix> {
+    prop::collection::vec(-2.0..2.0f64, n * n)
+        .prop_map(move |v| Matrix::from_vec(n, n, v).unwrap())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn kron_respects_matmul(a in channel2(), b in channel2(), c in channel2(), d in channel2()) {
+        let lhs = a.kron(&b).matmul(&c.kron(&d)).unwrap();
+        let rhs = a.matmul(&c).unwrap().kron(&b.matmul(&d).unwrap());
+        prop_assert!(lhs.max_abs_diff(&rhs).unwrap() < 1e-12);
+    }
+
+    #[test]
+    fn stochastic_products_stay_stochastic(a in channel4(), b in channel4()) {
+        let p = a.matmul(&b).unwrap();
+        prop_assert!(is_column_stochastic(&p, 1e-9));
+        prop_assert!(is_column_stochastic(&a.kron(&b), 1e-9));
+    }
+
+    #[test]
+    fn lu_inverse_roundtrip(m in small_matrix(4)) {
+        // Make it diagonally dominant ⇒ invertible.
+        let mut a = m;
+        for i in 0..4 {
+            let row_sum: f64 = (0..4).map(|j| a[(i, j)].abs()).sum();
+            a[(i, i)] += row_sum + 1.0;
+        }
+        let inv = lu::inverse(&a).unwrap();
+        let eye = a.matmul(&inv).unwrap();
+        prop_assert!(eye.max_abs_diff(&Matrix::identity(4)).unwrap() < 1e-8);
+    }
+
+    #[test]
+    fn lu_solve_matches_inverse(m in small_matrix(3), b in prop::collection::vec(-5.0..5.0f64, 3)) {
+        let mut a = m;
+        for i in 0..3 {
+            let row_sum: f64 = (0..3).map(|j| a[(i, j)].abs()).sum();
+            a[(i, i)] += row_sum + 1.0;
+        }
+        let x = lu::solve(&a, &b).unwrap();
+        let ax = a.matvec(&x).unwrap();
+        prop_assert!(l1_distance(&ax, &b).unwrap() < 1e-8);
+    }
+
+    #[test]
+    fn partial_trace_of_product_recovers_factor(a in channel2(), b in channel2()) {
+        let joint = b.kron(&a);
+        let ta = normalized_partial_trace(&joint, &[1]).unwrap();
+        prop_assert!(ta.max_abs_diff(&a).unwrap() < 1e-12);
+        let tm = true_marginal(&joint, &[1]).unwrap();
+        prop_assert!(tm.max_abs_diff(&a).unwrap() < 1e-12);
+    }
+
+    #[test]
+    fn true_marginal_always_stochastic(j in channel4()) {
+        let m = true_marginal(&j, &[0]).unwrap();
+        prop_assert!(is_column_stochastic(&m, 1e-9));
+    }
+
+    #[test]
+    fn sqrt_squares_back(c in channel4()) {
+        let (s, s_inv) = sqrt_denman_beavers(&c, 80).unwrap();
+        prop_assert!(s.matmul(&s).unwrap().max_abs_diff(&c).unwrap() < 1e-8);
+        prop_assert!(
+            s.matmul(&s_inv).unwrap().max_abs_diff(&Matrix::identity(4)).unwrap() < 1e-8
+        );
+    }
+
+    #[test]
+    fn rational_power_additivity(c in channel2(), num_a in 1u32..4, num_b in 1u32..4) {
+        // C^{a/5} · C^{b/5} = C^{(a+b)/5}
+        let den = 5u32;
+        let pa = rational_power(&c, num_a, den).unwrap();
+        let pb = rational_power(&c, num_b, den).unwrap();
+        let pab = rational_power(&c, num_a + num_b, den).unwrap();
+        prop_assert!(pa.matmul(&pb).unwrap().max_abs_diff(&pab).unwrap() < 1e-9);
+    }
+
+    #[test]
+    fn integer_power_matches_rational(c in channel2(), e in 0u32..5) {
+        let a = matrix_power(&c, e).unwrap();
+        let b = rational_power(&c, e, 1).unwrap();
+        prop_assert!(a.max_abs_diff(&b).unwrap() < 1e-12);
+    }
+
+    #[test]
+    fn sparse_apply_matches_dense_embed(
+        op in channel4(),
+        probs in prop::collection::vec(0.0..1.0f64, 16),
+    ) {
+        let total: f64 = probs.iter().sum();
+        prop_assume!(total > 0.1);
+        let probs: Vec<f64> = probs.iter().map(|p| p / total).collect();
+        let qs = [1usize, 3];
+        let dense = embed(&op, &qs, 4).unwrap().matvec(&probs).unwrap();
+        let via_apply = apply_on_qubits(&op, &qs, &probs).unwrap();
+        let sparse = apply_operator_sparse(&op, &qs, &SparseDist::from_dense(&probs)).unwrap();
+        for (s, &d) in dense.iter().enumerate() {
+            prop_assert!((d - via_apply[s]).abs() < 1e-12);
+            prop_assert!((sparse.get(s as u64) - d).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn stochastic_apply_preserves_l1(op in channel4(), probs in prop::collection::vec(0.0..1.0f64, 16)) {
+        let total: f64 = probs.iter().sum();
+        prop_assume!(total > 0.1);
+        let probs: Vec<f64> = probs.iter().map(|p| p / total).collect();
+        let out = apply_on_qubits(&op, &[0, 2], &probs).unwrap();
+        prop_assert!((l1_norm(&out) - 1.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn csr_roundtrip_and_matvec(values in prop::collection::vec(-3.0..3.0f64, 36), x in prop::collection::vec(-2.0..2.0f64, 6)) {
+        let dense = Matrix::from_vec(6, 6, values).unwrap();
+        let csr = Coo::from_dense(&dense, 0.0).to_csr();
+        prop_assert!(csr.to_dense().max_abs_diff(&dense).unwrap() < 1e-13);
+        let a = csr.matvec(&x).unwrap();
+        let b = dense.matvec(&x).unwrap();
+        prop_assert!(l1_distance(&a, &b).unwrap() < 1e-10);
+    }
+
+    #[test]
+    fn csr_matmul_matches_dense(
+        av in prop::collection::vec(-2.0..2.0f64, 16),
+        bv in prop::collection::vec(-2.0..2.0f64, 16),
+    ) {
+        let a = Matrix::from_vec(4, 4, av).unwrap();
+        let b = Matrix::from_vec(4, 4, bv).unwrap();
+        let sa = Coo::from_dense(&a, 0.0).to_csr();
+        let sb = Coo::from_dense(&b, 0.0).to_csr();
+        let sp = sa.matmul(&sb).unwrap().to_dense();
+        let dp = a.matmul(&b).unwrap();
+        prop_assert!(sp.max_abs_diff(&dp).unwrap() < 1e-10);
+    }
+
+    #[test]
+    fn marginalize_preserves_mass(pairs in prop::collection::vec((0u64..64, 0.0..1.0f64), 1..20)) {
+        let d = SparseDist::from_pairs(pairs);
+        let total = d.total();
+        let m = d.marginalize(&[0, 3, 5]);
+        prop_assert!((m.total() - total).abs() < 1e-10);
+    }
+
+    #[test]
+    fn l1_distance_triangle_inequality(
+        a in prop::collection::vec((0u64..16, 0.0..1.0f64), 1..8),
+        b in prop::collection::vec((0u64..16, 0.0..1.0f64), 1..8),
+        c in prop::collection::vec((0u64..16, 0.0..1.0f64), 1..8),
+    ) {
+        let (da, db, dc) = (
+            SparseDist::from_pairs(a),
+            SparseDist::from_pairs(b),
+            SparseDist::from_pairs(c),
+        );
+        let ab = da.l1_distance(&db);
+        let bc = db.l1_distance(&dc);
+        let ac = da.l1_distance(&dc);
+        prop_assert!(ac <= ab + bc + 1e-10);
+    }
+}

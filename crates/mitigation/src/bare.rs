@@ -1,0 +1,54 @@
+//! The unmitigated baseline: every shot goes to the target circuit.
+
+use crate::strategy::{MitigationOutcome, MitigationStrategy};
+use qem_linalg::error::Result;
+use qem_sim::backend::Backend;
+use qem_sim::circuit::Circuit;
+use rand::rngs::StdRng;
+
+/// No mitigation: report the raw measured distribution.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Bare;
+
+impl MitigationStrategy for Bare {
+    fn name(&self) -> &'static str {
+        "Bare"
+    }
+
+    fn run(
+        &self,
+        backend: &Backend,
+        circuit: &Circuit,
+        budget: u64,
+        rng: &mut StdRng,
+    ) -> Result<MitigationOutcome> {
+        let counts = backend.execute(circuit, budget, rng);
+        Ok(MitigationOutcome {
+            distribution: counts.to_distribution(),
+            calibration_circuits: 0,
+            calibration_shots: 0,
+            execution_shots: budget,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qem_sim::circuit::ghz_bfs;
+    use qem_sim::noise::NoiseModel;
+    use qem_topology::coupling::linear;
+    use rand::SeedableRng;
+
+    #[test]
+    fn bare_uses_whole_budget_for_execution() {
+        let b = Backend::new(linear(3), NoiseModel::noiseless(3));
+        let c = ghz_bfs(&b.coupling.graph, 0);
+        let out = Bare
+            .run(&b, &c, 4000, &mut StdRng::seed_from_u64(1))
+            .unwrap();
+        assert_eq!(out.execution_shots, 4000);
+        assert_eq!(out.calibration_shots, 0);
+        assert!((out.distribution.mass_on(&[0, 7]) - 1.0).abs() < 1e-12);
+    }
+}

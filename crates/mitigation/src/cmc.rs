@@ -1,0 +1,172 @@
+//! Strategy adapters for CMC and CMC-ERR (the paper's contribution,
+//! implemented in `qem-core`).
+
+use crate::strategy::{split_budget, MitigationOutcome, MitigationStrategy};
+use qem_core::cmc::{calibrate_cmc, CmcOptions};
+use qem_core::err::{calibrate_cmc_err, ErrOptions};
+use qem_linalg::error::Result;
+use qem_sim::backend::Backend;
+use qem_sim::circuit::Circuit;
+use qem_topology::patches::patch_construct;
+use rand::rngs::StdRng;
+
+/// Coupling Map Calibration as a budgeted strategy.
+#[derive(Clone, Copy, Debug)]
+pub struct CmcStrategy {
+    /// Algorithm 1 separation parameter.
+    pub k: usize,
+    /// Sparse-mitigation culling threshold.
+    pub cull_threshold: f64,
+}
+
+impl Default for CmcStrategy {
+    fn default() -> Self {
+        CmcStrategy { k: 1, cull_threshold: 1e-10 }
+    }
+}
+
+impl MitigationStrategy for CmcStrategy {
+    fn name(&self) -> &'static str {
+        "CMC"
+    }
+
+    fn run(
+        &self,
+        backend: &Backend,
+        circuit: &Circuit,
+        budget: u64,
+        rng: &mut StdRng,
+    ) -> Result<MitigationOutcome> {
+        // Predict the circuit count from the schedule so the budget split
+        // is known before spending shots.
+        let schedule = patch_construct(&backend.coupling.graph, self.k);
+        let circuits = 4 * schedule.rounds.len();
+        let (per_circuit, execution) = split_budget(budget, circuits.max(1));
+        let opts = CmcOptions {
+            k: self.k,
+            shots_per_circuit: per_circuit,
+            cull_threshold: self.cull_threshold,
+        };
+        let cal = calibrate_cmc(backend, &opts, rng)?;
+        let counts = backend.execute(circuit, execution.max(1), rng);
+        Ok(MitigationOutcome {
+            distribution: cal.mitigator.mitigate(&counts)?,
+            calibration_circuits: cal.circuits_used,
+            calibration_shots: cal.shots_used,
+            execution_shots: execution.max(1),
+        })
+    }
+}
+
+/// CMC over an ERR-tailored error coupling map.
+#[derive(Clone, Copy, Debug)]
+pub struct CmcErrStrategy {
+    /// ERR locality (candidate pairs within this physical distance).
+    pub locality: usize,
+    /// Algorithm 1 separation parameter for the characterisation sweep.
+    pub k: usize,
+    /// Sparse-mitigation culling threshold.
+    pub cull_threshold: f64,
+}
+
+impl Default for CmcErrStrategy {
+    fn default() -> Self {
+        CmcErrStrategy { locality: 2, k: 1, cull_threshold: 1e-10 }
+    }
+}
+
+impl MitigationStrategy for CmcErrStrategy {
+    fn name(&self) -> &'static str {
+        "CMC-ERR"
+    }
+
+    fn run(
+        &self,
+        backend: &Backend,
+        circuit: &Circuit,
+        budget: u64,
+        rng: &mut StdRng,
+    ) -> Result<MitigationOutcome> {
+        use qem_topology::patches::schedule_pairs;
+        let candidates = backend.coupling.graph.pairs_within_distance(self.locality);
+        let schedule = schedule_pairs(&backend.coupling.graph, &candidates, self.k);
+        let circuits = 4 * schedule.rounds.len();
+        let (per_circuit, execution) = split_budget(budget, circuits.max(1));
+        let opts = ErrOptions {
+            locality: self.locality,
+            max_edges: None,
+            cmc: CmcOptions {
+                k: self.k,
+                shots_per_circuit: per_circuit,
+                cull_threshold: self.cull_threshold,
+            },
+        };
+        let (_, cal) = calibrate_cmc_err(backend, &opts, rng)?;
+        let counts = backend.execute(circuit, execution.max(1), rng);
+        Ok(MitigationOutcome {
+            distribution: cal.mitigator.mitigate(&counts)?,
+            calibration_circuits: cal.circuits_used,
+            calibration_shots: cal.shots_used,
+            execution_shots: execution.max(1),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bare::Bare;
+    use qem_sim::circuit::ghz_bfs;
+    use qem_sim::devices::{simulated_nairobi, simulated_quito};
+    use rand::SeedableRng;
+
+    #[test]
+    fn cmc_strategy_beats_bare_on_quito() {
+        let b = simulated_quito(4);
+        let c = ghz_bfs(&b.coupling.graph, 0);
+        let budget = 32_000;
+        let correct = [0u64, 31];
+        let mut bare_sum = 0.0;
+        let mut cmc_sum = 0.0;
+        for t in 0..3u64 {
+            let mut rng = StdRng::seed_from_u64(10 + t);
+            bare_sum += Bare
+                .run(&b, &c, budget, &mut rng)
+                .unwrap()
+                .distribution
+                .mass_on(&correct);
+            cmc_sum += CmcStrategy::default()
+                .run(&b, &c, budget, &mut rng)
+                .unwrap()
+                .distribution
+                .mass_on(&correct);
+        }
+        assert!(cmc_sum > bare_sum + 0.1, "CMC {cmc_sum:.3} vs bare {bare_sum:.3}");
+    }
+
+    #[test]
+    fn cmc_err_strategy_runs_on_nairobi() {
+        let b = simulated_nairobi(4);
+        let c = ghz_bfs(&b.coupling.graph, 0);
+        let mut rng = StdRng::seed_from_u64(20);
+        let out = CmcErrStrategy::default().run(&b, &c, 32_000, &mut rng).unwrap();
+        assert!(out.total_shots() <= 32_000);
+        assert!(out.calibration_circuits > 0);
+        assert!(out.distribution.total() > 0.99);
+    }
+
+    #[test]
+    fn budgets_respected() {
+        let b = simulated_quito(5);
+        let c = ghz_bfs(&b.coupling.graph, 0);
+        let mut rng = StdRng::seed_from_u64(30);
+        for budget in [8_000u64, 32_000] {
+            let out = CmcStrategy::default().run(&b, &c, budget, &mut rng).unwrap();
+            assert!(
+                out.total_shots() <= budget,
+                "budget {budget}: used {}",
+                out.total_shots()
+            );
+        }
+    }
+}

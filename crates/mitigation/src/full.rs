@@ -1,0 +1,101 @@
+//! Full-calibration strategy: the exponential gold standard (paper §III-B).
+
+use crate::strategy::{split_budget, MitigationOutcome, MitigationStrategy};
+use qem_core::full::FullCalibration;
+use qem_linalg::error::Result;
+use qem_sim::backend::Backend;
+use qem_sim::circuit::Circuit;
+use rand::rngs::StdRng;
+
+/// Full `2^n`-circuit calibration followed by dense inversion.
+#[derive(Clone, Copy, Debug)]
+pub struct FullStrategy {
+    /// Calibration-circuit ceiling above which the method is declared
+    /// infeasible (the paper's "exceeding 100 calibration circuits" N/A for
+    /// Nairobi at 7 qubits).
+    pub max_circuits: usize,
+}
+
+impl Default for FullStrategy {
+    fn default() -> Self {
+        FullStrategy { max_circuits: 100 }
+    }
+}
+
+impl MitigationStrategy for FullStrategy {
+    fn name(&self) -> &'static str {
+        "Full"
+    }
+
+    fn feasible(&self, backend: &Backend, budget: u64) -> bool {
+        let n = backend.num_qubits();
+        n <= 14
+            && (1usize << n) <= self.max_circuits
+            && budget / 2 >= (1u64 << n)
+    }
+
+    fn run(
+        &self,
+        backend: &Backend,
+        circuit: &Circuit,
+        budget: u64,
+        rng: &mut StdRng,
+    ) -> Result<MitigationOutcome> {
+        assert!(
+            self.feasible(backend, budget),
+            "Full calibration infeasible here; check feasible() first"
+        );
+        let n = backend.num_qubits();
+        let circuits = 1usize << n;
+        let (per_circuit, execution) = split_budget(budget, circuits);
+        let cal = FullCalibration::calibrate(backend, per_circuit, rng)?;
+        let counts = backend.execute(circuit, execution, rng);
+        Ok(MitigationOutcome {
+            distribution: cal.mitigate(&counts)?,
+            calibration_circuits: cal.circuits_used,
+            calibration_shots: cal.shots_used,
+            execution_shots: execution,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qem_sim::circuit::ghz_bfs;
+    use qem_sim::noise::NoiseModel;
+    use qem_topology::coupling::linear;
+    use rand::SeedableRng;
+
+    #[test]
+    fn full_strategy_beats_bare_under_same_budget() {
+        let n = 4;
+        let mut noise = NoiseModel::random_biased(n, 0.03, 0.08, 1);
+        noise.gate_error_1q = 0.0;
+        noise.gate_error_2q = 0.0;
+        let b = Backend::new(linear(n), noise);
+        let c = ghz_bfs(&b.coupling.graph, 0);
+        let budget = 64_000;
+        let mut rng = StdRng::seed_from_u64(2);
+        let full = FullStrategy::default().run(&b, &c, budget, &mut rng).unwrap();
+        let bare = crate::bare::Bare.run(&b, &c, budget, &mut rng).unwrap();
+        let correct = [0u64, 15];
+        assert!(
+            full.distribution.mass_on(&correct) > bare.distribution.mass_on(&correct) + 0.05
+        );
+        assert!(full.total_shots() <= budget);
+        assert_eq!(full.calibration_circuits, 16);
+    }
+
+    #[test]
+    fn feasibility_gates() {
+        let s = FullStrategy::default();
+        let small = Backend::new(linear(5), NoiseModel::noiseless(5));
+        assert!(s.feasible(&small, 32_000));
+        let seven = Backend::new(linear(7), NoiseModel::noiseless(7));
+        // 2^7 = 128 > 100 circuits: the paper's Nairobi N/A.
+        assert!(!s.feasible(&seven, 32_000));
+        // Budget too small to give each circuit one shot.
+        assert!(!s.feasible(&small, 40));
+    }
+}

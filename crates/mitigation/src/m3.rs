@@ -1,0 +1,262 @@
+//! M3-style subspace mitigation (an extension beyond the paper's baseline
+//! set, included because it is the production per-qubit method on IBM's
+//! stack): restrict the tensored calibration to the *observed* bitstrings
+//! (optionally their Hamming-1 halo) and solve the reduced linear system.
+//!
+//! Where Linear calibration inverts per-qubit blocks over the full `2^n`
+//! space implicitly, the subspace method builds the `|S| × |S|` transfer
+//! matrix `A[s,t] = Π_q C_q[s_q, t_q]` over observed outcomes `S` only —
+//! `|S| ≤ shots` regardless of width — and solves `A x = y` iteratively.
+//! The truncation (mass flowing outside `S` is ignored) is the method's
+//! documented approximation; the halo option recovers most of it.
+
+use crate::strategy::{split_budget, MitigationOutcome, MitigationStrategy};
+use qem_core::tensored::LinearCalibration;
+use qem_linalg::dense::Matrix;
+use qem_linalg::error::Result;
+use qem_linalg::iterative::bicgstab;
+use qem_linalg::sparse_apply::SparseDist;
+use qem_sim::backend::Backend;
+use qem_sim::circuit::Circuit;
+use qem_sim::counts::Counts;
+use rand::rngs::StdRng;
+
+/// The subspace-mitigation protocol.
+#[derive(Clone, Copy, Debug)]
+pub struct M3Strategy {
+    /// Hamming-distance halo added around the observed outcomes
+    /// (0 = observed states only; 1 = plus single-bit-flip neighbours).
+    pub halo: usize,
+    /// Cap on the subspace dimension (halo expansion can explode on wide
+    /// registers; beyond the cap the halo is dropped).
+    pub max_states: usize,
+}
+
+impl Default for M3Strategy {
+    fn default() -> Self {
+        M3Strategy { halo: 1, max_states: 4096 }
+    }
+}
+
+/// Builds the subspace state list: observed outcomes plus the Hamming halo.
+pub fn subspace_states(counts: &Counts, halo: usize, max_states: usize) -> Vec<u64> {
+    let mut states: Vec<u64> = counts.iter().map(|(s, _)| s).collect();
+    states.sort_unstable();
+    if halo >= 1 {
+        let mut with_halo: std::collections::BTreeSet<u64> = states.iter().copied().collect();
+        for &s in &states {
+            for q in 0..counts.num_bits() {
+                with_halo.insert(s ^ (1u64 << q));
+            }
+        }
+        if with_halo.len() <= max_states {
+            return with_halo.into_iter().collect();
+        }
+    }
+    states
+}
+
+/// The reduced transfer matrix over `states` from per-qubit calibrations
+/// (`cals[q]` column-stochastic 2×2, index = qubit).
+pub fn subspace_matrix(states: &[u64], cals: &[Matrix]) -> Matrix {
+    let m = states.len();
+    let n = cals.len();
+    let mut a = Matrix::zeros(m, m);
+    for (col, &t) in states.iter().enumerate() {
+        for (row, &s) in states.iter().enumerate() {
+            let mut p = 1.0;
+            for (q, cal) in cals.iter().enumerate().take(n) {
+                let sq = ((s >> q) & 1) as usize;
+                let tq = ((t >> q) & 1) as usize;
+                p *= cal[(sq, tq)];
+                if p == 0.0 {
+                    break;
+                }
+            }
+            a[(row, col)] = p;
+        }
+    }
+    a
+}
+
+/// Solves the reduced system for a measured histogram, returning the
+/// mitigated distribution over the subspace (simplex-projected).
+pub fn mitigate_subspace(
+    counts: &Counts,
+    cals: &[Matrix],
+    halo: usize,
+    max_states: usize,
+) -> Result<SparseDist> {
+    let states = subspace_states(counts, halo, max_states);
+    let a = subspace_matrix(&states, cals);
+    let total = counts.shots().max(1) as f64;
+    let y: Vec<f64> = states.iter().map(|&s| counts.get(s) as f64 / total).collect();
+    let report = bicgstab(&a, &y, 1e-10, 500)?;
+    let mut dist = SparseDist::from_pairs(
+        states.iter().zip(&report.x).map(|(&s, &w)| (s, w)),
+    );
+    dist.clamp_negative();
+    Ok(dist)
+}
+
+impl MitigationStrategy for M3Strategy {
+    fn name(&self) -> &'static str {
+        "M3"
+    }
+
+    fn feasible(&self, _backend: &Backend, budget: u64) -> bool {
+        budget >= 4
+    }
+
+    fn run(
+        &self,
+        backend: &Backend,
+        circuit: &Circuit,
+        budget: u64,
+        rng: &mut StdRng,
+    ) -> Result<MitigationOutcome> {
+        let (per_circuit, execution) = split_budget(budget, 2);
+        let cal = LinearCalibration::calibrate(backend, per_circuit, rng)?;
+        let cals: Vec<Matrix> = cal.per_qubit.iter().map(|c| c.matrix().clone()).collect();
+        let counts = backend.execute(circuit, execution, rng);
+        // Map physical-qubit calibrations onto measured-bit positions.
+        let measured_cals: Vec<Matrix> = circuit
+            .measured()
+            .iter()
+            .map(|&q| cals[q].clone())
+            .collect();
+        let distribution =
+            mitigate_subspace(&counts, &measured_cals, self.halo, self.max_states)?;
+        Ok(MitigationOutcome {
+            distribution,
+            calibration_circuits: cal.circuits_used,
+            calibration_shots: cal.shots_used,
+            execution_shots: execution,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bare::Bare;
+    use crate::linear::LinearStrategy;
+    use qem_sim::circuit::ghz_bfs;
+    use qem_sim::noise::NoiseModel;
+    use qem_topology::coupling::linear;
+    use rand::SeedableRng;
+
+    fn flip(p0: f64, p1: f64) -> Matrix {
+        Matrix::from_rows(&[&[1.0 - p0, p1], &[p0, 1.0 - p1]])
+    }
+
+    #[test]
+    fn subspace_states_with_halo() {
+        let counts = Counts::from_pairs(3, [(0b000u64, 10u64), (0b111u64, 10u64)]);
+        let s0 = subspace_states(&counts, 0, 100);
+        assert_eq!(s0, vec![0b000, 0b111]);
+        let s1 = subspace_states(&counts, 1, 100);
+        assert_eq!(s1.len(), 8); // 2 observed + all 6 Hamming-1 neighbours
+        // Cap drops the halo.
+        let capped = subspace_states(&counts, 1, 4);
+        assert_eq!(capped, vec![0b000, 0b111]);
+    }
+
+    #[test]
+    fn subspace_matrix_matches_tensored_entries() {
+        let c0 = flip(0.1, 0.2);
+        let c1 = flip(0.05, 0.15);
+        let states = vec![0b00u64, 0b01, 0b10, 0b11];
+        let a = subspace_matrix(&states, &[c0.clone(), c1.clone()]);
+        let full = c1.kron(&c0);
+        assert!(a.max_abs_diff(&full).unwrap() < 1e-14);
+    }
+
+    #[test]
+    fn exact_on_full_subspace() {
+        // With every state in the subspace, M3 = Linear inversion.
+        let c0 = flip(0.06, 0.09);
+        let cals = vec![c0.clone(), c0.clone()];
+        let ideal = [0.4f64, 0.1, 0.2, 0.3];
+        let noisy = c0.kron(&c0).matvec(&ideal).unwrap();
+        let mut counts = Counts::new(2);
+        for (s, &p) in noisy.iter().enumerate() {
+            counts.record_many(s as u64, (p * 1e6) as u64);
+        }
+        let d = mitigate_subspace(&counts, &cals, 0, 100).unwrap();
+        for (s, &p) in ideal.iter().enumerate() {
+            assert!((d.get(s as u64) - p).abs() < 1e-3, "state {s}");
+        }
+    }
+
+    #[test]
+    fn m3_matches_linear_on_biased_ghz() {
+        let n = 5;
+        let mut noise = NoiseModel::random_biased(n, 0.03, 0.08, 2);
+        noise.gate_error_1q = 0.0;
+        noise.gate_error_2q = 0.0;
+        let b = Backend::new(linear(n), noise);
+        let c = ghz_bfs(&b.coupling.graph, 0);
+        let budget = 32_000;
+        let correct = [0u64, 31];
+        let mut rng = StdRng::seed_from_u64(4);
+        let m3 = M3Strategy::default().run(&b, &c, budget, &mut rng).unwrap();
+        let lin = LinearStrategy.run(&b, &c, budget, &mut rng).unwrap();
+        let bare = Bare.run(&b, &c, budget, &mut rng).unwrap();
+        let (m3_s, lin_s, bare_s) = (
+            m3.distribution.mass_on(&correct),
+            lin.distribution.mass_on(&correct),
+            bare.distribution.mass_on(&correct),
+        );
+        assert!(m3_s > bare_s + 0.05, "M3 {m3_s:.3} vs bare {bare_s:.3}");
+        assert!((m3_s - lin_s).abs() < 0.05, "M3 {m3_s:.3} vs Linear {lin_s:.3}");
+        assert_eq!(m3.calibration_circuits, 2);
+    }
+
+    #[test]
+    fn m3_scales_beyond_dense_reach() {
+        // 40-qubit register: Linear's dense path would need 2^40 entries to
+        // cross-check; M3's subspace never exceeds (observed + halo).
+        let n = 40;
+        let mut noise = NoiseModel::noiseless(n);
+        noise.p_flip0 = vec![0.03; n];
+        noise.p_flip1 = vec![0.06; n];
+        let b = Backend::new(linear(n), noise);
+        let target = (1u64 << n) - 1;
+        let circuit = qem_sim::circuit::basis_prep(n, target);
+        let mut rng = StdRng::seed_from_u64(5);
+        let out = M3Strategy { halo: 1, max_states: 4096 }
+            .run(&b, &circuit, 16_000, &mut rng)
+            .unwrap();
+        let bare = Bare.run(&b, &circuit, 16_000, &mut rng).unwrap();
+        // Full state recovery is impossible through the Hamming-1
+        // truncation at this width (the subspace holds a sliver of the
+        // support); what M3 guarantees is a substantial boost of the
+        // dominant outcome and sharper expectation values.
+        assert!(
+            out.distribution.get(target) > bare.distribution.get(target) * 1.5,
+            "M3 {:.3} vs bare {:.3}",
+            out.distribution.get(target),
+            bare.distribution.get(target)
+        );
+        // ⟨Z^{⊗40}⟩ of |1…1⟩ is +1 (even parity); mitigation must pull the
+        // estimate toward it.
+        let mask = target;
+        let parity = |d: &qem_linalg::sparse_apply::SparseDist| {
+            d.iter()
+                .map(|(s, w)| if (s & mask).count_ones() % 2 == 0 { w } else { -w })
+                .sum::<f64>()
+        };
+        // Bare parity at this width is ≈ (1−2p̄)^40 ≈ 0.02, within noise of
+        // zero; the mitigated estimate must be clearly positive and above
+        // bare (the simplex projection keeps it from reaching +1 — real M3
+        // quotes quasi-probability expectations for exactly this reason).
+        assert!(
+            parity(&out.distribution) > parity(&bare.distribution)
+                && parity(&out.distribution) > 0.04,
+            "parity {:.3} vs bare {:.3}",
+            parity(&out.distribution),
+            parity(&bare.distribution)
+        );
+    }
+}

@@ -1,0 +1,158 @@
+//! The paper's figures of merit (§V): success probability, one-norm
+//! distance, error-rate reduction, plus the median ± band statistics of
+//! Table II.
+
+use qem_linalg::sparse_apply::SparseDist;
+
+/// Success probability: mass on the classically verified correct outcomes.
+pub fn success_probability(dist: &SparseDist, correct: &[u64]) -> f64 {
+    dist.mass_on(correct)
+}
+
+/// Error rate `1 − success probability`.
+pub fn error_rate(dist: &SparseDist, correct: &[u64]) -> f64 {
+    1.0 - success_probability(dist, correct)
+}
+
+/// One-norm distance to an ideal distribution (Table II's metric).
+pub fn one_norm_distance(dist: &SparseDist, ideal: &SparseDist) -> f64 {
+    dist.l1_distance(ideal)
+}
+
+/// The ideal GHZ distribution as a sparse target.
+pub fn ghz_ideal(n: usize) -> SparseDist {
+    SparseDist::from_pairs([(0u64, 0.5), (((1u128 << n) - 1) as u64, 0.5)])
+}
+
+/// Relative error-rate reduction `(bare − mitigated) / bare` — the paper's
+/// headline "up to 41 %" metric.
+pub fn error_reduction(bare: f64, mitigated: f64) -> f64 {
+    if bare <= 0.0 {
+        0.0
+    } else {
+        (bare - mitigated) / bare
+    }
+}
+
+/// Summary statistics of repeated trials: median with the +max/−min bands
+/// the paper reports in Table II.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct BandStats {
+    /// Median of the samples.
+    pub median: f64,
+    /// `max − median` (the `+` band).
+    pub plus: f64,
+    /// `median − min` (the `−` band).
+    pub minus: f64,
+}
+
+impl BandStats {
+    /// Computes the bands from samples.
+    ///
+    /// # Panics
+    /// Panics on an empty sample set — a harness bug, not runtime data.
+    pub fn from_samples(samples: &[f64]) -> BandStats {
+        assert!(!samples.is_empty(), "no samples");
+        let mut s = samples.to_vec();
+        s.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let median = if s.len() % 2 == 1 {
+            s[s.len() / 2]
+        } else {
+            (s[s.len() / 2 - 1] + s[s.len() / 2]) / 2.0
+        };
+        BandStats {
+            median,
+            plus: s[s.len() - 1] - median,
+            minus: median - s[0],
+        }
+    }
+
+    /// Table II presentation: `0.14 +0.09/-0.05`.
+    pub fn format(&self) -> String {
+        format!("{:.2} +{:.2}/-{:.2}", self.median, self.plus, self.minus)
+    }
+}
+
+/// Expectation of the ±1-valued parity observable `Z^{⊗mask}` under a
+/// distribution — the diagonal-observable API variational workloads
+/// consume after mitigation.
+pub fn parity_expectation(dist: &SparseDist, mask: u64) -> f64 {
+    dist.iter()
+        .map(|(s, w)| {
+            let sign = if (s & mask).count_ones() % 2 == 0 { 1.0 } else { -1.0 };
+            sign * w
+        })
+        .sum()
+}
+
+/// Arithmetic mean.
+pub fn mean(samples: &[f64]) -> f64 {
+    if samples.is_empty() {
+        0.0
+    } else {
+        samples.iter().sum::<f64>() / samples.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ghz_ideal_shape() {
+        let g = ghz_ideal(3);
+        assert!((g.get(0) - 0.5).abs() < 1e-15);
+        assert!((g.get(7) - 0.5).abs() < 1e-15);
+        assert_eq!(g.len(), 2);
+    }
+
+    #[test]
+    fn success_and_error() {
+        let d = SparseDist::from_pairs([(0u64, 0.4), (7u64, 0.35), (1u64, 0.25)]);
+        assert!((success_probability(&d, &[0, 7]) - 0.75).abs() < 1e-12);
+        assert!((error_rate(&d, &[0, 7]) - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn one_norm_matches_sparse_l1() {
+        let d = SparseDist::from_pairs([(0u64, 1.0)]);
+        let g = ghz_ideal(2);
+        assert!((one_norm_distance(&d, &g) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reduction_metric() {
+        assert!((error_reduction(0.56, 0.33) - 0.4107).abs() < 1e-3); // Nairobi's 41%
+        assert_eq!(error_reduction(0.0, 0.1), 0.0);
+    }
+
+    #[test]
+    fn band_stats() {
+        let b = BandStats::from_samples(&[0.2, 0.1, 0.4]);
+        assert!((b.median - 0.2).abs() < 1e-15);
+        assert!((b.plus - 0.2).abs() < 1e-15);
+        assert!((b.minus - 0.1).abs() < 1e-15);
+        let even = BandStats::from_samples(&[1.0, 2.0, 3.0, 4.0]);
+        assert!((even.median - 2.5).abs() < 1e-15);
+        assert!(b.format().contains('+'));
+    }
+
+    #[test]
+    fn parity_expectations() {
+        // GHZ: ⟨ZZ⟩ = 1, single-qubit ⟨Z⟩ = 0.
+        let ghz = ghz_ideal(2);
+        assert!((parity_expectation(&ghz, 0b11) - 1.0).abs() < 1e-12);
+        assert!(parity_expectation(&ghz, 0b01).abs() < 1e-12);
+        // |1⟩: ⟨Z⟩ = −1.
+        let one = SparseDist::from_pairs([(1u64, 1.0)]);
+        assert!((parity_expectation(&one, 1) + 1.0).abs() < 1e-12);
+        // Empty mask: always +1.
+        assert!((parity_expectation(&ghz, 0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mean_basic() {
+        assert!((mean(&[1.0, 2.0, 3.0]) - 2.0).abs() < 1e-15);
+        assert_eq!(mean(&[]), 0.0);
+    }
+}

@@ -1,0 +1,180 @@
+//! SIM — Static Invert and Measure (Tannu & Qureshi, MICRO'19; paper
+//! §III-D): run the target circuit four times with the masks `I^{⊗n}`,
+//! `X^{⊗n}`, `(I X)^{⊗n/2}`, `(X I)^{⊗n/2}` applied before measurement,
+//! undo each mask classically and average. Averages away state-dependent
+//! bias (each qubit spends half its shots inverted) but cannot see
+//! correlations.
+
+use crate::strategy::{MitigationOutcome, MitigationStrategy};
+use qem_linalg::error::Result;
+use qem_linalg::sparse_apply::SparseDist;
+use qem_sim::backend::Backend;
+use qem_sim::circuit::Circuit;
+use qem_sim::counts::Counts;
+use qem_sim::gate::Gate;
+use rand::rngs::StdRng;
+
+/// The four SIM masks over `n` qubits.
+pub fn sim_masks(n: usize) -> [u64; 4] {
+    let all = if n >= 64 { u64::MAX } else { (1u64 << n) - 1 };
+    let mut odd = 0u64;
+    let mut even = 0u64;
+    for q in 0..n {
+        if q % 2 == 0 {
+            even |= 1 << q;
+        } else {
+            odd |= 1 << q;
+        }
+    }
+    [0, all, even, odd]
+}
+
+/// Appends X gates for every set bit of `mask` to a copy of the circuit.
+pub fn masked_circuit(circuit: &Circuit, mask: u64) -> Circuit {
+    let mut c = circuit.clone();
+    for q in 0..circuit.num_qubits() {
+        if (mask >> q) & 1 == 1 {
+            c.push(Gate::X(q));
+        }
+    }
+    c
+}
+
+/// Mask in *measured-bit* coordinates (masks are defined over physical
+/// qubits; counts are indexed by measured position).
+pub fn mask_for_measured(mask: u64, measured: &[usize]) -> u64 {
+    let mut m = 0u64;
+    for (pos, &q) in measured.iter().enumerate() {
+        m |= ((mask >> q) & 1) << pos;
+    }
+    m
+}
+
+/// Runs the circuit under each mask with `shots_each`, unmasks, and
+/// returns the averaged distribution plus total shots used.
+pub fn run_masked_average(
+    backend: &Backend,
+    circuit: &Circuit,
+    masks: &[u64],
+    shots_each: u64,
+    rng: &mut StdRng,
+) -> Result<(SparseDist, u64)> {
+    let mut merged = Counts::new(circuit.measured().len());
+    for &mask in masks {
+        let mc = masked_circuit(circuit, mask);
+        let counts = backend.execute(&mc, shots_each, rng);
+        merged.merge(&counts.xor_mask(mask_for_measured(mask, circuit.measured())));
+    }
+    Ok((merged.to_distribution(), shots_each * masks.len() as u64))
+}
+
+/// The SIM protocol.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct SimStrategy;
+
+impl MitigationStrategy for SimStrategy {
+    fn name(&self) -> &'static str {
+        "SIM"
+    }
+
+    fn run(
+        &self,
+        backend: &Backend,
+        circuit: &Circuit,
+        budget: u64,
+        rng: &mut StdRng,
+    ) -> Result<MitigationOutcome> {
+        let masks = sim_masks(circuit.num_qubits());
+        let shots_each = (budget / 4).max(1);
+        let (distribution, used) = run_masked_average(backend, circuit, &masks, shots_each, rng)?;
+        Ok(MitigationOutcome {
+            distribution,
+            calibration_circuits: 4,
+            calibration_shots: 0,
+            execution_shots: used,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qem_sim::circuit::{basis_prep, ghz_bfs};
+    use qem_sim::noise::NoiseModel;
+    use qem_topology::coupling::linear;
+    use rand::SeedableRng;
+
+    #[test]
+    fn masks_cover_each_qubit_half_the_time() {
+        let masks = sim_masks(4);
+        assert_eq!(masks, [0b0000, 0b1111, 0b0101, 0b1010]);
+        for q in 0..4 {
+            let flips: u32 = masks.iter().map(|m| ((m >> q) & 1) as u32).sum();
+            assert_eq!(flips, 2, "qubit {q} flipped {flips}/4 masks");
+        }
+    }
+
+    #[test]
+    fn masked_circuit_appends_x() {
+        let c = basis_prep(3, 0);
+        let m = masked_circuit(&c, 0b101);
+        assert_eq!(m.len(), 2);
+    }
+
+    #[test]
+    fn noiseless_sim_is_transparent() {
+        let b = Backend::new(linear(3), NoiseModel::noiseless(3));
+        let c = ghz_bfs(&b.coupling.graph, 0);
+        let out = SimStrategy
+            .run(&b, &c, 8000, &mut StdRng::seed_from_u64(1))
+            .unwrap();
+        assert!((out.distribution.mass_on(&[0, 7]) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sim_halves_state_dependent_bias() {
+        // Pure decay noise on |1⟩: bare error on |111…⟩ ≈ 1 − (1−p)^n;
+        // SIM averages the |1⟩-heavy and |0⟩-heavy directions.
+        let n = 4;
+        let p = 0.12;
+        let mut noise = NoiseModel::noiseless(n);
+        noise.p_flip1 = vec![p; n];
+        let b = Backend::new(linear(n), noise);
+        let target = basis_prep(n, 0b1111);
+        let mut rng = StdRng::seed_from_u64(2);
+        let budget = 80_000;
+        let bare = crate::bare::Bare.run(&b, &target, budget, &mut rng).unwrap();
+        let sim = SimStrategy.run(&b, &target, budget, &mut rng).unwrap();
+        let bare_err = 1.0 - bare.distribution.get(0b1111);
+        let sim_err = 1.0 - sim.distribution.get(0b1111);
+        assert!(
+            sim_err < bare_err * 0.75,
+            "SIM error {sim_err:.3} not clearly below bare {bare_err:.3}"
+        );
+    }
+
+    #[test]
+    fn sim_blind_to_correlated_errors() {
+        // A symmetric joint flip commutes with every X mask, so SIM's
+        // averaging changes nothing (paper Fig. 12a).
+        let n = 2;
+        let mut noise = NoiseModel::noiseless(n);
+        noise.add_correlated(&[0, 1], 0.2);
+        let b = Backend::new(linear(n), noise);
+        let target = basis_prep(n, 0b01);
+        let mut rng = StdRng::seed_from_u64(3);
+        let budget = 100_000;
+        let bare = crate::bare::Bare.run(&b, &target, budget, &mut rng).unwrap();
+        let sim = SimStrategy.run(&b, &target, budget, &mut rng).unwrap();
+        let bare_err = 1.0 - bare.distribution.get(0b01);
+        let sim_err = 1.0 - sim.distribution.get(0b01);
+        assert!((sim_err - bare_err).abs() < 0.02, "SIM moved a correlated error: {sim_err:.3} vs {bare_err:.3}");
+    }
+
+    #[test]
+    fn mask_translation_to_measured_bits() {
+        assert_eq!(mask_for_measured(0b1010, &[1, 3]), 0b11);
+        assert_eq!(mask_for_measured(0b1010, &[0, 2]), 0b00);
+        assert_eq!(mask_for_measured(0b0110, &[2, 1]), 0b11);
+    }
+}

@@ -1,0 +1,154 @@
+//! Contract tests every mitigation strategy must satisfy, enforced over
+//! randomly generated devices and noise profiles.
+
+use proptest::prelude::*;
+use qem_mitigation::{standard_strategies, MitigationStrategy};
+use qem_sim::backend::Backend;
+use qem_sim::circuit::{basis_prep, ghz_bfs};
+use qem_sim::noise::NoiseModel;
+use qem_topology::coupling::{grid, linear, ring};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn random_backend(topology: u8, n: usize, seed: u64) -> Backend {
+    let coupling = match topology % 3 {
+        0 => linear(n),
+        1 => ring(n),
+        _ => grid(2, n.div_ceil(2)),
+    };
+    let n = coupling.num_qubits();
+    let mut noise = NoiseModel::random_biased(n, 0.02, 0.08, seed);
+    noise.gate_error_1q = 0.0;
+    noise.gate_error_2q = 0.0;
+    if n >= 3 && seed % 2 == 0 {
+        noise.add_correlated(&[0, 1], 0.04);
+    }
+    Backend::new(coupling, noise)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Every strategy returns a normalised, non-negative distribution and
+    /// stays within its shot budget (small per-circuit flooring slack).
+    #[test]
+    fn outputs_are_distributions_within_budget(
+        topology in 0u8..3,
+        n in 4usize..6,
+        seed in 0u64..50,
+    ) {
+        let backend = random_backend(topology, n, seed);
+        let circuit = ghz_bfs(&backend.coupling.graph, 0);
+        let budget = 8_000u64;
+        for strategy in standard_strategies(true) {
+            if !strategy.feasible(&backend, budget) {
+                continue;
+            }
+            let mut rng = StdRng::seed_from_u64(seed);
+            let out = strategy.run(&backend, &circuit, budget, &mut rng).unwrap();
+            prop_assert!(
+                (out.distribution.total() - 1.0).abs() < 1e-6,
+                "{}: total {}",
+                strategy.name(),
+                out.distribution.total()
+            );
+            for (_, w) in out.distribution.iter() {
+                prop_assert!(w >= 0.0, "{}: negative weight", strategy.name());
+            }
+            prop_assert!(
+                out.total_shots() <= budget + 64,
+                "{}: {} of {budget}",
+                strategy.name(),
+                out.total_shots()
+            );
+        }
+    }
+
+    /// On a noiseless device every strategy must be transparent: the GHZ
+    /// distribution passes through (almost) unchanged.
+    #[test]
+    fn noiseless_transparency(topology in 0u8..3, n in 4usize..6) {
+        let coupling = match topology % 3 {
+            0 => linear(n),
+            1 => ring(n),
+            _ => grid(2, n.div_ceil(2)),
+        };
+        let width = coupling.num_qubits();
+        let backend = Backend::new(coupling, NoiseModel::noiseless(width));
+        let circuit = ghz_bfs(&backend.coupling.graph, 0);
+        let correct = [0u64, (1u64 << width) - 1];
+        for strategy in standard_strategies(true) {
+            if !strategy.feasible(&backend, 8_000) {
+                continue;
+            }
+            let mut rng = StdRng::seed_from_u64(3);
+            let out = strategy.run(&backend, &circuit, 8_000, &mut rng).unwrap();
+            prop_assert!(
+                out.distribution.mass_on(&correct) > 0.999,
+                "{}: distorted a noiseless device to {}",
+                strategy.name(),
+                out.distribution.mass_on(&correct)
+            );
+        }
+    }
+
+    /// Determinism: same seed, same outcome (bit-for-bit up to hash-order
+    /// float summation).
+    #[test]
+    fn seeded_runs_reproduce(seed in 0u64..30) {
+        let backend = random_backend(0, 4, seed);
+        let circuit = basis_prep(backend.num_qubits(), 0b0101);
+        for strategy in standard_strategies(false) {
+            let mut r1 = StdRng::seed_from_u64(seed);
+            let mut r2 = StdRng::seed_from_u64(seed);
+            let a = strategy.run(&backend, &circuit, 4_000, &mut r1).unwrap();
+            let b = strategy.run(&backend, &circuit, 4_000, &mut r2).unwrap();
+            prop_assert!(
+                a.distribution.l1_distance(&b.distribution) < 1e-9,
+                "{} not reproducible",
+                strategy.name()
+            );
+            prop_assert_eq!(a.calibration_circuits, b.calibration_circuits);
+        }
+    }
+}
+
+/// Calibration-based strategies must improve a strongly-biased device;
+/// averaging strategies must at least not make it worse than 2× bare error.
+#[test]
+fn strategies_ranked_sanely_on_biased_device() {
+    let n = 5;
+    let mut noise = NoiseModel::noiseless(n);
+    noise.p_flip0 = vec![0.04; n];
+    noise.p_flip1 = vec![0.08; n];
+    let backend = Backend::new(linear(n), noise);
+    let circuit = ghz_bfs(&backend.coupling.graph, 0);
+    let correct = [0u64, (1u64 << n) - 1];
+    let budget = 32_000;
+
+    let mut results = std::collections::HashMap::new();
+    for strategy in standard_strategies(true) {
+        let mut err_sum = 0.0;
+        for t in 0..3u64 {
+            let mut rng = StdRng::seed_from_u64(100 + t);
+            let out = strategy.run(&backend, &circuit, budget, &mut rng).unwrap();
+            err_sum += 1.0 - out.distribution.mass_on(&correct);
+        }
+        results.insert(strategy.name().to_string(), err_sum / 3.0);
+    }
+    let bare = results["Bare"];
+    for name in ["Full", "Linear", "CMC", "CMC-ERR"] {
+        assert!(
+            results[name] < bare * 0.5,
+            "{name} = {:.3} should halve bare = {bare:.3}",
+            results[name]
+        );
+    }
+    for name in ["AIM", "SIM", "JIGSAW"] {
+        assert!(
+            results[name] < bare * 2.0,
+            "{name} = {:.3} catastrophically worse than bare = {bare:.3}",
+            results[name]
+        );
+    }
+}

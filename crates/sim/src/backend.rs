@@ -1,0 +1,586 @@
+//! Simulated quantum backend: `(circuit, shots) → counts` with gate noise
+//! (Monte-Carlo Pauli trajectories) and measurement-error channels.
+//!
+//! This is the stand-in for the paper's IBMQ devices. Mitigation strategies
+//! talk only to this interface, so they cannot peek at the noise model —
+//! exactly the information boundary a real device imposes.
+
+use crate::channel::MeasurementChannel;
+use crate::circuit::Circuit;
+use crate::counts::Counts;
+use crate::gate::Gate;
+use crate::noise::NoiseModel;
+use crate::state::Statevector;
+use qem_topology::CouplingMap;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A simulated NISQ device.
+#[derive(Clone, Debug)]
+pub struct Backend {
+    /// Device name for reports.
+    pub name: String,
+    /// Physical two-qubit connectivity.
+    pub coupling: CouplingMap,
+    /// The noise truth (hidden from strategies by convention).
+    pub noise: NoiseModel,
+    /// Number of Monte-Carlo trajectories for gate noise (1 = noiseless
+    /// gates shortcut when rates are zero).
+    pub trajectories: usize,
+}
+
+impl Backend {
+    /// Builds a backend. The default trajectory count is adapted to the
+    /// register size — each trajectory costs `O(gates · 2^n)`, and the
+    /// trajectory average's Monte-Carlo error is independent of `n`, so
+    /// large registers trade a little gate-noise resolution for tractable
+    /// sweeps (override via the public field for precision studies).
+    pub fn new(coupling: CouplingMap, noise: NoiseModel) -> Self {
+        let n = coupling.num_qubits();
+        let trajectories = if n >= 18 {
+            6
+        } else if n >= 14 {
+            12
+        } else {
+            24
+        };
+        assert_eq!(n, noise.n, "coupling/noise width mismatch");
+        assert!(
+            n <= 64,
+            "simulated registers are capped at 64 qubits (u64 bitstrings); \
+             topology/scheduling algorithms have no such limit"
+        );
+        Backend { name: coupling.name.clone(), coupling, noise, trajectories }
+    }
+
+    /// Register width.
+    pub fn num_qubits(&self) -> usize {
+        self.noise.n
+    }
+
+    /// Runs one trajectory: the circuit with stochastic Pauli insertions
+    /// after each gate, returning full-register Born probabilities.
+    fn trajectory(&self, circuit: &Circuit, rng: &mut StdRng) -> Vec<f64> {
+        let mut sv = Statevector::zero_state(circuit.num_qubits());
+        let (p1, p2) = (self.noise.gate_error_1q, self.noise.gate_error_2q);
+        for g in circuit.gates() {
+            sv.apply(g);
+            let p = if g.is_two_qubit() { p2 } else { p1 };
+            if p > 0.0 {
+                for q in g.qubits() {
+                    if rng.gen::<f64>() < p {
+                        // Uniform random Pauli (depolarising trajectory).
+                        match rng.gen_range(0..3) {
+                            0 => sv.apply(&Gate::X(q)),
+                            1 => sv.apply(&Gate::Y(q)),
+                            _ => sv.apply(&Gate::Z(q)),
+                        }
+                    }
+                }
+            }
+        }
+        sv.probabilities()
+    }
+
+    /// The probability distribution over the circuit's *measured* bits that
+    /// the noisy device reports: gate-noise trajectories averaged, the
+    /// **full** measurement-error channel applied on the whole register
+    /// (correlated readout events condition on the true state of
+    /// neighbouring qubits, measured or not), then marginalised to the
+    /// measured qubits.
+    ///
+    /// X-only circuits (all calibration basis preparations) take an exact
+    /// classical fast path: per-qubit flip parities under depolarising
+    /// insertions have a closed form, equivalent to infinitely many
+    /// trajectories, and the pre-measurement state is a per-qubit product —
+    /// the channel is applied on the *correlation closure* of the measured
+    /// set, so a 4-shot calibration round on a 20-qubit register never
+    /// touches the 2²⁰ statevector.
+    pub fn noisy_distribution(&self, circuit: &Circuit, rng: &mut StdRng) -> Vec<f64> {
+        let n = circuit.num_qubits();
+        let measured = circuit.measured();
+
+        if let Some(out) = self.classical_distribution(circuit) {
+            return out;
+        }
+
+        let gate_noise = self.noise.gate_error_1q > 0.0 || self.noise.gate_error_2q > 0.0;
+        let runs = if gate_noise { self.trajectories.max(1) } else { 1 };
+        let mut acc = vec![0.0; 1 << n];
+        for _ in 0..runs {
+            let p = self.trajectory(circuit, rng);
+            for (a, b) in acc.iter_mut().zip(&p) {
+                *a += b;
+            }
+        }
+        for a in &mut acc {
+            *a /= runs as f64;
+        }
+
+        let noisy = self.noise.measurement_channel().apply_dense(&acc);
+        marginalize_dense(&noisy, n, measured)
+    }
+
+    /// Exact per-component measured-bit distributions for circuits
+    /// containing only X gates, `None` otherwise.
+    ///
+    /// Each X gate is followed (under the depolarising model) by a random
+    /// Pauli with probability `p`; X and Y insertions flip the bit
+    /// (probability `2p/3` each gate), so the final flip parity has the
+    /// closed form `P(odd) = (1 − (1 − 4p/3)^g) / 2` for `g` gates —
+    /// equivalent to infinitely many trajectories.
+    ///
+    /// The measured qubits split into *correlation components* (connected
+    /// via chains of channel factors); each component's distribution is
+    /// computed exactly on its own small space and returned as
+    /// `(measured-bit positions, distribution)`. Components multiply, so
+    /// the register width never appears as an exponent — the engine of the
+    /// §VII "sparse methods scale to 50+ qubits" claim.
+    fn classical_components(&self, circuit: &Circuit) -> Option<Vec<(Vec<usize>, Vec<f64>)>> {
+        let n = self.num_qubits();
+        let mut x_count = vec![0usize; n];
+        for g in circuit.gates() {
+            match g {
+                Gate::X(q) => x_count[*q] += 1,
+                _ => return None,
+            }
+        }
+        let measured = circuit.measured();
+        let channel = self.noise.measurement_channel();
+
+        // Union-find over qubits joined by channel factors.
+        let mut parent: Vec<usize> = (0..n).collect();
+        fn find(parent: &mut Vec<usize>, mut x: usize) -> usize {
+            while parent[x] != x {
+                parent[x] = parent[parent[x]];
+                x = parent[x];
+            }
+            x
+        }
+        for f in channel.factors() {
+            for w in f.qubits.windows(2) {
+                let (a, b) = (find(&mut parent, w[0]), find(&mut parent, w[1]));
+                if a != b {
+                    parent[a] = b;
+                }
+            }
+        }
+
+        // Collect the components containing at least one measured qubit.
+        let mut groups: std::collections::HashMap<usize, Vec<usize>> =
+            std::collections::HashMap::new();
+        let mut measured_roots: std::collections::HashSet<usize> =
+            std::collections::HashSet::new();
+        for &q in measured {
+            measured_roots.insert(find(&mut parent, q));
+        }
+        for q in 0..n {
+            let root = find(&mut parent, q);
+            if measured_roots.contains(&root) {
+                groups.entry(root).or_default().push(q);
+            }
+        }
+
+        let p = self.noise.gate_error_1q;
+        let one_prob = |q: usize| -> f64 {
+            let ideal = (x_count[q] % 2) as f64;
+            if p == 0.0 || x_count[q] == 0 {
+                return ideal;
+            }
+            let flip = (1.0 - (1.0 - 4.0 * p / 3.0).powi(x_count[q] as i32)) / 2.0;
+            ideal * (1.0 - flip) + (1.0 - ideal) * flip
+        };
+        let measured_pos = |q: usize| measured.iter().position(|&m| m == q);
+
+        let mut components = Vec::with_capacity(groups.len());
+        let mut roots: Vec<usize> = groups.keys().copied().collect();
+        roots.sort_unstable();
+        for root in roots {
+            let qubits = &groups[&root];
+            if qubits.len() > 24 {
+                return None; // a correlation cluster too wide to enumerate
+            }
+            let local = |q: usize| qubits.iter().position(|&c| c == q).expect("component qubit");
+            // Product pre-measurement state over the component.
+            let dim = 1usize << qubits.len();
+            let mut state = vec![1.0; dim];
+            for (bit, &q) in qubits.iter().enumerate() {
+                let p1 = one_prob(q);
+                for (s, w) in state.iter_mut().enumerate() {
+                    *w *= if (s >> bit) & 1 == 1 { p1 } else { 1.0 - p1 };
+                }
+            }
+            // Apply the factors living in this component.
+            for f in channel.factors() {
+                if f.qubits.iter().any(|&q| qubits.contains(&q)) {
+                    let targets: Vec<usize> = f.qubits.iter().map(|&q| local(q)).collect();
+                    state =
+                        qem_linalg::stochastic::apply_on_qubits(&f.matrix, &targets, &state)
+                            .expect("component factor application");
+                }
+            }
+            // Marginalise onto the measured members, recording their
+            // positions in the measurement register.
+            let inside_measured: Vec<usize> =
+                qubits.iter().copied().filter(|&q| measured_pos(q).is_some()).collect();
+            let local_bits: Vec<usize> = inside_measured.iter().map(|&q| local(q)).collect();
+            let dist = marginalize_dense(&state, qubits.len(), &local_bits);
+            let positions: Vec<usize> =
+                inside_measured.iter().map(|&q| measured_pos(q).expect("measured")).collect();
+            components.push((positions, dist));
+        }
+        Some(components)
+    }
+
+    /// Dense measured-bit distribution for X-only circuits, assembled from
+    /// the correlation components; `None` when the circuit has non-X gates
+    /// or the measured register is too wide to hold densely.
+    fn classical_distribution(&self, circuit: &Circuit) -> Option<Vec<f64>> {
+        let measured = circuit.measured();
+        if measured.len() > 26 {
+            return None;
+        }
+        let components = self.classical_components(circuit)?;
+        let mut out = vec![1.0; 1 << measured.len()];
+        for (positions, dist) in components {
+            for (s, w) in out.iter_mut().enumerate() {
+                let mut sub = 0usize;
+                for (bit, &pos) in positions.iter().enumerate() {
+                    sub |= ((s >> pos) & 1) << bit;
+                }
+                *w *= dist[sub];
+            }
+        }
+        Some(out)
+    }
+
+    /// The measurement channel restricted to a measured-qubit subset.
+    pub fn measurement_channel_for(&self, measured: &[usize]) -> MeasurementChannel {
+        let full = self.noise.measurement_channel();
+        if measured.len() == self.num_qubits()
+            && measured.iter().enumerate().all(|(k, &q)| k == q)
+        {
+            full
+        } else {
+            full.restrict_to(measured)
+        }
+    }
+
+    /// Executes a batch of circuits in parallel (rayon), one deterministic
+    /// RNG stream per circuit derived from `base_seed` — calibration rounds
+    /// and sweep harnesses are embarrassingly parallel across circuits.
+    pub fn execute_batch(
+        &self,
+        circuits: &[Circuit],
+        shots: u64,
+        base_seed: u64,
+    ) -> Vec<Counts> {
+        use rayon::prelude::*;
+        circuits
+            .par_iter()
+            .enumerate()
+            .map(|(i, c)| {
+                let mut rng = StdRng::seed_from_u64(
+                    base_seed.wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(i as u64 + 1)),
+                );
+                self.execute(c, shots, &mut rng)
+            })
+            .collect()
+    }
+
+    /// Executes the circuit for `shots` shots, returning the histogram over
+    /// measured bits (LSB = first measured qubit).
+    ///
+    /// X-only circuits with small correlation components are sampled
+    /// component-wise, so calibration workloads run on registers far beyond
+    /// dense reach (50+ qubits); everything else goes through the dense
+    /// distribution.
+    pub fn execute(&self, circuit: &Circuit, shots: u64, rng: &mut StdRng) -> Counts {
+        assert_eq!(
+            circuit.num_qubits(),
+            self.num_qubits(),
+            "circuit width {} does not match device {}",
+            circuit.num_qubits(),
+            self.num_qubits()
+        );
+        if circuit.measured().len() > 26 {
+            if let Some(components) = self.classical_components(circuit) {
+                return sample_components(&components, circuit.measured().len(), shots, rng);
+            }
+        }
+        let probs = self.noisy_distribution(circuit, rng);
+        sample_counts(&probs, circuit.measured().len(), shots, rng)
+    }
+}
+
+/// Marginalises a dense `2^n` distribution onto the given bit positions.
+pub fn marginalize_dense(p: &[f64], n: usize, bits: &[usize]) -> Vec<f64> {
+    assert_eq!(p.len(), 1 << n);
+    let mut out = vec![0.0; 1 << bits.len()];
+    for (s, &w) in p.iter().enumerate() {
+        if w == 0.0 {
+            continue;
+        }
+        let mut sub = 0usize;
+        for (k, &b) in bits.iter().enumerate() {
+            sub |= ((s >> b) & 1) << k;
+        }
+        out[sub] += w;
+    }
+    out
+}
+
+/// Samples `shots` outcomes from independent per-component distributions:
+/// each shot draws every component once and scatters its bits into the
+/// measurement register. Width-independent cost.
+pub fn sample_components(
+    components: &[(Vec<usize>, Vec<f64>)],
+    n_bits: usize,
+    shots: u64,
+    rng: &mut StdRng,
+) -> Counts {
+    // Per-component CDFs.
+    let cdfs: Vec<(f64, Vec<f64>)> = components
+        .iter()
+        .map(|(_, dist)| {
+            let mut cdf = Vec::with_capacity(dist.len());
+            let mut acc = 0.0;
+            for &p in dist {
+                acc += p.max(0.0);
+                cdf.push(acc);
+            }
+            assert!(acc > 0.0, "zero-mass component distribution");
+            (acc, cdf)
+        })
+        .collect();
+    let mut counts = Counts::new(n_bits);
+    for _ in 0..shots {
+        let mut outcome = 0u64;
+        for ((positions, _), (total, cdf)) in components.iter().zip(&cdfs) {
+            let r = rng.gen::<f64>() * total;
+            let idx = cdf.partition_point(|&c| c < r).min(cdf.len() - 1);
+            for (bit, &pos) in positions.iter().enumerate() {
+                outcome |= (((idx >> bit) & 1) as u64) << pos;
+            }
+        }
+        counts.record(outcome);
+    }
+    counts
+}
+
+/// Multinomial-samples `shots` outcomes from a probability vector.
+///
+/// Negative round-off entries are clamped; the CDF is normalised, so small
+/// numerical drift in the input cannot bias sampling.
+pub fn sample_counts(probs: &[f64], n_bits: usize, shots: u64, rng: &mut StdRng) -> Counts {
+    assert_eq!(probs.len(), 1 << n_bits, "distribution/bit-width mismatch");
+    let mut cdf = Vec::with_capacity(probs.len());
+    let mut acc = 0.0;
+    for &p in probs {
+        acc += p.max(0.0);
+        cdf.push(acc);
+    }
+    assert!(acc > 0.0, "cannot sample from zero-mass distribution");
+    let mut counts = Counts::new(n_bits);
+    for _ in 0..shots {
+        let r = rng.gen::<f64>() * acc;
+        // First index with cdf[i] >= r.
+        let idx = cdf.partition_point(|&c| c < r).min(probs.len() - 1);
+        counts.record(idx as u64);
+    }
+    counts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::circuit::{basis_prep, ghz_bfs, x_chain};
+    use qem_topology::coupling::linear;
+
+
+    fn rng(seed: u64) -> StdRng {
+        StdRng::seed_from_u64(seed)
+    }
+
+    fn noiseless_backend(n: usize) -> Backend {
+        Backend::new(linear(n), NoiseModel::noiseless(n))
+    }
+
+    #[test]
+    fn noiseless_ghz_splits_evenly() {
+        let b = noiseless_backend(4);
+        let c = ghz_bfs(&b.coupling.graph, 0);
+        let counts = b.execute(&c, 10_000, &mut rng(1));
+        assert_eq!(counts.shots(), 10_000);
+        let p = counts.success_probability(&[0, 15]);
+        assert!((p - 1.0).abs() < 1e-9, "success {p}");
+        let p0 = counts.probability(0);
+        assert!((p0 - 0.5).abs() < 0.02, "p0 = {p0}");
+    }
+
+    #[test]
+    fn readout_errors_shift_distribution() {
+        let n = 3;
+        let mut noise = NoiseModel::noiseless(n);
+        noise.p_flip1 = vec![0.2; n]; // strong decay
+        let b = Backend::new(linear(n), noise);
+        let c = basis_prep(n, 0b111);
+        let d = b.noisy_distribution(&c, &mut rng(2));
+        assert!((d[0b111] - 0.8_f64.powi(3)).abs() < 1e-9);
+        assert!(d[0b011] > 0.0);
+    }
+
+    #[test]
+    fn state_dependence_matches_fig3_shape() {
+        // X-chains: even depth ends in |0⟩ (error-free under decay-only
+        // noise), odd depth in |1⟩ (errors ∝ p_flip1).
+        let n = 1;
+        let mut noise = NoiseModel::noiseless(n);
+        noise.p_flip1 = vec![0.1];
+        let b = Backend::new(linear(n), noise);
+        let even = b.noisy_distribution(&x_chain(n, 0, 4), &mut rng(3));
+        let odd = b.noisy_distribution(&x_chain(n, 0, 5), &mut rng(3));
+        assert!((even[0] - 1.0).abs() < 1e-12);
+        assert!((odd[1] - 0.9).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gate_noise_decays_ghz_with_depth() {
+        let n = 5;
+        let mut noise = NoiseModel::noiseless(n);
+        noise.gate_error_2q = 0.05; // exaggerated for signal
+        let mut b = Backend::new(linear(n), noise);
+        b.trajectories = 64;
+        let c = ghz_bfs(&b.coupling.graph, 0);
+        let d = b.noisy_distribution(&c, &mut rng(4));
+        let success = d[0] + d[(1 << n) - 1];
+        assert!(success < 0.999, "gate noise had no effect");
+        assert!(success > 0.5, "gate noise implausibly destructive: {success}");
+        assert!((d.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn correlated_noise_produces_joint_flips() {
+        let n = 2;
+        let mut noise = NoiseModel::noiseless(n);
+        noise.add_correlated(&[0, 1], 0.25);
+        let b = Backend::new(linear(n), noise);
+        let d = b.noisy_distribution(&basis_prep(n, 0), &mut rng(5));
+        assert!((d[0b00] - 0.75).abs() < 1e-12);
+        assert!((d[0b11] - 0.25).abs() < 1e-12);
+        assert_eq!(d[0b01], 0.0);
+        assert_eq!(d[0b10], 0.0);
+    }
+
+    #[test]
+    fn subset_measurement_uses_restricted_channel() {
+        let n = 3;
+        let mut noise = NoiseModel::noiseless(n);
+        noise.p_flip0 = vec![0.5, 0.0, 0.0]; // huge error on unmeasured q0
+        let b = Backend::new(linear(n), noise);
+        let mut c = basis_prep(n, 0b010);
+        c.measure_only(&[1, 2]);
+        let d = b.noisy_distribution(&c, &mut rng(6));
+        // Measured bits (q1, q2) = (1, 0) untouched by q0's noise.
+        assert_eq!(d.len(), 4);
+        assert!((d[0b01] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn classical_fast_path_matches_trajectories() {
+        // X-chain under gate noise: the closed form must agree with a large
+        // trajectory ensemble.
+        let n = 2;
+        let mut noise = NoiseModel::noiseless(n);
+        noise.gate_error_1q = 0.02;
+        let mut b = Backend::new(linear(n), noise);
+        let c = x_chain(n, 0, 7);
+        let fast = b.noisy_distribution(&c, &mut rng(20)); // fast path
+        // Force the trajectory path by adding a non-X gate that is identity
+        // in effect (RZ on an unmeasured phase) — compare a 1-qubit marginal.
+        b.trajectories = 20_000;
+        let mut c2 = x_chain(n, 0, 7);
+        c2.push(crate::gate::Gate::RZ(1, 0.0));
+        let slow = b.noisy_distribution(&c2, &mut rng(21));
+        for s in 0..4 {
+            assert!(
+                (fast[s] - slow[s]).abs() < 0.02,
+                "state {s}: fast {} vs trajectories {}",
+                fast[s],
+                slow[s]
+            );
+        }
+    }
+
+    #[test]
+    fn classical_fast_path_large_register() {
+        // 24 qubits would be slow (2^24 statevector) on the general path;
+        // the X-only fast path with subset measurement must be instant.
+        let n = 24;
+        let mut noise = NoiseModel::noiseless(n);
+        noise.p_flip1 = vec![0.1; n];
+        noise.gate_error_1q = 0.001;
+        let b = Backend::new(linear(n), noise);
+        let mut c = basis_prep(n, (1 << n) - 1);
+        c.measure_only(&[0, 23]);
+        let d = b.noisy_distribution(&c, &mut rng(22));
+        assert_eq!(d.len(), 4);
+        assert!((d[0b11] - 0.81).abs() < 0.01);
+    }
+
+    #[test]
+    fn execute_batch_matches_sequential_streams() {
+        let b = Backend::new(linear(3), NoiseModel::random_biased(3, 0.02, 0.08, 1));
+        let circuits = vec![
+            ghz_bfs(&b.coupling.graph, 0),
+            basis_prep(3, 0b101),
+            basis_prep(3, 0b010),
+        ];
+        let batch = b.execute_batch(&circuits, 2000, 7);
+        assert_eq!(batch.len(), 3);
+        for (i, counts) in batch.iter().enumerate() {
+            assert_eq!(counts.shots(), 2000, "circuit {i}");
+        }
+        // Deterministic across calls.
+        let again = b.execute_batch(&circuits, 2000, 7);
+        assert_eq!(batch, again);
+        // Different base seed, different streams.
+        let other = b.execute_batch(&circuits, 2000, 8);
+        assert_ne!(batch, other);
+    }
+
+    #[test]
+    fn execute_is_deterministic_per_seed() {
+        let b = Backend::new(linear(3), NoiseModel::random_biased(3, 0.02, 0.08, 1));
+        let c = ghz_bfs(&b.coupling.graph, 0);
+        let a = b.execute(&c, 500, &mut rng(7));
+        let b2 = b.execute(&c, 500, &mut rng(7));
+        assert_eq!(a, b2);
+    }
+
+    #[test]
+    fn marginalize_dense_sums_correctly() {
+        let p = vec![0.1, 0.2, 0.3, 0.4]; // 2 qubits
+        let m = marginalize_dense(&p, 2, &[0]);
+        assert!((m[0] - 0.4).abs() < 1e-12);
+        assert!((m[1] - 0.6).abs() < 1e-12);
+        let m = marginalize_dense(&p, 2, &[1, 0]);
+        // bit order swapped: sub = (q1 value) | (q0 value)<<1
+        assert!((m[0b10] - 0.2).abs() < 1e-12);
+        assert!((m[0b01] - 0.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sample_counts_statistics() {
+        let probs = vec![0.7, 0.3];
+        let c = sample_counts(&probs, 1, 100_000, &mut rng(8));
+        assert_eq!(c.shots(), 100_000);
+        assert!((c.probability(0) - 0.7).abs() < 0.01);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero-mass")]
+    fn sampling_zero_mass_panics() {
+        let _ = sample_counts(&[0.0, 0.0], 1, 10, &mut rng(9));
+    }
+}

@@ -1,0 +1,412 @@
+//! Measurement-error channels: state-dependent and correlated stochastic
+//! maps on measurement distributions — the error models of the paper's
+//! Fig. 10 and §V-A.
+//!
+//! A channel is an ordered product of column-stochastic factors, each acting
+//! on a small qubit subset. Applying the channel to an ideal Born
+//! distribution yields the distribution a noisy readout would report; this
+//! is exactly how the paper's simulations inject measurement errors
+//! ("apply the constructed measurement error channel to this output
+//! vector").
+
+use qem_linalg::dense::Matrix;
+use qem_linalg::sparse_apply::{apply_operator_sparse, SparseDist};
+use qem_linalg::stochastic::{apply_on_qubits, embed, is_column_stochastic, true_marginal};
+
+/// One stochastic factor of a channel.
+#[derive(Clone, Debug)]
+pub struct ChannelFactor {
+    /// Target qubits (ascending bit-significance order of the matrix).
+    pub qubits: Vec<usize>,
+    /// Column-stochastic `2^k × 2^k` matrix.
+    pub matrix: Matrix,
+}
+
+/// A measurement-error channel on an `n`-qubit register.
+#[derive(Clone, Debug, Default)]
+pub struct MeasurementChannel {
+    n: usize,
+    factors: Vec<ChannelFactor>,
+}
+
+/// Single-qubit readout matrix with `P(read 1 | true 0) = p_flip0` and
+/// `P(read 0 | true 1) = p_flip1` (column-stochastic).
+pub fn readout_matrix(p_flip0: f64, p_flip1: f64) -> Matrix {
+    assert!((0.0..=1.0).contains(&p_flip0) && (0.0..=1.0).contains(&p_flip1));
+    Matrix::from_rows(&[&[1.0 - p_flip0, p_flip1], &[p_flip0, 1.0 - p_flip1]])
+}
+
+/// Joint-flip matrix on `k` qubits: with probability `p` all `k` bits flip
+/// together. For `k ≥ 2` this is correlated — it cannot be written as a
+/// product of single-qubit channels.
+pub fn joint_flip_matrix(k: usize, p: f64) -> Matrix {
+    let dim = 1usize << k;
+    let mut m = Matrix::zeros(dim, dim);
+    let all = dim - 1;
+    for c in 0..dim {
+        m[(c, c)] += 1.0 - p;
+        m[(c ^ all, c)] += p;
+    }
+    m
+}
+
+/// State-dependent joint decay on `k` qubits: the all-ones state decays to
+/// all-zeros with probability `p`; every other state is untouched. This is
+/// the paper's four-qubit state-dependent channel with its "single
+/// non-diagonal entry" (Fig. 10 right).
+pub fn joint_decay_matrix(k: usize, p: f64) -> Matrix {
+    let dim = 1usize << k;
+    let mut m = Matrix::identity(dim);
+    let all = dim - 1;
+    m[(all, all)] = 1.0 - p;
+    m[(0, all)] = p;
+    m
+}
+
+impl MeasurementChannel {
+    /// The identity (error-free) channel.
+    pub fn identity(n: usize) -> Self {
+        MeasurementChannel { n, factors: Vec::new() }
+    }
+
+    /// Register width.
+    pub fn num_qubits(&self) -> usize {
+        self.n
+    }
+
+    /// The ordered factors.
+    pub fn factors(&self) -> &[ChannelFactor] {
+        &self.factors
+    }
+
+    /// Appends a stochastic factor on `qubits`.
+    ///
+    /// # Panics
+    /// Panics when the matrix is not column-stochastic for the qubit count,
+    /// or targets are out of range / duplicated — these are model
+    /// construction bugs.
+    pub fn push_factor(&mut self, qubits: &[usize], matrix: Matrix) {
+        assert_eq!(matrix.rows(), 1 << qubits.len(), "factor dimension mismatch");
+        assert!(
+            is_column_stochastic(&matrix, 1e-9),
+            "channel factor must be column-stochastic"
+        );
+        let mut sorted = qubits.to_vec();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), qubits.len(), "duplicate channel target");
+        for &q in qubits {
+            assert!(q < self.n, "channel target {q} outside register");
+        }
+        self.factors.push(ChannelFactor { qubits: qubits.to_vec(), matrix });
+    }
+
+    /// Per-qubit state-dependent readout errors.
+    pub fn state_dependent(n: usize, p_flip0: &[f64], p_flip1: &[f64]) -> Self {
+        assert_eq!(p_flip0.len(), n);
+        assert_eq!(p_flip1.len(), n);
+        let mut ch = MeasurementChannel::identity(n);
+        for q in 0..n {
+            if p_flip0[q] != 0.0 || p_flip1[q] != 0.0 {
+                ch.push_factor(&[q], readout_matrix(p_flip0[q], p_flip1[q]));
+            }
+        }
+        ch
+    }
+
+    /// Uniform symmetric per-qubit flips (Fig. 10's uncorrelated channel).
+    pub fn uniform_flips(n: usize, p: f64) -> Self {
+        let ps = vec![p; n];
+        MeasurementChannel::state_dependent(n, &ps, &ps)
+    }
+
+    /// Adds a correlated joint flip over `qubits` with probability `p`.
+    pub fn add_correlated_flip(&mut self, qubits: &[usize], p: f64) {
+        self.push_factor(qubits, joint_flip_matrix(qubits.len(), p));
+    }
+
+    /// Adds a state-dependent joint decay over `qubits` with probability `p`.
+    pub fn add_joint_decay(&mut self, qubits: &[usize], p: f64) {
+        self.push_factor(qubits, joint_decay_matrix(qubits.len(), p));
+    }
+
+    /// Fig. 10 correlated family: joint flips on all pairs of the register.
+    pub fn all_pairs_correlated(n: usize, p: f64) -> Self {
+        let mut ch = MeasurementChannel::identity(n);
+        for i in 0..n {
+            for j in i + 1..n {
+                ch.add_correlated_flip(&[i, j], p);
+            }
+        }
+        ch
+    }
+
+    /// Fig. 10 correlated family: joint flips on all triplets.
+    pub fn all_triplets_correlated(n: usize, p: f64) -> Self {
+        let mut ch = MeasurementChannel::identity(n);
+        for i in 0..n {
+            for j in i + 1..n {
+                for k in j + 1..n {
+                    ch.add_correlated_flip(&[i, j, k], p);
+                }
+            }
+        }
+        ch
+    }
+
+    /// Fig. 10's full-register channel: flip every bit with probability `p`.
+    pub fn global_flip(n: usize, p: f64) -> Self {
+        let mut ch = MeasurementChannel::identity(n);
+        let qs: Vec<usize> = (0..n).collect();
+        ch.add_correlated_flip(&qs, p);
+        ch
+    }
+
+    /// Concatenates another channel's factors after this one's.
+    pub fn compose(&mut self, other: &MeasurementChannel) {
+        assert_eq!(self.n, other.n, "composing channels of different widths");
+        self.factors.extend(other.factors.iter().cloned());
+    }
+
+    /// Applies the channel to a dense probability vector of length `2^n`.
+    pub fn apply_dense(&self, probs: &[f64]) -> Vec<f64> {
+        assert_eq!(probs.len(), 1 << self.n, "distribution width mismatch");
+        let mut p = probs.to_vec();
+        for f in &self.factors {
+            p = apply_on_qubits(&f.matrix, &f.qubits, &p)
+                .expect("validated factor application cannot fail");
+        }
+        p
+    }
+
+    /// Applies the channel to a sparse distribution.
+    pub fn apply_sparse(&self, dist: &SparseDist) -> SparseDist {
+        let mut d = dist.clone();
+        for f in &self.factors {
+            d = apply_operator_sparse(&f.matrix, &f.qubits, &d)
+                .expect("validated factor application cannot fail");
+        }
+        d
+    }
+
+    /// Restriction of the channel to a measured qubit subset: factors fully
+    /// inside `measured` survive; partially-overlapping factors are replaced
+    /// by their exact probabilistic marginal onto the overlap (unmeasured
+    /// qubits are never read out, so their correlations act only through the
+    /// marginal); disjoint factors vanish.
+    pub fn restrict_to(&self, measured: &[usize]) -> MeasurementChannel {
+        // Map physical qubit index -> position in the measured register.
+        let mut pos = std::collections::HashMap::new();
+        for (k, &q) in measured.iter().enumerate() {
+            pos.insert(q, k);
+        }
+        let mut out = MeasurementChannel::identity(measured.len());
+        for f in &self.factors {
+            let inside: Vec<usize> = f
+                .qubits
+                .iter()
+                .enumerate()
+                .filter(|(_, q)| pos.contains_key(q))
+                .map(|(local, _)| local)
+                .collect();
+            if inside.is_empty() {
+                continue;
+            }
+            let targets: Vec<usize> = f
+                .qubits
+                .iter()
+                .filter(|q| pos.contains_key(q))
+                .map(|q| pos[q])
+                .collect();
+            if inside.len() == f.qubits.len() {
+                out.push_factor(&targets, f.matrix.clone());
+            } else {
+                let traced: Vec<usize> = (0..f.qubits.len())
+                    .filter(|local| !inside.contains(local))
+                    .collect();
+                let reduced = true_marginal(&f.matrix, &traced)
+                    .expect("factor marginalisation cannot fail");
+                out.push_factor(&targets, reduced);
+            }
+        }
+        out
+    }
+
+    /// Dense `2^n × 2^n` matrix of the whole channel — ground truth for
+    /// tests and the Fig. 10 Hinton diagrams. Exponential; small `n` only.
+    pub fn full_matrix(&self) -> Matrix {
+        let mut m = Matrix::identity(1 << self.n);
+        for f in &self.factors {
+            let e = embed(&f.matrix, &f.qubits, self.n).expect("validated embed");
+            m = e.matmul(&m).expect("square product");
+        }
+        m
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qem_linalg::stochastic::normalized_partial_trace;
+    use qem_linalg::vector::l1_norm;
+
+    #[test]
+    fn readout_matrix_stochastic() {
+        let m = readout_matrix(0.05, 0.08);
+        assert!(is_column_stochastic(&m, 1e-12));
+        assert_eq!(m[(1, 0)], 0.05);
+        assert_eq!(m[(0, 1)], 0.08);
+    }
+
+    #[test]
+    fn joint_flip_is_correlated_not_product() {
+        let m = joint_flip_matrix(2, 0.1);
+        assert!(is_column_stochastic(&m, 1e-12));
+        // Its single-qubit marginals are flips with p = 0.1, but the product
+        // of marginals ≠ joint: P(both flip) = 0.1 ≠ 0.1².
+        let m0 = normalized_partial_trace(&m, &[1]).unwrap();
+        let prod = m0.kron(&m0);
+        assert!(m.max_abs_diff(&prod).unwrap() > 0.05);
+    }
+
+    #[test]
+    fn joint_decay_single_offdiagonal() {
+        let m = joint_decay_matrix(4, 0.2);
+        let mut offdiag = 0;
+        for i in 0..16 {
+            for j in 0..16 {
+                if i != j && m[(i, j)] != 0.0 {
+                    offdiag += 1;
+                    assert_eq!((i, j), (0, 15));
+                }
+            }
+        }
+        assert_eq!(offdiag, 1);
+        assert!(is_column_stochastic(&m, 1e-12));
+    }
+
+    #[test]
+    fn identity_channel_is_noop() {
+        let ch = MeasurementChannel::identity(3);
+        let p = vec![0.125; 8];
+        assert_eq!(ch.apply_dense(&p), p);
+        assert!(ch.full_matrix().max_abs_diff(&Matrix::identity(8)).unwrap() < 1e-15);
+    }
+
+    #[test]
+    fn state_dependent_channel_biases_ones() {
+        // Only |1⟩→|0⟩ decay: the all-zeros state is error-free (paper
+        // Fig. 12b setup).
+        let n = 3;
+        let ch = MeasurementChannel::state_dependent(n, &[0.0; 3], &[0.1; 3]);
+        let mut p0 = vec![0.0; 8];
+        p0[0] = 1.0;
+        let out = ch.apply_dense(&p0);
+        assert!((out[0] - 1.0).abs() < 1e-12, "all-zeros must be untouched");
+
+        let mut p7 = vec![0.0; 8];
+        p7[7] = 1.0;
+        let out = ch.apply_dense(&p7);
+        assert!((out[7] - 0.9_f64.powi(3)).abs() < 1e-12);
+        assert!(out[0] > 0.0);
+    }
+
+    #[test]
+    fn channel_preserves_probability_mass() {
+        let mut ch = MeasurementChannel::uniform_flips(4, 0.05);
+        ch.add_correlated_flip(&[0, 2], 0.04);
+        ch.add_joint_decay(&[1, 3], 0.06);
+        let p: Vec<f64> = (0..16).map(|i| (i + 1) as f64 / 136.0).collect();
+        let out = ch.apply_dense(&p);
+        assert!((l1_norm(&out) - 1.0).abs() < 1e-12);
+        assert!(out.iter().all(|&x| x >= 0.0));
+    }
+
+    #[test]
+    fn dense_and_sparse_agree() {
+        let mut ch = MeasurementChannel::uniform_flips(4, 0.03);
+        ch.add_correlated_flip(&[1, 2], 0.05);
+        let p: Vec<f64> = (0..16).map(|i| ((i * 7 + 3) % 11) as f64).collect();
+        let total: f64 = p.iter().sum();
+        let p: Vec<f64> = p.into_iter().map(|x| x / total).collect();
+        let dense_out = ch.apply_dense(&p);
+        let sparse_out = ch.apply_sparse(&SparseDist::from_dense(&p));
+        for (s, &e) in dense_out.iter().enumerate() {
+            assert!((sparse_out.get(s as u64) - e).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn full_matrix_matches_factor_application() {
+        let mut ch = MeasurementChannel::state_dependent(3, &[0.02, 0.0, 0.05], &[0.04, 0.08, 0.0]);
+        ch.add_correlated_flip(&[0, 2], 0.03);
+        let m = ch.full_matrix();
+        assert!(is_column_stochastic(&m, 1e-9));
+        let p: Vec<f64> = (0..8).map(|i| (i + 1) as f64 / 36.0).collect();
+        let via_matrix = m.matvec(&p).unwrap();
+        let via_apply = ch.apply_dense(&p);
+        for (a, b) in via_matrix.iter().zip(&via_apply) {
+            assert!((a - b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn global_flip_swaps_extremes() {
+        let ch = MeasurementChannel::global_flip(4, 0.25);
+        let mut p = vec![0.0; 16];
+        p[0] = 1.0;
+        let out = ch.apply_dense(&p);
+        assert!((out[0] - 0.75).abs() < 1e-12);
+        assert!((out[15] - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn all_pairs_and_triplets_counts() {
+        let ch = MeasurementChannel::all_pairs_correlated(4, 0.02);
+        assert_eq!(ch.factors().len(), 6);
+        let ch = MeasurementChannel::all_triplets_correlated(4, 0.02);
+        assert_eq!(ch.factors().len(), 4);
+    }
+
+    #[test]
+    fn restrict_keeps_inner_factors() {
+        let mut ch = MeasurementChannel::identity(4);
+        ch.push_factor(&[1], readout_matrix(0.1, 0.2));
+        ch.add_correlated_flip(&[1, 3], 0.05);
+        ch.push_factor(&[0], readout_matrix(0.3, 0.3));
+        let r = ch.restrict_to(&[1, 3]);
+        assert_eq!(r.num_qubits(), 2);
+        // Qubit-0 factor dropped; the other two survive intact.
+        assert_eq!(r.factors().len(), 2);
+        assert_eq!(r.factors()[0].qubits, vec![0]); // physical 1 -> local 0
+        assert_eq!(r.factors()[1].qubits, vec![0, 1]);
+    }
+
+    #[test]
+    fn restrict_marginalises_straddling_factors() {
+        let mut ch = MeasurementChannel::identity(3);
+        ch.add_correlated_flip(&[0, 2], 0.1);
+        let r = ch.restrict_to(&[0, 1]);
+        assert_eq!(r.factors().len(), 1);
+        assert_eq!(r.factors()[0].qubits, vec![0]);
+        // Marginal of a joint flip is a single-qubit flip with the same p.
+        let expect = readout_matrix(0.1, 0.1);
+        assert!(r.factors()[0].matrix.max_abs_diff(&expect).unwrap() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "column-stochastic")]
+    fn non_stochastic_factor_rejected() {
+        let mut ch = MeasurementChannel::identity(1);
+        ch.push_factor(&[0], Matrix::from_rows(&[&[0.5, 0.5], &[0.4, 0.5]]));
+    }
+
+    #[test]
+    fn compose_appends_factors() {
+        let mut a = MeasurementChannel::uniform_flips(2, 0.1);
+        let b = MeasurementChannel::global_flip(2, 0.2);
+        let alen = a.factors().len();
+        a.compose(&b);
+        assert_eq!(a.factors().len(), alen + 1);
+    }
+}

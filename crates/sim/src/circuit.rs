@@ -1,0 +1,349 @@
+//! Circuit IR and the benchmark-circuit constructors of the paper's
+//! evaluation: GHZ-by-BFS (§V-B), X-gate chains (Fig. 3) and
+//! basis-preparation circuits for measurement calibration.
+
+use crate::gate::Gate;
+use crate::state::Statevector;
+use qem_topology::Graph;
+
+/// An ordered list of gates over a fixed-width register, measured in the
+/// computational basis at the end.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Circuit {
+    n: usize,
+    gates: Vec<Gate>,
+    /// Qubits whose measurement results the experiment uses, ascending.
+    measured: Vec<usize>,
+    /// Human-readable label carried into harness reports.
+    pub label: String,
+}
+
+impl Circuit {
+    /// An empty circuit over `n` qubits, measuring all of them.
+    pub fn new(n: usize) -> Circuit {
+        Circuit { n, gates: Vec::new(), measured: (0..n).collect(), label: String::new() }
+    }
+
+    /// Register width.
+    pub fn num_qubits(&self) -> usize {
+        self.n
+    }
+
+    /// Gates in application order.
+    pub fn gates(&self) -> &[Gate] {
+        &self.gates
+    }
+
+    /// Measured qubits (ascending).
+    pub fn measured(&self) -> &[usize] {
+        &self.measured
+    }
+
+    /// Appends a gate.
+    ///
+    /// # Panics
+    /// Panics if the gate addresses a qubit outside the register.
+    pub fn push(&mut self, g: Gate) {
+        for q in g.qubits() {
+            assert!(q < self.n, "gate {g:?} outside {}-qubit register", self.n);
+        }
+        self.gates.push(g);
+    }
+
+    /// Builder-style gate append.
+    pub fn with(mut self, g: Gate) -> Circuit {
+        self.push(g);
+        self
+    }
+
+    /// Restricts measurement to `qs` (deduplicated, sorted).
+    pub fn measure_only(&mut self, qs: &[usize]) {
+        let mut qs = qs.to_vec();
+        qs.sort_unstable();
+        qs.dedup();
+        for &q in &qs {
+            assert!(q < self.n, "measured qubit {q} outside register");
+        }
+        self.measured = qs;
+    }
+
+    /// Number of gates.
+    pub fn len(&self) -> usize {
+        self.gates.len()
+    }
+
+    /// True when the circuit has no gates.
+    pub fn is_empty(&self) -> bool {
+        self.gates.is_empty()
+    }
+
+    /// Counts of (single-qubit, two-qubit) gates — inputs to the gate error
+    /// model.
+    pub fn gate_counts(&self) -> (usize, usize) {
+        let two = self.gates.iter().filter(|g| g.is_two_qubit()).count();
+        (self.gates.len() - two, two)
+    }
+
+    /// Runs the circuit noiselessly and returns the full-register Born
+    /// probability vector.
+    pub fn ideal_probabilities(&self) -> Vec<f64> {
+        let mut sv = Statevector::zero_state(self.n);
+        for g in &self.gates {
+            sv.apply(g);
+        }
+        sv.probabilities()
+    }
+}
+
+/// GHZ circuit over the device (paper §V-B): Hadamard on `root`, then CNOTs
+/// following a breadth-first search of the coupling map so no routing or
+/// allocation choices can advantage any method.
+///
+/// # Panics
+/// Panics when the coupling graph is disconnected (GHZ needs to entangle
+/// every qubit).
+pub fn ghz_bfs(coupling: &Graph, root: usize) -> Circuit {
+    let n = coupling.num_vertices();
+    let mut c = Circuit::new(n);
+    c.label = format!("ghz-{n}");
+    c.push(Gate::H(root));
+    let tree = coupling.bfs_tree(root);
+    assert_eq!(
+        tree.len(),
+        n - 1,
+        "coupling map must be connected for a full-device GHZ state"
+    );
+    for (child, parent) in tree {
+        c.push(Gate::CNOT { control: parent, target: child });
+    }
+    c
+}
+
+/// The two classically verified GHZ outcomes: all zeros and all ones.
+pub fn ghz_ideal_states(n: usize) -> [u64; 2] {
+    [0, (1u64 << n) - 1]
+}
+
+/// Ideal GHZ distribution: ½ on `|0…0⟩`, ½ on `|1…1⟩`.
+pub fn ghz_ideal_distribution(n: usize) -> Vec<f64> {
+    let mut p = vec![0.0; 1 << n];
+    p[0] = 0.5;
+    p[(1 << n) - 1] = 0.5;
+    p
+}
+
+/// Fig. 3's state-dependent-error probe: `depth` sequential X gates on one
+/// qubit of an `n`-qubit register (transpiler folding deliberately absent —
+/// we store every gate).
+pub fn x_chain(n: usize, qubit: usize, depth: usize) -> Circuit {
+    let mut c = Circuit::new(n);
+    c.label = format!("x-chain-{depth}");
+    for _ in 0..depth {
+        c.push(Gate::X(qubit));
+    }
+    c
+}
+
+/// W-state circuit along a BFS path of the coupling map: the cascaded
+/// construction — `X` on the path head, then at each step a `CRY` splits
+/// the remaining excitation onto the next qubit followed by a back-`CNOT` —
+/// leaving the uniform one-hot superposition
+/// `(|10…0⟩ + |01…0⟩ + … + |0…01⟩)/√n` over the path qubits.
+///
+/// Where GHZ stresses the two extreme bitstrings, the W state spreads its
+/// support over `n` single-excitation outcomes, so mitigation quality on
+/// low-weight states is exercised.
+///
+/// # Panics
+/// Panics when the coupling graph is disconnected.
+pub fn w_state_bfs(coupling: &Graph, root: usize) -> Circuit {
+    let n = coupling.num_vertices();
+    // A Hamiltonian-ish chain: BFS order; each new vertex attaches to its
+    // BFS parent, which is already in the chain — CRY/CNOT pairs act along
+    // tree edges, all on the coupling map.
+    let mut c = Circuit::new(n);
+    c.label = format!("w-{n}");
+    c.push(Gate::X(root));
+    let tree = coupling.bfs_tree(root);
+    assert_eq!(tree.len(), n - 1, "coupling map must be connected for a W state");
+
+    // Subtree sizes of the BFS tree: a node's amplitude must spread
+    // uniformly over its whole subtree, so each split hands the child a
+    // `subtree(child) / pool(parent)` share of the probability still pooled
+    // at the parent. On a chain this reduces to the textbook
+    // `θ_k = 2·acos(√(1/(n−k)))` cascade.
+    let mut size = vec![1usize; n];
+    for &(child, parent) in tree.iter().rev() {
+        size[parent] += size[child];
+        let _ = child;
+    }
+    let mut pool = size.clone();
+    // BFS order guarantees a parent's edge precedes its child's edges.
+    for &(child, parent) in &tree {
+        let frac = size[child] as f64 / pool[parent] as f64;
+        let theta = 2.0 * frac.sqrt().asin();
+        pool[parent] -= size[child];
+        c.push(Gate::CRY(parent, child, theta));
+        c.push(Gate::CNOT { control: child, target: parent });
+    }
+    c
+}
+
+/// The `n` classically verified W-state outcomes (one-hot bitstrings).
+pub fn w_ideal_states(n: usize) -> Vec<u64> {
+    (0..n).map(|q| 1u64 << q).collect()
+}
+
+/// Calibration preparation circuit: X on every set bit of `state`,
+/// preparing the computational basis state `|state⟩` before measurement.
+pub fn basis_prep(n: usize, state: u64) -> Circuit {
+    assert!(n >= 64 || state < (1u64 << n), "state outside register");
+    let mut c = Circuit::new(n);
+    c.label = format!("prep-{state:0width$b}", width = n);
+    for q in 0..n {
+        if (state >> q) & 1 == 1 {
+            c.push(Gate::X(q));
+        }
+    }
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qem_topology::coupling::{grid, linear};
+    use qem_topology::devices::nairobi;
+
+    #[test]
+    fn ghz_on_line_produces_cat_state() {
+        let c = ghz_bfs(&linear(5).graph, 0);
+        assert_eq!(c.len(), 5); // H + 4 CNOTs
+        let p = c.ideal_probabilities();
+        assert!((p[0] - 0.5).abs() < 1e-12);
+        assert!((p[31] - 0.5).abs() < 1e-12);
+        assert!(p.iter().sum::<f64>() - 1.0 < 1e-12);
+    }
+
+    #[test]
+    fn ghz_respects_coupling_map() {
+        let g = nairobi().graph;
+        let c = ghz_bfs(&g, 0);
+        for gate in c.gates() {
+            if let Gate::CNOT { control, target } = *gate {
+                assert!(g.has_edge(control, target), "CNOT {control}->{target} off-map");
+            }
+        }
+        let p = c.ideal_probabilities();
+        assert!((p[0] - 0.5).abs() < 1e-12);
+        assert!((p[(1 << 7) - 1] - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ghz_on_grid_matches_ideal_distribution() {
+        let g = grid(2, 3).graph;
+        let c = ghz_bfs(&g, 2);
+        let p = c.ideal_probabilities();
+        let ideal = ghz_ideal_distribution(6);
+        for (a, b) in p.iter().zip(&ideal) {
+            assert!((a - b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "connected")]
+    fn ghz_rejects_disconnected_map() {
+        let g = Graph::from_edges(4, &[(0, 1), (2, 3)]);
+        let _ = ghz_bfs(&g, 0);
+    }
+
+    #[test]
+    fn w_state_on_chain_uniform_one_hot() {
+        let c = w_state_bfs(&linear(4).graph, 0);
+        let p = c.ideal_probabilities();
+        for s in 0..16usize {
+            let expect = if s.count_ones() == 1 { 0.25 } else { 0.0 };
+            assert!((p[s] - expect).abs() < 1e-12, "state {s}: {}", p[s]);
+        }
+    }
+
+    #[test]
+    fn w_state_on_branching_tree_uniform() {
+        // Nairobi's H topology: the BFS tree branches at the hubs; the
+        // subtree-weighted angles must still give exactly uniform 1/7.
+        let g = nairobi().graph;
+        let c = w_state_bfs(&g, 0);
+        let p = c.ideal_probabilities();
+        let mut total = 0.0;
+        for s in 0..(1usize << 7) {
+            if s.count_ones() == 1 {
+                assert!((p[s] - 1.0 / 7.0).abs() < 1e-12, "one-hot {s}: {}", p[s]);
+                total += p[s];
+            } else {
+                assert!(p[s].abs() < 1e-12, "non-one-hot {s}: {}", p[s]);
+            }
+        }
+        assert!((total - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn w_state_respects_coupling_map() {
+        let g = nairobi().graph;
+        let c = w_state_bfs(&g, 0);
+        for gate in c.gates() {
+            if gate.is_two_qubit() {
+                let qs = gate.qubits();
+                assert!(g.has_edge(qs[0], qs[1]), "{gate:?} off-map");
+            }
+        }
+    }
+
+    #[test]
+    fn w_ideal_states_are_one_hot() {
+        assert_eq!(w_ideal_states(3), vec![1, 2, 4]);
+    }
+
+    #[test]
+    fn x_chain_parity() {
+        for depth in 0..6 {
+            let c = x_chain(1, 0, depth);
+            let p = c.ideal_probabilities();
+            let expect_one = depth % 2 == 1;
+            assert!((p[1] - if expect_one { 1.0 } else { 0.0 }).abs() < 1e-12, "depth {depth}");
+            assert_eq!(c.len(), depth);
+        }
+    }
+
+    #[test]
+    fn basis_prep_prepares_state() {
+        for s in 0..16u64 {
+            let c = basis_prep(4, s);
+            let p = c.ideal_probabilities();
+            assert!((p[s as usize] - 1.0).abs() < 1e-12, "state {s}");
+        }
+    }
+
+    #[test]
+    fn gate_counts_split() {
+        let c = ghz_bfs(&linear(4).graph, 0);
+        assert_eq!(c.gate_counts(), (1, 3));
+    }
+
+    #[test]
+    fn measure_only_subsets() {
+        let mut c = Circuit::new(5);
+        c.measure_only(&[4, 1, 1]);
+        assert_eq!(c.measured(), &[1, 4]);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside")]
+    fn push_out_of_range_panics() {
+        let mut c = Circuit::new(2);
+        c.push(Gate::X(2));
+    }
+
+    #[test]
+    fn ghz_ideal_states_endpoints() {
+        assert_eq!(ghz_ideal_states(3), [0, 7]);
+    }
+}

@@ -1,0 +1,199 @@
+//! Shot-count histograms: the `(circuit, shots) → counts` currency every
+//! mitigation strategy consumes.
+
+use qem_linalg::sparse_apply::SparseDist;
+use std::collections::HashMap;
+
+/// A histogram of measured bitstrings over `n` measured bits.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Counts {
+    n_bits: usize,
+    map: HashMap<u64, u64>,
+}
+
+impl Counts {
+    /// Empty histogram over `n_bits` measured bits.
+    pub fn new(n_bits: usize) -> Self {
+        Counts { n_bits, map: HashMap::new() }
+    }
+
+    /// Builds from `(bitstring, count)` pairs.
+    pub fn from_pairs(n_bits: usize, pairs: impl IntoIterator<Item = (u64, u64)>) -> Self {
+        let mut c = Counts::new(n_bits);
+        for (s, k) in pairs {
+            c.record_many(s, k);
+        }
+        c
+    }
+
+    /// Number of measured bits.
+    pub fn num_bits(&self) -> usize {
+        self.n_bits
+    }
+
+    /// Records one shot of outcome `s`.
+    pub fn record(&mut self, s: u64) {
+        self.record_many(s, 1);
+    }
+
+    /// Records `k` shots of outcome `s`.
+    pub fn record_many(&mut self, s: u64, k: u64) {
+        debug_assert!(self.n_bits >= 64 || s < (1u64 << self.n_bits));
+        if k > 0 {
+            *self.map.entry(s).or_insert(0) += k;
+        }
+    }
+
+    /// Total shots recorded.
+    pub fn shots(&self) -> u64 {
+        self.map.values().sum()
+    }
+
+    /// Count for outcome `s`.
+    pub fn get(&self, s: u64) -> u64 {
+        self.map.get(&s).copied().unwrap_or(0)
+    }
+
+    /// Number of distinct observed outcomes.
+    pub fn distinct(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Iterates `(bitstring, count)` in arbitrary order.
+    pub fn iter(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        self.map.iter().map(|(&s, &k)| (s, k))
+    }
+
+    /// Empirical probability of outcome `s`.
+    pub fn probability(&self, s: u64) -> f64 {
+        let t = self.shots();
+        if t == 0 {
+            0.0
+        } else {
+            self.get(s) as f64 / t as f64
+        }
+    }
+
+    /// Converts to a normalised sparse distribution.
+    ///
+    /// # Panics
+    /// Panics on an empty histogram — callers always have ≥ 1 shot.
+    pub fn to_distribution(&self) -> SparseDist {
+        SparseDist::from_counts(&self.map).expect("empty histogram")
+    }
+
+    /// Success probability: the empirical mass on the classically verified
+    /// correct outcomes (paper §V figure of merit).
+    pub fn success_probability(&self, correct: &[u64]) -> f64 {
+        correct.iter().map(|&s| self.probability(s)).sum()
+    }
+
+    /// Merges another histogram into this one (same width).
+    pub fn merge(&mut self, other: &Counts) {
+        assert_eq!(self.n_bits, other.n_bits, "merging different widths");
+        for (s, k) in other.iter() {
+            self.record_many(s, k);
+        }
+    }
+
+    /// Marginal histogram over the given bit positions (output bit `k` =
+    /// input bit `bits[k]`).
+    pub fn marginalize(&self, bits: &[usize]) -> Counts {
+        let mut out = Counts::new(bits.len());
+        for (s, k) in self.iter() {
+            let mut sub = 0u64;
+            for (pos, &b) in bits.iter().enumerate() {
+                sub |= ((s >> b) & 1) << pos;
+            }
+            out.record_many(sub, k);
+        }
+        out
+    }
+
+    /// Applies a bitmask XOR to every outcome — undoing a known X-mask that
+    /// was applied before measurement (used by SIM/AIM).
+    pub fn xor_mask(&self, mask: u64) -> Counts {
+        let mut out = Counts::new(self.n_bits);
+        for (s, k) in self.iter() {
+            out.record_many(s ^ mask, k);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_and_query() {
+        let mut c = Counts::new(3);
+        c.record(0b101);
+        c.record(0b101);
+        c.record(0b010);
+        assert_eq!(c.shots(), 3);
+        assert_eq!(c.get(0b101), 2);
+        assert_eq!(c.distinct(), 2);
+        assert!((c.probability(0b101) - 2.0 / 3.0).abs() < 1e-15);
+        assert_eq!(c.probability(0b111), 0.0);
+    }
+
+    #[test]
+    fn empty_probability_zero() {
+        let c = Counts::new(2);
+        assert_eq!(c.probability(0), 0.0);
+        assert_eq!(c.shots(), 0);
+    }
+
+    #[test]
+    fn to_distribution_normalises() {
+        let c = Counts::from_pairs(2, [(0u64, 1u64), (3u64, 3u64)]);
+        let d = c.to_distribution();
+        assert!((d.get(0) - 0.25).abs() < 1e-15);
+        assert!((d.get(3) - 0.75).abs() < 1e-15);
+    }
+
+    #[test]
+    fn success_probability_ghz() {
+        let c = Counts::from_pairs(3, [(0u64, 450u64), (7u64, 460u64), (1u64, 90u64)]);
+        let p = c.success_probability(&[0, 7]);
+        assert!((p - 0.91).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = Counts::from_pairs(2, [(0u64, 5u64)]);
+        let b = Counts::from_pairs(2, [(0u64, 2u64), (1u64, 3u64)]);
+        a.merge(&b);
+        assert_eq!(a.get(0), 7);
+        assert_eq!(a.get(1), 3);
+        assert_eq!(a.shots(), 10);
+    }
+
+    #[test]
+    fn marginalize_collapses_bits() {
+        let c = Counts::from_pairs(3, [(0b110u64, 4u64), (0b010u64, 6u64)]);
+        let m = c.marginalize(&[1]);
+        assert_eq!(m.num_bits(), 1);
+        assert_eq!(m.get(1), 10);
+        let m2 = c.marginalize(&[2, 1]);
+        assert_eq!(m2.get(0b11), 4); // bit2=1 (sub bit0), bit1=1 (sub bit1)
+        assert_eq!(m2.get(0b10), 6); // bit2=0 (sub bit0), bit1=1 (sub bit1)
+    }
+
+    #[test]
+    fn xor_mask_unflips() {
+        let c = Counts::from_pairs(3, [(0b111u64, 10u64), (0b011u64, 5u64)]);
+        let u = c.xor_mask(0b101);
+        assert_eq!(u.get(0b010), 10);
+        assert_eq!(u.get(0b110), 5);
+        assert_eq!(u.shots(), 15);
+    }
+
+    #[test]
+    fn record_many_zero_noop() {
+        let mut c = Counts::new(1);
+        c.record_many(0, 0);
+        assert_eq!(c.distinct(), 0);
+    }
+}

@@ -1,0 +1,322 @@
+//! Quantum gate set: the single-qubit rotations of the paper's Eq. (1) plus
+//! the two-qubit entanglers needed for GHZ benchmarks and calibration
+//! circuits.
+
+use qem_linalg::complex::{c64, C64};
+
+/// A gate instance bound to qubit indices.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Gate {
+    /// Hadamard.
+    H(usize),
+    /// Pauli X (bit flip).
+    X(usize),
+    /// Pauli Y.
+    Y(usize),
+    /// Pauli Z (phase flip).
+    Z(usize),
+    /// Phase gate S = diag(1, i).
+    S(usize),
+    /// T gate = diag(1, e^{iπ/4}).
+    T(usize),
+    /// Rotation about X by θ.
+    RX(usize, f64),
+    /// Rotation about Y by θ.
+    RY(usize, f64),
+    /// Rotation about Z by θ.
+    RZ(usize, f64),
+    /// General single-qubit rotation U3(θ, φ, λ) — paper Eq. (1).
+    U3(usize, f64, f64, f64),
+    /// Controlled NOT: `CNOT { control, target }`.
+    CNOT {
+        /// Control qubit.
+        control: usize,
+        /// Target qubit.
+        target: usize,
+    },
+    /// Controlled RY rotation (control, target, θ) — the entangler of the
+    /// cascaded W-state construction.
+    CRY(usize, usize, f64),
+    /// Controlled Z (symmetric).
+    CZ(usize, usize),
+    /// Swap two qubits.
+    SWAP(usize, usize),
+}
+
+/// A 2×2 complex matrix in row-major order.
+pub type Mat2 = [[C64; 2]; 2];
+
+/// The U3 matrix of the paper's Eq. (1).
+pub fn u3_matrix(theta: f64, phi: f64, lambda: f64) -> Mat2 {
+    let (c, s) = ((theta / 2.0).cos(), (theta / 2.0).sin());
+    [
+        [c64(c, 0.0), -C64::cis(lambda) * s],
+        [C64::cis(phi) * s, C64::cis(phi + lambda) * c],
+    ]
+}
+
+/// Recovers `(θ, φ, λ)` such that `U3(θ, φ, λ)` equals `m` up to a global
+/// phase — the standard decomposition used to append the inversion gate in
+/// randomised benchmarking sequences.
+pub fn u3_angles(m: &Mat2) -> (f64, f64, f64) {
+    // Remove the global phase so m[0][0] is real and non-negative.
+    let phase = if m[0][0].abs() > 1e-12 { m[0][0].arg() } else { 0.0 };
+    let g = C64::cis(-phase);
+    let v = [[g * m[0][0], g * m[0][1]], [g * m[1][0], g * m[1][1]]];
+    let cos_half = v[0][0].re.clamp(-1.0, 1.0);
+    let sin_half = v[1][0].abs();
+    let theta = 2.0 * sin_half.atan2(cos_half);
+    if sin_half < 1e-9 {
+        // Diagonal: only φ + λ is defined; put it all in λ.
+        (theta, 0.0, v[1][1].arg())
+    } else if cos_half.abs() < 1e-9 {
+        // Anti-diagonal: only the off-diagonal phases are defined.
+        (theta, v[1][0].arg(), (-v[0][1]).arg())
+    } else {
+        (theta, v[1][0].arg(), (-v[0][1]).arg())
+    }
+}
+
+/// Product `a · b` of two 2×2 complex matrices.
+pub fn mat2_mul(a: &Mat2, b: &Mat2) -> Mat2 {
+    let mut out = [[C64::ZERO; 2]; 2];
+    for i in 0..2 {
+        for j in 0..2 {
+            for k in 0..2 {
+                out[i][j] += a[i][k] * b[k][j];
+            }
+        }
+    }
+    out
+}
+
+/// Conjugate transpose (inverse for unitaries).
+pub fn mat2_dagger(m: &Mat2) -> Mat2 {
+    [[m[0][0].conj(), m[1][0].conj()], [m[0][1].conj(), m[1][1].conj()]]
+}
+
+impl Gate {
+    /// Qubits this gate acts on.
+    pub fn qubits(&self) -> Vec<usize> {
+        match *self {
+            Gate::H(q)
+            | Gate::X(q)
+            | Gate::Y(q)
+            | Gate::Z(q)
+            | Gate::S(q)
+            | Gate::T(q)
+            | Gate::RX(q, _)
+            | Gate::RY(q, _)
+            | Gate::RZ(q, _)
+            | Gate::U3(q, _, _, _) => vec![q],
+            Gate::CNOT { control, target } => vec![control, target],
+            Gate::CRY(c, t, _) => vec![c, t],
+            Gate::CZ(a, b) | Gate::SWAP(a, b) => vec![a, b],
+        }
+    }
+
+    /// True for two-qubit gates.
+    pub fn is_two_qubit(&self) -> bool {
+        matches!(
+            self,
+            Gate::CNOT { .. } | Gate::CRY(_, _, _) | Gate::CZ(_, _) | Gate::SWAP(_, _)
+        )
+    }
+
+    /// The 2×2 unitary for single-qubit gates; `None` for two-qubit gates.
+    pub fn matrix1q(&self) -> Option<Mat2> {
+        let inv_sqrt2 = std::f64::consts::FRAC_1_SQRT_2;
+        Some(match *self {
+            Gate::H(_) => [
+                [c64(inv_sqrt2, 0.0), c64(inv_sqrt2, 0.0)],
+                [c64(inv_sqrt2, 0.0), c64(-inv_sqrt2, 0.0)],
+            ],
+            Gate::X(_) => [[C64::ZERO, C64::ONE], [C64::ONE, C64::ZERO]],
+            Gate::Y(_) => [[C64::ZERO, -C64::I], [C64::I, C64::ZERO]],
+            Gate::Z(_) => [[C64::ONE, C64::ZERO], [C64::ZERO, -C64::ONE]],
+            Gate::S(_) => [[C64::ONE, C64::ZERO], [C64::ZERO, C64::I]],
+            Gate::T(_) => [
+                [C64::ONE, C64::ZERO],
+                [C64::ZERO, C64::cis(std::f64::consts::FRAC_PI_4)],
+            ],
+            Gate::RX(_, t) => u3_matrix(t, -std::f64::consts::FRAC_PI_2, std::f64::consts::FRAC_PI_2),
+            Gate::RY(_, t) => u3_matrix(t, 0.0, 0.0),
+            Gate::RZ(_, t) => [
+                [C64::cis(-t / 2.0), C64::ZERO],
+                [C64::ZERO, C64::cis(t / 2.0)],
+            ],
+            Gate::U3(_, t, p, l) => u3_matrix(t, p, l),
+            _ => return None,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn is_unitary(m: &Mat2) -> bool {
+        // M† M = I
+        let mut prod = [[C64::ZERO; 2]; 2];
+        for i in 0..2 {
+            for j in 0..2 {
+                for k in 0..2 {
+                    prod[i][j] += m[k][i].conj() * m[k][j];
+                }
+            }
+        }
+        (prod[0][0] - C64::ONE).abs() < 1e-12
+            && (prod[1][1] - C64::ONE).abs() < 1e-12
+            && prod[0][1].abs() < 1e-12
+            && prod[1][0].abs() < 1e-12
+    }
+
+    #[test]
+    fn all_single_qubit_gates_unitary() {
+        let gates = [
+            Gate::H(0),
+            Gate::X(0),
+            Gate::Y(0),
+            Gate::Z(0),
+            Gate::S(0),
+            Gate::T(0),
+            Gate::RX(0, 0.7),
+            Gate::RY(0, 1.2),
+            Gate::RZ(0, -0.4),
+            Gate::U3(0, 0.3, 0.9, -1.1),
+        ];
+        for g in gates {
+            assert!(is_unitary(&g.matrix1q().unwrap()), "{g:?} not unitary");
+        }
+    }
+
+    #[test]
+    fn two_qubit_gates_have_no_1q_matrix() {
+        assert!(Gate::CNOT { control: 0, target: 1 }.matrix1q().is_none());
+        assert!(Gate::CZ(0, 1).matrix1q().is_none());
+        assert!(Gate::SWAP(0, 1).matrix1q().is_none());
+    }
+
+    #[test]
+    fn pauli_rotations_are_u3_special_cases() {
+        // RX(π) ≍ X up to global phase: |matrix elements| match.
+        let rx = Gate::RX(0, std::f64::consts::PI).matrix1q().unwrap();
+        let x = Gate::X(0).matrix1q().unwrap();
+        for i in 0..2 {
+            for j in 0..2 {
+                assert!((rx[i][j].abs() - x[i][j].abs()).abs() < 1e-12);
+            }
+        }
+        // RY(π) ≍ Y in magnitudes.
+        let ry = Gate::RY(0, std::f64::consts::PI).matrix1q().unwrap();
+        let y = Gate::Y(0).matrix1q().unwrap();
+        for i in 0..2 {
+            for j in 0..2 {
+                assert!((ry[i][j].abs() - y[i][j].abs()).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn u3_zero_angles_is_identity() {
+        let m = u3_matrix(0.0, 0.0, 0.0);
+        assert!((m[0][0] - C64::ONE).abs() < 1e-15);
+        assert!((m[1][1] - C64::ONE).abs() < 1e-15);
+        assert!(m[0][1].abs() < 1e-15);
+        assert!(m[1][0].abs() < 1e-15);
+    }
+
+    #[test]
+    fn hadamard_squares_to_identity() {
+        let h = Gate::H(0).matrix1q().unwrap();
+        let mut hh = [[C64::ZERO; 2]; 2];
+        for i in 0..2 {
+            for j in 0..2 {
+                for k in 0..2 {
+                    hh[i][j] += h[i][k] * h[k][j];
+                }
+            }
+        }
+        assert!((hh[0][0] - C64::ONE).abs() < 1e-12);
+        assert!(hh[0][1].abs() < 1e-12);
+    }
+
+    fn equal_up_to_phase(a: &Mat2, b: &Mat2) -> bool {
+        // Find the phase from the largest entry.
+        let mut best = (0, 0);
+        for i in 0..2 {
+            for j in 0..2 {
+                if a[i][j].abs() > a[best.0][best.1].abs() {
+                    best = (i, j);
+                }
+            }
+        }
+        let (i, j) = best;
+        if b[i][j].abs() < 1e-12 {
+            return false;
+        }
+        let phase = a[i][j] / b[i][j];
+        (0..2).all(|r| (0..2).all(|c| (a[r][c] - phase * b[r][c]).abs() < 1e-9))
+    }
+
+    #[test]
+    fn u3_angles_roundtrip_named_gates() {
+        for g in [
+            Gate::H(0),
+            Gate::X(0),
+            Gate::Y(0),
+            Gate::Z(0),
+            Gate::S(0),
+            Gate::T(0),
+            Gate::RX(0, 0.8),
+            Gate::RY(0, -1.3),
+            Gate::RZ(0, 2.1),
+            Gate::U3(0, 0.4, 1.0, -0.6),
+        ] {
+            let m = g.matrix1q().unwrap();
+            let (t, p, l) = u3_angles(&m);
+            let rec = u3_matrix(t, p, l);
+            assert!(equal_up_to_phase(&m, &rec), "{g:?}: {t} {p} {l}");
+        }
+    }
+
+    #[test]
+    fn u3_angles_roundtrip_random_products() {
+        // Products of random rotations: arbitrary SU(2) elements.
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        for _ in 0..50 {
+            let a = u3_matrix(
+                rng.gen_range(0.0..std::f64::consts::PI),
+                rng.gen_range(-3.0..3.0),
+                rng.gen_range(-3.0..3.0),
+            );
+            let b = u3_matrix(
+                rng.gen_range(0.0..std::f64::consts::PI),
+                rng.gen_range(-3.0..3.0),
+                rng.gen_range(-3.0..3.0),
+            );
+            let m = mat2_mul(&a, &b);
+            let (t, p, l) = u3_angles(&m);
+            assert!(equal_up_to_phase(&m, &u3_matrix(t, p, l)));
+        }
+    }
+
+    #[test]
+    fn dagger_inverts() {
+        let m = Gate::U3(0, 0.7, 0.3, -1.2).matrix1q().unwrap();
+        let prod = mat2_mul(&m, &mat2_dagger(&m));
+        assert!((prod[0][0] - C64::ONE).abs() < 1e-12);
+        assert!(prod[0][1].abs() < 1e-12);
+        assert!(prod[1][0].abs() < 1e-12);
+        assert!((prod[1][1] - C64::ONE).abs() < 1e-12);
+    }
+
+    #[test]
+    fn qubits_reported() {
+        assert_eq!(Gate::H(3).qubits(), vec![3]);
+        assert_eq!(Gate::CNOT { control: 1, target: 4 }.qubits(), vec![1, 4]);
+        assert!(Gate::CZ(0, 2).is_two_qubit());
+        assert!(!Gate::X(0).is_two_qubit());
+    }
+}

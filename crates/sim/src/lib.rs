@@ -1,0 +1,37 @@
+//! # qem-sim
+//!
+//! Quantum-device simulation substrate for the `qem` workspace: a
+//! statevector engine, measurement-error channels and preset simulated NISQ
+//! devices reproducing the noise regimes of the paper's evaluation.
+//!
+//! * [`gate`] / [`state`] — gate set and rayon-parallel statevector engine;
+//! * [`circuit`] — circuit IR plus the paper's benchmark constructors
+//!   (GHZ-by-BFS §V-B, X-chains Fig. 3, calibration basis preps);
+//! * [`channel`] — state-dependent and correlated measurement-error
+//!   channels (Fig. 10);
+//! * [`noise`] / [`backend`] — device noise models and the
+//!   `(circuit, shots) → counts` execution interface;
+//! * [`counts`] — shot histograms;
+//! * [`devices`] — simulated Quito/Lima/Manila/Nairobi and the Fig. 11
+//!   architecture families (the DESIGN.md hardware substitution).
+
+#![warn(missing_docs)]
+
+pub mod backend;
+pub mod channel;
+pub mod circuit;
+pub mod counts;
+pub mod devices;
+pub mod gate;
+pub mod noise;
+pub mod readout_iq;
+pub mod state;
+
+pub use backend::Backend;
+pub use channel::MeasurementChannel;
+pub use circuit::Circuit;
+pub use counts::Counts;
+pub use gate::Gate;
+pub use noise::NoiseModel;
+pub use readout_iq::IqReadoutModel;
+pub use state::Statevector;

@@ -1,0 +1,214 @@
+//! Device noise models: per-qubit state-dependent readout errors, localised
+//! correlated readout events, gate error rates, and calibration drift.
+//!
+//! This is the substitution layer for the paper's IBMQ hardware (see
+//! DESIGN.md §2): the error *mechanisms* — asymmetric readout flips and
+//! spatially-local correlated flips, with parameters drawn from the paper's
+//! own §V-A ranges (readout 2–8 %, 1q gates 0.1 %, 2q gates 1 %) — are
+//! reproduced on top of the statevector engine.
+
+use crate::channel::MeasurementChannel;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// The two shapes of correlated readout events the simulator injects
+/// (the paper's Fig. 10 families).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CorrelatedKind {
+    /// State-independent: all participants flip together with `prob`.
+    JointFlip,
+    /// State-dependent: the all-ones state decays to all-zeros with `prob`;
+    /// other states are untouched — so the event's effect on one qubit
+    /// depends on its neighbours' states (readout crosstalk).
+    JointDecay,
+}
+
+/// A correlated readout-error event over `qubits`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CorrelatedError {
+    /// Participating qubits.
+    pub qubits: Vec<usize>,
+    /// Event probability.
+    pub prob: f64,
+    /// Event shape.
+    pub kind: CorrelatedKind,
+}
+
+/// Full noise description of a simulated device.
+#[derive(Clone, Debug, Default)]
+pub struct NoiseModel {
+    /// Register width.
+    pub n: usize,
+    /// Per-qubit `P(read 1 | true 0)`.
+    pub p_flip0: Vec<f64>,
+    /// Per-qubit `P(read 0 | true 1)` — larger than `p_flip0` on real
+    /// superconducting readout (decay during measurement, paper §II-C).
+    pub p_flip1: Vec<f64>,
+    /// Correlated readout events.
+    pub correlated: Vec<CorrelatedError>,
+    /// Depolarising probability per single-qubit gate.
+    pub gate_error_1q: f64,
+    /// Depolarising probability per two-qubit gate.
+    pub gate_error_2q: f64,
+}
+
+impl NoiseModel {
+    /// The noiseless model.
+    pub fn noiseless(n: usize) -> Self {
+        NoiseModel {
+            n,
+            p_flip0: vec![0.0; n],
+            p_flip1: vec![0.0; n],
+            correlated: Vec::new(),
+            gate_error_1q: 0.0,
+            gate_error_2q: 0.0,
+        }
+    }
+
+    /// Random biased readout in the paper's §V-A range (2–8 % at the
+    /// default call sites): `P(1|0)` draws from the lower half `[lo, mid]`
+    /// and `P(0|1)` from the upper half `[mid, hi]`, reflecting the
+    /// decay-dominated readout of superconducting devices (§II-C: the
+    /// `|1⟩ → |0⟩` rate dominates). Gate errors fixed at the paper's
+    /// 0.1 % / 1 %.
+    pub fn random_biased(n: usize, lo: f64, hi: f64, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mid = (lo + hi) / 2.0;
+        let mut m = NoiseModel::noiseless(n);
+        for q in 0..n {
+            m.p_flip0[q] = rng.gen_range(lo..mid);
+            m.p_flip1[q] = rng.gen_range(mid..hi);
+        }
+        m.gate_error_1q = 0.001;
+        m.gate_error_2q = 0.01;
+        m
+    }
+
+    /// Adds a state-independent correlated joint flip.
+    ///
+    /// # Panics
+    /// Panics on out-of-range qubits or fewer than two participants.
+    pub fn add_correlated(&mut self, qubits: &[usize], prob: f64) {
+        self.add_correlated_event(qubits, prob, CorrelatedKind::JointFlip);
+    }
+
+    /// Adds a state-dependent correlated joint decay (all-ones → all-zeros).
+    ///
+    /// # Panics
+    /// Panics on out-of-range qubits or fewer than two participants.
+    pub fn add_correlated_decay(&mut self, qubits: &[usize], prob: f64) {
+        self.add_correlated_event(qubits, prob, CorrelatedKind::JointDecay);
+    }
+
+    fn add_correlated_event(&mut self, qubits: &[usize], prob: f64, kind: CorrelatedKind) {
+        assert!(qubits.len() >= 2, "correlated event needs ≥ 2 qubits");
+        for &q in qubits {
+            assert!(q < self.n, "correlated qubit {q} outside register");
+        }
+        self.correlated.push(CorrelatedError { qubits: qubits.to_vec(), prob, kind });
+    }
+
+    /// Builds the measurement-error channel this model induces: independent
+    /// per-qubit readout factors followed by each correlated event.
+    pub fn measurement_channel(&self) -> MeasurementChannel {
+        let mut ch = MeasurementChannel::state_dependent(self.n, &self.p_flip0, &self.p_flip1);
+        for ev in &self.correlated {
+            match ev.kind {
+                CorrelatedKind::JointFlip => ch.add_correlated_flip(&ev.qubits, ev.prob),
+                CorrelatedKind::JointDecay => ch.add_joint_decay(&ev.qubits, ev.prob),
+            }
+        }
+        ch
+    }
+
+    /// True when any correlated event is present.
+    pub fn has_correlations(&self) -> bool {
+        !self.correlated.is_empty()
+    }
+
+    /// A drifted copy: every rate multiplied by a factor drawn from
+    /// `[1 − scale, 1 + scale]` (clamped to `[0, 0.5]`). Models the
+    /// day-to-day calibration drift behind the paper's three-week Fig. 1
+    /// averaging and the ERR stability claim.
+    pub fn jittered(&self, scale: f64, rng: &mut StdRng) -> NoiseModel {
+        let mut jit = |x: f64| -> f64 {
+            (x * rng.gen_range(1.0 - scale..1.0 + scale)).clamp(0.0, 0.5)
+        };
+        let mut out = self.clone();
+        for q in 0..self.n {
+            out.p_flip0[q] = jit(self.p_flip0[q]);
+            out.p_flip1[q] = jit(self.p_flip1[q]);
+        }
+        for ev in &mut out.correlated {
+            ev.prob = jit(ev.prob);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn noiseless_channel_is_identity() {
+        let m = NoiseModel::noiseless(3);
+        let ch = m.measurement_channel();
+        assert!(ch.factors().is_empty());
+        assert!(!m.has_correlations());
+    }
+
+    #[test]
+    fn random_biased_in_range_and_biased() {
+        let m = NoiseModel::random_biased(10, 0.02, 0.08, 5);
+        for q in 0..10 {
+            assert!((0.02..0.05).contains(&m.p_flip0[q]));
+            assert!((0.05..0.08).contains(&m.p_flip1[q]));
+            // Decay bias: every qubit reads |1⟩ worse than |0⟩ (§II-C).
+            assert!(m.p_flip1[q] > m.p_flip0[q]);
+        }
+        assert_eq!(m.gate_error_2q, 0.01);
+    }
+
+    #[test]
+    fn random_biased_deterministic_per_seed() {
+        let a = NoiseModel::random_biased(5, 0.02, 0.08, 7);
+        let b = NoiseModel::random_biased(5, 0.02, 0.08, 7);
+        assert_eq!(a.p_flip0, b.p_flip0);
+        assert_eq!(a.p_flip1, b.p_flip1);
+        let c = NoiseModel::random_biased(5, 0.02, 0.08, 8);
+        assert_ne!(a.p_flip0, c.p_flip0);
+    }
+
+    #[test]
+    fn channel_includes_correlations() {
+        let mut m = NoiseModel::random_biased(4, 0.02, 0.08, 1);
+        m.add_correlated(&[0, 2], 0.05);
+        let ch = m.measurement_channel();
+        // 4 per-qubit factors + 1 correlated.
+        assert_eq!(ch.factors().len(), 5);
+        assert!(m.has_correlations());
+    }
+
+    #[test]
+    #[should_panic(expected = "≥ 2 qubits")]
+    fn single_qubit_correlated_rejected() {
+        let mut m = NoiseModel::noiseless(3);
+        m.add_correlated(&[1], 0.1);
+    }
+
+    #[test]
+    fn jitter_bounded_and_seeded() {
+        let base = NoiseModel::random_biased(6, 0.02, 0.08, 3);
+        let mut rng = StdRng::seed_from_u64(9);
+        let j = base.jittered(0.2, &mut rng);
+        for q in 0..6 {
+            let ratio = j.p_flip0[q] / base.p_flip0[q];
+            assert!((0.8..1.2).contains(&ratio), "ratio {ratio}");
+        }
+        // Same seed reproduces the same drift.
+        let mut rng2 = StdRng::seed_from_u64(9);
+        let j2 = base.jittered(0.2, &mut rng2);
+        assert_eq!(j.p_flip0, j2.p_flip0);
+    }
+}

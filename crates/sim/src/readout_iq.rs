@@ -1,0 +1,302 @@
+//! Physical readout model: IQ-plane discrimination.
+//!
+//! Superconducting readout doesn't flip bits directly — each qubit's
+//! resonator returns a point in the IQ plane, Gaussian-distributed around a
+//! state-dependent centroid, and a discriminator classifies the point. The
+//! paper's error phenomenology falls out of this physics:
+//!
+//! * **state-dependent** errors: the |1⟩ cloud sits closer to the decision
+//!   boundary (T1 decay *during* the readout window drags |1⟩ shots toward
+//!   the |0⟩ centroid), so `P(0|1) > P(1|0)`;
+//! * **correlated** errors: resonator crosstalk mixes neighbouring qubits'
+//!   signals, so one qubit's observed point — and hence its
+//!   misclassification probability — depends on its neighbour's state.
+//!
+//! [`IqReadoutModel::confusion_channel`] Monte-Carlo-derives the effective
+//! measurement channel, giving a physics-grounded `NoiseModel` substitute:
+//! the abstract channels used everywhere else are calibrated abstractions
+//! of exactly this process.
+
+use crate::channel::MeasurementChannel;
+use qem_linalg::dense::Matrix;
+use qem_linalg::stochastic::normalize_columns;
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// A 2-D point in the IQ plane.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct IqPoint {
+    /// In-phase component.
+    pub i: f64,
+    /// Quadrature component.
+    pub q: f64,
+}
+
+/// Per-qubit readout physics.
+#[derive(Clone, Debug)]
+pub struct QubitReadout {
+    /// Centroid of the |0⟩ cloud.
+    pub center0: IqPoint,
+    /// Centroid of the |1⟩ cloud.
+    pub center1: IqPoint,
+    /// Isotropic Gaussian width of both clouds.
+    pub sigma: f64,
+    /// Probability that a |1⟩ decays mid-readout (the point then drawn
+    /// from a uniform mixture along the |1⟩→|0⟩ segment) — the §II-C
+    /// state-dependence mechanism.
+    pub decay_during_readout: f64,
+}
+
+impl QubitReadout {
+    /// A typical dispersive-readout geometry: separation/σ ("SNR") sets the
+    /// baseline error rate; `decay` sets the |1⟩ excess.
+    pub fn with_snr(snr: f64, decay: f64) -> QubitReadout {
+        QubitReadout {
+            center0: IqPoint { i: -snr / 2.0, q: 0.0 },
+            center1: IqPoint { i: snr / 2.0, q: 0.0 },
+            sigma: 1.0,
+            decay_during_readout: decay,
+        }
+    }
+}
+
+/// A full-register IQ readout model with linear resonator crosstalk.
+#[derive(Clone, Debug)]
+pub struct IqReadoutModel {
+    /// Per-qubit physics.
+    pub qubits: Vec<QubitReadout>,
+    /// Crosstalk terms `(listener, speaker, strength)`: the speaker qubit's
+    /// signal leaks into the listener's IQ point scaled by `strength`.
+    pub crosstalk: Vec<(usize, usize, f64)>,
+}
+
+impl IqReadoutModel {
+    /// Uniform model over `n` qubits.
+    pub fn uniform(n: usize, snr: f64, decay: f64) -> IqReadoutModel {
+        IqReadoutModel {
+            qubits: (0..n).map(|_| QubitReadout::with_snr(snr, decay)).collect(),
+            crosstalk: Vec::new(),
+        }
+    }
+
+    /// Adds a symmetric crosstalk pair.
+    pub fn add_crosstalk(&mut self, a: usize, b: usize, strength: f64) {
+        assert!(a < self.qubits.len() && b < self.qubits.len() && a != b);
+        self.crosstalk.push((a, b, strength));
+        self.crosstalk.push((b, a, strength));
+    }
+
+    /// Number of qubits.
+    pub fn num_qubits(&self) -> usize {
+        self.qubits.len()
+    }
+
+    fn gaussian(rng: &mut StdRng, sigma: f64) -> f64 {
+        // Box–Muller.
+        let u1: f64 = rng.gen::<f64>().max(1e-300);
+        let u2: f64 = rng.gen();
+        sigma * (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+    }
+
+    /// Samples the raw IQ points for one shot of the true state `state`.
+    pub fn sample_points(&self, state: u64, rng: &mut StdRng) -> Vec<IqPoint> {
+        let n = self.num_qubits();
+        let mut ideal = Vec::with_capacity(n);
+        for (q, phys) in self.qubits.iter().enumerate() {
+            let bit = (state >> q) & 1;
+            let (c, decayed) = if bit == 1 && rng.gen::<f64>() < phys.decay_during_readout {
+                // Decay at a uniform time during the window: the integrated
+                // signal lands along the segment between the centroids.
+                let t: f64 = rng.gen();
+                (
+                    IqPoint {
+                        i: phys.center1.i * t + phys.center0.i * (1.0 - t),
+                        q: phys.center1.q * t + phys.center0.q * (1.0 - t),
+                    },
+                    true,
+                )
+            } else if bit == 1 {
+                (phys.center1, false)
+            } else {
+                (phys.center0, false)
+            };
+            let _ = decayed;
+            ideal.push(IqPoint {
+                i: c.i + Self::gaussian(rng, phys.sigma),
+                q: c.q + Self::gaussian(rng, phys.sigma),
+            });
+        }
+        // Crosstalk mixes the *signals*.
+        let mut mixed = ideal.clone();
+        for &(listener, speaker, strength) in &self.crosstalk {
+            mixed[listener].i += strength * ideal[speaker].i;
+            mixed[listener].q += strength * ideal[speaker].q;
+        }
+        mixed
+    }
+
+    /// Classifies one qubit's point by nearest centroid (linear
+    /// discriminant for isotropic clouds).
+    pub fn discriminate(&self, qubit: usize, point: IqPoint) -> u64 {
+        let phys = &self.qubits[qubit];
+        let d0 = (point.i - phys.center0.i).powi(2) + (point.q - phys.center0.q).powi(2);
+        let d1 = (point.i - phys.center1.i).powi(2) + (point.q - phys.center1.q).powi(2);
+        u64::from(d1 < d0)
+    }
+
+    /// One full-register shot: sample, discriminate, assemble the bitstring.
+    pub fn measure_shot(&self, state: u64, rng: &mut StdRng) -> u64 {
+        let points = self.sample_points(state, rng);
+        let mut out = 0u64;
+        for (q, &pt) in points.iter().enumerate() {
+            out |= self.discriminate(q, pt) << q;
+        }
+        out
+    }
+
+    /// Monte-Carlo estimate of the confusion (calibration) matrix over a
+    /// qubit subset: column `t` = distribution of discriminated outcomes
+    /// for prepared state `t`. Exponential in `qubits.len()`; this is the
+    /// physics-level analogue of running calibration circuits.
+    pub fn confusion_channel(
+        &self,
+        qubits: &[usize],
+        shots_per_state: u64,
+        rng: &mut StdRng,
+    ) -> Matrix {
+        let k = qubits.len();
+        let dim = 1usize << k;
+        let mut m = Matrix::zeros(dim, dim);
+        for t in 0..dim {
+            // Scatter the prepared pattern onto the register (others |0⟩).
+            let mut state = 0u64;
+            for (bit, &q) in qubits.iter().enumerate() {
+                state |= (((t >> bit) & 1) as u64) << q;
+            }
+            for _ in 0..shots_per_state {
+                let outcome = self.measure_shot(state, rng);
+                let mut observed = 0usize;
+                for (bit, &q) in qubits.iter().enumerate() {
+                    observed |= (((outcome >> q) & 1) as usize) << bit;
+                }
+                m[(observed, t)] += 1.0;
+            }
+        }
+        normalize_columns(&m)
+    }
+
+    /// Fits the abstract [`MeasurementChannel`] the rest of the stack uses:
+    /// per-qubit confusion matrices estimated from the IQ physics.
+    pub fn fitted_channel(&self, shots_per_state: u64, rng: &mut StdRng) -> MeasurementChannel {
+        let n = self.num_qubits();
+        let mut ch = MeasurementChannel::identity(n);
+        for q in 0..n {
+            let c = self.confusion_channel(&[q], shots_per_state, rng);
+            ch.push_factor(&[q], c);
+        }
+        ch
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng(seed: u64) -> StdRng {
+        StdRng::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn high_snr_reads_faithfully() {
+        let model = IqReadoutModel::uniform(3, 12.0, 0.0);
+        let mut r = rng(1);
+        for state in 0..8u64 {
+            for _ in 0..50 {
+                assert_eq!(model.measure_shot(state, &mut r), state);
+            }
+        }
+    }
+
+    #[test]
+    fn decay_makes_errors_state_dependent() {
+        // Gaussian overlap alone is symmetric; decay adds |1⟩-only errors.
+        let model = IqReadoutModel::uniform(1, 4.0, 0.15);
+        let c = model.confusion_channel(&[0], 40_000, &mut rng(2));
+        let p10 = c[(1, 0)]; // P(read 1 | true 0)
+        let p01 = c[(0, 1)]; // P(read 0 | true 1)
+        assert!(
+            p01 > 2.0 * p10,
+            "decay should bias the |1> error: P(0|1)={p01:.4} vs P(1|0)={p10:.4}"
+        );
+        // Symmetric part ≈ Q(snr/2) = Q(2) ≈ 2.3 %.
+        assert!((0.005..0.05).contains(&p10), "baseline flip {p10:.4}");
+    }
+
+    #[test]
+    fn crosstalk_induces_correlated_errors() {
+        let mut model = IqReadoutModel::uniform(2, 5.0, 0.0);
+        model.add_crosstalk(0, 1, 0.35);
+        let c = model.confusion_channel(&[0, 1], 60_000, &mut rng(3));
+        // Correlation weight of the joint confusion matrix (Fig. 1 metric):
+        // product of marginals must not explain the joint.
+        let cal = qem_core_free_correlation_weight(&c);
+        assert!(cal > 0.02, "crosstalk produced no correlation: {cal:.4}");
+
+        // No crosstalk ⇒ ~product channel.
+        let clean = IqReadoutModel::uniform(2, 5.0, 0.0);
+        let c2 = clean.confusion_channel(&[0, 1], 60_000, &mut rng(4));
+        let w2 = qem_core_free_correlation_weight(&c2);
+        assert!(w2 < cal / 2.0, "clean {w2:.4} vs crosstalk {cal:.4}");
+    }
+
+    /// Local copy of the Fig. 1 weight (qem-core depends on qem-sim, so the
+    /// real helper lives there; recomputing keeps the dependency acyclic).
+    fn qem_core_free_correlation_weight(c: &Matrix) -> f64 {
+        use qem_linalg::stochastic::normalized_partial_trace;
+        let c0 = normalized_partial_trace(c, &[1]).unwrap();
+        let c1 = normalized_partial_trace(c, &[0]).unwrap();
+        (&c1.kron(&c0) - c).frobenius_norm()
+    }
+
+    #[test]
+    fn fitted_channel_matches_confusion_statistics() {
+        let model = IqReadoutModel::uniform(2, 4.5, 0.08);
+        let mut r = rng(5);
+        let ch = model.fitted_channel(40_000, &mut r);
+        assert_eq!(ch.factors().len(), 2);
+        // Apply the fitted channel to |11⟩ and compare against direct
+        // shot statistics.
+        let mut p = vec![0.0; 4];
+        p[3] = 1.0;
+        let predicted = ch.apply_dense(&p);
+        let mut counted = vec![0.0; 4];
+        let shots = 40_000;
+        for _ in 0..shots {
+            counted[model.measure_shot(0b11, &mut r) as usize] += 1.0 / shots as f64;
+        }
+        for s in 0..4 {
+            assert!(
+                (predicted[s] - counted[s]).abs() < 0.01,
+                "state {s}: fitted {:.4} vs sampled {:.4}",
+                predicted[s],
+                counted[s]
+            );
+        }
+    }
+
+    #[test]
+    fn discriminator_boundary_is_midpoint() {
+        let model = IqReadoutModel::uniform(1, 6.0, 0.0);
+        assert_eq!(model.discriminate(0, IqPoint { i: -1.0, q: 0.0 }), 0);
+        assert_eq!(model.discriminate(0, IqPoint { i: 1.0, q: 0.0 }), 1);
+    }
+
+    #[test]
+    fn sample_points_deterministic_per_seed() {
+        let model = IqReadoutModel::uniform(2, 5.0, 0.1);
+        let a = model.sample_points(0b01, &mut rng(6));
+        let b = model.sample_points(0b01, &mut rng(6));
+        assert_eq!(a, b);
+    }
+}

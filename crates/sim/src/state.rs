@@ -1,0 +1,344 @@
+//! Statevector engine.
+//!
+//! Gate application is a pure gather per amplitude (`new[i]` reads one or two
+//! `old[..]` entries), so every gate parallelises over output indices with
+//! rayon above a size threshold — the data-parallel pattern the workspace's
+//! hpc guides prescribe. Registers up to ~24 qubits fit comfortably
+//! (2²⁴ amplitudes × 16 B = 256 MiB); GHZ evaluation tops out near 2²⁰.
+
+use crate::gate::{Gate, Mat2};
+use qem_linalg::complex::C64;
+use rayon::prelude::*;
+
+/// Below this many amplitudes, sequential application beats rayon's overhead.
+const PAR_THRESHOLD: usize = 1 << 12;
+
+/// A pure quantum state over `n` qubits.
+#[derive(Clone, Debug)]
+pub struct Statevector {
+    n: usize,
+    amps: Vec<C64>,
+}
+
+impl Statevector {
+    /// The all-zeros computational basis state `|0…0⟩`.
+    pub fn zero_state(n: usize) -> Self {
+        assert!(n <= 28, "statevector register of {n} qubits would exhaust memory");
+        let mut amps = vec![C64::ZERO; 1 << n];
+        amps[0] = C64::ONE;
+        Statevector { n, amps }
+    }
+
+    /// A computational basis state `|s⟩`.
+    pub fn basis_state(n: usize, s: u64) -> Self {
+        let mut sv = Statevector::zero_state(n);
+        sv.amps[0] = C64::ZERO;
+        sv.amps[s as usize] = C64::ONE;
+        sv
+    }
+
+    /// Number of qubits.
+    pub fn num_qubits(&self) -> usize {
+        self.n
+    }
+
+    /// Amplitude of basis state `s`.
+    pub fn amplitude(&self, s: u64) -> C64 {
+        self.amps[s as usize]
+    }
+
+    /// Applies a single-qubit unitary to qubit `q`.
+    pub fn apply_1q(&mut self, q: usize, m: &Mat2) {
+        assert!(q < self.n, "qubit {q} out of range");
+        let mask = 1usize << q;
+        let old = &self.amps;
+        let gather = |i: usize| {
+            let b = (i >> q) & 1;
+            let lo = i & !mask;
+            let hi = i | mask;
+            m[b][0] * old[lo] + m[b][1] * old[hi]
+        };
+        let new: Vec<C64> = if old.len() >= PAR_THRESHOLD {
+            (0..old.len()).into_par_iter().map(gather).collect()
+        } else {
+            (0..old.len()).map(gather).collect()
+        };
+        self.amps = new;
+    }
+
+    /// Applies a general two-qubit unitary (row-major 4×4, index
+    /// `bit1·2 + bit0` with `q0` the low bit) to qubits `(q0, q1)`.
+    pub fn apply_2q(&mut self, q0: usize, q1: usize, m: &[[C64; 4]; 4]) {
+        assert!(q0 < self.n && q1 < self.n && q0 != q1, "bad 2q targets {q0},{q1}");
+        let m0 = 1usize << q0;
+        let m1 = 1usize << q1;
+        let old = &self.amps;
+        let gather = |i: usize| {
+            let row = ((i >> q0) & 1) | (((i >> q1) & 1) << 1);
+            let base = i & !(m0 | m1);
+            let mut acc = C64::ZERO;
+            for col in 0..4usize {
+                let a = m[row][col];
+                if a == C64::ZERO {
+                    continue;
+                }
+                let j = base | ((col & 1) * m0) | (((col >> 1) & 1) * m1);
+                acc += a * old[j];
+            }
+            acc
+        };
+        let new: Vec<C64> = if old.len() >= PAR_THRESHOLD {
+            (0..old.len()).into_par_iter().map(gather).collect()
+        } else {
+            (0..old.len()).map(gather).collect()
+        };
+        self.amps = new;
+    }
+
+    /// Applies a CNOT without building a 4×4 matrix (pure permutation).
+    pub fn apply_cnot(&mut self, control: usize, target: usize) {
+        assert!(control < self.n && target < self.n && control != target);
+        let cm = 1usize << control;
+        let tm = 1usize << target;
+        let old = &self.amps;
+        let gather = |i: usize| {
+            if i & cm != 0 {
+                old[i ^ tm]
+            } else {
+                old[i]
+            }
+        };
+        let new: Vec<C64> = if old.len() >= PAR_THRESHOLD {
+            (0..old.len()).into_par_iter().map(gather).collect()
+        } else {
+            (0..old.len()).map(gather).collect()
+        };
+        self.amps = new;
+    }
+
+    /// Applies a CZ (diagonal, in place).
+    pub fn apply_cz(&mut self, a: usize, b: usize) {
+        assert!(a < self.n && b < self.n && a != b);
+        let am = 1usize << a;
+        let bm = 1usize << b;
+        let flip = |(i, amp): (usize, &mut C64)| {
+            if i & am != 0 && i & bm != 0 {
+                *amp = -*amp;
+            }
+        };
+        if self.amps.len() >= PAR_THRESHOLD {
+            self.amps.par_iter_mut().enumerate().for_each(|(i, a)| flip((i, a)));
+        } else {
+            self.amps.iter_mut().enumerate().for_each(|(i, a)| flip((i, a)));
+        }
+    }
+
+    /// Applies a SWAP (pure permutation).
+    pub fn apply_swap(&mut self, a: usize, b: usize) {
+        assert!(a < self.n && b < self.n && a != b);
+        let old = &self.amps;
+        let gather = |i: usize| {
+            let ba = (i >> a) & 1;
+            let bb = (i >> b) & 1;
+            let j = (i & !((1 << a) | (1 << b))) | (bb << a) | (ba << b);
+            old[j]
+        };
+        let new: Vec<C64> = if old.len() >= PAR_THRESHOLD {
+            (0..old.len()).into_par_iter().map(gather).collect()
+        } else {
+            (0..old.len()).map(gather).collect()
+        };
+        self.amps = new;
+    }
+
+    /// Applies a controlled single-qubit unitary.
+    pub fn apply_controlled_1q(&mut self, control: usize, target: usize, m: &Mat2) {
+        assert!(control < self.n && target < self.n && control != target);
+        let z = C64::ZERO;
+        let o = C64::ONE;
+        // 4×4 with q0 = target (low bit), q1 = control (high bit):
+        // identity on control=0 block, m on control=1 block.
+        let cm = [
+            [o, z, z, z],
+            [z, o, z, z],
+            [z, z, m[0][0], m[0][1]],
+            [z, z, m[1][0], m[1][1]],
+        ];
+        self.apply_2q(target, control, &cm);
+    }
+
+    /// Applies any [`Gate`].
+    pub fn apply(&mut self, gate: &Gate) {
+        match *gate {
+            Gate::CNOT { control, target } => self.apply_cnot(control, target),
+            Gate::CRY(control, target, theta) => {
+                let m = Gate::RY(target, theta).matrix1q().expect("RY is 1q");
+                self.apply_controlled_1q(control, target, &m);
+            }
+            Gate::CZ(a, b) => self.apply_cz(a, b),
+            Gate::SWAP(a, b) => self.apply_swap(a, b),
+            ref g => {
+                let m = g.matrix1q().expect("single-qubit gate");
+                self.apply_1q(g.qubits()[0], &m);
+            }
+        }
+    }
+
+    /// Born-rule probabilities `|ψ_s|²` over all basis states.
+    pub fn probabilities(&self) -> Vec<f64> {
+        if self.amps.len() >= PAR_THRESHOLD {
+            self.amps.par_iter().map(|a| a.norm_sqr()).collect()
+        } else {
+            self.amps.iter().map(|a| a.norm_sqr()).collect()
+        }
+    }
+
+    /// Sum of `|ψ_s|²` — 1 for a normalised state.
+    pub fn norm_sqr(&self) -> f64 {
+        self.amps.iter().map(|a| a.norm_sqr()).sum()
+    }
+
+    /// Fidelity `|⟨φ|ψ⟩|²` with another state.
+    pub fn fidelity(&self, other: &Statevector) -> f64 {
+        assert_eq!(self.n, other.n, "fidelity between different register sizes");
+        self.amps
+            .iter()
+            .zip(&other.amps)
+            .map(|(a, b)| a.conj() * *b)
+            .sum::<C64>()
+            .norm_sqr()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qem_linalg::complex::c64;
+
+    #[test]
+    fn zero_state_normalised() {
+        let sv = Statevector::zero_state(3);
+        assert!((sv.norm_sqr() - 1.0).abs() < 1e-15);
+        assert_eq!(sv.amplitude(0), C64::ONE);
+        assert_eq!(sv.probabilities()[0], 1.0);
+    }
+
+    #[test]
+    fn x_flips_basis_state() {
+        let mut sv = Statevector::zero_state(2);
+        sv.apply(&Gate::X(1));
+        assert!((sv.amplitude(0b10).abs() - 1.0).abs() < 1e-15);
+        assert!(sv.amplitude(0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn hadamard_superposition() {
+        let mut sv = Statevector::zero_state(1);
+        sv.apply(&Gate::H(0));
+        let p = sv.probabilities();
+        assert!((p[0] - 0.5).abs() < 1e-12);
+        assert!((p[1] - 0.5).abs() < 1e-12);
+        // H twice = identity.
+        sv.apply(&Gate::H(0));
+        assert!((sv.probabilities()[0] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bell_state_probabilities() {
+        let mut sv = Statevector::zero_state(2);
+        sv.apply(&Gate::H(0));
+        sv.apply(&Gate::CNOT { control: 0, target: 1 });
+        let p = sv.probabilities();
+        assert!((p[0b00] - 0.5).abs() < 1e-12);
+        assert!((p[0b11] - 0.5).abs() < 1e-12);
+        assert!(p[0b01].abs() < 1e-15);
+        assert!(p[0b10].abs() < 1e-15);
+    }
+
+    #[test]
+    fn cnot_control_zero_is_identity() {
+        let mut sv = Statevector::zero_state(2);
+        sv.apply(&Gate::CNOT { control: 0, target: 1 });
+        assert_eq!(sv.amplitude(0), C64::ONE);
+    }
+
+    #[test]
+    fn cz_phase_only_on_11() {
+        let mut sv = Statevector::basis_state(2, 0b11);
+        sv.apply(&Gate::CZ(0, 1));
+        assert!((sv.amplitude(0b11) - c64(-1.0, 0.0)).abs() < 1e-15);
+        let mut sv = Statevector::basis_state(2, 0b01);
+        sv.apply(&Gate::CZ(0, 1));
+        assert!((sv.amplitude(0b01) - C64::ONE).abs() < 1e-15);
+    }
+
+    #[test]
+    fn swap_permutes() {
+        let mut sv = Statevector::basis_state(3, 0b001);
+        sv.apply(&Gate::SWAP(0, 2));
+        assert!((sv.amplitude(0b100).abs() - 1.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn apply_2q_matches_cnot() {
+        // CNOT with control q1, target q0 as a 4×4.
+        let z = C64::ZERO;
+        let o = C64::ONE;
+        // Index = bit1*2 + bit0; control = bit1 flips bit0.
+        let m = [
+            [o, z, z, z],
+            [z, o, z, z],
+            [z, z, z, o],
+            [z, z, o, z],
+        ];
+        let mut a = Statevector::basis_state(2, 0b10);
+        a.apply_2q(0, 1, &m);
+        let mut b = Statevector::basis_state(2, 0b10);
+        b.apply_cnot(1, 0);
+        assert!((a.fidelity(&b) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn norm_preserved_through_random_circuit() {
+        let mut sv = Statevector::zero_state(4);
+        let gates = [
+            Gate::H(0),
+            Gate::RX(1, 0.3),
+            Gate::CNOT { control: 0, target: 2 },
+            Gate::U3(3, 1.0, 0.2, -0.7),
+            Gate::CZ(1, 3),
+            Gate::RY(2, -0.9),
+            Gate::SWAP(0, 3),
+            Gate::T(1),
+            Gate::S(2),
+            Gate::RZ(0, 2.2),
+        ];
+        for g in &gates {
+            sv.apply(g);
+            assert!((sv.norm_sqr() - 1.0).abs() < 1e-12, "norm broken after {g:?}");
+        }
+    }
+
+    #[test]
+    fn ghz_state_big_register_parallel_path() {
+        // 13 qubits crosses PAR_THRESHOLD, exercising the rayon path.
+        let n = 13;
+        let mut sv = Statevector::zero_state(n);
+        sv.apply(&Gate::H(0));
+        for q in 1..n {
+            sv.apply(&Gate::CNOT { control: q - 1, target: q });
+        }
+        let p = sv.probabilities();
+        assert!((p[0] - 0.5).abs() < 1e-12);
+        assert!((p[(1 << n) - 1] - 0.5).abs() < 1e-12);
+        assert!((sv.norm_sqr() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fidelity_of_orthogonal_states_zero() {
+        let a = Statevector::basis_state(2, 0);
+        let b = Statevector::basis_state(2, 3);
+        assert!(a.fidelity(&b) < 1e-15);
+        assert!((a.fidelity(&a) - 1.0).abs() < 1e-15);
+    }
+}

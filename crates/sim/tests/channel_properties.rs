@@ -1,0 +1,101 @@
+//! Channel-algebra property tests: composition, restriction, and the exact
+//! full-matrix ground truth.
+
+use proptest::prelude::*;
+use qem_linalg::stochastic::is_column_stochastic;
+use qem_linalg::vector::l1_distance;
+use qem_sim::channel::{joint_decay_matrix, joint_flip_matrix, MeasurementChannel};
+
+fn normalized(v: Vec<f64>) -> Option<Vec<f64>> {
+    let t: f64 = v.iter().sum();
+    if t < 0.05 {
+        None
+    } else {
+        Some(v.into_iter().map(|x| x / t).collect())
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn composition_is_sequential_application(
+        p0 in prop::collection::vec(0.0..0.25f64, 3),
+        p1 in prop::collection::vec(0.0..0.25f64, 3),
+        corr in 0.0..0.25f64,
+        probs in prop::collection::vec(0.0..1.0f64, 8),
+    ) {
+        let Some(probs) = normalized(probs) else { return Ok(()); };
+        let a = MeasurementChannel::state_dependent(3, &p0, &p1);
+        let mut b = MeasurementChannel::identity(3);
+        b.add_correlated_flip(&[0, 2], corr);
+
+        let mut composed = a.clone();
+        composed.compose(&b);
+        let via_compose = composed.apply_dense(&probs);
+        let via_sequence = b.apply_dense(&a.apply_dense(&probs));
+        prop_assert!(l1_distance(&via_compose, &via_sequence).unwrap() < 1e-12);
+    }
+
+    #[test]
+    fn full_matrix_is_ground_truth(
+        p0 in prop::collection::vec(0.0..0.2f64, 3),
+        p1 in prop::collection::vec(0.0..0.2f64, 3),
+        decay in 0.0..0.2f64,
+        probs in prop::collection::vec(0.0..1.0f64, 8),
+    ) {
+        let Some(probs) = normalized(probs) else { return Ok(()); };
+        let mut ch = MeasurementChannel::state_dependent(3, &p0, &p1);
+        ch.add_joint_decay(&[1, 2], decay);
+        let m = ch.full_matrix();
+        prop_assert!(is_column_stochastic(&m, 1e-9));
+        let via_matrix = m.matvec(&probs).unwrap();
+        let via_factors = ch.apply_dense(&probs);
+        prop_assert!(l1_distance(&via_matrix, &via_factors).unwrap() < 1e-10);
+    }
+
+    #[test]
+    fn restriction_commutes_with_marginalisation_for_inside_factors(
+        p in 0.0..0.3f64,
+        probs in prop::collection::vec(0.0..1.0f64, 8),
+    ) {
+        // Factors fully inside the measured set: restricting the channel
+        // then applying = applying then marginalising.
+        let Some(probs) = normalized(probs) else { return Ok(()); };
+        let mut ch = MeasurementChannel::identity(3);
+        ch.add_correlated_flip(&[0, 1], p);
+        let restricted = ch.restrict_to(&[0, 1]);
+
+        let full_out = ch.apply_dense(&probs);
+        let marg_then: Vec<f64> = {
+            let mut m = vec![0.0; 4];
+            for (s, &w) in full_out.iter().enumerate() {
+                m[s & 0b11] += w;
+            }
+            m
+        };
+        let then_marg = {
+            let mut m = vec![0.0; 4];
+            for (s, &w) in probs.iter().enumerate() {
+                m[s & 0b11] += w;
+            }
+            restricted.apply_dense(&m)
+        };
+        prop_assert!(l1_distance(&marg_then, &then_marg).unwrap() < 1e-12);
+    }
+
+    #[test]
+    fn flip_and_decay_matrices_stochastic(k in 1usize..4, p in 0.0..1.0f64) {
+        prop_assert!(is_column_stochastic(&joint_flip_matrix(k, p), 1e-12));
+        prop_assert!(is_column_stochastic(&joint_decay_matrix(k, p), 1e-12));
+    }
+
+    #[test]
+    fn flip_matrix_involution_structure(k in 1usize..4, p in 0.0..0.5f64) {
+        // Applying the joint flip twice with prob p = flip with 2p(1−p).
+        let m = joint_flip_matrix(k, p);
+        let twice = m.matmul(&m).unwrap();
+        let expect = joint_flip_matrix(k, 2.0 * p * (1.0 - p));
+        prop_assert!(twice.max_abs_diff(&expect).unwrap() < 1e-12);
+    }
+}

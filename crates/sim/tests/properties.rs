@@ -1,0 +1,163 @@
+//! Property-based tests of the simulation substrate: unitarity, channel
+//! stochasticity, sampling statistics and the classical fast path.
+
+use proptest::prelude::*;
+use qem_sim::backend::{marginalize_dense, sample_counts, Backend};
+use qem_sim::channel::MeasurementChannel;
+use qem_sim::circuit::{basis_prep, Circuit};
+use qem_sim::gate::Gate;
+use qem_sim::noise::NoiseModel;
+use qem_sim::state::Statevector;
+use qem_topology::coupling::linear;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn arb_gate(n: usize) -> impl Strategy<Value = Gate> {
+    (0usize..n, 0usize..n, 0..8u8, -3.0..3.0f64).prop_map(move |(a, b, kind, angle)| {
+        let b = if a == b { (b + 1) % n } else { b };
+        match kind {
+            0 => Gate::H(a),
+            1 => Gate::X(a),
+            2 => Gate::S(a),
+            3 => Gate::RX(a, angle),
+            4 => Gate::RZ(a, angle),
+            5 => Gate::CNOT { control: a, target: b },
+            6 => Gate::CZ(a, b),
+            _ => Gate::U3(a, angle.abs(), angle / 2.0, -angle),
+        }
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn random_circuits_preserve_norm(gates in prop::collection::vec(arb_gate(4), 0..25)) {
+        let mut sv = Statevector::zero_state(4);
+        for g in &gates {
+            sv.apply(g);
+        }
+        prop_assert!((sv.norm_sqr() - 1.0).abs() < 1e-10);
+        let p = sv.probabilities();
+        prop_assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-10);
+        prop_assert!(p.iter().all(|&x| x >= -1e-12));
+    }
+
+    #[test]
+    fn circuit_then_inverse_is_identity(gates in prop::collection::vec(arb_gate(3), 1..12)) {
+        // Every gate in the pool has an inverse expressible in the pool
+        // via parameter negation / repetition.
+        let mut sv = Statevector::zero_state(3);
+        for g in &gates {
+            sv.apply(g);
+        }
+        for g in gates.iter().rev() {
+            match *g {
+                Gate::H(q) => sv.apply(&Gate::H(q)),
+                Gate::X(q) => sv.apply(&Gate::X(q)),
+                Gate::S(q) => {
+                    // S† = S·Z ... apply S three times (S^4 = I).
+                    sv.apply(&Gate::S(q));
+                    sv.apply(&Gate::S(q));
+                    sv.apply(&Gate::S(q));
+                }
+                Gate::RX(q, t) => sv.apply(&Gate::RX(q, -t)),
+                Gate::RZ(q, t) => sv.apply(&Gate::RZ(q, -t)),
+                Gate::CNOT { control, target } => sv.apply(&Gate::CNOT { control, target }),
+                Gate::CZ(a, b) => sv.apply(&Gate::CZ(a, b)),
+                Gate::U3(q, t, p, l) => sv.apply(&Gate::U3(q, -t, -l, -p)),
+                _ => unreachable!(),
+            }
+        }
+        prop_assert!((sv.probabilities()[0] - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn channels_preserve_distributions(
+        p0 in prop::collection::vec(0.0..0.3f64, 4),
+        p1 in prop::collection::vec(0.0..0.3f64, 4),
+        corr in 0.0..0.3f64,
+        probs in prop::collection::vec(0.0..1.0f64, 16),
+    ) {
+        let total: f64 = probs.iter().sum();
+        prop_assume!(total > 0.1);
+        let probs: Vec<f64> = probs.iter().map(|x| x / total).collect();
+        let mut ch = MeasurementChannel::state_dependent(4, &p0, &p1);
+        ch.add_correlated_flip(&[0, 2], corr);
+        ch.add_joint_decay(&[1, 3], corr / 2.0);
+        let out = ch.apply_dense(&probs);
+        prop_assert!((out.iter().sum::<f64>() - 1.0).abs() < 1e-10);
+        prop_assert!(out.iter().all(|&x| x >= -1e-12));
+    }
+
+    #[test]
+    fn sampling_concentrates(p in 0.05..0.95f64, seed in 0u64..1000) {
+        let probs = vec![p, 1.0 - p];
+        let mut rng = StdRng::seed_from_u64(seed);
+        let counts = sample_counts(&probs, 1, 20_000, &mut rng);
+        prop_assert_eq!(counts.shots(), 20_000);
+        // 5σ bound on a binomial proportion.
+        let sigma = (p * (1.0 - p) / 20_000.0).sqrt();
+        prop_assert!((counts.probability(0) - p).abs() < 5.0 * sigma + 1e-3);
+    }
+
+    #[test]
+    fn marginalize_dense_preserves_mass(probs in prop::collection::vec(0.0..1.0f64, 16)) {
+        let total: f64 = probs.iter().sum();
+        prop_assume!(total > 0.01);
+        let m = marginalize_dense(&probs, 4, &[0, 2]);
+        prop_assert!((m.iter().sum::<f64>() - total).abs() < 1e-10);
+    }
+
+    #[test]
+    fn classical_fast_path_matches_statevector_path(
+        state in 0u64..32,
+        p0 in prop::collection::vec(0.0..0.2f64, 5),
+        p1 in prop::collection::vec(0.0..0.2f64, 5),
+        corr in 0.0..0.2f64,
+    ) {
+        // Same X-only circuit through the closed form (basis_prep, X-only)
+        // and the statevector trajectory path (forced by a trailing RZ
+        // which is a no-op on distributions). Gate errors zero so both are
+        // deterministic.
+        let n = 5;
+        let mut noise = NoiseModel::noiseless(n);
+        noise.p_flip0 = p0;
+        noise.p_flip1 = p1;
+        noise.add_correlated(&[0, 3], corr);
+        noise.add_correlated_decay(&[1, 4], corr);
+        let b = Backend::new(linear(n), noise);
+
+        let fast = b.noisy_distribution(&basis_prep(n, state), &mut StdRng::seed_from_u64(1));
+        let mut slow_circuit: Circuit = basis_prep(n, state);
+        slow_circuit.push(Gate::RZ(0, 0.0));
+        let slow = b.noisy_distribution(&slow_circuit, &mut StdRng::seed_from_u64(1));
+        for s in 0..(1usize << n) {
+            prop_assert!((fast[s] - slow[s]).abs() < 1e-9, "state {s}");
+        }
+    }
+
+    #[test]
+    fn subset_measurement_consistent_with_full(
+        state in 0u64..16,
+        p1 in prop::collection::vec(0.0..0.25f64, 4),
+        corr in 0.0..0.25f64,
+    ) {
+        // Measuring a subset must equal measuring everything then
+        // marginalising — the exactness property of the full-channel model.
+        let n = 4;
+        let mut noise = NoiseModel::noiseless(n);
+        noise.p_flip1 = p1;
+        noise.add_correlated(&[0, 2], corr);
+        let b = Backend::new(linear(n), noise);
+
+        let full = b.noisy_distribution(&basis_prep(n, state), &mut StdRng::seed_from_u64(2));
+        let mut sub = basis_prep(n, state);
+        sub.measure_only(&[1, 2]);
+        let subset = b.noisy_distribution(&sub, &mut StdRng::seed_from_u64(2));
+        let expected = marginalize_dense(&full, n, &[1, 2]);
+        for s in 0..4 {
+            prop_assert!((subset[s] - expected[s]).abs() < 1e-9);
+        }
+    }
+}

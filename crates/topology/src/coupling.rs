@@ -1,0 +1,305 @@
+//! Coupling-map generators for the architecture families of the paper's
+//! Fig. 11 and Table III: linear, grid, local grid (Tokyo), hexagonal /
+//! heavy-hex, octagonal (Aspen) and fully connected (IonQ), plus random
+//! sparse maps for the Algorithm 1 scaling study (§IV-A).
+
+use crate::graph::Graph;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+/// A named coupling map: the graph plus provenance for reporting.
+#[derive(Clone, Debug)]
+pub struct CouplingMap {
+    /// Architecture/device name for harness output.
+    pub name: String,
+    /// The underlying connectivity graph.
+    pub graph: Graph,
+}
+
+impl CouplingMap {
+    /// Wraps a graph with a name.
+    pub fn new(name: impl Into<String>, graph: Graph) -> Self {
+        CouplingMap { name: name.into(), graph }
+    }
+
+    /// Number of qubits.
+    pub fn num_qubits(&self) -> usize {
+        self.graph.num_vertices()
+    }
+
+    /// Number of two-qubit couplings.
+    pub fn num_edges(&self) -> usize {
+        self.graph.num_edges()
+    }
+}
+
+/// Linear chain `0–1–…–(n−1)` (Honeywell/Quantinuum H1 style): `n−1` edges.
+pub fn linear(n: usize) -> CouplingMap {
+    let mut g = Graph::new(n);
+    for i in 1..n {
+        g.add_edge(i - 1, i);
+    }
+    CouplingMap::new(format!("linear-{n}"), g)
+}
+
+/// Ring of `n` qubits.
+pub fn ring(n: usize) -> CouplingMap {
+    let mut g = Graph::new(n);
+    for i in 1..n {
+        g.add_edge(i - 1, i);
+    }
+    if n > 2 {
+        g.add_edge(n - 1, 0);
+    }
+    CouplingMap::new(format!("ring-{n}"), g)
+}
+
+/// Rectangular nearest-neighbour grid (Google Sycamore style):
+/// `r·c` qubits, `2rc − r − c` edges.
+pub fn grid(rows: usize, cols: usize) -> CouplingMap {
+    let n = rows * cols;
+    let mut g = Graph::new(n);
+    let idx = |r: usize, c: usize| r * cols + c;
+    for r in 0..rows {
+        for c in 0..cols {
+            if c + 1 < cols {
+                g.add_edge(idx(r, c), idx(r, c + 1));
+            }
+            if r + 1 < rows {
+                g.add_edge(idx(r, c), idx(r + 1, c));
+            }
+        }
+    }
+    CouplingMap::new(format!("grid-{rows}x{cols}"), g)
+}
+
+/// Local grid (IBM Tokyo style): nearest-neighbour grid plus both diagonals
+/// of every unit cell, giving ~4 edges per qubit.
+pub fn local_grid(rows: usize, cols: usize) -> CouplingMap {
+    let mut cm = grid(rows, cols);
+    let idx = |r: usize, c: usize| r * cols + c;
+    for r in 0..rows.saturating_sub(1) {
+        for c in 0..cols.saturating_sub(1) {
+            cm.graph.add_edge(idx(r, c), idx(r + 1, c + 1));
+            cm.graph.add_edge(idx(r, c + 1), idx(r + 1, c));
+        }
+    }
+    cm.name = format!("local-grid-{rows}x{cols}");
+    cm
+}
+
+/// Hexagonal (brick-wall) lattice, degree ≤ 3 (Rigetti Acorn style):
+/// all horizontal edges, vertical edges only where `(row + col)` is even.
+pub fn hexagonal(rows: usize, cols: usize) -> CouplingMap {
+    let n = rows * cols;
+    let mut g = Graph::new(n);
+    let idx = |r: usize, c: usize| r * cols + c;
+    for r in 0..rows {
+        for c in 0..cols {
+            if c + 1 < cols {
+                g.add_edge(idx(r, c), idx(r, c + 1));
+            }
+            if r + 1 < rows && (r + c) % 2 == 0 {
+                g.add_edge(idx(r, c), idx(r + 1, c));
+            }
+        }
+    }
+    CouplingMap::new(format!("hexagonal-{rows}x{cols}"), g)
+}
+
+/// Heavy-hex lattice (IBM Washington style): the hexagonal brick-wall with
+/// every vertical rung subdivided by an extra (degree-2) qubit.
+pub fn heavy_hex(rows: usize, cols: usize) -> CouplingMap {
+    let base = hexagonal(rows, cols);
+    let vertical: Vec<(usize, usize)> = base
+        .graph
+        .edges()
+        .iter()
+        .filter(|e| e.b - e.a == cols) // vertical rungs connect adjacent rows
+        .map(|e| (e.a, e.b))
+        .collect();
+    let n0 = base.graph.num_vertices();
+    let mut g = Graph::new(n0 + vertical.len());
+    for e in base.graph.edges() {
+        if e.b - e.a != cols {
+            g.add_edge(e.a, e.b);
+        }
+    }
+    for (k, &(u, v)) in vertical.iter().enumerate() {
+        let mid = n0 + k;
+        g.add_edge(u, mid);
+        g.add_edge(mid, v);
+    }
+    CouplingMap::new(format!("heavy-hex-{rows}x{cols}"), g)
+}
+
+/// Chain of octagons (Rigetti Aspen style): each cell is an 8-ring; adjacent
+/// cells are joined by two bridge edges, matching Aspen's inter-octagon
+/// couplings.
+pub fn octagonal(cells: usize) -> CouplingMap {
+    let n = cells * 8;
+    let mut g = Graph::new(n);
+    for cell in 0..cells {
+        let base = cell * 8;
+        for j in 0..8 {
+            g.add_edge(base + j, base + (j + 1) % 8);
+        }
+        if cell + 1 < cells {
+            // Right side of this ring (positions 1, 2) to the left side of
+            // the next (positions 6, 7), as in Aspen's tiling.
+            g.add_edge(base + 1, base + 8 + 6);
+            g.add_edge(base + 2, base + 8 + 7);
+        }
+    }
+    CouplingMap::new(format!("octagonal-{cells}"), g)
+}
+
+/// Fully connected graph (IonQ Forte style): `n(n−1)/2` edges.
+pub fn fully_connected(n: usize) -> CouplingMap {
+    let mut g = Graph::new(n);
+    for u in 0..n {
+        for v in u + 1..n {
+            g.add_edge(u, v);
+        }
+    }
+    CouplingMap::new(format!("fully-connected-{n}"), g)
+}
+
+/// Random connected coupling map with approximately `avg_degree` edges per
+/// qubit — the ">100 qubits with an average of four edges per qubit" maps of
+/// the paper's Algorithm 1 scaling claim.
+pub fn random_map(n: usize, avg_degree: f64, seed: u64) -> CouplingMap {
+    assert!(n >= 2, "random map needs at least two qubits");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut g = Graph::new(n);
+    // Random spanning tree first (connectivity), then random extra edges
+    // until the target edge count.
+    let mut order: Vec<usize> = (0..n).collect();
+    order.shuffle(&mut rng);
+    for w in 1..n {
+        let parent = order[rng.gen_range(0..w)];
+        g.add_edge(order[w], parent);
+    }
+    let target_edges = ((avg_degree * n as f64) / 2.0).round() as usize;
+    let max_edges = n * (n - 1) / 2;
+    let target_edges = target_edges.clamp(n - 1, max_edges);
+    let mut guard = 0usize;
+    while g.num_edges() < target_edges && guard < 100 * target_edges {
+        let u = rng.gen_range(0..n);
+        let v = rng.gen_range(0..n);
+        if u != v {
+            g.add_edge(u, v);
+        }
+        guard += 1;
+    }
+    CouplingMap::new(format!("random-{n}-deg{avg_degree:.1}"), g)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linear_edge_count() {
+        for n in [2usize, 5, 17] {
+            let cm = linear(n);
+            assert_eq!(cm.num_edges(), n - 1);
+            assert!(cm.graph.is_connected());
+        }
+    }
+
+    #[test]
+    fn ring_closes() {
+        let cm = ring(6);
+        assert_eq!(cm.num_edges(), 6);
+        assert!(cm.graph.has_edge(5, 0));
+        assert_eq!(cm.graph.distance(0, 3), Some(3));
+    }
+
+    #[test]
+    fn grid_edge_formula() {
+        // Table III: grid has 2rc − r − c edges.
+        for (r, c) in [(2usize, 2usize), (3, 4), (5, 5), (4, 7)] {
+            let cm = grid(r, c);
+            assert_eq!(cm.num_edges(), 2 * r * c - r - c, "{r}x{c}");
+            assert!(cm.graph.is_connected());
+        }
+    }
+
+    #[test]
+    fn local_grid_has_diagonals() {
+        let cm = local_grid(2, 2);
+        assert!(cm.graph.has_edge(0, 3));
+        assert!(cm.graph.has_edge(1, 2));
+        assert_eq!(cm.num_edges(), 6);
+        // Tokyo-scale: 4x5 local grid ≈ 3–4 edges per qubit (paper §IV-A).
+        let tokyo_like = local_grid(4, 5);
+        let ratio = tokyo_like.num_edges() as f64 / tokyo_like.num_qubits() as f64;
+        assert!(ratio > 1.5 && ratio < 4.0, "ratio {ratio}");
+    }
+
+    #[test]
+    fn hexagonal_degree_bounded() {
+        let cm = hexagonal(4, 6);
+        for v in 0..cm.num_qubits() {
+            assert!(cm.graph.degree(v) <= 3, "vertex {v} degree {}", cm.graph.degree(v));
+        }
+        assert!(cm.graph.is_connected());
+    }
+
+    #[test]
+    fn heavy_hex_bridge_qubits_degree_two() {
+        let base = hexagonal(3, 4);
+        let cm = heavy_hex(3, 4);
+        assert!(cm.num_qubits() > base.num_qubits());
+        for v in base.num_qubits()..cm.num_qubits() {
+            assert_eq!(cm.graph.degree(v), 2, "bridge qubit {v}");
+        }
+        assert!(cm.graph.is_connected());
+    }
+
+    #[test]
+    fn octagonal_structure() {
+        let cm = octagonal(2);
+        assert_eq!(cm.num_qubits(), 16);
+        assert_eq!(cm.num_edges(), 8 + 8 + 2);
+        assert!(cm.graph.is_connected());
+        for v in 0..16 {
+            assert!(cm.graph.degree(v) <= 3);
+        }
+    }
+
+    #[test]
+    fn fully_connected_quadratic_edges() {
+        // Table III: n(n−1)/2 edges — the family that breaks bare CMC.
+        for n in [3usize, 6, 10] {
+            assert_eq!(fully_connected(n).num_edges(), n * (n - 1) / 2);
+        }
+    }
+
+    #[test]
+    fn random_map_connected_and_near_target_degree() {
+        let cm = random_map(120, 4.0, 42);
+        assert!(cm.graph.is_connected());
+        let avg = 2.0 * cm.num_edges() as f64 / cm.num_qubits() as f64;
+        assert!((avg - 4.0).abs() < 0.5, "avg degree {avg}");
+    }
+
+    #[test]
+    fn random_map_deterministic_per_seed() {
+        let a = random_map(50, 3.0, 7);
+        let b = random_map(50, 3.0, 7);
+        assert_eq!(a.graph.edges(), b.graph.edges());
+        let c = random_map(50, 3.0, 8);
+        assert_ne!(a.graph.edges(), c.graph.edges());
+    }
+
+    #[test]
+    fn degenerate_sizes() {
+        assert_eq!(linear(2).num_edges(), 1);
+        assert_eq!(ring(2).num_edges(), 1);
+        assert_eq!(grid(1, 4).num_edges(), 3);
+        assert_eq!(fully_connected(2).num_edges(), 1);
+    }
+}

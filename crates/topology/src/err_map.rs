@@ -1,0 +1,238 @@
+//! Algorithm 2 of the paper: ERR — greedy construction of a device-tailored
+//! *error coupling map* from correlated-error edge weights.
+//!
+//! Input: candidate qubit pairs within locality distance `k` of each other on
+//! the physical coupling map, each weighted by the correlation strength
+//! `w_ij = ‖C_i ⊗ C_j − C_ij‖_F` (Fig. 1's edge thickness). Output: a graph
+//! with at most `n` edges that greedily maximises captured correlation while
+//! every accepted edge brings at least one new vertex (the pseudocode's
+//! three cases all require an endpoint outside `E'`), keeping coverage broad
+//! instead of piling edges onto one noisy cluster. The result need not be
+//! connected (paper §IV-D) and is handed to CMC in place of the physical
+//! coupling map.
+
+use crate::graph::{Edge, Graph};
+
+/// A candidate error-map edge with its correlation weight.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct WeightedPair {
+    /// First qubit.
+    pub i: usize,
+    /// Second qubit.
+    pub j: usize,
+    /// Correlation weight `‖C_i ⊗ C_j − C_ij‖_F`.
+    pub weight: f64,
+}
+
+impl WeightedPair {
+    /// Constructor normalising the qubit order.
+    pub fn new(i: usize, j: usize, weight: f64) -> Self {
+        assert_ne!(i, j, "self-pair {i}");
+        if i < j {
+            WeightedPair { i, j, weight }
+        } else {
+            WeightedPair { i: j, j: i, weight }
+        }
+    }
+}
+
+/// The ERR output: the error coupling map plus the weights of the selected
+/// edges (for reporting and stability tracking).
+#[derive(Clone, Debug)]
+pub struct ErrorMap {
+    /// The selected error coupling map.
+    pub graph: Graph,
+    /// Selected pairs in acceptance (descending-weight) order.
+    pub selected: Vec<WeightedPair>,
+    /// Total correlation weight captured.
+    pub captured_weight: f64,
+    /// Total correlation weight over all candidates.
+    pub total_weight: f64,
+}
+
+impl ErrorMap {
+    /// Fraction of candidate correlation weight captured by the map.
+    pub fn coverage(&self) -> f64 {
+        if self.total_weight <= 0.0 {
+            1.0
+        } else {
+            self.captured_weight / self.total_weight
+        }
+    }
+}
+
+/// Algorithm 2: builds an error coupling map with at most `max_edges` edges
+/// over `n` qubits from weighted candidate pairs.
+///
+/// Pairs are processed in descending weight. A pair is accepted when at
+/// least one endpoint is not yet in the map (each acceptance grows vertex
+/// coverage); pairs between two already-covered vertices are skipped, per
+/// the pseudocode's case analysis.
+pub fn error_coupling_map(n: usize, pairs: &[WeightedPair], max_edges: usize) -> ErrorMap {
+    let mut sorted: Vec<WeightedPair> = pairs.to_vec();
+    // Descending weight; ties broken by qubit indices for determinism.
+    sorted.sort_by(|a, b| {
+        b.weight
+            .partial_cmp(&a.weight)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.i.cmp(&b.i))
+            .then(a.j.cmp(&b.j))
+    });
+    let total_weight: f64 = sorted.iter().map(|p| p.weight).sum();
+
+    let mut graph = Graph::new(n);
+    let mut in_map = vec![false; n];
+    let mut selected = Vec::new();
+    let mut captured_weight = 0.0;
+    for p in sorted {
+        if graph.num_edges() >= max_edges {
+            break;
+        }
+        // Accept only when the edge brings a new vertex into the map.
+        if in_map[p.i] && in_map[p.j] {
+            continue;
+        }
+        in_map[p.i] = true;
+        in_map[p.j] = true;
+        graph.add_edge(p.i, p.j);
+        captured_weight += p.weight;
+        selected.push(p);
+    }
+    ErrorMap { graph, selected, captured_weight, total_weight }
+}
+
+/// Convenience: candidate pairs for ERR are all qubit pairs within
+/// shortest-path distance `k` on the *physical* coupling map (paper: "only
+/// two-qubit edges of distance less than k are considered"). The caller
+/// attaches weights from its characterisation data.
+pub fn candidate_pairs(physical: &Graph, k: usize) -> Vec<(usize, usize)> {
+    physical.pairs_within_distance(k)
+}
+
+/// Jaccard similarity of two error maps' edge sets — the metric behind the
+/// paper's "ERR maps are stable on the order of several weeks" claim.
+pub fn edge_jaccard(a: &Graph, b: &Graph) -> f64 {
+    use std::collections::HashSet;
+    let ea: HashSet<Edge> = a.edges().iter().copied().collect();
+    let eb: HashSet<Edge> = b.edges().iter().copied().collect();
+    let inter = ea.intersection(&eb).count();
+    let union = ea.union(&eb).count();
+    if union == 0 {
+        1.0
+    } else {
+        inter as f64 / union as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::coupling::linear;
+
+    fn wp(i: usize, j: usize, w: f64) -> WeightedPair {
+        WeightedPair::new(i, j, w)
+    }
+
+    #[test]
+    fn picks_heaviest_edges_first() {
+        let pairs = [wp(0, 1, 0.1), wp(2, 3, 0.9), wp(4, 5, 0.5)];
+        let m = error_coupling_map(6, &pairs, 2);
+        assert_eq!(m.graph.num_edges(), 2);
+        assert!(m.graph.has_edge(2, 3));
+        assert!(m.graph.has_edge(4, 5));
+        assert!(!m.graph.has_edge(0, 1));
+        assert!((m.captured_weight - 1.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn skips_pairs_between_covered_vertices() {
+        // 0-1 heaviest, 2-3 second; 1-2 (both covered after those) skipped
+        // even though heavier than 4-5.
+        let pairs = [wp(0, 1, 1.0), wp(2, 3, 0.9), wp(1, 2, 0.8), wp(4, 5, 0.1)];
+        let m = error_coupling_map(6, &pairs, 10);
+        assert!(m.graph.has_edge(0, 1));
+        assert!(m.graph.has_edge(2, 3));
+        assert!(!m.graph.has_edge(1, 2));
+        assert!(m.graph.has_edge(4, 5));
+    }
+
+    #[test]
+    fn grows_from_covered_vertex() {
+        // 0-1 first; 1-2 has one new endpoint (2) so accepted.
+        let pairs = [wp(0, 1, 1.0), wp(1, 2, 0.9)];
+        let m = error_coupling_map(3, &pairs, 10);
+        assert_eq!(m.graph.num_edges(), 2);
+        assert!(m.graph.has_edge(1, 2));
+    }
+
+    #[test]
+    fn respects_edge_budget() {
+        let pairs: Vec<WeightedPair> =
+            (0..10).map(|i| wp(2 * i, 2 * i + 1, 1.0 - i as f64 * 0.01)).collect();
+        let m = error_coupling_map(20, &pairs, 4);
+        assert_eq!(m.graph.num_edges(), 4);
+        assert_eq!(m.selected.len(), 4);
+    }
+
+    #[test]
+    fn disconnected_output_allowed() {
+        let pairs = [wp(0, 1, 1.0), wp(3, 4, 0.9)];
+        let m = error_coupling_map(5, &pairs, 5);
+        assert!(!m.graph.is_connected());
+        assert_eq!(m.graph.num_edges(), 2);
+    }
+
+    #[test]
+    fn deterministic_under_ties() {
+        let pairs = [wp(4, 5, 0.5), wp(0, 1, 0.5), wp(2, 3, 0.5)];
+        let a = error_coupling_map(6, &pairs, 2);
+        let b = error_coupling_map(6, &pairs, 2);
+        assert_eq!(a.graph.edges(), b.graph.edges());
+        // Tie-break by index: 0-1 then 2-3.
+        assert!(a.graph.has_edge(0, 1));
+        assert!(a.graph.has_edge(2, 3));
+    }
+
+    #[test]
+    fn coverage_fraction() {
+        let pairs = [wp(0, 1, 3.0), wp(2, 3, 1.0)];
+        let m = error_coupling_map(4, &pairs, 1);
+        assert!((m.coverage() - 0.75).abs() < 1e-12);
+        let empty = error_coupling_map(4, &[], 5);
+        assert_eq!(empty.coverage(), 1.0);
+        assert_eq!(empty.graph.num_edges(), 0);
+    }
+
+    #[test]
+    fn candidate_pairs_respect_locality() {
+        let g = linear(5).graph;
+        let c1 = candidate_pairs(&g, 1);
+        assert_eq!(c1.len(), 4);
+        let c2 = candidate_pairs(&g, 2);
+        assert!(c2.contains(&(0, 2)));
+        assert!(!c2.contains(&(0, 3)));
+    }
+
+    #[test]
+    fn jaccard_similarity() {
+        let a = Graph::from_edges(4, &[(0, 1), (2, 3)]);
+        let b = Graph::from_edges(4, &[(0, 1), (1, 2)]);
+        assert!((edge_jaccard(&a, &b) - 1.0 / 3.0).abs() < 1e-12);
+        assert_eq!(edge_jaccard(&a, &a), 1.0);
+        let empty = Graph::new(4);
+        assert_eq!(edge_jaccard(&empty, &empty), 1.0);
+    }
+
+    #[test]
+    fn anti_aligned_error_map_diverges_from_physical() {
+        // Nairobi-style scenario: correlations on non-edges of the physical
+        // map. ERR must select those non-edges.
+        let physical = linear(5).graph;
+        let pairs = [wp(0, 2, 1.0), wp(1, 3, 0.9), wp(2, 4, 0.8)];
+        let m = error_coupling_map(5, &pairs, 5);
+        for e in m.graph.edges() {
+            assert!(!physical.has_edge(e.a, e.b), "edge {e:?} is physical");
+        }
+        assert!(edge_jaccard(&m.graph, &physical) < 0.2);
+    }
+}

@@ -1,0 +1,332 @@
+//! Undirected graphs: the representation behind device coupling maps and
+//! ERR error maps.
+
+use std::collections::VecDeque;
+
+/// An undirected edge, stored with `a < b`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Edge {
+    /// Smaller endpoint.
+    pub a: usize,
+    /// Larger endpoint.
+    pub b: usize,
+}
+
+impl Edge {
+    /// Normalised constructor (`a < b`).
+    ///
+    /// # Panics
+    /// Panics on a self-loop — coupling maps never contain them.
+    pub fn new(u: usize, v: usize) -> Edge {
+        assert_ne!(u, v, "self-loop edge {u}-{u}");
+        if u < v {
+            Edge { a: u, b: v }
+        } else {
+            Edge { a: v, b: u }
+        }
+    }
+
+    /// Both endpoints in ascending order.
+    pub fn endpoints(&self) -> [usize; 2] {
+        [self.a, self.b]
+    }
+
+    /// True when the edge touches vertex `v`.
+    pub fn contains(&self, v: usize) -> bool {
+        self.a == v || self.b == v
+    }
+
+    /// The endpoint that is not `v`.
+    ///
+    /// # Panics
+    /// Panics when `v` is not an endpoint.
+    pub fn other(&self, v: usize) -> usize {
+        if self.a == v {
+            self.b
+        } else {
+            assert_eq!(self.b, v, "vertex {v} not on edge {self:?}");
+            self.a
+        }
+    }
+}
+
+/// Undirected simple graph over vertices `0..n`.
+#[derive(Clone, Debug, Default)]
+pub struct Graph {
+    n: usize,
+    adj: Vec<Vec<usize>>,
+    edges: Vec<Edge>,
+}
+
+impl Graph {
+    /// Graph with `n` isolated vertices.
+    pub fn new(n: usize) -> Graph {
+        Graph { n, adj: vec![Vec::new(); n], edges: Vec::new() }
+    }
+
+    /// Builds a graph from an edge list over vertices `0..n`.
+    ///
+    /// # Panics
+    /// Panics on out-of-range endpoints (a construction bug, not runtime
+    /// data).
+    pub fn from_edges(n: usize, edges: &[(usize, usize)]) -> Graph {
+        let mut g = Graph::new(n);
+        for &(u, v) in edges {
+            g.add_edge(u, v);
+        }
+        g
+    }
+
+    /// Number of vertices.
+    pub fn num_vertices(&self) -> usize {
+        self.n
+    }
+
+    /// Number of (undirected) edges.
+    pub fn num_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Adds an undirected edge; duplicates are ignored.
+    ///
+    /// # Panics
+    /// Panics when an endpoint is out of range.
+    pub fn add_edge(&mut self, u: usize, v: usize) {
+        assert!(u < self.n && v < self.n, "edge {u}-{v} out of range for n={}", self.n);
+        let e = Edge::new(u, v);
+        if self.edges.contains(&e) {
+            return;
+        }
+        self.adj[u].push(v);
+        self.adj[v].push(u);
+        self.edges.push(e);
+    }
+
+    /// True when `u` and `v` are adjacent.
+    pub fn has_edge(&self, u: usize, v: usize) -> bool {
+        u != v && self.edges.contains(&Edge::new(u, v))
+    }
+
+    /// Neighbours of `v`.
+    pub fn neighbors(&self, v: usize) -> &[usize] {
+        &self.adj[v]
+    }
+
+    /// Degree of `v`.
+    pub fn degree(&self, v: usize) -> usize {
+        self.adj[v].len()
+    }
+
+    /// All edges in insertion order.
+    pub fn edges(&self) -> &[Edge] {
+        &self.edges
+    }
+
+    /// BFS distances from `src`; `usize::MAX` marks unreachable vertices.
+    pub fn bfs_distances(&self, src: usize) -> Vec<usize> {
+        let mut dist = vec![usize::MAX; self.n];
+        let mut q = VecDeque::new();
+        dist[src] = 0;
+        q.push_back(src);
+        while let Some(u) = q.pop_front() {
+            for &w in &self.adj[u] {
+                if dist[w] == usize::MAX {
+                    dist[w] = dist[u] + 1;
+                    q.push_back(w);
+                }
+            }
+        }
+        dist
+    }
+
+    /// Shortest-path distance between two vertices (`None` if disconnected).
+    pub fn distance(&self, u: usize, v: usize) -> Option<usize> {
+        let d = self.bfs_distances(u)[v];
+        (d != usize::MAX).then_some(d)
+    }
+
+    /// BFS traversal order from `src`, yielding `(vertex, parent)` pairs —
+    /// the order used to lay CNOTs for GHZ construction (paper §V-B).
+    pub fn bfs_tree(&self, src: usize) -> Vec<(usize, usize)> {
+        let mut seen = vec![false; self.n];
+        let mut out = Vec::new();
+        let mut q = VecDeque::new();
+        seen[src] = true;
+        q.push_back(src);
+        while let Some(u) = q.pop_front() {
+            for &w in &self.adj[u] {
+                if !seen[w] {
+                    seen[w] = true;
+                    out.push((w, u));
+                    q.push_back(w);
+                }
+            }
+        }
+        out
+    }
+
+    /// Separation between two edges: the minimum shortest-path distance
+    /// between any endpoint of `e` and any endpoint of `f`. Zero when they
+    /// share a vertex; `None` when they lie in different components.
+    pub fn edge_separation(&self, e: Edge, f: Edge) -> Option<usize> {
+        let mut best: Option<usize> = None;
+        for &u in &e.endpoints() {
+            let d = self.bfs_distances(u);
+            for &v in &f.endpoints() {
+                if d[v] != usize::MAX {
+                    best = Some(best.map_or(d[v], |b| b.min(d[v])));
+                }
+            }
+        }
+        best
+    }
+
+    /// Connected components as vertex lists.
+    pub fn components(&self) -> Vec<Vec<usize>> {
+        let mut seen = vec![false; self.n];
+        let mut comps = Vec::new();
+        for s in 0..self.n {
+            if seen[s] {
+                continue;
+            }
+            let mut comp = Vec::new();
+            let mut q = VecDeque::new();
+            seen[s] = true;
+            q.push_back(s);
+            while let Some(u) = q.pop_front() {
+                comp.push(u);
+                for &w in &self.adj[u] {
+                    if !seen[w] {
+                        seen[w] = true;
+                        q.push_back(w);
+                    }
+                }
+            }
+            comps.push(comp);
+        }
+        comps
+    }
+
+    /// True when the graph is connected (vacuously true for n ≤ 1).
+    pub fn is_connected(&self) -> bool {
+        self.components().len() <= 1
+    }
+
+    /// All unordered vertex pairs within shortest-path distance `k`
+    /// (the candidate set Algorithm 2 characterises).
+    pub fn pairs_within_distance(&self, k: usize) -> Vec<(usize, usize)> {
+        let mut out = Vec::new();
+        for u in 0..self.n {
+            let d = self.bfs_distances(u);
+            for v in u + 1..self.n {
+                if d[v] != usize::MAX && d[v] <= k {
+                    out.push((u, v));
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn path5() -> Graph {
+        Graph::from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 4)])
+    }
+
+    #[test]
+    fn edge_normalises_endpoints() {
+        let e = Edge::new(3, 1);
+        assert_eq!(e.a, 1);
+        assert_eq!(e.b, 3);
+        assert!(e.contains(1) && e.contains(3) && !e.contains(2));
+        assert_eq!(e.other(1), 3);
+        assert_eq!(e.other(3), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "self-loop")]
+    fn self_loop_panics() {
+        let _ = Edge::new(2, 2);
+    }
+
+    #[test]
+    fn duplicate_edges_ignored() {
+        let mut g = Graph::new(3);
+        g.add_edge(0, 1);
+        g.add_edge(1, 0);
+        assert_eq!(g.num_edges(), 1);
+        assert_eq!(g.degree(0), 1);
+    }
+
+    #[test]
+    fn bfs_distances_on_path() {
+        let g = path5();
+        assert_eq!(g.bfs_distances(0), vec![0, 1, 2, 3, 4]);
+        assert_eq!(g.distance(0, 4), Some(4));
+        assert_eq!(g.distance(2, 2), Some(0));
+    }
+
+    #[test]
+    fn disconnected_distance_none() {
+        let g = Graph::from_edges(4, &[(0, 1), (2, 3)]);
+        assert_eq!(g.distance(0, 3), None);
+        assert!(!g.is_connected());
+        assert_eq!(g.components().len(), 2);
+    }
+
+    #[test]
+    fn bfs_tree_covers_component_once() {
+        let g = path5();
+        let tree = g.bfs_tree(2);
+        assert_eq!(tree.len(), 4);
+        // Parents precede children in CNOT order.
+        let mut entangled = vec![false; 5];
+        entangled[2] = true;
+        for (child, parent) in tree {
+            assert!(entangled[parent], "parent {parent} not yet entangled");
+            entangled[child] = true;
+        }
+        assert!(entangled.iter().all(|&x| x));
+    }
+
+    #[test]
+    fn edge_separation_cases() {
+        let g = path5();
+        let e01 = Edge::new(0, 1);
+        let e12 = Edge::new(1, 2);
+        let e23 = Edge::new(2, 3);
+        let e34 = Edge::new(3, 4);
+        assert_eq!(g.edge_separation(e01, e12), Some(0)); // share vertex 1
+        assert_eq!(g.edge_separation(e01, e23), Some(1)); // 1 adjacent to 2
+        assert_eq!(g.edge_separation(e01, e34), Some(2)); // one qubit between
+    }
+
+    #[test]
+    fn edge_separation_disconnected() {
+        let g = Graph::from_edges(4, &[(0, 1), (2, 3)]);
+        assert_eq!(g.edge_separation(Edge::new(0, 1), Edge::new(2, 3)), None);
+    }
+
+    #[test]
+    fn pairs_within_distance() {
+        let g = path5();
+        let p1 = g.pairs_within_distance(1);
+        assert_eq!(p1, vec![(0, 1), (1, 2), (2, 3), (3, 4)]);
+        let p2 = g.pairs_within_distance(2);
+        assert_eq!(p2.len(), 4 + 3);
+        assert!(p2.contains(&(0, 2)));
+        assert!(!p2.contains(&(0, 3)));
+    }
+
+    #[test]
+    fn has_edge_checks() {
+        let g = path5();
+        assert!(g.has_edge(0, 1));
+        assert!(g.has_edge(1, 0));
+        assert!(!g.has_edge(0, 2));
+        assert!(!g.has_edge(3, 3));
+    }
+}

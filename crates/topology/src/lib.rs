@@ -1,0 +1,23 @@
+//! # qem-topology
+//!
+//! Coupling-map machinery for the `qem` workspace: device connectivity
+//! graphs, the architecture families of the paper's Fig. 11 / Table III, and
+//! the paper's two graph algorithms —
+//!
+//! * **Algorithm 1** ([`patches::patch_construct`]): greedy distance-k
+//!   scheduling of simultaneous calibration patches;
+//! * **Algorithm 2** ([`err_map::error_coupling_map`]): ERR, the greedy
+//!   device-tailored error coupling map built from correlation weights.
+
+#![warn(missing_docs)]
+
+pub mod coupling;
+pub mod devices;
+pub mod err_map;
+pub mod graph;
+pub mod patches;
+
+pub use coupling::CouplingMap;
+pub use err_map::{error_coupling_map, ErrorMap, WeightedPair};
+pub use graph::{Edge, Graph};
+pub use patches::{patch_construct, schedule_pairs, schedule_pairs_coloring, schedule_patches, MultiPatchSchedule, PatchSchedule};

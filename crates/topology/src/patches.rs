@@ -1,0 +1,495 @@
+//! Algorithm 1 of the paper: greedy distance-k construction of simultaneous
+//! calibration patch rounds.
+//!
+//! Each *round* is a set of coupling-map edges that may be calibrated with
+//! the same four circuits because every pair in the round is separated by at
+//! least `k` intervening qubits (edge separation `≥ k + 1` in shortest-path
+//! distance — `k = 1` is the paper's "at least one qubit between patches").
+//! The total calibration cost is `4 × rounds.len()` circuits instead of
+//! `4 × |E|`, the §IV-A "factor of 3 to 10" saving.
+
+use crate::graph::{Edge, Graph};
+
+/// The output of Algorithm 1: edge rounds that can each be calibrated with
+/// four simultaneous circuits.
+#[derive(Clone, Debug)]
+pub struct PatchSchedule {
+    /// Locality parameter: minimum number of qubits between same-round
+    /// patches.
+    pub k: usize,
+    /// The rounds, in construction order. Every coupling-map edge appears in
+    /// exactly one round.
+    pub rounds: Vec<Vec<Edge>>,
+}
+
+impl PatchSchedule {
+    /// Number of calibration circuits required: four per round (the four
+    /// two-qubit basis preparations `00, 01, 10, 11`).
+    pub fn circuit_count(&self) -> usize {
+        4 * self.rounds.len()
+    }
+
+    /// Total number of scheduled patches (= edges covered).
+    pub fn patch_count(&self) -> usize {
+        self.rounds.iter().map(Vec::len).sum()
+    }
+
+    /// Circuit count had every edge been calibrated in isolation.
+    pub fn sequential_circuit_count(&self) -> usize {
+        4 * self.patch_count()
+    }
+
+    /// The §IV-A speed-up factor from simultaneous patching.
+    pub fn speedup(&self) -> f64 {
+        if self.rounds.is_empty() {
+            1.0
+        } else {
+            self.patch_count() as f64 / self.rounds.len() as f64
+        }
+    }
+
+    /// All edges in schedule order (round-major). This is the canonical
+    /// patch order CMC uses when assigning joining order parameters.
+    pub fn edges_in_order(&self) -> Vec<Edge> {
+        self.rounds.iter().flatten().copied().collect()
+    }
+}
+
+/// Greedy distance-`k` patch construction (paper Algorithm 1).
+///
+/// Repeatedly opens a new round, seeds it with the first uncovered edge and
+/// greedily adds every remaining uncovered edge whose separation from all
+/// edges already in the round is at least `k + 1` (at least `k` qubits in
+/// between; edges in different components are trivially compatible).
+pub fn patch_construct(graph: &Graph, k: usize) -> PatchSchedule {
+    let pairs: Vec<(usize, usize)> = graph.edges().iter().map(|e| (e.a, e.b)).collect();
+    schedule_pairs(graph, &pairs, k)
+}
+
+/// Algorithm 1 generalised to arbitrary qubit pairs: schedules `pairs`
+/// (which need not be edges of `physical` — ERR error maps select
+/// correlated *non-edges*) into simultaneous rounds, with separation
+/// measured by shortest-path distance on the **physical** coupling map
+/// (crosstalk propagates through the chip, not through the calibration
+/// target list).
+pub fn schedule_pairs(physical: &Graph, pairs: &[(usize, usize)], k: usize) -> PatchSchedule {
+    let mut remaining: Vec<Edge> = pairs.iter().map(|&(u, v)| Edge::new(u, v)).collect();
+    let mut rounds = Vec::new();
+    while !remaining.is_empty() {
+        let mut round: Vec<Edge> = vec![remaining.remove(0)];
+        let mut idx = 0;
+        while idx < remaining.len() {
+            let e = remaining[idx];
+            let compatible = round.iter().all(|&f| {
+                pair_separation(physical, e, f).map_or(true, |sep| sep >= k + 1)
+            });
+            if compatible {
+                round.push(e);
+                remaining.remove(idx);
+            } else {
+                idx += 1;
+            }
+        }
+        rounds.push(round);
+    }
+    PatchSchedule { k, rounds }
+}
+
+/// Minimum physical distance between the endpoint sets of two pairs; zero
+/// when they share a qubit, `None` when every endpoint pair is disconnected.
+fn pair_separation(physical: &Graph, e: Edge, f: Edge) -> Option<usize> {
+    if e.contains(f.a) || e.contains(f.b) {
+        return Some(0);
+    }
+    physical.edge_separation(e, f)
+}
+
+/// A schedule over arbitrary-size qubit-set patches (the paper's §IV-B
+/// "calibration matrices of arbitrary sizes"). Each round's patches are
+/// pairwise separated by at least `k + 1` on the physical map and can be
+/// calibrated with `2^max_patch_size` shared circuits.
+#[derive(Clone, Debug)]
+pub struct MultiPatchSchedule {
+    /// Locality parameter.
+    pub k: usize,
+    /// Rounds of patches (each patch an ascending qubit list).
+    pub rounds: Vec<Vec<Vec<usize>>>,
+}
+
+impl MultiPatchSchedule {
+    /// Calibration circuits: `2^max_size` per round.
+    pub fn circuit_count(&self) -> usize {
+        self.rounds
+            .iter()
+            .map(|round| {
+                let max = round.iter().map(Vec::len).max().unwrap_or(0);
+                1usize << max
+            })
+            .sum()
+    }
+
+    /// Total patches scheduled.
+    pub fn patch_count(&self) -> usize {
+        self.rounds.iter().map(Vec::len).sum()
+    }
+}
+
+/// Alternative round construction by graph colouring: build the conflict
+/// graph (patches within separation `< k + 1`), colour it with DSATUR, and
+/// read the rounds off the colour classes. DSATUR's saturation heuristic
+/// often needs fewer rounds than the paper's first-fit greedy on irregular
+/// maps; `ablation`-style comparisons use both.
+pub fn schedule_pairs_coloring(
+    physical: &Graph,
+    pairs: &[(usize, usize)],
+    k: usize,
+) -> PatchSchedule {
+    let edges: Vec<Edge> = pairs.iter().map(|&(u, v)| Edge::new(u, v)).collect();
+    let m = edges.len();
+    // Conflict adjacency between patches.
+    let mut conflicts = vec![Vec::new(); m];
+    for i in 0..m {
+        for j in i + 1..m {
+            let conflicted = pair_separation(physical, edges[i], edges[j])
+                .is_some_and(|sep| sep < k + 1);
+            if conflicted {
+                conflicts[i].push(j);
+                conflicts[j].push(i);
+            }
+        }
+    }
+    // DSATUR: colour the vertex with the most distinct neighbouring colours
+    // first, ties broken by degree.
+    let mut color = vec![usize::MAX; m];
+    let mut neighbor_colors: Vec<std::collections::HashSet<usize>> =
+        vec![std::collections::HashSet::new(); m];
+    for _ in 0..m {
+        let next = (0..m)
+            .filter(|&v| color[v] == usize::MAX)
+            .max_by_key(|&v| (neighbor_colors[v].len(), conflicts[v].len(), std::cmp::Reverse(v)))
+            .expect("uncoloured patch remains");
+        let mut c = 0;
+        while neighbor_colors[next].contains(&c) {
+            c += 1;
+        }
+        color[next] = c;
+        for &nb in &conflicts[next] {
+            neighbor_colors[nb].insert(c);
+        }
+    }
+    let num_colors = color.iter().copied().max().map_or(0, |c| c + 1);
+    let mut rounds = vec![Vec::new(); num_colors];
+    for (patch, &c) in color.iter().enumerate() {
+        rounds[c].push(edges[patch]);
+    }
+    PatchSchedule { k, rounds }
+}
+
+/// Minimum physical distance between two qubit sets (0 when they share a
+/// qubit; `None` when fully disconnected).
+pub fn set_separation(physical: &Graph, a: &[usize], b: &[usize]) -> Option<usize> {
+    if a.iter().any(|q| b.contains(q)) {
+        return Some(0);
+    }
+    let mut best: Option<usize> = None;
+    for &u in a {
+        let d = physical.bfs_distances(u);
+        for &v in b {
+            if d[v] != usize::MAX {
+                best = Some(best.map_or(d[v], |x| x.min(d[v])));
+            }
+        }
+    }
+    best
+}
+
+/// Algorithm 1 generalised to arbitrary-size patches: greedy rounds of
+/// pairwise distance-`≥ k+1` qubit sets.
+pub fn schedule_patches(
+    physical: &Graph,
+    patches: &[Vec<usize>],
+    k: usize,
+) -> MultiPatchSchedule {
+    let mut remaining: Vec<Vec<usize>> = patches
+        .iter()
+        .map(|p| {
+            let mut s = p.clone();
+            s.sort_unstable();
+            s.dedup();
+            s
+        })
+        .collect();
+    let mut rounds = Vec::new();
+    while !remaining.is_empty() {
+        let mut round: Vec<Vec<usize>> = vec![remaining.remove(0)];
+        let mut idx = 0;
+        while idx < remaining.len() {
+            let candidate = &remaining[idx];
+            let compatible = round.iter().all(|p| {
+                set_separation(physical, candidate, p).map_or(true, |sep| sep >= k + 1)
+            });
+            if compatible {
+                round.push(remaining.remove(idx));
+            } else {
+                idx += 1;
+            }
+        }
+        rounds.push(round);
+    }
+    MultiPatchSchedule { k, rounds }
+}
+
+/// Verifies a schedule against its defining invariants. Returns a violation
+/// description or `None` when valid; used by tests and property checks.
+pub fn validate_schedule(graph: &Graph, schedule: &PatchSchedule) -> Option<String> {
+    // Every graph edge exactly once.
+    let mut seen = std::collections::HashSet::new();
+    for e in schedule.edges_in_order() {
+        if !seen.insert(e) {
+            return Some(format!("edge {e:?} scheduled twice"));
+        }
+    }
+    for e in graph.edges() {
+        if !seen.contains(e) {
+            return Some(format!("edge {e:?} not covered"));
+        }
+    }
+    if seen.len() != graph.num_edges() {
+        return Some("schedule contains edges not in the graph".into());
+    }
+    // Separation within rounds.
+    for (r, round) in schedule.rounds.iter().enumerate() {
+        for i in 0..round.len() {
+            for j in i + 1..round.len() {
+                if let Some(sep) = graph.edge_separation(round[i], round[j]) {
+                    if sep < schedule.k + 1 {
+                        return Some(format!(
+                            "round {r}: edges {:?} and {:?} separation {sep} < {}",
+                            round[i],
+                            round[j],
+                            schedule.k + 1
+                        ));
+                    }
+                }
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::coupling::{fully_connected, grid, linear, local_grid, random_map};
+    use crate::devices::tokyo;
+
+    #[test]
+    fn path_graph_k1_schedule() {
+        // Path 0-1-2-3-4-5: edges 01,12,23,34,45. With k=1 (sep ≥ 2),
+        // {01, 34} are compatible (sep 2), {01, 45} sep 3 also.
+        let g = linear(6).graph;
+        let s = patch_construct(&g, 1);
+        assert!(validate_schedule(&g, &s).is_none());
+        assert!(s.rounds.len() <= 3, "rounds: {:?}", s.rounds);
+        assert_eq!(s.patch_count(), 5);
+    }
+
+    #[test]
+    fn k0_allows_everything_disjoint_by_vertex() {
+        // k = 0 ⇒ separation ≥ 1 ⇒ only vertex-disjoint edges share a round
+        // (a matching decomposition).
+        let g = linear(5).graph;
+        let s = patch_construct(&g, 0);
+        assert!(validate_schedule(&g, &s).is_none());
+        for round in &s.rounds {
+            for i in 0..round.len() {
+                for j in i + 1..round.len() {
+                    let [a, b] = round[i].endpoints();
+                    assert!(!round[j].contains(a) && !round[j].contains(b));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn every_schedule_is_valid_on_families() {
+        for g in [
+            grid(3, 4).graph,
+            local_grid(3, 3).graph,
+            fully_connected(6).graph,
+            linear(9).graph,
+        ] {
+            for k in 0..3 {
+                let s = patch_construct(&g, k);
+                assert_eq!(validate_schedule(&g, &s), None, "k={k}");
+            }
+        }
+    }
+
+    #[test]
+    fn tokyo_patch_savings() {
+        // Paper §IV-A: Tokyo needs 140-ish circuits edge-by-edge and ~54
+        // with coupling-map patching. Our undirected Tokyo map has 43 edges
+        // (172 sequential circuits); the k=1 schedule must cut that by a
+        // substantial factor.
+        let cm = tokyo();
+        let s = patch_construct(&cm.graph, 1);
+        assert!(validate_schedule(&cm.graph, &s).is_none());
+        assert_eq!(s.sequential_circuit_count(), 4 * 43);
+        assert!(
+            s.circuit_count() < s.sequential_circuit_count() / 2,
+            "circuits {} vs sequential {}",
+            s.circuit_count(),
+            s.sequential_circuit_count()
+        );
+    }
+
+    #[test]
+    fn large_random_map_speedup_three_to_ten() {
+        // The paper's claim: on >100-qubit random maps with ~4 edges/qubit,
+        // greedy patching reduces circuit count by a factor of 3–10.
+        let cm = random_map(120, 4.0, 11);
+        let s = patch_construct(&cm.graph, 1);
+        assert!(validate_schedule(&cm.graph, &s).is_none());
+        let speedup = s.speedup();
+        assert!(speedup >= 3.0, "speedup only {speedup:.2}");
+    }
+
+    #[test]
+    fn fully_connected_defeats_patching() {
+        // Every pair of edges in K_n has separation ≤ 1, so k=1 rounds are
+        // singletons — the quadratic blow-up that motivates CMC-ERR.
+        let g = fully_connected(6).graph;
+        let s = patch_construct(&g, 1);
+        assert!(validate_schedule(&g, &s).is_none());
+        assert_eq!(s.rounds.len(), g.num_edges());
+        assert!((s.speedup() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_graph_empty_schedule() {
+        let g = Graph::new(4);
+        let s = patch_construct(&g, 1);
+        assert!(s.rounds.is_empty());
+        assert_eq!(s.circuit_count(), 0);
+        assert!(validate_schedule(&g, &s).is_none());
+    }
+
+    #[test]
+    fn edges_in_order_matches_rounds() {
+        let g = grid(2, 3).graph;
+        let s = patch_construct(&g, 1);
+        let flat = s.edges_in_order();
+        assert_eq!(flat.len(), g.num_edges());
+    }
+
+    #[test]
+    fn schedule_pairs_handles_non_edges() {
+        // ERR-style pairs off the physical map: (0,2) and (2,4) share qubit
+        // 2 so can never share a round; (0,2) and (3,5)... on a 6-line,
+        // endpoints 2 and 3 are adjacent (sep 1), so k=1 separates them.
+        let g = linear(6).graph;
+        let pairs = [(0usize, 2usize), (2, 4), (3, 5)];
+        let s = schedule_pairs(&g, &pairs, 1);
+        assert_eq!(s.patch_count(), 3);
+        for round in &s.rounds {
+            for i in 0..round.len() {
+                for j in i + 1..round.len() {
+                    let sep = super::pair_separation(&g, round[i], round[j]).unwrap();
+                    assert!(sep >= 2, "{:?} vs {:?}: sep {sep}", round[i], round[j]);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn shared_vertex_pairs_never_share_round() {
+        let g = linear(5).graph;
+        let pairs = [(0usize, 2usize), (2usize, 4usize)];
+        let s = schedule_pairs(&g, &pairs, 0);
+        assert_eq!(s.rounds.len(), 2);
+    }
+
+    #[test]
+    fn coloring_schedule_valid_and_competitive() {
+        for cm in [grid(4, 5), local_grid(3, 4), random_map(60, 4.0, 5)] {
+            let pairs: Vec<(usize, usize)> =
+                cm.graph.edges().iter().map(|e| (e.a, e.b)).collect();
+            for k in [0usize, 1, 2] {
+                let colored = schedule_pairs_coloring(&cm.graph, &pairs, k);
+                assert_eq!(
+                    validate_schedule(&cm.graph, &colored),
+                    None,
+                    "{} k={k}",
+                    cm.name
+                );
+                let greedy = patch_construct(&cm.graph, k);
+                // DSATUR must not be drastically worse than first-fit.
+                assert!(
+                    colored.rounds.len() <= greedy.rounds.len() + 2,
+                    "{} k={k}: DSATUR {} vs greedy {}",
+                    cm.name,
+                    colored.rounds.len(),
+                    greedy.rounds.len()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn coloring_handles_empty_and_single() {
+        let g = linear(4).graph;
+        let empty = schedule_pairs_coloring(&g, &[], 1);
+        assert!(empty.rounds.is_empty());
+        let single = schedule_pairs_coloring(&g, &[(0, 1)], 1);
+        assert_eq!(single.rounds.len(), 1);
+    }
+
+    #[test]
+    fn schedule_patches_mixed_sizes() {
+        let g = linear(9).graph;
+        let patches = vec![vec![0usize, 1, 2], vec![4, 5], vec![7, 8], vec![3, 4]];
+        let s = schedule_patches(&g, &patches, 1);
+        assert_eq!(s.patch_count(), 4);
+        // Triangle (0,1,2) and pair (4,5): separation = dist(2,4) = 2 ≥ 2: same round.
+        // Pair (3,4) overlaps (4,5): never same round.
+        for round in &s.rounds {
+            for i in 0..round.len() {
+                for j in i + 1..round.len() {
+                    let sep = set_separation(&g, &round[i], &round[j]).unwrap();
+                    assert!(sep >= 2, "{:?} vs {:?}", round[i], round[j]);
+                }
+            }
+        }
+        // Circuit counting: a round whose largest patch is the triangle
+        // costs 8 circuits.
+        let triangle_round = s
+            .rounds
+            .iter()
+            .find(|r| r.iter().any(|p| p.len() == 3))
+            .unwrap();
+        let max = triangle_round.iter().map(Vec::len).max().unwrap();
+        assert_eq!(max, 3);
+        assert!(s.circuit_count() >= 8);
+    }
+
+    #[test]
+    fn set_separation_cases() {
+        let g = linear(6).graph;
+        assert_eq!(set_separation(&g, &[0, 1], &[1, 2]), Some(0));
+        assert_eq!(set_separation(&g, &[0, 1], &[2, 3]), Some(1));
+        assert_eq!(set_separation(&g, &[0], &[4, 5]), Some(4));
+        let h = Graph::from_edges(4, &[(0, 1), (2, 3)]);
+        assert_eq!(set_separation(&h, &[0, 1], &[2, 3]), None);
+    }
+
+    #[test]
+    fn higher_k_never_fewer_rounds() {
+        let g = grid(4, 4).graph;
+        let r1 = patch_construct(&g, 1).rounds.len();
+        let r2 = patch_construct(&g, 2).rounds.len();
+        let r3 = patch_construct(&g, 3).rounds.len();
+        assert!(r2 >= r1);
+        assert!(r3 >= r2);
+    }
+}

@@ -1,0 +1,148 @@
+//! Property-based tests of the topology substrate: generators, distances,
+//! Algorithm 1 schedules and Algorithm 2 error maps on random inputs.
+
+use proptest::prelude::*;
+use qem_topology::coupling::{fully_connected, grid, hexagonal, linear, random_map};
+use qem_topology::err_map::{error_coupling_map, WeightedPair};
+use qem_topology::graph::{Edge, Graph};
+use qem_topology::patches::{patch_construct, schedule_patches, set_separation, validate_schedule};
+
+fn random_graph() -> impl Strategy<Value = Graph> {
+    (4usize..30, 1.5f64..5.0, 0u64..500)
+        .prop_map(|(n, deg, seed)| random_map(n, deg, seed).graph)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn bfs_distance_is_metric(g in random_graph(), u in 0usize..30, v in 0usize..30, w in 0usize..30) {
+        let n = g.num_vertices();
+        let (u, v, w) = (u % n, v % n, w % n);
+        // Symmetry.
+        prop_assert_eq!(g.distance(u, v), g.distance(v, u));
+        // Identity.
+        prop_assert_eq!(g.distance(u, u), Some(0));
+        // Triangle inequality (random maps are connected).
+        let (duv, dvw, duw) = (
+            g.distance(u, v).unwrap(),
+            g.distance(v, w).unwrap(),
+            g.distance(u, w).unwrap(),
+        );
+        prop_assert!(duw <= duv + dvw);
+    }
+
+    #[test]
+    fn bfs_tree_spans_connected_graph(g in random_graph(), root in 0usize..30) {
+        let n = g.num_vertices();
+        let tree = g.bfs_tree(root % n);
+        prop_assert_eq!(tree.len(), n - 1);
+        // Each child appears exactly once.
+        let mut seen = vec![false; n];
+        seen[root % n] = true;
+        for (child, parent) in tree {
+            prop_assert!(g.has_edge(child, parent));
+            prop_assert!(!seen[child]);
+            seen[child] = true;
+        }
+        prop_assert!(seen.iter().all(|&x| x));
+    }
+
+    #[test]
+    fn schedules_valid_on_random_graphs(g in random_graph(), k in 0usize..4) {
+        let s = patch_construct(&g, k);
+        prop_assert_eq!(validate_schedule(&g, &s), None);
+        prop_assert_eq!(s.patch_count(), g.num_edges());
+        prop_assert!(s.circuit_count() <= s.sequential_circuit_count());
+    }
+
+    #[test]
+    fn multi_schedule_covers_all_patches(g in random_graph(), k in 0usize..3, seed in 0u64..100) {
+        use rand::{Rng, SeedableRng};
+        let n = g.num_vertices();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        // Random patches of size 2-3.
+        let patches: Vec<Vec<usize>> = (0..5)
+            .map(|_| {
+                let size = rng.gen_range(2..=3usize.min(n));
+                let mut p: Vec<usize> = Vec::new();
+                while p.len() < size {
+                    let q = rng.gen_range(0..n);
+                    if !p.contains(&q) {
+                        p.push(q);
+                    }
+                }
+                p
+            })
+            .collect();
+        let s = schedule_patches(&g, &patches, k);
+        prop_assert_eq!(s.patch_count(), 5);
+        for round in &s.rounds {
+            for i in 0..round.len() {
+                for j in i + 1..round.len() {
+                    if let Some(sep) = set_separation(&g, &round[i], &round[j]) {
+                        prop_assert!(sep >= k + 1);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn err_map_invariants(n in 4usize..20, seed in 0u64..200, budget in 1usize..25) {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut pairs = Vec::new();
+        for i in 0..n {
+            for j in i + 1..n {
+                if rng.gen::<f64>() < 0.4 {
+                    pairs.push(WeightedPair::new(i, j, rng.gen::<f64>()));
+                }
+            }
+        }
+        let m = error_coupling_map(n, &pairs, budget);
+        // Budget respected.
+        prop_assert!(m.graph.num_edges() <= budget);
+        // Captured ≤ total weight, coverage in [0, 1].
+        prop_assert!(m.captured_weight <= m.total_weight + 1e-12);
+        prop_assert!((0.0..=1.0 + 1e-12).contains(&m.coverage()));
+        // Every selected edge exists in the graph, once.
+        for wp in &m.selected {
+            prop_assert!(m.graph.has_edge(wp.i, wp.j));
+        }
+        prop_assert_eq!(m.selected.len(), m.graph.num_edges());
+        // Each accepted edge brought a new vertex: edges ≤ vertices touched.
+        let touched: std::collections::HashSet<usize> =
+            m.selected.iter().flat_map(|w| [w.i, w.j]).collect();
+        prop_assert!(m.graph.num_edges() < touched.len().max(1) + touched.len());
+    }
+
+    #[test]
+    fn generators_connected_and_sized(r in 1usize..5, c in 2usize..6) {
+        for cm in [grid(r, c), hexagonal(r, c)] {
+            prop_assert!(cm.graph.is_connected(), "{} disconnected", cm.name);
+            prop_assert_eq!(cm.num_qubits(), r * c);
+        }
+        let lin = linear(r * c);
+        prop_assert_eq!(lin.num_edges(), r * c - 1);
+        let fc = fully_connected(c);
+        prop_assert_eq!(fc.num_edges(), c * (c - 1) / 2);
+    }
+
+    #[test]
+    fn edge_separation_symmetric(g in random_graph(), a in 0usize..100, b in 0usize..100) {
+        let edges = g.edges();
+        prop_assume!(edges.len() >= 2);
+        let e = edges[a % edges.len()];
+        let f = edges[b % edges.len()];
+        prop_assert_eq!(g.edge_separation(e, f), g.edge_separation(f, e));
+        prop_assert_eq!(g.edge_separation(e, e), Some(0));
+    }
+}
+
+#[test]
+fn edge_ordering_is_normalised() {
+    let e = Edge::new(7, 2);
+    assert_eq!((e.a, e.b), (2, 7));
+    assert_eq!(Edge::new(2, 7), e);
+}

@@ -1,0 +1,89 @@
+//! Calibration lifecycle: the operational loop a device operator runs —
+//! benchmark gates (RB), calibrate measurement errors (CMC), reuse the
+//! calibration across circuits, and probe for drift to decide when to
+//! recalibrate (paper §VII-A).
+//!
+//! ```sh
+//! cargo run --release --example calibration_lifecycle
+//! ```
+
+use qem::core::drift::DriftMonitor;
+use qem::core::rb::single_qubit_rb;
+use qem::core::tensored::LinearCalibration;
+use qem::core::{calibrate_cmc, CmcOptions};
+use qem::sim::backend::Backend;
+use qem::sim::circuit::ghz_bfs;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let backend = qem::sim::devices::simulated_lima(13);
+    let n = backend.num_qubits();
+    let mut rng = StdRng::seed_from_u64(2);
+    println!("device: {} ({n} qubits)\n", backend.name);
+
+    // 1. Gate-quality snapshot via randomised benchmarking (§III-C): gives
+    //    the average error per gate but — by design — nothing about the
+    //    SPAM structure CMC targets.
+    // Sequence lengths must be long enough that a 0.1 % gate error
+    // accumulates above shot noise: at m = 512, α^m ≈ 0.5. More Monte-Carlo
+    // trajectories sharpen the per-sequence noise estimate.
+    let mut rb_backend = backend.clone();
+    rb_backend.trajectories = 128;
+    let rb = single_qubit_rb(&rb_backend, 0, &[4, 32, 128, 256, 512], 8, 1024, &mut rng)
+        .expect("RB run");
+    println!(
+        "RB on qubit 0: alpha = {:.5}, avg gate error = {:.5} ({} circuits / {} shots)",
+        rb.alpha, rb.avg_gate_error, rb.circuits_used, rb.shots_used
+    );
+    println!(
+        "  (device truth: depolarising p = {:.4} per gate -> alpha = {:.5})",
+        backend.noise.gate_error_1q,
+        1.0 - 4.0 * backend.noise.gate_error_1q / 3.0
+    );
+
+    // 2. Measurement calibration: CMC over the coupling map.
+    let opts = CmcOptions { k: 1, shots_per_circuit: 4096, cull_threshold: 1e-10 };
+    let cal = calibrate_cmc(&backend, &opts, &mut rng).expect("CMC calibration");
+    println!(
+        "CMC: {} patches, {} circuits, {} shots",
+        cal.patches.len(),
+        cal.circuits_used,
+        cal.shots_used
+    );
+
+    // 3. Anchor a drift monitor to a cheap 2-circuit probe.
+    let reference = LinearCalibration::calibrate(&backend, 8192, &mut rng).expect("reference");
+    let monitor = DriftMonitor::new(&reference, 0.02);
+
+    // 4. Reuse the calibration across several workloads — calibration
+    //    methods amortise, circuit-specific methods (AIM/SIM/JIGSAW) do not.
+    let correct = [0u64, (1u64 << n) - 1];
+    for day in 0..3 {
+        let ghz = ghz_bfs(&backend.coupling.graph, 0);
+        let raw = backend.execute(&ghz, 16_000, &mut rng);
+        let mitigated = cal.mitigator.mitigate(&raw).expect("mitigation");
+        println!(
+            "day {day}: GHZ success bare {:.3} -> mitigated {:.3}",
+            raw.success_probability(&correct),
+            mitigated.mass_on(&correct)
+        );
+    }
+
+    // 5. Probe for drift on a stable device…
+    let report = monitor.check(&backend, 8192, &mut rng).expect("drift probe");
+    println!(
+        "\ndrift probe (stable device): max rate change {:.4} -> recalibrate? {}",
+        report.max_rate_change, report.should_recalibrate
+    );
+
+    // 6. …and on a drifted copy of the device.
+    let mut drifted_noise = backend.noise.clone();
+    drifted_noise.p_flip1[2] += 0.10;
+    let drifted = Backend::new(backend.coupling.clone(), drifted_noise);
+    let report = monitor.check(&drifted, 8192, &mut rng).expect("drift probe");
+    println!(
+        "drift probe (qubit 2 degraded): max rate change {:.4} on qubit {} -> recalibrate? {}",
+        report.max_rate_change, report.worst_qubit, report.should_recalibrate
+    );
+}

@@ -1,0 +1,76 @@
+//! From physics to mitigation: derive the paper's error phenomenology from
+//! an IQ-plane readout model, then watch CMC fix it.
+//!
+//! ```sh
+//! cargo run --release --example iq_readout
+//! ```
+//!
+//! The abstract measurement-error channels used throughout this workspace
+//! are calibrated abstractions of dispersive readout physics. This example
+//! builds that physics directly — Gaussian IQ clouds, T1 decay during the
+//! readout window, resonator crosstalk — fits a `NoiseModel` to it, and
+//! runs the usual CMC pipeline on the fitted backend.
+
+use qem::core::{calibrate_cmc, CmcOptions};
+use qem::sim::backend::Backend;
+use qem::sim::circuit::ghz_bfs;
+use qem::sim::noise::NoiseModel;
+use qem::sim::readout_iq::IqReadoutModel;
+use qem::topology::coupling::linear;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let n = 4;
+    let mut rng = StdRng::seed_from_u64(11);
+
+    // 1. The physics: modest SNR, 10 % mid-readout decay, crosstalk between
+    //    qubits 1 and 2.
+    let mut model = IqReadoutModel::uniform(n, 4.5, 0.10);
+    model.add_crosstalk(1, 2, 0.30);
+
+    // 2. Physics → phenomenology: per-qubit confusion matrices.
+    println!("per-qubit confusion from IQ physics:");
+    let mut noise = NoiseModel::noiseless(n);
+    for q in 0..n {
+        let c = model.confusion_channel(&[q], 60_000, &mut rng);
+        let (p10, p01) = (c[(1, 0)], c[(0, 1)]);
+        println!("  q{q}: P(1|0) = {p10:.4}   P(0|1) = {p01:.4}   (decay bias x{:.1})", p01 / p10.max(1e-9));
+        noise.p_flip0[q] = p10;
+        noise.p_flip1[q] = p01;
+    }
+
+    // 3. The crosstalk pair shows up exactly as the Fig. 1 metric.
+    let joint = model.confusion_channel(&[1, 2], 120_000, &mut rng);
+    use qem::linalg::stochastic::normalized_partial_trace;
+    let c1 = normalized_partial_trace(&joint, &[1]).expect("marginal");
+    let c2 = normalized_partial_trace(&joint, &[0]).expect("marginal");
+    let weight = (&c2.kron(&c1) - &joint).frobenius_norm();
+    println!("\ncrosstalk pair (q1,q2): correlation weight ||C12 - C1(x)C2||_F = {weight:.4}");
+    // Inject the measured joint effect as a correlated event of matching
+    // strength so the backend reproduces it.
+    noise.add_correlated(&[1, 2], weight / 2.0_f64.sqrt());
+
+    // 4. Run the standard pipeline on the fitted backend.
+    let backend = Backend::new(linear(n), noise);
+    let opts = CmcOptions { k: 1, shots_per_circuit: 8_192, cull_threshold: 1e-10 };
+    let cal = calibrate_cmc(&backend, &opts, &mut rng).expect("CMC calibration");
+    let ghz = ghz_bfs(&backend.coupling.graph, 0);
+    let raw = backend.execute(&ghz, 16_000, &mut rng);
+    let correct = [0u64, (1u64 << n) - 1];
+    let mitigated = cal.mitigator.mitigate(&raw).expect("mitigation");
+    println!(
+        "\nGHZ-{n} through the fitted channel: bare success {:.4} -> CMC {:.4}",
+        raw.success_probability(&correct),
+        mitigated.mass_on(&correct)
+    );
+    let weights = cal.correlation_weights().expect("weights");
+    let strongest = weights
+        .iter()
+        .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
+        .expect("patches");
+    println!(
+        "CMC's own characterisation found the strongest correlation on q{}-q{} ({:.4})",
+        strongest.0 .0, strongest.0 .1, strongest.1
+    );
+}

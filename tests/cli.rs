@@ -1,0 +1,121 @@
+//! End-to-end tests of the `qem` command-line tool.
+
+use std::process::Command;
+
+fn qem(args: &[&str]) -> (String, String, bool) {
+    let out = Command::new(env!("CARGO_BIN_EXE_qem"))
+        .args(args)
+        .output()
+        .expect("spawn qem binary");
+    (
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+        out.status.success(),
+    )
+}
+
+#[test]
+fn no_args_prints_usage_and_fails() {
+    let (_, err, ok) = qem(&[]);
+    assert!(!ok);
+    assert!(err.contains("USAGE"));
+}
+
+#[test]
+fn help_succeeds() {
+    let (out, _, ok) = qem(&["help"]);
+    assert!(ok);
+    assert!(out.contains("characterize"));
+}
+
+#[test]
+fn unknown_command_fails_cleanly() {
+    let (_, err, ok) = qem(&["frobnicate"]);
+    assert!(!ok);
+    assert!(err.contains("unknown command"));
+}
+
+#[test]
+fn devices_lists_all_four() {
+    let (out, _, ok) = qem(&["devices"]);
+    assert!(ok);
+    for d in ["quito", "lima", "manila", "nairobi"] {
+        assert!(out.contains(d), "missing {d} in:\n{out}");
+    }
+}
+
+#[test]
+fn schedule_shows_rounds() {
+    let (out, _, ok) = qem(&["schedule", "--device", "nairobi"]);
+    assert!(ok);
+    assert!(out.contains("round 0:"));
+    assert!(out.contains("circuits"));
+}
+
+#[test]
+fn schedule_requires_device() {
+    let (_, err, ok) = qem(&["schedule"]);
+    assert!(!ok);
+    assert!(err.contains("--device"));
+}
+
+#[test]
+fn characterize_then_mitigate_roundtrip() {
+    let dir = std::env::temp_dir().join("qem-cli-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let cal = dir.join("cal.json");
+    let cal_str = cal.to_str().unwrap();
+
+    let (out, err, ok) = qem(&[
+        "characterize",
+        "--device",
+        "quito",
+        "--shots",
+        "2000",
+        "--out",
+        cal_str,
+    ]);
+    assert!(ok, "characterize failed: {err}");
+    assert!(out.contains("calibrated"));
+    assert!(cal.exists());
+
+    let (out, err, ok) = qem(&[
+        "mitigate",
+        "--device",
+        "quito",
+        "--calibration",
+        cal_str,
+        "--shots",
+        "4000",
+    ]);
+    assert!(ok, "mitigate failed: {err}");
+    assert!(out.contains("mitigated"));
+    let _ = std::fs::remove_file(&cal);
+}
+
+#[test]
+fn mitigate_rejects_wrong_device_width() {
+    let dir = std::env::temp_dir().join("qem-cli-test-mismatch");
+    std::fs::create_dir_all(&dir).unwrap();
+    let cal = dir.join("cal5.json");
+    let cal_str = cal.to_str().unwrap();
+    let (_, _, ok) = qem(&[
+        "characterize", "--device", "lima", "--shots", "1000", "--out", cal_str,
+    ]);
+    assert!(ok);
+    // Nairobi has 7 qubits; the Lima calibration must be refused.
+    let (_, err, ok) = qem(&[
+        "mitigate", "--device", "nairobi", "--calibration", cal_str,
+    ]);
+    assert!(!ok);
+    assert!(err.contains("qubits"));
+    let _ = std::fs::remove_file(&cal);
+}
+
+#[test]
+fn report_flags_nairobi_as_non_aligned() {
+    let (out, _, ok) = qem(&["report", "--device", "nairobi", "--shots", "4000"]);
+    assert!(ok, "report failed");
+    assert!(out.contains("Jaccard"));
+    assert!(out.contains("CMC-ERR"), "nairobi should recommend CMC-ERR:\n{out}");
+}

@@ -1,0 +1,144 @@
+//! Property-based tests of the CMC joining machinery (paper Eqs. 3–7) and
+//! the graph algorithms, over randomly generated inputs.
+
+use proptest::prelude::*;
+use qem::core::joining::{join_corrections, joined_forward_matrix};
+use qem::core::CalibrationMatrix;
+use qem::linalg::power::rational_power;
+use qem::linalg::stochastic::{is_column_stochastic, qubitwise_kron};
+use qem::linalg::Matrix;
+use qem::topology::coupling::random_map;
+use qem::topology::patches::{patch_construct, validate_schedule};
+
+fn flip(p0: f64, p1: f64) -> Matrix {
+    Matrix::from_rows(&[&[1.0 - p0, p1], &[p0, 1.0 - p1]])
+}
+
+/// Strategy: realistic per-qubit readout channels (rates in the paper's
+/// 0–15 % range).
+fn channel_strategy() -> impl Strategy<Value = Matrix> {
+    (0.0..0.15f64, 0.0..0.15f64).prop_map(|(p0, p1)| flip(p0, p1))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn fractional_powers_recompose(
+        c in channel_strategy(),
+        v in 2u32..6,
+    ) {
+        // C^{1/v} multiplied v times = C — the joining invariant.
+        let part = rational_power(&c, 1, v).unwrap();
+        let mut acc = Matrix::identity(2);
+        for _ in 0..v {
+            acc = acc.matmul(&part).unwrap();
+        }
+        prop_assert!(acc.max_abs_diff(&c).unwrap() < 1e-8);
+    }
+
+    #[test]
+    fn split_exponents_complement(
+        c in channel_strategy(),
+        v in 2u32..6,
+        a in 0u32..5,
+    ) {
+        // C^{(v-1-a)/v} · C^{1/v} · C^{a/v} = C for every order parameter.
+        let a = a % v;
+        let left = rational_power(&c, v - 1 - a, v).unwrap();
+        let right = rational_power(&c, a, v).unwrap();
+        let share = rational_power(&c, 1, v).unwrap();
+        let recomposed = left.matmul(&share).unwrap().matmul(&right).unwrap();
+        prop_assert!(recomposed.max_abs_diff(&c).unwrap() < 1e-8);
+    }
+
+    #[test]
+    fn path_chain_joining_exact_for_product_noise(
+        channels in prop::collection::vec(channel_strategy(), 3..6),
+    ) {
+        // Path-graph patches over product noise: the joined forward matrix
+        // equals the true global product channel.
+        let n = channels.len();
+        let patches: Vec<CalibrationMatrix> = (0..n - 1)
+            .map(|i| {
+                CalibrationMatrix::new(
+                    vec![i, i + 1],
+                    channels[i + 1].kron(&channels[i]),
+                )
+                .unwrap()
+            })
+            .collect();
+        let joined = join_corrections(&patches).unwrap();
+        let forward = joined_forward_matrix(n, &joined).unwrap();
+        let expect = qubitwise_kron(&channels);
+        prop_assert!(
+            forward.max_abs_diff(&expect).unwrap() < 1e-7,
+            "diff {}",
+            forward.max_abs_diff(&expect).unwrap()
+        );
+        prop_assert!(is_column_stochastic(&forward, 1e-7));
+    }
+
+    #[test]
+    fn joined_mitigator_inverts_product_noise(
+        channels in prop::collection::vec(channel_strategy(), 3..5),
+    ) {
+        use qem::core::SparseMitigator;
+        use qem::linalg::SparseDist;
+        let n = channels.len();
+        let patches: Vec<CalibrationMatrix> = (0..n - 1)
+            .map(|i| {
+                CalibrationMatrix::new(vec![i, i + 1], channels[i + 1].kron(&channels[i])).unwrap()
+            })
+            .collect();
+        let joined = join_corrections(&patches).unwrap();
+        let mut mit = SparseMitigator::identity(n);
+        mit.cull_threshold = 0.0;
+        for p in joined.iter().rev() {
+            let inv = qem::linalg::lu::inverse(&p.matrix).unwrap();
+            mit.push_step(p.qubits.clone(), inv);
+        }
+        // Noisy GHZ distribution through the exact channel.
+        let forward = joined_forward_matrix(n, &joined).unwrap();
+        let mut ideal = vec![0.0; 1 << n];
+        ideal[0] = 0.5;
+        ideal[(1 << n) - 1] = 0.5;
+        let noisy = forward.matvec(&ideal).unwrap();
+        let recovered = mit.mitigate_dist(&SparseDist::from_dense(&noisy)).unwrap();
+        prop_assert!((recovered.get(0) - 0.5).abs() < 1e-6);
+        prop_assert!((recovered.get(((1u64 << n) - 1) as u64) - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn algorithm1_valid_on_random_maps(
+        n in 8usize..40,
+        degree in 2.0f64..5.0,
+        seed in 0u64..1000,
+        k in 0usize..3,
+    ) {
+        let cm = random_map(n, degree, seed);
+        let schedule = patch_construct(&cm.graph, k);
+        prop_assert_eq!(validate_schedule(&cm.graph, &schedule), None);
+        prop_assert_eq!(schedule.patch_count(), cm.num_edges());
+    }
+}
+
+#[test]
+fn star_and_cycle_overlaps_exact() {
+    // Deterministic high-overlap shapes beyond what proptest samples:
+    // 4-star (hub v=4) and 4-cycle (all v=2) with distinct channels.
+    let cs: Vec<Matrix> = (0..5).map(|q| flip(0.02 + 0.02 * q as f64, 0.09 - 0.01 * q as f64)).collect();
+
+    // Star: hub 0, leaves 1..4.
+    let patches: Vec<CalibrationMatrix> = (1..5)
+        .map(|leaf| CalibrationMatrix::new(vec![0, leaf], cs[leaf].kron(&cs[0])).unwrap())
+        .collect();
+    let joined = join_corrections(&patches).unwrap();
+    let forward = joined_forward_matrix(5, &joined).unwrap();
+    let expect = qubitwise_kron(&cs);
+    assert!(
+        forward.max_abs_diff(&expect).unwrap() < 1e-8,
+        "star diff {}",
+        forward.max_abs_diff(&expect).unwrap()
+    );
+}

@@ -1,0 +1,165 @@
+//! Qualitative reproductions of the paper's headline claims, as tests:
+//! who wins where, and why.
+
+use qem::mitigation::metrics::ghz_ideal;
+use qem::mitigation::{
+    Bare, CmcErrStrategy, CmcStrategy, FullStrategy, JigsawStrategy, LinearStrategy,
+    MitigationStrategy, SimStrategy,
+};
+use qem::sim::circuit::ghz_bfs;
+use qem::sim::devices;
+use qem::sim::Backend;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn mean_l1(
+    strategy: &dyn MitigationStrategy,
+    backend: &Backend,
+    budget: u64,
+    trials: u64,
+    seed0: u64,
+) -> f64 {
+    let ghz = ghz_bfs(&backend.coupling.graph, 0);
+    let ideal = ghz_ideal(backend.num_qubits());
+    let mut sum = 0.0;
+    for t in 0..trials {
+        let mut rng = StdRng::seed_from_u64(seed0 + t);
+        let out = strategy.run(backend, &ghz, budget, &mut rng).unwrap();
+        sum += out.distribution.l1_distance(&ideal);
+    }
+    sum / trials as f64
+}
+
+/// §VI-C / Table II: on five-qubit devices the exponential methods (Full,
+/// Linear) achieve the best performance.
+#[test]
+fn exponential_methods_win_on_five_qubits() {
+    let backend = devices::simulated_lima(6);
+    let budget = 32_000;
+    let trials = 3;
+    let full = mean_l1(&FullStrategy::default(), &backend, budget, trials, 100);
+    let linear = mean_l1(&LinearStrategy, &backend, budget, trials, 100);
+    let bare = mean_l1(&Bare, &backend, budget, trials, 100);
+    let sim = mean_l1(&SimStrategy, &backend, budget, trials, 100);
+    let best_exponential = full.min(linear);
+    assert!(best_exponential < bare, "exp {best_exponential:.3} vs bare {bare:.3}");
+    assert!(best_exponential < sim, "exp {best_exponential:.3} vs SIM {sim:.3}");
+}
+
+/// §VI-C: CMC and CMC-ERR beat or match JIGSAW (non-exponential field).
+#[test]
+fn cmc_family_beats_or_matches_jigsaw() {
+    let budget = 32_000;
+    let trials = 3;
+    for backend in [devices::simulated_quito(6), devices::simulated_nairobi(6)] {
+        let jig = mean_l1(&JigsawStrategy::default(), &backend, budget, trials, 200);
+        let cmc = mean_l1(&CmcStrategy::default(), &backend, budget, trials, 200);
+        let err = mean_l1(&CmcErrStrategy::default(), &backend, budget, trials, 200);
+        let best_cmc = cmc.min(err);
+        assert!(
+            best_cmc <= jig * 1.05,
+            "{}: CMC-family {best_cmc:.3} vs JIGSAW {jig:.3}",
+            backend.name
+        );
+    }
+}
+
+/// §VI-C: the winner between CMC and CMC-ERR depends on whether the
+/// device's correlated errors align with its coupling map.
+#[test]
+fn alignment_decides_cmc_vs_err() {
+    let budget = 32_000;
+    let trials = 4;
+    // Aligned (Lima): base CMC should not lose badly to CMC-ERR.
+    let lima = devices::simulated_lima(6);
+    let cmc_lima = mean_l1(&CmcStrategy::default(), &lima, budget, trials, 300);
+    let err_lima = mean_l1(&CmcErrStrategy::default(), &lima, budget, trials, 300);
+    // Anti-aligned (Nairobi): CMC-ERR must win clearly.
+    let nairobi = devices::simulated_nairobi(6);
+    let cmc_nai = mean_l1(&CmcStrategy::default(), &nairobi, budget, trials, 300);
+    let err_nai = mean_l1(&CmcErrStrategy::default(), &nairobi, budget, trials, 300);
+
+    assert!(
+        err_nai < cmc_nai,
+        "Nairobi: CMC-ERR {err_nai:.3} should beat CMC {cmc_nai:.3}"
+    );
+    // Relative advantage flips with alignment: CMC is relatively better on
+    // Lima than on Nairobi.
+    let lima_ratio = cmc_lima / err_lima.max(1e-9);
+    let nairobi_ratio = cmc_nai / err_nai.max(1e-9);
+    assert!(
+        lima_ratio < nairobi_ratio,
+        "alignment effect missing: lima {lima_ratio:.2} vs nairobi {nairobi_ratio:.2}"
+    );
+}
+
+/// Fig. 12a: averaging methods (AIM/SIM) have no effect on symmetric
+/// correlated errors — they sit at the bare error rate.
+#[test]
+fn averaging_methods_do_not_touch_correlated_errors() {
+    use qem::sim::NoiseModel;
+    use qem::topology::coupling::linear;
+    let n = 4;
+    let mut noise = NoiseModel::noiseless(n);
+    noise.add_correlated(&[0, 1], 0.12);
+    noise.add_correlated(&[2, 3], 0.12);
+    let backend = Backend::new(linear(n), noise);
+    let budget = 60_000;
+    let bare = mean_l1(&Bare, &backend, budget, 3, 400);
+    let sim = mean_l1(&SimStrategy, &backend, budget, 3, 400);
+    assert!(
+        (sim - bare).abs() < 0.05,
+        "SIM should track bare on correlated noise: {sim:.3} vs {bare:.3}"
+    );
+    // …while CMC characterises and removes them (the correlations sit on
+    // coupling edges here).
+    let cmc = mean_l1(&CmcStrategy::default(), &backend, budget, 3, 400);
+    assert!(cmc < bare * 0.6, "CMC {cmc:.3} vs bare {bare:.3}");
+}
+
+/// §VI-C / Table II: JIGSAW's reliance on randomised calibration pairs
+/// gives it a worse average and a wider trial-to-trial spread than CMC on
+/// devices with localised non-uniform correlations (the paper's Nairobi
+/// bands: JIGSAW ±0.19–0.23 vs CMC ±0.02–0.06). The sub-table
+/// renormalisation pathology itself is unit-tested in
+/// `qem_mitigation::jigsaw`.
+#[test]
+fn jigsaw_less_stable_than_cmc_on_non_uniform_device() {
+    let backend = devices::simulated_manila(6);
+    let ghz = ghz_bfs(&backend.coupling.graph, 0);
+    let ideal = ghz_ideal(backend.num_qubits());
+    let budget = 32_000;
+
+    let stats = |strategy: &dyn MitigationStrategy| {
+        let mut vals = Vec::new();
+        for t in 0..8u64 {
+            let mut rng = StdRng::seed_from_u64(500 + t);
+            let out = strategy.run(&backend, &ghz, budget, &mut rng).unwrap();
+            vals.push(out.distribution.l1_distance(&ideal));
+        }
+        let max = vals.iter().cloned().fold(f64::MIN, f64::max);
+        let min = vals.iter().cloned().fold(f64::MAX, f64::min);
+        let mean = vals.iter().sum::<f64>() / vals.len() as f64;
+        (mean, max - min)
+    };
+    let (jig_mean, jig_spread) = stats(&JigsawStrategy::default());
+    let (cmc_mean, cmc_spread) = stats(&CmcStrategy::default());
+    assert!(
+        cmc_mean < jig_mean,
+        "CMC mean {cmc_mean:.3} should beat JIGSAW mean {jig_mean:.3}"
+    );
+    assert!(
+        jig_spread > cmc_spread,
+        "JIGSAW spread {jig_spread:.3} should exceed CMC spread {cmc_spread:.3}"
+    );
+}
+
+/// §VII-A: Full calibration is N/A at seven qubits (the paper's Nairobi
+/// column) under the 100-circuit feasibility rule.
+#[test]
+fn full_infeasible_at_seven_qubits() {
+    let nairobi = devices::simulated_nairobi(1);
+    assert!(!FullStrategy::default().feasible(&nairobi, 32_000));
+    let lima = devices::simulated_lima(1);
+    assert!(FullStrategy::default().feasible(&lima, 32_000));
+}
