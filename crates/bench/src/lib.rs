@@ -88,6 +88,7 @@ fn mean(v: &[f64]) -> f64 {
 /// Runs `trials` independent repetitions of one strategy under a fixed
 /// budget, fanned out with rayon. Trial `t` uses seed `seed0 + t`, so every
 /// number in every report is reproducible.
+#[allow(clippy::too_many_arguments)]
 pub fn run_trials(
     backend: &Backend,
     circuit: &Circuit,
@@ -118,6 +119,7 @@ pub fn run_trials(
 
 /// Compares a strategy set on one backend/circuit, skipping infeasible
 /// methods (reported with `None`).
+#[allow(clippy::too_many_arguments)]
 pub fn compare_methods(
     backend: &Backend,
     circuit: &Circuit,

@@ -6,8 +6,8 @@
 //! replacement, re-mitigates each resample, and reports per-quantity
 //! spread — the machinery behind Table II-style ± bands.
 
+use crate::error::Result;
 use crate::mitigator::SparseMitigator;
-use qem_linalg::error::Result;
 use qem_sim::counts::Counts;
 use rand::rngs::StdRng;
 use rand::Rng;

@@ -1,13 +1,14 @@
 //! Calibration matrices over qubit subsets: construction from device
 //! counts, marginals, inversion and correlation weights.
 
+use crate::error::Result as CoreResult;
 use qem_linalg::dense::Matrix;
 use qem_linalg::error::{LinalgError, Result};
 use qem_linalg::lu;
 use qem_linalg::stochastic::{is_column_stochastic, normalize_columns, normalized_partial_trace};
-use qem_sim::backend::Backend;
 use qem_sim::circuit::basis_prep;
 use qem_sim::counts::Counts;
+use qem_sim::exec::Executor;
 use rand::rngs::StdRng;
 
 /// A column-stochastic measurement calibration over an ordered qubit set:
@@ -129,12 +130,16 @@ fn column_from_counts(counts: &Counts, dim: usize) -> Vec<f64> {
 /// preparing each of the `2^k` basis states and measuring those qubits:
 /// `2^k` circuits × `shots_per_circuit` shots (the exponential primitive
 /// from which Full calibration and per-patch CMC circuits are built).
+///
+/// Fails if any submission fails (wrap the executor in a
+/// `resilience::RetryExecutor` to absorb transient faults) or if the
+/// measured matrix is numerically invalid.
 pub fn characterize(
-    backend: &Backend,
+    backend: &dyn Executor,
     qubits: &[usize],
     shots_per_circuit: u64,
     rng: &mut StdRng,
-) -> Result<CalibrationMatrix> {
+) -> CoreResult<CalibrationMatrix> {
     let k = qubits.len();
     let dim = 1usize << k;
     let n = backend.num_qubits();
@@ -147,13 +152,13 @@ pub fn characterize(
         }
         let mut circuit = basis_prep(n, state);
         circuit.measure_only(qubits);
-        let counts = backend.execute(&circuit, shots_per_circuit, rng);
+        let counts = backend.try_execute(&circuit, shots_per_circuit, rng)?;
         let col = column_from_counts(&counts, dim);
         for (obs, &p) in col.iter().enumerate() {
             m[(obs, prepared)] = p;
         }
     }
-    CalibrationMatrix::new(qubits.to_vec(), m)
+    Ok(CalibrationMatrix::new(qubits.to_vec(), m)?)
 }
 
 /// Builds a calibration matrix from pre-measured per-column histograms
@@ -179,6 +184,7 @@ pub fn from_columns(qubits: Vec<usize>, columns: &[Counts]) -> Result<Calibratio
 #[cfg(test)]
 mod tests {
     use super::*;
+    use qem_sim::backend::Backend;
     use qem_sim::noise::NoiseModel;
     use qem_topology::coupling::linear;
     use rand::SeedableRng;

@@ -6,12 +6,13 @@
 //! (Eqs. 5–7) and invert into a [`SparseMitigator`].
 
 use crate::calibration::{from_columns, CalibrationMatrix};
+use crate::error::Result as CoreResult;
 use crate::joining::{join_corrections, JoinedPatch};
 use crate::mitigator::SparseMitigator;
 use qem_linalg::error::{LinalgError, Result};
-use qem_sim::backend::Backend;
 use qem_sim::circuit::basis_prep;
 use qem_sim::counts::Counts;
+use qem_sim::exec::Executor;
 use qem_topology::patches::{schedule_pairs, PatchSchedule};
 use rand::rngs::StdRng;
 
@@ -66,13 +67,31 @@ impl CmcCalibration {
     }
 }
 
+/// The measured-but-not-yet-joined output of a CMC sweep: raw per-patch
+/// calibration matrices plus the resource ledger. Splitting measurement
+/// from assembly lets the resilience layer validate and repair patches
+/// *before* the (failure-prone) joining and inversion steps.
+#[derive(Clone, Debug)]
+pub struct MeasuredCmc {
+    /// Per-patch forward calibration matrices, in schedule round-major
+    /// order followed by any single-qubit coverage patches.
+    pub patches: Vec<CalibrationMatrix>,
+    /// The Algorithm 1 schedule used.
+    pub schedule: PatchSchedule,
+    /// Calibration circuits executed.
+    pub circuits_used: usize,
+    /// Total calibration shots consumed.
+    pub shots_used: u64,
+}
+
 /// Runs CMC over the backend's own coupling map — the base scheme of §IV-A.
 pub fn calibrate_cmc(
-    backend: &Backend,
+    backend: &dyn Executor,
     opts: &CmcOptions,
     rng: &mut StdRng,
-) -> Result<CmcCalibration> {
+) -> CoreResult<CmcCalibration> {
     let pairs: Vec<(usize, usize)> = backend
+        .device()
         .coupling
         .graph
         .edges()
@@ -87,21 +106,35 @@ pub fn calibrate_cmc(
 /// single-qubit calibrations from two extra circuits (all-zeros / all-ones
 /// over the uncovered set), so the mitigator always covers the register.
 pub fn calibrate_cmc_pairs(
-    backend: &Backend,
+    backend: &dyn Executor,
     pairs: &[(usize, usize)],
     opts: &CmcOptions,
     rng: &mut StdRng,
-) -> Result<CmcCalibration> {
+) -> CoreResult<CmcCalibration> {
+    let measured = measure_cmc_pairs(backend, pairs, opts, rng)?;
+    assemble_cmc(backend.num_qubits(), measured, opts.cull_threshold)
+}
+
+/// The measurement half of [`calibrate_cmc_pairs`]: schedules the pairs,
+/// runs the calibration circuits and slices out per-patch matrices, but
+/// performs no joining or inversion.
+pub fn measure_cmc_pairs(
+    backend: &dyn Executor,
+    pairs: &[(usize, usize)],
+    opts: &CmcOptions,
+    rng: &mut StdRng,
+) -> CoreResult<MeasuredCmc> {
     let n = backend.num_qubits();
     for &(a, b) in pairs {
         if a >= n || b >= n {
             return Err(LinalgError::DimensionMismatch {
                 op: "calibrate_cmc_pairs",
                 detail: format!("pair ({a},{b}) outside {n}-qubit device"),
-            });
+            }
+            .into());
         }
     }
-    let schedule = schedule_pairs(&backend.coupling.graph, pairs, opts.k);
+    let schedule = schedule_pairs(&backend.device().coupling.graph, pairs, opts.k);
     let mut circuits_used = 0usize;
     let mut shots_used = 0u64;
     let mut patches: Vec<CalibrationMatrix> = Vec::with_capacity(pairs.len());
@@ -133,9 +166,21 @@ pub fn calibrate_cmc_pairs(
         patches.extend(singles);
     }
 
+    Ok(MeasuredCmc { patches, schedule, circuits_used, shots_used })
+}
+
+/// The assembly half of [`calibrate_cmc_pairs`]: joins the measured patches
+/// (Eqs. 5–7) and inverts them into the sparse mitigator. Fails if any
+/// joined patch is numerically singular.
+pub fn assemble_cmc(
+    n: usize,
+    measured: MeasuredCmc,
+    cull_threshold: f64,
+) -> CoreResult<CmcCalibration> {
+    let MeasuredCmc { patches, schedule, circuits_used, shots_used } = measured;
     let joined = join_corrections(&patches)?;
     let mut mitigator = SparseMitigator::identity(n);
-    mitigator.cull_threshold = opts.cull_threshold;
+    mitigator.cull_threshold = cull_threshold;
     for p in joined.iter().rev() {
         let inv = qem_linalg::lu::inverse(&p.matrix)?;
         mitigator.push_step(p.qubits.clone(), inv);
@@ -153,11 +198,11 @@ pub fn calibrate_cmc_pairs(
 /// round's histogram over that patch's two qubits (paper §IV-A: calibrate
 /// distant patches "simultaneously and trace out the individual results").
 pub fn measure_round(
-    backend: &Backend,
+    backend: &dyn Executor,
     round: &[(usize, usize)],
     shots_per_circuit: u64,
     rng: &mut StdRng,
-) -> Result<Vec<CalibrationMatrix>> {
+) -> CoreResult<Vec<CalibrationMatrix>> {
     let n = backend.num_qubits();
     // Measured register: union of patch qubits, ascending.
     let mut measured: Vec<usize> = round.iter().flat_map(|&(a, b)| [a, b]).collect();
@@ -167,9 +212,17 @@ pub fn measure_round(
         return Err(LinalgError::DimensionMismatch {
             op: "measure_round",
             detail: "round patches share a qubit".into(),
-        });
+        }
+        .into());
     }
-    let pos = |q: usize| measured.iter().position(|&m| m == q).expect("qubit in round");
+    // `measured` is sorted, so every round qubit is found by binary search;
+    // a miss is a logic error surfaced as a typed error rather than a panic.
+    let pos = |q: usize| -> Result<usize> {
+        measured.binary_search(&q).map_err(|_| LinalgError::DimensionMismatch {
+            op: "measure_round",
+            detail: format!("qubit {q} missing from measured set"),
+        })
+    };
 
     let mut per_pattern_counts: Vec<Counts> = Vec::with_capacity(4);
     for pattern in 0..4u64 {
@@ -180,20 +233,21 @@ pub fn measure_round(
         }
         let mut circuit = basis_prep(n, state);
         circuit.measure_only(&measured);
-        per_pattern_counts.push(backend.execute(&circuit, shots_per_circuit, rng));
+        per_pattern_counts.push(backend.try_execute(&circuit, shots_per_circuit, rng)?);
     }
 
-    round
+    let out = round
         .iter()
         .map(|&(a, b)| {
-            let bits = [pos(a), pos(b)];
+            let bits = [pos(a)?, pos(b)?];
             let columns: Vec<Counts> = per_pattern_counts
                 .iter()
                 .map(|c| c.marginalize(&bits))
                 .collect();
             from_columns(vec![a, b], &columns)
         })
-        .collect()
+        .collect::<Result<Vec<_>>>()?;
+    Ok(out)
 }
 
 /// Runs CMC over arbitrary-size qubit-set patches (triangles, plaquettes,
@@ -202,29 +256,32 @@ pub fn measure_round(
 /// patches capture higher-order correlated errors (e.g. the three-qubit
 /// events of Fig. 10) at exponential-in-patch-size circuit cost.
 pub fn calibrate_cmc_patch_sets(
-    backend: &Backend,
+    backend: &dyn Executor,
     patch_sets: &[Vec<usize>],
     opts: &CmcOptions,
     rng: &mut StdRng,
-) -> Result<CmcCalibration> {
+) -> CoreResult<CmcCalibration> {
     let n = backend.num_qubits();
     for p in patch_sets {
         if p.is_empty() {
             return Err(LinalgError::DimensionMismatch {
                 op: "calibrate_cmc_patch_sets",
                 detail: "empty patch".into(),
-            });
+            }
+            .into());
         }
         for &q in p {
             if q >= n {
                 return Err(LinalgError::DimensionMismatch {
                     op: "calibrate_cmc_patch_sets",
                     detail: format!("qubit {q} outside {n}-qubit device"),
-                });
+                }
+                .into());
             }
         }
     }
-    let multi = qem_topology::patches::schedule_patches(&backend.coupling.graph, patch_sets, opts.k);
+    let multi =
+        qem_topology::patches::schedule_patches(&backend.device().coupling.graph, patch_sets, opts.k);
     let mut circuits_used = 0usize;
     let mut shots_used = 0u64;
     let mut patches: Vec<CalibrationMatrix> = Vec::with_capacity(patch_sets.len());
@@ -271,11 +328,11 @@ pub fn calibrate_cmc_patch_sets(
 /// a smaller patch sees each of its columns `2^{max−|p|}` times and the
 /// duplicate histograms are merged.
 pub fn measure_patch_round(
-    backend: &Backend,
+    backend: &dyn Executor,
     round: &[Vec<usize>],
     shots_per_circuit: u64,
     rng: &mut StdRng,
-) -> Result<Vec<CalibrationMatrix>> {
+) -> CoreResult<Vec<CalibrationMatrix>> {
     let n = backend.num_qubits();
     let mut measured: Vec<usize> = round.iter().flatten().copied().collect();
     let total_qubits = measured.len();
@@ -285,10 +342,15 @@ pub fn measure_patch_round(
         return Err(LinalgError::DimensionMismatch {
             op: "measure_patch_round",
             detail: "round patches share a qubit".into(),
-        });
+        }
+        .into());
     }
-    let pos =
-        |q: usize| measured.iter().position(|&m| m == q).expect("qubit in round");
+    let pos = |q: usize| -> Result<usize> {
+        measured.binary_search(&q).map_err(|_| LinalgError::DimensionMismatch {
+            op: "measure_patch_round",
+            detail: format!("qubit {q} missing from measured set"),
+        })
+    };
     let max = round.iter().map(Vec::len).max().unwrap_or(0);
     let patterns = 1usize << max;
 
@@ -302,13 +364,14 @@ pub fn measure_patch_round(
         }
         let mut circuit = basis_prep(n, state);
         circuit.measure_only(&measured);
-        per_pattern_counts.push(backend.execute(&circuit, shots_per_circuit, rng));
+        per_pattern_counts.push(backend.try_execute(&circuit, shots_per_circuit, rng)?);
     }
 
-    round
+    let out = round
         .iter()
         .map(|p| {
-            let bits: Vec<usize> = p.iter().map(|&q| pos(q)).collect();
+            let bits: Vec<usize> =
+                p.iter().map(|&q| pos(q)).collect::<Result<Vec<_>>>()?;
             let dim = 1usize << p.len();
             let mut columns: Vec<Counts> = vec![Counts::new(p.len()); dim];
             for (pattern, counts) in per_pattern_counts.iter().enumerate() {
@@ -317,16 +380,17 @@ pub fn measure_patch_round(
             }
             from_columns(p.clone(), &columns)
         })
-        .collect()
+        .collect::<Result<Vec<_>>>()?;
+    Ok(out)
 }
 
 /// Two-circuit single-qubit calibration of the given (uncovered) qubits.
-fn measure_singles(
-    backend: &Backend,
+pub(crate) fn measure_singles(
+    backend: &dyn Executor,
     qubits: &[usize],
     shots_per_circuit: u64,
     rng: &mut StdRng,
-) -> Result<Vec<CalibrationMatrix>> {
+) -> CoreResult<Vec<CalibrationMatrix>> {
     let n = backend.num_qubits();
     let mut ones_state = 0u64;
     for &q in qubits {
@@ -336,10 +400,10 @@ fn measure_singles(
     zero_circuit.measure_only(qubits);
     let mut ones_circuit = basis_prep(n, ones_state);
     ones_circuit.measure_only(qubits);
-    let zeros = backend.execute(&zero_circuit, shots_per_circuit, rng);
-    let ones = backend.execute(&ones_circuit, shots_per_circuit, rng);
+    let zeros = backend.try_execute(&zero_circuit, shots_per_circuit, rng)?;
+    let ones = backend.try_execute(&ones_circuit, shots_per_circuit, rng)?;
 
-    qubits
+    let out = qubits
         .iter()
         .enumerate()
         .map(|(k, &q)| {
@@ -347,12 +411,14 @@ fn measure_singles(
             let o = ones.marginalize(&[k]);
             from_columns(vec![q], &[z, o])
         })
-        .collect()
+        .collect::<Result<Vec<_>>>()?;
+    Ok(out)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use qem_sim::backend::Backend;
     use qem_sim::circuit::ghz_bfs;
     use qem_sim::devices::{simulated_lima, simulated_quito};
     use qem_sim::noise::NoiseModel;

@@ -10,9 +10,9 @@
 //! stable on the order of several weeks"), so marginal drift is the right
 //! cheap trigger.
 
+use crate::error::Result as CoreResult;
 use crate::tensored::LinearCalibration;
-use qem_linalg::error::Result;
-use qem_sim::backend::Backend;
+use qem_sim::exec::Executor;
 use rand::rngs::StdRng;
 
 /// A drift probe anchored to the per-qubit rates at calibration time.
@@ -33,6 +33,10 @@ pub struct DriftReport {
     pub max_rate_change: f64,
     /// Qubit exhibiting it.
     pub worst_qubit: usize,
+    /// Absolute rate change per qubit (max over the two flip directions).
+    pub rate_changes: Vec<f64>,
+    /// Qubits whose rate change exceeds the monitor threshold, ascending.
+    pub drifted_qubits: Vec<usize>,
     /// Whether the stored calibration should be rebuilt.
     pub should_recalibrate: bool,
     /// Shots the probe consumed (2 circuits).
@@ -66,17 +70,23 @@ impl DriftMonitor {
     /// Runs the two-circuit probe and compares against the anchor.
     pub fn check(
         &self,
-        backend: &Backend,
+        backend: &dyn Executor,
         shots_per_circuit: u64,
         rng: &mut StdRng,
-    ) -> Result<DriftReport> {
+    ) -> CoreResult<DriftReport> {
         let probe = LinearCalibration::calibrate(backend, shots_per_circuit, rng)?;
         let mut max_rate_change = 0.0;
         let mut worst_qubit = 0;
+        let mut rate_changes = Vec::with_capacity(probe.per_qubit.len());
+        let mut drifted_qubits = Vec::new();
         for (q, cal) in probe.per_qubit.iter().enumerate() {
             let d0 = (cal.matrix()[(1, 0)] - self.reference_flip0[q]).abs();
             let d1 = (cal.matrix()[(0, 1)] - self.reference_flip1[q]).abs();
             let d = d0.max(d1);
+            rate_changes.push(d);
+            if d > self.threshold {
+                drifted_qubits.push(q);
+            }
             if d > max_rate_change {
                 max_rate_change = d;
                 worst_qubit = q;
@@ -85,6 +95,8 @@ impl DriftMonitor {
         Ok(DriftReport {
             max_rate_change,
             worst_qubit,
+            rate_changes,
+            drifted_qubits,
             should_recalibrate: max_rate_change > self.threshold,
             shots_used: probe.shots_used,
         })
@@ -94,6 +106,7 @@ impl DriftMonitor {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use qem_sim::backend::Backend;
     use qem_sim::noise::NoiseModel;
     use qem_topology::coupling::linear;
     use rand::SeedableRng;

@@ -9,10 +9,11 @@
 
 use crate::calibration::CalibrationMatrix;
 use crate::cmc::{measure_round, CmcCalibration, CmcOptions};
+use crate::error::Result as CoreResult;
 use crate::joining::join_corrections;
 use crate::mitigator::SparseMitigator;
-use qem_linalg::error::Result;
-use qem_sim::backend::Backend;
+use qem_linalg::error::{LinalgError, Result};
+use qem_sim::exec::Executor;
 use qem_topology::err_map::{error_coupling_map, ErrorMap, WeightedPair};
 use qem_topology::patches::{schedule_pairs, PatchSchedule};
 use rand::rngs::StdRng;
@@ -54,13 +55,14 @@ pub struct ErrCharacterization {
 
 /// Characterises all candidate pairs and builds the error coupling map.
 pub fn characterize_err(
-    backend: &Backend,
+    backend: &dyn Executor,
     opts: &ErrOptions,
     rng: &mut StdRng,
-) -> Result<ErrCharacterization> {
+) -> CoreResult<ErrCharacterization> {
     let n = backend.num_qubits();
-    let candidates = backend.coupling.graph.pairs_within_distance(opts.locality);
-    let schedule = schedule_pairs(&backend.coupling.graph, &candidates, opts.cmc.k);
+    let graph = &backend.device().coupling.graph;
+    let candidates = graph.pairs_within_distance(opts.locality);
+    let schedule = schedule_pairs(graph, &candidates, opts.cmc.k);
 
     let mut pair_calibrations = Vec::with_capacity(candidates.len());
     let mut circuits_used = 0usize;
@@ -98,10 +100,10 @@ pub fn characterize_err(
 /// error map are covered by their single-qubit marginals, also extracted
 /// from the sweep data — so the scheme consumes no shots beyond the sweep.
 pub fn calibrate_cmc_err(
-    backend: &Backend,
+    backend: &dyn Executor,
     opts: &ErrOptions,
     rng: &mut StdRng,
-) -> Result<(ErrCharacterization, CmcCalibration)> {
+) -> CoreResult<(ErrCharacterization, CmcCalibration)> {
     let err = characterize_err(backend, opts, rng)?;
     let n = backend.num_qubits();
 
@@ -112,7 +114,10 @@ pub fn calibrate_cmc_err(
             .pair_calibrations
             .iter()
             .find(|c| c.qubits() == [wp.i, wp.j])
-            .expect("selected pair was characterised")
+            .ok_or_else(|| LinalgError::DimensionMismatch {
+                op: "calibrate_cmc_err",
+                detail: format!("selected pair ({}, {}) was never characterised", wp.i, wp.j),
+            })?
             .clone();
         patches.push(cal);
     }
@@ -125,19 +130,16 @@ pub fn calibrate_cmc_err(
             covered[q] = true;
         }
     }
-    for q in 0..n {
-        if covered[q] {
-            continue;
-        }
+    let uncovered: Vec<usize> = (0..n).filter(|&q| !covered[q]).collect();
+    for q in uncovered {
         let best = err
             .pair_calibrations
             .iter()
             .zip(&err.weights)
             .filter(|(c, _)| c.qubits().contains(&q))
-            .max_by(|a, b| a.1.weight.partial_cmp(&b.1.weight).unwrap());
+            .max_by(|a, b| a.1.weight.total_cmp(&b.1.weight));
         if let Some((cal, _)) = best {
             patches.push(cal.marginal_1q(q)?);
-            covered[q] = true;
         }
     }
 
@@ -159,6 +161,7 @@ pub fn calibrate_cmc_err(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use qem_sim::backend::Backend;
     use qem_sim::circuit::ghz_bfs;
     use qem_sim::devices::{simulated_nairobi, simulated_quito};
     use qem_sim::noise::NoiseModel;

@@ -1,0 +1,108 @@
+//! Unified error type for the calibration pipeline.
+//!
+//! Calibration can now fail in three distinct ways — numerically (a
+//! singular or mis-shaped matrix, [`LinalgError`]), operationally (a device
+//! submission failed, [`ExecutionError`]) or at the persistence boundary
+//! (corrupt or incompatible calibration records). [`CoreError`] carries all
+//! three so `?` threads through the whole pipeline, and
+//! [`CoreError::is_retryable`] tells resilient callers whether trying again
+//! can help.
+
+use qem_linalg::error::LinalgError;
+use qem_sim::exec::ExecutionError;
+
+/// Any failure produced by the qem-core calibration pipeline.
+#[derive(Clone, Debug, PartialEq)]
+pub enum CoreError {
+    /// A numerical failure (dimension mismatch, singular patch, …).
+    Linalg(LinalgError),
+    /// A circuit submission failed on the device.
+    Execution(ExecutionError),
+    /// A calibration record could not be written or read back.
+    Persist {
+        /// The file involved.
+        path: String,
+        /// What went wrong.
+        detail: String,
+    },
+    /// A calibration record parsed but failed structural validation
+    /// (wrong schema version, duplicate qubits, out-of-range indices, …).
+    CorruptRecord {
+        /// What the validation found.
+        detail: String,
+    },
+}
+
+impl CoreError {
+    /// Whether retrying the operation (with backoff) could succeed — true
+    /// only for transient execution failures.
+    pub fn is_retryable(&self) -> bool {
+        matches!(self, CoreError::Execution(e) if e.is_retryable())
+    }
+}
+
+impl std::fmt::Display for CoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CoreError::Linalg(e) => write!(f, "{e}"),
+            CoreError::Execution(e) => write!(f, "{e}"),
+            CoreError::Persist { path, detail } => {
+                write!(f, "persistence failure on {path}: {detail}")
+            }
+            CoreError::CorruptRecord { detail } => {
+                write!(f, "corrupt calibration record: {detail}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CoreError {}
+
+impl From<LinalgError> for CoreError {
+    fn from(e: LinalgError) -> Self {
+        CoreError::Linalg(e)
+    }
+}
+
+impl From<ExecutionError> for CoreError {
+    fn from(e: ExecutionError) -> Self {
+        CoreError::Execution(e)
+    }
+}
+
+/// Result alias for the calibration pipeline.
+pub type Result<T> = std::result::Result<T, CoreError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn retryability_follows_execution_error() {
+        let transient = CoreError::Execution(ExecutionError::Transient {
+            submission: 1,
+            reason: "queue".into(),
+        });
+        let fatal = CoreError::Execution(ExecutionError::Fatal {
+            submission: 2,
+            reason: "down".into(),
+        });
+        let numeric = CoreError::Linalg(LinalgError::Singular { pivot: 0.0 });
+        assert!(transient.is_retryable());
+        assert!(!fatal.is_retryable());
+        assert!(!numeric.is_retryable());
+    }
+
+    #[test]
+    fn conversions_and_display() {
+        let c: CoreError = LinalgError::NotSquare { rows: 2, cols: 3 }.into();
+        assert!(matches!(c, CoreError::Linalg(_)));
+        let c: CoreError =
+            ExecutionError::Fatal { submission: 0, reason: "x".into() }.into();
+        assert!(c.to_string().contains("fatal"));
+        let p = CoreError::Persist { path: "a.json".into(), detail: "denied".into() };
+        assert!(p.to_string().contains("a.json"));
+        let r = CoreError::CorruptRecord { detail: "dup qubit".into() };
+        assert!(r.to_string().contains("dup qubit"));
+    }
+}

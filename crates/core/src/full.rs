@@ -2,10 +2,11 @@
 //! `2^n` preparation circuits, one dense `2^n × 2^n` calibration matrix.
 
 use crate::calibration::{characterize, CalibrationMatrix};
+use crate::error::Result as CoreResult;
 use qem_linalg::error::Result;
 use qem_linalg::sparse_apply::SparseDist;
-use qem_sim::backend::Backend;
 use qem_sim::counts::Counts;
+use qem_sim::exec::Executor;
 use rand::rngs::StdRng;
 
 /// The Full calibration: one dense calibration matrix over the whole
@@ -28,10 +29,10 @@ impl FullCalibration {
     /// infeasibility threshold (a dense inverse at n = 14 already needs tens
     /// of GB); larger devices are exactly what CMC exists for.
     pub fn calibrate(
-        backend: &Backend,
+        backend: &dyn Executor,
         shots_per_circuit: u64,
         rng: &mut StdRng,
-    ) -> Result<FullCalibration> {
+    ) -> CoreResult<FullCalibration> {
         let n = backend.num_qubits();
         assert!(n <= 14, "full calibration of {n} qubits is infeasible (paper §VII-A)");
         let qubits: Vec<usize> = (0..n).collect();
@@ -59,6 +60,7 @@ impl FullCalibration {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use qem_sim::backend::Backend;
     use qem_sim::circuit::ghz_bfs;
     use qem_sim::noise::NoiseModel;
     use qem_topology::coupling::linear;

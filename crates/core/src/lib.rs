@@ -21,23 +21,33 @@ pub mod calibration;
 pub mod cmc;
 pub mod drift;
 pub mod err;
+pub mod error;
 pub mod full;
 pub mod joining;
 pub mod mitigator;
 pub mod persist;
 pub mod rb;
+pub mod resilience;
 pub mod tensored;
 pub mod tomography;
 
 pub use bootstrap::{bootstrap_mass_on, Estimate};
 pub use calibration::{characterize, CalibrationMatrix};
-pub use cmc::{calibrate_cmc, calibrate_cmc_pairs, calibrate_cmc_patch_sets, CmcCalibration, CmcOptions};
+pub use cmc::{
+    assemble_cmc, calibrate_cmc, calibrate_cmc_pairs, calibrate_cmc_patch_sets,
+    measure_cmc_pairs, CmcCalibration, CmcOptions, MeasuredCmc,
+};
 pub use err::{calibrate_cmc_err, characterize_err, ErrCharacterization, ErrOptions};
+pub use error::CoreError;
 pub use drift::{DriftMonitor, DriftReport};
 pub use full::FullCalibration;
 pub use joining::{join_corrections, JoinedPatch};
 pub use mitigator::SparseMitigator;
 pub use persist::{load_or_calibrate, CmcRecord};
 pub use rb::{single_qubit_rb, RbResult};
+pub use resilience::{
+    calibrate_resilient, DowngradeEvent, MitigationLevel, PatchIssue, ResilienceOptions,
+    ResilienceReport, ResilientCalibration, RetryExecutor, RetryPolicy, ValidationPolicy,
+};
 pub use tensored::LinearCalibration;
 pub use tomography::{process_tomography_1q, state_tomography, ProcessTomography, StateTomography};

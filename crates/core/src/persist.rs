@@ -7,16 +7,35 @@
 //! and reconstructs the full mitigator — joining corrections, inverses and
 //! application order are all deterministic functions of the patch list, so
 //! only the patches (plus bookkeeping) are stored.
+//!
+//! Robustness: writes are atomic (temp file + rename, so a crash cannot
+//! leave a half-written record), records carry a schema version, and a
+//! corrupt or structurally invalid record surfaces as a typed
+//! [`CoreError::CorruptRecord`] rather than a panic — callers like
+//! [`load_or_calibrate`] then fall back to recalibration.
 
-use crate::calibration::CalibrationMatrix;
-use crate::cmc::{CmcCalibration, CmcOptions};
+use crate::calibration::{characterize, CalibrationMatrix};
+use crate::cmc::{assemble_cmc, CmcCalibration, CmcOptions, MeasuredCmc};
+use crate::drift::{DriftMonitor, DriftReport};
+use crate::error::{CoreError, Result};
 use crate::joining::join_corrections;
 use crate::mitigator::SparseMitigator;
 use qem_linalg::dense::Matrix;
-use qem_linalg::error::{LinalgError, Result};
+use qem_sim::exec::Executor;
 use qem_topology::patches::PatchSchedule;
 use serde::{Deserialize, Serialize};
 use std::path::Path;
+
+/// Current record schema version. Bump when the on-disk layout changes
+/// incompatibly; loading a record with a different version is a
+/// [`CoreError::CorruptRecord`].
+pub const SCHEMA_VERSION: u32 = 1;
+
+fn default_schema() -> u32 {
+    // Records written before versioning lack the field; treat them as the
+    // current layout (the layout has not changed since).
+    SCHEMA_VERSION
+}
 
 /// Serialisable form of one calibration patch.
 #[derive(Clone, Debug, Serialize, Deserialize, PartialEq)]
@@ -39,22 +58,56 @@ impl CalibrationRecord {
         }
     }
 
-    /// Restores (re-validating stochasticity and shape).
-    pub fn to_calibration(&self) -> Result<CalibrationMatrix> {
+    /// Structural validation against the owning record's register width:
+    /// rejects duplicate qubits, out-of-range indices and shape mismatches.
+    pub fn validate(&self, num_qubits: usize) -> Result<()> {
+        let mut sorted = self.qubits.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        if sorted.len() != self.qubits.len() {
+            return Err(CoreError::CorruptRecord {
+                detail: format!("patch {:?} contains duplicate qubits", self.qubits),
+            });
+        }
+        for &q in &self.qubits {
+            if q >= num_qubits {
+                return Err(CoreError::CorruptRecord {
+                    detail: format!(
+                        "patch qubit {q} outside {num_qubits}-qubit record"
+                    ),
+                });
+            }
+        }
         if self.dim != 1 << self.qubits.len() {
-            return Err(LinalgError::DimensionMismatch {
-                op: "CalibrationRecord::to_calibration",
+            return Err(CoreError::CorruptRecord {
                 detail: format!("dim {} for {} qubits", self.dim, self.qubits.len()),
             });
         }
+        if self.matrix.len() != self.dim * self.dim {
+            return Err(CoreError::CorruptRecord {
+                detail: format!(
+                    "{} matrix entries for dim {}",
+                    self.matrix.len(),
+                    self.dim
+                ),
+            });
+        }
+        Ok(())
+    }
+
+    /// Restores (re-validating stochasticity and shape).
+    pub fn to_calibration(&self) -> Result<CalibrationMatrix> {
         let m = Matrix::from_vec(self.dim, self.dim, self.matrix.clone())?;
-        CalibrationMatrix::new(self.qubits.clone(), m)
+        Ok(CalibrationMatrix::new(self.qubits.clone(), m)?)
     }
 }
 
 /// A stored CMC calibration: everything needed to rebuild the mitigator.
 #[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct CmcRecord {
+    /// Record schema version ([`SCHEMA_VERSION`] at write time).
+    #[serde(default = "default_schema")]
+    pub schema: u32,
     /// Device name the calibration was taken on.
     pub device: String,
     /// Register width.
@@ -75,6 +128,7 @@ impl CmcRecord {
     /// Captures a calibration for storage.
     pub fn from_calibration(device: &str, n: usize, cal: &CmcCalibration) -> CmcRecord {
         CmcRecord {
+            schema: SCHEMA_VERSION,
             device: device.to_string(),
             num_qubits: n,
             k: cal.schedule.k,
@@ -85,26 +139,33 @@ impl CmcRecord {
         }
     }
 
+    /// Structural validation: schema version, then every patch record.
+    pub fn validate(&self) -> Result<()> {
+        if self.schema != SCHEMA_VERSION {
+            return Err(CoreError::CorruptRecord {
+                detail: format!(
+                    "schema version {} (this build reads {})",
+                    self.schema, SCHEMA_VERSION
+                ),
+            });
+        }
+        for p in &self.patches {
+            p.validate(self.num_qubits)?;
+        }
+        Ok(())
+    }
+
     /// Rebuilds the full calibration: re-joins the stored patches and
     /// re-inverts. The reconstruction is bit-for-bit the original
     /// mitigator, because joining and inversion are deterministic in the
     /// patch list and order.
     pub fn to_calibration(&self) -> Result<CmcCalibration> {
+        self.validate()?;
         let patches: Vec<CalibrationMatrix> = self
             .patches
             .iter()
             .map(CalibrationRecord::to_calibration)
             .collect::<Result<_>>()?;
-        for p in &patches {
-            for &q in p.qubits() {
-                if q >= self.num_qubits {
-                    return Err(LinalgError::DimensionMismatch {
-                        op: "CmcRecord::to_calibration",
-                        detail: format!("patch qubit {q} outside {}-qubit record", self.num_qubits),
-                    });
-                }
-            }
-        }
         let joined = join_corrections(&patches)?;
         let mut mitigator = SparseMitigator::identity(self.num_qubits);
         mitigator.cull_threshold = self.cull_threshold;
@@ -123,52 +184,166 @@ impl CmcRecord {
     }
 
     /// JSON serialisation.
-    pub fn to_json(&self) -> String {
-        serde_json::to_string_pretty(self).expect("plain-data serialisation cannot fail")
+    pub fn to_json(&self) -> Result<String> {
+        serde_json::to_string_pretty(self).map_err(|e| CoreError::Persist {
+            path: String::new(),
+            detail: format!("serialisation failed: {e}"),
+        })
     }
 
-    /// JSON deserialisation.
+    /// JSON deserialisation with structural validation.
     pub fn from_json(json: &str) -> Result<CmcRecord> {
-        serde_json::from_str(json).map_err(|e| LinalgError::InvalidDistribution {
-            detail: format!("calibration record parse error: {e}"),
-        })
+        let record: CmcRecord =
+            serde_json::from_str(json).map_err(|e| CoreError::CorruptRecord {
+                detail: format!("parse error: {e}"),
+            })?;
+        record.validate()?;
+        Ok(record)
     }
 
-    /// Writes to a file.
+    /// Writes atomically: the record lands in a sibling temp file first and
+    /// is renamed into place, so a crash mid-write can never leave a
+    /// truncated record at `path`.
     pub fn save(&self, path: &Path) -> Result<()> {
-        std::fs::write(path, self.to_json()).map_err(|e| LinalgError::InvalidDistribution {
-            detail: format!("cannot write {}: {e}", path.display()),
+        let json = self.to_json().map_err(|e| match e {
+            CoreError::Persist { detail, .. } => CoreError::Persist {
+                path: path.display().to_string(),
+                detail,
+            },
+            other => other,
+        })?;
+        let mut tmp = path.as_os_str().to_owned();
+        tmp.push(".tmp");
+        let tmp = std::path::PathBuf::from(tmp);
+        std::fs::write(&tmp, json).map_err(|e| CoreError::Persist {
+            path: tmp.display().to_string(),
+            detail: format!("write failed: {e}"),
+        })?;
+        std::fs::rename(&tmp, path).map_err(|e| CoreError::Persist {
+            path: path.display().to_string(),
+            detail: format!("rename failed: {e}"),
         })
     }
 
-    /// Reads from a file.
+    /// Reads from a file (I/O failure → [`CoreError::Persist`]; malformed
+    /// content → [`CoreError::CorruptRecord`]).
     pub fn load(path: &Path) -> Result<CmcRecord> {
-        let json = std::fs::read_to_string(path).map_err(|e| LinalgError::InvalidDistribution {
-            detail: format!("cannot read {}: {e}", path.display()),
+        let json = std::fs::read_to_string(path).map_err(|e| CoreError::Persist {
+            path: path.display().to_string(),
+            detail: format!("read failed: {e}"),
         })?;
         CmcRecord::from_json(&json)
+    }
+
+    /// Per-qubit readout rates `(p_flip0, p_flip1)` averaged over the
+    /// stored patches' single-qubit marginals — the anchor for a
+    /// [`DriftMonitor`] that asks "has the device moved since this record
+    /// was taken?".
+    pub fn qubit_rates(&self) -> Result<(Vec<f64>, Vec<f64>)> {
+        let patches: Vec<CalibrationMatrix> = self
+            .patches
+            .iter()
+            .map(CalibrationRecord::to_calibration)
+            .collect::<Result<_>>()?;
+        let marginals = crate::joining::qubit_marginals(&patches)?;
+        let mut flip0 = vec![0.0; self.num_qubits];
+        let mut flip1 = vec![0.0; self.num_qubits];
+        for (q, m) in marginals {
+            flip0[q] = m[(1, 0)];
+            flip1[q] = m[(0, 1)];
+        }
+        Ok((flip0, flip1))
     }
 }
 
 /// Convenience: calibrate-or-load against a stored file, the operational
-/// pattern for daily runs (recalibrate only when [`crate::drift`] demands).
+/// pattern for daily runs. A missing, corrupt or mismatched record (wrong
+/// device or register width) silently falls back to a fresh calibration
+/// which is then saved.
 pub fn load_or_calibrate(
     path: &Path,
     device: &str,
-    backend: &qem_sim::backend::Backend,
+    backend: &dyn Executor,
     opts: &CmcOptions,
     rng: &mut rand::rngs::StdRng,
 ) -> Result<CmcCalibration> {
     if path.exists() {
         if let Ok(record) = CmcRecord::load(path) {
             if record.device == device && record.num_qubits == backend.num_qubits() {
-                return record.to_calibration();
+                if let Ok(cal) = record.to_calibration() {
+                    return Ok(cal);
+                }
             }
         }
     }
     let cal = crate::cmc::calibrate_cmc(backend, opts, rng)?;
     CmcRecord::from_calibration(device, backend.num_qubits(), &cal).save(path)?;
     Ok(cal)
+}
+
+/// Drift-aware load: like [`load_or_calibrate`], but a valid stored record
+/// is first checked against the live device with a two-circuit
+/// [`DriftMonitor`] probe. Only patches containing a drifted qubit are
+/// re-characterised (4 circuits per pair patch, not a whole sweep); the
+/// refreshed record is saved back. Returns the calibration plus the drift
+/// report when a stored record was probed.
+pub fn load_or_refresh(
+    path: &Path,
+    device: &str,
+    backend: &dyn Executor,
+    opts: &CmcOptions,
+    drift_threshold: f64,
+    rng: &mut rand::rngs::StdRng,
+) -> Result<(CmcCalibration, Option<DriftReport>)> {
+    let stored = if path.exists() {
+        match CmcRecord::load(path) {
+            Ok(r) if r.device == device && r.num_qubits == backend.num_qubits() => Some(r),
+            _ => None,
+        }
+    } else {
+        None
+    };
+    let Some(record) = stored else {
+        let cal = crate::cmc::calibrate_cmc(backend, opts, rng)?;
+        CmcRecord::from_calibration(device, backend.num_qubits(), &cal).save(path)?;
+        return Ok((cal, None));
+    };
+
+    let (flip0, flip1) = record.qubit_rates()?;
+    let monitor = DriftMonitor::from_rates(flip0, flip1, drift_threshold);
+    let report = monitor.check(backend, opts.shots_per_circuit, rng)?;
+
+    if report.drifted_qubits.is_empty() {
+        return Ok((record.to_calibration()?, Some(report)));
+    }
+
+    // Re-characterise only the patches touching a drifted qubit.
+    let mut patches: Vec<CalibrationMatrix> = record
+        .patches
+        .iter()
+        .map(CalibrationRecord::to_calibration)
+        .collect::<Result<_>>()?;
+    let mut circuits_used = record.circuits_used;
+    let mut shots_used = record.shots_used;
+    for patch in patches.iter_mut() {
+        if !patch.qubits().iter().any(|q| report.drifted_qubits.contains(q)) {
+            continue;
+        }
+        let qubits = patch.qubits().to_vec();
+        let refreshed = characterize(backend, &qubits, opts.shots_per_circuit, rng)?;
+        circuits_used += 1 << qubits.len();
+        shots_used += (1u64 << qubits.len()) * opts.shots_per_circuit;
+        *patch = refreshed;
+    }
+    let measured = MeasuredCmc {
+        patches,
+        schedule: PatchSchedule { k: record.k, rounds: Vec::new() },
+        circuits_used,
+        shots_used,
+    };
+    let cal = assemble_cmc(record.num_qubits, measured, record.cull_threshold)?;
+    CmcRecord::from_calibration(device, record.num_qubits, &cal).save(path)?;
+    Ok((cal, Some(report)))
 }
 
 #[cfg(test)]
@@ -196,8 +371,9 @@ mod tests {
     fn record_roundtrip_preserves_patches() {
         let (_, cal) = calibrated_backend();
         let record = CmcRecord::from_calibration("test-device", 4, &cal);
-        let json = record.to_json();
+        let json = record.to_json().unwrap();
         let parsed = CmcRecord::from_json(&json).unwrap();
+        assert_eq!(parsed.schema, SCHEMA_VERSION);
         assert_eq!(parsed.patches.len(), record.patches.len());
         for (a, b) in parsed.patches.iter().zip(&record.patches) {
             assert_eq!(a.qubits, b.qubits);
@@ -226,18 +402,65 @@ mod tests {
 
     #[test]
     fn corrupt_records_rejected() {
-        assert!(CmcRecord::from_json("not json").is_err());
+        assert!(matches!(
+            CmcRecord::from_json("not json"),
+            Err(CoreError::CorruptRecord { .. })
+        ));
         let (_, cal) = calibrated_backend();
         let mut record = CmcRecord::from_calibration("d", 4, &cal);
         record.patches[0].dim = 8; // wrong for 2 qubits
-        assert!(record.to_calibration().is_err());
+        assert!(matches!(record.to_calibration(), Err(CoreError::CorruptRecord { .. })));
         let mut record2 = CmcRecord::from_calibration("d", 4, &cal);
         record2.num_qubits = 2; // patches address qubit 3
-        assert!(record2.to_calibration().is_err());
+        assert!(matches!(record2.to_calibration(), Err(CoreError::CorruptRecord { .. })));
         // Non-stochastic matrix data.
         let mut record3 = CmcRecord::from_calibration("d", 4, &cal);
         record3.patches[0].matrix[0] = -5.0;
         assert!(record3.to_calibration().is_err());
+        // Wrong schema version.
+        let mut record4 = CmcRecord::from_calibration("d", 4, &cal);
+        record4.schema = SCHEMA_VERSION + 1;
+        assert!(matches!(record4.validate(), Err(CoreError::CorruptRecord { .. })));
+    }
+
+    #[test]
+    fn duplicate_and_out_of_range_qubits_rejected() {
+        let (_, cal) = calibrated_backend();
+        let mut record = CmcRecord::from_calibration("d", 4, &cal);
+        record.patches[0].qubits = vec![1, 1];
+        let err = record.validate().unwrap_err();
+        assert!(err.to_string().contains("duplicate"), "{err}");
+
+        let mut record2 = CmcRecord::from_calibration("d", 4, &cal);
+        record2.patches[0].qubits = vec![1, 9];
+        let err2 = record2.validate().unwrap_err();
+        assert!(err2.to_string().contains("outside"), "{err2}");
+    }
+
+    #[test]
+    fn truncated_file_is_corrupt_not_panic() {
+        let dir = std::env::temp_dir().join("qem-persist-test-corrupt");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("cal.json");
+        std::fs::write(&path, "{\"device\": \"d\", \"num_qu").unwrap();
+        assert!(matches!(
+            CmcRecord::load(&path),
+            Err(CoreError::CorruptRecord { .. })
+        ));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn save_is_atomic_no_temp_left_behind() {
+        let (_, cal) = calibrated_backend();
+        let dir = std::env::temp_dir().join("qem-persist-test-atomic");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("cal.json");
+        let record = CmcRecord::from_calibration("d", 4, &cal);
+        record.save(&path).unwrap();
+        assert!(path.exists());
+        assert!(!dir.join("cal.json.tmp").exists());
+        let _ = std::fs::remove_file(&path);
     }
 
     #[test]
@@ -262,6 +485,73 @@ mod tests {
         let bdist = second.mitigator.mitigate(&raw).unwrap();
         assert!(a.l1_distance(&bdist) < 1e-12);
         let _ = cal;
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn load_or_refresh_recalibrates_only_drifted_patches() {
+        let n = 4;
+        let noise = NoiseModel::random_biased(n, 0.02, 0.08, 3);
+        let b = Backend::new(linear(n), noise.clone());
+        let dir = std::env::temp_dir().join("qem-persist-test-refresh");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("cal.json");
+        let _ = std::fs::remove_file(&path);
+        let opts = CmcOptions { k: 1, shots_per_circuit: 30_000, cull_threshold: 1e-10 };
+
+        // Seed the store.
+        let (_, probe) = load_or_refresh(
+            &path,
+            "dev",
+            &b,
+            &opts,
+            0.02,
+            &mut StdRng::seed_from_u64(7),
+        )
+        .unwrap();
+        assert!(probe.is_none(), "fresh calibration should not probe drift");
+
+        // Stable device: stored record reused, probe reports no drift.
+        let (_, probe2) = load_or_refresh(
+            &path,
+            "dev",
+            &b,
+            &opts,
+            0.02,
+            &mut StdRng::seed_from_u64(8),
+        )
+        .unwrap();
+        let report = probe2.expect("stored record must be probed");
+        assert!(report.drifted_qubits.is_empty(), "{report:?}");
+
+        // Qubit 3 drifts hard: only its patch should be refreshed.
+        let mut drifted_noise = noise;
+        drifted_noise.p_flip1[3] += 0.15;
+        let drifted = Backend::new(linear(n), drifted_noise.clone());
+        let (cal, probe3) = load_or_refresh(
+            &path,
+            "dev",
+            &drifted,
+            &opts,
+            0.02,
+            &mut StdRng::seed_from_u64(9),
+        )
+        .unwrap();
+        let report = probe3.expect("stored record must be probed");
+        assert_eq!(report.drifted_qubits, vec![3], "{report:?}");
+        // The refreshed patch reflects the new rate for qubit 3.
+        let patch = cal
+            .patches
+            .iter()
+            .find(|p| p.qubits().contains(&3))
+            .expect("qubit 3 patch exists");
+        let m = patch.marginal_1q(3).unwrap();
+        assert!(
+            (m.matrix()[(0, 1)] - drifted_noise.p_flip1[3]).abs() < 0.02,
+            "refreshed rate {} vs injected {}",
+            m.matrix()[(0, 1)],
+            drifted_noise.p_flip1[3]
+        );
         let _ = std::fs::remove_file(&path);
     }
 }

@@ -11,7 +11,7 @@
 use qem_linalg::error::{LinalgError, Result};
 use qem_sim::backend::Backend;
 use qem_sim::circuit::Circuit;
-use qem_sim::gate::{mat2_dagger, mat2_mul, u3_angles, Gate, Mat2};
+use qem_sim::gate::{mat2_dagger, mat2_mul, u3_angles, u3_matrix, Gate, Mat2};
 use rand::rngs::StdRng;
 use rand::Rng;
 
@@ -43,10 +43,14 @@ pub struct RbResult {
 pub fn rb_sequence(n: usize, qubit: usize, length: usize, rng: &mut StdRng) -> Circuit {
     let mut circuit = Circuit::new(n);
     circuit.label = format!("rb-{length}");
-    let mut product: Mat2 = Gate::U3(qubit, 0.0, 0.0, 0.0).matrix1q().expect("identity");
+    let mut product: Mat2 = u3_matrix(0.0, 0.0, 0.0);
     for _ in 0..length {
         let gate = RB_POOL[rng.gen_range(0..RB_POOL.len())](qubit);
-        product = mat2_mul(&gate.matrix1q().expect("pool is 1q"), &product);
+        // Every pool gate is single-qubit, so a unitary is always available;
+        // skipping an (impossible) two-qubit entry keeps the tracked product
+        // consistent with the circuit.
+        let Some(m) = gate.matrix1q() else { continue };
+        product = mat2_mul(&m, &product);
         circuit.push(gate);
     }
     let (t, p, l) = u3_angles(&mat2_dagger(&product));

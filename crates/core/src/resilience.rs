@@ -1,0 +1,711 @@
+//! Resilient calibration: retries, patch validation and graceful
+//! degradation.
+//!
+//! Real devices fail in ways the clean pipeline cannot absorb: submissions
+//! bounce off busy queues, qubits die mid-sweep, drifted readout makes a
+//! patch numerically singular. This module wraps the calibration pipeline
+//! in three layers of defence:
+//!
+//! 1. **Retry with backoff** — [`RetryExecutor`] wraps any [`Executor`] and
+//!    re-submits transiently failed circuits with exponential backoff in
+//!    *virtual clock ticks* (deterministic, no wall-clock sleeps).
+//! 2. **Patch validation and repair** — after characterisation each patch
+//!    is checked ([`ValidationPolicy`]) for column-stochasticity, condition
+//!    number and dead qubits (degenerate single-qubit marginals); invalid
+//!    patches are replaced by the tensored product of their healthy
+//!    single-qubit marginals (identity on dead qubits).
+//! 3. **The degradation ladder** — [`calibrate_resilient`] walks
+//!    CMC-ERR → CMC → Linear → Bare, dropping one rung each time a stage
+//!    fails outright, and always returns *some* usable mitigator. Every
+//!    downgrade is recorded as a [`DowngradeEvent`] in the
+//!    [`ResilienceReport`].
+
+use crate::calibration::CalibrationMatrix;
+use crate::cmc::{assemble_cmc, measure_cmc_pairs, CmcCalibration, CmcOptions};
+use crate::err::{calibrate_cmc_err, ErrOptions};
+use crate::error::Result as CoreResult;
+use crate::mitigator::SparseMitigator;
+use crate::tensored::LinearCalibration;
+use qem_linalg::dense::Matrix;
+use qem_linalg::stochastic::is_column_stochastic;
+use qem_sim::backend::Backend;
+use qem_sim::circuit::Circuit;
+use qem_sim::counts::Counts;
+use qem_sim::exec::{ExecutionError, Executor};
+use rand::rngs::StdRng;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Bounded-retry policy with exponential backoff in virtual clock ticks.
+#[derive(Clone, Copy, Debug)]
+pub struct RetryPolicy {
+    /// Maximum re-submissions per circuit (0 = fail on first error).
+    pub max_retries: u32,
+    /// Backoff after the `k`-th failure is `backoff_base << k` ticks.
+    pub backoff_base: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy { max_retries: 3, backoff_base: 1 }
+    }
+}
+
+impl RetryPolicy {
+    /// Ticks to wait after the `attempt`-th failed try (0-based), capped so
+    /// the shift cannot overflow.
+    pub fn backoff_ticks(&self, attempt: u32) -> u64 {
+        self.backoff_base.saturating_mul(1u64 << attempt.min(32))
+    }
+}
+
+/// Submission statistics accumulated by a [`RetryExecutor`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RetryStats {
+    /// Circuit submissions attempted (including retries).
+    pub submissions: u64,
+    /// Re-submissions after a transient failure.
+    pub retries: u64,
+    /// Virtual clock ticks spent backing off.
+    pub backoff_ticks: u64,
+    /// Submissions that failed beyond recovery (fatal, or retry budget
+    /// exhausted).
+    pub failures: u64,
+}
+
+/// An [`Executor`] wrapper that absorbs transient failures by re-submitting
+/// with exponential backoff. Backoff advances the inner executor's virtual
+/// clock — against a
+/// [`FaultyBackend`](qem_sim::fault::FaultyBackend) outage window this is
+/// what lets a later retry land after the outage has passed. Deterministic:
+/// no wall-clock time is involved anywhere.
+pub struct RetryExecutor<'a> {
+    inner: &'a dyn Executor,
+    policy: RetryPolicy,
+    submissions: AtomicU64,
+    retries: AtomicU64,
+    backoff_ticks: AtomicU64,
+    failures: AtomicU64,
+}
+
+impl<'a> RetryExecutor<'a> {
+    /// Wraps an executor with the given retry policy.
+    pub fn new(inner: &'a dyn Executor, policy: RetryPolicy) -> Self {
+        RetryExecutor {
+            inner,
+            policy,
+            submissions: AtomicU64::new(0),
+            retries: AtomicU64::new(0),
+            backoff_ticks: AtomicU64::new(0),
+            failures: AtomicU64::new(0),
+        }
+    }
+
+    /// The statistics accumulated so far.
+    pub fn stats(&self) -> RetryStats {
+        RetryStats {
+            submissions: self.submissions.load(Ordering::Relaxed),
+            retries: self.retries.load(Ordering::Relaxed),
+            backoff_ticks: self.backoff_ticks.load(Ordering::Relaxed),
+            failures: self.failures.load(Ordering::Relaxed),
+        }
+    }
+}
+
+impl Executor for RetryExecutor<'_> {
+    fn device(&self) -> &Backend {
+        self.inner.device()
+    }
+
+    fn try_execute(
+        &self,
+        circuit: &Circuit,
+        shots: u64,
+        rng: &mut StdRng,
+    ) -> Result<Counts, ExecutionError> {
+        let mut attempt = 0u32;
+        loop {
+            self.submissions.fetch_add(1, Ordering::Relaxed);
+            match self.inner.try_execute(circuit, shots, rng) {
+                Ok(counts) => return Ok(counts),
+                Err(e) if e.is_retryable() && attempt < self.policy.max_retries => {
+                    let wait = self.policy.backoff_ticks(attempt);
+                    self.inner.advance_clock(wait);
+                    self.backoff_ticks.fetch_add(wait, Ordering::Relaxed);
+                    self.retries.fetch_add(1, Ordering::Relaxed);
+                    attempt += 1;
+                }
+                Err(e) => {
+                    self.failures.fetch_add(1, Ordering::Relaxed);
+                    return Err(e);
+                }
+            }
+        }
+    }
+
+    fn advance_clock(&self, ticks: u64) {
+        self.inner.advance_clock(ticks);
+    }
+}
+
+/// Thresholds for post-characterisation patch validation.
+#[derive(Clone, Copy, Debug)]
+pub struct ValidationPolicy {
+    /// Column-sum deviation beyond which a patch is not stochastic.
+    pub stochastic_tol: f64,
+    /// Condition numbers above this flag a near-singular patch (inversion
+    /// would amplify shot noise by roughly this factor).
+    pub max_condition: f64,
+    /// A single-qubit marginal with `|det| < dead_tol` marks a dead or
+    /// stuck qubit (its two calibration columns are indistinguishable).
+    pub dead_tol: f64,
+}
+
+impl Default for ValidationPolicy {
+    fn default() -> Self {
+        ValidationPolicy { stochastic_tol: 1e-6, max_condition: 1e3, dead_tol: 0.02 }
+    }
+}
+
+/// One defect found in a characterised patch.
+#[derive(Clone, Debug, PartialEq)]
+pub enum PatchIssue {
+    /// Column sums deviate from 1 beyond tolerance.
+    NotStochastic {
+        /// Largest observed column-sum deviation.
+        deviation: f64,
+    },
+    /// The patch inverts, but with an untrustworthy condition number.
+    IllConditioned {
+        /// The estimated one-norm condition number.
+        condition: f64,
+    },
+    /// The patch matrix is numerically singular.
+    Singular,
+    /// A qubit's marginal is degenerate — it reports the same statistics
+    /// regardless of preparation (dead or stuck readout).
+    DeadQubit {
+        /// The physical qubit index.
+        qubit: usize,
+    },
+}
+
+impl std::fmt::Display for PatchIssue {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PatchIssue::NotStochastic { deviation } => {
+                write!(f, "not column-stochastic (deviation {deviation:.2e})")
+            }
+            PatchIssue::IllConditioned { condition } => {
+                write!(f, "ill-conditioned (cond {condition:.1})")
+            }
+            PatchIssue::Singular => write!(f, "singular"),
+            PatchIssue::DeadQubit { qubit } => write!(f, "dead qubit {qubit}"),
+        }
+    }
+}
+
+/// Checks one characterised patch against the policy. An empty vector means
+/// the patch is usable as measured.
+pub fn validate_patch(cal: &CalibrationMatrix, policy: &ValidationPolicy) -> Vec<PatchIssue> {
+    let mut issues = Vec::new();
+    for &q in cal.qubits() {
+        match cal.marginal_1q(q) {
+            Ok(m) => {
+                let mm = m.matrix();
+                let det = mm[(0, 0)] * mm[(1, 1)] - mm[(0, 1)] * mm[(1, 0)];
+                if det.abs() < policy.dead_tol {
+                    issues.push(PatchIssue::DeadQubit { qubit: q });
+                }
+            }
+            Err(_) => issues.push(PatchIssue::DeadQubit { qubit: q }),
+        }
+    }
+    if !is_column_stochastic(cal.matrix(), policy.stochastic_tol) {
+        let dim = cal.matrix().rows();
+        let mut worst = 0.0f64;
+        for c in 0..dim {
+            let sum: f64 = (0..dim).map(|r| cal.matrix()[(r, c)]).sum();
+            worst = worst.max((sum - 1.0).abs());
+        }
+        issues.push(PatchIssue::NotStochastic { deviation: worst });
+    }
+    match cal.condition() {
+        Ok(c) if c > policy.max_condition => {
+            issues.push(PatchIssue::IllConditioned { condition: c })
+        }
+        Ok(_) => {}
+        Err(_) => issues.push(PatchIssue::Singular),
+    }
+    issues
+}
+
+/// Replaces an invalid patch by the tensored product of its single-qubit
+/// marginals — the correlations are discarded, but the per-qubit readout
+/// model survives. Marginals of qubits in `dead` (or marginals that cannot
+/// be extracted at all) become the identity: a dead qubit is left
+/// unmitigated rather than poisoning the inversion.
+pub fn tensored_fallback(
+    cal: &CalibrationMatrix,
+    dead: &[usize],
+) -> CoreResult<CalibrationMatrix> {
+    let mut product = Matrix::identity(1);
+    for &q in cal.qubits() {
+        let factor = if dead.contains(&q) {
+            Matrix::identity(2)
+        } else {
+            match cal.marginal_1q(q) {
+                Ok(m) => m.matrix().clone(),
+                Err(_) => Matrix::identity(2),
+            }
+        };
+        product = factor.kron(&product);
+    }
+    Ok(CalibrationMatrix::new(cal.qubits().to_vec(), product)?)
+}
+
+/// How far down the ladder the calibration landed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum MitigationLevel {
+    /// CMC over a device-tailored error coupling map (the paper's best).
+    CmcErr,
+    /// CMC over the physical coupling map.
+    Cmc,
+    /// Two-circuit per-qubit (tensored) calibration.
+    Linear,
+    /// No mitigation at all.
+    Bare,
+}
+
+impl std::fmt::Display for MitigationLevel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MitigationLevel::CmcErr => write!(f, "CMC-ERR"),
+            MitigationLevel::Cmc => write!(f, "CMC"),
+            MitigationLevel::Linear => write!(f, "Linear"),
+            MitigationLevel::Bare => write!(f, "Bare"),
+        }
+    }
+}
+
+/// One recorded step down the degradation ladder.
+#[derive(Clone, Debug, PartialEq)]
+pub enum DowngradeEvent {
+    /// An invalid patch was replaced by its tensored single-qubit fallback.
+    PatchFallback {
+        /// The patch's qubits.
+        qubits: Vec<usize>,
+        /// What the validation found.
+        issues: Vec<PatchIssue>,
+    },
+    /// CMC-ERR failed; falling back to plain CMC.
+    ErrToCmc {
+        /// Why CMC-ERR failed.
+        reason: String,
+    },
+    /// CMC failed; falling back to the Linear calibration.
+    CmcToLinear {
+        /// Why CMC failed.
+        reason: String,
+    },
+    /// Linear failed; running unmitigated.
+    LinearToBare {
+        /// Why Linear failed.
+        reason: String,
+    },
+}
+
+impl std::fmt::Display for DowngradeEvent {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DowngradeEvent::PatchFallback { qubits, issues } => {
+                let detail: Vec<String> = issues.iter().map(|i| i.to_string()).collect();
+                write!(f, "patch {qubits:?} -> tensored fallback ({})", detail.join(", "))
+            }
+            DowngradeEvent::ErrToCmc { reason } => write!(f, "CMC-ERR -> CMC ({reason})"),
+            DowngradeEvent::CmcToLinear { reason } => write!(f, "CMC -> Linear ({reason})"),
+            DowngradeEvent::LinearToBare { reason } => write!(f, "Linear -> Bare ({reason})"),
+        }
+    }
+}
+
+/// Structured account of a resilient calibration run: where on the ladder
+/// it landed, every downgrade taken on the way, and the submission ledger.
+#[derive(Clone, Debug)]
+pub struct ResilienceReport {
+    /// The mitigation level actually achieved.
+    pub level: MitigationLevel,
+    /// Every downgrade, in the order it was taken.
+    pub downgrades: Vec<DowngradeEvent>,
+    /// Circuit submissions attempted (including retries).
+    pub submissions: u64,
+    /// Re-submissions after transient failures.
+    pub retries: u64,
+    /// Virtual clock ticks spent backing off.
+    pub backoff_ticks: u64,
+    /// Submissions that failed beyond recovery.
+    pub failed_submissions: u64,
+}
+
+impl ResilienceReport {
+    /// Whether the run completed at the requested level with no repairs.
+    pub fn is_clean(&self) -> bool {
+        self.downgrades.is_empty()
+    }
+}
+
+impl std::fmt::Display for ResilienceReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "mitigation level: {}", self.level)?;
+        writeln!(
+            f,
+            "submissions: {} ({} retries, {} backoff ticks, {} failed)",
+            self.submissions, self.retries, self.backoff_ticks, self.failed_submissions
+        )?;
+        if self.downgrades.is_empty() {
+            write!(f, "downgrades: none")?;
+        } else {
+            write!(f, "downgrades:")?;
+            for d in &self.downgrades {
+                write!(f, "\n  - {d}")?;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Options for [`calibrate_resilient`].
+#[derive(Clone, Debug)]
+#[derive(Default)]
+pub struct ResilienceOptions {
+    /// CMC options (also supply the shot budget for the Linear rung).
+    pub cmc: CmcOptions,
+    /// Start the ladder at CMC-ERR rather than CMC.
+    pub use_err: bool,
+    /// ERR options, used only when `use_err` is set.
+    pub err: ErrOptions,
+    /// Retry policy for every circuit submission.
+    pub retry: RetryPolicy,
+    /// Patch validation thresholds.
+    pub validation: ValidationPolicy,
+}
+
+
+/// The outcome of a resilient calibration: always a usable mitigator, plus
+/// the report saying how much mitigation quality survived.
+#[derive(Clone, Debug)]
+pub struct ResilientCalibration {
+    /// The mitigation operator for the achieved level (identity for Bare).
+    pub mitigator: SparseMitigator,
+    /// The structured resilience account.
+    pub report: ResilienceReport,
+    /// The full CMC calibration, when the run landed on CMC-ERR or CMC.
+    pub cmc: Option<CmcCalibration>,
+    /// The Linear calibration, when the run landed on Linear.
+    pub linear: Option<LinearCalibration>,
+}
+
+/// Walks the degradation ladder until a rung succeeds. Never fails: the
+/// bottom rung (Bare, identity mitigator) is always available. Each
+/// submission is retried per `opts.retry`; characterised patches are
+/// validated per `opts.validation` and repaired by [`tensored_fallback`]
+/// before assembly.
+pub fn calibrate_resilient(
+    backend: &dyn Executor,
+    opts: &ResilienceOptions,
+    rng: &mut StdRng,
+) -> ResilientCalibration {
+    let n = backend.num_qubits();
+    let retry = RetryExecutor::new(backend, opts.retry);
+    let mut downgrades: Vec<DowngradeEvent> = Vec::new();
+
+    let finish = |level: MitigationLevel,
+                  mitigator: SparseMitigator,
+                  downgrades: Vec<DowngradeEvent>,
+                  retry: &RetryExecutor<'_>,
+                  cmc: Option<CmcCalibration>,
+                  linear: Option<LinearCalibration>| {
+        let stats = retry.stats();
+        ResilientCalibration {
+            mitigator,
+            report: ResilienceReport {
+                level,
+                downgrades,
+                submissions: stats.submissions,
+                retries: stats.retries,
+                backoff_ticks: stats.backoff_ticks,
+                failed_submissions: stats.failures,
+            },
+            cmc,
+            linear,
+        }
+    };
+
+    // Rung 1: CMC-ERR.
+    if opts.use_err {
+        match calibrate_cmc_err(&retry, &opts.err, rng) {
+            Ok((_, cal)) => {
+                let mitigator = cal.mitigator.clone();
+                return finish(
+                    MitigationLevel::CmcErr,
+                    mitigator,
+                    downgrades,
+                    &retry,
+                    Some(cal),
+                    None,
+                );
+            }
+            Err(e) => downgrades.push(DowngradeEvent::ErrToCmc { reason: e.to_string() }),
+        }
+    }
+
+    // Rung 2: CMC over the physical coupling map, with patch repair
+    // between measurement and assembly.
+    match cmc_with_repair(&retry, opts, rng, &mut downgrades) {
+        Ok(cal) => {
+            let mitigator = cal.mitigator.clone();
+            return finish(MitigationLevel::Cmc, mitigator, downgrades, &retry, Some(cal), None);
+        }
+        Err(e) => downgrades.push(DowngradeEvent::CmcToLinear { reason: e.to_string() }),
+    }
+
+    // Rung 3: Linear, with per-qubit validation (a dead qubit would make
+    // the per-qubit inverse singular too — replace it with identity).
+    match LinearCalibration::calibrate(&retry, opts.cmc.shots_per_circuit, rng) {
+        Ok(mut lin) => {
+            for cal in lin.per_qubit.iter_mut() {
+                let issues = validate_patch(cal, &opts.validation);
+                if !issues.is_empty() {
+                    downgrades.push(DowngradeEvent::PatchFallback {
+                        qubits: cal.qubits().to_vec(),
+                        issues,
+                    });
+                    *cal = CalibrationMatrix::identity(cal.qubits().to_vec());
+                }
+            }
+            match lin.mitigator() {
+                Ok(mitigator) => {
+                    return finish(
+                        MitigationLevel::Linear,
+                        mitigator,
+                        downgrades,
+                        &retry,
+                        None,
+                        Some(lin),
+                    );
+                }
+                Err(e) => {
+                    downgrades.push(DowngradeEvent::LinearToBare { reason: e.to_string() })
+                }
+            }
+        }
+        Err(e) => downgrades.push(DowngradeEvent::LinearToBare { reason: e.to_string() }),
+    }
+
+    // Rung 4: Bare — the identity mitigator always works.
+    finish(MitigationLevel::Bare, SparseMitigator::identity(n), downgrades, &retry, None, None)
+}
+
+/// The CMC rung: measure, validate and repair each patch, then assemble.
+fn cmc_with_repair(
+    backend: &dyn Executor,
+    opts: &ResilienceOptions,
+    rng: &mut StdRng,
+    downgrades: &mut Vec<DowngradeEvent>,
+) -> CoreResult<CmcCalibration> {
+    let pairs: Vec<(usize, usize)> = backend
+        .device()
+        .coupling
+        .graph
+        .edges()
+        .iter()
+        .map(|e| (e.a, e.b))
+        .collect();
+    let mut measured = measure_cmc_pairs(backend, &pairs, &opts.cmc, rng)?;
+    for patch in measured.patches.iter_mut() {
+        let issues = validate_patch(patch, &opts.validation);
+        if issues.is_empty() {
+            continue;
+        }
+        let dead: Vec<usize> = issues
+            .iter()
+            .filter_map(|i| match i {
+                PatchIssue::DeadQubit { qubit } => Some(*qubit),
+                _ => None,
+            })
+            .collect();
+        let repaired = tensored_fallback(patch, &dead)?;
+        downgrades.push(DowngradeEvent::PatchFallback {
+            qubits: patch.qubits().to_vec(),
+            issues,
+        });
+        *patch = repaired;
+    }
+    assemble_cmc(backend.num_qubits(), measured, opts.cmc.cull_threshold)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qem_linalg::dense::Matrix;
+    use qem_sim::fault::{FaultProfile, FaultyBackend};
+    use qem_sim::noise::NoiseModel;
+    use qem_topology::coupling::linear;
+    use rand::SeedableRng;
+
+    fn rng(seed: u64) -> StdRng {
+        StdRng::seed_from_u64(seed)
+    }
+
+    fn noisy_backend(n: usize) -> Backend {
+        Backend::new(linear(n), NoiseModel::random_biased(n, 0.02, 0.08, 7))
+    }
+
+    fn flip(p0: f64, p1: f64) -> Matrix {
+        Matrix::from_rows(&[&[1.0 - p0, p1], &[p0, 1.0 - p1]])
+    }
+
+    #[test]
+    fn retry_executor_recovers_from_outage() {
+        let b = noisy_backend(2);
+        let mut profile = FaultProfile::none(9);
+        profile.outage = Some((0, 3));
+        let faulty = FaultyBackend::new(b, profile);
+        let retry = RetryExecutor::new(&faulty, RetryPolicy { max_retries: 4, backoff_base: 1 });
+        let c = qem_sim::circuit::basis_prep(2, 0);
+        let out = retry.try_execute(&c, 100, &mut rng(1));
+        assert!(out.is_ok(), "retries should outlast the outage: {out:?}");
+        let stats = retry.stats();
+        assert!(stats.retries >= 1);
+        assert!(stats.backoff_ticks >= 1);
+        assert_eq!(stats.failures, 0);
+    }
+
+    #[test]
+    fn retry_budget_exhaustion_fails() {
+        let b = noisy_backend(2);
+        let mut profile = FaultProfile::none(5);
+        profile.transient_failure_prob = 1.0;
+        let faulty = FaultyBackend::new(b, profile);
+        let retry = RetryExecutor::new(&faulty, RetryPolicy { max_retries: 1, backoff_base: 1 });
+        let c = qem_sim::circuit::basis_prep(2, 0);
+        let out = retry.try_execute(&c, 100, &mut rng(2));
+        assert!(out.is_err());
+        let stats = retry.stats();
+        assert_eq!(stats.failures, 1);
+        assert_eq!(stats.retries, 1);
+        assert_eq!(stats.submissions, 2);
+    }
+
+    #[test]
+    fn validate_flags_dead_qubit() {
+        // A stuck qubit reports 1 regardless of preparation: both columns
+        // identical -> zero determinant marginal.
+        let stuck = Matrix::from_rows(&[&[0.0, 0.0], &[1.0, 1.0]]);
+        let cal = CalibrationMatrix::new(vec![3], stuck).unwrap();
+        let issues = validate_patch(&cal, &ValidationPolicy::default());
+        assert!(issues.contains(&PatchIssue::DeadQubit { qubit: 3 }), "{issues:?}");
+    }
+
+    #[test]
+    fn validate_passes_healthy_patch() {
+        let cal = CalibrationMatrix::new(vec![0], flip(0.03, 0.07)).unwrap();
+        assert!(validate_patch(&cal, &ValidationPolicy::default()).is_empty());
+    }
+
+    #[test]
+    fn tensored_fallback_is_stochastic_and_ignores_dead() {
+        let healthy = flip(0.05, 0.1);
+        let stuck = Matrix::from_rows(&[&[0.0, 0.0], &[1.0, 1.0]]);
+        let joint = CalibrationMatrix::new(vec![1, 2], stuck.kron(&healthy)).unwrap();
+        let repaired = tensored_fallback(&joint, &[2]).unwrap();
+        assert!(is_column_stochastic(repaired.matrix(), 1e-9));
+        // The dead qubit's factor is the identity: bit 1 untouched.
+        let m2 = repaired.marginal_1q(2).unwrap();
+        assert!(m2.matrix().max_abs_diff(&Matrix::identity(2)).unwrap() < 1e-9);
+        // The healthy qubit's marginal survives.
+        let m1 = repaired.marginal_1q(1).unwrap();
+        assert!(m1.matrix().max_abs_diff(&healthy).unwrap() < 1e-9);
+    }
+
+    #[test]
+    fn clean_device_lands_on_cmc_with_no_downgrades() {
+        let b = noisy_backend(4);
+        let mut opts = ResilienceOptions::default();
+        opts.cmc.shots_per_circuit = 20_000;
+        let out = calibrate_resilient(&b, &opts, &mut rng(3));
+        assert_eq!(out.report.level, MitigationLevel::Cmc);
+        assert!(out.report.is_clean(), "{}", out.report);
+        assert!(out.cmc.is_some());
+    }
+
+    #[test]
+    fn dead_qubit_triggers_patch_fallback_but_stays_cmc() {
+        let b = noisy_backend(4);
+        let faulty = FaultyBackend::new(b, FaultProfile::dead_qubit(11));
+        let mut opts = ResilienceOptions::default();
+        opts.cmc.shots_per_circuit = 20_000;
+        let out = calibrate_resilient(&faulty, &opts, &mut rng(4));
+        assert_eq!(out.report.level, MitigationLevel::Cmc);
+        let fallbacks: Vec<_> = out
+            .report
+            .downgrades
+            .iter()
+            .filter(|d| matches!(d, DowngradeEvent::PatchFallback { .. }))
+            .collect();
+        assert!(!fallbacks.is_empty(), "dead qubit went unnoticed: {}", out.report);
+    }
+
+    #[test]
+    fn hostile_device_degrades_to_bare() {
+        let b = noisy_backend(3);
+        let mut profile = FaultProfile::none(13);
+        profile.fatal_failure_prob = 1.0;
+        let faulty = FaultyBackend::new(b, profile);
+        let opts = ResilienceOptions::default();
+        let out = calibrate_resilient(&faulty, &opts, &mut rng(5));
+        assert_eq!(out.report.level, MitigationLevel::Bare);
+        assert!(out
+            .report
+            .downgrades
+            .iter()
+            .any(|d| matches!(d, DowngradeEvent::CmcToLinear { .. })));
+        assert!(out
+            .report
+            .downgrades
+            .iter()
+            .any(|d| matches!(d, DowngradeEvent::LinearToBare { .. })));
+        // The bare mitigator is usable (identity).
+        assert_eq!(out.mitigator.steps().len(), 0);
+    }
+
+    #[test]
+    fn report_display_prints_ladder() {
+        let report = ResilienceReport {
+            level: MitigationLevel::Linear,
+            downgrades: vec![DowngradeEvent::CmcToLinear { reason: "outage".into() }],
+            submissions: 12,
+            retries: 3,
+            backoff_ticks: 7,
+            failed_submissions: 1,
+        };
+        let s = report.to_string();
+        assert!(s.contains("mitigation level: Linear"));
+        assert!(s.contains("CMC -> Linear"));
+        assert!(s.contains("12"));
+    }
+
+    #[test]
+    fn resilient_run_is_deterministic() {
+        let mk = || {
+            let b = noisy_backend(3);
+            FaultyBackend::new(b, FaultProfile::flaky(21))
+        };
+        let opts = ResilienceOptions::default();
+        let a = calibrate_resilient(&mk(), &opts, &mut rng(6));
+        let b = calibrate_resilient(&mk(), &opts, &mut rng(6));
+        assert_eq!(a.report.level, b.report.level);
+        assert_eq!(a.report.submissions, b.report.submissions);
+        assert_eq!(a.report.retries, b.report.retries);
+        assert_eq!(a.report.downgrades.len(), b.report.downgrades.len());
+    }
+}

@@ -6,11 +6,12 @@
 //! baseline CMC is measured against.
 
 use crate::calibration::CalibrationMatrix;
+use crate::error::Result as CoreResult;
 use crate::mitigator::SparseMitigator;
 use qem_linalg::dense::Matrix;
 use qem_linalg::error::Result;
-use qem_sim::backend::Backend;
 use qem_sim::circuit::basis_prep;
+use qem_sim::exec::Executor;
 use rand::rngs::StdRng;
 
 /// The Linear calibration: one single-qubit calibration matrix per qubit.
@@ -28,14 +29,14 @@ impl LinearCalibration {
     /// Runs the two-circuit scheme: prepare `|0…0⟩` and `|1…1⟩`, marginalise
     /// each qubit's outcome statistics into its 2×2 calibration.
     pub fn calibrate(
-        backend: &Backend,
+        backend: &dyn Executor,
         shots_per_circuit: u64,
         rng: &mut StdRng,
-    ) -> Result<LinearCalibration> {
+    ) -> CoreResult<LinearCalibration> {
         let n = backend.num_qubits();
         let all_ones = if n >= 64 { u64::MAX } else { (1u64 << n) - 1 };
-        let zeros = backend.execute(&basis_prep(n, 0), shots_per_circuit, rng);
-        let ones = backend.execute(&basis_prep(n, all_ones), shots_per_circuit, rng);
+        let zeros = backend.try_execute(&basis_prep(n, 0), shots_per_circuit, rng)?;
+        let ones = backend.try_execute(&basis_prep(n, all_ones), shots_per_circuit, rng)?;
 
         let mut per_qubit = Vec::with_capacity(n);
         for q in 0..n {
@@ -63,6 +64,7 @@ impl LinearCalibration {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use qem_sim::backend::Backend;
     use qem_sim::circuit::ghz_bfs;
     use qem_sim::noise::NoiseModel;
     use qem_topology::coupling::linear;

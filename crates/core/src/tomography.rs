@@ -103,7 +103,7 @@ pub fn state_tomography(
     // Estimate every Pauli-string expectation.
     let mut expectations = vec![0.0f64; strings];
     expectations[0] = 1.0; // ⟨I…I⟩
-    for p in 1..strings {
+    for (p, expectation) in expectations.iter_mut().enumerate().skip(1) {
         // Per-qubit labels of the string: 0=I, 1=X, 2=Y, 3=Z.
         let mut labels = Vec::with_capacity(k);
         let mut digits = p;
@@ -113,7 +113,7 @@ pub fn state_tomography(
         }
         let mut acc = 0.0;
         let mut compatible = 0usize;
-        for setting in 0..settings {
+        for (setting, counts) in setting_counts.iter().enumerate() {
             let mut sdigits = setting;
             let mut ok = true;
             let mut mask = 0u64;
@@ -136,18 +136,18 @@ pub fn state_tomography(
                 mask |= 1 << bit;
             }
             if ok {
-                acc += parity_expectation(&setting_counts[setting], mask);
+                acc += parity_expectation(counts, mask);
                 compatible += 1;
             }
         }
         debug_assert!(compatible > 0, "every Pauli string has a compatible setting");
-        expectations[p] = acc / compatible as f64;
+        *expectation = acc / compatible as f64;
     }
 
     // ρ = 2^{-k} Σ ⟨P⟩ P.
     let dim = 1usize << k;
     let mut rho = CMatrix::zeros(dim, dim);
-    for p in 0..strings {
+    for (p, &expectation) in expectations.iter().enumerate() {
         let mut labels = Vec::with_capacity(k);
         let mut digits = p;
         for _ in 0..k {
@@ -155,7 +155,7 @@ pub fn state_tomography(
             digits /= 4;
         }
         let pauli = pauli_string(&labels);
-        rho = &rho + &pauli.scale(c64(expectations[p] / dim as f64, 0.0));
+        rho = &rho + &pauli.scale(c64(expectation / dim as f64, 0.0));
     }
 
     Ok(StateTomography {

@@ -50,7 +50,7 @@ proptest! {
         let forward = joined_forward_matrix(3, &joined).unwrap();
         let sums = forward.column_sums();
         for s in sums {
-            prop_assert!((s - 1.0).abs() < 0.05, "column sum {s}");
+            prop_assert!((s - 1.0).abs() < 0.05, "column sum {}", s);
         }
     }
 

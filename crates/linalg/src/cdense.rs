@@ -145,7 +145,7 @@ impl CMatrix {
     pub fn scale(&self, s: C64) -> CMatrix {
         let mut m = self.clone();
         for a in &mut m.data {
-            *a = *a * s;
+            *a *= s;
         }
         m
     }

@@ -147,6 +147,8 @@ impl Mul for C64 {
 
 impl Div for C64 {
     type Output = C64;
+    // Division deliberately multiplies by the reciprocal.
+    #[allow(clippy::suspicious_arithmetic_impl)]
     #[inline]
     fn div(self, o: C64) -> C64 {
         self * o.recip()

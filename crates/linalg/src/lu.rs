@@ -87,15 +87,15 @@ impl Lu {
         let mut x: Vec<f64> = self.perm.iter().map(|&i| b[i]).collect();
         for i in 1..n {
             let mut s = x[i];
-            for j in 0..i {
-                s -= self.lu[(i, j)] * x[j];
+            for (j, &xj) in x.iter().enumerate().take(i) {
+                s -= self.lu[(i, j)] * xj;
             }
             x[i] = s;
         }
         for i in (0..n).rev() {
             let mut s = x[i];
-            for j in i + 1..n {
-                s -= self.lu[(i, j)] * x[j];
+            for (j, &xj) in x.iter().enumerate().skip(i + 1) {
+                s -= self.lu[(i, j)] * xj;
             }
             x[i] = s / self.lu[(i, i)];
         }

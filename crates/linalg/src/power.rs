@@ -148,7 +148,7 @@ pub fn nth_root_newton(a: &Matrix, p: u32, max_iter: usize) -> Result<Matrix> {
     }
     let n = a.rows();
     let c = a.trace() / n as f64;
-    if !(c > 0.0) {
+    if c.is_nan() || c <= 0.0 {
         return Err(LinalgError::InvalidPower {
             detail: format!("non-positive scaling trace/n = {c}"),
         });
@@ -194,7 +194,7 @@ pub fn rational_power(a: &Matrix, num: u32, den: u32) -> Result<Matrix> {
     if num == 0 {
         return Ok(Matrix::identity(a.rows()));
     }
-    if num % den == 0 {
+    if num.is_multiple_of(den) {
         return matrix_power(a, num / den);
     }
     if a.rows() == 2 {

@@ -11,10 +11,10 @@
 
 use crate::sim_invert::{mask_for_measured, masked_circuit};
 use crate::strategy::{MitigationOutcome, MitigationStrategy};
-use qem_linalg::error::Result;
-use qem_sim::backend::Backend;
+use qem_core::error::Result;
 use qem_sim::circuit::Circuit;
 use qem_sim::counts::Counts;
+use qem_sim::exec::Executor;
 use rand::rngs::StdRng;
 
 /// The AIM protocol.
@@ -62,7 +62,7 @@ impl MitigationStrategy for AimStrategy {
 
     fn run(
         &self,
-        backend: &Backend,
+        backend: &dyn Executor,
         circuit: &Circuit,
         budget: u64,
         rng: &mut StdRng,
@@ -77,7 +77,7 @@ impl MitigationStrategy for AimStrategy {
         for &mask in &masks {
             let mc = masked_circuit(circuit, mask);
             let counts = backend
-                .execute(&mc, probe_each, rng)
+                .try_execute(&mc, probe_each, rng)?
                 .xor_mask(mask_for_measured(mask, circuit.measured()));
             probe_used += probe_each;
             let sharpness = counts
@@ -88,7 +88,7 @@ impl MitigationStrategy for AimStrategy {
                 / counts.shots().max(1) as f64;
             scored.push((mask, sharpness, counts));
         }
-        scored.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
+        scored.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
         let winners: Vec<u64> = scored.iter().take(self.top_k.max(1)).map(|s| s.0).collect();
 
         // Stage 2: rerun the winners with the remaining budget, average.
@@ -98,7 +98,7 @@ impl MitigationStrategy for AimStrategy {
         let mut exec_used = probe_used;
         for &mask in &winners {
             let mc = masked_circuit(circuit, mask);
-            let counts = backend.execute(&mc, stage2_each, rng);
+            let counts = backend.try_execute(&mc, stage2_each, rng)?;
             exec_used += stage2_each;
             merged.merge(&counts.xor_mask(mask_for_measured(mask, circuit.measured())));
         }
@@ -108,6 +108,7 @@ impl MitigationStrategy for AimStrategy {
             calibration_circuits: masks.len(),
             calibration_shots: 0,
             execution_shots: exec_used,
+            resilience: None,
         })
     }
 }
@@ -115,6 +116,7 @@ impl MitigationStrategy for AimStrategy {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use qem_sim::backend::Backend;
     use qem_sim::circuit::{basis_prep, ghz_bfs};
     use qem_sim::noise::NoiseModel;
     use qem_topology::coupling::linear;

@@ -1,9 +1,9 @@
 //! The unmitigated baseline: every shot goes to the target circuit.
 
 use crate::strategy::{MitigationOutcome, MitigationStrategy};
-use qem_linalg::error::Result;
-use qem_sim::backend::Backend;
+use qem_core::error::Result;
 use qem_sim::circuit::Circuit;
+use qem_sim::exec::Executor;
 use rand::rngs::StdRng;
 
 /// No mitigation: report the raw measured distribution.
@@ -17,17 +17,18 @@ impl MitigationStrategy for Bare {
 
     fn run(
         &self,
-        backend: &Backend,
+        backend: &dyn Executor,
         circuit: &Circuit,
         budget: u64,
         rng: &mut StdRng,
     ) -> Result<MitigationOutcome> {
-        let counts = backend.execute(circuit, budget, rng);
+        let counts = backend.try_execute(circuit, budget, rng)?;
         Ok(MitigationOutcome {
             distribution: counts.to_distribution(),
             calibration_circuits: 0,
             calibration_shots: 0,
             execution_shots: budget,
+            resilience: None,
         })
     }
 }
@@ -35,6 +36,7 @@ impl MitigationStrategy for Bare {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use qem_sim::backend::Backend;
     use qem_sim::circuit::ghz_bfs;
     use qem_sim::noise::NoiseModel;
     use qem_topology::coupling::linear;

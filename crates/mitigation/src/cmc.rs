@@ -4,9 +4,9 @@
 use crate::strategy::{split_budget, MitigationOutcome, MitigationStrategy};
 use qem_core::cmc::{calibrate_cmc, CmcOptions};
 use qem_core::err::{calibrate_cmc_err, ErrOptions};
-use qem_linalg::error::Result;
-use qem_sim::backend::Backend;
+use qem_core::error::Result;
 use qem_sim::circuit::Circuit;
+use qem_sim::exec::Executor;
 use qem_topology::patches::patch_construct;
 use rand::rngs::StdRng;
 
@@ -32,14 +32,14 @@ impl MitigationStrategy for CmcStrategy {
 
     fn run(
         &self,
-        backend: &Backend,
+        backend: &dyn Executor,
         circuit: &Circuit,
         budget: u64,
         rng: &mut StdRng,
     ) -> Result<MitigationOutcome> {
         // Predict the circuit count from the schedule so the budget split
         // is known before spending shots.
-        let schedule = patch_construct(&backend.coupling.graph, self.k);
+        let schedule = patch_construct(&backend.device().coupling.graph, self.k);
         let circuits = 4 * schedule.rounds.len();
         let (per_circuit, execution) = split_budget(budget, circuits.max(1));
         let opts = CmcOptions {
@@ -48,12 +48,13 @@ impl MitigationStrategy for CmcStrategy {
             cull_threshold: self.cull_threshold,
         };
         let cal = calibrate_cmc(backend, &opts, rng)?;
-        let counts = backend.execute(circuit, execution.max(1), rng);
+        let counts = backend.try_execute(circuit, execution.max(1), rng)?;
         Ok(MitigationOutcome {
             distribution: cal.mitigator.mitigate(&counts)?,
             calibration_circuits: cal.circuits_used,
             calibration_shots: cal.shots_used,
             execution_shots: execution.max(1),
+            resilience: None,
         })
     }
 }
@@ -82,14 +83,15 @@ impl MitigationStrategy for CmcErrStrategy {
 
     fn run(
         &self,
-        backend: &Backend,
+        backend: &dyn Executor,
         circuit: &Circuit,
         budget: u64,
         rng: &mut StdRng,
     ) -> Result<MitigationOutcome> {
         use qem_topology::patches::schedule_pairs;
-        let candidates = backend.coupling.graph.pairs_within_distance(self.locality);
-        let schedule = schedule_pairs(&backend.coupling.graph, &candidates, self.k);
+        let graph = &backend.device().coupling.graph;
+        let candidates = graph.pairs_within_distance(self.locality);
+        let schedule = schedule_pairs(graph, &candidates, self.k);
         let circuits = 4 * schedule.rounds.len();
         let (per_circuit, execution) = split_budget(budget, circuits.max(1));
         let opts = ErrOptions {
@@ -102,12 +104,13 @@ impl MitigationStrategy for CmcErrStrategy {
             },
         };
         let (_, cal) = calibrate_cmc_err(backend, &opts, rng)?;
-        let counts = backend.execute(circuit, execution.max(1), rng);
+        let counts = backend.try_execute(circuit, execution.max(1), rng)?;
         Ok(MitigationOutcome {
             distribution: cal.mitigator.mitigate(&counts)?,
             calibration_circuits: cal.circuits_used,
             calibration_shots: cal.shots_used,
             execution_shots: execution.max(1),
+            resilience: None,
         })
     }
 }

@@ -1,10 +1,11 @@
 //! Full-calibration strategy: the exponential gold standard (paper §III-B).
 
 use crate::strategy::{split_budget, MitigationOutcome, MitigationStrategy};
+use qem_core::error::Result;
 use qem_core::full::FullCalibration;
-use qem_linalg::error::Result;
 use qem_sim::backend::Backend;
 use qem_sim::circuit::Circuit;
+use qem_sim::exec::Executor;
 use rand::rngs::StdRng;
 
 /// Full `2^n`-circuit calibration followed by dense inversion.
@@ -36,25 +37,26 @@ impl MitigationStrategy for FullStrategy {
 
     fn run(
         &self,
-        backend: &Backend,
+        backend: &dyn Executor,
         circuit: &Circuit,
         budget: u64,
         rng: &mut StdRng,
     ) -> Result<MitigationOutcome> {
         assert!(
-            self.feasible(backend, budget),
+            self.feasible(backend.device(), budget),
             "Full calibration infeasible here; check feasible() first"
         );
         let n = backend.num_qubits();
         let circuits = 1usize << n;
         let (per_circuit, execution) = split_budget(budget, circuits);
         let cal = FullCalibration::calibrate(backend, per_circuit, rng)?;
-        let counts = backend.execute(circuit, execution, rng);
+        let counts = backend.try_execute(circuit, execution, rng)?;
         Ok(MitigationOutcome {
             distribution: cal.mitigate(&counts)?,
             calibration_circuits: cal.circuits_used,
             calibration_shots: cal.shots_used,
             execution_shots: execution,
+            resilience: None,
         })
     }
 }

@@ -15,10 +15,10 @@
 //! bifurcated JIGSAW distributions of Fig. 12.
 
 use crate::strategy::{split_budget, MitigationOutcome, MitigationStrategy};
-use qem_linalg::error::Result;
+use qem_core::error::Result;
 use qem_linalg::sparse_apply::SparseDist;
-use qem_sim::backend::Backend;
 use qem_sim::circuit::Circuit;
+use qem_sim::exec::Executor;
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 
@@ -46,7 +46,7 @@ pub fn jigsaw_update(global: &SparseDist, local: &SparseDist, a: usize, b: usize
     let marginal = global.marginalize(&[a, b]);
     let mut updated = SparseDist::new();
     for (s, w) in global.iter() {
-        let pattern = (((s >> a) & 1) | (((s >> b) & 1) << 1)) as u64;
+        let pattern = ((s >> a) & 1) | (((s >> b) & 1) << 1);
         let m = marginal.get(pattern);
         let q = local.get(pattern);
         let w2 = if m > 0.0 { w * q / m } else { w };
@@ -66,7 +66,7 @@ impl MitigationStrategy for JigsawStrategy {
 
     fn run(
         &self,
-        backend: &Backend,
+        backend: &dyn Executor,
         circuit: &Circuit,
         budget: u64,
         rng: &mut StdRng,
@@ -90,7 +90,7 @@ impl MitigationStrategy for JigsawStrategy {
         // Budget: half to the global table, half across the subset circuits
         // (mirroring split_budget's convention for characterisation).
         let (per_subset, global_shots) = split_budget(budget, pairs.len());
-        let global_counts = backend.execute(circuit, global_shots.max(1), rng);
+        let global_counts = backend.try_execute(circuit, global_shots.max(1), rng)?;
         let mut global = global_counts.to_distribution();
         let mut used = global_shots.max(1);
 
@@ -102,7 +102,7 @@ impl MitigationStrategy for JigsawStrategy {
             let lo = qa.min(qb);
             let hi = qa.max(qb);
             sub.measure_only(&[lo, hi]);
-            let counts = backend.execute(&sub, per_subset, rng);
+            let counts = backend.try_execute(&sub, per_subset, rng)?;
             used += per_subset;
             // Local table bit order: bit 0 = lo, bit 1 = hi; map to the
             // (a, b) orientation jigsaw_update expects.
@@ -124,6 +124,7 @@ impl MitigationStrategy for JigsawStrategy {
             calibration_circuits: pairs.len(),
             calibration_shots: used - global_shots.max(1),
             execution_shots: global_shots.max(1),
+            resilience: None,
         })
     }
 }
@@ -131,6 +132,7 @@ impl MitigationStrategy for JigsawStrategy {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use qem_sim::backend::Backend;
     use qem_sim::circuit::ghz_bfs;
     use qem_sim::noise::NoiseModel;
     use qem_topology::coupling::linear;

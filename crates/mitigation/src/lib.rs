@@ -13,10 +13,14 @@
 //! | [`jigsaw::JigsawStrategy`] | §III-D | global + random-pair sub-tables |
 //! | [`cmc::CmcStrategy`] | §IV (this paper) | 4 circuits per Algorithm-1 round |
 //! | [`cmc::CmcErrStrategy`] | §IV-D (this paper) | distance-k pair sweep |
+//! | [`resilient::ResilientCmcStrategy`] | robustness extension | CMC + retries/repair/ladder |
 //!
 //! Each strategy owns its calibration/execution split under a fixed total
 //! shot budget, mirroring the paper's equal-budget comparisons, and reports
-//! an exact resource ledger.
+//! an exact resource ledger. Strategies run against any
+//! [`qem_sim::exec::Executor`] — a plain [`qem_sim::backend::Backend`] or a
+//! fault-injecting [`qem_sim::fault::FaultyBackend`] — and surface backend
+//! failures as typed [`qem_core::error::CoreError`]s.
 
 #![warn(missing_docs)]
 
@@ -28,6 +32,7 @@ pub mod jigsaw;
 pub mod linear;
 pub mod m3;
 pub mod metrics;
+pub mod resilient;
 pub mod sim_invert;
 pub mod strategy;
 
@@ -38,6 +43,7 @@ pub use full::FullStrategy;
 pub use jigsaw::JigsawStrategy;
 pub use linear::LinearStrategy;
 pub use m3::M3Strategy;
+pub use resilient::ResilientCmcStrategy;
 pub use sim_invert::SimStrategy;
 pub use strategy::{MitigationOutcome, MitigationStrategy};
 
@@ -59,9 +65,11 @@ pub fn standard_strategies(include_exponential: bool) -> Vec<Box<dyn MitigationS
 }
 
 /// The standard set plus the extensions this workspace adds beyond the
-/// paper's comparison (currently the M3-style subspace method).
+/// paper's comparison (the M3-style subspace method and the resilient CMC
+/// ladder).
 pub fn extended_strategies(include_exponential: bool) -> Vec<Box<dyn MitigationStrategy>> {
     let mut v = standard_strategies(include_exponential);
     v.push(Box::new(M3Strategy::default()));
+    v.push(Box::new(ResilientCmcStrategy::default()));
     v
 }

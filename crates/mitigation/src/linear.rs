@@ -2,10 +2,11 @@
 //! inverses (paper §III-B).
 
 use crate::strategy::{split_budget, MitigationOutcome, MitigationStrategy};
+use qem_core::error::Result;
 use qem_core::tensored::LinearCalibration;
-use qem_linalg::error::Result;
 use qem_sim::backend::Backend;
 use qem_sim::circuit::Circuit;
+use qem_sim::exec::Executor;
 use rand::rngs::StdRng;
 
 /// Two-circuit tensored calibration.
@@ -23,7 +24,7 @@ impl MitigationStrategy for LinearStrategy {
 
     fn run(
         &self,
-        backend: &Backend,
+        backend: &dyn Executor,
         circuit: &Circuit,
         budget: u64,
         rng: &mut StdRng,
@@ -31,12 +32,13 @@ impl MitigationStrategy for LinearStrategy {
         let (per_circuit, execution) = split_budget(budget, 2);
         let cal = LinearCalibration::calibrate(backend, per_circuit, rng)?;
         let mitigator = cal.mitigator()?;
-        let counts = backend.execute(circuit, execution, rng);
+        let counts = backend.try_execute(circuit, execution, rng)?;
         Ok(MitigationOutcome {
             distribution: mitigator.mitigate(&counts)?,
             calibration_circuits: cal.circuits_used,
             calibration_shots: cal.shots_used,
             execution_shots: execution,
+            resilience: None,
         })
     }
 }

@@ -19,6 +19,7 @@ use qem_linalg::sparse_apply::SparseDist;
 use qem_sim::backend::Backend;
 use qem_sim::circuit::Circuit;
 use qem_sim::counts::Counts;
+use qem_sim::exec::Executor;
 use rand::rngs::StdRng;
 
 /// The subspace-mitigation protocol.
@@ -110,15 +111,15 @@ impl MitigationStrategy for M3Strategy {
 
     fn run(
         &self,
-        backend: &Backend,
+        backend: &dyn Executor,
         circuit: &Circuit,
         budget: u64,
         rng: &mut StdRng,
-    ) -> Result<MitigationOutcome> {
+    ) -> qem_core::error::Result<MitigationOutcome> {
         let (per_circuit, execution) = split_budget(budget, 2);
         let cal = LinearCalibration::calibrate(backend, per_circuit, rng)?;
         let cals: Vec<Matrix> = cal.per_qubit.iter().map(|c| c.matrix().clone()).collect();
-        let counts = backend.execute(circuit, execution, rng);
+        let counts = backend.try_execute(circuit, execution, rng)?;
         // Map physical-qubit calibrations onto measured-bit positions.
         let measured_cals: Vec<Matrix> = circuit
             .measured()
@@ -132,6 +133,7 @@ impl MitigationStrategy for M3Strategy {
             calibration_circuits: cal.circuits_used,
             calibration_shots: cal.shots_used,
             execution_shots: execution,
+            resilience: None,
         })
     }
 }
@@ -244,7 +246,7 @@ mod tests {
         let mask = target;
         let parity = |d: &qem_linalg::sparse_apply::SparseDist| {
             d.iter()
-                .map(|(s, w)| if (s & mask).count_ones() % 2 == 0 { w } else { -w })
+                .map(|(s, w)| if (s & mask).count_ones().is_multiple_of(2) { w } else { -w })
                 .sum::<f64>()
         };
         // Bare parity at this width is ≈ (1−2p̄)^40 ≈ 0.02, within noise of

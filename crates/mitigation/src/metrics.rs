@@ -54,7 +54,7 @@ impl BandStats {
     pub fn from_samples(samples: &[f64]) -> BandStats {
         assert!(!samples.is_empty(), "no samples");
         let mut s = samples.to_vec();
-        s.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        s.sort_by(|a, b| a.total_cmp(b));
         let median = if s.len() % 2 == 1 {
             s[s.len() / 2]
         } else {
@@ -79,7 +79,7 @@ impl BandStats {
 pub fn parity_expectation(dist: &SparseDist, mask: u64) -> f64 {
     dist.iter()
         .map(|(s, w)| {
-            let sign = if (s & mask).count_ones() % 2 == 0 { 1.0 } else { -1.0 };
+            let sign = if (s & mask).count_ones().is_multiple_of(2) { 1.0 } else { -1.0 };
             sign * w
         })
         .sum()

@@ -1,0 +1,189 @@
+//! The resilient CMC strategy: the full degradation ladder of
+//! `qem_core::resilience` packaged as a budgeted [`MitigationStrategy`].
+//!
+//! Unlike [`CmcStrategy`](crate::cmc::CmcStrategy), which fails hard the
+//! moment the backend rejects a submission, this adapter retries transient
+//! failures with exponential (virtual-clock) backoff, repairs invalid
+//! patches, and walks CMC-ERR → CMC → Linear → Bare until a rung succeeds.
+//! The [`ResilienceReport`] describing what happened rides along on the
+//! outcome.
+
+use crate::strategy::{split_budget, MitigationOutcome, MitigationStrategy};
+use qem_core::cmc::CmcOptions;
+use qem_core::err::ErrOptions;
+use qem_core::error::Result;
+use qem_core::resilience::{
+    calibrate_resilient, ResilienceOptions, RetryExecutor, RetryPolicy, ValidationPolicy,
+};
+use qem_sim::circuit::Circuit;
+use qem_sim::exec::Executor;
+use qem_topology::patches::patch_construct;
+use rand::rngs::StdRng;
+
+/// CMC behind retries, patch repair and the degradation ladder.
+#[derive(Clone, Copy, Debug)]
+pub struct ResilientCmcStrategy {
+    /// Algorithm 1 separation parameter.
+    pub k: usize,
+    /// Sparse-mitigation culling threshold.
+    pub cull_threshold: f64,
+    /// Start the ladder at CMC-ERR instead of CMC.
+    pub use_err: bool,
+    /// Maximum re-submissions per circuit.
+    pub max_retries: u32,
+    /// Patch validation thresholds.
+    pub validation: ValidationPolicy,
+}
+
+impl Default for ResilientCmcStrategy {
+    fn default() -> Self {
+        ResilientCmcStrategy {
+            k: 1,
+            cull_threshold: 1e-10,
+            use_err: false,
+            max_retries: 3,
+            validation: ValidationPolicy::default(),
+        }
+    }
+}
+
+impl ResilientCmcStrategy {
+    /// The resilience options this strategy will calibrate with, given the
+    /// per-circuit calibration shot allowance.
+    pub fn options(&self, shots_per_circuit: u64) -> ResilienceOptions {
+        let cmc = CmcOptions {
+            k: self.k,
+            shots_per_circuit,
+            cull_threshold: self.cull_threshold,
+        };
+        ResilienceOptions {
+            cmc,
+            use_err: self.use_err,
+            err: ErrOptions { cmc, ..ErrOptions::default() },
+            retry: RetryPolicy { max_retries: self.max_retries, ..RetryPolicy::default() },
+            validation: self.validation,
+        }
+    }
+}
+
+impl MitigationStrategy for ResilientCmcStrategy {
+    fn name(&self) -> &'static str {
+        "CMC (resilient)"
+    }
+
+    fn run(
+        &self,
+        backend: &dyn Executor,
+        circuit: &Circuit,
+        budget: u64,
+        rng: &mut StdRng,
+    ) -> Result<MitigationOutcome> {
+        let schedule = patch_construct(&backend.device().coupling.graph, self.k);
+        let circuits = 4 * schedule.rounds.len();
+        let (per_circuit, execution) = split_budget(budget, circuits.max(1));
+        let opts = self.options(per_circuit);
+        let cal = calibrate_resilient(backend, &opts, rng);
+
+        // The target circuit gets the same retry protection as calibration.
+        let retry = RetryExecutor::new(backend, opts.retry);
+        let counts = retry.try_execute(circuit, execution.max(1), rng)?;
+        let exec_stats = retry.stats();
+
+        let (calibration_circuits, calibration_shots) = match (&cal.cmc, &cal.linear) {
+            (Some(c), _) => (c.circuits_used, c.shots_used),
+            (None, Some(l)) => (l.circuits_used, l.shots_used),
+            (None, None) => (0, 0),
+        };
+        let mut report = cal.report;
+        report.submissions += exec_stats.submissions;
+        report.retries += exec_stats.retries;
+        report.backoff_ticks += exec_stats.backoff_ticks;
+        report.failed_submissions += exec_stats.failures;
+
+        Ok(MitigationOutcome {
+            distribution: cal.mitigator.mitigate(&counts)?,
+            calibration_circuits,
+            calibration_shots,
+            execution_shots: execution.max(1),
+            resilience: Some(report),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bare::Bare;
+    use qem_core::resilience::MitigationLevel;
+    use qem_sim::backend::Backend;
+    use qem_sim::circuit::ghz_bfs;
+    use qem_sim::fault::{FaultProfile, FaultyBackend};
+    use qem_sim::noise::NoiseModel;
+    use qem_topology::coupling::linear;
+    use rand::SeedableRng;
+
+    fn noisy_backend(n: usize) -> Backend {
+        Backend::new(linear(n), NoiseModel::random_biased(n, 0.02, 0.08, 7))
+    }
+
+    #[test]
+    fn resilient_cmc_attaches_report_on_clean_device() {
+        let b = noisy_backend(4);
+        let c = ghz_bfs(&b.coupling.graph, 0);
+        let mut rng = StdRng::seed_from_u64(1);
+        let out = ResilientCmcStrategy::default().run(&b, &c, 32_000, &mut rng).unwrap();
+        assert!(out.total_shots() <= 32_000);
+        let report = out.resilience.expect("resilient strategy must attach a report");
+        assert_eq!(report.level, MitigationLevel::Cmc);
+        assert!(report.is_clean(), "{report}");
+    }
+
+    #[test]
+    fn resilient_cmc_survives_flaky_backend_and_beats_bare() {
+        let b = noisy_backend(4);
+        let c = ghz_bfs(&b.coupling.graph, 0);
+        let correct = [0u64, 15];
+        let budget = 32_000;
+        let mut res_sum = 0.0;
+        let mut bare_sum = 0.0;
+        for t in 0..3u64 {
+            let faulty = FaultyBackend::new(noisy_backend(4), FaultProfile::flaky(70 + t));
+            let mut rng = StdRng::seed_from_u64(100 + t);
+            let out = ResilientCmcStrategy::default()
+                .run(&faulty, &c, budget, &mut rng)
+                .unwrap();
+            let report = out.resilience.unwrap();
+            assert!(report.retries > 0, "flaky backend should force retries");
+            res_sum += out.distribution.mass_on(&correct);
+            let mut rng = StdRng::seed_from_u64(200 + t);
+            bare_sum += Bare
+                .run(&b, &c, budget, &mut rng)
+                .unwrap()
+                .distribution
+                .mass_on(&correct);
+        }
+        assert!(
+            res_sum > bare_sum,
+            "resilient CMC {res_sum:.3} vs bare {bare_sum:.3}"
+        );
+    }
+
+    #[test]
+    fn fatal_calibration_failures_degrade_but_still_mitigate() {
+        // Fatal errors sink every calibration rung; the target execution
+        // happens to succeed only if the fault stream allows it, so use an
+        // outage window that ends before execution instead.
+        let b = noisy_backend(3);
+        let c = ghz_bfs(&b.coupling.graph, 0);
+        let mut profile = FaultProfile::none(31);
+        profile.transient_failure_prob = 0.3;
+        let faulty = FaultyBackend::new(b, profile);
+        let mut rng = StdRng::seed_from_u64(9);
+        let out = ResilientCmcStrategy { max_retries: 5, ..Default::default() }
+            .run(&faulty, &c, 32_000, &mut rng)
+            .unwrap();
+        let report = out.resilience.unwrap();
+        assert!(report.submissions > 0);
+        assert!(out.distribution.total() > 0.99);
+    }
+}

@@ -6,11 +6,11 @@
 //! correlations.
 
 use crate::strategy::{MitigationOutcome, MitigationStrategy};
-use qem_linalg::error::Result;
+use qem_core::error::Result;
 use qem_linalg::sparse_apply::SparseDist;
-use qem_sim::backend::Backend;
 use qem_sim::circuit::Circuit;
 use qem_sim::counts::Counts;
+use qem_sim::exec::Executor;
 use qem_sim::gate::Gate;
 use rand::rngs::StdRng;
 
@@ -53,7 +53,7 @@ pub fn mask_for_measured(mask: u64, measured: &[usize]) -> u64 {
 /// Runs the circuit under each mask with `shots_each`, unmasks, and
 /// returns the averaged distribution plus total shots used.
 pub fn run_masked_average(
-    backend: &Backend,
+    backend: &dyn Executor,
     circuit: &Circuit,
     masks: &[u64],
     shots_each: u64,
@@ -62,7 +62,7 @@ pub fn run_masked_average(
     let mut merged = Counts::new(circuit.measured().len());
     for &mask in masks {
         let mc = masked_circuit(circuit, mask);
-        let counts = backend.execute(&mc, shots_each, rng);
+        let counts = backend.try_execute(&mc, shots_each, rng)?;
         merged.merge(&counts.xor_mask(mask_for_measured(mask, circuit.measured())));
     }
     Ok((merged.to_distribution(), shots_each * masks.len() as u64))
@@ -79,7 +79,7 @@ impl MitigationStrategy for SimStrategy {
 
     fn run(
         &self,
-        backend: &Backend,
+        backend: &dyn Executor,
         circuit: &Circuit,
         budget: u64,
         rng: &mut StdRng,
@@ -92,6 +92,7 @@ impl MitigationStrategy for SimStrategy {
             calibration_circuits: 4,
             calibration_shots: 0,
             execution_shots: used,
+            resilience: None,
         })
     }
 }
@@ -99,6 +100,7 @@ impl MitigationStrategy for SimStrategy {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use qem_sim::backend::Backend;
     use qem_sim::circuit::{basis_prep, ghz_bfs};
     use qem_sim::noise::NoiseModel;
     use qem_topology::coupling::linear;

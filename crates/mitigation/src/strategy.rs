@@ -3,10 +3,12 @@
 //! comparisons of §V ("each method is afforded an equal number of
 //! measurements of the quantum system").
 
-use qem_linalg::error::Result;
+use qem_core::error::Result;
+use qem_core::resilience::ResilienceReport;
 use qem_linalg::sparse_apply::SparseDist;
 use qem_sim::backend::Backend;
 use qem_sim::circuit::Circuit;
+use qem_sim::exec::Executor;
 use rand::rngs::StdRng;
 
 /// What a strategy returns: the mitigated distribution plus an exact ledger
@@ -21,6 +23,9 @@ pub struct MitigationOutcome {
     pub calibration_shots: u64,
     /// Shots consumed executing the target circuit (incl. masked variants).
     pub execution_shots: u64,
+    /// Retry/degradation record when the strategy ran through the resilient
+    /// pipeline; `None` for strategies that fail hard on backend errors.
+    pub resilience: Option<ResilienceReport>,
 }
 
 impl MitigationOutcome {
@@ -36,6 +41,10 @@ impl MitigationOutcome {
 /// go to characterisation versus circuit execution, and must keep
 /// `total_shots() ≤ budget`. Strategies are `Send + Sync` so experiment
 /// harnesses can fan trials out across threads.
+///
+/// The executor may be a plain [`Backend`] (infallible in practice) or a
+/// fault-injecting wrapper; strategies therefore treat every submission as
+/// fallible and surface [`qem_core::error::CoreError`] on failure.
 pub trait MitigationStrategy: Send + Sync {
     /// Display name used in harness tables.
     fn name(&self) -> &'static str;
@@ -50,7 +59,7 @@ pub trait MitigationStrategy: Send + Sync {
     /// Executes the full protocol under a total shot budget.
     fn run(
         &self,
-        backend: &Backend,
+        backend: &dyn Executor,
         circuit: &Circuit,
         budget: u64,
         rng: &mut StdRng,
@@ -106,6 +115,7 @@ mod tests {
             calibration_circuits: 4,
             calibration_shots: 4000,
             execution_shots: 12_000,
+            resilience: None,
         };
         assert_eq!(o.total_shots(), 16_000);
     }

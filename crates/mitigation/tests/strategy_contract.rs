@@ -2,7 +2,7 @@
 //! randomly generated devices and noise profiles.
 
 use proptest::prelude::*;
-use qem_mitigation::{standard_strategies, MitigationStrategy};
+use qem_mitigation::standard_strategies;
 use qem_sim::backend::Backend;
 use qem_sim::circuit::{basis_prep, ghz_bfs};
 use qem_sim::noise::NoiseModel;
@@ -20,7 +20,7 @@ fn random_backend(topology: u8, n: usize, seed: u64) -> Backend {
     let mut noise = NoiseModel::random_biased(n, 0.02, 0.08, seed);
     noise.gate_error_1q = 0.0;
     noise.gate_error_2q = 0.0;
-    if n >= 3 && seed % 2 == 0 {
+    if n >= 3 && seed.is_multiple_of(2) {
         noise.add_correlated(&[0, 1], 0.04);
     }
     Backend::new(coupling, noise)

@@ -260,9 +260,9 @@ mod tests {
     fn w_state_on_chain_uniform_one_hot() {
         let c = w_state_bfs(&linear(4).graph, 0);
         let p = c.ideal_probabilities();
-        for s in 0..16usize {
+        for (s, &ps) in p.iter().enumerate() {
             let expect = if s.count_ones() == 1 { 0.25 } else { 0.0 };
-            assert!((p[s] - expect).abs() < 1e-12, "state {s}: {}", p[s]);
+            assert!((ps - expect).abs() < 1e-12, "state {s}: {ps}");
         }
     }
 
@@ -274,12 +274,12 @@ mod tests {
         let c = w_state_bfs(&g, 0);
         let p = c.ideal_probabilities();
         let mut total = 0.0;
-        for s in 0..(1usize << 7) {
+        for (s, &ps) in p.iter().enumerate() {
             if s.count_ones() == 1 {
-                assert!((p[s] - 1.0 / 7.0).abs() < 1e-12, "one-hot {s}: {}", p[s]);
-                total += p[s];
+                assert!((ps - 1.0 / 7.0).abs() < 1e-12, "one-hot {s}: {ps}");
+                total += ps;
             } else {
-                assert!(p[s].abs() < 1e-12, "non-one-hot {s}: {}", p[s]);
+                assert!(ps.abs() < 1e-12, "non-one-hot {s}: {ps}");
             }
         }
         assert!((total - 1.0).abs() < 1e-12);

@@ -1,0 +1,143 @@
+//! Fallible execution interface shared by real and fault-injected backends.
+//!
+//! [`Backend`] is an infallible oracle, but real devices are not: queued
+//! jobs fail, shots are dropped, readout drifts mid-session. The
+//! [`Executor`] trait is the seam through which every consumer (calibration,
+//! drift monitoring, mitigation strategies) talks to a device, returning
+//! `Result<Counts, ExecutionError>` so the caller can retry or degrade.
+//!
+//! `Backend` implements `Executor` trivially (it never fails), so every
+//! existing call site keeps working via unsized coercion:
+//! `&Backend → &dyn Executor`.
+
+use crate::backend::Backend;
+use crate::circuit::Circuit;
+use crate::counts::Counts;
+use rand::rngs::StdRng;
+
+/// Typed failure returned by a fallible circuit submission.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ExecutionError {
+    /// A transient fault (queue hiccup, burst outage). Retrying the same
+    /// submission — possibly after backing off — may succeed.
+    Transient {
+        /// Virtual-clock tick (submission index) at which the fault fired.
+        submission: u64,
+        /// Human-readable cause.
+        reason: String,
+    },
+    /// A permanent fault. Retrying the same submission cannot succeed.
+    Fatal {
+        /// Virtual-clock tick (submission index) at which the fault fired.
+        submission: u64,
+        /// Human-readable cause.
+        reason: String,
+    },
+}
+
+impl ExecutionError {
+    /// Whether a retry (with backoff) has any chance of succeeding.
+    pub fn is_retryable(&self) -> bool {
+        matches!(self, ExecutionError::Transient { .. })
+    }
+
+    /// The virtual-clock tick at which the error fired.
+    pub fn submission(&self) -> u64 {
+        match self {
+            ExecutionError::Transient { submission, .. }
+            | ExecutionError::Fatal { submission, .. } => *submission,
+        }
+    }
+}
+
+impl std::fmt::Display for ExecutionError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ExecutionError::Transient { submission, reason } => {
+                write!(f, "transient execution error at submission {submission}: {reason}")
+            }
+            ExecutionError::Fatal { submission, reason } => {
+                write!(f, "fatal execution error at submission {submission}: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ExecutionError {}
+
+/// Object-safe fallible execution interface.
+///
+/// Everything that runs circuits takes `&dyn Executor`; the concrete type
+/// behind it decides whether submissions can fail ([`Backend`] never does,
+/// [`crate::fault::FaultyBackend`] injects seeded faults, and
+/// `qem-core`'s `RetryExecutor` retries transient ones).
+pub trait Executor: Sync {
+    /// The underlying simulated device (topology, name, width). Consumers
+    /// use this for scheduling — never to peek at the noise truth.
+    fn device(&self) -> &Backend;
+
+    /// Submits `circuit` for `shots` shots. May return fewer shots than
+    /// requested (shot dropout) but never zero on success.
+    fn try_execute(
+        &self,
+        circuit: &Circuit,
+        shots: u64,
+        rng: &mut StdRng,
+    ) -> Result<Counts, ExecutionError>;
+
+    /// Advances the executor's virtual clock by `ticks` submissions worth
+    /// of time without running anything (used by deterministic backoff).
+    /// No-op for clockless executors.
+    fn advance_clock(&self, _ticks: u64) {}
+
+    /// Register width of the underlying device.
+    fn num_qubits(&self) -> usize {
+        self.device().num_qubits()
+    }
+}
+
+impl Executor for Backend {
+    fn device(&self) -> &Backend {
+        self
+    }
+
+    fn try_execute(
+        &self,
+        circuit: &Circuit,
+        shots: u64,
+        rng: &mut StdRng,
+    ) -> Result<Counts, ExecutionError> {
+        Ok(self.execute(circuit, shots, rng))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::devices;
+    use rand::SeedableRng;
+
+    #[test]
+    fn backend_executor_is_infallible() {
+        let b = devices::simulated_quito(1);
+        let exec: &dyn Executor = &b;
+        let ghz = crate::circuit::ghz_bfs(&b.coupling.graph, 0);
+        let mut rng = StdRng::seed_from_u64(1);
+        let counts = exec.try_execute(&ghz, 100, &mut rng).unwrap();
+        assert_eq!(counts.shots(), 100);
+        assert_eq!(exec.num_qubits(), 5);
+        exec.advance_clock(10); // no-op, must not panic
+    }
+
+    #[test]
+    fn error_retryability() {
+        let t = ExecutionError::Transient { submission: 3, reason: "queue".into() };
+        let f = ExecutionError::Fatal { submission: 4, reason: "down".into() };
+        assert!(t.is_retryable());
+        assert!(!f.is_retryable());
+        assert_eq!(t.submission(), 3);
+        assert_eq!(f.submission(), 4);
+        assert!(t.to_string().contains("transient"));
+        assert!(f.to_string().contains("fatal"));
+    }
+}

@@ -1,0 +1,455 @@
+//! Seeded, deterministic fault injection for resilience testing.
+//!
+//! [`FaultyBackend`] wraps a [`Backend`] and implements [`Executor`] while
+//! injecting configurable failure modes on every submission:
+//!
+//! * transient / fatal circuit-execution errors (probability per
+//!   submission),
+//! * shot dropout (fewer shots returned than requested),
+//! * stuck-at-0 / stuck-at-1 (dead) qubits,
+//! * a readout-error drift ramp and burst-error windows keyed to a
+//!   **virtual clock** that ticks once per submission — no wall clock
+//!   anywhere, so every run is reproducible from the profile seed.
+//!
+//! The virtual clock also advances under [`Executor::advance_clock`], which
+//! is how deterministic exponential backoff "waits out" an outage window
+//! without `std::time` sleeps.
+
+use crate::backend::Backend;
+use crate::circuit::Circuit;
+use crate::counts::Counts;
+use crate::exec::{ExecutionError, Executor};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A window of elevated readout error on the virtual clock.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct BurstWindow {
+    /// First submission tick affected (inclusive).
+    pub start: u64,
+    /// First submission tick no longer affected (exclusive).
+    pub end: u64,
+    /// Extra flip probability added to every qubit's readout rates inside
+    /// the window.
+    pub extra_flip: f64,
+}
+
+/// Declarative description of how a device misbehaves.
+///
+/// All randomness derives from `seed` and the submission tick, so two runs
+/// with the same profile and workload observe byte-identical faults.
+#[derive(Clone, Debug, PartialEq)]
+pub struct FaultProfile {
+    /// Seed for the per-submission fault RNG (independent of the caller's
+    /// sampling RNG).
+    pub seed: u64,
+    /// Probability that a submission fails with a retryable
+    /// [`ExecutionError::Transient`].
+    pub transient_failure_prob: f64,
+    /// Probability that a submission fails with a non-retryable
+    /// [`ExecutionError::Fatal`].
+    pub fatal_failure_prob: f64,
+    /// Probability that a successful submission returns fewer shots than
+    /// requested.
+    pub shot_dropout_prob: f64,
+    /// Maximum fraction of shots lost when dropout fires (the realised
+    /// fraction is uniform in `[0, shot_dropout_fraction]`).
+    pub shot_dropout_fraction: f64,
+    /// Qubits whose readout is stuck at 0 regardless of the true state.
+    pub dead_qubits: Vec<usize>,
+    /// Qubits whose readout is stuck at 1 regardless of the true state.
+    pub stuck_one_qubits: Vec<usize>,
+    /// Submissions in `[start, end)` fail with a transient error (a queue
+    /// outage that retries can wait out — or not, if the retry budget is
+    /// too small).
+    pub outage: Option<(u64, u64)>,
+    /// Readout flip probability added per virtual-clock tick (drift ramp).
+    pub drift_per_tick: f64,
+    /// Window of elevated readout error.
+    pub burst: Option<BurstWindow>,
+}
+
+impl Default for FaultProfile {
+    fn default() -> Self {
+        FaultProfile {
+            seed: 0,
+            transient_failure_prob: 0.0,
+            fatal_failure_prob: 0.0,
+            shot_dropout_prob: 0.0,
+            shot_dropout_fraction: 0.0,
+            dead_qubits: Vec::new(),
+            stuck_one_qubits: Vec::new(),
+            outage: None,
+            drift_per_tick: 0.0,
+            burst: None,
+        }
+    }
+}
+
+impl FaultProfile {
+    /// A profile that injects nothing (useful as a CLI default).
+    pub fn none(seed: u64) -> Self {
+        FaultProfile { seed, ..Default::default() }
+    }
+
+    /// 20% of submissions fail transiently — the paper's flaky queue.
+    pub fn flaky(seed: u64) -> Self {
+        FaultProfile { seed, transient_failure_prob: 0.2, ..Default::default() }
+    }
+
+    /// Every third submission or so loses up to half its shots.
+    pub fn dropout(seed: u64) -> Self {
+        FaultProfile {
+            seed,
+            shot_dropout_prob: 0.3,
+            shot_dropout_fraction: 0.5,
+            ..Default::default()
+        }
+    }
+
+    /// Qubit 0 reads out stuck at 0 (degenerate calibration marginals).
+    pub fn dead_qubit(seed: u64) -> Self {
+        FaultProfile { seed, dead_qubits: vec![0], ..Default::default() }
+    }
+
+    /// Readout error ramps up over the session (§VII-A drift).
+    pub fn drifting(seed: u64) -> Self {
+        FaultProfile { seed, drift_per_tick: 2e-3, ..Default::default() }
+    }
+
+    /// A burst of elevated readout error plus occasional transient
+    /// failures mid-session.
+    pub fn bursty(seed: u64) -> Self {
+        FaultProfile {
+            seed,
+            transient_failure_prob: 0.05,
+            burst: Some(BurstWindow { start: 20, end: 40, extra_flip: 0.25 }),
+            ..Default::default()
+        }
+    }
+
+    /// Everything at once: flaky queue, dropout, drift and a dead qubit.
+    pub fn hostile(seed: u64) -> Self {
+        FaultProfile {
+            seed,
+            transient_failure_prob: 0.15,
+            shot_dropout_prob: 0.2,
+            shot_dropout_fraction: 0.3,
+            dead_qubits: vec![0],
+            drift_per_tick: 1e-3,
+            ..Default::default()
+        }
+    }
+
+    /// Looks up a named preset (for `qem characterize --fault-profile`).
+    pub fn preset(name: &str, seed: u64) -> Option<Self> {
+        match name {
+            "none" => Some(Self::none(seed)),
+            "flaky" => Some(Self::flaky(seed)),
+            "dropout" => Some(Self::dropout(seed)),
+            "dead-qubit" => Some(Self::dead_qubit(seed)),
+            "drifting" => Some(Self::drifting(seed)),
+            "bursty" => Some(Self::bursty(seed)),
+            "hostile" => Some(Self::hostile(seed)),
+            _ => None,
+        }
+    }
+
+    /// The preset names accepted by [`FaultProfile::preset`].
+    pub fn preset_names() -> &'static [&'static str] {
+        &["none", "flaky", "dropout", "dead-qubit", "drifting", "bursty", "hostile"]
+    }
+
+    /// Whether the profile injects any fault at all.
+    pub fn is_benign(&self) -> bool {
+        self.transient_failure_prob == 0.0
+            && self.fatal_failure_prob == 0.0
+            && self.shot_dropout_prob == 0.0
+            && self.dead_qubits.is_empty()
+            && self.stuck_one_qubits.is_empty()
+            && self.outage.is_none()
+            && self.drift_per_tick == 0.0
+            && self.burst.is_none()
+    }
+}
+
+/// A [`Backend`] wrapper that injects the faults described by a
+/// [`FaultProfile`], keyed to a virtual clock that ticks once per
+/// submission.
+#[derive(Debug)]
+pub struct FaultyBackend {
+    inner: Backend,
+    profile: FaultProfile,
+    clock: AtomicU64,
+}
+
+impl FaultyBackend {
+    /// Wraps `inner` with the given fault profile; the clock starts at 0.
+    pub fn new(inner: Backend, profile: FaultProfile) -> Self {
+        FaultyBackend { inner, profile, clock: AtomicU64::new(0) }
+    }
+
+    /// The wrapped device.
+    pub fn inner(&self) -> &Backend {
+        &self.inner
+    }
+
+    /// The active fault profile.
+    pub fn profile(&self) -> &FaultProfile {
+        &self.profile
+    }
+
+    /// Current virtual-clock value (submissions + backoff ticks so far).
+    pub fn clock(&self) -> u64 {
+        self.clock.load(Ordering::SeqCst)
+    }
+
+    /// Fault RNG for a given tick: independent of the caller's sampling
+    /// RNG and of every other tick.
+    fn fault_rng(&self, tick: u64) -> StdRng {
+        StdRng::seed_from_u64(self.profile.seed ^ tick.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+    }
+
+    /// The effective noise model at `tick`: base rates plus the drift ramp
+    /// plus any active burst window, clamped to keep channels valid.
+    fn effective_noise(&self, tick: u64) -> Option<crate::noise::NoiseModel> {
+        let drift = self.profile.drift_per_tick * tick as f64;
+        let burst = match self.profile.burst {
+            Some(w) if tick >= w.start && tick < w.end => w.extra_flip,
+            _ => 0.0,
+        };
+        let extra = drift + burst;
+        if extra == 0.0 {
+            return None;
+        }
+        let mut noise = self.inner.noise.clone();
+        for p in noise.p_flip0.iter_mut().chain(noise.p_flip1.iter_mut()) {
+            *p = (*p + extra).min(0.49);
+        }
+        Some(noise)
+    }
+
+    /// Forces dead/stuck qubit bits in a measured-bit histogram.
+    fn apply_stuck_bits(&self, circuit: &Circuit, counts: Counts) -> Counts {
+        if self.profile.dead_qubits.is_empty() && self.profile.stuck_one_qubits.is_empty() {
+            return counts;
+        }
+        let measured = circuit.measured();
+        let mut clear_mask = 0u64;
+        let mut set_mask = 0u64;
+        for (pos, q) in measured.iter().enumerate() {
+            if self.profile.dead_qubits.contains(q) {
+                clear_mask |= 1 << pos;
+            } else if self.profile.stuck_one_qubits.contains(q) {
+                set_mask |= 1 << pos;
+            }
+        }
+        if clear_mask == 0 && set_mask == 0 {
+            return counts;
+        }
+        Counts::from_pairs(
+            counts.num_bits(),
+            counts.iter().map(|(s, k)| ((s & !clear_mask) | set_mask, k)),
+        )
+    }
+}
+
+impl Executor for FaultyBackend {
+    fn device(&self) -> &Backend {
+        &self.inner
+    }
+
+    fn try_execute(
+        &self,
+        circuit: &Circuit,
+        shots: u64,
+        rng: &mut StdRng,
+    ) -> Result<Counts, ExecutionError> {
+        let tick = self.clock.fetch_add(1, Ordering::SeqCst);
+        let mut fault_rng = self.fault_rng(tick);
+
+        if let Some((start, end)) = self.profile.outage {
+            if tick >= start && tick < end {
+                return Err(ExecutionError::Transient {
+                    submission: tick,
+                    reason: format!("queue outage window [{start}, {end})"),
+                });
+            }
+        }
+        if self.profile.fatal_failure_prob > 0.0
+            && fault_rng.gen::<f64>() < self.profile.fatal_failure_prob
+        {
+            return Err(ExecutionError::Fatal {
+                submission: tick,
+                reason: "injected fatal device error".into(),
+            });
+        }
+        if self.profile.transient_failure_prob > 0.0
+            && fault_rng.gen::<f64>() < self.profile.transient_failure_prob
+        {
+            return Err(ExecutionError::Transient {
+                submission: tick,
+                reason: "injected transient queue error".into(),
+            });
+        }
+
+        let mut effective_shots = shots;
+        if self.profile.shot_dropout_prob > 0.0
+            && fault_rng.gen::<f64>() < self.profile.shot_dropout_prob
+        {
+            let frac = fault_rng.gen::<f64>() * self.profile.shot_dropout_fraction;
+            let lost = (shots as f64 * frac) as u64;
+            effective_shots = (shots - lost).max(1);
+        }
+
+        let counts = match self.effective_noise(tick) {
+            Some(noise) => {
+                let mut shifted = self.inner.clone();
+                shifted.noise = noise;
+                shifted.execute(circuit, effective_shots, rng)
+            }
+            None => self.inner.execute(circuit, effective_shots, rng),
+        };
+        Ok(self.apply_stuck_bits(circuit, counts))
+    }
+
+    fn advance_clock(&self, ticks: u64) {
+        self.clock.fetch_add(ticks, Ordering::SeqCst);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::circuit::{basis_prep, ghz_bfs};
+    use crate::devices;
+
+    fn quito() -> Backend {
+        devices::simulated_quito(1)
+    }
+
+    #[test]
+    fn benign_profile_matches_inner_backend() {
+        let b = quito();
+        let faulty = FaultyBackend::new(b.clone(), FaultProfile::none(7));
+        let ghz = ghz_bfs(&b.coupling.graph, 0);
+        let mut r1 = StdRng::seed_from_u64(3);
+        let mut r2 = StdRng::seed_from_u64(3);
+        let direct = b.execute(&ghz, 500, &mut r1);
+        let wrapped = faulty.try_execute(&ghz, 500, &mut r2).unwrap();
+        assert_eq!(direct.iter().count(), wrapped.iter().count());
+        for (s, k) in direct.iter() {
+            assert_eq!(wrapped.get(s), k);
+        }
+    }
+
+    #[test]
+    fn transient_failures_are_deterministic() {
+        let run = || {
+            let faulty = FaultyBackend::new(quito(), FaultProfile::flaky(11));
+            let ghz = ghz_bfs(&faulty.inner().coupling.graph, 0);
+            let mut rng = StdRng::seed_from_u64(5);
+            (0..50)
+                .map(|_| faulty.try_execute(&ghz, 64, &mut rng).is_err())
+                .collect::<Vec<_>>()
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a, b, "fault pattern must be seed-deterministic");
+        let failures = a.iter().filter(|&&x| x).count();
+        assert!(failures > 0 && failures < 30, "~20% of 50: got {failures}");
+    }
+
+    #[test]
+    fn outage_window_fails_then_recovers() {
+        let profile =
+            FaultProfile { outage: Some((2, 5)), ..FaultProfile::none(1) };
+        let faulty = FaultyBackend::new(quito(), profile);
+        let ghz = ghz_bfs(&faulty.inner().coupling.graph, 0);
+        let mut rng = StdRng::seed_from_u64(5);
+        let results: Vec<bool> =
+            (0..7).map(|_| faulty.try_execute(&ghz, 32, &mut rng).is_ok()).collect();
+        assert_eq!(results, vec![true, true, false, false, false, true, true]);
+    }
+
+    #[test]
+    fn advance_clock_skips_past_outage() {
+        let profile =
+            FaultProfile { outage: Some((0, 10)), ..FaultProfile::none(1) };
+        let faulty = FaultyBackend::new(quito(), profile);
+        let ghz = ghz_bfs(&faulty.inner().coupling.graph, 0);
+        let mut rng = StdRng::seed_from_u64(5);
+        assert!(faulty.try_execute(&ghz, 32, &mut rng).is_err());
+        faulty.advance_clock(20);
+        assert!(faulty.try_execute(&ghz, 32, &mut rng).is_ok());
+    }
+
+    #[test]
+    fn shot_dropout_returns_fewer_but_nonzero_shots() {
+        let profile = FaultProfile {
+            shot_dropout_prob: 1.0,
+            shot_dropout_fraction: 0.5,
+            ..FaultProfile::none(13)
+        };
+        let faulty = FaultyBackend::new(quito(), profile);
+        let ghz = ghz_bfs(&faulty.inner().coupling.graph, 0);
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut saw_dropout = false;
+        for _ in 0..10 {
+            let c = faulty.try_execute(&ghz, 1000, &mut rng).unwrap();
+            assert!(c.shots() >= 1 && c.shots() <= 1000);
+            saw_dropout |= c.shots() < 1000;
+        }
+        assert!(saw_dropout, "dropout_prob 1.0 must lose shots");
+    }
+
+    #[test]
+    fn dead_qubit_reads_zero_stuck_one_reads_one() {
+        let b = quito();
+        let profile = FaultProfile {
+            dead_qubits: vec![0],
+            stuck_one_qubits: vec![1],
+            ..FaultProfile::none(2)
+        };
+        let faulty = FaultyBackend::new(b.clone(), profile);
+        // Prepare all-ones: qubit 0 must still read 0, qubit 1 must read 1.
+        let n = b.num_qubits();
+        let prep = basis_prep(n, (1 << n) - 1);
+        let mut rng = StdRng::seed_from_u64(5);
+        let counts = faulty.try_execute(&prep, 2000, &mut rng).unwrap();
+        for (s, _) in counts.iter() {
+            assert_eq!(s & 1, 0, "dead qubit 0 leaked a 1");
+            assert_eq!((s >> 1) & 1, 1, "stuck-one qubit 1 leaked a 0");
+        }
+    }
+
+    #[test]
+    fn drift_ramp_raises_error_rate_over_time() {
+        let b = quito();
+        let profile = FaultProfile { drift_per_tick: 5e-3, ..FaultProfile::none(3) };
+        let faulty = FaultyBackend::new(b.clone(), profile);
+        let n = b.num_qubits();
+        let prep = basis_prep(n, 0);
+        let mut rng = StdRng::seed_from_u64(5);
+        let early = faulty.try_execute(&prep, 4000, &mut rng).unwrap();
+        faulty.advance_clock(60);
+        let late = faulty.try_execute(&prep, 4000, &mut rng).unwrap();
+        let err_early = 1.0 - early.probability(0);
+        let err_late = 1.0 - late.probability(0);
+        assert!(
+            err_late > err_early + 0.1,
+            "drift must raise readout error: early {err_early:.3} late {err_late:.3}"
+        );
+    }
+
+    #[test]
+    fn presets_resolve_and_unknown_is_none() {
+        for name in FaultProfile::preset_names() {
+            assert!(FaultProfile::preset(name, 1).is_some(), "preset {name}");
+        }
+        assert!(FaultProfile::preset("nope", 1).is_none());
+        assert!(FaultProfile::none(1).is_benign());
+        assert!(!FaultProfile::flaky(1).is_benign());
+    }
+}

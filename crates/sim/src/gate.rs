@@ -160,8 +160,8 @@ mod tests {
         let mut prod = [[C64::ZERO; 2]; 2];
         for i in 0..2 {
             for j in 0..2 {
-                for k in 0..2 {
-                    prod[i][j] += m[k][i].conj() * m[k][j];
+                for row in m {
+                    prod[i][j] += row[i].conj() * row[j];
                 }
             }
         }
@@ -232,8 +232,8 @@ mod tests {
         let mut hh = [[C64::ZERO; 2]; 2];
         for i in 0..2 {
             for j in 0..2 {
-                for k in 0..2 {
-                    hh[i][j] += h[i][k] * h[k][j];
+                for (k, hk) in h.iter().enumerate() {
+                    hh[i][j] += h[i][k] * hk[j];
                 }
             }
         }

@@ -12,6 +12,9 @@
 //! * [`noise`] / [`backend`] — device noise models and the
 //!   `(circuit, shots) → counts` execution interface;
 //! * [`counts`] — shot histograms;
+//! * [`exec`] / [`fault`] — the fallible [`Executor`] interface and the
+//!   seeded fault-injection wrapper ([`FaultyBackend`]) used to exercise
+//!   the resilient calibration pipeline;
 //! * [`devices`] — simulated Quito/Lima/Manila/Nairobi and the Fig. 11
 //!   architecture families (the DESIGN.md hardware substitution).
 
@@ -22,6 +25,8 @@ pub mod channel;
 pub mod circuit;
 pub mod counts;
 pub mod devices;
+pub mod exec;
+pub mod fault;
 pub mod gate;
 pub mod noise;
 pub mod readout_iq;
@@ -31,6 +36,8 @@ pub use backend::Backend;
 pub use channel::MeasurementChannel;
 pub use circuit::Circuit;
 pub use counts::Counts;
+pub use exec::{ExecutionError, Executor};
+pub use fault::{BurstWindow, FaultProfile, FaultyBackend};
 pub use gate::Gate;
 pub use noise::NoiseModel;
 pub use readout_iq::IqReadoutModel;

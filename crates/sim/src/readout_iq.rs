@@ -270,7 +270,7 @@ mod tests {
         let mut p = vec![0.0; 4];
         p[3] = 1.0;
         let predicted = ch.apply_dense(&p);
-        let mut counted = vec![0.0; 4];
+        let mut counted = [0.0; 4];
         let shots = 40_000;
         for _ in 0..shots {
             counted[model.measure_shot(0b11, &mut r) as usize] += 1.0 / shots as f64;

@@ -77,8 +77,7 @@ impl Statevector {
             let row = ((i >> q0) & 1) | (((i >> q1) & 1) << 1);
             let base = i & !(m0 | m1);
             let mut acc = C64::ZERO;
-            for col in 0..4usize {
-                let a = m[row][col];
+            for (col, &a) in m[row].iter().enumerate() {
                 if a == C64::ZERO {
                     continue;
                 }

@@ -133,7 +133,7 @@ proptest! {
         slow_circuit.push(Gate::RZ(0, 0.0));
         let slow = b.noisy_distribution(&slow_circuit, &mut StdRng::seed_from_u64(1));
         for s in 0..(1usize << n) {
-            prop_assert!((fast[s] - slow[s]).abs() < 1e-9, "state {s}");
+            prop_assert!((fast[s] - slow[s]).abs() < 1e-9, "state {}", s);
         }
     }
 

@@ -218,8 +218,8 @@ impl Graph {
         let mut out = Vec::new();
         for u in 0..self.n {
             let d = self.bfs_distances(u);
-            for v in u + 1..self.n {
-                if d[v] != usize::MAX && d[v] <= k {
+            for (v, &dv) in d.iter().enumerate().skip(u + 1) {
+                if dv != usize::MAX && dv <= k {
                     out.push((u, v));
                 }
             }
@@ -283,7 +283,7 @@ mod tests {
         let tree = g.bfs_tree(2);
         assert_eq!(tree.len(), 4);
         // Parents precede children in CNOT order.
-        let mut entangled = vec![false; 5];
+        let mut entangled = [false; 5];
         entangled[2] = true;
         for (child, parent) in tree {
             assert!(entangled[parent], "parent {parent} not yet entangled");

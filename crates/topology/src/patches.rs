@@ -81,7 +81,7 @@ pub fn schedule_pairs(physical: &Graph, pairs: &[(usize, usize)], k: usize) -> P
         while idx < remaining.len() {
             let e = remaining[idx];
             let compatible = round.iter().all(|&f| {
-                pair_separation(physical, e, f).map_or(true, |sep| sep >= k + 1)
+                pair_separation(physical, e, f).is_none_or(|sep| sep > k)
             });
             if compatible {
                 round.push(e);
@@ -226,7 +226,7 @@ pub fn schedule_patches(
         while idx < remaining.len() {
             let candidate = &remaining[idx];
             let compatible = round.iter().all(|p| {
-                set_separation(physical, candidate, p).map_or(true, |sep| sep >= k + 1)
+                set_separation(physical, candidate, p).is_none_or(|sep| sep > k)
             });
             if compatible {
                 round.push(remaining.remove(idx));

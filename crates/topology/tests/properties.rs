@@ -81,7 +81,7 @@ proptest! {
             for i in 0..round.len() {
                 for j in i + 1..round.len() {
                     if let Some(sep) = set_separation(&g, &round[i], &round[j]) {
-                        prop_assert!(sep >= k + 1);
+                        prop_assert!(sep > k);
                     }
                 }
             }

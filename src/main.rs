@@ -4,16 +4,18 @@
 
 use qem::core::err::{characterize_err, ErrOptions};
 use qem::core::persist::CmcRecord;
+use qem::core::resilience::{calibrate_resilient, ResilienceOptions};
 use qem::core::CmcOptions;
 use qem::mitigation::metrics::ghz_ideal;
 use qem::mitigation::standard_strategies;
 use qem::sim::backend::Backend;
 use qem::sim::circuit::ghz_bfs;
 use qem::sim::devices;
+use qem::sim::fault::{FaultProfile, FaultyBackend};
 use qem::topology::patches::patch_construct;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
 const USAGE: &str = "\
@@ -26,7 +28,10 @@ COMMANDS:
     devices                              list the preset simulated devices
     schedule     --device <name> [--k N]             show the Algorithm 1 patch schedule
     characterize --device <name> [--shots N] [--err] [--out FILE]
-                                         run CMC (or ERR sweep) and store the calibration
+                 [--fault-profile NAME] [--max-retries N]
+                                         run CMC (or ERR sweep) and store the calibration;
+                                         with a fault profile, run the resilient pipeline
+                                         (retries + patch repair + degradation ladder)
     mitigate     --device <name> --calibration FILE [--shots N]
                                          run a GHZ benchmark mitigated by a stored calibration
     report       --device <name> [--shots N]         Fig.1-style correlation / alignment report
@@ -34,8 +39,10 @@ COMMANDS:
                                          compare all mitigation methods on a GHZ benchmark
 
 COMMON OPTIONS:
-    --device  quito | lima | manila | nairobi
-    --seed N  RNG seed (default 2023)
+    --device         quito | lima | manila | nairobi
+    --seed N         RNG seed (default 2023)
+    --fault-profile  none | flaky | dropout | dead-qubit | drifting | bursty | hostile
+    --max-retries N  re-submissions per circuit under a fault profile (default 3)
 ";
 
 struct Args {
@@ -131,6 +138,10 @@ fn cmd_characterize(args: &Args, seed: u64) -> Result<(), String> {
     let mut rng = StdRng::seed_from_u64(seed);
     let opts = CmcOptions { k: 1, shots_per_circuit: shots, cull_threshold: 1e-10 };
 
+    if let Some(profile_name) = args.get("fault-profile") {
+        return characterize_resilient(args, backend, profile_name, opts, seed, &out, &mut rng);
+    }
+
     let cal = if args.has_flag("err") {
         let eopts = ErrOptions { locality: 2, max_edges: None, cmc: opts };
         let (err, cal) = qem::core::calibrate_cmc_err(&backend, &eopts, &mut rng)
@@ -155,6 +166,55 @@ fn cmd_characterize(args: &Args, seed: u64) -> Result<(), String> {
         .save(&out)
         .map_err(|e| e.to_string())?;
     println!("stored -> {}", out.display());
+    Ok(())
+}
+
+/// The `characterize --fault-profile` path: run the full resilient pipeline
+/// against a fault-injecting backend and print the degradation ladder.
+fn characterize_resilient(
+    args: &Args,
+    backend: Backend,
+    profile_name: &str,
+    opts: CmcOptions,
+    seed: u64,
+    out: &Path,
+    rng: &mut StdRng,
+) -> Result<(), String> {
+    let profile = FaultProfile::preset(profile_name, seed).ok_or_else(|| {
+        format!(
+            "unknown fault profile '{profile_name}' (expected {})",
+            FaultProfile::preset_names().join("|")
+        )
+    })?;
+    let name = backend.name.clone();
+    let num_qubits = backend.num_qubits();
+    let faulty = FaultyBackend::new(backend, profile);
+
+    let mut ropts = ResilienceOptions { cmc: opts, use_err: args.has_flag("err"), ..Default::default() };
+    ropts.err = ErrOptions { locality: 2, max_edges: None, cmc: opts };
+    ropts.retry.max_retries = args.get_u64("max-retries", 3) as u32;
+
+    let result = calibrate_resilient(&faulty, &ropts, rng);
+    println!("resilient characterization of {name} under '{profile_name}' faults:");
+    println!("{}", result.report);
+    match &result.cmc {
+        Some(cal) => {
+            println!(
+                "calibrated {} patches with {} circuits / {} shots",
+                cal.patches.len(),
+                cal.circuits_used,
+                cal.shots_used
+            );
+            CmcRecord::from_calibration(&name, num_qubits, cal)
+                .save(out)
+                .map_err(|e| e.to_string())?;
+            println!("stored -> {}", out.display());
+        }
+        None => println!(
+            "no CMC calibration achieved (landed on {}); nothing stored",
+            result.report.level
+        ),
+    }
     Ok(())
 }
 
@@ -199,7 +259,7 @@ fn cmd_report(args: &Args, seed: u64) -> Result<(), String> {
     };
     let err = characterize_err(&backend, &opts, &mut rng).map_err(|e| e.to_string())?;
     let mut weights = err.weights.clone();
-    weights.sort_by(|a, b| b.weight.partial_cmp(&a.weight).unwrap());
+    weights.sort_by(|a, b| b.weight.total_cmp(&a.weight));
     println!("correlation weights on {} (Fig. 1):", backend.name);
     for w in &weights {
         let tag = if backend.coupling.graph.has_edge(w.i, w.j) { "edge" } else { "NON-edge" };

@@ -1,0 +1,257 @@
+//! Fault-injection integration tests: drives the resilient pipeline through
+//! a [`FaultyBackend`] and checks every rung of the degradation ladder
+//! (CMC-ERR → CMC → Linear → Bare) is both reachable and reported.
+//!
+//! All scenarios are seeded and use the virtual clock only — no wall time —
+//! so every assertion here is deterministic.
+
+use proptest::prelude::*;
+use qem::core::joining::{join_corrections, joined_forward_matrix};
+use qem::core::resilience::{tensored_fallback, validate_patch, PatchIssue, ValidationPolicy};
+use qem::core::CalibrationMatrix;
+use qem::linalg::stochastic::is_column_stochastic;
+use qem::linalg::Matrix;
+use qem::prelude::*;
+use qem::sim::circuit::ghz_bfs;
+use qem::topology::coupling::linear;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn rng(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed)
+}
+
+fn noisy_backend(n: usize) -> Backend {
+    Backend::new(linear(n), NoiseModel::random_biased(n, 0.02, 0.08, 7))
+}
+
+fn flip(p0: f64, p1: f64) -> Matrix {
+    Matrix::from_rows(&[&[1.0 - p0, p1], &[p0, 1.0 - p1]])
+}
+
+// ---------------------------------------------------------------------------
+// Ladder rung 1: CMC-ERR fails, CMC catches.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn err_outage_downgrades_to_cmc() {
+    // An outage covering only tick 0 sinks CMC-ERR's first submission;
+    // with no retry budget the ERR rung fails outright, and the CMC rung
+    // (starting at tick 1, past the outage) succeeds.
+    let mut profile = FaultProfile::none(41);
+    profile.outage = Some((0, 1));
+    let faulty = FaultyBackend::new(noisy_backend(4), profile);
+
+    let mut opts = ResilienceOptions { use_err: true, ..Default::default() };
+    opts.cmc.shots_per_circuit = 4_000;
+    opts.err.cmc = opts.cmc;
+    opts.retry.max_retries = 0;
+
+    let out = calibrate_resilient(&faulty, &opts, &mut rng(1));
+    assert_eq!(out.report.level, MitigationLevel::Cmc);
+    assert!(
+        out.report
+            .downgrades
+            .iter()
+            .any(|d| matches!(d, qem::core::DowngradeEvent::ErrToCmc { .. })),
+        "ERR failure not recorded: {}",
+        out.report
+    );
+    assert!(out.cmc.is_some(), "the CMC rung should have produced a calibration");
+    assert!(out.report.failed_submissions >= 1);
+}
+
+// ---------------------------------------------------------------------------
+// Ladder rung 2: CMC fails beyond the retry budget, Linear catches.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn outage_beyond_retry_budget_downgrades_to_linear_and_reports() {
+    // With max_retries = 2 and backoff 1, 2, ... ticks, CMC's first circuit
+    // is attempted at ticks 0, 2 and 5 — all inside the outage [0, 7) — and
+    // gives up. Linear's first circuit at tick 6 still fails, but its retry
+    // lands at tick 8, after the outage: the run degrades exactly one rung.
+    let mut profile = FaultProfile::none(42);
+    profile.outage = Some((0, 7));
+    let faulty = FaultyBackend::new(noisy_backend(4), profile);
+
+    let mut opts = ResilienceOptions::default();
+    opts.cmc.shots_per_circuit = 4_000;
+    opts.retry.max_retries = 2;
+
+    let out = calibrate_resilient(&faulty, &opts, &mut rng(2));
+    assert_eq!(out.report.level, MitigationLevel::Linear, "{}", out.report);
+    assert!(
+        out.report
+            .downgrades
+            .iter()
+            .any(|d| matches!(d, qem::core::DowngradeEvent::CmcToLinear { .. })),
+        "CMC failure not recorded: {}",
+        out.report
+    );
+    assert!(out.report.retries > 0, "the outage should have forced retries");
+    assert!(out.report.failed_submissions >= 1, "budget exhaustion should be counted");
+    assert!(out.report.backoff_ticks > 0);
+    assert!(out.linear.is_some());
+
+    // The Linear mitigator still works end to end.
+    let mut r = rng(3);
+    let counts = faulty.try_execute(&ghz_bfs(&faulty.device().coupling.graph, 0), 4_000, &mut r)
+        .expect("post-outage execution should succeed");
+    let mitigated = out.mitigator.mitigate(&counts).unwrap();
+    assert!((mitigated.total() - 1.0).abs() < 1e-6);
+}
+
+// ---------------------------------------------------------------------------
+// Ladder rung 3: everything fails, Bare catches — and says so.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn fatal_device_walks_full_ladder_to_bare() {
+    let mut profile = FaultProfile::none(43);
+    profile.fatal_failure_prob = 1.0;
+    let faulty = FaultyBackend::new(noisy_backend(3), profile);
+
+    let mut opts = ResilienceOptions { use_err: true, ..Default::default() };
+    opts.err.cmc = opts.cmc;
+
+    let out = calibrate_resilient(&faulty, &opts, &mut rng(4));
+    assert_eq!(out.report.level, MitigationLevel::Bare, "{}", out.report);
+    for expect in ["CMC-ERR -> CMC", "CMC -> Linear", "Linear -> Bare"] {
+        assert!(
+            out.report.to_string().contains(expect),
+            "missing ladder step {expect:?} in: {}",
+            out.report
+        );
+    }
+    assert!(out.report.downgrades.len() >= 3);
+    // Fatal errors must not be retried.
+    assert_eq!(out.report.retries, 0);
+    assert_eq!(out.report.submissions, out.report.failed_submissions);
+}
+
+// ---------------------------------------------------------------------------
+// Satellite (d): 20 % transient failures + retries — CMC still beats Bare.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn flaky_backend_with_retries_still_beats_bare_on_ghz() {
+    let clean = noisy_backend(4);
+    let circuit = ghz_bfs(&clean.coupling.graph, 0);
+    let correct = [0u64, 0b1111];
+    let budget = 32_000u64;
+
+    let mut resilient_sum = 0.0;
+    let mut bare_sum = 0.0;
+    let mut total_retries = 0u64;
+    for t in 0..3u64 {
+        // flaky = 20 % transient failure probability per submission.
+        let faulty = FaultyBackend::new(noisy_backend(4), FaultProfile::flaky(50 + t));
+        let mut r = rng(300 + t);
+        let out = ResilientCmcStrategy::default()
+            .run(&faulty, &circuit, budget, &mut r)
+            .expect("retries should absorb 20% transient failures");
+        let report = out.resilience.expect("resilient strategy attaches a report");
+        total_retries += report.retries;
+        resilient_sum += out.distribution.mass_on(&correct);
+
+        let mut r = rng(400 + t);
+        bare_sum += Bare
+            .run(&clean, &circuit, budget, &mut r)
+            .unwrap()
+            .distribution
+            .mass_on(&correct);
+    }
+    assert!(total_retries > 0, "20% transient failures over 3 trials forced no retries?");
+    assert!(
+        resilient_sum > bare_sum,
+        "resilient CMC {resilient_sum:.3} should beat bare {bare_sum:.3} despite faults"
+    );
+}
+
+// ---------------------------------------------------------------------------
+// Satellite (c): injected singular patch → tensored fallback keeps the
+// joined forward matrix column-stochastic.
+// ---------------------------------------------------------------------------
+
+/// Per-qubit readout channels in the paper's 0–15 % error range.
+fn channel_strategy() -> impl Strategy<Value = Matrix> {
+    (0.0..0.15f64, 0.0..0.15f64).prop_map(|(p0, p1)| flip(p0, p1))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn singular_patch_fallback_keeps_joined_forward_stochastic(
+        channels in prop::collection::vec(channel_strategy(), 3),
+    ) {
+        // 4 qubits, disjoint patches: (0,1) healthy, (2,3) with qubit 3
+        // stuck at 1 — its joint matrix is singular (rank-deficient) while
+        // still column-stochastic.
+        let stuck = Matrix::from_rows(&[&[0.0, 0.0], &[1.0, 1.0]]);
+        let healthy =
+            CalibrationMatrix::new(vec![0, 1], channels[1].kron(&channels[0])).unwrap();
+        let broken =
+            CalibrationMatrix::new(vec![2, 3], stuck.kron(&channels[2])).unwrap();
+
+        let policy = ValidationPolicy::default();
+        let issues = validate_patch(&broken, &policy);
+        prop_assert!(
+            issues.iter().any(|i| matches!(i, PatchIssue::DeadQubit { qubit: 3 })),
+            "stuck qubit not flagged: {:?}", issues
+        );
+        prop_assert!(
+            issues.contains(&PatchIssue::Singular),
+            "singular joint not flagged: {:?}", issues
+        );
+
+        let dead: Vec<usize> = issues
+            .iter()
+            .filter_map(|i| match i {
+                PatchIssue::DeadQubit { qubit } => Some(*qubit),
+                _ => None,
+            })
+            .collect();
+        let repaired = tensored_fallback(&broken, &dead).unwrap();
+        // The repair is invertible again (no Singular verdict).
+        prop_assert!(
+            !validate_patch(&repaired, &policy).contains(&PatchIssue::Singular)
+        );
+
+        let joined = join_corrections(&[healthy, repaired]).unwrap();
+        let forward = joined_forward_matrix(4, &joined).unwrap();
+        prop_assert!(is_column_stochastic(&forward, 1e-9));
+    }
+
+    #[test]
+    fn overlapping_patch_fallback_keeps_joined_forward_stochastic(
+        channels in prop::collection::vec(channel_strategy(), 3),
+    ) {
+        // Overlapping patches (0,1) and (1,2) sharing healthy qubit 1;
+        // qubit 2 is stuck, so patch (1,2) is singular before repair. The
+        // overlap correction (fractional marginal powers) must still yield
+        // a stochastic forward matrix after the fallback.
+        let stuck = Matrix::from_rows(&[&[0.0, 0.0], &[1.0, 1.0]]);
+        let p01 =
+            CalibrationMatrix::new(vec![0, 1], channels[1].kron(&channels[0])).unwrap();
+        let p12 =
+            CalibrationMatrix::new(vec![1, 2], stuck.kron(&channels[1])).unwrap();
+
+        let policy = ValidationPolicy::default();
+        let issues = validate_patch(&p12, &policy);
+        prop_assert!(!issues.is_empty());
+        let dead: Vec<usize> = issues
+            .iter()
+            .filter_map(|i| match i {
+                PatchIssue::DeadQubit { qubit } => Some(*qubit),
+                _ => None,
+            })
+            .collect();
+        let repaired = tensored_fallback(&p12, &dead).unwrap();
+
+        let joined = join_corrections(&[p01, repaired]).unwrap();
+        let forward = joined_forward_matrix(3, &joined).unwrap();
+        prop_assert!(is_column_stochastic(&forward, 1e-7));
+    }
+}

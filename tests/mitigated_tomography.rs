@@ -65,7 +65,7 @@ fn tomograph(
             let parity_mask = mask as u64;
             let e: f64 = dist
                 .iter()
-                .map(|(s, w)| if (s & parity_mask).count_ones() % 2 == 0 { w } else { -w })
+                .map(|(s, w)| if (s & parity_mask).count_ones().is_multiple_of(2) { w } else { -w })
                 .sum();
             expectations[string] += e;
             hits[string] += 1;
