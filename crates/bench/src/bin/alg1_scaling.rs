@@ -7,6 +7,7 @@
 //! ```
 
 use qem_bench::{print_table, write_json};
+use qem_telemetry as tel;
 use qem_topology::coupling::random_map;
 use qem_topology::patches::{patch_construct, validate_schedule};
 use serde::Serialize;
@@ -24,14 +25,28 @@ struct Row {
 }
 
 fn main() {
+    // Wall-clock timing per patch construction; the summary table shows how
+    // Algorithm 1's runtime scales with map size alongside the speedups.
+    tel::set_enabled(true);
+
     let mut rows_out = Vec::new();
     let mut rows = Vec::new();
     for &n in &[100usize, 150, 200] {
         for &deg in &[3.0f64, 4.0, 5.0] {
             for k in [1usize, 2] {
                 let cm = random_map(n, deg, 42 + n as u64);
-                let s = patch_construct(&cm.graph, k);
+                let s = {
+                    let _span =
+                        tel::span!("bench.alg1.patch_construct", n = n, deg = deg, k = k);
+                    patch_construct(&cm.graph, k)
+                };
                 assert!(validate_schedule(&cm.graph, &s).is_none(), "invalid schedule");
+                tel::counter_add("bench.alg1.maps_scheduled", 1);
+                tel::histogram_record_with(
+                    "bench.alg1.speedup",
+                    &[1.0, 2.0, 3.0, 5.0, 10.0, 20.0],
+                    s.speedup(),
+                );
                 let r = Row {
                     qubits: n,
                     avg_degree: deg,
@@ -66,4 +81,6 @@ fn main() {
     let max = k1.iter().cloned().fold(f64::MIN, f64::max);
     println!("\nk=1 speedups span {min:.1}x – {max:.1}x (paper claim: 3x – 10x).");
     write_json("alg1_scaling", &rows_out);
+    println!();
+    print!("{}", tel::snapshot().summary_table());
 }

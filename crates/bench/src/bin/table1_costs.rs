@@ -9,22 +9,39 @@
 
 use qem_bench::print_table;
 use qem_mitigation::aim::aim_masks;
+use qem_telemetry as tel;
 use qem_topology::devices::tokyo;
 use qem_topology::patches::{patch_construct, schedule_pairs, schedule_pairs_coloring};
 
 fn main() {
+    // Wall-clock span timings for each scheduling stage; the summary table
+    // at the end shows where Table I's circuit counts come from.
+    tel::set_enabled(true);
+
     let cm = tokyo();
     let n = cm.num_qubits();
     let e = cm.num_edges();
     let g = &cm.graph;
 
-    let cmc = patch_construct(g, 1);
+    let cmc = {
+        let _s = tel::span!("bench.table1.patch_construct", k = 1);
+        patch_construct(g, 1)
+    };
     let cmc_pairs: Vec<(usize, usize)> = g.edges().iter().map(|e| (e.a, e.b)).collect();
-    let cmc_dsatur = schedule_pairs_coloring(g, &cmc_pairs, 1);
+    let cmc_dsatur = {
+        let _s = tel::span!("bench.table1.dsatur_coloring", pairs = cmc_pairs.len());
+        schedule_pairs_coloring(g, &cmc_pairs, 1)
+    };
     let all_pairs: Vec<(usize, usize)> =
         (0..n).flat_map(|i| (i + 1..n).map(move |j| (i, j))).collect();
     let local_pairs = g.pairs_within_distance(2);
-    let err_sweep = schedule_pairs(g, &local_pairs, 1);
+    let err_sweep = {
+        let _s = tel::span!("bench.table1.err_sweep_schedule", pairs = local_pairs.len());
+        schedule_pairs(g, &local_pairs, 1)
+    };
+    tel::gauge_set("bench.table1.cmc_circuits", cmc.circuit_count() as f64);
+    tel::gauge_set("bench.table1.dsatur_circuits", cmc_dsatur.circuit_count() as f64);
+    tel::gauge_set("bench.table1.err_sweep_circuits", err_sweep.circuit_count() as f64);
 
     println!("=== Table I — characterisation circuit counts (IBM Tokyo, n = {n}, |E| = {e}) ===\n");
     let rows = vec![
@@ -55,4 +72,6 @@ fn main() {
         "Paper's worked example (directed-edge counting): 40 single-qubit, 140 per-edge, \
          ~54 coupling-map patched, 760 all-pairs, 2^20 full."
     );
+    println!();
+    print!("{}", tel::snapshot().summary_table());
 }

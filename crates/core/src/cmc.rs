@@ -124,6 +124,7 @@ pub fn measure_cmc_pairs(
     opts: &CmcOptions,
     rng: &mut StdRng,
 ) -> CoreResult<MeasuredCmc> {
+    let _span = qem_telemetry::span!("core.cmc.measure", pairs = pairs.len());
     let n = backend.num_qubits();
     for &(a, b) in pairs {
         if a >= n || b >= n {
@@ -134,7 +135,11 @@ pub fn measure_cmc_pairs(
             .into());
         }
     }
-    let schedule = schedule_pairs(&backend.device().coupling.graph, pairs, opts.k);
+    let schedule = {
+        let _s = qem_telemetry::span!("core.cmc.schedule", pairs = pairs.len(), k = opts.k);
+        schedule_pairs(&backend.device().coupling.graph, pairs, opts.k)
+    };
+    qem_telemetry::gauge_set("core.cmc.schedule_rounds", schedule.rounds.len() as f64);
     let mut circuits_used = 0usize;
     let mut shots_used = 0u64;
     let mut patches: Vec<CalibrationMatrix> = Vec::with_capacity(pairs.len());
@@ -177,13 +182,17 @@ pub fn assemble_cmc(
     measured: MeasuredCmc,
     cull_threshold: f64,
 ) -> CoreResult<CmcCalibration> {
+    let _span = qem_telemetry::span!("core.cmc.assemble", patches = measured.patches.len());
     let MeasuredCmc { patches, schedule, circuits_used, shots_used } = measured;
     let joined = join_corrections(&patches)?;
     let mut mitigator = SparseMitigator::identity(n);
     mitigator.cull_threshold = cull_threshold;
-    for p in joined.iter().rev() {
-        let inv = qem_linalg::lu::inverse(&p.matrix)?;
-        mitigator.push_step(p.qubits.clone(), inv);
+    {
+        let _invert = qem_telemetry::span!("core.cmc.invert", patches = joined.len());
+        for p in joined.iter().rev() {
+            let inv = qem_linalg::lu::inverse(&p.matrix)?;
+            mitigator.push_step(p.qubits.clone(), inv);
+        }
     }
 
     Ok(CmcCalibration { patches, joined, mitigator, schedule, circuits_used, shots_used })
@@ -203,6 +212,7 @@ pub fn measure_round(
     shots_per_circuit: u64,
     rng: &mut StdRng,
 ) -> CoreResult<Vec<CalibrationMatrix>> {
+    let _span = qem_telemetry::span!("core.cmc.measure_round", patches = round.len());
     let n = backend.num_qubits();
     // Measured register: union of patch qubits, ascending.
     let mut measured: Vec<usize> = round.iter().flat_map(|&(a, b)| [a, b]).collect();
@@ -308,12 +318,16 @@ pub fn calibrate_cmc_patch_sets(
         patches.extend(singles);
     }
 
+    let _assemble = qem_telemetry::span!("core.cmc.assemble", patches = patches.len());
     let joined = join_corrections(&patches)?;
     let mut mitigator = SparseMitigator::identity(n);
     mitigator.cull_threshold = opts.cull_threshold;
-    for p in joined.iter().rev() {
-        let inv = qem_linalg::lu::inverse(&p.matrix)?;
-        mitigator.push_step(p.qubits.clone(), inv);
+    {
+        let _invert = qem_telemetry::span!("core.cmc.invert", patches = joined.len());
+        for p in joined.iter().rev() {
+            let inv = qem_linalg::lu::inverse(&p.matrix)?;
+            mitigator.push_step(p.qubits.clone(), inv);
+        }
     }
     // Present the multi-schedule through the pairwise schedule slot by
     // synthesising singleton rounds is lossy; keep an empty pair schedule

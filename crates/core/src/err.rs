@@ -62,7 +62,15 @@ pub fn characterize_err(
     let n = backend.num_qubits();
     let graph = &backend.device().coupling.graph;
     let candidates = graph.pairs_within_distance(opts.locality);
-    let schedule = schedule_pairs(graph, &candidates, opts.cmc.k);
+    let _span = qem_telemetry::span!(
+        "core.err.characterize",
+        candidates = candidates.len(),
+        locality = opts.locality,
+    );
+    let schedule = {
+        let _s = qem_telemetry::span!("core.err.schedule", pairs = candidates.len());
+        schedule_pairs(graph, &candidates, opts.cmc.k)
+    };
 
     let mut pair_calibrations = Vec::with_capacity(candidates.len());
     let mut circuits_used = 0usize;
@@ -79,12 +87,18 @@ pub fn characterize_err(
         .iter()
         .map(|p| {
             let w = p.correlation_weight()?;
+            qem_telemetry::histogram_record_with(
+                "core.err.pair_weight",
+                &qem_telemetry::WEIGHT_BUCKETS,
+                w,
+            );
             Ok(WeightedPair::new(p.qubits()[0], p.qubits()[1], w))
         })
         .collect::<Result<_>>()?;
 
     let max_edges = opts.max_edges.unwrap_or(n);
     let error_map = error_coupling_map(n, &weights, max_edges);
+    qem_telemetry::gauge_set("core.err.selected_edges", error_map.selected.len() as f64);
     Ok(ErrCharacterization {
         pair_calibrations,
         weights,
@@ -105,6 +119,7 @@ pub fn calibrate_cmc_err(
     rng: &mut StdRng,
 ) -> CoreResult<(ErrCharacterization, CmcCalibration)> {
     let err = characterize_err(backend, opts, rng)?;
+    let _span = qem_telemetry::span!("core.err.assemble", selected = err.error_map.selected.len());
     let n = backend.num_qubits();
 
     // Selected pairs, in Algorithm 2 acceptance order.

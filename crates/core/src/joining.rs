@@ -75,6 +75,7 @@ pub fn overlap_counts(patches: &[CalibrationMatrix]) -> HashMap<usize, usize> {
 /// order parameters: the `a`-th patch (in list order) containing qubit `j`
 /// gets order parameter `a` for `j`.
 pub fn join_corrections(patches: &[CalibrationMatrix]) -> Result<Vec<JoinedPatch>> {
+    let _span = qem_telemetry::span!("core.joining.join_corrections", patches = patches.len());
     let marginals = qubit_marginals(patches)?;
     let v = overlap_counts(patches);
     let mut occurrence: HashMap<usize, u32> = HashMap::new();
@@ -95,6 +96,7 @@ pub fn join_corrections(patches: &[CalibrationMatrix]) -> Result<Vec<JoinedPatch
                     op: "join_corrections",
                     detail: format!("no marginal for qubit {q}"),
                 })?;
+                let _frac = qem_telemetry::span!("core.joining.fractional_power", qubit = q);
                 left_factors.push(rational_power(cq, vq - 1 - a, vq)?);
                 right_factors.push(rational_power(cq, a, vq)?);
             }

@@ -46,8 +46,9 @@ pub use mitigator::SparseMitigator;
 pub use persist::{load_or_calibrate, CmcRecord};
 pub use rb::{single_qubit_rb, RbResult};
 pub use resilience::{
-    calibrate_resilient, DowngradeEvent, MitigationLevel, PatchIssue, ResilienceOptions,
-    ResilienceReport, ResilientCalibration, RetryExecutor, RetryPolicy, ValidationPolicy,
+    calibrate_resilient, DowngradeEvent, DowngradeRecord, MitigationLevel, PatchIssue,
+    ResilienceOptions, ResilienceReport, ResilienceReportRecord, ResilientCalibration,
+    RetryExecutor, RetryPolicy, ValidationPolicy, REPORT_SCHEMA_VERSION,
 };
 pub use tensored::LinearCalibration;
 pub use tomography::{process_tomography_1q, state_tomography, ProcessTomography, StateTomography};

@@ -84,14 +84,22 @@ impl SparseMitigator {
 
     /// Mitigates an already-normalised sparse distribution.
     pub fn mitigate_dist(&self, dist: &SparseDist) -> Result<SparseDist> {
+        let _span = qem_telemetry::span!("core.mitigator.apply", steps = self.steps.len());
         let mut d = dist.clone();
+        let mut flops = 0u64;
         for step in &self.steps {
+            // Sparse apply visits each of the `d.len()` entries and fans it
+            // out across the step's 2^k × 2^k operator.
+            let dim = 1u64 << step.qubits.len();
+            flops += d.len() as u64 * dim * dim;
             d = apply_operator_sparse(&step.operator, &step.qubits, &d)?;
             if self.cull_threshold > 0.0 {
                 d.cull(self.cull_threshold);
             }
         }
         d.clamp_negative();
+        qem_telemetry::counter_add("core.mitigator.flops_estimate", flops);
+        qem_telemetry::counter_add("core.mitigator.applies_total", 1);
         Ok(d)
     }
 

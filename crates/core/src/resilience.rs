@@ -33,7 +33,15 @@ use qem_sim::circuit::Circuit;
 use qem_sim::counts::Counts;
 use qem_sim::exec::{ExecutionError, Executor};
 use rand::rngs::StdRng;
+use serde::{Deserialize, Serialize};
 use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Emits the telemetry counter + event for one ladder downgrade; callers
+/// still push the event onto the report's list themselves.
+fn record_downgrade(d: &DowngradeEvent) {
+    qem_telemetry::counter_add("core.resilience.downgrades_total", 1);
+    qem_telemetry::event!("core.resilience.downgrade", kind = d.kind(), detail = d);
+}
 
 /// Bounded-retry policy with exponential backoff in virtual clock ticks.
 #[derive(Clone, Copy, Debug)]
@@ -125,6 +133,7 @@ impl Executor for RetryExecutor<'_> {
         let mut attempt = 0u32;
         loop {
             self.submissions.fetch_add(1, Ordering::Relaxed);
+            qem_telemetry::counter_add("core.resilience.submissions_total", 1);
             match self.inner.try_execute(circuit, shots, rng) {
                 Ok(counts) => return Ok(counts),
                 Err(e) if e.is_retryable() && attempt < self.policy.max_retries => {
@@ -132,10 +141,20 @@ impl Executor for RetryExecutor<'_> {
                     self.inner.advance_clock(wait);
                     self.backoff_ticks.fetch_add(wait, Ordering::Relaxed);
                     self.retries.fetch_add(1, Ordering::Relaxed);
+                    qem_telemetry::counter_add("core.resilience.retries_total", 1);
+                    qem_telemetry::counter_add("core.resilience.backoff_ticks_total", wait);
+                    qem_telemetry::event!(
+                        "core.resilience.retry",
+                        attempt = attempt,
+                        backoff_ticks = wait,
+                        reason = e,
+                    );
                     attempt += 1;
                 }
                 Err(e) => {
                     self.failures.fetch_add(1, Ordering::Relaxed);
+                    qem_telemetry::counter_add("core.resilience.failed_submissions_total", 1);
+                    qem_telemetry::event!("core.resilience.submission_failed", reason = e);
                     return Err(e);
                 }
             }
@@ -230,10 +249,16 @@ pub fn validate_patch(cal: &CalibrationMatrix, policy: &ValidationPolicy) -> Vec
         issues.push(PatchIssue::NotStochastic { deviation: worst });
     }
     match cal.condition() {
-        Ok(c) if c > policy.max_condition => {
-            issues.push(PatchIssue::IllConditioned { condition: c })
+        Ok(c) => {
+            qem_telemetry::histogram_record_with(
+                "core.resilience.patch_condition",
+                &qem_telemetry::CONDITION_BUCKETS,
+                c,
+            );
+            if c > policy.max_condition {
+                issues.push(PatchIssue::IllConditioned { condition: c });
+            }
         }
-        Ok(_) => {}
         Err(_) => issues.push(PatchIssue::Singular),
     }
     issues
@@ -276,6 +301,19 @@ pub enum MitigationLevel {
     Bare,
 }
 
+impl MitigationLevel {
+    /// Position on the degradation ladder: 0 = CMC-ERR (best) … 3 = Bare.
+    /// Exported as the `core.resilience.ladder_rung` telemetry gauge.
+    pub fn rung(&self) -> u32 {
+        match self {
+            MitigationLevel::CmcErr => 0,
+            MitigationLevel::Cmc => 1,
+            MitigationLevel::Linear => 2,
+            MitigationLevel::Bare => 3,
+        }
+    }
+}
+
 impl std::fmt::Display for MitigationLevel {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
@@ -314,6 +352,39 @@ pub enum DowngradeEvent {
     },
 }
 
+impl DowngradeEvent {
+    /// Machine-readable discriminant, used by telemetry events and the
+    /// serialized report record.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            DowngradeEvent::PatchFallback { .. } => "patch_fallback",
+            DowngradeEvent::ErrToCmc { .. } => "err_to_cmc",
+            DowngradeEvent::CmcToLinear { .. } => "cmc_to_linear",
+            DowngradeEvent::LinearToBare { .. } => "linear_to_bare",
+        }
+    }
+
+    /// Flat serde-friendly form (enums stay out of the wire format).
+    pub fn to_record(&self) -> DowngradeRecord {
+        match self {
+            DowngradeEvent::PatchFallback { qubits, issues } => DowngradeRecord {
+                kind: self.kind().to_string(),
+                qubits: qubits.clone(),
+                issues: issues.iter().map(|i| i.to_string()).collect(),
+                reason: String::new(),
+            },
+            DowngradeEvent::ErrToCmc { reason }
+            | DowngradeEvent::CmcToLinear { reason }
+            | DowngradeEvent::LinearToBare { reason } => DowngradeRecord {
+                kind: self.kind().to_string(),
+                qubits: Vec::new(),
+                issues: Vec::new(),
+                reason: reason.clone(),
+            },
+        }
+    }
+}
+
 impl std::fmt::Display for DowngradeEvent {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
@@ -344,12 +415,115 @@ pub struct ResilienceReport {
     pub backoff_ticks: u64,
     /// Submissions that failed beyond recovery.
     pub failed_submissions: u64,
+    /// Telemetry snapshot taken when the run finished, when recording was
+    /// enabled — so one report artifact tells the whole story of a run.
+    pub metrics: Option<qem_telemetry::MetricsSnapshot>,
+}
+
+/// Schema version stamped into serialized resilience reports.
+pub const REPORT_SCHEMA_VERSION: u32 = 1;
+
+fn default_report_schema() -> u32 {
+    REPORT_SCHEMA_VERSION
+}
+
+/// Flat, serde-friendly form of a [`DowngradeEvent`]. `kind` is one of
+/// `patch_fallback`, `err_to_cmc`, `cmc_to_linear`, `linear_to_bare`;
+/// unused fields stay empty.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct DowngradeRecord {
+    /// Machine-readable discriminant.
+    pub kind: String,
+    /// Affected qubits (patch fallbacks only).
+    #[serde(default)]
+    pub qubits: Vec<usize>,
+    /// Rendered validation issues (patch fallbacks only).
+    #[serde(default)]
+    pub issues: Vec<String>,
+    /// Failure reason (rung downgrades only).
+    #[serde(default)]
+    pub reason: String,
+}
+
+/// Serde-friendly form of a [`ResilienceReport`] for machine consumers
+/// (`--report-out`). The embedded metrics snapshot travels separately —
+/// [`ResilienceReport::to_json_string`] writes the combined artifact.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ResilienceReportRecord {
+    /// Record schema version ([`REPORT_SCHEMA_VERSION`] at write time).
+    #[serde(default = "default_report_schema")]
+    pub schema_version: u32,
+    /// Achieved level, as displayed (`CMC-ERR`, `CMC`, `Linear`, `Bare`).
+    pub level: String,
+    /// Ladder position: 0 = CMC-ERR … 3 = Bare.
+    pub ladder_rung: u32,
+    /// Every downgrade, in order.
+    pub downgrades: Vec<DowngradeRecord>,
+    /// Circuit submissions attempted (including retries).
+    pub submissions: u64,
+    /// Re-submissions after transient failures.
+    pub retries: u64,
+    /// Virtual clock ticks spent backing off.
+    pub backoff_ticks: u64,
+    /// Submissions that failed beyond recovery.
+    pub failed_submissions: u64,
 }
 
 impl ResilienceReport {
     /// Whether the run completed at the requested level with no repairs.
     pub fn is_clean(&self) -> bool {
         self.downgrades.is_empty()
+    }
+
+    /// The serde-friendly record form (without the metrics snapshot).
+    pub fn to_record(&self) -> ResilienceReportRecord {
+        ResilienceReportRecord {
+            schema_version: REPORT_SCHEMA_VERSION,
+            level: self.level.to_string(),
+            ladder_rung: self.level.rung(),
+            downgrades: self.downgrades.iter().map(|d| d.to_record()).collect(),
+            submissions: self.submissions,
+            retries: self.retries,
+            backoff_ticks: self.backoff_ticks,
+            failed_submissions: self.failed_submissions,
+        }
+    }
+
+    /// The full machine-readable artifact: the report record plus the
+    /// embedded metrics snapshot, hand-rolled through `qem_telemetry::json`
+    /// so the bytes are identical on every build and run configuration.
+    pub fn to_json_string(&self) -> String {
+        use qem_telemetry::json::Json;
+        let downgrades = Json::Arr(
+            self.downgrades
+                .iter()
+                .map(|d| {
+                    let r = d.to_record();
+                    Json::obj(vec![
+                        ("kind", Json::str(r.kind)),
+                        ("qubits", Json::Arr(r.qubits.iter().map(|&q| Json::UInt(q as u64)).collect())),
+                        ("issues", Json::Arr(r.issues.into_iter().map(Json::Str).collect())),
+                        ("reason", Json::str(r.reason)),
+                    ])
+                })
+                .collect(),
+        );
+        let metrics = match &self.metrics {
+            Some(snap) => snap.to_json(),
+            None => Json::Null,
+        };
+        Json::obj(vec![
+            ("schema_version", Json::UInt(REPORT_SCHEMA_VERSION as u64)),
+            ("level", Json::str(self.level.to_string())),
+            ("ladder_rung", Json::UInt(self.level.rung() as u64)),
+            ("downgrades", downgrades),
+            ("submissions", Json::UInt(self.submissions)),
+            ("retries", Json::UInt(self.retries)),
+            ("backoff_ticks", Json::UInt(self.backoff_ticks)),
+            ("failed_submissions", Json::UInt(self.failed_submissions)),
+            ("metrics", metrics),
+        ])
+        .to_string_pretty()
     }
 }
 
@@ -414,6 +588,7 @@ pub fn calibrate_resilient(
     opts: &ResilienceOptions,
     rng: &mut StdRng,
 ) -> ResilientCalibration {
+    let _span = qem_telemetry::span!("core.resilience.calibrate", use_err = opts.use_err);
     let n = backend.num_qubits();
     let retry = RetryExecutor::new(backend, opts.retry);
     let mut downgrades: Vec<DowngradeEvent> = Vec::new();
@@ -425,6 +600,9 @@ pub fn calibrate_resilient(
                   cmc: Option<CmcCalibration>,
                   linear: Option<LinearCalibration>| {
         let stats = retry.stats();
+        qem_telemetry::gauge_set("core.resilience.ladder_rung", level.rung() as f64);
+        qem_telemetry::event!("core.resilience.finished", level = level);
+        let metrics = qem_telemetry::enabled().then(qem_telemetry::snapshot);
         ResilientCalibration {
             mitigator,
             report: ResilienceReport {
@@ -434,6 +612,7 @@ pub fn calibrate_resilient(
                 retries: stats.retries,
                 backoff_ticks: stats.backoff_ticks,
                 failed_submissions: stats.failures,
+                metrics,
             },
             cmc,
             linear,
@@ -454,7 +633,11 @@ pub fn calibrate_resilient(
                     None,
                 );
             }
-            Err(e) => downgrades.push(DowngradeEvent::ErrToCmc { reason: e.to_string() }),
+            Err(e) => {
+                let d = DowngradeEvent::ErrToCmc { reason: e.to_string() };
+                record_downgrade(&d);
+                downgrades.push(d);
+            }
         }
     }
 
@@ -465,7 +648,11 @@ pub fn calibrate_resilient(
             let mitigator = cal.mitigator.clone();
             return finish(MitigationLevel::Cmc, mitigator, downgrades, &retry, Some(cal), None);
         }
-        Err(e) => downgrades.push(DowngradeEvent::CmcToLinear { reason: e.to_string() }),
+        Err(e) => {
+            let d = DowngradeEvent::CmcToLinear { reason: e.to_string() };
+            record_downgrade(&d);
+            downgrades.push(d);
+        }
     }
 
     // Rung 3: Linear, with per-qubit validation (a dead qubit would make
@@ -475,10 +662,12 @@ pub fn calibrate_resilient(
             for cal in lin.per_qubit.iter_mut() {
                 let issues = validate_patch(cal, &opts.validation);
                 if !issues.is_empty() {
-                    downgrades.push(DowngradeEvent::PatchFallback {
+                    let d = DowngradeEvent::PatchFallback {
                         qubits: cal.qubits().to_vec(),
                         issues,
-                    });
+                    };
+                    record_downgrade(&d);
+                    downgrades.push(d);
                     *cal = CalibrationMatrix::identity(cal.qubits().to_vec());
                 }
             }
@@ -494,11 +683,17 @@ pub fn calibrate_resilient(
                     );
                 }
                 Err(e) => {
-                    downgrades.push(DowngradeEvent::LinearToBare { reason: e.to_string() })
+                    let d = DowngradeEvent::LinearToBare { reason: e.to_string() };
+                    record_downgrade(&d);
+                    downgrades.push(d);
                 }
             }
         }
-        Err(e) => downgrades.push(DowngradeEvent::LinearToBare { reason: e.to_string() }),
+        Err(e) => {
+            let d = DowngradeEvent::LinearToBare { reason: e.to_string() };
+            record_downgrade(&d);
+            downgrades.push(d);
+        }
     }
 
     // Rung 4: Bare — the identity mitigator always works.
@@ -534,10 +729,12 @@ fn cmc_with_repair(
             })
             .collect();
         let repaired = tensored_fallback(patch, &dead)?;
-        downgrades.push(DowngradeEvent::PatchFallback {
+        let d = DowngradeEvent::PatchFallback {
             qubits: patch.qubits().to_vec(),
             issues,
-        });
+        };
+        record_downgrade(&d);
+        downgrades.push(d);
         *patch = repaired;
     }
     assemble_cmc(backend.num_qubits(), measured, opts.cmc.cull_threshold)
@@ -687,11 +884,45 @@ mod tests {
             retries: 3,
             backoff_ticks: 7,
             failed_submissions: 1,
+            metrics: None,
         };
         let s = report.to_string();
         assert!(s.contains("mitigation level: Linear"));
         assert!(s.contains("CMC -> Linear"));
         assert!(s.contains("12"));
+    }
+
+    #[test]
+    fn report_record_and_json_round_trip() {
+        let report = ResilienceReport {
+            level: MitigationLevel::Linear,
+            downgrades: vec![
+                DowngradeEvent::PatchFallback {
+                    qubits: vec![1, 2],
+                    issues: vec![PatchIssue::DeadQubit { qubit: 2 }],
+                },
+                DowngradeEvent::CmcToLinear { reason: "outage".into() },
+            ],
+            submissions: 12,
+            retries: 3,
+            backoff_ticks: 7,
+            failed_submissions: 1,
+            metrics: None,
+        };
+        let record = report.to_record();
+        assert_eq!(record.schema_version, REPORT_SCHEMA_VERSION);
+        assert_eq!(record.level, "Linear");
+        assert_eq!(record.ladder_rung, 2);
+        assert_eq!(record.downgrades.len(), 2);
+        assert_eq!(record.downgrades[0].kind, "patch_fallback");
+        assert_eq!(record.downgrades[0].qubits, vec![1, 2]);
+        assert_eq!(record.downgrades[1].kind, "cmc_to_linear");
+        assert_eq!(record.downgrades[1].reason, "outage");
+
+        let json = report.to_json_string();
+        assert!(qem_telemetry::json::is_valid(&json));
+        assert!(json.contains("\"ladder_rung\": 2"));
+        assert!(json.contains("\"metrics\": null"));
     }
 
     #[test]

@@ -67,6 +67,7 @@ impl MitigationStrategy for AimStrategy {
         budget: u64,
         rng: &mut StdRng,
     ) -> Result<MitigationOutcome> {
+        let _span = qem_telemetry::span!("mitigation.aim.run", budget = budget);
         let masks = aim_masks(circuit.num_qubits());
         let probe_budget = ((budget as f64) * self.probe_fraction) as u64;
         let probe_each = (probe_budget / masks.len() as u64).max(1);

@@ -22,6 +22,7 @@ impl MitigationStrategy for Bare {
         budget: u64,
         rng: &mut StdRng,
     ) -> Result<MitigationOutcome> {
+        let _span = qem_telemetry::span!("mitigation.bare.run", budget = budget);
         let counts = backend.try_execute(circuit, budget, rng)?;
         Ok(MitigationOutcome {
             distribution: counts.to_distribution(),

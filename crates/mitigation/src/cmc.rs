@@ -37,6 +37,7 @@ impl MitigationStrategy for CmcStrategy {
         budget: u64,
         rng: &mut StdRng,
     ) -> Result<MitigationOutcome> {
+        let _span = qem_telemetry::span!("mitigation.cmc.run", budget = budget);
         // Predict the circuit count from the schedule so the budget split
         // is known before spending shots.
         let schedule = patch_construct(&backend.device().coupling.graph, self.k);
@@ -88,6 +89,7 @@ impl MitigationStrategy for CmcErrStrategy {
         budget: u64,
         rng: &mut StdRng,
     ) -> Result<MitigationOutcome> {
+        let _span = qem_telemetry::span!("mitigation.cmc_err.run", budget = budget);
         use qem_topology::patches::schedule_pairs;
         let graph = &backend.device().coupling.graph;
         let candidates = graph.pairs_within_distance(self.locality);

@@ -42,6 +42,7 @@ impl MitigationStrategy for FullStrategy {
         budget: u64,
         rng: &mut StdRng,
     ) -> Result<MitigationOutcome> {
+        let _span = qem_telemetry::span!("mitigation.full.run", budget = budget);
         assert!(
             self.feasible(backend.device(), budget),
             "Full calibration infeasible here; check feasible() first"

@@ -71,6 +71,7 @@ impl MitigationStrategy for JigsawStrategy {
         budget: u64,
         rng: &mut StdRng,
     ) -> Result<MitigationOutcome> {
+        let _span = qem_telemetry::span!("mitigation.jigsaw.run", budget = budget);
         let measured = circuit.measured().to_vec();
         let n = measured.len();
 

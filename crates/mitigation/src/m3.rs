@@ -116,6 +116,7 @@ impl MitigationStrategy for M3Strategy {
         budget: u64,
         rng: &mut StdRng,
     ) -> qem_core::error::Result<MitigationOutcome> {
+        let _span = qem_telemetry::span!("mitigation.m3.run", budget = budget);
         let (per_circuit, execution) = split_budget(budget, 2);
         let cal = LinearCalibration::calibrate(backend, per_circuit, rng)?;
         let cals: Vec<Matrix> = cal.per_qubit.iter().map(|c| c.matrix().clone()).collect();

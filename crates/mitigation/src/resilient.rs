@@ -78,6 +78,7 @@ impl MitigationStrategy for ResilientCmcStrategy {
         budget: u64,
         rng: &mut StdRng,
     ) -> Result<MitigationOutcome> {
+        let _span = qem_telemetry::span!("mitigation.resilient.run", budget = budget);
         let schedule = patch_construct(&backend.device().coupling.graph, self.k);
         let circuits = 4 * schedule.rounds.len();
         let (per_circuit, execution) = split_budget(budget, circuits.max(1));

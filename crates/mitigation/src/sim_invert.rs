@@ -84,6 +84,7 @@ impl MitigationStrategy for SimStrategy {
         budget: u64,
         rng: &mut StdRng,
     ) -> Result<MitigationOutcome> {
+        let _span = qem_telemetry::span!("mitigation.sim.run", budget = budget);
         let masks = sim_masks(circuit.num_qubits());
         let shots_each = (budget / 4).max(1);
         let (distribution, used) = run_masked_average(backend, circuit, &masks, shots_each, rng)?;

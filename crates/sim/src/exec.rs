@@ -107,7 +107,14 @@ impl Executor for Backend {
         shots: u64,
         rng: &mut StdRng,
     ) -> Result<Counts, ExecutionError> {
-        Ok(self.execute(circuit, shots, rng))
+        // Each submission advances the telemetry virtual clock so seeded
+        // runs get deterministic span timings even on a fault-free backend.
+        qem_telemetry::tick(1);
+        qem_telemetry::counter_add("sim.exec.circuits_submitted", 1);
+        qem_telemetry::counter_add("sim.exec.shots_requested", shots);
+        let counts = self.execute(circuit, shots, rng);
+        qem_telemetry::counter_add("sim.exec.shots_executed", counts.shots());
+        Ok(counts)
     }
 }
 

@@ -266,6 +266,50 @@ impl Executor for FaultyBackend {
         shots: u64,
         rng: &mut StdRng,
     ) -> Result<Counts, ExecutionError> {
+        qem_telemetry::tick(1);
+        qem_telemetry::counter_add("sim.exec.circuits_submitted", 1);
+        qem_telemetry::counter_add("sim.exec.shots_requested", shots);
+        let result = self.try_execute_inner(circuit, shots, rng);
+        match &result {
+            Ok(counts) => {
+                let executed = counts.shots();
+                qem_telemetry::counter_add("sim.exec.shots_executed", executed);
+                if executed < shots {
+                    qem_telemetry::counter_add("sim.exec.shots_dropped", shots - executed);
+                    qem_telemetry::event!(
+                        "sim.fault.shot_dropout",
+                        requested = shots,
+                        executed = executed,
+                    );
+                }
+            }
+            Err(e) => {
+                qem_telemetry::counter_add("sim.exec.shots_dropped", shots);
+                let (name, counter) = if e.is_retryable() {
+                    ("sim.fault.transient", "sim.fault.transient_total")
+                } else {
+                    ("sim.fault.fatal", "sim.fault.fatal_total")
+                };
+                qem_telemetry::counter_add(counter, 1);
+                qem_telemetry::event!(name, submission = e.submission(), reason = e);
+            }
+        }
+        result
+    }
+
+    fn advance_clock(&self, ticks: u64) {
+        self.clock.fetch_add(ticks, Ordering::SeqCst);
+        qem_telemetry::tick(ticks);
+    }
+}
+
+impl FaultyBackend {
+    fn try_execute_inner(
+        &self,
+        circuit: &Circuit,
+        shots: u64,
+        rng: &mut StdRng,
+    ) -> Result<Counts, ExecutionError> {
         let tick = self.clock.fetch_add(1, Ordering::SeqCst);
         let mut fault_rng = self.fault_rng(tick);
 
@@ -312,10 +356,6 @@ impl Executor for FaultyBackend {
             None => self.inner.execute(circuit, effective_shots, rng),
         };
         Ok(self.apply_stuck_bits(circuit, counts))
-    }
-
-    fn advance_clock(&self, ticks: u64) {
-        self.clock.fetch_add(ticks, Ordering::SeqCst);
     }
 }
 

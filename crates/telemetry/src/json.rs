@@ -1,0 +1,318 @@
+//! A deliberately small JSON value model with a deterministic writer and a
+//! strict validator.
+//!
+//! The telemetry exporters hand-roll their JSON instead of going through a
+//! serialization framework so that (a) this crate stays dependency-free and
+//! (b) the bytes written for a given snapshot are identical on every build —
+//! a requirement for the reproducibility guarantee that two seeded runs
+//! under the virtual clock produce byte-identical `metrics.json`.
+
+use std::fmt::Write as _;
+
+/// A JSON value. Object keys keep insertion order — callers that need
+/// deterministic output (all of them) must insert in a canonical order.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Json {
+    Null,
+    Bool(bool),
+    /// Unsigned integers get their own variant so counters round-trip
+    /// exactly; `f64` cannot hold every `u64`.
+    UInt(u64),
+    Int(i64),
+    Float(f64),
+    Str(String),
+    Arr(Vec<Json>),
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Convenience: an object from key/value pairs.
+    pub fn obj(fields: Vec<(&str, Json)>) -> Json {
+        Json::Obj(fields.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+    }
+
+    /// Convenience: a string value.
+    pub fn str(s: impl Into<String>) -> Json {
+        Json::Str(s.into())
+    }
+
+    /// Compact rendering (no whitespace).
+    pub fn to_string_compact(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, None, 0);
+        out
+    }
+
+    /// Pretty rendering with two-space indentation.
+    pub fn to_string_pretty(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, Some(2), 0);
+        out.push('\n');
+        out
+    }
+
+    fn write(&self, out: &mut String, indent: Option<usize>, depth: usize) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::UInt(v) => {
+                let _ = write!(out, "{v}");
+            }
+            Json::Int(v) => {
+                let _ = write!(out, "{v}");
+            }
+            Json::Float(v) => write_f64(out, *v),
+            Json::Str(s) => write_escaped(out, s),
+            Json::Arr(items) => write_seq(out, indent, depth, '[', ']', items.len(), |out, i| {
+                items[i].write(out, indent, depth + 1);
+            }),
+            Json::Obj(fields) => write_seq(out, indent, depth, '{', '}', fields.len(), |out, i| {
+                write_escaped(out, &fields[i].0);
+                out.push(':');
+                if indent.is_some() {
+                    out.push(' ');
+                }
+                fields[i].1.write(out, indent, depth + 1);
+            }),
+        }
+    }
+}
+
+fn write_seq(
+    out: &mut String,
+    indent: Option<usize>,
+    depth: usize,
+    open: char,
+    close: char,
+    len: usize,
+    mut item: impl FnMut(&mut String, usize),
+) {
+    out.push(open);
+    if len == 0 {
+        out.push(close);
+        return;
+    }
+    for i in 0..len {
+        if i > 0 {
+            out.push(',');
+        }
+        if let Some(w) = indent {
+            out.push('\n');
+            out.extend(std::iter::repeat_n(' ', w * (depth + 1)));
+        }
+        item(out, i);
+    }
+    if let Some(w) = indent {
+        out.push('\n');
+        out.extend(std::iter::repeat_n(' ', w * depth));
+    }
+    out.push(close);
+}
+
+/// JSON has no NaN/Infinity; map them to `null` rather than emit garbage.
+fn write_f64(out: &mut String, v: f64) {
+    if v.is_finite() {
+        // Rust's shortest-roundtrip formatting never uses exponent notation
+        // for `{}`, so the output is always valid JSON (an integral float
+        // such as 3.0 prints as "3", which is still a valid JSON number).
+        let _ = write!(out, "{v}");
+    } else {
+        out.push_str("null");
+    }
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Strict recursive-descent check that `s` is one well-formed JSON value.
+///
+/// Used by tests (and available to embedders) to confirm exporter output is
+/// structurally valid without pulling in a JSON library.
+pub fn is_valid(s: &str) -> bool {
+    let bytes = s.as_bytes();
+    let mut pos = 0usize;
+    if !parse_value(bytes, &mut pos) {
+        return false;
+    }
+    skip_ws(bytes, &mut pos);
+    pos == bytes.len()
+}
+
+fn skip_ws(b: &[u8], pos: &mut usize) {
+    while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn parse_value(b: &[u8], pos: &mut usize) -> bool {
+    skip_ws(b, pos);
+    match b.get(*pos) {
+        Some(b'{') => parse_delimited(b, pos, b'}', |b, pos| {
+            parse_string(b, pos) && parse_lit(b, pos, b":") && parse_value(b, pos)
+        }),
+        Some(b'[') => parse_delimited(b, pos, b']', parse_value),
+        Some(b'"') => parse_string(b, pos),
+        Some(b't') => parse_lit(b, pos, b"true"),
+        Some(b'f') => parse_lit(b, pos, b"false"),
+        Some(b'n') => parse_lit(b, pos, b"null"),
+        Some(_) => parse_number(b, pos),
+        None => false,
+    }
+}
+
+fn parse_delimited(
+    b: &[u8],
+    pos: &mut usize,
+    close: u8,
+    mut element: impl FnMut(&[u8], &mut usize) -> bool,
+) -> bool {
+    *pos += 1; // opening bracket
+    skip_ws(b, pos);
+    if b.get(*pos) == Some(&close) {
+        *pos += 1;
+        return true;
+    }
+    loop {
+        if !element(b, pos) {
+            return false;
+        }
+        skip_ws(b, pos);
+        match b.get(*pos) {
+            Some(b',') => {
+                *pos += 1;
+            }
+            Some(&c) if c == close => {
+                *pos += 1;
+                return true;
+            }
+            _ => return false,
+        }
+    }
+}
+
+fn parse_string(b: &[u8], pos: &mut usize) -> bool {
+    skip_ws(b, pos);
+    if b.get(*pos) != Some(&b'"') {
+        return false;
+    }
+    *pos += 1;
+    while let Some(&c) = b.get(*pos) {
+        match c {
+            b'"' => {
+                *pos += 1;
+                return true;
+            }
+            b'\\' => {
+                *pos += 2;
+            }
+            _ => *pos += 1,
+        }
+    }
+    false
+}
+
+fn parse_lit(b: &[u8], pos: &mut usize, lit: &[u8]) -> bool {
+    skip_ws(b, pos);
+    if b.len() - *pos >= lit.len() && &b[*pos..*pos + lit.len()] == lit {
+        *pos += lit.len();
+        true
+    } else {
+        false
+    }
+}
+
+fn parse_number(b: &[u8], pos: &mut usize) -> bool {
+    let start = *pos;
+    if b.get(*pos) == Some(&b'-') {
+        *pos += 1;
+    }
+    let digits_start = *pos;
+    while matches!(b.get(*pos), Some(c) if c.is_ascii_digit()) {
+        *pos += 1;
+    }
+    if *pos == digits_start {
+        return false;
+    }
+    if b.get(*pos) == Some(&b'.') {
+        *pos += 1;
+        let frac_start = *pos;
+        while matches!(b.get(*pos), Some(c) if c.is_ascii_digit()) {
+            *pos += 1;
+        }
+        if *pos == frac_start {
+            return false;
+        }
+    }
+    if matches!(b.get(*pos), Some(b'e') | Some(b'E')) {
+        *pos += 1;
+        if matches!(b.get(*pos), Some(b'+') | Some(b'-')) {
+            *pos += 1;
+        }
+        let exp_start = *pos;
+        while matches!(b.get(*pos), Some(c) if c.is_ascii_digit()) {
+            *pos += 1;
+        }
+        if *pos == exp_start {
+            return false;
+        }
+    }
+    *pos > start
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn writes_escapes_and_nesting() {
+        let v = Json::obj(vec![
+            ("name", Json::str("a\"b\\c\nd")),
+            ("items", Json::Arr(vec![Json::UInt(1), Json::Float(0.5), Json::Null])),
+            ("ok", Json::Bool(true)),
+        ]);
+        let s = v.to_string_compact();
+        assert_eq!(s, r#"{"name":"a\"b\\c\nd","items":[1,0.5,null],"ok":true}"#);
+        assert!(is_valid(&s));
+        assert!(is_valid(&v.to_string_pretty()));
+    }
+
+    #[test]
+    fn nonfinite_floats_become_null() {
+        assert_eq!(Json::Float(f64::NAN).to_string_compact(), "null");
+        assert_eq!(Json::Float(f64::INFINITY).to_string_compact(), "null");
+    }
+
+    #[test]
+    fn validator_accepts_and_rejects() {
+        assert!(is_valid(r#"{"a":[1,2.5,-3e4,"x",{"b":null}],"c":false}"#));
+        assert!(is_valid("  [ ]  "));
+        assert!(!is_valid(""));
+        assert!(!is_valid("{"));
+        assert!(!is_valid(r#"{"a":}"#));
+        assert!(!is_valid("[1,]"));
+        assert!(!is_valid("01x"));
+        assert!(!is_valid("{} {}"));
+        assert!(!is_valid(r#"{"a" 1}"#));
+    }
+
+    #[test]
+    fn uint_round_trips_large_counters() {
+        let v = Json::UInt(u64::MAX);
+        assert_eq!(v.to_string_compact(), u64::MAX.to_string());
+    }
+}

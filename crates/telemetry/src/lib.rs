@@ -1,0 +1,164 @@
+//! # qem-telemetry — hand-rolled observability for the qem workspace
+//!
+//! Spans, events, and a metrics registry behind one process-wide
+//! [`Recorder`], with three exporters: a human summary table, deterministic
+//! metrics JSON, and Chrome `trace_event` JSON loadable in Perfetto.
+//!
+//! Recording is **off by default**: every instrumentation call checks one
+//! atomic flag, so library crates can instrument hot paths unconditionally.
+//! Names follow `<crate>.<module>.<op>` (e.g. `core.cmc.measure_round`,
+//! `sim.exec.shots_executed`, `core.resilience.retries_total`).
+//!
+//! ```
+//! use qem_telemetry as tel;
+//!
+//! tel::global().reset();
+//! tel::set_enabled(true);
+//! tel::use_virtual_clock(); // deterministic timings for the doctest
+//! {
+//!     let _span = tel::span!("core.cmc.measure_round", round = 0);
+//!     tel::tick(12); // executors tick once per circuit submission
+//!     tel::counter_add("sim.exec.circuits_submitted", 4);
+//! }
+//! let snap = tel::snapshot();
+//! assert_eq!(snap.counter("sim.exec.circuits_submitted"), 4);
+//! assert_eq!(snap.spans["core.cmc.measure_round"].total_micros, 12);
+//! tel::set_enabled(false);
+//! ```
+
+pub mod json;
+pub mod metrics;
+pub mod recorder;
+
+pub use metrics::{
+    HistogramSnapshot, MetricsSnapshot, SpanStats, CONDITION_BUCKETS, DECADE_BUCKETS,
+    METRICS_SCHEMA_VERSION, WEIGHT_BUCKETS,
+};
+pub use recorder::{EventRecord, Recorder, SpanGuard, SpanRecord};
+
+use std::sync::OnceLock;
+
+static GLOBAL: OnceLock<Recorder> = OnceLock::new();
+
+/// The process-wide recorder that the `span!`/`event!` macros and all
+/// instrumented qem crates report to.
+pub fn global() -> &'static Recorder {
+    GLOBAL.get_or_init(Recorder::new)
+}
+
+/// Is global recording enabled?
+pub fn enabled() -> bool {
+    global().enabled()
+}
+
+/// Enable or disable global recording.
+pub fn set_enabled(on: bool) {
+    global().set_enabled(on);
+}
+
+/// Put the global recorder on the deterministic virtual clock (advanced by
+/// [`tick`], which `qem_sim` executors call per circuit submission).
+pub fn use_virtual_clock() {
+    global().use_virtual_clock();
+}
+
+/// Put the global recorder back on the wall clock (the default).
+pub fn use_wall_clock() {
+    global().use_wall_clock();
+}
+
+/// Advance the global virtual clock.
+pub fn tick(micros: u64) {
+    global().tick(micros);
+}
+
+/// Increment a global counter.
+pub fn counter_add(name: &str, delta: u64) {
+    global().counter_add(name, delta);
+}
+
+/// Set a global gauge.
+pub fn gauge_set(name: &str, value: f64) {
+    global().gauge_set(name, value);
+}
+
+/// Record into a global histogram with default decade buckets.
+pub fn histogram_record(name: &str, value: f64) {
+    global().histogram_record(name, value);
+}
+
+/// Record into a global histogram; `bounds` apply on first registration.
+pub fn histogram_record_with(name: &str, bounds: &[f64], value: f64) {
+    global().histogram_record_with(name, bounds, value);
+}
+
+/// Snapshot the global registry.
+pub fn snapshot() -> MetricsSnapshot {
+    global().snapshot()
+}
+
+/// Chrome trace JSON for everything the global recorder holds.
+pub fn trace_json() -> String {
+    global().trace_json()
+}
+
+/// Open a span on the global recorder.
+///
+/// ```
+/// let _guard = qem_telemetry::span!("core.joining.fractional_power", qubit = 3);
+/// ```
+#[macro_export]
+macro_rules! span {
+    ($name:expr $(, $key:ident = $value:expr)* $(,)?) => {
+        $crate::global().span(
+            $name,
+            &[$((stringify!($key), ::std::string::ToString::to_string(&$value))),*],
+        )
+    };
+}
+
+/// Record an instant event on the global recorder.
+///
+/// ```
+/// qem_telemetry::event!("core.resilience.retry", attempt = 2, reason = "transient");
+/// ```
+#[macro_export]
+macro_rules! event {
+    ($name:expr $(, $key:ident = $value:expr)* $(,)?) => {
+        $crate::global().event(
+            $name,
+            &[$((stringify!($key), ::std::string::ToString::to_string(&$value))),*],
+        )
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    // The global recorder is process-wide; keep all tests touching it in
+    // one #[test] body to avoid cross-test interference under the parallel
+    // test runner.
+    #[test]
+    fn global_macros_record_spans_events_and_metrics() {
+        let g = super::global();
+        g.reset();
+        g.use_virtual_clock();
+        g.set_enabled(true);
+        {
+            let _outer = crate::span!("t.outer", n = 5);
+            g.tick(4);
+            crate::event!("t.blip", reason = "x");
+            crate::counter_add("t.count", 3);
+        }
+        let spans = g.spans();
+        assert_eq!(spans.len(), 1);
+        assert_eq!(spans[0].name, "t.outer");
+        assert_eq!(spans[0].attrs, vec![("n".to_string(), "5".to_string())]);
+        assert_eq!(spans[0].end_micros, Some(4));
+        let events = g.events();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].parent, Some(spans[0].id));
+        assert_eq!(g.snapshot().counter("t.count"), 3);
+        g.set_enabled(false);
+        g.reset();
+    }
+}

@@ -1,0 +1,337 @@
+//! The metrics registry: named counters, gauges, and fixed-bucket
+//! histograms, plus the immutable [`MetricsSnapshot`] exporters work from.
+//!
+//! Everything lives behind coarse mutexes keyed by metric name. The
+//! instrumented hot paths record at most a few thousand samples per run, so
+//! lock contention is irrelevant next to determinism and simplicity; the
+//! crucial property is that concurrent `counter_add` calls (e.g. from rayon
+//! workers inside `run_trials`) never lose updates.
+
+use std::collections::BTreeMap;
+use std::sync::Mutex;
+
+use crate::json::Json;
+
+/// Default histogram bounds: decades from 1 to 1e9, suitable for
+/// microsecond timings and other wide-range positive quantities.
+pub const DECADE_BUCKETS: [f64; 10] =
+    [1.0, 10.0, 100.0, 1e3, 1e4, 1e5, 1e6, 1e7, 1e8, 1e9];
+
+/// Bounds tuned for ERR pair weights `‖C_a ⊗ C_b − C_ab‖_F`, which land in
+/// roughly `[1e-4, 1]` on the devices the paper studies.
+pub const WEIGHT_BUCKETS: [f64; 8] =
+    [1e-4, 1e-3, 1e-2, 0.05, 0.1, 0.25, 0.5, 1.0];
+
+/// Bounds for patch condition numbers: well-conditioned calibration patches
+/// sit near 1, and the resilience layer rejects patches past ~1e8.
+pub const CONDITION_BUCKETS: [f64; 8] =
+    [2.0, 5.0, 10.0, 100.0, 1e3, 1e4, 1e6, 1e8];
+
+#[derive(Clone, Debug, PartialEq)]
+pub(crate) struct Histogram {
+    bounds: Vec<f64>,
+    counts: Vec<u64>,
+    overflow: u64,
+    sum: f64,
+    count: u64,
+}
+
+impl Histogram {
+    fn new(bounds: &[f64]) -> Histogram {
+        Histogram {
+            bounds: bounds.to_vec(),
+            counts: vec![0; bounds.len()],
+            overflow: 0,
+            sum: 0.0,
+            count: 0,
+        }
+    }
+
+    fn record(&mut self, value: f64) {
+        // First bucket whose upper bound admits the value; values past the
+        // last bound (and non-finite values) land in the overflow bucket.
+        match self.bounds.iter().position(|&b| value <= b) {
+            Some(i) if value.is_finite() => self.counts[i] += 1,
+            _ => self.overflow += 1,
+        }
+        if value.is_finite() {
+            self.sum += value;
+        }
+        self.count += 1;
+    }
+}
+
+#[derive(Default)]
+pub(crate) struct Metrics {
+    counters: Mutex<BTreeMap<String, u64>>,
+    gauges: Mutex<BTreeMap<String, f64>>,
+    histograms: Mutex<BTreeMap<String, Histogram>>,
+}
+
+impl Metrics {
+    pub(crate) fn counter_add(&self, name: &str, delta: u64) {
+        let mut map = self.counters.lock().unwrap();
+        match map.get_mut(name) {
+            Some(v) => *v += delta,
+            None => {
+                map.insert(name.to_string(), delta);
+            }
+        }
+    }
+
+    pub(crate) fn gauge_set(&self, name: &str, value: f64) {
+        self.gauges.lock().unwrap().insert(name.to_string(), value);
+    }
+
+    pub(crate) fn histogram_record(&self, name: &str, bounds: &[f64], value: f64) {
+        let mut map = self.histograms.lock().unwrap();
+        map.entry(name.to_string())
+            .or_insert_with(|| Histogram::new(bounds))
+            .record(value);
+    }
+
+    pub(crate) fn clear(&self) {
+        self.counters.lock().unwrap().clear();
+        self.gauges.lock().unwrap().clear();
+        self.histograms.lock().unwrap().clear();
+    }
+
+    pub(crate) fn snapshot(&self) -> (BTreeMap<String, u64>, BTreeMap<String, f64>, BTreeMap<String, HistogramSnapshot>) {
+        let counters = self.counters.lock().unwrap().clone();
+        let gauges = self.gauges.lock().unwrap().clone();
+        let histograms = self
+            .histograms
+            .lock()
+            .unwrap()
+            .iter()
+            .map(|(k, h)| {
+                (
+                    k.clone(),
+                    HistogramSnapshot {
+                        bounds: h.bounds.clone(),
+                        counts: h.counts.clone(),
+                        overflow: h.overflow,
+                        sum: h.sum,
+                        count: h.count,
+                    },
+                )
+            })
+            .collect();
+        (counters, gauges, histograms)
+    }
+}
+
+/// Frozen view of one histogram.
+#[derive(Clone, Debug, PartialEq)]
+pub struct HistogramSnapshot {
+    /// Inclusive upper bounds, ascending.
+    pub bounds: Vec<f64>,
+    /// Samples per bucket, parallel to `bounds`.
+    pub counts: Vec<u64>,
+    /// Samples above the last bound (or non-finite).
+    pub overflow: u64,
+    /// Sum of all finite samples.
+    pub sum: f64,
+    /// Total samples recorded.
+    pub count: u64,
+}
+
+impl HistogramSnapshot {
+    /// Mean of the finite samples, or 0 for an empty histogram.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+}
+
+/// Aggregate statistics over all *closed* spans sharing a name.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SpanStats {
+    /// Number of completed spans with this name.
+    pub count: u64,
+    /// Total duration across them, in clock microseconds (virtual ticks
+    /// under the virtual clock).
+    pub total_micros: u64,
+    /// Shortest single span.
+    pub min_micros: u64,
+    /// Longest single span.
+    pub max_micros: u64,
+}
+
+/// Schema version stamped into every metrics JSON document.
+pub const METRICS_SCHEMA_VERSION: u32 = 1;
+
+/// An immutable, deterministic view of the registry at one instant.
+///
+/// All maps are `BTreeMap` so iteration — and therefore exported JSON — has
+/// a stable order independent of recording interleavings.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct MetricsSnapshot {
+    /// Monotonic counters by name.
+    pub counters: BTreeMap<String, u64>,
+    /// Last-write-wins gauges by name.
+    pub gauges: BTreeMap<String, f64>,
+    /// Fixed-bucket histograms by name.
+    pub histograms: BTreeMap<String, HistogramSnapshot>,
+    /// Per-name span timing aggregates.
+    pub spans: BTreeMap<String, SpanStats>,
+}
+
+impl MetricsSnapshot {
+    /// Counter value, 0 if never incremented.
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Gauge value, if ever set.
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        self.gauges.get(name).copied()
+    }
+
+    /// The snapshot as a JSON value (schema-versioned).
+    pub fn to_json(&self) -> Json {
+        let counters = Json::Obj(
+            self.counters.iter().map(|(k, v)| (k.clone(), Json::UInt(*v))).collect(),
+        );
+        let gauges = Json::Obj(
+            self.gauges.iter().map(|(k, v)| (k.clone(), Json::Float(*v))).collect(),
+        );
+        let histograms = Json::Obj(
+            self.histograms
+                .iter()
+                .map(|(k, h)| {
+                    (
+                        k.clone(),
+                        Json::obj(vec![
+                            ("bounds", Json::Arr(h.bounds.iter().map(|&b| Json::Float(b)).collect())),
+                            ("counts", Json::Arr(h.counts.iter().map(|&c| Json::UInt(c)).collect())),
+                            ("overflow", Json::UInt(h.overflow)),
+                            ("sum", Json::Float(h.sum)),
+                            ("count", Json::UInt(h.count)),
+                        ]),
+                    )
+                })
+                .collect(),
+        );
+        let spans = Json::Obj(
+            self.spans
+                .iter()
+                .map(|(k, s)| {
+                    (
+                        k.clone(),
+                        Json::obj(vec![
+                            ("count", Json::UInt(s.count)),
+                            ("total_micros", Json::UInt(s.total_micros)),
+                            ("min_micros", Json::UInt(s.min_micros)),
+                            ("max_micros", Json::UInt(s.max_micros)),
+                        ]),
+                    )
+                })
+                .collect(),
+        );
+        Json::obj(vec![
+            ("schema_version", Json::UInt(METRICS_SCHEMA_VERSION as u64)),
+            ("counters", counters),
+            ("gauges", gauges),
+            ("histograms", histograms),
+            ("spans", spans),
+        ])
+    }
+
+    /// Pretty-printed metrics JSON — the `--metrics-out` format.
+    pub fn to_json_string(&self) -> String {
+        self.to_json().to_string_pretty()
+    }
+
+    /// Human-readable summary table for terminal output.
+    pub fn summary_table(&self) -> String {
+        let mut out = String::new();
+        out.push_str("telemetry summary\n=================\n");
+        if !self.counters.is_empty() {
+            out.push_str("\ncounters\n");
+            let w = self.counters.keys().map(|k| k.len()).max().unwrap_or(0);
+            for (k, v) in &self.counters {
+                out.push_str(&format!("  {k:<w$}  {v}\n"));
+            }
+        }
+        if !self.gauges.is_empty() {
+            out.push_str("\ngauges\n");
+            let w = self.gauges.keys().map(|k| k.len()).max().unwrap_or(0);
+            for (k, v) in &self.gauges {
+                out.push_str(&format!("  {k:<w$}  {v:.6}\n"));
+            }
+        }
+        if !self.histograms.is_empty() {
+            out.push_str("\nhistograms                                  count        mean\n");
+            for (k, h) in &self.histograms {
+                out.push_str(&format!("  {k:<40}  {:>7}  {:>10.4}\n", h.count, h.mean()));
+            }
+        }
+        if !self.spans.is_empty() {
+            out.push_str("\nspans                                       count  total(us)   mean(us)\n");
+            for (k, s) in &self.spans {
+                let mean = if s.count == 0 { 0.0 } else { s.total_micros as f64 / s.count as f64 };
+                out.push_str(&format!(
+                    "  {k:<40}  {:>7}  {:>9}  {:>9.1}\n",
+                    s.count, s.total_micros, mean
+                ));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::is_valid;
+
+    #[test]
+    fn histogram_bucketing_boundaries() {
+        let mut h = Histogram::new(&[1.0, 10.0, 100.0]);
+        h.record(0.5); // <= 1     -> bucket 0
+        h.record(1.0); // == bound -> bucket 0 (inclusive upper bound)
+        h.record(1.01); // bucket 1
+        h.record(10.0); // bucket 1
+        h.record(99.9); // bucket 2
+        h.record(100.5); // overflow
+        h.record(f64::INFINITY); // overflow, excluded from sum
+        assert_eq!(h.counts, vec![2, 2, 1]);
+        assert_eq!(h.overflow, 2);
+        assert_eq!(h.count, 7);
+        assert!((h.sum - (0.5 + 1.0 + 1.01 + 10.0 + 99.9 + 100.5)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn histogram_keeps_first_registration_bounds() {
+        let m = Metrics::default();
+        m.histogram_record("h", &[1.0, 2.0], 0.5);
+        // Later calls with different bounds must not re-bucket history.
+        m.histogram_record("h", &[100.0], 1.5);
+        let (_, _, hists) = m.snapshot();
+        assert_eq!(hists["h"].bounds, vec![1.0, 2.0]);
+        assert_eq!(hists["h"].counts, vec![1, 1]);
+    }
+
+    #[test]
+    fn snapshot_json_is_valid_and_deterministic() {
+        let m = Metrics::default();
+        m.counter_add("z.last", 3);
+        m.counter_add("a.first", 1);
+        m.gauge_set("g", 0.25);
+        m.histogram_record("h", &DECADE_BUCKETS, 42.0);
+        let (counters, gauges, histograms) = m.snapshot();
+        let snap = MetricsSnapshot { counters, gauges, histograms, spans: BTreeMap::new() };
+        let s1 = snap.to_json_string();
+        let s2 = snap.clone().to_json_string();
+        assert_eq!(s1, s2);
+        assert!(is_valid(&s1));
+        // BTreeMap ordering: "a.first" precedes "z.last" regardless of
+        // insertion order.
+        assert!(s1.find("a.first").unwrap() < s1.find("z.last").unwrap());
+        assert!(!snap.summary_table().is_empty());
+    }
+}

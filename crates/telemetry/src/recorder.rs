@@ -1,0 +1,497 @@
+//! The [`Recorder`]: a thread-safe sink for spans, events, and metrics with
+//! a pluggable clock.
+//!
+//! Recording is disabled by default and every entry point checks one atomic
+//! flag first, so instrumented library code costs a single relaxed load when
+//! telemetry is off. Span parentage is tracked per thread: a span started
+//! while another span on the same thread is open becomes its child, which is
+//! what makes the Chrome-trace export show the calibration pipeline as a
+//! nested flame graph.
+
+use std::cell::RefCell;
+use std::collections::{BTreeMap, HashMap};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+use crate::json::Json;
+use crate::metrics::{Metrics, MetricsSnapshot, SpanStats, DECADE_BUCKETS};
+
+thread_local! {
+    // Stack of (recorder id, span id) for the spans currently open on this
+    // thread. The recorder id disambiguates when tests run several
+    // recorders on one thread.
+    static SPAN_STACK: RefCell<Vec<(u64, u64)>> = const { RefCell::new(Vec::new()) };
+}
+
+static NEXT_RECORDER_ID: AtomicU64 = AtomicU64::new(1);
+
+const CLOCK_WALL: u8 = 0;
+const CLOCK_VIRTUAL: u8 = 1;
+
+/// A completed or in-flight span as stored by the recorder.
+#[derive(Clone, Debug)]
+pub struct SpanRecord {
+    /// Unique id within this recorder.
+    pub id: u64,
+    /// Enclosing span on the same thread, if any.
+    pub parent: Option<u64>,
+    /// Dotted span name (`<crate>.<module>.<op>`).
+    pub name: String,
+    /// Start time in clock microseconds.
+    pub start_micros: u64,
+    /// End time; `None` while the span is still open.
+    pub end_micros: Option<u64>,
+    /// Key/value attributes captured at start.
+    pub attrs: Vec<(String, String)>,
+    /// Dense per-recorder thread index (Chrome trace `tid`).
+    pub tid: u64,
+}
+
+/// A point-in-time event (retry, downgrade, fault injection, …).
+#[derive(Clone, Debug)]
+pub struct EventRecord {
+    /// Dotted event name.
+    pub name: String,
+    /// Timestamp in clock microseconds.
+    pub ts_micros: u64,
+    /// Span open on the emitting thread, if any.
+    pub parent: Option<u64>,
+    /// Key/value attributes.
+    pub attrs: Vec<(String, String)>,
+    /// Dense per-recorder thread index.
+    pub tid: u64,
+}
+
+#[derive(Default)]
+struct Inner {
+    spans: Vec<SpanRecord>,
+    /// span id -> index into `spans`, for O(1) close.
+    index: HashMap<u64, usize>,
+    events: Vec<EventRecord>,
+    threads: Vec<std::thread::ThreadId>,
+}
+
+impl Inner {
+    fn tid(&mut self) -> u64 {
+        let me = std::thread::current().id();
+        match self.threads.iter().position(|&t| t == me) {
+            Some(i) => i as u64,
+            None => {
+                self.threads.push(me);
+                (self.threads.len() - 1) as u64
+            }
+        }
+    }
+}
+
+/// Thread-safe telemetry sink. Most code uses the process-wide instance via
+/// [`crate::global`]; tests may construct private recorders.
+pub struct Recorder {
+    id: u64,
+    enabled: AtomicBool,
+    clock_mode: AtomicU8,
+    virtual_micros: AtomicU64,
+    epoch: Mutex<Instant>,
+    next_span: AtomicU64,
+    inner: Mutex<Inner>,
+    metrics: Metrics,
+}
+
+impl Default for Recorder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Recorder {
+    /// A fresh, disabled recorder on the wall clock.
+    pub fn new() -> Recorder {
+        Recorder {
+            id: NEXT_RECORDER_ID.fetch_add(1, Ordering::Relaxed),
+            enabled: AtomicBool::new(false),
+            clock_mode: AtomicU8::new(CLOCK_WALL),
+            virtual_micros: AtomicU64::new(0),
+            epoch: Mutex::new(Instant::now()),
+            next_span: AtomicU64::new(1),
+            inner: Mutex::new(Inner::default()),
+            metrics: Metrics::default(),
+        }
+    }
+
+    /// Is recording on? Instrumentation helpers check this themselves.
+    pub fn enabled(&self) -> bool {
+        self.enabled.load(Ordering::Relaxed)
+    }
+
+    /// Turn recording on or off. Spans opened while enabled still close
+    /// correctly after disabling.
+    pub fn set_enabled(&self, on: bool) {
+        self.enabled.store(on, Ordering::Relaxed);
+    }
+
+    /// Switch to the deterministic virtual clock: time only advances via
+    /// [`Recorder::tick`], which `qem_sim` executors call once per circuit
+    /// submission (mirroring `FaultyBackend`'s outage clock).
+    pub fn use_virtual_clock(&self) {
+        self.clock_mode.store(CLOCK_VIRTUAL, Ordering::Relaxed);
+    }
+
+    /// Switch back to the wall clock (the default).
+    pub fn use_wall_clock(&self) {
+        self.clock_mode.store(CLOCK_WALL, Ordering::Relaxed);
+    }
+
+    /// True when on the virtual clock.
+    pub fn virtual_clock(&self) -> bool {
+        self.clock_mode.load(Ordering::Relaxed) == CLOCK_VIRTUAL
+    }
+
+    /// Advance the virtual clock. No-op observable effect under the wall
+    /// clock; executors call this unconditionally.
+    pub fn tick(&self, micros: u64) {
+        self.virtual_micros.fetch_add(micros, Ordering::Relaxed);
+    }
+
+    /// Current time in clock microseconds since the recorder's epoch.
+    pub fn now_micros(&self) -> u64 {
+        if self.virtual_clock() {
+            self.virtual_micros.load(Ordering::Relaxed)
+        } else {
+            self.epoch.lock().unwrap().elapsed().as_micros() as u64
+        }
+    }
+
+    /// Drop all recorded spans, events, and metrics and rewind both clocks.
+    /// The enabled flag and clock mode are preserved.
+    pub fn reset(&self) {
+        *self.inner.lock().unwrap() = Inner::default();
+        self.metrics.clear();
+        self.virtual_micros.store(0, Ordering::Relaxed);
+        *self.epoch.lock().unwrap() = Instant::now();
+    }
+
+    /// Open a span. The returned guard closes it on drop; while it lives,
+    /// spans and events from the same thread attach to it as children.
+    pub fn span(&self, name: &str, attrs: &[(&str, String)]) -> SpanGuard<'_> {
+        if !self.enabled() {
+            return SpanGuard { rec: None, id: 0 };
+        }
+        let id = self.next_span.fetch_add(1, Ordering::Relaxed);
+        let start = self.now_micros();
+        let parent = SPAN_STACK.with(|s| {
+            s.borrow().iter().rev().find(|(rid, _)| *rid == self.id).map(|&(_, sid)| sid)
+        });
+        {
+            let mut inner = self.inner.lock().unwrap();
+            let tid = inner.tid();
+            let idx = inner.spans.len();
+            inner.spans.push(SpanRecord {
+                id,
+                parent,
+                name: name.to_string(),
+                start_micros: start,
+                end_micros: None,
+                attrs: attrs.iter().map(|(k, v)| (k.to_string(), v.clone())).collect(),
+                tid,
+            });
+            inner.index.insert(id, idx);
+        }
+        SPAN_STACK.with(|s| s.borrow_mut().push((self.id, id)));
+        SpanGuard { rec: Some(self), id }
+    }
+
+    fn end_span(&self, id: u64) {
+        let end = self.now_micros();
+        SPAN_STACK.with(|s| {
+            let mut stack = s.borrow_mut();
+            if let Some(pos) = stack.iter().rposition(|&(rid, sid)| rid == self.id && sid == id) {
+                stack.remove(pos);
+            }
+        });
+        let mut inner = self.inner.lock().unwrap();
+        if let Some(&idx) = inner.index.get(&id) {
+            inner.spans[idx].end_micros = Some(end);
+        }
+    }
+
+    /// Record an instant event, attributed to the current thread's open
+    /// span if any.
+    pub fn event(&self, name: &str, attrs: &[(&str, String)]) {
+        if !self.enabled() {
+            return;
+        }
+        let ts = self.now_micros();
+        let parent = SPAN_STACK.with(|s| {
+            s.borrow().iter().rev().find(|(rid, _)| *rid == self.id).map(|&(_, sid)| sid)
+        });
+        let mut inner = self.inner.lock().unwrap();
+        let tid = inner.tid();
+        inner.events.push(EventRecord {
+            name: name.to_string(),
+            ts_micros: ts,
+            parent,
+            attrs: attrs.iter().map(|(k, v)| (k.to_string(), v.clone())).collect(),
+            tid,
+        });
+    }
+
+    /// Increment a monotonic counter.
+    pub fn counter_add(&self, name: &str, delta: u64) {
+        if self.enabled() {
+            self.metrics.counter_add(name, delta);
+        }
+    }
+
+    /// Set a gauge to its latest value.
+    pub fn gauge_set(&self, name: &str, value: f64) {
+        if self.enabled() {
+            self.metrics.gauge_set(name, value);
+        }
+    }
+
+    /// Record a histogram sample with the default decade buckets.
+    pub fn histogram_record(&self, name: &str, value: f64) {
+        if self.enabled() {
+            self.metrics.histogram_record(name, &DECADE_BUCKETS, value);
+        }
+    }
+
+    /// Record a histogram sample; `bounds` apply on first registration.
+    pub fn histogram_record_with(&self, name: &str, bounds: &[f64], value: f64) {
+        if self.enabled() {
+            self.metrics.histogram_record(name, bounds, value);
+        }
+    }
+
+    /// Copies of all spans recorded so far (open ones included).
+    pub fn spans(&self) -> Vec<SpanRecord> {
+        self.inner.lock().unwrap().spans.clone()
+    }
+
+    /// Copies of all events recorded so far.
+    pub fn events(&self) -> Vec<EventRecord> {
+        self.inner.lock().unwrap().events.clone()
+    }
+
+    /// Freeze the registry plus per-name span aggregates.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let (counters, gauges, histograms) = self.metrics.snapshot();
+        let mut spans: BTreeMap<String, SpanStats> = BTreeMap::new();
+        for s in self.inner.lock().unwrap().spans.iter() {
+            let Some(end) = s.end_micros else { continue };
+            let dur = end.saturating_sub(s.start_micros);
+            let e = spans.entry(s.name.clone()).or_insert(SpanStats {
+                count: 0,
+                total_micros: 0,
+                min_micros: u64::MAX,
+                max_micros: 0,
+            });
+            e.count += 1;
+            e.total_micros += dur;
+            e.min_micros = e.min_micros.min(dur);
+            e.max_micros = e.max_micros.max(dur);
+        }
+        MetricsSnapshot { counters, gauges, histograms, spans }
+    }
+
+    /// Chrome `trace_event` JSON (the `--trace-out` format): complete spans
+    /// as `"ph":"X"` duration events, instant events as `"ph":"i"`. Load in
+    /// Perfetto (ui.perfetto.dev) or `chrome://tracing`.
+    pub fn trace_json(&self) -> String {
+        let inner = self.inner.lock().unwrap();
+        let mut events: Vec<Json> = Vec::with_capacity(inner.spans.len() + inner.events.len());
+        for s in &inner.spans {
+            let dur = s.end_micros.unwrap_or(s.start_micros).saturating_sub(s.start_micros);
+            let mut fields = vec![
+                ("name", Json::str(s.name.clone())),
+                ("cat", Json::str("qem")),
+                ("ph", Json::str("X")),
+                ("ts", Json::UInt(s.start_micros)),
+                ("dur", Json::UInt(dur)),
+                ("pid", Json::UInt(1)),
+                ("tid", Json::UInt(s.tid)),
+            ];
+            if !s.attrs.is_empty() {
+                fields.push(("args", attrs_json(&s.attrs)));
+            }
+            events.push(Json::obj(fields));
+        }
+        for e in &inner.events {
+            let mut fields = vec![
+                ("name", Json::str(e.name.clone())),
+                ("cat", Json::str("qem")),
+                ("ph", Json::str("i")),
+                ("ts", Json::UInt(e.ts_micros)),
+                ("pid", Json::UInt(1)),
+                ("tid", Json::UInt(e.tid)),
+                ("s", Json::str("t")),
+            ];
+            if !e.attrs.is_empty() {
+                fields.push(("args", attrs_json(&e.attrs)));
+            }
+            events.push(Json::obj(fields));
+        }
+        let clock = if self.virtual_clock() { "virtual" } else { "wall" };
+        Json::obj(vec![
+            ("traceEvents", Json::Arr(events)),
+            ("displayTimeUnit", Json::str("ms")),
+            ("otherData", Json::obj(vec![("clock", Json::str(clock))])),
+        ])
+        .to_string_pretty()
+    }
+}
+
+fn attrs_json(attrs: &[(String, String)]) -> Json {
+    Json::Obj(attrs.iter().map(|(k, v)| (k.clone(), Json::Str(v.clone()))).collect())
+}
+
+/// RAII guard returned by [`Recorder::span`]; closes the span on drop.
+#[must_use = "a span guard closes its span when dropped; binding it to _ ends the span immediately"]
+pub struct SpanGuard<'a> {
+    rec: Option<&'a Recorder>,
+    id: u64,
+}
+
+impl SpanGuard<'_> {
+    /// The span's id, or `None` if recording was disabled at open.
+    pub fn id(&self) -> Option<u64> {
+        self.rec.map(|_| self.id)
+    }
+}
+
+impl Drop for SpanGuard<'_> {
+    fn drop(&mut self) {
+        if let Some(rec) = self.rec {
+            rec.end_span(self.id);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_recorder_records_nothing() {
+        let r = Recorder::new();
+        {
+            let _g = r.span("a", &[]);
+            r.event("e", &[]);
+            r.counter_add("c", 1);
+        }
+        assert!(r.spans().is_empty());
+        assert!(r.events().is_empty());
+        assert_eq!(r.snapshot().counter("c"), 0);
+    }
+
+    #[test]
+    fn nested_spans_attribute_parents() {
+        let r = Recorder::new();
+        r.set_enabled(true);
+        r.use_virtual_clock();
+        {
+            let outer = r.span("outer", &[]);
+            r.tick(5);
+            {
+                let _mid = r.span("mid", &[("k", "v".to_string())]);
+                r.tick(3);
+                let _leaf = r.span("leaf", &[]);
+                r.event("ping", &[]);
+                r.tick(2);
+            }
+            // Sibling after `mid` closed: parent must be `outer` again.
+            let _sib = r.span("sibling", &[]);
+            drop(outer);
+        }
+        let spans = r.spans();
+        let by_name = |n: &str| spans.iter().find(|s| s.name == n).unwrap();
+        assert_eq!(by_name("outer").parent, None);
+        assert_eq!(by_name("mid").parent, Some(by_name("outer").id));
+        assert_eq!(by_name("leaf").parent, Some(by_name("mid").id));
+        assert_eq!(by_name("sibling").parent, Some(by_name("outer").id));
+        // The event landed inside `leaf`.
+        assert_eq!(r.events()[0].parent, Some(by_name("leaf").id));
+        // Virtual timings: outer spans [0, 10), mid [5, 10), leaf [8, 10).
+        assert_eq!(by_name("outer").start_micros, 0);
+        assert_eq!(by_name("mid").start_micros, 5);
+        assert_eq!(by_name("leaf").start_micros, 8);
+        assert_eq!(by_name("leaf").end_micros, Some(10));
+        let snap = r.snapshot();
+        assert_eq!(snap.spans["outer"].total_micros, 10);
+        assert_eq!(snap.spans["mid"].total_micros, 5);
+    }
+
+    #[test]
+    fn two_recorders_on_one_thread_do_not_cross_attribute() {
+        let a = Recorder::new();
+        let b = Recorder::new();
+        a.set_enabled(true);
+        b.set_enabled(true);
+        let _ga = a.span("a.outer", &[]);
+        let _gb = b.span("b.outer", &[]);
+        let _ga2 = a.span("a.inner", &[]);
+        let spans_a = a.spans();
+        let spans_b = b.spans();
+        assert_eq!(spans_a[1].parent, Some(spans_a[0].id));
+        assert_eq!(spans_b[0].parent, None);
+    }
+
+    #[test]
+    fn concurrent_counter_increments_lose_no_updates() {
+        // The satellite requirement: many workers hammering one counter
+        // (as rayon's run_trials workers do) must not lose updates.
+        let r = Recorder::new();
+        r.set_enabled(true);
+        let threads = 8;
+        let per_thread = 10_000u64;
+        std::thread::scope(|scope| {
+            for _ in 0..threads {
+                scope.spawn(|| {
+                    for _ in 0..per_thread {
+                        r.counter_add("shared.counter", 1);
+                        r.histogram_record("shared.hist", 7.0);
+                    }
+                });
+            }
+        });
+        let snap = r.snapshot();
+        assert_eq!(snap.counter("shared.counter"), threads * per_thread);
+        assert_eq!(snap.histograms["shared.hist"].count, threads * per_thread);
+    }
+
+    #[test]
+    fn trace_json_is_valid_chrome_format() {
+        let r = Recorder::new();
+        r.set_enabled(true);
+        r.use_virtual_clock();
+        {
+            let _g = r.span("outer", &[("q", "3".to_string())]);
+            r.tick(7);
+            let _h = r.span("inner", &[]);
+            r.tick(1);
+            r.event("blip", &[("reason", "test".to_string())]);
+        }
+        let t = r.trace_json();
+        assert!(crate::json::is_valid(&t));
+        assert!(t.contains("\"traceEvents\""));
+        assert!(t.contains("\"ph\": \"X\""));
+        assert!(t.contains("\"ph\": \"i\""));
+        assert!(t.contains("\"dur\": 8")); // outer spans all 8 ticks
+    }
+
+    #[test]
+    fn reset_clears_state_and_rewinds_virtual_clock() {
+        let r = Recorder::new();
+        r.set_enabled(true);
+        r.use_virtual_clock();
+        r.tick(9);
+        r.counter_add("c", 2);
+        drop(r.span("s", &[]));
+        r.reset();
+        assert_eq!(r.now_micros(), 0);
+        assert!(r.spans().is_empty());
+        assert_eq!(r.snapshot().counter("c"), 0);
+        assert!(r.enabled());
+    }
+}

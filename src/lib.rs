@@ -25,6 +25,7 @@ pub use qem_core as core;
 pub use qem_linalg as linalg;
 pub use qem_mitigation as mitigation;
 pub use qem_sim as sim;
+pub use qem_telemetry as telemetry;
 pub use qem_topology as topology;
 
 /// The names most programs need.

@@ -8,10 +8,14 @@ use qem::core::resilience::{calibrate_resilient, ResilienceOptions};
 use qem::core::CmcOptions;
 use qem::mitigation::metrics::ghz_ideal;
 use qem::mitigation::standard_strategies;
+use qem::mitigation::strategy::MitigationStrategy;
+use qem::mitigation::{CmcStrategy, FullStrategy, LinearStrategy};
 use qem::sim::backend::Backend;
 use qem::sim::circuit::ghz_bfs;
 use qem::sim::devices;
+use qem::sim::exec::Executor;
 use qem::sim::fault::{FaultProfile, FaultyBackend};
+use qem::telemetry::json::Json;
 use qem::topology::patches::patch_construct;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -37,12 +41,24 @@ COMMANDS:
     report       --device <name> [--shots N]         Fig.1-style correlation / alignment report
     compare      --device <name> [--budget N] [--trials N]
                                          compare all mitigation methods on a GHZ benchmark
+    bench-snapshot [--device <name>] [--budget N] [--out FILE]
+                                         CMC vs Linear vs Full on a 5-qubit linear chain;
+                                         writes a schema-versioned BENCH_cmc.json with
+                                         per-stage timings and circuit counts
 
 COMMON OPTIONS:
     --device         quito | lima | manila | nairobi
     --seed N         RNG seed (default 2023)
     --fault-profile  none | flaky | dropout | dead-qubit | drifting | bursty | hostile
     --max-retries N  re-submissions per circuit under a fault profile (default 3)
+
+TELEMETRY (any of these enables the recorder):
+    --metrics-out FILE   write the metrics registry as JSON after the command
+    --trace-out FILE     write a Chrome trace_event JSON (open in Perfetto)
+    --report-out FILE    write the resilience report (characterize only) as JSON
+    --virtual-clock      deterministic span timings (one tick per circuit
+                         submission) instead of wall-clock microseconds
+    --summary            print the telemetry summary table on exit
 ";
 
 struct Args {
@@ -188,13 +204,15 @@ fn characterize_resilient(
     })?;
     let name = backend.name.clone();
     let num_qubits = backend.num_qubits();
+    // Keep a fault-free copy for the post-calibration GHZ smoke run.
+    let clean = backend.clone();
     let faulty = FaultyBackend::new(backend, profile);
 
     let mut ropts = ResilienceOptions { cmc: opts, use_err: args.has_flag("err"), ..Default::default() };
     ropts.err = ErrOptions { locality: 2, max_edges: None, cmc: opts };
     ropts.retry.max_retries = args.get_u64("max-retries", 3) as u32;
 
-    let result = calibrate_resilient(&faulty, &ropts, rng);
+    let mut result = calibrate_resilient(&faulty, &ropts, rng);
     println!("resilient characterization of {name} under '{profile_name}' faults:");
     println!("{}", result.report);
     match &result.cmc {
@@ -205,6 +223,17 @@ fn characterize_resilient(
                 cal.circuits_used,
                 cal.shots_used
             );
+            // Exercise the mitigator once so traces show the full
+            // schedule -> join -> apply pipeline, not just calibration.
+            let ghz = ghz_bfs(&clean.coupling.graph, 0);
+            let raw = clean.try_execute(&ghz, 2048, rng).map_err(|e| e.to_string())?;
+            let mitigated = cal.mitigator.mitigate(&raw).map_err(|e| e.to_string())?;
+            let correct = [0u64, (1u64 << num_qubits) - 1];
+            println!(
+                "GHZ-{num_qubits} smoke run (2048 shots): success {:.4} bare -> {:.4} mitigated",
+                raw.success_probability(&correct),
+                mitigated.mass_on(&correct)
+            );
             CmcRecord::from_calibration(&name, num_qubits, cal)
                 .save(out)
                 .map_err(|e| e.to_string())?;
@@ -214,6 +243,14 @@ fn characterize_resilient(
             "no CMC calibration achieved (landed on {}); nothing stored",
             result.report.level
         ),
+    }
+    if qem::telemetry::enabled() {
+        // Re-snapshot so the embedded metrics cover the smoke run too.
+        result.report.metrics = Some(qem::telemetry::snapshot());
+    }
+    if let Some(path) = args.get("report-out") {
+        std::fs::write(path, result.report.to_json_string()).map_err(|e| e.to_string())?;
+        println!("report -> {path}");
     }
     Ok(())
 }
@@ -317,6 +354,118 @@ fn cmd_compare(args: &Args, seed: u64) -> Result<(), String> {
     Ok(())
 }
 
+/// Schema stamped into `bench-snapshot` output so downstream tooling can
+/// detect format drift.
+const BENCH_SCHEMA_VERSION: u32 = 1;
+
+/// The `bench-snapshot` command: CMC vs Linear vs Full on a GHZ state over a
+/// 5-qubit linear chain (the simulated-Manila device), each strategy timed
+/// through the telemetry recorder on the virtual clock, with the resulting
+/// per-stage span timings and circuit counts written to a schema-versioned
+/// JSON snapshot.
+fn cmd_bench_snapshot(args: &Args, seed: u64) -> Result<(), String> {
+    let device = args.get("device").unwrap_or("manila");
+    let backend = backend_by_name(device, seed)
+        .ok_or_else(|| format!("unknown device '{device}' (expected quito|lima|manila|nairobi)"))?;
+    let budget = args.get_u64("budget", 32_000);
+    let out: PathBuf = args.get("out").unwrap_or("BENCH_cmc.json").into();
+
+    // The benchmark always runs instrumented on the virtual clock so two
+    // invocations with the same seed write identical snapshots.
+    let tel = qem::telemetry::global();
+    tel.set_enabled(true);
+    tel.use_virtual_clock();
+
+    let n = backend.num_qubits();
+    let ghz = ghz_bfs(&backend.coupling.graph, 0);
+    let ideal = ghz_ideal(n);
+    let strategies: Vec<Box<dyn MitigationStrategy>> = vec![
+        Box::new(CmcStrategy::default()),
+        Box::new(LinearStrategy),
+        Box::new(FullStrategy::default()),
+    ];
+
+    println!("bench-snapshot: GHZ-{n} on {} with {budget} shots/method", backend.name);
+    let mut entries = Vec::new();
+    for strategy in strategies {
+        if !strategy.feasible(&backend, budget) {
+            println!("  {:<8} N/A (infeasible at this width/budget)", strategy.name());
+            continue;
+        }
+        // Per-strategy isolation: each entry's counters/spans cover exactly
+        // one run.
+        tel.reset();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let outcome =
+            strategy.run(&backend, &ghz, budget, &mut rng).map_err(|e| e.to_string())?;
+        let l1 = outcome.distribution.l1_distance(&ideal);
+        let snap = tel.snapshot();
+        let stages = Json::Obj(
+            snap.spans
+                .iter()
+                .map(|(k, s)| {
+                    (
+                        k.clone(),
+                        Json::obj(vec![
+                            ("count", Json::UInt(s.count)),
+                            ("total_micros", Json::UInt(s.total_micros)),
+                        ]),
+                    )
+                })
+                .collect(),
+        );
+        println!(
+            "  {:<8} l1 {l1:.4}  ({} calibration circuits, {} total shots)",
+            strategy.name(),
+            outcome.calibration_circuits,
+            outcome.total_shots()
+        );
+        entries.push(Json::obj(vec![
+            ("name", Json::str(strategy.name())),
+            ("l1_distance", Json::Float(l1)),
+            ("calibration_circuits", Json::UInt(outcome.calibration_circuits as u64)),
+            ("calibration_shots", Json::UInt(outcome.calibration_shots)),
+            ("execution_shots", Json::UInt(outcome.execution_shots)),
+            ("circuits_submitted", Json::UInt(snap.counter("sim.exec.circuits_submitted"))),
+            ("shots_executed", Json::UInt(snap.counter("sim.exec.shots_executed"))),
+            ("stages", stages),
+        ]));
+    }
+    let doc = Json::obj(vec![
+        ("schema_version", Json::UInt(BENCH_SCHEMA_VERSION as u64)),
+        ("benchmark", Json::str("ghz_linear_chain")),
+        ("device", Json::str(backend.name.as_str())),
+        ("qubits", Json::UInt(n as u64)),
+        ("budget", Json::UInt(budget)),
+        ("seed", Json::UInt(seed)),
+        ("strategies", Json::Arr(entries)),
+    ]);
+    std::fs::write(&out, doc.to_string_pretty()).map_err(|e| e.to_string())?;
+    println!("bench snapshot -> {}", out.display());
+    Ok(())
+}
+
+/// Write `--metrics-out` / `--trace-out` artifacts and the `--summary`
+/// table after the command body has run.
+fn write_telemetry_exports(args: &Args) -> Result<(), String> {
+    if !qem::telemetry::enabled() {
+        return Ok(());
+    }
+    if let Some(path) = args.get("metrics-out") {
+        std::fs::write(path, qem::telemetry::snapshot().to_json_string())
+            .map_err(|e| e.to_string())?;
+        println!("metrics -> {path}");
+    }
+    if let Some(path) = args.get("trace-out") {
+        std::fs::write(path, qem::telemetry::trace_json()).map_err(|e| e.to_string())?;
+        println!("trace -> {path}");
+    }
+    if args.has_flag("summary") {
+        print!("{}", qem::telemetry::snapshot().summary_table());
+    }
+    Ok(())
+}
+
 fn main() -> ExitCode {
     let raw: Vec<String> = std::env::args().skip(1).collect();
     let Some(command) = raw.first().cloned() else {
@@ -325,6 +474,17 @@ fn main() -> ExitCode {
     };
     let args = Args::parse(&raw[1..]);
     let seed = args.get_u64("seed", 2023);
+
+    let telemetry_requested = args.get("metrics-out").is_some()
+        || args.get("trace-out").is_some()
+        || args.get("report-out").is_some()
+        || args.has_flag("summary");
+    if telemetry_requested {
+        qem::telemetry::set_enabled(true);
+    }
+    if args.has_flag("virtual-clock") {
+        qem::telemetry::use_virtual_clock();
+    }
 
     let result = match command.as_str() {
         "devices" => {
@@ -336,12 +496,14 @@ fn main() -> ExitCode {
         "mitigate" => cmd_mitigate(&args, seed),
         "report" => cmd_report(&args, seed),
         "compare" => cmd_compare(&args, seed),
+        "bench-snapshot" => cmd_bench_snapshot(&args, seed),
         "help" | "--help" | "-h" => {
             print!("{USAGE}");
             Ok(())
         }
         other => Err(format!("unknown command '{other}'\n\n{USAGE}")),
     };
+    let result = result.and_then(|()| write_telemetry_exports(&args));
     match result {
         Ok(()) => ExitCode::SUCCESS,
         Err(msg) => {

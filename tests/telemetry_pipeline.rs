@@ -1,0 +1,103 @@
+//! Telemetry integration: the resilient pipeline's emitted events and
+//! counters must agree with its own [`ResilienceReport`], and two identical
+//! seeded runs on the virtual clock must export byte-identical metrics JSON.
+//!
+//! Everything here drives the process-wide recorder, so the whole scenario
+//! lives in one `#[test]` body — the parallel test runner must never
+//! interleave two tests that reset the global recorder.
+
+use qem::prelude::*;
+use qem::telemetry as tel;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+#[test]
+fn resilient_pipeline_telemetry_matches_report_and_is_deterministic() {
+    let g = tel::global();
+
+    // -- Scenario 1: the `flaky` preset forces retries. --------------------
+    let run_flaky = |seed: u64| {
+        g.reset();
+        g.use_virtual_clock();
+        g.set_enabled(true);
+        let profile = FaultProfile::preset("flaky", seed).expect("flaky preset");
+        let faulty = FaultyBackend::new(qem::sim::devices::simulated_quito(seed), profile);
+        let mut opts = ResilienceOptions::default();
+        opts.cmc.shots_per_circuit = 4_000;
+        opts.retry.max_retries = 3;
+        let out = calibrate_resilient(&faulty, &opts, &mut StdRng::seed_from_u64(seed));
+        let snap = g.snapshot();
+        let events = g.events();
+        g.set_enabled(false);
+        (out, snap, events)
+    };
+
+    let (out, snap, events) = run_flaky(2023);
+    let report = &out.report;
+    assert!(report.retries > 0, "flaky preset should force retries: {report}");
+
+    // Counters mirror the report's ledger exactly.
+    assert_eq!(snap.counter("core.resilience.retries_total"), report.retries);
+    assert_eq!(snap.counter("core.resilience.submissions_total"), report.submissions);
+    assert_eq!(snap.counter("core.resilience.backoff_ticks_total"), report.backoff_ticks);
+    assert_eq!(
+        snap.counter("core.resilience.downgrades_total"),
+        report.downgrades.len() as u64
+    );
+
+    // Every retry is also a discrete trace event.
+    let retry_events = events.iter().filter(|e| e.name == "core.resilience.retry").count();
+    assert_eq!(retry_events as u64, report.retries);
+
+    // The ladder_rung gauge agrees with the report's final level.
+    assert_eq!(snap.gauge("core.resilience.ladder_rung"), Some(report.level.rung() as f64));
+
+    // The report embeds a completion-time snapshot with the same ledger.
+    let embedded = report.metrics.as_ref().expect("telemetry on => metrics embedded");
+    assert_eq!(embedded.counter("core.resilience.retries_total"), report.retries);
+
+    // Exporters produce structurally valid JSON.
+    let json1 = snap.to_json_string();
+    assert!(tel::json::is_valid(&json1));
+    assert!(tel::json::is_valid(&g.trace_json()));
+    assert!(tel::json::is_valid(&report.to_json_string()));
+
+    // Determinism: the identical seeded virtual-clock run exports
+    // byte-identical metrics JSON.
+    let (_, snap2, _) = run_flaky(2023);
+    assert_eq!(json1, snap2.to_json_string());
+
+    // -- Scenario 2: an outage the retry budget cannot cover downgrades the
+    // ladder, and each downgrade surfaces as an event. ---------------------
+    g.reset();
+    g.use_virtual_clock();
+    g.set_enabled(true);
+    let mut profile = FaultProfile::none(42);
+    profile.outage = Some((0, 7));
+    let backend = Backend::new(
+        qem::topology::coupling::linear(4),
+        NoiseModel::random_biased(4, 0.02, 0.08, 7),
+    );
+    let faulty = FaultyBackend::new(backend, profile);
+    let mut opts = ResilienceOptions::default();
+    opts.cmc.shots_per_circuit = 4_000;
+    opts.retry.max_retries = 2;
+    let out = calibrate_resilient(&faulty, &opts, &mut StdRng::seed_from_u64(1));
+    assert!(!out.report.downgrades.is_empty(), "outage should downgrade: {}", out.report);
+
+    let snap = g.snapshot();
+    assert_eq!(
+        snap.counter("core.resilience.downgrades_total"),
+        out.report.downgrades.len() as u64
+    );
+    let downgrade_events =
+        g.events().iter().filter(|e| e.name == "core.resilience.downgrade").count();
+    assert_eq!(downgrade_events, out.report.downgrades.len());
+    assert_eq!(
+        snap.gauge("core.resilience.ladder_rung"),
+        Some(out.report.level.rung() as f64)
+    );
+
+    g.set_enabled(false);
+    g.reset();
+}
