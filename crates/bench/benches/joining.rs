@@ -66,5 +66,10 @@ fn bench_fractional_power(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_join_chain, bench_join_star, bench_fractional_power);
+criterion_group!(
+    benches,
+    bench_join_chain,
+    bench_join_star,
+    bench_fractional_power
+);
 criterion_main!(benches);

@@ -27,7 +27,11 @@ fn bench_cmc_apply(c: &mut Criterion) {
     for &n in &[5usize, 8, 10] {
         let b = backend(n);
         let mut rng = StdRng::seed_from_u64(1);
-        let opts = CmcOptions { k: 1, shots_per_circuit: 2048, cull_threshold: 1e-10 };
+        let opts = CmcOptions {
+            k: 1,
+            shots_per_circuit: 2048,
+            cull_threshold: 1e-10,
+        };
         let cal = calibrate_cmc(&b, &opts, &mut rng).unwrap();
         let counts = b.execute(&ghz_bfs(&b.coupling.graph, 0), 16_000, &mut rng);
         group.bench_with_input(BenchmarkId::new("cmc_sparse", n), &n, |bench, _| {
@@ -56,7 +60,11 @@ fn bench_calibration_build(c: &mut Criterion) {
     group.sample_size(10);
     for &n in &[5usize, 8] {
         let b = backend(n);
-        let opts = CmcOptions { k: 1, shots_per_circuit: 1024, cull_threshold: 1e-10 };
+        let opts = CmcOptions {
+            k: 1,
+            shots_per_circuit: 1024,
+            cull_threshold: 1e-10,
+        };
         group.bench_with_input(BenchmarkId::from_parameter(n), &n, |bench, _| {
             bench.iter(|| {
                 let mut rng = StdRng::seed_from_u64(2);

@@ -68,7 +68,9 @@ fn bench_dense_matvec(c: &mut Criterion) {
         for q in 0..n {
             m = flip(0.03 + 0.001 * q as f64, 0.05).kron(&m);
         }
-        let v: Vec<f64> = (0..dim).map(|i| (i + 1) as f64 / (dim * dim) as f64).collect();
+        let v: Vec<f64> = (0..dim)
+            .map(|i| (i + 1) as f64 / (dim * dim) as f64)
+            .collect();
         group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
             b.iter(|| black_box(m.matvec(&v).unwrap()))
         });

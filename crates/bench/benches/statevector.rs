@@ -31,7 +31,10 @@ fn bench_cnot(c: &mut Criterion) {
             let mut sv = Statevector::zero_state(n);
             sv.apply(&Gate::H(0));
             b.iter(|| {
-                sv.apply(&Gate::CNOT { control: 0, target: n - 1 });
+                sv.apply(&Gate::CNOT {
+                    control: 0,
+                    target: n - 1,
+                });
                 black_box(sv.amplitude(0))
             })
         });

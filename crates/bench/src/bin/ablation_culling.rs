@@ -23,7 +23,7 @@ struct Row {
     support: usize,
 }
 
-fn main() {
+fn main() -> Result<(), Box<dyn std::error::Error>> {
     let args = HarnessArgs::parse(3, 32_000);
     let backend = biased_backend(grid(3, 4), args.seed);
     let n = backend.num_qubits();
@@ -39,17 +39,21 @@ fn main() {
             cull_threshold: threshold,
         };
         let mut rng = StdRng::seed_from_u64(args.seed);
-        let cal = calibrate_cmc(&backend, &opts, &mut rng).expect("calibration");
+        let cal = calibrate_cmc(&backend, &opts, &mut rng)?;
         let mut one_sum = 0.0;
         let mut support = 0usize;
         for t in 0..args.trials {
             let mut trng = StdRng::seed_from_u64(args.seed + 50 + t);
             let raw = backend.execute(&ghz, args.budget / 2, &mut trng);
-            let d = cal.mitigator.mitigate(&raw).unwrap();
+            let d = cal.mitigator.mitigate(&raw)?;
             one_sum += d.l1_distance(&ideal);
             support = support.max(d.len());
         }
-        let row = Row { threshold, one_norm: one_sum / args.trials as f64, support };
+        let row = Row {
+            threshold,
+            one_norm: one_sum / args.trials as f64,
+            support,
+        };
         rows.push(vec![
             format!("{threshold:.0e}"),
             format!("{:.4}", row.one_norm),
@@ -71,4 +75,5 @@ fn main() {
          threshold per workload."
     );
     write_json("ablation_culling", &out);
+    Ok(())
 }

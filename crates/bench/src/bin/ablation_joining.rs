@@ -28,7 +28,7 @@ struct Row {
     bare_one_norm: f64,
 }
 
-fn main() {
+fn main() -> Result<(), Box<dyn std::error::Error>> {
     let args = HarnessArgs::parse(5, 32_000);
     let mut rows = Vec::new();
     let mut out = Vec::new();
@@ -38,13 +38,13 @@ fn main() {
         let opts = CmcOptions {
             k: 1,
             shots_per_circuit: args.budget / 2 / 16,
-            cull_threshold: 1e-10,
+            cull_threshold: qem_linalg::tol::CULL,
         };
         let mut rng = StdRng::seed_from_u64(args.seed);
-        let cal = calibrate_cmc(&backend, &opts, &mut rng).expect("calibration");
+        let cal = calibrate_cmc(&backend, &opts, &mut rng)?;
 
         // Naive chain: same measured patches, no overlap corrections.
-        let naive = SparseMitigator::from_calibrations(n, &cal.patches).expect("naive chain");
+        let naive = SparseMitigator::from_calibrations(n, &cal.patches)?;
 
         let ghz = ghz_bfs(&backend.coupling.graph, 0);
         let ideal = ghz_ideal(n);
@@ -53,8 +53,8 @@ fn main() {
             let mut trng = StdRng::seed_from_u64(args.seed + 100 + t);
             let raw = backend.execute(&ghz, args.budget / 2, &mut trng);
             b_sum += raw.to_distribution().l1_distance(&ideal);
-            c_sum += cal.mitigator.mitigate(&raw).unwrap().l1_distance(&ideal);
-            n_sum += naive.mitigate(&raw).unwrap().l1_distance(&ideal);
+            c_sum += cal.mitigator.mitigate(&raw)?.l1_distance(&ideal);
+            n_sum += naive.mitigate(&raw)?.l1_distance(&ideal);
         }
         let t = args.trials as f64;
         let row = Row {
@@ -71,8 +71,15 @@ fn main() {
         ]);
         out.push(row);
     }
-    println!("=== Ablation — Eq. 5 overlap corrections ({} shots, {} trials) ===\n", args.budget, args.trials);
-    print_table(&["device", "bare", "naive chain", "corrected (Eq. 5)"], &rows);
+    println!(
+        "=== Ablation — Eq. 5 overlap corrections ({} shots, {} trials) ===\n",
+        args.budget, args.trials
+    );
+    print_table(
+        &["device", "bare", "naive chain", "corrected (Eq. 5)"],
+        &rows,
+    );
     println!("\nNaive chaining over-applies each shared qubit's error once per incident patch.");
     write_json("ablation_joining", &out);
+    Ok(())
 }

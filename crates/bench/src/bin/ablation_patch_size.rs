@@ -24,7 +24,7 @@ struct Row {
     one_norm: f64,
 }
 
-fn main() {
+fn main() -> Result<(), Box<dyn std::error::Error>> {
     let args = HarnessArgs::parse(5, 32_000);
     let n = 6;
     let mut noise = NoiseModel::random_biased(n, 0.02, 0.08, args.seed);
@@ -35,47 +35,61 @@ fn main() {
     let ghz = ghz_bfs(&backend.coupling.graph, 0);
     let ideal = ghz_ideal(n);
 
-    let run = |name: &str, cal: qem_core::CmcCalibration, out: &mut Vec<Row>, rows: &mut Vec<Vec<String>>| {
+    let run = |name: &str,
+               cal: qem_core::CmcCalibration,
+               out: &mut Vec<Row>,
+               rows: &mut Vec<Vec<String>>|
+     -> Result<(), qem_core::error::CoreError> {
         let mut one_sum = 0.0;
         for t in 0..args.trials {
             let mut trng = StdRng::seed_from_u64(args.seed + 90 + t);
             let raw = backend.execute(&ghz, args.budget / 2, &mut trng);
-            one_sum += cal.mitigator.mitigate(&raw).unwrap().l1_distance(&ideal);
+            one_sum += cal.mitigator.mitigate(&raw)?.l1_distance(&ideal);
         }
         let row = Row {
             scheme: name.to_string(),
             circuits: cal.circuits_used,
             one_norm: one_sum / args.trials as f64,
         };
-        rows.push(vec![row.scheme.clone(), row.circuits.to_string(), format!("{:.4}", row.one_norm)]);
+        rows.push(vec![
+            row.scheme.clone(),
+            row.circuits.to_string(),
+            format!("{:.4}", row.one_norm),
+        ]);
         out.push(row);
+        Ok(())
     };
 
     let mut rows = Vec::new();
     let mut out = Vec::new();
-    let opts = CmcOptions { k: 1, shots_per_circuit: args.budget / 2 / 16, cull_threshold: 1e-10 };
+    let opts = CmcOptions {
+        k: 1,
+        shots_per_circuit: args.budget / 2 / 16,
+        cull_threshold: qem_linalg::tol::CULL,
+    };
     let mut rng = StdRng::seed_from_u64(args.seed);
     run(
         "edges (2q patches)",
-        calibrate_cmc(&backend, &opts, &mut rng).expect("edge calibration"),
+        calibrate_cmc(&backend, &opts, &mut rng)?,
         &mut out,
         &mut rows,
-    );
+    )?;
     let mut rng = StdRng::seed_from_u64(args.seed);
     run(
         "triangles (3q patches)",
-        calibrate_cmc_patch_sets(&backend, &[vec![0, 1, 2], vec![3, 4, 5]], &opts, &mut rng)
-            .expect("triangle calibration"),
+        calibrate_cmc_patch_sets(&backend, &[vec![0, 1, 2], vec![3, 4, 5]], &opts, &mut rng)?,
         &mut out,
         &mut rows,
+    )?;
+    println!("=== Ablation — patch size on a 6-qubit chain with 3-qubit correlated errors ===\n");
+    print_table(
+        &["scheme", "calibration circuits", "GHZ 1-norm after CMC"],
+        &rows,
     );
-    println!(
-        "=== Ablation — patch size on a 6-qubit chain with 3-qubit correlated errors ===\n"
-    );
-    print_table(&["scheme", "calibration circuits", "GHZ 1-norm after CMC"], &rows);
     println!(
         "\nTriangles characterise the injected 3-qubit events exactly at \
          2^3-per-round circuit cost; edges only capture their pairwise shadows."
     );
     write_json("ablation_patch_size", &out);
+    Ok(())
 }

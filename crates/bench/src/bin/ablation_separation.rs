@@ -25,7 +25,7 @@ struct Row {
     one_norm: f64,
 }
 
-fn main() {
+fn main() -> Result<(), Box<dyn std::error::Error>> {
     let args = HarnessArgs::parse(5, 32_000);
     // A 10-qubit chain with *state-dependent* correlated decays on every
     // edge: a decay on edge (i, i+1) fires only when both qubits are |1>,
@@ -44,23 +44,26 @@ fn main() {
     let mut rows = Vec::new();
     let mut out = Vec::new();
     for k in [0usize, 1, 2, 3] {
-        let schedule =
-            qem_topology::patches::patch_construct(&backend.coupling.graph, k);
+        let schedule = qem_topology::patches::patch_construct(&backend.coupling.graph, k);
         let circuits = 4 * schedule.rounds.len();
         let opts = CmcOptions {
             k,
             shots_per_circuit: (args.budget / 2) / circuits as u64,
-            cull_threshold: 1e-10,
+            cull_threshold: qem_linalg::tol::CULL,
         };
         let mut rng = StdRng::seed_from_u64(args.seed);
-        let cal = calibrate_cmc(&backend, &opts, &mut rng).expect("calibration");
+        let cal = calibrate_cmc(&backend, &opts, &mut rng)?;
         let mut one_sum = 0.0;
         for t in 0..args.trials {
             let mut trng = StdRng::seed_from_u64(args.seed + 70 + t);
             let raw = backend.execute(&ghz, args.budget / 2, &mut trng);
-            one_sum += cal.mitigator.mitigate(&raw).unwrap().l1_distance(&ideal);
+            one_sum += cal.mitigator.mitigate(&raw)?.l1_distance(&ideal);
         }
-        let row = Row { k, circuits: cal.circuits_used, one_norm: one_sum / args.trials as f64 };
+        let row = Row {
+            k,
+            circuits: cal.circuits_used,
+            one_norm: one_sum / args.trials as f64,
+        };
         rows.push(vec![
             k.to_string(),
             row.circuits.to_string(),
@@ -68,14 +71,16 @@ fn main() {
         ]);
         out.push(row);
     }
-    println!(
-        "=== Ablation — Algorithm 1 separation k on a correlated 10-qubit chain ===\n"
+    println!("=== Ablation — Algorithm 1 separation k on a correlated 10-qubit chain ===\n");
+    print_table(
+        &["k", "calibration circuits", "GHZ 1-norm after CMC"],
+        &rows,
     );
-    print_table(&["k", "calibration circuits", "GHZ 1-norm after CMC"], &rows);
     println!(
         "\nk trades circuit count against patch isolation: k = 0 contaminates \
          simultaneous patches through the inter-patch correlated errors; large k \
          wastes budget on extra rounds (fewer shots per circuit)."
     );
     write_json("ablation_separation", &out);
+    Ok(())
 }

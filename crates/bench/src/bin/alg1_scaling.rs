@@ -36,14 +36,21 @@ fn main() {
             for k in [1usize, 2] {
                 let cm = random_map(n, deg, 42 + n as u64);
                 let s = {
-                    let _span =
-                        tel::span!("bench.alg1.patch_construct", n = n, deg = deg, k = k);
+                    let _span = tel::span!(
+                        tel::names::BENCH_ALG1_PATCH_CONSTRUCT,
+                        n = n,
+                        deg = deg,
+                        k = k
+                    );
                     patch_construct(&cm.graph, k)
                 };
-                assert!(validate_schedule(&cm.graph, &s).is_none(), "invalid schedule");
-                tel::counter_add("bench.alg1.maps_scheduled", 1);
+                assert!(
+                    validate_schedule(&cm.graph, &s).is_none(),
+                    "invalid schedule"
+                );
+                tel::counter_add(tel::names::BENCH_ALG1_MAPS_SCHEDULED, 1);
                 tel::histogram_record_with(
-                    "bench.alg1.speedup",
+                    tel::names::BENCH_ALG1_SPEEDUP,
                     &[1.0, 2.0, 3.0, 5.0, 10.0, 20.0],
                     s.speedup(),
                 );
@@ -73,10 +80,23 @@ fn main() {
     }
     println!("=== §IV-A — Algorithm 1 circuit-count reduction on random maps ===\n");
     print_table(
-        &["n", "deg", "k", "edges", "rounds", "circuits", "edge-by-edge", "speedup"],
+        &[
+            "n",
+            "deg",
+            "k",
+            "edges",
+            "rounds",
+            "circuits",
+            "edge-by-edge",
+            "speedup",
+        ],
         &rows,
     );
-    let k1: Vec<f64> = rows_out.iter().filter(|r| r.k == 1).map(|r| r.speedup).collect();
+    let k1: Vec<f64> = rows_out
+        .iter()
+        .filter(|r| r.k == 1)
+        .map(|r| r.speedup)
+        .collect();
     let min = k1.iter().cloned().fold(f64::MAX, f64::min);
     let max = k1.iter().cloned().fold(f64::MIN, f64::max);
     println!("\nk=1 speedups span {min:.1}x – {max:.1}x (paper claim: 3x – 10x).");

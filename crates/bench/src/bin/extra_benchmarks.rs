@@ -21,7 +21,7 @@ struct Row {
     error_rate: Option<f64>,
 }
 
-fn main() {
+fn main() -> Result<(), Box<dyn std::error::Error>> {
     let args = HarnessArgs::parse(3, 32_000);
     let backends = [
         devices::simulated_lima(args.seed),
@@ -38,8 +38,15 @@ fn main() {
         // Full gates itself via feasible(); Linear/M3 run at any width.
         let strategies = extended_strategies(true);
         let results = compare_methods(
-            backend, &circuit, &ideal, &correct, &strategies, args.budget, args.trials, args.seed,
-        );
+            backend,
+            &circuit,
+            &ideal,
+            &correct,
+            &strategies,
+            args.budget,
+            args.trials,
+            args.seed,
+        )?;
         println!(
             "\n=== W_{n} on {} — 1-norm / error-rate ({} shots, {} trials) ===",
             backend.name, args.budget, args.trials
@@ -49,8 +56,10 @@ fn main() {
             .map(|(m, r)| {
                 vec![
                     m.clone(),
-                    r.as_ref().map_or("N/A".into(), |x| format!("{:.3}", x.mean_one_norm)),
-                    r.as_ref().map_or("N/A".into(), |x| format!("{:.3}", x.mean_error_rate)),
+                    r.as_ref()
+                        .map_or("N/A".into(), |x| format!("{:.3}", x.mean_one_norm)),
+                    r.as_ref()
+                        .map_or("N/A".into(), |x| format!("{:.3}", x.mean_error_rate)),
                 ]
             })
             .collect();
@@ -71,4 +80,5 @@ fn main() {
          circuit-independence argument."
     );
     write_json("extra_benchmarks", &out);
+    Ok(())
 }

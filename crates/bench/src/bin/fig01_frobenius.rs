@@ -35,12 +35,15 @@ struct Output {
     weekly_jaccard: Vec<(String, f64, f64)>,
 }
 
-fn main() {
+fn main() -> Result<(), Box<dyn std::error::Error>> {
     let args = HarnessArgs::parse(1, 0);
     let days = if args.fast { 3 } else { 21 };
     let shots = if args.fast { 2_000 } else { 8_192 };
 
-    let mut out = Output { pairs: Vec::new(), weekly_jaccard: Vec::new() };
+    let mut out = Output {
+        pairs: Vec::new(),
+        weekly_jaccard: Vec::new(),
+    };
 
     for (label, base) in [
         ("quito", devices::simulated_quito(args.seed)),
@@ -52,7 +55,11 @@ fn main() {
         let opts = ErrOptions {
             locality: 2,
             max_edges: None,
-            cmc: CmcOptions { k: 1, shots_per_circuit: shots, cull_threshold: 1e-10 },
+            cmc: CmcOptions {
+                k: 1,
+                shots_per_circuit: shots,
+                cull_threshold: qem_linalg::tol::CULL,
+            },
         };
 
         // Day-by-day drift: jitter the base model, re-characterise.
@@ -64,7 +71,7 @@ fn main() {
             let noise = base.noise.jittered(0.15, &mut drift_rng);
             let backend = Backend::new(base.coupling.clone(), noise);
             let mut rng = StdRng::seed_from_u64(args.seed + day as u64);
-            let err = characterize_err(&backend, &opts, &mut rng).expect("characterisation");
+            let err = characterize_err(&backend, &opts, &mut rng)?;
             for w in &err.weights {
                 per_pair.entry((w.i, w.j)).or_default().push(w.weight);
             }
@@ -87,13 +94,16 @@ fn main() {
         }
 
         // Per-pair table.
-        println!("\n=== Fig. 1 — {} ({} days of drifting calibrations) ===", base.name, days);
+        println!(
+            "\n=== Fig. 1 — {} ({} days of drifting calibrations) ===",
+            base.name, days
+        );
         let mut rows = Vec::new();
         let mut pairs: Vec<(&(usize, usize), &Vec<f64>)> = per_pair.iter().collect();
         pairs.sort_by(|a, b| {
             let ma = a.1.iter().sum::<f64>() / a.1.len() as f64;
             let mb = b.1.iter().sum::<f64>() / b.1.len() as f64;
-            mb.partial_cmp(&ma).unwrap()
+            mb.total_cmp(&ma)
         });
         for (&(i, j), ws) in pairs {
             let mean = ws.iter().sum::<f64>() / ws.len() as f64;
@@ -102,7 +112,11 @@ fn main() {
             let on_map = base.coupling.graph.has_edge(i, j);
             rows.push(vec![
                 format!("q{i}-q{j}"),
-                if on_map { "edge".into() } else { "non-edge".into() },
+                if on_map {
+                    "edge".into()
+                } else {
+                    "non-edge".into()
+                },
                 format!("{mean:.4}"),
                 format!("{min:.4}"),
                 format!("{max:.4}"),
@@ -119,7 +133,14 @@ fn main() {
             });
         }
         print_table(
-            &["pair", "coupling", "mean ‖C_ij − C_i⊗C_j‖", "min", "max", "thickness"],
+            &[
+                "pair",
+                "coupling",
+                "mean ‖C_ij − C_i⊗C_j‖",
+                "min",
+                "max",
+                "thickness",
+            ],
             &rows,
         );
 
@@ -140,4 +161,5 @@ fn main() {
     }
 
     write_json("fig01_frobenius", &out);
+    Ok(())
 }

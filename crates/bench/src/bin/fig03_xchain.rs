@@ -55,9 +55,16 @@ fn main() {
 
     // The headline observation: the |1⟩ branch error dominates the |0⟩
     // branch and neither explodes with depth.
-    let odd: Vec<f64> = points.iter().filter(|p| p.depth % 2 == 1).map(|p| p.error_probability).collect();
-    let even: Vec<f64> =
-        points.iter().filter(|p| p.depth % 2 == 0 && p.depth > 0).map(|p| p.error_probability).collect();
+    let odd: Vec<f64> = points
+        .iter()
+        .filter(|p| p.depth % 2 == 1)
+        .map(|p| p.error_probability)
+        .collect();
+    let even: Vec<f64> = points
+        .iter()
+        .filter(|p| p.depth % 2 == 0 && p.depth > 0)
+        .map(|p| p.error_probability)
+        .collect();
     let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len().max(1) as f64;
     println!(
         "\nmean P(error): |1> branch {:.4}  vs  |0> branch {:.4}  (ratio {:.1}x)",

@@ -84,5 +84,8 @@ fn main() {
     hinton("three qubit decay (triplets)", &decay3.full_matrix());
     let mut decay4 = MeasurementChannel::identity(n);
     decay4.add_joint_decay(&[0, 1, 2, 3], p);
-    hinton("four qubit decay (single non-diagonal entry)", &decay4.full_matrix());
+    hinton(
+        "four qubit decay (single non-diagonal entry)",
+        &decay4.full_matrix(),
+    );
 }

@@ -42,7 +42,7 @@ fn error_models(n: usize) -> Vec<(&'static str, NoiseModel)> {
     vec![("correlated", correlated), ("state-dependent", state_dep)]
 }
 
-fn main() {
+fn main() -> Result<(), Box<dyn std::error::Error>> {
     let args = HarnessArgs::parse(0, 8_500);
     let n = 4;
     // Equal budget per (method, prepared state): 8500 × 16 states = 136 000
@@ -61,16 +61,19 @@ fn main() {
         let mut rows = Vec::new();
         for strategy in standard_strategies(true) {
             if !strategy.feasible(&backend, budget) {
-                rows.push(vec![strategy.name().to_string(), "N/A".into(), String::new(), String::new()]);
+                rows.push(vec![
+                    strategy.name().to_string(),
+                    "N/A".into(),
+                    String::new(),
+                    String::new(),
+                ]);
                 continue;
             }
             let mut successes = Vec::new();
             for state in 0..(1u64 << n) {
                 let circuit = basis_prep(n, state);
                 let mut rng = StdRng::seed_from_u64(args.seed + state * 977);
-                let out = strategy
-                    .run(&backend, &circuit, budget, &mut rng)
-                    .expect("strategy run");
+                let out = strategy.run(&backend, &circuit, budget, &mut rng)?;
                 successes.push(out.distribution.get(state));
             }
             let mean = successes.iter().sum::<f64>() / successes.len() as f64;
@@ -114,4 +117,5 @@ fn main() {
          without exponential cost."
     );
     write_json("fig12_simulated_errors", &records);
+    Ok(())
 }

@@ -8,7 +8,7 @@
 use qem_bench::{ghz_scaling_experiment, print_scaling_table, write_json, HarnessArgs};
 use qem_sim::devices::grid_backend;
 
-fn main() {
+fn main() -> Result<(), Box<dyn std::error::Error>> {
     let args = HarnessArgs::parse(3, 16_000);
     let shapes: &[(usize, usize)] = if args.fast {
         &[(2, 2), (2, 3), (3, 3)]
@@ -23,12 +23,14 @@ fn main() {
         "=== Fig. 13 — GHZ error rate on grid devices ({} shots, {} trials) ===",
         args.budget, args.trials
     );
-    let points = ghz_scaling_experiment("fig13", &backends, args.budget, args.trials, args.seed);
+    let points = ghz_scaling_experiment("fig13", &backends, args.budget, args.trials, args.seed)?;
     print_scaling_table(&points);
     println!(
         "\nExpected shape (paper Fig. 13): Full/Linear best where feasible; CMC best \
          non-exponential; JIGSAW between CMC and the averaging methods; AIM/SIM ≈ bare."
     );
-    qem_bench::svg::scaling_chart("Fig. 13: GHZ error rate, grid family", &points).save("fig13_grid");
+    qem_bench::svg::scaling_chart("Fig. 13: GHZ error rate, grid family", &points)
+        .save("fig13_grid");
     write_json("fig13_grid", &points);
+    Ok(())
 }

@@ -9,7 +9,7 @@
 use qem_bench::{ghz_scaling_experiment, print_scaling_table, write_json, HarnessArgs};
 use qem_sim::devices::hexagonal_backend;
 
-fn main() {
+fn main() -> Result<(), Box<dyn std::error::Error>> {
     let args = HarnessArgs::parse(3, 16_000);
     let shapes: &[(usize, usize)] = if args.fast {
         &[(2, 2), (2, 3), (2, 4)]
@@ -24,12 +24,14 @@ fn main() {
         "=== Fig. 14 — GHZ error rate on hexagonal devices ({} shots, {} trials) ===",
         args.budget, args.trials
     );
-    let points = ghz_scaling_experiment("fig14", &backends, args.budget, args.trials, args.seed);
+    let points = ghz_scaling_experiment("fig14", &backends, args.budget, args.trials, args.seed)?;
     print_scaling_table(&points);
     println!(
         "\nExpected shape (paper Fig. 14): as Fig. 13 — CMC/CMC-ERR lead the \
          non-exponential field on sparse lattices."
     );
-    qem_bench::svg::scaling_chart("Fig. 14: GHZ error rate, hexagonal family", &points).save("fig14_hexagonal");
+    qem_bench::svg::scaling_chart("Fig. 14: GHZ error rate, hexagonal family", &points)
+        .save("fig14_hexagonal");
     write_json("fig14_hexagonal", &points);
+    Ok(())
 }

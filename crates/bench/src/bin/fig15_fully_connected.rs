@@ -11,9 +11,13 @@
 use qem_bench::{ghz_scaling_experiment, print_scaling_table, write_json, HarnessArgs};
 use qem_sim::devices::fully_connected_backend;
 
-fn main() {
+fn main() -> Result<(), Box<dyn std::error::Error>> {
     let args = HarnessArgs::parse(3, 16_000);
-    let sizes: &[usize] = if args.fast { &[4, 5, 6] } else { &[4, 6, 8, 10, 12] };
+    let sizes: &[usize] = if args.fast {
+        &[4, 5, 6]
+    } else {
+        &[4, 6, 8, 10, 12]
+    };
     let backends: Vec<_> = sizes
         .iter()
         .map(|&n| fully_connected_backend(n, args.seed + n as u64))
@@ -22,7 +26,7 @@ fn main() {
         "=== Fig. 15 — GHZ error rate on fully connected devices ({} shots, {} trials) ===",
         args.budget, args.trials
     );
-    let points = ghz_scaling_experiment("fig15", &backends, args.budget, args.trials, args.seed);
+    let points = ghz_scaling_experiment("fig15", &backends, args.budget, args.trials, args.seed)?;
     print_scaling_table(&points);
 
     // The §VI-B crossover: CMC's shots-per-patch collapse.
@@ -38,6 +42,8 @@ fn main() {
         "\nExpected shape (paper Fig. 15): CMC degrades as n grows (starved patches), \
          JIGSAW overtakes it, CMC-ERR beats both by capping the map at n edges."
     );
-    qem_bench::svg::scaling_chart("Fig. 15: GHZ error rate, fully connected family", &points).save("fig15_fully_connected");
+    qem_bench::svg::scaling_chart("Fig. 15: GHZ error rate, fully connected family", &points)
+        .save("fig15_fully_connected");
     write_json("fig15_fully_connected", &points);
+    Ok(())
 }

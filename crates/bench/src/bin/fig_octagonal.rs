@@ -9,7 +9,7 @@
 use qem_bench::{ghz_scaling_experiment, write_json, HarnessArgs};
 use qem_sim::devices::octagonal_backend;
 
-fn main() {
+fn main() -> Result<(), Box<dyn std::error::Error>> {
     let args = HarnessArgs::parse(3, 16_000);
     let cells = if args.fast { 1 } else { 2 }; // 8 or 16 qubits
     let backend = octagonal_backend(cells, args.seed);
@@ -20,13 +20,13 @@ fn main() {
         args.trials
     );
     let points =
-        ghz_scaling_experiment("octagonal", &[backend], args.budget, args.trials, args.seed);
+        ghz_scaling_experiment("octagonal", &[backend], args.budget, args.trials, args.seed)?;
 
     let bare = points
         .iter()
         .find(|p| p.method == "Bare")
         .and_then(|p| p.error_rate)
-        .expect("bare ran");
+        .ok_or("bare strategy did not run")?;
     println!("\nmethod      error-rate   reduction vs bare");
     for p in &points {
         match p.error_rate {
@@ -38,8 +38,7 @@ fn main() {
             None => println!("{:<10}  N/A", p.method),
         }
     }
-    println!(
-        "\nPaper reference points at 16 qubits: JIGSAW -23%, CMC -37%, AIM/SIM within 1%."
-    );
+    println!("\nPaper reference points at 16 qubits: JIGSAW -23%, CMC -37%, AIM/SIM within 1%.");
     write_json("fig_octagonal", &points);
+    Ok(())
 }

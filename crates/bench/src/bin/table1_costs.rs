@@ -24,41 +24,120 @@ fn main() {
     let g = &cm.graph;
 
     let cmc = {
-        let _s = tel::span!("bench.table1.patch_construct", k = 1);
+        let _s = tel::span!(tel::names::BENCH_TABLE1_PATCH_CONSTRUCT, k = 1);
         patch_construct(g, 1)
     };
     let cmc_pairs: Vec<(usize, usize)> = g.edges().iter().map(|e| (e.a, e.b)).collect();
     let cmc_dsatur = {
-        let _s = tel::span!("bench.table1.dsatur_coloring", pairs = cmc_pairs.len());
+        let _s = tel::span!(
+            tel::names::BENCH_TABLE1_DSATUR_COLORING,
+            pairs = cmc_pairs.len()
+        );
         schedule_pairs_coloring(g, &cmc_pairs, 1)
     };
-    let all_pairs: Vec<(usize, usize)> =
-        (0..n).flat_map(|i| (i + 1..n).map(move |j| (i, j))).collect();
+    let all_pairs: Vec<(usize, usize)> = (0..n)
+        .flat_map(|i| (i + 1..n).map(move |j| (i, j)))
+        .collect();
     let local_pairs = g.pairs_within_distance(2);
     let err_sweep = {
-        let _s = tel::span!("bench.table1.err_sweep_schedule", pairs = local_pairs.len());
+        let _s = tel::span!(
+            tel::names::BENCH_TABLE1_ERR_SWEEP_SCHEDULE,
+            pairs = local_pairs.len()
+        );
         schedule_pairs(g, &local_pairs, 1)
     };
-    tel::gauge_set("bench.table1.cmc_circuits", cmc.circuit_count() as f64);
-    tel::gauge_set("bench.table1.dsatur_circuits", cmc_dsatur.circuit_count() as f64);
-    tel::gauge_set("bench.table1.err_sweep_circuits", err_sweep.circuit_count() as f64);
+    tel::gauge_set(
+        tel::names::BENCH_TABLE1_CMC_CIRCUITS,
+        cmc.circuit_count() as f64,
+    );
+    tel::gauge_set(
+        tel::names::BENCH_TABLE1_DSATUR_CIRCUITS,
+        cmc_dsatur.circuit_count() as f64,
+    );
+    tel::gauge_set(
+        tel::names::BENCH_TABLE1_ERR_SWEEP_CIRCUITS,
+        err_sweep.circuit_count() as f64,
+    );
 
     println!("=== Table I — characterisation circuit counts (IBM Tokyo, n = {n}, |E| = {e}) ===\n");
     let rows = vec![
-        vec!["Process Tomography".into(), "r·4^n".into(), format!("{:.1e}", 4f64.powi(n as i32)), "SPAM + gate errors".into()],
-        vec!["Complete Calibration".into(), "r·2^n".into(), format!("{}", 1u64 << n), "all SPAM errors".into()],
-        vec!["Tensored Calibration".into(), "2nr (or 2r joint)".into(), format!("{} (or 2)", 2 * n), "uncorrelated SPAM".into()],
-        vec!["Randomised Benchmarking".into(), "Poly(n)".into(), "~40".into(), "average SPAM+gate".into()],
-        vec!["SIM".into(), "4r".into(), "4".into(), "average biased SPAM".into()],
-        vec!["AIM".into(), "(n/2)r + kr".into(), format!("{} + k", aim_masks(n).len()), "top-k biased SPAM".into()],
-        vec!["JIGSAW".into(), "nk/2 + k".into(), format!("{} + 1 (k=2 rounds)", n), "Bayesian filter".into()],
-        vec!["CMC edge-by-edge".into(), "4|E|".into(), format!("{}", 4 * e), "local SPAM".into()],
-        vec!["CMC (Algorithm 1, k=1)".into(), "4|E|/k_speedup".into(), format!("{}", cmc.circuit_count()), "local SPAM".into()],
-        vec!["CMC (DSATUR colouring)".into(), "4·chromatic(conflict)".into(), format!("{}", cmc_dsatur.circuit_count()), "local SPAM".into()],
-        vec!["All-pairs calibration".into(), "4·n(n-1)/2".into(), format!("{}", 4 * all_pairs.len()), "pairwise SPAM".into()],
-        vec!["ERR sweep (d<=2, Alg. 1)".into(), "4·|pairs|/k_speedup".into(), format!("{}", err_sweep.circuit_count()), "tailored local SPAM".into()],
+        vec![
+            "Process Tomography".into(),
+            "r·4^n".into(),
+            format!("{:.1e}", 4f64.powi(n as i32)),
+            "SPAM + gate errors".into(),
+        ],
+        vec![
+            "Complete Calibration".into(),
+            "r·2^n".into(),
+            format!("{}", 1u64 << n),
+            "all SPAM errors".into(),
+        ],
+        vec![
+            "Tensored Calibration".into(),
+            "2nr (or 2r joint)".into(),
+            format!("{} (or 2)", 2 * n),
+            "uncorrelated SPAM".into(),
+        ],
+        vec![
+            "Randomised Benchmarking".into(),
+            "Poly(n)".into(),
+            "~40".into(),
+            "average SPAM+gate".into(),
+        ],
+        vec![
+            "SIM".into(),
+            "4r".into(),
+            "4".into(),
+            "average biased SPAM".into(),
+        ],
+        vec![
+            "AIM".into(),
+            "(n/2)r + kr".into(),
+            format!("{} + k", aim_masks(n).len()),
+            "top-k biased SPAM".into(),
+        ],
+        vec![
+            "JIGSAW".into(),
+            "nk/2 + k".into(),
+            format!("{} + 1 (k=2 rounds)", n),
+            "Bayesian filter".into(),
+        ],
+        vec![
+            "CMC edge-by-edge".into(),
+            "4|E|".into(),
+            format!("{}", 4 * e),
+            "local SPAM".into(),
+        ],
+        vec![
+            "CMC (Algorithm 1, k=1)".into(),
+            "4|E|/k_speedup".into(),
+            format!("{}", cmc.circuit_count()),
+            "local SPAM".into(),
+        ],
+        vec![
+            "CMC (DSATUR colouring)".into(),
+            "4·chromatic(conflict)".into(),
+            format!("{}", cmc_dsatur.circuit_count()),
+            "local SPAM".into(),
+        ],
+        vec![
+            "All-pairs calibration".into(),
+            "4·n(n-1)/2".into(),
+            format!("{}", 4 * all_pairs.len()),
+            "pairwise SPAM".into(),
+        ],
+        vec![
+            "ERR sweep (d<=2, Alg. 1)".into(),
+            "4·|pairs|/k_speedup".into(),
+            format!("{}", err_sweep.circuit_count()),
+            "tailored local SPAM".into(),
+        ],
     ];
-    print_table(&["Method", "Closed form", "Tokyo circuits", "Output"], &rows);
+    print_table(
+        &["Method", "Closed form", "Tokyo circuits", "Output"],
+        &rows,
+    );
 
     println!(
         "\nAlgorithm 1 on Tokyo: {} edges in {} rounds -> {} circuits \

@@ -22,7 +22,7 @@ struct Cell {
     result: Option<MethodResult>,
 }
 
-fn main() {
+fn main() -> Result<(), Box<dyn std::error::Error>> {
     let args = HarnessArgs::parse(5, 32_000);
     let backends = [
         devices::simulated_manila(args.seed),
@@ -31,10 +31,11 @@ fn main() {
         devices::simulated_nairobi(args.seed),
     ];
 
-    let method_names: Vec<String> =
-        standard_strategies(true).iter().map(|s| s.name().to_string()).collect();
-    let non_exponential =
-        ["AIM", "SIM", "JIGSAW", "CMC", "CMC-ERR"].map(str::to_string);
+    let method_names: Vec<String> = standard_strategies(true)
+        .iter()
+        .map(|s| s.name().to_string())
+        .collect();
+    let non_exponential = ["AIM", "SIM", "JIGSAW", "CMC", "CMC-ERR"].map(str::to_string);
 
     let mut all: Vec<Cell> = Vec::new();
     let mut columns: Vec<Vec<(String, Option<MethodResult>)>> = Vec::new();
@@ -45,10 +46,21 @@ fn main() {
         let correct = [0u64, (1u64 << n) - 1];
         let strategies = standard_strategies(true);
         let results = compare_methods(
-            backend, &ghz, &ideal, &correct, &strategies, args.budget, args.trials, args.seed,
-        );
+            backend,
+            &ghz,
+            &ideal,
+            &correct,
+            &strategies,
+            args.budget,
+            args.trials,
+            args.seed,
+        )?;
         for (m, r) in &results {
-            all.push(Cell { device: backend.name.clone(), method: m.clone(), result: r.clone() });
+            all.push(Cell {
+                device: backend.name.clone(),
+                method: m.clone(),
+                result: r.clone(),
+            });
         }
         eprintln!("[table2] {} done", backend.name);
         columns.push(results);
@@ -60,11 +72,8 @@ fn main() {
         .map(|col| {
             col.iter()
                 .filter(|(m, r)| non_exponential.contains(m) && r.is_some())
-                .min_by(|a, b| {
-                    let ma = a.1.as_ref().unwrap().one_norm_median;
-                    let mb = b.1.as_ref().unwrap().one_norm_median;
-                    ma.partial_cmp(&mb).unwrap()
-                })
+                .filter_map(|(m, r)| r.as_ref().map(|r| (m, r.one_norm_median)))
+                .min_by(|a, b| a.1.total_cmp(&b.1))
                 .map(|(m, _)| m.clone())
         })
         .collect();
@@ -88,7 +97,11 @@ fn main() {
                     .find(|(name, _)| name == m)
                     .and_then(|(_, r)| r.as_ref())
                     .map(|r| {
-                        let star = if best.as_deref() == Some(m.as_str()) { " *" } else { "" };
+                        let star = if best.as_deref() == Some(m.as_str()) {
+                            " *"
+                        } else {
+                            ""
+                        };
                         format!("{}{star}", r.band_cell())
                     })
                     .unwrap_or_else(|| "N/A".into());
@@ -131,4 +144,5 @@ fn main() {
     println!("\nPaper reference: CMC/CMC-ERR average 35% reduction, up to 41% (Nairobi, CMC-ERR).");
 
     write_json("table2_devices", &all);
+    Ok(())
 }

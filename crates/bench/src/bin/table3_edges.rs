@@ -80,7 +80,10 @@ fn main() {
             format!("n(n-1)/2 = {}", n * (n - 1) / 2),
         ]);
     }
-    print_table(&["Architecture", "Size", "Edges (measured)", "Closed form"], &rows);
+    print_table(
+        &["Architecture", "Size", "Edges (measured)", "Closed form"],
+        &rows,
+    );
 
     println!(
         "\nOnly the fully connected family grows super-linearly — the regime where bare \

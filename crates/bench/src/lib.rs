@@ -9,6 +9,7 @@
 
 pub mod svg;
 
+use qem_core::error::CoreError;
 use qem_linalg::sparse_apply::SparseDist;
 use qem_mitigation::metrics::BandStats;
 use qem_mitigation::MitigationStrategy;
@@ -98,23 +99,21 @@ pub fn run_trials(
     budget: u64,
     trials: u64,
     seed0: u64,
-) -> MethodResult {
+) -> Result<MethodResult, CoreError> {
     let results: Vec<Trial> = (0..trials)
         .into_par_iter()
-        .map(|t| {
+        .map(|t| -> Result<Trial, CoreError> {
             let mut rng = StdRng::seed_from_u64(seed0 + t);
-            let out = strategy
-                .run(backend, circuit, budget, &mut rng)
-                .unwrap_or_else(|e| panic!("{} failed: {e}", strategy.name()));
-            Trial {
+            let out = strategy.run(backend, circuit, budget, &mut rng)?;
+            Ok(Trial {
                 one_norm: out.distribution.l1_distance(ideal),
                 error_rate: 1.0 - out.distribution.mass_on(correct),
                 calibration_circuits: out.calibration_circuits,
                 shots_used: out.total_shots(),
-            }
+            })
         })
-        .collect();
-    MethodResult::from_trials(strategy.name(), results)
+        .collect::<Result<_, _>>()?;
+    Ok(MethodResult::from_trials(strategy.name(), results))
 }
 
 /// Compares a strategy set on one backend/circuit, skipping infeasible
@@ -129,16 +128,24 @@ pub fn compare_methods(
     budget: u64,
     trials: u64,
     seed0: u64,
-) -> Vec<(String, Option<MethodResult>)> {
+) -> Result<Vec<(String, Option<MethodResult>)>, CoreError> {
     strategies
         .iter()
         .map(|s| {
             if s.feasible(backend, budget) {
-                let r =
-                    run_trials(backend, circuit, ideal, correct, s.as_ref(), budget, trials, seed0);
-                (s.name().to_string(), Some(r))
+                let r = run_trials(
+                    backend,
+                    circuit,
+                    ideal,
+                    correct,
+                    s.as_ref(),
+                    budget,
+                    trials,
+                    seed0,
+                )?;
+                Ok((s.name().to_string(), Some(r)))
             } else {
-                (s.name().to_string(), None)
+                Ok((s.name().to_string(), None))
             }
         })
         .collect()
@@ -204,22 +211,35 @@ pub struct HarnessArgs {
 impl HarnessArgs {
     /// Parses from `std::env::args`, with the given defaults.
     pub fn parse(default_trials: u64, default_budget: u64) -> HarnessArgs {
-        let mut out =
-            HarnessArgs { trials: default_trials, budget: default_budget, seed: 2023, fast: false };
+        let mut out = HarnessArgs {
+            trials: default_trials,
+            budget: default_budget,
+            seed: 2023,
+            fast: false,
+        };
         let args: Vec<String> = std::env::args().skip(1).collect();
         let mut i = 0;
         while i < args.len() {
             match args[i].as_str() {
                 "--trials" => {
-                    out.trials = args.get(i + 1).and_then(|s| s.parse().ok()).unwrap_or(out.trials);
+                    out.trials = args
+                        .get(i + 1)
+                        .and_then(|s| s.parse().ok())
+                        .unwrap_or(out.trials);
                     i += 1;
                 }
                 "--budget" => {
-                    out.budget = args.get(i + 1).and_then(|s| s.parse().ok()).unwrap_or(out.budget);
+                    out.budget = args
+                        .get(i + 1)
+                        .and_then(|s| s.parse().ok())
+                        .unwrap_or(out.budget);
                     i += 1;
                 }
                 "--seed" => {
-                    out.seed = args.get(i + 1).and_then(|s| s.parse().ok()).unwrap_or(out.seed);
+                    out.seed = args
+                        .get(i + 1)
+                        .and_then(|s| s.parse().ok())
+                        .unwrap_or(out.seed);
                     i += 1;
                 }
                 "--fast" => out.fast = true,
@@ -260,7 +280,7 @@ pub fn ghz_scaling_experiment(
     budget: u64,
     trials: u64,
     seed: u64,
-) -> Vec<ScalingPoint> {
+) -> Result<Vec<ScalingPoint>, CoreError> {
     use qem_mitigation::metrics::ghz_ideal;
     use qem_mitigation::standard_strategies;
     use qem_sim::circuit::ghz_bfs;
@@ -274,8 +294,16 @@ pub fn ghz_scaling_experiment(
         // Exponential methods included wherever their own feasibility
         // gates allow (Full caps itself; Linear always runs).
         let strategies = standard_strategies(true);
-        let results =
-            compare_methods(backend, &ghz, &ideal, &correct, &strategies, budget, trials, seed);
+        let results = compare_methods(
+            backend,
+            &ghz,
+            &ideal,
+            &correct,
+            &strategies,
+            budget,
+            trials,
+            seed,
+        )?;
         for (method, result) in results {
             points.push(ScalingPoint {
                 qubits: n,
@@ -287,7 +315,7 @@ pub fn ghz_scaling_experiment(
         }
         eprintln!("[{figure}] {} done", backend.name);
     }
-    points
+    Ok(points)
 }
 
 /// Prints a scaling experiment as a size × method error-rate matrix.
@@ -341,8 +369,8 @@ mod tests {
         let b = Backend::new(linear(3), NoiseModel::random_biased(3, 0.02, 0.08, 1));
         let c = ghz_bfs(&b.coupling.graph, 0);
         let ideal = qem_mitigation::metrics::ghz_ideal(3);
-        let r1 = run_trials(&b, &c, &ideal, &[0, 7], &Bare, 2000, 4, 7);
-        let r2 = run_trials(&b, &c, &ideal, &[0, 7], &Bare, 2000, 4, 7);
+        let r1 = run_trials(&b, &c, &ideal, &[0, 7], &Bare, 2000, 4, 7).unwrap();
+        let r2 = run_trials(&b, &c, &ideal, &[0, 7], &Bare, 2000, 4, 7).unwrap();
         // Shot streams are seed-identical; hash-map summation order may
         // differ by an ulp, so compare with a tolerance.
         for (a, b) in r1.trials.iter().zip(&r2.trials) {
@@ -354,9 +382,24 @@ mod tests {
     #[test]
     fn method_result_bands() {
         let trials = vec![
-            Trial { one_norm: 0.1, error_rate: 0.05, calibration_circuits: 0, shots_used: 10 },
-            Trial { one_norm: 0.3, error_rate: 0.15, calibration_circuits: 0, shots_used: 10 },
-            Trial { one_norm: 0.2, error_rate: 0.10, calibration_circuits: 0, shots_used: 10 },
+            Trial {
+                one_norm: 0.1,
+                error_rate: 0.05,
+                calibration_circuits: 0,
+                shots_used: 10,
+            },
+            Trial {
+                one_norm: 0.3,
+                error_rate: 0.15,
+                calibration_circuits: 0,
+                shots_used: 10,
+            },
+            Trial {
+                one_norm: 0.2,
+                error_rate: 0.10,
+                calibration_circuits: 0,
+                shots_used: 10,
+            },
         ];
         let r = MethodResult::from_trials("x", trials);
         assert!((r.one_norm_median - 0.2).abs() < 1e-12);

@@ -33,7 +33,7 @@ impl LineChart {
 
     /// Adds a named series; points need not be sorted.
     pub fn add_series(&mut self, name: &str, mut points: Vec<(f64, f64)>) {
-        points.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+        points.sort_by(|a, b| a.0.total_cmp(&b.0));
         points.retain(|p| p.0.is_finite() && p.1.is_finite());
         if !points.is_empty() {
             self.series.push((name.into(), points));
@@ -144,8 +144,10 @@ impl LineChart {
         // Series.
         for (idx, (name, pts)) in self.series.iter().enumerate() {
             let color = PALETTE[idx % PALETTE.len()];
-            let path: Vec<String> =
-                pts.iter().map(|&(x, y)| format!("{:.1},{:.1}", sx(x), sy(y))).collect();
+            let path: Vec<String> = pts
+                .iter()
+                .map(|&(x, y)| format!("{:.1},{:.1}", sx(x), sy(y)))
+                .collect();
             let _ = writeln!(
                 out,
                 r#"<polyline points="{}" fill="none" stroke="{color}" stroke-width="2"/>"#,
@@ -193,7 +195,9 @@ impl LineChart {
 }
 
 fn escape(s: &str) -> String {
-    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+    s.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;")
 }
 
 /// Builds the standard Figs. 13–15 chart from scaling points.
@@ -263,9 +267,27 @@ mod tests {
     fn scaling_chart_groups_methods() {
         use crate::ScalingPoint;
         let points = vec![
-            ScalingPoint { qubits: 4, device: "d".into(), method: "CMC".into(), error_rate: Some(0.1), one_norm: Some(0.2) },
-            ScalingPoint { qubits: 8, device: "d".into(), method: "CMC".into(), error_rate: Some(0.2), one_norm: Some(0.4) },
-            ScalingPoint { qubits: 4, device: "d".into(), method: "Full".into(), error_rate: None, one_norm: None },
+            ScalingPoint {
+                qubits: 4,
+                device: "d".into(),
+                method: "CMC".into(),
+                error_rate: Some(0.1),
+                one_norm: Some(0.2),
+            },
+            ScalingPoint {
+                qubits: 8,
+                device: "d".into(),
+                method: "CMC".into(),
+                error_rate: Some(0.2),
+                one_norm: Some(0.4),
+            },
+            ScalingPoint {
+                qubits: 4,
+                device: "d".into(),
+                method: "Full".into(),
+                error_rate: None,
+                one_norm: None,
+            },
         ];
         let chart = scaling_chart("fig", &points);
         // Full has no feasible points ⇒ only CMC series.

@@ -73,9 +73,12 @@ where
         values.push(statistic(&mitigated));
     }
     let mean = values.iter().sum::<f64>() / values.len() as f64;
-    let var = values.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>()
-        / (values.len() - 1) as f64;
-    Ok(Estimate { mean, std: var.sqrt() })
+    let var =
+        values.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / (values.len() - 1) as f64;
+    Ok(Estimate {
+        mean,
+        std: var.sqrt(),
+    })
 }
 
 #[cfg(test)]
@@ -119,13 +122,22 @@ mod tests {
         let spread = |shots: u64, seed: u64| {
             let counts = Counts::from_pairs(
                 2,
-                [(0u64, shots * 45 / 100), (3u64, shots * 45 / 100), (1u64, shots / 10)],
+                [
+                    (0u64, shots * 45 / 100),
+                    (3u64, shots * 45 / 100),
+                    (1u64, shots / 10),
+                ],
             );
             bootstrap_mass_on(&mit, &counts, &[0, 3], 40, &mut rng(seed)).unwrap()
         };
         let small = spread(500, 2);
         let large = spread(50_000, 3);
-        assert!(small.std > large.std * 3.0, "{} vs {}", small.std, large.std);
+        assert!(
+            small.std > large.std * 3.0,
+            "{} vs {}",
+            small.std,
+            large.std
+        );
         // ~1/√N scaling: 10× shots ⇒ ~√100 = 10× smaller bars.
         assert!(large.std < 0.02);
         assert!((small.mean - large.mean).abs() < 0.1);
@@ -144,10 +156,8 @@ mod tests {
     fn custom_statistic() {
         let mit = SparseMitigator::identity(1);
         let counts = Counts::from_pairs(1, [(0u64, 500u64), (1u64, 500u64)]);
-        let est = bootstrap_statistic(&mit, &counts, 30, &mut rng(5), |d| {
-            d.get(0) - d.get(1)
-        })
-        .unwrap();
+        let est =
+            bootstrap_statistic(&mit, &counts, 30, &mut rng(5), |d| d.get(0) - d.get(1)).unwrap();
         assert!(est.mean.abs() < 0.1);
     }
 

@@ -1,9 +1,9 @@
 //! Calibration matrices over qubit subsets: construction from device
 //! counts, marginals, inversion and correlation weights.
 
-use crate::error::Result as CoreResult;
+use crate::error::Result;
 use qem_linalg::dense::Matrix;
-use qem_linalg::error::{LinalgError, Result};
+use qem_linalg::error::LinalgError;
 use qem_linalg::lu;
 use qem_linalg::stochastic::{is_column_stochastic, normalize_columns, normalized_partial_trace};
 use qem_sim::circuit::basis_prep;
@@ -26,8 +26,14 @@ impl CalibrationMatrix {
         if matrix.rows() != 1 << qubits.len() || !matrix.is_square() {
             return Err(LinalgError::DimensionMismatch {
                 op: "CalibrationMatrix::new",
-                detail: format!("{} qubits vs {}x{}", qubits.len(), matrix.rows(), matrix.cols()),
-            });
+                detail: format!(
+                    "{} qubits vs {}x{}",
+                    qubits.len(),
+                    matrix.rows(),
+                    matrix.cols()
+                ),
+            }
+            .into());
         }
         let mut sorted = qubits.clone();
         sorted.sort_unstable();
@@ -36,20 +42,28 @@ impl CalibrationMatrix {
             return Err(LinalgError::DimensionMismatch {
                 op: "CalibrationMatrix::new",
                 detail: "duplicate qubit".into(),
-            });
+            }
+            .into());
         }
-        if !is_column_stochastic(&matrix, 1e-6) {
+        if !is_column_stochastic(&matrix, qem_linalg::tol::STOCHASTIC) {
             return Err(LinalgError::InvalidDistribution {
                 detail: "calibration matrix not column-stochastic".into(),
-            });
+            }
+            .into());
         }
-        Ok(CalibrationMatrix { qubits, matrix: normalize_columns(&matrix) })
+        Ok(CalibrationMatrix {
+            qubits,
+            matrix: normalize_columns(&matrix),
+        })
     }
 
     /// The identity calibration (error-free measurement).
     pub fn identity(qubits: Vec<usize>) -> Self {
         let dim = 1usize << qubits.len();
-        CalibrationMatrix { matrix: Matrix::identity(dim), qubits }
+        CalibrationMatrix {
+            matrix: Matrix::identity(dim),
+            qubits,
+        }
     }
 
     /// The qubits, in matrix bit order.
@@ -69,14 +83,14 @@ impl CalibrationMatrix {
 
     /// Inverse of the stochastic matrix (the mitigation operator).
     pub fn inverse(&self) -> Result<Matrix> {
-        lu::inverse(&self.matrix)
+        Ok(lu::inverse(&self.matrix)?)
     }
 
     /// One-norm condition number of the calibration block — inversion
     /// amplifies shot noise by roughly this factor, so values far above 1
     /// (readout fidelity approaching 50 %) flag an untrustworthy patch.
     pub fn condition(&self) -> Result<f64> {
-        lu::condition_estimate(&self.matrix)
+        Ok(lu::condition_estimate(&self.matrix)?)
     }
 
     /// Single-qubit marginal `|Tr_other(C)|` (paper Eq. 4) for a qubit in
@@ -139,10 +153,12 @@ pub fn characterize(
     qubits: &[usize],
     shots_per_circuit: u64,
     rng: &mut StdRng,
-) -> CoreResult<CalibrationMatrix> {
+) -> Result<CalibrationMatrix> {
     let k = qubits.len();
     let dim = 1usize << k;
     let n = backend.num_qubits();
+    // qem-lint: allow(validated-matrix-construction) — raw counts accumulator;
+    // validated by the `CalibrationMatrix::new` at the end of this function
     let mut m = Matrix::zeros(dim, dim);
     for prepared in 0..dim {
         // Scatter the prepared pattern onto the physical qubits.
@@ -158,7 +174,7 @@ pub fn characterize(
             m[(obs, prepared)] = p;
         }
     }
-    Ok(CalibrationMatrix::new(qubits.to_vec(), m)?)
+    CalibrationMatrix::new(qubits.to_vec(), m)
 }
 
 /// Builds a calibration matrix from pre-measured per-column histograms
@@ -169,8 +185,11 @@ pub fn from_columns(qubits: Vec<usize>, columns: &[Counts]) -> Result<Calibratio
         return Err(LinalgError::DimensionMismatch {
             op: "from_columns",
             detail: format!("{} columns for {} qubits", columns.len(), qubits.len()),
-        });
+        }
+        .into());
     }
+    // qem-lint: allow(validated-matrix-construction) — raw counts accumulator;
+    // validated by the `CalibrationMatrix::new` at the end of this function
     let mut m = Matrix::zeros(dim, dim);
     for (prepared, counts) in columns.iter().enumerate() {
         let col = column_from_counts(counts, dim);
@@ -202,7 +221,13 @@ mod tests {
         let c = CalibrationMatrix::identity(vec![0, 2]);
         assert_eq!(c.num_qubits(), 2);
         assert!((c.correlation_weight().unwrap()).abs() < 1e-12);
-        assert!(c.inverse().unwrap().max_abs_diff(&Matrix::identity(4)).unwrap() < 1e-12);
+        assert!(
+            c.inverse()
+                .unwrap()
+                .max_abs_diff(&Matrix::identity(4))
+                .unwrap()
+                < 1e-12
+        );
     }
 
     #[test]
@@ -268,7 +293,10 @@ mod tests {
         let c = characterize(&b, &[0, 1], 100_000, &mut rng(4)).unwrap();
         let inv = c.inverse().unwrap();
         // Apply to the noisy distribution of |11⟩: should sharpen to ~[0,0,0,1].
-        let noisy = b.noise.measurement_channel().apply_dense(&[0.0, 0.0, 0.0, 1.0]);
+        let noisy = b
+            .noise
+            .measurement_channel()
+            .apply_dense(&[0.0, 0.0, 0.0, 1.0]);
         let mitigated = inv.matvec(&noisy).unwrap();
         assert!((mitigated[3] - 1.0).abs() < 0.02, "p11 = {}", mitigated[3]);
     }

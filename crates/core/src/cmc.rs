@@ -6,10 +6,10 @@
 //! (Eqs. 5–7) and invert into a [`SparseMitigator`].
 
 use crate::calibration::{from_columns, CalibrationMatrix};
-use crate::error::Result as CoreResult;
+use crate::error::Result;
 use crate::joining::{join_corrections, JoinedPatch};
 use crate::mitigator::SparseMitigator;
-use qem_linalg::error::{LinalgError, Result};
+use qem_linalg::error::LinalgError;
 use qem_sim::circuit::basis_prep;
 use qem_sim::counts::Counts;
 use qem_sim::exec::Executor;
@@ -30,7 +30,11 @@ pub struct CmcOptions {
 
 impl Default for CmcOptions {
     fn default() -> Self {
-        CmcOptions { k: 1, shots_per_circuit: 1024, cull_threshold: 1e-10 }
+        CmcOptions {
+            k: 1,
+            shots_per_circuit: 1024,
+            cull_threshold: qem_linalg::tol::CULL,
+        }
     }
 }
 
@@ -61,6 +65,7 @@ impl CmcCalibration {
             .filter(|p| p.num_qubits() == 2)
             .map(|p| {
                 let w = p.correlation_weight()?;
+                // qem-lint: allow(no-direct-index) — filtered to two-qubit patches above
                 Ok(((p.qubits()[0], p.qubits()[1]), w))
             })
             .collect()
@@ -89,7 +94,7 @@ pub fn calibrate_cmc(
     backend: &dyn Executor,
     opts: &CmcOptions,
     rng: &mut StdRng,
-) -> CoreResult<CmcCalibration> {
+) -> Result<CmcCalibration> {
     let pairs: Vec<(usize, usize)> = backend
         .device()
         .coupling
@@ -110,7 +115,7 @@ pub fn calibrate_cmc_pairs(
     pairs: &[(usize, usize)],
     opts: &CmcOptions,
     rng: &mut StdRng,
-) -> CoreResult<CmcCalibration> {
+) -> Result<CmcCalibration> {
     let measured = measure_cmc_pairs(backend, pairs, opts, rng)?;
     assemble_cmc(backend.num_qubits(), measured, opts.cull_threshold)
 }
@@ -123,8 +128,8 @@ pub fn measure_cmc_pairs(
     pairs: &[(usize, usize)],
     opts: &CmcOptions,
     rng: &mut StdRng,
-) -> CoreResult<MeasuredCmc> {
-    let _span = qem_telemetry::span!("core.cmc.measure", pairs = pairs.len());
+) -> Result<MeasuredCmc> {
+    let _span = qem_telemetry::span!(qem_telemetry::names::CORE_CMC_MEASURE, pairs = pairs.len());
     let n = backend.num_qubits();
     for &(a, b) in pairs {
         if a >= n || b >= n {
@@ -136,10 +141,17 @@ pub fn measure_cmc_pairs(
         }
     }
     let schedule = {
-        let _s = qem_telemetry::span!("core.cmc.schedule", pairs = pairs.len(), k = opts.k);
+        let _s = qem_telemetry::span!(
+            qem_telemetry::names::CORE_CMC_SCHEDULE,
+            pairs = pairs.len(),
+            k = opts.k
+        );
         schedule_pairs(&backend.device().coupling.graph, pairs, opts.k)
     };
-    qem_telemetry::gauge_set("core.cmc.schedule_rounds", schedule.rounds.len() as f64);
+    qem_telemetry::gauge_set(
+        qem_telemetry::names::CORE_CMC_SCHEDULE_ROUNDS,
+        schedule.rounds.len() as f64,
+    );
     let mut circuits_used = 0usize;
     let mut shots_used = 0u64;
     let mut patches: Vec<CalibrationMatrix> = Vec::with_capacity(pairs.len());
@@ -171,7 +183,12 @@ pub fn measure_cmc_pairs(
         patches.extend(singles);
     }
 
-    Ok(MeasuredCmc { patches, schedule, circuits_used, shots_used })
+    Ok(MeasuredCmc {
+        patches,
+        schedule,
+        circuits_used,
+        shots_used,
+    })
 }
 
 /// The assembly half of [`calibrate_cmc_pairs`]: joins the measured patches
@@ -181,21 +198,39 @@ pub fn assemble_cmc(
     n: usize,
     measured: MeasuredCmc,
     cull_threshold: f64,
-) -> CoreResult<CmcCalibration> {
-    let _span = qem_telemetry::span!("core.cmc.assemble", patches = measured.patches.len());
-    let MeasuredCmc { patches, schedule, circuits_used, shots_used } = measured;
+) -> Result<CmcCalibration> {
+    let _span = qem_telemetry::span!(
+        qem_telemetry::names::CORE_CMC_ASSEMBLE,
+        patches = measured.patches.len()
+    );
+    let MeasuredCmc {
+        patches,
+        schedule,
+        circuits_used,
+        shots_used,
+    } = measured;
     let joined = join_corrections(&patches)?;
     let mut mitigator = SparseMitigator::identity(n);
     mitigator.cull_threshold = cull_threshold;
     {
-        let _invert = qem_telemetry::span!("core.cmc.invert", patches = joined.len());
+        let _invert = qem_telemetry::span!(
+            qem_telemetry::names::CORE_CMC_INVERT,
+            patches = joined.len()
+        );
         for p in joined.iter().rev() {
             let inv = qem_linalg::lu::inverse(&p.matrix)?;
             mitigator.push_step(p.qubits.clone(), inv);
         }
     }
 
-    Ok(CmcCalibration { patches, joined, mitigator, schedule, circuits_used, shots_used })
+    Ok(CmcCalibration {
+        patches,
+        joined,
+        mitigator,
+        schedule,
+        circuits_used,
+        shots_used,
+    })
 }
 
 /// Executes the four basis circuits of one simultaneous round and slices
@@ -211,8 +246,11 @@ pub fn measure_round(
     round: &[(usize, usize)],
     shots_per_circuit: u64,
     rng: &mut StdRng,
-) -> CoreResult<Vec<CalibrationMatrix>> {
-    let _span = qem_telemetry::span!("core.cmc.measure_round", patches = round.len());
+) -> Result<Vec<CalibrationMatrix>> {
+    let _span = qem_telemetry::span!(
+        qem_telemetry::names::CORE_CMC_MEASURE_ROUND,
+        patches = round.len()
+    );
     let n = backend.num_qubits();
     // Measured register: union of patch qubits, ascending.
     let mut measured: Vec<usize> = round.iter().flat_map(|&(a, b)| [a, b]).collect();
@@ -228,10 +266,12 @@ pub fn measure_round(
     // `measured` is sorted, so every round qubit is found by binary search;
     // a miss is a logic error surfaced as a typed error rather than a panic.
     let pos = |q: usize| -> Result<usize> {
-        measured.binary_search(&q).map_err(|_| LinalgError::DimensionMismatch {
-            op: "measure_round",
-            detail: format!("qubit {q} missing from measured set"),
-        })
+        Ok(measured
+            .binary_search(&q)
+            .map_err(|_| LinalgError::DimensionMismatch {
+                op: "measure_round",
+                detail: format!("qubit {q} missing from measured set"),
+            })?)
     };
 
     let mut per_pattern_counts: Vec<Counts> = Vec::with_capacity(4);
@@ -270,7 +310,7 @@ pub fn calibrate_cmc_patch_sets(
     patch_sets: &[Vec<usize>],
     opts: &CmcOptions,
     rng: &mut StdRng,
-) -> CoreResult<CmcCalibration> {
+) -> Result<CmcCalibration> {
     let n = backend.num_qubits();
     for p in patch_sets {
         if p.is_empty() {
@@ -290,14 +330,16 @@ pub fn calibrate_cmc_patch_sets(
             }
         }
     }
-    let multi =
-        qem_topology::patches::schedule_patches(&backend.device().coupling.graph, patch_sets, opts.k);
+    let multi = qem_topology::patches::schedule_patches(
+        &backend.device().coupling.graph,
+        patch_sets,
+        opts.k,
+    );
     let mut circuits_used = 0usize;
     let mut shots_used = 0u64;
     let mut patches: Vec<CalibrationMatrix> = Vec::with_capacity(patch_sets.len());
     for round in &multi.rounds {
-        let round_patches =
-            measure_patch_round(backend, round, opts.shots_per_circuit, rng)?;
+        let round_patches = measure_patch_round(backend, round, opts.shots_per_circuit, rng)?;
         let max = round.iter().map(Vec::len).max().unwrap_or(0);
         circuits_used += 1 << max;
         shots_used += (1u64 << max) * opts.shots_per_circuit;
@@ -318,12 +360,18 @@ pub fn calibrate_cmc_patch_sets(
         patches.extend(singles);
     }
 
-    let _assemble = qem_telemetry::span!("core.cmc.assemble", patches = patches.len());
+    let _assemble = qem_telemetry::span!(
+        qem_telemetry::names::CORE_CMC_ASSEMBLE,
+        patches = patches.len()
+    );
     let joined = join_corrections(&patches)?;
     let mut mitigator = SparseMitigator::identity(n);
     mitigator.cull_threshold = opts.cull_threshold;
     {
-        let _invert = qem_telemetry::span!("core.cmc.invert", patches = joined.len());
+        let _invert = qem_telemetry::span!(
+            qem_telemetry::names::CORE_CMC_INVERT,
+            patches = joined.len()
+        );
         for p in joined.iter().rev() {
             let inv = qem_linalg::lu::inverse(&p.matrix)?;
             mitigator.push_step(p.qubits.clone(), inv);
@@ -332,8 +380,18 @@ pub fn calibrate_cmc_patch_sets(
     // Present the multi-schedule through the pairwise schedule slot by
     // synthesising singleton rounds is lossy; keep an empty pair schedule
     // and report counts through circuits_used.
-    let schedule = PatchSchedule { k: opts.k, rounds: Vec::new() };
-    Ok(CmcCalibration { patches, joined, mitigator, schedule, circuits_used, shots_used })
+    let schedule = PatchSchedule {
+        k: opts.k,
+        rounds: Vec::new(),
+    };
+    Ok(CmcCalibration {
+        patches,
+        joined,
+        mitigator,
+        schedule,
+        circuits_used,
+        shots_used,
+    })
 }
 
 /// Executes the shared circuits of one **multi-size** round and slices the
@@ -346,7 +404,7 @@ pub fn measure_patch_round(
     round: &[Vec<usize>],
     shots_per_circuit: u64,
     rng: &mut StdRng,
-) -> CoreResult<Vec<CalibrationMatrix>> {
+) -> Result<Vec<CalibrationMatrix>> {
     let n = backend.num_qubits();
     let mut measured: Vec<usize> = round.iter().flatten().copied().collect();
     let total_qubits = measured.len();
@@ -360,10 +418,12 @@ pub fn measure_patch_round(
         .into());
     }
     let pos = |q: usize| -> Result<usize> {
-        measured.binary_search(&q).map_err(|_| LinalgError::DimensionMismatch {
-            op: "measure_patch_round",
-            detail: format!("qubit {q} missing from measured set"),
-        })
+        Ok(measured
+            .binary_search(&q)
+            .map_err(|_| LinalgError::DimensionMismatch {
+                op: "measure_patch_round",
+                detail: format!("qubit {q} missing from measured set"),
+            })?)
     };
     let max = round.iter().map(Vec::len).max().unwrap_or(0);
     let patterns = 1usize << max;
@@ -384,8 +444,7 @@ pub fn measure_patch_round(
     let out = round
         .iter()
         .map(|p| {
-            let bits: Vec<usize> =
-                p.iter().map(|&q| pos(q)).collect::<Result<Vec<_>>>()?;
+            let bits: Vec<usize> = p.iter().map(|&q| pos(q)).collect::<Result<Vec<_>>>()?;
             let dim = 1usize << p.len();
             let mut columns: Vec<Counts> = vec![Counts::new(p.len()); dim];
             for (pattern, counts) in per_pattern_counts.iter().enumerate() {
@@ -404,7 +463,7 @@ pub(crate) fn measure_singles(
     qubits: &[usize],
     shots_per_circuit: u64,
     rng: &mut StdRng,
-) -> CoreResult<Vec<CalibrationMatrix>> {
+) -> Result<Vec<CalibrationMatrix>> {
     let n = backend.num_qubits();
     let mut ones_state = 0u64;
     for &q in qubits {
@@ -444,7 +503,11 @@ mod tests {
     }
 
     fn opts(shots: u64) -> CmcOptions {
-        CmcOptions { k: 1, shots_per_circuit: shots, cull_threshold: 1e-10 }
+        CmcOptions {
+            k: 1,
+            shots_per_circuit: shots,
+            cull_threshold: 1e-10,
+        }
     }
 
     #[test]
@@ -516,14 +579,20 @@ mod tests {
         let weights = cal.correlation_weights().unwrap();
         let w12 = weights.iter().find(|(p, _)| *p == (1, 2)).unwrap().1;
         let w01 = weights.iter().find(|(p, _)| *p == (0, 1)).unwrap().1;
-        assert!(w12 > 3.0 * w01, "edge (1,2) weight {w12:.3} vs (0,1) {w01:.3}");
+        assert!(
+            w12 > 3.0 * w01,
+            "edge (1,2) weight {w12:.3} vs (0,1) {w01:.3}"
+        );
 
         let ghz = ghz_bfs(&b.coupling.graph, 0);
         let raw = b.execute(&ghz, 40_000, &mut rng(7));
         let correct = [0u64, 15];
         let bare = raw.success_probability(&correct);
         let fixed = cal.mitigator.mitigate(&raw).unwrap().mass_on(&correct);
-        assert!(fixed > bare, "CMC failed on aligned correlation: {bare:.3} -> {fixed:.3}");
+        assert!(
+            fixed > bare,
+            "CMC failed on aligned correlation: {bare:.3} -> {fixed:.3}"
+        );
     }
 
     #[test]
@@ -535,8 +604,11 @@ mod tests {
         let cal = calibrate_cmc_pairs(&b, &[(0, 1)], &opts(5000), &mut rng(8)).unwrap();
         assert_eq!(cal.patches.len(), 3); // 1 pair + 2 singles
         assert_eq!(cal.circuits_used, 4 + 2);
-        let covered: std::collections::HashSet<usize> =
-            cal.patches.iter().flat_map(|p| p.qubits().to_vec()).collect();
+        let covered: std::collections::HashSet<usize> = cal
+            .patches
+            .iter()
+            .flat_map(|p| p.qubits().to_vec())
+            .collect();
         assert_eq!(covered.len(), n);
     }
 
@@ -557,8 +629,7 @@ mod tests {
         noise.p_flip1 = vec![0.06; n];
         let b = Backend::new(linear(n), noise);
         let via_pairs = measure_round(&b, &[(0, 1)], 80_000, &mut rng(11)).unwrap();
-        let via_multi =
-            measure_patch_round(&b, &[vec![0, 1]], 80_000, &mut rng(11)).unwrap();
+        let via_multi = measure_patch_round(&b, &[vec![0, 1]], 80_000, &mut rng(11)).unwrap();
         assert!(
             via_pairs[0]
                 .matrix()
@@ -588,13 +659,20 @@ mod tests {
         let target = 0b011u64;
         let prep = qem_sim::circuit::basis_prep(n, target);
         let raw = b.execute(&prep, 60_000, &mut rng(14));
-        let tri_p = triangle.mitigator.mitigate(&raw).unwrap().mass_on(&[target]);
+        let tri_p = triangle
+            .mitigator
+            .mitigate(&raw)
+            .unwrap()
+            .mass_on(&[target]);
         let edge_p = edges.mitigator.mitigate(&raw).unwrap().mass_on(&[target]);
         assert!(
             tri_p > edge_p + 0.02,
             "triangle {tri_p:.3} should beat pairwise {edge_p:.3} on 3-qubit correlations"
         );
-        assert!(tri_p > 0.97, "triangle patch should nearly invert: {tri_p:.3}");
+        assert!(
+            tri_p > 0.97,
+            "triangle patch should nearly invert: {tri_p:.3}"
+        );
     }
 
     #[test]
@@ -602,13 +680,9 @@ mod tests {
         let n = 6;
         let b = Backend::new(linear(n), NoiseModel::random_biased(n, 0.02, 0.08, 15));
         // One triangle + one far pair: single round, 8 circuits.
-        let cal = calibrate_cmc_patch_sets(
-            &b,
-            &[vec![0, 1, 2], vec![4, 5]],
-            &opts(1000),
-            &mut rng(15),
-        )
-        .unwrap();
+        let cal =
+            calibrate_cmc_patch_sets(&b, &[vec![0, 1, 2], vec![4, 5]], &opts(1000), &mut rng(15))
+                .unwrap();
         assert_eq!(cal.patches.len(), 3); // triangle + pair + 1 coverage (q3)
         assert_eq!(cal.circuits_used, 8 + 2);
     }

@@ -48,18 +48,32 @@ impl DriftMonitor {
     /// `reference` is typically the Linear calibration run alongside CMC,
     /// or the per-qubit marginals of the CMC patches themselves.
     pub fn new(reference: &LinearCalibration, threshold: f64) -> DriftMonitor {
-        let reference_flip0 =
-            reference.per_qubit.iter().map(|c| c.matrix()[(1, 0)]).collect();
-        let reference_flip1 =
-            reference.per_qubit.iter().map(|c| c.matrix()[(0, 1)]).collect();
-        DriftMonitor { reference_flip0, reference_flip1, threshold }
+        let reference_flip0 = reference
+            .per_qubit
+            .iter()
+            .map(|c| c.matrix()[(1, 0)])
+            .collect();
+        let reference_flip1 = reference
+            .per_qubit
+            .iter()
+            .map(|c| c.matrix()[(0, 1)])
+            .collect();
+        DriftMonitor {
+            reference_flip0,
+            reference_flip1,
+            threshold,
+        }
     }
 
     /// Anchors a monitor to per-qubit rates extracted from CMC patch
     /// marginals (`qubit → (p_flip0, p_flip1)` in qubit order).
     pub fn from_rates(flip0: Vec<f64>, flip1: Vec<f64>, threshold: f64) -> DriftMonitor {
         assert_eq!(flip0.len(), flip1.len());
-        DriftMonitor { reference_flip0: flip0, reference_flip1: flip1, threshold }
+        DriftMonitor {
+            reference_flip0: flip0,
+            reference_flip1: flip1,
+            threshold,
+        }
     }
 
     /// Number of qubits tracked.
@@ -123,7 +137,10 @@ mod tests {
         let reference = LinearCalibration::calibrate(&b, 40_000, &mut rng(1)).unwrap();
         let monitor = DriftMonitor::new(&reference, 0.02);
         let report = monitor.check(&b, 40_000, &mut rng(2)).unwrap();
-        assert!(!report.should_recalibrate, "stable device flagged: {report:?}");
+        assert!(
+            !report.should_recalibrate,
+            "stable device flagged: {report:?}"
+        );
         assert!(report.max_rate_change < 0.01);
         assert_eq!(report.shots_used, 80_000);
     }

@@ -9,10 +9,10 @@
 
 use crate::calibration::CalibrationMatrix;
 use crate::cmc::{measure_round, CmcCalibration, CmcOptions};
-use crate::error::Result as CoreResult;
+use crate::error::Result;
 use crate::joining::join_corrections;
 use crate::mitigator::SparseMitigator;
-use qem_linalg::error::{LinalgError, Result};
+use qem_linalg::error::LinalgError;
 use qem_sim::exec::Executor;
 use qem_topology::err_map::{error_coupling_map, ErrorMap, WeightedPair};
 use qem_topology::patches::{schedule_pairs, PatchSchedule};
@@ -32,7 +32,11 @@ pub struct ErrOptions {
 
 impl Default for ErrOptions {
     fn default() -> Self {
-        ErrOptions { locality: 2, max_edges: None, cmc: CmcOptions::default() }
+        ErrOptions {
+            locality: 2,
+            max_edges: None,
+            cmc: CmcOptions::default(),
+        }
     }
 }
 
@@ -58,17 +62,20 @@ pub fn characterize_err(
     backend: &dyn Executor,
     opts: &ErrOptions,
     rng: &mut StdRng,
-) -> CoreResult<ErrCharacterization> {
+) -> Result<ErrCharacterization> {
     let n = backend.num_qubits();
     let graph = &backend.device().coupling.graph;
     let candidates = graph.pairs_within_distance(opts.locality);
     let _span = qem_telemetry::span!(
-        "core.err.characterize",
+        qem_telemetry::names::CORE_ERR_CHARACTERIZE,
         candidates = candidates.len(),
         locality = opts.locality,
     );
     let schedule = {
-        let _s = qem_telemetry::span!("core.err.schedule", pairs = candidates.len());
+        let _s = qem_telemetry::span!(
+            qem_telemetry::names::CORE_ERR_SCHEDULE,
+            pairs = candidates.len()
+        );
         schedule_pairs(graph, &candidates, opts.cmc.k)
     };
 
@@ -88,17 +95,21 @@ pub fn characterize_err(
         .map(|p| {
             let w = p.correlation_weight()?;
             qem_telemetry::histogram_record_with(
-                "core.err.pair_weight",
+                qem_telemetry::names::CORE_ERR_PAIR_WEIGHT,
                 &qem_telemetry::WEIGHT_BUCKETS,
                 w,
             );
+            // qem-lint: allow(no-direct-index) — pair sweep yields two-qubit patches only
             Ok(WeightedPair::new(p.qubits()[0], p.qubits()[1], w))
         })
         .collect::<Result<_>>()?;
 
     let max_edges = opts.max_edges.unwrap_or(n);
     let error_map = error_coupling_map(n, &weights, max_edges);
-    qem_telemetry::gauge_set("core.err.selected_edges", error_map.selected.len() as f64);
+    qem_telemetry::gauge_set(
+        qem_telemetry::names::CORE_ERR_SELECTED_EDGES,
+        error_map.selected.len() as f64,
+    );
     Ok(ErrCharacterization {
         pair_calibrations,
         weights,
@@ -117,9 +128,12 @@ pub fn calibrate_cmc_err(
     backend: &dyn Executor,
     opts: &ErrOptions,
     rng: &mut StdRng,
-) -> CoreResult<(ErrCharacterization, CmcCalibration)> {
+) -> Result<(ErrCharacterization, CmcCalibration)> {
     let err = characterize_err(backend, opts, rng)?;
-    let _span = qem_telemetry::span!("core.err.assemble", selected = err.error_map.selected.len());
+    let _span = qem_telemetry::span!(
+        qem_telemetry::names::CORE_ERR_ASSEMBLE,
+        selected = err.error_map.selected.len()
+    );
     let n = backend.num_qubits();
 
     // Selected pairs, in Algorithm 2 acceptance order.
@@ -169,7 +183,14 @@ pub fn calibrate_cmc_err(
     let schedule = err.schedule.clone();
     let circuits_used = err.circuits_used;
     let shots_used = err.shots_used;
-    let cal = CmcCalibration { patches, joined, mitigator, schedule, circuits_used, shots_used };
+    let cal = CmcCalibration {
+        patches,
+        joined,
+        mitigator,
+        schedule,
+        circuits_used,
+        shots_used,
+    };
     Ok((err, cal))
 }
 
@@ -191,7 +212,11 @@ mod tests {
         ErrOptions {
             locality: 2,
             max_edges: None,
-            cmc: CmcOptions { k: 1, shots_per_circuit: shots, cull_threshold: 1e-10 },
+            cmc: CmcOptions {
+                k: 1,
+                shots_per_circuit: shots,
+                cull_threshold: 1e-10,
+            },
         }
     }
 
@@ -233,8 +258,7 @@ mod tests {
         let b = simulated_nairobi(5);
         let shots = 30_000;
         let (_, err_cal) = calibrate_cmc_err(&b, &err_opts(shots), &mut rng(3)).unwrap();
-        let cmc_cal =
-            crate::cmc::calibrate_cmc(&b, &err_opts(shots).cmc, &mut rng(4)).unwrap();
+        let cmc_cal = crate::cmc::calibrate_cmc(&b, &err_opts(shots).cmc, &mut rng(4)).unwrap();
 
         let ghz = ghz_bfs(&b.coupling.graph, 0);
         let correct = [0u64, (1 << 7) - 1];
@@ -251,8 +275,16 @@ mod tests {
         for t in 0..trials {
             let raw = b.execute(&ghz, shots, &mut rng(100 + t));
             bare_sum += raw.to_distribution().l1_distance(&ideal);
-            cmc_sum += cmc_cal.mitigator.mitigate(&raw).unwrap().l1_distance(&ideal);
-            err_sum += err_cal.mitigator.mitigate(&raw).unwrap().l1_distance(&ideal);
+            cmc_sum += cmc_cal
+                .mitigator
+                .mitigate(&raw)
+                .unwrap()
+                .l1_distance(&ideal);
+            err_sum += err_cal
+                .mitigator
+                .mitigate(&raw)
+                .unwrap()
+                .l1_distance(&ideal);
         }
         assert!(
             err_sum < bare_sum,
@@ -268,8 +300,11 @@ mod tests {
     fn cmc_err_covers_whole_register() {
         let b = simulated_nairobi(7);
         let (_, cal) = calibrate_cmc_err(&b, &err_opts(4000), &mut rng(6)).unwrap();
-        let covered: std::collections::HashSet<usize> =
-            cal.patches.iter().flat_map(|p| p.qubits().to_vec()).collect();
+        let covered: std::collections::HashSet<usize> = cal
+            .patches
+            .iter()
+            .flat_map(|p| p.qubits().to_vec())
+            .collect();
         assert_eq!(covered.len(), b.num_qubits());
     }
 

@@ -31,6 +31,12 @@ pub enum CoreError {
         /// What the validation found.
         detail: String,
     },
+    /// The requested calibration cannot run within resource limits (too
+    /// many qubits for a dense method, budget below the circuit count, …).
+    Infeasible {
+        /// Why the request is out of reach.
+        detail: String,
+    },
 }
 
 impl CoreError {
@@ -51,6 +57,9 @@ impl std::fmt::Display for CoreError {
             }
             CoreError::CorruptRecord { detail } => {
                 write!(f, "corrupt calibration record: {detail}")
+            }
+            CoreError::Infeasible { detail } => {
+                write!(f, "infeasible calibration request: {detail}")
             }
         }
     }
@@ -97,12 +106,20 @@ mod tests {
     fn conversions_and_display() {
         let c: CoreError = LinalgError::NotSquare { rows: 2, cols: 3 }.into();
         assert!(matches!(c, CoreError::Linalg(_)));
-        let c: CoreError =
-            ExecutionError::Fatal { submission: 0, reason: "x".into() }.into();
+        let c: CoreError = ExecutionError::Fatal {
+            submission: 0,
+            reason: "x".into(),
+        }
+        .into();
         assert!(c.to_string().contains("fatal"));
-        let p = CoreError::Persist { path: "a.json".into(), detail: "denied".into() };
+        let p = CoreError::Persist {
+            path: "a.json".into(),
+            detail: "denied".into(),
+        };
         assert!(p.to_string().contains("a.json"));
-        let r = CoreError::CorruptRecord { detail: "dup qubit".into() };
+        let r = CoreError::CorruptRecord {
+            detail: "dup qubit".into(),
+        };
         assert!(r.to_string().contains("dup qubit"));
     }
 }

@@ -2,8 +2,7 @@
 //! `2^n` preparation circuits, one dense `2^n × 2^n` calibration matrix.
 
 use crate::calibration::{characterize, CalibrationMatrix};
-use crate::error::Result as CoreResult;
-use qem_linalg::error::Result;
+use crate::error::Result;
 use qem_linalg::sparse_apply::SparseDist;
 use qem_sim::counts::Counts;
 use qem_sim::exec::Executor;
@@ -32,9 +31,15 @@ impl FullCalibration {
         backend: &dyn Executor,
         shots_per_circuit: u64,
         rng: &mut StdRng,
-    ) -> CoreResult<FullCalibration> {
+    ) -> Result<FullCalibration> {
         let n = backend.num_qubits();
-        assert!(n <= 14, "full calibration of {n} qubits is infeasible (paper §VII-A)");
+        if n > 14 {
+            return Err(crate::error::CoreError::Infeasible {
+                detail: format!(
+                    "full calibration of {n} qubits (paper §VII-A caps dense methods at 14)"
+                ),
+            });
+        }
         let qubits: Vec<usize> = (0..n).collect();
         let calibration = characterize(backend, &qubits, shots_per_circuit, rng)?;
         let inverse = calibration.inverse()?;
@@ -87,7 +92,10 @@ mod tests {
         let mitigated = full.mitigate(&raw).unwrap();
         let fixed = mitigated.mass_on(&[0, 7]);
         assert!(fixed > bare, "mitigation did not help: {fixed} vs {bare}");
-        assert!(fixed > 0.97, "full calibration should nearly eliminate SPAM: {fixed}");
+        assert!(
+            fixed > 0.97,
+            "full calibration should nearly eliminate SPAM: {fixed}"
+        );
     }
 
     #[test]
@@ -99,9 +107,12 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "infeasible")]
     fn refuses_large_registers() {
         let b = Backend::new(linear(15), NoiseModel::noiseless(15));
-        let _ = FullCalibration::calibrate(&b, 1, &mut rng(4));
+        let err = FullCalibration::calibrate(&b, 1, &mut rng(4)).unwrap_err();
+        assert!(
+            err.to_string().contains("infeasible"),
+            "unexpected error: {err}"
+        );
     }
 }

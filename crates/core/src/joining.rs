@@ -16,8 +16,9 @@
 //! [`qem_linalg::power::rational_power`].
 
 use crate::calibration::CalibrationMatrix;
+use crate::error::Result;
 use qem_linalg::dense::Matrix;
-use qem_linalg::error::{LinalgError, Result};
+use qem_linalg::error::LinalgError;
 use qem_linalg::lu;
 use qem_linalg::power::rational_power;
 use qem_linalg::stochastic::{normalize_columns, qubitwise_kron};
@@ -75,7 +76,10 @@ pub fn overlap_counts(patches: &[CalibrationMatrix]) -> HashMap<usize, usize> {
 /// order parameters: the `a`-th patch (in list order) containing qubit `j`
 /// gets order parameter `a` for `j`.
 pub fn join_corrections(patches: &[CalibrationMatrix]) -> Result<Vec<JoinedPatch>> {
-    let _span = qem_telemetry::span!("core.joining.join_corrections", patches = patches.len());
+    let _span = qem_telemetry::span!(
+        qem_telemetry::names::CORE_JOINING_JOIN_CORRECTIONS,
+        patches = patches.len()
+    );
     let marginals = qubit_marginals(patches)?;
     let v = overlap_counts(patches);
     let mut occurrence: HashMap<usize, u32> = HashMap::new();
@@ -92,11 +96,16 @@ pub fn join_corrections(patches: &[CalibrationMatrix]) -> Result<Vec<JoinedPatch
                 left_factors.push(Matrix::identity(2));
                 right_factors.push(Matrix::identity(2));
             } else {
-                let cq = marginals.get(&q).ok_or_else(|| LinalgError::DimensionMismatch {
-                    op: "join_corrections",
-                    detail: format!("no marginal for qubit {q}"),
-                })?;
-                let _frac = qem_telemetry::span!("core.joining.fractional_power", qubit = q);
+                let cq = marginals
+                    .get(&q)
+                    .ok_or_else(|| LinalgError::DimensionMismatch {
+                        op: "join_corrections",
+                        detail: format!("no marginal for qubit {q}"),
+                    })?;
+                let _frac = qem_telemetry::span!(
+                    qem_telemetry::names::CORE_JOINING_FRACTIONAL_POWER,
+                    qubit = q
+                );
                 left_factors.push(rational_power(cq, vq - 1 - a, vq)?);
                 right_factors.push(rational_power(cq, a, vq)?);
             }
@@ -107,7 +116,10 @@ pub fn join_corrections(patches: &[CalibrationMatrix]) -> Result<Vec<JoinedPatch
         let corrected = lu::inverse(&left)?
             .matmul(p.matrix())?
             .matmul(&lu::inverse(&right)?)?;
-        out.push(JoinedPatch { qubits: p.qubits().to_vec(), matrix: corrected });
+        out.push(JoinedPatch {
+            qubits: p.qubits().to_vec(),
+            matrix: corrected,
+        });
     }
     Ok(out)
 }

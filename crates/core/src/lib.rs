@@ -34,12 +34,12 @@ pub mod tomography;
 pub use bootstrap::{bootstrap_mass_on, Estimate};
 pub use calibration::{characterize, CalibrationMatrix};
 pub use cmc::{
-    assemble_cmc, calibrate_cmc, calibrate_cmc_pairs, calibrate_cmc_patch_sets,
-    measure_cmc_pairs, CmcCalibration, CmcOptions, MeasuredCmc,
+    assemble_cmc, calibrate_cmc, calibrate_cmc_pairs, calibrate_cmc_patch_sets, measure_cmc_pairs,
+    CmcCalibration, CmcOptions, MeasuredCmc,
 };
+pub use drift::{DriftMonitor, DriftReport};
 pub use err::{calibrate_cmc_err, characterize_err, ErrCharacterization, ErrOptions};
 pub use error::CoreError;
-pub use drift::{DriftMonitor, DriftReport};
 pub use full::FullCalibration;
 pub use joining::{join_corrections, JoinedPatch};
 pub use mitigator::SparseMitigator;

@@ -2,8 +2,8 @@
 //! calibration matrices applied to measured histograms (paper §IV-C).
 
 use crate::calibration::CalibrationMatrix;
+use crate::error::Result;
 use qem_linalg::dense::Matrix;
-use qem_linalg::error::Result;
 use qem_linalg::sparse_apply::{apply_operator_sparse, SparseDist};
 use qem_linalg::stochastic::apply_on_qubits;
 use qem_sim::counts::Counts;
@@ -36,7 +36,11 @@ pub struct SparseMitigator {
 impl SparseMitigator {
     /// An empty (identity) mitigator over `n` qubits.
     pub fn identity(n: usize) -> Self {
-        SparseMitigator { n, steps: Vec::new(), cull_threshold: 1e-10 }
+        SparseMitigator {
+            n,
+            steps: Vec::new(),
+            cull_threshold: qem_linalg::tol::CULL,
+        }
     }
 
     /// Register width.
@@ -51,7 +55,11 @@ impl SparseMitigator {
 
     /// Appends a raw operator step.
     pub fn push_step(&mut self, qubits: Vec<usize>, operator: Matrix) {
-        assert_eq!(operator.rows(), 1 << qubits.len(), "step dimension mismatch");
+        assert_eq!(
+            operator.rows(),
+            1 << qubits.len(),
+            "step dimension mismatch"
+        );
         for &q in &qubits {
             assert!(q < self.n, "step qubit {q} outside register");
         }
@@ -84,7 +92,10 @@ impl SparseMitigator {
 
     /// Mitigates an already-normalised sparse distribution.
     pub fn mitigate_dist(&self, dist: &SparseDist) -> Result<SparseDist> {
-        let _span = qem_telemetry::span!("core.mitigator.apply", steps = self.steps.len());
+        let _span = qem_telemetry::span!(
+            qem_telemetry::names::CORE_MITIGATOR_APPLY,
+            steps = self.steps.len()
+        );
         let mut d = dist.clone();
         let mut flops = 0u64;
         for step in &self.steps {
@@ -98,8 +109,8 @@ impl SparseMitigator {
             }
         }
         d.clamp_negative();
-        qem_telemetry::counter_add("core.mitigator.flops_estimate", flops);
-        qem_telemetry::counter_add("core.mitigator.applies_total", 1);
+        qem_telemetry::counter_add(qem_telemetry::names::CORE_MITIGATOR_FLOPS_ESTIMATE, flops);
+        qem_telemetry::counter_add(qem_telemetry::names::CORE_MITIGATOR_APPLIES_TOTAL, 1);
         Ok(d)
     }
 
@@ -154,7 +165,7 @@ pub fn mitigate_by_solving(
         fn dim(&self) -> usize {
             1 << self.n
         }
-        fn apply(&self, x: &[f64]) -> Result<Vec<f64>> {
+        fn apply(&self, x: &[f64]) -> qem_linalg::error::Result<Vec<f64>> {
             let mut v = x.to_vec();
             for p in self.joined {
                 v = apply_on_qubits(&p.matrix, &p.qubits, &v)?;
@@ -195,9 +206,7 @@ mod tests {
         let mit = SparseMitigator::from_calibrations(1, std::slice::from_ref(&cal)).unwrap();
         // Noisy distribution of ideal |1⟩.
         let noisy = c01.matvec(&[0.0, 1.0]).unwrap();
-        let d = mit
-            .mitigate_dist(&SparseDist::from_dense(&noisy))
-            .unwrap();
+        let d = mit.mitigate_dist(&SparseDist::from_dense(&noisy)).unwrap();
         assert!((d.get(1) - 1.0).abs() < 1e-9);
     }
 
@@ -274,8 +283,7 @@ mod tests {
     fn solving_matches_inverse_application() {
         use crate::joining::{join_corrections, joined_forward_matrix};
         let n = 3;
-        let cs: Vec<Matrix> =
-            (0..n).map(|q| flip(0.02 + 0.01 * q as f64, 0.05)).collect();
+        let cs: Vec<Matrix> = (0..n).map(|q| flip(0.02 + 0.01 * q as f64, 0.05)).collect();
         let patches = vec![
             CalibrationMatrix::new(vec![0, 1], cs[1].kron(&cs[0])).unwrap(),
             CalibrationMatrix::new(vec![1, 2], cs[2].kron(&cs[1])).unwrap(),
@@ -294,7 +302,10 @@ mod tests {
         let mut mit = SparseMitigator::identity(n);
         mit.cull_threshold = 0.0;
         for p in joined.iter().rev() {
-            mit.push_step(p.qubits.clone(), qem_linalg::lu::inverse(&p.matrix).unwrap());
+            mit.push_step(
+                p.qubits.clone(),
+                qem_linalg::lu::inverse(&p.matrix).unwrap(),
+            );
         }
         let inv_path = mit.mitigate_dense_raw(&observed).unwrap();
         for (a, b) in solved.iter().zip(&inv_path) {

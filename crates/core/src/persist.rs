@@ -72,9 +72,7 @@ impl CalibrationRecord {
         for &q in &self.qubits {
             if q >= num_qubits {
                 return Err(CoreError::CorruptRecord {
-                    detail: format!(
-                        "patch qubit {q} outside {num_qubits}-qubit record"
-                    ),
+                    detail: format!("patch qubit {q} outside {num_qubits}-qubit record"),
                 });
             }
         }
@@ -85,11 +83,7 @@ impl CalibrationRecord {
         }
         if self.matrix.len() != self.dim * self.dim {
             return Err(CoreError::CorruptRecord {
-                detail: format!(
-                    "{} matrix entries for dim {}",
-                    self.matrix.len(),
-                    self.dim
-                ),
+                detail: format!("{} matrix entries for dim {}", self.matrix.len(), self.dim),
             });
         }
         Ok(())
@@ -98,7 +92,7 @@ impl CalibrationRecord {
     /// Restores (re-validating stochasticity and shape).
     pub fn to_calibration(&self) -> Result<CalibrationMatrix> {
         let m = Matrix::from_vec(self.dim, self.dim, self.matrix.clone())?;
-        Ok(CalibrationMatrix::new(self.qubits.clone(), m)?)
+        CalibrationMatrix::new(self.qubits.clone(), m)
     }
 }
 
@@ -133,7 +127,11 @@ impl CmcRecord {
             num_qubits: n,
             k: cal.schedule.k,
             cull_threshold: cal.mitigator.cull_threshold,
-            patches: cal.patches.iter().map(CalibrationRecord::from_calibration).collect(),
+            patches: cal
+                .patches
+                .iter()
+                .map(CalibrationRecord::from_calibration)
+                .collect(),
             circuits_used: cal.circuits_used,
             shots_used: cal.shots_used,
         }
@@ -177,7 +175,10 @@ impl CmcRecord {
             patches,
             joined,
             mitigator,
-            schedule: PatchSchedule { k: self.k, rounds: Vec::new() },
+            schedule: PatchSchedule {
+                k: self.k,
+                rounds: Vec::new(),
+            },
             circuits_used: self.circuits_used,
             shots_used: self.shots_used,
         })
@@ -326,7 +327,11 @@ pub fn load_or_refresh(
     let mut circuits_used = record.circuits_used;
     let mut shots_used = record.shots_used;
     for patch in patches.iter_mut() {
-        if !patch.qubits().iter().any(|q| report.drifted_qubits.contains(q)) {
+        if !patch
+            .qubits()
+            .iter()
+            .any(|q| report.drifted_qubits.contains(q))
+        {
             continue;
         }
         let qubits = patch.qubits().to_vec();
@@ -337,7 +342,10 @@ pub fn load_or_refresh(
     }
     let measured = MeasuredCmc {
         patches,
-        schedule: PatchSchedule { k: record.k, rounds: Vec::new() },
+        schedule: PatchSchedule {
+            k: record.k,
+            rounds: Vec::new(),
+        },
         circuits_used,
         shots_used,
     };
@@ -362,7 +370,11 @@ mod tests {
         let mut noise = NoiseModel::random_biased(n, 0.02, 0.08, 3);
         noise.add_correlated(&[1, 2], 0.05);
         let b = Backend::new(linear(n), noise);
-        let opts = CmcOptions { k: 1, shots_per_circuit: 20_000, cull_threshold: 1e-10 };
+        let opts = CmcOptions {
+            k: 1,
+            shots_per_circuit: 20_000,
+            cull_threshold: 1e-10,
+        };
         let cal = calibrate_cmc(&b, &opts, &mut StdRng::seed_from_u64(1)).unwrap();
         (b, cal)
     }
@@ -409,10 +421,16 @@ mod tests {
         let (_, cal) = calibrated_backend();
         let mut record = CmcRecord::from_calibration("d", 4, &cal);
         record.patches[0].dim = 8; // wrong for 2 qubits
-        assert!(matches!(record.to_calibration(), Err(CoreError::CorruptRecord { .. })));
+        assert!(matches!(
+            record.to_calibration(),
+            Err(CoreError::CorruptRecord { .. })
+        ));
         let mut record2 = CmcRecord::from_calibration("d", 4, &cal);
         record2.num_qubits = 2; // patches address qubit 3
-        assert!(matches!(record2.to_calibration(), Err(CoreError::CorruptRecord { .. })));
+        assert!(matches!(
+            record2.to_calibration(),
+            Err(CoreError::CorruptRecord { .. })
+        ));
         // Non-stochastic matrix data.
         let mut record3 = CmcRecord::from_calibration("d", 4, &cal);
         record3.patches[0].matrix[0] = -5.0;
@@ -420,7 +438,10 @@ mod tests {
         // Wrong schema version.
         let mut record4 = CmcRecord::from_calibration("d", 4, &cal);
         record4.schema = SCHEMA_VERSION + 1;
-        assert!(matches!(record4.validate(), Err(CoreError::CorruptRecord { .. })));
+        assert!(matches!(
+            record4.validate(),
+            Err(CoreError::CorruptRecord { .. })
+        ));
     }
 
     #[test]
@@ -472,7 +493,11 @@ mod tests {
         let _ = std::fs::remove_file(&path);
 
         // First call calibrates and saves…
-        let opts = CmcOptions { k: 1, shots_per_circuit: 20_000, cull_threshold: 1e-10 };
+        let opts = CmcOptions {
+            k: 1,
+            shots_per_circuit: 20_000,
+            cull_threshold: 1e-10,
+        };
         let first =
             load_or_calibrate(&path, "dev", &b, &opts, &mut StdRng::seed_from_u64(5)).unwrap();
         assert!(path.exists());
@@ -497,30 +522,20 @@ mod tests {
         std::fs::create_dir_all(&dir).unwrap();
         let path = dir.join("cal.json");
         let _ = std::fs::remove_file(&path);
-        let opts = CmcOptions { k: 1, shots_per_circuit: 30_000, cull_threshold: 1e-10 };
+        let opts = CmcOptions {
+            k: 1,
+            shots_per_circuit: 30_000,
+            cull_threshold: 1e-10,
+        };
 
         // Seed the store.
-        let (_, probe) = load_or_refresh(
-            &path,
-            "dev",
-            &b,
-            &opts,
-            0.02,
-            &mut StdRng::seed_from_u64(7),
-        )
-        .unwrap();
+        let (_, probe) =
+            load_or_refresh(&path, "dev", &b, &opts, 0.02, &mut StdRng::seed_from_u64(7)).unwrap();
         assert!(probe.is_none(), "fresh calibration should not probe drift");
 
         // Stable device: stored record reused, probe reports no drift.
-        let (_, probe2) = load_or_refresh(
-            &path,
-            "dev",
-            &b,
-            &opts,
-            0.02,
-            &mut StdRng::seed_from_u64(8),
-        )
-        .unwrap();
+        let (_, probe2) =
+            load_or_refresh(&path, "dev", &b, &opts, 0.02, &mut StdRng::seed_from_u64(8)).unwrap();
         let report = probe2.expect("stored record must be probed");
         assert!(report.drifted_qubits.is_empty(), "{report:?}");
 

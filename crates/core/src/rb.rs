@@ -8,7 +8,8 @@
 //! and the depolarising parameter `α` gives the average error per gate
 //! `r = (1 − α)/2` with SPAM absorbed into `A` and `B`.
 
-use qem_linalg::error::{LinalgError, Result};
+use crate::error::Result;
+use qem_linalg::error::LinalgError;
 use qem_sim::backend::Backend;
 use qem_sim::circuit::Circuit;
 use qem_sim::gate::{mat2_dagger, mat2_mul, u3_angles, u3_matrix, Gate, Mat2};
@@ -59,13 +60,23 @@ pub fn rb_sequence(n: usize, qubit: usize, length: usize, rng: &mut StdRng) -> C
     circuit
 }
 
+/// Below this determinant the linear solve for `(A, B)` is degenerate.
+const DEGENERATE_DET: f64 = 1e-15;
+/// Absolute floor and relative slack for "as good as the best residual".
+const RESIDUAL_FLOOR: f64 = 1e-18;
+const RESIDUAL_SLACK: f64 = 1e-6;
+/// Clamp the golden-section bracket strictly inside (0, 1).
+const ALPHA_BRACKET_MIN: f64 = 1e-9;
+const ALPHA_BRACKET_MARGIN: f64 = 1e-12;
+
 /// Least-squares fit of `y = A·α^m + B` by golden-section search over `α`
 /// with closed-form linear solves for `(A, B)` at each candidate.
 pub fn fit_exponential(points: &[(usize, f64)]) -> Result<(f64, f64, f64)> {
     if points.len() < 3 {
         return Err(LinalgError::InvalidDistribution {
             detail: format!("{} RB points; need ≥ 3 for a 3-parameter fit", points.len()),
-        });
+        }
+        .into());
     }
     let residual = |alpha: f64| -> (f64, f64, f64) {
         // Linear least squares for A, B given α.
@@ -79,7 +90,7 @@ pub fn fit_exponential(points: &[(usize, f64)]) -> Result<(f64, f64, f64)> {
             n += 1.0;
         }
         let det = sxx * n - sx * sx;
-        let (a, b) = if det.abs() < 1e-15 {
+        let (a, b) = if det.abs() < DEGENERATE_DET {
             (0.0, sy / n)
         } else {
             ((sxy * n - sx * sy) / det, (sxx * sy - sx * sxy) / det)
@@ -106,7 +117,7 @@ pub fn fit_exponential(points: &[(usize, f64)]) -> Result<(f64, f64, f64)> {
             best_res = res;
         }
     }
-    let tol = best_res.max(1e-18) * (1.0 + 1e-6) + 1e-18;
+    let tol = best_res.max(RESIDUAL_FLOOR) * (1.0 + RESIDUAL_SLACK) + RESIDUAL_FLOOR;
     let mut alpha = 1.0 - 1.0 / steps as f64;
     for i in (1..steps).rev() {
         let cand = i as f64 / steps as f64;
@@ -118,8 +129,8 @@ pub fn fit_exponential(points: &[(usize, f64)]) -> Result<(f64, f64, f64)> {
     // Local golden-section refinement around the chosen grid point.
     let inv_phi = (5.0_f64.sqrt() - 1.0) / 2.0;
     let (mut lo, mut hi) = (
-        (alpha - 2.0 / steps as f64).max(1e-9),
-        (alpha + 2.0 / steps as f64).min(1.0 - 1e-12),
+        (alpha - 2.0 / steps as f64).max(ALPHA_BRACKET_MIN),
+        (alpha + 2.0 / steps as f64).min(1.0 - ALPHA_BRACKET_MARGIN),
     );
     for _ in 0..100 {
         let c = hi - inv_phi * (hi - lo);
@@ -188,15 +199,21 @@ mod tests {
         for len in [0usize, 1, 5, 20] {
             let c = rb_sequence(1, 0, len, &mut rng(len as u64));
             let d = b.noisy_distribution(&c, &mut rng(1));
-            assert!((d[0] - 1.0).abs() < 1e-10, "length {len}: survival {}", d[0]);
+            assert!(
+                (d[0] - 1.0).abs() < 1e-10,
+                "length {len}: survival {}",
+                d[0]
+            );
         }
     }
 
     #[test]
     fn fit_recovers_known_exponential() {
         let (a, alpha, b) = (0.45_f64, 0.97_f64, 0.5_f64);
-        let points: Vec<(usize, f64)> =
-            [1usize, 5, 10, 20, 40, 80].iter().map(|&m| (m, a * alpha.powi(m as i32) + b)).collect();
+        let points: Vec<(usize, f64)> = [1usize, 5, 10, 20, 40, 80]
+            .iter()
+            .map(|&m| (m, a * alpha.powi(m as i32) + b))
+            .collect();
         let (fa, falpha, fb) = fit_exponential(&points).unwrap();
         assert!((falpha - alpha).abs() < 1e-4, "alpha {falpha}");
         assert!((fa - a).abs() < 1e-3);

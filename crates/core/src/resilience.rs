@@ -39,8 +39,12 @@ use std::sync::atomic::{AtomicU64, Ordering};
 /// Emits the telemetry counter + event for one ladder downgrade; callers
 /// still push the event onto the report's list themselves.
 fn record_downgrade(d: &DowngradeEvent) {
-    qem_telemetry::counter_add("core.resilience.downgrades_total", 1);
-    qem_telemetry::event!("core.resilience.downgrade", kind = d.kind(), detail = d);
+    qem_telemetry::counter_add(qem_telemetry::names::CORE_RESILIENCE_DOWNGRADES_TOTAL, 1);
+    qem_telemetry::event!(
+        qem_telemetry::names::CORE_RESILIENCE_DOWNGRADE,
+        kind = d.kind(),
+        detail = d
+    );
 }
 
 /// Bounded-retry policy with exponential backoff in virtual clock ticks.
@@ -54,7 +58,10 @@ pub struct RetryPolicy {
 
 impl Default for RetryPolicy {
     fn default() -> Self {
-        RetryPolicy { max_retries: 3, backoff_base: 1 }
+        RetryPolicy {
+            max_retries: 3,
+            backoff_base: 1,
+        }
     }
 }
 
@@ -108,13 +115,27 @@ impl<'a> RetryExecutor<'a> {
         }
     }
 
+    /// Reads a monotonic statistics counter. A snapshot may lag concurrent
+    /// submissions by a few increments; no other memory is published through
+    /// these counters, so relaxed ordering is sound.
+    fn snap(counter: &AtomicU64) -> u64 {
+        // qem-lint: allow(relaxed-ordering) — monotonic counter snapshot; see doc above
+        counter.load(Ordering::Relaxed)
+    }
+
+    /// Bumps a monotonic statistics counter (same reasoning as [`Self::snap`]).
+    fn bump(counter: &AtomicU64, by: u64) {
+        // qem-lint: allow(relaxed-ordering) — monotonic counter increment; see doc above
+        counter.fetch_add(by, Ordering::Relaxed);
+    }
+
     /// The statistics accumulated so far.
     pub fn stats(&self) -> RetryStats {
         RetryStats {
-            submissions: self.submissions.load(Ordering::Relaxed),
-            retries: self.retries.load(Ordering::Relaxed),
-            backoff_ticks: self.backoff_ticks.load(Ordering::Relaxed),
-            failures: self.failures.load(Ordering::Relaxed),
+            submissions: Self::snap(&self.submissions),
+            retries: Self::snap(&self.retries),
+            backoff_ticks: Self::snap(&self.backoff_ticks),
+            failures: Self::snap(&self.failures),
         }
     }
 }
@@ -132,19 +153,25 @@ impl Executor for RetryExecutor<'_> {
     ) -> Result<Counts, ExecutionError> {
         let mut attempt = 0u32;
         loop {
-            self.submissions.fetch_add(1, Ordering::Relaxed);
-            qem_telemetry::counter_add("core.resilience.submissions_total", 1);
+            Self::bump(&self.submissions, 1);
+            qem_telemetry::counter_add(qem_telemetry::names::CORE_RESILIENCE_SUBMISSIONS_TOTAL, 1);
             match self.inner.try_execute(circuit, shots, rng) {
                 Ok(counts) => return Ok(counts),
                 Err(e) if e.is_retryable() && attempt < self.policy.max_retries => {
                     let wait = self.policy.backoff_ticks(attempt);
                     self.inner.advance_clock(wait);
-                    self.backoff_ticks.fetch_add(wait, Ordering::Relaxed);
-                    self.retries.fetch_add(1, Ordering::Relaxed);
-                    qem_telemetry::counter_add("core.resilience.retries_total", 1);
-                    qem_telemetry::counter_add("core.resilience.backoff_ticks_total", wait);
+                    Self::bump(&self.backoff_ticks, wait);
+                    Self::bump(&self.retries, 1);
+                    qem_telemetry::counter_add(
+                        qem_telemetry::names::CORE_RESILIENCE_RETRIES_TOTAL,
+                        1,
+                    );
+                    qem_telemetry::counter_add(
+                        qem_telemetry::names::CORE_RESILIENCE_BACKOFF_TICKS_TOTAL,
+                        wait,
+                    );
                     qem_telemetry::event!(
-                        "core.resilience.retry",
+                        qem_telemetry::names::CORE_RESILIENCE_RETRY,
                         attempt = attempt,
                         backoff_ticks = wait,
                         reason = e,
@@ -152,9 +179,15 @@ impl Executor for RetryExecutor<'_> {
                     attempt += 1;
                 }
                 Err(e) => {
-                    self.failures.fetch_add(1, Ordering::Relaxed);
-                    qem_telemetry::counter_add("core.resilience.failed_submissions_total", 1);
-                    qem_telemetry::event!("core.resilience.submission_failed", reason = e);
+                    Self::bump(&self.failures, 1);
+                    qem_telemetry::counter_add(
+                        qem_telemetry::names::CORE_RESILIENCE_FAILED_SUBMISSIONS_TOTAL,
+                        1,
+                    );
+                    qem_telemetry::event!(
+                        qem_telemetry::names::CORE_RESILIENCE_SUBMISSION_FAILED,
+                        reason = e
+                    );
                     return Err(e);
                 }
             }
@@ -181,7 +214,11 @@ pub struct ValidationPolicy {
 
 impl Default for ValidationPolicy {
     fn default() -> Self {
-        ValidationPolicy { stochastic_tol: 1e-6, max_condition: 1e3, dead_tol: 0.02 }
+        ValidationPolicy {
+            stochastic_tol: qem_linalg::tol::STOCHASTIC,
+            max_condition: 1e3,
+            dead_tol: 0.02,
+        }
     }
 }
 
@@ -251,7 +288,7 @@ pub fn validate_patch(cal: &CalibrationMatrix, policy: &ValidationPolicy) -> Vec
     match cal.condition() {
         Ok(c) => {
             qem_telemetry::histogram_record_with(
-                "core.resilience.patch_condition",
+                qem_telemetry::names::CORE_RESILIENCE_PATCH_CONDITION,
                 &qem_telemetry::CONDITION_BUCKETS,
                 c,
             );
@@ -269,10 +306,7 @@ pub fn validate_patch(cal: &CalibrationMatrix, policy: &ValidationPolicy) -> Vec
 /// model survives. Marginals of qubits in `dead` (or marginals that cannot
 /// be extracted at all) become the identity: a dead qubit is left
 /// unmitigated rather than poisoning the inversion.
-pub fn tensored_fallback(
-    cal: &CalibrationMatrix,
-    dead: &[usize],
-) -> CoreResult<CalibrationMatrix> {
+pub fn tensored_fallback(cal: &CalibrationMatrix, dead: &[usize]) -> CoreResult<CalibrationMatrix> {
     let mut product = Matrix::identity(1);
     for &q in cal.qubits() {
         let factor = if dead.contains(&q) {
@@ -285,7 +319,7 @@ pub fn tensored_fallback(
         };
         product = factor.kron(&product);
     }
-    Ok(CalibrationMatrix::new(cal.qubits().to_vec(), product)?)
+    CalibrationMatrix::new(cal.qubits().to_vec(), product)
 }
 
 /// How far down the ladder the calibration landed.
@@ -390,7 +424,11 @@ impl std::fmt::Display for DowngradeEvent {
         match self {
             DowngradeEvent::PatchFallback { qubits, issues } => {
                 let detail: Vec<String> = issues.iter().map(|i| i.to_string()).collect();
-                write!(f, "patch {qubits:?} -> tensored fallback ({})", detail.join(", "))
+                write!(
+                    f,
+                    "patch {qubits:?} -> tensored fallback ({})",
+                    detail.join(", ")
+                )
             }
             DowngradeEvent::ErrToCmc { reason } => write!(f, "CMC-ERR -> CMC ({reason})"),
             DowngradeEvent::CmcToLinear { reason } => write!(f, "CMC -> Linear ({reason})"),
@@ -501,8 +539,14 @@ impl ResilienceReport {
                     let r = d.to_record();
                     Json::obj(vec![
                         ("kind", Json::str(r.kind)),
-                        ("qubits", Json::Arr(r.qubits.iter().map(|&q| Json::UInt(q as u64)).collect())),
-                        ("issues", Json::Arr(r.issues.into_iter().map(Json::Str).collect())),
+                        (
+                            "qubits",
+                            Json::Arr(r.qubits.iter().map(|&q| Json::UInt(q as u64)).collect()),
+                        ),
+                        (
+                            "issues",
+                            Json::Arr(r.issues.into_iter().map(Json::Str).collect()),
+                        ),
                         ("reason", Json::str(r.reason)),
                     ])
                 })
@@ -548,8 +592,7 @@ impl std::fmt::Display for ResilienceReport {
 }
 
 /// Options for [`calibrate_resilient`].
-#[derive(Clone, Debug)]
-#[derive(Default)]
+#[derive(Clone, Debug, Default)]
 pub struct ResilienceOptions {
     /// CMC options (also supply the shot budget for the Linear rung).
     pub cmc: CmcOptions,
@@ -562,7 +605,6 @@ pub struct ResilienceOptions {
     /// Patch validation thresholds.
     pub validation: ValidationPolicy,
 }
-
 
 /// The outcome of a resilient calibration: always a usable mitigator, plus
 /// the report saying how much mitigation quality survived.
@@ -588,7 +630,10 @@ pub fn calibrate_resilient(
     opts: &ResilienceOptions,
     rng: &mut StdRng,
 ) -> ResilientCalibration {
-    let _span = qem_telemetry::span!("core.resilience.calibrate", use_err = opts.use_err);
+    let _span = qem_telemetry::span!(
+        qem_telemetry::names::CORE_RESILIENCE_CALIBRATE,
+        use_err = opts.use_err
+    );
     let n = backend.num_qubits();
     let retry = RetryExecutor::new(backend, opts.retry);
     let mut downgrades: Vec<DowngradeEvent> = Vec::new();
@@ -600,8 +645,14 @@ pub fn calibrate_resilient(
                   cmc: Option<CmcCalibration>,
                   linear: Option<LinearCalibration>| {
         let stats = retry.stats();
-        qem_telemetry::gauge_set("core.resilience.ladder_rung", level.rung() as f64);
-        qem_telemetry::event!("core.resilience.finished", level = level);
+        qem_telemetry::gauge_set(
+            qem_telemetry::names::CORE_RESILIENCE_LADDER_RUNG,
+            level.rung() as f64,
+        );
+        qem_telemetry::event!(
+            qem_telemetry::names::CORE_RESILIENCE_FINISHED,
+            level = level
+        );
         let metrics = qem_telemetry::enabled().then(qem_telemetry::snapshot);
         ResilientCalibration {
             mitigator,
@@ -634,7 +685,9 @@ pub fn calibrate_resilient(
                 );
             }
             Err(e) => {
-                let d = DowngradeEvent::ErrToCmc { reason: e.to_string() };
+                let d = DowngradeEvent::ErrToCmc {
+                    reason: e.to_string(),
+                };
                 record_downgrade(&d);
                 downgrades.push(d);
             }
@@ -646,10 +699,19 @@ pub fn calibrate_resilient(
     match cmc_with_repair(&retry, opts, rng, &mut downgrades) {
         Ok(cal) => {
             let mitigator = cal.mitigator.clone();
-            return finish(MitigationLevel::Cmc, mitigator, downgrades, &retry, Some(cal), None);
+            return finish(
+                MitigationLevel::Cmc,
+                mitigator,
+                downgrades,
+                &retry,
+                Some(cal),
+                None,
+            );
         }
         Err(e) => {
-            let d = DowngradeEvent::CmcToLinear { reason: e.to_string() };
+            let d = DowngradeEvent::CmcToLinear {
+                reason: e.to_string(),
+            };
             record_downgrade(&d);
             downgrades.push(d);
         }
@@ -683,21 +745,32 @@ pub fn calibrate_resilient(
                     );
                 }
                 Err(e) => {
-                    let d = DowngradeEvent::LinearToBare { reason: e.to_string() };
+                    let d = DowngradeEvent::LinearToBare {
+                        reason: e.to_string(),
+                    };
                     record_downgrade(&d);
                     downgrades.push(d);
                 }
             }
         }
         Err(e) => {
-            let d = DowngradeEvent::LinearToBare { reason: e.to_string() };
+            let d = DowngradeEvent::LinearToBare {
+                reason: e.to_string(),
+            };
             record_downgrade(&d);
             downgrades.push(d);
         }
     }
 
     // Rung 4: Bare — the identity mitigator always works.
-    finish(MitigationLevel::Bare, SparseMitigator::identity(n), downgrades, &retry, None, None)
+    finish(
+        MitigationLevel::Bare,
+        SparseMitigator::identity(n),
+        downgrades,
+        &retry,
+        None,
+        None,
+    )
 }
 
 /// The CMC rung: measure, validate and repair each patch, then assemble.
@@ -767,7 +840,13 @@ mod tests {
         let mut profile = FaultProfile::none(9);
         profile.outage = Some((0, 3));
         let faulty = FaultyBackend::new(b, profile);
-        let retry = RetryExecutor::new(&faulty, RetryPolicy { max_retries: 4, backoff_base: 1 });
+        let retry = RetryExecutor::new(
+            &faulty,
+            RetryPolicy {
+                max_retries: 4,
+                backoff_base: 1,
+            },
+        );
         let c = qem_sim::circuit::basis_prep(2, 0);
         let out = retry.try_execute(&c, 100, &mut rng(1));
         assert!(out.is_ok(), "retries should outlast the outage: {out:?}");
@@ -783,7 +862,13 @@ mod tests {
         let mut profile = FaultProfile::none(5);
         profile.transient_failure_prob = 1.0;
         let faulty = FaultyBackend::new(b, profile);
-        let retry = RetryExecutor::new(&faulty, RetryPolicy { max_retries: 1, backoff_base: 1 });
+        let retry = RetryExecutor::new(
+            &faulty,
+            RetryPolicy {
+                max_retries: 1,
+                backoff_base: 1,
+            },
+        );
         let c = qem_sim::circuit::basis_prep(2, 0);
         let out = retry.try_execute(&c, 100, &mut rng(2));
         assert!(out.is_err());
@@ -800,7 +885,10 @@ mod tests {
         let stuck = Matrix::from_rows(&[&[0.0, 0.0], &[1.0, 1.0]]);
         let cal = CalibrationMatrix::new(vec![3], stuck).unwrap();
         let issues = validate_patch(&cal, &ValidationPolicy::default());
-        assert!(issues.contains(&PatchIssue::DeadQubit { qubit: 3 }), "{issues:?}");
+        assert!(
+            issues.contains(&PatchIssue::DeadQubit { qubit: 3 }),
+            "{issues:?}"
+        );
     }
 
     #[test]
@@ -849,7 +937,11 @@ mod tests {
             .iter()
             .filter(|d| matches!(d, DowngradeEvent::PatchFallback { .. }))
             .collect();
-        assert!(!fallbacks.is_empty(), "dead qubit went unnoticed: {}", out.report);
+        assert!(
+            !fallbacks.is_empty(),
+            "dead qubit went unnoticed: {}",
+            out.report
+        );
     }
 
     #[test]
@@ -879,7 +971,9 @@ mod tests {
     fn report_display_prints_ladder() {
         let report = ResilienceReport {
             level: MitigationLevel::Linear,
-            downgrades: vec![DowngradeEvent::CmcToLinear { reason: "outage".into() }],
+            downgrades: vec![DowngradeEvent::CmcToLinear {
+                reason: "outage".into(),
+            }],
             submissions: 12,
             retries: 3,
             backoff_ticks: 7,
@@ -901,7 +995,9 @@ mod tests {
                     qubits: vec![1, 2],
                     issues: vec![PatchIssue::DeadQubit { qubit: 2 }],
                 },
-                DowngradeEvent::CmcToLinear { reason: "outage".into() },
+                DowngradeEvent::CmcToLinear {
+                    reason: "outage".into(),
+                },
             ],
             submissions: 12,
             retries: 3,

@@ -6,10 +6,9 @@
 //! baseline CMC is measured against.
 
 use crate::calibration::CalibrationMatrix;
-use crate::error::Result as CoreResult;
+use crate::error::Result;
 use crate::mitigator::SparseMitigator;
-use qem_linalg::dense::Matrix;
-use qem_linalg::error::Result;
+use qem_linalg::stochastic;
 use qem_sim::circuit::basis_prep;
 use qem_sim::exec::Executor;
 use rand::rngs::StdRng;
@@ -32,7 +31,7 @@ impl LinearCalibration {
         backend: &dyn Executor,
         shots_per_circuit: u64,
         rng: &mut StdRng,
-    ) -> CoreResult<LinearCalibration> {
+    ) -> Result<LinearCalibration> {
         let n = backend.num_qubits();
         let all_ones = if n >= 64 { u64::MAX } else { (1u64 << n) - 1 };
         let zeros = backend.try_execute(&basis_prep(n, 0), shots_per_circuit, rng)?;
@@ -44,7 +43,7 @@ impl LinearCalibration {
             let o = ones.marginalize(&[q]);
             let p_flip0 = z.probability(1);
             let p_flip1 = o.probability(0);
-            let m = Matrix::from_rows(&[&[1.0 - p_flip0, p_flip1], &[p_flip0, 1.0 - p_flip1]]);
+            let m = stochastic::flip_channel(p_flip1, p_flip0)?;
             per_qubit.push(CalibrationMatrix::new(vec![q], m)?);
         }
         Ok(LinearCalibration {
@@ -123,11 +122,17 @@ mod tests {
         let mit = lin.mitigator().unwrap();
         // Ideal |01⟩: the joint flip sends it to |10⟩ with p=0.2. A product
         // model would predict independent flips of 0.2 each instead.
-        let noisy = b.noise.measurement_channel().apply_dense(&[0.0, 1.0, 0.0, 0.0]);
+        let noisy = b
+            .noise
+            .measurement_channel()
+            .apply_dense(&[0.0, 1.0, 0.0, 0.0]);
         let d = mit
             .mitigate_dist(&qem_linalg::sparse_apply::SparseDist::from_dense(&noisy))
             .unwrap();
         let residual = 1.0 - d.get(0b01);
-        assert!(residual > 0.05, "linear calibration unexpectedly fixed correlated noise");
+        assert!(
+            residual > 0.05,
+            "linear calibration unexpectedly fixed correlated noise"
+        );
     }
 }

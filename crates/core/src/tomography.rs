@@ -14,10 +14,11 @@
 //! hence be characterised" (§III-A) — so tomography of a noiselessly
 //! prepared state directly exhibits the device's measurement errors.
 
+use crate::error::Result;
 use qem_linalg::cdense::{pauli_string, CMatrix};
 use qem_linalg::complex::{c64, C64};
 use qem_linalg::dense::Matrix;
-use qem_linalg::error::{LinalgError, Result};
+use qem_linalg::error::LinalgError;
 use qem_sim::backend::Backend;
 use qem_sim::circuit::Circuit;
 use qem_sim::counts::Counts;
@@ -49,6 +50,8 @@ fn apply_basis_rotation(circuit: &mut Circuit, qubit: usize, basis: usize) {
             circuit.push(Gate::RZ(qubit, -FRAC_PI_2));
             circuit.push(Gate::H(qubit));
         }
+        // qem-lint: allow(no-panic-path) — `basis` is generated internally by
+        // `measurement_settings` as a base-3 digit; out of range is a code bug
         _ => unreachable!("basis label out of range"),
     }
 }
@@ -82,7 +85,8 @@ pub fn state_tomography(
         return Err(LinalgError::DimensionMismatch {
             op: "state_tomography",
             detail: format!("{k} qubits (supported: 1–5; cost is 3^k circuits)"),
-        });
+        }
+        .into());
     }
     let settings = 3usize.pow(k as u32);
     let strings = 4usize.pow(k as u32);
@@ -102,6 +106,7 @@ pub fn state_tomography(
 
     // Estimate every Pauli-string expectation.
     let mut expectations = vec![0.0f64; strings];
+    // qem-lint: allow(no-direct-index) — strings = 4^k ≥ 4, slot 0 exists
     expectations[0] = 1.0; // ⟨I…I⟩
     for (p, expectation) in expectations.iter_mut().enumerate().skip(1) {
         // Per-qubit labels of the string: 0=I, 1=X, 2=Y, 3=Z.
@@ -140,12 +145,17 @@ pub fn state_tomography(
                 compatible += 1;
             }
         }
-        debug_assert!(compatible > 0, "every Pauli string has a compatible setting");
+        debug_assert!(
+            compatible > 0,
+            "every Pauli string has a compatible setting"
+        );
         *expectation = acc / compatible as f64;
     }
 
     // ρ = 2^{-k} Σ ⟨P⟩ P.
     let dim = 1usize << k;
+    // qem-lint: allow(validated-matrix-construction) — density matrix, not a
+    // stochastic calibration matrix; Hermiticity is enforced by construction
     let mut rho = CMatrix::zeros(dim, dim);
     for (p, &expectation) in expectations.iter().enumerate() {
         let mut labels = Vec::with_capacity(k);
@@ -174,7 +184,8 @@ pub fn fidelity_with_pure(rho: &CMatrix, target: &[C64]) -> Result<f64> {
         return Err(LinalgError::DimensionMismatch {
             op: "fidelity_with_pure",
             detail: format!("target length {} vs ρ dim {dim}", target.len()),
-        });
+        }
+        .into());
     }
     let mut acc = C64::ZERO;
     for i in 0..dim {
@@ -250,12 +261,21 @@ pub fn process_tomography_1q(
     //   E(Z)  = out(|0⟩) − out(|1⟩)
     //   E(X)  = 2·out(|+⟩) − E(I)
     //   E(Y)  = 2·out(|+i⟩) − E(I)
+    // qem-lint: allow(validated-matrix-construction) — Pauli transfer matrix,
+    // not a stochastic calibration matrix
     let mut ptm = Matrix::zeros(4, 4);
     ptm[(0, 0)] = 1.0; // trace preservation
-    let e_i: Vec<f64> = (0..3).map(|c| bloch[0][c] + bloch[1][c]).collect();
-    let e_z: Vec<f64> = (0..3).map(|c| bloch[0][c] - bloch[1][c]).collect();
-    let e_x: Vec<f64> = (0..3).map(|c| 2.0 * bloch[2][c] - e_i[c]).collect();
-    let e_y: Vec<f64> = (0..3).map(|c| 2.0 * bloch[3][c] - e_i[c]).collect();
+    let [out0, out1, out_p, out_i]: [[f64; 3]; 4] =
+        bloch
+            .try_into()
+            .map_err(|_| LinalgError::DimensionMismatch {
+                op: "process_tomography_1q",
+                detail: "expected four Bloch vectors".into(),
+            })?;
+    let e_i: Vec<f64> = (0..3).map(|c| out0[c] + out1[c]).collect();
+    let e_z: Vec<f64> = (0..3).map(|c| out0[c] - out1[c]).collect();
+    let e_x: Vec<f64> = (0..3).map(|c| 2.0 * out_p[c] - e_i[c]).collect();
+    let e_y: Vec<f64> = (0..3).map(|c| 2.0 * out_i[c] - e_i[c]).collect();
     // With bloch(input)[i] = Σ_j c_j R[i,j] for input = Σ_j c_j P_j / 1,
     // each combination above equals 2·R[:,col]; halve to land on the PTM.
     for row in 0..3 {
@@ -264,17 +284,28 @@ pub fn process_tomography_1q(
         ptm[(row + 1, 2)] = e_y[row] / 2.0;
         ptm[(row + 1, 3)] = e_z[row] / 2.0;
     }
-    Ok(ProcessTomography { ptm, circuits_used, shots_used })
+    Ok(ProcessTomography {
+        ptm,
+        circuits_used,
+        shots_used,
+    })
 }
 
 /// The ideal PTM of a single-qubit unitary.
 pub fn ideal_ptm(gate: &Gate) -> Result<Matrix> {
-    let m = gate.matrix1q().ok_or_else(|| LinalgError::DimensionMismatch {
-        op: "ideal_ptm",
-        detail: "two-qubit gate".into(),
-    })?;
+    let m = gate
+        .matrix1q()
+        .ok_or_else(|| LinalgError::DimensionMismatch {
+            op: "ideal_ptm",
+            detail: "two-qubit gate".into(),
+        })?;
+    // qem-lint: allow(validated-matrix-construction) — unitary gate matrix,
+    // not a stochastic calibration matrix
+    // qem-lint: allow(no-direct-index) — m is a fixed-size 2×2 array
     let u = CMatrix::from_rows(&[&[m[0][0], m[0][1]], &[m[1][0], m[1][1]]]);
     let paulis = qem_linalg::cdense::pauli_matrices();
+    // qem-lint: allow(validated-matrix-construction) — Pauli transfer matrix,
+    // not a stochastic calibration matrix
     let mut ptm = Matrix::zeros(4, 4);
     for i in 0..4 {
         for j in 0..4 {
@@ -332,9 +363,10 @@ mod tests {
     #[test]
     fn tomography_of_bell_pair() {
         let b = noiseless(2);
-        let prep = Circuit::new(2)
-            .with(Gate::H(0))
-            .with(Gate::CNOT { control: 0, target: 1 });
+        let prep = Circuit::new(2).with(Gate::H(0)).with(Gate::CNOT {
+            control: 0,
+            target: 1,
+        });
         let t = state_tomography(&b, &prep, &[0, 1], 30_000, &mut rng(3)).unwrap();
         assert_eq!(t.circuits_used, 9);
         let inv_sqrt2 = std::f64::consts::FRAC_1_SQRT_2;
@@ -444,7 +476,11 @@ mod tests {
         let t2 = process_tomography_1q(&b2, &[], 0, 60_000, &mut rng(9)).unwrap();
         // Observed ⟨Z⟩ = (1 − p₁)·true + p₁ for decay-only noise, so the
         // affine (non-unital) Z offset equals p₁ = 0.2.
-        assert!((t2.ptm[(3, 0)] - 0.2).abs() < 0.02, "non-unital Z {}", t2.ptm[(3, 0)]);
+        assert!(
+            (t2.ptm[(3, 0)] - 0.2).abs() < 0.02,
+            "non-unital Z {}",
+            t2.ptm[(3, 0)]
+        );
     }
 
     #[test]

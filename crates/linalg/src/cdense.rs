@@ -20,7 +20,11 @@ pub struct CMatrix {
 impl CMatrix {
     /// Creates a matrix of complex zeros.
     pub fn zeros(rows: usize, cols: usize) -> Self {
-        CMatrix { rows, cols, data: vec![C64::ZERO; rows * cols] }
+        CMatrix {
+            rows,
+            cols,
+            data: vec![C64::ZERO; rows * cols],
+        }
     }
 
     /// Complex identity.
@@ -55,7 +59,11 @@ impl CMatrix {
             assert_eq!(row.len(), c, "ragged rows");
             data.extend_from_slice(row);
         }
-        CMatrix { rows: r, cols: c, data }
+        CMatrix {
+            rows: r,
+            cols: c,
+            data,
+        }
     }
 
     /// Lifts a real matrix.
@@ -200,8 +208,17 @@ impl Add for &CMatrix {
     type Output = CMatrix;
     fn add(self, rhs: &CMatrix) -> CMatrix {
         assert_eq!((self.rows, self.cols), (rhs.rows, rhs.cols));
-        let data = self.data.iter().zip(&rhs.data).map(|(&a, &b)| a + b).collect();
-        CMatrix { rows: self.rows, cols: self.cols, data }
+        let data = self
+            .data
+            .iter()
+            .zip(&rhs.data)
+            .map(|(&a, &b)| a + b)
+            .collect();
+        CMatrix {
+            rows: self.rows,
+            cols: self.cols,
+            data,
+        }
     }
 }
 
@@ -209,14 +226,25 @@ impl Sub for &CMatrix {
     type Output = CMatrix;
     fn sub(self, rhs: &CMatrix) -> CMatrix {
         assert_eq!((self.rows, self.cols), (rhs.rows, rhs.cols));
-        let data = self.data.iter().zip(&rhs.data).map(|(&a, &b)| a - b).collect();
-        CMatrix { rows: self.rows, cols: self.cols, data }
+        let data = self
+            .data
+            .iter()
+            .zip(&rhs.data)
+            .map(|(&a, &b)| a - b)
+            .collect();
+        CMatrix {
+            rows: self.rows,
+            cols: self.cols,
+            data,
+        }
     }
 }
 
 impl Mul for &CMatrix {
     type Output = CMatrix;
     fn mul(self, rhs: &CMatrix) -> CMatrix {
+        // qem-lint: allow(no-panic-path) — operator trait is infallible by signature; shape
+        // mismatch here is a programming error, fallible callers use matmul() directly
         self.matmul(rhs).expect("CMatrix Mul shape mismatch")
     }
 }
@@ -282,7 +310,11 @@ mod tests {
             assert!(p.trace().abs() < 1e-15);
             assert!(p.is_hermitian(1e-15));
             assert!(
-                p.matmul(p).unwrap().max_abs_diff(&CMatrix::identity(2)).unwrap() < 1e-15
+                p.matmul(p)
+                    .unwrap()
+                    .max_abs_diff(&CMatrix::identity(2))
+                    .unwrap()
+                    < 1e-15
             );
         }
     }

@@ -271,7 +271,13 @@ mod tests {
 
     #[test]
     fn sqrt_squares_back() {
-        for &(re, im) in &[(4.0, 0.0), (0.0, 2.0), (-1.0, 0.0), (3.0, -4.0), (-2.0, 5.0)] {
+        for &(re, im) in &[
+            (4.0, 0.0),
+            (0.0, 2.0),
+            (-1.0, 0.0),
+            (3.0, -4.0),
+            (-2.0, 5.0),
+        ] {
             let z = c64(re, im);
             let s = z.sqrt();
             assert!(close(s * s, z), "sqrt({z})^2 = {}", s * s);

@@ -22,7 +22,11 @@ pub struct Matrix {
 impl Matrix {
     /// Creates a matrix of zeros.
     pub fn zeros(rows: usize, cols: usize) -> Self {
-        Matrix { rows, cols, data: vec![0.0; rows * cols] }
+        Matrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
     }
 
     /// Creates the identity matrix of size `n`.
@@ -59,7 +63,11 @@ impl Matrix {
             assert_eq!(row.len(), c, "ragged rows in Matrix::from_rows");
             data.extend_from_slice(row);
         }
-        Matrix { rows: r, cols: c, data }
+        Matrix {
+            rows: r,
+            cols: c,
+            data,
+        }
     }
 
     /// Number of rows.
@@ -122,6 +130,7 @@ impl Matrix {
         for i in 0..self.rows {
             for k in 0..self.cols {
                 let a = self[(i, k)];
+                // qem-lint: allow(no-float-eq) — exact-zero row skip is a sparsity shortcut
                 if a == 0.0 {
                     continue;
                 }
@@ -163,6 +172,7 @@ impl Matrix {
         for i in 0..self.rows {
             for j in 0..self.cols {
                 let a = self[(i, j)];
+                // qem-lint: allow(no-float-eq) — exact-zero block skip is a sparsity shortcut
                 if a == 0.0 {
                     continue;
                 }
@@ -256,24 +266,52 @@ impl IndexMut<(usize, usize)> for Matrix {
 impl Add for &Matrix {
     type Output = Matrix;
     fn add(self, rhs: &Matrix) -> Matrix {
-        assert_eq!((self.rows, self.cols), (rhs.rows, rhs.cols), "add shape mismatch");
-        let data = self.data.iter().zip(&rhs.data).map(|(a, b)| a + b).collect();
-        Matrix { rows: self.rows, cols: self.cols, data }
+        assert_eq!(
+            (self.rows, self.cols),
+            (rhs.rows, rhs.cols),
+            "add shape mismatch"
+        );
+        let data = self
+            .data
+            .iter()
+            .zip(&rhs.data)
+            .map(|(a, b)| a + b)
+            .collect();
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data,
+        }
     }
 }
 
 impl Sub for &Matrix {
     type Output = Matrix;
     fn sub(self, rhs: &Matrix) -> Matrix {
-        assert_eq!((self.rows, self.cols), (rhs.rows, rhs.cols), "sub shape mismatch");
-        let data = self.data.iter().zip(&rhs.data).map(|(a, b)| a - b).collect();
-        Matrix { rows: self.rows, cols: self.cols, data }
+        assert_eq!(
+            (self.rows, self.cols),
+            (rhs.rows, rhs.cols),
+            "sub shape mismatch"
+        );
+        let data = self
+            .data
+            .iter()
+            .zip(&rhs.data)
+            .map(|(a, b)| a - b)
+            .collect();
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data,
+        }
     }
 }
 
 impl Mul for &Matrix {
     type Output = Matrix;
     fn mul(self, rhs: &Matrix) -> Matrix {
+        // qem-lint: allow(no-panic-path) — operator trait is infallible by signature; shape
+        // mismatch here is a programming error, fallible callers use matmul() directly
         self.matmul(rhs).expect("Mul shape mismatch")
     }
 }
@@ -327,7 +365,10 @@ mod tests {
     fn matmul_dimension_mismatch_errors() {
         let a = Matrix::zeros(2, 3);
         let b = Matrix::zeros(2, 3);
-        assert!(matches!(a.matmul(&b), Err(LinalgError::DimensionMismatch { .. })));
+        assert!(matches!(
+            a.matmul(&b),
+            Err(LinalgError::DimensionMismatch { .. })
+        ));
     }
 
     #[test]
@@ -414,7 +455,9 @@ mod tests {
 
     #[test]
     fn max_abs_diff_shape_mismatch_is_none() {
-        assert!(Matrix::zeros(2, 2).max_abs_diff(&Matrix::zeros(2, 3)).is_none());
+        assert!(Matrix::zeros(2, 2)
+            .max_abs_diff(&Matrix::zeros(2, 3))
+            .is_none());
     }
 
     #[test]

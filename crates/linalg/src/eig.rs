@@ -10,6 +10,7 @@
 use crate::complex::{c64, C64};
 use crate::dense::Matrix;
 use crate::error::{LinalgError, Result};
+use crate::tol;
 
 /// Eigendecomposition of a 2×2 real matrix.
 #[derive(Clone, Debug)]
@@ -48,22 +49,28 @@ pub fn eigen_2x2(m: &Matrix) -> Result<Eigen2> {
         let m0 = r0.0.norm_sqr() + r0.1.norm_sqr();
         let m1 = r1.0.norm_sqr() + r1.1.norm_sqr();
         let (x, y) = if m0 >= m1 { r0 } else { r1 };
-        let v = if x.norm_sqr() + y.norm_sqr() < 1e-28 {
+        let v = if x.norm_sqr() + y.norm_sqr() < tol::CONVERGENCE * tol::CONVERGENCE {
             // Row is ~zero: any vector works (λ has full eigenspace).
             [C64::ONE, C64::ZERO]
         } else {
             [-y, x] // orthogonal to (x, y)
         };
         let norm = (v[0].norm_sqr() + v[1].norm_sqr()).sqrt();
-        if norm < 1e-14 {
-            return Err(LinalgError::NoConvergence { routine: "eigen_2x2", iterations: 0 });
+        if norm < tol::CONVERGENCE {
+            return Err(LinalgError::NoConvergence {
+                routine: "eigen_2x2",
+                iterations: 0,
+            });
         }
         Ok([v[0] * (1.0 / norm), v[1] * (1.0 / norm)])
     };
 
     let v0 = vector_for(l0)?;
     let v1 = vector_for(l1)?;
-    Ok(Eigen2 { values: [l0, l1], vectors: [v0, v1] })
+    Ok(Eigen2 {
+        values: [l0, l1],
+        vectors: [v0, v1],
+    })
 }
 
 /// True when `m` is within `tol` of the identity (elementwise).
@@ -79,7 +86,10 @@ pub fn is_approximately_identity(m: &Matrix, tol: f64) -> bool {
 /// returned matrix, sorted by descending eigenvalue.
 pub fn jacobi_symmetric(a: &Matrix, max_sweeps: usize) -> Result<(Vec<f64>, Matrix)> {
     if !a.is_square() {
-        return Err(LinalgError::NotSquare { rows: a.rows(), cols: a.cols() });
+        return Err(LinalgError::NotSquare {
+            rows: a.rows(),
+            cols: a.cols(),
+        });
     }
     let n = a.rows();
     let mut m = a.clone();
@@ -93,10 +103,9 @@ pub fn jacobi_symmetric(a: &Matrix, max_sweeps: usize) -> Result<(Vec<f64>, Matr
                 off += m[(i, j)] * m[(i, j)];
             }
         }
-        if off.sqrt() < 1e-13 {
-            let mut pairs: Vec<(f64, usize)> =
-                (0..n).map(|i| (m[(i, i)], i)).collect();
-            pairs.sort_by(|x, y| y.0.partial_cmp(&x.0).unwrap());
+        if off.sqrt() < tol::PIVOT {
+            let mut pairs: Vec<(f64, usize)> = (0..n).map(|i| (m[(i, i)], i)).collect();
+            pairs.sort_by(|x, y| y.0.total_cmp(&x.0));
             let values: Vec<f64> = pairs.iter().map(|p| p.0).collect();
             let mut vectors = Matrix::zeros(n, n);
             for (new_col, &(_, old_col)) in pairs.iter().enumerate() {
@@ -110,7 +119,7 @@ pub fn jacobi_symmetric(a: &Matrix, max_sweeps: usize) -> Result<(Vec<f64>, Matr
         for p in 0..n {
             for q in p + 1..n {
                 let apq = m[(p, q)];
-                if apq.abs() < 1e-300 {
+                if apq.abs() < tol::EPS_ZERO {
                     continue;
                 }
                 let app = m[(p, p)];
@@ -144,13 +153,19 @@ pub fn jacobi_symmetric(a: &Matrix, max_sweeps: usize) -> Result<(Vec<f64>, Matr
             }
         }
     }
-    Err(LinalgError::NoConvergence { routine: "jacobi_symmetric", iterations: max_sweeps })
+    Err(LinalgError::NoConvergence {
+        routine: "jacobi_symmetric",
+        iterations: max_sweeps,
+    })
 }
 
 /// Power iteration estimate of the spectral radius of `a`.
 pub fn spectral_radius(a: &Matrix, iterations: usize) -> Result<f64> {
     if !a.is_square() {
-        return Err(LinalgError::NotSquare { rows: a.rows(), cols: a.cols() });
+        return Err(LinalgError::NotSquare {
+            rows: a.rows(),
+            cols: a.cols(),
+        });
     }
     let n = a.rows();
     if n == 0 {
@@ -162,7 +177,7 @@ pub fn spectral_radius(a: &Matrix, iterations: usize) -> Result<f64> {
     for _ in 0..iterations {
         let y = a.matvec(&x)?;
         let norm = y.iter().map(|v| v * v).sum::<f64>().sqrt();
-        if norm < 1e-300 {
+        if norm < tol::EPS_ZERO {
             return Ok(0.0);
         }
         lambda = norm / x.iter().map(|v| v * v).sum::<f64>().sqrt();
@@ -246,11 +261,7 @@ mod tests {
 
     #[test]
     fn jacobi_reconstructs_matrix() {
-        let a = Matrix::from_rows(&[
-            &[4.0, 1.0, 0.5],
-            &[1.0, 3.0, 0.2],
-            &[0.5, 0.2, 2.0],
-        ]);
+        let a = Matrix::from_rows(&[&[4.0, 1.0, 0.5], &[1.0, 3.0, 0.2], &[0.5, 0.2, 2.0]]);
         let (vals, v) = jacobi_symmetric(&a, 100).unwrap();
         // A = V diag(vals) V^T
         let mut d = Matrix::zeros(3, 3);

@@ -53,8 +53,14 @@ impl fmt::Display for LinalgError {
             LinalgError::Singular { pivot } => {
                 write!(f, "matrix is singular (pivot magnitude {pivot:.3e})")
             }
-            LinalgError::NoConvergence { routine, iterations } => {
-                write!(f, "{routine} failed to converge after {iterations} iterations")
+            LinalgError::NoConvergence {
+                routine,
+                iterations,
+            } => {
+                write!(
+                    f,
+                    "{routine} failed to converge after {iterations} iterations"
+                )
             }
             LinalgError::NotSquare { rows, cols } => {
                 write!(f, "operation requires a square matrix, got {rows}x{cols}")
@@ -84,7 +90,10 @@ mod tests {
         assert!(e.to_string().contains("singular"));
         let e = LinalgError::NotSquare { rows: 2, cols: 3 };
         assert!(e.to_string().contains("2x3"));
-        let e = LinalgError::NoConvergence { routine: "jacobi", iterations: 50 };
+        let e = LinalgError::NoConvergence {
+            routine: "jacobi",
+            iterations: 50,
+        };
         assert!(e.to_string().contains("jacobi"));
     }
 

@@ -1,0 +1,147 @@
+//! Feature-gated debug-assertion layer for the paper's numerical invariants.
+//!
+//! With the `invariant-checks` feature enabled (it is on in every workspace
+//! test profile), the hot linear-algebra paths re-validate the properties the
+//! CMC derivation assumes but the type system cannot see:
+//!
+//! * columns of anything claiming to be stochastic sum to 1 (paper Eq. 3);
+//! * fractional powers `C^t` of stochastic matrices with `t ∈ [0, 1]` stay
+//!   (quasi-)stochastic — entries finite and within a tolerance of `[0, 1]`
+//!   (paper Eqs. 5–7; a large excursion means the principal branch broke);
+//! * sparse operator application never emits NaN/∞ weights.
+//!
+//! Without the feature every function in this module is an empty `#[inline]`
+//! stub, so release builds pay nothing. Violations abort via `assert!` — an
+//! invariant breach is a programming error upstream of any recoverable
+//! condition, and the whole point is to fail at the breach site rather than
+//! ship a poisoned matrix three crates downstream.
+
+use crate::dense::Matrix;
+
+#[cfg(feature = "invariant-checks")]
+use crate::tol;
+
+/// Asserts every entry of `m` is finite and every column sums to 1 within
+/// [`crate::tol::STOCHASTIC`]. No-op unless `invariant-checks` is enabled.
+#[cfg(feature = "invariant-checks")]
+pub fn check_column_stochastic(op: &str, m: &Matrix) {
+    for (k, &a) in m.as_slice().iter().enumerate() {
+        assert!(
+            a.is_finite(),
+            "invariant[{op}]: non-finite entry {a} at flat index {k}"
+        );
+    }
+    for (j, s) in m.column_sums().iter().enumerate() {
+        assert!(
+            (s - 1.0).abs() <= tol::STOCHASTIC,
+            "invariant[{op}]: column {j} sums to {s}, expected 1"
+        );
+    }
+}
+
+/// No-op stub compiled without `invariant-checks`.
+#[cfg(not(feature = "invariant-checks"))]
+#[inline(always)]
+pub fn check_column_stochastic(_op: &str, _m: &Matrix) {}
+
+/// Asserts a fractional power of a stochastic matrix stayed within the
+/// quasi-stochastic envelope: finite entries in `[-tol, 1 + tol]`, columns
+/// summing to 1. Only meaningful (and only asserted) when the *input* was
+/// column-stochastic and the exponent lies in `[0, 1]` — e.g. `C^{-1}` has
+/// legitimately negative entries and is exempt.
+#[cfg(feature = "invariant-checks")]
+pub fn check_fractional_power(op: &str, input: &Matrix, t: f64, out: &Matrix) {
+    if !(0.0..=1.0).contains(&t) {
+        return;
+    }
+    if !crate::stochastic::is_column_stochastic(input, tol::STOCHASTIC) {
+        return;
+    }
+    for (k, &a) in out.as_slice().iter().enumerate() {
+        assert!(
+            a.is_finite(),
+            "invariant[{op}]: non-finite entry {a} at flat index {k}"
+        );
+        assert!(
+            (-tol::COMPLEX_RESIDUE..=1.0 + tol::COMPLEX_RESIDUE).contains(&a),
+            "invariant[{op}]: entry {a} of C^{t} escaped [0, 1] envelope"
+        );
+    }
+    for (j, s) in out.column_sums().iter().enumerate() {
+        assert!(
+            (s - 1.0).abs() <= tol::STOCHASTIC,
+            "invariant[{op}]: column {j} of C^{t} sums to {s}, expected 1"
+        );
+    }
+}
+
+/// No-op stub compiled without `invariant-checks`.
+#[cfg(not(feature = "invariant-checks"))]
+#[inline(always)]
+pub fn check_fractional_power(_op: &str, _input: &Matrix, _t: f64, _out: &Matrix) {}
+
+/// Asserts every weight in a sparse distribution is finite. Quasi-probability
+/// weights may be negative, but NaN/∞ mean a culled division blew up.
+#[cfg(feature = "invariant-checks")]
+pub fn check_finite_weights<I: IntoIterator<Item = (u64, f64)>>(op: &str, iter: I) {
+    for (state, w) in iter {
+        assert!(
+            w.is_finite(),
+            "invariant[{op}]: non-finite weight {w} for state {state}"
+        );
+    }
+}
+
+/// No-op stub compiled without `invariant-checks`.
+#[cfg(not(feature = "invariant-checks"))]
+#[inline(always)]
+pub fn check_finite_weights<I: IntoIterator<Item = (u64, f64)>>(_op: &str, _iter: I) {}
+
+#[cfg(all(test, feature = "invariant-checks"))]
+mod tests {
+    use super::*;
+    use crate::dense::Matrix;
+
+    #[test]
+    fn stochastic_passes() {
+        let m = Matrix::from_rows(&[&[0.9, 0.2], &[0.1, 0.8]]);
+        check_column_stochastic("test", &m);
+        check_fractional_power("test", &m, 0.5, &m);
+    }
+
+    #[test]
+    #[should_panic(expected = "sums to")]
+    fn broken_column_sum_trips() {
+        let m = Matrix::from_rows(&[&[0.9, 0.2], &[0.2, 0.8]]);
+        check_column_stochastic("test", &m);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-finite")]
+    fn nan_entry_trips() {
+        let m = Matrix::from_rows(&[&[f64::NAN, 0.2], &[0.1, 0.8]]);
+        check_column_stochastic("test", &m);
+    }
+
+    #[test]
+    fn inverse_powers_are_exempt() {
+        let c = Matrix::from_rows(&[&[0.94, 0.06], &[0.06, 0.94]]);
+        // An inverse has negative entries; t = -1 must not be asserted on.
+        let inv = Matrix::from_rows(&[&[1.068, -0.068], &[-0.068, 1.068]]);
+        check_fractional_power("test", &c, -1.0, &inv);
+    }
+
+    #[test]
+    #[should_panic(expected = "escaped")]
+    fn escaped_envelope_trips() {
+        let c = Matrix::from_rows(&[&[0.94, 0.06], &[0.06, 0.94]]);
+        let bad = Matrix::from_rows(&[&[1.5, -0.5], &[-0.5, 1.5]]);
+        check_fractional_power("test", &c, 0.5, &bad);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-finite weight")]
+    fn infinite_weight_trips() {
+        check_finite_weights("test", [(3u64, f64::INFINITY)]);
+    }
+}

@@ -11,6 +11,7 @@
 use crate::dense::Matrix;
 use crate::error::{LinalgError, Result};
 use crate::sparse::Csr;
+use crate::tol;
 
 /// Anything that can apply itself to a vector — the only capability a
 /// Krylov method needs.
@@ -103,7 +104,7 @@ pub fn bicgstab<A: LinearOperator + ?Sized>(
             detail: format!("rhs {} vs dim {n}", b.len()),
         });
     }
-    let b_norm = norm(b).max(1e-300);
+    let b_norm = norm(b).max(tol::EPS_ZERO);
     let mut x = vec![0.0; n];
     let mut r: Vec<f64> = b.to_vec();
     let r_hat = r.clone();
@@ -113,8 +114,11 @@ pub fn bicgstab<A: LinearOperator + ?Sized>(
 
     for it in 0..max_iter {
         let rho_next = dot(&r_hat, &r);
-        if rho_next.abs() < 1e-300 {
-            return Err(LinalgError::NoConvergence { routine: "bicgstab (rho breakdown)", iterations: it });
+        if rho_next.abs() < tol::EPS_ZERO {
+            return Err(LinalgError::NoConvergence {
+                routine: "bicgstab (rho breakdown)",
+                iterations: it,
+            });
         }
         let beta = (rho_next / rho) * (alpha / omega);
         rho = rho_next;
@@ -123,8 +127,11 @@ pub fn bicgstab<A: LinearOperator + ?Sized>(
         }
         v = a.apply(&p)?;
         let denom = dot(&r_hat, &v);
-        if denom.abs() < 1e-300 {
-            return Err(LinalgError::NoConvergence { routine: "bicgstab (alpha breakdown)", iterations: it });
+        if denom.abs() < tol::EPS_ZERO {
+            return Err(LinalgError::NoConvergence {
+                routine: "bicgstab (alpha breakdown)",
+                iterations: it,
+            });
         }
         alpha = rho / denom;
         let s: Vec<f64> = (0..n).map(|i| r[i] - alpha * v[i]).collect();
@@ -133,12 +140,19 @@ pub fn bicgstab<A: LinearOperator + ?Sized>(
                 x[i] += alpha * p[i];
             }
             let res = norm(&s);
-            return Ok(SolveReport { x, iterations: it + 1, residual: res });
+            return Ok(SolveReport {
+                x,
+                iterations: it + 1,
+                residual: res,
+            });
         }
         let t = a.apply(&s)?;
         let tt = dot(&t, &t);
-        if tt < 1e-300 {
-            return Err(LinalgError::NoConvergence { routine: "bicgstab (omega breakdown)", iterations: it });
+        if tt < tol::EPS_ZERO {
+            return Err(LinalgError::NoConvergence {
+                routine: "bicgstab (omega breakdown)",
+                iterations: it,
+            });
         }
         omega = dot(&t, &s) / tt;
         for i in 0..n {
@@ -147,10 +161,17 @@ pub fn bicgstab<A: LinearOperator + ?Sized>(
         }
         let res = norm(&r);
         if res / b_norm < tol {
-            return Ok(SolveReport { x, iterations: it + 1, residual: res });
+            return Ok(SolveReport {
+                x,
+                iterations: it + 1,
+                residual: res,
+            });
         }
     }
-    Err(LinalgError::NoConvergence { routine: "bicgstab", iterations: max_iter })
+    Err(LinalgError::NoConvergence {
+        routine: "bicgstab",
+        iterations: max_iter,
+    })
 }
 
 /// Jacobi-preconditioned Richardson iteration specialised for
@@ -171,7 +192,7 @@ pub fn richardson<A: LinearOperator + ?Sized>(
             detail: format!("rhs {} vs dim {n}", b.len()),
         });
     }
-    let b_norm = norm(b).max(1e-300);
+    let b_norm = norm(b).max(tol::EPS_ZERO);
     let mut x = b.to_vec();
     for it in 0..max_iter {
         let ax = a.apply(&x)?;
@@ -183,10 +204,17 @@ pub fn richardson<A: LinearOperator + ?Sized>(
         }
         let res = res.sqrt();
         if res / b_norm < tol {
-            return Ok(SolveReport { x, iterations: it + 1, residual: res });
+            return Ok(SolveReport {
+                x,
+                iterations: it + 1,
+                residual: res,
+            });
         }
     }
-    Err(LinalgError::NoConvergence { routine: "richardson", iterations: max_iter })
+    Err(LinalgError::NoConvergence {
+        routine: "richardson",
+        iterations: max_iter,
+    })
 }
 
 #[cfg(test)]

@@ -30,12 +30,14 @@ pub mod complex;
 pub mod dense;
 pub mod eig;
 pub mod error;
+pub mod invariant;
 pub mod iterative;
 pub mod lu;
 pub mod power;
 pub mod sparse;
 pub mod sparse_apply;
 pub mod stochastic;
+pub mod tol;
 pub mod vector;
 
 pub use cdense::CMatrix;

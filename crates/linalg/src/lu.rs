@@ -7,9 +7,10 @@
 
 use crate::dense::Matrix;
 use crate::error::{LinalgError, Result};
+use crate::tol;
 
 /// Pivot magnitudes below this are treated as singular.
-const SINGULAR_EPS: f64 = 1e-13;
+const SINGULAR_EPS: f64 = tol::PIVOT;
 
 /// An LU factorisation `P·A = L·U` stored compactly.
 #[derive(Clone, Debug)]
@@ -26,7 +27,10 @@ impl Lu {
     /// Factorises a square matrix.
     pub fn factor(a: &Matrix) -> Result<Lu> {
         if !a.is_square() {
-            return Err(LinalgError::NotSquare { rows: a.rows(), cols: a.cols() });
+            return Err(LinalgError::NotSquare {
+                rows: a.rows(),
+                cols: a.cols(),
+            });
         }
         let n = a.rows();
         let mut lu = a.clone();
@@ -66,7 +70,11 @@ impl Lu {
                 }
             }
         }
-        Ok(Lu { lu, perm, perm_sign })
+        Ok(Lu {
+            lu,
+            perm,
+            perm_sign,
+        })
     }
 
     /// Dimension of the factored matrix.
@@ -274,7 +282,11 @@ mod tests {
             }
             let ainv = inverse(&a).unwrap();
             assert!(
-                a.matmul(&ainv).unwrap().max_abs_diff(&Matrix::identity(n)).unwrap() < 1e-10
+                a.matmul(&ainv)
+                    .unwrap()
+                    .max_abs_diff(&Matrix::identity(n))
+                    .unwrap()
+                    < 1e-10
             );
         }
     }

@@ -12,11 +12,15 @@ use crate::dense::Matrix;
 use crate::eig::eigen_2x2;
 use crate::error::{LinalgError, Result};
 use crate::lu;
+use crate::tol;
 
 /// Integer power by binary exponentiation. `a^0 = I`.
 pub fn matrix_power(a: &Matrix, mut e: u32) -> Result<Matrix> {
     if !a.is_square() {
-        return Err(LinalgError::NotSquare { rows: a.rows(), cols: a.cols() });
+        return Err(LinalgError::NotSquare {
+            rows: a.rows(),
+            cols: a.cols(),
+        });
     }
     let mut result = Matrix::identity(a.rows());
     let mut base = a.clone();
@@ -49,14 +53,14 @@ pub fn fractional_power_2x2(a: &Matrix, t: f64) -> Result<Matrix> {
     let [l0, l1] = e.values;
 
     for l in [l0, l1] {
-        if l.re <= 0.0 && l.im.abs() < 1e-14 {
+        if l.re <= 0.0 && l.im.abs() < tol::CONVERGENCE {
             return Err(LinalgError::InvalidPower {
                 detail: format!("eigenvalue {l} on the non-positive real axis"),
             });
         }
     }
 
-    if (l0 - l1).abs() < 1e-12 {
+    if (l0 - l1).abs() < tol::SPECTRAL_GAP {
         // Possibly defective: Jordan formula, exact in either case.
         let l = l0;
         let lt = l.powf(t);
@@ -71,6 +75,7 @@ pub fn fractional_power_2x2(a: &Matrix, t: f64) -> Result<Matrix> {
                 out[(i, j)] = v.re;
             }
         }
+        crate::invariant::check_fractional_power("fractional_power_2x2", a, t, &out);
         return Ok(out);
     }
 
@@ -90,11 +95,12 @@ pub fn fractional_power_2x2(a: &Matrix, t: f64) -> Result<Matrix> {
             out[(i, j)] = v.re;
         }
     }
-    if max_im > 1e-8 {
+    if max_im > tol::COMPLEX_RESIDUE {
         return Err(LinalgError::InvalidPower {
             detail: format!("complex residue {max_im:.3e} in real fractional power"),
         });
     }
+    crate::invariant::check_fractional_power("fractional_power_2x2", a, t, &out);
     Ok(out)
 }
 
@@ -104,7 +110,10 @@ pub fn fractional_power_2x2(a: &Matrix, t: f64) -> Result<Matrix> {
 /// with no eigenvalues on the closed negative real axis.
 pub fn sqrt_denman_beavers(a: &Matrix, max_iter: usize) -> Result<(Matrix, Matrix)> {
     if !a.is_square() {
-        return Err(LinalgError::NotSquare { rows: a.rows(), cols: a.cols() });
+        return Err(LinalgError::NotSquare {
+            rows: a.rows(),
+            cols: a.cols(),
+        });
     }
     let n = a.rows();
     let mut y = a.clone();
@@ -117,17 +126,23 @@ pub fn sqrt_denman_beavers(a: &Matrix, max_iter: usize) -> Result<(Matrix, Matri
         let delta = y_next.max_abs_diff(&y).unwrap_or(f64::INFINITY);
         y = y_next;
         z = z_next;
-        if delta < 1e-14 {
+        if delta < tol::CONVERGENCE {
             let _ = it;
             return Ok((y, z));
         }
     }
     // Accept slightly looser convergence before failing outright.
     let check = y.matmul(&y)?;
-    if check.max_abs_diff(a).is_some_and(|d| d < 1e-9) {
+    if check
+        .max_abs_diff(a)
+        .is_some_and(|d| d < tol::CONVERGENCE_RELAXED)
+    {
         return Ok((y, z));
     }
-    Err(LinalgError::NoConvergence { routine: "sqrt_denman_beavers", iterations: max_iter })
+    Err(LinalgError::NoConvergence {
+        routine: "sqrt_denman_beavers",
+        iterations: max_iter,
+    })
 }
 
 /// Coupled Newton iteration (Iannazzo) for the principal p-th root `A^{1/p}`.
@@ -138,10 +153,15 @@ pub fn sqrt_denman_beavers(a: &Matrix, max_iter: usize) -> Result<(Matrix, Matri
 /// manipulates.
 pub fn nth_root_newton(a: &Matrix, p: u32, max_iter: usize) -> Result<Matrix> {
     if !a.is_square() {
-        return Err(LinalgError::NotSquare { rows: a.rows(), cols: a.cols() });
+        return Err(LinalgError::NotSquare {
+            rows: a.rows(),
+            cols: a.cols(),
+        });
     }
     if p == 0 {
-        return Err(LinalgError::InvalidPower { detail: "0th root".into() });
+        return Err(LinalgError::InvalidPower {
+            detail: "0th root".into(),
+        });
     }
     if p == 1 {
         return Ok(a.clone());
@@ -166,11 +186,13 @@ pub fn nth_root_newton(a: &Matrix, p: u32, max_iter: usize) -> Result<Matrix> {
         let h = (&id.scale(pf + 1.0) - &m).scale(1.0 / pf);
         x = x.matmul(&h)?;
         m = matrix_power(&h, p)?.matmul(&m)?;
-        if m.max_abs_diff(&id).is_some_and(|d| d < 1e-14) {
+        if m.max_abs_diff(&id).is_some_and(|d| d < tol::CONVERGENCE) {
             break;
         }
     }
-    if m.max_abs_diff(&id).is_none_or(|d| d > 1e-9) {
+    if m.max_abs_diff(&id)
+        .is_none_or(|d| d > tol::CONVERGENCE_RELAXED)
+    {
         return Err(LinalgError::NoConvergence {
             routine: "nth_root_newton",
             iterations: max_iter,
@@ -186,10 +208,15 @@ pub fn nth_root_newton(a: &Matrix, p: u32, max_iter: usize) -> Result<Matrix> {
 /// `den`-th root iteratively, then raise to `num`.
 pub fn rational_power(a: &Matrix, num: u32, den: u32) -> Result<Matrix> {
     if den == 0 {
-        return Err(LinalgError::InvalidPower { detail: "denominator 0".into() });
+        return Err(LinalgError::InvalidPower {
+            detail: "denominator 0".into(),
+        });
     }
     if !a.is_square() {
-        return Err(LinalgError::NotSquare { rows: a.rows(), cols: a.cols() });
+        return Err(LinalgError::NotSquare {
+            rows: a.rows(),
+            cols: a.cols(),
+        });
     }
     if num == 0 {
         return Ok(Matrix::identity(a.rows()));
@@ -205,7 +232,9 @@ pub fn rational_power(a: &Matrix, num: u32, den: u32) -> Result<Matrix> {
     } else {
         nth_root_newton(a, den, 200)?
     };
-    matrix_power(&root, num)
+    let out = matrix_power(&root, num)?;
+    crate::invariant::check_fractional_power("rational_power", a, num as f64 / den as f64, &out);
+    Ok(out)
 }
 
 #[cfg(test)]
@@ -279,7 +308,11 @@ mod tests {
         // Defective matrix: [[1,1],[0,1]]^t = [[1,t],[0,1]].
         let a = Matrix::from_rows(&[&[1.0, 1.0], &[0.0, 1.0]]);
         let h = fractional_power_2x2(&a, 0.5).unwrap();
-        assert!(close(&h, &Matrix::from_rows(&[&[1.0, 0.5], &[0.0, 1.0]]), 1e-12));
+        assert!(close(
+            &h,
+            &Matrix::from_rows(&[&[1.0, 0.5], &[0.0, 1.0]]),
+            1e-12
+        ));
     }
 
     #[test]
@@ -293,14 +326,14 @@ mod tests {
 
     #[test]
     fn denman_beavers_sqrt() {
-        let a = Matrix::from_rows(&[
-            &[4.0, 1.0, 0.0],
-            &[1.0, 5.0, 1.0],
-            &[0.0, 1.0, 6.0],
-        ]);
+        let a = Matrix::from_rows(&[&[4.0, 1.0, 0.0], &[1.0, 5.0, 1.0], &[0.0, 1.0, 6.0]]);
         let (s, s_inv) = sqrt_denman_beavers(&a, 60).unwrap();
         assert!(close(&s.matmul(&s).unwrap(), &a, 1e-10));
-        assert!(close(&s.matmul(&s_inv).unwrap(), &Matrix::identity(3), 1e-10));
+        assert!(close(
+            &s.matmul(&s_inv).unwrap(),
+            &Matrix::identity(3),
+            1e-10
+        ));
     }
 
     #[test]
@@ -348,11 +381,7 @@ mod tests {
         // A^t A = A A^t — catches eigenvector bookkeeping mistakes.
         let c = stochastic2(0.11, 0.04);
         let h = fractional_power_2x2(&c, 0.37).unwrap();
-        assert!(close(
-            &h.matmul(&c).unwrap(),
-            &c.matmul(&h).unwrap(),
-            1e-12
-        ));
+        assert!(close(&h.matmul(&c).unwrap(), &c.matmul(&h).unwrap(), 1e-12));
     }
 
     #[test]

@@ -20,7 +20,11 @@ pub struct Coo {
 impl Coo {
     /// Creates an empty COO matrix of the given shape.
     pub fn new(rows: usize, cols: usize) -> Self {
-        Coo { rows, cols, entries: Vec::new() }
+        Coo {
+            rows,
+            cols,
+            entries: Vec::new(),
+        }
     }
 
     /// Number of rows.
@@ -41,6 +45,7 @@ impl Coo {
     /// Pushes an entry; duplicates accumulate on conversion.
     pub fn push(&mut self, row: usize, col: usize, value: f64) {
         debug_assert!(row < self.rows && col < self.cols);
+        // qem-lint: allow(no-float-eq) — exact-zero entries carry no structure in a sparse store
         if value != 0.0 {
             self.entries.push((row, col, value));
         }
@@ -84,7 +89,13 @@ impl Coo {
         }
         let col_idx = merged.iter().map(|&(_, c, _)| c).collect();
         let values = merged.iter().map(|&(_, _, v)| v).collect();
-        Csr { rows: self.rows, cols: self.cols, row_ptr, col_idx, values }
+        Csr {
+            rows: self.rows,
+            cols: self.cols,
+            row_ptr,
+            col_idx,
+            values,
+        }
     }
 }
 
@@ -181,6 +192,7 @@ impl Csr {
         for r in 0..self.rows {
             for (k, va) in self.row_entries(r) {
                 for (c, vb) in rhs.row_entries(k) {
+                    // qem-lint: allow(no-float-eq) — scratch slot is untouched iff exactly 0.0
                     if scratch[c] == 0.0 {
                         touched.push(c);
                     }
@@ -237,11 +249,7 @@ mod tests {
     use super::*;
 
     fn dense_fixture() -> Matrix {
-        Matrix::from_rows(&[
-            &[1.0, 0.0, 2.0],
-            &[0.0, 0.0, 0.0],
-            &[3.0, 4.0, 0.0],
-        ])
+        Matrix::from_rows(&[&[1.0, 0.0, 2.0], &[0.0, 0.0, 0.0], &[3.0, 4.0, 0.0]])
     }
 
     #[test]
@@ -294,11 +302,7 @@ mod tests {
     #[test]
     fn matmul_matches_dense() {
         let a = dense_fixture();
-        let b = Matrix::from_rows(&[
-            &[0.0, 1.0, 0.0],
-            &[2.0, 0.0, 1.0],
-            &[1.0, 1.0, 1.0],
-        ]);
+        let b = Matrix::from_rows(&[&[0.0, 1.0, 0.0], &[2.0, 0.0, 1.0], &[1.0, 1.0, 1.0]]);
         let sa = Coo::from_dense(&a, 0.0).to_csr();
         let sb = Coo::from_dense(&b, 0.0).to_csr();
         let sc = sa.matmul(&sb).unwrap();
@@ -325,7 +329,9 @@ mod tests {
     fn kron_matches_dense_kron() {
         let a = Matrix::from_rows(&[&[1.0, 2.0], &[0.0, 1.0]]);
         let b = Matrix::from_rows(&[&[0.0, 1.0], &[1.0, 0.0]]);
-        let sk = Coo::from_dense(&a, 0.0).to_csr().kron(&Coo::from_dense(&b, 0.0).to_csr());
+        let sk = Coo::from_dense(&a, 0.0)
+            .to_csr()
+            .kron(&Coo::from_dense(&b, 0.0).to_csr());
         assert!(sk.to_dense().max_abs_diff(&a.kron(&b)).unwrap() < 1e-14);
     }
 

@@ -10,6 +10,7 @@
 use crate::dense::Matrix;
 use crate::error::{LinalgError, Result};
 use crate::stochastic::qubit_count;
+use crate::tol;
 use std::collections::HashMap;
 
 /// Sparse quasi-probability distribution over `n`-qubit bitstrings.
@@ -24,7 +25,9 @@ pub struct SparseDist {
 impl SparseDist {
     /// Empty distribution.
     pub fn new() -> Self {
-        SparseDist { weights: HashMap::new() }
+        SparseDist {
+            weights: HashMap::new(),
+        }
     }
 
     /// Builds from `(bitstring, weight)` pairs, accumulating duplicates.
@@ -54,6 +57,7 @@ impl SparseDist {
 
     /// Adds `w` to the weight of `state`.
     pub fn add(&mut self, state: u64, w: f64) {
+        // qem-lint: allow(no-float-eq) — exact-zero skip preserves sparsity, not a tolerance test
         if w != 0.0 {
             *self.weights.entry(state).or_insert(0.0) += w;
         }
@@ -87,7 +91,7 @@ impl SparseDist {
     /// Scales every weight so the total is 1. No-op on zero mass.
     pub fn normalize(&mut self) {
         let t = self.total();
-        if t.abs() > 1e-300 {
+        if t.abs() > tol::EPS_ZERO {
             for w in self.weights.values_mut() {
                 *w /= t;
             }
@@ -111,11 +115,11 @@ impl SparseDist {
 
     /// Dense probability vector of length `2^n` (small-n cross-checks).
     pub fn to_dense(&self, n_qubits: usize) -> Result<Vec<f64>> {
-        let dim = 1usize
-            .checked_shl(n_qubits as u32)
-            .ok_or_else(|| LinalgError::InvalidDistribution {
+        let dim = 1usize.checked_shl(n_qubits as u32).ok_or_else(|| {
+            LinalgError::InvalidDistribution {
                 detail: format!("{n_qubits} qubits too large for dense"),
-            })?;
+            }
+        })?;
         let mut v = vec![0.0; dim];
         for (s, w) in self.iter() {
             let idx = s as usize;
@@ -132,7 +136,11 @@ impl SparseDist {
     /// Builds from a dense vector, dropping exact zeros.
     pub fn from_dense(v: &[f64]) -> Self {
         SparseDist::from_pairs(
-            v.iter().enumerate().filter(|(_, &w)| w != 0.0).map(|(s, &w)| (s as u64, w)),
+            v.iter()
+                .enumerate()
+                // qem-lint: allow(no-float-eq) — exact zeros are structural holes, not near-zero values
+                .filter(|(_, &w)| w != 0.0)
+                .map(|(s, &w)| (s as u64, w)),
         )
     }
 
@@ -165,7 +173,7 @@ impl SparseDist {
     /// bitstring. `None` on an empty distribution.
     pub fn argmax(&self) -> Option<u64> {
         self.iter()
-            .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap().then(b.0.cmp(&a.0)))
+            .max_by(|a, b| a.1.total_cmp(&b.1).then(b.0.cmp(&a.0)))
             .map(|(s, _)| s)
     }
 
@@ -220,6 +228,7 @@ pub fn apply_operator_sparse(m: &Matrix, qs: &[usize], dist: &SparseDist) -> Res
         let base = s & !mask;
         for row in 0..sub_dim {
             let a = m[(row, col)];
+            // qem-lint: allow(no-float-eq) — skipping exact-zero operator entries is a sparsity shortcut
             if a == 0.0 {
                 continue;
             }
@@ -230,6 +239,7 @@ pub fn apply_operator_sparse(m: &Matrix, qs: &[usize], dist: &SparseDist) -> Res
             out.add(base | scattered, w * a);
         }
     }
+    crate::invariant::check_finite_weights("apply_operator_sparse", out.iter());
     Ok(out)
 }
 

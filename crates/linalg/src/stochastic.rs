@@ -9,6 +9,7 @@
 
 use crate::dense::Matrix;
 use crate::error::{LinalgError, Result};
+use crate::tol;
 
 /// Extracts the bits of `state` at `positions` (result bit `k` = bit
 /// `positions[k]` of `state`).
@@ -61,7 +62,7 @@ pub fn normalize_columns(m: &Matrix) -> Matrix {
     let sums = m.column_sums();
     for j in 0..m.cols() {
         let s = sums[j];
-        if s.abs() < 1e-300 {
+        if s.abs() < tol::EPS_ZERO {
             let u = 1.0 / rows as f64;
             for i in 0..rows {
                 out[(i, j)] = u;
@@ -72,7 +73,34 @@ pub fn normalize_columns(m: &Matrix) -> Matrix {
             }
         }
     }
+    crate::invariant::check_column_stochastic("normalize_columns", &out);
     out
+}
+
+/// Validated constructor for the single-qubit readout-flip channel
+///
+/// ```text
+///         prepared:  |0⟩        |1⟩
+/// observed |0⟩  [ 1 − p10       p01  ]
+/// observed |1⟩  [   p10       1 − p01 ]
+/// ```
+///
+/// where `p01 = P(read 0 | prepared 1)` and `p10 = P(read 1 | prepared 0)`.
+/// This is the only sanctioned way to build a flip matrix from raw error
+/// rates — it rejects rates outside `[0, 1]` instead of silently producing
+/// a non-stochastic matrix that would poison every downstream inversion.
+pub fn flip_channel(p01: f64, p10: f64) -> Result<Matrix> {
+    for (name, p) in [("p01", p01), ("p10", p10)] {
+        if !(0.0..=1.0).contains(&p) || !p.is_finite() {
+            return Err(LinalgError::InvalidDistribution {
+                detail: format!("flip probability {name} = {p} outside [0, 1]"),
+            });
+        }
+    }
+    // qem-lint: allow(validated-matrix-construction) — this IS the validated entry point
+    let m = Matrix::from_rows(&[&[1.0 - p10, p01], &[p10, 1.0 - p01]]);
+    debug_assert!(is_column_stochastic(&m, tol::STOCHASTIC_STRICT));
+    Ok(m)
 }
 
 /// Clamps tiny negative entries (mitigation can produce quasi-probabilities)
@@ -90,7 +118,10 @@ pub fn clamp_to_stochastic(m: &Matrix) -> Matrix {
 /// Number of qubits for a `2^n`-dimensional square matrix.
 pub fn qubit_count(m: &Matrix) -> Result<usize> {
     if !m.is_square() {
-        return Err(LinalgError::NotSquare { rows: m.rows(), cols: m.cols() });
+        return Err(LinalgError::NotSquare {
+            rows: m.rows(),
+            cols: m.cols(),
+        });
     }
     let n = m.rows();
     if n == 0 || n & (n - 1) != 0 {
@@ -317,7 +348,10 @@ mod tests {
     #[test]
     fn stochastic_check() {
         assert!(is_column_stochastic(&stochastic2(0.1, 0.2), 1e-12));
-        assert!(!is_column_stochastic(&Matrix::from_rows(&[&[0.5, 0.5], &[0.4, 0.5]]), 1e-6));
+        assert!(!is_column_stochastic(
+            &Matrix::from_rows(&[&[0.5, 0.5], &[0.4, 0.5]]),
+            1e-6
+        ));
         assert!(!is_column_stochastic(&Matrix::zeros(2, 3), 1e-6));
         let neg = Matrix::from_rows(&[&[1.1, 0.0], &[-0.1, 1.0]]);
         assert!(!is_column_stochastic(&neg, 1e-6));

@@ -1,0 +1,78 @@
+//! Central registry of the workspace's numerical tolerances.
+//!
+//! Every magic `1e-9`-style threshold that more than one module relies on
+//! lives here, named for *what it guards* rather than its value, so a
+//! tolerance change is one edit and the `qem-lint` `no-inline-tolerance`
+//! rule can forbid new inline literals. Genuinely file-local thresholds
+//! (e.g. a curve-fit's internal step bounds) stay in their module as named
+//! `const` items — the rule allows those too; what it forbids is an
+//! anonymous literal in the middle of an expression.
+
+/// Denormal guard: magnitudes below this are treated as exact zero before
+/// dividing (column normalisation, distribution renormalisation, BiCGSTAB
+/// breakdown checks). Chosen far below any probability that `f64` shot
+/// statistics can produce.
+pub const EPS_ZERO: f64 = 1e-300;
+
+/// Fixed-point convergence target for quadratically convergent matrix
+/// iterations (Denman–Beavers, coupled Newton p-th root) and eigenvector
+/// residuals — a few ULPs above machine epsilon.
+pub const CONVERGENCE: f64 = 1e-14;
+
+/// Relaxed acceptance once an iteration budget is exhausted: the result is
+/// still usable for calibration matrices (whose entries carry ≥ 1e-3
+/// sampling noise) even when the quadratic phase never fully engaged.
+pub const CONVERGENCE_RELAXED: f64 = 1e-9;
+
+/// Below this gap two eigenvalues are treated as degenerate and the exact
+/// Jordan-block formula is used instead of Lagrange interpolation, whose
+/// `1/(λ0 − λ1)` factor would amplify roundoff.
+pub const SPECTRAL_GAP: f64 = 1e-12;
+
+/// Pivot magnitude below which LU factorisation declares the matrix
+/// numerically singular; also the Jacobi sweep's off-diagonal target.
+pub const PIVOT: f64 = 1e-13;
+
+/// Maximum imaginary residue tolerated when a real fractional matrix power
+/// is assembled from a complex eigendecomposition. Larger residues mean the
+/// principal branch left the real axis and the result is untrustworthy.
+pub const COMPLEX_RESIDUE: f64 = 1e-8;
+
+/// Column-sum tolerance for *sampled* calibration matrices: with `s` shots
+/// per column the sum is exact up to accumulated rounding, but entries were
+/// estimated from counts, so validation only needs to catch structural
+/// breakage, not shot noise.
+pub const STOCHASTIC: f64 = 1e-6;
+
+/// Column-sum tolerance for *analytically constructed* channels (noise
+/// models, Kronecker products of validated factors), which must be
+/// stochastic to roundoff.
+pub const STOCHASTIC_STRICT: f64 = 1e-9;
+
+/// Default threshold below which sparse quasi-probability entries are
+/// culled during chained patch application (paper §IV-C): far below any
+/// resolvable probability at realistic shot budgets, far above roundoff.
+pub const CULL: f64 = 1e-10;
+
+/// Relative-residual target for iterative linear solves (BiCGSTAB in the
+/// M3 subspace system).
+pub const ITERATIVE_RESIDUAL: f64 = 1e-10;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tolerances_are_ordered_sanely() {
+        // The registry encodes a hierarchy: zero-guard < machine-level <
+        // analytic < sampled. A careless edit that breaks the ordering
+        // would silently weaken validation somewhere.
+        assert!(EPS_ZERO < CONVERGENCE);
+        assert!(CONVERGENCE < SPECTRAL_GAP);
+        assert!(SPECTRAL_GAP < COMPLEX_RESIDUE);
+        assert!(CONVERGENCE_RELAXED < STOCHASTIC);
+        assert!(STOCHASTIC_STRICT < STOCHASTIC);
+        assert!(CULL < STOCHASTIC_STRICT);
+        assert!(EPS_ZERO.is_finite() && STOCHASTIC < 1.0);
+    }
+}

@@ -63,10 +63,7 @@ pub fn project_to_simplex(v: &mut [f64]) -> Result<()> {
 
 /// Shannon entropy (bits) of a probability vector; zero entries contribute 0.
 pub fn entropy_bits(p: &[f64]) -> f64 {
-    p.iter()
-        .filter(|&&x| x > 0.0)
-        .map(|&x| -x * x.log2())
-        .sum()
+    p.iter().filter(|&&x| x > 0.0).map(|&x| -x * x.log2()).sum()
 }
 
 #[cfg(test)]

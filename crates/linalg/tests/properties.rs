@@ -14,9 +14,8 @@ use qem_linalg::vector::{l1_distance, l1_norm};
 
 /// Random column-stochastic 2×2 (a readout channel).
 fn channel2() -> impl Strategy<Value = Matrix> {
-    (0.0..0.4f64, 0.0..0.4f64).prop_map(|(p0, p1)| {
-        Matrix::from_rows(&[&[1.0 - p0, p1], &[p0, 1.0 - p1]])
-    })
+    (0.0..0.4f64, 0.0..0.4f64)
+        .prop_map(|(p0, p1)| Matrix::from_rows(&[&[1.0 - p0, p1], &[p0, 1.0 - p1]]))
 }
 
 /// Random column-stochastic 4×4 built from dirichlet-ish columns.
@@ -32,8 +31,7 @@ fn channel4() -> impl Strategy<Value = Matrix> {
 }
 
 fn small_matrix(n: usize) -> impl Strategy<Value = Matrix> {
-    prop::collection::vec(-2.0..2.0f64, n * n)
-        .prop_map(move |v| Matrix::from_vec(n, n, v).unwrap())
+    prop::collection::vec(-2.0..2.0f64, n * n).prop_map(move |v| Matrix::from_vec(n, n, v).unwrap())
 }
 
 proptest! {

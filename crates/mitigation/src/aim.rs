@@ -28,7 +28,10 @@ pub struct AimStrategy {
 
 impl Default for AimStrategy {
     fn default() -> Self {
-        AimStrategy { top_k: 4, probe_fraction: 0.4 }
+        AimStrategy {
+            top_k: 4,
+            probe_fraction: 0.4,
+        }
     }
 }
 
@@ -67,7 +70,7 @@ impl MitigationStrategy for AimStrategy {
         budget: u64,
         rng: &mut StdRng,
     ) -> Result<MitigationOutcome> {
-        let _span = qem_telemetry::span!("mitigation.aim.run", budget = budget);
+        let _span = qem_telemetry::span!(qem_telemetry::names::MITIGATION_AIM_RUN, budget = budget);
         let masks = aim_masks(circuit.num_qubits());
         let probe_budget = ((budget as f64) * self.probe_fraction) as u64;
         let probe_each = (probe_budget / masks.len() as u64).max(1);
@@ -81,11 +84,7 @@ impl MitigationStrategy for AimStrategy {
                 .try_execute(&mc, probe_each, rng)?
                 .xor_mask(mask_for_measured(mask, circuit.measured()));
             probe_used += probe_each;
-            let sharpness = counts
-                .iter()
-                .map(|(_, k)| k)
-                .max()
-                .unwrap_or(0) as f64
+            let sharpness = counts.iter().map(|(_, k)| k).max().unwrap_or(0) as f64
                 / counts.shots().max(1) as f64;
             scored.push((mask, sharpness, counts));
         }
@@ -133,7 +132,9 @@ mod tests {
         assert!(masks.contains(&0b1111_1111));
         // Truncated window at the edge.
         let masks5 = aim_masks(5);
-        assert!(masks5.contains(&0b1_0000) || masks5.contains(&0b1_1000) || masks5.contains(&0b1_1111));
+        assert!(
+            masks5.contains(&0b1_0000) || masks5.contains(&0b1_1000) || masks5.contains(&0b1_1111)
+        );
     }
 
     #[test]
@@ -156,8 +157,12 @@ mod tests {
         let target = basis_prep(n, (1 << n) - 1);
         let mut rng = StdRng::seed_from_u64(2);
         let budget = 60_000;
-        let bare = crate::bare::Bare.run(&b, &target, budget, &mut rng).unwrap();
-        let aim = AimStrategy::default().run(&b, &target, budget, &mut rng).unwrap();
+        let bare = crate::bare::Bare
+            .run(&b, &target, budget, &mut rng)
+            .unwrap();
+        let aim = AimStrategy::default()
+            .run(&b, &target, budget, &mut rng)
+            .unwrap();
         let ideal = (1u64 << n) - 1;
         let bare_err = 1.0 - bare.distribution.get(ideal);
         let aim_err = 1.0 - aim.distribution.get(ideal);

@@ -22,7 +22,8 @@ impl MitigationStrategy for Bare {
         budget: u64,
         rng: &mut StdRng,
     ) -> Result<MitigationOutcome> {
-        let _span = qem_telemetry::span!("mitigation.bare.run", budget = budget);
+        let _span =
+            qem_telemetry::span!(qem_telemetry::names::MITIGATION_BARE_RUN, budget = budget);
         let counts = backend.try_execute(circuit, budget, rng)?;
         Ok(MitigationOutcome {
             distribution: counts.to_distribution(),

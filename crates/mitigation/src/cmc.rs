@@ -21,7 +21,10 @@ pub struct CmcStrategy {
 
 impl Default for CmcStrategy {
     fn default() -> Self {
-        CmcStrategy { k: 1, cull_threshold: 1e-10 }
+        CmcStrategy {
+            k: 1,
+            cull_threshold: qem_linalg::tol::CULL,
+        }
     }
 }
 
@@ -37,7 +40,7 @@ impl MitigationStrategy for CmcStrategy {
         budget: u64,
         rng: &mut StdRng,
     ) -> Result<MitigationOutcome> {
-        let _span = qem_telemetry::span!("mitigation.cmc.run", budget = budget);
+        let _span = qem_telemetry::span!(qem_telemetry::names::MITIGATION_CMC_RUN, budget = budget);
         // Predict the circuit count from the schedule so the budget split
         // is known before spending shots.
         let schedule = patch_construct(&backend.device().coupling.graph, self.k);
@@ -73,7 +76,11 @@ pub struct CmcErrStrategy {
 
 impl Default for CmcErrStrategy {
     fn default() -> Self {
-        CmcErrStrategy { locality: 2, k: 1, cull_threshold: 1e-10 }
+        CmcErrStrategy {
+            locality: 2,
+            k: 1,
+            cull_threshold: qem_linalg::tol::CULL,
+        }
     }
 }
 
@@ -89,7 +96,10 @@ impl MitigationStrategy for CmcErrStrategy {
         budget: u64,
         rng: &mut StdRng,
     ) -> Result<MitigationOutcome> {
-        let _span = qem_telemetry::span!("mitigation.cmc_err.run", budget = budget);
+        let _span = qem_telemetry::span!(
+            qem_telemetry::names::MITIGATION_CMC_ERR_RUN,
+            budget = budget
+        );
         use qem_topology::patches::schedule_pairs;
         let graph = &backend.device().coupling.graph;
         let candidates = graph.pairs_within_distance(self.locality);
@@ -146,7 +156,10 @@ mod tests {
                 .distribution
                 .mass_on(&correct);
         }
-        assert!(cmc_sum > bare_sum + 0.1, "CMC {cmc_sum:.3} vs bare {bare_sum:.3}");
+        assert!(
+            cmc_sum > bare_sum + 0.1,
+            "CMC {cmc_sum:.3} vs bare {bare_sum:.3}"
+        );
     }
 
     #[test]
@@ -154,7 +167,9 @@ mod tests {
         let b = simulated_nairobi(4);
         let c = ghz_bfs(&b.coupling.graph, 0);
         let mut rng = StdRng::seed_from_u64(20);
-        let out = CmcErrStrategy::default().run(&b, &c, 32_000, &mut rng).unwrap();
+        let out = CmcErrStrategy::default()
+            .run(&b, &c, 32_000, &mut rng)
+            .unwrap();
         assert!(out.total_shots() <= 32_000);
         assert!(out.calibration_circuits > 0);
         assert!(out.distribution.total() > 0.99);
@@ -166,7 +181,9 @@ mod tests {
         let c = ghz_bfs(&b.coupling.graph, 0);
         let mut rng = StdRng::seed_from_u64(30);
         for budget in [8_000u64, 32_000] {
-            let out = CmcStrategy::default().run(&b, &c, budget, &mut rng).unwrap();
+            let out = CmcStrategy::default()
+                .run(&b, &c, budget, &mut rng)
+                .unwrap();
             assert!(
                 out.total_shots() <= budget,
                 "budget {budget}: used {}",

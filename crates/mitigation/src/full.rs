@@ -30,9 +30,7 @@ impl MitigationStrategy for FullStrategy {
 
     fn feasible(&self, backend: &Backend, budget: u64) -> bool {
         let n = backend.num_qubits();
-        n <= 14
-            && (1usize << n) <= self.max_circuits
-            && budget / 2 >= (1u64 << n)
+        n <= 14 && (1usize << n) <= self.max_circuits && budget / 2 >= (1u64 << n)
     }
 
     fn run(
@@ -42,11 +40,16 @@ impl MitigationStrategy for FullStrategy {
         budget: u64,
         rng: &mut StdRng,
     ) -> Result<MitigationOutcome> {
-        let _span = qem_telemetry::span!("mitigation.full.run", budget = budget);
-        assert!(
-            self.feasible(backend.device(), budget),
-            "Full calibration infeasible here; check feasible() first"
-        );
+        let _span =
+            qem_telemetry::span!(qem_telemetry::names::MITIGATION_FULL_RUN, budget = budget);
+        if !self.feasible(backend.device(), budget) {
+            return Err(qem_core::error::CoreError::Infeasible {
+                detail: format!(
+                    "full calibration on {} qubits exceeds budget {budget}",
+                    backend.num_qubits()
+                ),
+            });
+        }
         let n = backend.num_qubits();
         let circuits = 1usize << n;
         let (per_circuit, execution) = split_budget(budget, circuits);
@@ -80,12 +83,12 @@ mod tests {
         let c = ghz_bfs(&b.coupling.graph, 0);
         let budget = 64_000;
         let mut rng = StdRng::seed_from_u64(2);
-        let full = FullStrategy::default().run(&b, &c, budget, &mut rng).unwrap();
+        let full = FullStrategy::default()
+            .run(&b, &c, budget, &mut rng)
+            .unwrap();
         let bare = crate::bare::Bare.run(&b, &c, budget, &mut rng).unwrap();
         let correct = [0u64, 15];
-        assert!(
-            full.distribution.mass_on(&correct) > bare.distribution.mass_on(&correct) + 0.05
-        );
+        assert!(full.distribution.mass_on(&correct) > bare.distribution.mass_on(&correct) + 0.05);
         assert!(full.total_shots() <= budget);
         assert_eq!(full.calibration_circuits, 16);
     }

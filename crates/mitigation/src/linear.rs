@@ -29,7 +29,8 @@ impl MitigationStrategy for LinearStrategy {
         budget: u64,
         rng: &mut StdRng,
     ) -> Result<MitigationOutcome> {
-        let _span = qem_telemetry::span!("mitigation.linear.run", budget = budget);
+        let _span =
+            qem_telemetry::span!(qem_telemetry::names::MITIGATION_LINEAR_RUN, budget = budget);
         let (per_circuit, execution) = split_budget(budget, 2);
         let cal = LinearCalibration::calibrate(backend, per_circuit, rng)?;
         let mitigator = cal.mitigator()?;

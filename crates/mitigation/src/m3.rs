@@ -11,9 +11,9 @@
 //! documented approximation; the halo option recovers most of it.
 
 use crate::strategy::{split_budget, MitigationOutcome, MitigationStrategy};
+use qem_core::error::Result;
 use qem_core::tensored::LinearCalibration;
 use qem_linalg::dense::Matrix;
-use qem_linalg::error::Result;
 use qem_linalg::iterative::bicgstab;
 use qem_linalg::sparse_apply::SparseDist;
 use qem_sim::backend::Backend;
@@ -35,7 +35,10 @@ pub struct M3Strategy {
 
 impl Default for M3Strategy {
     fn default() -> Self {
-        M3Strategy { halo: 1, max_states: 4096 }
+        M3Strategy {
+            halo: 1,
+            max_states: 4096,
+        }
     }
 }
 
@@ -62,6 +65,9 @@ pub fn subspace_states(counts: &Counts, halo: usize, max_states: usize) -> Vec<u
 pub fn subspace_matrix(states: &[u64], cals: &[Matrix]) -> Matrix {
     let m = states.len();
     let n = cals.len();
+    // qem-lint: allow(validated-matrix-construction) — deliberately
+    // sub-stochastic: columns lose the probability mass that leaks outside
+    // the retained subspace, so the stochastic validators must not run
     let mut a = Matrix::zeros(m, m);
     for (col, &t) in states.iter().enumerate() {
         for (row, &s) in states.iter().enumerate() {
@@ -70,6 +76,7 @@ pub fn subspace_matrix(states: &[u64], cals: &[Matrix]) -> Matrix {
                 let sq = ((s >> q) & 1) as usize;
                 let tq = ((t >> q) & 1) as usize;
                 p *= cal[(sq, tq)];
+                // qem-lint: allow(no-float-eq) — exact-zero short-circuit only
                 if p == 0.0 {
                     break;
                 }
@@ -91,11 +98,12 @@ pub fn mitigate_subspace(
     let states = subspace_states(counts, halo, max_states);
     let a = subspace_matrix(&states, cals);
     let total = counts.shots().max(1) as f64;
-    let y: Vec<f64> = states.iter().map(|&s| counts.get(s) as f64 / total).collect();
-    let report = bicgstab(&a, &y, 1e-10, 500)?;
-    let mut dist = SparseDist::from_pairs(
-        states.iter().zip(&report.x).map(|(&s, &w)| (s, w)),
-    );
+    let y: Vec<f64> = states
+        .iter()
+        .map(|&s| counts.get(s) as f64 / total)
+        .collect();
+    let report = bicgstab(&a, &y, qem_linalg::tol::ITERATIVE_RESIDUAL, 500)?;
+    let mut dist = SparseDist::from_pairs(states.iter().zip(&report.x).map(|(&s, &w)| (s, w)));
     dist.clamp_negative();
     Ok(dist)
 }
@@ -116,7 +124,7 @@ impl MitigationStrategy for M3Strategy {
         budget: u64,
         rng: &mut StdRng,
     ) -> qem_core::error::Result<MitigationOutcome> {
-        let _span = qem_telemetry::span!("mitigation.m3.run", budget = budget);
+        let _span = qem_telemetry::span!(qem_telemetry::names::MITIGATION_M3_RUN, budget = budget);
         let (per_circuit, execution) = split_budget(budget, 2);
         let cal = LinearCalibration::calibrate(backend, per_circuit, rng)?;
         let cals: Vec<Matrix> = cal.per_qubit.iter().map(|c| c.matrix().clone()).collect();
@@ -127,8 +135,7 @@ impl MitigationStrategy for M3Strategy {
             .iter()
             .map(|&q| cals[q].clone())
             .collect();
-        let distribution =
-            mitigate_subspace(&counts, &measured_cals, self.halo, self.max_states)?;
+        let distribution = mitigate_subspace(&counts, &measured_cals, self.halo, self.max_states)?;
         Ok(MitigationOutcome {
             distribution,
             calibration_circuits: cal.circuits_used,
@@ -160,7 +167,7 @@ mod tests {
         assert_eq!(s0, vec![0b000, 0b111]);
         let s1 = subspace_states(&counts, 1, 100);
         assert_eq!(s1.len(), 8); // 2 observed + all 6 Hamming-1 neighbours
-        // Cap drops the halo.
+                                 // Cap drops the halo.
         let capped = subspace_states(&counts, 1, 4);
         assert_eq!(capped, vec![0b000, 0b111]);
     }
@@ -212,7 +219,10 @@ mod tests {
             bare.distribution.mass_on(&correct),
         );
         assert!(m3_s > bare_s + 0.05, "M3 {m3_s:.3} vs bare {bare_s:.3}");
-        assert!((m3_s - lin_s).abs() < 0.05, "M3 {m3_s:.3} vs Linear {lin_s:.3}");
+        assert!(
+            (m3_s - lin_s).abs() < 0.05,
+            "M3 {m3_s:.3} vs Linear {lin_s:.3}"
+        );
         assert_eq!(m3.calibration_circuits, 2);
     }
 
@@ -228,9 +238,12 @@ mod tests {
         let target = (1u64 << n) - 1;
         let circuit = qem_sim::circuit::basis_prep(n, target);
         let mut rng = StdRng::seed_from_u64(5);
-        let out = M3Strategy { halo: 1, max_states: 4096 }
-            .run(&b, &circuit, 16_000, &mut rng)
-            .unwrap();
+        let out = M3Strategy {
+            halo: 1,
+            max_states: 4096,
+        }
+        .run(&b, &circuit, 16_000, &mut rng)
+        .unwrap();
         let bare = Bare.run(&b, &circuit, 16_000, &mut rng).unwrap();
         // Full state recovery is impossible through the Hamming-1
         // truncation at this width (the subspace holds a sliver of the
@@ -247,7 +260,13 @@ mod tests {
         let mask = target;
         let parity = |d: &qem_linalg::sparse_apply::SparseDist| {
             d.iter()
-                .map(|(s, w)| if (s & mask).count_ones().is_multiple_of(2) { w } else { -w })
+                .map(|(s, w)| {
+                    if (s & mask).count_ones().is_multiple_of(2) {
+                        w
+                    } else {
+                        -w
+                    }
+                })
                 .sum::<f64>()
         };
         // Bare parity at this width is ≈ (1−2p̄)^40 ≈ 0.02, within noise of

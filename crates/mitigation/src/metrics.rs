@@ -63,6 +63,7 @@ impl BandStats {
         BandStats {
             median,
             plus: s[s.len() - 1] - median,
+            // qem-lint: allow(no-direct-index) — non-empty asserted at entry
             minus: median - s[0],
         }
     }
@@ -79,7 +80,11 @@ impl BandStats {
 pub fn parity_expectation(dist: &SparseDist, mask: u64) -> f64 {
     dist.iter()
         .map(|(s, w)| {
-            let sign = if (s & mask).count_ones().is_multiple_of(2) { 1.0 } else { -1.0 };
+            let sign = if (s & mask).count_ones().is_multiple_of(2) {
+                1.0
+            } else {
+                -1.0
+            };
             sign * w
         })
         .sum()

@@ -39,7 +39,7 @@ impl Default for ResilientCmcStrategy {
     fn default() -> Self {
         ResilientCmcStrategy {
             k: 1,
-            cull_threshold: 1e-10,
+            cull_threshold: qem_linalg::tol::CULL,
             use_err: false,
             max_retries: 3,
             validation: ValidationPolicy::default(),
@@ -59,8 +59,14 @@ impl ResilientCmcStrategy {
         ResilienceOptions {
             cmc,
             use_err: self.use_err,
-            err: ErrOptions { cmc, ..ErrOptions::default() },
-            retry: RetryPolicy { max_retries: self.max_retries, ..RetryPolicy::default() },
+            err: ErrOptions {
+                cmc,
+                ..ErrOptions::default()
+            },
+            retry: RetryPolicy {
+                max_retries: self.max_retries,
+                ..RetryPolicy::default()
+            },
             validation: self.validation,
         }
     }
@@ -78,7 +84,10 @@ impl MitigationStrategy for ResilientCmcStrategy {
         budget: u64,
         rng: &mut StdRng,
     ) -> Result<MitigationOutcome> {
-        let _span = qem_telemetry::span!("mitigation.resilient.run", budget = budget);
+        let _span = qem_telemetry::span!(
+            qem_telemetry::names::MITIGATION_RESILIENT_RUN,
+            budget = budget
+        );
         let schedule = patch_construct(&backend.device().coupling.graph, self.k);
         let circuits = 4 * schedule.rounds.len();
         let (per_circuit, execution) = split_budget(budget, circuits.max(1));
@@ -132,9 +141,13 @@ mod tests {
         let b = noisy_backend(4);
         let c = ghz_bfs(&b.coupling.graph, 0);
         let mut rng = StdRng::seed_from_u64(1);
-        let out = ResilientCmcStrategy::default().run(&b, &c, 32_000, &mut rng).unwrap();
+        let out = ResilientCmcStrategy::default()
+            .run(&b, &c, 32_000, &mut rng)
+            .unwrap();
         assert!(out.total_shots() <= 32_000);
-        let report = out.resilience.expect("resilient strategy must attach a report");
+        let report = out
+            .resilience
+            .expect("resilient strategy must attach a report");
         assert_eq!(report.level, MitigationLevel::Cmc);
         assert!(report.is_clean(), "{report}");
     }
@@ -180,9 +193,12 @@ mod tests {
         profile.transient_failure_prob = 0.3;
         let faulty = FaultyBackend::new(b, profile);
         let mut rng = StdRng::seed_from_u64(9);
-        let out = ResilientCmcStrategy { max_retries: 5, ..Default::default() }
-            .run(&faulty, &c, 32_000, &mut rng)
-            .unwrap();
+        let out = ResilientCmcStrategy {
+            max_retries: 5,
+            ..Default::default()
+        }
+        .run(&faulty, &c, 32_000, &mut rng)
+        .unwrap();
         let report = out.resilience.unwrap();
         assert!(report.submissions > 0);
         assert!(out.distribution.total() > 0.99);

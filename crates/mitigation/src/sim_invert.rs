@@ -84,7 +84,7 @@ impl MitigationStrategy for SimStrategy {
         budget: u64,
         rng: &mut StdRng,
     ) -> Result<MitigationOutcome> {
-        let _span = qem_telemetry::span!("mitigation.sim.run", budget = budget);
+        let _span = qem_telemetry::span!(qem_telemetry::names::MITIGATION_SIM_RUN, budget = budget);
         let masks = sim_masks(circuit.num_qubits());
         let shots_each = (budget / 4).max(1);
         let (distribution, used) = run_masked_average(backend, circuit, &masks, shots_each, rng)?;
@@ -146,7 +146,9 @@ mod tests {
         let target = basis_prep(n, 0b1111);
         let mut rng = StdRng::seed_from_u64(2);
         let budget = 80_000;
-        let bare = crate::bare::Bare.run(&b, &target, budget, &mut rng).unwrap();
+        let bare = crate::bare::Bare
+            .run(&b, &target, budget, &mut rng)
+            .unwrap();
         let sim = SimStrategy.run(&b, &target, budget, &mut rng).unwrap();
         let bare_err = 1.0 - bare.distribution.get(0b1111);
         let sim_err = 1.0 - sim.distribution.get(0b1111);
@@ -167,11 +169,16 @@ mod tests {
         let target = basis_prep(n, 0b01);
         let mut rng = StdRng::seed_from_u64(3);
         let budget = 100_000;
-        let bare = crate::bare::Bare.run(&b, &target, budget, &mut rng).unwrap();
+        let bare = crate::bare::Bare
+            .run(&b, &target, budget, &mut rng)
+            .unwrap();
         let sim = SimStrategy.run(&b, &target, budget, &mut rng).unwrap();
         let bare_err = 1.0 - bare.distribution.get(0b01);
         let sim_err = 1.0 - sim.distribution.get(0b01);
-        assert!((sim_err - bare_err).abs() < 0.02, "SIM moved a correlated error: {sim_err:.3} vs {bare_err:.3}");
+        assert!(
+            (sim_err - bare_err).abs() < 0.02,
+            "SIM moved a correlated error: {sim_err:.3} vs {bare_err:.3}"
+        );
     }
 
     #[test]

@@ -50,7 +50,12 @@ impl Backend {
             "simulated registers are capped at 64 qubits (u64 bitstrings); \
              topology/scheduling algorithms have no such limit"
         );
-        Backend { name: coupling.name.clone(), coupling, noise, trajectories }
+        Backend {
+            name: coupling.name.clone(),
+            coupling,
+            noise,
+            trajectories,
+        }
     }
 
     /// Register width.
@@ -105,7 +110,11 @@ impl Backend {
         }
 
         let gate_noise = self.noise.gate_error_1q > 0.0 || self.noise.gate_error_2q > 0.0;
-        let runs = if gate_noise { self.trajectories.max(1) } else { 1 };
+        let runs = if gate_noise {
+            self.trajectories.max(1)
+        } else {
+            1
+        };
         let mut acc = vec![0.0; 1 << n];
         for _ in 0..runs {
             let p = self.trajectory(circuit, rng);
@@ -169,8 +178,7 @@ impl Backend {
         // Collect the components containing at least one measured qubit.
         let mut groups: std::collections::HashMap<usize, Vec<usize>> =
             std::collections::HashMap::new();
-        let mut measured_roots: std::collections::HashSet<usize> =
-            std::collections::HashSet::new();
+        let mut measured_roots: std::collections::HashSet<usize> = std::collections::HashSet::new();
         for &q in measured {
             measured_roots.insert(find(&mut parent, q));
         }
@@ -200,7 +208,12 @@ impl Backend {
             if qubits.len() > 24 {
                 return None; // a correlation cluster too wide to enumerate
             }
-            let local = |q: usize| qubits.iter().position(|&c| c == q).expect("component qubit");
+            let local = |q: usize| {
+                qubits
+                    .iter()
+                    .position(|&c| c == q)
+                    .expect("component qubit")
+            };
             // Product pre-measurement state over the component.
             let dim = 1usize << qubits.len();
             let mut state = vec![1.0; dim];
@@ -214,19 +227,23 @@ impl Backend {
             for f in channel.factors() {
                 if f.qubits.iter().any(|&q| qubits.contains(&q)) {
                     let targets: Vec<usize> = f.qubits.iter().map(|&q| local(q)).collect();
-                    state =
-                        qem_linalg::stochastic::apply_on_qubits(&f.matrix, &targets, &state)
-                            .expect("component factor application");
+                    state = qem_linalg::stochastic::apply_on_qubits(&f.matrix, &targets, &state)
+                        .expect("component factor application");
                 }
             }
             // Marginalise onto the measured members, recording their
             // positions in the measurement register.
-            let inside_measured: Vec<usize> =
-                qubits.iter().copied().filter(|&q| measured_pos(q).is_some()).collect();
+            let inside_measured: Vec<usize> = qubits
+                .iter()
+                .copied()
+                .filter(|&q| measured_pos(q).is_some())
+                .collect();
             let local_bits: Vec<usize> = inside_measured.iter().map(|&q| local(q)).collect();
             let dist = marginalize_dense(&state, qubits.len(), &local_bits);
-            let positions: Vec<usize> =
-                inside_measured.iter().map(|&q| measured_pos(q).expect("measured")).collect();
+            let positions: Vec<usize> = inside_measured
+                .iter()
+                .map(|&q| measured_pos(q).expect("measured"))
+                .collect();
             components.push((positions, dist));
         }
         Some(components)
@@ -257,8 +274,7 @@ impl Backend {
     /// The measurement channel restricted to a measured-qubit subset.
     pub fn measurement_channel_for(&self, measured: &[usize]) -> MeasurementChannel {
         let full = self.noise.measurement_channel();
-        if measured.len() == self.num_qubits()
-            && measured.iter().enumerate().all(|(k, &q)| k == q)
+        if measured.len() == self.num_qubits() && measured.iter().enumerate().all(|(k, &q)| k == q)
         {
             full
         } else {
@@ -269,12 +285,7 @@ impl Backend {
     /// Executes a batch of circuits in parallel (rayon), one deterministic
     /// RNG stream per circuit derived from `base_seed` — calibration rounds
     /// and sweep harnesses are embarrassingly parallel across circuits.
-    pub fn execute_batch(
-        &self,
-        circuits: &[Circuit],
-        shots: u64,
-        base_seed: u64,
-    ) -> Vec<Counts> {
+    pub fn execute_batch(&self, circuits: &[Circuit], shots: u64, base_seed: u64) -> Vec<Counts> {
         use rayon::prelude::*;
         circuits
             .par_iter()
@@ -397,7 +408,6 @@ mod tests {
     use crate::circuit::{basis_prep, ghz_bfs, x_chain};
     use qem_topology::coupling::linear;
 
-
     fn rng(seed: u64) -> StdRng {
         StdRng::seed_from_u64(seed)
     }
@@ -455,7 +465,10 @@ mod tests {
         let d = b.noisy_distribution(&c, &mut rng(4));
         let success = d[0] + d[(1 << n) - 1];
         assert!(success < 0.999, "gate noise had no effect");
-        assert!(success > 0.5, "gate noise implausibly destructive: {success}");
+        assert!(
+            success > 0.5,
+            "gate noise implausibly destructive: {success}"
+        );
         assert!((d.iter().sum::<f64>() - 1.0).abs() < 1e-9);
     }
 
@@ -496,8 +509,8 @@ mod tests {
         let mut b = Backend::new(linear(n), noise);
         let c = x_chain(n, 0, 7);
         let fast = b.noisy_distribution(&c, &mut rng(20)); // fast path
-        // Force the trajectory path by adding a non-X gate that is identity
-        // in effect (RZ on an unmeasured phase) — compare a 1-qubit marginal.
+                                                           // Force the trajectory path by adding a non-X gate that is identity
+                                                           // in effect (RZ on an unmeasured phase) — compare a 1-qubit marginal.
         b.trajectories = 20_000;
         let mut c2 = x_chain(n, 0, 7);
         c2.push(crate::gate::Gate::RZ(1, 0.0));

@@ -66,7 +66,10 @@ pub fn joint_decay_matrix(k: usize, p: f64) -> Matrix {
 impl MeasurementChannel {
     /// The identity (error-free) channel.
     pub fn identity(n: usize) -> Self {
-        MeasurementChannel { n, factors: Vec::new() }
+        MeasurementChannel {
+            n,
+            factors: Vec::new(),
+        }
     }
 
     /// Register width.
@@ -86,7 +89,11 @@ impl MeasurementChannel {
     /// or targets are out of range / duplicated — these are model
     /// construction bugs.
     pub fn push_factor(&mut self, qubits: &[usize], matrix: Matrix) {
-        assert_eq!(matrix.rows(), 1 << qubits.len(), "factor dimension mismatch");
+        assert_eq!(
+            matrix.rows(),
+            1 << qubits.len(),
+            "factor dimension mismatch"
+        );
         assert!(
             is_column_stochastic(&matrix, 1e-9),
             "channel factor must be column-stochastic"
@@ -98,7 +105,10 @@ impl MeasurementChannel {
         for &q in qubits {
             assert!(q < self.n, "channel target {q} outside register");
         }
-        self.factors.push(ChannelFactor { qubits: qubits.to_vec(), matrix });
+        self.factors.push(ChannelFactor {
+            qubits: qubits.to_vec(),
+            matrix,
+        });
     }
 
     /// Per-qubit state-dependent readout errors.
@@ -224,8 +234,8 @@ impl MeasurementChannel {
                 let traced: Vec<usize> = (0..f.qubits.len())
                     .filter(|local| !inside.contains(local))
                     .collect();
-                let reduced = true_marginal(&f.matrix, &traced)
-                    .expect("factor marginalisation cannot fail");
+                let reduced =
+                    true_marginal(&f.matrix, &traced).expect("factor marginalisation cannot fail");
                 out.push_factor(&targets, reduced);
             }
         }

@@ -21,7 +21,12 @@ pub struct Circuit {
 impl Circuit {
     /// An empty circuit over `n` qubits, measuring all of them.
     pub fn new(n: usize) -> Circuit {
-        Circuit { n, gates: Vec::new(), measured: (0..n).collect(), label: String::new() }
+        Circuit {
+            n,
+            gates: Vec::new(),
+            measured: (0..n).collect(),
+            label: String::new(),
+        }
     }
 
     /// Register width.
@@ -114,7 +119,10 @@ pub fn ghz_bfs(coupling: &Graph, root: usize) -> Circuit {
         "coupling map must be connected for a full-device GHZ state"
     );
     for (child, parent) in tree {
-        c.push(Gate::CNOT { control: parent, target: child });
+        c.push(Gate::CNOT {
+            control: parent,
+            target: child,
+        });
     }
     c
 }
@@ -165,7 +173,11 @@ pub fn w_state_bfs(coupling: &Graph, root: usize) -> Circuit {
     c.label = format!("w-{n}");
     c.push(Gate::X(root));
     let tree = coupling.bfs_tree(root);
-    assert_eq!(tree.len(), n - 1, "coupling map must be connected for a W state");
+    assert_eq!(
+        tree.len(),
+        n - 1,
+        "coupling map must be connected for a W state"
+    );
 
     // Subtree sizes of the BFS tree: a node's amplitude must spread
     // uniformly over its whole subtree, so each split hands the child a
@@ -184,7 +196,10 @@ pub fn w_state_bfs(coupling: &Graph, root: usize) -> Circuit {
         let theta = 2.0 * frac.sqrt().asin();
         pool[parent] -= size[child];
         c.push(Gate::CRY(parent, child, theta));
-        c.push(Gate::CNOT { control: child, target: parent });
+        c.push(Gate::CNOT {
+            control: child,
+            target: parent,
+        });
     }
     c
 }
@@ -230,7 +245,10 @@ mod tests {
         let c = ghz_bfs(&g, 0);
         for gate in c.gates() {
             if let Gate::CNOT { control, target } = *gate {
-                assert!(g.has_edge(control, target), "CNOT {control}->{target} off-map");
+                assert!(
+                    g.has_edge(control, target),
+                    "CNOT {control}->{target} off-map"
+                );
             }
         }
         let p = c.ideal_probabilities();
@@ -308,7 +326,10 @@ mod tests {
             let c = x_chain(1, 0, depth);
             let p = c.ideal_probabilities();
             let expect_one = depth % 2 == 1;
-            assert!((p[1] - if expect_one { 1.0 } else { 0.0 }).abs() < 1e-12, "depth {depth}");
+            assert!(
+                (p[1] - if expect_one { 1.0 } else { 0.0 }).abs() < 1e-12,
+                "depth {depth}"
+            );
             assert_eq!(c.len(), depth);
         }
     }

@@ -14,7 +14,10 @@ pub struct Counts {
 impl Counts {
     /// Empty histogram over `n_bits` measured bits.
     pub fn new(n_bits: usize) -> Self {
-        Counts { n_bits, map: HashMap::new() }
+        Counts {
+            n_bits,
+            map: HashMap::new(),
+        }
     }
 
     /// Builds from `(bitstring, count)` pairs.

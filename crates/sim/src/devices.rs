@@ -145,7 +145,11 @@ mod tests {
             assert!(b.noise.has_correlations());
             for ev in &b.noise.correlated {
                 let (u, v) = (ev.qubits[0], ev.qubits[1]);
-                assert!(!b.coupling.graph.has_edge(u, v), "{}: aligned {u},{v}", b.name);
+                assert!(
+                    !b.coupling.graph.has_edge(u, v),
+                    "{}: aligned {u},{v}",
+                    b.name
+                );
                 let d = b.coupling.graph.distance(u, v).unwrap();
                 assert!(d <= 2, "{}: correlation {u},{v} not local (d={d})", b.name);
             }

@@ -54,10 +54,16 @@ impl std::fmt::Display for ExecutionError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             ExecutionError::Transient { submission, reason } => {
-                write!(f, "transient execution error at submission {submission}: {reason}")
+                write!(
+                    f,
+                    "transient execution error at submission {submission}: {reason}"
+                )
             }
             ExecutionError::Fatal { submission, reason } => {
-                write!(f, "fatal execution error at submission {submission}: {reason}")
+                write!(
+                    f,
+                    "fatal execution error at submission {submission}: {reason}"
+                )
             }
         }
     }
@@ -110,10 +116,13 @@ impl Executor for Backend {
         // Each submission advances the telemetry virtual clock so seeded
         // runs get deterministic span timings even on a fault-free backend.
         qem_telemetry::tick(1);
-        qem_telemetry::counter_add("sim.exec.circuits_submitted", 1);
-        qem_telemetry::counter_add("sim.exec.shots_requested", shots);
+        qem_telemetry::counter_add(qem_telemetry::names::SIM_EXEC_CIRCUITS_SUBMITTED, 1);
+        qem_telemetry::counter_add(qem_telemetry::names::SIM_EXEC_SHOTS_REQUESTED, shots);
         let counts = self.execute(circuit, shots, rng);
-        qem_telemetry::counter_add("sim.exec.shots_executed", counts.shots());
+        qem_telemetry::counter_add(
+            qem_telemetry::names::SIM_EXEC_SHOTS_EXECUTED,
+            counts.shots(),
+        );
         Ok(counts)
     }
 }
@@ -138,8 +147,14 @@ mod tests {
 
     #[test]
     fn error_retryability() {
-        let t = ExecutionError::Transient { submission: 3, reason: "queue".into() };
-        let f = ExecutionError::Fatal { submission: 4, reason: "down".into() };
+        let t = ExecutionError::Transient {
+            submission: 3,
+            reason: "queue".into(),
+        };
+        let f = ExecutionError::Fatal {
+            submission: 4,
+            reason: "down".into(),
+        };
         assert!(t.is_retryable());
         assert!(!f.is_retryable());
         assert_eq!(t.submission(), 3);

@@ -90,12 +90,19 @@ impl Default for FaultProfile {
 impl FaultProfile {
     /// A profile that injects nothing (useful as a CLI default).
     pub fn none(seed: u64) -> Self {
-        FaultProfile { seed, ..Default::default() }
+        FaultProfile {
+            seed,
+            ..Default::default()
+        }
     }
 
     /// 20% of submissions fail transiently — the paper's flaky queue.
     pub fn flaky(seed: u64) -> Self {
-        FaultProfile { seed, transient_failure_prob: 0.2, ..Default::default() }
+        FaultProfile {
+            seed,
+            transient_failure_prob: 0.2,
+            ..Default::default()
+        }
     }
 
     /// Every third submission or so loses up to half its shots.
@@ -110,12 +117,20 @@ impl FaultProfile {
 
     /// Qubit 0 reads out stuck at 0 (degenerate calibration marginals).
     pub fn dead_qubit(seed: u64) -> Self {
-        FaultProfile { seed, dead_qubits: vec![0], ..Default::default() }
+        FaultProfile {
+            seed,
+            dead_qubits: vec![0],
+            ..Default::default()
+        }
     }
 
     /// Readout error ramps up over the session (§VII-A drift).
     pub fn drifting(seed: u64) -> Self {
-        FaultProfile { seed, drift_per_tick: 2e-3, ..Default::default() }
+        FaultProfile {
+            seed,
+            drift_per_tick: 2e-3,
+            ..Default::default()
+        }
     }
 
     /// A burst of elevated readout error plus occasional transient
@@ -124,7 +139,11 @@ impl FaultProfile {
         FaultProfile {
             seed,
             transient_failure_prob: 0.05,
-            burst: Some(BurstWindow { start: 20, end: 40, extra_flip: 0.25 }),
+            burst: Some(BurstWindow {
+                start: 20,
+                end: 40,
+                extra_flip: 0.25,
+            }),
             ..Default::default()
         }
     }
@@ -158,7 +177,15 @@ impl FaultProfile {
 
     /// The preset names accepted by [`FaultProfile::preset`].
     pub fn preset_names() -> &'static [&'static str] {
-        &["none", "flaky", "dropout", "dead-qubit", "drifting", "bursty", "hostile"]
+        &[
+            "none",
+            "flaky",
+            "dropout",
+            "dead-qubit",
+            "drifting",
+            "bursty",
+            "hostile",
+        ]
     }
 
     /// Whether the profile injects any fault at all.
@@ -187,7 +214,11 @@ pub struct FaultyBackend {
 impl FaultyBackend {
     /// Wraps `inner` with the given fault profile; the clock starts at 0.
     pub fn new(inner: Backend, profile: FaultProfile) -> Self {
-        FaultyBackend { inner, profile, clock: AtomicU64::new(0) }
+        FaultyBackend {
+            inner,
+            profile,
+            clock: AtomicU64::new(0),
+        }
     }
 
     /// The wrapped device.
@@ -250,7 +281,9 @@ impl FaultyBackend {
         }
         Counts::from_pairs(
             counts.num_bits(),
-            counts.iter().map(|(s, k)| ((s & !clear_mask) | set_mask, k)),
+            counts
+                .iter()
+                .map(|(s, k)| ((s & !clear_mask) | set_mask, k)),
         )
     }
 }
@@ -267,28 +300,37 @@ impl Executor for FaultyBackend {
         rng: &mut StdRng,
     ) -> Result<Counts, ExecutionError> {
         qem_telemetry::tick(1);
-        qem_telemetry::counter_add("sim.exec.circuits_submitted", 1);
-        qem_telemetry::counter_add("sim.exec.shots_requested", shots);
+        qem_telemetry::counter_add(qem_telemetry::names::SIM_EXEC_CIRCUITS_SUBMITTED, 1);
+        qem_telemetry::counter_add(qem_telemetry::names::SIM_EXEC_SHOTS_REQUESTED, shots);
         let result = self.try_execute_inner(circuit, shots, rng);
         match &result {
             Ok(counts) => {
                 let executed = counts.shots();
-                qem_telemetry::counter_add("sim.exec.shots_executed", executed);
+                qem_telemetry::counter_add(qem_telemetry::names::SIM_EXEC_SHOTS_EXECUTED, executed);
                 if executed < shots {
-                    qem_telemetry::counter_add("sim.exec.shots_dropped", shots - executed);
+                    qem_telemetry::counter_add(
+                        qem_telemetry::names::SIM_EXEC_SHOTS_DROPPED,
+                        shots - executed,
+                    );
                     qem_telemetry::event!(
-                        "sim.fault.shot_dropout",
+                        qem_telemetry::names::SIM_FAULT_SHOT_DROPOUT,
                         requested = shots,
                         executed = executed,
                     );
                 }
             }
             Err(e) => {
-                qem_telemetry::counter_add("sim.exec.shots_dropped", shots);
+                qem_telemetry::counter_add(qem_telemetry::names::SIM_EXEC_SHOTS_DROPPED, shots);
                 let (name, counter) = if e.is_retryable() {
-                    ("sim.fault.transient", "sim.fault.transient_total")
+                    (
+                        qem_telemetry::names::SIM_FAULT_TRANSIENT,
+                        qem_telemetry::names::SIM_FAULT_TRANSIENT_TOTAL,
+                    )
                 } else {
-                    ("sim.fault.fatal", "sim.fault.fatal_total")
+                    (
+                        qem_telemetry::names::SIM_FAULT_FATAL,
+                        qem_telemetry::names::SIM_FAULT_FATAL_TOTAL,
+                    )
                 };
                 qem_telemetry::counter_add(counter, 1);
                 qem_telemetry::event!(name, submission = e.submission(), reason = e);
@@ -403,20 +445,25 @@ mod tests {
 
     #[test]
     fn outage_window_fails_then_recovers() {
-        let profile =
-            FaultProfile { outage: Some((2, 5)), ..FaultProfile::none(1) };
+        let profile = FaultProfile {
+            outage: Some((2, 5)),
+            ..FaultProfile::none(1)
+        };
         let faulty = FaultyBackend::new(quito(), profile);
         let ghz = ghz_bfs(&faulty.inner().coupling.graph, 0);
         let mut rng = StdRng::seed_from_u64(5);
-        let results: Vec<bool> =
-            (0..7).map(|_| faulty.try_execute(&ghz, 32, &mut rng).is_ok()).collect();
+        let results: Vec<bool> = (0..7)
+            .map(|_| faulty.try_execute(&ghz, 32, &mut rng).is_ok())
+            .collect();
         assert_eq!(results, vec![true, true, false, false, false, true, true]);
     }
 
     #[test]
     fn advance_clock_skips_past_outage() {
-        let profile =
-            FaultProfile { outage: Some((0, 10)), ..FaultProfile::none(1) };
+        let profile = FaultProfile {
+            outage: Some((0, 10)),
+            ..FaultProfile::none(1)
+        };
         let faulty = FaultyBackend::new(quito(), profile);
         let ghz = ghz_bfs(&faulty.inner().coupling.graph, 0);
         let mut rng = StdRng::seed_from_u64(5);
@@ -467,7 +514,10 @@ mod tests {
     #[test]
     fn drift_ramp_raises_error_rate_over_time() {
         let b = quito();
-        let profile = FaultProfile { drift_per_tick: 5e-3, ..FaultProfile::none(3) };
+        let profile = FaultProfile {
+            drift_per_tick: 5e-3,
+            ..FaultProfile::none(3)
+        };
         let faulty = FaultyBackend::new(b.clone(), profile);
         let n = b.num_qubits();
         let prep = basis_prep(n, 0);

@@ -60,7 +60,11 @@ pub fn u3_matrix(theta: f64, phi: f64, lambda: f64) -> Mat2 {
 /// randomised benchmarking sequences.
 pub fn u3_angles(m: &Mat2) -> (f64, f64, f64) {
     // Remove the global phase so m[0][0] is real and non-negative.
-    let phase = if m[0][0].abs() > 1e-12 { m[0][0].arg() } else { 0.0 };
+    let phase = if m[0][0].abs() > 1e-12 {
+        m[0][0].arg()
+    } else {
+        0.0
+    };
     let g = C64::cis(-phase);
     let v = [[g * m[0][0], g * m[0][1]], [g * m[1][0], g * m[1][1]]];
     let cos_half = v[0][0].re.clamp(-1.0, 1.0);
@@ -92,7 +96,10 @@ pub fn mat2_mul(a: &Mat2, b: &Mat2) -> Mat2 {
 
 /// Conjugate transpose (inverse for unitaries).
 pub fn mat2_dagger(m: &Mat2) -> Mat2 {
-    [[m[0][0].conj(), m[1][0].conj()], [m[0][1].conj(), m[1][1].conj()]]
+    [
+        [m[0][0].conj(), m[1][0].conj()],
+        [m[0][1].conj(), m[1][1].conj()],
+    ]
 }
 
 impl Gate {
@@ -139,7 +146,9 @@ impl Gate {
                 [C64::ONE, C64::ZERO],
                 [C64::ZERO, C64::cis(std::f64::consts::FRAC_PI_4)],
             ],
-            Gate::RX(_, t) => u3_matrix(t, -std::f64::consts::FRAC_PI_2, std::f64::consts::FRAC_PI_2),
+            Gate::RX(_, t) => {
+                u3_matrix(t, -std::f64::consts::FRAC_PI_2, std::f64::consts::FRAC_PI_2)
+            }
             Gate::RY(_, t) => u3_matrix(t, 0.0, 0.0),
             Gate::RZ(_, t) => [
                 [C64::cis(-t / 2.0), C64::ZERO],
@@ -192,7 +201,12 @@ mod tests {
 
     #[test]
     fn two_qubit_gates_have_no_1q_matrix() {
-        assert!(Gate::CNOT { control: 0, target: 1 }.matrix1q().is_none());
+        assert!(Gate::CNOT {
+            control: 0,
+            target: 1
+        }
+        .matrix1q()
+        .is_none());
         assert!(Gate::CZ(0, 1).matrix1q().is_none());
         assert!(Gate::SWAP(0, 1).matrix1q().is_none());
     }
@@ -315,7 +329,14 @@ mod tests {
     #[test]
     fn qubits_reported() {
         assert_eq!(Gate::H(3).qubits(), vec![3]);
-        assert_eq!(Gate::CNOT { control: 1, target: 4 }.qubits(), vec![1, 4]);
+        assert_eq!(
+            Gate::CNOT {
+                control: 1,
+                target: 4
+            }
+            .qubits(),
+            vec![1, 4]
+        );
         assert!(Gate::CZ(0, 2).is_two_qubit());
         assert!(!Gate::X(0).is_two_qubit());
     }

@@ -105,7 +105,11 @@ impl NoiseModel {
         for &q in qubits {
             assert!(q < self.n, "correlated qubit {q} outside register");
         }
-        self.correlated.push(CorrelatedError { qubits: qubits.to_vec(), prob, kind });
+        self.correlated.push(CorrelatedError {
+            qubits: qubits.to_vec(),
+            prob,
+            kind,
+        });
     }
 
     /// Builds the measurement-error channel this model induces: independent
@@ -131,9 +135,8 @@ impl NoiseModel {
     /// day-to-day calibration drift behind the paper's three-week Fig. 1
     /// averaging and the ERR stability claim.
     pub fn jittered(&self, scale: f64, rng: &mut StdRng) -> NoiseModel {
-        let mut jit = |x: f64| -> f64 {
-            (x * rng.gen_range(1.0 - scale..1.0 + scale)).clamp(0.0, 0.5)
-        };
+        let mut jit =
+            |x: f64| -> f64 { (x * rng.gen_range(1.0 - scale..1.0 + scale)).clamp(0.0, 0.5) };
         let mut out = self.clone();
         for q in 0..self.n {
             out.p_flip0[q] = jit(self.p_flip0[q]);

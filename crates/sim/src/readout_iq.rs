@@ -52,8 +52,14 @@ impl QubitReadout {
     /// baseline error rate; `decay` sets the |1⟩ excess.
     pub fn with_snr(snr: f64, decay: f64) -> QubitReadout {
         QubitReadout {
-            center0: IqPoint { i: -snr / 2.0, q: 0.0 },
-            center1: IqPoint { i: snr / 2.0, q: 0.0 },
+            center0: IqPoint {
+                i: -snr / 2.0,
+                q: 0.0,
+            },
+            center1: IqPoint {
+                i: snr / 2.0,
+                q: 0.0,
+            },
             sigma: 1.0,
             decay_during_readout: decay,
         }

@@ -23,7 +23,10 @@ pub struct Statevector {
 impl Statevector {
     /// The all-zeros computational basis state `|0…0⟩`.
     pub fn zero_state(n: usize) -> Self {
-        assert!(n <= 28, "statevector register of {n} qubits would exhaust memory");
+        assert!(
+            n <= 28,
+            "statevector register of {n} qubits would exhaust memory"
+        );
         let mut amps = vec![C64::ZERO; 1 << n];
         amps[0] = C64::ONE;
         Statevector { n, amps }
@@ -69,7 +72,10 @@ impl Statevector {
     /// Applies a general two-qubit unitary (row-major 4×4, index
     /// `bit1·2 + bit0` with `q0` the low bit) to qubits `(q0, q1)`.
     pub fn apply_2q(&mut self, q0: usize, q1: usize, m: &[[C64; 4]; 4]) {
-        assert!(q0 < self.n && q1 < self.n && q0 != q1, "bad 2q targets {q0},{q1}");
+        assert!(
+            q0 < self.n && q1 < self.n && q0 != q1,
+            "bad 2q targets {q0},{q1}"
+        );
         let m0 = 1usize << q0;
         let m1 = 1usize << q1;
         let old = &self.amps;
@@ -126,9 +132,15 @@ impl Statevector {
             }
         };
         if self.amps.len() >= PAR_THRESHOLD {
-            self.amps.par_iter_mut().enumerate().for_each(|(i, a)| flip((i, a)));
+            self.amps
+                .par_iter_mut()
+                .enumerate()
+                .for_each(|(i, a)| flip((i, a)));
         } else {
-            self.amps.iter_mut().enumerate().for_each(|(i, a)| flip((i, a)));
+            self.amps
+                .iter_mut()
+                .enumerate()
+                .for_each(|(i, a)| flip((i, a)));
         }
     }
 
@@ -246,7 +258,10 @@ mod tests {
     fn bell_state_probabilities() {
         let mut sv = Statevector::zero_state(2);
         sv.apply(&Gate::H(0));
-        sv.apply(&Gate::CNOT { control: 0, target: 1 });
+        sv.apply(&Gate::CNOT {
+            control: 0,
+            target: 1,
+        });
         let p = sv.probabilities();
         assert!((p[0b00] - 0.5).abs() < 1e-12);
         assert!((p[0b11] - 0.5).abs() < 1e-12);
@@ -257,7 +272,10 @@ mod tests {
     #[test]
     fn cnot_control_zero_is_identity() {
         let mut sv = Statevector::zero_state(2);
-        sv.apply(&Gate::CNOT { control: 0, target: 1 });
+        sv.apply(&Gate::CNOT {
+            control: 0,
+            target: 1,
+        });
         assert_eq!(sv.amplitude(0), C64::ONE);
     }
 
@@ -284,12 +302,7 @@ mod tests {
         let z = C64::ZERO;
         let o = C64::ONE;
         // Index = bit1*2 + bit0; control = bit1 flips bit0.
-        let m = [
-            [o, z, z, z],
-            [z, o, z, z],
-            [z, z, z, o],
-            [z, z, o, z],
-        ];
+        let m = [[o, z, z, z], [z, o, z, z], [z, z, z, o], [z, z, o, z]];
         let mut a = Statevector::basis_state(2, 0b10);
         a.apply_2q(0, 1, &m);
         let mut b = Statevector::basis_state(2, 0b10);
@@ -303,7 +316,10 @@ mod tests {
         let gates = [
             Gate::H(0),
             Gate::RX(1, 0.3),
-            Gate::CNOT { control: 0, target: 2 },
+            Gate::CNOT {
+                control: 0,
+                target: 2,
+            },
             Gate::U3(3, 1.0, 0.2, -0.7),
             Gate::CZ(1, 3),
             Gate::RY(2, -0.9),
@@ -314,7 +330,10 @@ mod tests {
         ];
         for g in &gates {
             sv.apply(g);
-            assert!((sv.norm_sqr() - 1.0).abs() < 1e-12, "norm broken after {g:?}");
+            assert!(
+                (sv.norm_sqr() - 1.0).abs() < 1e-12,
+                "norm broken after {g:?}"
+            );
         }
     }
 
@@ -325,7 +344,10 @@ mod tests {
         let mut sv = Statevector::zero_state(n);
         sv.apply(&Gate::H(0));
         for q in 1..n {
-            sv.apply(&Gate::CNOT { control: q - 1, target: q });
+            sv.apply(&Gate::CNOT {
+                control: q - 1,
+                target: q,
+            });
         }
         let p = sv.probabilities();
         assert!((p[0] - 0.5).abs() < 1e-12);

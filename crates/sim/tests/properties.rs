@@ -21,7 +21,10 @@ fn arb_gate(n: usize) -> impl Strategy<Value = Gate> {
             2 => Gate::S(a),
             3 => Gate::RX(a, angle),
             4 => Gate::RZ(a, angle),
-            5 => Gate::CNOT { control: a, target: b },
+            5 => Gate::CNOT {
+                control: a,
+                target: b,
+            },
             6 => Gate::CZ(a, b),
             _ => Gate::U3(a, angle.abs(), angle / 2.0, -angle),
         }

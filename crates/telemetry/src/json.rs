@@ -28,7 +28,12 @@ pub enum Json {
 impl Json {
     /// Convenience: an object from key/value pairs.
     pub fn obj(fields: Vec<(&str, Json)>) -> Json {
-        Json::Obj(fields.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+        Json::Obj(
+            fields
+                .into_iter()
+                .map(|(k, v)| (k.to_string(), v))
+                .collect(),
+        )
     }
 
     /// Convenience: a string value.
@@ -282,7 +287,10 @@ mod tests {
     fn writes_escapes_and_nesting() {
         let v = Json::obj(vec![
             ("name", Json::str("a\"b\\c\nd")),
-            ("items", Json::Arr(vec![Json::UInt(1), Json::Float(0.5), Json::Null])),
+            (
+                "items",
+                Json::Arr(vec![Json::UInt(1), Json::Float(0.5), Json::Null]),
+            ),
             ("ok", Json::Bool(true)),
         ]);
         let s = v.to_string_compact();

@@ -28,6 +28,7 @@
 
 pub mod json;
 pub mod metrics;
+pub mod names;
 pub mod recorder;
 
 pub use metrics::{

@@ -8,24 +8,21 @@
 //! workers inside `run_trials`) never lose updates.
 
 use std::collections::BTreeMap;
-use std::sync::Mutex;
+use std::sync::{Mutex, MutexGuard, PoisonError};
 
 use crate::json::Json;
 
 /// Default histogram bounds: decades from 1 to 1e9, suitable for
 /// microsecond timings and other wide-range positive quantities.
-pub const DECADE_BUCKETS: [f64; 10] =
-    [1.0, 10.0, 100.0, 1e3, 1e4, 1e5, 1e6, 1e7, 1e8, 1e9];
+pub const DECADE_BUCKETS: [f64; 10] = [1.0, 10.0, 100.0, 1e3, 1e4, 1e5, 1e6, 1e7, 1e8, 1e9];
 
 /// Bounds tuned for ERR pair weights `‖C_a ⊗ C_b − C_ab‖_F`, which land in
 /// roughly `[1e-4, 1]` on the devices the paper studies.
-pub const WEIGHT_BUCKETS: [f64; 8] =
-    [1e-4, 1e-3, 1e-2, 0.05, 0.1, 0.25, 0.5, 1.0];
+pub const WEIGHT_BUCKETS: [f64; 8] = [1e-4, 1e-3, 1e-2, 0.05, 0.1, 0.25, 0.5, 1.0];
 
 /// Bounds for patch condition numbers: well-conditioned calibration patches
 /// sit near 1, and the resilience layer rejects patches past ~1e8.
-pub const CONDITION_BUCKETS: [f64; 8] =
-    [2.0, 5.0, 10.0, 100.0, 1e3, 1e4, 1e6, 1e8];
+pub const CONDITION_BUCKETS: [f64; 8] = [2.0, 5.0, 10.0, 100.0, 1e3, 1e4, 1e6, 1e8];
 
 #[derive(Clone, Debug, PartialEq)]
 pub(crate) struct Histogram {
@@ -68,9 +65,15 @@ pub(crate) struct Metrics {
     histograms: Mutex<BTreeMap<String, Histogram>>,
 }
 
+/// Metrics must keep flowing even if a panic elsewhere poisoned a registry
+/// mutex: the maps stay structurally valid, so recover the guard.
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
 impl Metrics {
     pub(crate) fn counter_add(&self, name: &str, delta: u64) {
-        let mut map = self.counters.lock().unwrap();
+        let mut map = lock(&self.counters);
         match map.get_mut(name) {
             Some(v) => *v += delta,
             None => {
@@ -80,29 +83,32 @@ impl Metrics {
     }
 
     pub(crate) fn gauge_set(&self, name: &str, value: f64) {
-        self.gauges.lock().unwrap().insert(name.to_string(), value);
+        lock(&self.gauges).insert(name.to_string(), value);
     }
 
     pub(crate) fn histogram_record(&self, name: &str, bounds: &[f64], value: f64) {
-        let mut map = self.histograms.lock().unwrap();
+        let mut map = lock(&self.histograms);
         map.entry(name.to_string())
             .or_insert_with(|| Histogram::new(bounds))
             .record(value);
     }
 
     pub(crate) fn clear(&self) {
-        self.counters.lock().unwrap().clear();
-        self.gauges.lock().unwrap().clear();
-        self.histograms.lock().unwrap().clear();
+        lock(&self.counters).clear();
+        lock(&self.gauges).clear();
+        lock(&self.histograms).clear();
     }
 
-    pub(crate) fn snapshot(&self) -> (BTreeMap<String, u64>, BTreeMap<String, f64>, BTreeMap<String, HistogramSnapshot>) {
-        let counters = self.counters.lock().unwrap().clone();
-        let gauges = self.gauges.lock().unwrap().clone();
-        let histograms = self
-            .histograms
-            .lock()
-            .unwrap()
+    pub(crate) fn snapshot(
+        &self,
+    ) -> (
+        BTreeMap<String, u64>,
+        BTreeMap<String, f64>,
+        BTreeMap<String, HistogramSnapshot>,
+    ) {
+        let counters = lock(&self.counters).clone();
+        let gauges = lock(&self.gauges).clone();
+        let histograms = lock(&self.histograms)
             .iter()
             .map(|(k, h)| {
                 (
@@ -194,10 +200,16 @@ impl MetricsSnapshot {
     /// The snapshot as a JSON value (schema-versioned).
     pub fn to_json(&self) -> Json {
         let counters = Json::Obj(
-            self.counters.iter().map(|(k, v)| (k.clone(), Json::UInt(*v))).collect(),
+            self.counters
+                .iter()
+                .map(|(k, v)| (k.clone(), Json::UInt(*v)))
+                .collect(),
         );
         let gauges = Json::Obj(
-            self.gauges.iter().map(|(k, v)| (k.clone(), Json::Float(*v))).collect(),
+            self.gauges
+                .iter()
+                .map(|(k, v)| (k.clone(), Json::Float(*v)))
+                .collect(),
         );
         let histograms = Json::Obj(
             self.histograms
@@ -206,8 +218,14 @@ impl MetricsSnapshot {
                     (
                         k.clone(),
                         Json::obj(vec![
-                            ("bounds", Json::Arr(h.bounds.iter().map(|&b| Json::Float(b)).collect())),
-                            ("counts", Json::Arr(h.counts.iter().map(|&c| Json::UInt(c)).collect())),
+                            (
+                                "bounds",
+                                Json::Arr(h.bounds.iter().map(|&b| Json::Float(b)).collect()),
+                            ),
+                            (
+                                "counts",
+                                Json::Arr(h.counts.iter().map(|&c| Json::UInt(c)).collect()),
+                            ),
                             ("overflow", Json::UInt(h.overflow)),
                             ("sum", Json::Float(h.sum)),
                             ("count", Json::UInt(h.count)),
@@ -271,9 +289,15 @@ impl MetricsSnapshot {
             }
         }
         if !self.spans.is_empty() {
-            out.push_str("\nspans                                       count  total(us)   mean(us)\n");
+            out.push_str(
+                "\nspans                                       count  total(us)   mean(us)\n",
+            );
             for (k, s) in &self.spans {
-                let mean = if s.count == 0 { 0.0 } else { s.total_micros as f64 / s.count as f64 };
+                let mean = if s.count == 0 {
+                    0.0
+                } else {
+                    s.total_micros as f64 / s.count as f64
+                };
                 out.push_str(&format!(
                     "  {k:<40}  {:>7}  {:>9}  {:>9.1}\n",
                     s.count, s.total_micros, mean
@@ -324,7 +348,12 @@ mod tests {
         m.gauge_set("g", 0.25);
         m.histogram_record("h", &DECADE_BUCKETS, 42.0);
         let (counters, gauges, histograms) = m.snapshot();
-        let snap = MetricsSnapshot { counters, gauges, histograms, spans: BTreeMap::new() };
+        let snap = MetricsSnapshot {
+            counters,
+            gauges,
+            histograms,
+            spans: BTreeMap::new(),
+        };
         let s1 = snap.to_json_string();
         let s2 = snap.clone().to_json_string();
         assert_eq!(s1, s2);

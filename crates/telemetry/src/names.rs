@@ -1,0 +1,249 @@
+//! Central registry of every telemetry name in the workspace.
+//!
+//! Span, event, counter, gauge and histogram names follow
+//! `<crate>.<module>.<op>` and are declared here — nowhere else. Call sites
+//! reference these constants instead of string literals; the `qem-lint`
+//! `telemetry-name-registry` rule rejects a literal first argument to
+//! `span!`/`event!`/`counter_add`/`gauge_set`/`histogram_record*`, so a new
+//! metric cannot ship without registering its name. That keeps exported
+//! trace/metric schemas from drifting one ad-hoc string at a time: dashboards
+//! and downstream consumers parse these exact names.
+//!
+//! Adding a name: declare the constant in the matching section, append it to
+//! [`ALL`], and keep the `<crate>.<module>.<op>` shape (lowercase
+//! `snake_case` segments, ≥ 3 segments, counters suffixed `_total` unless
+//! they count a naturally-plural noun like `shots_executed`).
+
+// ---------------------------------------------------------------- spans --
+
+/// CMC patch-construction loop in the Algorithm-1 scaling benchmark.
+pub const BENCH_ALG1_PATCH_CONSTRUCT: &str = "bench.alg1.patch_construct";
+/// DSATUR colouring stage of the Table-1 cost benchmark.
+pub const BENCH_TABLE1_DSATUR_COLORING: &str = "bench.table1.dsatur_coloring";
+/// ERR sweep scheduling stage of the Table-1 cost benchmark.
+pub const BENCH_TABLE1_ERR_SWEEP_SCHEDULE: &str = "bench.table1.err_sweep_schedule";
+/// CMC patch-construction stage of the Table-1 cost benchmark.
+pub const BENCH_TABLE1_PATCH_CONSTRUCT: &str = "bench.table1.patch_construct";
+/// Assembly of measured counts into patch calibration matrices.
+pub const CORE_CMC_ASSEMBLE: &str = "core.cmc.assemble";
+/// Inversion of joined patch matrices.
+pub const CORE_CMC_INVERT: &str = "core.cmc.invert";
+/// Full CMC characterisation measurement phase.
+pub const CORE_CMC_MEASURE: &str = "core.cmc.measure";
+/// One simultaneous measurement round within the CMC measurement phase.
+pub const CORE_CMC_MEASURE_ROUND: &str = "core.cmc.measure_round";
+/// Patch scheduling (graph colouring) for CMC characterisation.
+pub const CORE_CMC_SCHEDULE: &str = "core.cmc.schedule";
+/// Assembly of ERR sweep counts into pair calibration matrices.
+pub const CORE_ERR_ASSEMBLE: &str = "core.err.assemble";
+/// End-to-end ERR characterisation.
+pub const CORE_ERR_CHARACTERIZE: &str = "core.err.characterize";
+/// ERR sweep scheduling (Algorithm 2).
+pub const CORE_ERR_SCHEDULE: &str = "core.err.schedule";
+/// One fractional matrix power `C_j^{v_a/v}` during patch joining.
+pub const CORE_JOINING_FRACTIONAL_POWER: &str = "core.joining.fractional_power";
+/// Eq. 5/6 patch-overlap correction pass.
+pub const CORE_JOINING_JOIN_CORRECTIONS: &str = "core.joining.join_corrections";
+/// Application of an assembled mitigator to an observed distribution.
+pub const CORE_MITIGATOR_APPLY: &str = "core.mitigator.apply";
+/// Resilient calibration pipeline (retry ladder) top-level span.
+pub const CORE_RESILIENCE_CALIBRATE: &str = "core.resilience.calibrate";
+/// AIM strategy end-to-end run.
+pub const MITIGATION_AIM_RUN: &str = "mitigation.aim.run";
+/// Unmitigated baseline run.
+pub const MITIGATION_BARE_RUN: &str = "mitigation.bare.run";
+/// CMC strategy end-to-end run.
+pub const MITIGATION_CMC_RUN: &str = "mitigation.cmc.run";
+/// CMC-ERR strategy end-to-end run.
+pub const MITIGATION_CMC_ERR_RUN: &str = "mitigation.cmc_err.run";
+/// Full-calibration strategy end-to-end run.
+pub const MITIGATION_FULL_RUN: &str = "mitigation.full.run";
+/// JIGSAW strategy end-to-end run.
+pub const MITIGATION_JIGSAW_RUN: &str = "mitigation.jigsaw.run";
+/// Linear (tensored) strategy end-to-end run.
+pub const MITIGATION_LINEAR_RUN: &str = "mitigation.linear.run";
+/// M3 subspace strategy end-to-end run.
+pub const MITIGATION_M3_RUN: &str = "mitigation.m3.run";
+/// Resilient-ladder strategy end-to-end run.
+pub const MITIGATION_RESILIENT_RUN: &str = "mitigation.resilient.run";
+/// SIM (single-inversion) strategy end-to-end run.
+pub const MITIGATION_SIM_RUN: &str = "mitigation.sim.run";
+
+// --------------------------------------------------------------- events --
+
+/// Ladder downgrade to a cheaper calibration strategy.
+pub const CORE_RESILIENCE_DOWNGRADE: &str = "core.resilience.downgrade";
+/// Resilient calibration finished (any rung).
+pub const CORE_RESILIENCE_FINISHED: &str = "core.resilience.finished";
+/// Condition-number check on a calibrated patch.
+pub const CORE_RESILIENCE_PATCH_CONDITION: &str = "core.resilience.patch_condition";
+/// One retry of a failed circuit submission.
+pub const CORE_RESILIENCE_RETRY: &str = "core.resilience.retry";
+/// A circuit submission failed (pre-retry).
+pub const CORE_RESILIENCE_SUBMISSION_FAILED: &str = "core.resilience.submission_failed";
+/// A fault-injection backend returned fatally.
+pub const SIM_FAULT_FATAL: &str = "sim.fault.fatal";
+/// A fault-injection backend executed fewer shots than requested.
+pub const SIM_FAULT_SHOT_DROPOUT: &str = "sim.fault.shot_dropout";
+/// A fault-injection backend returned a retryable failure.
+pub const SIM_FAULT_TRANSIENT: &str = "sim.fault.transient";
+
+// ------------------------------------------------------------- counters --
+
+/// Error coupling maps scheduled by the Algorithm-1 benchmark.
+pub const BENCH_ALG1_MAPS_SCHEDULED: &str = "bench.alg1.maps_scheduled";
+/// Mitigator applications performed.
+pub const CORE_MITIGATOR_APPLIES_TOTAL: &str = "core.mitigator.applies_total";
+/// Estimated floating-point work of mitigator applications.
+pub const CORE_MITIGATOR_FLOPS_ESTIMATE: &str = "core.mitigator.flops_estimate";
+/// Virtual-clock ticks spent in retry backoff.
+pub const CORE_RESILIENCE_BACKOFF_TICKS_TOTAL: &str = "core.resilience.backoff_ticks_total";
+/// Ladder downgrades taken.
+pub const CORE_RESILIENCE_DOWNGRADES_TOTAL: &str = "core.resilience.downgrades_total";
+/// Circuit submissions that failed permanently.
+pub const CORE_RESILIENCE_FAILED_SUBMISSIONS_TOTAL: &str =
+    "core.resilience.failed_submissions_total";
+/// Submission retries performed.
+pub const CORE_RESILIENCE_RETRIES_TOTAL: &str = "core.resilience.retries_total";
+/// Circuit submissions attempted.
+pub const CORE_RESILIENCE_SUBMISSIONS_TOTAL: &str = "core.resilience.submissions_total";
+/// Circuits submitted to an executor.
+pub const SIM_EXEC_CIRCUITS_SUBMITTED: &str = "sim.exec.circuits_submitted";
+/// Fatal (non-retryable) injected faults.
+pub const SIM_FAULT_FATAL_TOTAL: &str = "sim.fault.fatal_total";
+/// Transient (retryable) injected faults.
+pub const SIM_FAULT_TRANSIENT_TOTAL: &str = "sim.fault.transient_total";
+/// Shots dropped by fault injection.
+pub const SIM_EXEC_SHOTS_DROPPED: &str = "sim.exec.shots_dropped";
+/// Shots actually executed.
+pub const SIM_EXEC_SHOTS_EXECUTED: &str = "sim.exec.shots_executed";
+/// Shots requested by callers.
+pub const SIM_EXEC_SHOTS_REQUESTED: &str = "sim.exec.shots_requested";
+
+// --------------------------------------------------------------- gauges --
+
+/// Calibration circuits a CMC schedule needs (Table 1).
+pub const BENCH_TABLE1_CMC_CIRCUITS: &str = "bench.table1.cmc_circuits";
+/// Calibration circuits a DSATUR schedule needs (Table 1).
+pub const BENCH_TABLE1_DSATUR_CIRCUITS: &str = "bench.table1.dsatur_circuits";
+/// Calibration circuits an ERR sweep needs (Table 1).
+pub const BENCH_TABLE1_ERR_SWEEP_CIRCUITS: &str = "bench.table1.err_sweep_circuits";
+/// Rounds in the final CMC schedule.
+pub const CORE_CMC_SCHEDULE_ROUNDS: &str = "core.cmc.schedule_rounds";
+/// Edges selected into the error coupling map.
+pub const CORE_ERR_SELECTED_EDGES: &str = "core.err.selected_edges";
+/// Final rung of the resilience ladder (0 = best).
+pub const CORE_RESILIENCE_LADDER_RUNG: &str = "core.resilience.ladder_rung";
+
+// ----------------------------------------------------------- histograms --
+
+/// Distribution of ERR pair weights (uses `WEIGHT_BUCKETS`).
+pub const CORE_ERR_PAIR_WEIGHT: &str = "core.err.pair_weight";
+/// Distribution of patch-scheduling speedups over sequential (Algorithm 1).
+pub const BENCH_ALG1_SPEEDUP: &str = "bench.alg1.speedup";
+
+/// Every registered name, for exhaustive validation and tooling.
+pub const ALL: &[&str] = &[
+    BENCH_ALG1_PATCH_CONSTRUCT,
+    BENCH_TABLE1_DSATUR_COLORING,
+    BENCH_TABLE1_ERR_SWEEP_SCHEDULE,
+    BENCH_TABLE1_PATCH_CONSTRUCT,
+    CORE_CMC_ASSEMBLE,
+    CORE_CMC_INVERT,
+    CORE_CMC_MEASURE,
+    CORE_CMC_MEASURE_ROUND,
+    CORE_CMC_SCHEDULE,
+    CORE_ERR_ASSEMBLE,
+    CORE_ERR_CHARACTERIZE,
+    CORE_ERR_SCHEDULE,
+    CORE_JOINING_FRACTIONAL_POWER,
+    CORE_JOINING_JOIN_CORRECTIONS,
+    CORE_MITIGATOR_APPLY,
+    CORE_RESILIENCE_CALIBRATE,
+    MITIGATION_AIM_RUN,
+    MITIGATION_BARE_RUN,
+    MITIGATION_CMC_RUN,
+    MITIGATION_CMC_ERR_RUN,
+    MITIGATION_FULL_RUN,
+    MITIGATION_JIGSAW_RUN,
+    MITIGATION_LINEAR_RUN,
+    MITIGATION_M3_RUN,
+    MITIGATION_RESILIENT_RUN,
+    MITIGATION_SIM_RUN,
+    CORE_RESILIENCE_DOWNGRADE,
+    CORE_RESILIENCE_FINISHED,
+    CORE_RESILIENCE_PATCH_CONDITION,
+    CORE_RESILIENCE_RETRY,
+    CORE_RESILIENCE_SUBMISSION_FAILED,
+    SIM_FAULT_FATAL,
+    SIM_FAULT_SHOT_DROPOUT,
+    SIM_FAULT_TRANSIENT,
+    BENCH_ALG1_MAPS_SCHEDULED,
+    CORE_MITIGATOR_APPLIES_TOTAL,
+    CORE_MITIGATOR_FLOPS_ESTIMATE,
+    CORE_RESILIENCE_BACKOFF_TICKS_TOTAL,
+    CORE_RESILIENCE_DOWNGRADES_TOTAL,
+    CORE_RESILIENCE_FAILED_SUBMISSIONS_TOTAL,
+    CORE_RESILIENCE_RETRIES_TOTAL,
+    CORE_RESILIENCE_SUBMISSIONS_TOTAL,
+    SIM_EXEC_CIRCUITS_SUBMITTED,
+    SIM_EXEC_SHOTS_DROPPED,
+    SIM_FAULT_FATAL_TOTAL,
+    SIM_FAULT_TRANSIENT_TOTAL,
+    SIM_EXEC_SHOTS_EXECUTED,
+    SIM_EXEC_SHOTS_REQUESTED,
+    BENCH_TABLE1_CMC_CIRCUITS,
+    BENCH_TABLE1_DSATUR_CIRCUITS,
+    BENCH_TABLE1_ERR_SWEEP_CIRCUITS,
+    CORE_CMC_SCHEDULE_ROUNDS,
+    CORE_ERR_SELECTED_EDGES,
+    CORE_RESILIENCE_LADDER_RUNG,
+    CORE_ERR_PAIR_WEIGHT,
+    BENCH_ALG1_SPEEDUP,
+];
+
+/// True when `name` is declared in this registry.
+pub fn is_registered(name: &str) -> bool {
+    ALL.contains(&name)
+}
+
+/// True when `name` has the `<crate>.<module>.<op>` shape: at least three
+/// non-empty lowercase `snake_case` segments separated by dots.
+pub fn is_well_formed(name: &str) -> bool {
+    let segments: Vec<&str> = name.split('.').collect();
+    segments.len() >= 3
+        && segments.iter().all(|s| {
+            !s.is_empty()
+                && s.chars()
+                    .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_')
+                && s.starts_with(|c: char| c.is_ascii_lowercase())
+        })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn registry_is_unique() {
+        let set: HashSet<&str> = ALL.iter().copied().collect();
+        assert_eq!(set.len(), ALL.len(), "duplicate name in registry");
+    }
+
+    #[test]
+    fn registry_is_well_formed() {
+        for name in ALL {
+            assert!(is_well_formed(name), "malformed telemetry name {name:?}");
+        }
+    }
+
+    #[test]
+    fn lookup_roundtrip() {
+        assert!(is_registered(CORE_CMC_ASSEMBLE));
+        assert!(!is_registered("core.cmc.unregistered"));
+        assert!(!is_well_formed("TwoSegs.only"));
+        assert!(!is_well_formed("has..empty.seg"));
+        assert!(!is_well_formed("Upper.case.segment"));
+    }
+}

@@ -11,7 +11,7 @@
 use std::cell::RefCell;
 use std::collections::{BTreeMap, HashMap};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, Ordering};
-use std::sync::Mutex;
+use std::sync::{Mutex, MutexGuard, PoisonError};
 use std::time::Instant;
 
 use crate::json::Json;
@@ -25,6 +25,13 @@ thread_local! {
 }
 
 static NEXT_RECORDER_ID: AtomicU64 = AtomicU64::new(1);
+
+/// Telemetry must never take the host process down: if a panic elsewhere
+/// poisoned a recorder mutex, keep serving the (still structurally valid)
+/// data instead of propagating the poison.
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
 
 const CLOCK_WALL: u8 = 0;
 const CLOCK_VIRTUAL: u8 = 1;
@@ -108,6 +115,7 @@ impl Recorder {
     /// A fresh, disabled recorder on the wall clock.
     pub fn new() -> Recorder {
         Recorder {
+            // qem-lint: allow(relaxed-ordering) — id allocation needs uniqueness only, publishes no data
             id: NEXT_RECORDER_ID.fetch_add(1, Ordering::Relaxed),
             enabled: AtomicBool::new(false),
             clock_mode: AtomicU8::new(CLOCK_WALL),
@@ -121,12 +129,14 @@ impl Recorder {
 
     /// Is recording on? Instrumentation helpers check this themselves.
     pub fn enabled(&self) -> bool {
+        // qem-lint: allow(relaxed-ordering) — independent on/off flag; recorded data is mutex-protected
         self.enabled.load(Ordering::Relaxed)
     }
 
     /// Turn recording on or off. Spans opened while enabled still close
     /// correctly after disabling.
     pub fn set_enabled(&self, on: bool) {
+        // qem-lint: allow(relaxed-ordering) — independent on/off flag; no data published under it
         self.enabled.store(on, Ordering::Relaxed);
     }
 
@@ -134,41 +144,47 @@ impl Recorder {
     /// [`Recorder::tick`], which `qem_sim` executors call once per circuit
     /// submission (mirroring `FaultyBackend`'s outage clock).
     pub fn use_virtual_clock(&self) {
+        // qem-lint: allow(relaxed-ordering) — single-word mode switch, no dependent data
         self.clock_mode.store(CLOCK_VIRTUAL, Ordering::Relaxed);
     }
 
     /// Switch back to the wall clock (the default).
     pub fn use_wall_clock(&self) {
+        // qem-lint: allow(relaxed-ordering) — single-word mode switch, no dependent data
         self.clock_mode.store(CLOCK_WALL, Ordering::Relaxed);
     }
 
     /// True when on the virtual clock.
     pub fn virtual_clock(&self) -> bool {
+        // qem-lint: allow(relaxed-ordering) — single-word mode read, no dependent data
         self.clock_mode.load(Ordering::Relaxed) == CLOCK_VIRTUAL
     }
 
     /// Advance the virtual clock. No-op observable effect under the wall
     /// clock; executors call this unconditionally.
     pub fn tick(&self, micros: u64) {
+        // qem-lint: allow(relaxed-ordering) — monotonic clock counter; RMW atomicity suffices
         self.virtual_micros.fetch_add(micros, Ordering::Relaxed);
     }
 
     /// Current time in clock microseconds since the recorder's epoch.
     pub fn now_micros(&self) -> u64 {
         if self.virtual_clock() {
+            // qem-lint: allow(relaxed-ordering) — timestamps tolerate benign cross-thread skew
             self.virtual_micros.load(Ordering::Relaxed)
         } else {
-            self.epoch.lock().unwrap().elapsed().as_micros() as u64
+            lock(&self.epoch).elapsed().as_micros() as u64
         }
     }
 
     /// Drop all recorded spans, events, and metrics and rewind both clocks.
     /// The enabled flag and clock mode are preserved.
     pub fn reset(&self) {
-        *self.inner.lock().unwrap() = Inner::default();
+        *lock(&self.inner) = Inner::default();
         self.metrics.clear();
+        // qem-lint: allow(relaxed-ordering) — clock rewind; callers serialize resets externally
         self.virtual_micros.store(0, Ordering::Relaxed);
-        *self.epoch.lock().unwrap() = Instant::now();
+        *lock(&self.epoch) = Instant::now();
     }
 
     /// Open a span. The returned guard closes it on drop; while it lives,
@@ -177,13 +193,18 @@ impl Recorder {
         if !self.enabled() {
             return SpanGuard { rec: None, id: 0 };
         }
+        // qem-lint: allow(relaxed-ordering) — id allocation needs uniqueness only; span data is mutex-protected
         let id = self.next_span.fetch_add(1, Ordering::Relaxed);
         let start = self.now_micros();
         let parent = SPAN_STACK.with(|s| {
-            s.borrow().iter().rev().find(|(rid, _)| *rid == self.id).map(|&(_, sid)| sid)
+            s.borrow()
+                .iter()
+                .rev()
+                .find(|(rid, _)| *rid == self.id)
+                .map(|&(_, sid)| sid)
         });
         {
-            let mut inner = self.inner.lock().unwrap();
+            let mut inner = lock(&self.inner);
             let tid = inner.tid();
             let idx = inner.spans.len();
             inner.spans.push(SpanRecord {
@@ -192,24 +213,33 @@ impl Recorder {
                 name: name.to_string(),
                 start_micros: start,
                 end_micros: None,
-                attrs: attrs.iter().map(|(k, v)| (k.to_string(), v.clone())).collect(),
+                attrs: attrs
+                    .iter()
+                    .map(|(k, v)| (k.to_string(), v.clone()))
+                    .collect(),
                 tid,
             });
             inner.index.insert(id, idx);
         }
         SPAN_STACK.with(|s| s.borrow_mut().push((self.id, id)));
-        SpanGuard { rec: Some(self), id }
+        SpanGuard {
+            rec: Some(self),
+            id,
+        }
     }
 
     fn end_span(&self, id: u64) {
         let end = self.now_micros();
         SPAN_STACK.with(|s| {
             let mut stack = s.borrow_mut();
-            if let Some(pos) = stack.iter().rposition(|&(rid, sid)| rid == self.id && sid == id) {
+            if let Some(pos) = stack
+                .iter()
+                .rposition(|&(rid, sid)| rid == self.id && sid == id)
+            {
                 stack.remove(pos);
             }
         });
-        let mut inner = self.inner.lock().unwrap();
+        let mut inner = lock(&self.inner);
         if let Some(&idx) = inner.index.get(&id) {
             inner.spans[idx].end_micros = Some(end);
         }
@@ -223,15 +253,22 @@ impl Recorder {
         }
         let ts = self.now_micros();
         let parent = SPAN_STACK.with(|s| {
-            s.borrow().iter().rev().find(|(rid, _)| *rid == self.id).map(|&(_, sid)| sid)
+            s.borrow()
+                .iter()
+                .rev()
+                .find(|(rid, _)| *rid == self.id)
+                .map(|&(_, sid)| sid)
         });
-        let mut inner = self.inner.lock().unwrap();
+        let mut inner = lock(&self.inner);
         let tid = inner.tid();
         inner.events.push(EventRecord {
             name: name.to_string(),
             ts_micros: ts,
             parent,
-            attrs: attrs.iter().map(|(k, v)| (k.to_string(), v.clone())).collect(),
+            attrs: attrs
+                .iter()
+                .map(|(k, v)| (k.to_string(), v.clone()))
+                .collect(),
             tid,
         });
     }
@@ -266,19 +303,19 @@ impl Recorder {
 
     /// Copies of all spans recorded so far (open ones included).
     pub fn spans(&self) -> Vec<SpanRecord> {
-        self.inner.lock().unwrap().spans.clone()
+        lock(&self.inner).spans.clone()
     }
 
     /// Copies of all events recorded so far.
     pub fn events(&self) -> Vec<EventRecord> {
-        self.inner.lock().unwrap().events.clone()
+        lock(&self.inner).events.clone()
     }
 
     /// Freeze the registry plus per-name span aggregates.
     pub fn snapshot(&self) -> MetricsSnapshot {
         let (counters, gauges, histograms) = self.metrics.snapshot();
         let mut spans: BTreeMap<String, SpanStats> = BTreeMap::new();
-        for s in self.inner.lock().unwrap().spans.iter() {
+        for s in lock(&self.inner).spans.iter() {
             let Some(end) = s.end_micros else { continue };
             let dur = end.saturating_sub(s.start_micros);
             let e = spans.entry(s.name.clone()).or_insert(SpanStats {
@@ -292,17 +329,25 @@ impl Recorder {
             e.min_micros = e.min_micros.min(dur);
             e.max_micros = e.max_micros.max(dur);
         }
-        MetricsSnapshot { counters, gauges, histograms, spans }
+        MetricsSnapshot {
+            counters,
+            gauges,
+            histograms,
+            spans,
+        }
     }
 
     /// Chrome `trace_event` JSON (the `--trace-out` format): complete spans
     /// as `"ph":"X"` duration events, instant events as `"ph":"i"`. Load in
     /// Perfetto (ui.perfetto.dev) or `chrome://tracing`.
     pub fn trace_json(&self) -> String {
-        let inner = self.inner.lock().unwrap();
+        let inner = lock(&self.inner);
         let mut events: Vec<Json> = Vec::with_capacity(inner.spans.len() + inner.events.len());
         for s in &inner.spans {
-            let dur = s.end_micros.unwrap_or(s.start_micros).saturating_sub(s.start_micros);
+            let dur = s
+                .end_micros
+                .unwrap_or(s.start_micros)
+                .saturating_sub(s.start_micros);
             let mut fields = vec![
                 ("name", Json::str(s.name.clone())),
                 ("cat", Json::str("qem")),
@@ -332,7 +377,11 @@ impl Recorder {
             }
             events.push(Json::obj(fields));
         }
-        let clock = if self.virtual_clock() { "virtual" } else { "wall" };
+        let clock = if self.virtual_clock() {
+            "virtual"
+        } else {
+            "wall"
+        };
         Json::obj(vec![
             ("traceEvents", Json::Arr(events)),
             ("displayTimeUnit", Json::str("ms")),
@@ -343,7 +392,12 @@ impl Recorder {
 }
 
 fn attrs_json(attrs: &[(String, String)]) -> Json {
-    Json::Obj(attrs.iter().map(|(k, v)| (k.clone(), Json::Str(v.clone()))).collect())
+    Json::Obj(
+        attrs
+            .iter()
+            .map(|(k, v)| (k.clone(), Json::Str(v.clone())))
+            .collect(),
+    )
 }
 
 /// RAII guard returned by [`Recorder::span`]; closes the span on drop.

@@ -20,7 +20,10 @@ pub struct CouplingMap {
 impl CouplingMap {
     /// Wraps a graph with a name.
     pub fn new(name: impl Into<String>, graph: Graph) -> Self {
-        CouplingMap { name: name.into(), graph }
+        CouplingMap {
+            name: name.into(),
+            graph,
+        }
     }
 
     /// Number of qubits.
@@ -243,7 +246,11 @@ mod tests {
     fn hexagonal_degree_bounded() {
         let cm = hexagonal(4, 6);
         for v in 0..cm.num_qubits() {
-            assert!(cm.graph.degree(v) <= 3, "vertex {v} degree {}", cm.graph.degree(v));
+            assert!(
+                cm.graph.degree(v) <= 3,
+                "vertex {v} degree {}",
+                cm.graph.degree(v)
+            );
         }
         assert!(cm.graph.is_connected());
     }

@@ -15,12 +15,18 @@ use crate::graph::Graph;
 ///     4
 /// ```
 pub fn quito() -> CouplingMap {
-    CouplingMap::new("ibmq-quito", Graph::from_edges(5, &[(0, 1), (1, 2), (1, 3), (3, 4)]))
+    CouplingMap::new(
+        "ibmq-quito",
+        Graph::from_edges(5, &[(0, 1), (1, 2), (1, 3), (3, 4)]),
+    )
 }
 
 /// IBM Lima: same 5-qubit T topology as Quito.
 pub fn lima() -> CouplingMap {
-    CouplingMap::new("ibmq-lima", Graph::from_edges(5, &[(0, 1), (1, 2), (1, 3), (3, 4)]))
+    CouplingMap::new(
+        "ibmq-lima",
+        Graph::from_edges(5, &[(0, 1), (1, 2), (1, 3), (3, 4)]),
+    )
 }
 
 /// IBM Manila: 5 qubits in a line.
@@ -50,13 +56,49 @@ pub fn nairobi() -> CouplingMap {
 /// IBM Tokyo: 20 qubits, 4×5 local grid with cell diagonals.
 pub fn tokyo() -> CouplingMap {
     let edges: &[(usize, usize)] = &[
-        (0, 1), (1, 2), (2, 3), (3, 4),
-        (0, 5), (1, 6), (1, 7), (2, 6), (2, 7), (3, 8), (3, 9), (4, 8), (4, 9),
-        (5, 6), (6, 7), (7, 8), (8, 9),
-        (5, 10), (5, 11), (6, 10), (6, 11), (7, 12), (7, 13), (8, 12), (8, 13), (9, 14),
-        (10, 11), (11, 12), (12, 13), (13, 14),
-        (10, 15), (11, 16), (11, 17), (12, 16), (12, 17), (13, 18), (13, 19), (14, 18), (14, 19),
-        (15, 16), (16, 17), (17, 18), (18, 19),
+        (0, 1),
+        (1, 2),
+        (2, 3),
+        (3, 4),
+        (0, 5),
+        (1, 6),
+        (1, 7),
+        (2, 6),
+        (2, 7),
+        (3, 8),
+        (3, 9),
+        (4, 8),
+        (4, 9),
+        (5, 6),
+        (6, 7),
+        (7, 8),
+        (8, 9),
+        (5, 10),
+        (5, 11),
+        (6, 10),
+        (6, 11),
+        (7, 12),
+        (7, 13),
+        (8, 12),
+        (8, 13),
+        (9, 14),
+        (10, 11),
+        (11, 12),
+        (12, 13),
+        (13, 14),
+        (10, 15),
+        (11, 16),
+        (11, 17),
+        (12, 16),
+        (12, 17),
+        (13, 18),
+        (13, 19),
+        (14, 18),
+        (14, 19),
+        (15, 16),
+        (16, 17),
+        (17, 18),
+        (18, 19),
     ];
     CouplingMap::new("ibm-tokyo", Graph::from_edges(20, edges))
 }

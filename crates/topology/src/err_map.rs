@@ -98,7 +98,12 @@ pub fn error_coupling_map(n: usize, pairs: &[WeightedPair], max_edges: usize) ->
         captured_weight += p.weight;
         selected.push(p);
     }
-    ErrorMap { graph, selected, captured_weight, total_weight }
+    ErrorMap {
+        graph,
+        selected,
+        captured_weight,
+        total_weight,
+    }
 }
 
 /// Convenience: candidate pairs for ERR are all qubit pairs within
@@ -167,8 +172,9 @@ mod tests {
 
     #[test]
     fn respects_edge_budget() {
-        let pairs: Vec<WeightedPair> =
-            (0..10).map(|i| wp(2 * i, 2 * i + 1, 1.0 - i as f64 * 0.01)).collect();
+        let pairs: Vec<WeightedPair> = (0..10)
+            .map(|i| wp(2 * i, 2 * i + 1, 1.0 - i as f64 * 0.01))
+            .collect();
         let m = error_coupling_map(20, &pairs, 4);
         assert_eq!(m.graph.num_edges(), 4);
         assert_eq!(m.selected.len(), 4);

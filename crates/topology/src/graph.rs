@@ -61,7 +61,11 @@ pub struct Graph {
 impl Graph {
     /// Graph with `n` isolated vertices.
     pub fn new(n: usize) -> Graph {
-        Graph { n, adj: vec![Vec::new(); n], edges: Vec::new() }
+        Graph {
+            n,
+            adj: vec![Vec::new(); n],
+            edges: Vec::new(),
+        }
     }
 
     /// Builds a graph from an edge list over vertices `0..n`.
@@ -92,7 +96,11 @@ impl Graph {
     /// # Panics
     /// Panics when an endpoint is out of range.
     pub fn add_edge(&mut self, u: usize, v: usize) {
-        assert!(u < self.n && v < self.n, "edge {u}-{v} out of range for n={}", self.n);
+        assert!(
+            u < self.n && v < self.n,
+            "edge {u}-{v} out of range for n={}",
+            self.n
+        );
         let e = Edge::new(u, v);
         if self.edges.contains(&e) {
             return;

@@ -20,4 +20,7 @@ pub mod patches;
 pub use coupling::CouplingMap;
 pub use err_map::{error_coupling_map, ErrorMap, WeightedPair};
 pub use graph::{Edge, Graph};
-pub use patches::{patch_construct, schedule_pairs, schedule_pairs_coloring, schedule_patches, MultiPatchSchedule, PatchSchedule};
+pub use patches::{
+    patch_construct, schedule_pairs, schedule_pairs_coloring, schedule_patches, MultiPatchSchedule,
+    PatchSchedule,
+};

@@ -80,9 +80,9 @@ pub fn schedule_pairs(physical: &Graph, pairs: &[(usize, usize)], k: usize) -> P
         let mut idx = 0;
         while idx < remaining.len() {
             let e = remaining[idx];
-            let compatible = round.iter().all(|&f| {
-                pair_separation(physical, e, f).is_none_or(|sep| sep > k)
-            });
+            let compatible = round
+                .iter()
+                .all(|&f| pair_separation(physical, e, f).is_none_or(|sep| sep > k));
             if compatible {
                 round.push(e);
                 remaining.remove(idx);
@@ -150,8 +150,8 @@ pub fn schedule_pairs_coloring(
     let mut conflicts = vec![Vec::new(); m];
     for i in 0..m {
         for j in i + 1..m {
-            let conflicted = pair_separation(physical, edges[i], edges[j])
-                .is_some_and(|sep| sep < k + 1);
+            let conflicted =
+                pair_separation(physical, edges[i], edges[j]).is_some_and(|sep| sep < k + 1);
             if conflicted {
                 conflicts[i].push(j);
                 conflicts[j].push(i);
@@ -166,7 +166,13 @@ pub fn schedule_pairs_coloring(
     for _ in 0..m {
         let next = (0..m)
             .filter(|&v| color[v] == usize::MAX)
-            .max_by_key(|&v| (neighbor_colors[v].len(), conflicts[v].len(), std::cmp::Reverse(v)))
+            .max_by_key(|&v| {
+                (
+                    neighbor_colors[v].len(),
+                    conflicts[v].len(),
+                    std::cmp::Reverse(v),
+                )
+            })
             .expect("uncoloured patch remains");
         let mut c = 0;
         while neighbor_colors[next].contains(&c) {
@@ -205,11 +211,7 @@ pub fn set_separation(physical: &Graph, a: &[usize], b: &[usize]) -> Option<usiz
 
 /// Algorithm 1 generalised to arbitrary-size patches: greedy rounds of
 /// pairwise distance-`≥ k+1` qubit sets.
-pub fn schedule_patches(
-    physical: &Graph,
-    patches: &[Vec<usize>],
-    k: usize,
-) -> MultiPatchSchedule {
+pub fn schedule_patches(physical: &Graph, patches: &[Vec<usize>], k: usize) -> MultiPatchSchedule {
     let mut remaining: Vec<Vec<usize>> = patches
         .iter()
         .map(|p| {
@@ -225,9 +227,9 @@ pub fn schedule_patches(
         let mut idx = 0;
         while idx < remaining.len() {
             let candidate = &remaining[idx];
-            let compatible = round.iter().all(|p| {
-                set_separation(physical, candidate, p).is_none_or(|sep| sep > k)
-            });
+            let compatible = round
+                .iter()
+                .all(|p| set_separation(physical, candidate, p).is_none_or(|sep| sep > k));
             if compatible {
                 round.push(remaining.remove(idx));
             } else {
@@ -413,8 +415,7 @@ mod tests {
     #[test]
     fn coloring_schedule_valid_and_competitive() {
         for cm in [grid(4, 5), local_grid(3, 4), random_map(60, 4.0, 5)] {
-            let pairs: Vec<(usize, usize)> =
-                cm.graph.edges().iter().map(|e| (e.a, e.b)).collect();
+            let pairs: Vec<(usize, usize)> = cm.graph.edges().iter().map(|e| (e.a, e.b)).collect();
             for k in [0usize, 1, 2] {
                 let colored = schedule_pairs_coloring(&cm.graph, &pairs, k);
                 assert_eq!(

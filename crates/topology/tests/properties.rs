@@ -8,8 +8,7 @@ use qem_topology::graph::{Edge, Graph};
 use qem_topology::patches::{patch_construct, schedule_patches, set_separation, validate_schedule};
 
 fn random_graph() -> impl Strategy<Value = Graph> {
-    (4usize..30, 1.5f64..5.0, 0u64..500)
-        .prop_map(|(n, deg, seed)| random_map(n, deg, seed).graph)
+    (4usize..30, 1.5f64..5.0, 0u64..500).prop_map(|(n, deg, seed)| random_map(n, deg, seed).graph)
 }
 
 proptest! {

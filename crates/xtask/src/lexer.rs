@@ -1,0 +1,297 @@
+//! A lightweight Rust source scanner for `qem-lint`.
+//!
+//! This is not a full lexer: rules only need to know (a) what the code looks
+//! like with comments and literal *contents* removed, (b) where the comments
+//! are (suppressions live there), and (c) which lines belong to `#[cfg(test)]`
+//! modules. The scanner therefore produces a *masked* copy of the source —
+//! byte-for-byte the same length, with comment bytes and string/char literal
+//! interiors replaced by spaces (quotes are kept, so `("` remains visible to
+//! rules that care about literal arguments) — plus the comment list and a
+//! per-line test-code flag.
+
+/// The scanner's view of one source file.
+pub struct Analysis {
+    /// Masked source: comments blanked, literal interiors blanked, quotes and
+    /// all code bytes preserved. Newlines are kept, so offsets and line
+    /// numbers agree with the original file.
+    pub masked: String,
+    /// `(1-based line, comment text)` for every `//`/`/* */` comment, in
+    /// order. Block comments contribute one entry per line they span.
+    pub comments: Vec<(usize, String)>,
+    /// `in_test[line - 1]` is true when the line sits inside a
+    /// `#[cfg(test)] mod … { … }` region.
+    pub in_test: Vec<bool>,
+}
+
+impl Analysis {
+    /// Masked text of the given 1-based line.
+    pub fn masked_line(&self, line: usize) -> &str {
+        self.masked.lines().nth(line - 1).unwrap_or("")
+    }
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum State {
+    Code,
+    LineComment,
+    BlockComment(u32),
+    Str,
+    RawStr(u32),
+    Char,
+}
+
+/// Scans `src`, producing the masked text, comment list, and test-region map.
+pub fn analyze(src: &str) -> Analysis {
+    let bytes = src.as_bytes();
+    let mut masked = Vec::with_capacity(bytes.len());
+    let mut comments: Vec<(usize, String)> = Vec::new();
+    let mut comment_buf: Vec<u8> = Vec::new();
+    let mut comment_line = 1usize;
+    let mut line = 1usize;
+    let mut state = State::Code;
+    let mut i = 0usize;
+
+    let flush_comment = |buf: &mut Vec<u8>, line: usize, out: &mut Vec<(usize, String)>| {
+        let text = String::from_utf8_lossy(buf);
+        if !text.trim().is_empty() {
+            out.push((line, text.trim().to_string()));
+        }
+        buf.clear();
+    };
+
+    while i < bytes.len() {
+        let c = bytes[i];
+        let next = bytes.get(i + 1).copied().unwrap_or(0);
+        match state {
+            State::Code => match c {
+                b'/' if next == b'/' => {
+                    state = State::LineComment;
+                    comment_line = line;
+                    masked.push(b' ');
+                    masked.push(b' ');
+                    i += 2;
+                    continue;
+                }
+                b'/' if next == b'*' => {
+                    state = State::BlockComment(1);
+                    comment_line = line;
+                    masked.push(b' ');
+                    masked.push(b' ');
+                    i += 2;
+                    continue;
+                }
+                b'"' => {
+                    // Raw strings arrive here via the `r`/`r#` prefix below.
+                    state = State::Str;
+                    masked.push(b'"');
+                }
+                b'r' if next == b'"' || next == b'#' => {
+                    // r"…", r#"…"#, br"…" (the `b` was already copied).
+                    let mut hashes = 0u32;
+                    let mut j = i + 1;
+                    while bytes.get(j) == Some(&b'#') {
+                        hashes += 1;
+                        j += 1;
+                    }
+                    if bytes.get(j) == Some(&b'"') {
+                        state = State::RawStr(hashes);
+                        masked.extend(std::iter::repeat_n(b' ', j - i));
+                        masked.push(b'"');
+                        i = j + 1;
+                        continue;
+                    }
+                    masked.push(c);
+                }
+                b'\'' => {
+                    // Lifetime (`'a`) vs char literal (`'a'`, `'\n'`).
+                    let is_lifetime = next.is_ascii_alphabetic() || next == b'_';
+                    let closes = bytes.get(i + 2) == Some(&b'\'');
+                    if is_lifetime && !closes {
+                        masked.push(b'\'');
+                    } else {
+                        state = State::Char;
+                        masked.push(b'\'');
+                    }
+                }
+                _ => masked.push(c),
+            },
+            State::LineComment => {
+                if c == b'\n' {
+                    flush_comment(&mut comment_buf, comment_line, &mut comments);
+                    state = State::Code;
+                    masked.push(b'\n');
+                } else {
+                    comment_buf.push(c);
+                    masked.push(b' ');
+                }
+            }
+            State::BlockComment(depth) => {
+                if c == b'*' && next == b'/' {
+                    if depth == 1 {
+                        flush_comment(&mut comment_buf, comment_line, &mut comments);
+                        state = State::Code;
+                    } else {
+                        state = State::BlockComment(depth - 1);
+                    }
+                    masked.push(b' ');
+                    masked.push(b' ');
+                    i += 2;
+                    continue;
+                }
+                if c == b'/' && next == b'*' {
+                    state = State::BlockComment(depth + 1);
+                    masked.push(b' ');
+                    masked.push(b' ');
+                    i += 2;
+                    continue;
+                }
+                if c == b'\n' {
+                    flush_comment(&mut comment_buf, comment_line, &mut comments);
+                    comment_line = line + 1;
+                    masked.push(b'\n');
+                } else {
+                    comment_buf.push(c);
+                    masked.push(b' ');
+                }
+            }
+            State::Str => match c {
+                b'\\' => {
+                    masked.push(b' ');
+                    masked.push(b' ');
+                    i += 2;
+                    if next == b'\n' {
+                        line += 1;
+                        masked.pop();
+                        masked.push(b'\n');
+                    }
+                    continue;
+                }
+                b'"' => {
+                    state = State::Code;
+                    masked.push(b'"');
+                }
+                b'\n' => masked.push(b'\n'),
+                _ => masked.push(b' '),
+            },
+            State::RawStr(hashes) => {
+                if c == b'"' {
+                    let mut ok = true;
+                    for k in 0..hashes as usize {
+                        if bytes.get(i + 1 + k) != Some(&b'#') {
+                            ok = false;
+                            break;
+                        }
+                    }
+                    if ok {
+                        state = State::Code;
+                        masked.push(b'"');
+                        masked.extend(std::iter::repeat_n(b' ', hashes as usize));
+                        i += 1 + hashes as usize;
+                        continue;
+                    }
+                }
+                masked.push(if c == b'\n' { b'\n' } else { b' ' });
+            }
+            State::Char => match c {
+                b'\\' => {
+                    masked.push(b' ');
+                    masked.push(b' ');
+                    i += 2;
+                    continue;
+                }
+                b'\'' => {
+                    state = State::Code;
+                    masked.push(b'\'');
+                }
+                _ => masked.push(b' '),
+            },
+        }
+        if c == b'\n' {
+            line += 1;
+        }
+        i += 1;
+    }
+    flush_comment(&mut comment_buf, comment_line, &mut comments);
+
+    let masked = String::from_utf8_lossy(&masked).into_owned();
+    let in_test = test_regions(&masked);
+    Analysis {
+        masked,
+        comments,
+        in_test,
+    }
+}
+
+/// Marks every line inside a `#[cfg(test)] mod … { … }` block, by brace
+/// counting on the masked text (strings and comments cannot confuse it).
+fn test_regions(masked: &str) -> Vec<bool> {
+    let lines: Vec<&str> = masked.lines().collect();
+    let mut flags = vec![false; lines.len()];
+    let mut i = 0usize;
+    while i < lines.len() {
+        if lines[i].contains("#[cfg(test)]") {
+            // Find the opening brace of the item this attribute annotates.
+            let mut depth = 0i64;
+            let mut opened = false;
+            let mut j = i;
+            while j < lines.len() {
+                flags[j] = true;
+                for ch in lines[j].chars() {
+                    match ch {
+                        '{' => {
+                            depth += 1;
+                            opened = true;
+                        }
+                        '}' => depth -= 1,
+                        _ => {}
+                    }
+                }
+                if opened && depth <= 0 {
+                    break;
+                }
+                j += 1;
+            }
+            i = j + 1;
+        } else {
+            i += 1;
+        }
+    }
+    flags
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn masks_comments_and_strings() {
+        let a = analyze("let x = \"a // b\"; // trailing\nlet y = 1;\n");
+        assert_eq!(a.masked_line(1).trim_end(), "let x = \"      \";");
+        assert_eq!(a.masked_line(2), "let y = 1;");
+        assert_eq!(a.comments, vec![(1, "trailing".to_string())]);
+    }
+
+    #[test]
+    fn masks_raw_strings_and_chars() {
+        let a = analyze("let s = r#\"x \"\" y\"#; let c = '\\n'; let lt: &'static str = s;");
+        assert!(a.masked_line(1).contains("let c = '  '"));
+        assert!(a.masked_line(1).contains("&'static str"));
+        assert!(!a.masked_line(1).contains("x "));
+    }
+
+    #[test]
+    fn block_comments_span_lines() {
+        let a = analyze("a /* one\ntwo */ b\n");
+        assert_eq!(a.comments.len(), 2);
+        assert_eq!(a.comments[0], (1, "one".to_string()));
+        assert_eq!(a.comments[1], (2, "two".to_string()));
+        assert!(a.masked_line(2).ends_with(" b"));
+    }
+
+    #[test]
+    fn flags_cfg_test_regions() {
+        let src = "fn a() {}\n#[cfg(test)]\nmod tests {\n    fn b() {}\n}\nfn c() {}\n";
+        let a = analyze(src);
+        assert_eq!(a.in_test, vec![false, true, true, true, true, false]);
+    }
+}

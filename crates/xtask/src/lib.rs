@@ -1,0 +1,5 @@
+//! Library surface of the `xtask` tool, so integration tests can drive the
+//! lint rules against fixture files without spawning the binary.
+
+pub mod lexer;
+pub mod rules;

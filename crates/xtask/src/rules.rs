@@ -1,0 +1,762 @@
+//! The `qem-lint` rule set.
+//!
+//! Every rule works on the [`lexer::Analysis`] of one file: masked code
+//! text (comments and literal interiors blanked), the comment list, and the
+//! `#[cfg(test)]` region map. Rules are scoped per crate — the table in
+//! [`rule_applies`] is the single source of truth for who must obey what.
+//!
+//! Suppression: a comment `qem-lint: allow(rule-name) — reason` silences
+//! `rule-name` on the comment's own line and on the first code line after
+//! the comment block. The reason is mandatory; a bare `allow(...)` does not
+//! suppress and is itself reported as `invalid-suppression`.
+
+use crate::lexer::Analysis;
+
+/// One lint finding.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Diagnostic {
+    /// Rule name, e.g. `no-panic-path`.
+    pub rule: &'static str,
+    /// Workspace-relative path.
+    pub path: String,
+    /// 1-based line.
+    pub line: usize,
+    /// Human explanation of the specific finding.
+    pub message: String,
+}
+
+/// Names of every rule, for `--help` and the suppression validator.
+pub const RULE_NAMES: &[&str] = &[
+    "no-panic-path",
+    "no-direct-index",
+    "no-float-eq",
+    "no-raw-float-cast",
+    "no-inline-tolerance",
+    "validated-matrix-construction",
+    "core-error-type",
+    "telemetry-name-registry",
+    "relaxed-ordering",
+];
+
+/// Which crate a path belongs to: `crates/<name>/…` or the root `qem` crate.
+fn crate_of(path: &str) -> &str {
+    if let Some(rest) = path.strip_prefix("crates/") {
+        rest.split('/').next().unwrap_or("")
+    } else {
+        "qem"
+    }
+}
+
+/// The scope table. `qem` is the root facade/CLI crate.
+fn rule_applies(rule: &str, krate: &str, file_name: &str) -> bool {
+    match rule {
+        // Numerical-safety rules cover the probability/matrix pipeline and
+        // the user-facing binaries. qem-sim and qem-topology stay out: their
+        // panics are covered by their own contract tests, and indexing there
+        // is bit-twiddling, not float math.
+        "no-panic-path" => {
+            matches!(
+                krate,
+                "linalg" | "core" | "mitigation" | "telemetry" | "bench" | "qem"
+            )
+        }
+        "no-direct-index" => matches!(krate, "core" | "mitigation"),
+        "no-float-eq" => matches!(krate, "linalg" | "core" | "mitigation"),
+        "no-raw-float-cast" => matches!(krate, "linalg" | "core" | "mitigation" | "qem"),
+        "no-inline-tolerance" => matches!(krate, "linalg" | "core" | "mitigation" | "qem"),
+        // Domain invariants.
+        "validated-matrix-construction" => matches!(krate, "core" | "mitigation"),
+        "core-error-type" => matches!(krate, "core" | "mitigation"),
+        // Telemetry discipline: everyone but the registry's own crate.
+        "telemetry-name-registry" => krate != "telemetry" && krate != "xtask",
+        // Concurrency hygiene: the two files that do lock-free bookkeeping.
+        "relaxed-ordering" => file_name == "recorder.rs" || file_name == "resilience.rs",
+        _ => false,
+    }
+}
+
+/// A parsed suppression comment.
+struct Suppression {
+    rule: String,
+    comment_line: usize,
+    has_reason: bool,
+}
+
+fn parse_suppressions(analysis: &Analysis) -> Vec<Suppression> {
+    let mut out = Vec::new();
+    for (line, text) in &analysis.comments {
+        // Suppressions are dedicated comments: the text must *start* with the
+        // marker, so prose that merely mentions the syntax is not parsed.
+        let Some(rest) = text.trim_start().strip_prefix("qem-lint:") else {
+            continue;
+        };
+        let rest = rest.trim_start();
+        let Some(rest) = rest.strip_prefix("allow(") else {
+            continue;
+        };
+        let Some(close) = rest.find(')') else {
+            continue;
+        };
+        let rule = rest[..close].trim().to_string();
+        let tail = rest[close + 1..].trim();
+        // The reason must follow a dash separator and be non-empty.
+        let has_reason = ["—", "--", "-", ":"]
+            .iter()
+            .any(|sep| tail.strip_prefix(sep).is_some_and(|r| !r.trim().is_empty()));
+        out.push(Suppression {
+            rule,
+            comment_line: *line,
+            has_reason,
+        });
+    }
+    out
+}
+
+/// `(rule, line)` pairs silenced by valid suppressions, plus diagnostics for
+/// malformed ones.
+fn suppressed_lines(
+    path: &str,
+    analysis: &Analysis,
+    diags: &mut Vec<Diagnostic>,
+) -> Vec<(String, usize)> {
+    let line_count = analysis.masked.lines().count();
+    let code_line = |l: usize| -> bool {
+        l >= 1 && l <= line_count && !analysis.masked_line(l).trim().is_empty()
+    };
+    let mut silenced = Vec::new();
+    for s in parse_suppressions(analysis) {
+        if !RULE_NAMES.contains(&s.rule.as_str()) {
+            diags.push(Diagnostic {
+                rule: "invalid-suppression",
+                path: path.to_string(),
+                line: s.comment_line,
+                message: format!("unknown rule {:?} in qem-lint allow", s.rule),
+            });
+            continue;
+        }
+        if !s.has_reason {
+            diags.push(Diagnostic {
+                rule: "invalid-suppression",
+                path: path.to_string(),
+                line: s.comment_line,
+                message: format!(
+                    "suppression of {:?} needs a reason: `qem-lint: allow({}) — why`",
+                    s.rule, s.rule
+                ),
+            });
+            continue;
+        }
+        // The comment's own line (trailing comments) …
+        silenced.push((s.rule.clone(), s.comment_line));
+        // … and the first code line after the comment block.
+        let mut l = s.comment_line + 1;
+        while l <= line_count && !code_line(l) {
+            l += 1;
+        }
+        if l <= line_count {
+            silenced.push((s.rule.clone(), l));
+        }
+    }
+    silenced
+}
+
+/// Lints one file; `path` must be workspace-relative with `/` separators.
+pub fn lint_file(path: &str, analysis: &Analysis) -> Vec<Diagnostic> {
+    let krate = crate_of(path);
+    let file_name = path.rsplit('/').next().unwrap_or(path);
+    let mut diags = Vec::new();
+    let silenced = suppressed_lines(path, analysis, &mut diags);
+
+    let mut emit = |rule: &'static str, line: usize, message: String| {
+        if analysis.in_test.get(line - 1).copied().unwrap_or(false) {
+            return;
+        }
+        if silenced.iter().any(|(r, l)| r == rule && *l == line) {
+            return;
+        }
+        diags.push(Diagnostic {
+            rule,
+            path: path.to_string(),
+            line,
+            message,
+        });
+    };
+
+    for (idx, line) in analysis.masked.lines().enumerate() {
+        let ln = idx + 1;
+
+        if rule_applies("no-panic-path", krate, file_name) {
+            for needle in [
+                ".unwrap()",
+                ".expect(",
+                "panic!(",
+                "unreachable!(",
+                "todo!(",
+                "unimplemented!(",
+            ] {
+                if let Some(col) = find_token(line, needle) {
+                    // `.expect(` must not match `.expect_err(` etc. — the
+                    // needles are already unambiguous; but skip
+                    // `unwrap_or`/`unwrap_err` style by requiring the exact
+                    // `()` suffix for unwrap (handled by the needle).
+                    let _ = col;
+                    emit(
+                        "no-panic-path",
+                        ln,
+                        format!(
+                            "`{}` can panic; return the crate error type instead",
+                            needle.trim_end_matches('(')
+                        ),
+                    );
+                    break;
+                }
+            }
+        }
+
+        if rule_applies("no-direct-index", krate, file_name) {
+            if let Some(m) = find_literal_index(line) {
+                emit(
+                    "no-direct-index",
+                    ln,
+                    format!("direct literal index `{m}` can panic; use `.get({})` or a checked accessor", m.trim_matches(['[', ']'])),
+                );
+            }
+        }
+
+        if rule_applies("no-float-eq", krate, file_name) {
+            if let Some(m) = find_float_eq(line) {
+                emit(
+                    "no-float-eq",
+                    ln,
+                    format!("float compared with `{m}`; use a tolerance from `qem_linalg::tol`"),
+                );
+            }
+        }
+
+        if rule_applies("no-raw-float-cast", krate, file_name) {
+            if let Some(m) = find_raw_float_cast(line) {
+                emit(
+                    "no-raw-float-cast",
+                    ln,
+                    format!("truncating float cast `{m}`; make rounding explicit (`.round()`, `.floor()`, …)"),
+                );
+            }
+        }
+
+        if rule_applies("no-inline-tolerance", krate, file_name) {
+            if let Some(m) = find_inline_tolerance(line) {
+                emit(
+                    "no-inline-tolerance",
+                    ln,
+                    format!(
+                        "inline tolerance `{m}`; use `qem_linalg::tol` or declare a named const"
+                    ),
+                );
+            }
+        }
+
+        if rule_applies("validated-matrix-construction", krate, file_name) {
+            for needle in [
+                "Matrix::from_rows(",
+                "Matrix::from_cols(",
+                "Matrix::zeros(",
+                "CMatrix::from_rows(",
+                "CMatrix::from_cols(",
+                "CMatrix::zeros(",
+            ] {
+                if find_token(line, needle).is_some() {
+                    emit(
+                        "validated-matrix-construction",
+                        ln,
+                        format!(
+                            "raw `{}` in calibration code; construct through a validated `qem_linalg::stochastic` entry point",
+                            needle.trim_end_matches('(')
+                        ),
+                    );
+                    break;
+                }
+            }
+        }
+
+        if rule_applies("core-error-type", krate, file_name)
+            && line.contains("use qem_linalg::error::")
+            && contains_word(line, "Result")
+            && !line.contains("Result as ")
+        {
+            emit(
+                "core-error-type",
+                ln,
+                "public APIs here must return the crate error type; alias linalg's Result or use `crate::error::Result`".to_string(),
+            );
+        }
+
+        if rule_applies("relaxed-ordering", krate, file_name) && line.contains("Ordering::Relaxed")
+        {
+            emit(
+                "relaxed-ordering",
+                ln,
+                "`Ordering::Relaxed` needs a justification; suppress with a reason or strengthen the ordering".to_string(),
+            );
+        }
+    }
+
+    if rule_applies("telemetry-name-registry", krate, file_name) {
+        for (ln, call) in find_literal_telemetry_calls(&analysis.masked) {
+            emit(
+                "telemetry-name-registry",
+                ln,
+                format!(
+                    "string literal passed to `{call}`; use a constant from `qem_telemetry::names`"
+                ),
+            );
+        }
+    }
+
+    diags
+}
+
+// --------------------------------------------------------------- matchers --
+
+fn is_ident_char(c: u8) -> bool {
+    c.is_ascii_alphanumeric() || c == b'_'
+}
+
+/// Finds `needle` in `line` where the preceding byte is not an identifier
+/// character (so `.unwrap()` does not match `x.unwrap_or()`… the needle's
+/// own shape handles the suffix side).
+fn find_token(line: &str, needle: &str) -> Option<usize> {
+    let bytes = line.as_bytes();
+    // Needles starting with `.` or `!` carry their own boundary; only
+    // identifier-leading needles need the preceding-byte check (so that
+    // `Matrix::zeros` does not also match inside `CMatrix::zeros`).
+    let needs_boundary = is_ident_char(needle.as_bytes()[0]);
+    let mut from = 0;
+    while let Some(pos) = line[from..].find(needle) {
+        let at = from + pos;
+        let pre_ok = !needs_boundary || at == 0 || !is_ident_char(bytes[at - 1]);
+        if pre_ok {
+            return Some(at);
+        }
+        from = at + 1;
+    }
+    None
+}
+
+fn contains_word(line: &str, word: &str) -> bool {
+    let bytes = line.as_bytes();
+    let mut from = 0;
+    while let Some(pos) = line[from..].find(word) {
+        let at = from + pos;
+        let pre_ok = at == 0 || !is_ident_char(bytes[at - 1]);
+        let post = at + word.len();
+        let post_ok = post >= bytes.len() || !is_ident_char(bytes[post]);
+        if pre_ok && post_ok {
+            return true;
+        }
+        from = at + 1;
+    }
+    false
+}
+
+/// `ident[3]` / `ident()[0]` — indexing with a bare integer literal.
+/// Array types (`[f64; 4]`), repeats (`[0.0; 8]`) and attribute syntax are
+/// not matched: the bracket must follow an identifier or `)`/`]`, and the
+/// bracket body must be only digits.
+fn find_literal_index(line: &str) -> Option<String> {
+    let bytes = line.as_bytes();
+    for (i, &b) in bytes.iter().enumerate() {
+        if b != b'[' || i == 0 {
+            continue;
+        }
+        let prev = bytes[i - 1];
+        if !(is_ident_char(prev) || prev == b')' || prev == b']') {
+            continue;
+        }
+        let close = line[i..].find(']').map(|p| i + p)?;
+        let body = line[i + 1..close].trim();
+        if !body.is_empty() && body.bytes().all(|c| c.is_ascii_digit()) {
+            return Some(line[i..=close].to_string());
+        }
+    }
+    None
+}
+
+/// `== 0.0`, `1.0 !=`, `== 1e-9` — equality against a float literal.
+fn find_float_eq(line: &str) -> Option<String> {
+    for op in ["==", "!="] {
+        let mut from = 0;
+        while let Some(pos) = line[from..].find(op) {
+            let at = from + pos;
+            // `!=` also matches the tail of `<=`? No — distinct first char.
+            // Skip pattern-matching `=>` arms and `<=`/`>=`.
+            let before = line[..at].trim_end();
+            let after = line[at + 2..].trim_start();
+            if float_literal_at_start(after) || float_literal_at_end(before) {
+                let lit = if float_literal_at_start(after) {
+                    first_float(after)
+                } else {
+                    last_float(before)
+                };
+                return Some(format!("{op} {lit}"));
+            }
+            from = at + 2;
+        }
+    }
+    None
+}
+
+fn float_literal_at_start(s: &str) -> bool {
+    let b = s.as_bytes();
+    let mut i = 0;
+    while i < b.len() && b[i].is_ascii_digit() {
+        i += 1;
+    }
+    i > 0 && i < b.len() && b[i] == b'.'
+}
+
+fn float_literal_at_end(s: &str) -> bool {
+    // …digits '.' digits at the end of the trimmed slice.
+    let b = s.as_bytes();
+    let mut i = b.len();
+    while i > 0 && b[i - 1].is_ascii_digit() {
+        i -= 1;
+    }
+    if i == 0 || i == b.len() || b[i - 1] != b'.' {
+        return false;
+    }
+    let mut j = i - 1;
+    while j > 0 && b[j - 1].is_ascii_digit() {
+        j -= 1;
+    }
+    j < i - 1
+}
+
+fn first_float(s: &str) -> &str {
+    let end = s
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == 'e' || c == '-' || c == '_'))
+        .unwrap_or(s.len());
+    &s[..end]
+}
+
+fn last_float(s: &str) -> &str {
+    let start = s
+        .rfind(|c: char| !(c.is_ascii_digit() || c == '.' || c == '_'))
+        .map(|p| p + 1)
+        .unwrap_or(0);
+    &s[start..]
+}
+
+/// `(<float math>) as usize` with no explicit rounding, or a float literal
+/// cast straight to an integer type.
+fn find_raw_float_cast(line: &str) -> Option<String> {
+    const INT_TYPES: &[&str] = &[
+        "usize", "u64", "u32", "u16", "u8", "isize", "i64", "i32", "i16", "i8",
+    ];
+    let mut from = 0;
+    while let Some(pos) = line[from..].find(" as ") {
+        let at = from + pos;
+        let after = &line[at + 4..];
+        let ty = after
+            .split(|c: char| !c.is_ascii_alphanumeric())
+            .next()
+            .unwrap_or("");
+        if !INT_TYPES.contains(&ty) {
+            from = at + 4;
+            continue;
+        }
+        let before = line[..at].trim_end();
+        // Direct float literal cast: `1.5 as usize`.
+        if float_literal_at_end(before) {
+            return Some(format!("{} as {ty}", last_float(before)));
+        }
+        // Parenthesised float expression: `(x * 10.0).min(9.0) as usize` —
+        // flag when the expression contains a float literal and no explicit
+        // rounding call adjacent to the cast.
+        if before.ends_with(')') {
+            if let Some(open) = matching_open_paren(before) {
+                let expr_start = enclosing_expr_start(before, open);
+                let expr = &before[expr_start..];
+                let has_float =
+                    expr.contains(".0") || expr.contains(".5") || expr_has_float_literal(expr);
+                let rounded = [".round()", ".floor()", ".ceil()", ".trunc()"]
+                    .iter()
+                    .any(|r| expr.contains(r));
+                if has_float && !rounded {
+                    return Some(format!("{expr} as {ty}"));
+                }
+            }
+        }
+        from = at + 4;
+    }
+    None
+}
+
+fn expr_has_float_literal(expr: &str) -> bool {
+    let b = expr.as_bytes();
+    for i in 0..b.len() {
+        if b[i] == b'.'
+            && i > 0
+            && b[i - 1].is_ascii_digit()
+            && (i + 1 >= b.len() || b[i + 1].is_ascii_digit())
+        {
+            return true;
+        }
+    }
+    false
+}
+
+/// Index of the `(` matching the `)` that ends `s`.
+fn matching_open_paren(s: &str) -> Option<usize> {
+    let b = s.as_bytes();
+    let mut depth = 0i64;
+    for i in (0..b.len()).rev() {
+        match b[i] {
+            b')' => depth += 1,
+            b'(' => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(i);
+                }
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+/// Walks back from the opening paren over trailing method-call chains so the
+/// whole `(x).min(y)` expression is inspected, not just the last call.
+fn enclosing_expr_start(s: &str, open: usize) -> usize {
+    let b = s.as_bytes();
+    let mut i = open;
+    loop {
+        // Preceding `.method` chain or identifier?
+        let mut j = i;
+        while j > 0 && is_ident_char(b[j - 1]) {
+            j -= 1;
+        }
+        if j > 0 && b[j - 1] == b'.' {
+            // `.ident(` — keep walking to whatever the receiver is.
+            let recv_end = j - 1;
+            if recv_end > 0 && b[recv_end - 1] == b')' {
+                match matching_open_paren(&s[..recv_end]) {
+                    Some(o) => {
+                        i = o;
+                        continue;
+                    }
+                    None => return j,
+                }
+            }
+            let mut k = recv_end;
+            while k > 0 && is_ident_char(b[k - 1]) {
+                k -= 1;
+            }
+            return k;
+        }
+        return j.min(i);
+    }
+}
+
+/// A scientific-notation literal with a negative exponent (`1e-12`,
+/// `2.5e-9`) outside a `const`/`static` declaration.
+fn find_inline_tolerance(line: &str) -> Option<String> {
+    let b = line.as_bytes();
+    for i in 0..b.len() {
+        if b[i] != b'e' || i == 0 || i + 1 >= b.len() {
+            continue;
+        }
+        if b[i + 1] != b'-' {
+            continue;
+        }
+        // digits (or digits '.' digits) before the `e`, digits after the `-`.
+        if !b[i - 1].is_ascii_digit() && b[i - 1] != b'.' {
+            continue;
+        }
+        if i + 2 >= b.len() || !b[i + 2].is_ascii_digit() {
+            continue;
+        }
+        if contains_word(line, "const") || contains_word(line, "static") {
+            continue;
+        }
+        let start = line[..i]
+            .rfind(|c: char| !(c.is_ascii_digit() || c == '.'))
+            .map(|p| p + 1)
+            .unwrap_or(0);
+        let end = i
+            + 2
+            + line[i + 2..]
+                .find(|c: char| !c.is_ascii_digit())
+                .unwrap_or(line.len() - i - 2);
+        if start < i {
+            return Some(line[start..end].to_string());
+        }
+    }
+    None
+}
+
+/// Telemetry macro/function calls whose first argument is a string literal.
+/// Works on the full masked text so split-line calls are caught.
+fn find_literal_telemetry_calls(masked: &str) -> Vec<(usize, &'static str)> {
+    const CALLS: &[&str] = &[
+        "span!(",
+        "event!(",
+        "counter_add(",
+        "gauge_set(",
+        "histogram_record(",
+        "histogram_record_with(",
+    ];
+    let bytes = masked.as_bytes();
+    let mut out = Vec::new();
+    for call in CALLS {
+        let mut from = 0;
+        while let Some(pos) = masked[from..].find(call) {
+            let at = from + pos;
+            from = at + call.len();
+            let pre_ok = at == 0 || !is_ident_char(bytes[at - 1]);
+            // `!` is part of the needle for macros; for functions, skip
+            // matches like `self.histogram_record(` — those are the
+            // recorder's own methods, still name-carrying, still flagged.
+            if !pre_ok {
+                continue;
+            }
+            let mut i = at + call.len();
+            while i < bytes.len() && (bytes[i] as char).is_whitespace() {
+                i += 1;
+            }
+            if i < bytes.len() && bytes[i] == b'"' {
+                let line = masked[..at].bytes().filter(|&b| b == b'\n').count() + 1;
+                out.push((line, *call));
+            }
+        }
+    }
+    out.sort();
+    out.dedup();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::analyze;
+
+    fn lint_src(path: &str, src: &str) -> Vec<Diagnostic> {
+        lint_file(path, &analyze(src))
+    }
+
+    #[test]
+    fn crate_scoping() {
+        assert_eq!(crate_of("crates/linalg/src/tol.rs"), "linalg");
+        assert_eq!(crate_of("src/main.rs"), "qem");
+        assert!(rule_applies("no-panic-path", "linalg", "lu.rs"));
+        assert!(!rule_applies("no-panic-path", "sim", "state.rs"));
+        assert!(rule_applies("relaxed-ordering", "telemetry", "recorder.rs"));
+        assert!(!rule_applies("relaxed-ordering", "telemetry", "metrics.rs"));
+    }
+
+    #[test]
+    fn unwrap_in_tests_is_fine() {
+        let src = "fn a() {}\n#[cfg(test)]\nmod tests {\n    fn t() { x.unwrap(); }\n}\n";
+        assert!(lint_src("crates/core/src/a.rs", src).is_empty());
+    }
+
+    #[test]
+    fn unwrap_or_is_not_unwrap() {
+        let src = "fn a() { x.unwrap_or(0); x.unwrap_or_else(f); }\n";
+        assert!(lint_src("crates/core/src/a.rs", src).is_empty());
+        let src = "fn a() { x.unwrap(); }\n";
+        assert_eq!(lint_src("crates/core/src/a.rs", src).len(), 1);
+    }
+
+    #[test]
+    fn suppression_requires_reason() {
+        let ok = "// qem-lint: allow(no-panic-path) — infallible by construction\nfn a() { x.unwrap(); }\n";
+        assert!(lint_src("crates/core/src/a.rs", ok).is_empty());
+        let missing = "// qem-lint: allow(no-panic-path)\nfn a() { x.unwrap(); }\n";
+        let diags = lint_src("crates/core/src/a.rs", missing);
+        assert_eq!(diags.len(), 2);
+        assert!(diags.iter().any(|d| d.rule == "invalid-suppression"));
+        assert!(diags.iter().any(|d| d.rule == "no-panic-path"));
+    }
+
+    #[test]
+    fn suppression_spans_comment_block() {
+        let src = "// qem-lint: allow(no-float-eq) — exact-zero skip preserves\n// sparsity, not a tolerance test\nfn a() { if x == 0.0 {} }\n";
+        assert!(lint_src("crates/linalg/src/a.rs", src).is_empty());
+    }
+
+    #[test]
+    fn unknown_rule_in_suppression_is_flagged() {
+        let src = "// qem-lint: allow(no-such-rule) — whatever\nfn a() {}\n";
+        let diags = lint_src("crates/core/src/a.rs", src);
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].rule, "invalid-suppression");
+    }
+
+    #[test]
+    fn float_eq_matchers() {
+        assert!(find_float_eq("if x == 0.0 {").is_some());
+        assert!(find_float_eq("if 1.0 != y {").is_some());
+        assert!(find_float_eq("if x == y {").is_none());
+        assert!(find_float_eq("if n == 0 {").is_none());
+    }
+
+    #[test]
+    fn raw_cast_matchers() {
+        assert!(find_raw_float_cast("let x = (w * 200.0).min(50.0) as usize;").is_some());
+        assert!(find_raw_float_cast("let x = (w * 200.0).round() as usize;").is_none());
+        assert!(find_raw_float_cast("let x = n as usize;").is_none());
+        assert!(find_raw_float_cast("let x = 1.5 as u64;").is_some());
+        assert!(find_raw_float_cast("let x = (a + b) as u64;").is_none());
+    }
+
+    #[test]
+    fn inline_tolerance_matchers() {
+        assert!(find_inline_tolerance("if r < 1e-12 {").is_some());
+        assert!(find_inline_tolerance("const EPS: f64 = 1e-12;").is_none());
+        assert!(find_inline_tolerance("let big = 1e3;").is_none());
+        assert!(find_inline_tolerance("x.powi(-3)").is_none());
+    }
+
+    #[test]
+    fn literal_index_matchers() {
+        assert!(find_literal_index("let a = qubits[0];").is_some());
+        assert!(find_literal_index("let a: [f64; 4] = x;").is_none());
+        assert!(find_literal_index("let a = [0.0; 8];").is_none());
+        assert!(find_literal_index("let a = v[i];").is_none());
+    }
+
+    #[test]
+    fn telemetry_literal_calls() {
+        let src = "fn a() { tel::span!(\"x.y.z\", n = 1); }\n";
+        let diags = lint_src("crates/core/src/a.rs", src);
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].rule, "telemetry-name-registry");
+        let ok = "fn a() { tel::span!(names::CORE_CMC_ASSEMBLE, n = 1); }\n";
+        assert!(lint_src("crates/core/src/a.rs", ok).is_empty());
+        // Split-line call.
+        let split = "fn a() {\n    tel::histogram_record_with(\n        \"x.y.z\",\n        &B,\n        v,\n    );\n}\n";
+        let diags = lint_src("crates/core/src/a.rs", split);
+        assert_eq!(diags.len(), 1);
+    }
+
+    #[test]
+    fn core_error_type_rule() {
+        let bad = "use qem_linalg::error::{LinalgError, Result};\n";
+        assert_eq!(lint_src("crates/core/src/a.rs", bad).len(), 1);
+        let aliased = "use qem_linalg::error::Result as LinalgResult;\n";
+        assert!(lint_src("crates/core/src/a.rs", aliased).is_empty());
+        let just_err = "use qem_linalg::error::LinalgError;\n";
+        assert!(lint_src("crates/core/src/a.rs", just_err).is_empty());
+        // Out of scope for linalg itself.
+        assert!(lint_src("crates/linalg/src/a.rs", bad).is_empty());
+    }
+
+    #[test]
+    fn validated_matrix_rule() {
+        let bad = "let m = Matrix::from_rows(&[&[1.0]]);\n";
+        assert_eq!(lint_src("crates/core/src/a.rs", bad).len(), 1);
+        assert!(lint_src("crates/linalg/src/a.rs", bad).is_empty());
+        let ident = "let m = Matrix::identity(4);\n";
+        assert!(lint_src("crates/core/src/a.rs", ident).is_empty());
+    }
+}

@@ -1,0 +1,128 @@
+//! Per-rule fixture tests: every rule must fire on its `_bad` fixture and
+//! stay silent on its `_clean` twin, and suppressions must carry a reason.
+//!
+//! Fixtures are read as text (not compiled) and linted under a synthetic
+//! workspace path that puts them in the rule's scope.
+
+use xtask::lexer::analyze;
+use xtask::rules::{lint_file, Diagnostic};
+
+/// Lints a fixture as if it lived at `virtual_path` in the workspace.
+fn lint_fixture(name: &str, virtual_path: &str) -> Vec<Diagnostic> {
+    let path = format!("{}/tests/fixtures/{name}", env!("CARGO_MANIFEST_DIR"));
+    let src = std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {path}: {e}"));
+    lint_file(virtual_path, &analyze(&src))
+}
+
+/// Scope path per rule: the crate/file combination the rule watches.
+fn scope_path(rule: &str) -> &'static str {
+    match rule {
+        "relaxed-ordering" => "crates/telemetry/src/recorder.rs",
+        "telemetry-name-registry" => "crates/core/src/fixture.rs",
+        _ => "crates/core/src/fixture.rs",
+    }
+}
+
+fn check_pair(rule: &str, min_bad: usize) {
+    let stem = rule.replace('-', "_");
+    let bad = lint_fixture(&format!("{stem}_bad.rs"), scope_path(rule));
+    let fired: Vec<_> = bad.iter().filter(|d| d.rule == rule).collect();
+    assert!(
+        fired.len() >= min_bad,
+        "{rule}: expected >= {min_bad} findings on the bad fixture, got {bad:?}"
+    );
+    let clean = lint_fixture(&format!("{stem}_clean.rs"), scope_path(rule));
+    let leaked: Vec<_> = clean.iter().filter(|d| d.rule == rule).collect();
+    assert!(
+        leaked.is_empty(),
+        "{rule}: clean fixture flagged: {leaked:?}"
+    );
+}
+
+#[test]
+fn no_panic_path_pair() {
+    check_pair("no-panic-path", 3);
+}
+
+#[test]
+fn no_direct_index_pair() {
+    check_pair("no-direct-index", 1);
+}
+
+#[test]
+fn no_float_eq_pair() {
+    check_pair("no-float-eq", 1);
+}
+
+#[test]
+fn no_raw_float_cast_pair() {
+    check_pair("no-raw-float-cast", 1);
+}
+
+#[test]
+fn no_inline_tolerance_pair() {
+    check_pair("no-inline-tolerance", 1);
+}
+
+#[test]
+fn validated_matrix_construction_pair() {
+    check_pair("validated-matrix-construction", 1);
+}
+
+#[test]
+fn core_error_type_pair() {
+    check_pair("core-error-type", 1);
+}
+
+#[test]
+fn telemetry_name_registry_pair() {
+    // Two calls in the bad fixture, one of them split across lines.
+    check_pair("telemetry-name-registry", 2);
+}
+
+#[test]
+fn relaxed_ordering_pair() {
+    check_pair("relaxed-ordering", 1);
+}
+
+#[test]
+fn relaxed_ordering_only_in_named_files() {
+    // The same Relaxed usage in a differently named file is out of scope.
+    let diags = lint_fixture("relaxed_ordering_bad.rs", "crates/telemetry/src/metrics.rs");
+    assert!(
+        diags.iter().all(|d| d.rule != "relaxed-ordering"),
+        "{diags:?}"
+    );
+}
+
+#[test]
+fn suppression_with_reason_silences_the_site() {
+    let diags = lint_fixture("suppression_valid.rs", "crates/core/src/fixture.rs");
+    assert!(diags.is_empty(), "{diags:?}");
+}
+
+#[test]
+fn suppression_without_reason_is_rejected() {
+    let diags = lint_fixture("suppression_no_reason.rs", "crates/core/src/fixture.rs");
+    assert!(
+        diags.iter().any(|d| d.rule == "invalid-suppression"),
+        "bare allow() must be reported: {diags:?}"
+    );
+    assert!(
+        diags.iter().any(|d| d.rule == "no-panic-path"),
+        "bare allow() must not suppress the underlying finding: {diags:?}"
+    );
+}
+
+#[test]
+fn fixtures_are_out_of_lint_scope_in_the_real_tree() {
+    // The walker skips tests/ and fixtures/ directories, so the deliberately
+    // bad fixtures never fail the workspace gate. Mirror that contract here:
+    // a fixture linted under its *actual* path must produce nothing, because
+    // the xtask crate is in no rule's scope.
+    let diags = lint_fixture(
+        "no_panic_path_bad.rs",
+        "crates/xtask/tests/fixtures/no_panic_path_bad.rs",
+    );
+    assert!(diags.is_empty(), "{diags:?}");
+}

@@ -1,0 +1,6 @@
+// Fixture: re-exporting linalg's Result as this crate's public alias.
+use qem_linalg::error::{LinalgError, Result};
+
+pub fn solve() -> Result<f64> {
+    Err(LinalgError::Singular)
+}

@@ -1,0 +1,7 @@
+// Fixture: crate error type for public APIs; bare error import is fine.
+use crate::error::Result;
+use qem_linalg::error::LinalgError;
+
+pub fn solve() -> Result<f64> {
+    Err(LinalgError::Singular.into())
+}

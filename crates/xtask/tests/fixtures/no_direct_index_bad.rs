@@ -1,0 +1,4 @@
+// Fixture: bare literal indexing that panics on short input.
+pub fn first_qubit(qubits: &[usize]) -> usize {
+    qubits[0]
+}

@@ -1,0 +1,6 @@
+// Fixture: checked access; array types and repeat literals must not match.
+pub fn first_qubit(qubits: &[usize]) -> Option<usize> {
+    let _buf = [0.0f64; 8];
+    let _arr: [f64; 4] = [1.0, 2.0, 3.0, 4.0];
+    qubits.first().copied()
+}

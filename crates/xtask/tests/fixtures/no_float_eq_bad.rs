@@ -1,0 +1,4 @@
+// Fixture: exact float comparison.
+pub fn is_zero(x: f64) -> bool {
+    x == 0.0
+}

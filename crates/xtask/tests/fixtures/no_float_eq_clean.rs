@@ -1,0 +1,6 @@
+// Fixture: tolerance-based comparison; integer equality must not match.
+const EPS: f64 = 1e-12;
+
+pub fn is_zero(x: f64, n: usize) -> bool {
+    x.abs() < EPS && n == 0
+}

@@ -1,0 +1,4 @@
+// Fixture: magic tolerance literal at a use site.
+pub fn cull(x: f64) -> f64 {
+    if x.abs() < 1e-10 { 0.0 } else { x }
+}

@@ -1,0 +1,6 @@
+// Fixture: the tolerance is a named constant.
+const CULL: f64 = 1e-10;
+
+pub fn cull(x: f64) -> f64 {
+    if x.abs() < CULL { 0.0 } else { x }
+}

@@ -1,0 +1,9 @@
+// Fixture: panicking escape hatches in shipped numeric code.
+pub fn demo(v: &[f64]) -> f64 {
+    let first = v.first().unwrap();
+    let second: f64 = *v.get(1).expect("needs two entries");
+    if v.len() > 9 {
+        panic!("too long");
+    }
+    first + second
+}

@@ -1,0 +1,20 @@
+// Fixture: the same logic, fallibly.
+pub fn demo(v: &[f64]) -> Option<f64> {
+    let first = v.first()?;
+    let second = v.get(1)?;
+    if v.len() > 9 {
+        return None;
+    }
+    Some(first + second)
+}
+
+#[cfg(test)]
+mod tests {
+    // Unwraps inside #[cfg(test)] are fine.
+    #[test]
+    fn in_tests_unwrap_is_allowed() {
+        let v = [1.0, 2.0];
+        let x = super::demo(&v).unwrap();
+        assert!(x > 0.0);
+    }
+}

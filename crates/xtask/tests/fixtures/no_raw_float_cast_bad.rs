@@ -1,0 +1,4 @@
+// Fixture: silently truncating cast from float arithmetic.
+pub fn scale(w: f64) -> usize {
+    (w * 200.0).min(50.0) as usize
+}

@@ -1,0 +1,5 @@
+// Fixture: explicit rounding before the cast; int-to-int casts are fine.
+pub fn scale(w: f64, n: u64) -> usize {
+    let _narrow = n as usize;
+    (w * 200.0).min(50.0).floor() as usize
+}

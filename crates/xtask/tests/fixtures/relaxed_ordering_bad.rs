@@ -1,0 +1,6 @@
+// Fixture: Relaxed atomic in a concurrency-sensitive file (scoped by name).
+use std::sync::atomic::{AtomicU64, Ordering};
+
+pub fn bump(c: &AtomicU64) {
+    c.fetch_add(1, Ordering::Relaxed);
+}

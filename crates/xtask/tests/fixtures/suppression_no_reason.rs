@@ -1,0 +1,5 @@
+// Fixture: a bare allow() must NOT suppress and is itself a finding.
+pub fn demo(v: &[f64]) -> f64 {
+    // qem-lint: allow(no-panic-path)
+    v.first().unwrap() + 1.0
+}

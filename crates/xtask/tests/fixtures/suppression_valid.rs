@@ -1,0 +1,5 @@
+// Fixture: a suppression with a reason silences exactly one site.
+pub fn demo(v: &[f64]) -> f64 {
+    // qem-lint: allow(no-panic-path) — length checked by the caller's contract
+    v.first().unwrap() + 1.0
+}

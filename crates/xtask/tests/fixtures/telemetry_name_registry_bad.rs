@@ -1,0 +1,8 @@
+// Fixture: ad-hoc metric name at the call site.
+pub fn record(rec: &qem_telemetry::Recorder) {
+    rec.counter_add("core.adhoc.total", 1);
+    qem_telemetry::span!(
+        "core.adhoc.phase",
+        qubits = 4
+    );
+}

@@ -1,0 +1,7 @@
+// Fixture: names come from the central registry.
+use qem_telemetry::names;
+
+pub fn record(rec: &qem_telemetry::Recorder) {
+    rec.counter_add(names::CORE_CALIBRATIONS_TOTAL, 1);
+    qem_telemetry::span!(names::CORE_CMC_ASSEMBLE, qubits = 4);
+}

@@ -1,0 +1,4 @@
+// Fixture: raw Dense matrix literal in calibration code.
+pub fn flip() -> Matrix {
+    Matrix::from_rows(&[&[0.9, 0.1], &[0.1, 0.9]])
+}

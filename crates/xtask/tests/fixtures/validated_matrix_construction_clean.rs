@@ -1,0 +1,5 @@
+// Fixture: validated stochastic constructor; identity is allowed.
+pub fn flip() -> qem_linalg::error::Result<Matrix> {
+    let _eye = Matrix::identity(2);
+    qem_linalg::stochastic::flip_channel(0.1, 0.1)
+}

@@ -43,7 +43,11 @@ fn main() {
     );
 
     // 2. Measurement calibration: CMC over the coupling map.
-    let opts = CmcOptions { k: 1, shots_per_circuit: 4096, cull_threshold: 1e-10 };
+    let opts = CmcOptions {
+        k: 1,
+        shots_per_circuit: 4096,
+        cull_threshold: 1e-10,
+    };
     let cal = calibrate_cmc(&backend, &opts, &mut rng).expect("CMC calibration");
     println!(
         "CMC: {} patches, {} circuits, {} shots",
@@ -71,7 +75,9 @@ fn main() {
     }
 
     // 5. Probe for drift on a stable device…
-    let report = monitor.check(&backend, 8192, &mut rng).expect("drift probe");
+    let report = monitor
+        .check(&backend, 8192, &mut rng)
+        .expect("drift probe");
     println!(
         "\ndrift probe (stable device): max rate change {:.4} -> recalibrate? {}",
         report.max_rate_change, report.should_recalibrate
@@ -81,7 +87,9 @@ fn main() {
     let mut drifted_noise = backend.noise.clone();
     drifted_noise.p_flip1[2] += 0.10;
     let drifted = Backend::new(backend.coupling.clone(), drifted_noise);
-    let report = monitor.check(&drifted, 8192, &mut rng).expect("drift probe");
+    let report = monitor
+        .check(&drifted, 8192, &mut rng)
+        .expect("drift probe");
     println!(
         "drift probe (qubit 2 degraded): max rate change {:.4} on qubit {} -> recalibrate? {}",
         report.max_rate_change, report.worst_qubit, report.should_recalibrate

@@ -28,7 +28,11 @@ fn main() {
     }
     let graph = Graph::from_edges(n, &edges);
     let coupling = CouplingMap::new("ladder-8", graph);
-    println!("custom device: {} qubits, {} couplings", n, coupling.num_edges());
+    println!(
+        "custom device: {} qubits, {} couplings",
+        n,
+        coupling.num_edges()
+    );
 
     // 2. A noise model: biased readout plus one correlated rung.
     let mut noise = NoiseModel::random_biased(n, 0.02, 0.08, 99);
@@ -50,7 +54,11 @@ fn main() {
 
     // 4. Calibrate.
     let mut rng = StdRng::seed_from_u64(5);
-    let opts = CmcOptions { k: 1, shots_per_circuit: 4096, cull_threshold: 1e-10 };
+    let opts = CmcOptions {
+        k: 1,
+        shots_per_circuit: 4096,
+        cull_threshold: 1e-10,
+    };
     let cal = calibrate_cmc(&backend, &opts, &mut rng).expect("calibration");
     println!(
         "calibrated {} patches with {} circuits / {} shots",
@@ -63,7 +71,10 @@ fn main() {
     // correlation shows up in the patch weights.
     let mut weights = cal.correlation_weights().expect("weights");
     weights.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
-    println!("strongest correlated coupling: q{}–q{} ({:.4})", weights[0].0 .0, weights[0].0 .1, weights[0].1);
+    println!(
+        "strongest correlated coupling: q{}–q{} ({:.4})",
+        weights[0].0 .0, weights[0].0 .1, weights[0].1
+    );
 
     // 5. Mitigate a GHZ run. The same mitigator is reusable for any circuit
     // on this device (paper §VII-A) — no per-circuit recalibration.

@@ -29,12 +29,20 @@ fn main() {
             std::process::exit(2);
         }
     };
-    println!("characterising {} ({} qubits)…\n", backend.name, backend.num_qubits());
+    println!(
+        "characterising {} ({} qubits)…\n",
+        backend.name,
+        backend.num_qubits()
+    );
 
     let opts = ErrOptions {
         locality: 2,
         max_edges: None,
-        cmc: CmcOptions { k: 1, shots_per_circuit: 8192, cull_threshold: 1e-10 },
+        cmc: CmcOptions {
+            k: 1,
+            shots_per_circuit: 8192,
+            cull_threshold: 1e-10,
+        },
     };
     let mut rng = StdRng::seed_from_u64(3);
     let err = characterize_err(&backend, &opts, &mut rng).expect("characterisation");
@@ -52,12 +60,19 @@ fn main() {
     weights.sort_by(|a, b| b.weight.partial_cmp(&a.weight).unwrap());
     for w in &weights {
         let on_map = backend.coupling.graph.has_edge(w.i, w.j);
-        let marker = if on_map { "coupling edge" } else { "NON-edge    " };
+        let marker = if on_map {
+            "coupling edge"
+        } else {
+            "NON-edge    "
+        };
         let bar = "#".repeat((w.weight * 200.0).min(60.0) as usize);
         println!("  q{}–q{}  [{marker}]  {:.4}  {bar}", w.i, w.j, w.weight);
     }
 
-    println!("\nERR error coupling map (Algorithm 2, ≤ {} edges):", backend.num_qubits());
+    println!(
+        "\nERR error coupling map (Algorithm 2, ≤ {} edges):",
+        backend.num_qubits()
+    );
     for e in err.error_map.graph.edges() {
         println!("  q{}–q{}", e.a, e.b);
     }

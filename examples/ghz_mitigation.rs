@@ -36,7 +36,10 @@ fn main() {
         "GHZ-{n} on {} — 1-norm distance to ideal, {budget} shots/method, {trials} trials\n",
         backend.name
     );
-    println!("{:<10} {:>22}  circuits", "method", "1-norm (median +max/-min)");
+    println!(
+        "{:<10} {:>22}  circuits",
+        "method", "1-norm (median +max/-min)"
+    );
 
     // Full gates itself via feasible(); Linear runs at any width.
     for strategy in standard_strategies(true) {

@@ -35,7 +35,10 @@ fn main() {
     for q in 0..n {
         let c = model.confusion_channel(&[q], 60_000, &mut rng);
         let (p10, p01) = (c[(1, 0)], c[(0, 1)]);
-        println!("  q{q}: P(1|0) = {p10:.4}   P(0|1) = {p01:.4}   (decay bias x{:.1})", p01 / p10.max(1e-9));
+        println!(
+            "  q{q}: P(1|0) = {p10:.4}   P(0|1) = {p01:.4}   (decay bias x{:.1})",
+            p01 / p10.max(1e-9)
+        );
         noise.p_flip0[q] = p10;
         noise.p_flip1[q] = p01;
     }
@@ -53,7 +56,11 @@ fn main() {
 
     // 4. Run the standard pipeline on the fitted backend.
     let backend = Backend::new(linear(n), noise);
-    let opts = CmcOptions { k: 1, shots_per_circuit: 8_192, cull_threshold: 1e-10 };
+    let opts = CmcOptions {
+        k: 1,
+        shots_per_circuit: 8_192,
+        cull_threshold: 1e-10,
+    };
     let cal = calibrate_cmc(&backend, &opts, &mut rng).expect("CMC calibration");
     let ghz = ghz_bfs(&backend.coupling.graph, 0);
     let raw = backend.execute(&ghz, 16_000, &mut rng);

@@ -79,7 +79,11 @@ fn main() {
     // quasi-probability fill-in sits orders of magnitude below real mass,
     // and the ablation shows aggressive culling costs nothing on sparse
     // targets while capping the working set.
-    let opts = CmcOptions { k: 1, shots_per_circuit: 2048, cull_threshold: 2e-7 };
+    let opts = CmcOptions {
+        k: 1,
+        shots_per_circuit: 2048,
+        cull_threshold: 2e-7,
+    };
     let mut rng = StdRng::seed_from_u64(7);
     let cal = calibrate_cmc(&backend, &opts, &mut rng).expect("CMC calibration");
     println!(
@@ -122,7 +126,13 @@ fn main() {
     // global parity of the prepared string.
     let parity = |d: &qem::linalg::SparseDist| {
         d.iter()
-            .map(|(s, w)| if s.count_ones() % 2 == target.count_ones() % 2 { w } else { -w })
+            .map(|(s, w)| {
+                if s.count_ones() % 2 == target.count_ones() % 2 {
+                    w
+                } else {
+                    -w
+                }
+            })
             .sum::<f64>()
     };
     println!(

@@ -15,7 +15,12 @@ use rand::SeedableRng;
 
 fn main() {
     let backend = qem::sim::devices::simulated_quito(7);
-    println!("device: {} ({} qubits, {} couplings)", backend.name, backend.num_qubits(), backend.coupling.num_edges());
+    println!(
+        "device: {} ({} qubits, {} couplings)",
+        backend.name,
+        backend.num_qubits(),
+        backend.coupling.num_edges()
+    );
 
     // The benchmark circuit: a full-device GHZ state laid out by BFS over
     // the coupling map (paper §V-B).
@@ -26,7 +31,9 @@ fn main() {
     let budget = 32_000; // total shots: calibration + execution (paper §VI-C)
     let mut rng = StdRng::seed_from_u64(1);
 
-    let bare = Bare.run(&backend, &ghz, budget, &mut rng).expect("bare run");
+    let bare = Bare
+        .run(&backend, &ghz, budget, &mut rng)
+        .expect("bare run");
     let cmc = CmcStrategy::default()
         .run(&backend, &ghz, budget, &mut rng)
         .expect("CMC run");

@@ -31,15 +31,14 @@ pub use qem_topology as topology;
 /// The names most programs need.
 pub mod prelude {
     pub use qem_core::{
-        calibrate_cmc, calibrate_cmc_err, calibrate_resilient, CalibrationMatrix,
-        CmcCalibration, CmcOptions, CoreError, ErrOptions, MitigationLevel, ResilienceOptions,
-        ResilienceReport, RetryExecutor, RetryPolicy, SparseMitigator,
+        calibrate_cmc, calibrate_cmc_err, calibrate_resilient, CalibrationMatrix, CmcCalibration,
+        CmcOptions, CoreError, ErrOptions, MitigationLevel, ResilienceOptions, ResilienceReport,
+        RetryExecutor, RetryPolicy, SparseMitigator,
     };
     pub use qem_linalg::{Matrix, SparseDist};
     pub use qem_mitigation::{
         AimStrategy, Bare, CmcErrStrategy, CmcStrategy, FullStrategy, JigsawStrategy,
-        LinearStrategy, MitigationOutcome, MitigationStrategy, ResilientCmcStrategy,
-        SimStrategy,
+        LinearStrategy, MitigationOutcome, MitigationStrategy, ResilientCmcStrategy, SimStrategy,
     };
     pub use qem_sim::{Backend, Circuit, Counts, Gate, MeasurementChannel, NoiseModel};
     pub use qem_sim::{ExecutionError, Executor, FaultProfile, FaultyBackend};

@@ -87,11 +87,16 @@ impl Args {
     }
 
     fn get(&self, key: &str) -> Option<&str> {
-        self.values.iter().find(|(k, _)| k == key).map(|(_, v)| v.as_str())
+        self.values
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
     }
 
     fn get_u64(&self, key: &str, default: u64) -> u64 {
-        self.get(key).and_then(|v| v.parse().ok()).unwrap_or(default)
+        self.get(key)
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(default)
     }
 
     fn has_flag(&self, key: &str) -> bool {
@@ -116,15 +121,25 @@ fn require_backend(args: &Args, seed: u64) -> Result<Backend, String> {
 }
 
 fn cmd_devices() {
-    println!("{:<10} {:>6} {:>6}  noise profile", "device", "qubits", "edges");
+    println!(
+        "{:<10} {:>6} {:>6}  noise profile",
+        "device", "qubits", "edges"
+    );
     for name in ["quito", "lima", "manila", "nairobi"] {
-        let b = backend_by_name(name, 1).expect("preset");
+        let Some(b) = backend_by_name(name, 1) else {
+            continue;
+        };
         let profile = match name {
             "quito" | "lima" => "correlations aligned with coupling map",
             "manila" => "local, non-coupling-aligned correlations",
             _ => "correlations anti-aligned with coupling map",
         };
-        println!("{:<10} {:>6} {:>6}  {profile}", name, b.num_qubits(), b.coupling.num_edges());
+        println!(
+            "{:<10} {:>6} {:>6}  {profile}",
+            name,
+            b.num_qubits(),
+            b.coupling.num_edges()
+        );
     }
 }
 
@@ -152,16 +167,24 @@ fn cmd_characterize(args: &Args, seed: u64) -> Result<(), String> {
     let shots = args.get_u64("shots", 4096);
     let out: PathBuf = args.get("out").unwrap_or("qem-calibration.json").into();
     let mut rng = StdRng::seed_from_u64(seed);
-    let opts = CmcOptions { k: 1, shots_per_circuit: shots, cull_threshold: 1e-10 };
+    let opts = CmcOptions {
+        k: 1,
+        shots_per_circuit: shots,
+        cull_threshold: qem::linalg::tol::CULL,
+    };
 
     if let Some(profile_name) = args.get("fault-profile") {
         return characterize_resilient(args, backend, profile_name, opts, seed, &out, &mut rng);
     }
 
     let cal = if args.has_flag("err") {
-        let eopts = ErrOptions { locality: 2, max_edges: None, cmc: opts };
-        let (err, cal) = qem::core::calibrate_cmc_err(&backend, &eopts, &mut rng)
-            .map_err(|e| e.to_string())?;
+        let eopts = ErrOptions {
+            locality: 2,
+            max_edges: None,
+            cmc: opts,
+        };
+        let (err, cal) =
+            qem::core::calibrate_cmc_err(&backend, &eopts, &mut rng).map_err(|e| e.to_string())?;
         println!(
             "ERR sweep: {} candidate pairs, error map of {} edges ({:.0}% weight captured)",
             err.pair_calibrations.len(),
@@ -208,8 +231,16 @@ fn characterize_resilient(
     let clean = backend.clone();
     let faulty = FaultyBackend::new(backend, profile);
 
-    let mut ropts = ResilienceOptions { cmc: opts, use_err: args.has_flag("err"), ..Default::default() };
-    ropts.err = ErrOptions { locality: 2, max_edges: None, cmc: opts };
+    let mut ropts = ResilienceOptions {
+        cmc: opts,
+        use_err: args.has_flag("err"),
+        ..Default::default()
+    };
+    ropts.err = ErrOptions {
+        locality: 2,
+        max_edges: None,
+        cmc: opts,
+    };
     ropts.retry.max_retries = args.get_u64("max-retries", 3) as u32;
 
     let mut result = calibrate_resilient(&faulty, &ropts, rng);
@@ -226,7 +257,9 @@ fn characterize_resilient(
             // Exercise the mitigator once so traces show the full
             // schedule -> join -> apply pipeline, not just calibration.
             let ghz = ghz_bfs(&clean.coupling.graph, 0);
-            let raw = clean.try_execute(&ghz, 2048, rng).map_err(|e| e.to_string())?;
+            let raw = clean
+                .try_execute(&ghz, 2048, rng)
+                .map_err(|e| e.to_string())?;
             let mitigated = cal.mitigator.mitigate(&raw).map_err(|e| e.to_string())?;
             let correct = [0u64, (1u64 << num_qubits) - 1];
             println!(
@@ -257,7 +290,10 @@ fn characterize_resilient(
 
 fn cmd_mitigate(args: &Args, seed: u64) -> Result<(), String> {
     let backend = require_backend(args, seed)?;
-    let path: PathBuf = args.get("calibration").ok_or("missing --calibration FILE")?.into();
+    let path: PathBuf = args
+        .get("calibration")
+        .ok_or("missing --calibration FILE")?
+        .into();
     let shots = args.get_u64("shots", 16_000);
     let record = CmcRecord::load(&path).map_err(|e| e.to_string())?;
     if record.num_qubits != backend.num_qubits() {
@@ -292,26 +328,32 @@ fn cmd_report(args: &Args, seed: u64) -> Result<(), String> {
     let opts = ErrOptions {
         locality: 2,
         max_edges: None,
-        cmc: CmcOptions { k: 1, shots_per_circuit: shots, cull_threshold: 1e-10 },
+        cmc: CmcOptions {
+            k: 1,
+            shots_per_circuit: shots,
+            cull_threshold: qem::linalg::tol::CULL,
+        },
     };
     let err = characterize_err(&backend, &opts, &mut rng).map_err(|e| e.to_string())?;
     let mut weights = err.weights.clone();
     weights.sort_by(|a, b| b.weight.total_cmp(&a.weight));
     println!("correlation weights on {} (Fig. 1):", backend.name);
     for w in &weights {
-        let tag = if backend.coupling.graph.has_edge(w.i, w.j) { "edge" } else { "NON-edge" };
+        let tag = if backend.coupling.graph.has_edge(w.i, w.j) {
+            "edge"
+        } else {
+            "NON-edge"
+        };
         println!(
             "  q{}-q{}  [{tag:>8}]  {:.4}  {}",
             w.i,
             w.j,
             w.weight,
-            "#".repeat((w.weight * 200.0).min(50.0) as usize)
+            "#".repeat((w.weight * 200.0).min(50.0).floor() as usize)
         );
     }
-    let jaccard = qem::topology::err_map::edge_jaccard(
-        &err.error_map.graph,
-        &backend.coupling.graph,
-    );
+    let jaccard =
+        qem::topology::err_map::edge_jaccard(&err.error_map.graph, &backend.coupling.graph);
     println!("\nERR map vs coupling map (Jaccard): {jaccard:.2}");
     println!(
         "{}",
@@ -385,19 +427,26 @@ fn cmd_bench_snapshot(args: &Args, seed: u64) -> Result<(), String> {
         Box::new(FullStrategy::default()),
     ];
 
-    println!("bench-snapshot: GHZ-{n} on {} with {budget} shots/method", backend.name);
+    println!(
+        "bench-snapshot: GHZ-{n} on {} with {budget} shots/method",
+        backend.name
+    );
     let mut entries = Vec::new();
     for strategy in strategies {
         if !strategy.feasible(&backend, budget) {
-            println!("  {:<8} N/A (infeasible at this width/budget)", strategy.name());
+            println!(
+                "  {:<8} N/A (infeasible at this width/budget)",
+                strategy.name()
+            );
             continue;
         }
         // Per-strategy isolation: each entry's counters/spans cover exactly
         // one run.
         tel.reset();
         let mut rng = StdRng::seed_from_u64(seed);
-        let outcome =
-            strategy.run(&backend, &ghz, budget, &mut rng).map_err(|e| e.to_string())?;
+        let outcome = strategy
+            .run(&backend, &ghz, budget, &mut rng)
+            .map_err(|e| e.to_string())?;
         let l1 = outcome.distribution.l1_distance(&ideal);
         let snap = tel.snapshot();
         let stages = Json::Obj(
@@ -423,11 +472,20 @@ fn cmd_bench_snapshot(args: &Args, seed: u64) -> Result<(), String> {
         entries.push(Json::obj(vec![
             ("name", Json::str(strategy.name())),
             ("l1_distance", Json::Float(l1)),
-            ("calibration_circuits", Json::UInt(outcome.calibration_circuits as u64)),
+            (
+                "calibration_circuits",
+                Json::UInt(outcome.calibration_circuits as u64),
+            ),
             ("calibration_shots", Json::UInt(outcome.calibration_shots)),
             ("execution_shots", Json::UInt(outcome.execution_shots)),
-            ("circuits_submitted", Json::UInt(snap.counter("sim.exec.circuits_submitted"))),
-            ("shots_executed", Json::UInt(snap.counter("sim.exec.shots_executed"))),
+            (
+                "circuits_submitted",
+                Json::UInt(snap.counter(qem::telemetry::names::SIM_EXEC_CIRCUITS_SUBMITTED)),
+            ),
+            (
+                "shots_executed",
+                Json::UInt(snap.counter(qem::telemetry::names::SIM_EXEC_SHOTS_EXECUTED)),
+            ),
             ("stages", stages),
         ]));
     }
@@ -512,4 +570,3 @@ fn main() -> ExitCode {
         }
     }
 }
-

@@ -100,13 +100,17 @@ fn mitigate_rejects_wrong_device_width() {
     let cal = dir.join("cal5.json");
     let cal_str = cal.to_str().unwrap();
     let (_, _, ok) = qem(&[
-        "characterize", "--device", "lima", "--shots", "1000", "--out", cal_str,
+        "characterize",
+        "--device",
+        "lima",
+        "--shots",
+        "1000",
+        "--out",
+        cal_str,
     ]);
     assert!(ok);
     // Nairobi has 7 qubits; the Lima calibration must be refused.
-    let (_, err, ok) = qem(&[
-        "mitigate", "--device", "nairobi", "--calibration", cal_str,
-    ]);
+    let (_, err, ok) = qem(&["mitigate", "--device", "nairobi", "--calibration", cal_str]);
     assert!(!ok);
     assert!(err.contains("qubits"));
     let _ = std::fs::remove_file(&cal);
@@ -117,5 +121,8 @@ fn report_flags_nairobi_as_non_aligned() {
     let (out, _, ok) = qem(&["report", "--device", "nairobi", "--shots", "4000"]);
     assert!(ok, "report failed");
     assert!(out.contains("Jaccard"));
-    assert!(out.contains("CMC-ERR"), "nairobi should recommend CMC-ERR:\n{out}");
+    assert!(
+        out.contains("CMC-ERR"),
+        "nairobi should recommend CMC-ERR:\n{out}"
+    );
 }

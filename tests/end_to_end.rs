@@ -98,7 +98,11 @@ fn calibration_is_circuit_independent() {
     use qem::core::{calibrate_cmc, CmcOptions};
     let backend = devices::simulated_quito(3);
     let mut rng = StdRng::seed_from_u64(9);
-    let opts = CmcOptions { k: 1, shots_per_circuit: 8_000, cull_threshold: 1e-10 };
+    let opts = CmcOptions {
+        k: 1,
+        shots_per_circuit: 8_000,
+        cull_threshold: 1e-10,
+    };
     let cal = calibrate_cmc(&backend, &opts, &mut rng).unwrap();
 
     let n = backend.num_qubits();
@@ -106,8 +110,8 @@ fn calibration_is_circuit_independent() {
     let ghz = ghz_bfs(&backend.coupling.graph, 0);
     let raw = backend.execute(&ghz, 16_000, &mut rng);
     let correct = [0u64, (1u64 << n) - 1];
-    let ghz_gain = cal.mitigator.mitigate(&raw).unwrap().mass_on(&correct)
-        - raw.success_probability(&correct);
+    let ghz_gain =
+        cal.mitigator.mitigate(&raw).unwrap().mass_on(&correct) - raw.success_probability(&correct);
 
     // Circuit B: |10101⟩ preparation, same calibration reused.
     let target = 0b10101u64;
@@ -144,7 +148,9 @@ fn resource_ledgers_match_table1_shapes() {
         .unwrap();
     assert_eq!(sim.calibration_circuits, 4);
 
-    let cmc = CmcStrategy::default().run(&backend, &ghz, budget, &mut rng).unwrap();
+    let cmc = CmcStrategy::default()
+        .run(&backend, &ghz, budget, &mut rng)
+        .unwrap();
     assert!(cmc.calibration_circuits <= 4 * backend.coupling.num_edges());
     assert!(cmc.calibration_circuits % 2 == 0);
 }

@@ -42,7 +42,10 @@ fn err_outage_downgrades_to_cmc() {
     profile.outage = Some((0, 1));
     let faulty = FaultyBackend::new(noisy_backend(4), profile);
 
-    let mut opts = ResilienceOptions { use_err: true, ..Default::default() };
+    let mut opts = ResilienceOptions {
+        use_err: true,
+        ..Default::default()
+    };
     opts.cmc.shots_per_circuit = 4_000;
     opts.err.cmc = opts.cmc;
     opts.retry.max_retries = 0;
@@ -57,7 +60,10 @@ fn err_outage_downgrades_to_cmc() {
         "ERR failure not recorded: {}",
         out.report
     );
-    assert!(out.cmc.is_some(), "the CMC rung should have produced a calibration");
+    assert!(
+        out.cmc.is_some(),
+        "the CMC rung should have produced a calibration"
+    );
     assert!(out.report.failed_submissions >= 1);
 }
 
@@ -89,14 +95,21 @@ fn outage_beyond_retry_budget_downgrades_to_linear_and_reports() {
         "CMC failure not recorded: {}",
         out.report
     );
-    assert!(out.report.retries > 0, "the outage should have forced retries");
-    assert!(out.report.failed_submissions >= 1, "budget exhaustion should be counted");
+    assert!(
+        out.report.retries > 0,
+        "the outage should have forced retries"
+    );
+    assert!(
+        out.report.failed_submissions >= 1,
+        "budget exhaustion should be counted"
+    );
     assert!(out.report.backoff_ticks > 0);
     assert!(out.linear.is_some());
 
     // The Linear mitigator still works end to end.
     let mut r = rng(3);
-    let counts = faulty.try_execute(&ghz_bfs(&faulty.device().coupling.graph, 0), 4_000, &mut r)
+    let counts = faulty
+        .try_execute(&ghz_bfs(&faulty.device().coupling.graph, 0), 4_000, &mut r)
         .expect("post-outage execution should succeed");
     let mitigated = out.mitigator.mitigate(&counts).unwrap();
     assert!((mitigated.total() - 1.0).abs() < 1e-6);
@@ -112,7 +125,10 @@ fn fatal_device_walks_full_ladder_to_bare() {
     profile.fatal_failure_prob = 1.0;
     let faulty = FaultyBackend::new(noisy_backend(3), profile);
 
-    let mut opts = ResilienceOptions { use_err: true, ..Default::default() };
+    let mut opts = ResilienceOptions {
+        use_err: true,
+        ..Default::default()
+    };
     opts.err.cmc = opts.cmc;
 
     let out = calibrate_resilient(&faulty, &opts, &mut rng(4));
@@ -151,7 +167,9 @@ fn flaky_backend_with_retries_still_beats_bare_on_ghz() {
         let out = ResilientCmcStrategy::default()
             .run(&faulty, &circuit, budget, &mut r)
             .expect("retries should absorb 20% transient failures");
-        let report = out.resilience.expect("resilient strategy attaches a report");
+        let report = out
+            .resilience
+            .expect("resilient strategy attaches a report");
         total_retries += report.retries;
         resilient_sum += out.distribution.mass_on(&correct);
 
@@ -162,7 +180,10 @@ fn flaky_backend_with_retries_still_beats_bare_on_ghz() {
             .distribution
             .mass_on(&correct);
     }
-    assert!(total_retries > 0, "20% transient failures over 3 trials forced no retries?");
+    assert!(
+        total_retries > 0,
+        "20% transient failures over 3 trials forced no retries?"
+    );
     assert!(
         resilient_sum > bare_sum,
         "resilient CMC {resilient_sum:.3} should beat bare {bare_sum:.3} despite faults"

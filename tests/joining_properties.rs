@@ -127,7 +127,9 @@ proptest! {
 fn star_and_cycle_overlaps_exact() {
     // Deterministic high-overlap shapes beyond what proptest samples:
     // 4-star (hub v=4) and 4-cycle (all v=2) with distinct channels.
-    let cs: Vec<Matrix> = (0..5).map(|q| flip(0.02 + 0.02 * q as f64, 0.09 - 0.01 * q as f64)).collect();
+    let cs: Vec<Matrix> = (0..5)
+        .map(|q| flip(0.02 + 0.02 * q as f64, 0.09 - 0.01 * q as f64))
+        .collect();
 
     // Star: hub 0, leaves 1..4.
     let patches: Vec<CalibrationMatrix> = (1..5)

@@ -8,7 +8,7 @@
 
 use qem::core::{calibrate_cmc, CmcOptions};
 use qem::linalg::cdense::{pauli_string, CMatrix};
-use qem::linalg::{c64, C64, SparseDist};
+use qem::linalg::{c64, SparseDist, C64};
 use qem::sim::backend::Backend;
 use qem::sim::circuit::Circuit;
 use qem::sim::gate::Gate;
@@ -65,7 +65,13 @@ fn tomograph(
             let parity_mask = mask as u64;
             let e: f64 = dist
                 .iter()
-                .map(|(s, w)| if (s & parity_mask).count_ones().is_multiple_of(2) { w } else { -w })
+                .map(|(s, w)| {
+                    if (s & parity_mask).count_ones().is_multiple_of(2) {
+                        w
+                    } else {
+                        -w
+                    }
+                })
                 .sum();
             expectations[string] += e;
             hits[string] += 1;
@@ -93,17 +99,27 @@ fn cmc_mitigated_tomography_recovers_bell_fidelity() {
     let backend = Backend::new(linear(n), noise);
 
     let mut rng = StdRng::seed_from_u64(3);
-    let opts = CmcOptions { k: 1, shots_per_circuit: 40_000, cull_threshold: 0.0 };
+    let opts = CmcOptions {
+        k: 1,
+        shots_per_circuit: 40_000,
+        cull_threshold: 0.0,
+    };
     let cal = calibrate_cmc(&backend, &opts, &mut rng).expect("CMC calibration");
 
-    let prep = Circuit::new(n)
-        .with(Gate::H(0))
-        .with(Gate::CNOT { control: 0, target: 1 });
+    let prep = Circuit::new(n).with(Gate::H(0)).with(Gate::CNOT {
+        control: 0,
+        target: 1,
+    });
     let bare_rho = tomograph(&backend, &prep, None, 40_000, &mut rng);
     let fixed_rho = tomograph(&backend, &prep, Some(&cal.mitigator), 40_000, &mut rng);
 
     let inv_sqrt2 = std::f64::consts::FRAC_1_SQRT_2;
-    let bell = [c64(inv_sqrt2, 0.0), C64::ZERO, C64::ZERO, c64(inv_sqrt2, 0.0)];
+    let bell = [
+        c64(inv_sqrt2, 0.0),
+        C64::ZERO,
+        C64::ZERO,
+        c64(inv_sqrt2, 0.0),
+    ];
     let fidelity = |rho: &CMatrix| {
         let mut acc = C64::ZERO;
         for i in 0..4 {
@@ -115,7 +131,10 @@ fn cmc_mitigated_tomography_recovers_bell_fidelity() {
     };
     let f_bare = fidelity(&bare_rho);
     let f_fixed = fidelity(&fixed_rho);
-    assert!(f_bare < 0.92, "noise should dent the bare reconstruction: {f_bare:.3}");
+    assert!(
+        f_bare < 0.92,
+        "noise should dent the bare reconstruction: {f_bare:.3}"
+    );
     assert!(
         f_fixed > f_bare + 0.04,
         "mitigated tomography should improve fidelity: {f_bare:.3} -> {f_fixed:.3}"
@@ -139,12 +158,17 @@ fn mitigation_removes_only_measurement_part() {
     let mut backend = Backend::new(linear(n), noise);
     backend.trajectories = 400;
     let mut rng = StdRng::seed_from_u64(9);
-    let opts = CmcOptions { k: 1, shots_per_circuit: 20_000, cull_threshold: 0.0 };
+    let opts = CmcOptions {
+        k: 1,
+        shots_per_circuit: 20_000,
+        cull_threshold: 0.0,
+    };
     let cal = calibrate_cmc(&backend, &opts, &mut rng).expect("calibration");
 
-    let prep = Circuit::new(n)
-        .with(Gate::H(0))
-        .with(Gate::CNOT { control: 0, target: 1 });
+    let prep = Circuit::new(n).with(Gate::H(0)).with(Gate::CNOT {
+        control: 0,
+        target: 1,
+    });
     let bare_rho = tomograph(&backend, &prep, None, 30_000, &mut rng);
     let fixed_rho = tomograph(&backend, &prep, Some(&cal.mitigator), 30_000, &mut rng);
     let zz = pauli_string(&[3, 3]);

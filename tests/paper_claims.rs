@@ -42,8 +42,14 @@ fn exponential_methods_win_on_five_qubits() {
     let bare = mean_l1(&Bare, &backend, budget, trials, 100);
     let sim = mean_l1(&SimStrategy, &backend, budget, trials, 100);
     let best_exponential = full.min(linear);
-    assert!(best_exponential < bare, "exp {best_exponential:.3} vs bare {bare:.3}");
-    assert!(best_exponential < sim, "exp {best_exponential:.3} vs SIM {sim:.3}");
+    assert!(
+        best_exponential < bare,
+        "exp {best_exponential:.3} vs bare {bare:.3}"
+    );
+    assert!(
+        best_exponential < sim,
+        "exp {best_exponential:.3} vs SIM {sim:.3}"
+    );
 }
 
 /// §VI-C: CMC and CMC-ERR beat or match JIGSAW (non-exponential field).

@@ -34,27 +34,51 @@ fn resilient_pipeline_telemetry_matches_report_and_is_deterministic() {
 
     let (out, snap, events) = run_flaky(2023);
     let report = &out.report;
-    assert!(report.retries > 0, "flaky preset should force retries: {report}");
+    assert!(
+        report.retries > 0,
+        "flaky preset should force retries: {report}"
+    );
 
     // Counters mirror the report's ledger exactly.
-    assert_eq!(snap.counter("core.resilience.retries_total"), report.retries);
-    assert_eq!(snap.counter("core.resilience.submissions_total"), report.submissions);
-    assert_eq!(snap.counter("core.resilience.backoff_ticks_total"), report.backoff_ticks);
+    assert_eq!(
+        snap.counter("core.resilience.retries_total"),
+        report.retries
+    );
+    assert_eq!(
+        snap.counter("core.resilience.submissions_total"),
+        report.submissions
+    );
+    assert_eq!(
+        snap.counter("core.resilience.backoff_ticks_total"),
+        report.backoff_ticks
+    );
     assert_eq!(
         snap.counter("core.resilience.downgrades_total"),
         report.downgrades.len() as u64
     );
 
     // Every retry is also a discrete trace event.
-    let retry_events = events.iter().filter(|e| e.name == "core.resilience.retry").count();
+    let retry_events = events
+        .iter()
+        .filter(|e| e.name == "core.resilience.retry")
+        .count();
     assert_eq!(retry_events as u64, report.retries);
 
     // The ladder_rung gauge agrees with the report's final level.
-    assert_eq!(snap.gauge("core.resilience.ladder_rung"), Some(report.level.rung() as f64));
+    assert_eq!(
+        snap.gauge("core.resilience.ladder_rung"),
+        Some(report.level.rung() as f64)
+    );
 
     // The report embeds a completion-time snapshot with the same ledger.
-    let embedded = report.metrics.as_ref().expect("telemetry on => metrics embedded");
-    assert_eq!(embedded.counter("core.resilience.retries_total"), report.retries);
+    let embedded = report
+        .metrics
+        .as_ref()
+        .expect("telemetry on => metrics embedded");
+    assert_eq!(
+        embedded.counter("core.resilience.retries_total"),
+        report.retries
+    );
 
     // Exporters produce structurally valid JSON.
     let json1 = snap.to_json_string();
@@ -83,15 +107,22 @@ fn resilient_pipeline_telemetry_matches_report_and_is_deterministic() {
     opts.cmc.shots_per_circuit = 4_000;
     opts.retry.max_retries = 2;
     let out = calibrate_resilient(&faulty, &opts, &mut StdRng::seed_from_u64(1));
-    assert!(!out.report.downgrades.is_empty(), "outage should downgrade: {}", out.report);
+    assert!(
+        !out.report.downgrades.is_empty(),
+        "outage should downgrade: {}",
+        out.report
+    );
 
     let snap = g.snapshot();
     assert_eq!(
         snap.counter("core.resilience.downgrades_total"),
         out.report.downgrades.len() as u64
     );
-    let downgrade_events =
-        g.events().iter().filter(|e| e.name == "core.resilience.downgrade").count();
+    let downgrade_events = g
+        .events()
+        .iter()
+        .filter(|e| e.name == "core.resilience.downgrade")
+        .count();
     assert_eq!(downgrade_events, out.report.downgrades.len());
     assert_eq!(
         snap.gauge("core.resilience.ladder_rung"),
