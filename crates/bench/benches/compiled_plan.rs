@@ -1,0 +1,108 @@
+//! Compiled-plan kernel benchmarks: the legacy per-step hash-map path
+//! against the layered flat kernel, single-histogram and 64-histogram
+//! batch, on a 20-qubit 16-step culled chain.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use qem_core::SparseMitigator;
+use qem_linalg::dense::Matrix;
+use qem_linalg::lu::inverse;
+use qem_sim::counts::Counts;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::hint::black_box;
+
+const N: usize = 20;
+const STEPS: usize = 16;
+const BATCH: usize = 64;
+
+fn correlated4(seed: u64) -> Matrix {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let f = |p0: f64, p1: f64| Matrix::from_rows(&[&[1.0 - p0, p1], &[p0, 1.0 - p1]]);
+    let a = f(rng.gen_range(0.01..0.08), rng.gen_range(0.01..0.08));
+    let b = f(rng.gen_range(0.01..0.08), rng.gen_range(0.01..0.08));
+    let p: f64 = rng.gen_range(0.01..0.05);
+    let mut joint = Matrix::zeros(4, 4);
+    for c in 0..4usize {
+        joint[(c, c)] += 1.0 - p;
+        joint[(c ^ 3, c)] += p;
+    }
+    qem_linalg::stochastic::normalize_columns(&joint.matmul(&b.kron(&a)).unwrap())
+}
+
+/// A 20-qubit chain mitigator with 16 two-qubit inverse steps on the
+/// adjacent pairs `(i, i+1)` — the shape CMC produces on a linear device.
+fn chain_mitigator() -> SparseMitigator {
+    let mut mit = SparseMitigator::identity(N);
+    mit.cull_threshold = 1e-10;
+    for i in 0..STEPS {
+        let inv = inverse(&correlated4(7 + i as u64)).unwrap();
+        mit.push_step(vec![i, i + 1], inv).unwrap();
+    }
+    mit
+}
+
+/// A synthetic GHZ-like histogram: shots scattered by independent bit
+/// flips around |0…0⟩ and |1…1⟩.
+fn histogram(seed: u64, shots: u64) -> Counts {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let ones = (1u64 << N) - 1;
+    let mut counts = Counts::new(N);
+    for _ in 0..shots {
+        let base = if rng.gen_range(0.0..1.0) < 0.5 {
+            0
+        } else {
+            ones
+        };
+        let mut s = base;
+        for q in 0..N {
+            if rng.gen_range(0.0..1.0) < 0.03 {
+                s ^= 1u64 << q;
+            }
+        }
+        counts.record(s);
+    }
+    counts
+}
+
+fn bench_single(c: &mut Criterion) {
+    let mut group = c.benchmark_group("compiled_plan_single");
+    group.sample_size(20);
+    let mit = chain_mitigator();
+    let dist = histogram(42, 20_000).to_distribution();
+    group.bench_with_input(BenchmarkId::new("legacy_hashmap", N), &N, |b, _| {
+        b.iter(|| black_box(mit.mitigate_dist_serial(&dist).unwrap().len()))
+    });
+    group.bench_with_input(BenchmarkId::new("compiled_plan", N), &N, |b, _| {
+        b.iter(|| black_box(mit.mitigate_dist(&dist).unwrap().len()))
+    });
+    group.finish();
+}
+
+fn bench_batch(c: &mut Criterion) {
+    let mut group = c.benchmark_group("compiled_plan_batch");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(BATCH as u64));
+    let mit = chain_mitigator();
+    let batch: Vec<Counts> = (0..BATCH as u64)
+        .map(|s| histogram(100 + s, 4_000))
+        .collect();
+    group.bench_function("legacy_per_histogram", |b| {
+        b.iter(|| {
+            let mut total = 0usize;
+            for counts in &batch {
+                total += mit
+                    .mitigate_dist_serial(&counts.to_distribution())
+                    .unwrap()
+                    .len();
+            }
+            black_box(total)
+        })
+    });
+    group.bench_function("shared_plan_batch", |b| {
+        b.iter(|| black_box(mit.mitigate_batch(&batch).unwrap().len()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_single, bench_batch);
+criterion_main!(benches);

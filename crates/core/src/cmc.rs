@@ -218,8 +218,8 @@ pub fn assemble_cmc(
             patches = joined.len()
         );
         for p in joined.iter().rev() {
-            let inv = qem_linalg::lu::inverse(&p.matrix)?;
-            mitigator.push_step(p.qubits.clone(), inv);
+            let inv = crate::inverse_cache::invert_cached(&p.matrix)?;
+            mitigator.push_step(p.qubits.clone(), (*inv).clone())?;
         }
     }
 
@@ -373,8 +373,8 @@ pub fn calibrate_cmc_patch_sets(
             patches = joined.len()
         );
         for p in joined.iter().rev() {
-            let inv = qem_linalg::lu::inverse(&p.matrix)?;
-            mitigator.push_step(p.qubits.clone(), inv);
+            let inv = crate::inverse_cache::invert_cached(&p.matrix)?;
+            mitigator.push_step(p.qubits.clone(), (*inv).clone())?;
         }
     }
     // Present the multi-schedule through the pairwise schedule slot by

@@ -176,8 +176,8 @@ pub fn calibrate_cmc_err(
     let mut mitigator = SparseMitigator::identity(n);
     mitigator.cull_threshold = opts.cmc.cull_threshold;
     for p in joined.iter().rev() {
-        let inv = qem_linalg::lu::inverse(&p.matrix)?;
-        mitigator.push_step(p.qubits.clone(), inv);
+        let inv = crate::inverse_cache::invert_cached(&p.matrix)?;
+        mitigator.push_step(p.qubits.clone(), (*inv).clone())?;
     }
 
     let schedule = err.schedule.clone();

@@ -1,0 +1,169 @@
+//! Content-hashed cache of patch-matrix inverses.
+//!
+//! Every mitigator build ends by inverting each joined patch
+//! (`qem_linalg::lu::inverse` on a `2^k × 2^k` block). The same patches are
+//! re-inverted constantly: the resilience ladder rebuilds the mitigator on
+//! every retry rung, drift monitoring re-characterises on a schedule, and
+//! persistence round-trips re-invert identical stored patches. LU on small
+//! blocks is cheap but not free, and the inversions dominate
+//! re-characterisation when counts are already assembled.
+//!
+//! [`invert_cached`] keys the inverse on the *content* of the forward
+//! matrix — an FNV-1a hash over its dimensions and exact `f64` bit
+//! patterns — so any two bit-identical patches share one inversion
+//! process-wide. Hash collisions are handled by storing the forward matrix
+//! alongside its inverse and verifying bit-equality on every hit; the cache
+//! is bounded and resets when full so a long-lived characterisation service
+//! cannot leak. Hits and misses are exported through the telemetry names
+//! `core.plan.inverse_cache_hits_total` / `…_misses_total`.
+
+use crate::error::Result;
+use qem_linalg::dense::Matrix;
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// Entries kept before the cache resets. 4096 inverses of `2^k` blocks
+/// (k ≤ 4 in practice) is a few MiB — far beyond any realistic device
+/// calibration, so a reset only fires under adversarial churn.
+const CACHE_CAP: usize = 4096;
+
+type Shard = HashMap<u64, Vec<(Matrix, Arc<Matrix>)>>;
+
+fn cache() -> &'static Mutex<Shard> {
+    static CACHE: OnceLock<Mutex<Shard>> = OnceLock::new();
+    CACHE.get_or_init(|| Mutex::new(HashMap::new()))
+}
+
+/// FNV-1a over the matrix shape and the exact bit patterns of its entries.
+/// Bit-exact keying means "same inverse" is decided by the arithmetic that
+/// produced the matrix, never by a tolerance.
+fn content_hash(m: &Matrix) -> u64 {
+    const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = FNV_OFFSET;
+    let mut mix = |v: u64| {
+        for shift in [0u32, 8, 16, 24, 32, 40, 48, 56] {
+            h ^= (v >> shift) & 0xff;
+            h = h.wrapping_mul(FNV_PRIME);
+        }
+    };
+    mix(m.rows() as u64);
+    mix(m.cols() as u64);
+    for i in 0..m.rows() {
+        for j in 0..m.cols() {
+            mix(m[(i, j)].to_bits());
+        }
+    }
+    h
+}
+
+/// Exact (bit-for-bit) matrix equality — the collision guard behind a hash
+/// hit. Tolerant comparison would be wrong here: two almost-equal forward
+/// matrices have genuinely different inverses.
+fn bit_identical(a: &Matrix, b: &Matrix) -> bool {
+    if a.rows() != b.rows() || a.cols() != b.cols() {
+        return false;
+    }
+    for i in 0..a.rows() {
+        for j in 0..a.cols() {
+            if a[(i, j)].to_bits() != b[(i, j)].to_bits() {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+/// Inverts `m` through the process-wide content-hashed cache.
+///
+/// Bit-identical inputs — repeated resilience retries, drift
+/// re-characterisation over unchanged patches, persistence round-trips —
+/// pay for LU once and share the stored inverse thereafter.
+pub fn invert_cached(m: &Matrix) -> Result<Arc<Matrix>> {
+    let key = content_hash(m);
+    {
+        let guard = cache().lock().unwrap_or_else(|p| p.into_inner());
+        if let Some(bucket) = guard.get(&key) {
+            if let Some((_, inv)) = bucket.iter().find(|(fwd, _)| bit_identical(fwd, m)) {
+                qem_telemetry::counter_add(
+                    qem_telemetry::names::CORE_PLAN_INVERSE_CACHE_HITS_TOTAL,
+                    1,
+                );
+                return Ok(Arc::clone(inv));
+            }
+        }
+    }
+    // Invert outside the lock: LU is the expensive part and concurrent
+    // misses on distinct matrices should not serialise.
+    let inv = Arc::new(qem_linalg::lu::inverse(m)?);
+    qem_telemetry::counter_add(
+        qem_telemetry::names::CORE_PLAN_INVERSE_CACHE_MISSES_TOTAL,
+        1,
+    );
+    let mut guard = cache().lock().unwrap_or_else(|p| p.into_inner());
+    if guard.len() >= CACHE_CAP {
+        guard.clear();
+    }
+    let bucket = guard.entry(key).or_default();
+    if !bucket.iter().any(|(fwd, _)| bit_identical(fwd, m)) {
+        bucket.push((m.clone(), Arc::clone(&inv)));
+    }
+    Ok(inv)
+}
+
+/// Number of cached inverses (test/diagnostic hook).
+pub fn len() -> usize {
+    let guard = cache().lock().unwrap_or_else(|p| p.into_inner());
+    guard.values().map(Vec::len).sum()
+}
+
+/// Empties the cache (test/diagnostic hook).
+pub fn clear() {
+    let mut guard = cache().lock().unwrap_or_else(|p| p.into_inner());
+    guard.clear();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qem_linalg::stochastic::flip_channel;
+
+    #[test]
+    fn cache_hit_shares_one_inverse() {
+        let m = flip_channel(0.125, 0.0625).unwrap();
+        let a = invert_cached(&m).unwrap();
+        let b = invert_cached(&m.clone()).unwrap();
+        assert!(Arc::ptr_eq(&a, &b), "second call must hit the cache");
+        // And the cached inverse is actually the inverse.
+        let prod = m.matmul(&a).unwrap();
+        let id = Matrix::identity(2);
+        assert!(prod.max_abs_diff(&id).unwrap() < qem_linalg::tol::STOCHASTIC);
+    }
+
+    #[test]
+    fn different_content_gets_different_entries() {
+        let a = invert_cached(&flip_channel(0.03, 0.01).unwrap()).unwrap();
+        let b = invert_cached(&flip_channel(0.03, 0.02).unwrap()).unwrap();
+        assert!(!Arc::ptr_eq(&a, &b));
+        assert!(a.max_abs_diff(&b).unwrap() > 0.0);
+    }
+
+    #[test]
+    fn bitwise_equality_guards_collisions() {
+        let m = flip_channel(0.1, 0.2).unwrap();
+        let mut n = m.clone();
+        // Perturb one entry by one ulp: content must be treated as distinct.
+        let v = n[(0, 0)];
+        n[(0, 0)] = f64::from_bits(v.to_bits() + 1);
+        assert!(!bit_identical(&m, &n));
+        assert_ne!(content_hash(&m), content_hash(&n));
+    }
+
+    #[test]
+    fn singular_matrix_is_not_cached() {
+        let before = len();
+        let singular = Matrix::zeros(2, 2);
+        assert!(invert_cached(&singular).is_err());
+        assert_eq!(len(), before);
+    }
+}

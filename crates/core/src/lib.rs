@@ -12,7 +12,10 @@
 //! * [`cmc`] — the CMC pipeline: Algorithm 1 scheduling → simultaneous
 //!   4-circuit rounds → per-patch matrices → joined sparse mitigator;
 //! * [`err`] — ERR (Algorithm 2) error-map characterisation and CMC-ERR;
-//! * [`mitigator`] — the chained sparse inverse-patch operator (§IV-C).
+//! * [`mitigator`] — the chained sparse inverse-patch operator (§IV-C);
+//! * [`plan`] / [`inverse_cache`] — the compiled execution engine: layered
+//!   scatter plans over flat sorted-run distributions, plus a
+//!   content-hashed process-wide cache of patch inverses.
 
 #![warn(missing_docs)]
 
@@ -23,9 +26,11 @@ pub mod drift;
 pub mod err;
 pub mod error;
 pub mod full;
+pub mod inverse_cache;
 pub mod joining;
 pub mod mitigator;
 pub mod persist;
+pub mod plan;
 pub mod rb;
 pub mod resilience;
 pub mod tensored;
@@ -44,6 +49,7 @@ pub use full::FullCalibration;
 pub use joining::{join_corrections, JoinedPatch};
 pub use mitigator::SparseMitigator;
 pub use persist::{load_or_calibrate, CmcRecord};
+pub use plan::{MitigationPlan, PlanLayer};
 pub use rb::{single_qubit_rb, RbResult};
 pub use resilience::{
     calibrate_resilient, DowngradeEvent, DowngradeRecord, MitigationLevel, PatchIssue,

@@ -3,10 +3,15 @@
 
 use crate::calibration::CalibrationMatrix;
 use crate::error::Result;
+use crate::plan::MitigationPlan;
 use qem_linalg::dense::Matrix;
+use qem_linalg::error::LinalgError;
+use qem_linalg::flat_dist::Workspace;
 use qem_linalg::sparse_apply::{apply_operator_sparse, SparseDist};
 use qem_linalg::stochastic::apply_on_qubits;
 use qem_sim::counts::Counts;
+use rayon::prelude::*;
+use std::sync::{Arc, OnceLock};
 
 /// One mitigation step: a dense `2^k × 2^k` operator on a qubit subset.
 #[derive(Clone, Debug)]
@@ -31,6 +36,10 @@ pub struct SparseMitigator {
     steps: Vec<MitigationStep>,
     /// Post-step culling threshold for sparse application.
     pub cull_threshold: f64,
+    /// Lazily compiled execution plan; reset whenever a step is pushed so
+    /// the plan can never go stale. `cull_threshold` is deliberately *not*
+    /// baked in — it is passed at apply time.
+    plan: OnceLock<Arc<MitigationPlan>>,
 }
 
 impl SparseMitigator {
@@ -40,6 +49,7 @@ impl SparseMitigator {
             n,
             steps: Vec::new(),
             cull_threshold: qem_linalg::tol::CULL,
+            plan: OnceLock::new(),
         }
     }
 
@@ -54,23 +64,57 @@ impl SparseMitigator {
     }
 
     /// Appends a raw operator step.
-    pub fn push_step(&mut self, qubits: Vec<usize>, operator: Matrix) {
-        assert_eq!(
-            operator.rows(),
-            1 << qubits.len(),
-            "step dimension mismatch"
-        );
-        for &q in &qubits {
-            assert!(q < self.n, "step qubit {q} outside register");
+    ///
+    /// Fails with a [`CoreError::Linalg`](crate::error::CoreError) when the
+    /// operator dimension does not match the qubit count or a target qubit
+    /// falls outside the register.
+    pub fn push_step(&mut self, qubits: Vec<usize>, operator: Matrix) -> Result<()> {
+        if operator.rows() != 1 << qubits.len() {
+            return Err(LinalgError::DimensionMismatch {
+                op: "SparseMitigator::push_step",
+                detail: format!(
+                    "{}×{} operator for {} qubits (expected {dim}×{dim})",
+                    operator.rows(),
+                    operator.cols(),
+                    qubits.len(),
+                    dim = 1usize << qubits.len(),
+                ),
+            }
+            .into());
+        }
+        if let Some(&q) = qubits.iter().find(|&&q| q >= self.n) {
+            return Err(LinalgError::DimensionMismatch {
+                op: "SparseMitigator::push_step",
+                detail: format!("step qubit {q} outside register of {} qubits", self.n),
+            }
+            .into());
         }
         self.steps.push(MitigationStep { qubits, operator });
+        // Any previously compiled plan no longer describes the chain.
+        self.plan = OnceLock::new();
+        Ok(())
     }
 
-    /// Appends the inverse of a calibration patch.
+    /// Appends the inverse of a calibration patch. The inversion goes
+    /// through the process-wide [`inverse_cache`](crate::inverse_cache), so
+    /// repeated builds over bit-identical patches (resilience retries,
+    /// drift re-characterisation, persistence round-trips) invert once.
     pub fn push_inverse(&mut self, cal: &CalibrationMatrix) -> Result<()> {
-        let inv = cal.inverse()?;
-        self.push_step(cal.qubits().to_vec(), inv);
-        Ok(())
+        let inv = crate::inverse_cache::invert_cached(cal.matrix())?;
+        self.push_step(cal.qubits().to_vec(), (*inv).clone())
+    }
+
+    /// The compiled execution plan for the current chain, compiling it on
+    /// first use. The plan is shared (`Arc`) so batch applications across
+    /// threads reference one copy.
+    pub fn plan(&self) -> Result<Arc<MitigationPlan>> {
+        if let Some(p) = self.plan.get() {
+            return Ok(Arc::clone(p));
+        }
+        let compiled = Arc::new(MitigationPlan::compile(self)?);
+        // A concurrent caller may have won the race; either value is
+        // equivalent because compilation is deterministic in the steps.
+        Ok(Arc::clone(self.plan.get_or_init(|| compiled)))
     }
 
     /// Builds the mitigator for an ordered chain of *forward* calibration
@@ -90,28 +134,87 @@ impl SparseMitigator {
         self.mitigate_dist(&counts.to_distribution())
     }
 
-    /// Mitigates an already-normalised sparse distribution.
+    /// Mitigates an already-normalised sparse distribution through the
+    /// compiled plan: layered scatter sweeps over flat sorted runs with
+    /// culling fused into the merges.
+    ///
+    /// The emitted `core.mitigator.flops_estimate` counter is the number of
+    /// scatter multiply-adds the kernel *actually performed* on post-cull
+    /// supports (counted inside the kernel), not a pre-cull
+    /// `entries · 4^k` upper bound.
     pub fn mitigate_dist(&self, dist: &SparseDist) -> Result<SparseDist> {
         let _span = qem_telemetry::span!(
             qem_telemetry::names::CORE_MITIGATOR_APPLY,
             steps = self.steps.len()
         );
+        let plan = self.plan()?;
+        let mut ws = Workspace::new();
+        let (mut d, flops) = plan.apply(dist, self.cull_threshold, &mut ws)?;
+        d.clamp_negative();
+        qem_telemetry::counter_add(qem_telemetry::names::CORE_MITIGATOR_FLOPS_ESTIMATE, flops);
+        qem_telemetry::counter_add(qem_telemetry::names::CORE_MITIGATOR_APPLIES_TOTAL, 1);
+        Ok(d)
+    }
+
+    /// The pre-plan reference implementation: per-step hash-map sparse
+    /// apply with culling after every step. Kept for equivalence testing
+    /// and benchmarking against the compiled path; emits no telemetry.
+    pub fn mitigate_dist_serial(&self, dist: &SparseDist) -> Result<SparseDist> {
         let mut d = dist.clone();
-        let mut flops = 0u64;
         for step in &self.steps {
-            // Sparse apply visits each of the `d.len()` entries and fans it
-            // out across the step's 2^k × 2^k operator.
-            let dim = 1u64 << step.qubits.len();
-            flops += d.len() as u64 * dim * dim;
             d = apply_operator_sparse(&step.operator, &step.qubits, &d)?;
             if self.cull_threshold > 0.0 {
                 d.cull(self.cull_threshold);
             }
         }
         d.clamp_negative();
-        qem_telemetry::counter_add(qem_telemetry::names::CORE_MITIGATOR_FLOPS_ESTIMATE, flops);
-        qem_telemetry::counter_add(qem_telemetry::names::CORE_MITIGATOR_APPLIES_TOTAL, 1);
         Ok(d)
+    }
+
+    /// Mitigates a batch of measured histograms with one shared plan,
+    /// fanning the batch across rayon workers (each with its own scratch
+    /// [`Workspace`]). The per-histogram semantics are identical to
+    /// [`SparseMitigator::mitigate`].
+    pub fn mitigate_batch(&self, batch: &[Counts]) -> Result<Vec<SparseDist>> {
+        let _span = qem_telemetry::span!(
+            qem_telemetry::names::CORE_MITIGATOR_BATCH_APPLY,
+            histograms = batch.len()
+        );
+        let plan = self.plan()?;
+        let cull = self.cull_threshold;
+        // Chunk the batch so each rayon worker amortises one scratch
+        // workspace (and its dense accumulator) across its histograms.
+        let threads = rayon::current_num_threads().max(1);
+        let chunk_len = batch.len().div_ceil(threads * 2).max(1);
+        let chunks: Vec<&[Counts]> = batch.chunks(chunk_len).collect();
+        let mitigated: Vec<Vec<Result<(SparseDist, u64)>>> = chunks
+            .into_par_iter()
+            .map(|chunk| {
+                let mut ws = Workspace::new();
+                chunk
+                    .iter()
+                    .map(|counts| plan.apply(&counts.to_distribution(), cull, &mut ws))
+                    .collect()
+            })
+            .collect();
+        let mut out = Vec::with_capacity(batch.len());
+        let mut flops = 0u64;
+        for r in mitigated.into_iter().flatten() {
+            let (mut d, f) = r?;
+            d.clamp_negative();
+            flops += f;
+            out.push(d);
+        }
+        qem_telemetry::counter_add(qem_telemetry::names::CORE_MITIGATOR_FLOPS_ESTIMATE, flops);
+        qem_telemetry::counter_add(
+            qem_telemetry::names::CORE_MITIGATOR_APPLIES_TOTAL,
+            out.len() as u64,
+        );
+        qem_telemetry::counter_add(
+            qem_telemetry::names::CORE_MITIGATOR_BATCH_HISTOGRAMS_TOTAL,
+            out.len() as u64,
+        );
+        Ok(out)
     }
 
     /// Dense mitigation without culling or projection — cross-checks only.
@@ -305,7 +408,8 @@ mod tests {
             mit.push_step(
                 p.qubits.clone(),
                 qem_linalg::lu::inverse(&p.matrix).unwrap(),
-            );
+            )
+            .unwrap();
         }
         let inv_path = mit.mitigate_dense_raw(&observed).unwrap();
         for (a, b) in solved.iter().zip(&inv_path) {
@@ -314,9 +418,55 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "outside register")]
     fn push_step_range_checked() {
         let mut m = SparseMitigator::identity(2);
-        m.push_step(vec![2], Matrix::identity(2));
+        let err = m.push_step(vec![2], Matrix::identity(2)).unwrap_err();
+        assert!(
+            matches!(&err, crate::error::CoreError::Linalg(_)),
+            "expected a linalg error, got {err:?}"
+        );
+        assert!(err.to_string().contains("outside register"));
+        assert!(
+            m.steps().is_empty(),
+            "failed push must not mutate the chain"
+        );
+    }
+
+    #[test]
+    fn push_step_dimension_checked() {
+        let mut m = SparseMitigator::identity(2);
+        let err = m.push_step(vec![0, 1], Matrix::identity(2)).unwrap_err();
+        assert!(err.to_string().contains("expected 4×4"));
+    }
+
+    #[test]
+    fn plan_cache_invalidated_by_push() {
+        let cal = CalibrationMatrix::new(vec![0], flip(0.1, 0.05)).unwrap();
+        let mut m = SparseMitigator::identity(2);
+        m.push_inverse(&cal).unwrap();
+        let p1 = m.plan().unwrap();
+        assert_eq!(p1.num_steps(), 1);
+        assert!(Arc::ptr_eq(&p1, &m.plan().unwrap()), "plan is cached");
+        let cal2 = CalibrationMatrix::new(vec![1], flip(0.2, 0.02)).unwrap();
+        m.push_inverse(&cal2).unwrap();
+        let p2 = m.plan().unwrap();
+        assert_eq!(p2.num_steps(), 2, "push invalidates the cached plan");
+    }
+
+    #[test]
+    fn batch_matches_single_histogram_path() {
+        let cals: Vec<CalibrationMatrix> = (0..3)
+            .map(|q| CalibrationMatrix::new(vec![q], flip(0.05, 0.1)).unwrap())
+            .collect();
+        let mit = SparseMitigator::from_calibrations(3, &cals).unwrap();
+        let batch: Vec<Counts> = (0..5)
+            .map(|i| Counts::from_pairs(3, [(0u64, 40 + i as u64), (5u64, 30), (7u64, 30)]))
+            .collect();
+        let got = mit.mitigate_batch(&batch).unwrap();
+        assert_eq!(got.len(), batch.len());
+        for (b, g) in batch.iter().zip(&got) {
+            let single = mit.mitigate(b).unwrap();
+            assert!(g.l1_distance(&single) < 1e-12);
+        }
     }
 }

@@ -168,8 +168,8 @@ impl CmcRecord {
         let mut mitigator = SparseMitigator::identity(self.num_qubits);
         mitigator.cull_threshold = self.cull_threshold;
         for p in joined.iter().rev() {
-            let inv = qem_linalg::lu::inverse(&p.matrix)?;
-            mitigator.push_step(p.qubits.clone(), inv);
+            let inv = crate::inverse_cache::invert_cached(&p.matrix)?;
+            mitigator.push_step(p.qubits.clone(), (*inv).clone())?;
         }
         Ok(CmcCalibration {
             patches,

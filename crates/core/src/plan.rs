@@ -1,0 +1,242 @@
+//! Compiled mitigation plans: the layered execution form of a
+//! [`SparseMitigator`](crate::mitigator::SparseMitigator) chain.
+//!
+//! A mitigator is an *ordered* list of small inverse-calibration operators
+//! (paper §IV-C). Interpreting that list step by step rebuilds a hash map
+//! per step and re-derives each operator's bit masks on every application.
+//! A [`MitigationPlan`] moves all of that work to a one-off compile:
+//!
+//! * every step is lowered to a [`ScatterStep`] — bit-gather masks plus
+//!   per-column tables of the operator's nonzero entries, so the inner
+//!   apply loop is branch-free table walking;
+//! * consecutive steps on pairwise-disjoint qubit sets are grouped into
+//!   **layers**. Operators on disjoint subsets commute, so a layer is
+//!   applied in one sweep: each histogram entry chains through the whole
+//!   layer in registers before anything is sorted or merged, and the
+//!   sort/merge/cull cost is paid once per layer instead of once per step.
+//!   A layer's combined fan-out is capped ([`MAX_LAYER_FANOUT`]) to bound
+//!   the intermediate entry blow-up;
+//! * application runs on [`FlatDist`] sorted runs with culling fused into
+//!   the merge (`qem_linalg::flat_dist`), not on per-step hash maps.
+//!
+//! Compilation is cheap (microseconds) and cached on the mitigator, so the
+//! plan is shared by every histogram the mitigator touches — including
+//! whole batches via
+//! [`SparseMitigator::mitigate_batch`](crate::mitigator::SparseMitigator::mitigate_batch).
+
+use crate::error::Result;
+use crate::mitigator::SparseMitigator;
+use qem_linalg::flat_dist::{apply_layer, FlatDist, ScatterStep, Workspace};
+use qem_linalg::sparse_apply::SparseDist;
+
+/// Cap on a layer's combined per-entry fan-out (product of its steps'
+/// per-column nonzero counts). 64 keeps a layer's intermediate expansion
+/// within one cache line's worth of `(u64, f64)` pairs per input entry
+/// while still fusing e.g. three dense 2-qubit inverses (4³ = 64).
+pub const MAX_LAYER_FANOUT: usize = 64;
+
+/// One compiled layer: scatter steps on pairwise-disjoint qubit sets,
+/// applied in a single sweep.
+#[derive(Clone, Debug)]
+pub struct PlanLayer {
+    steps: Vec<ScatterStep>,
+    /// Union of the layer's qubit masks.
+    mask: u64,
+    /// Product of the steps' worst-case per-entry fan-outs.
+    fanout: usize,
+}
+
+impl PlanLayer {
+    /// The layer's compiled steps.
+    pub fn steps(&self) -> &[ScatterStep] {
+        &self.steps
+    }
+
+    /// Bitmask of every qubit the layer touches.
+    pub fn mask(&self) -> u64 {
+        self.mask
+    }
+
+    /// Worst-case entries generated per input entry.
+    pub fn fanout(&self) -> usize {
+        self.fanout
+    }
+}
+
+/// A mitigator chain compiled into layers of branch-free scatter steps.
+#[derive(Clone, Debug)]
+pub struct MitigationPlan {
+    n: usize,
+    layers: Vec<PlanLayer>,
+    step_count: usize,
+}
+
+impl MitigationPlan {
+    /// Compiles a mitigator's step chain into a layered plan.
+    ///
+    /// Layering is greedy and order-preserving: a step joins the layer of
+    /// the step immediately before it only when it is qubit-disjoint from
+    /// *every* step already in that layer (disjoint ⇒ commuting ⇒ the fused
+    /// sweep equals sequential application) and the layer's combined
+    /// fan-out stays within [`MAX_LAYER_FANOUT`]; otherwise it opens a new
+    /// layer. Overlapping steps are therefore never reordered.
+    pub fn compile(mit: &SparseMitigator) -> Result<MitigationPlan> {
+        let _span = qem_telemetry::span!(
+            qem_telemetry::names::CORE_PLAN_COMPILE,
+            steps = mit.steps().len()
+        );
+        let mut layers: Vec<PlanLayer> = Vec::new();
+        for step in mit.steps() {
+            let compiled = ScatterStep::compile(&step.operator, &step.qubits)?;
+            let fanout = compiled.max_fanout().max(1);
+            match layers.last_mut() {
+                Some(layer)
+                    if layer.mask & compiled.mask() == 0
+                        && layer.fanout.saturating_mul(fanout) <= MAX_LAYER_FANOUT =>
+                {
+                    layer.mask |= compiled.mask();
+                    layer.fanout *= fanout;
+                    layer.steps.push(compiled);
+                }
+                _ => layers.push(PlanLayer {
+                    mask: compiled.mask(),
+                    fanout,
+                    steps: vec![compiled],
+                }),
+            }
+        }
+        qem_telemetry::counter_add(qem_telemetry::names::CORE_PLAN_COMPILES_TOTAL, 1);
+        qem_telemetry::gauge_set(
+            qem_telemetry::names::CORE_PLAN_LAYER_COUNT,
+            layers.len() as f64,
+        );
+        Ok(MitigationPlan {
+            n: mit.num_qubits(),
+            layers,
+            step_count: mit.steps().len(),
+        })
+    }
+
+    /// Register width the plan was compiled for.
+    pub fn num_qubits(&self) -> usize {
+        self.n
+    }
+
+    /// Compiled layers in application order.
+    pub fn layers(&self) -> &[PlanLayer] {
+        &self.layers
+    }
+
+    /// Number of original mitigation steps the plan covers.
+    pub fn num_steps(&self) -> usize {
+        self.step_count
+    }
+
+    /// Applies the plan to a flat distribution: one fused
+    /// expand-sort-merge-cull sweep per layer, scratch buffers reused from
+    /// `ws`. Returns the mitigated (unprojected) distribution and the exact
+    /// number of scatter multiply-adds performed — counted *inside* the
+    /// kernel on post-cull supports, so the figure reflects work actually
+    /// done rather than a pre-cull upper bound.
+    pub fn apply_flat(
+        &self,
+        dist: &FlatDist,
+        cull: f64,
+        ws: &mut Workspace,
+    ) -> Result<(FlatDist, u64)> {
+        let mut d = dist.clone();
+        let mut flops = 0u64;
+        for layer in &self.layers {
+            let (next, f) = apply_layer(&d, &layer.steps, cull, ws)?;
+            d = next;
+            flops += f;
+            qem_telemetry::histogram_record(
+                qem_telemetry::names::CORE_PLAN_LAYER_ENTRIES,
+                d.len() as f64,
+            );
+        }
+        Ok((d, flops))
+    }
+
+    /// [`MitigationPlan::apply_flat`] with hash-map distributions at the
+    /// boundary, for callers still holding a [`SparseDist`].
+    pub fn apply(
+        &self,
+        dist: &SparseDist,
+        cull: f64,
+        ws: &mut Workspace,
+    ) -> Result<(SparseDist, u64)> {
+        let (flat, flops) = self.apply_flat(&FlatDist::from_sparse(dist), cull, ws)?;
+        Ok((flat.to_sparse(), flops))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::calibration::CalibrationMatrix;
+    use qem_linalg::dense::Matrix;
+
+    fn flip(p0: f64, p1: f64) -> Matrix {
+        Matrix::from_rows(&[&[1.0 - p0, p1], &[p0, 1.0 - p1]])
+    }
+
+    fn chain(n: usize, qubit_sets: &[Vec<usize>]) -> SparseMitigator {
+        let mut mit = SparseMitigator::identity(n);
+        for (i, qs) in qubit_sets.iter().enumerate() {
+            let mut op = flip(0.02 + 0.01 * i as f64, 0.05);
+            for _ in 1..qs.len() {
+                op = op.kron(&flip(0.03, 0.04));
+            }
+            let cal = CalibrationMatrix::new(qs.clone(), op).unwrap();
+            mit.push_inverse(&cal).unwrap();
+        }
+        mit
+    }
+
+    #[test]
+    fn disjoint_steps_fuse_into_one_layer() {
+        let mit = chain(6, &[vec![0], vec![1], vec![2]]);
+        let plan = MitigationPlan::compile(&mit).unwrap();
+        assert_eq!(plan.num_steps(), 3);
+        assert_eq!(plan.layers().len(), 1, "disjoint 1q steps share a layer");
+        assert_eq!(plan.layers()[0].fanout(), 8);
+    }
+
+    #[test]
+    fn overlapping_steps_stay_ordered_in_separate_layers() {
+        let mit = chain(4, &[vec![0, 1], vec![1, 2], vec![2, 3]]);
+        let plan = MitigationPlan::compile(&mit).unwrap();
+        assert_eq!(plan.layers().len(), 3, "chained overlaps cannot fuse");
+    }
+
+    #[test]
+    fn fanout_cap_splits_layers() {
+        // Four dense 2q inverses on disjoint pairs: fan-out 4 each, cap 64
+        // admits three (4³) and forces the fourth into a new layer.
+        let mit = chain(8, &[vec![0, 1], vec![2, 3], vec![4, 5], vec![6, 7]]);
+        let plan = MitigationPlan::compile(&mit).unwrap();
+        assert_eq!(plan.layers().len(), 2);
+        assert_eq!(plan.layers()[0].steps().len(), 3);
+        assert_eq!(plan.layers()[1].steps().len(), 1);
+    }
+
+    #[test]
+    fn plan_apply_matches_dense_reference() {
+        let mit = chain(4, &[vec![0], vec![2, 3], vec![1], vec![0, 1]]);
+        let plan = MitigationPlan::compile(&mit).unwrap();
+        let dense: Vec<f64> = (0..16).map(|i| (i as f64 + 0.5) / 128.0).collect();
+        let reference = mit.mitigate_dense_raw(&dense).unwrap();
+        let (got, flops) = plan
+            .apply(
+                &qem_linalg::sparse_apply::SparseDist::from_dense(&dense),
+                0.0,
+                &mut Workspace::new(),
+            )
+            .unwrap();
+        assert!(flops > 0);
+        for (s, &e) in reference.iter().enumerate() {
+            assert!((got.get(s as u64) - e).abs() < 1e-12, "state {s}");
+        }
+    }
+}

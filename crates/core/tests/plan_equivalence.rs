@@ -1,0 +1,137 @@
+//! Property-based equivalence tests for the compiled mitigation plan:
+//! the layered flat-kernel path must agree with the legacy per-step
+//! hash-map path and the dense reference on random chains, random
+//! distributions, and random culling thresholds.
+
+use proptest::prelude::*;
+use qem_core::SparseMitigator;
+use qem_linalg::dense::Matrix;
+use qem_linalg::sparse_apply::SparseDist;
+use qem_linalg::stochastic::normalize_columns;
+use qem_sim::counts::Counts;
+
+const N: usize = 6;
+
+fn flip(p0: f64, p1: f64) -> Matrix {
+    Matrix::from_rows(&[&[1.0 - p0, p1], &[p0, 1.0 - p1]])
+}
+
+fn channel2() -> impl Strategy<Value = Matrix> {
+    (0.0..0.2f64, 0.0..0.2f64).prop_map(|(a, b)| flip(a, b))
+}
+
+/// Random mildly-correlated 4×4 stochastic operator: product noise plus a
+/// joint flip. Diagonally dominant, hence safely invertible.
+fn correlated4() -> impl Strategy<Value = Matrix> {
+    (channel2(), channel2(), 0.0..0.15f64).prop_map(|(a, b, p)| {
+        let mut joint = Matrix::zeros(4, 4);
+        for c in 0..4usize {
+            joint[(c, c)] += 1.0 - p;
+            joint[(c ^ 3, c)] += p;
+        }
+        normalize_columns(&joint.matmul(&b.kron(&a)).unwrap())
+    })
+}
+
+/// A random chain of two-qubit steps on random adjacent pairs of an
+/// `N`-qubit register. Pairs repeat and overlap freely, so compiled plans
+/// exercise both layer fusion (disjoint steps) and layer breaks
+/// (overlapping steps).
+fn chain() -> impl Strategy<Value = Vec<(usize, Matrix)>> {
+    prop::collection::vec((0usize..N - 1, correlated4()), 1..8)
+}
+
+/// A strictly overlapping chain: consecutive steps share a qubit, so the
+/// compiled plan puts exactly one step per layer and its per-layer culling
+/// points coincide with the legacy path's per-step culling points.
+fn overlapping_chain() -> impl Strategy<Value = Vec<Matrix>> {
+    prop::collection::vec(correlated4(), 2..N)
+}
+
+fn sparse_dist() -> impl Strategy<Value = SparseDist> {
+    prop::collection::vec((0u64..(1 << N), 0.01..1.0f64), 1..20).prop_map(|pairs| {
+        let mut d = SparseDist::from_pairs(pairs);
+        d.normalize();
+        d
+    })
+}
+
+fn build(steps: &[(usize, Matrix)], cull: f64) -> SparseMitigator {
+    let mut mit = SparseMitigator::identity(N);
+    mit.cull_threshold = cull;
+    for (q, m) in steps {
+        mit.push_step(vec![*q, *q + 1], m.clone()).unwrap();
+    }
+    mit
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    /// At cull 0 the compiled layered kernel is exact: it matches both the
+    /// legacy per-step hash-map path and the dense reference to 1e-12 on
+    /// arbitrary chains.
+    #[test]
+    fn plan_matches_serial_and_dense_without_culling(
+        steps in chain(),
+        dist in sparse_dist(),
+    ) {
+        let mit = build(&steps, 0.0);
+        let plan = mit.mitigate_dist(&dist).unwrap();
+        let serial = mit.mitigate_dist_serial(&dist).unwrap();
+        prop_assert!(plan.l1_distance(&serial) < 1e-12,
+            "plan vs serial l1 = {}", plan.l1_distance(&serial));
+
+        let dense = mit.mitigate_dense_raw(&dist.to_dense(N).unwrap()).unwrap();
+        // The dense reference skips the simplex projection, so compare
+        // against an unclamped plan result rebuilt from the serial path
+        // semantics: clamp the dense result the same way.
+        let mut dense_dist = SparseDist::from_dense(&dense);
+        dense_dist.clamp_negative();
+        prop_assert!(plan.l1_distance(&dense_dist) < 1e-12,
+            "plan vs dense l1 = {}", plan.l1_distance(&dense_dist));
+    }
+
+    /// On overlapping chains (one step per layer) the compiled path culls
+    /// at exactly the legacy cull points, so results match for *any*
+    /// threshold.
+    #[test]
+    fn plan_matches_serial_under_random_culling(
+        ops in overlapping_chain(),
+        dist in sparse_dist(),
+        cull in 0.0..1e-2f64,
+    ) {
+        let steps: Vec<(usize, Matrix)> =
+            ops.into_iter().enumerate().map(|(i, m)| (i, m)).collect();
+        let mit = build(&steps, cull);
+        let plan = mit.mitigate_dist(&dist).unwrap();
+        let serial = mit.mitigate_dist_serial(&dist).unwrap();
+        prop_assert!(plan.l1_distance(&serial) < 1e-12,
+            "cull {cull}: plan vs serial l1 = {}", plan.l1_distance(&serial));
+    }
+
+    /// Batch mitigation with a shared plan is histogram-for-histogram
+    /// identical to the single-histogram entry point.
+    #[test]
+    fn batch_matches_single_for_random_batches(
+        steps in chain(),
+        raw in prop::collection::vec(
+            prop::collection::vec((0u64..(1 << N), 1u64..500), 1..10),
+            1..6,
+        ),
+        cull in 0.0..1e-3f64,
+    ) {
+        let mit = build(&steps, cull);
+        let batch: Vec<Counts> = raw
+            .into_iter()
+            .map(|pairs| Counts::from_pairs(N, pairs))
+            .collect();
+        let outs = mit.mitigate_batch(&batch).unwrap();
+        prop_assert_eq!(outs.len(), batch.len());
+        for (out, counts) in outs.iter().zip(&batch) {
+            let single = mit.mitigate(counts).unwrap();
+            prop_assert!(out.l1_distance(&single) < 1e-12,
+                "batch vs single l1 = {}", out.l1_distance(&single));
+        }
+    }
+}

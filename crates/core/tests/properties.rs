@@ -76,7 +76,8 @@ proptest! {
         let mut mit = SparseMitigator::identity(3);
         mit.cull_threshold = 0.0;
         for p in joined.iter().rev() {
-            mit.push_step(p.qubits.clone(), qem_linalg::lu::inverse(&p.matrix).unwrap());
+            mit.push_step(p.qubits.clone(), qem_linalg::lu::inverse(&p.matrix).unwrap())
+                .unwrap();
         }
         let recovered = mit
             .mitigate_dense_raw(&observed)
@@ -112,7 +113,9 @@ proptest! {
         let joined = join_corrections(&patches).unwrap();
         let mut mitigator = SparseMitigator::identity(3);
         for p in joined.iter().rev() {
-            mitigator.push_step(p.qubits.clone(), qem_linalg::lu::inverse(&p.matrix).unwrap());
+            mitigator
+                .push_step(p.qubits.clone(), qem_linalg::lu::inverse(&p.matrix).unwrap())
+                .unwrap();
         }
         let cal = qem_core::CmcCalibration {
             patches,

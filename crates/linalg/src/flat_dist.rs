@@ -1,0 +1,787 @@
+//! Flat sorted-vector sparse distributions and the compiled scatter kernel
+//! behind mitigation plans.
+//!
+//! [`SparseDist`](crate::sparse_apply::SparseDist) hashes every entry on
+//! every step of a mitigation chain; fine for one histogram, wasteful when
+//! the same chain is applied to thousands. [`FlatDist`] stores the same
+//! quasi-probability distribution as a **sorted run** of `(state, weight)`
+//! pairs, so applying a step becomes: fan each entry out through a
+//! precomputed scatter table, sort the chunk-local output runs, and merge
+//! them — with duplicate accumulation and low-weight culling fused into the
+//! final merge pass. Chunks expand and sort in parallel (rayon), merge in a
+//! parallel binary tree, and all scratch buffers live in a reusable
+//! [`Workspace`] so a batched caller allocates once per thread, not once
+//! per step.
+//!
+//! [`ScatterStep`] is the compiled form of one `2^k × 2^k` operator on a
+//! qubit subset: a branch-free bit-gather (state → operator column) plus a
+//! per-column table of `(scattered bits, coefficient)` nonzeros. A slice of
+//! steps on pairwise-disjoint qubit sets forms a *layer* that
+//! [`apply_layer`] sweeps in one pass: each entry chains through every step
+//! of the layer in registers before anything is sorted or merged, so the
+//! expensive passes are paid once per layer instead of once per step.
+
+use crate::dense::Matrix;
+use crate::error::{LinalgError, Result};
+use crate::sparse_apply::SparseDist;
+use crate::stochastic::qubit_count;
+use crate::tol;
+use rayon::prelude::*;
+
+/// Below this many generated entries the serial path beats rayon's
+/// fork/join overhead (mirrors `qem_sim::state::PAR_THRESHOLD`).
+const PAR_THRESHOLD: usize = 1 << 12;
+
+/// Target number of parallel chunks per expansion sweep: a few per core so
+/// rayon can load-balance uneven fan-out without over-fragmenting the merge
+/// tree.
+const CHUNKS_PER_THREAD: usize = 4;
+
+/// Ceiling on the dense-accumulator scratch (in slots, 32 MiB of `f64`).
+/// Layers whose output key space fits under this and is dense enough skip
+/// sorting entirely and scatter straight into an indexed array.
+const DENSE_DIM_LIMIT: u64 = 1 << 22;
+
+/// Sparse quasi-probability distribution as a run of `(state, weight)`
+/// pairs sorted by state with unique keys.
+///
+/// The flat layout is what makes the mitigation kernel fast: lookups are
+/// binary searches, merges are linear scans, and the whole distribution is
+/// one contiguous allocation that can be reused across steps.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct FlatDist {
+    entries: Vec<(u64, f64)>,
+}
+
+impl FlatDist {
+    /// Empty distribution.
+    pub fn new() -> Self {
+        FlatDist {
+            entries: Vec::new(),
+        }
+    }
+
+    /// Builds from arbitrary `(state, weight)` pairs: sorts, accumulates
+    /// duplicates and drops exact zeros.
+    pub fn from_pairs(pairs: impl IntoIterator<Item = (u64, f64)>) -> Self {
+        let mut entries: Vec<(u64, f64)> = pairs.into_iter().collect();
+        entries.sort_unstable_by_key(|&(s, _)| s);
+        let mut d = FlatDist {
+            entries: combine_sorted(entries, 0.0),
+        };
+        // qem-lint: allow(no-float-eq) — exact-zero drop preserves sparsity, not a tolerance test
+        d.entries.retain(|&(_, w)| w != 0.0);
+        d
+    }
+
+    /// Converts from the hash-map representation.
+    pub fn from_sparse(dist: &SparseDist) -> Self {
+        FlatDist::from_pairs(dist.iter())
+    }
+
+    /// Converts into the hash-map representation.
+    pub fn to_sparse(&self) -> SparseDist {
+        SparseDist::from_pairs(self.entries.iter().copied())
+    }
+
+    /// Number of stored entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when no entries are stored.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Weight of `state` (0 when absent) via binary search.
+    pub fn get(&self, state: u64) -> f64 {
+        match self.entries.binary_search_by_key(&state, |&(s, _)| s) {
+            Ok(i) => self.entries.get(i).map_or(0.0, |&(_, w)| w),
+            Err(_) => 0.0,
+        }
+    }
+
+    /// Iterates `(state, weight)` pairs in ascending state order.
+    pub fn iter(&self) -> impl Iterator<Item = (u64, f64)> + '_ {
+        self.entries.iter().copied()
+    }
+
+    /// The sorted entry run.
+    pub fn entries(&self) -> &[(u64, f64)] {
+        &self.entries
+    }
+
+    /// Sum of all weights.
+    pub fn total(&self) -> f64 {
+        self.entries.iter().map(|&(_, w)| w).sum()
+    }
+
+    /// Removes entries with `|w| < threshold`; returns the number removed.
+    pub fn cull(&mut self, threshold: f64) -> usize {
+        let before = self.entries.len();
+        self.entries.retain(|&(_, w)| w.abs() >= threshold);
+        before - self.entries.len()
+    }
+
+    /// Zeroes negative weights and renormalises (projection onto the
+    /// probability simplex after quasi-probability mitigation).
+    pub fn clamp_negative(&mut self) {
+        self.entries.retain(|&(_, w)| w > 0.0);
+        let t: f64 = self.entries.iter().map(|&(_, w)| w).sum();
+        if t.abs() > tol::EPS_ZERO {
+            for e in &mut self.entries {
+                e.1 /= t;
+            }
+        }
+    }
+}
+
+/// Accumulates duplicate keys of a sorted run in place and drops entries
+/// with `|w| < cull` (0 disables culling — exact zeros are kept so the
+/// result stays faithful to the unculled arithmetic).
+fn combine_sorted(mut run: Vec<(u64, f64)>, cull: f64) -> Vec<(u64, f64)> {
+    let mut write = 0usize;
+    let mut read = 0usize;
+    while read < run.len() {
+        let (s, mut w) = run[read];
+        read += 1;
+        while read < run.len() && run[read].0 == s {
+            w += run[read].1;
+            read += 1;
+        }
+        if cull <= 0.0 || w.abs() >= cull {
+            run[write] = (s, w);
+            write += 1;
+        }
+    }
+    run.truncate(write);
+    run
+}
+
+/// Merges two sorted unique runs, summing equal keys and culling merged
+/// weights below `cull` — the merge-cull fusion of the plan kernel.
+fn merge_runs(a: &[(u64, f64)], b: &[(u64, f64)], cull: f64, out: &mut Vec<(u64, f64)>) {
+    out.clear();
+    out.reserve(a.len() + b.len());
+    let (mut i, mut j) = (0usize, 0usize);
+    while i < a.len() && j < b.len() {
+        let (sa, wa) = a[i];
+        let (sb, wb) = b[j];
+        let (s, w) = match sa.cmp(&sb) {
+            std::cmp::Ordering::Less => {
+                i += 1;
+                (sa, wa)
+            }
+            std::cmp::Ordering::Greater => {
+                j += 1;
+                (sb, wb)
+            }
+            std::cmp::Ordering::Equal => {
+                i += 1;
+                j += 1;
+                (sa, wa + wb)
+            }
+        };
+        if cull <= 0.0 || w.abs() >= cull {
+            out.push((s, w));
+        }
+    }
+    let tail = if i < a.len() { &a[i..] } else { &b[j..] };
+    if cull <= 0.0 {
+        out.extend_from_slice(tail);
+    } else {
+        out.extend(tail.iter().copied().filter(|&(_, w)| w.abs() >= cull));
+    }
+}
+
+/// Reusable scratch space for [`apply_layer`]: expansion ping-pong buffers
+/// and the merge-tree output. One `Workspace` per mitigation call (or per
+/// rayon worker in a batch) keeps the hot loop allocation-free after the
+/// first layer.
+#[derive(Debug, Default)]
+pub struct Workspace {
+    expand: Vec<(u64, f64)>,
+    scratch_a: Vec<(u64, f64)>,
+    scratch_b: Vec<(u64, f64)>,
+    /// Dense accumulator, kept all-zero between calls (the compaction scan
+    /// resets every slot it reads).
+    dense: Vec<f64>,
+}
+
+impl Workspace {
+    /// Fresh, empty workspace.
+    pub fn new() -> Self {
+        Workspace::default()
+    }
+}
+
+/// One compiled mitigation step: a dense `2^k × 2^k` operator on a qubit
+/// subset, lowered to a branch-free bit-gather plus per-column scatter
+/// tables of its nonzero entries.
+#[derive(Clone, Debug)]
+pub struct ScatterStep {
+    /// Union of the step's qubit bits in the register bitstring.
+    mask: u64,
+    /// `(register qubit, operator bit)` pairs: `col = Σ ((s >> q) & 1) << bit`.
+    gather: Vec<(u32, u32)>,
+    /// Per operator column: `(scattered output bits, coefficient)` for each
+    /// nonzero entry of that column.
+    cols: Vec<Vec<(u64, f64)>>,
+    /// Largest per-column nonzero count — the step's worst-case fan-out.
+    max_fanout: usize,
+}
+
+impl ScatterStep {
+    /// Compiles a dense operator on qubits `qs` into scatter form.
+    pub fn compile(m: &Matrix, qs: &[usize]) -> Result<ScatterStep> {
+        let k = qubit_count(m)?;
+        if qs.len() != k {
+            return Err(LinalgError::DimensionMismatch {
+                op: "ScatterStep::compile",
+                detail: format!("{k}-qubit operator given {} targets", qs.len()),
+            });
+        }
+        let mut mask = 0u64;
+        for &q in qs {
+            if q >= 64 {
+                return Err(LinalgError::DimensionMismatch {
+                    op: "ScatterStep::compile",
+                    detail: format!("qubit index {q} exceeds u64 bitstring width"),
+                });
+            }
+            if mask & (1u64 << q) != 0 {
+                return Err(LinalgError::DimensionMismatch {
+                    op: "ScatterStep::compile",
+                    detail: format!("duplicate target qubit {q}"),
+                });
+            }
+            mask |= 1u64 << q;
+        }
+        let gather: Vec<(u32, u32)> = qs
+            .iter()
+            .enumerate()
+            .map(|(bit, &q)| (q as u32, bit as u32))
+            .collect();
+        let sub_dim = 1usize << k;
+        let mut cols: Vec<Vec<(u64, f64)>> = Vec::with_capacity(sub_dim);
+        for col in 0..sub_dim {
+            let mut nz = Vec::new();
+            for row in 0..sub_dim {
+                let a = m[(row, col)];
+                // qem-lint: allow(no-float-eq) — skipping exact-zero operator entries is a sparsity shortcut
+                if a == 0.0 {
+                    continue;
+                }
+                let mut scattered = 0u64;
+                for (bit, &q) in qs.iter().enumerate() {
+                    scattered |= (((row >> bit) & 1) as u64) << q;
+                }
+                nz.push((scattered, a));
+            }
+            cols.push(nz);
+        }
+        let max_fanout = cols.iter().map(Vec::len).max().unwrap_or(0);
+        Ok(ScatterStep {
+            mask,
+            gather,
+            cols,
+            max_fanout,
+        })
+    }
+
+    /// Bitmask of the step's target qubits.
+    pub fn mask(&self) -> u64 {
+        self.mask
+    }
+
+    /// Number of target qubits.
+    pub fn num_qubits(&self) -> usize {
+        self.gather.len()
+    }
+
+    /// Worst-case outputs generated per input entry.
+    pub fn max_fanout(&self) -> usize {
+        self.max_fanout
+    }
+
+    /// Extracts the operator column index of a basis state (branch-free).
+    #[inline(always)]
+    fn col_of(&self, s: u64) -> usize {
+        let mut col = 0u64;
+        for &(q, bit) in &self.gather {
+            col |= ((s >> q) & 1) << bit;
+        }
+        col as usize
+    }
+}
+
+/// Expands the entries of `chunk` through every step of `layer` in order,
+/// appending the generated `(state, weight)` pairs to `out`. Returns the
+/// number of scatter outputs generated (the layer's actual multiply-add
+/// count for these entries). `scratch_a`/`scratch_b` are the per-entry
+/// ping-pong buffers.
+fn expand_chunk(
+    chunk: &[(u64, f64)],
+    layer: &[ScatterStep],
+    out: &mut Vec<(u64, f64)>,
+    scratch_a: &mut Vec<(u64, f64)>,
+    scratch_b: &mut Vec<(u64, f64)>,
+) -> u64 {
+    let mut flops = 0u64;
+    // Single-step layers skip the per-entry ping-pong entirely.
+    if let [step] = layer {
+        for &(s, w) in chunk {
+            let base = s & !step.mask;
+            if let Some(nz) = step.cols.get(step.col_of(s)) {
+                flops += nz.len() as u64;
+                for &(scattered, a) in nz {
+                    out.push((base | scattered, w * a));
+                }
+            }
+        }
+        return flops;
+    }
+    for &(s, w) in chunk {
+        scratch_a.clear();
+        scratch_a.push((s, w));
+        for step in layer {
+            scratch_b.clear();
+            for &(cs, cw) in scratch_a.iter() {
+                let base = cs & !step.mask;
+                let col = step.col_of(cs);
+                // Column tables are indexed by the gathered bits, which are
+                // `< 2^k` by construction.
+                if let Some(nz) = step.cols.get(col) {
+                    flops += nz.len() as u64;
+                    for &(scattered, a) in nz {
+                        scratch_b.push((base | scattered, cw * a));
+                    }
+                }
+            }
+            std::mem::swap(scratch_a, scratch_b);
+        }
+        out.extend_from_slice(scratch_a);
+    }
+    flops
+}
+
+/// Like [`expand_chunk`] but accumulates the generated pairs straight into
+/// an indexed dense array instead of appending to a run — the
+/// sorting-free path for layers whose output key space is small and dense.
+fn expand_into_dense(
+    chunk: &[(u64, f64)],
+    layer: &[ScatterStep],
+    dense: &mut [f64],
+    scratch_a: &mut Vec<(u64, f64)>,
+    scratch_b: &mut Vec<(u64, f64)>,
+) -> u64 {
+    let mut flops = 0u64;
+    // Single-step layers scatter straight from input to accumulator.
+    if let [step] = layer {
+        for &(s, w) in chunk {
+            let base = s & !step.mask;
+            if let Some(nz) = step.cols.get(step.col_of(s)) {
+                flops += nz.len() as u64;
+                for &(scattered, a) in nz {
+                    if let Some(slot) = dense.get_mut((base | scattered) as usize) {
+                        *slot += w * a;
+                    }
+                }
+            }
+        }
+        return flops;
+    }
+    for &(s, w) in chunk {
+        scratch_a.clear();
+        scratch_a.push((s, w));
+        for step in layer {
+            scratch_b.clear();
+            for &(cs, cw) in scratch_a.iter() {
+                let base = cs & !step.mask;
+                let col = step.col_of(cs);
+                if let Some(nz) = step.cols.get(col) {
+                    flops += nz.len() as u64;
+                    for &(scattered, a) in nz {
+                        scratch_b.push((base | scattered, cw * a));
+                    }
+                }
+            }
+            std::mem::swap(scratch_a, scratch_b);
+        }
+        for &(key, val) in scratch_a.iter() {
+            if let Some(slot) = dense.get_mut(key as usize) {
+                *slot += val;
+            }
+        }
+    }
+    flops
+}
+
+/// Applies one layer of steps on pairwise-disjoint qubit sets to a flat
+/// distribution in a single sweep: parallel chunk expansion + chunk sort,
+/// then a parallel merge tree with duplicate accumulation and `cull`
+/// filtering fused into the merges. Returns the culled output and the
+/// number of scatter outputs generated (actual multiply-adds).
+///
+/// When the layer's output key space is small (every output key is bounded
+/// by `max_input_key | layer_mask`) *and* the generated entries are dense
+/// in it, the kernel switches to an indexed dense accumulator: duplicate
+/// merging becomes `O(1)` per output and the sort disappears entirely.
+/// Accumulation is fully merged before the cull test, so the dense path
+/// keeps the merged-weight culling semantics of the sorted path.
+///
+/// Correctness requires the layer's step masks to be pairwise disjoint
+/// (operators on disjoint qubit subsets commute, so their composition is
+/// order-free); [`apply_layer`] returns an error otherwise.
+pub fn apply_layer(
+    dist: &FlatDist,
+    layer: &[ScatterStep],
+    cull: f64,
+    ws: &mut Workspace,
+) -> Result<(FlatDist, u64)> {
+    let mut union = 0u64;
+    let mut fanout = 1usize;
+    for step in layer {
+        if union & step.mask != 0 {
+            return Err(LinalgError::DimensionMismatch {
+                op: "apply_layer",
+                detail: "layer steps share a qubit".into(),
+            });
+        }
+        union |= step.mask;
+        fanout = fanout.saturating_mul(step.max_fanout.max(1));
+    }
+    let generated = dist.len().saturating_mul(fanout);
+    let entries = dist.entries();
+
+    if generated < PAR_THRESHOLD {
+        // Serial path: expand into one run, sort, combine + cull.
+        let mut out = std::mem::take(&mut ws.expand);
+        out.clear();
+        out.reserve(generated);
+        let flops = expand_chunk(
+            entries,
+            layer,
+            &mut out,
+            &mut ws.scratch_a,
+            &mut ws.scratch_b,
+        );
+        out.sort_unstable_by_key(|&(s, _)| s);
+        let combined = combine_sorted(out, cull);
+        let result = FlatDist { entries: combined };
+        crate::invariant::check_finite_weights("apply_layer", result.iter());
+        return Ok((result, flops));
+    }
+
+    // Dense-accumulator path: every output key is `(s & !mask) | scattered
+    // ⊆ s | union`, so the largest input key bounds the output key space.
+    // When that space fits the scratch ceiling and the generated entries
+    // cover at least ~1/8th of it, indexed accumulation beats sort + merge.
+    let dim = entries.last().map_or(0, |&(s, _)| (s | union) + 1);
+    if dim > 0 && dim <= DENSE_DIM_LIMIT && generated as u64 >= dim / 8 {
+        let dim = dim as usize;
+        if ws.dense.len() < dim {
+            ws.dense.resize(dim, 0.0);
+        }
+        let flops = expand_into_dense(
+            entries,
+            layer,
+            &mut ws.dense,
+            &mut ws.scratch_a,
+            &mut ws.scratch_b,
+        );
+        let mut out = Vec::with_capacity(entries.len());
+        for (key, slot) in ws.dense[..dim].iter_mut().enumerate() {
+            let w = *slot;
+            *slot = 0.0;
+            // qem-lint: allow(no-float-eq) — untouched slots are exactly 0.0; this is a sparsity test, not a tolerance test
+            if w == 0.0 {
+                continue;
+            }
+            if cull <= 0.0 || w.abs() >= cull {
+                out.push((key as u64, w));
+            }
+        }
+        let result = FlatDist { entries: out };
+        crate::invariant::check_finite_weights("apply_layer", result.iter());
+        return Ok((result, flops));
+    }
+
+    // Parallel path: chunked expansion, per-chunk sort + combine, then a
+    // binary merge tree with merge-cull fusion at the final level. Chunks
+    // are collected up front so the fan-out works against both real rayon
+    // and the serial offline stub (`into_par_iter` over a `Vec`).
+    let threads = rayon::current_num_threads().max(1);
+    let chunk_len = entries.len().div_ceil(threads * CHUNKS_PER_THREAD).max(1);
+    let chunks: Vec<&[(u64, f64)]> = entries.chunks(chunk_len).collect();
+    let runs: Vec<(Vec<(u64, f64)>, u64)> = chunks
+        .into_par_iter()
+        .map(|chunk| {
+            let mut out = Vec::with_capacity(chunk.len().saturating_mul(fanout));
+            let mut sa = Vec::with_capacity(fanout);
+            let mut sb = Vec::with_capacity(fanout);
+            let flops = expand_chunk(chunk, layer, &mut out, &mut sa, &mut sb);
+            out.sort_unstable_by_key(|&(s, _)| s);
+            // Combine within the run but do not cull yet: a weight split
+            // across runs may only cross the threshold once merged.
+            (combine_sorted(out, 0.0), flops)
+        })
+        .collect();
+    let flops: u64 = runs.iter().map(|&(_, f)| f).sum();
+    let mut sorted_runs: Vec<Vec<(u64, f64)>> = runs.into_iter().map(|(r, _)| r).collect();
+
+    // Merge tree: pair off runs until one remains; cull only in the final
+    // merge so threshold crossings are decided on fully-merged weights.
+    while sorted_runs.len() > 1 {
+        let level_cull = if sorted_runs.len() == 2 { cull } else { 0.0 };
+        let pairs: Vec<&[Vec<(u64, f64)>]> = sorted_runs.chunks(2).collect();
+        let next: Vec<Vec<(u64, f64)>> = pairs
+            .into_par_iter()
+            .map(|pair| match pair {
+                [a, b] => {
+                    let mut out = Vec::new();
+                    merge_runs(a, b, level_cull, &mut out);
+                    out
+                }
+                [a] => a.clone(),
+                _ => Vec::new(),
+            })
+            .collect();
+        sorted_runs = next;
+    }
+    let mut merged = sorted_runs.pop().unwrap_or_default();
+    // A single initial run skips the merge loop entirely — cull it here.
+    if cull > 0.0 {
+        merged.retain(|&(_, w)| w.abs() >= cull);
+    }
+    let result = FlatDist { entries: merged };
+    crate::invariant::check_finite_weights("apply_layer", result.iter());
+    Ok((result, flops))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sparse_apply::apply_operator_sparse;
+    use crate::stochastic::apply_on_qubits;
+
+    fn stochastic2(p01: f64, p10: f64) -> Matrix {
+        Matrix::from_rows(&[&[1.0 - p10, p01], &[p10, 1.0 - p01]])
+    }
+
+    #[test]
+    fn flat_roundtrip_and_lookup() {
+        let d = FlatDist::from_pairs([(7u64, 0.25), (1u64, 0.5), (7u64, 0.25)]);
+        assert_eq!(d.len(), 2);
+        assert!((d.get(7) - 0.5).abs() < 1e-15);
+        assert!((d.get(1) - 0.5).abs() < 1e-15);
+        assert_eq!(d.get(3), 0.0);
+        let sparse = d.to_sparse();
+        assert_eq!(FlatDist::from_sparse(&sparse), d);
+        assert!((d.total() - 1.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn from_pairs_drops_exact_zeros() {
+        let d = FlatDist::from_pairs([(0u64, 0.5), (1u64, 0.0), (2u64, -0.5), (2u64, 0.5)]);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d.get(2), 0.0);
+    }
+
+    #[test]
+    fn cull_and_clamp() {
+        let mut d = FlatDist::from_pairs([(0u64, 0.9), (1u64, 1e-9), (2u64, -0.2)]);
+        assert_eq!(d.cull(1e-6), 1);
+        d.clamp_negative();
+        assert_eq!(d.len(), 1);
+        assert!((d.get(0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn scatter_step_matches_sparse_apply() {
+        let op = stochastic2(0.07, 0.02).kron(&stochastic2(0.05, 0.01));
+        let qs = [3usize, 1];
+        let dense: Vec<f64> = (0..16).map(|i| (i as f64 + 1.0) / 136.0).collect();
+        let sparse = SparseDist::from_dense(&dense);
+        let expect = apply_operator_sparse(&op, &qs, &sparse).unwrap();
+
+        let step = ScatterStep::compile(&op, &qs).unwrap();
+        let flat = FlatDist::from_sparse(&sparse);
+        let (got, flops) = apply_layer(
+            &flat,
+            std::slice::from_ref(&step),
+            0.0,
+            &mut Workspace::new(),
+        )
+        .unwrap();
+        assert!(flops > 0);
+        for (s, w) in expect.iter() {
+            assert!((got.get(s) - w).abs() < 1e-14, "state {s}");
+        }
+        assert_eq!(got.len(), expect.len());
+    }
+
+    #[test]
+    fn layer_of_disjoint_steps_matches_sequential_steps() {
+        let a = stochastic2(0.1, 0.05);
+        let b = stochastic2(0.03, 0.2).kron(&stochastic2(0.02, 0.08));
+        let dense: Vec<f64> = (0..16).map(|i| (16.0 - i as f64) / 136.0).collect();
+        let mut seq = dense.clone();
+        seq = apply_on_qubits(&a, &[0], &seq).unwrap();
+        seq = apply_on_qubits(&b, &[2, 3], &seq).unwrap();
+
+        let layer = vec![
+            ScatterStep::compile(&a, &[0]).unwrap(),
+            ScatterStep::compile(&b, &[2, 3]).unwrap(),
+        ];
+        let flat = FlatDist::from_sparse(&SparseDist::from_dense(&dense));
+        let (got, _) = apply_layer(&flat, &layer, 0.0, &mut Workspace::new()).unwrap();
+        for (s, &e) in seq.iter().enumerate() {
+            assert!((got.get(s as u64) - e).abs() < 1e-13, "state {s}");
+        }
+    }
+
+    #[test]
+    fn layer_rejects_overlapping_steps() {
+        let a = stochastic2(0.1, 0.05);
+        let layer = vec![
+            ScatterStep::compile(&a, &[1]).unwrap(),
+            ScatterStep::compile(&a, &[1]).unwrap(),
+        ];
+        let flat = FlatDist::from_pairs([(0u64, 1.0)]);
+        assert!(apply_layer(&flat, &layer, 0.0, &mut Workspace::new()).is_err());
+    }
+
+    #[test]
+    fn compile_rejects_bad_targets() {
+        let a = stochastic2(0.1, 0.05);
+        assert!(ScatterStep::compile(&a, &[64]).is_err());
+        assert!(ScatterStep::compile(&a, &[0, 1]).is_err());
+        let two = a.kron(&a);
+        assert!(ScatterStep::compile(&two, &[3, 3]).is_err());
+    }
+
+    #[test]
+    fn parallel_path_matches_serial() {
+        // Enough entries to cross PAR_THRESHOLD with a 4-way fan-out.
+        let op = stochastic2(0.1, 0.07).kron(&stochastic2(0.04, 0.09));
+        let step = ScatterStep::compile(&op, &[5, 11]).unwrap();
+        let entries: Vec<(u64, f64)> = (0..8192u64).map(|s| (s * 37, 1.0 / 8192.0)).collect();
+        let flat = FlatDist::from_pairs(entries.iter().copied());
+        let layer = std::slice::from_ref(&step);
+        let (par, pf) = apply_layer(&flat, layer, 0.0, &mut Workspace::new()).unwrap();
+        // Serial reference via the hash-map kernel.
+        let sparse = SparseDist::from_pairs(entries);
+        let reference = apply_operator_sparse(&op, &[5, 11], &sparse).unwrap();
+        assert_eq!(par.len(), reference.len());
+        assert!(pf > 0);
+        for (s, w) in reference.iter() {
+            assert!((par.get(s) - w).abs() < 1e-13);
+        }
+        assert!((par.total() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn dense_accumulator_path_matches_reference() {
+        // 2048 contiguous states with 4-way fan-out: generated crosses
+        // PAR_THRESHOLD while the output key space stays 2048 slots, so the
+        // layer takes the dense-accumulator path.
+        let op = stochastic2(0.1, 0.07).kron(&stochastic2(0.04, 0.09));
+        let qs = [3usize, 7];
+        let step = ScatterStep::compile(&op, &qs).unwrap();
+        let total = (2048 * 2049 / 2) as f64;
+        let entries: Vec<(u64, f64)> = (0..2048u64).map(|s| (s, (s + 1) as f64 / total)).collect();
+        let flat = FlatDist::from_pairs(entries.iter().copied());
+        let reference = apply_operator_sparse(&op, &qs, &SparseDist::from_pairs(entries)).unwrap();
+
+        let (got, flops) = apply_layer(
+            &flat,
+            std::slice::from_ref(&step),
+            0.0,
+            &mut Workspace::new(),
+        )
+        .unwrap();
+        assert!(flops > 0);
+        assert_eq!(got.len(), reference.len());
+        for (s, w) in reference.iter() {
+            assert!((got.get(s) - w).abs() < 1e-13, "state {s}");
+        }
+
+        // Same sweep with a threshold: culling happens on fully-merged
+        // weights, so the dense path matches the reference culled post hoc.
+        let cull = 1e-7;
+        let (culled, _) = apply_layer(
+            &flat,
+            std::slice::from_ref(&step),
+            cull,
+            &mut Workspace::new(),
+        )
+        .unwrap();
+        let mut expect = reference;
+        expect.cull(cull);
+        assert_eq!(culled.len(), expect.len());
+        for (s, w) in expect.iter() {
+            assert!((culled.get(s) - w).abs() < 1e-13, "state {s}");
+        }
+    }
+
+    #[test]
+    fn dense_path_workspace_reuse_stays_clean() {
+        // Two different layers through one workspace: the second sweep must
+        // not see stale accumulator slots from the first.
+        let op = stochastic2(0.2, 0.1);
+        let step_a = ScatterStep::compile(&op, &[0]).unwrap();
+        let step_b = ScatterStep::compile(&op, &[1]).unwrap();
+        let entries: Vec<(u64, f64)> = (0..4096u64).map(|s| (s, 1.0 / 4096.0)).collect();
+        let flat = FlatDist::from_pairs(entries.iter().copied());
+        let mut ws = Workspace::new();
+        let (first, _) = apply_layer(&flat, std::slice::from_ref(&step_a), 0.0, &mut ws).unwrap();
+        let (second, _) = apply_layer(&first, std::slice::from_ref(&step_b), 0.0, &mut ws).unwrap();
+        let (fresh, _) = apply_layer(
+            &first,
+            std::slice::from_ref(&step_b),
+            0.0,
+            &mut Workspace::new(),
+        )
+        .unwrap();
+        assert_eq!(second, fresh);
+        assert!((second.total() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn merge_cull_uses_merged_weight() {
+        // Two runs each below threshold individually, above when merged:
+        // the fused merge-cull must keep the entry.
+        let mut out = Vec::new();
+        merge_runs(&[(4u64, 0.6e-3)], &[(4u64, 0.6e-3)], 1e-3, &mut out);
+        assert_eq!(out.len(), 1);
+        assert!((out[0].1 - 1.2e-3).abs() < 1e-12);
+        // And drop entries whose merged weight cancels below threshold.
+        merge_runs(&[(4u64, 0.6e-3)], &[(4u64, -0.59e-3)], 1e-3, &mut out);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn culling_applied_on_layer_output() {
+        let op = stochastic2(0.01, 0.01);
+        let step = ScatterStep::compile(&op, &[0]).unwrap();
+        let flat = FlatDist::from_pairs([(0u64, 1.0)]);
+        let (culled, _) = apply_layer(
+            &flat,
+            std::slice::from_ref(&step),
+            0.05,
+            &mut Workspace::new(),
+        )
+        .unwrap();
+        assert_eq!(culled.len(), 1, "1% leakage culled at 5%");
+        let (kept, _) = apply_layer(
+            &flat,
+            std::slice::from_ref(&step),
+            0.0,
+            &mut Workspace::new(),
+        )
+        .unwrap();
+        assert_eq!(kept.len(), 2);
+    }
+}

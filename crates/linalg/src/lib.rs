@@ -15,6 +15,9 @@
 //! * [`sparse`] / [`sparse_apply`] — COO/CSR matrices and sparse-histogram
 //!   operator application, realising the paper's §VII claim that chained
 //!   sparse patch products scale where a dense `2^n × 2^n` matrix cannot;
+//! * [`flat_dist`] — flat sorted-run sparse distributions and the compiled
+//!   scatter kernel used by mitigation plans (layered apply, fused
+//!   merge-cull, reusable workspaces);
 //! * [`complex`] — minimal complex arithmetic for the statevector engine.
 //!
 //! ## Conventions
@@ -30,6 +33,7 @@ pub mod complex;
 pub mod dense;
 pub mod eig;
 pub mod error;
+pub mod flat_dist;
 pub mod invariant;
 pub mod iterative;
 pub mod lu;
@@ -44,6 +48,7 @@ pub use cdense::CMatrix;
 pub use complex::{c64, C64};
 pub use dense::Matrix;
 pub use error::{LinalgError, Result};
+pub use flat_dist::{apply_layer, FlatDist, ScatterStep, Workspace};
 pub use iterative::{bicgstab, LinearOperator};
 pub use sparse::{Coo, Csr};
 pub use sparse_apply::{apply_operator_sparse, SparseDist};

@@ -1,14 +1,30 @@
 //! Strategy adapters for CMC and CMC-ERR (the paper's contribution,
 //! implemented in `qem-core`).
 
-use crate::strategy::{split_budget, MitigationOutcome, MitigationStrategy};
+use crate::strategy::{split_budget, BatchOutcome, MitigationOutcome, MitigationStrategy};
 use qem_core::cmc::{calibrate_cmc, CmcOptions};
 use qem_core::err::{calibrate_cmc_err, ErrOptions};
 use qem_core::error::Result;
 use qem_sim::circuit::Circuit;
+use qem_sim::counts::Counts;
 use qem_sim::exec::Executor;
 use qem_topology::patches::patch_construct;
 use rand::rngs::StdRng;
+
+/// Executes every circuit in a batch with `shots` each, in order, through a
+/// fallible executor.
+pub(crate) fn execute_batch(
+    backend: &dyn Executor,
+    circuits: &[Circuit],
+    shots: u64,
+    rng: &mut StdRng,
+) -> Result<Vec<Counts>> {
+    let mut all = Vec::with_capacity(circuits.len());
+    for circuit in circuits {
+        all.push(backend.try_execute(circuit, shots, rng)?);
+    }
+    Ok(all)
+}
 
 /// Coupling Map Calibration as a budgeted strategy.
 #[derive(Clone, Copy, Debug)]
@@ -58,6 +74,39 @@ impl MitigationStrategy for CmcStrategy {
             calibration_circuits: cal.circuits_used,
             calibration_shots: cal.shots_used,
             execution_shots: execution.max(1),
+            resilience: None,
+        })
+    }
+
+    fn run_batch(
+        &self,
+        backend: &dyn Executor,
+        circuits: &[Circuit],
+        budget: u64,
+        rng: &mut StdRng,
+    ) -> Result<BatchOutcome> {
+        if circuits.is_empty() {
+            return Ok(BatchOutcome::default());
+        }
+        let _span = qem_telemetry::span!(qem_telemetry::names::MITIGATION_CMC_RUN, budget = budget);
+        let schedule = patch_construct(&backend.device().coupling.graph, self.k);
+        let cal_circuits = 4 * schedule.rounds.len();
+        let (per_circuit, execution) = split_budget(budget, cal_circuits.max(1));
+        let opts = CmcOptions {
+            k: self.k,
+            shots_per_circuit: per_circuit,
+            cull_threshold: self.cull_threshold,
+        };
+        // One characterisation for the whole batch…
+        let cal = calibrate_cmc(backend, &opts, rng)?;
+        let per_exec = (execution / circuits.len() as u64).max(1);
+        let counts = execute_batch(backend, circuits, per_exec, rng)?;
+        // …and one compiled plan applied across every histogram.
+        Ok(BatchOutcome {
+            distributions: cal.mitigator.mitigate_batch(&counts)?,
+            calibration_circuits: cal.circuits_used,
+            calibration_shots: cal.shots_used,
+            execution_shots: per_exec * circuits.len() as u64,
             resilience: None,
         })
     }
@@ -125,6 +174,47 @@ impl MitigationStrategy for CmcErrStrategy {
             resilience: None,
         })
     }
+
+    fn run_batch(
+        &self,
+        backend: &dyn Executor,
+        circuits: &[Circuit],
+        budget: u64,
+        rng: &mut StdRng,
+    ) -> Result<BatchOutcome> {
+        if circuits.is_empty() {
+            return Ok(BatchOutcome::default());
+        }
+        let _span = qem_telemetry::span!(
+            qem_telemetry::names::MITIGATION_CMC_ERR_RUN,
+            budget = budget
+        );
+        use qem_topology::patches::schedule_pairs;
+        let graph = &backend.device().coupling.graph;
+        let candidates = graph.pairs_within_distance(self.locality);
+        let schedule = schedule_pairs(graph, &candidates, self.k);
+        let cal_circuits = 4 * schedule.rounds.len();
+        let (per_circuit, execution) = split_budget(budget, cal_circuits.max(1));
+        let opts = ErrOptions {
+            locality: self.locality,
+            max_edges: None,
+            cmc: CmcOptions {
+                k: self.k,
+                shots_per_circuit: per_circuit,
+                cull_threshold: self.cull_threshold,
+            },
+        };
+        let (_, cal) = calibrate_cmc_err(backend, &opts, rng)?;
+        let per_exec = (execution / circuits.len() as u64).max(1);
+        let counts = execute_batch(backend, circuits, per_exec, rng)?;
+        Ok(BatchOutcome {
+            distributions: cal.mitigator.mitigate_batch(&counts)?,
+            calibration_circuits: cal.circuits_used,
+            calibration_shots: cal.shots_used,
+            execution_shots: per_exec * circuits.len() as u64,
+            resilience: None,
+        })
+    }
 }
 
 #[cfg(test)]
@@ -173,6 +263,43 @@ mod tests {
         assert!(out.total_shots() <= 32_000);
         assert!(out.calibration_circuits > 0);
         assert!(out.distribution.total() > 0.99);
+    }
+
+    #[test]
+    fn run_batch_shares_one_calibration_across_circuits() {
+        let b = simulated_quito(4);
+        let graph = &b.coupling.graph;
+        let circuits: Vec<Circuit> = (0..4).map(|r| ghz_bfs(graph, r)).collect();
+        let budget = 64_000;
+        let mut rng = StdRng::seed_from_u64(40);
+        let batch = CmcStrategy::default()
+            .run_batch(&b, &circuits, budget, &mut rng)
+            .unwrap();
+        assert_eq!(batch.distributions.len(), circuits.len());
+        assert!(
+            batch.total_shots() <= budget,
+            "used {}",
+            batch.total_shots()
+        );
+        for d in &batch.distributions {
+            assert!(d.total() > 0.99, "not a distribution: total {}", d.total());
+        }
+        // The shared-calibration path characterises once; submitting each
+        // circuit as its own job pays the full calibration every time.
+        let mut rng = StdRng::seed_from_u64(40);
+        let mut solo_cal_shots = 0u64;
+        for c in &circuits {
+            solo_cal_shots += CmcStrategy::default()
+                .run(&b, c, budget, &mut rng)
+                .unwrap()
+                .calibration_shots;
+        }
+        assert!(
+            batch.calibration_shots < solo_cal_shots,
+            "batch {} vs solo {}",
+            batch.calibration_shots,
+            solo_cal_shots
+        );
     }
 
     #[test]

@@ -1,6 +1,6 @@
 //! Full-calibration strategy: the exponential gold standard (paper §III-B).
 
-use crate::strategy::{split_budget, MitigationOutcome, MitigationStrategy};
+use crate::strategy::{split_budget, BatchOutcome, MitigationOutcome, MitigationStrategy};
 use qem_core::error::Result;
 use qem_core::full::FullCalibration;
 use qem_sim::backend::Backend;
@@ -60,6 +60,47 @@ impl MitigationStrategy for FullStrategy {
             calibration_circuits: cal.circuits_used,
             calibration_shots: cal.shots_used,
             execution_shots: execution,
+            resilience: None,
+        })
+    }
+
+    fn run_batch(
+        &self,
+        backend: &dyn Executor,
+        circuits: &[Circuit],
+        budget: u64,
+        rng: &mut StdRng,
+    ) -> Result<BatchOutcome> {
+        if circuits.is_empty() {
+            return Ok(BatchOutcome::default());
+        }
+        let _span =
+            qem_telemetry::span!(qem_telemetry::names::MITIGATION_FULL_RUN, budget = budget);
+        if !self.feasible(backend.device(), budget) {
+            return Err(qem_core::error::CoreError::Infeasible {
+                detail: format!(
+                    "full calibration on {} qubits exceeds budget {budget}",
+                    backend.num_qubits()
+                ),
+            });
+        }
+        let n = backend.num_qubits();
+        let cal_circuits = 1usize << n;
+        let (per_circuit, execution) = split_budget(budget, cal_circuits);
+        // The exponential characterisation is the entire cost here; it runs
+        // once and the dense inverse serves every histogram in the batch.
+        let cal = FullCalibration::calibrate(backend, per_circuit, rng)?;
+        let per_exec = (execution / circuits.len() as u64).max(1);
+        let counts = crate::cmc::execute_batch(backend, circuits, per_exec, rng)?;
+        let mut distributions = Vec::with_capacity(counts.len());
+        for c in &counts {
+            distributions.push(cal.mitigate(c)?);
+        }
+        Ok(BatchOutcome {
+            distributions,
+            calibration_circuits: cal.circuits_used,
+            calibration_shots: cal.shots_used,
+            execution_shots: per_exec * circuits.len() as u64,
             resilience: None,
         })
     }

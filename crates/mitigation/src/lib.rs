@@ -45,7 +45,7 @@ pub use linear::LinearStrategy;
 pub use m3::M3Strategy;
 pub use resilient::ResilientCmcStrategy;
 pub use sim_invert::SimStrategy;
-pub use strategy::{MitigationOutcome, MitigationStrategy};
+pub use strategy::{BatchOutcome, MitigationOutcome, MitigationStrategy};
 
 /// All strategies of the paper's evaluation, boxed for harness iteration.
 /// `include_exponential` gates Full/Linear (the paper drops them beyond

@@ -1,7 +1,7 @@
 //! Linear (tensored) calibration strategy: two circuits, per-qubit
 //! inverses (paper §III-B).
 
-use crate::strategy::{split_budget, MitigationOutcome, MitigationStrategy};
+use crate::strategy::{split_budget, BatchOutcome, MitigationOutcome, MitigationStrategy};
 use qem_core::error::Result;
 use qem_core::tensored::LinearCalibration;
 use qem_sim::backend::Backend;
@@ -40,6 +40,35 @@ impl MitigationStrategy for LinearStrategy {
             calibration_circuits: cal.circuits_used,
             calibration_shots: cal.shots_used,
             execution_shots: execution,
+            resilience: None,
+        })
+    }
+
+    fn run_batch(
+        &self,
+        backend: &dyn Executor,
+        circuits: &[Circuit],
+        budget: u64,
+        rng: &mut StdRng,
+    ) -> Result<BatchOutcome> {
+        if circuits.is_empty() {
+            return Ok(BatchOutcome::default());
+        }
+        let _span =
+            qem_telemetry::span!(qem_telemetry::names::MITIGATION_LINEAR_RUN, budget = budget);
+        let (per_circuit, execution) = split_budget(budget, 2);
+        // Two calibration circuits total — shared by the whole batch — and
+        // one mitigator whose per-qubit steps are fully disjoint, so the
+        // compiled plan collapses the entire chain into very few layers.
+        let cal = LinearCalibration::calibrate(backend, per_circuit, rng)?;
+        let mitigator = cal.mitigator()?;
+        let per_exec = (execution / circuits.len() as u64).max(1);
+        let counts = crate::cmc::execute_batch(backend, circuits, per_exec, rng)?;
+        Ok(BatchOutcome {
+            distributions: mitigator.mitigate_batch(&counts)?,
+            calibration_circuits: cal.circuits_used,
+            calibration_shots: cal.shots_used,
+            execution_shots: per_exec * circuits.len() as u64,
             resilience: None,
         })
     }

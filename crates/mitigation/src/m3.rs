@@ -10,7 +10,7 @@
 //! The truncation (mass flowing outside `S` is ignored) is the method's
 //! documented approximation; the halo option recovers most of it.
 
-use crate::strategy::{split_budget, MitigationOutcome, MitigationStrategy};
+use crate::strategy::{split_budget, BatchOutcome, MitigationOutcome, MitigationStrategy};
 use qem_core::error::Result;
 use qem_core::tensored::LinearCalibration;
 use qem_linalg::dense::Matrix;
@@ -21,6 +21,7 @@ use qem_sim::circuit::Circuit;
 use qem_sim::counts::Counts;
 use qem_sim::exec::Executor;
 use rand::rngs::StdRng;
+use rayon::prelude::*;
 
 /// The subspace-mitigation protocol.
 #[derive(Clone, Copy, Debug)]
@@ -141,6 +142,52 @@ impl MitigationStrategy for M3Strategy {
             calibration_circuits: cal.circuits_used,
             calibration_shots: cal.shots_used,
             execution_shots: execution,
+            resilience: None,
+        })
+    }
+
+    fn run_batch(
+        &self,
+        backend: &dyn Executor,
+        circuits: &[Circuit],
+        budget: u64,
+        rng: &mut StdRng,
+    ) -> Result<BatchOutcome> {
+        if circuits.is_empty() {
+            return Ok(BatchOutcome::default());
+        }
+        let _span = qem_telemetry::span!(qem_telemetry::names::MITIGATION_M3_RUN, budget = budget);
+        let (per_circuit, execution) = split_budget(budget, 2);
+        // One two-circuit tensored characterisation for the batch; the
+        // per-histogram subspace solves are independent pure functions, so
+        // they fan out across rayon workers.
+        let cal = LinearCalibration::calibrate(backend, per_circuit, rng)?;
+        let cals: Vec<Matrix> = cal.per_qubit.iter().map(|c| c.matrix().clone()).collect();
+        let per_exec = (execution / circuits.len() as u64).max(1);
+        let counts = crate::cmc::execute_batch(backend, circuits, per_exec, rng)?;
+        let jobs: Vec<(usize, &Counts)> = counts.iter().enumerate().collect();
+        let solved: Vec<Result<SparseDist>> = jobs
+            .into_par_iter()
+            .map(|(i, c)| {
+                let measured_cals: Vec<Matrix> = circuits
+                    .get(i)
+                    .map(|circuit| {
+                        circuit
+                            .measured()
+                            .iter()
+                            .filter_map(|&q| cals.get(q).cloned())
+                            .collect()
+                    })
+                    .unwrap_or_default();
+                mitigate_subspace(c, &measured_cals, self.halo, self.max_states)
+            })
+            .collect();
+        let distributions = solved.into_iter().collect::<Result<Vec<_>>>()?;
+        Ok(BatchOutcome {
+            distributions,
+            calibration_circuits: cal.circuits_used,
+            calibration_shots: cal.shots_used,
+            execution_shots: per_exec * circuits.len() as u64,
             resilience: None,
         })
     }

@@ -8,7 +8,7 @@
 //! The [`ResilienceReport`] describing what happened rides along on the
 //! outcome.
 
-use crate::strategy::{split_budget, MitigationOutcome, MitigationStrategy};
+use crate::strategy::{split_budget, BatchOutcome, MitigationOutcome, MitigationStrategy};
 use qem_core::cmc::CmcOptions;
 use qem_core::err::ErrOptions;
 use qem_core::error::Result;
@@ -115,6 +115,57 @@ impl MitigationStrategy for ResilientCmcStrategy {
             calibration_circuits,
             calibration_shots,
             execution_shots: execution.max(1),
+            resilience: Some(report),
+        })
+    }
+
+    fn run_batch(
+        &self,
+        backend: &dyn Executor,
+        circuits: &[Circuit],
+        budget: u64,
+        rng: &mut StdRng,
+    ) -> Result<BatchOutcome> {
+        if circuits.is_empty() {
+            return Ok(BatchOutcome::default());
+        }
+        let _span = qem_telemetry::span!(
+            qem_telemetry::names::MITIGATION_RESILIENT_RUN,
+            budget = budget
+        );
+        let schedule = patch_construct(&backend.device().coupling.graph, self.k);
+        let cal_circuits = 4 * schedule.rounds.len();
+        let (per_circuit, execution) = split_budget(budget, cal_circuits.max(1));
+        let opts = self.options(per_circuit);
+        // One walk down the ladder for the whole batch; retries and patch
+        // repair are paid once, and the surviving mitigator's compiled plan
+        // is shared by every histogram.
+        let cal = calibrate_resilient(backend, &opts, rng);
+
+        let retry = RetryExecutor::new(backend, opts.retry);
+        let per_exec = (execution / circuits.len() as u64).max(1);
+        let mut counts = Vec::with_capacity(circuits.len());
+        for circuit in circuits {
+            counts.push(retry.try_execute(circuit, per_exec, rng)?);
+        }
+        let exec_stats = retry.stats();
+
+        let (calibration_circuits, calibration_shots) = match (&cal.cmc, &cal.linear) {
+            (Some(c), _) => (c.circuits_used, c.shots_used),
+            (None, Some(l)) => (l.circuits_used, l.shots_used),
+            (None, None) => (0, 0),
+        };
+        let mut report = cal.report;
+        report.submissions += exec_stats.submissions;
+        report.retries += exec_stats.retries;
+        report.backoff_ticks += exec_stats.backoff_ticks;
+        report.failed_submissions += exec_stats.failures;
+
+        Ok(BatchOutcome {
+            distributions: cal.mitigator.mitigate_batch(&counts)?,
+            calibration_circuits,
+            calibration_shots,
+            execution_shots: per_exec * circuits.len() as u64,
             resilience: Some(report),
         })
     }

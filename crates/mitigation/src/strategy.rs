@@ -35,6 +35,34 @@ impl MitigationOutcome {
     }
 }
 
+/// What a batched strategy run returns: per-circuit mitigated
+/// distributions plus one shared resource ledger.
+///
+/// Produced by [`MitigationStrategy::run_batch`], where a strategy
+/// characterises the device **once** and amortises the calibration (and its
+/// compiled mitigation plan) across every circuit in the batch.
+#[derive(Clone, Debug, Default)]
+pub struct BatchOutcome {
+    /// Mitigated distribution per input circuit, in input order.
+    pub distributions: Vec<SparseDist>,
+    /// Characterisation/calibration circuits executed (shared by the batch).
+    pub calibration_circuits: usize,
+    /// Shots consumed by characterisation (shared by the batch).
+    pub calibration_shots: u64,
+    /// Shots consumed executing all target circuits.
+    pub execution_shots: u64,
+    /// Retry/degradation record when the strategy ran through the resilient
+    /// pipeline.
+    pub resilience: Option<ResilienceReport>,
+}
+
+impl BatchOutcome {
+    /// Total shots drawn from the budget.
+    pub fn total_shots(&self) -> u64 {
+        self.calibration_shots + self.execution_shots
+    }
+}
+
 /// A measurement-error mitigation protocol.
 ///
 /// `run` owns the *entire* budget split: a strategy decides how many shots
@@ -64,6 +92,40 @@ pub trait MitigationStrategy: Send + Sync {
         budget: u64,
         rng: &mut StdRng,
     ) -> Result<MitigationOutcome>;
+
+    /// Executes the protocol over a batch of circuits under one total shot
+    /// budget.
+    ///
+    /// The default implementation simply splits the budget evenly and runs
+    /// each circuit independently — correct, but it re-characterises per
+    /// circuit. Calibrating strategies override it to characterise **once**
+    /// and share the calibration (and its compiled
+    /// [`MitigationPlan`](qem_core::plan::MitigationPlan)) across the whole
+    /// batch, which is both cheaper in shots and far faster to mitigate.
+    fn run_batch(
+        &self,
+        backend: &dyn Executor,
+        circuits: &[Circuit],
+        budget: u64,
+        rng: &mut StdRng,
+    ) -> Result<BatchOutcome> {
+        if circuits.is_empty() {
+            return Ok(BatchOutcome::default());
+        }
+        let per = (budget / circuits.len() as u64).max(1);
+        let mut out = BatchOutcome::default();
+        for circuit in circuits {
+            let o = self.run(backend, circuit, per, rng)?;
+            out.calibration_circuits += o.calibration_circuits;
+            out.calibration_shots += o.calibration_shots;
+            out.execution_shots += o.execution_shots;
+            if out.resilience.is_none() {
+                out.resilience = o.resilience;
+            }
+            out.distributions.push(o.distribution);
+        }
+        Ok(out)
+    }
 }
 
 /// Splits a budget into a calibration half and an execution half,

@@ -46,6 +46,10 @@ pub const CORE_JOINING_FRACTIONAL_POWER: &str = "core.joining.fractional_power";
 pub const CORE_JOINING_JOIN_CORRECTIONS: &str = "core.joining.join_corrections";
 /// Application of an assembled mitigator to an observed distribution.
 pub const CORE_MITIGATOR_APPLY: &str = "core.mitigator.apply";
+/// Batched application of one compiled plan across many histograms.
+pub const CORE_MITIGATOR_BATCH_APPLY: &str = "core.mitigator.batch_apply";
+/// Compilation of a mitigator chain into a layered execution plan.
+pub const CORE_PLAN_COMPILE: &str = "core.plan.compile";
 /// Resilient calibration pipeline (retry ladder) top-level span.
 pub const CORE_RESILIENCE_CALIBRATE: &str = "core.resilience.calibrate";
 /// AIM strategy end-to-end run.
@@ -94,8 +98,16 @@ pub const SIM_FAULT_TRANSIENT: &str = "sim.fault.transient";
 pub const BENCH_ALG1_MAPS_SCHEDULED: &str = "bench.alg1.maps_scheduled";
 /// Mitigator applications performed.
 pub const CORE_MITIGATOR_APPLIES_TOTAL: &str = "core.mitigator.applies_total";
+/// Histograms mitigated through the batch API.
+pub const CORE_MITIGATOR_BATCH_HISTOGRAMS_TOTAL: &str = "core.mitigator.batch_histograms_total";
 /// Estimated floating-point work of mitigator applications.
 pub const CORE_MITIGATOR_FLOPS_ESTIMATE: &str = "core.mitigator.flops_estimate";
+/// Mitigation-plan compilations performed.
+pub const CORE_PLAN_COMPILES_TOTAL: &str = "core.plan.compiles_total";
+/// Patch inversions answered from the content-hashed inverse cache.
+pub const CORE_PLAN_INVERSE_CACHE_HITS_TOTAL: &str = "core.plan.inverse_cache_hits_total";
+/// Patch inversions computed and inserted into the inverse cache.
+pub const CORE_PLAN_INVERSE_CACHE_MISSES_TOTAL: &str = "core.plan.inverse_cache_misses_total";
 /// Virtual-clock ticks spent in retry backoff.
 pub const CORE_RESILIENCE_BACKOFF_TICKS_TOTAL: &str = "core.resilience.backoff_ticks_total";
 /// Ladder downgrades taken.
@@ -132,6 +144,8 @@ pub const BENCH_TABLE1_ERR_SWEEP_CIRCUITS: &str = "bench.table1.err_sweep_circui
 pub const CORE_CMC_SCHEDULE_ROUNDS: &str = "core.cmc.schedule_rounds";
 /// Edges selected into the error coupling map.
 pub const CORE_ERR_SELECTED_EDGES: &str = "core.err.selected_edges";
+/// Layers in the most recently compiled mitigation plan.
+pub const CORE_PLAN_LAYER_COUNT: &str = "core.plan.layer_count";
 /// Final rung of the resilience ladder (0 = best).
 pub const CORE_RESILIENCE_LADDER_RUNG: &str = "core.resilience.ladder_rung";
 
@@ -139,6 +153,8 @@ pub const CORE_RESILIENCE_LADDER_RUNG: &str = "core.resilience.ladder_rung";
 
 /// Distribution of ERR pair weights (uses `WEIGHT_BUCKETS`).
 pub const CORE_ERR_PAIR_WEIGHT: &str = "core.err.pair_weight";
+/// Post-cull entry counts after each applied plan layer.
+pub const CORE_PLAN_LAYER_ENTRIES: &str = "core.plan.layer_entries";
 /// Distribution of patch-scheduling speedups over sequential (Algorithm 1).
 pub const BENCH_ALG1_SPEEDUP: &str = "bench.alg1.speedup";
 
@@ -159,6 +175,8 @@ pub const ALL: &[&str] = &[
     CORE_JOINING_FRACTIONAL_POWER,
     CORE_JOINING_JOIN_CORRECTIONS,
     CORE_MITIGATOR_APPLY,
+    CORE_MITIGATOR_BATCH_APPLY,
+    CORE_PLAN_COMPILE,
     CORE_RESILIENCE_CALIBRATE,
     MITIGATION_AIM_RUN,
     MITIGATION_BARE_RUN,
@@ -180,7 +198,11 @@ pub const ALL: &[&str] = &[
     SIM_FAULT_TRANSIENT,
     BENCH_ALG1_MAPS_SCHEDULED,
     CORE_MITIGATOR_APPLIES_TOTAL,
+    CORE_MITIGATOR_BATCH_HISTOGRAMS_TOTAL,
     CORE_MITIGATOR_FLOPS_ESTIMATE,
+    CORE_PLAN_COMPILES_TOTAL,
+    CORE_PLAN_INVERSE_CACHE_HITS_TOTAL,
+    CORE_PLAN_INVERSE_CACHE_MISSES_TOTAL,
     CORE_RESILIENCE_BACKOFF_TICKS_TOTAL,
     CORE_RESILIENCE_DOWNGRADES_TOTAL,
     CORE_RESILIENCE_FAILED_SUBMISSIONS_TOTAL,
@@ -197,8 +219,10 @@ pub const ALL: &[&str] = &[
     BENCH_TABLE1_ERR_SWEEP_CIRCUITS,
     CORE_CMC_SCHEDULE_ROUNDS,
     CORE_ERR_SELECTED_EDGES,
+    CORE_PLAN_LAYER_COUNT,
     CORE_RESILIENCE_LADDER_RUNG,
     CORE_ERR_PAIR_WEIGHT,
+    CORE_PLAN_LAYER_ENTRIES,
     BENCH_ALG1_SPEEDUP,
 ];
 

@@ -45,6 +45,12 @@ COMMANDS:
                                          CMC vs Linear vs Full on a 5-qubit linear chain;
                                          writes a schema-versioned BENCH_cmc.json with
                                          per-stage timings and circuit counts
+    bench-snapshot --suite mitigation [--qubits N] [--steps N] [--batch N]
+                   [--reps N] [--out FILE]
+                                         compiled-plan kernel benchmark: legacy hash-map
+                                         path vs layered flat kernel, single histogram and
+                                         batch; writes BENCH_mitigation.json with
+                                         wall-clock timings and speedups
 
 COMMON OPTIONS:
     --device         quito | lima | manila | nairobi
@@ -406,6 +412,9 @@ const BENCH_SCHEMA_VERSION: u32 = 1;
 /// per-stage span timings and circuit counts written to a schema-versioned
 /// JSON snapshot.
 fn cmd_bench_snapshot(args: &Args, seed: u64) -> Result<(), String> {
+    if args.get("suite") == Some("mitigation") {
+        return cmd_bench_mitigation(args, seed);
+    }
     let device = args.get("device").unwrap_or("manila");
     let backend = backend_by_name(device, seed)
         .ok_or_else(|| format!("unknown device '{device}' (expected quito|lima|manila|nairobi)"))?;
@@ -500,6 +509,183 @@ fn cmd_bench_snapshot(args: &Args, seed: u64) -> Result<(), String> {
     ]);
     std::fs::write(&out, doc.to_string_pretty()).map_err(|e| e.to_string())?;
     println!("bench snapshot -> {}", out.display());
+    Ok(())
+}
+
+/// Schema stamped into `bench-snapshot --suite mitigation` output.
+const BENCH_MITIGATION_SCHEMA_VERSION: u32 = 1;
+
+/// A random mildly-correlated 4×4 stochastic channel for the synthetic
+/// mitigation chain (product flips plus a joint flip; diagonally dominant,
+/// hence invertible).
+fn synthetic_channel4(rng: &mut StdRng) -> Result<qem::linalg::Matrix, String> {
+    use qem::linalg::Matrix;
+    use rand::Rng;
+    let flip = |r: &mut StdRng| {
+        let p0: f64 = r.gen_range(0.01..0.08);
+        let p1: f64 = r.gen_range(0.01..0.08);
+        Matrix::from_rows(&[&[1.0 - p0, p1], &[p0, 1.0 - p1]])
+    };
+    let a = flip(rng);
+    let b = flip(rng);
+    let p: f64 = rng.gen_range(0.01..0.05);
+    let mut joint = Matrix::zeros(4, 4);
+    for c in 0..4usize {
+        joint[(c, c)] += 1.0 - p;
+        joint[(c ^ 3, c)] += p;
+    }
+    let m = joint.matmul(&b.kron(&a)).map_err(|e| e.to_string())?;
+    Ok(qem::linalg::stochastic::normalize_columns(&m))
+}
+
+/// A synthetic GHZ-like histogram: `shots` samples scattered by independent
+/// bit flips around |0…0⟩ and |1…1⟩ on `n` qubits.
+fn synthetic_histogram(n: usize, shots: u64, rng: &mut StdRng) -> qem::sim::counts::Counts {
+    use rand::Rng;
+    let ones = (1u64 << n) - 1;
+    let mut counts = qem::sim::counts::Counts::new(n);
+    for _ in 0..shots {
+        let mut s = if rng.gen_range(0.0..1.0) < 0.5 {
+            0
+        } else {
+            ones
+        };
+        for q in 0..n {
+            if rng.gen_range(0.0..1.0) < 0.03 {
+                s ^= 1u64 << q;
+            }
+        }
+        counts.record(s);
+    }
+    counts
+}
+
+/// Best-of-`reps` wall-clock microseconds for a closure.
+fn time_best_micros(reps: u64, mut f: impl FnMut()) -> u64 {
+    let mut best = u64::MAX;
+    for _ in 0..reps.max(1) {
+        let t = std::time::Instant::now();
+        f();
+        best = best.min(t.elapsed().as_micros() as u64);
+    }
+    best
+}
+
+/// The `bench-snapshot --suite mitigation` command: the legacy per-step
+/// hash-map mitigation path against the compiled layered flat kernel on a
+/// synthetic 20-qubit 16-step culled chain, single-histogram and batched,
+/// timed on the wall clock and written as schema-versioned JSON.
+fn cmd_bench_mitigation(args: &Args, seed: u64) -> Result<(), String> {
+    use qem::core::SparseMitigator;
+    use qem::sim::counts::Counts;
+
+    let n = args.get_u64("qubits", 20) as usize;
+    let steps = args.get_u64("steps", 16) as usize;
+    let batch_size = args.get_u64("batch", 64) as usize;
+    let reps = args.get_u64("reps", 5);
+    let out: PathBuf = args.get("out").unwrap_or("BENCH_mitigation.json").into();
+    if !(2..=62).contains(&n) {
+        return Err(format!("--qubits {n} out of range (2..=62)"));
+    }
+    if steps + 1 > n {
+        return Err(format!(
+            "--steps {steps} needs at least {} qubits",
+            steps + 1
+        ));
+    }
+
+    let cull = qem::linalg::tol::CULL;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut mitigator = SparseMitigator::identity(n);
+    mitigator.cull_threshold = cull;
+    for i in 0..steps {
+        let inv =
+            qem::linalg::lu::inverse(&synthetic_channel4(&mut rng)?).map_err(|e| e.to_string())?;
+        mitigator
+            .push_step(vec![i, i + 1], inv)
+            .map_err(|e| e.to_string())?;
+    }
+
+    let single = synthetic_histogram(n, 20_000, &mut rng).to_distribution();
+    let batch: Vec<Counts> = (0..batch_size)
+        .map(|_| synthetic_histogram(n, 4_000, &mut rng))
+        .collect();
+
+    println!(
+        "bench-snapshot --suite mitigation: {n} qubits, {steps}-step chain, \
+         batch of {batch_size}, best of {reps}"
+    );
+
+    // Warm both paths once (plan compilation happens on first apply).
+    let legacy_out = mitigator
+        .mitigate_dist_serial(&single)
+        .map_err(|e| e.to_string())?;
+    let plan_out = mitigator
+        .mitigate_dist(&single)
+        .map_err(|e| e.to_string())?;
+    let l1 = legacy_out.l1_distance(&plan_out);
+
+    let single_legacy = time_best_micros(reps, || {
+        let _ = mitigator.mitigate_dist_serial(&single);
+    });
+    let single_plan = time_best_micros(reps, || {
+        let _ = mitigator.mitigate_dist(&single);
+    });
+    let batch_legacy = time_best_micros(reps, || {
+        for counts in &batch {
+            let _ = mitigator.mitigate_dist_serial(&counts.to_distribution());
+        }
+    });
+    let batch_plan = time_best_micros(reps, || {
+        let _ = mitigator.mitigate_batch(&batch);
+    });
+
+    let ratio = |legacy: u64, new: u64| legacy as f64 / new.max(1) as f64;
+    println!(
+        "  single histogram: legacy {single_legacy} µs, compiled {single_plan} µs \
+         ({:.1}x)",
+        ratio(single_legacy, single_plan)
+    );
+    println!(
+        "  {batch_size}-histogram batch: legacy {batch_legacy} µs, compiled {batch_plan} µs \
+         ({:.1}x)",
+        ratio(batch_legacy, batch_plan)
+    );
+
+    let doc = Json::obj(vec![
+        (
+            "schema_version",
+            Json::UInt(BENCH_MITIGATION_SCHEMA_VERSION as u64),
+        ),
+        ("benchmark", Json::str("compiled_plan_kernel")),
+        ("qubits", Json::UInt(n as u64)),
+        ("steps", Json::UInt(steps as u64)),
+        ("batch_size", Json::UInt(batch_size as u64)),
+        ("cull_threshold", Json::Float(cull)),
+        ("seed", Json::UInt(seed)),
+        ("reps", Json::UInt(reps)),
+        ("support_legacy", Json::UInt(legacy_out.len() as u64)),
+        ("support_plan", Json::UInt(plan_out.len() as u64)),
+        ("l1_legacy_vs_plan", Json::Float(l1)),
+        (
+            "single_histogram",
+            Json::obj(vec![
+                ("legacy_micros", Json::UInt(single_legacy)),
+                ("compiled_micros", Json::UInt(single_plan)),
+                ("speedup", Json::Float(ratio(single_legacy, single_plan))),
+            ]),
+        ),
+        (
+            "batch",
+            Json::obj(vec![
+                ("legacy_micros", Json::UInt(batch_legacy)),
+                ("compiled_micros", Json::UInt(batch_plan)),
+                ("speedup", Json::Float(ratio(batch_legacy, batch_plan))),
+            ]),
+        ),
+    ]);
+    std::fs::write(&out, doc.to_string_pretty()).map_err(|e| e.to_string())?;
+    println!("mitigation bench snapshot -> {}", out.display());
     Ok(())
 }
 

@@ -96,7 +96,7 @@ proptest! {
         mit.cull_threshold = 0.0;
         for p in joined.iter().rev() {
             let inv = qem::linalg::lu::inverse(&p.matrix).unwrap();
-            mit.push_step(p.qubits.clone(), inv);
+            mit.push_step(p.qubits.clone(), inv).unwrap();
         }
         // Noisy GHZ distribution through the exact channel.
         let forward = joined_forward_matrix(n, &joined).unwrap();

@@ -18,6 +18,9 @@ fn resilient_pipeline_telemetry_matches_report_and_is_deterministic() {
     // -- Scenario 1: the `flaky` preset forces retries. --------------------
     let run_flaky = |seed: u64| {
         g.reset();
+        // The patch-inverse cache is process-wide state too: cleared so the
+        // second run's hit/miss counters match the first's.
+        qem::core::inverse_cache::clear();
         g.use_virtual_clock();
         g.set_enabled(true);
         let profile = FaultProfile::preset("flaky", seed).expect("flaky preset");
