@@ -139,8 +139,9 @@ impl FlatDist {
 
 /// Accumulates duplicate keys of a sorted run in place and drops entries
 /// with `|w| < cull` (0 disables culling — exact zeros are kept so the
-/// result stays faithful to the unculled arithmetic).
-fn combine_sorted(mut run: Vec<(u64, f64)>, cull: f64) -> Vec<(u64, f64)> {
+/// result stays faithful to the unculled arithmetic). Operates on the
+/// buffer in place so callers can keep its capacity alive across calls.
+fn combine_sorted_in_place(run: &mut Vec<(u64, f64)>, cull: f64) {
     let mut write = 0usize;
     let mut read = 0usize;
     while read < run.len() {
@@ -156,6 +157,11 @@ fn combine_sorted(mut run: Vec<(u64, f64)>, cull: f64) -> Vec<(u64, f64)> {
         }
     }
     run.truncate(write);
+}
+
+/// By-value convenience wrapper over [`combine_sorted_in_place`].
+fn combine_sorted(mut run: Vec<(u64, f64)>, cull: f64) -> Vec<(u64, f64)> {
+    combine_sorted_in_place(&mut run, cull);
     run
 }
 
@@ -378,15 +384,17 @@ fn expand_into_dense(
 ) -> u64 {
     let mut flops = 0u64;
     // Single-step layers scatter straight from input to accumulator.
+    // Indexing is deliberately unchecked-by-`get`: the caller sizes `dense`
+    // from the OR of all input keys and the layer mask, which provably
+    // bounds every output key, so an out-of-range write is a kernel bug and
+    // must panic rather than silently drop probability mass.
     if let [step] = layer {
         for &(s, w) in chunk {
             let base = s & !step.mask;
             if let Some(nz) = step.cols.get(step.col_of(s)) {
                 flops += nz.len() as u64;
                 for &(scattered, a) in nz {
-                    if let Some(slot) = dense.get_mut((base | scattered) as usize) {
-                        *slot += w * a;
-                    }
+                    dense[(base | scattered) as usize] += w * a;
                 }
             }
         }
@@ -410,9 +418,7 @@ fn expand_into_dense(
             std::mem::swap(scratch_a, scratch_b);
         }
         for &(key, val) in scratch_a.iter() {
-            if let Some(slot) = dense.get_mut(key as usize) {
-                *slot += val;
-            }
+            dense[key as usize] += val;
         }
     }
     flops
@@ -425,8 +431,9 @@ fn expand_into_dense(
 /// number of scatter outputs generated (actual multiply-adds).
 ///
 /// When the layer's output key space is small (every output key is bounded
-/// by `max_input_key | layer_mask`) *and* the generated entries are dense
-/// in it, the kernel switches to an indexed dense accumulator: duplicate
+/// by the OR of all input keys with the layer mask) *and* the generated
+/// entries are dense in it, the kernel switches to an indexed dense
+/// accumulator: duplicate
 /// merging becomes `O(1)` per output and the sort disappears entirely.
 /// Accumulation is fully merged before the cull test, so the dense path
 /// keeps the merged-weight culling semantics of the sorted path.
@@ -456,31 +463,37 @@ pub fn apply_layer(
     let entries = dist.entries();
 
     if generated < PAR_THRESHOLD {
-        // Serial path: expand into one run, sort, combine + cull.
-        let mut out = std::mem::take(&mut ws.expand);
-        out.clear();
-        out.reserve(generated);
+        // Serial path: expand into the workspace buffer, sort, combine +
+        // cull in place, then copy the (small) combined run out so
+        // `ws.expand` keeps its capacity for the next call.
+        ws.expand.clear();
+        ws.expand.reserve(generated);
         let flops = expand_chunk(
             entries,
             layer,
-            &mut out,
+            &mut ws.expand,
             &mut ws.scratch_a,
             &mut ws.scratch_b,
         );
-        out.sort_unstable_by_key(|&(s, _)| s);
-        let combined = combine_sorted(out, cull);
-        let result = FlatDist { entries: combined };
+        ws.expand.sort_unstable_by_key(|&(s, _)| s);
+        combine_sorted_in_place(&mut ws.expand, cull);
+        let result = FlatDist {
+            entries: ws.expand.clone(),
+        };
         crate::invariant::check_finite_weights("apply_layer", result.iter());
         return Ok((result, flops));
     }
 
-    // Dense-accumulator path: every output key is `(s & !mask) | scattered
-    // ⊆ s | union`, so the largest input key bounds the output key space.
-    // When that space fits the scratch ceiling and the generated entries
-    // cover at least ~1/8th of it, indexed accumulation beats sort + merge.
-    let dim = entries.last().map_or(0, |&(s, _)| (s | union) + 1);
-    if dim > 0 && dim <= DENSE_DIM_LIMIT && generated as u64 >= dim / 8 {
-        let dim = dim as usize;
+    // Dense-accumulator path: every output key is `(s & !union) | scattered`
+    // with `scattered ⊆ union`, so the OR of *all* input keys together with
+    // the layer mask bounds the output key space (the largest key alone does
+    // not: a smaller entry can carry non-union bits above it). When that
+    // space fits the scratch ceiling and the generated entries cover at
+    // least ~1/8th of it, indexed accumulation beats sort + merge.
+    let key_or = entries.iter().fold(0u64, |acc, &(s, _)| acc | s);
+    let bound = key_or | union;
+    if !entries.is_empty() && bound < DENSE_DIM_LIMIT && generated as u64 >= (bound + 1) / 8 {
+        let dim = (bound + 1) as usize;
         if ws.dense.len() < dim {
             ws.dense.resize(dim, 0.0);
         }
@@ -724,6 +737,64 @@ mod tests {
         for (s, w) in expect.iter() {
             assert!((culled.get(s) - w).abs() < 1e-13, "state {s}");
         }
+    }
+
+    #[test]
+    fn dense_path_bound_covers_low_keys_with_high_free_bits() {
+        // Regression: support {0..=4094} ∪ {4096} with a step on qubit 12.
+        // The max input key (4096) ORed with the step mask gives 4096, but
+        // state 4094 keeps its low 12 bits and scatters to 8190 — beyond a
+        // bound computed from the last entry alone. The dense accumulator
+        // must be sized from the OR of *all* keys or mass silently vanishes.
+        let op = stochastic2(0.1, 0.05);
+        let step = ScatterStep::compile(&op, &[12]).unwrap();
+        let n = 4096.0;
+        let entries: Vec<(u64, f64)> = (0..4095u64)
+            .map(|s| (s, 1.0 / n))
+            .chain(std::iter::once((4096u64, 1.0 / n)))
+            .collect();
+        let flat = FlatDist::from_pairs(entries.iter().copied());
+        // 4096 entries × fan-out 2 crosses PAR_THRESHOLD and lands on the
+        // dense-accumulator path (key space 8192, coverage well above 1/8).
+        let (got, _) = apply_layer(
+            &flat,
+            std::slice::from_ref(&step),
+            0.0,
+            &mut Workspace::new(),
+        )
+        .unwrap();
+        assert!(
+            (got.total() - 1.0).abs() < 1e-12,
+            "mass lost: total {}",
+            got.total()
+        );
+        let reference =
+            apply_operator_sparse(&op, &[12], &SparseDist::from_pairs(entries)).unwrap();
+        assert_eq!(got.len(), reference.len());
+        for (s, w) in reference.iter() {
+            assert!((got.get(s) - w).abs() < 1e-13, "state {s}");
+        }
+        assert!(got.get(8190).abs() > 0.0, "scattered high key dropped");
+    }
+
+    #[test]
+    fn serial_path_reuses_workspace_buffer() {
+        let op = stochastic2(0.1, 0.05);
+        let step = ScatterStep::compile(&op, &[0]).unwrap();
+        let flat = FlatDist::from_pairs((0..64u64).map(|s| (s, 1.0 / 64.0)));
+        let mut ws = Workspace::new();
+        let (first, _) = apply_layer(&flat, std::slice::from_ref(&step), 0.0, &mut ws).unwrap();
+        let cap = ws.expand.capacity();
+        assert!(
+            cap > 0,
+            "serial path must leave its buffer in the workspace"
+        );
+        let (second, _) = apply_layer(&flat, std::slice::from_ref(&step), 0.0, &mut ws).unwrap();
+        assert_eq!(first, second);
+        assert!(
+            ws.expand.capacity() >= cap,
+            "second call should reuse, not shrink, the expansion buffer"
+        );
     }
 
     #[test]

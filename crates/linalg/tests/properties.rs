@@ -168,6 +168,40 @@ proptest! {
         prop_assert!(sp.max_abs_diff(&dp).unwrap() < 1e-10);
     }
 
+    /// The flat scatter kernel must match the hash-map reference on
+    /// *scattered* (non-contiguous, high-bit) supports large enough to
+    /// leave the serial path — the regime where the dense-accumulator and
+    /// parallel merge paths engage and a mis-sized bound loses mass.
+    #[test]
+    fn flat_layer_matches_hashmap_on_scattered_supports(
+        op in channel4(),
+        pairs in prop::collection::vec((0u64..(1 << 13), 0.01..1.0f64), 512..1400),
+        q0 in 0usize..6,
+    ) {
+        use qem_linalg::flat_dist::{apply_layer, FlatDist, ScatterStep, Workspace};
+        let qs = [q0, q0 + 7];
+        let sparse = SparseDist::from_pairs(pairs);
+        let reference = apply_operator_sparse(&op, &qs, &sparse).unwrap();
+        let step = ScatterStep::compile(&op, &qs).unwrap();
+        let flat = FlatDist::from_sparse(&sparse);
+        let (got, _) = apply_layer(
+            &flat,
+            std::slice::from_ref(&step),
+            0.0,
+            &mut Workspace::new(),
+        ).unwrap();
+        prop_assert!(
+            (got.total() - flat.total()).abs() < 1e-9,
+            "stochastic apply lost mass: {} vs {}", got.total(), flat.total()
+        );
+        for (s, w) in reference.iter() {
+            prop_assert!((got.get(s) - w).abs() < 1e-12, "state {s}");
+        }
+        for (s, w) in got.iter() {
+            prop_assert!((reference.get(s) - w).abs() < 1e-12, "extra state {s}");
+        }
+    }
+
     #[test]
     fn marginalize_preserves_mass(pairs in prop::collection::vec((0u64..64, 0.0..1.0f64), 1..20)) {
         let d = SparseDist::from_pairs(pairs);

@@ -99,7 +99,7 @@ impl MitigationStrategy for CmcStrategy {
         };
         // One characterisation for the whole batch…
         let cal = calibrate_cmc(backend, &opts, rng)?;
-        let per_exec = (execution / circuits.len() as u64).max(1);
+        let per_exec = crate::strategy::per_circuit_execution(execution, circuits.len())?;
         let counts = execute_batch(backend, circuits, per_exec, rng)?;
         // …and one compiled plan applied across every histogram.
         Ok(BatchOutcome {
@@ -205,7 +205,7 @@ impl MitigationStrategy for CmcErrStrategy {
             },
         };
         let (_, cal) = calibrate_cmc_err(backend, &opts, rng)?;
-        let per_exec = (execution / circuits.len() as u64).max(1);
+        let per_exec = crate::strategy::per_circuit_execution(execution, circuits.len())?;
         let counts = execute_batch(backend, circuits, per_exec, rng)?;
         Ok(BatchOutcome {
             distributions: cal.mitigator.mitigate_batch(&counts)?,
@@ -299,6 +299,28 @@ mod tests {
             "batch {} vs solo {}",
             batch.calibration_shots,
             solo_cal_shots
+        );
+    }
+
+    #[test]
+    fn run_batch_rejects_budget_below_batch_size() {
+        // Execution allotment of < 1 shot per circuit used to be floored up
+        // to 1, silently overshooting the caller's budget. Noiseless device
+        // so the starved 1-shot calibration itself still succeeds and the
+        // execution-split guard is what trips.
+        use qem_sim::backend::Backend;
+        use qem_sim::noise::NoiseModel;
+        use qem_topology::coupling::linear;
+        let b = Backend::new(linear(4), NoiseModel::noiseless(4));
+        let graph = &b.coupling.graph;
+        let circuits: Vec<Circuit> = (0..4).map(|r| ghz_bfs(graph, r)).collect();
+        let mut rng = StdRng::seed_from_u64(7);
+        let err = CmcStrategy::default()
+            .run_batch(&b, &circuits, 4, &mut rng)
+            .unwrap_err();
+        assert!(
+            matches!(err, qem_core::error::CoreError::Infeasible { .. }),
+            "expected Infeasible, got {err}"
         );
     }
 

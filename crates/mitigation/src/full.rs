@@ -90,7 +90,7 @@ impl MitigationStrategy for FullStrategy {
         // The exponential characterisation is the entire cost here; it runs
         // once and the dense inverse serves every histogram in the batch.
         let cal = FullCalibration::calibrate(backend, per_circuit, rng)?;
-        let per_exec = (execution / circuits.len() as u64).max(1);
+        let per_exec = crate::strategy::per_circuit_execution(execution, circuits.len())?;
         let counts = crate::cmc::execute_batch(backend, circuits, per_exec, rng)?;
         let mut distributions = Vec::with_capacity(counts.len());
         for c in &counts {

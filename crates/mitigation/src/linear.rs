@@ -62,7 +62,7 @@ impl MitigationStrategy for LinearStrategy {
         // compiled plan collapses the entire chain into very few layers.
         let cal = LinearCalibration::calibrate(backend, per_circuit, rng)?;
         let mitigator = cal.mitigator()?;
-        let per_exec = (execution / circuits.len() as u64).max(1);
+        let per_exec = crate::strategy::per_circuit_execution(execution, circuits.len())?;
         let counts = crate::cmc::execute_batch(backend, circuits, per_exec, rng)?;
         Ok(BatchOutcome {
             distributions: mitigator.mitigate_batch(&counts)?,

@@ -163,7 +163,7 @@ impl MitigationStrategy for M3Strategy {
         // they fan out across rayon workers.
         let cal = LinearCalibration::calibrate(backend, per_circuit, rng)?;
         let cals: Vec<Matrix> = cal.per_qubit.iter().map(|c| c.matrix().clone()).collect();
-        let per_exec = (execution / circuits.len() as u64).max(1);
+        let per_exec = crate::strategy::per_circuit_execution(execution, circuits.len())?;
         let counts = crate::cmc::execute_batch(backend, circuits, per_exec, rng)?;
         let jobs: Vec<(usize, &Counts)> = counts.iter().enumerate().collect();
         let solved: Vec<Result<SparseDist>> = jobs

@@ -143,7 +143,7 @@ impl MitigationStrategy for ResilientCmcStrategy {
         let cal = calibrate_resilient(backend, &opts, rng);
 
         let retry = RetryExecutor::new(backend, opts.retry);
-        let per_exec = (execution / circuits.len() as u64).max(1);
+        let per_exec = crate::strategy::per_circuit_execution(execution, circuits.len())?;
         let mut counts = Vec::with_capacity(circuits.len());
         for circuit in circuits {
             counts.push(retry.try_execute(circuit, per_exec, rng)?);

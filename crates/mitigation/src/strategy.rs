@@ -112,7 +112,7 @@ pub trait MitigationStrategy: Send + Sync {
         if circuits.is_empty() {
             return Ok(BatchOutcome::default());
         }
-        let per = (budget / circuits.len() as u64).max(1);
+        let per = per_circuit_execution(budget, circuits.len())?;
         let mut out = BatchOutcome::default();
         for circuit in circuits {
             let o = self.run(backend, circuit, per, rng)?;
@@ -126,6 +126,26 @@ pub trait MitigationStrategy: Send + Sync {
         }
         Ok(out)
     }
+}
+
+/// Splits the execution half of a batch budget evenly across `circuits`
+/// target circuits, returning the per-circuit shot count.
+///
+/// Fails with [`CoreError::Infeasible`](qem_core::error::CoreError) when the
+/// execution allotment cannot give every circuit at least one shot — the
+/// alternative (flooring at one shot each) would silently execute more
+/// shots than the caller budgeted.
+pub fn per_circuit_execution(execution: u64, circuits: usize) -> Result<u64> {
+    let n = circuits as u64;
+    if n == 0 || execution < n {
+        return Err(qem_core::error::CoreError::Infeasible {
+            detail: format!(
+                "execution allotment of {execution} shots cannot cover a \
+                 batch of {circuits} circuits with one shot each"
+            ),
+        });
+    }
+    Ok(execution / n)
 }
 
 /// Splits a budget into a calibration half and an execution half,
@@ -168,6 +188,17 @@ mod tests {
         // because exec saturates at budget - circuits.
         assert_eq!(exec, 0);
         assert!(per * 400 + exec >= 100); // over-budget flagged by exec = 0
+    }
+
+    #[test]
+    fn per_circuit_execution_guards_budget() {
+        assert_eq!(per_circuit_execution(100, 4).unwrap(), 25);
+        assert_eq!(per_circuit_execution(7, 4).unwrap(), 1);
+        assert!(matches!(
+            per_circuit_execution(3, 4),
+            Err(qem_core::error::CoreError::Infeasible { .. })
+        ));
+        assert!(per_circuit_execution(10, 0).is_err());
     }
 
     #[test]
