@@ -18,6 +18,8 @@
 //! `core.plan.inverse_cache_hits_total` / `…_misses_total`.
 
 use crate::error::Result;
+use qem_linalg::checks;
+use qem_linalg::checks::mutation::{self, Mutation};
 use qem_linalg::dense::Matrix;
 use std::collections::HashMap;
 use std::sync::{Arc, Mutex, OnceLock};
@@ -38,6 +40,12 @@ fn cache() -> &'static Mutex<Shard> {
 /// Bit-exact keying means "same inverse" is decided by the arithmetic that
 /// produced the matrix, never by a tolerance.
 fn content_hash(m: &Matrix) -> u64 {
+    // Seeded corruption hook: collapse every matrix into one hash bucket.
+    // FNV-1a preimages cannot be crafted by hand, so this is how the
+    // sanitizer tests exercise the collision guard for real.
+    if mutation::armed(Mutation::ForceHashCollision) {
+        return 0x5eed_c011_1ded;
+    }
     const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
     const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
     let mut h = FNV_OFFSET;
@@ -84,7 +92,23 @@ pub fn invert_cached(m: &Matrix) -> Result<Arc<Matrix>> {
     {
         let guard = cache().lock().unwrap_or_else(|p| p.into_inner());
         if let Some(bucket) = guard.get(&key) {
-            if let Some((_, inv)) = bucket.iter().find(|(fwd, _)| bit_identical(fwd, m)) {
+            // Seeded corruption hook: trust the hash and take the first
+            // bucket entry without the bit-equality guard — the audit below
+            // must catch the resulting wrong-inverse hit.
+            let hit = if mutation::armed(Mutation::SkipCollisionGuard) {
+                bucket.first()
+            } else {
+                bucket.iter().find(|(fwd, _)| bit_identical(fwd, m))
+            };
+            if let Some((fwd, inv)) = hit {
+                if checks::ENABLED {
+                    assert!(
+                        bit_identical(fwd, m),
+                        "invariant[invert_cached]: hash hit returned a \
+                         non-bit-identical forward matrix (collision escaped \
+                         the guard)"
+                    );
+                }
                 qem_telemetry::counter_add(
                     qem_telemetry::names::CORE_PLAN_INVERSE_CACHE_HITS_TOTAL,
                     1,
@@ -105,8 +129,24 @@ pub fn invert_cached(m: &Matrix) -> Result<Arc<Matrix>> {
         guard.clear();
     }
     let bucket = guard.entry(key).or_default();
-    if !bucket.iter().any(|(fwd, _)| bit_identical(fwd, m)) {
+    if !bucket.iter().any(|(fwd, _)| bit_identical(fwd, m))
+        || mutation::armed(Mutation::SkipCollisionGuard)
+    {
         bucket.push((m.clone(), Arc::clone(&inv)));
+    }
+    if checks::ENABLED {
+        // Duplicate-bucket audit: two bit-identical forwards in one bucket
+        // mean the racing-insert dedup broke and hit behaviour now depends
+        // on insertion order.
+        for (i, (a, _)) in bucket.iter().enumerate() {
+            for (b, _) in &bucket[i + 1..] {
+                assert!(
+                    !bit_identical(a, b),
+                    "invariant[invert_cached]: duplicate bit-identical \
+                     forward matrices in one hash bucket"
+                );
+            }
+        }
     }
     Ok(inv)
 }

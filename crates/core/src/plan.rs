@@ -26,6 +26,8 @@
 
 use crate::error::Result;
 use crate::mitigator::SparseMitigator;
+use qem_linalg::checks;
+use qem_linalg::checks::mutation::{self, Mutation};
 use qem_linalg::flat_dist::{apply_layer, FlatDist, ScatterStep, Workspace};
 use qem_linalg::sparse_apply::SparseDist;
 
@@ -34,6 +36,13 @@ use qem_linalg::sparse_apply::SparseDist;
 /// within one cache line's worth of `(u64, f64)` pairs per input entry
 /// while still fusing e.g. three dense 2-qubit inverses (4³ = 64).
 pub const MAX_LAYER_FANOUT: usize = 64;
+
+/// True when `mask` is qubit-disjoint from the most recent layer (or there
+/// is no layer yet). Split out of the greedy-layering match guard so the
+/// seeded-mutation hook has one place to lie about disjointness.
+fn layer_disjoint(layers: &[PlanLayer], mask: u64) -> bool {
+    layers.last().is_none_or(|l| l.mask & mask == 0)
+}
 
 /// One compiled layer: scatter steps on pairwise-disjoint qubit sets,
 /// applied in a single sweep.
@@ -89,10 +98,14 @@ impl MitigationPlan {
         for step in mit.steps() {
             let compiled = ScatterStep::compile(&step.operator, &step.qubits)?;
             let fanout = compiled.max_fanout().max(1);
+            // Seeded corruption hook: pretend an overlapping step is
+            // disjoint, so the fused layer would double-apply on the shared
+            // qubits. The post-compile disjointness audit must catch it.
+            let disjoint = layer_disjoint(&layers, compiled.mask())
+                || mutation::armed(Mutation::OverlapLayers);
             match layers.last_mut() {
                 Some(layer)
-                    if layer.mask & compiled.mask() == 0
-                        && layer.fanout.saturating_mul(fanout) <= MAX_LAYER_FANOUT =>
+                    if disjoint && layer.fanout.saturating_mul(fanout) <= MAX_LAYER_FANOUT =>
                 {
                     layer.mask |= compiled.mask();
                     layer.fanout *= fanout;
@@ -103,6 +116,14 @@ impl MitigationPlan {
                     fanout,
                     steps: vec![compiled],
                 }),
+            }
+        }
+        if checks::ENABLED {
+            for layer in &layers {
+                checks::check_disjoint_masks(
+                    "MitigationPlan::compile",
+                    layer.steps.iter().map(|s| s.mask()),
+                );
             }
         }
         qem_telemetry::counter_add(qem_telemetry::names::CORE_PLAN_COMPILES_TOTAL, 1);

@@ -1,0 +1,571 @@
+//! Explicit-state models of `qem-core`'s concurrency protocols, checked
+//! exhaustively with `qem-modelcheck`.
+//!
+//! Each model abstracts one real synchronisation pattern to its
+//! linearisation points and explores *every* interleaving. For each
+//! protocol there are two variants:
+//!
+//! * the **shipped** design, which must pass under all schedules, and
+//! * a deliberately **broken** twin (the discipline the real code relies
+//!   on, removed), which must fail — proving the model is actually
+//!   sensitive to the property the design depends on, not vacuously green.
+//!
+//! Modelled protocols:
+//!
+//! 1. the [`inverse_cache`](qem_core::inverse_cache) shard: racing
+//!    miss/compute/insert with dedup-on-insert vs. a twin whose racing
+//!    inserts don't deduplicate;
+//! 2. the shard's `OnceLock` initialisation vs. a racy check-then-set
+//!    lazy-init that can hand two callers two different "singletons";
+//! 3. [`SparseMitigator`](qem_core::SparseMitigator)'s lazy plan compile
+//!    vs. `push_step` invalidation: the borrow-checked design (push takes
+//!    `&mut self`, excluding readers) vs. an interior-mutability twin that
+//!    publishes a stale plan into the reset cache;
+//! 4. the chunked `mitigate_batch` workspace handoff: per-worker
+//!    workspaces vs. a twin where workers share one scratch buffer.
+//!
+//! Real `std::thread` contention coverage of the same cache lives in
+//! `inverse_cache_contention.rs`; loom-based twins of these models live in
+//! `tools/loom-models` (network-gated CI).
+
+use qem_modelcheck::{check, explore, Config, Outcome, Step, ThreadSpec};
+
+// ---------------------------------------------------------------------------
+// Model 1: inverse-cache shard — racing lookup / compute / insert.
+// ---------------------------------------------------------------------------
+
+/// Both threads want the inverse of the same matrix (content id 7). Steps
+/// mirror `invert_cached`'s three linearisation points: the locked lookup,
+/// the unlocked LU, and the locked insert-if-absent.
+#[derive(Clone, Default)]
+struct CacheShard {
+    /// Stored forward-matrix ids in the hash bucket.
+    bucket: Vec<u32>,
+    /// Whether racing inserts deduplicate (the shipped guard).
+    dedup: bool,
+    /// Per-thread: resolved an inverse (hit or own compute).
+    resolved: [bool; 2],
+}
+
+fn cache_lookup(s: &mut CacheShard, who: usize) -> Outcome {
+    if s.bucket.contains(&7) {
+        s.resolved[who] = true;
+    }
+    Outcome::Ran
+}
+
+fn cache_insert(s: &mut CacheShard, who: usize) -> Outcome {
+    if !s.resolved[who] {
+        if !s.dedup || !s.bucket.contains(&7) {
+            s.bucket.push(7);
+        }
+        s.resolved[who] = true;
+    }
+    Outcome::Ran
+}
+
+fn cache_thread(who: usize) -> ThreadSpec<CacheShard> {
+    fn l0(s: &mut CacheShard) -> Outcome {
+        cache_lookup(s, 0)
+    }
+    fn i0(s: &mut CacheShard) -> Outcome {
+        cache_insert(s, 0)
+    }
+    fn l1(s: &mut CacheShard) -> Outcome {
+        cache_lookup(s, 1)
+    }
+    fn i1(s: &mut CacheShard) -> Outcome {
+        cache_insert(s, 1)
+    }
+    fn lu(_: &mut CacheShard) -> Outcome {
+        // The unlocked LU compute: no shared state touched.
+        Outcome::Ran
+    }
+    let (name, lookup, insert): (_, fn(&mut CacheShard) -> Outcome, _) = match who {
+        0 => (
+            "inverter-0",
+            l0 as fn(&mut CacheShard) -> Outcome,
+            i0 as fn(&mut CacheShard) -> Outcome,
+        ),
+        _ => ("inverter-1", l1, i1),
+    };
+    ThreadSpec {
+        name,
+        steps: vec![
+            Step {
+                name: "lock+lookup",
+                run: lookup,
+            },
+            Step {
+                name: "lu-compute",
+                run: lu,
+            },
+            Step {
+                name: "lock+insert",
+                run: insert,
+            },
+        ],
+    }
+}
+
+fn cache_invariant(s: &CacheShard) {
+    assert!(
+        s.resolved[0] && s.resolved[1],
+        "every caller gets an inverse"
+    );
+    assert_eq!(
+        s.bucket.iter().filter(|&&id| id == 7).count(),
+        1,
+        "racing inserts of the same content must collapse to one entry"
+    );
+}
+
+#[test]
+fn inverse_cache_insert_dedup_is_race_free() {
+    let initial = CacheShard {
+        dedup: true,
+        ..CacheShard::default()
+    };
+    let report = check(
+        "inverse-cache-shard",
+        &initial,
+        &[cache_thread(0), cache_thread(1)],
+        &cache_invariant,
+    );
+    assert!(report.schedules >= 2, "both miss orders must be explored");
+}
+
+#[test]
+fn inverse_cache_without_insert_dedup_duplicates_entries() {
+    let initial = CacheShard::default();
+    let violation = explore(
+        &initial,
+        &[cache_thread(0), cache_thread(1)],
+        Config::default(),
+        &cache_invariant,
+    )
+    .expect_err("undeduplicated racing inserts must be caught");
+    assert!(violation.message.contains("collapse to one entry"));
+    assert!(
+        violation
+            .schedule
+            .iter()
+            .filter(|s| s.ends_with(".lock+lookup"))
+            .count()
+            == 2,
+        "the failing schedule shows both threads missing before either inserts: {violation}"
+    );
+}
+
+// ---------------------------------------------------------------------------
+// Model 2: OnceLock-style one-shot initialisation.
+// ---------------------------------------------------------------------------
+
+/// `cache()` hands every caller `&'static Mutex<Shard>` via
+/// `OnceLock::get_or_init`. The property that matters downstream is that
+/// all callers observe the *same* instance — two "singletons" means two
+/// mutexes guarding one logical shard, i.e. no mutual exclusion at all.
+#[derive(Clone, Default)]
+struct OnceInit {
+    /// The slot's winning initialiser, once decided.
+    slot: Option<usize>,
+    /// What each caller walked away holding.
+    observed: [Option<usize>; 2],
+    /// Racy twin only: caller saw the slot empty at check time.
+    saw_empty: [bool; 2],
+}
+
+fn once_invariant(s: &OnceInit) {
+    for who in 0..2 {
+        assert_eq!(
+            s.observed[who], s.slot,
+            "caller {who} must hold the slot's one true instance"
+        );
+    }
+}
+
+#[test]
+fn oncelock_init_hands_every_caller_one_instance() {
+    // get_or_init is one atomic linearisation point: decide-and-read.
+    fn init(s: &mut OnceInit, who: usize) -> Outcome {
+        if s.slot.is_none() {
+            s.slot = Some(who);
+        }
+        s.observed[who] = s.slot;
+        Outcome::Ran
+    }
+    fn g0(s: &mut OnceInit) -> Outcome {
+        init(s, 0)
+    }
+    fn g1(s: &mut OnceInit) -> Outcome {
+        init(s, 1)
+    }
+    let threads = [
+        ThreadSpec {
+            name: "caller-0",
+            steps: vec![Step {
+                name: "get_or_init",
+                run: g0 as fn(&mut OnceInit) -> Outcome,
+            }],
+        },
+        ThreadSpec {
+            name: "caller-1",
+            steps: vec![Step {
+                name: "get_or_init",
+                run: g1,
+            }],
+        },
+    ];
+    check(
+        "oncelock-init",
+        &OnceInit::default(),
+        &threads,
+        &once_invariant,
+    );
+}
+
+#[test]
+fn racy_check_then_set_init_hands_out_two_instances() {
+    // The naive lazy-init OnceLock replaces: check and set are separate
+    // steps, and each initialiser returns its own freshly built value.
+    fn check_slot(s: &mut OnceInit, who: usize) -> Outcome {
+        s.saw_empty[who] = s.slot.is_none();
+        Outcome::Ran
+    }
+    fn set_slot(s: &mut OnceInit, who: usize) -> Outcome {
+        if s.saw_empty[who] {
+            s.slot = Some(who);
+            s.observed[who] = Some(who);
+        } else {
+            s.observed[who] = s.slot;
+        }
+        Outcome::Ran
+    }
+    fn c0(s: &mut OnceInit) -> Outcome {
+        check_slot(s, 0)
+    }
+    fn s0(s: &mut OnceInit) -> Outcome {
+        set_slot(s, 0)
+    }
+    fn c1(s: &mut OnceInit) -> Outcome {
+        check_slot(s, 1)
+    }
+    fn s1(s: &mut OnceInit) -> Outcome {
+        set_slot(s, 1)
+    }
+    let threads = [
+        ThreadSpec {
+            name: "caller-0",
+            steps: vec![
+                Step {
+                    name: "check",
+                    run: c0 as fn(&mut OnceInit) -> Outcome,
+                },
+                Step {
+                    name: "set",
+                    run: s0,
+                },
+            ],
+        },
+        ThreadSpec {
+            name: "caller-1",
+            steps: vec![
+                Step {
+                    name: "check",
+                    run: c1 as fn(&mut OnceInit) -> Outcome,
+                },
+                Step {
+                    name: "set",
+                    run: s1,
+                },
+            ],
+        },
+    ];
+    let violation = explore(
+        &OnceInit::default(),
+        &threads,
+        Config::default(),
+        &once_invariant,
+    )
+    .expect_err("check-then-set double-init must be caught");
+    assert!(
+        violation.message.contains("one true instance"),
+        "{violation}"
+    );
+}
+
+// ---------------------------------------------------------------------------
+// Model 3: lazy plan compile vs. push_step invalidation.
+// ---------------------------------------------------------------------------
+
+/// `SparseMitigator` caches its compiled plan in a `OnceLock` and
+/// `push_step(&mut self)` swaps in a fresh empty cell. A plan is a number
+/// here: the step count it was compiled from (`steps_pushed` starts at 1;
+/// the push makes it 2).
+#[derive(Clone)]
+struct PlanCache {
+    steps_pushed: u32,
+    /// The cached compiled plan, `None` when invalidated.
+    published: Option<u32>,
+    /// The plan the reader walked away with.
+    reader_plan: Option<u32>,
+    /// Reader's compile snapshot (racy twin only).
+    snapshot: u32,
+    /// Borrow discipline: 0 free, >0 shared readers, -1 exclusive.
+    borrow: i32,
+    push_done: bool,
+}
+
+impl Default for PlanCache {
+    fn default() -> Self {
+        PlanCache {
+            steps_pushed: 1,
+            published: None,
+            reader_plan: None,
+            snapshot: 0,
+            borrow: 0,
+            push_done: false,
+        }
+    }
+}
+
+fn plan_invariant(s: &PlanCache) {
+    assert!(s.reader_plan.is_some(), "the reader always gets a plan");
+    if s.push_done {
+        if let Some(p) = s.published {
+            assert_eq!(
+                p, s.steps_pushed,
+                "a plan cached after push_step must cover the pushed step"
+            );
+        }
+    }
+}
+
+#[test]
+fn borrow_checked_plan_invalidation_never_publishes_stale_plans() {
+    // The shipped design: push_step takes &mut self, so the whole
+    // read-compile-publish sequence and the whole push are mutually
+    // exclusive critical regions. Model &mut as an exclusive borrow.
+    fn reader_enter(s: &mut PlanCache) -> Outcome {
+        if s.borrow < 0 {
+            return Outcome::Blocked;
+        }
+        s.borrow += 1;
+        Outcome::Ran
+    }
+    fn reader_compile(s: &mut PlanCache) -> Outcome {
+        let plan = *s.published.get_or_insert(s.steps_pushed);
+        s.reader_plan = Some(plan);
+        s.borrow -= 1;
+        Outcome::Ran
+    }
+    fn pusher_push(s: &mut PlanCache) -> Outcome {
+        if s.borrow != 0 {
+            return Outcome::Blocked;
+        }
+        s.borrow = -1;
+        s.steps_pushed += 1;
+        s.published = None;
+        Outcome::Ran
+    }
+    fn pusher_release(s: &mut PlanCache) -> Outcome {
+        s.borrow = 0;
+        s.push_done = true;
+        Outcome::Ran
+    }
+    let threads = [
+        ThreadSpec {
+            name: "reader",
+            steps: vec![
+                Step {
+                    name: "borrow-shared",
+                    run: reader_enter as fn(&mut PlanCache) -> Outcome,
+                },
+                Step {
+                    name: "compile+publish",
+                    run: reader_compile,
+                },
+            ],
+        },
+        ThreadSpec {
+            name: "pusher",
+            steps: vec![
+                Step {
+                    name: "borrow-mut+push",
+                    run: pusher_push as fn(&mut PlanCache) -> Outcome,
+                },
+                Step {
+                    name: "release",
+                    run: pusher_release,
+                },
+            ],
+        },
+    ];
+    check(
+        "plan-invalidation-borrowck",
+        &PlanCache::default(),
+        &threads,
+        &plan_invariant,
+    );
+}
+
+#[test]
+fn interior_mutability_plan_invalidation_publishes_stale_plans() {
+    // The twin the borrow checker forbids: push_step through &self while a
+    // reader compiles. The reader snapshots the step list, the push resets
+    // the cache, and the reader then publishes a plan of the *old* steps
+    // into the *new* cache — permanently poisoning every later reader.
+    fn reader_snapshot(s: &mut PlanCache) -> Outcome {
+        s.snapshot = s.steps_pushed;
+        Outcome::Ran
+    }
+    fn reader_publish(s: &mut PlanCache) -> Outcome {
+        let plan = *s.published.get_or_insert(s.snapshot);
+        s.reader_plan = Some(plan);
+        Outcome::Ran
+    }
+    fn pusher_push(s: &mut PlanCache) -> Outcome {
+        s.steps_pushed += 1;
+        s.published = None;
+        s.push_done = true;
+        Outcome::Ran
+    }
+    let threads = [
+        ThreadSpec {
+            name: "reader",
+            steps: vec![
+                Step {
+                    name: "snapshot-steps",
+                    run: reader_snapshot as fn(&mut PlanCache) -> Outcome,
+                },
+                Step {
+                    name: "compile+publish",
+                    run: reader_publish,
+                },
+            ],
+        },
+        ThreadSpec {
+            name: "pusher",
+            steps: vec![Step {
+                name: "push+reset",
+                run: pusher_push as fn(&mut PlanCache) -> Outcome,
+            }],
+        },
+    ];
+    let violation = explore(
+        &PlanCache::default(),
+        &threads,
+        Config::default(),
+        &plan_invariant,
+    )
+    .expect_err("unsynchronised push during compile must be caught");
+    assert!(
+        violation.message.contains("must cover the pushed step"),
+        "{violation}"
+    );
+}
+
+// ---------------------------------------------------------------------------
+// Model 4: chunked mitigate_batch workspace handoff.
+// ---------------------------------------------------------------------------
+
+/// `mitigate_batch` gives each parallel chunk its own `Workspace`. The
+/// scratch buffers are write-then-read within one worker's sweep, so
+/// sharing a workspace across concurrently running workers corrupts the
+/// expansion. `slots` models the scratch buffers; `shared` selects the
+/// broken twin where both workers use slot 0.
+#[derive(Clone, Default)]
+struct BatchWorkspaces {
+    slots: [u32; 2],
+    results: [Option<u32>; 2],
+    shared: bool,
+}
+
+fn ws_fill(s: &mut BatchWorkspaces, who: usize) -> Outcome {
+    let idx = if s.shared { 0 } else { who };
+    s.slots[idx] = 10 + who as u32;
+    Outcome::Ran
+}
+
+fn ws_consume(s: &mut BatchWorkspaces, who: usize) -> Outcome {
+    let idx = if s.shared { 0 } else { who };
+    s.results[who] = Some(s.slots[idx]);
+    Outcome::Ran
+}
+
+fn ws_thread(who: usize) -> ThreadSpec<BatchWorkspaces> {
+    fn f0(s: &mut BatchWorkspaces) -> Outcome {
+        ws_fill(s, 0)
+    }
+    fn c0(s: &mut BatchWorkspaces) -> Outcome {
+        ws_consume(s, 0)
+    }
+    fn f1(s: &mut BatchWorkspaces) -> Outcome {
+        ws_fill(s, 1)
+    }
+    fn c1(s: &mut BatchWorkspaces) -> Outcome {
+        ws_consume(s, 1)
+    }
+    let (name, fill, consume): (_, fn(&mut BatchWorkspaces) -> Outcome, _) = match who {
+        0 => (
+            "chunk-0",
+            f0 as fn(&mut BatchWorkspaces) -> Outcome,
+            c0 as fn(&mut BatchWorkspaces) -> Outcome,
+        ),
+        _ => ("chunk-1", f1, c1),
+    };
+    ThreadSpec {
+        name,
+        steps: vec![
+            Step {
+                name: "expand-into-scratch",
+                run: fill,
+            },
+            Step {
+                name: "combine-from-scratch",
+                run: consume,
+            },
+        ],
+    }
+}
+
+fn ws_invariant(s: &BatchWorkspaces) {
+    for who in 0..2 {
+        assert_eq!(
+            s.results[who],
+            Some(10 + who as u32),
+            "worker {who} must read back its own expansion"
+        );
+    }
+}
+
+#[test]
+fn per_worker_workspaces_are_race_free() {
+    let report = check(
+        "batch-workspace-handoff",
+        &BatchWorkspaces::default(),
+        &[ws_thread(0), ws_thread(1)],
+        &ws_invariant,
+    );
+    // 2 threads x 2 steps: all 6 interleavings of (f0,c0) with (f1,c1).
+    assert_eq!(report.schedules, 6);
+}
+
+#[test]
+fn shared_workspace_across_workers_corrupts_expansion() {
+    let initial = BatchWorkspaces {
+        shared: true,
+        ..BatchWorkspaces::default()
+    };
+    let violation = explore(
+        &initial,
+        &[ws_thread(0), ws_thread(1)],
+        Config::default(),
+        &ws_invariant,
+    )
+    .expect_err("a shared scratch buffer must be caught");
+    assert!(
+        violation.message.contains("its own expansion"),
+        "{violation}"
+    );
+}

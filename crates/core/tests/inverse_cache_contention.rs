@@ -1,0 +1,177 @@
+//! Contention tests for the process-wide inverse cache: real `std::thread`
+//! races over hit/miss accounting, Arc sharing, and the hash-collision
+//! guard (driven by the `ForceHashCollision` mutation, since FNV-1a
+//! preimages cannot be crafted by hand).
+//!
+//! The cache, the telemetry recorder, and the mutation bitmask are all
+//! process-wide, so every test serialises on one mutex and resets that
+//! shared state up front.
+
+use qem_core::inverse_cache;
+use qem_linalg::checks::mutation::{self, Mutation};
+use qem_linalg::dense::Matrix;
+use qem_linalg::stochastic::flip_channel;
+use qem_telemetry as tel;
+use std::sync::{Arc, Barrier, Mutex};
+
+/// Serialises tests in this binary: they share the process-wide cache,
+/// recorder, and mutation state.
+static SERIAL: Mutex<()> = Mutex::new(());
+
+fn serial() -> std::sync::MutexGuard<'static, ()> {
+    SERIAL.lock().unwrap_or_else(|p| p.into_inner())
+}
+
+/// Re-enables nothing on drop — telemetry stays off outside the test body.
+struct TelemetryOn;
+
+impl TelemetryOn {
+    fn start() -> Self {
+        tel::global().reset();
+        tel::set_enabled(true);
+        Self
+    }
+}
+
+impl Drop for TelemetryOn {
+    fn drop(&mut self) {
+        tel::set_enabled(false);
+    }
+}
+
+fn assert_is_inverse(m: &Matrix, inv: &Matrix) {
+    let prod = m.matmul(inv).expect("shape");
+    let id = Matrix::identity(m.rows());
+    assert!(
+        prod.max_abs_diff(&id).expect("shape") < qem_linalg::tol::STOCHASTIC,
+        "cached matrix is not the inverse of its forward matrix"
+    );
+}
+
+#[test]
+fn hit_miss_counters_balance_under_contention() {
+    let _guard = serial();
+    let _tel = TelemetryOn::start();
+    inverse_cache::clear();
+
+    const THREADS: usize = 8;
+    const CALLS_PER_THREAD: usize = 16;
+    let m = flip_channel(0.125, 0.0625).expect("valid channel");
+    let gate = Barrier::new(THREADS);
+
+    std::thread::scope(|s| {
+        for _ in 0..THREADS {
+            s.spawn(|| {
+                gate.wait();
+                for _ in 0..CALLS_PER_THREAD {
+                    let inv = inverse_cache::invert_cached(&m).expect("invertible");
+                    assert_is_inverse(&m, &inv);
+                }
+            });
+        }
+    });
+
+    let snap = tel::snapshot();
+    let hits = snap.counter(tel::names::CORE_PLAN_INVERSE_CACHE_HITS_TOTAL);
+    let misses = snap.counter(tel::names::CORE_PLAN_INVERSE_CACHE_MISSES_TOTAL);
+    let total = (THREADS * CALLS_PER_THREAD) as u64;
+
+    // Every call is exactly one hit or one miss; racing first calls may all
+    // miss (each inverts privately; the insert dedups), so misses is bounded
+    // by the thread count, not fixed at one.
+    assert_eq!(hits + misses, total, "hits={hits} misses={misses}");
+    assert!(misses >= 1, "the first call cannot hit an empty cache");
+    assert!(
+        misses <= THREADS as u64,
+        "at most one racing miss per thread: misses={misses}"
+    );
+    // The dedup keeps exactly one entry no matter how many threads raced.
+    assert_eq!(inverse_cache::len(), 1);
+    // Post-race callers all share the single cached Arc.
+    let a = inverse_cache::invert_cached(&m).expect("invertible");
+    let b = inverse_cache::invert_cached(&m).expect("invertible");
+    assert!(Arc::ptr_eq(&a, &b));
+}
+
+#[test]
+fn distinct_matrices_race_to_distinct_entries() {
+    let _guard = serial();
+    inverse_cache::clear();
+
+    const THREADS: usize = 8;
+    let mats: Vec<Matrix> = (0..THREADS)
+        .map(|i| {
+            let p = 0.01 + 0.01 * i as f64;
+            flip_channel(p, p / 2.0).expect("valid channel")
+        })
+        .collect();
+    let gate = Barrier::new(THREADS);
+
+    std::thread::scope(|s| {
+        for m in &mats {
+            s.spawn(|| {
+                gate.wait();
+                for _ in 0..8 {
+                    let inv = inverse_cache::invert_cached(m).expect("invertible");
+                    assert_is_inverse(m, &inv);
+                }
+            });
+        }
+    });
+
+    assert_eq!(inverse_cache::len(), THREADS);
+    // Entries are keyed by content: no two distinct matrices share an Arc.
+    let arcs: Vec<Arc<Matrix>> = mats
+        .iter()
+        .map(|m| inverse_cache::invert_cached(m).expect("invertible"))
+        .collect();
+    for (i, a) in arcs.iter().enumerate() {
+        for b in &arcs[i + 1..] {
+            assert!(!Arc::ptr_eq(a, b), "distinct content must not share");
+        }
+    }
+}
+
+#[test]
+fn collision_guard_survives_threaded_single_bucket_traffic() {
+    let _guard = serial();
+    inverse_cache::clear();
+    // Collapse every matrix into one hash bucket so the bit-equality guard
+    // is the only thing separating entries — then hammer that bucket from
+    // every thread at once.
+    let _armed = mutation::arm(Mutation::ForceHashCollision);
+
+    const THREADS: usize = 8;
+    let mats: Vec<Matrix> = (0..THREADS)
+        .map(|i| {
+            let p = 0.02 + 0.01 * i as f64;
+            flip_channel(p, p / 4.0).expect("valid channel")
+        })
+        .collect();
+    let gate = Barrier::new(THREADS);
+
+    std::thread::scope(|s| {
+        for t in 0..THREADS {
+            let mats = &mats;
+            let gate = &gate;
+            s.spawn(move || {
+                gate.wait();
+                // Each thread cycles through *all* matrices so every lookup
+                // scans a bucket full of colliding strangers.
+                for round in 0..8 {
+                    let m = &mats[(t + round) % THREADS];
+                    let inv = inverse_cache::invert_cached(m).expect("invertible");
+                    assert_is_inverse(m, &inv);
+                }
+            });
+        }
+    });
+
+    // One bucket, one deduped entry per distinct forward matrix.
+    assert_eq!(inverse_cache::len(), THREADS);
+    // And under the guard each matrix still resolves to its own inverse.
+    for m in &mats {
+        let inv = inverse_cache::invert_cached(m).expect("invertible");
+        assert_is_inverse(m, &inv);
+    }
+}

@@ -1,0 +1,191 @@
+//! Loom-compatible twins of the `qem-core` concurrency protocols.
+//!
+//! This file compiles two ways from one source:
+//!
+//! * **Plain `cargo test`** (tier-1, offline): the `sync` shim resolves to
+//!   `std::sync` / `std::thread` and each protocol runs a bounded number
+//!   of times under real threads — a smoke check that the protocol code
+//!   itself is sound.
+//! * **`RUSTFLAGS="--cfg loom" cargo test`** inside `tools/loom-models`
+//!   (CI, network required for the loom crate): the shim resolves to
+//!   `loom::sync` / `loom::thread` and `loom::model` exhaustively explores
+//!   every C11-memory-model interleaving of the same protocols.
+//!
+//! The protocols are self-contained mirrors of the real synchronisation in
+//! `qem-core` (loom types cannot be injected into the shipped code):
+//!
+//! * the `invert_cached` shard — locked lookup, unlocked compute, locked
+//!   insert-if-absent (`crates/core/src/inverse_cache.rs`);
+//! * one-shot initialisation via compare-exchange, the `OnceLock`
+//!   guarantee `cache()` leans on;
+//! * lazy plan compile racing `push_step` invalidation behind a lock, the
+//!   discipline `SparseMitigator`'s `&mut self` borrow enforces
+//!   (`crates/core/src/mitigator.rs`);
+//! * the chunked batch path's per-worker workspace ownership.
+//!
+//! Abstract-interleaving twins of the same protocols (including the broken
+//! variants loom could never pass) live in `concurrency_models.rs`.
+
+// The shim: one name for both runtimes.
+#[cfg(loom)]
+use loom::{
+    sync::atomic::{AtomicU32, Ordering},
+    sync::{Arc, Mutex},
+    thread,
+};
+#[cfg(not(loom))]
+use std::{
+    sync::atomic::{AtomicU32, Ordering},
+    sync::{Arc, Mutex},
+    thread,
+};
+
+/// Runs `f` under `loom::model` when built with `--cfg loom`, otherwise
+/// repeats it under real threads for a smoke pass.
+fn model(f: impl Fn() + Sync + Send + 'static) {
+    #[cfg(loom)]
+    loom::model(f);
+    #[cfg(not(loom))]
+    for _ in 0..16 {
+        f();
+    }
+}
+
+/// Content id standing in for a calibration matrix; its "inverse".
+const KEY: u32 = 7;
+const INV: u32 = 14;
+
+#[test]
+fn cache_shard_racing_insert_lookup() {
+    model(|| {
+        // Mirror of invert_cached: Mutex<bucket> of (forward, Arc<inverse>).
+        let bucket: Arc<Mutex<Vec<(u32, Arc<u32>)>>> = Arc::new(Mutex::new(Vec::new()));
+        let handles: Vec<_> = (0..2)
+            .map(|_| {
+                let bucket = Arc::clone(&bucket);
+                thread::spawn(move || {
+                    // Locked lookup.
+                    let found = {
+                        let guard = bucket.lock().unwrap();
+                        guard
+                            .iter()
+                            .find(|&&(k, _)| k == KEY)
+                            .map(|(_, inv)| Arc::clone(inv))
+                    };
+                    if let Some(inv) = found {
+                        return inv;
+                    }
+                    // Unlocked LU compute.
+                    let inv = Arc::new(INV);
+                    // Locked insert-if-absent.
+                    let mut guard = bucket.lock().unwrap();
+                    if !guard.iter().any(|&(k, _)| k == KEY) {
+                        guard.push((KEY, Arc::clone(&inv)));
+                    }
+                    inv
+                })
+            })
+            .collect();
+        for handle in handles {
+            assert_eq!(*handle.join().unwrap(), INV, "every caller resolves");
+        }
+        let guard = bucket.lock().unwrap();
+        assert_eq!(
+            guard.iter().filter(|&&(k, _)| k == KEY).count(),
+            1,
+            "racing inserts of one content collapse to one entry"
+        );
+    });
+}
+
+#[test]
+fn once_init_via_compare_exchange_is_single_winner() {
+    model(|| {
+        // The OnceLock guarantee reduced to its linearisation point: one
+        // compare-exchange decides the instance, losers adopt the winner.
+        let slot = Arc::new(AtomicU32::new(0));
+        let handles: Vec<_> = (1..=2u32)
+            .map(|who| {
+                let slot = Arc::clone(&slot);
+                thread::spawn(move || {
+                    match slot.compare_exchange(0, who, Ordering::AcqRel, Ordering::Acquire) {
+                        Ok(_) => who,
+                        Err(winner) => winner,
+                    }
+                })
+            })
+            .collect();
+        let observed: Vec<u32> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        let settled = slot.load(Ordering::Acquire);
+        assert!(settled == 1 || settled == 2);
+        for o in observed {
+            assert_eq!(o, settled, "every caller holds the one true instance");
+        }
+    });
+}
+
+#[test]
+fn plan_compile_and_push_serialise_behind_exclusive_access() {
+    model(|| {
+        // (steps_pushed, cached_plan): push_step bumps the step count and
+        // invalidates; the reader compiles-and-caches from the current
+        // count. Both inside one critical section each — the lock plays
+        // the role of the borrow checker's &mut exclusion.
+        let state: Arc<Mutex<(u32, Option<u32>)>> = Arc::new(Mutex::new((1, None)));
+        let reader = {
+            let state = Arc::clone(&state);
+            thread::spawn(move || {
+                let mut guard = state.lock().unwrap();
+                let steps = guard.0;
+                *guard.1.get_or_insert(steps)
+            })
+        };
+        let pusher = {
+            let state = Arc::clone(&state);
+            thread::spawn(move || {
+                let mut guard = state.lock().unwrap();
+                guard.0 += 1;
+                guard.1 = None;
+            })
+        };
+        let plan = reader.join().unwrap();
+        pusher.join().unwrap();
+        let guard = state.lock().unwrap();
+        assert_eq!(guard.0, 2);
+        // Either the reader ran first (plan of 1 step, then invalidated:
+        // cache empty) or after the push (plan of 2 steps, cached). A
+        // stale plan left in the cache is the race this excludes.
+        match guard.1 {
+            None => assert_eq!(plan, 1, "pre-push plan was invalidated"),
+            Some(cached) => {
+                assert_eq!(cached, guard.0, "cached plan covers the pushed step");
+                assert_eq!(plan, cached);
+            }
+        }
+    });
+}
+
+#[test]
+fn batch_workers_own_their_workspaces() {
+    model(|| {
+        // Each chunk worker owns its workspace outright (mitigate_batch
+        // builds one per chunk); the scratch write-then-read never crosses
+        // threads. Results flow back only through join.
+        let handles: Vec<_> = (0..2u32)
+            .map(|who| {
+                thread::spawn(move || {
+                    let mut workspace = vec![0u32; 4];
+                    workspace[0] = 10 + who;
+                    workspace[0]
+                })
+            })
+            .collect();
+        for (who, handle) in handles.into_iter().enumerate() {
+            assert_eq!(
+                handle.join().unwrap(),
+                10 + who as u32,
+                "worker reads back its own expansion"
+            );
+        }
+    });
+}

@@ -1,0 +1,111 @@
+//! Mutation self-tests for the core-side invariant hooks: plan-layering
+//! disjointness and the inverse-cache collision audit.
+//!
+//! Counterpart of `qem-linalg/tests/mutation_sanitizer.rs` for the hooks
+//! that live in `qem-core`. Each test arms a seeded corruption, drives the
+//! real production path, and asserts the matching invariant check aborts
+//! with an `invariant[...]` diagnostic. The mutation mask is process-wide,
+//! so this file is its own integration binary and every test serialises
+//! behind one mutex (the inverse cache is process-global too, which is a
+//! second reason to serialise).
+
+use qem_core::calibration::CalibrationMatrix;
+use qem_core::inverse_cache;
+use qem_core::mitigator::SparseMitigator;
+use qem_core::plan::MitigationPlan;
+use qem_linalg::checks::mutation::{self, Mutation};
+use qem_linalg::stochastic::flip_channel;
+use std::panic::AssertUnwindSafe;
+use std::sync::Mutex;
+
+static SERIAL: Mutex<()> = Mutex::new(());
+
+fn invariant_diagnostic(mutations: &[Mutation], f: impl FnOnce()) -> String {
+    let guard = SERIAL.lock().unwrap_or_else(|p| p.into_inner());
+    let armed: Vec<_> = mutations.iter().map(|&m| mutation::arm(m)).collect();
+    let result = std::panic::catch_unwind(AssertUnwindSafe(f));
+    drop(armed);
+    drop(guard);
+    let err = result.expect_err("armed corruption must be caught by an invariant check");
+    let msg = err
+        .downcast_ref::<String>()
+        .cloned()
+        .or_else(|| err.downcast_ref::<&str>().map(|s| s.to_string()))
+        .unwrap_or_default();
+    assert!(
+        msg.contains("invariant["),
+        "panic must come from the invariant layer, got: {msg}"
+    );
+    msg
+}
+
+fn overlapping_chain() -> SparseMitigator {
+    let mut mit = SparseMitigator::identity(3);
+    for qs in [vec![0usize, 1], vec![1, 2]] {
+        let op = flip_channel(0.02, 0.05)
+            .unwrap()
+            .kron(&flip_channel(0.03, 0.04).unwrap());
+        let cal = CalibrationMatrix::new(qs, op).unwrap();
+        mit.push_inverse(&cal).unwrap();
+    }
+    mit
+}
+
+#[test]
+fn overlapping_layer_fusion_is_caught_by_disjointness_audit() {
+    // Steps on {0,1} and {1,2} share qubit 1 and must open separate
+    // layers; the armed mutation makes the greedy layering lie about
+    // disjointness, and the post-compile audit has to catch the overlap.
+    let mit = overlapping_chain();
+    let msg = invariant_diagnostic(&[Mutation::OverlapLayers], || {
+        let _ = MitigationPlan::compile(&mit);
+    });
+    assert!(msg.contains("pairwise-disjoint"), "{msg}");
+}
+
+#[test]
+fn unmutated_overlapping_chain_compiles_into_separate_layers() {
+    let _guard = SERIAL.lock().unwrap_or_else(|p| p.into_inner());
+    let plan = MitigationPlan::compile(&overlapping_chain()).unwrap();
+    assert_eq!(plan.layers().len(), 2);
+}
+
+#[test]
+fn collision_guard_resolves_forced_hash_collisions() {
+    // Positive control: with every matrix forced into one hash bucket, the
+    // bit-equality guard still hands each query its own inverse.
+    let _guard = SERIAL.lock().unwrap_or_else(|p| p.into_inner());
+    let _collide = mutation::arm(Mutation::ForceHashCollision);
+    inverse_cache::clear();
+    let a = flip_channel(0.125, 0.0625).unwrap();
+    let b = flip_channel(0.25, 0.03125).unwrap();
+    let inv_a = inverse_cache::invert_cached(&a).unwrap();
+    let inv_b = inverse_cache::invert_cached(&b).unwrap();
+    assert_eq!(inverse_cache::len(), 2, "both live in the collided bucket");
+    assert!(inv_a.max_abs_diff(&inv_b).unwrap() > 0.0);
+    let hit_a = inverse_cache::invert_cached(&a).unwrap();
+    assert!(
+        std::sync::Arc::ptr_eq(&inv_a, &hit_a),
+        "guarded hit resolves the right entry despite the collision"
+    );
+    inverse_cache::clear();
+}
+
+#[test]
+fn skipped_collision_guard_is_caught_by_cache_audit() {
+    // ForceHashCollision builds a bucket where first-entry != query;
+    // SkipCollisionGuard then resolves a hit without the bit-equality
+    // guard, and the hit audit must refuse to hand out the wrong inverse.
+    let msg = invariant_diagnostic(
+        &[Mutation::ForceHashCollision, Mutation::SkipCollisionGuard],
+        || {
+            inverse_cache::clear();
+            let a = flip_channel(0.125, 0.0625).unwrap();
+            let b = flip_channel(0.25, 0.03125).unwrap();
+            let _seed = inverse_cache::invert_cached(&a).unwrap();
+            let _wrong = inverse_cache::invert_cached(&b);
+        },
+    );
+    inverse_cache::clear();
+    assert!(msg.contains("collision escaped the guard"), "{msg}");
+}

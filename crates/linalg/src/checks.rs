@@ -1,0 +1,323 @@
+//! Sanitizer-style runtime invariant checks for the compiled mitigation
+//! kernel, plus the seeded-corruption ("mutation") harness that proves each
+//! check can actually fire.
+//!
+//! [`invariant`](crate::invariant) validates *matrix-level* properties at the
+//! calibration boundary (column stochasticity, fractional-power envelopes).
+//! This module covers the *kernel-level* invariants the PR-4 compiled-plan
+//! engine introduced — the properties whose silent violation loses
+//! probability mass rather than crashing:
+//!
+//! * [`FlatDist`](crate::flat_dist::FlatDist) entry runs are **sorted with
+//!   unique keys** ([`check_sorted_unique`]);
+//! * post-projection distributions are **non-negative**
+//!   ([`check_nonnegative`]);
+//! * an uncalled layer sweep **conserves L1 mass** up to the steps' column
+//!   deviation ([`check_mass_conserved`]);
+//! * dense-accumulator scatter writes stay **in bounds**
+//!   ([`check_scatter_index`] — the check that would have caught the PR-4
+//!   dense-bound bug at the breach site);
+//! * the steps of a compiled layer have **pairwise-disjoint qubit masks**
+//!   ([`check_disjoint_masks`]).
+//!
+//! Everything is gated on the `invariant-checks` feature (on in every
+//! workspace test profile via dev-dependency feature unification): with the
+//! feature off, [`ENABLED`] is `false`, every function is an `#[inline]`
+//! no-op, and callers guard any non-trivial argument computation behind
+//! `if checks::ENABLED { … }` — a constant branch the optimiser deletes.
+//!
+//! # The mutation harness
+//!
+//! A checker that never fires is indistinguishable from a checker that
+//! cannot fire. [`mutation`] lets tests *seed* a specific corruption into
+//! the production kernels — re-introduce the PR-4 dense-bound
+//! underestimate, skip the expansion sort, leak an entry, overlap layer
+//! masks, bypass the inverse-cache collision guard — and assert that the
+//! corresponding check panics with an `invariant[...]` diagnostic. The
+//! mutation hooks compile to constant-`false` branches when the feature is
+//! off, so release kernels carry none of them.
+
+/// `true` when the `invariant-checks` feature is compiled in. A `const`, so
+/// `if checks::ENABLED { … }` guards are erased from release builds.
+pub const ENABLED: bool = cfg!(feature = "invariant-checks");
+
+/// Feature-controllable kernel assertion: `assert!` under
+/// `invariant-checks`, nothing otherwise. Kernel code (`flat_dist.rs`,
+/// `plan.rs`) must route its invariant assertions through this macro (or
+/// the typed `check_*` functions) instead of bare `debug_assert!` — the
+/// `kernel-invariant-hook` lint rule enforces it — so every kernel check
+/// stays under one feature switch.
+#[macro_export]
+macro_rules! kernel_assert {
+    ($($arg:tt)*) => {
+        if $crate::checks::ENABLED {
+            assert!($($arg)*);
+        }
+    };
+}
+
+/// Asserts `entries` is strictly sorted by state with unique keys — the
+/// representation invariant of `FlatDist` and of every run the layer kernel
+/// merges. No-op unless `invariant-checks` is enabled.
+#[cfg(feature = "invariant-checks")]
+pub fn check_sorted_unique(op: &str, entries: &[(u64, f64)]) {
+    for w in entries.windows(2) {
+        assert!(
+            w[0].0 < w[1].0,
+            "invariant[{op}]: entry run not sorted-unique: key {} precedes key {}",
+            w[0].0,
+            w[1].0
+        );
+    }
+}
+
+/// No-op stub compiled without `invariant-checks`.
+#[cfg(not(feature = "invariant-checks"))]
+#[inline(always)]
+pub fn check_sorted_unique(_op: &str, _entries: &[(u64, f64)]) {}
+
+/// Asserts every weight is non-negative (post-projection distributions;
+/// quasi-probability intermediates are exempt by not calling this).
+#[cfg(feature = "invariant-checks")]
+pub fn check_nonnegative<I: IntoIterator<Item = (u64, f64)>>(op: &str, iter: I) {
+    for (state, w) in iter {
+        assert!(
+            w >= 0.0,
+            "invariant[{op}]: negative weight {w} for state {state} after projection"
+        );
+    }
+}
+
+/// No-op stub compiled without `invariant-checks`.
+#[cfg(not(feature = "invariant-checks"))]
+#[inline(always)]
+pub fn check_nonnegative<I: IntoIterator<Item = (u64, f64)>>(_op: &str, _iter: I) {}
+
+/// Asserts an uncalled layer sweep conserved total weight: the columns of
+/// every mitigation operator sum to 1 (stochastic forward channels *and*
+/// their inverses), so `Σw` is invariant under an exact sweep. `slack` is
+/// the caller's bound on legitimate drift — accumulated column-sum
+/// deviation of the layer's steps scaled by the input L1 norm, plus a
+/// roundoff floor (see [`mass_slack`]).
+#[cfg(feature = "invariant-checks")]
+pub fn check_mass_conserved(op: &str, mass_in: f64, mass_out: f64, slack: f64) {
+    assert!(
+        (mass_out - mass_in).abs() <= slack,
+        "invariant[{op}]: layer sweep changed total mass {mass_in} -> {mass_out} \
+         (drift {} > slack {slack}); an uncalled layer must conserve L1 mass",
+        (mass_out - mass_in).abs()
+    );
+}
+
+/// No-op stub compiled without `invariant-checks`.
+#[cfg(not(feature = "invariant-checks"))]
+#[inline(always)]
+pub fn check_mass_conserved(_op: &str, _mass_in: f64, _mass_out: f64, _slack: f64) {}
+
+/// Tolerated mass drift for one layer sweep: the steps' summed column-sum
+/// deviation amplified by the input L1 norm, plus a roundoff floor for the
+/// accumulation itself.
+#[cfg(feature = "invariant-checks")]
+pub fn mass_slack(l1_in: f64, col_dev_sum: f64) -> f64 {
+    (l1_in + 1.0) * (col_dev_sum + crate::tol::MASS_CONSERVATION)
+}
+
+/// No-op stub compiled without `invariant-checks`.
+#[cfg(not(feature = "invariant-checks"))]
+#[inline(always)]
+pub fn mass_slack(_l1_in: f64, _col_dev_sum: f64) -> f64 {
+    0.0
+}
+
+/// Asserts a dense-accumulator scatter index is in bounds *before* the
+/// write. The caller sizes the accumulator from the OR of all input keys
+/// with the layer mask; an out-of-range index means that bound was computed
+/// wrong (the PR-4 dense-bound bug) and probability mass is about to be
+/// written out of bounds.
+#[cfg(feature = "invariant-checks")]
+#[inline(always)]
+pub fn check_scatter_index(op: &str, key: u64, dim: usize) {
+    assert!(
+        (key as usize) < dim,
+        "invariant[{op}]: scatter key {key} out of dense-accumulator bounds {dim}; \
+         the accumulator bound must cover the OR of all input keys with the layer mask"
+    );
+}
+
+/// No-op stub compiled without `invariant-checks`.
+#[cfg(not(feature = "invariant-checks"))]
+#[inline(always)]
+pub fn check_scatter_index(_op: &str, _key: u64, _dim: usize) {}
+
+/// Asserts the masks are pairwise disjoint — the commuting-layer
+/// precondition of the fused sweep.
+#[cfg(feature = "invariant-checks")]
+pub fn check_disjoint_masks<I: IntoIterator<Item = u64>>(op: &str, masks: I) {
+    let mut union = 0u64;
+    for (i, m) in masks.into_iter().enumerate() {
+        assert!(
+            union & m == 0,
+            "invariant[{op}]: step {i} mask {m:#x} overlaps earlier steps {union:#x}; \
+             layer steps must act on pairwise-disjoint qubit sets"
+        );
+        union |= m;
+    }
+}
+
+/// No-op stub compiled without `invariant-checks`.
+#[cfg(not(feature = "invariant-checks"))]
+#[inline(always)]
+pub fn check_disjoint_masks<I: IntoIterator<Item = u64>>(_op: &str, _masks: I) {}
+
+/// The seeded-corruption harness behind the mutation self-tests.
+///
+/// A test *arms* one or more [`Mutation`]s; the production kernel consults
+/// [`mutation::armed`] at the matching hook and deliberately corrupts its
+/// own computation; the invariant check downstream must then fire. The
+/// selector is a process-wide atomic bitmask — arming is compositional
+/// (e.g. [`Mutation::ForceHashCollision`] to build a colliding bucket
+/// *plus* [`Mutation::SkipCollisionGuard`] to then mis-resolve a hit in
+/// it), and each guard disarms only its own bit on drop. Mutation tests
+/// serialise themselves behind a mutex because the mask is process-wide.
+/// Without the `invariant-checks` feature, `armed` is a constant `false`
+/// and every hook folds away.
+pub mod mutation {
+    /// One seedable kernel corruption. Each variant maps to exactly one
+    /// invariant check that must catch it — the catalogue lives in
+    /// DESIGN.md §11.
+    #[derive(Clone, Copy, Debug, PartialEq, Eq)]
+    #[repr(u32)]
+    pub enum Mutation {
+        /// Nothing armed.
+        None = 0,
+        /// Re-introduce the PR-4 bug: size the dense accumulator from the
+        /// *last* input key only instead of the OR of all keys. Caught by
+        /// [`super::check_scatter_index`].
+        DenseBoundFromLastKey = 1,
+        /// Skip the serial path's expansion sort. Caught by
+        /// [`super::check_sorted_unique`].
+        SkipExpandSort = 2,
+        /// Drop the last combined entry of a serial sweep. Caught by
+        /// [`super::check_mass_conserved`].
+        LeakLastEntry = 3,
+        /// Make simplex projection keep negative weights. Caught by
+        /// [`super::check_nonnegative`].
+        KeepNegativeWeight = 4,
+        /// Make plan layering ignore qubit-mask overlap. Caught by
+        /// [`super::check_disjoint_masks`].
+        OverlapLayers = 5,
+        /// Make the inverse cache return a hash-bucket hit without the
+        /// bit-exact equality guard. Caught by the cache's collision audit.
+        SkipCollisionGuard = 6,
+        /// Collapse the inverse-cache content hash to a constant so every
+        /// matrix collides into one bucket — used to drive the collision
+        /// guard under real thread contention.
+        ForceHashCollision = 7,
+    }
+
+    /// Process-wide bitmask of armed mutations (bit `m as u32` per variant).
+    #[cfg(feature = "invariant-checks")]
+    static ARMED: std::sync::atomic::AtomicU32 = std::sync::atomic::AtomicU32::new(0);
+
+    /// Arms `m` (in addition to anything already armed), returning a guard
+    /// that disarms that one bit on drop. Tests must hold their own
+    /// serialisation lock around arming — the mask is process-wide.
+    #[cfg(feature = "invariant-checks")]
+    pub fn arm(m: Mutation) -> Armed {
+        let bit = 1u32 << (m as u32);
+        ARMED.fetch_or(bit, std::sync::atomic::Ordering::SeqCst);
+        Armed { bit }
+    }
+
+    /// Without `invariant-checks` the harness is inert: arming is a no-op.
+    #[cfg(not(feature = "invariant-checks"))]
+    pub fn arm(_m: Mutation) -> Armed {
+        Armed {}
+    }
+
+    /// Is `m` currently armed?
+    #[cfg(feature = "invariant-checks")]
+    #[inline]
+    pub fn armed(m: Mutation) -> bool {
+        m != Mutation::None
+            && ARMED.load(std::sync::atomic::Ordering::SeqCst) & (1u32 << (m as u32)) != 0
+    }
+
+    /// Constant `false` without `invariant-checks`; hooks fold away.
+    #[cfg(not(feature = "invariant-checks"))]
+    #[inline(always)]
+    pub fn armed(_m: Mutation) -> bool {
+        false
+    }
+
+    /// RAII disarm guard returned by [`arm`] — clears only its own bit, so
+    /// stacked guards compose.
+    pub struct Armed {
+        #[cfg(feature = "invariant-checks")]
+        bit: u32,
+    }
+
+    impl Drop for Armed {
+        fn drop(&mut self) {
+            #[cfg(feature = "invariant-checks")]
+            ARMED.fetch_and(!self.bit, std::sync::atomic::Ordering::SeqCst);
+        }
+    }
+}
+
+#[cfg(all(test, feature = "invariant-checks"))]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sorted_unique_passes_and_trips() {
+        check_sorted_unique("test", &[(0, 0.5), (3, 0.25), (9, 0.25)]);
+        check_sorted_unique("test", &[]);
+        let dup = std::panic::catch_unwind(|| check_sorted_unique("test", &[(3, 0.5), (3, 0.5)]));
+        assert!(dup.is_err(), "duplicate key must trip");
+        let unsorted =
+            std::panic::catch_unwind(|| check_sorted_unique("test", &[(4, 0.5), (1, 0.5)]));
+        assert!(unsorted.is_err(), "unsorted run must trip");
+    }
+
+    #[test]
+    #[should_panic(expected = "negative weight")]
+    fn nonnegative_trips() {
+        check_nonnegative("test", [(0u64, 0.5), (1u64, -0.125)]);
+    }
+
+    #[test]
+    fn mass_conservation_slack() {
+        check_mass_conserved("test", 1.0, 1.0 + 0.5 * crate::tol::MASS_CONSERVATION, {
+            mass_slack(1.0, 0.0)
+        });
+        let leak = std::panic::catch_unwind(|| {
+            check_mass_conserved("test", 1.0, 0.9, mass_slack(1.0, 0.0))
+        });
+        assert!(leak.is_err(), "a 10% mass leak must trip");
+    }
+
+    #[test]
+    #[should_panic(expected = "out of dense-accumulator bounds")]
+    fn scatter_bound_trips() {
+        check_scatter_index("test", 8, 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "pairwise-disjoint")]
+    fn overlapping_masks_trip() {
+        check_disjoint_masks("test", [0b0011u64, 0b0110]);
+    }
+
+    #[test]
+    fn kernel_assert_fires_under_feature() {
+        kernel_assert!(1 + 1 == 2, "fine");
+        let r = std::panic::catch_unwind(|| kernel_assert!(false, "seeded failure"));
+        assert!(r.is_err());
+    }
+
+    // NOTE: the arm/disarm roundtrip test lives in the
+    // `mutation_sanitizer` integration binary, not here — arming a real
+    // mutation in the lib test binary would race the kernel unit tests
+    // running concurrently in the same process.
+}

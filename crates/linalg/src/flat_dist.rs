@@ -21,6 +21,8 @@
 //! of the layer in registers before anything is sorted or merged, so the
 //! expensive passes are paid once per layer instead of once per step.
 
+use crate::checks;
+use crate::checks::mutation::{self, Mutation};
 use crate::dense::Matrix;
 use crate::error::{LinalgError, Result};
 use crate::sparse_apply::SparseDist;
@@ -127,12 +129,16 @@ impl FlatDist {
     /// Zeroes negative weights and renormalises (projection onto the
     /// probability simplex after quasi-probability mitigation).
     pub fn clamp_negative(&mut self) {
-        self.entries.retain(|&(_, w)| w > 0.0);
+        self.entries
+            .retain(|&(_, w)| w > 0.0 || mutation::armed(Mutation::KeepNegativeWeight));
         let t: f64 = self.entries.iter().map(|&(_, w)| w).sum();
         if t.abs() > tol::EPS_ZERO {
             for e in &mut self.entries {
                 e.1 /= t;
             }
+        }
+        if checks::ENABLED {
+            checks::check_nonnegative("FlatDist::clamp_negative", self.iter());
         }
     }
 }
@@ -236,6 +242,11 @@ pub struct ScatterStep {
     cols: Vec<Vec<(u64, f64)>>,
     /// Largest per-column nonzero count — the step's worst-case fan-out.
     max_fanout: usize,
+    /// Largest `|Σ_col − 1|` over the operator's columns. Mitigation
+    /// operators (stochastic channels and their inverses) preserve column
+    /// sums, so this is the step's contribution to legitimate mass drift —
+    /// the mass-conservation sanitizer's slack budget.
+    col_dev: f64,
 }
 
 impl ScatterStep {
@@ -271,10 +282,13 @@ impl ScatterStep {
             .collect();
         let sub_dim = 1usize << k;
         let mut cols: Vec<Vec<(u64, f64)>> = Vec::with_capacity(sub_dim);
+        let mut col_dev = 0.0f64;
         for col in 0..sub_dim {
             let mut nz = Vec::new();
+            let mut col_sum = 0.0f64;
             for row in 0..sub_dim {
                 let a = m[(row, col)];
+                col_sum += a;
                 // qem-lint: allow(no-float-eq) — skipping exact-zero operator entries is a sparsity shortcut
                 if a == 0.0 {
                     continue;
@@ -285,6 +299,7 @@ impl ScatterStep {
                 }
                 nz.push((scattered, a));
             }
+            col_dev = col_dev.max((col_sum - 1.0).abs());
             cols.push(nz);
         }
         let max_fanout = cols.iter().map(Vec::len).max().unwrap_or(0);
@@ -293,6 +308,7 @@ impl ScatterStep {
             gather,
             cols,
             max_fanout,
+            col_dev,
         })
     }
 
@@ -309,6 +325,11 @@ impl ScatterStep {
     /// Worst-case outputs generated per input entry.
     pub fn max_fanout(&self) -> usize {
         self.max_fanout
+    }
+
+    /// Largest column-sum deviation from 1 over the operator's columns.
+    pub fn col_dev(&self) -> f64 {
+        self.col_dev
     }
 
     /// Extracts the operator column index of a basis state (branch-free).
@@ -394,6 +415,7 @@ fn expand_into_dense(
             if let Some(nz) = step.cols.get(step.col_of(s)) {
                 flops += nz.len() as u64;
                 for &(scattered, a) in nz {
+                    checks::check_scatter_index("apply_layer", base | scattered, dense.len());
                     dense[(base | scattered) as usize] += w * a;
                 }
             }
@@ -418,10 +440,36 @@ fn expand_into_dense(
             std::mem::swap(scratch_a, scratch_b);
         }
         for &(key, val) in scratch_a.iter() {
+            checks::check_scatter_index("apply_layer", key, dense.len());
             dense[key as usize] += val;
         }
     }
     flops
+}
+
+/// Sanitizer sweep over one layer's output (`invariant-checks` builds
+/// only): the run must be sorted with unique keys and finite weights, and
+/// an uncalled sweep must conserve L1 mass up to the steps' column
+/// deviation. A culled sweep legitimately sheds the culled weights, so the
+/// mass check only applies at `cull <= 0`.
+fn check_layer_result(dist_in: &FlatDist, layer: &[ScatterStep], cull: f64, out: &[(u64, f64)]) {
+    if !checks::ENABLED {
+        return;
+    }
+    checks::check_sorted_unique("apply_layer", out);
+    crate::invariant::check_finite_weights("apply_layer", out.iter().copied());
+    if cull <= 0.0 {
+        let mass_in = dist_in.total();
+        let l1_in: f64 = dist_in.iter().map(|(_, w)| w.abs()).sum();
+        let dev_sum: f64 = layer.iter().map(|s| s.col_dev).sum();
+        let mass_out: f64 = out.iter().map(|&(_, w)| w).sum();
+        checks::check_mass_conserved(
+            "apply_layer",
+            mass_in,
+            mass_out,
+            checks::mass_slack(l1_in, dev_sum),
+        );
+    }
 }
 
 /// Applies one layer of steps on pairwise-disjoint qubit sets to a flat
@@ -475,12 +523,17 @@ pub fn apply_layer(
             &mut ws.scratch_a,
             &mut ws.scratch_b,
         );
-        ws.expand.sort_unstable_by_key(|&(s, _)| s);
+        if !mutation::armed(Mutation::SkipExpandSort) {
+            ws.expand.sort_unstable_by_key(|&(s, _)| s);
+        }
         combine_sorted_in_place(&mut ws.expand, cull);
+        if mutation::armed(Mutation::LeakLastEntry) {
+            ws.expand.pop();
+        }
+        check_layer_result(dist, layer, cull, &ws.expand);
         let result = FlatDist {
             entries: ws.expand.clone(),
         };
-        crate::invariant::check_finite_weights("apply_layer", result.iter());
         return Ok((result, flops));
     }
 
@@ -490,7 +543,13 @@ pub fn apply_layer(
     // not: a smaller entry can carry non-union bits above it). When that
     // space fits the scratch ceiling and the generated entries cover at
     // least ~1/8th of it, indexed accumulation beats sort + merge.
-    let key_or = entries.iter().fold(0u64, |acc, &(s, _)| acc | s);
+    let mut key_or = entries.iter().fold(0u64, |acc, &(s, _)| acc | s);
+    if mutation::armed(Mutation::DenseBoundFromLastKey) {
+        // Seeded re-introduction of the PR-4 bound bug: size the accumulator
+        // from the *last* key instead of the OR of all keys. The sanitizer's
+        // scatter-bound check must catch the resulting out-of-range write.
+        key_or = entries.last().map_or(0, |&(s, _)| s);
+    }
     let bound = key_or | union;
     if !entries.is_empty() && bound < DENSE_DIM_LIMIT && generated as u64 >= (bound + 1) / 8 {
         let dim = (bound + 1) as usize;
@@ -516,8 +575,11 @@ pub fn apply_layer(
                 out.push((key as u64, w));
             }
         }
+        if mutation::armed(Mutation::LeakLastEntry) {
+            out.pop();
+        }
+        check_layer_result(dist, layer, cull, &out);
         let result = FlatDist { entries: out };
-        crate::invariant::check_finite_weights("apply_layer", result.iter());
         return Ok((result, flops));
     }
 
@@ -568,8 +630,11 @@ pub fn apply_layer(
     if cull > 0.0 {
         merged.retain(|&(_, w)| w.abs() >= cull);
     }
+    if mutation::armed(Mutation::LeakLastEntry) {
+        merged.pop();
+    }
+    check_layer_result(dist, layer, cull, &merged);
     let result = FlatDist { entries: merged };
-    crate::invariant::check_finite_weights("apply_layer", result.iter());
     Ok((result, flops))
 }
 

@@ -18,6 +18,9 @@
 //! * [`flat_dist`] — flat sorted-run sparse distributions and the compiled
 //!   scatter kernel used by mitigation plans (layered apply, fused
 //!   merge-cull, reusable workspaces);
+//! * [`checks`] — the feature-gated kernel invariant sanitizer (sorted-run,
+//!   mass-conservation, scatter-bound assertions) and its seeded-mutation
+//!   harness;
 //! * [`complex`] — minimal complex arithmetic for the statevector engine.
 //!
 //! ## Conventions
@@ -29,6 +32,7 @@
 #![warn(missing_docs)]
 
 pub mod cdense;
+pub mod checks;
 pub mod complex;
 pub mod dense;
 pub mod eig;

@@ -7,6 +7,8 @@
 //! applied to a sparse map from bitstring to weight (paper §IV-C and §VII).
 //! Fill-in per patch is bounded by `2^k` per entry and can be culled.
 
+use crate::checks;
+use crate::checks::mutation::{self, Mutation};
 use crate::dense::Matrix;
 use crate::error::{LinalgError, Result};
 use crate::stochastic::qubit_count;
@@ -109,8 +111,12 @@ impl SparseDist {
     /// Zeroes negative weights and renormalises (projection onto the
     /// probability simplex after quasi-probability mitigation).
     pub fn clamp_negative(&mut self) {
-        self.weights.retain(|_, w| *w > 0.0);
+        self.weights
+            .retain(|_, w| *w > 0.0 || mutation::armed(Mutation::KeepNegativeWeight));
         self.normalize();
+        if checks::ENABLED {
+            checks::check_nonnegative("SparseDist::clamp_negative", self.iter());
+        }
     }
 
     /// Dense probability vector of length `2^n` (small-n cross-checks).

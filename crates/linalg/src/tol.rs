@@ -58,6 +58,14 @@ pub const CULL: f64 = 1e-10;
 /// M3 subspace system).
 pub const ITERATIVE_RESIDUAL: f64 = 1e-10;
 
+/// Roundoff floor for the layer-sweep mass-conservation sanitizer check
+/// (`qem_linalg::checks`): relative L1 drift tolerated for one fused
+/// expand-merge sweep over an operator whose columns sum to 1 exactly.
+/// Large enough to absorb accumulation order differences across the
+/// serial/parallel/dense kernel paths, orders of magnitude below any real
+/// mass leak.
+pub const MASS_CONSERVATION: f64 = 1e-9;
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -1,0 +1,185 @@
+//! Mutation self-tests for the kernel invariant sanitizer.
+//!
+//! A checker that never fires is indistinguishable from one that cannot
+//! fire. Each test here arms one seeded corruption in the production
+//! kernels (`qem_linalg::checks::mutation`), runs the real kernel, and
+//! asserts that the matching invariant check aborts with an
+//! `invariant[...]` diagnostic — including re-introducing the PR-4
+//! dense-accumulator bound bug and proving the scatter-bound check catches
+//! it at the breach site.
+//!
+//! The mutation selector is process-wide, so every test serialises behind
+//! one mutex; this file is its own integration-test binary so no other
+//! test can observe an armed mutation.
+
+use qem_linalg::checks;
+use qem_linalg::checks::mutation::{self, Mutation};
+use qem_linalg::flat_dist::{apply_layer, FlatDist, ScatterStep, Workspace};
+use qem_linalg::sparse_apply::SparseDist;
+use qem_linalg::stochastic::flip_channel;
+use std::panic::AssertUnwindSafe;
+use std::sync::Mutex;
+
+static SERIAL: Mutex<()> = Mutex::new(());
+
+/// Runs `f` with mutation `m` armed (serialised process-wide) and returns
+/// the panic message, asserting the invariant layer — not an incidental
+/// index panic — caught the corruption.
+fn invariant_diagnostic(m: Mutation, f: impl FnOnce()) -> String {
+    let guard = SERIAL.lock().unwrap_or_else(|p| p.into_inner());
+    let armed = mutation::arm(m);
+    let result = std::panic::catch_unwind(AssertUnwindSafe(f));
+    drop(armed);
+    drop(guard);
+    let err = result.expect_err("armed corruption must be caught by an invariant check");
+    let msg = err
+        .downcast_ref::<String>()
+        .cloned()
+        .or_else(|| err.downcast_ref::<&str>().map(|s| s.to_string()))
+        .unwrap_or_default();
+    assert!(
+        msg.contains("invariant["),
+        "panic must come from the invariant layer, got: {msg}"
+    );
+    msg
+}
+
+/// Sanity guard for the whole file: the harness is pointless without the
+/// feature, and dev-dependency feature unification is supposed to switch it
+/// on for every workspace test build.
+#[test]
+fn checks_are_compiled_into_test_builds() {
+    assert!(
+        checks::ENABLED,
+        "invariant-checks must be active in test builds"
+    );
+}
+
+#[test]
+fn mutation_arm_disarm_roundtrip() {
+    let _guard = SERIAL.lock().unwrap_or_else(|p| p.into_inner());
+    assert!(!mutation::armed(Mutation::SkipExpandSort));
+    {
+        let _g = mutation::arm(Mutation::SkipExpandSort);
+        assert!(mutation::armed(Mutation::SkipExpandSort));
+        assert!(!mutation::armed(Mutation::LeakLastEntry));
+        assert!(!mutation::armed(Mutation::None), "None is never armed");
+        {
+            let _h = mutation::arm(Mutation::LeakLastEntry);
+            assert!(mutation::armed(Mutation::SkipExpandSort));
+            assert!(mutation::armed(Mutation::LeakLastEntry), "bits compose");
+        }
+        assert!(
+            mutation::armed(Mutation::SkipExpandSort),
+            "inner guard clears only its own bit"
+        );
+        assert!(!mutation::armed(Mutation::LeakLastEntry));
+    }
+    assert!(!mutation::armed(Mutation::SkipExpandSort), "guard disarms");
+}
+
+#[test]
+fn unmutated_kernels_pass_all_checks() {
+    let _guard = SERIAL.lock().unwrap_or_else(|p| p.into_inner());
+    let step = ScatterStep::compile(&flip_channel(0.03, 0.05).unwrap(), &[1]).unwrap();
+    let dist = FlatDist::from_pairs([(0u64, 0.25), (1, 0.25), (2, 0.25), (3, 0.25)]);
+    let (out, _) = apply_layer(
+        &dist,
+        std::slice::from_ref(&step),
+        0.0,
+        &mut Workspace::new(),
+    )
+    .expect("clean apply");
+    assert!((out.total() - 1.0).abs() < 1e-12);
+}
+
+#[test]
+fn dense_bound_from_last_key_is_caught_by_scatter_bound_check() {
+    // Re-introduce the PR-4 bug. Keys 0..=2047 carry the low 11 bits; the
+    // *last* (largest) key 2048 carries only bit 11, so sizing the dense
+    // accumulator from it alone (2048 | mask = 2048) misses every output
+    // that combines low bits with the scattered bit-11 — e.g. input 2047
+    // scatters to 4095. The true bound is the OR of all keys (4095).
+    let step = ScatterStep::compile(&flip_channel(0.02, 0.04).unwrap(), &[11]).unwrap();
+    let n = 2049u64;
+    let dist = FlatDist::from_pairs((0..n).map(|k| (k, 1.0 / n as f64)));
+    // generated = 2049 * 2 >= both the parallel threshold and 1/8 of the
+    // (corrupted) bound, so the kernel takes the dense-accumulator path.
+    let msg = invariant_diagnostic(Mutation::DenseBoundFromLastKey, || {
+        let _ = apply_layer(
+            &dist,
+            std::slice::from_ref(&step),
+            0.0,
+            &mut Workspace::new(),
+        );
+    });
+    assert!(msg.contains("out of dense-accumulator bounds"), "{msg}");
+}
+
+#[test]
+fn skipped_expansion_sort_is_caught_by_sorted_unique_check() {
+    // Scattering keys {0, 1} on qubit 1 emits [0, 2, 1, 3]: interleaved,
+    // so skipping the sort leaves the run out of order.
+    let step = ScatterStep::compile(&flip_channel(0.1, 0.1).unwrap(), &[1]).unwrap();
+    let dist = FlatDist::from_pairs([(0u64, 0.5), (1, 0.5)]);
+    let msg = invariant_diagnostic(Mutation::SkipExpandSort, || {
+        let _ = apply_layer(
+            &dist,
+            std::slice::from_ref(&step),
+            0.0,
+            &mut Workspace::new(),
+        );
+    });
+    assert!(msg.contains("not sorted-unique"), "{msg}");
+}
+
+#[test]
+fn serial_path_mass_leak_is_caught_by_conservation_check() {
+    let step = ScatterStep::compile(&flip_channel(0.05, 0.02).unwrap(), &[0]).unwrap();
+    let dist = FlatDist::from_pairs([(0u64, 0.75), (1, 0.25)]);
+    let msg = invariant_diagnostic(Mutation::LeakLastEntry, || {
+        let _ = apply_layer(
+            &dist,
+            std::slice::from_ref(&step),
+            0.0,
+            &mut Workspace::new(),
+        );
+    });
+    assert!(msg.contains("changed total mass"), "{msg}");
+}
+
+#[test]
+fn parallel_path_mass_leak_is_caught_by_conservation_check() {
+    // Keys spread past the dense ceiling (bit 22 and up) with enough
+    // entries to clear the parallel threshold, so the merge-tree path runs.
+    let step = ScatterStep::compile(&flip_channel(0.05, 0.02).unwrap(), &[0]).unwrap();
+    let n = 2048u64;
+    let dist = FlatDist::from_pairs((0..n).map(|i| (i << 23, 1.0 / n as f64)));
+    let msg = invariant_diagnostic(Mutation::LeakLastEntry, || {
+        let _ = apply_layer(
+            &dist,
+            std::slice::from_ref(&step),
+            0.0,
+            &mut Workspace::new(),
+        );
+    });
+    assert!(msg.contains("changed total mass"), "{msg}");
+}
+
+#[test]
+fn kept_negative_weight_is_caught_on_flat_projection() {
+    let msg = invariant_diagnostic(Mutation::KeepNegativeWeight, || {
+        let mut d = FlatDist::from_pairs([(0u64, 1.1), (5, -0.1)]);
+        d.clamp_negative();
+    });
+    assert!(msg.contains("negative weight"), "{msg}");
+}
+
+#[test]
+fn kept_negative_weight_is_caught_on_sparse_projection() {
+    let msg = invariant_diagnostic(Mutation::KeepNegativeWeight, || {
+        let mut d = SparseDist::from_pairs([(0u64, 1.2), (3, -0.2)]);
+        d.clamp_negative();
+    });
+    assert!(msg.contains("negative weight"), "{msg}");
+}

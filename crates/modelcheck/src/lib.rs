@@ -1,0 +1,497 @@
+//! # qem-modelcheck
+//!
+//! A dependency-free explicit-state model checker for the workspace's
+//! concurrency protocols: the inverse-cache shard, lazy plan compilation
+//! and the batch-apply workspace handoff (`qem-core`).
+//!
+//! ## Why not loom?
+//!
+//! [loom](https://github.com/tokio-rs/loom) explores real `std::sync`
+//! interleavings under the C11 memory model, and the workspace keeps
+//! loom-compatible models too (`tools/loom-models`, built with
+//! `RUSTFLAGS="--cfg loom"` on CI where the registry is reachable). But
+//! loom cannot be a tier-1 dependency here — the build environment is
+//! offline — and algorithm-level races (stale plan published, cache entry
+//! duplicated, workspace shared across workers) are visible at a coarser
+//! abstraction anyway. This crate checks that abstraction exhaustively:
+//!
+//! * a **model** is a cloneable state plus a set of threads;
+//! * a **thread** is a named sequence of atomic [`Step`]s — each step is
+//!   one critical section / linearisation point of the real code;
+//! * the explorer enumerates **every interleaving** of the steps by DFS,
+//!   cloning the state at each branch point;
+//! * a step may return [`Outcome::Blocked`] (mutex held, condition not
+//!   met). A blocked step must leave the state untouched; the scheduler
+//!   retries it after other threads run. If every unfinished thread is
+//!   blocked the explorer reports a **deadlock** with the schedule that
+//!   reached it;
+//! * after all threads finish, a caller-supplied invariant runs against
+//!   the final state; a panic inside a step or the invariant is converted
+//!   into a [`Violation`] carrying the exact failing schedule.
+//!
+//! State spaces here are tiny (tens to thousands of interleavings), so
+//! exhaustive search is instant; [`Config::max_schedules`] guards against
+//! accidental explosion.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+/// Result of running one step of a modelled thread.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Outcome {
+    /// The step executed; the thread's program counter advances.
+    Ran,
+    /// The step could not run (lock held, condition not met) and left the
+    /// state unchanged; the scheduler will retry it later.
+    Blocked,
+}
+
+/// One atomic step of a modelled thread: a named state transition
+/// representing a single critical section or linearisation point.
+pub struct Step<S> {
+    /// Step label used in schedule traces (e.g. `"lock+lookup"`).
+    pub name: &'static str,
+    /// The transition. Must be deterministic, and must not mutate `S` when
+    /// returning [`Outcome::Blocked`].
+    pub run: fn(&mut S) -> Outcome,
+}
+
+/// A modelled thread: a named, ordered list of steps.
+pub struct ThreadSpec<S> {
+    /// Thread label used in schedule traces (e.g. `"worker-0"`).
+    pub name: &'static str,
+    /// Steps executed in order, one scheduling quantum each.
+    pub steps: Vec<Step<S>>,
+}
+
+/// Exploration limits.
+#[derive(Clone, Copy, Debug)]
+pub struct Config {
+    /// Abort (as a [`Violation`]) once this many complete schedules have
+    /// been explored — a guard against accidental state-space explosion,
+    /// not a sampling knob: hitting it means the model is too big to be
+    /// exhaustive and must be shrunk.
+    pub max_schedules: usize,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            max_schedules: 1_000_000,
+        }
+    }
+}
+
+/// Exhaustive-exploration summary for a passing model.
+#[derive(Clone, Debug)]
+pub struct Report {
+    /// Number of complete interleavings explored.
+    pub schedules: usize,
+}
+
+/// A failing model: what broke and the exact interleaving that broke it.
+#[derive(Clone, Debug)]
+pub struct Violation {
+    /// `"thread.step"` labels in execution order up to the failure.
+    pub schedule: Vec<String>,
+    /// Panic message, deadlock description, or budget overflow.
+    pub message: String,
+}
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "model violation: {}", self.message)?;
+        writeln!(f, "failing schedule ({} steps):", self.schedule.len())?;
+        for (i, s) in self.schedule.iter().enumerate() {
+            writeln!(f, "  {i:>3}. {s}")?;
+        }
+        Ok(())
+    }
+}
+
+struct Explorer<'a, S> {
+    threads: &'a [ThreadSpec<S>],
+    invariant: &'a dyn Fn(&S),
+    config: Config,
+    schedules: usize,
+    trace: Vec<String>,
+}
+
+impl<S: Clone> Explorer<'_, S> {
+    fn dfs(&mut self, state: &S, pcs: &mut [usize]) -> Result<(), Violation> {
+        if self.schedules >= self.config.max_schedules {
+            return Err(self.violation(format!(
+                "state space exceeded max_schedules = {}; shrink the model",
+                self.config.max_schedules
+            )));
+        }
+        let mut ran_any = false;
+        let mut blocked_any = false;
+        for t in 0..self.threads.len() {
+            let pc = pcs[t];
+            let Some(step) = self.threads[t].steps.get(pc) else {
+                continue;
+            };
+            let mut next = state.clone();
+            let label = format!("{}.{}", self.threads[t].name, step.name);
+            let outcome = match catch_unwind(AssertUnwindSafe(|| (step.run)(&mut next))) {
+                Ok(outcome) => outcome,
+                Err(err) => {
+                    self.trace.push(label);
+                    return Err(self.violation(panic_message(err)));
+                }
+            };
+            match outcome {
+                Outcome::Blocked => {
+                    blocked_any = true;
+                }
+                Outcome::Ran => {
+                    ran_any = true;
+                    self.trace.push(label);
+                    pcs[t] += 1;
+                    let result = self.dfs(&next, pcs);
+                    pcs[t] -= 1;
+                    result?;
+                    self.trace.pop();
+                }
+            }
+        }
+        if ran_any {
+            return Ok(());
+        }
+        if blocked_any {
+            // Every unfinished thread is blocked and nothing can unblock
+            // them: a genuine deadlock in the modelled protocol.
+            return Err(self.violation("deadlock: every unfinished thread is blocked".into()));
+        }
+        // All threads finished along this schedule: check the invariant.
+        self.schedules += 1;
+        if let Err(err) = catch_unwind(AssertUnwindSafe(|| (self.invariant)(state))) {
+            return Err(self.violation(panic_message(err)));
+        }
+        Ok(())
+    }
+
+    fn violation(&self, message: String) -> Violation {
+        Violation {
+            schedule: self.trace.clone(),
+            message,
+        }
+    }
+}
+
+fn panic_message(err: Box<dyn std::any::Any + Send>) -> String {
+    err.downcast_ref::<String>()
+        .cloned()
+        .or_else(|| err.downcast_ref::<&str>().map(|s| s.to_string()))
+        .unwrap_or_else(|| "step panicked with a non-string payload".into())
+}
+
+/// Exhaustively explores every interleaving of `threads` from `initial`,
+/// running `invariant` against the final state of each complete schedule.
+///
+/// Returns a [`Report`] when every schedule passes, or the first
+/// [`Violation`] (invariant failure, step panic, deadlock, or budget
+/// overflow) with the exact schedule that produced it.
+pub fn explore<S: Clone>(
+    initial: &S,
+    threads: &[ThreadSpec<S>],
+    config: Config,
+    invariant: &dyn Fn(&S),
+) -> Result<Report, Violation> {
+    let mut explorer = Explorer {
+        threads,
+        invariant,
+        config,
+        schedules: 0,
+        trace: Vec::new(),
+    };
+    let mut pcs = vec![0usize; threads.len()];
+    explorer.dfs(initial, &mut pcs)?;
+    Ok(Report {
+        schedules: explorer.schedules,
+    })
+}
+
+/// [`explore`] with default limits, panicking on any violation — the
+/// assert-style entry point for tests.
+pub fn check<S: Clone>(
+    name: &str,
+    initial: &S,
+    threads: &[ThreadSpec<S>],
+    invariant: &dyn Fn(&S),
+) -> Report {
+    match explore(initial, threads, Config::default(), invariant) {
+        Ok(report) => report,
+        Err(violation) => panic!("model '{name}' failed:\n{violation}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Two threads perform a non-atomic `global += 1` (load then store).
+    /// The classic lost update: exhaustive exploration must find the
+    /// interleaving where both loads happen before either store.
+    #[derive(Clone, Default)]
+    struct Counter {
+        global: u32,
+        local: [u32; 2],
+    }
+
+    fn racing_increment(idx: usize) -> ThreadSpec<Counter> {
+        // Two fn items per thread index, selected without closures so the
+        // steps stay plain fn pointers.
+        fn load0(s: &mut Counter) -> Outcome {
+            s.local[0] = s.global;
+            Outcome::Ran
+        }
+        fn store0(s: &mut Counter) -> Outcome {
+            s.global = s.local[0] + 1;
+            Outcome::Ran
+        }
+        fn load1(s: &mut Counter) -> Outcome {
+            s.local[1] = s.global;
+            Outcome::Ran
+        }
+        fn store1(s: &mut Counter) -> Outcome {
+            s.global = s.local[1] + 1;
+            Outcome::Ran
+        }
+        let (name, load, store): (_, fn(&mut Counter) -> Outcome, fn(&mut Counter) -> Outcome) =
+            match idx {
+                0 => ("inc-0", load0, store0),
+                _ => ("inc-1", load1, store1),
+            };
+        ThreadSpec {
+            name,
+            steps: vec![
+                Step {
+                    name: "load",
+                    run: load,
+                },
+                Step {
+                    name: "store",
+                    run: store,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn lost_update_is_found_with_schedule() {
+        let threads = [racing_increment(0), racing_increment(1)];
+        let violation = explore(&Counter::default(), &threads, Config::default(), &|s| {
+            assert_eq!(s.global, 2, "an increment was lost");
+        })
+        .expect_err("exhaustive search must find the lost update");
+        assert!(violation.message.contains("increment was lost"));
+        // The failing schedule must show both loads before both stores.
+        let loads: Vec<usize> = violation
+            .schedule
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.ends_with(".load"))
+            .map(|(i, _)| i)
+            .collect();
+        let first_store = violation
+            .schedule
+            .iter()
+            .position(|s| s.ends_with(".store"))
+            .unwrap();
+        assert!(loads.iter().all(|&i| i < first_store));
+    }
+
+    #[test]
+    fn mutex_protected_increment_passes() {
+        #[derive(Clone, Default)]
+        struct Locked {
+            global: u32,
+            lock: Option<usize>,
+            local: [u32; 2],
+        }
+        fn acquire(s: &mut Locked, who: usize) -> Outcome {
+            if s.lock.is_some() {
+                return Outcome::Blocked;
+            }
+            s.lock = Some(who);
+            s.local[who] = s.global;
+            Outcome::Ran
+        }
+        fn release(s: &mut Locked, who: usize) -> Outcome {
+            s.global = s.local[who] + 1;
+            s.lock = None;
+            Outcome::Ran
+        }
+        fn a0(s: &mut Locked) -> Outcome {
+            acquire(s, 0)
+        }
+        fn r0(s: &mut Locked) -> Outcome {
+            release(s, 0)
+        }
+        fn a1(s: &mut Locked) -> Outcome {
+            acquire(s, 1)
+        }
+        fn r1(s: &mut Locked) -> Outcome {
+            release(s, 1)
+        }
+        let threads = [
+            ThreadSpec {
+                name: "inc-0",
+                steps: vec![
+                    Step {
+                        name: "lock+load",
+                        run: a0,
+                    },
+                    Step {
+                        name: "store+unlock",
+                        run: r0,
+                    },
+                ],
+            },
+            ThreadSpec {
+                name: "inc-1",
+                steps: vec![
+                    Step {
+                        name: "lock+load",
+                        run: a1,
+                    },
+                    Step {
+                        name: "store+unlock",
+                        run: r1,
+                    },
+                ],
+            },
+        ];
+        let report = check("locked-increment", &Locked::default(), &threads, &|s| {
+            assert_eq!(s.global, 2);
+            assert!(s.lock.is_none(), "lock must be released at quiescence");
+        });
+        // Critical sections serialise: only the two acquisition orders.
+        assert_eq!(report.schedules, 2);
+    }
+
+    #[test]
+    fn deadlock_is_detected() {
+        // Two locks taken in opposite orders by two threads.
+        #[derive(Clone, Default)]
+        struct TwoLocks {
+            a: bool,
+            b: bool,
+        }
+        fn take_a(s: &mut TwoLocks) -> Outcome {
+            if s.a {
+                return Outcome::Blocked;
+            }
+            s.a = true;
+            Outcome::Ran
+        }
+        fn take_b(s: &mut TwoLocks) -> Outcome {
+            if s.b {
+                return Outcome::Blocked;
+            }
+            s.b = true;
+            Outcome::Ran
+        }
+        fn drop_both(s: &mut TwoLocks) -> Outcome {
+            s.a = false;
+            s.b = false;
+            Outcome::Ran
+        }
+        let threads = [
+            ThreadSpec {
+                name: "ab",
+                steps: vec![
+                    Step {
+                        name: "take-a",
+                        run: take_a,
+                    },
+                    Step {
+                        name: "take-b",
+                        run: take_b,
+                    },
+                    Step {
+                        name: "drop",
+                        run: drop_both,
+                    },
+                ],
+            },
+            ThreadSpec {
+                name: "ba",
+                steps: vec![
+                    Step {
+                        name: "take-b",
+                        run: take_b,
+                    },
+                    Step {
+                        name: "take-a",
+                        run: take_a,
+                    },
+                    Step {
+                        name: "drop",
+                        run: drop_both,
+                    },
+                ],
+            },
+        ];
+        let violation = explore(&TwoLocks::default(), &threads, Config::default(), &|_| {})
+            .expect_err("opposite lock orders must deadlock somewhere");
+        assert!(violation.message.contains("deadlock"), "{violation}");
+        assert_eq!(
+            violation.schedule,
+            vec!["ab.take-a".to_string(), "ba.take-b".to_string()],
+            "the minimal deadlocking prefix is reported"
+        );
+    }
+
+    #[test]
+    fn schedule_budget_trips_as_violation() {
+        #[derive(Clone, Default)]
+        struct Nop;
+        fn nop(_: &mut Nop) -> Outcome {
+            Outcome::Ran
+        }
+        let mk = |name| ThreadSpec {
+            name,
+            steps: vec![
+                Step {
+                    name: "s0",
+                    run: nop as fn(&mut Nop) -> Outcome,
+                },
+                Step {
+                    name: "s1",
+                    run: nop,
+                },
+            ],
+        };
+        let threads = [mk("t0"), mk("t1"), mk("t2")];
+        let violation = explore(&Nop, &threads, Config { max_schedules: 3 }, &|_| {})
+            .expect_err("6 threads of 2 steps exceed 3 schedules");
+        assert!(violation.message.contains("max_schedules"));
+    }
+
+    #[test]
+    fn single_thread_explores_exactly_one_schedule() {
+        #[derive(Clone, Default)]
+        struct S(u32);
+        fn bump(s: &mut S) -> Outcome {
+            s.0 += 1;
+            Outcome::Ran
+        }
+        let threads = [ThreadSpec {
+            name: "solo",
+            steps: vec![
+                Step {
+                    name: "bump",
+                    run: bump as fn(&mut S) -> Outcome,
+                },
+                Step {
+                    name: "bump2",
+                    run: bump,
+                },
+            ],
+        }];
+        let report = check("solo", &S::default(), &threads, &|s| assert_eq!(s.0, 2));
+        assert_eq!(report.schedules, 1);
+    }
+}

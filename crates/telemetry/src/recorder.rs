@@ -7,6 +7,30 @@
 //! while another span on the same thread is open becomes its child, which is
 //! what makes the Chrome-trace export show the calibration pipeline as a
 //! nested flame graph.
+//!
+//! ## Atomic-ordering policy (relaxed-ordering suppression audit)
+//!
+//! Every `Ordering::Relaxed` in this module falls into one of three classes,
+//! none of which publishes data through the atomic itself:
+//!
+//! 1. **Id allocation** (`NEXT_RECORDER_ID`, `next_span`): only the RMW
+//!    atomicity of `fetch_add` matters — ids must be unique, not ordered.
+//!    All span/event/metric payloads travel under the `inner` mutex, whose
+//!    lock/unlock pair provides the happens-before edge.
+//! 2. **Independent flags and modes** (`enabled`, `clock_mode`): a racing
+//!    thread may observe a stale flag for one check and record (or skip) one
+//!    extra sample; bounded, benign for observability, and any
+//!    enable-then-spawn or enable-then-call sequence is ordered by the spawn
+//!    or program order anyway.
+//! 3. **Monotonic clocks and counters** (`virtual_micros`, the metrics
+//!    counters): increments need RMW atomicity only, and readers tolerate
+//!    cross-thread skew by design — timestamps and counter snapshots are
+//!    advisory. `reset` additionally requires callers to serialise resets
+//!    against recording, which `reset`'s doc states.
+//!
+//! If a future change makes any atomic *publish* dependent data (e.g. an
+//! index into a lock-free buffer), that site must upgrade to
+//! acquire/release and lose its suppression.
 
 use std::cell::RefCell;
 use std::collections::{BTreeMap, HashMap};
@@ -129,7 +153,7 @@ impl Recorder {
 
     /// Is recording on? Instrumentation helpers check this themselves.
     pub fn enabled(&self) -> bool {
-        // qem-lint: allow(relaxed-ordering) — independent on/off flag; recorded data is mutex-protected
+        // qem-lint: allow(relaxed-ordering) — class-2 flag (module ordering policy): worst case one stale sample
         self.enabled.load(Ordering::Relaxed)
     }
 
@@ -182,7 +206,7 @@ impl Recorder {
     pub fn reset(&self) {
         *lock(&self.inner) = Inner::default();
         self.metrics.clear();
-        // qem-lint: allow(relaxed-ordering) — clock rewind; callers serialize resets externally
+        // qem-lint: allow(relaxed-ordering) — class-3 clock rewind (module ordering policy); callers serialize resets externally
         self.virtual_micros.store(0, Ordering::Relaxed);
         *lock(&self.epoch) = Instant::now();
     }

@@ -67,7 +67,7 @@ fn run_lint(json: bool) -> ExitCode {
         let analysis = lexer::analyze(&src);
         diags.extend(rules::lint_file(rel, &analysis));
     }
-    diags.sort_by(|a, b| (&a.path, a.line, a.rule).cmp(&(&b.path, b.line, b.rule)));
+    rules::sort_diagnostics(&mut diags);
 
     for d in &diags {
         if json {

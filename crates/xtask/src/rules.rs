@@ -36,7 +36,25 @@ pub const RULE_NAMES: &[&str] = &[
     "core-error-type",
     "telemetry-name-registry",
     "relaxed-ordering",
+    "no-unsynced-static",
+    "no-unseeded-rng",
+    "kernel-invariant-hook",
 ];
+
+/// Statics exempt from `no-unsynced-static`, as `(file name, static name)`
+/// pairs. Deliberately empty: every global in the workspace today is a
+/// `Sync` primitive (atomics, `Mutex`, `OnceLock`) or lives in
+/// `thread_local!`. An entry here must explain itself at the use site with
+/// a comment — prefer a suppression, which forces the reason inline.
+const UNSYNCED_STATIC_ALLOWLIST: &[(&str, &str)] = &[];
+
+/// Canonical diagnostic order: `(path, line, rule)`. Both the human
+/// listing and `--json` output sort with this, so a lint run is
+/// byte-for-byte deterministic regardless of directory-walk or
+/// rule-evaluation order.
+pub fn sort_diagnostics(diags: &mut [Diagnostic]) {
+    diags.sort_by(|a, b| (a.path.as_str(), a.line, a.rule).cmp(&(b.path.as_str(), b.line, b.rule)));
+}
 
 /// Which crate a path belongs to: `crates/<name>/…` or the root `qem` crate.
 fn crate_of(path: &str) -> &str {
@@ -71,6 +89,14 @@ fn rule_applies(rule: &str, krate: &str, file_name: &str) -> bool {
         "telemetry-name-registry" => krate != "telemetry" && krate != "xtask",
         // Concurrency hygiene: the two files that do lock-free bookkeeping.
         "relaxed-ordering" => file_name == "recorder.rs" || file_name == "resilience.rs",
+        // Workspace-wide concurrency and reproducibility hygiene. Only the
+        // lint tool itself is exempt (it is single-threaded build tooling,
+        // and its rule tables mention the banned tokens).
+        "no-unsynced-static" => krate != "xtask",
+        "no-unseeded-rng" => krate != "xtask",
+        // Kernel files must route invariant assertions through the
+        // feature-gated `qem_linalg::checks` layer, not bare debug_assert!.
+        "kernel-invariant-hook" => file_name == "flat_dist.rs" || file_name == "plan.rs",
         _ => false,
     }
 }
@@ -166,6 +192,7 @@ pub fn lint_file(path: &str, analysis: &Analysis) -> Vec<Diagnostic> {
     let file_name = path.rsplit('/').next().unwrap_or(path);
     let mut diags = Vec::new();
     let silenced = suppressed_lines(path, analysis, &mut diags);
+    let in_thread_local = thread_local_regions(&analysis.masked);
 
     let mut emit = |rule: &'static str, line: usize, message: String| {
         if analysis.in_test.get(line - 1).copied().unwrap_or(false) {
@@ -297,6 +324,64 @@ pub fn lint_file(path: &str, analysis: &Analysis) -> Vec<Diagnostic> {
                 ln,
                 "`Ordering::Relaxed` needs a justification; suppress with a reason or strengthen the ordering".to_string(),
             );
+        }
+
+        if rule_applies("no-unsynced-static", krate, file_name) {
+            if find_static_mut(line) {
+                emit(
+                    "no-unsynced-static",
+                    ln,
+                    "`static mut` is an unsynchronised global; use an atomic, `Mutex`, or `OnceLock`".to_string(),
+                );
+            } else if !in_thread_local.get(idx).copied().unwrap_or(false) {
+                if let Some(name) = find_unsynced_static(line) {
+                    if !UNSYNCED_STATIC_ALLOWLIST.contains(&(file_name, name.as_str())) {
+                        emit(
+                            "no-unsynced-static",
+                            ln,
+                            format!(
+                                "static `{name}` has a non-`Sync` interior-mutability type; \
+                                 use an atomic/`Mutex`/`OnceLock` or move it into `thread_local!`"
+                            ),
+                        );
+                    }
+                }
+            }
+        }
+
+        if rule_applies("no-unseeded-rng", krate, file_name) {
+            for needle in ["thread_rng(", "from_entropy(", "rand::random", "OsRng"] {
+                if find_token(line, needle).is_some() {
+                    emit(
+                        "no-unseeded-rng",
+                        ln,
+                        format!(
+                            "`{}` draws OS entropy; production code must use a seeded RNG \
+                             (`StdRng::seed_from_u64`, …) so every run is reproducible",
+                            needle.trim_end_matches('(')
+                        ),
+                    );
+                    break;
+                }
+            }
+        }
+
+        if rule_applies("kernel-invariant-hook", krate, file_name) {
+            for needle in ["debug_assert!(", "debug_assert_eq!(", "debug_assert_ne!("] {
+                if find_token(line, needle).is_some() {
+                    emit(
+                        "kernel-invariant-hook",
+                        ln,
+                        format!(
+                            "bare `{}` in kernel code; route through `qem_linalg::kernel_assert!` \
+                             or a `checks::` function so the invariant stays under the \
+                             `invariant-checks` feature switch",
+                            needle.trim_end_matches('(')
+                        ),
+                    );
+                    break;
+                }
+            }
         }
     }
 
@@ -557,6 +642,103 @@ fn enclosing_expr_start(s: &str, open: usize) -> usize {
     }
 }
 
+/// `static mut NAME` — never acceptable; `&'static str` and friends must
+/// not match, so the `static` keyword needs a non-identifier,
+/// non-apostrophe predecessor.
+fn find_static_mut(line: &str) -> bool {
+    static_keyword_positions(line).any(|at| line[at + 6..].trim_start().starts_with("mut "))
+}
+
+/// Byte offsets of genuine `static` keywords (not `'static` lifetimes, not
+/// substrings of longer identifiers).
+fn static_keyword_positions(line: &str) -> impl Iterator<Item = usize> + '_ {
+    let bytes = line.as_bytes();
+    let mut from = 0;
+    std::iter::from_fn(move || {
+        while let Some(pos) = line[from..].find("static") {
+            let at = from + pos;
+            from = at + 6;
+            let pre_ok = at == 0 || (!is_ident_char(bytes[at - 1]) && bytes[at - 1] != b'\'');
+            let post_ok = at + 6 >= bytes.len() || !is_ident_char(bytes[at + 6]);
+            if pre_ok && post_ok {
+                return Some(at);
+            }
+        }
+        None
+    })
+}
+
+/// `static NAME: <type with a non-Sync interior-mutability cell>` — a
+/// global the compiler would reject for threads sharing it, or (worse) a
+/// raw-pointer global it would not. Returns the static's name. Only the
+/// declaration line is inspected; workspace style keeps `static` types on
+/// one line.
+fn find_unsynced_static(line: &str) -> Option<String> {
+    const UNSYNC: &[&str] = &[
+        "RefCell<",
+        "Cell<",
+        "UnsafeCell<",
+        "Rc<",
+        "*mut ",
+        "*const ",
+    ];
+    for at in static_keyword_positions(line) {
+        let rest = line[at + 6..].trim_start();
+        let Some(colon) = rest.find(':') else {
+            continue;
+        };
+        let name = rest[..colon].trim();
+        if name.is_empty() || !name.bytes().all(is_ident_char) {
+            continue;
+        }
+        let ty = rest[colon + 1..]
+            .split(['=', ';'])
+            .next()
+            .unwrap_or("")
+            .trim();
+        if UNSYNC.iter().any(|n| ty.contains(n)) {
+            return Some(name.to_string());
+        }
+    }
+    None
+}
+
+/// Per-line map of `thread_local! { … }` macro bodies, where non-`Sync`
+/// statics are the whole point. Brace-counted over the masked text, same
+/// technique as the lexer's test-region map.
+fn thread_local_regions(masked: &str) -> Vec<bool> {
+    let mut map = vec![false; masked.lines().count()];
+    let mut active = false;
+    let mut opened = false;
+    let mut depth = 0usize;
+    for (idx, line) in masked.lines().enumerate() {
+        if !active && line.contains("thread_local!") {
+            active = true;
+            opened = false;
+            depth = 0;
+        }
+        if active {
+            map[idx] = true;
+            for b in line.bytes() {
+                match b {
+                    b'{' => {
+                        depth += 1;
+                        opened = true;
+                    }
+                    b'}' => {
+                        depth = depth.saturating_sub(1);
+                        if opened && depth == 0 {
+                            active = false;
+                        }
+                    }
+                    _ => {}
+                }
+            }
+        }
+    }
+    map
+}
+
 /// A scientific-notation literal with a negative exponent (`1e-12`,
 /// `2.5e-9`) outside a `const`/`static` declaration.
 fn find_inline_tolerance(line: &str) -> Option<String> {
@@ -749,6 +931,98 @@ mod tests {
         assert!(lint_src("crates/core/src/a.rs", just_err).is_empty());
         // Out of scope for linalg itself.
         assert!(lint_src("crates/linalg/src/a.rs", bad).is_empty());
+    }
+
+    #[test]
+    fn unsynced_static_matchers() {
+        assert!(find_static_mut("static mut COUNTER: u32 = 0;"));
+        assert!(find_static_mut("pub static mut FLAG: bool = false;"));
+        assert!(!find_static_mut("let s: &'static str = x;"));
+        assert!(!find_static_mut("fn statics() {}"));
+        assert_eq!(
+            find_unsynced_static("static STACK: RefCell<Vec<u64>> = RefCell::new(Vec::new());"),
+            Some("STACK".to_string())
+        );
+        assert_eq!(
+            find_unsynced_static("static PTR: *mut u8 = core::ptr::null_mut();"),
+            Some("PTR".to_string())
+        );
+        assert!(find_unsynced_static("static N: AtomicU64 = AtomicU64::new(0);").is_none());
+        assert!(
+            find_unsynced_static("static CACHE: OnceLock<Mutex<Shard>> = OnceLock::new();")
+                .is_none()
+        );
+        assert!(find_unsynced_static("let local: &'static str = x;").is_none());
+    }
+
+    #[test]
+    fn thread_local_region_exempts_interior_mutability() {
+        let src = "thread_local! {\n    static STACK: RefCell<Vec<u64>> = const { RefCell::new(Vec::new()) };\n}\nstatic BAD: RefCell<u32> = RefCell::new(0);\n";
+        let diags = lint_src("crates/telemetry/src/recorder.rs", src);
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert_eq!(diags[0].rule, "no-unsynced-static");
+        assert_eq!(diags[0].line, 4);
+    }
+
+    #[test]
+    fn static_mut_is_flagged_everywhere() {
+        let src = "static mut COUNTER: u32 = 0;\n";
+        let diags = lint_src("crates/sim/src/a.rs", src);
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].rule, "no-unsynced-static");
+    }
+
+    #[test]
+    fn unseeded_rng_rule() {
+        let bad = "fn a() { let mut rng = rand::thread_rng(); }\n";
+        let diags = lint_src("crates/core/src/a.rs", bad);
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].rule, "no-unseeded-rng");
+        let entropy = "fn a() { let rng = SmallRng::from_entropy(); }\n";
+        assert_eq!(lint_src("crates/sim/src/a.rs", entropy).len(), 1);
+        let seeded = "fn a() { let mut rng = StdRng::seed_from_u64(7); }\n";
+        assert!(lint_src("crates/core/src/a.rs", seeded).is_empty());
+        let in_tests = "#[cfg(test)]\nmod tests {\n    fn t() { let r = rand::thread_rng(); }\n}\n";
+        assert!(lint_src("crates/core/src/a.rs", in_tests).is_empty());
+    }
+
+    #[test]
+    fn kernel_invariant_hook_rule() {
+        let bad = "fn f(x: usize, n: usize) { debug_assert!(x < n); }\n";
+        let diags = lint_src("crates/linalg/src/flat_dist.rs", bad);
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].rule, "kernel-invariant-hook");
+        assert_eq!(lint_src("crates/core/src/plan.rs", bad).len(), 1);
+        assert!(
+            lint_src("crates/linalg/src/dense.rs", bad).is_empty(),
+            "scoped to the kernel files only"
+        );
+        let routed = "fn f(x: usize, n: usize) { kernel_assert!(x < n); }\n";
+        assert!(lint_src("crates/linalg/src/flat_dist.rs", routed).is_empty());
+    }
+
+    #[test]
+    fn sort_diagnostics_is_canonical() {
+        let mk = |path: &str, line: usize, rule: &'static str| Diagnostic {
+            rule,
+            path: path.to_string(),
+            line,
+            message: String::new(),
+        };
+        let sorted = vec![
+            mk("a.rs", 1, "no-panic-path"),
+            mk("a.rs", 9, "no-float-eq"),
+            mk("a.rs", 9, "no-panic-path"),
+            mk("b.rs", 2, "no-float-eq"),
+        ];
+        // Every starting permutation of the same findings must settle into
+        // the identical byte order — the determinism contract of --json.
+        let perms: [[usize; 4]; 4] = [[3, 1, 0, 2], [2, 3, 1, 0], [0, 1, 2, 3], [1, 0, 3, 2]];
+        for perm in perms {
+            let mut shuffled: Vec<Diagnostic> = perm.iter().map(|&i| sorted[i].clone()).collect();
+            sort_diagnostics(&mut shuffled);
+            assert_eq!(shuffled, sorted);
+        }
     }
 
     #[test]

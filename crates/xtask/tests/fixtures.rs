@@ -19,6 +19,7 @@ fn scope_path(rule: &str) -> &'static str {
     match rule {
         "relaxed-ordering" => "crates/telemetry/src/recorder.rs",
         "telemetry-name-registry" => "crates/core/src/fixture.rs",
+        "kernel-invariant-hook" => "crates/linalg/src/flat_dist.rs",
         _ => "crates/core/src/fixture.rs",
     }
 }
@@ -93,6 +94,49 @@ fn relaxed_ordering_only_in_named_files() {
         diags.iter().all(|d| d.rule != "relaxed-ordering"),
         "{diags:?}"
     );
+}
+
+#[test]
+fn no_unsynced_static_pair() {
+    // static mut, a RefCell static, and a raw-pointer static.
+    check_pair("no-unsynced-static", 3);
+}
+
+#[test]
+fn no_unseeded_rng_pair() {
+    // thread_rng(), from_entropy(), rand::random, and OsRng.
+    check_pair("no-unseeded-rng", 4);
+}
+
+#[test]
+fn kernel_invariant_hook_pair() {
+    // debug_assert!, debug_assert_eq!, debug_assert_ne!.
+    check_pair("kernel-invariant-hook", 3);
+}
+
+#[test]
+fn kernel_invariant_hook_only_in_kernel_files() {
+    // The same debug_assert usage outside flat_dist.rs/plan.rs is out of scope.
+    let diags = lint_fixture("kernel_invariant_hook_bad.rs", "crates/linalg/src/dense.rs");
+    assert!(
+        diags.iter().all(|d| d.rule != "kernel-invariant-hook"),
+        "{diags:?}"
+    );
+}
+
+#[test]
+fn new_rule_suppressions_honour_the_reason_contract() {
+    // Each new rule's suppressed fixture carries a reasoned allow() over the
+    // violating line: no finding for the rule, and no invalid-suppression.
+    for rule in [
+        "no-unsynced-static",
+        "no-unseeded-rng",
+        "kernel-invariant-hook",
+    ] {
+        let stem = rule.replace('-', "_");
+        let diags = lint_fixture(&format!("{stem}_suppressed.rs"), scope_path(rule));
+        assert!(diags.is_empty(), "{rule}: {diags:?}");
+    }
 }
 
 #[test]

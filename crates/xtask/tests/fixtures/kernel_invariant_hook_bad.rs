@@ -1,0 +1,10 @@
+// Fixture: debug_assert invariants in a kernel file the lint must reject —
+// they vanish in release builds, exactly where the sanitizer matters.
+pub fn scatter(dst: &mut [f64], idx: usize, w: f64) {
+    debug_assert!(idx < dst.len());
+    debug_assert_eq!(dst.len() % 2, 0);
+    debug_assert_ne!(dst.len(), 0);
+    if let Some(slot) = dst.get_mut(idx) {
+        *slot += w;
+    }
+}

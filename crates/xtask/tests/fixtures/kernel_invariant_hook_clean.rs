@@ -1,0 +1,12 @@
+// Fixture: the sanctioned invariant hooks for kernel files — a hard
+// assert for always-on contracts and the feature-gated checks layer.
+pub fn scatter(dst: &mut [f64], idx: usize, w: f64) {
+    assert!(
+        idx < dst.len(),
+        "invariant[scatter]: index {idx} out of bounds"
+    );
+    crate::checks::check_scatter_index("scatter", idx, dst.len());
+    if let Some(slot) = dst.get_mut(idx) {
+        *slot += w;
+    }
+}

@@ -1,0 +1,8 @@
+// Fixture: a reasoned suppression over a debug_assert in a kernel file.
+pub fn scatter(dst: &mut [f64], idx: usize, w: f64) {
+    // qem-lint: allow(kernel-invariant-hook) — migrating to kernel_assert in the next pass
+    debug_assert!(idx < dst.len());
+    if let Some(slot) = dst.get_mut(idx) {
+        *slot += w;
+    }
+}

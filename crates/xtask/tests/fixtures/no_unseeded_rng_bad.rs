@@ -1,0 +1,8 @@
+// Fixture: ambient-entropy RNG constructions the lint must reject.
+pub fn noise() -> f64 {
+    let mut rng = rand::thread_rng();
+    let _fresh = rand::rngs::StdRng::from_entropy();
+    let _draw: f64 = rand::random();
+    let _os = rand::rngs::OsRng;
+    rng.gen()
+}

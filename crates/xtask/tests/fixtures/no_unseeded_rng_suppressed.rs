@@ -1,0 +1,5 @@
+// Fixture: a reasoned suppression over an ambient-entropy RNG site.
+pub fn jitter() -> u64 {
+    // qem-lint: allow(no-unseeded-rng) — backoff jitter, determinism not required
+    rand::random()
+}

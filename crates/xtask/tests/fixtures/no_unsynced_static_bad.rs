@@ -1,0 +1,8 @@
+// Fixture: unsynchronised global state the lint must reject.
+use std::cell::RefCell;
+
+static mut SCRATCH: u64 = 0;
+
+static LAST_SEEN: RefCell<u64> = RefCell::new(0);
+
+static RAW_SLOT: *mut u64 = std::ptr::null_mut();

@@ -1,0 +1,15 @@
+// Fixture: synchronised or thread-local global state the lint must accept.
+use std::cell::RefCell;
+use std::sync::atomic::AtomicU64;
+use std::sync::{Mutex, OnceLock};
+
+static COUNTER: AtomicU64 = AtomicU64::new(0);
+static REGISTRY: OnceLock<Mutex<Vec<u64>>> = OnceLock::new();
+
+thread_local! {
+    static SCRATCH: RefCell<Vec<u64>> = RefCell::new(Vec::new());
+}
+
+pub fn touch(label: &'static str) -> usize {
+    label.len()
+}

@@ -1,0 +1,5 @@
+// Fixture: a reasoned suppression over a legacy unsynchronised static.
+use std::cell::Cell;
+
+// qem-lint: allow(no-unsynced-static) — single-threaded CLI accumulator, audited 2026-08
+static BUDGET: Cell<u64> = Cell::new(0);

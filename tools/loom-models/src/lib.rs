@@ -1,0 +1,4 @@
+//! Shell crate for the loom build of the core concurrency models; the
+//! models themselves live in `crates/core/tests/loom_models.rs` and are
+//! included by `tests/models.rs` via `#[path]` so there is exactly one
+//! source of truth for both runtimes.

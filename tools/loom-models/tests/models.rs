@@ -1,0 +1,7 @@
+//! Re-exports the shared model source under this harness. With
+//! `RUSTFLAGS="--cfg loom"` the shim inside resolves to `loom::sync` and
+//! every `#[test]` explores all interleavings via `loom::model`; without
+//! it the tests are the same std-thread smoke pass tier-1 runs.
+
+#[path = "../../../crates/core/tests/loom_models.rs"]
+mod loom_models;
