@@ -1,0 +1,52 @@
+//! Shot-budget arithmetic shared by the mitigation strategies and the
+//! recalibration scheduler.
+//!
+//! Historically [`per_circuit_execution`] lived in `qem_mitigation::strategy`;
+//! it moved here so the [`recalib`](crate::recalib) scheduler can apply the
+//! same Infeasible guard when capping a re-characterisation cycle, without
+//! inverting the mitigation→core dependency direction. The strategy module
+//! re-exports it, so existing call sites are unaffected.
+
+use crate::error::{CoreError, Result};
+
+/// Splits the execution half of a batch budget evenly across `circuits`
+/// target circuits, returning the per-circuit shot count.
+///
+/// Fails with [`CoreError::Infeasible`] when the execution allotment cannot
+/// give every circuit at least one shot — the alternative (flooring at one
+/// shot each) would silently execute more shots than the caller budgeted.
+pub fn per_circuit_execution(execution: u64, circuits: usize) -> Result<u64> {
+    let n = circuits as u64;
+    if n == 0 || execution < n {
+        return Err(CoreError::Infeasible {
+            detail: format!(
+                "execution allotment of {execution} shots cannot cover a \
+                 batch of {circuits} circuits with one shot each"
+            ),
+        });
+    }
+    Ok(execution / n)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splits_evenly() {
+        assert_eq!(per_circuit_execution(1000, 4).unwrap(), 250);
+        assert_eq!(per_circuit_execution(1001, 4).unwrap(), 250);
+    }
+
+    #[test]
+    fn infeasible_when_starved() {
+        assert!(matches!(
+            per_circuit_execution(3, 4),
+            Err(CoreError::Infeasible { .. })
+        ));
+        assert!(matches!(
+            per_circuit_execution(100, 0),
+            Err(CoreError::Infeasible { .. })
+        ));
+    }
+}

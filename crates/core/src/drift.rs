@@ -9,6 +9,13 @@
 //! slowly than marginal rates on real devices (the paper's "ERR maps are
 //! stable on the order of several weeks"), so marginal drift is the right
 //! cheap trigger.
+//!
+//! A probe taken with [`DriftMonitor::check_at`] also records how many
+//! virtual-clock ticks elapsed since the calibration anchor, which turns
+//! the observed per-qubit changes into **rates** (change per tick) and
+//! per-edge/per-patch **forecasts**: the predicted change a horizon of
+//! ticks from now. The [`recalib`](crate::recalib) scheduler prioritises
+//! partial re-characterisation with exactly these forecasts.
 
 use crate::error::Result as CoreResult;
 use crate::tensored::LinearCalibration;
@@ -37,10 +44,68 @@ pub struct DriftReport {
     pub rate_changes: Vec<f64>,
     /// Qubits whose rate change exceeds the monitor threshold, ascending.
     pub drifted_qubits: Vec<usize>,
-    /// Whether the stored calibration should be rebuilt.
-    pub should_recalibrate: bool,
+    /// The monitor threshold the probe was checked against.
+    pub threshold: f64,
+    /// Virtual-clock ticks between the calibration anchor and this probe
+    /// (0 when the caller did not supply an elapsed time — forecasts then
+    /// degrade to the currently observed changes).
+    pub elapsed_ticks: u64,
     /// Shots the probe consumed (2 circuits).
     pub shots_used: u64,
+}
+
+impl DriftReport {
+    /// Whether the stored calibration should be rebuilt — the derived view
+    /// kept for backward compatibility: true exactly when the worst
+    /// per-qubit change exceeds the monitor threshold.
+    pub fn should_recalibrate(&self) -> bool {
+        self.max_rate_change > self.threshold
+    }
+
+    /// Estimated drift rate of one qubit in change-per-tick, assuming the
+    /// change accumulated linearly over `elapsed_ticks`. Zero when no
+    /// elapsed time was recorded.
+    pub fn rate_per_tick(&self, qubit: usize) -> f64 {
+        if self.elapsed_ticks == 0 {
+            return 0.0;
+        }
+        self.rate_changes.get(qubit).copied().unwrap_or(0.0) / self.elapsed_ticks as f64
+    }
+
+    /// Observed rate change of a patch (edge or larger qubit set): the
+    /// worst change over its member qubits.
+    pub fn patch_rate_change(&self, qubits: &[usize]) -> f64 {
+        qubits
+            .iter()
+            .map(|&q| self.rate_changes.get(q).copied().unwrap_or(0.0))
+            .fold(0.0, f64::max)
+    }
+
+    /// Forecast rate change of a patch `horizon_ticks` from the probe:
+    /// the observed change plus the extrapolated per-tick rate over the
+    /// horizon. With `elapsed_ticks == 0` (or horizon 0) this is just the
+    /// observed change.
+    pub fn patch_forecast(&self, qubits: &[usize], horizon_ticks: u64) -> f64 {
+        let rate = qubits
+            .iter()
+            .map(|&q| self.rate_per_tick(q))
+            .fold(0.0, f64::max);
+        self.patch_rate_change(qubits) + rate * horizon_ticks as f64
+    }
+
+    /// Per-edge rate forecasts over an explicit edge list, in input order —
+    /// the prioritisation signal for the recalibration scheduler (not just
+    /// the max: every edge gets its own forecast).
+    pub fn edge_forecasts(
+        &self,
+        edges: &[(usize, usize)],
+        horizon_ticks: u64,
+    ) -> Vec<((usize, usize), f64)> {
+        edges
+            .iter()
+            .map(|&(a, b)| ((a, b), self.patch_forecast(&[a, b], horizon_ticks)))
+            .collect()
+    }
 }
 
 impl DriftMonitor {
@@ -81,12 +146,27 @@ impl DriftMonitor {
         self.reference_flip0.len()
     }
 
-    /// Runs the two-circuit probe and compares against the anchor.
+    /// Runs the two-circuit probe and compares against the anchor, without
+    /// an elapsed-time attribution (forecasts degrade to observed changes).
     pub fn check(
         &self,
         backend: &dyn Executor,
         shots_per_circuit: u64,
         rng: &mut StdRng,
+    ) -> CoreResult<DriftReport> {
+        self.check_at(backend, shots_per_circuit, rng, 0)
+    }
+
+    /// Runs the two-circuit probe and compares against the anchor,
+    /// recording that `elapsed_ticks` virtual-clock ticks passed since the
+    /// anchor calibration — which makes the report's per-edge rate
+    /// forecasts meaningful.
+    pub fn check_at(
+        &self,
+        backend: &dyn Executor,
+        shots_per_circuit: u64,
+        rng: &mut StdRng,
+        elapsed_ticks: u64,
     ) -> CoreResult<DriftReport> {
         let probe = LinearCalibration::calibrate(backend, shots_per_circuit, rng)?;
         let mut max_rate_change = 0.0;
@@ -94,8 +174,10 @@ impl DriftMonitor {
         let mut rate_changes = Vec::with_capacity(probe.per_qubit.len());
         let mut drifted_qubits = Vec::new();
         for (q, cal) in probe.per_qubit.iter().enumerate() {
-            let d0 = (cal.matrix()[(1, 0)] - self.reference_flip0[q]).abs();
-            let d1 = (cal.matrix()[(0, 1)] - self.reference_flip1[q]).abs();
+            let r0 = self.reference_flip0.get(q).copied().unwrap_or(0.0);
+            let r1 = self.reference_flip1.get(q).copied().unwrap_or(0.0);
+            let d0 = (cal.matrix()[(1, 0)] - r0).abs();
+            let d1 = (cal.matrix()[(0, 1)] - r1).abs();
             let d = d0.max(d1);
             rate_changes.push(d);
             if d > self.threshold {
@@ -111,7 +193,8 @@ impl DriftMonitor {
             worst_qubit,
             rate_changes,
             drifted_qubits,
-            should_recalibrate: max_rate_change > self.threshold,
+            threshold: self.threshold,
+            elapsed_ticks,
             shots_used: probe.shots_used,
         })
     }
@@ -138,7 +221,7 @@ mod tests {
         let monitor = DriftMonitor::new(&reference, 0.02);
         let report = monitor.check(&b, 40_000, &mut rng(2)).unwrap();
         assert!(
-            !report.should_recalibrate,
+            !report.should_recalibrate(),
             "stable device flagged: {report:?}"
         );
         assert!(report.max_rate_change < 0.01);
@@ -158,7 +241,7 @@ mod tests {
         drifted_noise.p_flip1[2] += 0.10;
         let drifted = Backend::new(linear(n), drifted_noise);
         let report = monitor.check(&drifted, 40_000, &mut rng(3)).unwrap();
-        assert!(report.should_recalibrate);
+        assert!(report.should_recalibrate());
         assert_eq!(report.worst_qubit, 2);
         assert!(report.max_rate_change > 0.08);
     }
@@ -172,6 +255,40 @@ mod tests {
         noise.p_flip1 = vec![0.06, 0.05];
         let b = Backend::new(linear(2), noise);
         let report = monitor.check(&b, 60_000, &mut rng(4)).unwrap();
-        assert!(!report.should_recalibrate);
+        assert!(!report.should_recalibrate());
+    }
+
+    #[test]
+    fn forecasts_extrapolate_per_edge_rates() {
+        // Hand-built report: qubit 1 drifted 0.04 over 100 ticks, qubit 2
+        // drifted 0.01 — the per-edge forecasts must separate them and the
+        // max alone must not hide the slow edge.
+        let report = DriftReport {
+            max_rate_change: 0.04,
+            worst_qubit: 1,
+            rate_changes: vec![0.0, 0.04, 0.01],
+            drifted_qubits: vec![1],
+            threshold: 0.02,
+            elapsed_ticks: 100,
+            shots_used: 0,
+        };
+        assert!(report.should_recalibrate());
+        assert!((report.rate_per_tick(1) - 4e-4).abs() < 1e-12);
+        assert!((report.patch_rate_change(&[0, 1]) - 0.04).abs() < 1e-12);
+        // Forecast 50 ticks out: qubit 1's edge gains 0.02, qubit 2's 0.005.
+        let forecasts = report.edge_forecasts(&[(0, 1), (1, 2), (0, 2)], 50);
+        assert_eq!(forecasts.len(), 3);
+        assert!((forecasts[0].1 - 0.06).abs() < 1e-12);
+        assert!(
+            (forecasts[1].1 - 0.06).abs() < 1e-12,
+            "edge takes worst member"
+        );
+        assert!((forecasts[2].1 - 0.015).abs() < 1e-12);
+        // Zero elapsed: forecast degrades to the observed change.
+        let stale = DriftReport {
+            elapsed_ticks: 0,
+            ..report
+        };
+        assert!((stale.patch_forecast(&[1], 1000) - 0.04).abs() < 1e-12);
     }
 }

@@ -20,6 +20,7 @@
 #![warn(missing_docs)]
 
 pub mod bootstrap;
+pub mod budget;
 pub mod calibration;
 pub mod cmc;
 pub mod drift;
@@ -32,6 +33,7 @@ pub mod mitigator;
 pub mod persist;
 pub mod plan;
 pub mod rb;
+pub mod recalib;
 pub mod resilience;
 pub mod tensored;
 pub mod tomography;
@@ -51,6 +53,10 @@ pub use mitigator::SparseMitigator;
 pub use persist::{load_or_calibrate, CmcRecord};
 pub use plan::{MitigationPlan, PlanLayer};
 pub use rb::{single_qubit_rb, RbResult};
+pub use recalib::{
+    PatchOutcome, PatchStatus, PlanHandle, RecalibPolicy, RecalibReport, RecalibScheduler,
+    ServingPlan, StalenessPolicy, RECALIB_SCHEMA_VERSION,
+};
 pub use resilience::{
     calibrate_resilient, DowngradeEvent, DowngradeRecord, MitigationLevel, PatchIssue,
     ResilienceOptions, ResilienceReport, ResilienceReportRecord, ResilientCalibration,

@@ -20,6 +20,7 @@ use crate::drift::{DriftMonitor, DriftReport};
 use crate::error::{CoreError, Result};
 use crate::joining::join_corrections;
 use crate::mitigator::SparseMitigator;
+use crate::recalib::StalenessPolicy;
 use qem_linalg::dense::Matrix;
 use qem_sim::exec::Executor;
 use qem_topology::patches::PatchSchedule;
@@ -288,12 +289,38 @@ pub fn load_or_calibrate(
 /// re-characterised (4 circuits per pair patch, not a whole sweep); the
 /// refreshed record is saved back. Returns the calibration plus the drift
 /// report when a stored record was probed.
+///
+/// Thin wrapper over [`load_or_refresh_with`] with an unlimited refresh
+/// budget and no forecast horizon.
 pub fn load_or_refresh(
     path: &Path,
     device: &str,
     backend: &dyn Executor,
     opts: &CmcOptions,
     drift_threshold: f64,
+    rng: &mut rand::rngs::StdRng,
+) -> Result<(CmcCalibration, Option<DriftReport>)> {
+    let staleness = StalenessPolicy {
+        drift_threshold,
+        forecast_horizon: 0,
+        shot_budget: None,
+    };
+    load_or_refresh_with(path, device, backend, opts, &staleness, rng)
+}
+
+/// Policy-aware cold-start refresh: reuses every fresh stored patch and
+/// re-characterises only the ones the [`StalenessPolicy`] flags, worst
+/// forecast first. With a `shot_budget`, refreshes stop (leaving the
+/// remaining stale patches as stored) once the remaining allotment fails
+/// the [`per_circuit_execution`](crate::budget::per_circuit_execution)
+/// guard — a starved start serves slightly stale patches rather than
+/// overspending or failing.
+pub fn load_or_refresh_with(
+    path: &Path,
+    device: &str,
+    backend: &dyn Executor,
+    opts: &CmcOptions,
+    staleness: &StalenessPolicy,
     rng: &mut rand::rngs::StdRng,
 ) -> Result<(CmcCalibration, Option<DriftReport>)> {
     let stored = if path.exists() {
@@ -311,34 +338,63 @@ pub fn load_or_refresh(
     };
 
     let (flip0, flip1) = record.qubit_rates()?;
-    let monitor = DriftMonitor::from_rates(flip0, flip1, drift_threshold);
+    let monitor = DriftMonitor::from_rates(flip0, flip1, staleness.drift_threshold);
     let report = monitor.check(backend, opts.shots_per_circuit, rng)?;
 
-    if report.drifted_qubits.is_empty() {
-        return Ok((record.to_calibration()?, Some(report)));
-    }
-
-    // Re-characterise only the patches touching a drifted qubit.
     let mut patches: Vec<CalibrationMatrix> = record
         .patches
         .iter()
         .map(CalibrationRecord::to_calibration)
         .collect::<Result<_>>()?;
+
+    // Flag stale patches by forecast, worst first (cold starts have no
+    // elapsed-tick attribution, so the forecast is the observed change).
+    let mut flagged: Vec<(usize, f64)> = patches
+        .iter()
+        .enumerate()
+        .filter_map(|(i, p)| {
+            let f = report.patch_forecast(p.qubits(), staleness.forecast_horizon);
+            (f > staleness.drift_threshold).then_some((i, f))
+        })
+        .collect();
+    flagged.sort_by(|a, b| b.1.total_cmp(&a.1));
+
+    if flagged.is_empty() {
+        return Ok((record.to_calibration()?, Some(report)));
+    }
+
+    let mut remaining = staleness
+        .shot_budget
+        .map(|b| b.saturating_sub(report.shots_used));
     let mut circuits_used = record.circuits_used;
     let mut shots_used = record.shots_used;
-    for patch in patches.iter_mut() {
-        if !patch
-            .qubits()
-            .iter()
-            .any(|q| report.drifted_qubits.contains(q))
-        {
+    let mut refreshed_any = false;
+    for (idx, _) in flagged {
+        let Some(patch) = patches.get_mut(idx) else {
             continue;
-        }
+        };
         let qubits = patch.qubits().to_vec();
-        let refreshed = characterize(backend, &qubits, opts.shots_per_circuit, rng)?;
-        circuits_used += 1 << qubits.len();
-        shots_used += (1u64 << qubits.len()) * opts.shots_per_circuit;
+        let circuits = 1usize << qubits.len();
+        let per = match remaining {
+            Some(rem) => match crate::budget::per_circuit_execution(rem, circuits) {
+                Ok(per) => per.min(opts.shots_per_circuit),
+                // Budget exhausted: the rest stay stale until the next run.
+                Err(_) => break,
+            },
+            None => opts.shots_per_circuit,
+        };
+        let refreshed = characterize(backend, &qubits, per, rng)?;
+        let spent = (circuits as u64) * per;
+        circuits_used += circuits;
+        shots_used += spent;
+        if let Some(rem) = remaining.as_mut() {
+            *rem = rem.saturating_sub(spent);
+        }
         *patch = refreshed;
+        refreshed_any = true;
+    }
+    if !refreshed_any {
+        return Ok((record.to_calibration()?, Some(report)));
     }
     let measured = MeasuredCmc {
         patches,
@@ -566,6 +622,65 @@ mod tests {
             "refreshed rate {} vs injected {}",
             m.matrix()[(0, 1)],
             drifted_noise.p_flip1[3]
+        );
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn load_or_refresh_with_respects_shot_budget() {
+        let n = 4;
+        let noise = NoiseModel::random_biased(n, 0.02, 0.08, 3);
+        let b = Backend::new(linear(n), noise.clone());
+        let dir = std::env::temp_dir().join("qem-persist-test-budget");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("cal.json");
+        let _ = std::fs::remove_file(&path);
+        let opts = CmcOptions {
+            k: 1,
+            shots_per_circuit: 30_000,
+            cull_threshold: 1e-10,
+        };
+        let unlimited = StalenessPolicy {
+            drift_threshold: 0.02,
+            forecast_horizon: 0,
+            shot_budget: None,
+        };
+        load_or_refresh_with(
+            &path,
+            "dev",
+            &b,
+            &opts,
+            &unlimited,
+            &mut StdRng::seed_from_u64(7),
+        )
+        .unwrap();
+        let before = CmcRecord::load(&path).unwrap();
+
+        // Qubit 3 drifts, but the budget barely covers the probe: every
+        // stale patch is deferred and the stored record stays as-is.
+        let mut drifted_noise = noise;
+        drifted_noise.p_flip1[3] += 0.15;
+        let drifted = Backend::new(linear(n), drifted_noise);
+        let starved = StalenessPolicy {
+            drift_threshold: 0.02,
+            forecast_horizon: 0,
+            shot_budget: Some(2 * opts.shots_per_circuit + 1),
+        };
+        let (_, probe) = load_or_refresh_with(
+            &path,
+            "dev",
+            &drifted,
+            &opts,
+            &starved,
+            &mut StdRng::seed_from_u64(8),
+        )
+        .unwrap();
+        let report = probe.expect("stored record must be probed");
+        assert!(!report.drifted_qubits.is_empty());
+        let after = CmcRecord::load(&path).unwrap();
+        assert_eq!(
+            after.shots_used, before.shots_used,
+            "starved refresh must not spend characterisation shots"
         );
         let _ = std::fs::remove_file(&path);
     }

@@ -1,0 +1,916 @@
+//! Drift-aware online recalibration: staleness scheduling, prioritised
+//! partial re-characterisation and atomic plan hot-swap.
+//!
+//! The paper's Fig. 1 shows weeks of calibration drift on real devices; a
+//! mitigation plan compiled from stale patches silently degrades. This
+//! module closes the loop:
+//!
+//! 1. **Staleness tracking** — every cycle runs the cheap two-circuit
+//!    [`DriftMonitor`] probe and turns the per-qubit changes into per-patch
+//!    *forecasts* ([`DriftReport::patch_forecast`]): the predicted drift a
+//!    horizon of ticks out, given how long the serving calibration has been
+//!    live.
+//! 2. **Prioritised partial re-characterisation** — only patches forecast
+//!    past tolerance are refreshed, worst first, and the cycle's shot
+//!    budget is split through the same
+//!    [`per_circuit_execution`](crate::budget::per_circuit_execution)
+//!    Infeasible guard the batch strategies use: when the remaining budget
+//!    cannot give the next patch one shot per circuit, that patch (and the
+//!    rest of the queue) is *deferred* to a later cycle rather than
+//!    silently overspending.
+//! 3. **Atomic hot-swap** — the refreshed calibration is joined, inverted
+//!    (through the content-hashed inverse cache) and its
+//!    [`MitigationPlan`](crate::plan::MitigationPlan) compiled *before*
+//!    publication; [`PlanHandle::publish`] then swaps one
+//!    `Arc<ServingPlan>` pointer under a mutex. Readers clone the `Arc` and
+//!    keep mitigating against a fully-built immutable plan — they can
+//!    observe the old epoch or the new one, never a torn mixture. The
+//!    protocol is model-checked in `crates/core/tests/concurrency_models.rs`
+//!    (explicit-state) and `loom_models.rs` (loom).
+//! 4. **Fallible refresh, never a worse artifact** — characterisation runs
+//!    through the [`RetryExecutor`] backoff; on exhaustion each patch walks
+//!    its own ladder (joint patch → tensored per-qubit → keep the stale
+//!    last-known-good patch), and a refreshed calibration that fails
+//!    joining, inversion or plan compilation is *rejected*: the last-known
+//!    good plan keeps serving and the [`RecalibReport`] records why.
+
+use crate::budget::per_circuit_execution;
+use crate::calibration::{characterize, CalibrationMatrix};
+use crate::cmc::{assemble_cmc, CmcCalibration, MeasuredCmc};
+use crate::drift::{DriftMonitor, DriftReport};
+use crate::error::Result as CoreResult;
+use crate::resilience::{
+    tensored_fallback, validate_patch, MitigationLevel, PatchIssue, RetryExecutor, RetryPolicy,
+    ValidationPolicy,
+};
+use qem_linalg::dense::Matrix;
+use qem_sim::exec::Executor;
+use qem_topology::patches::PatchSchedule;
+use rand::rngs::StdRng;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Schema version stamped into serialized [`RecalibReport`]s.
+pub const RECALIB_SCHEMA_VERSION: u32 = 1;
+
+/// When a patch counts as stale and how much a refresh cycle may spend.
+#[derive(Clone, Copy, Debug)]
+pub struct StalenessPolicy {
+    /// Forecast drift beyond which a patch must be re-characterised (same
+    /// units as [`DriftReport::rate_changes`]: absolute flip-rate change).
+    pub drift_threshold: f64,
+    /// How many ticks ahead the per-patch forecast extrapolates. 0 means
+    /// "react to observed drift only".
+    pub forecast_horizon: u64,
+    /// Total shots one refresh cycle may spend (probe included); `None`
+    /// removes the cap. Enforced through the
+    /// [`per_circuit_execution`](crate::budget::per_circuit_execution)
+    /// Infeasible guard, so a starved cycle defers patches instead of
+    /// overspending.
+    pub shot_budget: Option<u64>,
+}
+
+impl Default for StalenessPolicy {
+    fn default() -> Self {
+        StalenessPolicy {
+            drift_threshold: 0.02,
+            forecast_horizon: 0,
+            shot_budget: None,
+        }
+    }
+}
+
+/// Full configuration of the recalibration scheduler.
+#[derive(Clone, Debug)]
+pub struct RecalibPolicy {
+    /// Staleness tolerance and per-cycle budget.
+    pub staleness: StalenessPolicy,
+    /// Minimum ticks between drift probes; cycles arriving earlier are
+    /// skipped (`probed: false` in the report).
+    pub calib_interval: u64,
+    /// Shots per probe circuit (2 circuits per probe).
+    pub probe_shots: u64,
+    /// Shots per re-characterisation circuit, before budget capping.
+    pub recal_shots: u64,
+    /// Retry/backoff policy for every submission in the cycle.
+    pub retry: RetryPolicy,
+    /// Validation thresholds for refreshed patches.
+    pub validation: ValidationPolicy,
+}
+
+impl Default for RecalibPolicy {
+    fn default() -> Self {
+        RecalibPolicy {
+            staleness: StalenessPolicy::default(),
+            calib_interval: 0,
+            probe_shots: 4096,
+            recal_shots: 4096,
+            retry: RetryPolicy::default(),
+            validation: ValidationPolicy::default(),
+        }
+    }
+}
+
+/// One immutable published generation of the mitigation artifact. Readers
+/// hold an `Arc<ServingPlan>` and mitigate against it for as long as they
+/// like; a concurrent swap only changes what *new* loads observe.
+#[derive(Clone, Debug)]
+pub struct ServingPlan {
+    /// The calibration whose mitigator (and compiled plan) is serving.
+    pub calibration: CmcCalibration,
+    /// Worst per-patch rung in this generation (Cmc when every patch is a
+    /// measured joint patch, Linear once any patch degraded to its
+    /// tensored fallback, …).
+    pub level: MitigationLevel,
+    /// Monotonic generation number, assigned at publish time (0 = initial).
+    pub epoch: u64,
+    /// Virtual-clock tick the generation's newest patch was measured at.
+    pub calibrated_at: u64,
+}
+
+impl ServingPlan {
+    /// Wraps a calibration as a not-yet-published generation (epoch 0; the
+    /// handle assigns the real epoch on publish).
+    pub fn new(calibration: CmcCalibration, level: MitigationLevel, calibrated_at: u64) -> Self {
+        ServingPlan {
+            calibration,
+            level,
+            epoch: 0,
+            calibrated_at,
+        }
+    }
+}
+
+/// The atomic hot-swap seam: a shared handle whose readers always observe
+/// a complete, compiled generation.
+///
+/// The swap protocol (model-checked — see module docs):
+/// * the writer fully builds the next generation (join → invert → compile
+///   the plan) *before* touching the handle;
+/// * publication is a single pointer store under the mutex;
+/// * readers clone the `Arc` out and never dereference the handle again
+///   for that generation.
+///
+/// There is deliberately no in-place mutation: `SparseMitigator::push_step`
+/// requires `&mut` exclusivity, so a shared serving mitigator can never be
+/// half-rebuilt underneath a reader.
+pub struct PlanHandle {
+    current: Mutex<Arc<ServingPlan>>,
+    /// Cached copy of the serving epoch for lock-free observability.
+    epoch: AtomicU64,
+}
+
+impl PlanHandle {
+    /// Publishes the initial generation (epoch 0), eagerly compiling its
+    /// plan so the first reader neither pays the compile nor can see it
+    /// fail.
+    pub fn new(plan: ServingPlan) -> CoreResult<PlanHandle> {
+        plan.calibration.mitigator.plan()?;
+        let epoch = plan.epoch;
+        Ok(PlanHandle {
+            current: Mutex::new(Arc::new(plan)),
+            epoch: AtomicU64::new(epoch),
+        })
+    }
+
+    /// The currently serving generation. The returned `Arc` stays valid —
+    /// and immutable — across any number of concurrent swaps.
+    pub fn load(&self) -> Arc<ServingPlan> {
+        Arc::clone(&self.current.lock().unwrap_or_else(|p| p.into_inner()))
+    }
+
+    /// The serving epoch, without taking the lock. May lag a concurrent
+    /// publish by one generation; use [`PlanHandle::load`] for a consistent
+    /// (epoch, plan) pair.
+    pub fn epoch(&self) -> u64 {
+        self.epoch.load(Ordering::SeqCst)
+    }
+
+    /// Atomically replaces the serving generation, assigning the next
+    /// epoch. The caller must have fully built `plan` (the scheduler
+    /// compiles the mitigation plan first and rejects the swap on any
+    /// failure); readers holding the previous `Arc` are unaffected.
+    pub fn publish(&self, mut plan: ServingPlan) -> u64 {
+        let mut guard = self.current.lock().unwrap_or_else(|p| p.into_inner());
+        let epoch = guard.epoch + 1;
+        plan.epoch = epoch;
+        *guard = Arc::new(plan);
+        self.epoch.store(epoch, Ordering::SeqCst);
+        epoch
+    }
+}
+
+impl std::fmt::Debug for PlanHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PlanHandle")
+            .field("epoch", &self.epoch())
+            .finish()
+    }
+}
+
+/// What happened to one flagged patch during a cycle.
+#[derive(Clone, Debug, PartialEq)]
+pub enum PatchStatus {
+    /// Joint re-characterisation succeeded and validated.
+    Refreshed,
+    /// The joint patch failed characterisation or validation; the patch
+    /// was rebuilt from per-qubit (tensored) measurements — one rung down.
+    RefreshedTensored {
+        /// Why the joint patch was rejected.
+        reason: String,
+    },
+    /// Every refresh attempt failed; the last-known-good patch keeps
+    /// serving (bottom of the per-patch ladder).
+    Stale {
+        /// The terminal failure.
+        reason: String,
+    },
+    /// The cycle's shot budget ran out before this patch's turn.
+    Deferred,
+}
+
+impl PatchStatus {
+    /// Machine-readable discriminant for telemetry and the JSON report.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            PatchStatus::Refreshed => "refreshed",
+            PatchStatus::RefreshedTensored { .. } => "refreshed_tensored",
+            PatchStatus::Stale { .. } => "stale",
+            PatchStatus::Deferred => "deferred",
+        }
+    }
+
+    /// Whether the patch carries fresh data after the cycle.
+    pub fn is_refreshed(&self) -> bool {
+        matches!(
+            self,
+            PatchStatus::Refreshed | PatchStatus::RefreshedTensored { .. }
+        )
+    }
+}
+
+/// Per-patch account of one recalibration cycle.
+#[derive(Clone, Debug)]
+pub struct PatchOutcome {
+    /// The patch's qubits.
+    pub qubits: Vec<usize>,
+    /// The forecast that flagged it.
+    pub forecast: f64,
+    /// How the refresh ended.
+    pub status: PatchStatus,
+    /// Shots this patch's refresh consumed (nominal: circuits × shots of
+    /// successful characterisations).
+    pub shots_spent: u64,
+}
+
+/// Structured account of one scheduler cycle: what the probe saw, which
+/// patches were flagged/refreshed/deferred, and whether a new generation
+/// was published.
+#[derive(Clone, Debug)]
+pub struct RecalibReport {
+    /// Virtual-clock tick the cycle ran at.
+    pub tick: u64,
+    /// False when the cycle was skipped by `calib_interval` or the probe
+    /// itself failed.
+    pub probed: bool,
+    /// The probe's failure, when it failed (plan left untouched).
+    pub probe_failed: Option<String>,
+    /// The drift probe result, when the probe ran.
+    pub drift: Option<DriftReport>,
+    /// Patches whose forecast exceeded tolerance.
+    pub flagged: usize,
+    /// Per-patch outcomes, in refresh (priority) order.
+    pub patches: Vec<PatchOutcome>,
+    /// Whether a new generation was published.
+    pub swapped: bool,
+    /// Why a refreshed calibration was rejected (assembly/compile failure;
+    /// last-known-good kept serving).
+    pub swap_rejected: Option<String>,
+    /// Serving epoch before the cycle.
+    pub epoch_before: u64,
+    /// Serving epoch after the cycle (== `epoch_before` unless swapped).
+    pub epoch_after: u64,
+    /// Worst per-patch rung of the generation serving after the cycle.
+    pub level: MitigationLevel,
+    /// Shots the cycle consumed (probe + refreshes).
+    pub shots_used: u64,
+    /// Circuits the cycle executed.
+    pub circuits_used: usize,
+}
+
+impl RecalibReport {
+    fn empty(tick: u64, epoch: u64, level: MitigationLevel) -> RecalibReport {
+        RecalibReport {
+            tick,
+            probed: false,
+            probe_failed: None,
+            drift: None,
+            flagged: 0,
+            patches: Vec::new(),
+            swapped: false,
+            swap_rejected: None,
+            epoch_before: epoch,
+            epoch_after: epoch,
+            level,
+            shots_used: 0,
+            circuits_used: 0,
+        }
+    }
+
+    /// Patches that carry fresh data after the cycle.
+    pub fn refreshed(&self) -> usize {
+        self.patches
+            .iter()
+            .filter(|p| p.status.is_refreshed())
+            .count()
+    }
+
+    /// Patches deferred for lack of budget.
+    pub fn deferred(&self) -> usize {
+        self.patches
+            .iter()
+            .filter(|p| p.status == PatchStatus::Deferred)
+            .count()
+    }
+
+    /// Patches that ended below a clean joint refresh (tensored or stale).
+    pub fn downgrades(&self) -> usize {
+        self.patches
+            .iter()
+            .filter(|p| {
+                matches!(
+                    p.status,
+                    PatchStatus::RefreshedTensored { .. } | PatchStatus::Stale { .. }
+                )
+            })
+            .count()
+    }
+
+    /// Machine-readable artifact, hand-rolled through `qem_telemetry::json`
+    /// so the bytes are identical on every build (same guarantee as
+    /// [`ResilienceReport`](crate::resilience::ResilienceReport)).
+    pub fn to_json_string(&self) -> String {
+        use qem_telemetry::json::Json;
+        let drift = match &self.drift {
+            Some(d) => Json::obj(vec![
+                ("max_rate_change", Json::Float(d.max_rate_change)),
+                ("worst_qubit", Json::UInt(d.worst_qubit as u64)),
+                (
+                    "drifted_qubits",
+                    Json::Arr(
+                        d.drifted_qubits
+                            .iter()
+                            .map(|&q| Json::UInt(q as u64))
+                            .collect(),
+                    ),
+                ),
+                ("elapsed_ticks", Json::UInt(d.elapsed_ticks)),
+                ("threshold", Json::Float(d.threshold)),
+            ]),
+            None => Json::Null,
+        };
+        let patches = Json::Arr(
+            self.patches
+                .iter()
+                .map(|p| {
+                    let reason = match &p.status {
+                        PatchStatus::RefreshedTensored { reason }
+                        | PatchStatus::Stale { reason } => reason.clone(),
+                        _ => String::new(),
+                    };
+                    Json::obj(vec![
+                        (
+                            "qubits",
+                            Json::Arr(p.qubits.iter().map(|&q| Json::UInt(q as u64)).collect()),
+                        ),
+                        ("forecast", Json::Float(p.forecast)),
+                        ("status", Json::str(p.status.kind())),
+                        ("reason", Json::str(reason)),
+                        ("shots_spent", Json::UInt(p.shots_spent)),
+                    ])
+                })
+                .collect(),
+        );
+        Json::obj(vec![
+            ("schema_version", Json::UInt(RECALIB_SCHEMA_VERSION as u64)),
+            ("tick", Json::UInt(self.tick)),
+            ("probed", Json::Bool(self.probed)),
+            (
+                "probe_failed",
+                match &self.probe_failed {
+                    Some(e) => Json::str(e.clone()),
+                    None => Json::Null,
+                },
+            ),
+            ("drift", drift),
+            ("flagged", Json::UInt(self.flagged as u64)),
+            ("patches", patches),
+            ("swapped", Json::Bool(self.swapped)),
+            (
+                "swap_rejected",
+                match &self.swap_rejected {
+                    Some(e) => Json::str(e.clone()),
+                    None => Json::Null,
+                },
+            ),
+            ("epoch_before", Json::UInt(self.epoch_before)),
+            ("epoch_after", Json::UInt(self.epoch_after)),
+            ("level", Json::str(self.level.to_string())),
+            ("ladder_rung", Json::UInt(self.level.rung() as u64)),
+            ("shots_used", Json::UInt(self.shots_used)),
+            ("circuits_used", Json::UInt(self.circuits_used as u64)),
+        ])
+        .to_string_pretty()
+    }
+}
+
+impl std::fmt::Display for RecalibReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "tick {}: epoch {} -> {}",
+            self.tick, self.epoch_before, self.epoch_after
+        )?;
+        if !self.probed {
+            return match &self.probe_failed {
+                Some(e) => write!(f, " (probe failed: {e})"),
+                None => write!(f, " (skipped: within calib interval)"),
+            };
+        }
+        write!(
+            f,
+            ", flagged {}, refreshed {}, deferred {}, level {}",
+            self.flagged,
+            self.refreshed(),
+            self.deferred(),
+            self.level
+        )?;
+        if let Some(e) = &self.swap_rejected {
+            write!(f, " (swap rejected: {e})")?;
+        }
+        for p in &self.patches {
+            write!(
+                f,
+                "\n  - patch {:?}: {} (forecast {:.4})",
+                p.qubits,
+                p.status.kind(),
+                p.forecast
+            )?;
+        }
+        Ok(())
+    }
+}
+
+/// Anchors a [`DriftMonitor`] to a calibration's per-qubit patch marginals.
+fn monitor_for(cal: &CmcCalibration, threshold: f64) -> CoreResult<DriftMonitor> {
+    let n = cal.mitigator.num_qubits();
+    let marginals = crate::joining::qubit_marginals(&cal.patches)?;
+    let mut flip0 = vec![0.0; n];
+    let mut flip1 = vec![0.0; n];
+    for (q, m) in marginals {
+        if q < n {
+            flip0[q] = m[(1, 0)];
+            flip1[q] = m[(0, 1)];
+        }
+    }
+    Ok(DriftMonitor::from_rates(flip0, flip1, threshold))
+}
+
+/// Rebuilds one patch from per-qubit measurements — the tensored rung of
+/// the per-patch ladder, reached when the joint characterisation failed.
+fn tensored_patch(
+    backend: &dyn Executor,
+    qubits: &[usize],
+    shots: u64,
+    rng: &mut StdRng,
+) -> CoreResult<(CalibrationMatrix, u64)> {
+    let mut product = Matrix::identity(1);
+    let mut spent = 0u64;
+    for &q in qubits {
+        let single = characterize(backend, &[q], shots, rng)?;
+        spent += 2 * shots;
+        product = single.matrix().kron(&product);
+    }
+    Ok((CalibrationMatrix::new(qubits.to_vec(), product)?, spent))
+}
+
+/// The background recalibration scheduler: owns the drift anchor and the
+/// per-patch rung ledger, publishes through a shared [`PlanHandle`].
+pub struct RecalibScheduler {
+    handle: Arc<PlanHandle>,
+    policy: RecalibPolicy,
+    monitor: DriftMonitor,
+    /// Per-patch rung (parallel to the serving calibration's patch list).
+    patch_levels: Vec<MitigationLevel>,
+    last_probe: Option<u64>,
+    cycles: u64,
+}
+
+impl RecalibScheduler {
+    /// Builds a scheduler serving `calibration`, anchored to its patch
+    /// marginals, with the initial generation published at `now`.
+    pub fn new(
+        calibration: CmcCalibration,
+        policy: RecalibPolicy,
+        now: u64,
+    ) -> CoreResult<RecalibScheduler> {
+        let monitor = monitor_for(&calibration, policy.staleness.drift_threshold)?;
+        let patch_levels = vec![MitigationLevel::Cmc; calibration.patches.len()];
+        let handle = Arc::new(PlanHandle::new(ServingPlan::new(
+            calibration,
+            MitigationLevel::Cmc,
+            now,
+        ))?);
+        Ok(RecalibScheduler {
+            handle,
+            policy,
+            monitor,
+            patch_levels,
+            last_probe: None,
+            cycles: 0,
+        })
+    }
+
+    /// The shared handle readers mitigate through.
+    pub fn handle(&self) -> Arc<PlanHandle> {
+        Arc::clone(&self.handle)
+    }
+
+    /// Cycles run so far (including skipped ones).
+    pub fn cycles(&self) -> u64 {
+        self.cycles
+    }
+
+    /// Runs one scheduler cycle at virtual-clock tick `now`: probe →
+    /// forecast → prioritised budget-capped refresh → validate → atomic
+    /// swap. Never degrades the serving plan: every failure path keeps the
+    /// last-known-good generation and records why.
+    pub fn run_cycle(
+        &mut self,
+        backend: &dyn Executor,
+        now: u64,
+        rng: &mut StdRng,
+    ) -> CoreResult<RecalibReport> {
+        self.cycles += 1;
+        qem_telemetry::counter_add(qem_telemetry::names::CORE_RECALIB_CYCLES_TOTAL, 1);
+        let _span = qem_telemetry::span!(qem_telemetry::names::CORE_RECALIB_CYCLE, tick = now);
+
+        let serving = self.handle.load();
+        let mut report = RecalibReport::empty(now, serving.epoch, serving.level);
+
+        if let Some(last) = self.last_probe {
+            if now.saturating_sub(last) < self.policy.calib_interval {
+                return Ok(report);
+            }
+        }
+
+        // 1. Probe. A failed probe is not a failed cycle: the serving plan
+        // is left untouched and the next cycle tries again.
+        let retry = RetryExecutor::new(backend, self.policy.retry);
+        let elapsed = now.saturating_sub(serving.calibrated_at);
+        let drift = match self
+            .monitor
+            .check_at(&retry, self.policy.probe_shots, rng, elapsed)
+        {
+            Ok(d) => d,
+            Err(e) => {
+                qem_telemetry::event!(
+                    qem_telemetry::names::CORE_RECALIB_PROBE_FAILED,
+                    tick = now,
+                    reason = e
+                );
+                report.probe_failed = Some(e.to_string());
+                return Ok(report);
+            }
+        };
+        self.last_probe = Some(now);
+        report.probed = true;
+        report.shots_used += drift.shots_used;
+        report.circuits_used += 2;
+        qem_telemetry::counter_add(
+            qem_telemetry::names::CORE_RECALIB_SHOTS_TOTAL,
+            drift.shots_used,
+        );
+
+        // 2. Flag patches by forecast, worst first.
+        let horizon = self.policy.staleness.forecast_horizon;
+        let threshold = self.policy.staleness.drift_threshold;
+        let mut flagged: Vec<(usize, f64)> = serving
+            .calibration
+            .patches
+            .iter()
+            .enumerate()
+            .filter_map(|(i, p)| {
+                let f = drift.patch_forecast(p.qubits(), horizon);
+                (f > threshold).then_some((i, f))
+            })
+            .collect();
+        flagged.sort_by(|a, b| b.1.total_cmp(&a.1));
+        report.flagged = flagged.len();
+        report.drift = Some(drift);
+
+        if flagged.is_empty() {
+            return Ok(report);
+        }
+
+        // 3. Refresh in priority order under the cycle budget.
+        let mut remaining = self
+            .policy
+            .staleness
+            .shot_budget
+            .map(|b| b.saturating_sub(report.shots_used));
+        let mut patches = serving.calibration.patches.clone();
+        let mut levels = self.patch_levels.clone();
+        let mut any_refreshed = false;
+        let mut budget_hit = false;
+
+        for (pos, &(idx, forecast)) in flagged.iter().enumerate() {
+            let Some(patch) = patches.get_mut(idx) else {
+                continue;
+            };
+            let qubits = patch.qubits().to_vec();
+            let circuits = 1usize << qubits.len();
+
+            if budget_hit {
+                report.patches.push(PatchOutcome {
+                    qubits,
+                    forecast,
+                    status: PatchStatus::Deferred,
+                    shots_spent: 0,
+                });
+                continue;
+            }
+            let per = match remaining {
+                Some(rem) => match per_circuit_execution(rem, circuits) {
+                    Ok(per) => per.min(self.policy.recal_shots),
+                    Err(_) => {
+                        budget_hit = true;
+                        qem_telemetry::event!(
+                            qem_telemetry::names::CORE_RECALIB_BUDGET_EXHAUSTED,
+                            tick = now,
+                            remaining = rem,
+                            deferred = flagged.len() - pos
+                        );
+                        report.patches.push(PatchOutcome {
+                            qubits,
+                            forecast,
+                            status: PatchStatus::Deferred,
+                            shots_spent: 0,
+                        });
+                        continue;
+                    }
+                },
+                None => self.policy.recal_shots,
+            };
+
+            // Per-patch ladder: joint → tensored → stale.
+            let mut spent = 0u64;
+            let status = match characterize(&retry, &qubits, per, rng) {
+                Ok(fresh) => {
+                    spent += (circuits as u64) * per;
+                    let issues = validate_patch(&fresh, &self.policy.validation);
+                    if issues.is_empty() {
+                        *patch = fresh;
+                        if let Some(l) = levels.get_mut(idx) {
+                            *l = MitigationLevel::Cmc;
+                        }
+                        PatchStatus::Refreshed
+                    } else {
+                        let dead: Vec<usize> = issues
+                            .iter()
+                            .filter_map(|i| match i {
+                                PatchIssue::DeadQubit { qubit } => Some(*qubit),
+                                _ => None,
+                            })
+                            .collect();
+                        let rendered: Vec<String> = issues.iter().map(|i| i.to_string()).collect();
+                        let reason = format!("validation: {}", rendered.join(", "));
+                        match tensored_fallback(&fresh, &dead) {
+                            Ok(repaired) => {
+                                *patch = repaired;
+                                if let Some(l) = levels.get_mut(idx) {
+                                    *l = MitigationLevel::Linear;
+                                }
+                                PatchStatus::RefreshedTensored { reason }
+                            }
+                            Err(e) => PatchStatus::Stale {
+                                reason: format!("{reason}; fallback failed: {e}"),
+                            },
+                        }
+                    }
+                }
+                Err(joint_err) => {
+                    // Joint patch unobtainable (retry budget exhausted) —
+                    // one rung down: per-qubit tensored measurements.
+                    match tensored_patch(&retry, &qubits, per, rng) {
+                        Ok((tensored, s)) => {
+                            spent += s;
+                            *patch = tensored;
+                            if let Some(l) = levels.get_mut(idx) {
+                                *l = MitigationLevel::Linear;
+                            }
+                            PatchStatus::RefreshedTensored {
+                                reason: format!("joint characterisation failed: {joint_err}"),
+                            }
+                        }
+                        Err(e) => PatchStatus::Stale {
+                            reason: format!(
+                                "joint characterisation failed: {joint_err}; \
+                                 tensored refresh failed: {e}"
+                            ),
+                        },
+                    }
+                }
+            };
+
+            if let Some(rem) = remaining.as_mut() {
+                *rem = rem.saturating_sub(spent);
+            }
+            report.shots_used += spent;
+            report.circuits_used += (spent / per.max(1)) as usize;
+            qem_telemetry::counter_add(qem_telemetry::names::CORE_RECALIB_SHOTS_TOTAL, spent);
+            if status.is_refreshed() {
+                any_refreshed = true;
+                qem_telemetry::counter_add(
+                    qem_telemetry::names::CORE_RECALIB_PATCHES_REFRESHED_TOTAL,
+                    1,
+                );
+            }
+            if matches!(
+                status,
+                PatchStatus::RefreshedTensored { .. } | PatchStatus::Stale { .. }
+            ) {
+                qem_telemetry::counter_add(
+                    qem_telemetry::names::CORE_RECALIB_PATCH_DOWNGRADES_TOTAL,
+                    1,
+                );
+                qem_telemetry::event!(
+                    qem_telemetry::names::CORE_RECALIB_PATCH_DOWNGRADE,
+                    tick = now,
+                    kind = status.kind(),
+                    forecast = forecast
+                );
+            }
+            report.patches.push(PatchOutcome {
+                qubits,
+                forecast,
+                status,
+                shots_spent: spent,
+            });
+        }
+        let deferred = report.deferred();
+        if deferred > 0 {
+            qem_telemetry::counter_add(
+                qem_telemetry::names::CORE_RECALIB_PATCHES_DEFERRED_TOTAL,
+                deferred as u64,
+            );
+        }
+
+        if !any_refreshed {
+            return Ok(report);
+        }
+
+        // 4. Rebuild and publish — or reject, keeping last-known-good. The
+        // plan is compiled *before* the swap so readers can never pay for
+        // (or observe) a failing compile.
+        let measured = MeasuredCmc {
+            patches,
+            schedule: PatchSchedule {
+                k: serving.calibration.schedule.k,
+                rounds: Vec::new(),
+            },
+            circuits_used: serving.calibration.circuits_used + report.circuits_used,
+            shots_used: serving.calibration.shots_used + report.shots_used,
+        };
+        let n = serving.calibration.mitigator.num_qubits();
+        let cull = serving.calibration.mitigator.cull_threshold;
+        let assembled = assemble_cmc(n, measured, cull).and_then(|cal| {
+            cal.mitigator.plan()?;
+            Ok(cal)
+        });
+        match assembled {
+            Ok(cal) => {
+                let level = levels.iter().copied().max().unwrap_or(MitigationLevel::Cmc);
+                match monitor_for(&cal, threshold) {
+                    Ok(m) => self.monitor = m,
+                    Err(e) => {
+                        report.swap_rejected = Some(format!("monitor re-anchor failed: {e}"));
+                        qem_telemetry::event!(
+                            qem_telemetry::names::CORE_RECALIB_SWAP_REJECTED,
+                            tick = now,
+                            reason = report.swap_rejected.clone().unwrap_or_default()
+                        );
+                        return Ok(report);
+                    }
+                }
+                self.patch_levels = levels;
+                let epoch = self.handle.publish(ServingPlan::new(cal, level, now));
+                report.swapped = true;
+                report.epoch_after = epoch;
+                report.level = level;
+                qem_telemetry::counter_add(qem_telemetry::names::CORE_RECALIB_SWAPS_TOTAL, 1);
+                qem_telemetry::gauge_set(
+                    qem_telemetry::names::CORE_RECALIB_SERVING_EPOCH,
+                    epoch as f64,
+                );
+                qem_telemetry::event!(
+                    qem_telemetry::names::CORE_RECALIB_SWAP,
+                    tick = now,
+                    epoch = epoch,
+                    refreshed = report.refreshed(),
+                    level = level
+                );
+            }
+            Err(e) => {
+                report.swap_rejected = Some(e.to_string());
+                qem_telemetry::event!(
+                    qem_telemetry::names::CORE_RECALIB_SWAP_REJECTED,
+                    tick = now,
+                    reason = e
+                );
+            }
+        }
+        Ok(report)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cmc::{calibrate_cmc, CmcOptions};
+    use qem_sim::backend::Backend;
+    use qem_sim::noise::NoiseModel;
+    use qem_topology::coupling::linear;
+    use rand::SeedableRng;
+
+    fn rng(seed: u64) -> StdRng {
+        StdRng::seed_from_u64(seed)
+    }
+
+    fn calibrated(n: usize, seed: u64) -> (Backend, CmcCalibration) {
+        let noise = NoiseModel::random_biased(n, 0.02, 0.08, 5);
+        let b = Backend::new(linear(n), noise);
+        let opts = CmcOptions {
+            k: 1,
+            shots_per_circuit: 20_000,
+            cull_threshold: 1e-10,
+        };
+        let cal = calibrate_cmc(&b, &opts, &mut rng(seed)).unwrap();
+        (b, cal)
+    }
+
+    #[test]
+    fn handle_publish_bumps_epoch_and_readers_see_whole_generations() {
+        let (_, cal) = calibrated(3, 1);
+        let handle =
+            PlanHandle::new(ServingPlan::new(cal.clone(), MitigationLevel::Cmc, 0)).unwrap();
+        assert_eq!(handle.epoch(), 0);
+        let before = handle.load();
+        let e = handle.publish(ServingPlan::new(cal, MitigationLevel::Cmc, 10));
+        assert_eq!(e, 1);
+        assert_eq!(handle.epoch(), 1);
+        // The old Arc is still intact and still epoch 0.
+        assert_eq!(before.epoch, 0);
+        assert_eq!(handle.load().epoch, 1);
+        assert_eq!(handle.load().calibrated_at, 10);
+    }
+
+    #[test]
+    fn stable_device_cycle_swaps_nothing() {
+        let (b, cal) = calibrated(4, 2);
+        let mut sched = RecalibScheduler::new(cal, RecalibPolicy::default(), 0).unwrap();
+        let report = sched.run_cycle(&b, 100, &mut rng(3)).unwrap();
+        assert!(report.probed);
+        assert_eq!(report.flagged, 0, "{report}");
+        assert!(!report.swapped);
+        assert_eq!(report.epoch_before, report.epoch_after);
+    }
+
+    #[test]
+    fn calib_interval_skips_early_cycles() {
+        let (b, cal) = calibrated(3, 4);
+        let policy = RecalibPolicy {
+            calib_interval: 50,
+            ..RecalibPolicy::default()
+        };
+        let mut sched = RecalibScheduler::new(cal, policy, 0).unwrap();
+        let first = sched.run_cycle(&b, 10, &mut rng(5)).unwrap();
+        assert!(first.probed, "first cycle has no prior probe to throttle");
+        let second = sched.run_cycle(&b, 30, &mut rng(6)).unwrap();
+        assert!(!second.probed, "{second}");
+        assert_eq!(second.shots_used, 0);
+        let third = sched.run_cycle(&b, 70, &mut rng(7)).unwrap();
+        assert!(third.probed);
+    }
+
+    #[test]
+    fn report_json_is_valid() {
+        let (b, cal) = calibrated(3, 8);
+        let mut sched = RecalibScheduler::new(cal, RecalibPolicy::default(), 0).unwrap();
+        let report = sched.run_cycle(&b, 5, &mut rng(9)).unwrap();
+        let json = report.to_json_string();
+        assert!(qem_telemetry::json::is_valid(&json), "{json}");
+        assert!(json.contains("\"schema_version\": 1"));
+        assert!(json.contains("\"swapped\": false"));
+    }
+}

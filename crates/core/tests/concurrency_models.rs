@@ -22,7 +22,11 @@
 //!    `&mut self`, excluding readers) vs. an interior-mutability twin that
 //!    publishes a stale plan into the reset cache;
 //! 4. the chunked `mitigate_batch` workspace handoff: per-worker
-//!    workspaces vs. a twin where workers share one scratch buffer.
+//!    workspaces vs. a twin where workers share one scratch buffer;
+//! 5. the recalibration [`PlanHandle`](qem_core::recalib::PlanHandle)
+//!    hot-swap: build-the-whole-generation-then-one-pointer-store
+//!    publication vs. a twin that patches the serving plan and its
+//!    inverse cache in place, tearing a racing reader.
 //!
 //! Real `std::thread` contention coverage of the same cache lives in
 //! `inverse_cache_contention.rs`; loom-based twins of these models live in
@@ -567,5 +571,161 @@ fn shared_workspace_across_workers_corrupts_expansion() {
     assert!(
         violation.message.contains("its own expansion"),
         "{violation}"
+    );
+}
+
+// ---------------------------------------------------------------------------
+// Model 5: recalibration plan hot-swap.
+// ---------------------------------------------------------------------------
+
+/// `PlanHandle::publish` builds the entire next `ServingPlan` generation off
+/// to the side — calibration, compiled mitigation plan, warmed inverse
+/// entries, epoch — and installs it with one mutex-guarded pointer store. A
+/// generation is a `(plan, inverse)` id pair here: consistent exactly when
+/// `inverse == 2 * plan`. The broken twin is the in-place "optimisation"
+/// the design forbids: patch the serving generation's plan, then its
+/// inverse, as two separate linearisation points.
+#[derive(Clone)]
+struct HotSwap {
+    epoch: u64,
+    plan: u32,
+    inverse: u32,
+    /// What each racing reader loaded: (epoch, plan, inverse).
+    observed: [Option<(u64, u32, u32)>; 2],
+}
+
+impl Default for HotSwap {
+    fn default() -> Self {
+        HotSwap {
+            epoch: 0,
+            plan: 7,
+            inverse: 14,
+            observed: [None; 2],
+        }
+    }
+}
+
+fn swap_load(s: &mut HotSwap, who: usize) -> Outcome {
+    // PlanHandle::load clones the serving Arc under the lock: epoch, plan
+    // and inverse are captured at one linearisation point.
+    s.observed[who] = Some((s.epoch, s.plan, s.inverse));
+    Outcome::Ran
+}
+
+fn swap_reader(who: usize) -> ThreadSpec<HotSwap> {
+    fn r0(s: &mut HotSwap) -> Outcome {
+        swap_load(s, 0)
+    }
+    fn r1(s: &mut HotSwap) -> Outcome {
+        swap_load(s, 1)
+    }
+    let (name, load) = match who {
+        0 => ("reader-0", r0 as fn(&mut HotSwap) -> Outcome),
+        _ => ("reader-1", r1 as fn(&mut HotSwap) -> Outcome),
+    };
+    ThreadSpec {
+        name,
+        steps: vec![Step {
+            name: "load",
+            run: load,
+        }],
+    }
+}
+
+fn swap_invariant(s: &HotSwap) {
+    for who in 0..2 {
+        let (epoch, plan, inverse) = s.observed[who].expect("every reader loads a serving plan");
+        assert_eq!(
+            inverse,
+            2 * plan,
+            "reader {who} observed a torn generation: plan {plan} with \
+             inverse {inverse}"
+        );
+        let expected = if epoch == 0 { 7 } else { 8 };
+        assert_eq!(
+            plan, expected,
+            "reader {who}: the epoch must identify the whole generation"
+        );
+    }
+}
+
+#[test]
+fn hot_swap_single_pointer_store_is_tear_free() {
+    // The shipped protocol: the new generation is fully built before the
+    // one guarded store, so readers see old-everything or new-everything.
+    fn publish(s: &mut HotSwap) -> Outcome {
+        s.plan = 8;
+        s.inverse = 16;
+        s.epoch += 1;
+        Outcome::Ran
+    }
+    let threads = [
+        ThreadSpec {
+            name: "recalibrator",
+            steps: vec![Step {
+                name: "build+publish",
+                run: publish as fn(&mut HotSwap) -> Outcome,
+            }],
+        },
+        swap_reader(0),
+        swap_reader(1),
+    ];
+    let report = check(
+        "plan-hot-swap",
+        &HotSwap::default(),
+        &threads,
+        &swap_invariant,
+    );
+    // Three single-step threads: all 3! orders, including readers straddling
+    // the publish.
+    assert_eq!(report.schedules, 6);
+}
+
+#[test]
+fn hot_swap_in_place_patching_tears_racing_readers() {
+    // The twin the fully-build-then-store rule forbids: mutate the serving
+    // generation field by field. A reader between the two stores holds the
+    // new plan with the old generation's inverse-cache entries.
+    fn patch_plan(s: &mut HotSwap) -> Outcome {
+        s.plan = 8;
+        Outcome::Ran
+    }
+    fn patch_inverse(s: &mut HotSwap) -> Outcome {
+        s.inverse = 16;
+        s.epoch += 1;
+        Outcome::Ran
+    }
+    let threads = [
+        ThreadSpec {
+            name: "recalibrator",
+            steps: vec![
+                Step {
+                    name: "patch-plan",
+                    run: patch_plan as fn(&mut HotSwap) -> Outcome,
+                },
+                Step {
+                    name: "patch-inverse",
+                    run: patch_inverse,
+                },
+            ],
+        },
+        swap_reader(0),
+        swap_reader(1),
+    ];
+    let violation = explore(
+        &HotSwap::default(),
+        &threads,
+        Config::default(),
+        &swap_invariant,
+    )
+    .expect_err("an in-place field-by-field swap must be caught");
+    assert!(violation.message.contains("torn generation"), "{violation}");
+    assert!(
+        violation
+            .schedule
+            .iter()
+            .any(|s| s.ends_with(".patch-plan")),
+        "the failing schedule shows a reader inside the half-applied swap: \
+         {violation}"
     );
 }

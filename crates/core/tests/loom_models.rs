@@ -21,7 +21,11 @@
 //! * lazy plan compile racing `push_step` invalidation behind a lock, the
 //!   discipline `SparseMitigator`'s `&mut self` borrow enforces
 //!   (`crates/core/src/mitigator.rs`);
-//! * the chunked batch path's per-worker workspace ownership.
+//! * the chunked batch path's per-worker workspace ownership;
+//! * the recalibration `PlanHandle` hot-swap
+//!   (`crates/core/src/recalib.rs`): the next generation is fully built
+//!   before one mutex-guarded pointer store, and the advisory epoch cache
+//!   is bumped only afterwards.
 //!
 //! Abstract-interleaving twins of the same protocols (including the broken
 //! variants loom could never pass) live in `concurrency_models.rs`.
@@ -187,5 +191,65 @@ fn batch_workers_own_their_workspaces() {
                 "worker reads back its own expansion"
             );
         }
+    });
+}
+
+#[test]
+fn plan_hot_swap_readers_never_observe_torn_generations() {
+    model(|| {
+        // Mirror of recalib::PlanHandle: the serving generation is an
+        // Arc<(epoch, plan, inverse)> behind a mutex, plus an advisory
+        // atomic epoch cache. A generation is consistent when
+        // inverse == 2 * plan. The writer builds the whole next generation
+        // before the single guarded store and bumps the cache only after —
+        // so the cache is a lower bound on the serving epoch, never ahead.
+        let current: Arc<Mutex<Arc<(u32, u32, u32)>>> =
+            Arc::new(Mutex::new(Arc::new((0, KEY, INV))));
+        let epoch_cache = Arc::new(AtomicU32::new(0));
+
+        let writer = {
+            let current = Arc::clone(&current);
+            let epoch_cache = Arc::clone(&epoch_cache);
+            thread::spawn(move || {
+                // Fully build the next generation off to the side...
+                let next = Arc::new((1, KEY + 1, 2 * (KEY + 1)));
+                // ...then one guarded pointer store...
+                *current.lock().unwrap() = next;
+                // ...and only then advertise the new epoch.
+                epoch_cache.store(1, Ordering::Release);
+            })
+        };
+        let readers: Vec<_> = (0..2)
+            .map(|_| {
+                let current = Arc::clone(&current);
+                let epoch_cache = Arc::clone(&epoch_cache);
+                thread::spawn(move || {
+                    let advertised = epoch_cache.load(Ordering::Acquire);
+                    let generation = Arc::clone(&*current.lock().unwrap());
+                    assert_eq!(
+                        generation.2,
+                        2 * generation.1,
+                        "plan and inverse always belong to one generation"
+                    );
+                    assert!(
+                        generation.0 >= advertised,
+                        "the epoch cache must never advertise a generation \
+                         newer than the serving plan"
+                    );
+                    generation.0
+                })
+            })
+            .collect();
+
+        writer.join().unwrap();
+        for reader in readers {
+            let epoch = reader.join().unwrap();
+            assert!(epoch == 0 || epoch == 1, "readers see whole generations");
+        }
+        let settled = Arc::clone(&*current.lock().unwrap());
+        assert_eq!(
+            (settled.0, settled.1, settled.2),
+            (1, KEY + 1, 2 * (KEY + 1))
+        );
     });
 }

@@ -1,0 +1,235 @@
+//! Acceptance tests for drift-aware online recalibration (`qem_core::recalib`)
+//! against the fault-injecting simulator:
+//!
+//! * under injected non-uniform drift the scheduler refreshes **only** the
+//!   flagged patches, for fewer shots than a full re-characterisation;
+//! * the hot-swapped plan restores GHZ readout quality to within tolerance
+//!   of a from-scratch full calibration taken at the same point in time;
+//! * a characterisation outage leaves the last-known-good generation
+//!   serving, with the per-patch ladder downgrade recorded;
+//! * a starved shot budget defers refreshes instead of overspending.
+
+use qem_core::cmc::{calibrate_cmc, CmcCalibration, CmcOptions};
+use qem_core::{MitigationLevel, PatchStatus, RecalibPolicy, RecalibScheduler, StalenessPolicy};
+use qem_sim::backend::Backend;
+use qem_sim::circuit::ghz_bfs;
+use qem_sim::exec::Executor;
+use qem_sim::fault::{FaultProfile, FaultyBackend};
+use qem_sim::noise::NoiseModel;
+use qem_topology::coupling::linear;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const N: usize = 6;
+/// Qubits whose readout drifts fast; the rest stay put.
+const HOT: [usize; 2] = [4, 5];
+const HOT_RATE: f64 = 1.5e-3;
+
+fn rng(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed)
+}
+
+fn opts() -> CmcOptions {
+    CmcOptions {
+        k: 1,
+        shots_per_circuit: 20_000,
+        cull_threshold: 1e-10,
+    }
+}
+
+/// A linear-chain device whose qubits 4 and 5 drift hard while 0..=3 are
+/// stable — the regime where partial re-characterisation pays off.
+fn hot_drift_profile(seed: u64) -> FaultProfile {
+    let mut per_qubit_drift = vec![0.0; N];
+    for q in HOT {
+        per_qubit_drift[q] = HOT_RATE;
+    }
+    FaultProfile {
+        per_qubit_drift,
+        ..FaultProfile::none(seed)
+    }
+}
+
+fn drifting_backend(seed: u64) -> FaultyBackend {
+    let noise = NoiseModel::random_biased(N, 0.02, 0.06, 5);
+    FaultyBackend::new(Backend::new(linear(N), noise), hot_drift_profile(seed))
+}
+
+fn ghz_success(backend: &FaultyBackend, cal: &CmcCalibration, seed: u64) -> f64 {
+    let ghz = ghz_bfs(&backend.inner().coupling.graph, 0);
+    let raw = backend.try_execute(&ghz, 30_000, &mut rng(seed)).unwrap();
+    let correct = [0u64, (1 << N) - 1];
+    cal.mitigator.mitigate(&raw).unwrap().mass_on(&correct)
+}
+
+#[test]
+fn scheduler_refreshes_only_drifted_patches_and_restores_l1() {
+    let fb = drifting_backend(41);
+    let cal0 = calibrate_cmc(&fb, &opts(), &mut rng(1)).unwrap();
+    let patch_count = cal0.patches.len();
+    let t0 = fb.clock();
+
+    let policy = RecalibPolicy {
+        staleness: StalenessPolicy {
+            drift_threshold: 0.05,
+            ..StalenessPolicy::default()
+        },
+        recal_shots: 20_000,
+        ..RecalibPolicy::default()
+    };
+    let mut sched = RecalibScheduler::new(cal0.clone(), policy, t0).unwrap();
+
+    // Let the hot qubits wander ~0.18 in flip probability.
+    fb.advance_clock(120);
+    let report = sched.run_cycle(&fb, fb.clock(), &mut rng(2)).unwrap();
+
+    // Only the patches touching a hot qubit were flagged — and all of them.
+    let hot_patches = cal0
+        .patches
+        .iter()
+        .filter(|p| p.qubits().iter().any(|q| HOT.contains(q)))
+        .count();
+    assert!(report.probed);
+    assert_eq!(report.flagged, hot_patches, "{report}");
+    assert!(
+        report.flagged < patch_count,
+        "partial refresh must not flag the whole device: {report}"
+    );
+    for patch in &report.patches {
+        assert!(matches!(patch.status, PatchStatus::Refreshed), "{report}");
+        assert!(
+            patch.qubits.iter().any(|q| HOT.contains(q)),
+            "refreshed a stable patch {:?}: {report}",
+            patch.qubits
+        );
+    }
+
+    // Partial refresh beats a full sweep at the same per-patch spend.
+    let full_sweep: u64 = cal0
+        .patches
+        .iter()
+        .map(|p| (1u64 << p.qubits().len()) * 20_000)
+        .sum();
+    assert!(
+        report.shots_used < full_sweep,
+        "partial {} shots vs full sweep {} shots",
+        report.shots_used,
+        full_sweep
+    );
+
+    // The swap is live: new epoch, still full CMC.
+    assert!(report.swapped, "{report}");
+    assert_eq!(report.epoch_after, report.epoch_before + 1);
+    assert_eq!(report.level, MitigationLevel::Cmc);
+    let serving = sched.handle().load();
+    assert_eq!(serving.epoch, report.epoch_after);
+
+    // The swapped plan mitigates the drifted device about as well as a
+    // from-scratch full calibration taken now — and clearly better than
+    // the stale generation it replaced.
+    let fresh = calibrate_cmc(&fb, &opts(), &mut rng(3)).unwrap();
+    let swapped = ghz_success(&fb, &serving.calibration, 7);
+    let from_scratch = ghz_success(&fb, &fresh, 7);
+    let stale = ghz_success(&fb, &cal0, 7);
+    assert!(
+        swapped > stale + 0.02,
+        "swap must improve on the stale plan: stale {stale:.3}, swapped {swapped:.3}"
+    );
+    assert!(
+        swapped > from_scratch - 0.05,
+        "partial refresh within tolerance of full recalibration: \
+         fresh {from_scratch:.3}, swapped {swapped:.3}"
+    );
+}
+
+#[test]
+fn characterisation_outage_keeps_last_known_good_serving() {
+    // Calibrate on the same noise truth, fault-free.
+    let noise = NoiseModel::random_biased(N, 0.02, 0.06, 5);
+    let clean = Backend::new(linear(N), noise.clone());
+    let cal0 = calibrate_cmc(&clean, &opts(), &mut rng(4)).unwrap();
+
+    // The faulty twin: hot drift plus a queue outage that opens right
+    // after the two probe circuits and never closes.
+    let profile = FaultProfile {
+        outage: Some((202, u64::MAX)),
+        ..hot_drift_profile(43)
+    };
+    let fb = FaultyBackend::new(Backend::new(linear(N), noise), profile);
+    fb.advance_clock(200);
+
+    let policy = RecalibPolicy {
+        staleness: StalenessPolicy {
+            drift_threshold: 0.05,
+            ..StalenessPolicy::default()
+        },
+        ..RecalibPolicy::default()
+    };
+    let mut sched = RecalibScheduler::new(cal0, policy, 0).unwrap();
+    let epoch_before = sched.handle().epoch();
+
+    let report = sched.run_cycle(&fb, fb.clock(), &mut rng(5)).unwrap();
+
+    // Drift was seen, refresh was attempted, every rung of the ladder
+    // failed — and the serving plan never got worse.
+    assert!(report.probed, "{report}");
+    assert!(report.flagged >= 1, "{report}");
+    assert!(!report.swapped, "{report}");
+    assert_eq!(report.epoch_after, report.epoch_before);
+    assert!(report.downgrades() >= 1, "{report}");
+    for patch in &report.patches {
+        assert!(
+            matches!(patch.status, PatchStatus::Stale { .. }),
+            "outage must walk the ladder to stale, got {}: {report}",
+            patch.status.kind()
+        );
+    }
+
+    // Last-known-good still serving and still functional.
+    let serving = sched.handle().load();
+    assert_eq!(serving.epoch, epoch_before);
+    assert_eq!(serving.level, MitigationLevel::Cmc);
+    let ghz = ghz_bfs(&clean.coupling.graph, 0);
+    let raw = clean.execute(&ghz, 10_000, &mut rng(6));
+    serving.calibration.mitigator.mitigate(&raw).unwrap();
+}
+
+#[test]
+fn starved_shot_budget_defers_refreshes_without_overspend() {
+    let fb = drifting_backend(47);
+    let cal0 = calibrate_cmc(&fb, &opts(), &mut rng(8)).unwrap();
+    let t0 = fb.clock();
+
+    // Budget covers the probe plus a couple of shots: not enough to give
+    // the cheapest flagged patch one shot per circuit.
+    let probe_shots = 1024u64;
+    let budget = 2 * probe_shots + 3;
+    let policy = RecalibPolicy {
+        staleness: StalenessPolicy {
+            drift_threshold: 0.05,
+            shot_budget: Some(budget),
+            ..StalenessPolicy::default()
+        },
+        probe_shots,
+        ..RecalibPolicy::default()
+    };
+    let mut sched = RecalibScheduler::new(cal0, policy, t0).unwrap();
+
+    fb.advance_clock(120);
+    let report = sched.run_cycle(&fb, fb.clock(), &mut rng(9)).unwrap();
+
+    assert!(report.probed);
+    assert!(report.flagged >= 1, "{report}");
+    assert_eq!(report.deferred(), report.flagged, "{report}");
+    assert!(!report.swapped, "{report}");
+    assert_eq!(report.epoch_after, report.epoch_before);
+    for patch in &report.patches {
+        assert!(matches!(patch.status, PatchStatus::Deferred), "{report}");
+        assert_eq!(patch.shots_spent, 0);
+    }
+    // Only the probe was paid for; the Infeasible guard stopped the rest.
+    assert!(report.shots_used <= budget, "{report}");
+    if let Some(drift) = &report.drift {
+        assert_eq!(report.shots_used, drift.shots_used, "{report}");
+    }
+}

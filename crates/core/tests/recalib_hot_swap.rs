@@ -1,0 +1,124 @@
+//! Hot-swap seam regression: racing readers mitigating against the serving
+//! plan while a recalibrator publishes new generations must never observe
+//! a torn plan — every mitigated distribution matches exactly the output of
+//! one whole calibration generation, selected by the epoch the reader
+//! loaded, and epochs never run backwards.
+//!
+//! This drives the *real* [`PlanHandle`] under `std::thread` contention
+//! (tier-1, offline); the same protocol is model-checked exhaustively in
+//! `concurrency_models.rs` (explicit-state) and `loom_models.rs` (loom,
+//! network-gated CI).
+
+use qem_core::cmc::{calibrate_cmc, CmcCalibration, CmcOptions};
+use qem_core::{MitigationLevel, PlanHandle, ServingPlan};
+use qem_sim::backend::Backend;
+use qem_sim::circuit::ghz_bfs;
+use qem_sim::counts::Counts;
+use qem_sim::noise::NoiseModel;
+use qem_topology::coupling::linear;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::thread;
+
+const N: usize = 4;
+
+fn calibrated(seed: u64, bias: f64) -> (Backend, CmcCalibration) {
+    let noise = NoiseModel::random_biased(N, 0.02, bias, seed + 3);
+    let b = Backend::new(linear(N), noise);
+    let opts = CmcOptions {
+        k: 1,
+        shots_per_circuit: 20_000,
+        cull_threshold: 1e-10,
+    };
+    let mut rng = StdRng::seed_from_u64(seed);
+    let cal = calibrate_cmc(&b, &opts, &mut rng).unwrap();
+    (b, cal)
+}
+
+#[test]
+fn racing_readers_never_observe_a_torn_plan() {
+    // Two distinct generations with distinct mitigators: generation A
+    // serves on even epochs, generation B on odd epochs.
+    let (backend, cal_a) = calibrated(11, 0.06);
+    let (_, cal_b) = calibrated(29, 0.11);
+
+    let ghz = ghz_bfs(&backend.coupling.graph, 0);
+    let raw: Counts = backend.execute(&ghz, 20_000, &mut StdRng::seed_from_u64(5));
+
+    // The exact per-generation outputs, computed up front: mitigation is
+    // deterministic, so any torn plan/inverse mixture inside the handle
+    // would produce a distribution matching neither.
+    let expect_even = cal_a.mitigator.mitigate(&raw).unwrap();
+    let expect_odd = cal_b.mitigator.mitigate(&raw).unwrap();
+    assert!(
+        expect_even.l1_distance(&expect_odd) > 1e-6,
+        "the two generations must be distinguishable for this test to bite"
+    );
+
+    let handle = PlanHandle::new(ServingPlan::new(cal_a.clone(), MitigationLevel::Cmc, 0)).unwrap();
+    let publishing = AtomicBool::new(true);
+    const SWAPS: u64 = 40;
+
+    thread::scope(|scope| {
+        let readers: Vec<_> = (0..3)
+            .map(|_| {
+                let handle = &handle;
+                let raw = &raw;
+                let publishing = &publishing;
+                let expect_even = &expect_even;
+                let expect_odd = &expect_odd;
+                scope.spawn(move || {
+                    let mut last_epoch = 0u64;
+                    let mut reads = 0u64;
+                    // Keep racing while the writer publishes, then a few
+                    // settled reads.
+                    while publishing.load(Ordering::Acquire) || reads < 8 {
+                        let serving = handle.load();
+                        assert!(
+                            serving.epoch >= last_epoch,
+                            "epoch ran backwards: {} after {}",
+                            serving.epoch,
+                            last_epoch
+                        );
+                        last_epoch = serving.epoch;
+                        let out = serving.calibration.mitigator.mitigate(raw).unwrap();
+                        let expected = if serving.epoch % 2 == 0 {
+                            expect_even
+                        } else {
+                            expect_odd
+                        };
+                        assert!(
+                            out.l1_distance(expected) < 1e-12,
+                            "epoch {} served a torn plan: distance to its \
+                             generation's output {:.3e}",
+                            serving.epoch,
+                            out.l1_distance(expected)
+                        );
+                        reads += 1;
+                    }
+                    reads
+                })
+            })
+            .collect();
+
+        // The recalibrator: publish whole generations, alternating.
+        for swap in 1..=SWAPS {
+            let cal = if swap % 2 == 0 { &cal_a } else { &cal_b };
+            let plan = ServingPlan::new(cal.clone(), MitigationLevel::Cmc, swap);
+            let epoch = handle.publish(plan);
+            assert_eq!(epoch, swap, "publish bumps the epoch by exactly one");
+        }
+        publishing.store(false, Ordering::Release);
+
+        for reader in readers {
+            let reads = reader.join().unwrap();
+            assert!(reads >= 8, "each reader exercised the seam");
+        }
+    });
+
+    let settled = handle.load();
+    assert_eq!(settled.epoch, SWAPS);
+    assert_eq!(settled.calibrated_at, SWAPS);
+    assert_eq!(handle.epoch(), SWAPS);
+}

@@ -128,25 +128,10 @@ pub trait MitigationStrategy: Send + Sync {
     }
 }
 
-/// Splits the execution half of a batch budget evenly across `circuits`
-/// target circuits, returning the per-circuit shot count.
-///
-/// Fails with [`CoreError::Infeasible`](qem_core::error::CoreError) when the
-/// execution allotment cannot give every circuit at least one shot — the
-/// alternative (flooring at one shot each) would silently execute more
-/// shots than the caller budgeted.
-pub fn per_circuit_execution(execution: u64, circuits: usize) -> Result<u64> {
-    let n = circuits as u64;
-    if n == 0 || execution < n {
-        return Err(qem_core::error::CoreError::Infeasible {
-            detail: format!(
-                "execution allotment of {execution} shots cannot cover a \
-                 batch of {circuits} circuits with one shot each"
-            ),
-        });
-    }
-    Ok(execution / n)
-}
+// The Infeasible-guarded budget split now lives in core (the recalibration
+// scheduler applies the same guard per cycle); re-exported here so existing
+// strategy call sites keep compiling unchanged.
+pub use qem_core::budget::per_circuit_execution;
 
 /// Splits a budget into a calibration half and an execution half,
 /// distributing the calibration half over `circuits` circuits.

@@ -66,6 +66,18 @@ pub struct FaultProfile {
     pub outage: Option<(u64, u64)>,
     /// Readout flip probability added per virtual-clock tick (drift ramp).
     pub drift_per_tick: f64,
+    /// Per-qubit readout drift rates (flip probability added per tick to
+    /// qubit `q`'s rates; qubits beyond the vector drift at 0). Combined
+    /// additively with the uniform `drift_per_tick` ramp — this is what
+    /// makes *some* patches stale while others stay fresh, the regime the
+    /// recalibration scheduler's partial refresh targets.
+    pub per_qubit_drift: Vec<f64>,
+    /// Ceiling on the *extra* flip probability any drift ramp (uniform or
+    /// per-qubit) can add to a qubit. Real devices plateau rather than
+    /// decaying into coin flips; an uncapped ramp (`f64::INFINITY`) keeps
+    /// the legacy always-worsening behaviour. The post-drift rate is still
+    /// clamped to 0.49 regardless.
+    pub drift_cap: f64,
     /// Window of elevated readout error.
     pub burst: Option<BurstWindow>,
 }
@@ -82,6 +94,8 @@ impl Default for FaultProfile {
             stuck_one_qubits: Vec::new(),
             outage: None,
             drift_per_tick: 0.0,
+            per_qubit_drift: Vec::new(),
+            drift_cap: f64::INFINITY,
             burst: None,
         }
     }
@@ -133,6 +147,35 @@ impl FaultProfile {
         }
     }
 
+    /// Time-dependent *non-uniform* readout drift: a seeded minority of
+    /// "hot" qubits degrade fast while the rest stay nearly stable — the
+    /// regime where partial re-characterisation beats a full sweep. Rates
+    /// are derived deterministically from `seed` for up to 64 qubits and
+    /// keyed to the virtual clock like every other fault.
+    pub fn drifting_readout(seed: u64) -> Self {
+        let mut rates_rng = StdRng::seed_from_u64(seed ^ 0xD81F_7A11);
+        let per_qubit_drift = (0..64)
+            .map(|_| {
+                if rates_rng.gen::<f64>() < 0.3 {
+                    // Hot qubit: 1e-3 .. 4e-3 extra flip probability per tick.
+                    1e-3 + 3e-3 * rates_rng.gen::<f64>()
+                } else {
+                    // Stable qubit: at most 2e-4 per tick.
+                    2e-4 * rates_rng.gen::<f64>()
+                }
+            })
+            .collect();
+        FaultProfile {
+            seed,
+            per_qubit_drift,
+            // Hot qubits plateau ~0.12 above their calibrated rates: bad
+            // enough to need recalibration, not so bad the readout is a
+            // coin flip no calibration could invert.
+            drift_cap: 0.12,
+            ..Default::default()
+        }
+    }
+
     /// A burst of elevated readout error plus occasional transient
     /// failures mid-session.
     pub fn bursty(seed: u64) -> Self {
@@ -169,6 +212,7 @@ impl FaultProfile {
             "dropout" => Some(Self::dropout(seed)),
             "dead-qubit" => Some(Self::dead_qubit(seed)),
             "drifting" => Some(Self::drifting(seed)),
+            "drifting-readout" => Some(Self::drifting_readout(seed)),
             "bursty" => Some(Self::bursty(seed)),
             "hostile" => Some(Self::hostile(seed)),
             _ => None,
@@ -183,6 +227,7 @@ impl FaultProfile {
             "dropout",
             "dead-qubit",
             "drifting",
+            "drifting-readout",
             "bursty",
             "hostile",
         ]
@@ -197,6 +242,7 @@ impl FaultProfile {
             && self.stuck_one_qubits.is_empty()
             && self.outage.is_none()
             && self.drift_per_tick == 0.0
+            && self.per_qubit_drift.iter().all(|&r| r == 0.0)
             && self.burst.is_none()
     }
 }
@@ -242,21 +288,31 @@ impl FaultyBackend {
         StdRng::seed_from_u64(self.profile.seed ^ tick.wrapping_mul(0x9E37_79B9_7F4A_7C15))
     }
 
-    /// The effective noise model at `tick`: base rates plus the drift ramp
-    /// plus any active burst window, clamped to keep channels valid.
+    /// The effective noise model at `tick`: base rates plus the uniform
+    /// drift ramp, any per-qubit drift rates and any active burst window,
+    /// clamped to keep channels valid.
     fn effective_noise(&self, tick: u64) -> Option<crate::noise::NoiseModel> {
         let drift = self.profile.drift_per_tick * tick as f64;
         let burst = match self.profile.burst {
             Some(w) if tick >= w.start && tick < w.end => w.extra_flip,
             _ => 0.0,
         };
-        let extra = drift + burst;
-        if extra == 0.0 {
+        let per_qubit_active = tick > 0 && self.profile.per_qubit_drift.iter().any(|&r| r != 0.0);
+        if drift + burst == 0.0 && !per_qubit_active {
             return None;
         }
         let mut noise = self.inner.noise.clone();
-        for p in noise.p_flip0.iter_mut().chain(noise.p_flip1.iter_mut()) {
-            *p = (*p + extra).min(0.49);
+        // The ramps plateau at drift_cap; bursts ride on top uncapped.
+        let extra = |q: usize| -> f64 {
+            let ramp =
+                drift + self.profile.per_qubit_drift.get(q).copied().unwrap_or(0.0) * tick as f64;
+            ramp.min(self.profile.drift_cap) + burst
+        };
+        for (q, p) in noise.p_flip0.iter_mut().enumerate() {
+            *p = (*p + extra(q)).min(0.49);
+        }
+        for (q, p) in noise.p_flip1.iter_mut().enumerate() {
+            *p = (*p + extra(q)).min(0.49);
         }
         Some(noise)
     }
@@ -530,6 +586,52 @@ mod tests {
         assert!(
             err_late > err_early + 0.1,
             "drift must raise readout error: early {err_early:.3} late {err_late:.3}"
+        );
+    }
+
+    #[test]
+    fn drifting_readout_is_nonuniform_and_deterministic() {
+        let profile = FaultProfile::drifting_readout(42);
+        assert_eq!(profile, FaultProfile::drifting_readout(42));
+        assert_ne!(
+            profile.per_qubit_drift,
+            FaultProfile::drifting_readout(43).per_qubit_drift
+        );
+        assert!(!profile.is_benign());
+        let hot = profile
+            .per_qubit_drift
+            .iter()
+            .filter(|&&r| r >= 1e-3)
+            .count();
+        assert!(hot > 0 && hot < 64, "a seeded minority is hot: {hot}");
+
+        // The hot qubit's readout error grows with the clock while a
+        // stable qubit's stays near its base rate.
+        let b = quito();
+        let n = b.num_qubits();
+        let hot_q = (0..n)
+            .max_by(|&a, &b| profile.per_qubit_drift[a].total_cmp(&profile.per_qubit_drift[b]))
+            .unwrap();
+        let faulty = FaultyBackend::new(b, profile.clone());
+        faulty.advance_clock(100);
+        let prep = basis_prep(n, 0);
+        let mut rng = StdRng::seed_from_u64(9);
+        let counts = faulty.try_execute(&prep, 20_000, &mut rng).unwrap();
+        let mut flips = vec![0u64; n];
+        for (s, k) in counts.iter() {
+            for (q, f) in flips.iter_mut().enumerate() {
+                if (s >> q) & 1 == 1 {
+                    *f += k;
+                }
+            }
+        }
+        let rate = |q: usize| flips[q] as f64 / counts.shots() as f64;
+        let expected_extra = (profile.per_qubit_drift[hot_q] * 100.0).min(profile.drift_cap);
+        let base = faulty.inner().noise.p_flip0[hot_q];
+        assert!(
+            rate(hot_q) > base + expected_extra * 0.5,
+            "hot qubit {hot_q} should have drifted: rate {:.4}, base {base:.4}, extra {expected_extra:.4}",
+            rate(hot_q)
         );
     }
 

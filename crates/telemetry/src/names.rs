@@ -50,6 +50,8 @@ pub const CORE_MITIGATOR_APPLY: &str = "core.mitigator.apply";
 pub const CORE_MITIGATOR_BATCH_APPLY: &str = "core.mitigator.batch_apply";
 /// Compilation of a mitigator chain into a layered execution plan.
 pub const CORE_PLAN_COMPILE: &str = "core.plan.compile";
+/// One recalibration scheduler cycle (probe → refresh → swap).
+pub const CORE_RECALIB_CYCLE: &str = "core.recalib.cycle";
 /// Resilient calibration pipeline (retry ladder) top-level span.
 pub const CORE_RESILIENCE_CALIBRATE: &str = "core.resilience.calibrate";
 /// AIM strategy end-to-end run.
@@ -75,6 +77,18 @@ pub const MITIGATION_SIM_RUN: &str = "mitigation.sim.run";
 
 // --------------------------------------------------------------- events --
 
+/// Recalibration cycle ran out of shot budget before refreshing every
+/// flagged patch; the remainder were deferred.
+pub const CORE_RECALIB_BUDGET_EXHAUSTED: &str = "core.recalib.budget_exhausted";
+/// A patch re-characterisation degraded down the ladder (or went stale).
+pub const CORE_RECALIB_PATCH_DOWNGRADE: &str = "core.recalib.patch_downgrade";
+/// The drift probe itself failed; the serving plan was left untouched.
+pub const CORE_RECALIB_PROBE_FAILED: &str = "core.recalib.probe_failed";
+/// A freshly assembled plan was atomically swapped in.
+pub const CORE_RECALIB_SWAP: &str = "core.recalib.swap";
+/// A refreshed calibration failed assembly/compilation and was rejected;
+/// the last-known-good plan kept serving.
+pub const CORE_RECALIB_SWAP_REJECTED: &str = "core.recalib.swap_rejected";
 /// Ladder downgrade to a cheaper calibration strategy.
 pub const CORE_RESILIENCE_DOWNGRADE: &str = "core.resilience.downgrade";
 /// Resilient calibration finished (any rung).
@@ -108,6 +122,18 @@ pub const CORE_PLAN_COMPILES_TOTAL: &str = "core.plan.compiles_total";
 pub const CORE_PLAN_INVERSE_CACHE_HITS_TOTAL: &str = "core.plan.inverse_cache_hits_total";
 /// Patch inversions computed and inserted into the inverse cache.
 pub const CORE_PLAN_INVERSE_CACHE_MISSES_TOTAL: &str = "core.plan.inverse_cache_misses_total";
+/// Recalibration scheduler cycles run.
+pub const CORE_RECALIB_CYCLES_TOTAL: &str = "core.recalib.cycles_total";
+/// Patch re-characterisations downgraded or left stale.
+pub const CORE_RECALIB_PATCH_DOWNGRADES_TOTAL: &str = "core.recalib.patch_downgrades_total";
+/// Flagged patches deferred for lack of shot budget.
+pub const CORE_RECALIB_PATCHES_DEFERRED_TOTAL: &str = "core.recalib.patches_deferred_total";
+/// Patches re-characterised by the scheduler.
+pub const CORE_RECALIB_PATCHES_REFRESHED_TOTAL: &str = "core.recalib.patches_refreshed_total";
+/// Shots spent by recalibration (probes + re-characterisation).
+pub const CORE_RECALIB_SHOTS_TOTAL: &str = "core.recalib.shots_total";
+/// Atomic plan hot-swaps performed.
+pub const CORE_RECALIB_SWAPS_TOTAL: &str = "core.recalib.swaps_total";
 /// Virtual-clock ticks spent in retry backoff.
 pub const CORE_RESILIENCE_BACKOFF_TICKS_TOTAL: &str = "core.resilience.backoff_ticks_total";
 /// Ladder downgrades taken.
@@ -146,6 +172,8 @@ pub const CORE_CMC_SCHEDULE_ROUNDS: &str = "core.cmc.schedule_rounds";
 pub const CORE_ERR_SELECTED_EDGES: &str = "core.err.selected_edges";
 /// Layers in the most recently compiled mitigation plan.
 pub const CORE_PLAN_LAYER_COUNT: &str = "core.plan.layer_count";
+/// Epoch of the currently serving mitigation plan.
+pub const CORE_RECALIB_SERVING_EPOCH: &str = "core.recalib.serving_epoch";
 /// Final rung of the resilience ladder (0 = best).
 pub const CORE_RESILIENCE_LADDER_RUNG: &str = "core.resilience.ladder_rung";
 
@@ -177,6 +205,7 @@ pub const ALL: &[&str] = &[
     CORE_MITIGATOR_APPLY,
     CORE_MITIGATOR_BATCH_APPLY,
     CORE_PLAN_COMPILE,
+    CORE_RECALIB_CYCLE,
     CORE_RESILIENCE_CALIBRATE,
     MITIGATION_AIM_RUN,
     MITIGATION_BARE_RUN,
@@ -188,6 +217,11 @@ pub const ALL: &[&str] = &[
     MITIGATION_M3_RUN,
     MITIGATION_RESILIENT_RUN,
     MITIGATION_SIM_RUN,
+    CORE_RECALIB_BUDGET_EXHAUSTED,
+    CORE_RECALIB_PATCH_DOWNGRADE,
+    CORE_RECALIB_PROBE_FAILED,
+    CORE_RECALIB_SWAP,
+    CORE_RECALIB_SWAP_REJECTED,
     CORE_RESILIENCE_DOWNGRADE,
     CORE_RESILIENCE_FINISHED,
     CORE_RESILIENCE_PATCH_CONDITION,
@@ -203,6 +237,12 @@ pub const ALL: &[&str] = &[
     CORE_PLAN_COMPILES_TOTAL,
     CORE_PLAN_INVERSE_CACHE_HITS_TOTAL,
     CORE_PLAN_INVERSE_CACHE_MISSES_TOTAL,
+    CORE_RECALIB_CYCLES_TOTAL,
+    CORE_RECALIB_PATCH_DOWNGRADES_TOTAL,
+    CORE_RECALIB_PATCHES_DEFERRED_TOTAL,
+    CORE_RECALIB_PATCHES_REFRESHED_TOTAL,
+    CORE_RECALIB_SHOTS_TOTAL,
+    CORE_RECALIB_SWAPS_TOTAL,
     CORE_RESILIENCE_BACKOFF_TICKS_TOTAL,
     CORE_RESILIENCE_DOWNGRADES_TOTAL,
     CORE_RESILIENCE_FAILED_SUBMISSIONS_TOTAL,
@@ -219,6 +259,7 @@ pub const ALL: &[&str] = &[
     BENCH_TABLE1_ERR_SWEEP_CIRCUITS,
     CORE_CMC_SCHEDULE_ROUNDS,
     CORE_ERR_SELECTED_EDGES,
+    CORE_RECALIB_SERVING_EPOCH,
     CORE_PLAN_LAYER_COUNT,
     CORE_RESILIENCE_LADDER_RUNG,
     CORE_ERR_PAIR_WEIGHT,

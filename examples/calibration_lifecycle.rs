@@ -80,7 +80,8 @@ fn main() {
         .expect("drift probe");
     println!(
         "\ndrift probe (stable device): max rate change {:.4} -> recalibrate? {}",
-        report.max_rate_change, report.should_recalibrate
+        report.max_rate_change,
+        report.should_recalibrate()
     );
 
     // 6. …and on a drifted copy of the device.
@@ -92,6 +93,8 @@ fn main() {
         .expect("drift probe");
     println!(
         "drift probe (qubit 2 degraded): max rate change {:.4} on qubit {} -> recalibrate? {}",
-        report.max_rate_change, report.worst_qubit, report.should_recalibrate
+        report.max_rate_change,
+        report.worst_qubit,
+        report.should_recalibrate()
     );
 }

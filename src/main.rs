@@ -39,6 +39,16 @@ COMMANDS:
     mitigate     --device <name> --calibration FILE [--shots N]
                                          run a GHZ benchmark mitigated by a stored calibration
     report       --device <name> [--shots N]         Fig.1-style correlation / alignment report
+    recalibrate  --device <name> [--fault-profile NAME] [--calib-interval N]
+                 [--drift-threshold X] [--shot-budget N] [--probe-shots N]
+                 [--recal-shots N] [--watch] [--cycles N] [--cycle-ticks N]
+                 [--max-l1 X] [--report-out FILE]
+                                         drift-aware online recalibration: probe staleness,
+                                         refresh only the patches forecast past tolerance
+                                         under the shot budget, atomically hot-swap the
+                                         serving plan; --watch soaks many cycles on the
+                                         device's virtual clock and fails if the mitigated
+                                         GHZ L1 ever exceeds --max-l1
     compare      --device <name> [--budget N] [--trials N]
                                          compare all mitigation methods on a GHZ benchmark
     bench-snapshot [--device <name>] [--budget N] [--out FILE]
@@ -100,6 +110,12 @@ impl Args {
     }
 
     fn get_u64(&self, key: &str, default: u64) -> u64 {
+        self.get(key)
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(default)
+    }
+
+    fn get_f64(&self, key: &str, default: f64) -> f64 {
         self.get(key)
             .and_then(|v| v.parse().ok())
             .unwrap_or(default)
@@ -290,6 +306,160 @@ fn characterize_resilient(
     if let Some(path) = args.get("report-out") {
         std::fs::write(path, result.report.to_json_string()).map_err(|e| e.to_string())?;
         println!("report -> {path}");
+    }
+    Ok(())
+}
+
+/// The `recalibrate` command: calibrate once on the (drifting) device, then
+/// run the staleness scheduler — probe, prioritised partial refresh under
+/// the shot budget, atomic hot-swap — checking the serving plan's GHZ L1
+/// each cycle. `--watch` soaks many cycles on the device's virtual clock.
+fn cmd_recalibrate(args: &Args, seed: u64) -> Result<(), String> {
+    use qem::core::recalib::{RecalibPolicy, RecalibScheduler, StalenessPolicy};
+    use qem::mitigation::metrics::one_norm_distance;
+
+    let backend = require_backend(args, seed)?;
+    let n = backend.num_qubits();
+    let profile_name = args.get("fault-profile").unwrap_or("drifting-readout");
+    let profile = FaultProfile::preset(profile_name, seed).ok_or_else(|| {
+        format!(
+            "unknown fault profile '{profile_name}' (expected {})",
+            FaultProfile::preset_names().join("|")
+        )
+    })?;
+    let device = backend.name.clone();
+    let faulty = FaultyBackend::new(backend, profile);
+    let mut rng = StdRng::seed_from_u64(seed);
+
+    let opts = CmcOptions {
+        k: 1,
+        shots_per_circuit: args.get_u64("shots", 4096),
+        cull_threshold: qem::linalg::tol::CULL,
+    };
+    let cal = qem::core::calibrate_cmc(&faulty, &opts, &mut rng).map_err(|e| e.to_string())?;
+    println!(
+        "calibrated {} on '{profile_name}': {} patches, {} shots (tick {})",
+        device,
+        cal.patches.len(),
+        cal.shots_used,
+        faulty.clock()
+    );
+
+    let mut policy = RecalibPolicy {
+        staleness: StalenessPolicy {
+            drift_threshold: args.get_f64("drift-threshold", 0.02),
+            forecast_horizon: args.get_u64("forecast-horizon", 0),
+            shot_budget: args.get("shot-budget").and_then(|v| v.parse().ok()),
+        },
+        calib_interval: args.get_u64("calib-interval", 0),
+        probe_shots: args.get_u64("probe-shots", 4096),
+        recal_shots: args.get_u64("recal-shots", opts.shots_per_circuit),
+        ..RecalibPolicy::default()
+    };
+    policy.retry.max_retries = args.get_u64("max-retries", 3) as u32;
+    let mut sched =
+        RecalibScheduler::new(cal, policy, faulty.clock()).map_err(|e| e.to_string())?;
+
+    let watch = args.has_flag("watch");
+    let cycles = args.get_u64("cycles", if watch { 30 } else { 1 });
+    let cycle_ticks = args.get_u64("cycle-ticks", 40);
+    let max_l1 = args.get_f64("max-l1", f64::INFINITY);
+    let ghz = ghz_bfs(&faulty.inner().coupling.graph, 0);
+    let ideal = ghz_ideal(n);
+    let correct = [0u64, (1u64 << n) - 1];
+
+    let mut reports = Vec::new();
+    let mut swaps = 0u64;
+    let mut worst_l1 = 0.0f64;
+    for cycle in 1..=cycles {
+        faulty.advance_clock(cycle_ticks);
+        let report = sched
+            .run_cycle(&faulty, faulty.clock(), &mut rng)
+            .map_err(|e| e.to_string())?;
+        if report.swapped {
+            swaps += 1;
+        }
+
+        let serving = sched.handle().load();
+        let l1 = match faulty.try_execute(&ghz, 16_000, &mut rng) {
+            Ok(raw) => {
+                let mitigated = serving
+                    .calibration
+                    .mitigator
+                    .mitigate(&raw)
+                    .map_err(|e| e.to_string())?;
+                let l1 = one_norm_distance(&mitigated, &ideal);
+                worst_l1 = worst_l1.max(l1);
+                println!(
+                    "cycle {cycle:>3} @tick {:>5}: flagged {}, refreshed {} \
+                     (deferred {}, downgrades {}), epoch {} [{}], shots {}, \
+                     GHZ success {:.3}, L1 {l1:.3}",
+                    report.tick,
+                    report.flagged,
+                    report.refreshed(),
+                    report.deferred(),
+                    report.downgrades(),
+                    report.epoch_after,
+                    report.level,
+                    report.shots_used,
+                    mitigated.mass_on(&correct),
+                );
+                Some(l1)
+            }
+            Err(e) => {
+                println!(
+                    "cycle {cycle:>3} @tick {:>5}: epoch {} [{}] — GHZ eval \
+                     failed ({e})",
+                    report.tick, report.epoch_after, report.level
+                );
+                None
+            }
+        };
+        reports.push((report, l1));
+    }
+    let final_epoch = sched.handle().epoch();
+    println!(
+        "{cycles} cycle(s): {swaps} swap(s), final epoch {final_epoch}, \
+         worst GHZ L1 {worst_l1:.3}"
+    );
+
+    if let Some(path) = args.get("report-out") {
+        // Header via the deterministic telemetry writer, the full
+        // per-cycle RecalibReports (already JSON) spliced in as an array.
+        let head = Json::obj(vec![
+            ("schema_version", Json::UInt(1)),
+            ("device", Json::str(device)),
+            ("fault_profile", Json::str(profile_name)),
+            ("cycles", Json::UInt(cycles)),
+            ("swaps", Json::UInt(swaps)),
+            ("final_epoch", Json::UInt(final_epoch)),
+            ("worst_ghz_l1", Json::Float(worst_l1)),
+        ])
+        .to_string_compact();
+        let cycle_docs: Vec<String> = reports
+            .iter()
+            .map(|(r, l1)| {
+                let report_json = r.to_json_string();
+                let l1_json = match l1 {
+                    Some(v) => Json::Float(*v).to_string_compact(),
+                    None => "null".to_string(),
+                };
+                format!("{{\"ghz_l1\": {l1_json}, \"report\": {report_json}}}")
+            })
+            .collect();
+        let doc = format!(
+            "{}, \"reports\": [{}]}}\n",
+            &head[..head.len() - 1],
+            cycle_docs.join(", ")
+        );
+        std::fs::write(path, doc).map_err(|e| e.to_string())?;
+        println!("report -> {path}");
+    }
+
+    if worst_l1 > max_l1 {
+        return Err(format!(
+            "soak failed: worst GHZ L1 {worst_l1:.3} exceeds --max-l1 {max_l1:.3}"
+        ));
     }
     Ok(())
 }
@@ -739,6 +909,7 @@ fn main() -> ExitCode {
         "characterize" => cmd_characterize(&args, seed),
         "mitigate" => cmd_mitigate(&args, seed),
         "report" => cmd_report(&args, seed),
+        "recalibrate" => cmd_recalibrate(&args, seed),
         "compare" => cmd_compare(&args, seed),
         "bench-snapshot" => cmd_bench_snapshot(&args, seed),
         "help" | "--help" | "-h" => {

@@ -1,0 +1,19 @@
+#!/bin/sh
+# Installs the offline dependency stubs to /tmp/stubs, where
+# patch-config.toml expects them. Run once per machine/boot (the stubs
+# live under /tmp so a reboot or tmp-clean removes them):
+#
+#   sh tools/offline-stubs/install.sh
+#
+# then build/test with:
+#
+#   cargo --config /tmp/stubs/patch-config.toml build --release --offline
+set -eu
+here="$(cd "$(dirname "$0")" && pwd)"
+mkdir -p /tmp/stubs
+for crate in rand rayon serde serde_derive serde_json proptest criterion; do
+    rm -rf "/tmp/stubs/$crate"
+    cp -r "$here/$crate" "/tmp/stubs/$crate"
+done
+cp "$here/patch-config.toml" /tmp/stubs/patch-config.toml
+echo "offline stubs installed to /tmp/stubs"

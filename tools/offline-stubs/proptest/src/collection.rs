@@ -1,0 +1,50 @@
+//! Collection strategies (`prop::collection::vec`).
+
+use std::ops::Range;
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// Length specification: an exact `usize` or a half-open range.
+pub trait IntoLenRange {
+    /// Converts to `lo..hi`.
+    fn into_len_range(self) -> Range<usize>;
+}
+
+impl IntoLenRange for usize {
+    fn into_len_range(self) -> Range<usize> {
+        self..self + 1
+    }
+}
+
+impl IntoLenRange for Range<usize> {
+    fn into_len_range(self) -> Range<usize> {
+        self
+    }
+}
+
+/// `Vec` strategy: `len` elements drawn from `element`.
+pub fn vec<S: Strategy>(element: S, len: impl IntoLenRange) -> VecStrategy<S> {
+    VecStrategy {
+        element,
+        len: len.into_len_range(),
+    }
+}
+
+/// Strategy returned by [`vec`].
+#[derive(Clone, Debug)]
+pub struct VecStrategy<S> {
+    element: S,
+    len: Range<usize>,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        assert!(self.len.start < self.len.end, "empty length range");
+        let width = (self.len.end - self.len.start) as u64;
+        let n = self.len.start + rng.below(width) as usize;
+        (0..n).map(|_| self.element.generate(rng)).collect()
+    }
+}

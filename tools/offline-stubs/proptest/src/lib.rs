@@ -1,0 +1,209 @@
+//! Offline stand-in for `proptest`: no shrinking, no persistence — each
+//! `proptest!` test deterministically generates `cases` inputs from the
+//! strategies and runs the body. Supports range and tuple strategies,
+//! `prop_map`, `prop::collection::vec`, `prop_assert*` and `prop_assume`.
+
+use std::ops::{Range, RangeInclusive};
+
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+pub mod prelude {
+    //! Mirrors `proptest::prelude::*` for the subset the workspace uses.
+    pub use crate::strategy::Strategy;
+    pub use crate::test_runner::{ProptestConfig, TestRng};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+
+    pub mod prop {
+        //! `prop::` namespace (collection strategies).
+        pub use crate::collection;
+    }
+}
+
+/// Deterministic per-case RNG stream for a named test.
+pub fn case_rng(test_name: &str, case: u64) -> test_runner::TestRng {
+    let mut seed = 0xcbf2_9ce4_8422_2325u64; // FNV offset basis
+    for b in test_name.bytes() {
+        seed ^= b as u64;
+        seed = seed.wrapping_mul(0x100_0000_01b3);
+    }
+    test_runner::TestRng::new(seed ^ case.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+}
+
+pub use strategy::Strategy;
+pub use test_runner::ProptestConfig;
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut test_runner::TestRng) -> f64 {
+        self.start + rng.unit_f64() * (self.end - self.start)
+    }
+}
+
+impl Strategy for RangeInclusive<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut test_runner::TestRng) -> f64 {
+        self.start() + rng.unit_f64() * (self.end() - self.start())
+    }
+}
+
+macro_rules! int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut test_runner::TestRng) -> $t {
+                assert!(self.start < self.end, "empty strategy range");
+                let width = (self.end as i128 - self.start as i128) as u64;
+                self.start.wrapping_add(rng.below(width) as $t)
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut test_runner::TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty strategy range");
+                let width = (hi as i128 - lo as i128) as u64;
+                lo.wrapping_add(rng.below(width.saturating_add(1)) as $t)
+            }
+        }
+    )*}
+}
+int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! tuple_strategy {
+    ($(($($name:ident),+))*) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn generate(&self, rng: &mut test_runner::TestRng) -> Self::Value {
+                #[allow(non_snake_case)]
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    )*}
+}
+tuple_strategy! {
+    (A)
+    (A, B)
+    (A, B, C)
+    (A, B, C, D)
+    (A, B, C, D, E)
+    (A, B, C, D, E, F)
+}
+
+/// Constant strategy (`Just`).
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut test_runner::TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// The proptest harness macro: generates `config.cases` inputs per test.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@body ($cfg) $($rest)*);
+    };
+    (@body ($cfg:expr) $($(#[$meta:meta])* fn $name:ident($($arg:pat in $strat:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config = $cfg;
+                for case in 0..config.cases as u64 {
+                    let mut proptest_rng = $crate::case_rng(stringify!($name), case);
+                    $(let $arg = $crate::Strategy::generate(&($strat), &mut proptest_rng);)+
+                    // The body runs in a Result closure so `return Ok(())`
+                    // and `prop_assume!` (Err with a marker) both work.
+                    let outcome: ::std::result::Result<(), ::std::string::String> = (|| {
+                        $body
+                        #[allow(unreachable_code)]
+                        ::std::result::Result::Ok(())
+                    })();
+                    match outcome {
+                        ::std::result::Result::Ok(()) => {}
+                        ::std::result::Result::Err(e) if e == $crate::ASSUME_REJECTED => continue,
+                        ::std::result::Result::Err(e) => {
+                            panic!("proptest case {case} of {} failed: {e}", stringify!($name))
+                        }
+                    }
+                }
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@body ($crate::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+/// `assert!` under another name (the stub has no failure persistence).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// `assert_eq!` under another name.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// `assert_ne!` under another name.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+/// Marker error signalling a rejected `prop_assume!` case.
+pub const ASSUME_REJECTED: &str = "__proptest_stub_assume_rejected__";
+
+/// Skips the current case when the assumption fails.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(, $($rest:tt)*)?) => {
+        if !($cond) {
+            return ::std::result::Result::Err(::std::string::String::from(
+                $crate::ASSUME_REJECTED,
+            ));
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn ranges_and_tuples_stay_in_bounds(
+            x in 0.0..1.0f64,
+            (a, b) in (0usize..10, 2u64..5),
+            v in prop::collection::vec(-1.0..1.0f64, 3..6),
+        ) {
+            prop_assert!((0.0..1.0).contains(&x));
+            prop_assert!(a < 10);
+            prop_assert!((2..5).contains(&b));
+            prop_assert!((3..6).contains(&v.len()));
+            prop_assume!(a != 0);
+            prop_assert_ne!(a, 0);
+        }
+
+        #[test]
+        fn prop_map_composes(y in (0usize..4).prop_map(|n| n * 2)) {
+            prop_assert_eq!(y % 2, 0);
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let mut a = crate::case_rng("t", 3);
+        let mut b = crate::case_rng("t", 3);
+        assert_eq!(a.next_u64(), b.next_u64());
+    }
+}

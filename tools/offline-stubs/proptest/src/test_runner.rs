@@ -1,0 +1,70 @@
+//! Config and the embedded deterministic RNG (SplitMix64).
+
+/// Per-test configuration. Only `cases` is honoured by the stub.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of generated cases per test.
+    pub cases: u32,
+    /// Accepted for source compatibility; unused by the stub.
+    pub max_shrink_iters: u32,
+}
+
+impl ProptestConfig {
+    /// Config running `cases` cases.
+    pub fn with_cases(cases: u32) -> ProptestConfig {
+        ProptestConfig {
+            cases,
+            ..ProptestConfig::default()
+        }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> ProptestConfig {
+        ProptestConfig {
+            cases: 32,
+            max_shrink_iters: 0,
+        }
+    }
+}
+
+/// SplitMix64 stream used to drive strategies.
+#[derive(Clone, Debug)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Stream seeded with `seed`.
+    pub fn new(seed: u64) -> TestRng {
+        TestRng { state: seed }
+    }
+
+    /// Next word.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform draw in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform draw in `[0, width)`; `width = 0` yields 0.
+    pub fn below(&mut self, width: u64) -> u64 {
+        if width == 0 {
+            return 0;
+        }
+        let zone = u64::MAX - (u64::MAX - width + 1) % width;
+        loop {
+            let v = self.next_u64();
+            if v <= zone {
+                return v % width;
+            }
+        }
+    }
+}

@@ -1,0 +1,62 @@
+//! Generator implementations: xoshiro256** behind [`StdRng`], a
+//! counter-hash behind [`OsRng`].
+
+use crate::{next_global_seed, RngCore, SeedableRng};
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Deterministic xoshiro256** generator (the stub's "standard" RNG).
+#[derive(Clone, Debug)]
+pub struct StdRng {
+    s: [u64; 4],
+}
+
+impl SeedableRng for StdRng {
+    fn seed_from_u64(seed: u64) -> StdRng {
+        let mut sm = seed;
+        let mut s = [0u64; 4];
+        for slot in s.iter_mut() {
+            *slot = splitmix64(&mut sm);
+        }
+        // xoshiro must not start from the all-zero state.
+        if s.iter().all(|&w| w == 0) {
+            s[0] = 0x9E37_79B9_7F4A_7C15;
+        }
+        StdRng { s }
+    }
+}
+
+impl RngCore for StdRng {
+    fn next_u64(&mut self) -> u64 {
+        let s = &mut self.s;
+        let result = s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
+    }
+}
+
+/// Deterministic stand-in for the OS entropy source.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct OsRng;
+
+impl RngCore for OsRng {
+    fn next_u64(&mut self) -> u64 {
+        let mut state = next_global_seed();
+        splitmix64(&mut state)
+    }
+}
+
+/// Alias: the stub's small RNG is the standard one.
+pub type SmallRng = StdRng;

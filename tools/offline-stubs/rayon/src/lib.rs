@@ -1,0 +1,102 @@
+//! Offline stand-in for `rayon`: the parallel-iterator entry points
+//! resolve to ordinary sequential `std` iterators, so call sites written
+//! against `rayon::prelude::*` compile and run unchanged on one thread.
+
+/// Sequential stub: one "worker".
+pub fn current_num_threads() -> usize {
+    1
+}
+
+/// Runs both closures (sequentially) and returns their results.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA,
+    B: FnOnce() -> RB,
+{
+    (a(), b())
+}
+
+pub mod prelude {
+    //! Traits mirroring rayon's parallel-iterator entry points.
+
+    /// `into_par_iter()` — sequential fallback over any `IntoIterator`.
+    pub trait IntoParallelIterator {
+        /// Yielded item type.
+        type Item;
+        /// Underlying (sequential) iterator.
+        type Iter: Iterator<Item = Self::Item>;
+        /// Consumes `self` into an iterator.
+        fn into_par_iter(self) -> Self::Iter;
+    }
+
+    impl<I: IntoIterator> IntoParallelIterator for I {
+        type Item = I::Item;
+        type Iter = I::IntoIter;
+        fn into_par_iter(self) -> I::IntoIter {
+            self.into_iter()
+        }
+    }
+
+    /// `par_iter()` — sequential fallback over `&C`.
+    pub trait IntoParallelRefIterator<'data> {
+        /// Yielded item type.
+        type Item: 'data;
+        /// Underlying (sequential) iterator.
+        type Iter: Iterator<Item = Self::Item>;
+        /// Iterates shared references.
+        fn par_iter(&'data self) -> Self::Iter;
+    }
+
+    impl<'data, C: ?Sized + 'data> IntoParallelRefIterator<'data> for C
+    where
+        &'data C: IntoIterator,
+    {
+        type Item = <&'data C as IntoIterator>::Item;
+        type Iter = <&'data C as IntoIterator>::IntoIter;
+        fn par_iter(&'data self) -> Self::Iter {
+            self.into_iter()
+        }
+    }
+
+    /// `par_iter_mut()` — sequential fallback over `&mut C`.
+    pub trait IntoParallelRefMutIterator<'data> {
+        /// Yielded item type.
+        type Item: 'data;
+        /// Underlying (sequential) iterator.
+        type Iter: Iterator<Item = Self::Item>;
+        /// Iterates exclusive references.
+        fn par_iter_mut(&'data mut self) -> Self::Iter;
+    }
+
+    impl<'data, C: ?Sized + 'data> IntoParallelRefMutIterator<'data> for C
+    where
+        &'data mut C: IntoIterator,
+    {
+        type Item = <&'data mut C as IntoIterator>::Item;
+        type Iter = <&'data mut C as IntoIterator>::IntoIter;
+        fn par_iter_mut(&'data mut self) -> Self::Iter {
+            self.into_iter()
+        }
+    }
+
+    /// Alias so `ParallelIterator`-bounded helper code still compiles.
+    pub use std::iter::Iterator as ParallelIterator;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn sequential_fallbacks_behave_like_std() {
+        let v = vec![1, 2, 3];
+        let doubled: Vec<i32> = v.par_iter().map(|x| x * 2).collect();
+        assert_eq!(doubled, vec![2, 4, 6]);
+        let mut w = vec![1, 2, 3];
+        w.par_iter_mut().for_each(|x| *x += 1);
+        assert_eq!(w, vec![2, 3, 4]);
+        let s: i32 = (0..4).into_par_iter().sum();
+        assert_eq!(s, 6);
+        assert_eq!(super::current_num_threads(), 1);
+    }
+}

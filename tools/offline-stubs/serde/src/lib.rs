@@ -1,0 +1,438 @@
+//! Offline stand-in for `serde`. Serialisation funnels through a small
+//! JSON [`Value`] model instead of the visitor architecture; the derive
+//! macros (from the sibling `serde_derive` stub) only support flat
+//! named-field structs and panic on enums. Maps serialise as
+//! array-of-pairs. `serde_json`'s `to_string{,_pretty}` / `from_str`
+//! render and parse this model.
+
+use std::collections::{BTreeMap, HashMap};
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Deserialisation error: a plain message.
+pub type DeError = String;
+
+/// In-memory JSON value, the interchange type of the stub.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Value {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Unsigned integer
+    UInt(u64),
+    /// Negative integer
+    Int(i64),
+    /// Float
+    Float(f64),
+    /// String
+    Str(String),
+    /// Array
+    Arr(Vec<Value>),
+    /// Object (insertion-ordered)
+    Obj(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Object entries, if this is an object.
+    pub fn as_obj(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Obj(entries) => Some(entries),
+            _ => None,
+        }
+    }
+
+    /// Object field lookup.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.as_obj()
+            .and_then(|entries| entries.iter().find(|(k, _)| k == key))
+            .map(|(_, v)| v)
+    }
+
+    /// Renders as JSON text; `pretty` uses two-space indentation.
+    pub fn render(&self, pretty: bool) -> String {
+        let mut out = String::new();
+        self.render_into(&mut out, pretty, 0);
+        out
+    }
+
+    fn render_into(&self, out: &mut String, pretty: bool, depth: usize) {
+        match self {
+            Value::Null => out.push_str("null"),
+            Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Value::UInt(u) => out.push_str(&u.to_string()),
+            Value::Int(i) => out.push_str(&i.to_string()),
+            Value::Float(f) => {
+                if f.is_finite() {
+                    let text = format!("{f}");
+                    out.push_str(&text);
+                    if !text.contains(['.', 'e', 'E']) {
+                        out.push_str(".0");
+                    }
+                } else {
+                    out.push_str("null");
+                }
+            }
+            Value::Str(s) => escape_into(s, out),
+            Value::Arr(items) => {
+                render_seq(out, pretty, depth, '[', ']', items.iter(), |item, out, d| {
+                    item.render_into(out, pretty, d)
+                });
+            }
+            Value::Obj(entries) => {
+                render_seq(out, pretty, depth, '{', '}', entries.iter(), |(k, v), out, d| {
+                    escape_into(k, out);
+                    out.push(':');
+                    if pretty {
+                        out.push(' ');
+                    }
+                    v.render_into(out, pretty, d);
+                });
+            }
+        }
+    }
+}
+
+fn render_seq<T>(
+    out: &mut String,
+    pretty: bool,
+    depth: usize,
+    open: char,
+    close: char,
+    items: impl ExactSizeIterator<Item = T>,
+    mut each: impl FnMut(T, &mut String, usize),
+) {
+    out.push(open);
+    let len = items.len();
+    if len == 0 {
+        out.push(close);
+        return;
+    }
+    for (i, item) in items.enumerate() {
+        if pretty {
+            out.push('\n');
+            for _ in 0..(depth + 1) * 2 {
+                out.push(' ');
+            }
+        }
+        each(item, out, depth + 1);
+        if i + 1 < len {
+            out.push(',');
+        }
+    }
+    if pretty {
+        out.push('\n');
+        for _ in 0..depth * 2 {
+            out.push(' ');
+        }
+    }
+    out.push(close);
+}
+
+fn escape_into(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Conversion into the stub's JSON [`Value`] model.
+pub trait Serialize {
+    /// Captures `self` as a JSON value.
+    fn to_value(&self) -> Value;
+}
+
+/// Reconstruction from the stub's JSON [`Value`] model.
+pub trait Deserialize: Sized {
+    /// Rebuilds `Self`, with a message on shape mismatch.
+    fn from_value(v: &Value) -> Result<Self, DeError>;
+}
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<bool, DeError> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            other => Err(format!("expected bool, got {other:?}")),
+        }
+    }
+}
+
+macro_rules! serde_uint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::UInt(*self as u64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<$t, DeError> {
+                match v {
+                    Value::UInt(u) => <$t>::try_from(*u)
+                        .map_err(|_| format!("integer {u} out of range")),
+                    Value::Int(i) => <$t>::try_from(*i)
+                        .map_err(|_| format!("integer {i} out of range")),
+                    other => Err(format!("expected integer, got {other:?}")),
+                }
+            }
+        }
+    )*}
+}
+serde_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! serde_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                let i = *self as i64;
+                if i >= 0 { Value::UInt(i as u64) } else { Value::Int(i) }
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<$t, DeError> {
+                match v {
+                    Value::UInt(u) => <$t>::try_from(*u)
+                        .map_err(|_| format!("integer {u} out of range")),
+                    Value::Int(i) => <$t>::try_from(*i)
+                        .map_err(|_| format!("integer {i} out of range")),
+                    other => Err(format!("expected integer, got {other:?}")),
+                }
+            }
+        }
+    )*}
+}
+serde_int!(i8, i16, i32, i64, isize);
+
+macro_rules! serde_float {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Float(*self as f64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<$t, DeError> {
+                match v {
+                    Value::Float(f) => Ok(*f as $t),
+                    Value::UInt(u) => Ok(*u as $t),
+                    Value::Int(i) => Ok(*i as $t),
+                    other => Err(format!("expected number, got {other:?}")),
+                }
+            }
+        }
+    )*}
+}
+serde_float!(f32, f64);
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_owned())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<String, DeError> {
+        match v {
+            Value::Str(s) => Ok(s.clone()),
+            other => Err(format!("expected string, got {other:?}")),
+        }
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(inner) => inner.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Option<T>, DeError> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Arr(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Arr(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Vec<T>, DeError> {
+        match v {
+            Value::Arr(items) => items.iter().map(T::from_value).collect(),
+            other => Err(format!("expected array, got {other:?}")),
+        }
+    }
+}
+
+impl<A: Serialize, B: Serialize> Serialize for (A, B) {
+    fn to_value(&self) -> Value {
+        Value::Arr(vec![self.0.to_value(), self.1.to_value()])
+    }
+}
+
+impl<A: Deserialize, B: Deserialize> Deserialize for (A, B) {
+    fn from_value(v: &Value) -> Result<(A, B), DeError> {
+        match v {
+            Value::Arr(items) if items.len() == 2 => Ok((
+                A::from_value(&items[0])?,
+                B::from_value(&items[1])?,
+            )),
+            other => Err(format!("expected 2-element array, got {other:?}")),
+        }
+    }
+}
+
+impl<A: Serialize, B: Serialize, C: Serialize> Serialize for (A, B, C) {
+    fn to_value(&self) -> Value {
+        Value::Arr(vec![self.0.to_value(), self.1.to_value(), self.2.to_value()])
+    }
+}
+
+impl<A: Deserialize, B: Deserialize, C: Deserialize> Deserialize for (A, B, C) {
+    fn from_value(v: &Value) -> Result<(A, B, C), DeError> {
+        match v {
+            Value::Arr(items) if items.len() == 3 => Ok((
+                A::from_value(&items[0])?,
+                B::from_value(&items[1])?,
+                C::from_value(&items[2])?,
+            )),
+            other => Err(format!("expected 3-element array, got {other:?}")),
+        }
+    }
+}
+
+// Maps serialise as array-of-pairs: object keys would force stringly
+// keys, and the stub keeps deserialisation symmetric instead.
+impl<K: Serialize, V: Serialize, S> Serialize for HashMap<K, V, S> {
+    fn to_value(&self) -> Value {
+        Value::Arr(
+            self.iter()
+                .map(|(k, v)| Value::Arr(vec![k.to_value(), v.to_value()]))
+                .collect(),
+        )
+    }
+}
+
+impl<K, V, S> Deserialize for HashMap<K, V, S>
+where
+    K: Deserialize + std::hash::Hash + Eq,
+    V: Deserialize,
+    S: std::hash::BuildHasher + Default,
+{
+    fn from_value(v: &Value) -> Result<HashMap<K, V, S>, DeError> {
+        match v {
+            Value::Arr(items) => items
+                .iter()
+                .map(|pair| <(K, V)>::from_value(pair))
+                .collect(),
+            other => Err(format!("expected array of pairs, got {other:?}")),
+        }
+    }
+}
+
+impl<K: Serialize, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn to_value(&self) -> Value {
+        Value::Arr(
+            self.iter()
+                .map(|(k, v)| Value::Arr(vec![k.to_value(), v.to_value()]))
+                .collect(),
+        )
+    }
+}
+
+impl<K: Deserialize + Ord, V: Deserialize> Deserialize for BTreeMap<K, V> {
+    fn from_value(v: &Value) -> Result<BTreeMap<K, V>, DeError> {
+        match v {
+            Value::Arr(items) => items
+                .iter()
+                .map(|pair| <(K, V)>::from_value(pair))
+                .collect(),
+            other => Err(format!("expected array of pairs, got {other:?}")),
+        }
+    }
+}
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Value, DeError> {
+        Ok(v.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rendering_matches_json_shapes() {
+        let v = Value::Obj(vec![
+            ("a".into(), Value::UInt(3)),
+            ("b".into(), Value::Arr(vec![Value::Float(0.5), Value::Null])),
+            ("c".into(), Value::Str("x\"y".into())),
+        ]);
+        assert_eq!(v.render(false), r#"{"a":3,"b":[0.5,null],"c":"x\"y"}"#);
+        assert!(v.render(true).contains("\n  \"a\": 3"));
+    }
+
+    #[test]
+    fn float_rendering_keeps_a_decimal_point() {
+        assert_eq!(Value::Float(2.0).render(false), "2.0");
+        assert_eq!(Value::Float(0.25).render(false), "0.25");
+    }
+
+    #[test]
+    fn map_roundtrips_as_array_of_pairs() {
+        let mut m = HashMap::new();
+        m.insert(3usize, 0.5f64);
+        let v = m.to_value();
+        let back: HashMap<usize, f64> = Deserialize::from_value(&v).unwrap();
+        assert_eq!(back, m);
+    }
+}

@@ -1,0 +1,235 @@
+//! Offline stand-in for `serde_derive`. Hand-rolled token scanning, no
+//! syn/quote: supports flat named-field structs only (no enums, no
+//! generics, no tuple/unit structs) and the field attributes
+//! `#[serde(default)]` / `#[serde(default = "path")]`. Anything else
+//! panics at expansion time with a clear message.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+struct Field {
+    name: String,
+    /// `None` = required, `Some(None)` = Default::default(),
+    /// `Some(Some(path))` = call `path()`.
+    default: Option<Option<String>>,
+}
+
+struct Input {
+    name: String,
+    fields: Vec<Field>,
+}
+
+fn parse_input(input: TokenStream, derive: &str) -> Input {
+    let mut iter = input.into_iter().peekable();
+    // Skip outer attributes and visibility.
+    loop {
+        match iter.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                iter.next();
+                iter.next(); // the [...] group
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                iter.next();
+                // `pub(crate)` etc.
+                if let Some(TokenTree::Group(g)) = iter.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        iter.next();
+                    }
+                }
+            }
+            _ => break,
+        }
+    }
+    match iter.next() {
+        Some(TokenTree::Ident(kw)) if kw.to_string() == "struct" => {}
+        Some(TokenTree::Ident(kw)) if kw.to_string() == "enum" => {
+            panic!("stub serde_derive: #[derive({derive})] does not support enums")
+        }
+        other => panic!("stub serde_derive: expected struct, found {other:?}"),
+    }
+    let name = match iter.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("stub serde_derive: expected struct name, found {other:?}"),
+    };
+    let body = match iter.next() {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+        other => panic!(
+            "stub serde_derive: {name}: only flat named-field structs are \
+             supported (no generics, tuple or unit structs), found {other:?}"
+        ),
+    };
+    Input {
+        name,
+        fields: parse_fields(body),
+    }
+}
+
+fn parse_fields(body: TokenStream) -> Vec<Field> {
+    let mut fields = Vec::new();
+    let mut iter = body.into_iter().peekable();
+    loop {
+        let mut default = None;
+        // Field attributes.
+        loop {
+            match iter.peek() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    iter.next();
+                    let group = match iter.next() {
+                        Some(TokenTree::Group(g)) => g,
+                        other => panic!("stub serde_derive: bad attribute {other:?}"),
+                    };
+                    if let Some(d) = parse_serde_attr(group.stream()) {
+                        default = Some(d);
+                    }
+                }
+                _ => break,
+            }
+        }
+        // Visibility.
+        if let Some(TokenTree::Ident(id)) = iter.peek() {
+            if id.to_string() == "pub" {
+                iter.next();
+                if let Some(TokenTree::Group(g)) = iter.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        iter.next();
+                    }
+                }
+            }
+        }
+        let name = match iter.next() {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            other => panic!("stub serde_derive: expected field name, found {other:?}"),
+        };
+        match iter.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("stub serde_derive: expected `:` after {name}, found {other:?}"),
+        }
+        // Skip the type: consume until a comma at angle-bracket depth 0.
+        let mut angle_depth = 0i32;
+        loop {
+            match iter.peek() {
+                None => break,
+                Some(TokenTree::Punct(p)) if p.as_char() == '<' => {
+                    angle_depth += 1;
+                    iter.next();
+                }
+                Some(TokenTree::Punct(p)) if p.as_char() == '>' => {
+                    angle_depth -= 1;
+                    iter.next();
+                }
+                Some(TokenTree::Punct(p)) if p.as_char() == ',' && angle_depth == 0 => {
+                    iter.next();
+                    break;
+                }
+                _ => {
+                    iter.next();
+                }
+            }
+        }
+        fields.push(Field { name, default });
+    }
+    fields
+}
+
+/// Returns `Some(default-spec)` when the bracketed attribute body is a
+/// `serde(...)` list containing `default` or `default = "path"`.
+fn parse_serde_attr(stream: TokenStream) -> Option<Option<String>> {
+    let mut iter = stream.into_iter();
+    match iter.next() {
+        Some(TokenTree::Ident(id)) if id.to_string() == "serde" => {}
+        _ => return None, // #[doc], #[cfg], ... — not ours
+    }
+    let list = match iter.next() {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => g.stream(),
+        _ => return None,
+    };
+    let mut inner = list.into_iter();
+    match inner.next() {
+        Some(TokenTree::Ident(id)) if id.to_string() == "default" => {}
+        Some(other) => panic!(
+            "stub serde_derive: unsupported serde attribute {other}; only \
+             `default` and `default = \"path\"` are handled"
+        ),
+        None => return None,
+    }
+    match inner.next() {
+        None => Some(None),
+        Some(TokenTree::Punct(p)) if p.as_char() == '=' => match inner.next() {
+            Some(TokenTree::Literal(lit)) => {
+                let text = lit.to_string();
+                Some(Some(text.trim_matches('"').to_string()))
+            }
+            other => panic!("stub serde_derive: bad default path {other:?}"),
+        },
+        Some(other) => panic!("stub serde_derive: bad serde attribute tail {other:?}"),
+    }
+}
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let parsed = parse_input(input, "Serialize");
+    let mut pushes = String::new();
+    for f in &parsed.fields {
+        pushes.push_str(&format!(
+            "entries.push((::std::string::String::from(\"{0}\"), \
+             ::serde::Serialize::to_value(&self.{0})));\n",
+            f.name
+        ));
+    }
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+         fn to_value(&self) -> ::serde::Value {{\n\
+         let mut entries: ::std::vec::Vec<(::std::string::String, ::serde::Value)> = \
+         ::std::vec::Vec::new();\n\
+         {pushes}\
+         ::serde::Value::Obj(entries)\n\
+         }}\n\
+         }}",
+        name = parsed.name,
+    )
+    .parse()
+    .expect("stub serde_derive: generated Serialize impl did not parse")
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let parsed = parse_input(input, "Deserialize");
+    let mut inits = String::new();
+    for f in &parsed.fields {
+        let missing = match &f.default {
+            None => format!(
+                "return ::std::result::Result::Err(::std::string::String::from(\
+                 \"missing field `{}` in {}\"))",
+                f.name, parsed.name
+            ),
+            Some(None) => "::std::default::Default::default()".to_string(),
+            Some(Some(path)) => format!("{path}()"),
+        };
+        inits.push_str(&format!(
+            "{0}: match obj.iter().find(|entry| entry.0 == \"{0}\") {{\n\
+             ::std::option::Option::Some(entry) => \
+             ::serde::Deserialize::from_value(&entry.1)?,\n\
+             ::std::option::Option::None => {{ {1} }},\n\
+             }},\n",
+            f.name, missing
+        ));
+    }
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+         fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::std::string::String> {{\n\
+         let obj = match v {{\n\
+         ::serde::Value::Obj(entries) => entries,\n\
+         other => return ::std::result::Result::Err(\
+         ::std::format!(\"expected object for {name}, got {{other:?}}\")),\n\
+         }};\n\
+         ::std::result::Result::Ok({name} {{\n\
+         {inits}\
+         }})\n\
+         }}\n\
+         }}",
+        name = parsed.name,
+        inits = inits,
+    )
+    .parse()
+    .expect("stub serde_derive: generated Deserialize impl did not parse")
+}

@@ -1,0 +1,259 @@
+//! Offline stand-in for `serde_json`: renders and parses the stub
+//! `serde::Value` model. Output is real JSON; parsing is a strict
+//! recursive-descent pass (objects, arrays, strings with escapes,
+//! numbers, bools, null).
+
+pub use serde::Value;
+
+/// Serialisation/deserialisation error.
+#[derive(Debug, Clone)]
+pub struct Error {
+    msg: String,
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.msg)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl Error {
+    fn new(msg: impl Into<String>) -> Error {
+        Error { msg: msg.into() }
+    }
+}
+
+/// Result alias matching the real crate.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Compact JSON text for any stub-`Serialize` value.
+pub fn to_string<T: serde::Serialize + ?Sized>(value: &T) -> Result<String> {
+    Ok(value.to_value().render(false))
+}
+
+/// Two-space-indented JSON text.
+pub fn to_string_pretty<T: serde::Serialize + ?Sized>(value: &T) -> Result<String> {
+    Ok(value.to_value().render(true))
+}
+
+/// Parses JSON text and rebuilds `T`.
+pub fn from_str<T: serde::Deserialize>(s: &str) -> Result<T> {
+    let value = parse_value_str(s)?;
+    T::from_value(&value).map_err(Error::new)
+}
+
+fn parse_value_str(s: &str) -> Result<Value> {
+    let bytes = s.as_bytes();
+    let mut pos = 0usize;
+    let value = parse_value(bytes, &mut pos)?;
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(Error::new(format!("trailing characters at byte {pos}")));
+    }
+    Ok(value)
+}
+
+fn skip_ws(bytes: &[u8], pos: &mut usize) {
+    while *pos < bytes.len() && matches!(bytes[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn expect(bytes: &[u8], pos: &mut usize, c: u8) -> Result<()> {
+    if bytes.get(*pos) == Some(&c) {
+        *pos += 1;
+        Ok(())
+    } else {
+        Err(Error::new(format!(
+            "expected `{}` at byte {}",
+            c as char, *pos
+        )))
+    }
+}
+
+fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Value> {
+    skip_ws(bytes, pos);
+    match bytes.get(*pos) {
+        None => Err(Error::new("unexpected end of input")),
+        Some(b'n') => parse_keyword(bytes, pos, "null", Value::Null),
+        Some(b't') => parse_keyword(bytes, pos, "true", Value::Bool(true)),
+        Some(b'f') => parse_keyword(bytes, pos, "false", Value::Bool(false)),
+        Some(b'"') => parse_string(bytes, pos).map(Value::Str),
+        Some(b'[') => {
+            *pos += 1;
+            let mut items = Vec::new();
+            skip_ws(bytes, pos);
+            if bytes.get(*pos) == Some(&b']') {
+                *pos += 1;
+                return Ok(Value::Arr(items));
+            }
+            loop {
+                items.push(parse_value(bytes, pos)?);
+                skip_ws(bytes, pos);
+                match bytes.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b']') => {
+                        *pos += 1;
+                        return Ok(Value::Arr(items));
+                    }
+                    _ => return Err(Error::new(format!("expected `,` or `]` at byte {pos}"))),
+                }
+            }
+        }
+        Some(b'{') => {
+            *pos += 1;
+            let mut entries = Vec::new();
+            skip_ws(bytes, pos);
+            if bytes.get(*pos) == Some(&b'}') {
+                *pos += 1;
+                return Ok(Value::Obj(entries));
+            }
+            loop {
+                skip_ws(bytes, pos);
+                let key = parse_string(bytes, pos)?;
+                skip_ws(bytes, pos);
+                expect(bytes, pos, b':')?;
+                let value = parse_value(bytes, pos)?;
+                entries.push((key, value));
+                skip_ws(bytes, pos);
+                match bytes.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b'}') => {
+                        *pos += 1;
+                        return Ok(Value::Obj(entries));
+                    }
+                    _ => return Err(Error::new(format!("expected `,` or `}}` at byte {pos}"))),
+                }
+            }
+        }
+        Some(_) => parse_number(bytes, pos),
+    }
+}
+
+fn parse_keyword(bytes: &[u8], pos: &mut usize, word: &str, value: Value) -> Result<Value> {
+    if bytes[*pos..].starts_with(word.as_bytes()) {
+        *pos += word.len();
+        Ok(value)
+    } else {
+        Err(Error::new(format!("invalid literal at byte {pos}")))
+    }
+}
+
+fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String> {
+    expect(bytes, pos, b'"')?;
+    let mut out = String::new();
+    loop {
+        match bytes.get(*pos) {
+            None => return Err(Error::new("unterminated string")),
+            Some(b'"') => {
+                *pos += 1;
+                return Ok(out);
+            }
+            Some(b'\\') => {
+                *pos += 1;
+                match bytes.get(*pos) {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'b') => out.push('\u{8}'),
+                    Some(b'f') => out.push('\u{c}'),
+                    Some(b'u') => {
+                        let hex = bytes
+                            .get(*pos + 1..*pos + 5)
+                            .ok_or_else(|| Error::new("truncated \\u escape"))?;
+                        let hex = std::str::from_utf8(hex)
+                            .map_err(|_| Error::new("bad \\u escape"))?;
+                        let code = u32::from_str_radix(hex, 16)
+                            .map_err(|_| Error::new("bad \\u escape"))?;
+                        out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                        *pos += 4;
+                    }
+                    other => return Err(Error::new(format!("bad escape {other:?}"))),
+                }
+                *pos += 1;
+            }
+            Some(_) => {
+                // Consume one UTF-8 scalar.
+                let rest = std::str::from_utf8(&bytes[*pos..])
+                    .map_err(|_| Error::new("invalid UTF-8 in string"))?;
+                let c = rest.chars().next().expect("non-empty by construction");
+                out.push(c);
+                *pos += c.len_utf8();
+            }
+        }
+    }
+}
+
+fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<Value> {
+    let start = *pos;
+    if bytes.get(*pos) == Some(&b'-') {
+        *pos += 1;
+    }
+    let mut float = false;
+    while let Some(&b) = bytes.get(*pos) {
+        match b {
+            b'0'..=b'9' => *pos += 1,
+            b'.' | b'e' | b'E' | b'+' | b'-' => {
+                float = true;
+                *pos += 1;
+            }
+            _ => break,
+        }
+    }
+    let text = std::str::from_utf8(&bytes[start..*pos])
+        .map_err(|_| Error::new("invalid number"))?;
+    if text.is_empty() || text == "-" {
+        return Err(Error::new(format!("invalid number at byte {start}")));
+    }
+    if !float {
+        if let Ok(u) = text.parse::<u64>() {
+            return Ok(Value::UInt(u));
+        }
+        if let Ok(i) = text.parse::<i64>() {
+            return Ok(Value::Int(i));
+        }
+    }
+    text.parse::<f64>()
+        .map(Value::Float)
+        .map_err(|_| Error::new(format!("invalid number `{text}`")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_own_rendering() {
+        let v = Value::Obj(vec![
+            ("xs".into(), Value::Arr(vec![Value::UInt(1), Value::Float(0.5)])),
+            ("s".into(), Value::Str("a\"b\\c\nd".into())),
+            ("neg".into(), Value::Int(-3)),
+            ("flag".into(), Value::Bool(true)),
+            ("none".into(), Value::Null),
+        ]);
+        for pretty in [false, true] {
+            let text = v.render(pretty);
+            let back = parse_value_str(&text).unwrap();
+            assert_eq!(back, v);
+        }
+    }
+
+    #[test]
+    fn typed_roundtrip() {
+        let xs = vec![0.25f64, 2.0, -1.5];
+        let text = to_string(&xs).unwrap();
+        let back: Vec<f64> = from_str(&text).unwrap();
+        assert_eq!(back, xs);
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(from_str::<Vec<f64>>("[1,,2]").is_err());
+        assert!(from_str::<Vec<f64>>("[1] trailing").is_err());
+    }
+}
