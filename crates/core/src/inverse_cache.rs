@@ -15,14 +15,50 @@
 //! alongside its inverse and verifying bit-equality on every hit; the cache
 //! is bounded and resets when full so a long-lived characterisation service
 //! cannot leak. Hits and misses are exported through the telemetry names
-//! `core.plan.inverse_cache_hits_total` / `…_misses_total`.
+//! `core.plan.inverse_cache_hits_total` / `…_misses_total`, and the running
+//! hit ratio through the `core.plan.inverse_cache_hit_ratio` gauge.
 
 use crate::error::Result;
 use qem_linalg::checks;
 use qem_linalg::checks::mutation::{self, Mutation};
 use qem_linalg::dense::Matrix;
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
+
+/// Process-lifetime lookup tallies backing the
+/// `core.plan.inverse_cache_hit_ratio` gauge. Kept as atomics (not derived
+/// from the telemetry counters) so the ratio is correct even when telemetry
+/// was enabled mid-run.
+static LOOKUP_HITS: AtomicU64 = AtomicU64::new(0);
+static LOOKUP_MISSES: AtomicU64 = AtomicU64::new(0);
+
+/// Export counters and the running hit ratio for one cache lookup.
+fn record_lookup(hit: bool) {
+    let (name, tally) = if hit {
+        (
+            qem_telemetry::names::CORE_PLAN_INVERSE_CACHE_HITS_TOTAL,
+            &LOOKUP_HITS,
+        )
+    } else {
+        (
+            qem_telemetry::names::CORE_PLAN_INVERSE_CACHE_MISSES_TOTAL,
+            &LOOKUP_MISSES,
+        )
+    };
+    tally.fetch_add(1, Ordering::Relaxed);
+    qem_telemetry::counter_add(name, 1);
+    if qem_telemetry::enabled() {
+        let hits = LOOKUP_HITS.load(Ordering::Relaxed);
+        let total = hits + LOOKUP_MISSES.load(Ordering::Relaxed);
+        if total > 0 {
+            qem_telemetry::gauge_set(
+                qem_telemetry::names::CORE_PLAN_INVERSE_CACHE_HIT_RATIO,
+                hits as f64 / total as f64,
+            );
+        }
+    }
+}
 
 /// Entries kept before the cache resets. 4096 inverses of `2^k` blocks
 /// (k ≤ 4 in practice) is a few MiB — far beyond any realistic device
@@ -109,10 +145,7 @@ pub fn invert_cached(m: &Matrix) -> Result<Arc<Matrix>> {
                          the guard)"
                     );
                 }
-                qem_telemetry::counter_add(
-                    qem_telemetry::names::CORE_PLAN_INVERSE_CACHE_HITS_TOTAL,
-                    1,
-                );
+                record_lookup(true);
                 return Ok(Arc::clone(inv));
             }
         }
@@ -120,10 +153,7 @@ pub fn invert_cached(m: &Matrix) -> Result<Arc<Matrix>> {
     // Invert outside the lock: LU is the expensive part and concurrent
     // misses on distinct matrices should not serialise.
     let inv = Arc::new(qem_linalg::lu::inverse(m)?);
-    qem_telemetry::counter_add(
-        qem_telemetry::names::CORE_PLAN_INVERSE_CACHE_MISSES_TOTAL,
-        1,
-    );
+    record_lookup(false);
     let mut guard = cache().lock().unwrap_or_else(|p| p.into_inner());
     if guard.len() >= CACHE_CAP {
         guard.clear();

@@ -11,7 +11,51 @@ use qem_linalg::sparse_apply::{apply_operator_sparse, SparseDist};
 use qem_linalg::stochastic::apply_on_qubits;
 use qem_sim::counts::Counts;
 use rayon::prelude::*;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, OnceLock};
+
+/// Period of the L1-vs-serial quality probe: every `period`-th apply also
+/// runs the legacy serial reference on one histogram and exports the L1
+/// distance between the two outputs as `core.mitigator.l1_vs_serial`. The
+/// serial path costs ~6.5× one compiled apply (BENCH_mitigation.json), so
+/// the default period of 256 keeps the probe's amortised overhead ≈ 2.5%,
+/// inside the 3% recorder budget. 0 disables the probe.
+static L1_SAMPLE_PERIOD: AtomicU64 = AtomicU64::new(256);
+/// Monotonic apply ticket driving the sampling decision.
+static APPLY_TICKET: AtomicU64 = AtomicU64::new(0);
+
+/// Set the L1-vs-serial sampling period (0 disables the probe). Applies
+/// process-wide; the probe only fires while telemetry is enabled.
+pub fn set_l1_sample_period(period: u64) {
+    L1_SAMPLE_PERIOD.store(period, Ordering::Relaxed);
+}
+
+/// Quantizes a quality metric before it is recorded: values below the
+/// parallel-reduction noise floor clamp to exactly zero, and everything
+/// else rounds to 12 significant digits. The parallel kernel's merge order
+/// varies run to run, so raw values differ in the last ulp — quantizing
+/// keeps `--virtual-clock` metrics exports byte-identical while passing
+/// any real divergence through unchanged.
+fn quantize_metric(v: f64) -> f64 {
+    const NOISE_FLOOR: f64 = 1e-12;
+    if !v.is_finite() || v.abs() < NOISE_FLOOR {
+        return 0.0;
+    }
+    let magnitude = v.abs().log10().floor() as i32;
+    let scale = 10f64.powi(11 - magnitude);
+    (v * scale).round() / scale
+}
+
+fn l1_probe_due() -> bool {
+    if !qem_telemetry::enabled() {
+        return false;
+    }
+    let period = L1_SAMPLE_PERIOD.load(Ordering::Relaxed);
+    period > 0
+        && APPLY_TICKET
+            .fetch_add(1, Ordering::Relaxed)
+            .is_multiple_of(period)
+}
 
 /// One mitigation step: a dense `2^k × 2^k` operator on a qubit subset.
 #[derive(Clone, Debug)]
@@ -150,10 +194,45 @@ impl SparseMitigator {
         let plan = self.plan()?;
         let mut ws = Workspace::new();
         let (mut d, flops) = plan.apply(dist, self.cull_threshold, &mut ws)?;
-        d.clamp_negative();
+        self.record_clamped_mass(d.clamp_negative_measured());
+        self.maybe_probe_l1(dist, &d)?;
         qem_telemetry::counter_add(qem_telemetry::names::CORE_MITIGATOR_FLOPS_ESTIMATE, flops);
+        qem_telemetry::gauge_set(
+            qem_telemetry::names::CORE_MITIGATOR_FLOPS_PER_HISTOGRAM,
+            flops as f64,
+        );
         qem_telemetry::counter_add(qem_telemetry::names::CORE_MITIGATOR_APPLIES_TOTAL, 1);
         Ok(d)
+    }
+
+    /// Export the negative quasi-probability mass `clamp_negative_measured`
+    /// clipped — the paper's signal that the inverse is amplifying sampling
+    /// noise. The mass is accumulated inside the clamp pass itself, so this
+    /// costs one histogram record, not a sweep over the support.
+    fn record_clamped_mass(&self, clipped: f64) {
+        if !qem_telemetry::enabled() {
+            return;
+        }
+        qem_telemetry::histogram_record_with(
+            qem_telemetry::names::CORE_MITIGATOR_CLAMPED_MASS,
+            &qem_telemetry::CLAMP_BUCKETS,
+            quantize_metric(clipped),
+        );
+    }
+
+    /// Sampled quality probe: every `L1_SAMPLE_PERIOD`-th apply re-runs the
+    /// serial reference mitigator on the same input and exports the L1
+    /// distance between the two (post-clamp) outputs.
+    fn maybe_probe_l1(&self, input: &SparseDist, mitigated: &SparseDist) -> Result<()> {
+        if !l1_probe_due() {
+            return Ok(());
+        }
+        let reference = self.mitigate_dist_serial(input)?;
+        qem_telemetry::gauge_set(
+            qem_telemetry::names::CORE_MITIGATOR_L1_VS_SERIAL,
+            quantize_metric(mitigated.l1_distance(&reference)),
+        );
+        Ok(())
     }
 
     /// The pre-plan reference implementation: per-step hash-map sparse
@@ -190,6 +269,15 @@ impl SparseMitigator {
         let mitigated: Vec<Vec<Result<(SparseDist, u64)>>> = chunks
             .into_par_iter()
             .map(|chunk| {
+                // Detached: rayon work-stealing means whatever span is open
+                // on this worker's stack belongs to an unrelated task, so
+                // parenting the chunk there would mis-nest the trace. Under
+                // the sharded backend this records into the worker's own
+                // ring without touching the recorder mutex.
+                let _chunk_span = qem_telemetry::span_detached(
+                    qem_telemetry::names::CORE_MITIGATOR_BATCH_CHUNK,
+                    &[("histograms", chunk.len().to_string())],
+                );
                 let mut ws = Workspace::new();
                 chunk
                     .iter()
@@ -201,11 +289,18 @@ impl SparseMitigator {
         let mut flops = 0u64;
         for r in mitigated.into_iter().flatten() {
             let (mut d, f) = r?;
-            d.clamp_negative();
+            self.record_clamped_mass(d.clamp_negative_measured());
             flops += f;
             out.push(d);
         }
+        if let (Some(first_in), Some(first_out)) = (batch.first(), out.first()) {
+            self.maybe_probe_l1(&first_in.to_distribution(), first_out)?;
+        }
         qem_telemetry::counter_add(qem_telemetry::names::CORE_MITIGATOR_FLOPS_ESTIMATE, flops);
+        qem_telemetry::gauge_set(
+            qem_telemetry::names::CORE_MITIGATOR_FLOPS_PER_HISTOGRAM,
+            flops as f64 / out.len().max(1) as f64,
+        );
         qem_telemetry::counter_add(
             qem_telemetry::names::CORE_MITIGATOR_APPLIES_TOTAL,
             out.len() as u64,

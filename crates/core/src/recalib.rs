@@ -521,6 +521,16 @@ impl RecalibScheduler {
             MitigationLevel::Cmc,
             now,
         ))?);
+        // Seed the serving gauges so /healthz and /metrics reflect the
+        // initial generation before the first cycle completes.
+        qem_telemetry::gauge_set(
+            qem_telemetry::names::CORE_RECALIB_SERVING_EPOCH,
+            handle.epoch() as f64,
+        );
+        qem_telemetry::gauge_set(
+            qem_telemetry::names::CORE_RECALIB_SERVING_LEVEL_RUNG,
+            MitigationLevel::Cmc.rung() as f64,
+        );
         Ok(RecalibScheduler {
             handle,
             policy,
@@ -592,18 +602,33 @@ impl RecalibScheduler {
             drift.shots_used,
         );
 
-        // 2. Flag patches by forecast, worst first.
+        // 2. Forecast every patch (the staleness gauges cover the whole
+        // fleet, not just flagged patches), then flag by threshold, worst
+        // first.
         let horizon = self.policy.staleness.forecast_horizon;
         let threshold = self.policy.staleness.drift_threshold;
-        let mut flagged: Vec<(usize, f64)> = serving
+        let forecasts: Vec<(usize, f64)> = serving
             .calibration
             .patches
             .iter()
             .enumerate()
-            .filter_map(|(i, p)| {
-                let f = drift.patch_forecast(p.qubits(), horizon);
-                (f > threshold).then_some((i, f))
-            })
+            .map(|(i, p)| (i, drift.patch_forecast(p.qubits(), horizon)))
+            .collect();
+        if !forecasts.is_empty() {
+            let max = forecasts
+                .iter()
+                .map(|&(_, f)| f)
+                .fold(f64::NEG_INFINITY, f64::max);
+            let mean = forecasts.iter().map(|&(_, f)| f).sum::<f64>() / forecasts.len() as f64;
+            qem_telemetry::gauge_set(qem_telemetry::names::CORE_RECALIB_PATCH_STALENESS_MAX, max);
+            qem_telemetry::gauge_set(
+                qem_telemetry::names::CORE_RECALIB_PATCH_STALENESS_MEAN,
+                mean,
+            );
+        }
+        let mut flagged: Vec<(usize, f64)> = forecasts
+            .into_iter()
+            .filter(|&(_, f)| f > threshold)
             .collect();
         flagged.sort_by(|a, b| b.1.total_cmp(&a.1));
         report.flagged = flagged.len();
@@ -812,6 +837,10 @@ impl RecalibScheduler {
                 qem_telemetry::gauge_set(
                     qem_telemetry::names::CORE_RECALIB_SERVING_EPOCH,
                     epoch as f64,
+                );
+                qem_telemetry::gauge_set(
+                    qem_telemetry::names::CORE_RECALIB_SERVING_LEVEL_RUNG,
+                    level.rung() as f64,
                 );
                 qem_telemetry::event!(
                     qem_telemetry::names::CORE_RECALIB_SWAP,

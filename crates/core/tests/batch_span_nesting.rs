@@ -1,0 +1,96 @@
+//! Regression test for span parent attribution under `mitigate_batch`.
+//!
+//! Rayon work-stealing means a worker's thread-local span stack can hold a
+//! span belonging to an unrelated stolen task; parenting batch-chunk spans
+//! there mis-nests the trace. Chunk spans must therefore be detached roots
+//! (`parent == None`), while the caller-side `batch_apply` span keeps its
+//! real caller parentage — including under the sharded streaming backend.
+//!
+//! Own integration binary: it drives the process-global recorder.
+
+use qem_core::SparseMitigator;
+use qem_linalg::dense::Matrix;
+use qem_sim::counts::Counts;
+
+const N: usize = 8;
+
+fn flip(p0: f64, p1: f64) -> Matrix {
+    Matrix::from_rows(&[&[1.0 - p0, p1], &[p0, 1.0 - p1]])
+}
+
+fn mitigator() -> SparseMitigator {
+    let mut mit = SparseMitigator::identity(N);
+    for q in 0..N - 1 {
+        let inv = qem_linalg::lu::inverse(&flip(0.04, 0.06).kron(&flip(0.03, 0.05))).unwrap();
+        mit.push_step(vec![q, q + 1], inv).unwrap();
+    }
+    mit
+}
+
+#[test]
+fn batch_chunk_spans_are_detached_and_batch_apply_nests_under_caller() {
+    let rec = qem_telemetry::global();
+    rec.set_enabled(true);
+    rec.set_sharded(true);
+    rec.use_virtual_clock();
+    rec.reset();
+
+    let mit = mitigator();
+    let batch: Vec<Counts> = (0..64)
+        .map(|i| {
+            let mut c = Counts::new(N);
+            c.record(i as u64);
+            c.record(((1u64 << N) - 1) ^ (i as u64));
+            c
+        })
+        .collect();
+
+    let outer_name = qem_telemetry::names::CORE_RECALIB_CYCLE;
+    {
+        let _outer = qem_telemetry::span!(outer_name);
+        mit.mitigate_batch(&batch).unwrap();
+    }
+
+    let spans = rec.spans();
+    let outer = spans
+        .iter()
+        .find(|s| s.name == outer_name)
+        .expect("outer span recorded");
+    assert!(outer.parent.is_none());
+
+    let chunk_spans: Vec<_> = spans
+        .iter()
+        .filter(|s| s.name == qem_telemetry::names::CORE_MITIGATOR_BATCH_CHUNK)
+        .collect();
+    assert!(
+        !chunk_spans.is_empty(),
+        "mitigate_batch recorded no chunk spans"
+    );
+    for chunk in &chunk_spans {
+        assert!(
+            chunk.parent.is_none(),
+            "batch-chunk span {} adopted parent {:?} from a worker's \
+             unrelated stack",
+            chunk.id,
+            chunk.parent
+        );
+        assert!(chunk.end_micros.is_some(), "chunk span never closed");
+    }
+
+    let batch_apply = spans
+        .iter()
+        .find(|s| s.name == qem_telemetry::names::CORE_MITIGATOR_BATCH_APPLY)
+        .expect("batch_apply span recorded");
+    assert_eq!(
+        batch_apply.parent,
+        Some(outer.id),
+        "caller-side batch_apply span lost its caller parent"
+    );
+
+    // No silent loss on this workload: everything fit in the rings.
+    assert_eq!(rec.dropped_records(), 0);
+
+    rec.reset();
+    rec.set_sharded(false);
+    rec.set_enabled(false);
+}

@@ -101,8 +101,7 @@ proptest! {
         dist in sparse_dist(),
         cull in 0.0..1e-2f64,
     ) {
-        let steps: Vec<(usize, Matrix)> =
-            ops.into_iter().enumerate().map(|(i, m)| (i, m)).collect();
+        let steps: Vec<(usize, Matrix)> = ops.into_iter().enumerate().collect();
         let mit = build(&steps, cull);
         let plan = mit.mitigate_dist(&dist).unwrap();
         let serial = mit.mitigate_dist_serial(&dist).unwrap();

@@ -83,7 +83,7 @@ fn racing_readers_never_observe_a_torn_plan() {
                         );
                         last_epoch = serving.epoch;
                         let out = serving.calibration.mitigator.mitigate(raw).unwrap();
-                        let expected = if serving.epoch % 2 == 0 {
+                        let expected = if serving.epoch.is_multiple_of(2) {
                             expect_even
                         } else {
                             expect_odd

@@ -1,0 +1,89 @@
+//! Manual overhead measurement for the sharded recorder on the batch path.
+//!
+//! Ignored by default: wall-clock ratios are too machine-sensitive for CI.
+//! Run explicitly when touching the recorder hot path:
+//!
+//! ```sh
+//! cargo test --release -p qem-core --test recorder_overhead -- --ignored --nocapture
+//! ```
+
+use qem_core::SparseMitigator;
+use qem_linalg::dense::Matrix;
+use qem_sim::counts::Counts;
+use std::time::Instant;
+
+const N: usize = 20;
+
+fn flip(p0: f64, p1: f64) -> Matrix {
+    Matrix::from_rows(&[&[1.0 - p0, p1], &[p0, 1.0 - p1]])
+}
+
+fn mitigator() -> SparseMitigator {
+    let mut mit = SparseMitigator::identity(N);
+    for q in 0..N - 1 {
+        let inv = qem_linalg::lu::inverse(&flip(0.04, 0.06).kron(&flip(0.03, 0.05))).unwrap();
+        mit.push_step(vec![q, q + 1], inv).unwrap();
+    }
+    mit
+}
+
+fn batch() -> Vec<Counts> {
+    (0..16)
+        .map(|i| {
+            let mut c = Counts::new(N);
+            for k in 0..64u64 {
+                c.record((k.wrapping_mul(0x9e37_79b9) ^ i as u64) % (1 << N));
+            }
+            c
+        })
+        .collect()
+}
+
+fn time_once(mit: &SparseMitigator, input: &[Counts]) -> f64 {
+    let t = Instant::now();
+    let out = mit.mitigate_batch(input).unwrap();
+    assert_eq!(out.len(), input.len());
+    t.elapsed().as_secs_f64()
+}
+
+#[test]
+#[ignore = "wall-clock measurement; run manually with --ignored --nocapture"]
+fn sharded_recorder_overhead_on_batch_apply() {
+    let mit = mitigator();
+    let input = batch();
+    let reps = 7;
+
+    // Warm the plan compile and the allocator before either timed pass.
+    let _ = mit.mitigate_batch(&input).unwrap();
+
+    // Interleave the two configurations so ambient load and thermal drift
+    // hit both equally; compare best-of-N against best-of-N.
+    let rec = qem_telemetry::global();
+    let mut disabled = f64::INFINITY;
+    let mut sharded = f64::INFINITY;
+    let mut dropped = 0;
+    for _ in 0..reps {
+        rec.set_enabled(false);
+        disabled = disabled.min(time_once(&mit, &input));
+
+        rec.set_enabled(true);
+        rec.set_sharded(true);
+        sharded = sharded.min(time_once(&mit, &input));
+        dropped = rec.dropped_records();
+        rec.reset();
+        rec.set_sharded(false);
+        rec.set_enabled(false);
+    }
+
+    let overhead = sharded / disabled - 1.0;
+    println!(
+        "batch apply {N}q/16 histograms: disabled {disabled:.4}s, \
+         sharded {sharded:.4}s, overhead {:.2}% (dropped {dropped})",
+        overhead * 100.0
+    );
+    assert!(
+        overhead < 0.03,
+        "sharded recorder overhead {:.2}% exceeds the 3% budget",
+        overhead * 100.0
+    );
+}

@@ -111,12 +111,27 @@ impl SparseDist {
     /// Zeroes negative weights and renormalises (projection onto the
     /// probability simplex after quasi-probability mitigation).
     pub fn clamp_negative(&mut self) {
-        self.weights
-            .retain(|_, w| *w > 0.0 || mutation::armed(Mutation::KeepNegativeWeight));
+        let _ = self.clamp_negative_measured();
+    }
+
+    /// [`SparseDist::clamp_negative`] that also returns the total negative
+    /// mass removed, accumulated during the same pass — callers exporting
+    /// the clipped mass avoid a second sweep over the support.
+    pub fn clamp_negative_measured(&mut self) -> f64 {
+        let mut clipped = 0.0;
+        self.weights.retain(|_, w| {
+            if *w > 0.0 || mutation::armed(Mutation::KeepNegativeWeight) {
+                true
+            } else {
+                clipped -= *w;
+                false
+            }
+        });
         self.normalize();
         if checks::ENABLED {
             checks::check_nonnegative("SparseDist::clamp_negative", self.iter());
         }
+        clipped
     }
 
     /// Dense probability vector of length `2^n` (small-n cross-checks).

@@ -89,6 +89,7 @@ impl MitigationStrategy for CmcStrategy {
             return Ok(BatchOutcome::default());
         }
         let _span = qem_telemetry::span!(qem_telemetry::names::MITIGATION_CMC_RUN, budget = budget);
+        crate::strategy::record_batch_throughput(circuits.len());
         let schedule = patch_construct(&backend.device().coupling.graph, self.k);
         let cal_circuits = 4 * schedule.rounds.len();
         let (per_circuit, execution) = split_budget(budget, cal_circuits.max(1));
@@ -189,6 +190,7 @@ impl MitigationStrategy for CmcErrStrategy {
             qem_telemetry::names::MITIGATION_CMC_ERR_RUN,
             budget = budget
         );
+        crate::strategy::record_batch_throughput(circuits.len());
         use qem_topology::patches::schedule_pairs;
         let graph = &backend.device().coupling.graph;
         let candidates = graph.pairs_within_distance(self.locality);

@@ -76,6 +76,7 @@ impl MitigationStrategy for FullStrategy {
         }
         let _span =
             qem_telemetry::span!(qem_telemetry::names::MITIGATION_FULL_RUN, budget = budget);
+        crate::strategy::record_batch_throughput(circuits.len());
         if !self.feasible(backend.device(), budget) {
             return Err(qem_core::error::CoreError::Infeasible {
                 detail: format!(

@@ -56,6 +56,7 @@ impl MitigationStrategy for LinearStrategy {
         }
         let _span =
             qem_telemetry::span!(qem_telemetry::names::MITIGATION_LINEAR_RUN, budget = budget);
+        crate::strategy::record_batch_throughput(circuits.len());
         let (per_circuit, execution) = split_budget(budget, 2);
         // Two calibration circuits total — shared by the whole batch — and
         // one mitigator whose per-qubit steps are fully disjoint, so the

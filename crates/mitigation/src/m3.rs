@@ -157,6 +157,7 @@ impl MitigationStrategy for M3Strategy {
             return Ok(BatchOutcome::default());
         }
         let _span = qem_telemetry::span!(qem_telemetry::names::MITIGATION_M3_RUN, budget = budget);
+        crate::strategy::record_batch_throughput(circuits.len());
         let (per_circuit, execution) = split_budget(budget, 2);
         // One two-circuit tensored characterisation for the batch; the
         // per-histogram subspace solves are independent pure functions, so

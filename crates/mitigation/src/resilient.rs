@@ -133,6 +133,7 @@ impl MitigationStrategy for ResilientCmcStrategy {
             qem_telemetry::names::MITIGATION_RESILIENT_RUN,
             budget = budget
         );
+        crate::strategy::record_batch_throughput(circuits.len());
         let schedule = patch_construct(&backend.device().coupling.graph, self.k);
         let cal_circuits = 4 * schedule.rounds.len();
         let (per_circuit, execution) = split_budget(budget, cal_circuits.max(1));

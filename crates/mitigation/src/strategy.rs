@@ -112,6 +112,7 @@ pub trait MitigationStrategy: Send + Sync {
         if circuits.is_empty() {
             return Ok(BatchOutcome::default());
         }
+        record_batch_throughput(circuits.len());
         let per = per_circuit_execution(budget, circuits.len())?;
         let mut out = BatchOutcome::default();
         for circuit in circuits {
@@ -132,6 +133,16 @@ pub trait MitigationStrategy: Send + Sync {
 // scheduler applies the same guard per cycle); re-exported here so existing
 // strategy call sites keep compiling unchanged.
 pub use qem_core::budget::per_circuit_execution;
+
+/// Records one batch-path invocation: the histogram count feeds the
+/// `mitigation.batch.histograms_total` counter, whose windowed rate is the
+/// batch-throughput signal on `/metrics`.
+pub(crate) fn record_batch_throughput(histograms: usize) {
+    qem_telemetry::counter_add(
+        qem_telemetry::names::MITIGATION_BATCH_HISTOGRAMS_TOTAL,
+        histograms as u64,
+    );
+}
 
 /// Splits a budget into a calibration half and an execution half,
 /// distributing the calibration half over `circuits` circuits.

@@ -287,6 +287,11 @@ impl Backend {
     /// and sweep harnesses are embarrassingly parallel across circuits.
     pub fn execute_batch(&self, circuits: &[Circuit], shots: u64, base_seed: u64) -> Vec<Counts> {
         use rayon::prelude::*;
+        qem_telemetry::counter_add(qem_telemetry::names::SIM_EXEC_BATCHES_TOTAL, 1);
+        qem_telemetry::counter_add(
+            qem_telemetry::names::SIM_EXEC_CIRCUITS_SUBMITTED,
+            circuits.len() as u64,
+        );
         circuits
             .par_iter()
             .enumerate()

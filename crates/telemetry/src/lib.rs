@@ -29,13 +29,19 @@
 pub mod json;
 pub mod metrics;
 pub mod names;
+pub mod prometheus;
 pub mod recorder;
+pub mod serve;
+mod sharded;
+pub mod window;
 
 pub use metrics::{
-    HistogramSnapshot, MetricsSnapshot, SpanStats, CONDITION_BUCKETS, DECADE_BUCKETS,
-    METRICS_SCHEMA_VERSION, WEIGHT_BUCKETS,
+    HistogramSnapshot, MetricsSnapshot, SpanStats, CLAMP_BUCKETS, CONDITION_BUCKETS,
+    DECADE_BUCKETS, METRICS_SCHEMA_VERSION, WEIGHT_BUCKETS,
 };
 pub use recorder::{EventRecord, Recorder, SpanGuard, SpanRecord};
+pub use serve::{serve, HealthPolicy, MetricsServer};
+pub use window::{WindowedCounter, WindowedHistogram, WindowedSnapshot, WINDOWED_SCHEMA_VERSION};
 
 use std::sync::OnceLock;
 
@@ -71,6 +77,35 @@ pub fn use_wall_clock() {
 /// Advance the global virtual clock.
 pub fn tick(micros: u64) {
     global().tick(micros);
+}
+
+/// Route the global recorder's spans/events through per-thread lock-free
+/// shard rings (the streaming backend) instead of the central mutex.
+pub fn set_sharded(on: bool) {
+    global().set_sharded(on);
+}
+
+/// Total records dropped by full shard rings on the global recorder.
+pub fn dropped_records() -> u64 {
+    global().dropped_records()
+}
+
+/// Reconfigure the global rolling window (bucket width in clock
+/// microseconds × bucket count). Clears windowed state.
+pub fn set_window(bucket_micros: u64, buckets: usize) {
+    global().set_window(bucket_micros, buckets);
+}
+
+/// Freeze the global rolling windowed aggregates.
+pub fn windowed_snapshot() -> WindowedSnapshot {
+    global().windowed_snapshot()
+}
+
+/// Open a *root* span on the global recorder: parent is `None` regardless
+/// of what is open on this thread, but children still nest under it. For
+/// worker-pool tasks where the ambient span stack is unrelated to the task.
+pub fn span_detached(name: &str, attrs: &[(&str, String)]) -> SpanGuard<'static> {
+    global().span_detached(name, attrs)
 }
 
 /// Increment a global counter.

@@ -24,6 +24,11 @@ pub const WEIGHT_BUCKETS: [f64; 8] = [1e-4, 1e-3, 1e-2, 0.05, 0.1, 0.25, 0.5, 1.
 /// sit near 1, and the resilience layer rejects patches past ~1e8.
 pub const CONDITION_BUCKETS: [f64; 8] = [2.0, 5.0, 10.0, 100.0, 1e3, 1e4, 1e6, 1e8];
 
+/// Bounds for negative probability mass clipped by `clamp_negative` after a
+/// mitigator application. Healthy applications clip ≲ 1e-2; mass near 1
+/// means the inverse is amplifying sampling noise instead of correcting it.
+pub const CLAMP_BUCKETS: [f64; 9] = [1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 0.05, 0.1, 0.5, 1.0];
+
 #[derive(Clone, Debug, PartialEq)]
 pub(crate) struct Histogram {
     bounds: Vec<f64>,

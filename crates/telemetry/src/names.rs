@@ -48,6 +48,9 @@ pub const CORE_JOINING_JOIN_CORRECTIONS: &str = "core.joining.join_corrections";
 pub const CORE_MITIGATOR_APPLY: &str = "core.mitigator.apply";
 /// Batched application of one compiled plan across many histograms.
 pub const CORE_MITIGATOR_BATCH_APPLY: &str = "core.mitigator.batch_apply";
+/// One rayon worker's chunk of a batched application. Recorded detached
+/// (parent `None`): the stealing worker's ambient span stack is unrelated.
+pub const CORE_MITIGATOR_BATCH_CHUNK: &str = "core.mitigator.batch_chunk";
 /// Compilation of a mitigator chain into a layered execution plan.
 pub const CORE_PLAN_COMPILE: &str = "core.plan.compile";
 /// One recalibration scheduler cycle (probe → refresh → swap).
@@ -145,6 +148,11 @@ pub const CORE_RESILIENCE_FAILED_SUBMISSIONS_TOTAL: &str =
 pub const CORE_RESILIENCE_RETRIES_TOTAL: &str = "core.resilience.retries_total";
 /// Circuit submissions attempted.
 pub const CORE_RESILIENCE_SUBMISSIONS_TOTAL: &str = "core.resilience.submissions_total";
+/// Histograms mitigated through a strategy batch path (windowed rate =
+/// batch throughput).
+pub const MITIGATION_BATCH_HISTOGRAMS_TOTAL: &str = "mitigation.batch.histograms_total";
+/// Parallel circuit batches executed by the simulator backend.
+pub const SIM_EXEC_BATCHES_TOTAL: &str = "sim.exec.batches_total";
 /// Circuits submitted to an executor.
 pub const SIM_EXEC_CIRCUITS_SUBMITTED: &str = "sim.exec.circuits_submitted";
 /// Fatal (non-retryable) injected faults.
@@ -157,6 +165,10 @@ pub const SIM_EXEC_SHOTS_DROPPED: &str = "sim.exec.shots_dropped";
 pub const SIM_EXEC_SHOTS_EXECUTED: &str = "sim.exec.shots_executed";
 /// Shots requested by callers.
 pub const SIM_EXEC_SHOTS_REQUESTED: &str = "sim.exec.shots_requested";
+/// HTTP requests answered by the live metrics endpoint.
+pub const TELEMETRY_SERVE_REQUESTS_TOTAL: &str = "telemetry.serve.requests_total";
+/// Records rejected by full shard rings (explicit streaming-backend loss).
+pub const TELEMETRY_SHARD_DROPPED_RECORDS_TOTAL: &str = "telemetry.shard.dropped_records_total";
 
 // --------------------------------------------------------------- gauges --
 
@@ -176,6 +188,19 @@ pub const CORE_PLAN_LAYER_COUNT: &str = "core.plan.layer_count";
 pub const CORE_RECALIB_SERVING_EPOCH: &str = "core.recalib.serving_epoch";
 /// Final rung of the resilience ladder (0 = best).
 pub const CORE_RESILIENCE_LADDER_RUNG: &str = "core.resilience.ladder_rung";
+/// Post-cull FLOPs per histogram in the most recent apply (single or batch).
+pub const CORE_MITIGATOR_FLOPS_PER_HISTOGRAM: &str = "core.mitigator.flops_per_histogram";
+/// Sampled L1 distance between the compiled plan's output and the serial
+/// reference mitigator on the same histogram (mitigation-quality probe).
+pub const CORE_MITIGATOR_L1_VS_SERIAL: &str = "core.mitigator.l1_vs_serial";
+/// Inverse-cache hit ratio (hits / lookups) since process start.
+pub const CORE_PLAN_INVERSE_CACHE_HIT_RATIO: &str = "core.plan.inverse_cache_hit_ratio";
+/// Worst per-patch drift forecast observed in the latest recalib cycle.
+pub const CORE_RECALIB_PATCH_STALENESS_MAX: &str = "core.recalib.patch_staleness_max";
+/// Mean per-patch drift forecast observed in the latest recalib cycle.
+pub const CORE_RECALIB_PATCH_STALENESS_MEAN: &str = "core.recalib.patch_staleness_mean";
+/// Ladder rung of the currently serving mitigation level (0 = best).
+pub const CORE_RECALIB_SERVING_LEVEL_RUNG: &str = "core.recalib.serving_level_rung";
 
 // ----------------------------------------------------------- histograms --
 
@@ -185,6 +210,9 @@ pub const CORE_ERR_PAIR_WEIGHT: &str = "core.err.pair_weight";
 pub const CORE_PLAN_LAYER_ENTRIES: &str = "core.plan.layer_entries";
 /// Distribution of patch-scheduling speedups over sequential (Algorithm 1).
 pub const BENCH_ALG1_SPEEDUP: &str = "bench.alg1.speedup";
+/// Negative probability mass clipped per mitigator application (uses
+/// `CLAMP_BUCKETS`).
+pub const CORE_MITIGATOR_CLAMPED_MASS: &str = "core.mitigator.clamped_mass";
 
 /// Every registered name, for exhaustive validation and tooling.
 pub const ALL: &[&str] = &[
@@ -204,6 +232,7 @@ pub const ALL: &[&str] = &[
     CORE_JOINING_JOIN_CORRECTIONS,
     CORE_MITIGATOR_APPLY,
     CORE_MITIGATOR_BATCH_APPLY,
+    CORE_MITIGATOR_BATCH_CHUNK,
     CORE_PLAN_COMPILE,
     CORE_RECALIB_CYCLE,
     CORE_RESILIENCE_CALIBRATE,
@@ -248,12 +277,16 @@ pub const ALL: &[&str] = &[
     CORE_RESILIENCE_FAILED_SUBMISSIONS_TOTAL,
     CORE_RESILIENCE_RETRIES_TOTAL,
     CORE_RESILIENCE_SUBMISSIONS_TOTAL,
+    MITIGATION_BATCH_HISTOGRAMS_TOTAL,
+    SIM_EXEC_BATCHES_TOTAL,
     SIM_EXEC_CIRCUITS_SUBMITTED,
     SIM_EXEC_SHOTS_DROPPED,
     SIM_FAULT_FATAL_TOTAL,
     SIM_FAULT_TRANSIENT_TOTAL,
     SIM_EXEC_SHOTS_EXECUTED,
     SIM_EXEC_SHOTS_REQUESTED,
+    TELEMETRY_SERVE_REQUESTS_TOTAL,
+    TELEMETRY_SHARD_DROPPED_RECORDS_TOTAL,
     BENCH_TABLE1_CMC_CIRCUITS,
     BENCH_TABLE1_DSATUR_CIRCUITS,
     BENCH_TABLE1_ERR_SWEEP_CIRCUITS,
@@ -262,9 +295,16 @@ pub const ALL: &[&str] = &[
     CORE_RECALIB_SERVING_EPOCH,
     CORE_PLAN_LAYER_COUNT,
     CORE_RESILIENCE_LADDER_RUNG,
+    CORE_MITIGATOR_FLOPS_PER_HISTOGRAM,
+    CORE_MITIGATOR_L1_VS_SERIAL,
+    CORE_PLAN_INVERSE_CACHE_HIT_RATIO,
+    CORE_RECALIB_PATCH_STALENESS_MAX,
+    CORE_RECALIB_PATCH_STALENESS_MEAN,
+    CORE_RECALIB_SERVING_LEVEL_RUNG,
     CORE_ERR_PAIR_WEIGHT,
     CORE_PLAN_LAYER_ENTRIES,
     BENCH_ALG1_SPEEDUP,
+    CORE_MITIGATOR_CLAMPED_MASS,
 ];
 
 /// True when `name` is declared in this registry.

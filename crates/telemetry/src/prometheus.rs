@@ -1,0 +1,197 @@
+//! Prometheus text-format (version 0.0.4) exposition of a
+//! [`MetricsSnapshot`] and an optional [`WindowedSnapshot`].
+//!
+//! Dotted registry names map to Prometheus metric names by replacing `.`
+//! with `_` under a `qem_` prefix (`core.plan.layer_count` →
+//! `qem_core_plan_layer_count`). Histograms render as cumulative
+//! `_bucket{le="…"}` series plus `_sum`/`_count`; span aggregates and
+//! windowed rates/quantiles render as labelled gauges carrying the original
+//! dotted name. Output is fully deterministic: every map is a `BTreeMap`
+//! and floats use Rust's shortest-roundtrip formatting, so a seeded
+//! virtual-clock snapshot renders byte-identically on every build.
+
+use std::fmt::Write as _;
+
+use crate::metrics::MetricsSnapshot;
+use crate::window::WindowedSnapshot;
+
+/// Mangle a dotted registry name into a Prometheus metric name.
+pub fn mangle(name: &str) -> String {
+    let mut out = String::with_capacity(name.len() + 4);
+    out.push_str("qem_");
+    for c in name.chars() {
+        out.push(if c == '.' { '_' } else { c });
+    }
+    out
+}
+
+/// Prometheus has first-class non-finite sample values, unlike JSON.
+fn fmt_f64(v: f64) -> String {
+    if v.is_nan() {
+        "NaN".to_string()
+    } else if v == f64::INFINITY {
+        "+Inf".to_string()
+    } else if v == f64::NEG_INFINITY {
+        "-Inf".to_string()
+    } else {
+        format!("{v}")
+    }
+}
+
+/// Render the full exposition document for `/metrics`.
+pub fn render(snap: &MetricsSnapshot, windowed: Option<&WindowedSnapshot>) -> String {
+    let mut out = String::new();
+    for (name, v) in &snap.counters {
+        let m = mangle(name);
+        let _ = writeln!(out, "# TYPE {m} counter");
+        let _ = writeln!(out, "{m} {v}");
+    }
+    for (name, v) in &snap.gauges {
+        let m = mangle(name);
+        let _ = writeln!(out, "# TYPE {m} gauge");
+        let _ = writeln!(out, "{m} {}", fmt_f64(*v));
+    }
+    for (name, h) in &snap.histograms {
+        let m = mangle(name);
+        let _ = writeln!(out, "# TYPE {m} histogram");
+        let mut cum = 0u64;
+        for (bound, count) in h.bounds.iter().zip(&h.counts) {
+            cum += count;
+            let _ = writeln!(out, "{m}_bucket{{le=\"{}\"}} {cum}", fmt_f64(*bound));
+        }
+        cum += h.overflow;
+        let _ = writeln!(out, "{m}_bucket{{le=\"+Inf\"}} {cum}");
+        let _ = writeln!(out, "{m}_sum {}", fmt_f64(h.sum));
+        let _ = writeln!(out, "{m}_count {}", h.count);
+    }
+    if !snap.spans.is_empty() {
+        let _ = writeln!(out, "# TYPE qem_span_count gauge");
+        for (name, s) in &snap.spans {
+            let _ = writeln!(out, "qem_span_count{{span=\"{name}\"}} {}", s.count);
+        }
+        let _ = writeln!(out, "# TYPE qem_span_total_micros gauge");
+        for (name, s) in &snap.spans {
+            let _ = writeln!(
+                out,
+                "qem_span_total_micros{{span=\"{name}\"}} {}",
+                s.total_micros
+            );
+        }
+        let _ = writeln!(out, "# TYPE qem_span_max_micros gauge");
+        for (name, s) in &snap.spans {
+            let _ = writeln!(
+                out,
+                "qem_span_max_micros{{span=\"{name}\"}} {}",
+                s.max_micros
+            );
+        }
+    }
+    if let Some(win) = windowed {
+        let secs = fmt_f64(win.window_secs);
+        if !win.counters.is_empty() {
+            let _ = writeln!(out, "# TYPE qem_window_rate_per_sec gauge");
+            for (name, c) in &win.counters {
+                let _ = writeln!(
+                    out,
+                    "qem_window_rate_per_sec{{metric=\"{name}\",window_secs=\"{secs}\"}} {}",
+                    fmt_f64(c.rate_per_sec)
+                );
+            }
+        }
+        if !win.histograms.is_empty() {
+            let _ = writeln!(out, "# TYPE qem_window_quantile gauge");
+            for (name, h) in &win.histograms {
+                for (q, v) in [("0.5", h.p50), ("0.9", h.p90), ("0.99", h.p99)] {
+                    let _ = writeln!(
+                        out,
+                        "qem_window_quantile{{metric=\"{name}\",q=\"{q}\",window_secs=\"{secs}\"}} {}",
+                        fmt_f64(v)
+                    );
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::{HistogramSnapshot, SpanStats};
+    use std::collections::BTreeMap;
+
+    fn sample_snapshot() -> MetricsSnapshot {
+        let mut counters = BTreeMap::new();
+        counters.insert("core.mitigator.applies_total".to_string(), 9u64);
+        let mut gauges = BTreeMap::new();
+        gauges.insert("core.plan.layer_count".to_string(), 3.0);
+        let mut histograms = BTreeMap::new();
+        histograms.insert(
+            "core.plan.layer_entries".to_string(),
+            HistogramSnapshot {
+                bounds: vec![1.0, 10.0],
+                counts: vec![2, 3],
+                overflow: 1,
+                sum: 25.5,
+                count: 6,
+            },
+        );
+        let mut spans = BTreeMap::new();
+        spans.insert(
+            "core.mitigator.apply".to_string(),
+            SpanStats {
+                count: 2,
+                total_micros: 30,
+                min_micros: 10,
+                max_micros: 20,
+            },
+        );
+        MetricsSnapshot {
+            counters,
+            gauges,
+            histograms,
+            spans,
+        }
+    }
+
+    #[test]
+    fn renders_all_metric_families() {
+        let text = render(&sample_snapshot(), None);
+        assert!(text.contains("# TYPE qem_core_mitigator_applies_total counter"));
+        assert!(text.contains("qem_core_mitigator_applies_total 9"));
+        assert!(text.contains("# TYPE qem_core_plan_layer_count gauge"));
+        assert!(text.contains("qem_core_plan_layer_count 3"));
+        assert!(text.contains("# TYPE qem_core_plan_layer_entries histogram"));
+        assert!(text.contains("qem_core_plan_layer_entries_bucket{le=\"1\"} 2"));
+        assert!(text.contains("qem_core_plan_layer_entries_bucket{le=\"10\"} 5"));
+        assert!(text.contains("qem_core_plan_layer_entries_bucket{le=\"+Inf\"} 6"));
+        assert!(text.contains("qem_core_plan_layer_entries_sum 25.5"));
+        assert!(text.contains("qem_core_plan_layer_entries_count 6"));
+        assert!(text.contains("qem_span_total_micros{span=\"core.mitigator.apply\"} 30"));
+    }
+
+    #[test]
+    fn windowed_series_carry_window_labels() {
+        let w = crate::window::Windowed::default();
+        w.record_counter("core.mitigator.applies_total", 10, 0);
+        w.record_histogram("core.plan.layer_entries", &[1.0, 10.0], 5.0, 0);
+        let win = w.snapshot(0);
+        let text = render(&sample_snapshot(), Some(&win));
+        assert!(text.contains("qem_window_rate_per_sec{metric=\"core.mitigator.applies_total\""));
+        assert!(text.contains("qem_window_quantile{metric=\"core.plan.layer_entries\",q=\"0.99\""));
+    }
+
+    #[test]
+    fn rendering_is_deterministic() {
+        let snap = sample_snapshot();
+        assert_eq!(render(&snap, None), render(&snap, None));
+    }
+
+    #[test]
+    fn nonfinite_values_use_prometheus_spellings() {
+        assert_eq!(fmt_f64(f64::INFINITY), "+Inf");
+        assert_eq!(fmt_f64(f64::NEG_INFINITY), "-Inf");
+        assert_eq!(fmt_f64(f64::NAN), "NaN");
+        assert_eq!(fmt_f64(0.25), "0.25");
+    }
+}

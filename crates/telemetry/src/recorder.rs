@@ -34,18 +34,26 @@
 
 use std::cell::RefCell;
 use std::collections::{BTreeMap, HashMap};
+use std::marker::PhantomData;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, Ordering};
-use std::sync::{Mutex, MutexGuard, PoisonError};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 use std::time::Instant;
 
 use crate::json::Json;
 use crate::metrics::{Metrics, MetricsSnapshot, SpanStats, DECADE_BUCKETS};
+use crate::names;
+use crate::sharded::{ShardRing, StreamRecord, DEFAULT_SHARD_CAPACITY};
+use crate::window::{Windowed, WindowedSnapshot};
 
 thread_local! {
     // Stack of (recorder id, span id) for the spans currently open on this
     // thread. The recorder id disambiguates when tests run several
     // recorders on one thread.
     static SPAN_STACK: RefCell<Vec<(u64, u64)>> = const { RefCell::new(Vec::new()) };
+
+    // This thread's shard rings, one per recorder id, registered lazily on
+    // first sharded record. Each ring's single producer is this thread.
+    static SHARD_MAP: RefCell<Vec<(u64, Arc<ShardRing>)>> = const { RefCell::new(Vec::new()) };
 }
 
 static NEXT_RECORDER_ID: AtomicU64 = AtomicU64::new(1);
@@ -105,7 +113,10 @@ struct Inner {
 
 impl Inner {
     fn tid(&mut self) -> u64 {
-        let me = std::thread::current().id();
+        self.tid_for(std::thread::current().id())
+    }
+
+    fn tid_for(&mut self, me: std::thread::ThreadId) -> u64 {
         match self.threads.iter().position(|&t| t == me) {
             Some(i) => i as u64,
             None => {
@@ -127,6 +138,16 @@ pub struct Recorder {
     next_span: AtomicU64,
     inner: Mutex<Inner>,
     metrics: Metrics,
+    /// When set, spans/events stream through per-thread SPSC rings instead
+    /// of taking the `inner` mutex on the hot path.
+    backend_sharded: AtomicBool,
+    /// Capacity for rings registered after the setter ran.
+    shard_capacity: AtomicU64,
+    /// Every ring ever registered for this recorder (rings of exited
+    /// threads stay here so their buffered records still drain).
+    shards: Mutex<Vec<Arc<ShardRing>>>,
+    /// Rolling windowed aggregates fed alongside the cumulative registry.
+    window: Windowed,
 }
 
 impl Default for Recorder {
@@ -148,6 +169,129 @@ impl Recorder {
             next_span: AtomicU64::new(1),
             inner: Mutex::new(Inner::default()),
             metrics: Metrics::default(),
+            backend_sharded: AtomicBool::new(false),
+            shard_capacity: AtomicU64::new(DEFAULT_SHARD_CAPACITY as u64),
+            shards: Mutex::new(Vec::new()),
+            window: Windowed::default(),
+        }
+    }
+
+    /// Route spans/events through per-thread lock-free rings (the streaming
+    /// backend) instead of the central mutex. Spans opened before the
+    /// switch still close through their original backend.
+    pub fn set_sharded(&self, on: bool) {
+        // qem-lint: allow(relaxed-ordering) — class-2 backend flag (module ordering policy); record payloads travel through the SPSC rings' acquire/release pairs
+        self.backend_sharded.store(on, Ordering::Relaxed);
+    }
+
+    /// Is the sharded streaming backend active?
+    pub fn sharded(&self) -> bool {
+        // qem-lint: allow(relaxed-ordering) — class-2 flag read (module ordering policy)
+        self.backend_sharded.load(Ordering::Relaxed)
+    }
+
+    /// Set the per-thread ring capacity (rounded up to a power of two) for
+    /// rings registered from now on. Existing rings keep their size.
+    pub fn set_shard_capacity(&self, capacity: usize) {
+        let cap = capacity as u64;
+        // qem-lint: allow(relaxed-ordering) — class-2 configuration word (module ordering policy)
+        self.shard_capacity.store(cap, Ordering::Relaxed);
+    }
+
+    /// Total records dropped by full shard rings — the explicit loss
+    /// accounting for the streaming backend.
+    pub fn dropped_records(&self) -> u64 {
+        lock(&self.shards).iter().map(|r| r.dropped()).sum()
+    }
+
+    /// Reconfigure the rolling window (bucket width × bucket count in clock
+    /// microseconds). Clears windowed state.
+    pub fn set_window(&self, bucket_micros: u64, buckets: usize) {
+        self.window.configure(bucket_micros, buckets);
+    }
+
+    /// Freeze the rolling windowed aggregates as of the current clock.
+    pub fn windowed_snapshot(&self) -> WindowedSnapshot {
+        self.window.snapshot(self.now_micros())
+    }
+
+    /// Run `f` against this thread's shard ring for this recorder,
+    /// registering a fresh ring on first use.
+    fn with_ring<R>(&self, f: impl FnOnce(&ShardRing) -> R) -> R {
+        SHARD_MAP.with(|s| {
+            let mut map = s.borrow_mut();
+            if let Some((_, ring)) = map.iter().find(|(rid, _)| *rid == self.id) {
+                return f(ring);
+            }
+            // qem-lint: allow(relaxed-ordering) — class-2 configuration read (module ordering policy)
+            let cap = self.shard_capacity.load(Ordering::Relaxed) as usize;
+            let ring = Arc::new(ShardRing::new(cap));
+            lock(&self.shards).push(Arc::clone(&ring));
+            map.push((self.id, Arc::clone(&ring)));
+            f(&ring)
+        })
+    }
+
+    /// Move every record buffered in shard rings into the canonical store.
+    /// Callers hold the `inner` lock, which serialises ring consumers.
+    fn drain_shards(&self, inner: &mut Inner) {
+        let shards: Vec<Arc<ShardRing>> = lock(&self.shards).clone();
+        if shards.is_empty() {
+            return;
+        }
+        let mut records = Vec::new();
+        for ring in &shards {
+            ring.drain_into(&mut records);
+        }
+        for rec in records {
+            match rec {
+                StreamRecord::SpanStart {
+                    id,
+                    parent,
+                    name,
+                    start_micros,
+                    attrs,
+                    thread,
+                } => {
+                    let tid = inner.tid_for(thread);
+                    let idx = inner.spans.len();
+                    inner.spans.push(SpanRecord {
+                        id,
+                        parent,
+                        name,
+                        start_micros,
+                        end_micros: None,
+                        attrs,
+                        tid,
+                    });
+                    inner.index.insert(id, idx);
+                }
+                StreamRecord::SpanEnd { id, end_micros } => {
+                    // An end whose start was dropped on overflow has no
+                    // match; the loss is already counted in `dropped`.
+                    if let Some(&idx) = inner.index.get(&id) {
+                        if let Some(s) = inner.spans.get_mut(idx) {
+                            s.end_micros = Some(end_micros);
+                        }
+                    }
+                }
+                StreamRecord::Event {
+                    name,
+                    ts_micros,
+                    parent,
+                    attrs,
+                    thread,
+                } => {
+                    let tid = inner.tid_for(thread);
+                    inner.events.push(EventRecord {
+                        name,
+                        ts_micros,
+                        parent,
+                        attrs,
+                        tid,
+                    });
+                }
+            }
         }
     }
 
@@ -204,8 +348,17 @@ impl Recorder {
     /// Drop all recorded spans, events, and metrics and rewind both clocks.
     /// The enabled flag and clock mode are preserved.
     pub fn reset(&self) {
-        *lock(&self.inner) = Inner::default();
+        {
+            // Hold the inner lock while clearing rings: ring clears are
+            // consumer-side operations and must serialise with drains.
+            let mut inner = lock(&self.inner);
+            for ring in lock(&self.shards).iter() {
+                ring.clear();
+            }
+            *inner = Inner::default();
+        }
         self.metrics.clear();
+        self.window.clear();
         // qem-lint: allow(relaxed-ordering) — class-3 clock rewind (module ordering policy); callers serialize resets externally
         self.virtual_micros.store(0, Ordering::Relaxed);
         *lock(&self.epoch) = Instant::now();
@@ -214,20 +367,65 @@ impl Recorder {
     /// Open a span. The returned guard closes it on drop; while it lives,
     /// spans and events from the same thread attach to it as children.
     pub fn span(&self, name: &str, attrs: &[(&str, String)]) -> SpanGuard<'_> {
-        if !self.enabled() {
-            return SpanGuard { rec: None, id: 0 };
-        }
-        // qem-lint: allow(relaxed-ordering) — id allocation needs uniqueness only; span data is mutex-protected
-        let id = self.next_span.fetch_add(1, Ordering::Relaxed);
-        let start = self.now_micros();
-        let parent = SPAN_STACK.with(|s| {
+        let parent = self.stack_parent();
+        self.open_span(name, attrs, parent)
+    }
+
+    /// Open a *root* span: its parent is `None` regardless of what is open
+    /// on the current thread, but spans and events opened under it still
+    /// nest normally. Use this from worker-pool tasks (rayon batch chunks),
+    /// where whatever span happens to be open on the stealing worker's
+    /// stack is unrelated to the task being recorded.
+    pub fn span_detached(&self, name: &str, attrs: &[(&str, String)]) -> SpanGuard<'_> {
+        self.open_span(name, attrs, None)
+    }
+
+    fn stack_parent(&self) -> Option<u64> {
+        SPAN_STACK.with(|s| {
             s.borrow()
                 .iter()
                 .rev()
                 .find(|(rid, _)| *rid == self.id)
                 .map(|&(_, sid)| sid)
-        });
-        {
+        })
+    }
+
+    fn open_span(
+        &self,
+        name: &str,
+        attrs: &[(&str, String)],
+        parent: Option<u64>,
+    ) -> SpanGuard<'_> {
+        if !self.enabled() {
+            return SpanGuard {
+                rec: None,
+                id: 0,
+                sharded: false,
+                _not_send: PhantomData,
+            };
+        }
+        // qem-lint: allow(relaxed-ordering) — id allocation needs uniqueness only; span data is mutex-protected
+        let id = self.next_span.fetch_add(1, Ordering::Relaxed);
+        let start = self.now_micros();
+        let owned_attrs = |attrs: &[(&str, String)]| {
+            attrs
+                .iter()
+                .map(|(k, v)| (k.to_string(), v.clone()))
+                .collect::<Vec<_>>()
+        };
+        let sharded = self.sharded();
+        if sharded {
+            self.with_ring(|ring| {
+                ring.push(StreamRecord::SpanStart {
+                    id,
+                    parent,
+                    name: name.to_string(),
+                    start_micros: start,
+                    attrs: owned_attrs(attrs),
+                    thread: std::thread::current().id(),
+                });
+            });
+        } else {
             let mut inner = lock(&self.inner);
             let tid = inner.tid();
             let idx = inner.spans.len();
@@ -237,10 +435,7 @@ impl Recorder {
                 name: name.to_string(),
                 start_micros: start,
                 end_micros: None,
-                attrs: attrs
-                    .iter()
-                    .map(|(k, v)| (k.to_string(), v.clone()))
-                    .collect(),
+                attrs: owned_attrs(attrs),
                 tid,
             });
             inner.index.insert(id, idx);
@@ -249,10 +444,12 @@ impl Recorder {
         SpanGuard {
             rec: Some(self),
             id,
+            sharded,
+            _not_send: PhantomData,
         }
     }
 
-    fn end_span(&self, id: u64) {
+    fn end_span(&self, id: u64, sharded: bool) {
         let end = self.now_micros();
         SPAN_STACK.with(|s| {
             let mut stack = s.borrow_mut();
@@ -263,6 +460,17 @@ impl Recorder {
                 stack.remove(pos);
             }
         });
+        if sharded {
+            // The close is routed by where the *open* went, so a span never
+            // straddles backends even if the mode flips while it is open.
+            self.with_ring(|ring| {
+                ring.push(StreamRecord::SpanEnd {
+                    id,
+                    end_micros: end,
+                });
+            });
+            return;
+        }
         let mut inner = lock(&self.inner);
         if let Some(&idx) = inner.index.get(&id) {
             inner.spans[idx].end_micros = Some(end);
@@ -276,31 +484,39 @@ impl Recorder {
             return;
         }
         let ts = self.now_micros();
-        let parent = SPAN_STACK.with(|s| {
-            s.borrow()
-                .iter()
-                .rev()
-                .find(|(rid, _)| *rid == self.id)
-                .map(|&(_, sid)| sid)
-        });
+        let parent = self.stack_parent();
+        let attrs: Vec<(String, String)> = attrs
+            .iter()
+            .map(|(k, v)| (k.to_string(), v.clone()))
+            .collect();
+        if self.sharded() {
+            self.with_ring(|ring| {
+                ring.push(StreamRecord::Event {
+                    name: name.to_string(),
+                    ts_micros: ts,
+                    parent,
+                    attrs,
+                    thread: std::thread::current().id(),
+                });
+            });
+            return;
+        }
         let mut inner = lock(&self.inner);
         let tid = inner.tid();
         inner.events.push(EventRecord {
             name: name.to_string(),
             ts_micros: ts,
             parent,
-            attrs: attrs
-                .iter()
-                .map(|(k, v)| (k.to_string(), v.clone()))
-                .collect(),
+            attrs,
             tid,
         });
     }
 
-    /// Increment a monotonic counter.
+    /// Increment a monotonic counter (cumulative registry + rolling window).
     pub fn counter_add(&self, name: &str, delta: u64) {
         if self.enabled() {
             self.metrics.counter_add(name, delta);
+            self.window.record_counter(name, delta, self.now_micros());
         }
     }
 
@@ -313,33 +529,48 @@ impl Recorder {
 
     /// Record a histogram sample with the default decade buckets.
     pub fn histogram_record(&self, name: &str, value: f64) {
-        if self.enabled() {
-            self.metrics.histogram_record(name, &DECADE_BUCKETS, value);
-        }
+        self.histogram_record_with(name, &DECADE_BUCKETS, value);
     }
 
     /// Record a histogram sample; `bounds` apply on first registration.
     pub fn histogram_record_with(&self, name: &str, bounds: &[f64], value: f64) {
         if self.enabled() {
             self.metrics.histogram_record(name, bounds, value);
+            self.window
+                .record_histogram(name, bounds, value, self.now_micros());
         }
     }
 
     /// Copies of all spans recorded so far (open ones included).
     pub fn spans(&self) -> Vec<SpanRecord> {
-        lock(&self.inner).spans.clone()
+        let mut inner = lock(&self.inner);
+        self.drain_shards(&mut inner);
+        inner.spans.clone()
     }
 
     /// Copies of all events recorded so far.
     pub fn events(&self) -> Vec<EventRecord> {
-        lock(&self.inner).events.clone()
+        let mut inner = lock(&self.inner);
+        self.drain_shards(&mut inner);
+        inner.events.clone()
     }
 
-    /// Freeze the registry plus per-name span aggregates.
+    /// Freeze the registry plus per-name span aggregates. When the sharded
+    /// backend has registered rings, the explicit loss counter
+    /// `telemetry.shard.dropped_records_total` is spliced into the counter
+    /// map so exports always carry the loss accounting.
     pub fn snapshot(&self) -> MetricsSnapshot {
-        let (counters, gauges, histograms) = self.metrics.snapshot();
+        let (mut counters, gauges, histograms) = self.metrics.snapshot();
+        if !lock(&self.shards).is_empty() {
+            counters.insert(
+                names::TELEMETRY_SHARD_DROPPED_RECORDS_TOTAL.to_string(),
+                self.dropped_records(),
+            );
+        }
+        let mut inner = lock(&self.inner);
+        self.drain_shards(&mut inner);
         let mut spans: BTreeMap<String, SpanStats> = BTreeMap::new();
-        for s in lock(&self.inner).spans.iter() {
+        for s in inner.spans.iter() {
             let Some(end) = s.end_micros else { continue };
             let dur = end.saturating_sub(s.start_micros);
             let e = spans.entry(s.name.clone()).or_insert(SpanStats {
@@ -365,7 +596,9 @@ impl Recorder {
     /// as `"ph":"X"` duration events, instant events as `"ph":"i"`. Load in
     /// Perfetto (ui.perfetto.dev) or `chrome://tracing`.
     pub fn trace_json(&self) -> String {
-        let inner = lock(&self.inner);
+        let mut inner = lock(&self.inner);
+        self.drain_shards(&mut inner);
+        let inner = &*inner;
         let mut events: Vec<Json> = Vec::with_capacity(inner.spans.len() + inner.events.len());
         for s in &inner.spans {
             let dur = s
@@ -425,10 +658,22 @@ fn attrs_json(attrs: &[(String, String)]) -> Json {
 }
 
 /// RAII guard returned by [`Recorder::span`]; closes the span on drop.
+///
+/// Deliberately `!Send`: the open span sits on the *opening* thread's
+/// `SPAN_STACK` (and, under the sharded backend, its close record belongs
+/// to the opening thread's ring). A guard dropped on another thread would
+/// leave a stale stack entry behind, silently mis-nesting every span that
+/// thread opens afterwards — exactly the attribution bug rayon's
+/// work-stealing produces if task spans are allowed to migrate.
 #[must_use = "a span guard closes its span when dropped; binding it to _ ends the span immediately"]
 pub struct SpanGuard<'a> {
     rec: Option<&'a Recorder>,
     id: u64,
+    /// Whether the open record went through the sharded backend; the close
+    /// is routed the same way.
+    sharded: bool,
+    /// Opt out of `Send`/`Sync` (see type docs).
+    _not_send: PhantomData<*const ()>,
 }
 
 impl SpanGuard<'_> {
@@ -441,7 +686,7 @@ impl SpanGuard<'_> {
 impl Drop for SpanGuard<'_> {
     fn drop(&mut self) {
         if let Some(rec) = self.rec {
-            rec.end_span(self.id);
+            rec.end_span(self.id, self.sharded);
         }
     }
 }
@@ -556,6 +801,131 @@ mod tests {
         assert!(t.contains("\"ph\": \"X\""));
         assert!(t.contains("\"ph\": \"i\""));
         assert!(t.contains("\"dur\": 8")); // outer spans all 8 ticks
+    }
+
+    #[test]
+    fn sharded_backend_matches_central_recording() {
+        let r = Recorder::new();
+        r.set_enabled(true);
+        r.use_virtual_clock();
+        r.set_sharded(true);
+        {
+            let _outer = r.span("outer", &[("k", "v".to_string())]);
+            r.tick(5);
+            {
+                let _inner = r.span("inner", &[]);
+                r.event("blip", &[]);
+                r.tick(3);
+            }
+        }
+        let spans = r.spans();
+        let by_name = |n: &str| spans.iter().find(|s| s.name == n).unwrap();
+        assert_eq!(by_name("outer").parent, None);
+        assert_eq!(by_name("inner").parent, Some(by_name("outer").id));
+        assert_eq!(by_name("outer").end_micros, Some(8));
+        assert_eq!(by_name("inner").end_micros, Some(8));
+        assert_eq!(r.events()[0].parent, Some(by_name("inner").id));
+        assert_eq!(r.dropped_records(), 0);
+        // The loss counter is spliced into snapshots once rings exist.
+        let snap = r.snapshot();
+        assert_eq!(
+            snap.counter(crate::names::TELEMETRY_SHARD_DROPPED_RECORDS_TOTAL),
+            0
+        );
+        assert_eq!(snap.spans["outer"].total_micros, 8);
+    }
+
+    #[test]
+    fn sharded_threads_record_without_cross_attribution() {
+        let r = Recorder::new();
+        r.set_enabled(true);
+        r.set_sharded(true);
+        let rec = &r;
+        std::thread::scope(|scope| {
+            for t in 0..4 {
+                scope.spawn(move || {
+                    let _s = rec.span(&format!("worker{t}"), &[]);
+                    rec.event("tick", &[]);
+                });
+            }
+        });
+        let spans = r.spans();
+        assert_eq!(spans.len(), 4);
+        for s in &spans {
+            assert_eq!(s.parent, None, "worker spans must be roots");
+            assert!(s.end_micros.is_some());
+        }
+        // Each event is parented to its own thread's span.
+        let events = r.events();
+        assert_eq!(events.len(), 4);
+        for e in &events {
+            let parent = spans.iter().find(|s| Some(s.id) == e.parent).unwrap();
+            assert_eq!(parent.tid, e.tid);
+        }
+    }
+
+    #[test]
+    fn detached_span_is_root_but_children_nest_under_it() {
+        let r = Recorder::new();
+        r.set_enabled(true);
+        let _outer = r.span("outer", &[]);
+        {
+            let _task = r.span_detached("task", &[]);
+            let _leaf = r.span("leaf", &[]);
+            r.event("inside", &[]);
+        }
+        let _sibling = r.span("sibling", &[]);
+        let spans = r.spans();
+        let by_name = |n: &str| spans.iter().find(|s| s.name == n).unwrap();
+        assert_eq!(by_name("task").parent, None);
+        assert_eq!(by_name("leaf").parent, Some(by_name("task").id));
+        assert_eq!(r.events()[0].parent, Some(by_name("leaf").id));
+        // After the detached span closes, the ambient stack is restored.
+        assert_eq!(by_name("sibling").parent, Some(by_name("outer").id));
+    }
+
+    #[test]
+    fn sharded_overflow_counts_drops_exactly_and_surfaces_them() {
+        let r = Recorder::new();
+        r.set_enabled(true);
+        r.set_sharded(true);
+        r.set_shard_capacity(4);
+        // 20 events into a capacity-4 ring with no intervening drain:
+        // exactly 16 must be counted as dropped.
+        for i in 0..20 {
+            r.event("e", &[("i", i.to_string())]);
+        }
+        assert_eq!(r.dropped_records(), 16);
+        assert_eq!(r.events().len(), 4);
+        let snap = r.snapshot();
+        assert_eq!(
+            snap.counter(crate::names::TELEMETRY_SHARD_DROPPED_RECORDS_TOTAL),
+            16
+        );
+        // Draining freed the ring: new records flow again, drop count stays.
+        r.event("later", &[]);
+        assert_eq!(r.events().len(), 5);
+        assert_eq!(r.dropped_records(), 16);
+    }
+
+    #[test]
+    fn windowed_aggregates_follow_the_virtual_clock() {
+        let r = Recorder::new();
+        r.set_enabled(true);
+        r.use_virtual_clock();
+        r.set_window(1_000_000, 4);
+        for _ in 0..8 {
+            r.counter_add("w.counter.total", 2);
+            r.histogram_record_with("w.hist.sample", &[1.0, 10.0, 100.0], 5.0);
+            r.tick(1_000_000);
+        }
+        // Window covers the last 4 seconds: epochs 5..=8 hold one sample
+        // each (epoch 8 is empty — the clock sits at 8s after the loop).
+        let win = r.windowed_snapshot();
+        assert_eq!(win.counters["w.counter.total"].total, 6);
+        assert_eq!(win.histograms["w.hist.sample"].count, 3);
+        // The cumulative registry still sees everything.
+        assert_eq!(r.snapshot().counter("w.counter.total"), 16);
     }
 
     #[test]

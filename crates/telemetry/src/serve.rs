@@ -1,0 +1,214 @@
+//! Dependency-free live metrics endpoint: a tiny `std::net::TcpListener`
+//! accept loop on its own thread serving
+//!
+//! * `GET /metrics`  — Prometheus text format (cumulative + windowed series)
+//! * `GET /snapshot` — schema-versioned JSON (cumulative + windowed docs)
+//! * `GET /healthz`  — liveness derived from recalibration staleness and
+//!   degradation-ladder state (`200` healthy / `503` unhealthy)
+//!
+//! This is deliberately not a web server: one short-lived connection at a
+//! time, blocking reads with a timeout, GET only. It exists so `qem
+//! serve-metrics` and `qem recalibrate --watch` can be scraped by a stock
+//! Prometheus agent while the mitigation engine runs.
+
+use std::io::{ErrorKind, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use crate::json::Json;
+use crate::names;
+use crate::prometheus;
+use crate::recorder::Recorder;
+
+/// How `/healthz` turns recalibration gauges into a verdict. Gauges that
+/// were never set (no recalibration running) count as healthy.
+#[derive(Clone, Copy, Debug)]
+pub struct HealthPolicy {
+    /// Unhealthy when `core.recalib.patch_staleness_max` exceeds this.
+    pub max_patch_staleness: f64,
+    /// Unhealthy when `core.recalib.serving_level_rung` exceeds this
+    /// (rung 0 is the best mitigation level).
+    pub max_ladder_rung: f64,
+}
+
+impl Default for HealthPolicy {
+    fn default() -> Self {
+        HealthPolicy {
+            max_patch_staleness: f64::INFINITY,
+            max_ladder_rung: 2.0,
+        }
+    }
+}
+
+/// Handle to a running metrics endpoint; stops and joins the accept thread
+/// on [`MetricsServer::stop`] or drop.
+pub struct MetricsServer {
+    local_addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl MetricsServer {
+    /// The bound address — useful when serving on port 0.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Signal the accept loop to exit and join it.
+    pub fn stop(&mut self) {
+        self.stop.store(true, Ordering::Release);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for MetricsServer {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+/// Bind `addr` (e.g. `127.0.0.1:9187`, port 0 for ephemeral) and serve the
+/// recorder's telemetry until the returned handle is stopped or dropped.
+pub fn serve(
+    rec: &'static Recorder,
+    addr: &str,
+    health: HealthPolicy,
+) -> std::io::Result<MetricsServer> {
+    let listener = TcpListener::bind(addr)?;
+    listener.set_nonblocking(true)?;
+    let local_addr = listener.local_addr()?;
+    let stop = Arc::new(AtomicBool::new(false));
+    let stop_flag = Arc::clone(&stop);
+    let handle = std::thread::Builder::new()
+        .name("qem-metrics-serve".to_string())
+        .spawn(move || accept_loop(listener, rec, health, &stop_flag))?;
+    Ok(MetricsServer {
+        local_addr,
+        stop,
+        handle: Some(handle),
+    })
+}
+
+fn accept_loop(listener: TcpListener, rec: &Recorder, health: HealthPolicy, stop: &AtomicBool) {
+    while !stop.load(Ordering::Acquire) {
+        match listener.accept() {
+            Ok((stream, _peer)) => handle_connection(stream, rec, health),
+            Err(e) if e.kind() == ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(10));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(10)),
+        }
+    }
+}
+
+fn handle_connection(mut stream: TcpStream, rec: &Recorder, health: HealthPolicy) {
+    let _ = stream.set_nonblocking(false);
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(2)));
+    let _ = stream.set_write_timeout(Some(Duration::from_secs(2)));
+    let Some(path) = read_request_path(&mut stream) else {
+        return;
+    };
+    rec.counter_add(names::TELEMETRY_SERVE_REQUESTS_TOTAL, 1);
+    let (status, content_type, body) = route(&path, rec, health);
+    let response = format!(
+        "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    );
+    let _ = stream.write_all(response.as_bytes());
+    let _ = stream.flush();
+}
+
+/// Read the request head and return the GET path (query string stripped).
+fn read_request_path(stream: &mut TcpStream) -> Option<String> {
+    let mut buf = [0u8; 4096];
+    let mut filled = 0usize;
+    loop {
+        let free = buf.get_mut(filled..)?;
+        if free.is_empty() {
+            break; // oversized request head: parse what we have
+        }
+        match stream.read(free) {
+            Ok(0) => break,
+            Ok(n) => {
+                filled += n;
+                let head = buf.get(..filled)?;
+                if head.windows(4).any(|w| w == b"\r\n\r\n") {
+                    break;
+                }
+            }
+            Err(_) => return None,
+        }
+    }
+    let head = String::from_utf8_lossy(buf.get(..filled)?);
+    let request_line = head.lines().next()?;
+    let mut parts = request_line.split_whitespace();
+    let method = parts.next()?;
+    let target = parts.next()?;
+    if !method.eq_ignore_ascii_case("GET") {
+        return None;
+    }
+    let path = target.split('?').next().unwrap_or(target);
+    Some(path.to_string())
+}
+
+fn route(path: &str, rec: &Recorder, health: HealthPolicy) -> (&'static str, &'static str, String) {
+    match path {
+        "/metrics" => {
+            let snap = rec.snapshot();
+            let win = rec.windowed_snapshot();
+            (
+                "200 OK",
+                "text/plain; version=0.0.4; charset=utf-8",
+                prometheus::render(&snap, Some(&win)),
+            )
+        }
+        "/snapshot" => {
+            let snap = rec.snapshot();
+            let win = rec.windowed_snapshot();
+            let doc = Json::obj(vec![
+                ("metrics", snap.to_json()),
+                ("windowed", win.to_json()),
+            ]);
+            ("200 OK", "application/json", doc.to_string_pretty())
+        }
+        "/healthz" => {
+            let (healthy, doc) = health_verdict(rec, health);
+            let status = if healthy {
+                "200 OK"
+            } else {
+                "503 Service Unavailable"
+            };
+            (status, "application/json", doc.to_string_pretty())
+        }
+        _ => (
+            "404 Not Found",
+            "text/plain; charset=utf-8",
+            "not found\n".to_string(),
+        ),
+    }
+}
+
+fn health_verdict(rec: &Recorder, health: HealthPolicy) -> (bool, Json) {
+    let snap = rec.snapshot();
+    let staleness = snap.gauge(names::CORE_RECALIB_PATCH_STALENESS_MAX);
+    let rung = snap.gauge(names::CORE_RECALIB_SERVING_LEVEL_RUNG);
+    let epoch = snap.gauge(names::CORE_RECALIB_SERVING_EPOCH);
+    let stale_ok = staleness.is_none_or(|s| s <= health.max_patch_staleness);
+    let rung_ok = rung.is_none_or(|r| r <= health.max_ladder_rung);
+    let healthy = stale_ok && rung_ok;
+    let opt = |v: Option<f64>| v.map(Json::Float).unwrap_or(Json::Null);
+    let doc = Json::obj(vec![
+        ("healthy", Json::Bool(healthy)),
+        ("patch_staleness_max", opt(staleness)),
+        ("serving_level_rung", opt(rung)),
+        ("serving_epoch", opt(epoch)),
+        ("staleness_within_bound", Json::Bool(stale_ok)),
+        ("rung_within_bound", Json::Bool(rung_ok)),
+    ]);
+    (healthy, doc)
+}

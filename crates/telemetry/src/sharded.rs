@@ -1,0 +1,251 @@
+//! Sharded recorder backend: one single-producer/single-consumer ring
+//! buffer per recording thread, so the rayon batch path can stream spans
+//! and events without contending on the recorder's `inner` mutex.
+//!
+//! ## Protocol
+//!
+//! Each thread that records while the sharded backend is active lazily
+//! registers one [`ShardRing`] per recorder (keyed by recorder id in a
+//! thread-local map) and becomes its only producer. Consumption — draining
+//! ring contents into the recorder's canonical `Inner` store — happens
+//! under the recorder's `inner` mutex, which serialises all consumers.
+//! That makes each ring strictly SPSC:
+//!
+//! * the producer writes slot `head % capacity` *before* publishing the new
+//!   `head` with `Release`, so a consumer that `Acquire`-loads `head` sees
+//!   every record below it fully initialised;
+//! * the consumer moves a record out of its slot *before* publishing the
+//!   new `tail` with `Release`, so the producer's `Acquire` load of `tail`
+//!   proves the slot is free for reuse.
+//!
+//! ## Loss semantics
+//!
+//! Rings never block and never reallocate: when a ring is full the record
+//! is dropped at the producer and `dropped_records` is incremented — loss
+//! is always explicit, never silent. A dropped span *start* leaves its
+//! later end record unmatched (the drain skips it); a dropped span *end*
+//! leaves the span open, excluding it from duration aggregates. Both cases
+//! are bounded above by the `dropped_records` counter.
+
+use std::cell::UnsafeCell;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Default per-thread ring capacity (records). Power of two; at ~100 bytes
+/// a record this is ~400 KiB per recording thread at the default.
+pub(crate) const DEFAULT_SHARD_CAPACITY: usize = 4096;
+
+/// One record streamed through a shard ring. Span open and close travel as
+/// two separate records stitched back together at drain time by span id.
+#[derive(Clone, Debug)]
+pub(crate) enum StreamRecord {
+    SpanStart {
+        id: u64,
+        parent: Option<u64>,
+        name: String,
+        start_micros: u64,
+        attrs: Vec<(String, String)>,
+        thread: std::thread::ThreadId,
+    },
+    SpanEnd {
+        id: u64,
+        end_micros: u64,
+    },
+    Event {
+        name: String,
+        ts_micros: u64,
+        parent: Option<u64>,
+        attrs: Vec<(String, String)>,
+        thread: std::thread::ThreadId,
+    },
+}
+
+/// A fixed-capacity single-producer/single-consumer ring of telemetry
+/// records with an explicit drop counter.
+pub(crate) struct ShardRing {
+    slots: Box<[UnsafeCell<Option<StreamRecord>>]>,
+    /// `capacity - 1`; capacity is always a power of two.
+    mask: u64,
+    /// Producer cursor. Written only by the owning thread; published with
+    /// `Release` after the slot content is in place.
+    head: AtomicU64,
+    /// Consumer cursor. Written only under the recorder's `inner` mutex;
+    /// published with `Release` after the slot content is moved out.
+    tail: AtomicU64,
+    /// Records rejected because the ring was full.
+    dropped: AtomicU64,
+}
+
+// SAFETY: `UnsafeCell` slots are only touched under the SPSC protocol
+// documented above — slot `i` is written solely by the single producer
+// while `i` is outside the published `[tail, head)` window, and read solely
+// by the single consumer (serialised externally by the recorder's `inner`
+// mutex) while `i` is inside it. The Release/Acquire pairs on `head` and
+// `tail` provide the happens-before edges for both directions of slot
+// handoff.
+unsafe impl Send for ShardRing {}
+unsafe impl Sync for ShardRing {}
+
+impl ShardRing {
+    /// A ring with capacity rounded up to the next power of two (min 2).
+    pub(crate) fn new(capacity: usize) -> ShardRing {
+        let cap = capacity.next_power_of_two().max(2);
+        let slots = (0..cap)
+            .map(|_| UnsafeCell::new(None))
+            .collect::<Vec<_>>()
+            .into_boxed_slice();
+        ShardRing {
+            slots,
+            mask: (cap - 1) as u64,
+            head: AtomicU64::new(0),
+            tail: AtomicU64::new(0),
+            dropped: AtomicU64::new(0),
+        }
+    }
+
+    fn capacity(&self) -> u64 {
+        self.mask + 1
+    }
+
+    /// Producer side: append a record, or count it as dropped when full.
+    /// Must only be called from the ring's owning thread.
+    pub(crate) fn push(&self, rec: StreamRecord) {
+        let head = self.head.load(Ordering::Relaxed);
+        let tail = self.tail.load(Ordering::Acquire);
+        if head.wrapping_sub(tail) >= self.capacity() {
+            // Drop-newest: never block the instrumented hot path, and keep
+            // the already-buffered (older, likely span-start) records so
+            // drains stitch as many complete spans as possible.
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+        let idx = (head & self.mask) as usize;
+        // SAFETY: `idx` is outside the `[tail, head)` window any consumer
+        // may read until the Release store below publishes it, and this
+        // thread is the only producer.
+        unsafe {
+            *self.slots[idx].get() = Some(rec);
+        }
+        self.head.store(head.wrapping_add(1), Ordering::Release);
+    }
+
+    /// Consumer side: move all published records into `out` in production
+    /// order. Callers must serialise consumers (the recorder drains under
+    /// its `inner` mutex).
+    pub(crate) fn drain_into(&self, out: &mut Vec<StreamRecord>) {
+        let head = self.head.load(Ordering::Acquire);
+        let mut tail = self.tail.load(Ordering::Relaxed);
+        while tail != head {
+            let idx = (tail & self.mask) as usize;
+            // SAFETY: `[tail, head)` was published by the producer's
+            // Release store of `head`, and consumers are serialised.
+            let rec = unsafe { (*self.slots[idx].get()).take() };
+            if let Some(r) = rec {
+                out.push(r);
+            }
+            tail = tail.wrapping_add(1);
+        }
+        self.tail.store(tail, Ordering::Release);
+    }
+
+    /// Records rejected because the ring was full.
+    pub(crate) fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+
+    /// Consumer side: discard buffered records and zero the drop counter
+    /// (recorder reset).
+    pub(crate) fn clear(&self) {
+        let mut scratch = Vec::new();
+        self.drain_into(&mut scratch);
+        self.dropped.store(0, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    fn event(n: u64) -> StreamRecord {
+        StreamRecord::Event {
+            name: format!("t.ring.e{n}"),
+            ts_micros: n,
+            parent: None,
+            attrs: Vec::new(),
+            thread: std::thread::current().id(),
+        }
+    }
+
+    #[test]
+    fn push_drain_preserves_order() {
+        let ring = ShardRing::new(8);
+        for i in 0..5 {
+            ring.push(event(i));
+        }
+        let mut out = Vec::new();
+        ring.drain_into(&mut out);
+        assert_eq!(out.len(), 5);
+        for (i, r) in out.iter().enumerate() {
+            match r {
+                StreamRecord::Event { ts_micros, .. } => assert_eq!(*ts_micros, i as u64),
+                other => panic!("unexpected record {other:?}"),
+            }
+        }
+        assert_eq!(ring.dropped(), 0);
+    }
+
+    #[test]
+    fn overflow_counts_every_dropped_record_exactly() {
+        let ring = ShardRing::new(4); // capacity 4
+        for i in 0..11 {
+            ring.push(event(i));
+        }
+        // 4 buffered, 7 dropped — no silent loss.
+        assert_eq!(ring.dropped(), 7);
+        let mut out = Vec::new();
+        ring.drain_into(&mut out);
+        assert_eq!(out.len(), 4);
+        // After draining, capacity is available again.
+        ring.push(event(99));
+        assert_eq!(ring.dropped(), 7);
+    }
+
+    #[test]
+    fn wraparound_reuses_slots() {
+        let ring = ShardRing::new(2);
+        let mut out = Vec::new();
+        for round in 0..100u64 {
+            ring.push(event(round));
+            ring.drain_into(&mut out);
+        }
+        assert_eq!(out.len(), 100);
+        assert_eq!(ring.dropped(), 0);
+    }
+
+    #[test]
+    fn spsc_handoff_across_threads_loses_nothing_under_capacity() {
+        let ring = Arc::new(ShardRing::new(1 << 14));
+        let producer = {
+            let ring = Arc::clone(&ring);
+            std::thread::spawn(move || {
+                for i in 0..10_000 {
+                    ring.push(event(i));
+                }
+            })
+        };
+        let mut out = Vec::new();
+        while out.len() < 10_000 {
+            ring.drain_into(&mut out);
+            std::thread::yield_now();
+        }
+        let _ = producer.join();
+        assert_eq!(out.len(), 10_000);
+        for (i, r) in out.iter().enumerate() {
+            match r {
+                StreamRecord::Event { ts_micros, .. } => assert_eq!(*ts_micros, i as u64),
+                other => panic!("unexpected record {other:?}"),
+            }
+        }
+        assert_eq!(ring.dropped(), 0);
+    }
+}

@@ -1,0 +1,444 @@
+//! Rolling windowed aggregates: counter rates and histogram quantile
+//! sketches over the last N clock seconds, alongside the cumulative
+//! snapshot.
+//!
+//! Each metric name owns a ring of time buckets. A bucket covers
+//! `bucket_micros` of clock time (wall or virtual — whatever the recorder's
+//! clock says) and is keyed by its epoch `now / bucket_micros`; writing into
+//! a slot whose stored epoch differs first zeroes it, so stale laps of the
+//! ring never leak into the window. Reading sums every slot whose epoch
+//! falls inside the last `buckets` epochs. Everything is deterministic
+//! under the virtual clock: the same seeded run produces byte-identical
+//! windowed JSON.
+//!
+//! Quantiles are bucket sketches, not exact order statistics: the merged
+//! in-window histogram is walked cumulatively and the quantile is linearly
+//! interpolated inside the bucket that crosses the target rank. Samples in
+//! the overflow bucket pin the estimate to the last finite bound.
+
+use std::collections::BTreeMap;
+use std::sync::{Mutex, MutexGuard, PoisonError};
+
+use crate::json::Json;
+
+/// Schema version stamped into every windowed-metrics JSON document.
+pub const WINDOWED_SCHEMA_VERSION: u32 = 1;
+
+/// Default bucket width: one second of clock time.
+pub const DEFAULT_WINDOW_BUCKET_MICROS: u64 = 1_000_000;
+/// Default bucket count: a 64-second rolling window.
+pub const DEFAULT_WINDOW_BUCKETS: usize = 64;
+
+/// Telemetry must keep flowing even if a panic elsewhere poisoned a window
+/// mutex; the maps stay structurally valid, so recover the guard.
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+#[derive(Clone, Copy)]
+struct Config {
+    bucket_micros: u64,
+    buckets: usize,
+}
+
+#[derive(Clone)]
+struct CounterSlot {
+    epoch: u64,
+    sum: u64,
+}
+
+struct CounterWin {
+    slots: Vec<CounterSlot>,
+}
+
+#[derive(Clone)]
+struct HistSlot {
+    epoch: u64,
+    counts: Vec<u64>,
+    overflow: u64,
+    sum: f64,
+    count: u64,
+}
+
+struct HistWin {
+    bounds: Vec<f64>,
+    slots: Vec<HistSlot>,
+}
+
+/// The windowed side of a recorder's metrics registry. Fed by
+/// `counter_add`/`histogram_record` with the recorder's clock reading.
+pub(crate) struct Windowed {
+    cfg: Mutex<Config>,
+    counters: Mutex<BTreeMap<String, CounterWin>>,
+    histograms: Mutex<BTreeMap<String, HistWin>>,
+}
+
+impl Default for Windowed {
+    fn default() -> Self {
+        Windowed {
+            cfg: Mutex::new(Config {
+                bucket_micros: DEFAULT_WINDOW_BUCKET_MICROS,
+                buckets: DEFAULT_WINDOW_BUCKETS,
+            }),
+            counters: Mutex::new(BTreeMap::new()),
+            histograms: Mutex::new(BTreeMap::new()),
+        }
+    }
+}
+
+impl Windowed {
+    /// Reconfigure bucket width/count. Clears all windowed state (slot
+    /// layout depends on the configuration).
+    pub(crate) fn configure(&self, bucket_micros: u64, buckets: usize) {
+        *lock(&self.cfg) = Config {
+            bucket_micros: bucket_micros.max(1),
+            buckets: buckets.max(1),
+        };
+        self.clear();
+    }
+
+    pub(crate) fn clear(&self) {
+        lock(&self.counters).clear();
+        lock(&self.histograms).clear();
+    }
+
+    pub(crate) fn record_counter(&self, name: &str, delta: u64, now_micros: u64) {
+        let cfg = *lock(&self.cfg);
+        let epoch = now_micros / cfg.bucket_micros;
+        let mut map = lock(&self.counters);
+        let win = match map.get_mut(name) {
+            Some(w) => w,
+            None => {
+                map.insert(
+                    name.to_string(),
+                    CounterWin {
+                        slots: vec![
+                            CounterSlot {
+                                epoch: u64::MAX,
+                                sum: 0
+                            };
+                            cfg.buckets
+                        ],
+                    },
+                );
+                match map.get_mut(name) {
+                    Some(w) => w,
+                    None => return,
+                }
+            }
+        };
+        let idx = (epoch as usize) % win.slots.len();
+        if let Some(slot) = win.slots.get_mut(idx) {
+            if slot.epoch != epoch {
+                slot.epoch = epoch;
+                slot.sum = 0;
+            }
+            slot.sum += delta;
+        }
+    }
+
+    pub(crate) fn record_histogram(&self, name: &str, bounds: &[f64], value: f64, now_micros: u64) {
+        let cfg = *lock(&self.cfg);
+        let epoch = now_micros / cfg.bucket_micros;
+        let mut map = lock(&self.histograms);
+        let win = match map.get_mut(name) {
+            Some(w) => w,
+            None => {
+                map.insert(
+                    name.to_string(),
+                    HistWin {
+                        bounds: bounds.to_vec(),
+                        slots: vec![
+                            HistSlot {
+                                epoch: u64::MAX,
+                                counts: vec![0; bounds.len()],
+                                overflow: 0,
+                                sum: 0.0,
+                                count: 0,
+                            };
+                            cfg.buckets
+                        ],
+                    },
+                );
+                match map.get_mut(name) {
+                    Some(w) => w,
+                    None => return,
+                }
+            }
+        };
+        let idx = (epoch as usize) % win.slots.len();
+        let n_bounds = win.bounds.len();
+        let bucket = win
+            .bounds
+            .iter()
+            .position(|&b| value <= b)
+            .filter(|_| value.is_finite());
+        if let Some(slot) = win.slots.get_mut(idx) {
+            if slot.epoch != epoch {
+                slot.epoch = epoch;
+                slot.counts.clear();
+                slot.counts.resize(n_bounds, 0);
+                slot.overflow = 0;
+                slot.sum = 0.0;
+                slot.count = 0;
+            }
+            match bucket {
+                Some(i) => {
+                    if let Some(c) = slot.counts.get_mut(i) {
+                        *c += 1;
+                    }
+                }
+                None => slot.overflow += 1,
+            }
+            if value.is_finite() {
+                slot.sum += value;
+            }
+            slot.count += 1;
+        }
+    }
+
+    /// Freeze the rolling window as of `now_micros`.
+    pub(crate) fn snapshot(&self, now_micros: u64) -> WindowedSnapshot {
+        let cfg = *lock(&self.cfg);
+        let cur_epoch = now_micros / cfg.bucket_micros;
+        let oldest = cur_epoch.saturating_sub(cfg.buckets as u64 - 1);
+        let in_window = |e: u64| e != u64::MAX && (oldest..=cur_epoch).contains(&e);
+        let window_secs = (cfg.bucket_micros * cfg.buckets as u64) as f64 / 1e6;
+
+        let counters = lock(&self.counters)
+            .iter()
+            .map(|(name, win)| {
+                let total: u64 = win
+                    .slots
+                    .iter()
+                    .filter(|s| in_window(s.epoch))
+                    .map(|s| s.sum)
+                    .sum();
+                (
+                    name.clone(),
+                    WindowedCounter {
+                        total,
+                        rate_per_sec: total as f64 / window_secs,
+                    },
+                )
+            })
+            .collect();
+
+        let histograms = lock(&self.histograms)
+            .iter()
+            .map(|(name, win)| {
+                let mut counts = vec![0u64; win.bounds.len()];
+                let mut overflow = 0u64;
+                let mut sum = 0.0f64;
+                let mut count = 0u64;
+                for s in win.slots.iter().filter(|s| in_window(s.epoch)) {
+                    for (acc, c) in counts.iter_mut().zip(&s.counts) {
+                        *acc += c;
+                    }
+                    overflow += s.overflow;
+                    sum += s.sum;
+                    count += s.count;
+                }
+                let q = |p: f64| quantile(&win.bounds, &counts, overflow, count, p);
+                (
+                    name.clone(),
+                    WindowedHistogram {
+                        count,
+                        mean: if count == 0 { 0.0 } else { sum / count as f64 },
+                        p50: q(0.50),
+                        p90: q(0.90),
+                        p99: q(0.99),
+                    },
+                )
+            })
+            .collect();
+
+        WindowedSnapshot {
+            window_secs,
+            counters,
+            histograms,
+        }
+    }
+}
+
+/// Bucket-sketch quantile: walk the cumulative counts and interpolate
+/// linearly inside the bucket that crosses rank `p * count`.
+fn quantile(bounds: &[f64], counts: &[u64], overflow: u64, count: u64, p: f64) -> f64 {
+    if count == 0 {
+        return 0.0;
+    }
+    let target = p * count as f64;
+    let mut cum = 0u64;
+    let mut lower = 0.0f64;
+    for (bound, c) in bounds.iter().zip(counts) {
+        let next = cum + c;
+        if (next as f64) >= target && *c > 0 {
+            let within = (target - cum as f64) / *c as f64;
+            return lower + (bound - lower) * within.clamp(0.0, 1.0);
+        }
+        cum = next;
+        lower = *bound;
+    }
+    // Rank falls in the overflow bucket: the sketch cannot see past the last
+    // finite bound, so pin there (documented over-/under-estimate).
+    let _ = overflow;
+    bounds.last().copied().unwrap_or(0.0)
+}
+
+/// In-window view of one counter.
+#[derive(Clone, Debug, PartialEq)]
+pub struct WindowedCounter {
+    /// Increments that landed inside the window.
+    pub total: u64,
+    /// `total` divided by the window length in seconds.
+    pub rate_per_sec: f64,
+}
+
+/// In-window quantile sketch of one histogram.
+#[derive(Clone, Debug, PartialEq)]
+pub struct WindowedHistogram {
+    /// Samples inside the window.
+    pub count: u64,
+    /// Mean of the finite in-window samples.
+    pub mean: f64,
+    /// Median estimate.
+    pub p50: f64,
+    /// 90th-percentile estimate.
+    pub p90: f64,
+    /// 99th-percentile estimate.
+    pub p99: f64,
+}
+
+/// Deterministic frozen view of the rolling window.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct WindowedSnapshot {
+    /// Window length in seconds of clock time.
+    pub window_secs: f64,
+    /// Per-counter in-window totals and rates.
+    pub counters: BTreeMap<String, WindowedCounter>,
+    /// Per-histogram in-window quantile sketches.
+    pub histograms: BTreeMap<String, WindowedHistogram>,
+}
+
+impl WindowedSnapshot {
+    /// The snapshot as a JSON value (schema-versioned).
+    pub fn to_json(&self) -> Json {
+        let counters = Json::Obj(
+            self.counters
+                .iter()
+                .map(|(k, c)| {
+                    (
+                        k.clone(),
+                        Json::obj(vec![
+                            ("total", Json::UInt(c.total)),
+                            ("rate_per_sec", Json::Float(c.rate_per_sec)),
+                        ]),
+                    )
+                })
+                .collect(),
+        );
+        let histograms = Json::Obj(
+            self.histograms
+                .iter()
+                .map(|(k, h)| {
+                    (
+                        k.clone(),
+                        Json::obj(vec![
+                            ("count", Json::UInt(h.count)),
+                            ("mean", Json::Float(h.mean)),
+                            ("p50", Json::Float(h.p50)),
+                            ("p90", Json::Float(h.p90)),
+                            ("p99", Json::Float(h.p99)),
+                        ]),
+                    )
+                })
+                .collect(),
+        );
+        Json::obj(vec![
+            ("schema_version", Json::UInt(WINDOWED_SCHEMA_VERSION as u64)),
+            ("window_secs", Json::Float(self.window_secs)),
+            ("counters", counters),
+            ("histograms", histograms),
+        ])
+    }
+
+    /// Pretty-printed windowed-metrics JSON — the `--windowed-out` format.
+    pub fn to_json_string(&self) -> String {
+        self.to_json().to_string_pretty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_rate_over_virtual_window() {
+        let w = Windowed::default();
+        w.configure(1_000_000, 10); // 10-second window
+        for sec in 0..5u64 {
+            w.record_counter("t.win.c", 3, sec * 1_000_000);
+        }
+        let snap = w.snapshot(4_000_000);
+        let c = &snap.counters["t.win.c"];
+        assert_eq!(c.total, 15);
+        assert!((c.rate_per_sec - 1.5).abs() < 1e-12);
+        assert!((snap.window_secs - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn old_buckets_age_out_of_the_window() {
+        let w = Windowed::default();
+        w.configure(1_000_000, 4);
+        w.record_counter("t.win.c", 100, 0);
+        // 10 epochs later the epoch-0 increments are outside the window
+        // even though the slot was never overwritten.
+        let snap = w.snapshot(10_000_000);
+        assert_eq!(snap.counters["t.win.c"].total, 0);
+        // Lapping the ring zeroes stale slots before accumulating.
+        w.record_counter("t.win.c", 7, 12_000_000); // same slot as epoch 0
+        let snap = w.snapshot(12_000_000);
+        assert_eq!(snap.counters["t.win.c"].total, 7);
+    }
+
+    #[test]
+    fn histogram_quantiles_interpolate() {
+        let w = Windowed::default();
+        let bounds = [1.0, 2.0, 4.0, 8.0];
+        // 100 samples uniformly in bucket (2, 4].
+        for _ in 0..100 {
+            w.record_histogram("t.win.h", &bounds, 3.0, 0);
+        }
+        let snap = w.snapshot(0);
+        let h = &snap.histograms["t.win.h"];
+        assert_eq!(h.count, 100);
+        assert!((h.mean - 3.0).abs() < 1e-12);
+        // All mass in one bucket: quantiles interpolate across (2, 4].
+        assert!((h.p50 - 3.0).abs() < 1e-9);
+        assert!(h.p90 > h.p50 && h.p99 > h.p90);
+        assert!(h.p99 <= 4.0);
+    }
+
+    #[test]
+    fn overflow_pins_quantiles_to_last_bound() {
+        let w = Windowed::default();
+        let bounds = [1.0, 2.0];
+        for _ in 0..10 {
+            w.record_histogram("t.win.h", &bounds, 50.0, 0);
+        }
+        let snap = w.snapshot(0);
+        assert_eq!(snap.histograms["t.win.h"].p50, 2.0);
+    }
+
+    #[test]
+    fn snapshot_json_is_valid_and_deterministic() {
+        let w = Windowed::default();
+        w.record_counter("t.win.c", 2, 500);
+        w.record_histogram("t.win.h", &[1.0, 10.0], 5.0, 500);
+        let a = w.snapshot(500).to_json_string();
+        let b = w.snapshot(500).to_json_string();
+        assert_eq!(a, b);
+        assert!(crate::json::is_valid(&a));
+        assert!(a.contains("\"schema_version\""));
+    }
+}

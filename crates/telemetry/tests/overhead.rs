@@ -1,0 +1,76 @@
+//! Disabled-recorder overhead: the instrumentation on the kernel hot loop
+//! (spans, events, counters, gauges, histograms) must be allocation-free
+//! when telemetry is off, so production binaries pay nothing for the
+//! observability plane they are not using.
+//!
+//! Lives in its own integration binary because the counting allocator is a
+//! process-global.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// System allocator wrapper counting every allocation/reallocation.
+struct CountingAlloc;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::SeqCst);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::SeqCst);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+#[test]
+fn disabled_recorder_hot_path_is_allocation_free() {
+    let rec = qem_telemetry::global();
+    assert!(
+        !rec.enabled(),
+        "test assumes the process-global recorder starts disabled"
+    );
+
+    // Warm every lazily-initialised static (the recorder OnceLock, stdout
+    // locks, thread bookkeeping) before counting.
+    qem_telemetry::counter_add(qem_telemetry::names::CORE_MITIGATOR_APPLIES_TOTAL, 1);
+    {
+        let _g = qem_telemetry::span!(qem_telemetry::names::CORE_MITIGATOR_APPLY);
+    }
+    qem_telemetry::event!(qem_telemetry::names::CORE_RECALIB_SWAP);
+
+    let before = ALLOCATIONS.load(Ordering::SeqCst);
+    for i in 0..10_000u64 {
+        let _g = qem_telemetry::span!(qem_telemetry::names::CORE_MITIGATOR_APPLY);
+        let _d =
+            qem_telemetry::span_detached(qem_telemetry::names::CORE_MITIGATOR_BATCH_CHUNK, &[]);
+        qem_telemetry::event!(qem_telemetry::names::CORE_RECALIB_SWAP);
+        qem_telemetry::counter_add(qem_telemetry::names::CORE_MITIGATOR_APPLIES_TOTAL, i);
+        qem_telemetry::gauge_set(
+            qem_telemetry::names::CORE_MITIGATOR_FLOPS_PER_HISTOGRAM,
+            i as f64,
+        );
+        qem_telemetry::histogram_record_with(
+            qem_telemetry::names::CORE_MITIGATOR_CLAMPED_MASS,
+            &qem_telemetry::CLAMP_BUCKETS,
+            1e-3,
+        );
+    }
+    let after = ALLOCATIONS.load(Ordering::SeqCst);
+    assert_eq!(
+        after - before,
+        0,
+        "disabled-recorder hot path allocated {} times over 10k iterations",
+        after - before
+    );
+}

@@ -1,0 +1,119 @@
+//! End-to-end test of the live metrics endpoint: bind on an ephemeral
+//! port, speak minimal HTTP/1.1 over std `TcpStream`, and check `/metrics`,
+//! `/snapshot`, `/healthz`, and the 404 path.
+//!
+//! Own integration binary: the server borrows the process-global recorder.
+
+use qem_telemetry::{names, HealthPolicy};
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+fn get(addr: std::net::SocketAddr, path: &str) -> (u16, String) {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(5)))
+        .unwrap();
+    write!(
+        stream,
+        "GET {path} HTTP/1.1\r\nHost: test\r\nConnection: close\r\n\r\n"
+    )
+    .unwrap();
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw).expect("read response");
+    let status: u16 = raw
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .expect("status line");
+    let body = raw
+        .split_once("\r\n\r\n")
+        .map(|(_, b)| b.to_string())
+        .unwrap_or_default();
+    (status, body)
+}
+
+// One #[test] driving both scenarios in sequence: they share the
+// process-global recorder, and the parallel test runner must not interleave
+// a reset with the other scenario's assertions.
+#[test]
+fn live_endpoint_end_to_end() {
+    endpoints_serve_metrics_snapshot_and_health();
+    healthz_flips_unhealthy_past_thresholds();
+}
+
+fn endpoints_serve_metrics_snapshot_and_health() {
+    let rec = qem_telemetry::global();
+    rec.set_enabled(true);
+    rec.use_virtual_clock();
+    rec.reset();
+    rec.counter_add(names::CORE_MITIGATOR_APPLIES_TOTAL, 7);
+    rec.gauge_set(names::CORE_RECALIB_SERVING_EPOCH, 2.0);
+    rec.gauge_set(names::CORE_RECALIB_SERVING_LEVEL_RUNG, 1.0);
+    rec.gauge_set(names::CORE_RECALIB_PATCH_STALENESS_MAX, 0.01);
+
+    let mut server =
+        qem_telemetry::serve(rec, "127.0.0.1:0", HealthPolicy::default()).expect("bind");
+    let addr = server.local_addr();
+
+    let (status, body) = get(addr, "/metrics");
+    assert_eq!(status, 200);
+    assert!(
+        body.contains("qem_core_mitigator_applies_total 7"),
+        "{body}"
+    );
+    assert!(body.contains("qem_core_recalib_serving_epoch 2"), "{body}");
+
+    let (status, body) = get(addr, "/snapshot");
+    assert_eq!(status, 200);
+    assert!(
+        qem_telemetry::json::is_valid(&body),
+        "/snapshot is not valid JSON: {body}"
+    );
+    assert!(body.contains("core.mitigator.applies_total"));
+
+    // Healthy under the default policy (rung 1 ≤ 2, staleness unbounded).
+    let (status, body) = get(addr, "/healthz");
+    assert_eq!(status, 200);
+    assert!(body.contains("\"healthy\": true"), "{body}");
+
+    let (status, _) = get(addr, "/nonexistent");
+    assert_eq!(status, 404);
+
+    // Requests were themselves counted.
+    assert!(
+        rec.snapshot()
+            .counter(names::TELEMETRY_SERVE_REQUESTS_TOTAL)
+            >= 4
+    );
+
+    server.stop();
+
+    rec.reset();
+    rec.set_enabled(false);
+}
+
+fn healthz_flips_unhealthy_past_thresholds() {
+    let rec = qem_telemetry::global();
+    rec.set_enabled(true);
+
+    let policy = HealthPolicy {
+        max_patch_staleness: 0.05,
+        max_ladder_rung: 2.0,
+    };
+    let mut server = qem_telemetry::serve(rec, "127.0.0.1:0", policy).expect("bind");
+    let addr = server.local_addr();
+
+    rec.gauge_set(names::CORE_RECALIB_PATCH_STALENESS_MAX, 0.2);
+    let (status, body) = get(addr, "/healthz");
+    assert_eq!(status, 503);
+    assert!(body.contains("\"healthy\": false"), "{body}");
+
+    rec.gauge_set(names::CORE_RECALIB_PATCH_STALENESS_MAX, 0.01);
+    let (status, _) = get(addr, "/healthz");
+    assert_eq!(status, 200);
+
+    server.stop();
+    rec.reset();
+    rec.set_enabled(false);
+}

@@ -82,6 +82,34 @@ fn telemetry_name_registry_pair() {
 }
 
 #[test]
+fn telemetry_serve_modules_in_registry_scope() {
+    // The registry rule reaches into the telemetry crate's streaming-plane
+    // modules: ad-hoc names in serve.rs (counter_add, a split-line
+    // span_detached, gauge_set) must fail the lint...
+    let bad = lint_fixture("telemetry_serve_bad.rs", "crates/telemetry/src/serve.rs");
+    let fired: Vec<_> = bad
+        .iter()
+        .filter(|d| d.rule == "telemetry-name-registry")
+        .collect();
+    assert!(
+        fired.len() >= 3,
+        "expected >= 3 findings in serve.rs scope, got {bad:?}"
+    );
+    // ...names routed through the registry stay clean...
+    let clean = lint_fixture("telemetry_serve_clean.rs", "crates/telemetry/src/serve.rs");
+    assert!(
+        clean.iter().all(|d| d.rule != "telemetry-name-registry"),
+        "{clean:?}"
+    );
+    // ...and the recorder internals (which define the primitives) remain exempt.
+    let exempt = lint_fixture("telemetry_serve_bad.rs", "crates/telemetry/src/recorder.rs");
+    assert!(
+        exempt.iter().all(|d| d.rule != "telemetry-name-registry"),
+        "{exempt:?}"
+    );
+}
+
+#[test]
 fn relaxed_ordering_pair() {
     check_pair("relaxed-ordering", 1);
 }

@@ -1,0 +1,10 @@
+// Fixture: a streaming-plane module minting ad-hoc metric names at the
+// call site instead of registering them in `qem_telemetry::names`.
+pub fn expose(rec: &qem_telemetry::Recorder) {
+    rec.counter_add("telemetry.serve.adhoc_requests", 1);
+    let _chunk = qem_telemetry::span_detached(
+        "telemetry.serve.adhoc_chunk",
+        &[],
+    );
+    rec.gauge_set("telemetry.window.adhoc_rate", 1.0);
+}

@@ -1,0 +1,9 @@
+// Fixture: the streaming-plane modules route every name through the
+// central registry, like any other recorder consumer.
+use qem_telemetry::names;
+
+pub fn expose(rec: &qem_telemetry::Recorder) {
+    rec.counter_add(names::TELEMETRY_SERVE_REQUESTS_TOTAL, 1);
+    let _chunk = qem_telemetry::span_detached(names::CORE_MITIGATOR_BATCH_CHUNK, &[]);
+    rec.gauge_set(names::CORE_RECALIB_PATCH_STALENESS_MAX, 1.0);
+}

@@ -42,13 +42,23 @@ COMMANDS:
     recalibrate  --device <name> [--fault-profile NAME] [--calib-interval N]
                  [--drift-threshold X] [--shot-budget N] [--probe-shots N]
                  [--recal-shots N] [--watch] [--cycles N] [--cycle-ticks N]
-                 [--max-l1 X] [--report-out FILE]
+                 [--max-l1 X] [--report-out FILE] [--serve-metrics ADDR]
+                 [--windowed-out FILE]
                                          drift-aware online recalibration: probe staleness,
                                          refresh only the patches forecast past tolerance
                                          under the shot budget, atomically hot-swap the
                                          serving plan; --watch soaks many cycles on the
                                          device's virtual clock and fails if the mitigated
-                                         GHZ L1 ever exceeds --max-l1
+                                         GHZ L1 ever exceeds --max-l1; --serve-metrics
+                                         exposes live /metrics, /snapshot and /healthz
+                                         while the soak runs; --windowed-out writes the
+                                         rolling windowed aggregates as JSON on exit
+    serve-metrics [--device <name>] [--addr HOST:PORT] [--shots N]
+                  [--duration-secs N] [--max-staleness X] [--max-rung X]
+                                         run a small calibration + mitigated-batch workload
+                                         to populate every quality-metric family, then
+                                         serve Prometheus /metrics, JSON /snapshot and
+                                         /healthz until killed (or --duration-secs)
     compare      --device <name> [--budget N] [--trials N]
                                          compare all mitigation methods on a GHZ benchmark
     bench-snapshot [--device <name>] [--budget N] [--out FILE]
@@ -56,11 +66,13 @@ COMMANDS:
                                          writes a schema-versioned BENCH_cmc.json with
                                          per-stage timings and circuit counts
     bench-snapshot --suite mitigation [--qubits N] [--steps N] [--batch N]
-                   [--reps N] [--out FILE]
+                   [--reps N] [--out FILE] [--compare BASELINE.json]
                                          compiled-plan kernel benchmark: legacy hash-map
                                          path vs layered flat kernel, single histogram and
                                          batch; writes BENCH_mitigation.json with
-                                         wall-clock timings and speedups
+                                         wall-clock timings and speedups; --compare diffs
+                                         the speedups against a committed baseline and
+                                         exits non-zero on a >15% regression
 
 COMMON OPTIONS:
     --device         quito | lima | manila | nairobi
@@ -310,6 +322,82 @@ fn characterize_resilient(
     Ok(())
 }
 
+/// Binds the live metrics endpoint on `addr` with the health thresholds
+/// taken from `--max-staleness` / `--max-rung`, and prints the serving line
+/// as soon as the socket is bound (CI greps for it before curling).
+fn start_metrics_server(args: &Args, addr: &str) -> Result<qem::telemetry::MetricsServer, String> {
+    let health = qem::telemetry::HealthPolicy {
+        max_patch_staleness: args.get_f64("max-staleness", f64::INFINITY),
+        max_ladder_rung: args.get_f64("max-rung", 2.0),
+    };
+    let server = qem::telemetry::serve(qem::telemetry::global(), addr, health)
+        .map_err(|e| format!("cannot bind metrics endpoint on {addr}: {e}"))?;
+    println!("serving metrics on http://{}/metrics", server.local_addr());
+    Ok(server)
+}
+
+/// The `serve-metrics` command: enable the streaming recorder, run one
+/// calibration + scheduler generation + mitigated GHZ batch so every
+/// mitigation-quality metric family is populated, then keep the `/metrics`,
+/// `/snapshot` and `/healthz` endpoints up until the process is killed (or
+/// `--duration-secs` elapses).
+fn cmd_serve_metrics(args: &Args, seed: u64) -> Result<(), String> {
+    use qem::core::recalib::{RecalibPolicy, RecalibScheduler};
+
+    qem::telemetry::set_enabled(true);
+    qem::telemetry::set_sharded(true);
+    let addr = args.get("addr").unwrap_or("127.0.0.1:9184");
+    let server = start_metrics_server(args, addr)?;
+
+    let device = args.get("device").unwrap_or("quito");
+    let backend = backend_by_name(device, seed)
+        .ok_or_else(|| format!("unknown device '{device}' (expected quito|lima|manila|nairobi)"))?;
+    let n = backend.num_qubits();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let opts = CmcOptions {
+        k: 1,
+        shots_per_circuit: args.get_u64("shots", 2048),
+        cull_threshold: qem::linalg::tol::CULL,
+    };
+    let cal = qem::core::calibrate_cmc(&backend, &opts, &mut rng).map_err(|e| e.to_string())?;
+    // The scheduler seeds the serving-epoch / ladder-rung gauges /healthz
+    // reads; the mitigated batch populates clamped mass, the L1 probe, the
+    // FLOPs rate, and the inverse-cache ratio.
+    let sched =
+        RecalibScheduler::new(cal, RecalibPolicy::default(), 0).map_err(|e| e.to_string())?;
+    let serving = sched.handle().load();
+    let ghz = ghz_bfs(&backend.coupling.graph, 0);
+    let batch: Vec<_> = (0..8)
+        .map(|i| {
+            let mut r = StdRng::seed_from_u64(seed + i);
+            backend.execute(&ghz, 2048, &mut r)
+        })
+        .collect();
+    let mitigated = serving
+        .calibration
+        .mitigator
+        .mitigate_batch(&batch)
+        .map_err(|e| e.to_string())?;
+    let correct = [0u64, (1u64 << n) - 1];
+    let mean_success =
+        mitigated.iter().map(|d| d.mass_on(&correct)).sum::<f64>() / mitigated.len().max(1) as f64;
+    println!(
+        "workload: GHZ-{n} on {device}, batch of {}, mean mitigated success {mean_success:.3}",
+        mitigated.len()
+    );
+
+    let duration = args.get_u64("duration-secs", 0);
+    if duration == 0 {
+        println!("serving until killed (pass --duration-secs N to bound)");
+        loop {
+            std::thread::sleep(std::time::Duration::from_secs(3600));
+        }
+    }
+    std::thread::sleep(std::time::Duration::from_secs(duration));
+    drop(server);
+    Ok(())
+}
+
 /// The `recalibrate` command: calibrate once on the (drifting) device, then
 /// run the staleness scheduler — probe, prioritised partial refresh under
 /// the shot budget, atomic hot-swap — checking the serving plan's GHZ L1
@@ -317,6 +405,20 @@ fn characterize_resilient(
 fn cmd_recalibrate(args: &Args, seed: u64) -> Result<(), String> {
     use qem::core::recalib::{RecalibPolicy, RecalibScheduler, StalenessPolicy};
     use qem::mitigation::metrics::one_norm_distance;
+
+    // Live observability: --serve-metrics exposes the soak over HTTP while
+    // it runs; --windowed-out captures the rolling aggregates at exit.
+    // Either one turns the streaming recorder on before any work happens so
+    // the scheduler's construction-time gauges are captured too.
+    let windowed_out = args.get("windowed-out");
+    if args.get("serve-metrics").is_some() || windowed_out.is_some() {
+        qem::telemetry::set_enabled(true);
+        qem::telemetry::set_sharded(true);
+    }
+    let _metrics_server = match args.get("serve-metrics") {
+        Some(addr) => Some(start_metrics_server(args, addr)?),
+        None => None,
+    };
 
     let backend = require_backend(args, seed)?;
     let n = backend.num_qubits();
@@ -454,6 +556,11 @@ fn cmd_recalibrate(args: &Args, seed: u64) -> Result<(), String> {
         );
         std::fs::write(path, doc).map_err(|e| e.to_string())?;
         println!("report -> {path}");
+    }
+    if let Some(path) = windowed_out {
+        std::fs::write(path, qem::telemetry::windowed_snapshot().to_json_string())
+            .map_err(|e| e.to_string())?;
+        println!("windowed metrics -> {path}");
     }
 
     if worst_l1 > max_l1 {
@@ -685,6 +792,29 @@ fn cmd_bench_snapshot(args: &Args, seed: u64) -> Result<(), String> {
 /// Schema stamped into `bench-snapshot --suite mitigation` output.
 const BENCH_MITIGATION_SCHEMA_VERSION: u32 = 1;
 
+/// `--compare` fails when a current speedup drops below this fraction of
+/// the baseline's (0.85 = a >15% regression).
+const BENCH_REGRESSION_FACTOR: f64 = 0.85;
+
+/// Pulls `"speedup": <number>` out of the named section of a
+/// `BENCH_mitigation.json` document. Wall-clock micros are machine-bound,
+/// so the gate compares the legacy-vs-compiled speedup *ratios*, which
+/// cancel the host's absolute speed. Hand-rolled scan (no JSON dependency);
+/// the format is our own deterministic writer's.
+fn extract_speedup(doc: &str, section: &str) -> Option<f64> {
+    let sec = doc.find(&format!("\"{section}\""))?;
+    let rest = &doc[sec..];
+    let key = rest.find("\"speedup\"")?;
+    let after = rest[key..].find(':')? + key + 1;
+    let tail = rest[after..].trim_start();
+    let end = tail
+        .find(|c: char| {
+            !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e' || c == 'E' || c == '+')
+        })
+        .unwrap_or(tail.len());
+    tail[..end].parse().ok()
+}
+
 /// A random mildly-correlated 4×4 stochastic channel for the synthetic
 /// mitigation chain (product flips plus a joint flip; diagonally dominant,
 /// hence invertible).
@@ -856,6 +986,43 @@ fn cmd_bench_mitigation(args: &Args, seed: u64) -> Result<(), String> {
     ]);
     std::fs::write(&out, doc.to_string_pretty()).map_err(|e| e.to_string())?;
     println!("mitigation bench snapshot -> {}", out.display());
+
+    if let Some(base_path) = args.get("compare") {
+        let base = std::fs::read_to_string(base_path)
+            .map_err(|e| format!("cannot read baseline {base_path}: {e}"))?;
+        let mut failures = Vec::new();
+        for (what, current, section) in [
+            (
+                "single-histogram",
+                ratio(single_legacy, single_plan),
+                "single_histogram",
+            ),
+            ("batch", ratio(batch_legacy, batch_plan), "batch"),
+        ] {
+            let baseline = extract_speedup(&base, section)
+                .ok_or_else(|| format!("baseline {base_path} has no {section}.speedup"))?;
+            let floor = baseline * BENCH_REGRESSION_FACTOR;
+            let verdict = if current < floor { "REGRESSED" } else { "ok" };
+            println!(
+                "  compare {what}: current {current:.2}x vs baseline {baseline:.2}x \
+                 (floor {floor:.2}x) — {verdict}"
+            );
+            if current < floor {
+                failures.push(format!(
+                    "{what} speedup {current:.2}x below {floor:.2}x \
+                     ({:.0}% of baseline {baseline:.2}x)",
+                    100.0 * BENCH_REGRESSION_FACTOR
+                ));
+            }
+        }
+        if !failures.is_empty() {
+            return Err(format!(
+                "perf regression gate failed: {}",
+                failures.join("; ")
+            ));
+        }
+        println!("  perf gate passed against {base_path}");
+    }
     Ok(())
 }
 
@@ -910,6 +1077,7 @@ fn main() -> ExitCode {
         "mitigate" => cmd_mitigate(&args, seed),
         "report" => cmd_report(&args, seed),
         "recalibrate" => cmd_recalibrate(&args, seed),
+        "serve-metrics" => cmd_serve_metrics(&args, seed),
         "compare" => cmd_compare(&args, seed),
         "bench-snapshot" => cmd_bench_snapshot(&args, seed),
         "help" | "--help" | "-h" => {
