@@ -67,6 +67,10 @@ const CACHE_CAP: usize = 4096;
 
 type Shard = HashMap<u64, Vec<(Matrix, Arc<Matrix>)>>;
 
+// The process-wide cache mutex nests under nothing and nothing is acquired
+// while it is held — lookups clone their `Arc` out and drop the guard.
+// lock-order: leaf(cache)
+
 fn cache() -> &'static Mutex<Shard> {
     static CACHE: OnceLock<Mutex<Shard>> = OnceLock::new();
     CACHE.get_or_init(|| Mutex::new(HashMap::new()))

@@ -119,13 +119,11 @@ impl<'a> RetryExecutor<'a> {
     /// submissions by a few increments; no other memory is published through
     /// these counters, so relaxed ordering is sound.
     fn snap(counter: &AtomicU64) -> u64 {
-        // qem-lint: allow(relaxed-ordering) — monotonic counter snapshot; see doc above
         counter.load(Ordering::Relaxed)
     }
 
     /// Bumps a monotonic statistics counter (same reasoning as [`Self::snap`]).
     fn bump(counter: &AtomicU64, by: u64) {
-        // qem-lint: allow(relaxed-ordering) — monotonic counter increment; see doc above
         counter.fetch_add(by, Ordering::Relaxed);
     }
 

@@ -15,8 +15,8 @@
 //! prepared state directly exhibits the device's measurement errors.
 
 use crate::error::Result;
-use qem_linalg::cdense::{pauli_string, CMatrix};
-use qem_linalg::complex::{c64, C64};
+use qem_linalg::cdense::CMatrix;
+use qem_linalg::complex::C64;
 use qem_linalg::dense::Matrix;
 use qem_linalg::error::LinalgError;
 use qem_sim::backend::Backend;
@@ -42,17 +42,15 @@ pub struct StateTomography {
 
 /// Appends the basis-rotation gates for one measurement setting:
 /// `0 = Z` (none), `1 = X` (H), `2 = Y` (S† then H, via `RZ(−π/2)`).
+/// Callers pass a base-3 digit, so everything not X or Y measures Z.
 fn apply_basis_rotation(circuit: &mut Circuit, qubit: usize, basis: usize) {
     match basis {
-        0 => {}
         1 => circuit.push(Gate::H(qubit)),
         2 => {
             circuit.push(Gate::RZ(qubit, -FRAC_PI_2));
             circuit.push(Gate::H(qubit));
         }
-        // qem-lint: allow(no-panic-path) — `basis` is generated internally by
-        // `measurement_settings` as a base-3 digit; out of range is a code bug
-        _ => unreachable!("basis label out of range"),
+        _ => {}
     }
 }
 
@@ -106,8 +104,9 @@ pub fn state_tomography(
 
     // Estimate every Pauli-string expectation.
     let mut expectations = vec![0.0f64; strings];
-    // qem-lint: allow(no-direct-index) — strings = 4^k ≥ 4, slot 0 exists
-    expectations[0] = 1.0; // ⟨I…I⟩
+    if let Some(identity_slot) = expectations.first_mut() {
+        *identity_slot = 1.0; // ⟨I…I⟩
+    }
     for (p, expectation) in expectations.iter_mut().enumerate().skip(1) {
         // Per-qubit labels of the string: 0=I, 1=X, 2=Y, 3=Z.
         let mut labels = Vec::with_capacity(k);
@@ -152,21 +151,8 @@ pub fn state_tomography(
         *expectation = acc / compatible as f64;
     }
 
-    // ρ = 2^{-k} Σ ⟨P⟩ P.
-    let dim = 1usize << k;
-    // qem-lint: allow(validated-matrix-construction) — density matrix, not a
-    // stochastic calibration matrix; Hermiticity is enforced by construction
-    let mut rho = CMatrix::zeros(dim, dim);
-    for (p, &expectation) in expectations.iter().enumerate() {
-        let mut labels = Vec::with_capacity(k);
-        let mut digits = p;
-        for _ in 0..k {
-            labels.push(digits % 4);
-            digits /= 4;
-        }
-        let pauli = pauli_string(&labels);
-        rho = &rho + &pauli.scale(c64(expectation / dim as f64, 0.0));
-    }
+    // ρ = 2^{-k} Σ ⟨P⟩ P, via the validated linear-inversion constructor.
+    let rho = qem_linalg::cdense::pauli_reconstruction(k, &expectations)?;
 
     Ok(StateTomography {
         qubits: qubits.to_vec(),
@@ -255,16 +241,8 @@ pub fn process_tomography_1q(
         ]);
     }
 
-    // Pauli decompositions: |0⟩=(I+Z)/2, |1⟩=(I−Z)/2, |+⟩=(I+X)/2,
-    // |+i⟩=(I+Y)/2 ⇒ E acting on I/X/Y/Z in Bloch coordinates:
-    //   E(I)  = out(|0⟩) + out(|1⟩)
-    //   E(Z)  = out(|0⟩) − out(|1⟩)
-    //   E(X)  = 2·out(|+⟩) − E(I)
-    //   E(Y)  = 2·out(|+i⟩) − E(I)
-    // qem-lint: allow(validated-matrix-construction) — Pauli transfer matrix,
-    // not a stochastic calibration matrix
-    let mut ptm = Matrix::zeros(4, 4);
-    ptm[(0, 0)] = 1.0; // trace preservation
+    // The validated PTM constructor owns the Pauli-decomposition algebra
+    // (|0⟩=(I+Z)/2 etc.) and rejects unphysical Bloch vectors.
     let [out0, out1, out_p, out_i]: [[f64; 3]; 4] =
         bloch
             .try_into()
@@ -272,18 +250,7 @@ pub fn process_tomography_1q(
                 op: "process_tomography_1q",
                 detail: "expected four Bloch vectors".into(),
             })?;
-    let e_i: Vec<f64> = (0..3).map(|c| out0[c] + out1[c]).collect();
-    let e_z: Vec<f64> = (0..3).map(|c| out0[c] - out1[c]).collect();
-    let e_x: Vec<f64> = (0..3).map(|c| 2.0 * out_p[c] - e_i[c]).collect();
-    let e_y: Vec<f64> = (0..3).map(|c| 2.0 * out_i[c] - e_i[c]).collect();
-    // With bloch(input)[i] = Σ_j c_j R[i,j] for input = Σ_j c_j P_j / 1,
-    // each combination above equals 2·R[:,col]; halve to land on the PTM.
-    for row in 0..3 {
-        ptm[(row + 1, 0)] = e_i[row] / 2.0;
-        ptm[(row + 1, 1)] = e_x[row] / 2.0;
-        ptm[(row + 1, 2)] = e_y[row] / 2.0;
-        ptm[(row + 1, 3)] = e_z[row] / 2.0;
-    }
+    let ptm = qem_linalg::ptm::from_bloch_outputs(out0, out1, out_p, out_i)?;
     Ok(ProcessTomography {
         ptm,
         circuits_used,
@@ -299,27 +266,14 @@ pub fn ideal_ptm(gate: &Gate) -> Result<Matrix> {
             op: "ideal_ptm",
             detail: "two-qubit gate".into(),
         })?;
-    // qem-lint: allow(validated-matrix-construction) — unitary gate matrix,
-    // not a stochastic calibration matrix
-    // qem-lint: allow(no-direct-index) — m is a fixed-size 2×2 array
-    let u = CMatrix::from_rows(&[&[m[0][0], m[0][1]], &[m[1][0], m[1][1]]]);
-    let paulis = qem_linalg::cdense::pauli_matrices();
-    // qem-lint: allow(validated-matrix-construction) — Pauli transfer matrix,
-    // not a stochastic calibration matrix
-    let mut ptm = Matrix::zeros(4, 4);
-    for i in 0..4 {
-        for j in 0..4 {
-            // R[i,j] = ½ Tr(P_i U P_j U†)
-            let inner = u.matmul(&paulis[j])?.matmul(&u.dagger())?;
-            ptm[(i, j)] = paulis[i].matmul(&inner)?.trace().re / 2.0;
-        }
-    }
-    Ok(ptm)
+    Ok(qem_linalg::ptm::unitary_ptm_2x2(&m)?)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use qem_linalg::cdense::pauli_string;
+    use qem_linalg::complex::c64;
     use qem_sim::circuit::ghz_bfs;
     use qem_sim::noise::NoiseModel;
     use qem_topology::coupling::linear;

@@ -285,6 +285,74 @@ pub fn pauli_string(labels: &[usize]) -> CMatrix {
     out
 }
 
+/// Slack over `|⟨P⟩| ≤ 1` allowed for shot-estimated expectations; each is
+/// an average of ±1 parities (bounded by 1 exactly), so only accumulated
+/// averaging roundoff needs forgiving.
+const EXPECTATION_SLACK: f64 = 1e-9;
+
+/// Qubit-count cap for linear-inversion reconstruction: `4^k` expectations
+/// and a `2^k × 2^k` dense matrix — beyond this the gold standard is no
+/// longer computable, let alone measurable.
+const RECONSTRUCTION_MAX_QUBITS: usize = 10;
+
+/// Linear-inversion state reconstruction `ρ = 2^{-k} Σ_p ⟨P_p⟩ P_p` from
+/// the full vector of `4^k` Pauli-string expectations, indexed with qubit
+/// 0's label in the least-significant base-4 digit (the [`pauli_string`]
+/// convention).
+///
+/// This is the validated constructor for tomographic density matrices:
+/// it checks the expectation count matches `4^k`, that `⟨I…I⟩ = 1` (unit
+/// trace), and that every entry is finite and inside `[−1, 1]` up to
+/// roundoff slack. The result is Hermitian with trace 1 by construction;
+/// positivity is *not* enforced — linear inversion on sampled data is
+/// slightly non-positive by nature (paper §III-A).
+pub fn pauli_reconstruction(k: usize, expectations: &[f64]) -> Result<CMatrix> {
+    if k == 0 || k > RECONSTRUCTION_MAX_QUBITS {
+        return Err(LinalgError::DimensionMismatch {
+            op: "pauli_reconstruction",
+            detail: format!("{k} qubits (supported: 1–{RECONSTRUCTION_MAX_QUBITS})"),
+        });
+    }
+    let strings = 4usize.pow(k as u32);
+    if expectations.len() != strings {
+        return Err(LinalgError::DimensionMismatch {
+            op: "pauli_reconstruction",
+            detail: format!(
+                "{} expectations for {k} qubits (need 4^k = {strings})",
+                expectations.len()
+            ),
+        });
+    }
+    for (p, &e) in expectations.iter().enumerate() {
+        if !e.is_finite() || e.abs() > 1.0 + EXPECTATION_SLACK {
+            return Err(LinalgError::InvalidDistribution {
+                detail: format!("Pauli expectation {p} is {e}, outside [-1, 1]"),
+            });
+        }
+    }
+    let identity_expectation = expectations.first().copied().unwrap_or(0.0);
+    if (identity_expectation - 1.0).abs() > EXPECTATION_SLACK {
+        return Err(LinalgError::InvalidDistribution {
+            detail: format!(
+                "identity expectation is {identity_expectation}, must be 1 (unit trace)"
+            ),
+        });
+    }
+    let dim = 1usize << k;
+    let mut rho = CMatrix::zeros(dim, dim);
+    for (p, &expectation) in expectations.iter().enumerate() {
+        let mut labels = Vec::with_capacity(k);
+        let mut digits = p;
+        for _ in 0..k {
+            labels.push(digits % 4);
+            digits /= 4;
+        }
+        let pauli = pauli_string(&labels);
+        rho = &rho + &pauli.scale(c64(expectation / dim as f64, 0.0));
+    }
+    Ok(rho)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -42,6 +42,7 @@ pub mod invariant;
 pub mod iterative;
 pub mod lu;
 pub mod power;
+pub mod ptm;
 pub mod sparse;
 pub mod sparse_apply;
 pub mod stochastic;

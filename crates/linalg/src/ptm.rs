@@ -1,0 +1,177 @@
+//! Validated Pauli-transfer-matrix constructors.
+//!
+//! A single-qubit PTM `R[i,j] = ½ Tr(P_i E(P_j))` (Pauli order `I, X, Y,
+//! Z`) represents a channel `E` as its action on Bloch coordinates. The
+//! constructors here own the two ways the workspace builds one — from
+//! tomographed Bloch vectors of the four informationally complete inputs,
+//! and analytically from a unitary's 2×2 matrix — so callers get a checked
+//! object instead of assembling `Matrix::zeros(4, 4)` by hand.
+
+use crate::cdense::{pauli_matrices, CMatrix};
+use crate::complex::C64;
+use crate::dense::Matrix;
+use crate::error::{LinalgError, Result};
+
+/// Slack over the unit ball allowed for estimated Bloch vectors: parity
+/// estimators are each bounded by 1, but finite shots push the estimated
+/// norm slightly outside the physical ball.
+const BLOCH_SLACK: f64 = 0.1;
+
+/// Unitarity tolerance for analytically supplied gate matrices — these are
+/// constructed from closed-form entries, so only roundoff is forgiven.
+const UNITARITY: f64 = 1e-9;
+
+/// PTM of a single-qubit process from the tomographed Bloch vectors
+/// `(⟨X⟩, ⟨Y⟩, ⟨Z⟩)` of its outputs on the four informationally complete
+/// inputs `|0⟩, |1⟩, |+⟩, |+i⟩`.
+///
+/// With `|0⟩ = (I+Z)/2`, `|1⟩ = (I−Z)/2`, `|+⟩ = (I+X)/2`,
+/// `|+i⟩ = (I+Y)/2`, the Bloch action of the channel on each Pauli input
+/// is recovered linearly:
+///
+/// ```text
+/// E(I) = out(|0⟩) + out(|1⟩)        E(X) = 2·out(|+⟩)  − E(I)
+/// E(Z) = out(|0⟩) − out(|1⟩)        E(Y) = 2·out(|+i⟩) − E(I)
+/// ```
+///
+/// each equalling `2·R[1..4, col]`. Row 0 is `(1, 0, 0, 0)`: the inputs
+/// are density matrices and the channel is trace preserving by assumption.
+///
+/// Errors if any vector is non-finite or leaves the Bloch ball by more
+/// than the sampling-noise slack.
+pub fn from_bloch_outputs(
+    out0: [f64; 3],
+    out1: [f64; 3],
+    out_plus: [f64; 3],
+    out_plus_i: [f64; 3],
+) -> Result<Matrix> {
+    for (name, v) in [
+        ("|0>", &out0),
+        ("|1>", &out1),
+        ("|+>", &out_plus),
+        ("|+i>", &out_plus_i),
+    ] {
+        let norm2: f64 = v.iter().map(|c| c * c).sum();
+        if !norm2.is_finite() {
+            return Err(LinalgError::InvalidDistribution {
+                detail: format!("Bloch vector for input {name} is not finite"),
+            });
+        }
+        let limit = 1.0 + BLOCH_SLACK;
+        if norm2 > limit * limit {
+            return Err(LinalgError::InvalidDistribution {
+                detail: format!(
+                    "Bloch vector for input {name} has norm {:.4}, outside the physical ball (limit {limit})",
+                    norm2.sqrt()
+                ),
+            });
+        }
+    }
+    let mut ptm = Matrix::zeros(4, 4);
+    ptm[(0, 0)] = 1.0;
+    for row in 0..3 {
+        let e_i = out0[row] + out1[row];
+        let e_z = out0[row] - out1[row];
+        let e_x = 2.0 * out_plus[row] - e_i;
+        let e_y = 2.0 * out_plus_i[row] - e_i;
+        ptm[(row + 1, 0)] = e_i / 2.0;
+        ptm[(row + 1, 1)] = e_x / 2.0;
+        ptm[(row + 1, 2)] = e_y / 2.0;
+        ptm[(row + 1, 3)] = e_z / 2.0;
+    }
+    Ok(ptm)
+}
+
+/// The exact PTM of a single-qubit unitary `U`:
+/// `R[i,j] = ½ Tr(P_i U P_j U†)`.
+///
+/// Errors if `U` is not unitary to roundoff — catching a transposed or
+/// unnormalised matrix here beats producing a silently unphysical PTM.
+pub fn unitary_ptm_2x2(u: &[[C64; 2]; 2]) -> Result<Matrix> {
+    let um = CMatrix::from_rows(&[&[u[0][0], u[0][1]], &[u[1][0], u[1][1]]]);
+    let gram = um.dagger().matmul(&um)?;
+    let defect = gram
+        .max_abs_diff(&CMatrix::identity(2))
+        .unwrap_or(f64::INFINITY);
+    if defect > UNITARITY {
+        return Err(LinalgError::InvalidDistribution {
+            detail: format!("matrix is not unitary: max |U†U − I| = {defect:.3e}"),
+        });
+    }
+    let paulis = pauli_matrices();
+    let mut ptm = Matrix::zeros(4, 4);
+    for i in 0..4 {
+        for j in 0..4 {
+            let inner = um.matmul(&paulis[j])?.matmul(&um.dagger())?;
+            ptm[(i, j)] = paulis[i].matmul(&inner)?.trace().re / 2.0;
+        }
+    }
+    Ok(ptm)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::complex::c64;
+
+    const INV_SQRT2: f64 = std::f64::consts::FRAC_1_SQRT_2;
+
+    fn hadamard() -> [[C64; 2]; 2] {
+        [
+            [c64(INV_SQRT2, 0.0), c64(INV_SQRT2, 0.0)],
+            [c64(INV_SQRT2, 0.0), c64(-INV_SQRT2, 0.0)],
+        ]
+    }
+
+    #[test]
+    fn identity_channel_from_bloch() {
+        // Ideal outputs of the identity channel on the four inputs.
+        let ptm = from_bloch_outputs(
+            [0.0, 0.0, 1.0],
+            [0.0, 0.0, -1.0],
+            [1.0, 0.0, 0.0],
+            [0.0, 1.0, 0.0],
+        )
+        .unwrap();
+        assert!(ptm.max_abs_diff(&Matrix::identity(4)).unwrap() < 1e-12);
+    }
+
+    #[test]
+    fn bloch_ball_violation_rejected() {
+        let err = from_bloch_outputs(
+            [0.0, 0.0, 2.0],
+            [0.0, 0.0, -1.0],
+            [1.0, 0.0, 0.0],
+            [0.0, 1.0, 0.0],
+        )
+        .unwrap_err();
+        assert!(matches!(err, LinalgError::InvalidDistribution { .. }));
+        let nan = from_bloch_outputs(
+            [f64::NAN, 0.0, 0.0],
+            [0.0, 0.0, -1.0],
+            [1.0, 0.0, 0.0],
+            [0.0, 1.0, 0.0],
+        );
+        assert!(nan.is_err());
+    }
+
+    #[test]
+    fn hadamard_ptm_swaps_x_and_z() {
+        let ptm = unitary_ptm_2x2(&hadamard()).unwrap();
+        // H: X↔Z, Y→−Y.
+        let expect = Matrix::from_rows(&[
+            &[1.0, 0.0, 0.0, 0.0],
+            &[0.0, 0.0, 0.0, 1.0],
+            &[0.0, 0.0, -1.0, 0.0],
+            &[0.0, 1.0, 0.0, 0.0],
+        ]);
+        assert!(ptm.max_abs_diff(&expect).unwrap() < 1e-12);
+    }
+
+    #[test]
+    fn non_unitary_rejected() {
+        let z = C64::ZERO;
+        let m = [[c64(2.0, 0.0), z], [z, c64(1.0, 0.0)]];
+        assert!(unitary_ptm_2x2(&m).is_err());
+    }
+}

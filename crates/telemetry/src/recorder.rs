@@ -8,10 +8,12 @@
 //! what makes the Chrome-trace export show the calibration pipeline as a
 //! nested flame graph.
 //!
-//! ## Atomic-ordering policy (relaxed-ordering suppression audit)
+//! ## Atomic-ordering policy
 //!
-//! Every `Ordering::Relaxed` in this module falls into one of three classes,
-//! none of which publishes data through the atomic itself:
+//! This file is governed by the machine-checked `atomic-ordering-policy`
+//! row in `crates/xtask/src/semantic.rs` (`ATOMIC_POLICIES`): every atomic
+//! here is Relaxed. Every site falls into one of three classes, none of
+//! which publishes data through the atomic itself:
 //!
 //! 1. **Id allocation** (`NEXT_RECORDER_ID`, `next_span`): only the RMW
 //!    atomicity of `fetch_add` matters — ids must be unique, not ordered.
@@ -30,7 +32,15 @@
 //!
 //! If a future change makes any atomic *publish* dependent data (e.g. an
 //! index into a lock-free buffer), that site must upgrade to
-//! acquire/release and lose its suppression.
+//! acquire/release and the `ATOMIC_POLICIES` row must widen with it.
+//!
+//! ## Lock order
+//!
+//! `inner` (span/event/metric state) may be held while `shards` (the ring
+//! registry) is taken — the drain path does exactly that; never the
+//! reverse. `epoch` nests under nothing.
+// lock-order: inner -> shards
+// lock-order: leaf(epoch)
 
 use std::cell::RefCell;
 use std::collections::{BTreeMap, HashMap};
@@ -160,7 +170,6 @@ impl Recorder {
     /// A fresh, disabled recorder on the wall clock.
     pub fn new() -> Recorder {
         Recorder {
-            // qem-lint: allow(relaxed-ordering) — id allocation needs uniqueness only, publishes no data
             id: NEXT_RECORDER_ID.fetch_add(1, Ordering::Relaxed),
             enabled: AtomicBool::new(false),
             clock_mode: AtomicU8::new(CLOCK_WALL),
@@ -180,13 +189,11 @@ impl Recorder {
     /// backend) instead of the central mutex. Spans opened before the
     /// switch still close through their original backend.
     pub fn set_sharded(&self, on: bool) {
-        // qem-lint: allow(relaxed-ordering) — class-2 backend flag (module ordering policy); record payloads travel through the SPSC rings' acquire/release pairs
         self.backend_sharded.store(on, Ordering::Relaxed);
     }
 
     /// Is the sharded streaming backend active?
     pub fn sharded(&self) -> bool {
-        // qem-lint: allow(relaxed-ordering) — class-2 flag read (module ordering policy)
         self.backend_sharded.load(Ordering::Relaxed)
     }
 
@@ -194,7 +201,6 @@ impl Recorder {
     /// rings registered from now on. Existing rings keep their size.
     pub fn set_shard_capacity(&self, capacity: usize) {
         let cap = capacity as u64;
-        // qem-lint: allow(relaxed-ordering) — class-2 configuration word (module ordering policy)
         self.shard_capacity.store(cap, Ordering::Relaxed);
     }
 
@@ -223,7 +229,6 @@ impl Recorder {
             if let Some((_, ring)) = map.iter().find(|(rid, _)| *rid == self.id) {
                 return f(ring);
             }
-            // qem-lint: allow(relaxed-ordering) — class-2 configuration read (module ordering policy)
             let cap = self.shard_capacity.load(Ordering::Relaxed) as usize;
             let ring = Arc::new(ShardRing::new(cap));
             lock(&self.shards).push(Arc::clone(&ring));
@@ -297,14 +302,12 @@ impl Recorder {
 
     /// Is recording on? Instrumentation helpers check this themselves.
     pub fn enabled(&self) -> bool {
-        // qem-lint: allow(relaxed-ordering) — class-2 flag (module ordering policy): worst case one stale sample
         self.enabled.load(Ordering::Relaxed)
     }
 
     /// Turn recording on or off. Spans opened while enabled still close
     /// correctly after disabling.
     pub fn set_enabled(&self, on: bool) {
-        // qem-lint: allow(relaxed-ordering) — independent on/off flag; no data published under it
         self.enabled.store(on, Ordering::Relaxed);
     }
 
@@ -312,33 +315,28 @@ impl Recorder {
     /// [`Recorder::tick`], which `qem_sim` executors call once per circuit
     /// submission (mirroring `FaultyBackend`'s outage clock).
     pub fn use_virtual_clock(&self) {
-        // qem-lint: allow(relaxed-ordering) — single-word mode switch, no dependent data
         self.clock_mode.store(CLOCK_VIRTUAL, Ordering::Relaxed);
     }
 
     /// Switch back to the wall clock (the default).
     pub fn use_wall_clock(&self) {
-        // qem-lint: allow(relaxed-ordering) — single-word mode switch, no dependent data
         self.clock_mode.store(CLOCK_WALL, Ordering::Relaxed);
     }
 
     /// True when on the virtual clock.
     pub fn virtual_clock(&self) -> bool {
-        // qem-lint: allow(relaxed-ordering) — single-word mode read, no dependent data
         self.clock_mode.load(Ordering::Relaxed) == CLOCK_VIRTUAL
     }
 
     /// Advance the virtual clock. No-op observable effect under the wall
     /// clock; executors call this unconditionally.
     pub fn tick(&self, micros: u64) {
-        // qem-lint: allow(relaxed-ordering) — monotonic clock counter; RMW atomicity suffices
         self.virtual_micros.fetch_add(micros, Ordering::Relaxed);
     }
 
     /// Current time in clock microseconds since the recorder's epoch.
     pub fn now_micros(&self) -> u64 {
         if self.virtual_clock() {
-            // qem-lint: allow(relaxed-ordering) — timestamps tolerate benign cross-thread skew
             self.virtual_micros.load(Ordering::Relaxed)
         } else {
             lock(&self.epoch).elapsed().as_micros() as u64
@@ -359,7 +357,6 @@ impl Recorder {
         }
         self.metrics.clear();
         self.window.clear();
-        // qem-lint: allow(relaxed-ordering) — class-3 clock rewind (module ordering policy); callers serialize resets externally
         self.virtual_micros.store(0, Ordering::Relaxed);
         *lock(&self.epoch) = Instant::now();
     }
@@ -404,7 +401,6 @@ impl Recorder {
                 _not_send: PhantomData,
             };
         }
-        // qem-lint: allow(relaxed-ordering) — id allocation needs uniqueness only; span data is mutex-protected
         let id = self.next_span.fetch_add(1, Ordering::Relaxed);
         let start = self.now_micros();
         let owned_attrs = |attrs: &[(&str, String)]| {

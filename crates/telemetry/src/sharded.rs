@@ -26,6 +26,11 @@
 //! later end record unmatched (the drain skips it); a dropped span *end*
 //! leaves the span open, excluding it from duration aggregates. Both cases
 //! are bounded above by the `dropped_records` counter.
+//!
+//! This file holds no `Mutex`/`RwLock` at all — the ring is pure atomics —
+//! and its orderings are governed by the `atomic-ordering-policy` row in
+//! `crates/xtask/src/semantic.rs`.
+// lock-order: none
 
 use std::cell::UnsafeCell;
 use std::sync::atomic::{AtomicU64, Ordering};

@@ -1,0 +1,223 @@
+//! File-hash-keyed incremental cache for the lint engine.
+//!
+//! Stored at `target/qem-lint-cache.json`. Each entry keys a workspace-
+//! relative path to the FNV-1a hash of its contents plus the diagnostics
+//! and valid-suppression count produced last run; a hit skips re-analysis
+//! entirely. The cache is stamped with [`ENGINE_VERSION`] — bumping it (any
+//! rule/parser change) invalidates everything. A corrupt or mismatched
+//! cache never errors: it degrades to a full scan.
+
+use std::collections::BTreeMap;
+
+use crate::json::{self, Value};
+use crate::rules::Diagnostic;
+
+/// Bump on ANY change to lexer/tree/rules/semantic so stale caches can
+/// never mask new findings.
+pub const ENGINE_VERSION: u32 = 2;
+
+pub const CACHE_REL_PATH: &str = "target/qem-lint-cache.json";
+
+/// Cached per-file lint result.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Entry {
+    pub hash: u64,
+    pub diags: Vec<Diagnostic>,
+    pub suppressions: usize,
+}
+
+#[derive(Debug, Default, Clone)]
+pub struct Cache {
+    pub entries: BTreeMap<String, Entry>,
+}
+
+/// FNV-1a 64-bit over the raw bytes.
+pub fn hash(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+impl Cache {
+    /// Parses a cache file; any structural problem or version mismatch
+    /// yields an empty cache (full rescan), never an error.
+    pub fn parse(src: &str) -> Cache {
+        let Ok(doc) = json::parse(src) else {
+            return Cache::default();
+        };
+        if doc.get("engine").and_then(Value::as_u64) != Some(ENGINE_VERSION as u64) {
+            return Cache::default();
+        }
+        let Some(files) = doc.get("files").and_then(Value::as_obj) else {
+            return Cache::default();
+        };
+        let mut entries = BTreeMap::new();
+        for (path, v) in files {
+            let Some(hash) = v.get("hash").and_then(parse_hex_hash) else {
+                continue;
+            };
+            let Some(suppressions) = v.get("suppressions").and_then(Value::as_u64) else {
+                continue;
+            };
+            let Some(diag_vals) = v.get("diags").and_then(Value::as_arr) else {
+                continue;
+            };
+            let mut diags = Vec::with_capacity(diag_vals.len());
+            let mut ok = true;
+            for d in diag_vals {
+                let (Some(rule), Some(line), Some(message)) = (
+                    d.get("rule").and_then(Value::as_str),
+                    d.get("line").and_then(Value::as_u64),
+                    d.get("message").and_then(Value::as_str),
+                ) else {
+                    ok = false;
+                    break;
+                };
+                // Rule names intern to the static registry; an unknown name
+                // (older engine) invalidates the entry.
+                let Some(rule) = crate::rules::RULE_NAMES.iter().find(|r| **r == rule) else {
+                    ok = false;
+                    break;
+                };
+                diags.push(Diagnostic {
+                    rule,
+                    path: path.clone(),
+                    line: line as usize,
+                    message: message.to_string(),
+                });
+            }
+            if ok {
+                entries.insert(
+                    path.clone(),
+                    Entry {
+                        hash,
+                        diags,
+                        suppressions: suppressions as usize,
+                    },
+                );
+            }
+        }
+        Cache { entries }
+    }
+
+    pub fn serialize(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n");
+        out.push_str(&format!("  \"engine\": {ENGINE_VERSION},\n"));
+        out.push_str("  \"files\": {");
+        let mut first_file = true;
+        for (path, e) in &self.entries {
+            if !first_file {
+                out.push(',');
+            }
+            first_file = false;
+            out.push_str(&format!(
+                "\n    {}: {{\"hash\": \"{:016x}\", \"suppressions\": {}, \"diags\": [",
+                json::escape(path),
+                e.hash,
+                e.suppressions
+            ));
+            let mut first_diag = true;
+            for d in &e.diags {
+                if !first_diag {
+                    out.push(',');
+                }
+                first_diag = false;
+                out.push_str(&format!(
+                    "{{\"rule\": {}, \"line\": {}, \"message\": {}}}",
+                    json::escape(d.rule),
+                    d.line,
+                    json::escape(&d.message)
+                ));
+            }
+            out.push_str("]}");
+        }
+        if !first_file {
+            out.push_str("\n  ");
+        }
+        out.push_str("}\n}\n");
+        out
+    }
+}
+
+/// Hashes serialize as 16-hex-digit strings (u64 doesn't survive f64).
+fn parse_hex_hash(v: &Value) -> Option<u64> {
+    let s = v.as_str()?;
+    if s.len() != 16 {
+        return None;
+    }
+    u64::from_str_radix(s, 16).ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(hash: u64, rule: &'static str) -> Entry {
+        Entry {
+            hash,
+            diags: vec![Diagnostic {
+                rule,
+                path: "crates/core/src/x.rs".into(),
+                line: 7,
+                message: "msg \"quoted\"".into(),
+            }],
+            suppressions: 3,
+        }
+    }
+
+    #[test]
+    fn round_trips() {
+        let mut c = Cache::default();
+        c.entries.insert(
+            "crates/core/src/x.rs".into(),
+            entry(u64::MAX - 5, "no-panic-path"),
+        );
+        c.entries.insert(
+            "crates/core/src/y.rs".into(),
+            Entry {
+                hash: 1,
+                diags: vec![],
+                suppressions: 0,
+            },
+        );
+        let parsed = Cache::parse(&c.serialize());
+        assert_eq!(parsed.entries, c.entries);
+    }
+
+    #[test]
+    fn version_mismatch_empties_cache() {
+        let mut c = Cache::default();
+        c.entries.insert("a.rs".into(), entry(9, "no-panic-path"));
+        let text = c
+            .serialize()
+            .replace(&format!("\"engine\": {ENGINE_VERSION}"), "\"engine\": 1");
+        assert!(Cache::parse(&text).entries.is_empty());
+    }
+
+    #[test]
+    fn corrupt_cache_degrades_to_empty() {
+        assert!(Cache::parse("{ not json").entries.is_empty());
+        assert!(Cache::parse("").entries.is_empty());
+        assert!(Cache::parse("[1,2,3]").entries.is_empty());
+    }
+
+    #[test]
+    fn unknown_rule_name_drops_entry() {
+        let mut c = Cache::default();
+        c.entries.insert("a.rs".into(), entry(9, "no-panic-path"));
+        let text = c.serialize().replace("no-panic-path", "no-such-rule");
+        assert!(Cache::parse(&text).entries.is_empty());
+    }
+
+    #[test]
+    fn fnv_hash_is_stable() {
+        // Known FNV-1a vectors.
+        assert_eq!(hash(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(hash(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_ne!(hash(b"ab"), hash(b"ba"));
+    }
+}

@@ -1,0 +1,214 @@
+//! The suppression-debt ratchet (`suppression-debt` rule).
+//!
+//! Every *valid* `// qem-lint: allow(...)` suppression in shipped code is
+//! debt. The committed ledger `results/LINT_DEBT.json` records the allowed
+//! per-file counts:
+//!
+//! ```json
+//! { "total": 20, "files": { "crates/core/src/tomography.rs": 2, ... } }
+//! ```
+//!
+//! Per-file growth over the baseline is a finding (the build fails);
+//! shrinkage auto-rewrites the ledger downward so the improvement is locked
+//! in — the CI lint job runs `git diff --exit-code results/LINT_DEBT.json`
+//! afterwards, so a shrink that isn't committed also fails the gate.
+//! `--update-debt` rewrites the ledger unconditionally (seeding/rebasing).
+
+use std::collections::BTreeMap;
+
+use crate::json::{self, Value};
+
+pub const DEBT_PATH: &str = "results/LINT_DEBT.json";
+
+/// Baseline ledger: per-file allowed suppression counts.
+#[derive(Debug, Default, Clone, PartialEq)]
+pub struct Ledger {
+    pub files: BTreeMap<String, u64>,
+}
+
+impl Ledger {
+    pub fn total(&self) -> u64 {
+        self.files.values().sum()
+    }
+
+    pub fn parse(src: &str) -> Result<Ledger, String> {
+        let doc = json::parse(src)?;
+        let files_val = doc.get("files").ok_or("ledger missing `files` object")?;
+        let obj = files_val
+            .as_obj()
+            .ok_or("ledger `files` is not an object")?;
+        let mut files = BTreeMap::new();
+        for (path, v) in obj {
+            let n = v
+                .as_u64()
+                .ok_or_else(|| format!("ledger count for {path} is not a non-negative integer"))?;
+            files.insert(path.clone(), n);
+        }
+        let ledger = Ledger { files };
+        if let Some(total) = doc.get("total").and_then(Value::as_u64) {
+            if total != ledger.total() {
+                return Err(format!(
+                    "ledger `total` ({total}) disagrees with the per-file sum ({})",
+                    ledger.total()
+                ));
+            }
+        }
+        Ok(ledger)
+    }
+
+    /// Canonical serialization: sorted paths, 2-space indent, trailing newline.
+    pub fn serialize(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n");
+        out.push_str(&format!("  \"total\": {},\n", self.total()));
+        out.push_str("  \"files\": {");
+        let mut first = true;
+        for (path, n) in &self.files {
+            if *n == 0 {
+                continue;
+            }
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            out.push_str(&format!("\n    {}: {}", json::escape(path), n));
+        }
+        if !first {
+            out.push_str("\n  ");
+        }
+        out.push_str("}\n}\n");
+        out
+    }
+
+    pub fn from_counts(counts: &BTreeMap<String, usize>) -> Ledger {
+        Ledger {
+            files: counts
+                .iter()
+                .filter(|(_, &n)| n > 0)
+                .map(|(p, &n)| (p.clone(), n as u64))
+                .collect(),
+        }
+    }
+}
+
+/// Outcome of checking observed suppression counts against the baseline.
+pub struct DebtCheck {
+    /// `suppression-debt` findings (per-file growth, or missing ledger).
+    pub findings: Vec<(String, usize, String)>,
+    /// When counts shrank: the ratcheted-down ledger to write back.
+    pub ratcheted: Option<Ledger>,
+}
+
+/// Compares observed per-file suppression counts to the baseline.
+pub fn check(baseline: &Ledger, counts: &BTreeMap<String, usize>) -> DebtCheck {
+    let mut findings = Vec::new();
+    let mut shrank = false;
+    for (path, &n) in counts {
+        let allowed = baseline.files.get(path).copied().unwrap_or(0);
+        let n = n as u64;
+        if n > allowed {
+            findings.push((
+                path.clone(),
+                1,
+                format!(
+                    "suppression debt grew: {n} `qem-lint: allow` escape(s) here vs a budget of {allowed}; fix the code instead of suppressing, or consciously rebase with `--update-debt`"
+                ),
+            ));
+        } else if n < allowed {
+            shrank = true;
+        }
+    }
+    // Files that disappeared from the scan (deleted/renamed) also ratchet.
+    for path in baseline.files.keys() {
+        if counts.get(path).copied().unwrap_or(0) == 0 && baseline.files[path] > 0 {
+            shrank = true;
+        }
+    }
+    let ratcheted = (shrank && findings.is_empty()).then(|| Ledger::from_counts(counts));
+    DebtCheck {
+        findings,
+        ratcheted,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn counts(pairs: &[(&str, usize)]) -> BTreeMap<String, usize> {
+        pairs.iter().map(|(p, n)| (p.to_string(), *n)).collect()
+    }
+
+    fn ledger(pairs: &[(&str, u64)]) -> Ledger {
+        Ledger {
+            files: pairs.iter().map(|(p, n)| (p.to_string(), *n)).collect(),
+        }
+    }
+
+    #[test]
+    fn serialize_parse_round_trip() {
+        let l = ledger(&[("a.rs", 2), ("b.rs", 1)]);
+        let text = l.serialize();
+        assert_eq!(Ledger::parse(&text).unwrap(), l);
+        assert!(text.contains("\"total\": 3"));
+    }
+
+    #[test]
+    fn empty_ledger_serializes() {
+        let l = Ledger::default();
+        assert_eq!(Ledger::parse(&l.serialize()).unwrap(), l);
+    }
+
+    #[test]
+    fn total_mismatch_is_rejected() {
+        assert!(Ledger::parse(r#"{"total": 9, "files": {"a.rs": 1}}"#).is_err());
+    }
+
+    #[test]
+    fn growth_is_a_finding() {
+        let out = check(&ledger(&[("a.rs", 1)]), &counts(&[("a.rs", 2)]));
+        assert_eq!(out.findings.len(), 1);
+        assert!(out.ratcheted.is_none());
+        assert!(out.findings[0].2.contains("grew"));
+    }
+
+    #[test]
+    fn new_file_with_suppressions_is_growth() {
+        let out = check(&Ledger::default(), &counts(&[("new.rs", 1)]));
+        assert_eq!(out.findings.len(), 1);
+    }
+
+    #[test]
+    fn shrinkage_ratchets_down() {
+        let out = check(&ledger(&[("a.rs", 3)]), &counts(&[("a.rs", 1)]));
+        assert!(out.findings.is_empty());
+        let r = out.ratcheted.expect("should ratchet");
+        assert_eq!(r.files.get("a.rs"), Some(&1));
+        assert_eq!(r.total(), 1);
+    }
+
+    #[test]
+    fn deleted_file_ratchets_down() {
+        let out = check(&ledger(&[("gone.rs", 2)]), &counts(&[]));
+        assert!(out.findings.is_empty());
+        assert_eq!(out.ratcheted.expect("ratchet").total(), 0);
+    }
+
+    #[test]
+    fn exact_match_is_quiet() {
+        let out = check(&ledger(&[("a.rs", 2)]), &counts(&[("a.rs", 2)]));
+        assert!(out.findings.is_empty());
+        assert!(out.ratcheted.is_none());
+    }
+
+    #[test]
+    fn growth_in_one_file_blocks_ratchet_from_another() {
+        // Never reward a net-neutral shuffle: growth anywhere fails.
+        let out = check(
+            &ledger(&[("a.rs", 2), ("b.rs", 0)]),
+            &counts(&[("a.rs", 1), ("b.rs", 1)]),
+        );
+        assert_eq!(out.findings.len(), 1);
+        assert!(out.ratcheted.is_none());
+    }
+}

@@ -1,0 +1,172 @@
+//! Lint-run orchestration: file collection, incremental cache, rule
+//! execution, and the suppression-debt gate. The binary (`main.rs`) only
+//! parses flags and formats [`LintOutcome`].
+
+use std::collections::BTreeMap;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use crate::cache::{self, Cache, Entry};
+use crate::debt::{self, Ledger};
+use crate::rules::{self, Diagnostic};
+use crate::tree;
+
+/// Flags that shape one lint run.
+#[derive(Debug, Default, Clone)]
+pub struct LintOptions {
+    /// Skip reading and writing the incremental cache.
+    pub no_cache: bool,
+    /// Rewrite `results/LINT_DEBT.json` from the observed counts instead of
+    /// checking against it.
+    pub update_debt: bool,
+}
+
+/// Everything a front end needs to report a run.
+pub struct LintOutcome {
+    /// All findings, canonically sorted (path, line, rule).
+    pub diags: Vec<Diagnostic>,
+    /// Workspace-relative paths that were in scope.
+    pub files: Vec<String>,
+    /// How many of those were served from the incremental cache.
+    pub cache_hits: usize,
+    /// Total valid suppressions observed.
+    pub suppressions: usize,
+    /// The debt ledger was rewritten (ratchet or `--update-debt`).
+    pub debt_written: bool,
+}
+
+/// Runs the full lint over the workspace at `root`.
+///
+/// `Err` is reserved for environment problems (unreadable file, unwritable
+/// ledger) — mapped to exit code 2 by the caller; findings are data, not
+/// errors.
+pub fn run(root: &Path, opts: &LintOptions) -> Result<LintOutcome, String> {
+    let mut files = Vec::new();
+    collect_rs_files(&root.join("crates"), root, &mut files);
+    collect_rs_files(&root.join("src"), root, &mut files);
+    files.sort();
+
+    let cache_path = root.join(cache::CACHE_REL_PATH);
+    let mut old_cache = Cache::default();
+    if !opts.no_cache {
+        if let Ok(text) = fs::read_to_string(&cache_path) {
+            old_cache = Cache::parse(&text);
+        }
+    }
+
+    let mut new_cache = Cache::default();
+    let mut diags = Vec::new();
+    let mut counts: BTreeMap<String, usize> = BTreeMap::new();
+    let mut cache_hits = 0;
+    for rel in &files {
+        let src = fs::read(root.join(rel)).map_err(|e| format!("reading {rel}: {e}"))?;
+        let hash = cache::hash(&src);
+        let entry = match old_cache.entries.get(rel) {
+            Some(e) if e.hash == hash => {
+                cache_hits += 1;
+                e.clone()
+            }
+            _ => {
+                let src = String::from_utf8(src).map_err(|_| format!("{rel} is not UTF-8"))?;
+                let analysis = tree::analyze(&src);
+                let (file_diags, suppressions) = rules::lint_file(rel, &analysis);
+                Entry {
+                    hash,
+                    diags: file_diags,
+                    suppressions,
+                }
+            }
+        };
+        diags.extend(entry.diags.iter().cloned());
+        if entry.suppressions > 0 {
+            counts.insert(rel.clone(), entry.suppressions);
+        }
+        new_cache.entries.insert(rel.clone(), entry);
+    }
+
+    // ------------------------------------------------- suppression debt --
+    let ledger_path = root.join(debt::DEBT_PATH);
+    let suppressions: usize = counts.values().sum();
+    let mut debt_written = false;
+    if opts.update_debt {
+        write_ledger(&ledger_path, &Ledger::from_counts(&counts))?;
+        debt_written = true;
+    } else {
+        let baseline = match fs::read_to_string(&ledger_path) {
+            Ok(text) => Ledger::parse(&text).map_err(|e| format!("{}: {e}", debt::DEBT_PATH))?,
+            Err(_) => Ledger::default(),
+        };
+        let outcome = debt::check(&baseline, &counts);
+        for (path, line, message) in outcome.findings {
+            diags.push(Diagnostic {
+                rule: "suppression-debt",
+                path,
+                line,
+                message,
+            });
+        }
+        if let Some(ratcheted) = outcome.ratcheted {
+            write_ledger(&ledger_path, &ratcheted)?;
+            debt_written = true;
+        }
+    }
+
+    rules::sort_diagnostics(&mut diags);
+
+    if !opts.no_cache {
+        // Cache write failures are non-fatal: the next run just rescans.
+        if let Some(dir) = cache_path.parent() {
+            let _ = fs::create_dir_all(dir);
+        }
+        let _ = fs::write(&cache_path, new_cache.serialize());
+    }
+
+    Ok(LintOutcome {
+        diags,
+        files,
+        cache_hits,
+        suppressions,
+        debt_written,
+    })
+}
+
+fn write_ledger(path: &Path, ledger: &Ledger) -> Result<(), String> {
+    if let Some(dir) = path.parent() {
+        fs::create_dir_all(dir).map_err(|e| format!("creating {}: {e}", dir.display()))?;
+    }
+    fs::write(path, ledger.serialize()).map_err(|e| format!("writing {}: {e}", path.display()))
+}
+
+/// The workspace root: the xtask manifest dir's grandparent.
+pub fn workspace_root() -> PathBuf {
+    let manifest = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    manifest
+        .parent()
+        .and_then(Path::parent)
+        .map(Path::to_path_buf)
+        .unwrap_or_else(|| PathBuf::from("."))
+}
+
+/// Collects workspace-relative paths of `.rs` files under `dir`, skipping
+/// `tests/`, `benches/`, `fixtures/`, and `target/` directories — the lint
+/// covers shipped code; test and fixture sources are exempt by design.
+fn collect_rs_files(dir: &Path, root: &Path, out: &mut Vec<String>) {
+    let Ok(entries) = fs::read_dir(dir) else {
+        return;
+    };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if matches!(name.as_ref(), "tests" | "benches" | "fixtures" | "target") {
+                continue;
+            }
+            collect_rs_files(&path, root, out);
+        } else if name.ends_with(".rs") {
+            if let Ok(rel) = path.strip_prefix(root) {
+                out.push(rel.to_string_lossy().replace('\\', "/"));
+            }
+        }
+    }
+}

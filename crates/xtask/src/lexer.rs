@@ -1,297 +1,480 @@
-//! A lightweight Rust source scanner for `qem-lint`.
+//! The `qem-lint` tokenizer: the front half of the token-tree engine.
 //!
-//! This is not a full lexer: rules only need to know (a) what the code looks
-//! like with comments and literal *contents* removed, (b) where the comments
-//! are (suppressions live there), and (c) which lines belong to `#[cfg(test)]`
-//! modules. The scanner therefore produces a *masked* copy of the source —
-//! byte-for-byte the same length, with comment bytes and string/char literal
-//! interiors replaced by spaces (quotes are kept, so `("` remains visible to
-//! rules that care about literal arguments) — plus the comment list and a
-//! per-line test-code flag.
+//! Produces a flat [`Tok`] stream plus the comment list for one source
+//! file. Comments and literal *contents* never reach the rules — a string
+//! literal is one [`TokKind::Str`] token with empty text, so no rule can be
+//! confused by code-shaped bytes inside literals (the failure mode the old
+//! masking scanner worked around with per-rule hacks). The token stream is
+//! then brace-matched into trees by [`crate::tree`].
+//!
+//! This is still not a full Rust lexer — shebangs, frontmatter, and exotic
+//! literal suffixes are out of scope — but every token kind a rule inspects
+//! is lexed precisely: identifiers vs keywords vs lifetimes, integer vs
+//! float literals (including `1e-12` scientific notation, the
+//! `no-inline-tolerance` target), joined multi-character operators (`==`,
+//! `::`, `->`, …), and the three delimiter families.
 
-/// The scanner's view of one source file.
-pub struct Analysis {
-    /// Masked source: comments blanked, literal interiors blanked, quotes and
-    /// all code bytes preserved. Newlines are kept, so offsets and line
-    /// numbers agree with the original file.
-    pub masked: String,
-    /// `(1-based line, comment text)` for every `//`/`/* */` comment, in
-    /// order. Block comments contribute one entry per line they span.
-    pub comments: Vec<(usize, String)>,
-    /// `in_test[line - 1]` is true when the line sits inside a
-    /// `#[cfg(test)] mod … { … }` region.
-    pub in_test: Vec<bool>,
+/// Token kinds. Keywords are `Ident`s; rules match on text.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (including raw `r#ident`).
+    Ident,
+    /// `'a`, `'static` — never confusable with a char literal.
+    Lifetime,
+    /// Integer literal (decimal, hex/octal/binary, with suffix/underscores).
+    Int,
+    /// Float literal: has a fractional part and/or an exponent. The text is
+    /// preserved (rules inspect `.` and `e-`).
+    Float,
+    /// Any string-ish literal: `"…"`, `r"…"`, `r#"…"#`, `b"…"`. Text is
+    /// dropped; only the token's existence and position matter.
+    Str,
+    /// Char or byte literal: `'x'`, `'\n'`, `b'x'`.
+    Char,
+    /// Punctuation; multi-character operators arrive joined (`::`, `==`,
+    /// `->`, `=>`, `!=`, `<=`, `>=`, `&&`, `||`, `..`, `..=`).
+    Punct,
+    /// `(`, `[`, `{`.
+    Open,
+    /// `)`, `]`, `}`.
+    Close,
 }
 
-impl Analysis {
-    /// Masked text of the given 1-based line.
-    pub fn masked_line(&self, line: usize) -> &str {
-        self.masked.lines().nth(line - 1).unwrap_or("")
+/// One token: kind, text (empty for `Str`), and 1-based source line.
+#[derive(Clone, Debug)]
+pub struct Tok {
+    pub kind: TokKind,
+    pub text: String,
+    pub line: usize,
+}
+
+impl Tok {
+    /// Is this an identifier with exactly this text?
+    pub fn is_ident(&self, text: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == text
+    }
+
+    /// Is this punctuation with exactly this text?
+    pub fn is_punct(&self, text: &str) -> bool {
+        self.kind == TokKind::Punct && self.text == text
     }
 }
 
-#[derive(Clone, Copy, PartialEq)]
-enum State {
-    Code,
-    LineComment,
-    BlockComment(u32),
-    Str,
-    RawStr(u32),
-    Char,
+/// Tokenizer output: the token stream and the comment list.
+pub struct Lexed {
+    pub tokens: Vec<Tok>,
+    /// `(1-based line, trimmed text)` per comment; block comments contribute
+    /// one entry per line they span, like the suppression scanner expects.
+    pub comments: Vec<(usize, String)>,
 }
 
-/// Scans `src`, producing the masked text, comment list, and test-region map.
-pub fn analyze(src: &str) -> Analysis {
-    let bytes = src.as_bytes();
-    let mut masked = Vec::with_capacity(bytes.len());
+/// Multi-character operators joined into one `Punct` token, longest first.
+const JOINED: &[&str] = &[
+    "..=", "::", "->", "=>", "==", "!=", "<=", ">=", "&&", "||", "..",
+];
+
+/// Tokenizes `src`. Unterminated literals and stray bytes are tolerated —
+/// the linter must never panic on source it cannot fully understand.
+pub fn lex(src: &str) -> Lexed {
+    let b = src.as_bytes();
+    let mut tokens = Vec::new();
     let mut comments: Vec<(usize, String)> = Vec::new();
-    let mut comment_buf: Vec<u8> = Vec::new();
-    let mut comment_line = 1usize;
     let mut line = 1usize;
-    let mut state = State::Code;
     let mut i = 0usize;
 
-    let flush_comment = |buf: &mut Vec<u8>, line: usize, out: &mut Vec<(usize, String)>| {
-        let text = String::from_utf8_lossy(buf);
-        if !text.trim().is_empty() {
-            out.push((line, text.trim().to_string()));
-        }
-        buf.clear();
-    };
+    let is_ident_start = |c: u8| c.is_ascii_alphabetic() || c == b'_' || c >= 0x80;
+    let is_ident_cont = |c: u8| c.is_ascii_alphanumeric() || c == b'_' || c >= 0x80;
 
-    while i < bytes.len() {
-        let c = bytes[i];
-        let next = bytes.get(i + 1).copied().unwrap_or(0);
-        match state {
-            State::Code => match c {
-                b'/' if next == b'/' => {
-                    state = State::LineComment;
-                    comment_line = line;
-                    masked.push(b' ');
-                    masked.push(b' ');
-                    i += 2;
-                    continue;
-                }
-                b'/' if next == b'*' => {
-                    state = State::BlockComment(1);
-                    comment_line = line;
-                    masked.push(b' ');
-                    masked.push(b' ');
-                    i += 2;
-                    continue;
-                }
-                b'"' => {
-                    // Raw strings arrive here via the `r`/`r#` prefix below.
-                    state = State::Str;
-                    masked.push(b'"');
-                }
-                b'r' if next == b'"' || next == b'#' => {
-                    // r"…", r#"…"#, br"…" (the `b` was already copied).
-                    let mut hashes = 0u32;
-                    let mut j = i + 1;
-                    while bytes.get(j) == Some(&b'#') {
-                        hashes += 1;
+    while i < b.len() {
+        let c = b[i];
+        let next = b.get(i + 1).copied().unwrap_or(0);
+        match c {
+            b'\n' => {
+                line += 1;
+                i += 1;
+            }
+            c if c.is_ascii_whitespace() => i += 1,
+            // Line comment.
+            b'/' if next == b'/' => {
+                let start = i + 2;
+                let end = src[start..]
+                    .find('\n')
+                    .map(|p| start + p)
+                    .unwrap_or(src.len());
+                push_comment(&mut comments, line, &src[start..end]);
+                i = end;
+            }
+            // Block comment (nesting, possibly multi-line).
+            b'/' if next == b'*' => {
+                let mut depth = 1u32;
+                let mut j = i + 2;
+                let mut seg = j;
+                while j < b.len() && depth > 0 {
+                    if b[j] == b'/' && b.get(j + 1) == Some(&b'*') {
+                        depth += 1;
+                        j += 2;
+                    } else if b[j] == b'*' && b.get(j + 1) == Some(&b'/') {
+                        depth -= 1;
+                        if depth == 0 {
+                            push_comment(&mut comments, line, &src[seg..j]);
+                        }
+                        j += 2;
+                    } else {
+                        if b[j] == b'\n' {
+                            push_comment(&mut comments, line, &src[seg..j]);
+                            line += 1;
+                            seg = j + 1;
+                        }
                         j += 1;
                     }
-                    if bytes.get(j) == Some(&b'"') {
-                        state = State::RawStr(hashes);
-                        masked.extend(std::iter::repeat_n(b' ', j - i));
-                        masked.push(b'"');
-                        i = j + 1;
-                        continue;
-                    }
-                    masked.push(c);
                 }
-                b'\'' => {
-                    // Lifetime (`'a`) vs char literal (`'a'`, `'\n'`).
-                    let is_lifetime = next.is_ascii_alphabetic() || next == b'_';
-                    let closes = bytes.get(i + 2) == Some(&b'\'');
-                    if is_lifetime && !closes {
-                        masked.push(b'\'');
-                    } else {
-                        state = State::Char;
-                        masked.push(b'\'');
-                    }
+                if depth > 0 {
+                    push_comment(&mut comments, line, &src[seg..]);
                 }
-                _ => masked.push(c),
-            },
-            State::LineComment => {
-                if c == b'\n' {
-                    flush_comment(&mut comment_buf, comment_line, &mut comments);
-                    state = State::Code;
-                    masked.push(b'\n');
-                } else {
-                    comment_buf.push(c);
-                    masked.push(b' ');
-                }
+                i = j;
             }
-            State::BlockComment(depth) => {
-                if c == b'*' && next == b'/' {
-                    if depth == 1 {
-                        flush_comment(&mut comment_buf, comment_line, &mut comments);
-                        state = State::Code;
-                    } else {
-                        state = State::BlockComment(depth - 1);
-                    }
-                    masked.push(b' ');
-                    masked.push(b' ');
-                    i += 2;
-                    continue;
-                }
-                if c == b'/' && next == b'*' {
-                    state = State::BlockComment(depth + 1);
-                    masked.push(b' ');
-                    masked.push(b' ');
-                    i += 2;
-                    continue;
-                }
-                if c == b'\n' {
-                    flush_comment(&mut comment_buf, comment_line, &mut comments);
-                    comment_line = line + 1;
-                    masked.push(b'\n');
-                } else {
-                    comment_buf.push(c);
-                    masked.push(b' ');
-                }
+            // Raw / byte string prefixes: r", r#", br", b" …
+            b'r' | b'b' if starts_string(b, i) => {
+                let (end, newlines) = skip_string(b, i);
+                tokens.push(Tok {
+                    kind: TokKind::Str,
+                    text: String::new(),
+                    line,
+                });
+                line += newlines;
+                i = end;
             }
-            State::Str => match c {
-                b'\\' => {
-                    masked.push(b' ');
-                    masked.push(b' ');
-                    i += 2;
-                    if next == b'\n' {
-                        line += 1;
-                        masked.pop();
-                        masked.push(b'\n');
+            b'"' => {
+                let (end, newlines) = skip_plain_string(b, i);
+                tokens.push(Tok {
+                    kind: TokKind::Str,
+                    text: String::new(),
+                    line,
+                });
+                line += newlines;
+                i = end;
+            }
+            b'\'' => {
+                // Lifetime (`'a`, `'static`) vs char literal (`'a'`, `'\n'`).
+                if is_ident_start(next) && b.get(i + 2) != Some(&b'\'') {
+                    let mut j = i + 1;
+                    while j < b.len() && is_ident_cont(b[j]) {
+                        j += 1;
                     }
-                    continue;
-                }
-                b'"' => {
-                    state = State::Code;
-                    masked.push(b'"');
-                }
-                b'\n' => masked.push(b'\n'),
-                _ => masked.push(b' '),
-            },
-            State::RawStr(hashes) => {
-                if c == b'"' {
-                    let mut ok = true;
-                    for k in 0..hashes as usize {
-                        if bytes.get(i + 1 + k) != Some(&b'#') {
-                            ok = false;
-                            break;
+                    tokens.push(Tok {
+                        kind: TokKind::Lifetime,
+                        text: src[i..j].to_string(),
+                        line,
+                    });
+                    i = j;
+                } else {
+                    let mut j = i + 1;
+                    while j < b.len() {
+                        match b[j] {
+                            b'\\' => j += 2,
+                            b'\'' => {
+                                j += 1;
+                                break;
+                            }
+                            b'\n' => break, // unterminated; tolerate
+                            _ => j += 1,
                         }
                     }
-                    if ok {
-                        state = State::Code;
-                        masked.push(b'"');
-                        masked.extend(std::iter::repeat_n(b' ', hashes as usize));
-                        i += 1 + hashes as usize;
-                        continue;
+                    tokens.push(Tok {
+                        kind: TokKind::Char,
+                        text: String::new(),
+                        line,
+                    });
+                    i = j.min(b.len());
+                }
+            }
+            c if c.is_ascii_digit() => {
+                let (end, kind) = lex_number(b, i);
+                tokens.push(Tok {
+                    kind,
+                    text: src[i..end].to_string(),
+                    line,
+                });
+                i = end;
+            }
+            c if is_ident_start(c) => {
+                let start = i;
+                let mut j = i;
+                // Raw identifier r#name.
+                if c == b'r' && next == b'#' && b.get(i + 2).is_some_and(|&c| is_ident_start(c)) {
+                    j = i + 2;
+                }
+                while j < b.len() && is_ident_cont(b[j]) {
+                    j += 1;
+                }
+                tokens.push(Tok {
+                    kind: TokKind::Ident,
+                    text: src[start..j].trim_start_matches("r#").to_string(),
+                    line,
+                });
+                i = j;
+            }
+            b'(' | b'[' | b'{' => {
+                tokens.push(Tok {
+                    kind: TokKind::Open,
+                    text: (c as char).to_string(),
+                    line,
+                });
+                i += 1;
+            }
+            b')' | b']' | b'}' => {
+                tokens.push(Tok {
+                    kind: TokKind::Close,
+                    text: (c as char).to_string(),
+                    line,
+                });
+                i += 1;
+            }
+            _ => {
+                let mut matched = false;
+                for op in JOINED {
+                    if src[i..].starts_with(op) {
+                        tokens.push(Tok {
+                            kind: TokKind::Punct,
+                            text: (*op).to_string(),
+                            line,
+                        });
+                        i += op.len();
+                        matched = true;
+                        break;
                     }
                 }
-                masked.push(if c == b'\n' { b'\n' } else { b' ' });
+                if !matched {
+                    tokens.push(Tok {
+                        kind: TokKind::Punct,
+                        text: (c as char).to_string(),
+                        line,
+                    });
+                    i += 1;
+                }
             }
-            State::Char => match c {
-                b'\\' => {
-                    masked.push(b' ');
-                    masked.push(b' ');
-                    i += 2;
-                    continue;
-                }
-                b'\'' => {
-                    state = State::Code;
-                    masked.push(b'\'');
-                }
-                _ => masked.push(b' '),
-            },
         }
-        if c == b'\n' {
-            line += 1;
-        }
-        i += 1;
     }
-    flush_comment(&mut comment_buf, comment_line, &mut comments);
+    Lexed { tokens, comments }
+}
 
-    let masked = String::from_utf8_lossy(&masked).into_owned();
-    let in_test = test_regions(&masked);
-    Analysis {
-        masked,
-        comments,
-        in_test,
+fn push_comment(out: &mut Vec<(usize, String)>, line: usize, text: &str) {
+    let trimmed = text.trim();
+    if !trimmed.is_empty() {
+        out.push((line, trimmed.to_string()));
     }
 }
 
-/// Marks every line inside a `#[cfg(test)] mod … { … }` block, by brace
-/// counting on the masked text (strings and comments cannot confuse it).
-fn test_regions(masked: &str) -> Vec<bool> {
-    let lines: Vec<&str> = masked.lines().collect();
-    let mut flags = vec![false; lines.len()];
-    let mut i = 0usize;
-    while i < lines.len() {
-        if lines[i].contains("#[cfg(test)]") {
-            // Find the opening brace of the item this attribute annotates.
-            let mut depth = 0i64;
-            let mut opened = false;
-            let mut j = i;
-            while j < lines.len() {
-                flags[j] = true;
-                for ch in lines[j].chars() {
-                    match ch {
-                        '{' => {
-                            depth += 1;
-                            opened = true;
-                        }
-                        '}' => depth -= 1,
-                        _ => {}
-                    }
-                }
-                if opened && depth <= 0 {
-                    break;
-                }
+/// Does a `r`/`b` at `i` begin a raw/byte string (or byte char) literal?
+fn starts_string(b: &[u8], i: usize) -> bool {
+    let c = b[i];
+    let next = b.get(i + 1).copied().unwrap_or(0);
+    match c {
+        b'b' => matches!(next, b'"' | b'\'') || (next == b'r' && raw_quote_at(b, i + 2)),
+        b'r' => raw_quote_at(b, i + 1),
+        _ => false,
+    }
+}
+
+/// From `pos`, zero or more `#` then `"`.
+fn raw_quote_at(b: &[u8], pos: usize) -> bool {
+    let mut j = pos;
+    while b.get(j) == Some(&b'#') {
+        j += 1;
+    }
+    b.get(j) == Some(&b'"')
+}
+
+/// Skips a literal starting with `r`/`b` at `i` (raw string, byte string,
+/// byte char). Returns `(end index, newlines spanned)`.
+fn skip_string(b: &[u8], i: usize) -> (usize, usize) {
+    let mut j = i;
+    // Prefix letters.
+    while j < b.len() && (b[j] == b'b' || b[j] == b'r') {
+        j += 1;
+    }
+    if b.get(j) == Some(&b'\'') {
+        // b'x' byte char: reuse char logic.
+        let mut k = j + 1;
+        while k < b.len() {
+            match b[k] {
+                b'\\' => k += 2,
+                b'\'' => return (k + 1, 0),
+                b'\n' => return (k, 0),
+                _ => k += 1,
+            }
+        }
+        return (k, 0);
+    }
+    let raw = b.get(i..j).is_some_and(|p| p.contains(&b'r'));
+    if raw {
+        let mut hashes = 0usize;
+        while b.get(j) == Some(&b'#') {
+            hashes += 1;
+            j += 1;
+        }
+        // Opening quote.
+        j += 1;
+        let mut newlines = 0usize;
+        while j < b.len() {
+            if b[j] == b'\n' {
+                newlines += 1;
+            }
+            if b[j] == b'"' && (0..hashes).all(|k| b.get(j + 1 + k) == Some(&b'#')) {
+                return (j + 1 + hashes, newlines);
+            }
+            j += 1;
+        }
+        (j, newlines)
+    } else {
+        skip_plain_string(b, j)
+    }
+}
+
+/// Skips a `"…"` literal whose opening quote is at `i`.
+fn skip_plain_string(b: &[u8], i: usize) -> (usize, usize) {
+    let mut j = i + 1;
+    let mut newlines = 0usize;
+    while j < b.len() {
+        match b[j] {
+            b'\\' => j += 2,
+            b'"' => return (j + 1, newlines),
+            b'\n' => {
+                newlines += 1;
                 j += 1;
             }
-            i = j + 1;
-        } else {
-            i += 1;
+            _ => j += 1,
         }
     }
-    flags
+    (j, newlines)
+}
+
+/// Lexes a number starting at digit `i`: `(end, Int | Float)`.
+fn lex_number(b: &[u8], i: usize) -> (usize, TokKind) {
+    let mut j = i;
+    // Radix prefixes are always integers.
+    if b[i] == b'0' && matches!(b.get(i + 1), Some(b'x' | b'o' | b'b')) {
+        j = i + 2;
+        while j < b.len() && (b[j].is_ascii_alphanumeric() || b[j] == b'_') {
+            j += 1;
+        }
+        return (j, TokKind::Int);
+    }
+    let mut float = false;
+    while j < b.len() && (b[j].is_ascii_digit() || b[j] == b'_') {
+        j += 1;
+    }
+    // Fractional part: `.` followed by a digit (so `1..5` and `x.0.1` tuple
+    // chains don't swallow the dot, and `1.min(2)` stays an int).
+    if b.get(j) == Some(&b'.') && b.get(j + 1).is_some_and(u8::is_ascii_digit) {
+        float = true;
+        j += 1;
+        while j < b.len() && (b[j].is_ascii_digit() || b[j] == b'_') {
+            j += 1;
+        }
+    }
+    // Exponent: `e`/`E` [+-] digit.
+    if matches!(b.get(j), Some(b'e' | b'E')) {
+        let (sign, digit) = (b.get(j + 1), b.get(j + 2));
+        let plain = sign.is_some_and(|c| c.is_ascii_digit());
+        let signed = matches!(sign, Some(b'+' | b'-')) && digit.is_some_and(|c| c.is_ascii_digit());
+        if plain || signed {
+            float = true;
+            j += 2;
+            while j < b.len() && (b[j].is_ascii_digit() || b[j] == b'_') {
+                j += 1;
+            }
+        }
+    }
+    // Type suffix (f64, u32, usize, …).
+    let suffix_start = j;
+    while j < b.len() && (b[j].is_ascii_alphanumeric() || b[j] == b'_') {
+        j += 1;
+    }
+    if j > suffix_start {
+        let suffix = &b[suffix_start..j];
+        if suffix.starts_with(b"f") {
+            float = true;
+        }
+    }
+    (j, if float { TokKind::Float } else { TokKind::Int })
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
 
-    #[test]
-    fn masks_comments_and_strings() {
-        let a = analyze("let x = \"a // b\"; // trailing\nlet y = 1;\n");
-        assert_eq!(a.masked_line(1).trim_end(), "let x = \"      \";");
-        assert_eq!(a.masked_line(2), "let y = 1;");
-        assert_eq!(a.comments, vec![(1, "trailing".to_string())]);
+    fn kinds(src: &str) -> Vec<(TokKind, String)> {
+        lex(src)
+            .tokens
+            .into_iter()
+            .map(|t| (t.kind, t.text))
+            .collect()
     }
 
     #[test]
-    fn masks_raw_strings_and_chars() {
-        let a = analyze("let s = r#\"x \"\" y\"#; let c = '\\n'; let lt: &'static str = s;");
-        assert!(a.masked_line(1).contains("let c = '  '"));
-        assert!(a.masked_line(1).contains("&'static str"));
-        assert!(!a.masked_line(1).contains("x "));
+    fn strings_and_comments_never_reach_rules() {
+        let l = lex("let x = \"a // b .unwrap()\"; // trailing\n");
+        assert_eq!(
+            l.tokens.iter().filter(|t| t.kind == TokKind::Str).count(),
+            1
+        );
+        assert!(l.tokens.iter().all(|t| !t.text.contains("unwrap")));
+        assert_eq!(l.comments, vec![(1, "trailing".to_string())]);
+    }
+
+    #[test]
+    fn raw_strings_and_chars() {
+        let toks = kinds("let s = r#\"x \"\" y\"#; let c = '\\n'; let lt: &'static str = s;");
+        assert!(toks.contains(&(TokKind::Str, String::new())));
+        assert!(toks.contains(&(TokKind::Char, String::new())));
+        assert!(toks.contains(&(TokKind::Lifetime, "'static".to_string())));
+    }
+
+    #[test]
+    fn numbers() {
+        assert_eq!(kinds("1.0")[0].0, TokKind::Float);
+        assert_eq!(kinds("1e-12")[0].0, TokKind::Float);
+        assert_eq!(kinds("2.5e9")[0].0, TokKind::Float);
+        assert_eq!(kinds("1f64")[0].0, TokKind::Float);
+        assert_eq!(kinds("42")[0].0, TokKind::Int);
+        assert_eq!(kinds("0xff")[0].0, TokKind::Int);
+        assert_eq!(kinds("1_000u64")[0].0, TokKind::Int);
+        // Tuple access is not a float.
+        let toks = kinds("x.0");
+        assert_eq!(toks[1], (TokKind::Punct, ".".to_string()));
+        assert_eq!(toks[2].0, TokKind::Int);
+        // Range endpoints stay integers.
+        let toks = kinds("1..5");
+        assert_eq!(toks[0].0, TokKind::Int);
+        assert_eq!(toks[1], (TokKind::Punct, "..".to_string()));
+    }
+
+    #[test]
+    fn joined_operators() {
+        let toks = kinds("a == b != c :: d -> e => f");
+        let puncts: Vec<&str> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokKind::Punct)
+            .map(|(_, t)| t.as_str())
+            .collect();
+        assert_eq!(puncts, vec!["==", "!=", "::", "->", "=>"]);
     }
 
     #[test]
     fn block_comments_span_lines() {
-        let a = analyze("a /* one\ntwo */ b\n");
-        assert_eq!(a.comments.len(), 2);
-        assert_eq!(a.comments[0], (1, "one".to_string()));
-        assert_eq!(a.comments[1], (2, "two".to_string()));
-        assert!(a.masked_line(2).ends_with(" b"));
+        let l = lex("a /* one\ntwo */ b\n");
+        assert_eq!(
+            l.comments,
+            vec![(1, "one".to_string()), (2, "two".to_string())]
+        );
+        assert_eq!(l.tokens[1].line, 2);
     }
 
     #[test]
-    fn flags_cfg_test_regions() {
-        let src = "fn a() {}\n#[cfg(test)]\nmod tests {\n    fn b() {}\n}\nfn c() {}\n";
-        let a = analyze(src);
-        assert_eq!(a.in_test, vec![false, true, true, true, true, false]);
+    fn line_numbers_survive_multiline_strings() {
+        let l = lex("let s = \"a\nb\";\nlet t = 1;\n");
+        let t = l.tokens.iter().find(|t| t.is_ident("t")).unwrap();
+        assert_eq!(t.line, 3);
     }
 }

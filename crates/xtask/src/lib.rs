@@ -1,5 +1,19 @@
 //! Library surface of the `xtask` tool, so integration tests can drive the
-//! lint rules against fixture files without spawning the binary.
+//! lint engine against fixture files without spawning the binary.
+//!
+//! Front end: [`lexer`] (tokens) → [`tree`] (brace-matched token trees +
+//! item model). Analyses: [`rules`] (lexical rules + suppression contract)
+//! and [`semantic`] (lock-order, atomic-ordering policies). Infrastructure:
+//! [`engine`] (orchestration), [`cache`] (incremental), [`debt`]
+//! (suppression ratchet), [`sarif`] (code-scanning output), [`json`]
+//! (dependency-free JSON).
 
+pub mod cache;
+pub mod debt;
+pub mod engine;
+pub mod json;
 pub mod lexer;
 pub mod rules;
+pub mod sarif;
+pub mod semantic;
+pub mod tree;

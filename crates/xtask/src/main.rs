@@ -1,152 +1,128 @@
 //! `cargo run -p xtask -- lint` — the qem-lint static-analysis gate.
 //!
-//! Walks every non-test Rust source file in the workspace, runs the rule set
-//! from [`rules`], and reports findings. Exit code 0 means clean; 1 means at
-//! least one diagnostic; 2 means usage or I/O error.
+//! Runs the token-tree lint engine over every non-test Rust source file in
+//! the workspace. Exit code 0 means clean; 1 means at least one finding;
+//! 2 means usage or I/O error.
 //!
-//! `--json` emits one JSON object per line (`{"rule","path","line","message"}`)
-//! for machine consumption; the default output is `path:line: [rule] message`.
+//! Flags:
+//! - `--json`        one JSON object per line (`{"rule","path","line","message"}`)
+//! - `--sarif PATH`  also write a SARIF 2.1.0 report for code scanning
+//! - `--no-cache`    skip the incremental cache (full rescan, no write)
+//! - `--update-debt` rewrite `results/LINT_DEBT.json` from observed counts
+//! - `--root PATH`   lint a different workspace root (tests use this)
+//! - `--cache-stats` print files-scanned / cache-hit counts to stderr
 
-use xtask::{lexer, rules};
-
-use std::fs;
-use std::path::{Path, PathBuf};
+use std::path::PathBuf;
 use std::process::ExitCode;
+
+use xtask::engine::{self, LintOptions};
+use xtask::{json, rules, sarif};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let mut json = false;
     let mut cmd = None;
-    for a in &args {
+    let mut json_out = false;
+    let mut cache_stats = false;
+    let mut sarif_path: Option<PathBuf> = None;
+    let mut root: Option<PathBuf> = None;
+    let mut opts = LintOptions::default();
+
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
         match a.as_str() {
             "lint" => cmd = Some("lint"),
-            "--json" => json = true,
+            "--json" => json_out = true,
+            "--no-cache" => opts.no_cache = true,
+            "--update-debt" => opts.update_debt = true,
+            "--cache-stats" => cache_stats = true,
+            "--sarif" => match it.next() {
+                Some(p) => sarif_path = Some(PathBuf::from(p)),
+                None => return usage("`--sarif` requires a path"),
+            },
+            "--root" => match it.next() {
+                Some(p) => root = Some(PathBuf::from(p)),
+                None => return usage("`--root` requires a path"),
+            },
             "--help" | "-h" => {
                 print_help();
                 return ExitCode::SUCCESS;
             }
-            other => {
-                eprintln!("error: unknown argument `{other}`");
-                print_help();
-                return ExitCode::from(2);
-            }
+            other => return usage(&format!("unknown argument `{other}`")),
         }
     }
-    match cmd {
-        Some("lint") => run_lint(json),
-        _ => {
-            print_help();
-            ExitCode::from(2)
+    if cmd != Some("lint") {
+        print_help();
+        return ExitCode::from(2);
+    }
+
+    let root = root.unwrap_or_else(engine::workspace_root);
+    let outcome = match engine::run(&root, &opts) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    if let Some(path) = &sarif_path {
+        if let Err(e) = std::fs::write(path, sarif::render(&outcome.diags)) {
+            eprintln!("error: writing SARIF to {}: {e}", path.display());
+            return ExitCode::from(2);
         }
     }
-}
 
-fn print_help() {
-    eprintln!("usage: cargo run -p xtask -- lint [--json]");
-    eprintln!();
-    eprintln!("rules: {}", rules::RULE_NAMES.join(", "));
-    eprintln!("suppress with: // qem-lint: allow(rule-name) — reason (reason is mandatory)");
-}
-
-fn run_lint(json: bool) -> ExitCode {
-    let root = workspace_root();
-    let mut files = Vec::new();
-    collect_rs_files(&root.join("crates"), &root, &mut files);
-    collect_rs_files(&root.join("src"), &root, &mut files);
-    files.sort();
-
-    let mut diags = Vec::new();
-    for rel in &files {
-        let src = match fs::read_to_string(root.join(rel)) {
-            Ok(s) => s,
-            Err(e) => {
-                eprintln!("error: reading {rel}: {e}");
-                return ExitCode::from(2);
-            }
-        };
-        let analysis = lexer::analyze(&src);
-        diags.extend(rules::lint_file(rel, &analysis));
-    }
-    rules::sort_diagnostics(&mut diags);
-
-    for d in &diags {
-        if json {
+    for d in &outcome.diags {
+        if json_out {
             println!(
                 "{{\"rule\":{},\"path\":{},\"line\":{},\"message\":{}}}",
-                json_str(d.rule),
-                json_str(&d.path),
+                json::escape(d.rule),
+                json::escape(&d.path),
                 d.line,
-                json_str(&d.message)
+                json::escape(&d.message)
             );
         } else {
             println!("{}:{}: [{}] {}", d.path, d.line, d.rule, d.message);
         }
     }
-    if diags.is_empty() {
-        if !json {
-            eprintln!("qem-lint: {} files clean", files.len());
+    if cache_stats {
+        eprintln!(
+            "qem-lint: {} files, {} cache hit(s), {} suppression(s)",
+            outcome.files.len(),
+            outcome.cache_hits,
+            outcome.suppressions
+        );
+    }
+    if outcome.debt_written && !json_out {
+        eprintln!("qem-lint: wrote {}", xtask::debt::DEBT_PATH);
+    }
+    if outcome.diags.is_empty() {
+        if !json_out {
+            eprintln!("qem-lint: {} files clean", outcome.files.len());
         }
         ExitCode::SUCCESS
     } else {
-        if !json {
+        if !json_out {
             eprintln!(
                 "qem-lint: {} finding(s) in {} files",
-                diags.len(),
-                files.len()
+                outcome.diags.len(),
+                outcome.files.len()
             );
         }
         ExitCode::FAILURE
     }
 }
 
-/// The workspace root: the xtask manifest dir's grandparent.
-fn workspace_root() -> PathBuf {
-    let manifest = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
-    manifest
-        .parent()
-        .and_then(Path::parent)
-        .map(Path::to_path_buf)
-        .unwrap_or_else(|| PathBuf::from("."))
+fn usage(msg: &str) -> ExitCode {
+    eprintln!("error: {msg}");
+    print_help();
+    ExitCode::from(2)
 }
 
-/// Collects workspace-relative paths of `.rs` files under `dir`, skipping
-/// `tests/`, `benches/`, `fixtures/`, and `target/` directories — the lint
-/// covers shipped code; test and fixture sources are exempt by design.
-fn collect_rs_files(dir: &Path, root: &Path, out: &mut Vec<String>) {
-    let Ok(entries) = fs::read_dir(dir) else {
-        return;
-    };
-    for entry in entries.flatten() {
-        let path = entry.path();
-        let name = entry.file_name();
-        let name = name.to_string_lossy();
-        if path.is_dir() {
-            if matches!(name.as_ref(), "tests" | "benches" | "fixtures" | "target") {
-                continue;
-            }
-            collect_rs_files(&path, root, out);
-        } else if name.ends_with(".rs") {
-            if let Ok(rel) = path.strip_prefix(root) {
-                out.push(rel.to_string_lossy().replace('\\', "/"));
-            }
-        }
-    }
-}
-
-/// Minimal JSON string escaping — enough for paths and messages.
-fn json_str(s: &str) -> String {
-    let mut out = String::with_capacity(s.len() + 2);
-    out.push('"');
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
-            c => out.push(c),
-        }
-    }
-    out.push('"');
-    out
+fn print_help() {
+    eprintln!(
+        "usage: cargo run -p xtask -- lint [--json] [--sarif PATH] [--no-cache] [--update-debt] [--root PATH] [--cache-stats]"
+    );
+    eprintln!();
+    eprintln!("rules: {}", rules::RULE_NAMES.join(", "));
+    eprintln!("suppress with: // qem-lint: allow(rule-name) — reason (reason is mandatory)");
 }

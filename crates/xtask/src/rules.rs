@@ -1,16 +1,22 @@
-//! The `qem-lint` rule set.
+//! The `qem-lint` rule set: twelve lexical rules on the token-tree front
+//! end, plus the shared suppression machinery that also covers the semantic
+//! rules in [`crate::semantic`].
 //!
-//! Every rule works on the [`lexer::Analysis`] of one file: masked code
-//! text (comments and literal interiors blanked), the comment list, and the
-//! `#[cfg(test)]` region map. Rules are scoped per crate — the table in
-//! [`rule_applies`] is the single source of truth for who must obey what.
+//! Every rule works on the [`tree::FileAnalysis`] of one file. Rules match
+//! token patterns, never raw text — comments and literal interiors are
+//! simply absent from the stream, so none of the old masking workarounds
+//! exist anymore. Rules are scoped per crate/file — [`rule_applies`] is the
+//! single source of truth for who must obey what.
 //!
 //! Suppression: a comment `qem-lint: allow(rule-name) — reason` silences
 //! `rule-name` on the comment's own line and on the first code line after
 //! the comment block. The reason is mandatory; a bare `allow(...)` does not
-//! suppress and is itself reported as `invalid-suppression`.
+//! suppress and is itself reported as `invalid-suppression`. Valid
+//! suppressions are counted into the debt ledger ([`crate::debt`]).
 
-use crate::lexer::Analysis;
+use crate::lexer::TokKind;
+use crate::semantic;
+use crate::tree::{FileAnalysis, Group, Tree};
 
 /// One lint finding.
 #[derive(Clone, Debug, PartialEq)]
@@ -39,6 +45,9 @@ pub const RULE_NAMES: &[&str] = &[
     "no-unsynced-static",
     "no-unseeded-rng",
     "kernel-invariant-hook",
+    "lock-order-policy",
+    "atomic-ordering-policy",
+    "suppression-debt",
 ];
 
 /// Statics exempt from `no-unsynced-static`, as `(file name, static name)`
@@ -49,7 +58,7 @@ pub const RULE_NAMES: &[&str] = &[
 const UNSYNCED_STATIC_ALLOWLIST: &[(&str, &str)] = &[];
 
 /// Canonical diagnostic order: `(path, line, rule)`. Both the human
-/// listing and `--json` output sort with this, so a lint run is
+/// listing and `--json`/`--sarif` output sort with this, so a lint run is
 /// byte-for-byte deterministic regardless of directory-walk or
 /// rule-evaluation order.
 pub fn sort_diagnostics(diags: &mut [Diagnostic]) {
@@ -57,7 +66,7 @@ pub fn sort_diagnostics(diags: &mut [Diagnostic]) {
 }
 
 /// Which crate a path belongs to: `crates/<name>/…` or the root `qem` crate.
-fn crate_of(path: &str) -> &str {
+pub fn crate_of(path: &str) -> &str {
     if let Some(rest) = path.strip_prefix("crates/") {
         rest.split('/').next().unwrap_or("")
     } else {
@@ -66,7 +75,9 @@ fn crate_of(path: &str) -> &str {
 }
 
 /// The scope table. `qem` is the root facade/CLI crate.
-fn rule_applies(rule: &str, krate: &str, file_name: &str) -> bool {
+pub fn rule_applies(rule: &str, path: &str) -> bool {
+    let krate = crate_of(path);
+    let file_name = path.rsplit('/').next().unwrap_or(path);
     match rule {
         // Numerical-safety rules cover the probability/matrix pipeline and
         // the user-facing binaries. qem-sim and qem-topology stay out: their
@@ -98,8 +109,13 @@ fn rule_applies(rule: &str, krate: &str, file_name: &str) -> bool {
             ),
             _ => true,
         },
-        // Concurrency hygiene: the two files that do lock-free bookkeeping.
-        "relaxed-ordering" => file_name == "recorder.rs" || file_name == "resilience.rs",
+        // Concurrency hygiene. Files with a declared atomic policy are
+        // checked site-by-site by `atomic-ordering-policy`; everywhere else
+        // a bare `Ordering::Relaxed` means the file's protocol was never
+        // written down, which is itself the finding.
+        "relaxed-ordering" => krate != "xtask" && !semantic::has_atomic_policy(path),
+        "atomic-ordering-policy" => semantic::has_atomic_policy(path),
+        "lock-order-policy" => krate != "xtask",
         // Workspace-wide concurrency and reproducibility hygiene. Only the
         // lint tool itself is exempt (it is single-threaded build tooling,
         // and its rule tables mention the banned tokens).
@@ -119,7 +135,7 @@ struct Suppression {
     has_reason: bool,
 }
 
-fn parse_suppressions(analysis: &Analysis) -> Vec<Suppression> {
+fn parse_suppressions(analysis: &FileAnalysis) -> Vec<Suppression> {
     let mut out = Vec::new();
     for (line, text) in &analysis.comments {
         // Suppressions are dedicated comments: the text must *start* with the
@@ -149,18 +165,22 @@ fn parse_suppressions(analysis: &Analysis) -> Vec<Suppression> {
     out
 }
 
-/// `(rule, line)` pairs silenced by valid suppressions, plus diagnostics for
-/// malformed ones.
-fn suppressed_lines(
+/// Result of the suppression scan: `(rule, line)` pairs silenced by valid
+/// suppressions, plus the count of valid suppressions (the debt unit).
+struct Suppressions {
+    silenced: Vec<(String, usize)>,
+    valid_count: usize,
+}
+
+fn scan_suppressions(
     path: &str,
-    analysis: &Analysis,
+    analysis: &FileAnalysis,
     diags: &mut Vec<Diagnostic>,
-) -> Vec<(String, usize)> {
-    let line_count = analysis.masked.lines().count();
-    let code_line = |l: usize| -> bool {
-        l >= 1 && l <= line_count && !analysis.masked_line(l).trim().is_empty()
-    };
+) -> Suppressions {
+    let code_line =
+        |l: usize| -> bool { l >= 1 && analysis.code_lines.get(l - 1).copied().unwrap_or(false) };
     let mut silenced = Vec::new();
+    let mut valid_count = 0usize;
     for s in parse_suppressions(analysis) {
         if !RULE_NAMES.contains(&s.rule.as_str()) {
             diags.push(Diagnostic {
@@ -183,34 +203,51 @@ fn suppressed_lines(
             });
             continue;
         }
+        valid_count += 1;
         // The comment's own line (trailing comments) …
         silenced.push((s.rule.clone(), s.comment_line));
         // … and the first code line after the comment block.
         let mut l = s.comment_line + 1;
-        while l <= line_count && !code_line(l) {
+        while l <= analysis.line_count && !code_line(l) {
             l += 1;
         }
-        if l <= line_count {
+        if l <= analysis.line_count {
             silenced.push((s.rule.clone(), l));
         }
     }
-    silenced
+    Suppressions {
+        silenced,
+        valid_count,
+    }
 }
 
 /// Lints one file; `path` must be workspace-relative with `/` separators.
-pub fn lint_file(path: &str, analysis: &Analysis) -> Vec<Diagnostic> {
-    let krate = crate_of(path);
-    let file_name = path.rsplit('/').next().unwrap_or(path);
+/// Returns the findings plus the file's valid-suppression count (fed to the
+/// `suppression-debt` ledger by the engine).
+pub fn lint_file(path: &str, analysis: &FileAnalysis) -> (Vec<Diagnostic>, usize) {
     let mut diags = Vec::new();
-    let silenced = suppressed_lines(path, analysis, &mut diags);
-    let in_thread_local = thread_local_regions(&analysis.masked);
+    let sup = scan_suppressions(path, analysis, &mut diags);
 
-    let mut emit = |rule: &'static str, line: usize, message: String| {
+    let mut raw: Vec<(&'static str, usize, String)> = Vec::new();
+    let mut scanner = Scanner {
+        path,
+        out: &mut raw,
+    };
+    scanner.scan_seq(
+        &analysis.root.children,
+        Ctx {
+            in_const: false,
+            in_thread_local: false,
+        },
+    );
+    raw.extend(semantic::check(path, analysis));
+
+    for (rule, line, message) in raw {
         if analysis.in_test.get(line - 1).copied().unwrap_or(false) {
-            return;
+            continue;
         }
-        if silenced.iter().any(|(r, l)| r == rule && *l == line) {
-            return;
+        if sup.silenced.iter().any(|(r, l)| r == rule && *l == line) {
+            continue;
         }
         diags.push(Diagnostic {
             rule,
@@ -218,140 +255,303 @@ pub fn lint_file(path: &str, analysis: &Analysis) -> Vec<Diagnostic> {
             line,
             message,
         });
-    };
+    }
+    (diags, sup.valid_count)
+}
 
-    for (idx, line) in analysis.masked.lines().enumerate() {
-        let ln = idx + 1;
+/// Context flags threaded through the recursive token-tree scan.
+#[derive(Clone, Copy)]
+struct Ctx {
+    /// Inside a `const`/`static` initializer (inline tolerances allowed).
+    in_const: bool,
+    /// Inside a `thread_local! { … }` body (non-`Sync` statics allowed).
+    in_thread_local: bool,
+}
 
-        if rule_applies("no-panic-path", krate, file_name) {
-            for needle in [
-                ".unwrap()",
-                ".expect(",
-                "panic!(",
-                "unreachable!(",
-                "todo!(",
-                "unimplemented!(",
-            ] {
-                if let Some(col) = find_token(line, needle) {
-                    // `.expect(` must not match `.expect_err(` etc. — the
-                    // needles are already unambiguous; but skip
-                    // `unwrap_or`/`unwrap_err` style by requiring the exact
-                    // `()` suffix for unwrap (handled by the needle).
-                    let _ = col;
-                    emit(
-                        "no-panic-path",
-                        ln,
-                        format!(
-                            "`{}` can panic; return the crate error type instead",
-                            needle.trim_end_matches('(')
-                        ),
+/// The lexical-rule scanner: one recursive pass over the token tree.
+struct Scanner<'a> {
+    path: &'a str,
+    out: &'a mut Vec<(&'static str, usize, String)>,
+}
+
+const INT_TYPES: &[&str] = &[
+    "usize", "u64", "u32", "u16", "u8", "isize", "i64", "i32", "i16", "i8",
+];
+const ROUNDING: &[&str] = &["round", "floor", "ceil", "trunc"];
+const RMW_PANICS: &[&str] = &["panic", "unreachable", "todo", "unimplemented"];
+
+impl<'a> Scanner<'a> {
+    fn emit(&mut self, rule: &'static str, line: usize, message: String) {
+        if rule_applies(rule, self.path) {
+            self.out.push((rule, line, message));
+        }
+    }
+
+    fn scan_seq(&mut self, kids: &[Tree], ctx: Ctx) {
+        // `const`/`static` seen since the start of the current statement
+        // (reset at `;` and at `fn`, so `const fn` bodies stay in scope).
+        let mut stmt_const = false;
+        for i in 0..kids.len() {
+            match &kids[i] {
+                Tree::Tok(t) => {
+                    if t.is_punct(";") {
+                        stmt_const = false;
+                    }
+                    if t.is_ident("const") || t.is_ident("static") {
+                        stmt_const = true;
+                    }
+                    if t.is_ident("fn") {
+                        stmt_const = false;
+                    }
+                    self.check_token(kids, i, ctx, stmt_const);
+                }
+                Tree::Group(g) => {
+                    let tl =
+                        i >= 2 && kids[i - 2].is_ident("thread_local") && kids[i - 1].is_punct("!");
+                    self.scan_seq(
+                        &g.children,
+                        Ctx {
+                            in_const: ctx.in_const || stmt_const,
+                            in_thread_local: ctx.in_thread_local || tl,
+                        },
                     );
-                    break;
                 }
             }
         }
+    }
 
-        if rule_applies("no-direct-index", krate, file_name) {
-            if let Some(m) = find_literal_index(line) {
-                emit(
+    /// All token-anchored rules, dispatched from one place.
+    fn check_token(&mut self, kids: &[Tree], i: usize, ctx: Ctx, stmt_const: bool) {
+        let Tree::Tok(t) = &kids[i] else { return };
+        let prev = i.checked_sub(1).and_then(|p| kids.get(p));
+        let next = kids.get(i + 1);
+        let next2 = kids.get(i + 2);
+        let next3 = kids.get(i + 3);
+
+        match t.kind {
+            TokKind::Ident => {}
+            TokKind::Punct => {
+                // no-float-eq: `== 0.0`, `1.0 !=`.
+                if t.text == "==" || t.text == "!=" {
+                    let lit = next
+                        .and_then(Tree::tok)
+                        .filter(|n| n.kind == TokKind::Float)
+                        .or_else(|| {
+                            prev.and_then(Tree::tok)
+                                .filter(|p| p.kind == TokKind::Float)
+                        });
+                    if let Some(lit) = lit {
+                        self.emit(
+                            "no-float-eq",
+                            t.line,
+                            format!(
+                                "float compared with `{} {}`; use a tolerance from `qem_linalg::tol`",
+                                t.text, lit.text
+                            ),
+                        );
+                    }
+                }
+                return;
+            }
+            TokKind::Float => {
+                // no-inline-tolerance: scientific notation with a negative
+                // exponent outside a const/static initializer.
+                if (t.text.contains("e-") || t.text.contains("E-")) && !ctx.in_const && !stmt_const
+                {
+                    self.emit(
+                        "no-inline-tolerance",
+                        t.line,
+                        format!(
+                            "inline tolerance `{}`; use `qem_linalg::tol` or declare a named const",
+                            t.text
+                        ),
+                    );
+                }
+                return;
+            }
+            _ => return,
+        }
+
+        // ------------------------------------------------ ident-anchored --
+        let name = t.text.as_str();
+        let prev_is_dot = prev.is_some_and(|p| p.is_punct("."));
+        let next_is_bang = next.is_some_and(|n| n.is_punct("!"));
+        fn next_group(k: Option<&Tree>, d: char) -> Option<&Group> {
+            k.and_then(Tree::group).filter(|g| g.delim == d)
+        }
+
+        // no-panic-path.
+        if name == "unwrap"
+            && prev_is_dot
+            && next_group(next, '(').is_some_and(|g| g.children.is_empty())
+        {
+            self.emit(
+                "no-panic-path",
+                t.line,
+                "`.unwrap` can panic; return the crate error type instead".to_string(),
+            );
+        }
+        if name == "expect" && prev_is_dot && next_group(next, '(').is_some() {
+            self.emit(
+                "no-panic-path",
+                t.line,
+                "`.expect` can panic; return the crate error type instead".to_string(),
+            );
+        }
+        if RMW_PANICS.contains(&name) && next_is_bang && next_group(next2, '(').is_some() {
+            self.emit(
+                "no-panic-path",
+                t.line,
+                format!("`{name}!` can panic; return the crate error type instead"),
+            );
+        }
+
+        // no-direct-index: `ident[3]` (bracket group holding one integer
+        // literal, following an identifier or a call/index result). Keyword
+        // receivers (`return [0]`, `in …`) are expression heads, not places.
+        if let Some(idx) = next_group(next, '[') {
+            let literal = idx.children.len() == 1
+                && idx.children[0]
+                    .tok()
+                    .is_some_and(|t| t.kind == TokKind::Int);
+            let head_kw = matches!(name, "return" | "break" | "in" | "else" | "let" | "mut");
+            if literal && !head_kw {
+                let lit = idx.children[0].tok().map(|t| t.text.as_str()).unwrap_or("");
+                self.emit(
                     "no-direct-index",
-                    ln,
-                    format!("direct literal index `{m}` can panic; use `.get({})` or a checked accessor", m.trim_matches(['[', ']'])),
-                );
-            }
-        }
-
-        if rule_applies("no-float-eq", krate, file_name) {
-            if let Some(m) = find_float_eq(line) {
-                emit(
-                    "no-float-eq",
-                    ln,
-                    format!("float compared with `{m}`; use a tolerance from `qem_linalg::tol`"),
-                );
-            }
-        }
-
-        if rule_applies("no-raw-float-cast", krate, file_name) {
-            if let Some(m) = find_raw_float_cast(line) {
-                emit(
-                    "no-raw-float-cast",
-                    ln,
-                    format!("truncating float cast `{m}`; make rounding explicit (`.round()`, `.floor()`, …)"),
-                );
-            }
-        }
-
-        if rule_applies("no-inline-tolerance", krate, file_name) {
-            if let Some(m) = find_inline_tolerance(line) {
-                emit(
-                    "no-inline-tolerance",
-                    ln,
+                    t.line,
                     format!(
-                        "inline tolerance `{m}`; use `qem_linalg::tol` or declare a named const"
+                        "direct literal index `[{lit}]` can panic; use `.get({lit})` or a checked accessor"
                     ),
                 );
             }
         }
 
-        if rule_applies("validated-matrix-construction", krate, file_name) {
-            for needle in [
-                "Matrix::from_rows(",
-                "Matrix::from_cols(",
-                "Matrix::zeros(",
-                "CMatrix::from_rows(",
-                "CMatrix::from_cols(",
-                "CMatrix::zeros(",
-            ] {
-                if find_token(line, needle).is_some() {
-                    emit(
-                        "validated-matrix-construction",
-                        ln,
-                        format!(
-                            "raw `{}` in calibration code; construct through a validated `qem_linalg::stochastic` entry point",
-                            needle.trim_end_matches('(')
-                        ),
-                    );
-                    break;
+        // no-raw-float-cast: `<float expr> as <int type>` without rounding.
+        if name == "as" {
+            if let Some(ty) = next
+                .and_then(Tree::tok)
+                .filter(|n| n.kind == TokKind::Ident && INT_TYPES.contains(&n.text.as_str()))
+            {
+                if let Some(p) = prev {
+                    if let Some(pt) = p.tok().filter(|pt| pt.kind == TokKind::Float) {
+                        self.emit(
+                            "no-raw-float-cast",
+                            t.line,
+                            format!(
+                                "truncating float cast `{} as {}`; make rounding explicit (`.round()`, `.floor()`, …)",
+                                pt.text, ty.text
+                            ),
+                        );
+                    } else if p.group().is_some_and(|g| g.delim == '(') {
+                        // Walk back over the `.method(args)` chain to the
+                        // expression head; flag float math cast without an
+                        // explicit rounding step anywhere in the chain.
+                        let start = chain_start(kids, i - 1);
+                        let chain = &kids[start..i];
+                        if chain_has_float(chain) && !chain_has_rounding(chain) {
+                            self.emit(
+                                "no-raw-float-cast",
+                                t.line,
+                                format!(
+                                    "truncating float cast to `{}`; make rounding explicit (`.round()`, `.floor()`, …)",
+                                    ty.text
+                                ),
+                            );
+                        }
+                    }
                 }
             }
         }
 
-        if rule_applies("core-error-type", krate, file_name)
-            && line.contains("use qem_linalg::error::")
-            && contains_word(line, "Result")
-            && !line.contains("Result as ")
+        // validated-matrix-construction.
+        if (name == "Matrix" || name == "CMatrix")
+            && next.is_some_and(|n| n.is_punct("::"))
+            && next3.and_then(Tree::group).is_some_and(|g| g.delim == '(')
         {
-            emit(
-                "core-error-type",
-                ln,
-                "public APIs here must return the crate error type; alias linalg's Result or use `crate::error::Result`".to_string(),
-            );
-        }
-
-        if rule_applies("relaxed-ordering", krate, file_name) && line.contains("Ordering::Relaxed")
-        {
-            emit(
-                "relaxed-ordering",
-                ln,
-                "`Ordering::Relaxed` needs a justification; suppress with a reason or strengthen the ordering".to_string(),
-            );
-        }
-
-        if rule_applies("no-unsynced-static", krate, file_name) {
-            if find_static_mut(line) {
-                emit(
-                    "no-unsynced-static",
-                    ln,
-                    "`static mut` is an unsynchronised global; use an atomic, `Mutex`, or `OnceLock`".to_string(),
+            if let Some(method) = next2
+                .and_then(Tree::tok)
+                .filter(|m| matches!(m.text.as_str(), "from_rows" | "from_cols" | "zeros"))
+            {
+                self.emit(
+                    "validated-matrix-construction",
+                    t.line,
+                    format!(
+                        "raw `{name}::{}` in calibration code; construct through a validated `qem_linalg::stochastic` entry point",
+                        method.text
+                    ),
                 );
-            } else if !in_thread_local.get(idx).copied().unwrap_or(false) {
-                if let Some(name) = find_unsynced_static(line) {
-                    if !UNSYNCED_STATIC_ALLOWLIST.contains(&(file_name, name.as_str())) {
-                        emit(
+            }
+        }
+
+        // core-error-type: `use qem_linalg::error::…Result…` without alias.
+        if name == "use"
+            && kids.get(i + 1).is_some_and(|k| k.is_ident("qem_linalg"))
+            && kids.get(i + 2).is_some_and(|k| k.is_punct("::"))
+            && kids.get(i + 3).is_some_and(|k| k.is_ident("error"))
+            && kids.get(i + 4).is_some_and(|k| k.is_punct("::"))
+        {
+            // Inspect the rest of the statement for an unaliased `Result`.
+            let mut j = i + 5;
+            let mut flagged = false;
+            while let Some(k) = kids.get(j) {
+                if k.is_punct(";") {
+                    break;
+                }
+                match k {
+                    Tree::Tok(tok) if tok.is_ident("Result") => {
+                        let aliased = kids.get(j + 1).is_some_and(|n| n.is_ident("as"));
+                        if !aliased {
+                            flagged = true;
+                        }
+                    }
+                    Tree::Group(g) if group_has_unaliased_result(g) => {
+                        flagged = true;
+                    }
+                    _ => {}
+                }
+                j += 1;
+            }
+            if flagged {
+                self.emit(
+                    "core-error-type",
+                    t.line,
+                    "public APIs here must return the crate error type; alias linalg's Result or use `crate::error::Result`".to_string(),
+                );
+            }
+        }
+
+        // relaxed-ordering (only in files with no atomic policy — policy
+        // files are checked site-by-site by atomic-ordering-policy).
+        if name == "Ordering"
+            && next.is_some_and(|n| n.is_punct("::"))
+            && next2.is_some_and(|n| n.is_ident("Relaxed"))
+        {
+            self.emit(
+                "relaxed-ordering",
+                t.line,
+                "`Ordering::Relaxed` in a file with no atomic-ordering policy; add the file to the `ATOMIC_POLICIES` table or strengthen the ordering".to_string(),
+            );
+        }
+
+        // no-unsynced-static.
+        if name == "static" {
+            if next.is_some_and(|n| n.is_ident("mut")) {
+                self.emit(
+                    "no-unsynced-static",
+                    t.line,
+                    "`static mut` is an unsynchronised global; use an atomic, `Mutex`, or `OnceLock`"
+                        .to_string(),
+                );
+            } else if !ctx.in_thread_local {
+                if let Some(finding) = unsynced_static(kids, i) {
+                    let file_name = self.path.rsplit('/').next().unwrap_or(self.path);
+                    if !UNSYNCED_STATIC_ALLOWLIST.contains(&(file_name, finding.as_str())) {
+                        self.emit(
                             "no-unsynced-static",
-                            ln,
+                            t.line,
                             format!(
-                                "static `{name}` has a non-`Sync` interior-mutability type; \
+                                "static `{finding}` has a non-`Sync` interior-mutability type; \
                                  use an atomic/`Mutex`/`OnceLock` or move it into `thread_local!`"
                             ),
                         );
@@ -360,522 +560,271 @@ pub fn lint_file(path: &str, analysis: &Analysis) -> Vec<Diagnostic> {
             }
         }
 
-        if rule_applies("no-unseeded-rng", krate, file_name) {
-            for needle in ["thread_rng(", "from_entropy(", "rand::random", "OsRng"] {
-                if find_token(line, needle).is_some() {
-                    emit(
-                        "no-unseeded-rng",
-                        ln,
-                        format!(
-                            "`{}` draws OS entropy; production code must use a seeded RNG \
-                             (`StdRng::seed_from_u64`, …) so every run is reproducible",
-                            needle.trim_end_matches('(')
-                        ),
-                    );
-                    break;
-                }
-            }
-        }
-
-        if rule_applies("kernel-invariant-hook", krate, file_name) {
-            for needle in ["debug_assert!(", "debug_assert_eq!(", "debug_assert_ne!("] {
-                if find_token(line, needle).is_some() {
-                    emit(
-                        "kernel-invariant-hook",
-                        ln,
-                        format!(
-                            "bare `{}` in kernel code; route through `qem_linalg::kernel_assert!` \
-                             or a `checks::` function so the invariant stays under the \
-                             `invariant-checks` feature switch",
-                            needle.trim_end_matches('(')
-                        ),
-                    );
-                    break;
-                }
-            }
-        }
-    }
-
-    if rule_applies("telemetry-name-registry", krate, file_name) {
-        for (ln, call) in find_literal_telemetry_calls(&analysis.masked) {
-            emit(
-                "telemetry-name-registry",
-                ln,
+        // no-unseeded-rng.
+        let rng_call =
+            (name == "thread_rng" || name == "from_entropy") && next_group(next, '(').is_some();
+        if rng_call || name == "OsRng" {
+            self.emit(
+                "no-unseeded-rng",
+                t.line,
                 format!(
-                    "string literal passed to `{call}`; use a constant from `qem_telemetry::names`"
+                    "`{name}` draws OS entropy; production code must use a seeded RNG \
+                     (`StdRng::seed_from_u64`, …) so every run is reproducible"
                 ),
             );
         }
-    }
-
-    diags
-}
-
-// --------------------------------------------------------------- matchers --
-
-fn is_ident_char(c: u8) -> bool {
-    c.is_ascii_alphanumeric() || c == b'_'
-}
-
-/// Finds `needle` in `line` where the preceding byte is not an identifier
-/// character (so `.unwrap()` does not match `x.unwrap_or()`… the needle's
-/// own shape handles the suffix side).
-fn find_token(line: &str, needle: &str) -> Option<usize> {
-    let bytes = line.as_bytes();
-    // Needles starting with `.` or `!` carry their own boundary; only
-    // identifier-leading needles need the preceding-byte check (so that
-    // `Matrix::zeros` does not also match inside `CMatrix::zeros`).
-    let needs_boundary = is_ident_char(needle.as_bytes()[0]);
-    let mut from = 0;
-    while let Some(pos) = line[from..].find(needle) {
-        let at = from + pos;
-        let pre_ok = !needs_boundary || at == 0 || !is_ident_char(bytes[at - 1]);
-        if pre_ok {
-            return Some(at);
-        }
-        from = at + 1;
-    }
-    None
-}
-
-fn contains_word(line: &str, word: &str) -> bool {
-    let bytes = line.as_bytes();
-    let mut from = 0;
-    while let Some(pos) = line[from..].find(word) {
-        let at = from + pos;
-        let pre_ok = at == 0 || !is_ident_char(bytes[at - 1]);
-        let post = at + word.len();
-        let post_ok = post >= bytes.len() || !is_ident_char(bytes[post]);
-        if pre_ok && post_ok {
-            return true;
-        }
-        from = at + 1;
-    }
-    false
-}
-
-/// `ident[3]` / `ident()[0]` — indexing with a bare integer literal.
-/// Array types (`[f64; 4]`), repeats (`[0.0; 8]`) and attribute syntax are
-/// not matched: the bracket must follow an identifier or `)`/`]`, and the
-/// bracket body must be only digits.
-fn find_literal_index(line: &str) -> Option<String> {
-    let bytes = line.as_bytes();
-    for (i, &b) in bytes.iter().enumerate() {
-        if b != b'[' || i == 0 {
-            continue;
-        }
-        let prev = bytes[i - 1];
-        if !(is_ident_char(prev) || prev == b')' || prev == b']') {
-            continue;
-        }
-        let close = line[i..].find(']').map(|p| i + p)?;
-        let body = line[i + 1..close].trim();
-        if !body.is_empty() && body.bytes().all(|c| c.is_ascii_digit()) {
-            return Some(line[i..=close].to_string());
-        }
-    }
-    None
-}
-
-/// `== 0.0`, `1.0 !=`, `== 1e-9` — equality against a float literal.
-fn find_float_eq(line: &str) -> Option<String> {
-    for op in ["==", "!="] {
-        let mut from = 0;
-        while let Some(pos) = line[from..].find(op) {
-            let at = from + pos;
-            // `!=` also matches the tail of `<=`? No — distinct first char.
-            // Skip pattern-matching `=>` arms and `<=`/`>=`.
-            let before = line[..at].trim_end();
-            let after = line[at + 2..].trim_start();
-            if float_literal_at_start(after) || float_literal_at_end(before) {
-                let lit = if float_literal_at_start(after) {
-                    first_float(after)
-                } else {
-                    last_float(before)
-                };
-                return Some(format!("{op} {lit}"));
-            }
-            from = at + 2;
-        }
-    }
-    None
-}
-
-fn float_literal_at_start(s: &str) -> bool {
-    let b = s.as_bytes();
-    let mut i = 0;
-    while i < b.len() && b[i].is_ascii_digit() {
-        i += 1;
-    }
-    i > 0 && i < b.len() && b[i] == b'.'
-}
-
-fn float_literal_at_end(s: &str) -> bool {
-    // …digits '.' digits at the end of the trimmed slice.
-    let b = s.as_bytes();
-    let mut i = b.len();
-    while i > 0 && b[i - 1].is_ascii_digit() {
-        i -= 1;
-    }
-    if i == 0 || i == b.len() || b[i - 1] != b'.' {
-        return false;
-    }
-    let mut j = i - 1;
-    while j > 0 && b[j - 1].is_ascii_digit() {
-        j -= 1;
-    }
-    j < i - 1
-}
-
-fn first_float(s: &str) -> &str {
-    let end = s
-        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == 'e' || c == '-' || c == '_'))
-        .unwrap_or(s.len());
-    &s[..end]
-}
-
-fn last_float(s: &str) -> &str {
-    let start = s
-        .rfind(|c: char| !(c.is_ascii_digit() || c == '.' || c == '_'))
-        .map(|p| p + 1)
-        .unwrap_or(0);
-    &s[start..]
-}
-
-/// `(<float math>) as usize` with no explicit rounding, or a float literal
-/// cast straight to an integer type.
-fn find_raw_float_cast(line: &str) -> Option<String> {
-    const INT_TYPES: &[&str] = &[
-        "usize", "u64", "u32", "u16", "u8", "isize", "i64", "i32", "i16", "i8",
-    ];
-    let mut from = 0;
-    while let Some(pos) = line[from..].find(" as ") {
-        let at = from + pos;
-        let after = &line[at + 4..];
-        let ty = after
-            .split(|c: char| !c.is_ascii_alphanumeric())
-            .next()
-            .unwrap_or("");
-        if !INT_TYPES.contains(&ty) {
-            from = at + 4;
-            continue;
-        }
-        let before = line[..at].trim_end();
-        // Direct float literal cast: `1.5 as usize`.
-        if float_literal_at_end(before) {
-            return Some(format!("{} as {ty}", last_float(before)));
-        }
-        // Parenthesised float expression: `(x * 10.0).min(9.0) as usize` —
-        // flag when the expression contains a float literal and no explicit
-        // rounding call adjacent to the cast.
-        if before.ends_with(')') {
-            if let Some(open) = matching_open_paren(before) {
-                let expr_start = enclosing_expr_start(before, open);
-                let expr = &before[expr_start..];
-                let has_float =
-                    expr.contains(".0") || expr.contains(".5") || expr_has_float_literal(expr);
-                let rounded = [".round()", ".floor()", ".ceil()", ".trunc()"]
-                    .iter()
-                    .any(|r| expr.contains(r));
-                if has_float && !rounded {
-                    return Some(format!("{expr} as {ty}"));
-                }
-            }
-        }
-        from = at + 4;
-    }
-    None
-}
-
-fn expr_has_float_literal(expr: &str) -> bool {
-    let b = expr.as_bytes();
-    for i in 0..b.len() {
-        if b[i] == b'.'
-            && i > 0
-            && b[i - 1].is_ascii_digit()
-            && (i + 1 >= b.len() || b[i + 1].is_ascii_digit())
+        if name == "rand"
+            && next.is_some_and(|n| n.is_punct("::"))
+            && next2.is_some_and(|n| n.is_ident("random"))
         {
-            return true;
+            self.emit(
+                "no-unseeded-rng",
+                t.line,
+                "`rand::random` draws OS entropy; production code must use a seeded RNG \
+                 (`StdRng::seed_from_u64`, …) so every run is reproducible"
+                    .to_string(),
+            );
+        }
+
+        // kernel-invariant-hook.
+        if matches!(name, "debug_assert" | "debug_assert_eq" | "debug_assert_ne")
+            && next_is_bang
+            && next_group(next2, '(').is_some()
+        {
+            self.emit(
+                "kernel-invariant-hook",
+                t.line,
+                format!(
+                    "bare `{name}!` in kernel code; route through `qem_linalg::kernel_assert!` \
+                     or a `checks::` function so the invariant stays under the \
+                     `invariant-checks` feature switch"
+                ),
+            );
+        }
+
+        // telemetry-name-registry: literal first argument to a telemetry
+        // entry point (macro or function form).
+        let macro_call = matches!(name, "span" | "event") && next_is_bang;
+        let fn_call = matches!(
+            name,
+            "span_detached"
+                | "counter_add"
+                | "gauge_set"
+                | "histogram_record"
+                | "histogram_record_with"
+        );
+        if macro_call || fn_call {
+            let arg_group = if macro_call {
+                next_group(next2, '(')
+            } else {
+                next_group(next, '(')
+            };
+            let literal_first = arg_group.is_some_and(|g| {
+                g.children
+                    .first()
+                    .and_then(Tree::tok)
+                    .is_some_and(|a| a.kind == TokKind::Str)
+            });
+            if literal_first {
+                let display = if macro_call {
+                    format!("{name}!(")
+                } else {
+                    format!("{name}(")
+                };
+                self.emit(
+                    "telemetry-name-registry",
+                    t.line,
+                    format!(
+                        "string literal passed to `{display}`; use a constant from `qem_telemetry::names`"
+                    ),
+                );
+            }
         }
     }
-    false
 }
 
-/// Index of the `(` matching the `)` that ends `s`.
-fn matching_open_paren(s: &str) -> Option<usize> {
-    let b = s.as_bytes();
-    let mut depth = 0i64;
-    for i in (0..b.len()).rev() {
-        match b[i] {
-            b')' => depth += 1,
-            b'(' => {
-                depth -= 1;
-                if depth == 0 {
-                    return Some(i);
+/// Start index of the method-chain expression ending at `end` (inclusive),
+/// where `kids[end]` is the closing `(…)` group of the chain: walks back
+/// over `recv.m1(..).m2(..)` shapes to the receiver head.
+fn chain_start(kids: &[Tree], end: usize) -> usize {
+    let mut i = end;
+    loop {
+        // kids[i] is a group; who precedes it?
+        if i == 0 {
+            return 0;
+        }
+        let p = i - 1;
+        match &kids[p] {
+            // `ident (…)`: method or call name — look for a `.` before it.
+            Tree::Tok(t) if t.kind == TokKind::Ident => {
+                if p >= 1 && kids[p - 1].is_punct(".") {
+                    if p >= 2 {
+                        match &kids[p - 2] {
+                            Tree::Group(_) => {
+                                i = p - 2;
+                                continue;
+                            }
+                            Tree::Tok(r) if r.kind == TokKind::Ident => return p - 2,
+                            _ => return p - 1,
+                        }
+                    }
+                    return p - 1;
                 }
+                return p;
             }
+            _ => return i,
+        }
+    }
+}
+
+/// Any float literal anywhere in the chain (recursively through groups).
+fn chain_has_float(chain: &[Tree]) -> bool {
+    chain.iter().any(|k| match k {
+        Tree::Tok(t) => t.kind == TokKind::Float,
+        Tree::Group(g) => chain_has_float(&g.children),
+    })
+}
+
+/// Any explicit rounding call (`.round()`, `.floor()`, …) anywhere in the
+/// chain, including nested argument expressions.
+fn chain_has_rounding(chain: &[Tree]) -> bool {
+    for (i, k) in chain.iter().enumerate() {
+        match k {
+            Tree::Tok(t)
+                if t.kind == TokKind::Ident
+                    && ROUNDING.contains(&t.text.as_str())
+                    && chain
+                        .get(i + 1)
+                        .and_then(Tree::group)
+                        .is_some_and(|g| g.delim == '(') =>
+            {
+                return true;
+            }
+            Tree::Group(g) if chain_has_rounding(&g.children) => return true,
             _ => {}
         }
     }
-    None
+    false
 }
 
-/// Walks back from the opening paren over trailing method-call chains so the
-/// whole `(x).min(y)` expression is inspected, not just the last call.
-fn enclosing_expr_start(s: &str, open: usize) -> usize {
-    let b = s.as_bytes();
-    let mut i = open;
-    loop {
-        // Preceding `.method` chain or identifier?
-        let mut j = i;
-        while j > 0 && is_ident_char(b[j - 1]) {
-            j -= 1;
-        }
-        if j > 0 && b[j - 1] == b'.' {
-            // `.ident(` — keep walking to whatever the receiver is.
-            let recv_end = j - 1;
-            if recv_end > 0 && b[recv_end - 1] == b')' {
-                match matching_open_paren(&s[..recv_end]) {
-                    Some(o) => {
-                        i = o;
-                        continue;
-                    }
-                    None => return j,
-                }
+fn group_has_unaliased_result(g: &Group) -> bool {
+    let kids = &g.children;
+    for (i, k) in kids.iter().enumerate() {
+        match k {
+            Tree::Tok(t)
+                if t.is_ident("Result") && !kids.get(i + 1).is_some_and(|n| n.is_ident("as")) =>
+            {
+                return true;
             }
-            let mut k = recv_end;
-            while k > 0 && is_ident_char(b[k - 1]) {
-                k -= 1;
-            }
-            return k;
+            Tree::Group(inner) if group_has_unaliased_result(inner) => return true,
+            _ => {}
         }
-        return j.min(i);
     }
-}
-
-/// `static mut NAME` — never acceptable; `&'static str` and friends must
-/// not match, so the `static` keyword needs a non-identifier,
-/// non-apostrophe predecessor.
-fn find_static_mut(line: &str) -> bool {
-    static_keyword_positions(line).any(|at| line[at + 6..].trim_start().starts_with("mut "))
-}
-
-/// Byte offsets of genuine `static` keywords (not `'static` lifetimes, not
-/// substrings of longer identifiers).
-fn static_keyword_positions(line: &str) -> impl Iterator<Item = usize> + '_ {
-    let bytes = line.as_bytes();
-    let mut from = 0;
-    std::iter::from_fn(move || {
-        while let Some(pos) = line[from..].find("static") {
-            let at = from + pos;
-            from = at + 6;
-            let pre_ok = at == 0 || (!is_ident_char(bytes[at - 1]) && bytes[at - 1] != b'\'');
-            let post_ok = at + 6 >= bytes.len() || !is_ident_char(bytes[at + 6]);
-            if pre_ok && post_ok {
-                return Some(at);
-            }
-        }
-        None
-    })
+    false
 }
 
 /// `static NAME: <type with a non-Sync interior-mutability cell>` — a
 /// global the compiler would reject for threads sharing it, or (worse) a
-/// raw-pointer global it would not. Returns the static's name. Only the
-/// declaration line is inspected; workspace style keeps `static` types on
-/// one line.
-fn find_unsynced_static(line: &str) -> Option<String> {
-    const UNSYNC: &[&str] = &[
-        "RefCell<",
-        "Cell<",
-        "UnsafeCell<",
-        "Rc<",
-        "*mut ",
-        "*const ",
-    ];
-    for at in static_keyword_positions(line) {
-        let rest = line[at + 6..].trim_start();
-        let Some(colon) = rest.find(':') else {
-            continue;
-        };
-        let name = rest[..colon].trim();
-        if name.is_empty() || !name.bytes().all(is_ident_char) {
-            continue;
-        }
-        let ty = rest[colon + 1..]
-            .split(['=', ';'])
-            .next()
-            .unwrap_or("")
-            .trim();
-        if UNSYNC.iter().any(|n| ty.contains(n)) {
-            return Some(name.to_string());
-        }
+/// raw-pointer global it would not. `kids[i]` is the `static` keyword.
+fn unsynced_static(kids: &[Tree], i: usize) -> Option<String> {
+    const UNSYNC: &[&str] = &["RefCell", "Cell", "UnsafeCell", "Rc"];
+    let name = kids
+        .get(i + 1)
+        .and_then(Tree::tok)
+        .filter(|t| t.kind == TokKind::Ident)?;
+    if !kids.get(i + 2).is_some_and(|k| k.is_punct(":")) {
+        return None;
     }
-    None
-}
-
-/// Per-line map of `thread_local! { … }` macro bodies, where non-`Sync`
-/// statics are the whole point. Brace-counted over the masked text, same
-/// technique as the lexer's test-region map.
-fn thread_local_regions(masked: &str) -> Vec<bool> {
-    let mut map = vec![false; masked.lines().count()];
-    let mut active = false;
-    let mut opened = false;
-    let mut depth = 0usize;
-    for (idx, line) in masked.lines().enumerate() {
-        if !active && line.contains("thread_local!") {
-            active = true;
-            opened = false;
-            depth = 0;
+    // Type tokens run until `=` or `;` at this level.
+    let mut j = i + 3;
+    let mut star = false;
+    while let Some(k) = kids.get(j) {
+        if k.is_punct("=") || k.is_punct(";") {
+            break;
         }
-        if active {
-            map[idx] = true;
-            for b in line.bytes() {
-                match b {
-                    b'{' => {
-                        depth += 1;
-                        opened = true;
-                    }
-                    b'}' => {
-                        depth = depth.saturating_sub(1);
-                        if opened && depth == 0 {
-                            active = false;
-                        }
-                    }
-                    _ => {}
+        match k {
+            Tree::Tok(t) => {
+                if t.kind == TokKind::Ident && UNSYNC.contains(&t.text.as_str()) {
+                    return Some(name.text.clone());
+                }
+                if t.is_punct("*") {
+                    star = true;
+                } else if star && (t.is_ident("mut") || t.is_ident("const")) {
+                    return Some(name.text.clone());
+                } else {
+                    star = false;
                 }
             }
+            Tree::Group(g) => {
+                if group_has_unsync(g) {
+                    return Some(name.text.clone());
+                }
+                star = false;
+            }
         }
-    }
-    map
-}
-
-/// A scientific-notation literal with a negative exponent (`1e-12`,
-/// `2.5e-9`) outside a `const`/`static` declaration.
-fn find_inline_tolerance(line: &str) -> Option<String> {
-    let b = line.as_bytes();
-    for i in 0..b.len() {
-        if b[i] != b'e' || i == 0 || i + 1 >= b.len() {
-            continue;
-        }
-        if b[i + 1] != b'-' {
-            continue;
-        }
-        // digits (or digits '.' digits) before the `e`, digits after the `-`.
-        if !b[i - 1].is_ascii_digit() && b[i - 1] != b'.' {
-            continue;
-        }
-        if i + 2 >= b.len() || !b[i + 2].is_ascii_digit() {
-            continue;
-        }
-        if contains_word(line, "const") || contains_word(line, "static") {
-            continue;
-        }
-        let start = line[..i]
-            .rfind(|c: char| !(c.is_ascii_digit() || c == '.'))
-            .map(|p| p + 1)
-            .unwrap_or(0);
-        let end = i
-            + 2
-            + line[i + 2..]
-                .find(|c: char| !c.is_ascii_digit())
-                .unwrap_or(line.len() - i - 2);
-        if start < i {
-            return Some(line[start..end].to_string());
-        }
+        j += 1;
     }
     None
 }
 
-/// Telemetry macro/function calls whose first argument is a string literal.
-/// Works on the full masked text so split-line calls are caught.
-fn find_literal_telemetry_calls(masked: &str) -> Vec<(usize, &'static str)> {
-    const CALLS: &[&str] = &[
-        "span!(",
-        "event!(",
-        "span_detached(",
-        "counter_add(",
-        "gauge_set(",
-        "histogram_record(",
-        "histogram_record_with(",
-    ];
-    let bytes = masked.as_bytes();
-    let mut out = Vec::new();
-    for call in CALLS {
-        let mut from = 0;
-        while let Some(pos) = masked[from..].find(call) {
-            let at = from + pos;
-            from = at + call.len();
-            let pre_ok = at == 0 || !is_ident_char(bytes[at - 1]);
-            // `!` is part of the needle for macros; for functions, skip
-            // matches like `self.histogram_record(` — those are the
-            // recorder's own methods, still name-carrying, still flagged.
-            if !pre_ok {
-                continue;
-            }
-            let mut i = at + call.len();
-            while i < bytes.len() && (bytes[i] as char).is_whitespace() {
-                i += 1;
-            }
-            if i < bytes.len() && bytes[i] == b'"' {
-                let line = masked[..at].bytes().filter(|&b| b == b'\n').count() + 1;
-                out.push((line, *call));
-            }
-        }
-    }
-    out.sort();
-    out.dedup();
-    out
+fn group_has_unsync(g: &Group) -> bool {
+    const UNSYNC: &[&str] = &["RefCell", "Cell", "UnsafeCell", "Rc"];
+    g.children.iter().any(|k| match k {
+        Tree::Tok(t) => t.kind == TokKind::Ident && UNSYNC.contains(&t.text.as_str()),
+        Tree::Group(inner) => group_has_unsync(inner),
+    })
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::lexer::analyze;
+    use crate::tree::analyze;
 
     fn lint_src(path: &str, src: &str) -> Vec<Diagnostic> {
-        lint_file(path, &analyze(src))
+        lint_file(path, &analyze(src)).0
     }
 
     #[test]
     fn crate_scoping() {
         assert_eq!(crate_of("crates/linalg/src/tol.rs"), "linalg");
         assert_eq!(crate_of("src/main.rs"), "qem");
-        assert!(rule_applies("no-panic-path", "linalg", "lu.rs"));
-        assert!(!rule_applies("no-panic-path", "sim", "state.rs"));
-        assert!(rule_applies("relaxed-ordering", "telemetry", "recorder.rs"));
-        assert!(!rule_applies("relaxed-ordering", "telemetry", "metrics.rs"));
+        assert!(rule_applies("no-panic-path", "crates/linalg/src/lu.rs"));
+        assert!(!rule_applies("no-panic-path", "crates/sim/src/state.rs"));
+        // Policy files are covered by atomic-ordering-policy, not the
+        // blanket relaxed-ordering rule.
+        assert!(rule_applies(
+            "atomic-ordering-policy",
+            "crates/telemetry/src/recorder.rs"
+        ));
+        assert!(!rule_applies(
+            "relaxed-ordering",
+            "crates/telemetry/src/recorder.rs"
+        ));
+        assert!(rule_applies(
+            "relaxed-ordering",
+            "crates/telemetry/src/metrics.rs"
+        ));
+        assert!(!rule_applies(
+            "relaxed-ordering",
+            "crates/xtask/src/rules.rs"
+        ));
         // The registry rule reaches the telemetry crate's streaming-plane
         // modules but not the recorder/registry internals.
         assert!(rule_applies(
             "telemetry-name-registry",
-            "telemetry",
-            "serve.rs"
+            "crates/telemetry/src/serve.rs"
         ));
         assert!(rule_applies(
             "telemetry-name-registry",
-            "telemetry",
-            "window.rs"
-        ));
-        assert!(rule_applies(
-            "telemetry-name-registry",
-            "telemetry",
-            "sharded.rs"
-        ));
-        assert!(rule_applies(
-            "telemetry-name-registry",
-            "telemetry",
-            "prometheus.rs"
+            "crates/telemetry/src/window.rs"
         ));
         assert!(!rule_applies(
             "telemetry-name-registry",
-            "telemetry",
-            "recorder.rs"
+            "crates/telemetry/src/recorder.rs"
         ));
         assert!(!rule_applies(
             "telemetry-name-registry",
-            "xtask",
-            "rules.rs"
+            "crates/xtask/src/rules.rs"
         ));
     }
 
@@ -891,6 +840,22 @@ mod tests {
         assert!(lint_src("crates/core/src/a.rs", src).is_empty());
         let src = "fn a() { x.unwrap(); }\n";
         assert_eq!(lint_src("crates/core/src/a.rs", src).len(), 1);
+    }
+
+    #[test]
+    fn panic_in_string_or_comment_is_invisible() {
+        let src = "fn a() { let s = \".unwrap() panic!(\"; } // panic!(x)\n";
+        assert!(lint_src("crates/core/src/a.rs", src).is_empty());
+    }
+
+    #[test]
+    fn multiline_calls_are_matched() {
+        // The old line-based scanner could not see a call split over lines.
+        let src = "fn a() {\n    x\n        .unwrap\n        ();\n}\n";
+        let diags = lint_src("crates/core/src/a.rs", src);
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].rule, "no-panic-path");
+        assert_eq!(diags[0].line, 3, "anchored at the method name token");
     }
 
     #[test]
@@ -911,6 +876,14 @@ mod tests {
     }
 
     #[test]
+    fn valid_suppressions_are_counted() {
+        let src = "// qem-lint: allow(no-panic-path) — reason one\nfn a() { x.unwrap(); }\n// qem-lint: allow(no-float-eq) — reason two\nfn b() { if x == 0.0 {} }\n";
+        let (diags, count) = lint_file("crates/core/src/a.rs", &analyze(src));
+        assert!(diags.is_empty(), "{diags:?}");
+        assert_eq!(count, 2);
+    }
+
+    #[test]
     fn unknown_rule_in_suppression_is_flagged() {
         let src = "// qem-lint: allow(no-such-rule) — whatever\nfn a() {}\n";
         let diags = lint_src("crates/core/src/a.rs", src);
@@ -919,36 +892,59 @@ mod tests {
     }
 
     #[test]
-    fn float_eq_matchers() {
-        assert!(find_float_eq("if x == 0.0 {").is_some());
-        assert!(find_float_eq("if 1.0 != y {").is_some());
-        assert!(find_float_eq("if x == y {").is_none());
-        assert!(find_float_eq("if n == 0 {").is_none());
+    fn semantic_rules_accept_suppressions() {
+        let src = "// qem-lint: allow(lock-order-policy) — transitional\nfn f(&self) { let a = self.a.lock(); let b = self.b.lock(); }\n";
+        assert!(lint_src("crates/core/src/x.rs", src).is_empty());
     }
 
     #[test]
-    fn raw_cast_matchers() {
-        assert!(find_raw_float_cast("let x = (w * 200.0).min(50.0) as usize;").is_some());
-        assert!(find_raw_float_cast("let x = (w * 200.0).round() as usize;").is_none());
-        assert!(find_raw_float_cast("let x = n as usize;").is_none());
-        assert!(find_raw_float_cast("let x = 1.5 as u64;").is_some());
-        assert!(find_raw_float_cast("let x = (a + b) as u64;").is_none());
+    fn float_eq_rule() {
+        assert_eq!(
+            lint_src("crates/linalg/src/a.rs", "fn a() { if x == 0.0 {} }").len(),
+            1
+        );
+        assert_eq!(
+            lint_src("crates/linalg/src/a.rs", "fn a() { if 1.0 != y {} }").len(),
+            1
+        );
+        assert!(lint_src("crates/linalg/src/a.rs", "fn a() { if x == y {} }").is_empty());
+        assert!(lint_src("crates/linalg/src/a.rs", "fn a() { if n == 0 {} }").is_empty());
     }
 
     #[test]
-    fn inline_tolerance_matchers() {
-        assert!(find_inline_tolerance("if r < 1e-12 {").is_some());
-        assert!(find_inline_tolerance("const EPS: f64 = 1e-12;").is_none());
-        assert!(find_inline_tolerance("let big = 1e3;").is_none());
-        assert!(find_inline_tolerance("x.powi(-3)").is_none());
+    fn raw_cast_rule() {
+        let f = |src: &str| lint_src("crates/core/src/a.rs", src);
+        assert_eq!(
+            f("fn a() { let x = (w * 200.0).min(50.0) as usize; }").len(),
+            1
+        );
+        assert!(f("fn a() { let x = (w * 200.0).round() as usize; }").is_empty());
+        assert!(f("fn a() { let x = n as usize; }").is_empty());
+        assert_eq!(f("fn a() { let x = 1.5 as u64; }").len(), 1);
+        assert!(f("fn a() { let x = (a + b) as u64; }").is_empty());
     }
 
     #[test]
-    fn literal_index_matchers() {
-        assert!(find_literal_index("let a = qubits[0];").is_some());
-        assert!(find_literal_index("let a: [f64; 4] = x;").is_none());
-        assert!(find_literal_index("let a = [0.0; 8];").is_none());
-        assert!(find_literal_index("let a = v[i];").is_none());
+    fn inline_tolerance_rule() {
+        let f = |src: &str| lint_src("crates/linalg/src/a.rs", src);
+        assert_eq!(f("fn a() { if r < 1e-12 {} }").len(), 1);
+        assert!(f("const EPS: f64 = 1e-12;").is_empty());
+        assert!(f("fn a() { let big = 1e3; }").is_empty());
+        assert!(f("fn a() { x.powi(-3); }").is_empty());
+        // Array initializers of consts are still const context.
+        assert!(f("const EPSES: [f64; 2] = [1e-12, 1e-9];").is_empty());
+        // A const fn body is NOT const context for its expressions.
+        assert_eq!(f("const fn a(r: f64) -> bool { r < 1e-12 }").len(), 1);
+    }
+
+    #[test]
+    fn literal_index_rule() {
+        let f = |src: &str| lint_src("crates/core/src/a.rs", src);
+        assert_eq!(f("fn a() { let a = qubits[0]; }").len(), 1);
+        assert!(f("fn a(x: [f64; 4]) { let a: [f64; 4] = x; }").is_empty());
+        assert!(f("fn a() { let a = [0.0; 8]; }").is_empty());
+        assert!(f("fn a() { let a = v[i]; }").is_empty());
+        assert!(f("#[cfg(feature = \"x\")]\nfn a() {}").is_empty());
     }
 
     #[test]
@@ -978,42 +974,28 @@ mod tests {
     }
 
     #[test]
-    fn unsynced_static_matchers() {
-        assert!(find_static_mut("static mut COUNTER: u32 = 0;"));
-        assert!(find_static_mut("pub static mut FLAG: bool = false;"));
-        assert!(!find_static_mut("let s: &'static str = x;"));
-        assert!(!find_static_mut("fn statics() {}"));
+    fn unsynced_static_rule() {
+        let f = |src: &str| lint_src("crates/sim/src/a.rs", src);
+        assert_eq!(f("static mut COUNTER: u32 = 0;").len(), 1);
+        assert_eq!(f("pub static mut FLAG: bool = false;").len(), 1);
+        assert!(f("fn a(s: &'static str) {}").is_empty());
+        assert!(f("fn statics() {}").is_empty());
         assert_eq!(
-            find_unsynced_static("static STACK: RefCell<Vec<u64>> = RefCell::new(Vec::new());"),
-            Some("STACK".to_string())
+            f("static STACK: RefCell<Vec<u64>> = RefCell::new(Vec::new());").len(),
+            1
         );
-        assert_eq!(
-            find_unsynced_static("static PTR: *mut u8 = core::ptr::null_mut();"),
-            Some("PTR".to_string())
-        );
-        assert!(find_unsynced_static("static N: AtomicU64 = AtomicU64::new(0);").is_none());
-        assert!(
-            find_unsynced_static("static CACHE: OnceLock<Mutex<Shard>> = OnceLock::new();")
-                .is_none()
-        );
-        assert!(find_unsynced_static("let local: &'static str = x;").is_none());
+        assert_eq!(f("static PTR: *mut u8 = core::ptr::null_mut();").len(), 1);
+        assert!(f("static N: AtomicU64 = AtomicU64::new(0);").is_empty());
+        assert!(f("static CACHE: OnceLock<Mutex<Shard>> = OnceLock::new();").is_empty());
     }
 
     #[test]
     fn thread_local_region_exempts_interior_mutability() {
         let src = "thread_local! {\n    static STACK: RefCell<Vec<u64>> = const { RefCell::new(Vec::new()) };\n}\nstatic BAD: RefCell<u32> = RefCell::new(0);\n";
-        let diags = lint_src("crates/telemetry/src/recorder.rs", src);
+        let diags = lint_src("crates/telemetry/src/window.rs", src);
         assert_eq!(diags.len(), 1, "{diags:?}");
         assert_eq!(diags[0].rule, "no-unsynced-static");
         assert_eq!(diags[0].line, 4);
-    }
-
-    #[test]
-    fn static_mut_is_flagged_everywhere() {
-        let src = "static mut COUNTER: u32 = 0;\n";
-        let diags = lint_src("crates/sim/src/a.rs", src);
-        assert_eq!(diags.len(), 1);
-        assert_eq!(diags[0].rule, "no-unsynced-static");
     }
 
     #[test]
@@ -1071,10 +1053,10 @@ mod tests {
 
     #[test]
     fn validated_matrix_rule() {
-        let bad = "let m = Matrix::from_rows(&[&[1.0]]);\n";
+        let bad = "fn a() { let m = Matrix::from_rows(&[&[1.0]]); }\n";
         assert_eq!(lint_src("crates/core/src/a.rs", bad).len(), 1);
         assert!(lint_src("crates/linalg/src/a.rs", bad).is_empty());
-        let ident = "let m = Matrix::identity(4);\n";
+        let ident = "fn a() { let m = Matrix::identity(4); }\n";
         assert!(lint_src("crates/core/src/a.rs", ident).is_empty());
     }
 }

@@ -1,0 +1,120 @@
+//! SARIF 2.1.0 output for GitHub code scanning.
+//!
+//! One run, one `qem-lint` driver, one rule entry per rule that fired, one
+//! result per diagnostic. Minimal but schema-valid: `uri` is the workspace-
+//! relative path (GitHub resolves against the checkout root via
+//! `checkout_uri`-less runs), `level` is always `error` because qem-lint
+//! has no warning tier — a finding fails the build.
+
+use crate::json::escape;
+use crate::rules::Diagnostic;
+
+const SCHEMA: &str = "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/Schemata/sarif-schema-2.1.0.json";
+
+/// Renders the full SARIF document for a (sorted) diagnostic list.
+pub fn render(diags: &[Diagnostic]) -> String {
+    let mut rules_seen: Vec<&str> = Vec::new();
+    for d in diags {
+        if !rules_seen.contains(&d.rule) {
+            rules_seen.push(d.rule);
+        }
+    }
+    rules_seen.sort_unstable();
+
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str(&format!("  \"$schema\": {},\n", escape(SCHEMA)));
+    out.push_str("  \"version\": \"2.1.0\",\n");
+    out.push_str("  \"runs\": [\n    {\n");
+    out.push_str("      \"tool\": {\n        \"driver\": {\n");
+    out.push_str("          \"name\": \"qem-lint\",\n");
+    out.push_str("          \"informationUri\": \"https://github.com/qem/qem\",\n");
+    out.push_str("          \"rules\": [");
+    for (i, rule) in rules_seen.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\n            {{\"id\": {}, \"defaultConfiguration\": {{\"level\": \"error\"}}}}",
+            escape(rule)
+        ));
+    }
+    if !rules_seen.is_empty() {
+        out.push_str("\n          ");
+    }
+    out.push_str("]\n        }\n      },\n");
+    out.push_str("      \"results\": [");
+    for (i, d) in diags.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\n        {{\"ruleId\": {}, \"level\": \"error\", \"message\": {{\"text\": {}}}, \"locations\": [{{\"physicalLocation\": {{\"artifactLocation\": {{\"uri\": {}}}, \"region\": {{\"startLine\": {}}}}}}}]}}",
+            escape(d.rule),
+            escape(&d.message),
+            escape(&d.path),
+            d.line.max(1)
+        ));
+    }
+    if !diags.is_empty() {
+        out.push_str("\n      ");
+    }
+    out.push_str("]\n    }\n  ]\n}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json;
+
+    fn diag(rule: &'static str, path: &str, line: usize) -> Diagnostic {
+        Diagnostic {
+            rule,
+            path: path.into(),
+            line,
+            message: format!("finding in {path}"),
+        }
+    }
+
+    #[test]
+    fn renders_valid_json_with_results() {
+        let diags = vec![
+            diag("no-panic-path", "crates/core/src/a.rs", 3),
+            diag("lock-order-policy", "crates/telemetry/src/recorder.rs", 12),
+        ];
+        let doc = json::parse(&render(&diags)).expect("SARIF must be valid JSON");
+        assert_eq!(doc.get("version").unwrap().as_str(), Some("2.1.0"));
+        let runs = doc.get("runs").unwrap().as_arr().unwrap();
+        let results = runs[0].get("results").unwrap().as_arr().unwrap();
+        assert_eq!(results.len(), 2);
+        assert_eq!(
+            results[0].get("ruleId").unwrap().as_str(),
+            Some("no-panic-path")
+        );
+        let rules = runs[0]
+            .get("tool")
+            .unwrap()
+            .get("driver")
+            .unwrap()
+            .get("rules")
+            .unwrap()
+            .as_arr()
+            .unwrap();
+        assert_eq!(rules.len(), 2, "one rule entry per distinct rule");
+    }
+
+    #[test]
+    fn empty_run_is_valid() {
+        let doc = json::parse(&render(&[])).unwrap();
+        let runs = doc.get("runs").unwrap().as_arr().unwrap();
+        assert!(runs[0].get("results").unwrap().as_arr().unwrap().is_empty());
+    }
+
+    #[test]
+    fn line_zero_clamps_to_one() {
+        // SARIF startLine must be >= 1.
+        let out = render(&[diag("no-panic-path", "a.rs", 0)]);
+        assert!(out.contains("\"startLine\": 1"));
+    }
+}

@@ -1,0 +1,1204 @@
+//! Semantic rules: analyses that need the item model, not just tokens.
+//!
+//! **atomic-ordering-policy** — every atomic operation in a file listed in
+//! [`ATOMIC_POLICIES`] must use a memory ordering from that file's declared
+//! policy. The table replaces the old per-site hand audit: changing an
+//! ordering now requires editing the policy row, which is a reviewed,
+//! greppable event. Files *not* in the table fall under the blanket
+//! `relaxed-ordering` rule instead.
+//!
+//! **lock-order-policy** — extracts `Mutex`/`RwLock` acquisition nesting
+//! per function (guard-extent aware: let-bound guards live to end of block,
+//! temporaries to end of statement, `if`/`while` condition temporaries drop
+//! before the block, `for`/`match` scrutinee temporaries live through the
+//! body), propagates lock sets across same-file calls to a fixpoint, and
+//! verifies every observed nesting edge against the file's declared
+//! `// lock-order:` annotations:
+//!
+//! ```text
+//! // lock-order: inner -> shards      declared nesting edge(s)
+//! // lock-order: leaf(epoch)          nothing may be acquired under it
+//! // lock-order: none                 the file has no lock nesting at all
+//! ```
+//!
+//! Undeclared nesting, violations of `leaf`/`none`, self-deadlocks, and
+//! cycles in the declared∪observed graph are findings. The files named in
+//! [`LOCK_ORDER_REQUIRED`] must carry at least one annotation.
+//!
+//! Known limits (documented in DESIGN.md §14): guards returned from
+//! functions are not tracked past the call, closures are assumed to run
+//! synchronously, and call resolution is name-based within one file.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::lexer::TokKind;
+use crate::tree::{self, FileAnalysis, Group, Tree};
+
+/// Allowed `Ordering`s per operation class for one file.
+pub struct AtomicPolicy {
+    /// Workspace-relative path.
+    pub path: &'static str,
+    pub load: &'static [&'static str],
+    pub store: &'static [&'static str],
+    /// Read-modify-write: `fetch_*`, `swap`.
+    pub rmw: &'static [&'static str],
+    /// Compare-and-swap: `compare_exchange{,_weak}` (both orderings).
+    pub cas: &'static [&'static str],
+}
+
+/// The per-file atomic-ordering policy table — the single reviewed source
+/// of truth for every atomic site in the workspace. A file is either here
+/// (checked site-by-site) or under the blanket `relaxed-ordering` rule.
+pub const ATOMIC_POLICIES: &[AtomicPolicy] = &[
+    // Recorder counters/config flags: monotonic or single-writer values
+    // whose readers tolerate staleness; the mutexes carry the happens-before.
+    AtomicPolicy {
+        path: "crates/telemetry/src/recorder.rs",
+        load: &["Relaxed"],
+        store: &["Relaxed"],
+        rmw: &["Relaxed"],
+        cas: &[],
+    },
+    // SPSC ring: head published with Release after the slot write, consumed
+    // with Acquire; same-side reloads and the drop tally are Relaxed.
+    AtomicPolicy {
+        path: "crates/telemetry/src/sharded.rs",
+        load: &["Acquire", "Relaxed"],
+        store: &["Release", "Relaxed"],
+        rmw: &["Relaxed"],
+        cas: &[],
+    },
+    // Serve-loop stop flag: classic Release-store / Acquire-load handshake.
+    AtomicPolicy {
+        path: "crates/telemetry/src/serve.rs",
+        load: &["Acquire"],
+        store: &["Release"],
+        rmw: &[],
+        cas: &[],
+    },
+    // Sampling-period knob and sample counter: advisory values, no ordering
+    // contract with the measurement payloads.
+    AtomicPolicy {
+        path: "crates/core/src/mitigator.rs",
+        load: &["Relaxed"],
+        store: &["Relaxed"],
+        rmw: &["Relaxed"],
+        cas: &[],
+    },
+    // Plan-epoch handoff deliberately runs SeqCst: the hot-swap invariant
+    // test observes epochs across threads and the cost is off the hot path.
+    AtomicPolicy {
+        path: "crates/core/src/recalib.rs",
+        load: &["SeqCst"],
+        store: &["SeqCst"],
+        rmw: &[],
+        cas: &[],
+    },
+    // Resilience tallies: statistics counters, monotonic, staleness-tolerant.
+    AtomicPolicy {
+        path: "crates/core/src/resilience.rs",
+        load: &["Relaxed"],
+        store: &[],
+        rmw: &["Relaxed"],
+        cas: &[],
+    },
+    // Inverse-cache hit/miss tallies: same class as resilience counters.
+    AtomicPolicy {
+        path: "crates/core/src/inverse_cache.rs",
+        load: &["Relaxed"],
+        store: &[],
+        rmw: &["Relaxed"],
+        cas: &[],
+    },
+    // Invariant-check arming mask: correctness tooling, SeqCst by design so
+    // failure reports can never be reordered away from the faulting site.
+    AtomicPolicy {
+        path: "crates/linalg/src/checks.rs",
+        load: &["SeqCst"],
+        store: &[],
+        rmw: &["SeqCst"],
+        cas: &[],
+    },
+    // Fault-injection clock: test scaffolding, SeqCst keeps traces sequential.
+    AtomicPolicy {
+        path: "crates/sim/src/fault.rs",
+        load: &["SeqCst"],
+        store: &[],
+        rmw: &["SeqCst"],
+        cas: &[],
+    },
+];
+
+/// Files whose shared-state protocol is load-bearing enough that a missing
+/// `// lock-order:` declaration is itself a finding.
+pub const LOCK_ORDER_REQUIRED: &[&str] = &[
+    "crates/telemetry/src/recorder.rs",
+    "crates/telemetry/src/sharded.rs",
+    "crates/core/src/inverse_cache.rs",
+];
+
+/// Is `path` covered by the atomic policy table?
+pub fn has_atomic_policy(path: &str) -> bool {
+    ATOMIC_POLICIES.iter().any(|p| p.path == path)
+}
+
+const ORDERINGS: &[&str] = &["Relaxed", "Acquire", "Release", "AcqRel", "SeqCst"];
+const RMW_OPS: &[&str] = &[
+    "fetch_add",
+    "fetch_sub",
+    "fetch_and",
+    "fetch_nand",
+    "fetch_or",
+    "fetch_xor",
+    "fetch_max",
+    "fetch_min",
+    "fetch_update",
+    "swap",
+];
+const CAS_OPS: &[&str] = &["compare_exchange", "compare_exchange_weak"];
+
+/// Runs both semantic rules on one file; findings are unscoped/unsilenced —
+/// [`crate::rules::lint_file`] applies the shared scope, test, and
+/// suppression gating.
+pub fn check(path: &str, analysis: &FileAnalysis) -> Vec<(&'static str, usize, String)> {
+    let mut out = Vec::new();
+    if let Some(policy) = ATOMIC_POLICIES.iter().find(|p| p.path == path) {
+        check_atomics(policy, &analysis.root, &mut out);
+    }
+    check_lock_order(path, analysis, &mut out);
+    out
+}
+
+// ---------------------------------------------------------------- atomics --
+
+fn check_atomics(
+    policy: &AtomicPolicy,
+    group: &Group,
+    out: &mut Vec<(&'static str, usize, String)>,
+) {
+    let kids = &group.children;
+    for i in 0..kids.len() {
+        if let Tree::Group(g) = &kids[i] {
+            check_atomics(policy, g, out);
+            continue;
+        }
+        let Some(t) = kids[i].tok() else { continue };
+        if t.kind != TokKind::Ident {
+            continue;
+        }
+        let op = t.text.as_str();
+        let (kind, allowed): (&str, &[&str]) = if op == "load" {
+            ("load", policy.load)
+        } else if op == "store" {
+            ("store", policy.store)
+        } else if RMW_OPS.contains(&op) {
+            ("rmw", policy.rmw)
+        } else if CAS_OPS.contains(&op) {
+            ("cas", policy.cas)
+        } else {
+            continue;
+        };
+        let is_method = i > 0 && kids[i - 1].is_punct(".");
+        let args = kids
+            .get(i + 1)
+            .and_then(Tree::group)
+            .filter(|g| g.delim == '(');
+        let (Some(args), true) = (args, is_method) else {
+            continue;
+        };
+        let orderings = collect_orderings(args);
+        if orderings.is_empty() {
+            // Not an atomic site (no `Ordering::…` argument).
+            continue;
+        }
+        for (ord, line) in orderings {
+            if !allowed.contains(&ord.as_str()) {
+                let allowed_str = if allowed.is_empty() {
+                    format!("no {kind} operations are declared for this file")
+                } else {
+                    format!("the {kind} policy here allows {}", allowed.join(" | "))
+                };
+                out.push((
+                    "atomic-ordering-policy",
+                    line,
+                    format!("`{op}` uses `Ordering::{ord}` but {allowed_str}; fix the site or update the `ATOMIC_POLICIES` row"),
+                ));
+            }
+        }
+    }
+}
+
+/// `Ordering::X` idents anywhere in an argument group (recursive, so
+/// `compare_exchange(a, b, Ordering::SeqCst, Ordering::Relaxed)` and
+/// fully-qualified `std::sync::atomic::Ordering::X` paths both surface).
+fn collect_orderings(args: &Group) -> Vec<(String, usize)> {
+    let mut out = Vec::new();
+    collect_orderings_into(args, &mut out);
+    out
+}
+
+fn collect_orderings_into(g: &Group, out: &mut Vec<(String, usize)>) {
+    let kids = &g.children;
+    for i in 0..kids.len() {
+        match &kids[i] {
+            Tree::Group(inner) => collect_orderings_into(inner, out),
+            Tree::Tok(t) => {
+                if t.is_ident("Ordering") && kids.get(i + 1).is_some_and(|k| k.is_punct("::")) {
+                    if let Some(ord) = kids
+                        .get(i + 2)
+                        .and_then(Tree::tok)
+                        .filter(|o| ORDERINGS.contains(&o.text.as_str()))
+                    {
+                        out.push((ord.text.clone(), ord.line));
+                    }
+                }
+            }
+        }
+    }
+}
+
+// ------------------------------------------------------------- lock order --
+
+/// One parsed `// lock-order:` annotation.
+enum LockDecl {
+    Edge(String, String),
+    Leaf(String),
+    None,
+}
+
+fn parse_lock_decls(
+    path: &str,
+    comments: &[(usize, String)],
+    out: &mut Vec<(&'static str, usize, String)>,
+) -> Vec<LockDecl> {
+    let mut decls = Vec::new();
+    for (line, text) in comments {
+        let Some(rest) = text.trim_start().strip_prefix("lock-order:") else {
+            continue;
+        };
+        let rest = rest.trim();
+        if rest == "none" {
+            decls.push(LockDecl::None);
+            continue;
+        }
+        if let Some(inner) = rest.strip_prefix("leaf(").and_then(|r| r.strip_suffix(')')) {
+            let name = inner.trim();
+            if name.is_empty() || !name.bytes().all(|b| b.is_ascii_alphanumeric() || b == b'_') {
+                out.push((
+                    "lock-order-policy",
+                    *line,
+                    format!("malformed lock-order annotation `leaf({inner})`"),
+                ));
+            } else {
+                decls.push(LockDecl::Leaf(name.to_string()));
+            }
+            continue;
+        }
+        // `A -> B [-> C …]` chains.
+        let parts: Vec<&str> = rest.split("->").map(str::trim).collect();
+        let well_formed = parts.len() >= 2
+            && parts.iter().all(|p| {
+                !p.is_empty() && p.bytes().all(|b| b.is_ascii_alphanumeric() || b == b'_')
+            });
+        if !well_formed {
+            out.push((
+                "lock-order-policy",
+                *line,
+                format!(
+                    "malformed lock-order annotation `{rest}` in {path}; expected `A -> B`, `leaf(A)`, or `none`"
+                ),
+            ));
+            continue;
+        }
+        for pair in parts.windows(2) {
+            decls.push(LockDecl::Edge(pair[0].to_string(), pair[1].to_string()));
+        }
+    }
+    decls
+}
+
+/// An observed nesting edge: `held` was locked when `acquired` was taken.
+struct ObservedEdge {
+    held: String,
+    acquired: String,
+    line: usize,
+}
+
+fn check_lock_order(
+    path: &str,
+    analysis: &FileAnalysis,
+    out: &mut Vec<(&'static str, usize, String)>,
+) {
+    if !crate::rules::rule_applies("lock-order-policy", path) {
+        return;
+    }
+    let decls = parse_lock_decls(path, &analysis.comments, out);
+    let fns = tree::functions(analysis);
+
+    // Wrapper fns: a `.lock()`/`.read()`/`.write()` on one of the fn's own
+    // parameters makes it a lock helper; call sites attribute the
+    // acquisition to the argument instead (`lock(&self.inner)` → `inner`).
+    let mut wrappers: BTreeSet<&str> = BTreeSet::new();
+    for f in &fns {
+        if f.params.iter().any(|p| body_locks_param(f.body, p)) {
+            wrappers.insert(f.name.as_str());
+        }
+    }
+
+    // Fixpoint: transitive lock set per fn, following same-file calls.
+    let fn_names: BTreeSet<&str> = fns.iter().map(|f| f.name.as_str()).collect();
+    let mut fn_locks: BTreeMap<&str, BTreeSet<String>> = BTreeMap::new();
+    let mut fn_calls: BTreeMap<&str, BTreeSet<String>> = BTreeMap::new();
+    for f in &fns {
+        let mut acqs = Vec::new();
+        let mut calls = BTreeSet::new();
+        scan_flat(
+            &f.body.children,
+            &wrappers,
+            &f.params,
+            &fn_names,
+            &mut acqs,
+            &mut calls,
+        );
+        fn_locks
+            .entry(f.name.as_str())
+            .or_default()
+            .extend(acqs.into_iter().map(|(n, _)| n));
+        fn_calls.entry(f.name.as_str()).or_default().extend(calls);
+    }
+    loop {
+        let mut changed = false;
+        for name in fn_names.iter().copied() {
+            let callees = fn_calls.get(name).cloned().unwrap_or_default();
+            let mut add = BTreeSet::new();
+            for callee in &callees {
+                if let Some(locks) = fn_locks.get(callee.as_str()) {
+                    add.extend(locks.iter().cloned());
+                }
+            }
+            let set = fn_locks.entry(name).or_default();
+            let before = set.len();
+            set.extend(add);
+            changed |= set.len() != before;
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    // Extent-aware walk per fn, collecting observed nesting edges.
+    let mut edges: Vec<ObservedEdge> = Vec::new();
+    for f in fns.iter().filter(|f| !f.cfg_test) {
+        let mut walker = LockWalker {
+            wrappers: &wrappers,
+            params: &f.params,
+            fn_names: &fn_names,
+            fn_locks: &fn_locks,
+            edges: &mut edges,
+        };
+        let mut held = Vec::new();
+        walker.walk_block(&f.body.children, &mut held);
+    }
+
+    // ------------------------------------------------------- verification --
+    let declared_edges: Vec<(&str, &str)> = decls
+        .iter()
+        .filter_map(|d| match d {
+            LockDecl::Edge(a, b) => Some((a.as_str(), b.as_str())),
+            _ => None,
+        })
+        .collect();
+    let leaves: BTreeSet<&str> = decls
+        .iter()
+        .filter_map(|d| match d {
+            LockDecl::Leaf(n) => Some(n.as_str()),
+            _ => None,
+        })
+        .collect();
+    let declared_none = decls.iter().any(|d| matches!(d, LockDecl::None));
+    let has_decls = !decls.is_empty();
+
+    // Transitive closure of declared edges, so `A -> B -> C` chains also
+    // permit the implied `A`-held-during-`C` observation.
+    let closure = transitive_closure(&declared_edges);
+
+    let mut dedup: BTreeSet<(String, String)> = BTreeSet::new();
+    for e in &edges {
+        if !dedup.insert((e.held.clone(), e.acquired.clone())) {
+            continue;
+        }
+        if e.held == e.acquired {
+            out.push((
+                "lock-order-policy",
+                e.line,
+                format!(
+                    "lock `{}` acquired while already held — self-deadlock on a non-reentrant lock",
+                    e.acquired
+                ),
+            ));
+            continue;
+        }
+        if leaves.contains(e.held.as_str()) {
+            out.push((
+                "lock-order-policy",
+                e.line,
+                format!(
+                    "`{}` is declared `leaf` but `{}` is acquired while it is held",
+                    e.held, e.acquired
+                ),
+            ));
+            continue;
+        }
+        if declared_none {
+            out.push((
+                "lock-order-policy",
+                e.line,
+                format!(
+                    "file declares `lock-order: none` but `{}` is acquired while `{}` is held",
+                    e.acquired, e.held
+                ),
+            ));
+            continue;
+        }
+        let declared = closure
+            .get(e.held.as_str())
+            .is_some_and(|s| s.contains(e.acquired.as_str()));
+        if !declared {
+            let hint = if has_decls {
+                "declare it with `// lock-order:` or restructure"
+            } else {
+                "declare the module's order with `// lock-order: A -> B`"
+            };
+            out.push((
+                "lock-order-policy",
+                e.line,
+                format!(
+                    "undeclared lock nesting: `{}` acquired while `{}` is held; {hint}",
+                    e.acquired, e.held
+                ),
+            ));
+        }
+    }
+
+    // Cycles in declared ∪ observed edges.
+    let mut all_edges: BTreeSet<(String, String)> = dedup;
+    for (a, b) in &declared_edges {
+        all_edges.insert((a.to_string(), b.to_string()));
+    }
+    if let Some(cycle) = find_cycle(&all_edges) {
+        out.push((
+            "lock-order-policy",
+            1,
+            format!("lock graph contains a cycle: {}", cycle.join(" -> ")),
+        ));
+    }
+
+    // Required files must write their policy down.
+    if LOCK_ORDER_REQUIRED.contains(&path) && !has_decls {
+        out.push((
+            "lock-order-policy",
+            1,
+            "this file must declare its lock policy with a `// lock-order:` annotation (`A -> B`, `leaf(A)`, or `none`)".to_string(),
+        ));
+    }
+}
+
+/// Does `body` call `.lock()`/`.read()`/`.write()` on parameter `param`?
+fn body_locks_param(body: &Group, param: &str) -> bool {
+    let kids = &body.children;
+    for i in 0..kids.len() {
+        if let Tree::Group(g) = &kids[i] {
+            if body_locks_param(g, param) {
+                return true;
+            }
+            continue;
+        }
+        if kids[i].is_ident(param)
+            && kids.get(i + 1).is_some_and(|k| k.is_punct("."))
+            && kids
+                .get(i + 2)
+                .and_then(Tree::tok)
+                .is_some_and(|t| matches!(t.text.as_str(), "lock" | "read" | "write"))
+            && kids
+                .get(i + 3)
+                .and_then(Tree::group)
+                .is_some_and(|g| g.delim == '(' && g.children.is_empty())
+        {
+            return true;
+        }
+    }
+    false
+}
+
+/// Matches a lock acquisition at `kids[i..]`; returns the lock name and the
+/// index one past the acquisition's final token.
+fn match_acquisition(
+    kids: &[Tree],
+    i: usize,
+    wrappers: &BTreeSet<&str>,
+    params: &[String],
+) -> Option<(String, usize)> {
+    let t = kids[i].tok()?;
+    if t.kind != TokKind::Ident {
+        return None;
+    }
+    let prev_is_dot = i > 0 && kids[i - 1].is_punct(".");
+
+    // Wrapper helper call: `lock(&self.inner)` → `inner`.
+    if wrappers.contains(t.text.as_str()) && !prev_is_dot {
+        if let Some(args) = kids
+            .get(i + 1)
+            .and_then(Tree::group)
+            .filter(|g| g.delim == '(')
+        {
+            if let Some(name) = first_arg_lock_name(args) {
+                return Some((name, i + 2));
+            }
+        }
+    }
+
+    // Method form: `<recv>.lock()` / `.read()` / `.write()` (no args).
+    if matches!(t.text.as_str(), "lock" | "read" | "write")
+        && prev_is_dot
+        && kids
+            .get(i + 1)
+            .and_then(Tree::group)
+            .is_some_and(|g| g.delim == '(' && g.children.is_empty())
+    {
+        // Receiver: the ident (or `accessor()` call) before the dot.
+        let recv = i.checked_sub(2).and_then(|r| match &kids[r] {
+            Tree::Tok(rt) if rt.kind == TokKind::Ident && rt.text != "self" => {
+                Some(rt.text.clone())
+            }
+            Tree::Group(g) if g.delim == '(' => r
+                .checked_sub(1)
+                .and_then(|a| kids.get(a))
+                .and_then(Tree::tok)
+                .filter(|a| a.kind == TokKind::Ident)
+                .map(|a| a.text.clone()),
+            _ => None,
+        })?;
+        // Inside a wrapper helper, the param receiver belongs to callers.
+        if params.iter().any(|p| p == &recv) {
+            return None;
+        }
+        return Some((recv, i + 2));
+    }
+    None
+}
+
+/// Lock name from a wrapper call's first argument: the last ident of the
+/// first top-level argument expression, `self` excluded (`&self.shards` →
+/// `shards`, `&m` → `m`).
+fn first_arg_lock_name(args: &Group) -> Option<String> {
+    let mut last = None;
+    for k in &args.children {
+        if k.is_punct(",") {
+            break;
+        }
+        if let Some(t) = k.tok() {
+            if t.kind == TokKind::Ident && t.text != "self" {
+                last = Some(t.text.clone());
+            }
+        }
+    }
+    last
+}
+
+/// Flat recursive scan for the fixpoint pass: every acquisition and every
+/// same-file call in a body, extents ignored.
+fn scan_flat(
+    kids: &[Tree],
+    wrappers: &BTreeSet<&str>,
+    params: &[String],
+    fn_names: &BTreeSet<&str>,
+    acqs: &mut Vec<(String, usize)>,
+    calls: &mut BTreeSet<String>,
+) {
+    let mut i = 0;
+    while i < kids.len() {
+        if let Some((name, next)) = match_acquisition(kids, i, wrappers, params) {
+            acqs.push((name, kids[i].line()));
+            // Still recurse into the consumed groups (wrapper args may nest).
+            for k in &kids[i..next] {
+                if let Tree::Group(g) = k {
+                    scan_flat(&g.children, wrappers, params, fn_names, acqs, calls);
+                }
+            }
+            i = next;
+            continue;
+        }
+        if let Some(callee) = match_call(kids, i, fn_names, wrappers) {
+            calls.insert(callee);
+        }
+        if let Tree::Group(g) = &kids[i] {
+            scan_flat(&g.children, wrappers, params, fn_names, acqs, calls);
+        }
+        i += 1;
+    }
+}
+
+/// A call to a same-file fn: `name(…)` (not preceded by `.`) or
+/// `self.name(…)`. Wrapper helpers are acquisitions, not calls.
+fn match_call(
+    kids: &[Tree],
+    i: usize,
+    fn_names: &BTreeSet<&str>,
+    wrappers: &BTreeSet<&str>,
+) -> Option<String> {
+    let t = kids[i].tok()?;
+    if t.kind != TokKind::Ident
+        || !fn_names.contains(t.text.as_str())
+        || wrappers.contains(t.text.as_str())
+    {
+        return None;
+    }
+    if kids
+        .get(i + 1)
+        .and_then(Tree::group)
+        .is_none_or(|g| g.delim != '(')
+    {
+        return None;
+    }
+    let prev_is_dot = i > 0 && kids[i - 1].is_punct(".");
+    if prev_is_dot {
+        // Only `self.name(…)` method calls resolve; `other.name(…)` could be
+        // anything.
+        let is_self = i >= 2 && kids[i - 2].is_ident("self");
+        if !is_self {
+            return None;
+        }
+    }
+    Some(t.text.clone())
+}
+
+/// The guard-extent walker: simulates which locks are held while scanning a
+/// function body, emitting an edge for every acquisition made under a held
+/// guard (including locks taken inside same-file callees).
+struct LockWalker<'a> {
+    wrappers: &'a BTreeSet<&'a str>,
+    params: &'a [String],
+    fn_names: &'a BTreeSet<&'a str>,
+    fn_locks: &'a BTreeMap<&'a str, BTreeSet<String>>,
+    edges: &'a mut Vec<ObservedEdge>,
+}
+
+impl<'a> LockWalker<'a> {
+    /// A `{}` block: statements split at top-level `;`; let-bound guards
+    /// survive to the end of the block.
+    fn walk_block(&mut self, kids: &[Tree], held: &mut Vec<String>) {
+        let base = held.len();
+        let mut i = 0;
+        while i < kids.len() {
+            i = self.walk_stmt(kids, i, held);
+        }
+        held.truncate(base);
+    }
+
+    /// One statement starting at `start`; returns the index after it.
+    /// Temporaries acquired in the statement drop at its end; a guard bound
+    /// by `let` stays on `held` for the caller ([`walk_block`]) to scope.
+    fn walk_stmt(&mut self, kids: &[Tree], start: usize, held: &mut Vec<String>) -> usize {
+        let is_let = kids[start].is_ident("let");
+        let temp_base = held.len();
+        let mut bound: Option<String> = None;
+        let mut i = start;
+        while i < kids.len() {
+            if kids[i].is_punct(";") {
+                i += 1;
+                break;
+            }
+            if kids[i].is_ident("if") || kids[i].is_ident("while") {
+                let is_let_cond = kids.get(i + 1).is_some_and(|k| k.is_ident("let"));
+                let Some(block_idx) = next_brace_group(kids, i + 1) else {
+                    i += 1;
+                    continue;
+                };
+                let cond_base = held.len();
+                self.walk_exprs(&kids[i + 1..block_idx], held);
+                if !is_let_cond {
+                    // Plain condition temporaries drop before the block runs.
+                    held.truncate(cond_base);
+                }
+                if let Some(Tree::Group(g)) = kids.get(block_idx) {
+                    self.walk_block(&g.children, held);
+                }
+                held.truncate(cond_base);
+                i = block_idx + 1;
+                continue;
+            }
+            if kids[i].is_ident("for") {
+                let Some(block_idx) = next_brace_group(kids, i + 1) else {
+                    i += 1;
+                    continue;
+                };
+                let in_idx = (i + 1..block_idx)
+                    .find(|&j| kids[j].is_ident("in"))
+                    .unwrap_or(i);
+                let loop_base = held.len();
+                // Iterator-expression temporaries live through the loop body
+                // (the `for` desugaring holds them in `IntoIterator::into_iter`).
+                self.walk_exprs(&kids[in_idx + 1..block_idx], held);
+                if let Some(Tree::Group(g)) = kids.get(block_idx) {
+                    self.walk_block(&g.children, held);
+                }
+                held.truncate(loop_base);
+                i = block_idx + 1;
+                continue;
+            }
+            if kids[i].is_ident("match") {
+                let Some(block_idx) = next_brace_group(kids, i + 1) else {
+                    i += 1;
+                    continue;
+                };
+                let match_base = held.len();
+                // Scrutinee temporaries live until the end of the match.
+                self.walk_exprs(&kids[i + 1..block_idx], held);
+                if let Some(Tree::Group(g)) = kids.get(block_idx) {
+                    // Arms separated by top-level commas; each arm's
+                    // temporaries are arm-local.
+                    let mut arm_start = 0;
+                    let arm_kids = &g.children;
+                    for j in 0..=arm_kids.len() {
+                        let at_sep = j == arm_kids.len() || arm_kids[j].is_punct(",");
+                        if at_sep {
+                            let arm_base = held.len();
+                            self.walk_exprs(&arm_kids[arm_start..j], held);
+                            held.truncate(arm_base);
+                            arm_start = j + 1;
+                        }
+                    }
+                }
+                held.truncate(match_base);
+                i = block_idx + 1;
+                continue;
+            }
+
+            if let Some((name, next)) = self.acquire(kids, i, held) {
+                // A let-bound guard: the acquisition is the tail of the RHS
+                // (only guard-propagating combinators after it) and is not
+                // immediately dereferenced away (`let x = *g.lock();` copies
+                // the value and drops the guard at statement end).
+                let cs = chain_start(kids, i);
+                let deref = cs > 0 && kids[cs - 1].is_punct("*");
+                if is_let && !deref && is_stmt_tail(kids, next) {
+                    bound = Some(name);
+                }
+                i = next;
+                continue;
+            }
+            if let Some(callee) = match_call(kids, i, self.fn_names, self.wrappers) {
+                self.call_edges(&callee, kids[i].line(), held);
+            }
+            if let Tree::Group(g) = &kids[i] {
+                if g.delim == '{' {
+                    self.walk_block(&g.children, held);
+                } else {
+                    self.walk_exprs(&g.children, held);
+                }
+            }
+            i += 1;
+        }
+        // Statement over: drop temporaries, re-push the let-bound guard.
+        held.truncate(temp_base);
+        if let Some(name) = bound {
+            held.push(name);
+        }
+        i
+    }
+
+    /// Expression context (conditions, arguments, scrutinees): linear scan,
+    /// every acquisition stays held in the current frame — the *caller*
+    /// decides when the frame's temporaries drop.
+    fn walk_exprs(&mut self, kids: &[Tree], held: &mut Vec<String>) {
+        let mut i = 0;
+        while i < kids.len() {
+            if let Some((_, next)) = self.acquire(kids, i, held) {
+                i = next;
+                continue;
+            }
+            if let Some(callee) = match_call(kids, i, self.fn_names, self.wrappers) {
+                self.call_edges(&callee, kids[i].line(), held);
+            }
+            if let Tree::Group(g) = &kids[i] {
+                if g.delim == '{' {
+                    self.walk_block(&g.children, held);
+                } else {
+                    self.walk_exprs(&g.children, held);
+                }
+            }
+            i += 1;
+        }
+    }
+
+    /// Records edges for an acquisition at `kids[i]` and pushes it as held.
+    fn acquire(
+        &mut self,
+        kids: &[Tree],
+        i: usize,
+        held: &mut Vec<String>,
+    ) -> Option<(String, usize)> {
+        let (name, next) = match_acquisition(kids, i, self.wrappers, self.params)?;
+        let line = kids[i].line();
+        for h in held.iter() {
+            self.edges.push(ObservedEdge {
+                held: h.clone(),
+                acquired: name.clone(),
+                line,
+            });
+        }
+        held.push(name.clone());
+        Some((name, next))
+    }
+
+    /// Edges from every held lock to every lock the callee (transitively)
+    /// acquires.
+    fn call_edges(&mut self, callee: &str, line: usize, held: &[String]) {
+        let Some(locks) = self.fn_locks.get(callee) else {
+            return;
+        };
+        for h in held {
+            for l in locks {
+                self.edges.push(ObservedEdge {
+                    held: h.clone(),
+                    acquired: l.clone(),
+                    line,
+                });
+            }
+        }
+    }
+}
+
+/// Walks back from a method-chain anchor at `i` (`self.cfg.lock` anchors at
+/// `lock`) to the chain's first token, stepping over `recv .` and
+/// `callee ( ) .` links.
+fn chain_start(kids: &[Tree], i: usize) -> usize {
+    let mut j = i;
+    loop {
+        if j >= 2 && kids[j - 1].is_punct(".") {
+            let mut r = j - 2;
+            if kids[r]
+                .group()
+                .is_some_and(|g| matches!(g.delim, '(' | '['))
+                && r >= 1
+            {
+                r -= 1;
+            }
+            j = r;
+            continue;
+        }
+        return j;
+    }
+}
+
+/// Index of the next top-level `{}` group at or after `from`.
+fn next_brace_group(kids: &[Tree], from: usize) -> Option<usize> {
+    (from..kids.len()).find(|&j| kids[j].group().is_some_and(|g| g.delim == '{'))
+}
+
+/// Is everything from `from` to the statement end just guard-propagating
+/// postfix (`.unwrap()`, `.expect(…)`, `.unwrap_or_else(…)`)?
+fn is_stmt_tail(kids: &[Tree], mut from: usize) -> bool {
+    loop {
+        match kids.get(from) {
+            None => return true,
+            Some(k) if k.is_punct(";") => return true,
+            Some(k) if k.is_punct(".") => {
+                let keeps_guard = kids.get(from + 1).and_then(Tree::tok).is_some_and(|t| {
+                    matches!(t.text.as_str(), "unwrap" | "expect" | "unwrap_or_else")
+                });
+                let has_args = kids
+                    .get(from + 2)
+                    .and_then(Tree::group)
+                    .is_some_and(|g| g.delim == '(');
+                if keeps_guard && has_args {
+                    from += 3;
+                } else {
+                    return false;
+                }
+            }
+            _ => return false,
+        }
+    }
+}
+
+fn transitive_closure<'b>(edges: &[(&'b str, &'b str)]) -> BTreeMap<&'b str, BTreeSet<&'b str>> {
+    let mut closure: BTreeMap<&str, BTreeSet<&str>> = BTreeMap::new();
+    for (a, b) in edges {
+        closure.entry(a).or_default().insert(b);
+    }
+    loop {
+        let mut changed = false;
+        let keys: Vec<&str> = closure.keys().copied().collect();
+        for k in keys {
+            let reach: Vec<&str> = closure[k].iter().copied().collect();
+            let mut add = BTreeSet::new();
+            for r in reach {
+                if let Some(next) = closure.get(r) {
+                    add.extend(next.iter().copied());
+                }
+            }
+            let set = closure.get_mut(k).expect("key listed above");
+            let before = set.len();
+            set.extend(add);
+            changed |= set.len() != before;
+        }
+        if !changed {
+            return closure;
+        }
+    }
+}
+
+/// First cycle found in the edge set, as the node path, or `None`.
+fn find_cycle(edges: &BTreeSet<(String, String)>) -> Option<Vec<String>> {
+    let mut adj: BTreeMap<&str, Vec<&str>> = BTreeMap::new();
+    for (a, b) in edges {
+        adj.entry(a).or_default().push(b);
+    }
+    let nodes: Vec<&str> = adj.keys().copied().collect();
+    // Colors: 0 unvisited, 1 in progress, 2 done.
+    let mut color: BTreeMap<&str, u8> = BTreeMap::new();
+    let mut stack: Vec<&str> = Vec::new();
+    fn dfs<'b>(
+        node: &'b str,
+        adj: &BTreeMap<&'b str, Vec<&'b str>>,
+        color: &mut BTreeMap<&'b str, u8>,
+        stack: &mut Vec<&'b str>,
+    ) -> Option<Vec<String>> {
+        color.insert(node, 1);
+        stack.push(node);
+        for &next in adj.get(node).map(Vec::as_slice).unwrap_or(&[]) {
+            match color.get(next).copied().unwrap_or(0) {
+                1 => {
+                    let pos = stack.iter().position(|&n| n == next).unwrap_or(0);
+                    let mut cycle: Vec<String> =
+                        stack[pos..].iter().map(|s| s.to_string()).collect();
+                    cycle.push(next.to_string());
+                    return Some(cycle);
+                }
+                0 => {
+                    if let Some(c) = dfs(next, adj, color, stack) {
+                        return Some(c);
+                    }
+                }
+                _ => {}
+            }
+        }
+        stack.pop();
+        color.insert(node, 2);
+        None
+    }
+    for n in nodes {
+        if color.get(n).copied().unwrap_or(0) == 0 {
+            if let Some(c) = dfs(n, &adj, &mut color, &mut stack) {
+                return Some(c);
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tree::analyze;
+
+    fn findings(path: &str, src: &str) -> Vec<(&'static str, usize, String)> {
+        check(path, &analyze(src))
+    }
+
+    // ------------------------------------------------------------ atomics --
+
+    #[test]
+    fn atomic_policy_accepts_declared_orderings() {
+        let src = "// lock-order: none\nfn f(a: &AtomicU64) { a.store(1, Ordering::Relaxed); a.load(Ordering::Relaxed); }";
+        assert!(findings("crates/telemetry/src/recorder.rs", src).is_empty());
+    }
+
+    #[test]
+    fn atomic_policy_rejects_undeclared_orderings() {
+        let src = "// lock-order: none\nfn f(a: &AtomicU64) { a.store(1, Ordering::SeqCst); }";
+        let out = findings("crates/telemetry/src/recorder.rs", src);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].0, "atomic-ordering-policy");
+        assert!(out[0].2.contains("SeqCst"), "{}", out[0].2);
+    }
+
+    #[test]
+    fn atomic_policy_rejects_undeclared_op_kind() {
+        // recalib declares no RMW operations at all.
+        let src = "fn f(a: &AtomicU64) { a.fetch_add(1, Ordering::SeqCst); }";
+        let out = findings("crates/core/src/recalib.rs", src);
+        assert_eq!(out.len(), 1);
+        assert!(out[0].2.contains("no rmw operations"), "{}", out[0].2);
+    }
+
+    #[test]
+    fn atomic_policy_sees_fully_qualified_paths() {
+        let src = "fn f(a: &AtomicU32) { a.load(std::sync::atomic::Ordering::Relaxed); }";
+        let out = findings("crates/linalg/src/checks.rs", src);
+        assert_eq!(out.len(), 1, "checks.rs policy is SeqCst-only");
+    }
+
+    #[test]
+    fn non_atomic_calls_are_ignored() {
+        // `.load(path)` with no Ordering argument is not an atomic site.
+        let src = "// lock-order: none\nfn f(m: &Loader) { m.load(path); m.store(1, x); }";
+        assert!(findings("crates/telemetry/src/recorder.rs", src).is_empty());
+    }
+
+    #[test]
+    fn cas_checks_both_orderings() {
+        let src = "// lock-order: none\nfn f(a: &AtomicU64) { let _ = a.compare_exchange(0, 1, Ordering::SeqCst, Ordering::Relaxed); }";
+        let out = findings("crates/telemetry/src/sharded.rs", src);
+        // sharded declares no CAS ops: both orderings are findings.
+        assert_eq!(out.len(), 2);
+    }
+
+    // --------------------------------------------------------- lock order --
+
+    #[test]
+    fn let_bound_guard_nesting_is_an_edge() {
+        let src = "fn f(&self) { let a = self.alpha.lock(); let b = self.beta.lock(); }";
+        let out = findings("crates/core/src/x.rs", src);
+        assert_eq!(out.len(), 1, "{out:?}");
+        assert!(out[0].2.contains("`beta` acquired while `alpha` is held"));
+    }
+
+    #[test]
+    fn declared_edge_is_clean() {
+        let src = "// lock-order: alpha -> beta\nfn f(&self) { let a = self.alpha.lock(); let b = self.beta.lock(); }";
+        assert!(findings("crates/core/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn declared_chain_covers_transitive_edge() {
+        let src = "// lock-order: a -> b -> c\nfn f(&self) { let x = self.a.lock(); let z = self.c.lock(); }";
+        assert!(findings("crates/core/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn statement_temporary_does_not_nest() {
+        // The first guard drops at its statement's end.
+        let src = "fn f(&self) { self.alpha.lock().clear(); let b = self.beta.lock(); }";
+        assert!(findings("crates/core/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn deref_copy_is_not_a_bound_guard() {
+        let src = "fn f(&self) { let cfg = *self.cfg.lock(); let b = self.beta.lock(); }";
+        assert!(findings("crates/core/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn unwrap_or_else_still_binds_the_guard() {
+        let src = "fn f(&self) { let g = self.alpha.lock().unwrap_or_else(|p| p.into_inner()); let b = self.beta.lock(); }";
+        let out = findings("crates/core/src/x.rs", src);
+        assert_eq!(out.len(), 1, "{out:?}");
+    }
+
+    #[test]
+    fn condition_temporary_drops_before_block() {
+        // The recorder-snapshot shape: `if !lock(shards).is_empty() { … }`
+        // followed by locking inner must NOT be a shards -> inner edge.
+        let src =
+            "fn f(&self) { if !self.shards.lock().is_empty() { let i = self.inner.lock(); } }";
+        assert!(findings("crates/core/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn for_iterator_guard_held_through_body() {
+        let src = "fn f(&self) { let i = self.inner.lock(); for r in self.shards.lock().iter() { r.drain(); } }";
+        let out = findings("crates/core/src/x.rs", src);
+        assert_eq!(out.len(), 1, "{out:?}");
+        assert!(out[0].2.contains("`shards` acquired while `inner` is held"));
+    }
+
+    #[test]
+    fn wrapper_helper_attributes_to_argument() {
+        let src = "fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> { m.lock().unwrap_or_else(PoisonError::into_inner) }\nimpl R { fn f(&self) { let i = lock(&self.inner); let s = lock(&self.shards); } }";
+        let out = findings("crates/core/src/x.rs", src);
+        assert_eq!(out.len(), 1, "{out:?}");
+        assert!(out[0].2.contains("`shards` acquired while `inner` is held"));
+    }
+
+    #[test]
+    fn cross_function_edge_via_call() {
+        let src = "impl R {\n fn drain(&self) { let s = self.shards.lock(); }\n fn f(&self) { let i = self.inner.lock(); self.drain(); }\n}";
+        let out = findings("crates/core/src/x.rs", src);
+        assert_eq!(out.len(), 1, "{out:?}");
+        assert!(out[0].2.contains("`shards` acquired while `inner` is held"));
+    }
+
+    #[test]
+    fn leaf_violation_is_reported() {
+        let src = "// lock-order: leaf(alpha)\nfn f(&self) { let a = self.alpha.lock(); let b = self.beta.lock(); }";
+        let out = findings("crates/core/src/x.rs", src);
+        assert_eq!(out.len(), 1);
+        assert!(out[0].2.contains("declared `leaf`"));
+    }
+
+    #[test]
+    fn none_violation_is_reported() {
+        let src = "// lock-order: none\nfn f(&self) { let a = self.alpha.lock(); let b = self.beta.lock(); }";
+        let out = findings("crates/core/src/x.rs", src);
+        assert_eq!(out.len(), 1);
+        assert!(out[0].2.contains("lock-order: none"));
+    }
+
+    #[test]
+    fn declared_cycle_is_reported() {
+        let src = "// lock-order: a -> b\n// lock-order: b -> a\nfn f() {}";
+        let out = findings("crates/core/src/x.rs", src);
+        assert_eq!(out.len(), 1);
+        assert!(out[0].2.contains("cycle"), "{}", out[0].2);
+    }
+
+    #[test]
+    fn self_deadlock_is_reported() {
+        let src = "fn f(&self) { let a = self.alpha.lock(); let b = self.alpha.lock(); }";
+        let out = findings("crates/core/src/x.rs", src);
+        assert!(out.iter().any(|f| f.2.contains("self-deadlock")), "{out:?}");
+    }
+
+    #[test]
+    fn accessor_call_receiver_is_named() {
+        // inverse_cache shape: `cache().lock()`.
+        let src = "fn f() { let g = cache().lock().unwrap_or_else(|p| p.into_inner()); }";
+        assert!(findings("crates/core/src/x.rs", src).is_empty());
+        let nested = "fn f(&self) { let g = cache().lock(); let b = self.beta.lock(); }";
+        let out = findings("crates/core/src/x.rs", nested);
+        assert_eq!(out.len(), 1, "{out:?}");
+        assert!(out[0].2.contains("`beta` acquired while `cache` is held"));
+    }
+
+    #[test]
+    fn required_files_must_declare() {
+        let src = "fn f() {}";
+        let out = findings("crates/telemetry/src/sharded.rs", src);
+        assert!(out.iter().any(|f| f.2.contains("must declare")), "{out:?}");
+        let ok = "// lock-order: none\nfn f() {}";
+        assert!(findings("crates/telemetry/src/sharded.rs", ok).is_empty());
+    }
+
+    #[test]
+    fn malformed_annotation_is_reported() {
+        let src = "// lock-order: alpha ->\nfn f() {}";
+        let out = findings("crates/core/src/x.rs", src);
+        assert_eq!(out.len(), 1);
+        assert!(out[0].2.contains("malformed"));
+    }
+
+    #[test]
+    fn test_functions_are_exempt() {
+        let src = "#[cfg(test)]\nmod tests {\n fn t(&self) { let a = self.alpha.lock(); let b = self.beta.lock(); }\n}";
+        assert!(findings("crates/core/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn match_scrutinee_guard_held_through_arms() {
+        let src = "fn f(&self) { match self.alpha.lock().kind { K::A => { let b = self.beta.lock(); } _ => {} } }";
+        let out = findings("crates/core/src/x.rs", src);
+        assert_eq!(out.len(), 1, "{out:?}");
+    }
+}

@@ -1,0 +1,572 @@
+//! Token-tree parser and lightweight item model.
+//!
+//! The second half of the engine front end: the flat [`crate::lexer`] token
+//! stream is brace-matched into a tree of [`Group`]s, and the tree is walked
+//! once to recover the item structure every rule needs — `fn`/`impl`/`mod`
+//! boundaries, `#[cfg(test)]`/`#[test]` scoping, and which physical lines
+//! carry code at all. One [`FileAnalysis`] per file feeds both the lexical
+//! rules ([`crate::rules`]) and the semantic rules ([`crate::semantic`]).
+
+use crate::lexer::{self, Tok, TokKind};
+
+/// A node: a leaf token or a delimited group.
+#[derive(Clone, Debug)]
+pub enum Tree {
+    Tok(Tok),
+    Group(Group),
+}
+
+impl Tree {
+    /// The leaf token, if this is one.
+    pub fn tok(&self) -> Option<&Tok> {
+        match self {
+            Tree::Tok(t) => Some(t),
+            Tree::Group(_) => None,
+        }
+    }
+
+    /// The group, if this is one.
+    pub fn group(&self) -> Option<&Group> {
+        match self {
+            Tree::Group(g) => Some(g),
+            Tree::Tok(_) => None,
+        }
+    }
+
+    /// Is this an identifier leaf with this text?
+    pub fn is_ident(&self, text: &str) -> bool {
+        self.tok().is_some_and(|t| t.is_ident(text))
+    }
+
+    /// Is this a punctuation leaf with this text?
+    pub fn is_punct(&self, text: &str) -> bool {
+        self.tok().is_some_and(|t| t.is_punct(text))
+    }
+
+    /// Source line of this node's first token.
+    pub fn line(&self) -> usize {
+        match self {
+            Tree::Tok(t) => t.line,
+            Tree::Group(g) => g.open_line,
+        }
+    }
+}
+
+/// A delimited token sequence. The file root is a group with `delim == '\0'`.
+#[derive(Clone, Debug)]
+pub struct Group {
+    /// `'('`, `'['`, `'{'`, or `'\0'` for the file root.
+    pub delim: char,
+    pub open_line: usize,
+    pub close_line: usize,
+    pub children: Vec<Tree>,
+}
+
+impl Group {
+    /// Depth-first walk over every group including `self`.
+    pub fn walk<'a>(&'a self, f: &mut dyn FnMut(&'a Group)) {
+        f(self);
+        for child in &self.children {
+            if let Tree::Group(g) = child {
+                g.walk(f);
+            }
+        }
+    }
+}
+
+/// An item discovered in the tree walk. Only what rules consume is kept.
+#[derive(Clone, Debug)]
+pub struct Item {
+    pub kind: ItemKind,
+    pub name: String,
+    /// Under `#[cfg(test)]` / `#[test]`, directly or via an enclosing item.
+    pub cfg_test: bool,
+    pub line_start: usize,
+    pub line_end: usize,
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ItemKind {
+    Fn,
+    Impl,
+    Mod,
+}
+
+/// Everything the rules need to know about one source file.
+pub struct FileAnalysis {
+    pub root: Group,
+    /// `(1-based line, trimmed text)` per comment line.
+    pub comments: Vec<(usize, String)>,
+    pub items: Vec<Item>,
+    /// Per-line: inside a `#[cfg(test)]`/`#[test]` item.
+    pub in_test: Vec<bool>,
+    /// Per-line: at least one token starts here.
+    pub code_lines: Vec<bool>,
+    pub line_count: usize,
+}
+
+/// Parses one file. Never fails: unbalanced delimiters close implicitly at
+/// end of input — the linter must degrade, not die, on half-edited source.
+pub fn analyze(src: &str) -> FileAnalysis {
+    let lexed = lexer::lex(src);
+    let line_count = src.lines().count();
+
+    let mut code_lines = vec![false; line_count];
+    for t in &lexed.tokens {
+        if let Some(slot) = code_lines.get_mut(t.line - 1) {
+            *slot = true;
+        }
+    }
+
+    let root = build_tree(&lexed.tokens, line_count.max(1));
+    let mut items = Vec::new();
+    collect_items(&root, false, &mut items);
+
+    let mut in_test = vec![false; line_count];
+    for item in &items {
+        if item.cfg_test {
+            for line in item.line_start..=item.line_end.min(line_count) {
+                in_test[line - 1] = true;
+            }
+        }
+    }
+
+    FileAnalysis {
+        root,
+        comments: lexed.comments,
+        items,
+        in_test,
+        code_lines,
+        line_count,
+    }
+}
+
+/// Brace-matches the flat stream into a tree.
+fn build_tree(tokens: &[Tok], last_line: usize) -> Group {
+    // Stack of open groups; the bottom entry is the root.
+    let mut stack = vec![Group {
+        delim: '\0',
+        open_line: 1,
+        close_line: last_line,
+        children: Vec::new(),
+    }];
+    for t in tokens {
+        match t.kind {
+            TokKind::Open => stack.push(Group {
+                delim: t.text.chars().next().unwrap_or('('),
+                open_line: t.line,
+                close_line: t.line,
+                children: Vec::new(),
+            }),
+            TokKind::Close => {
+                // Close the innermost group. A mismatched closer (e.g. `)`
+                // closing a `{`) still closes one level — tolerant matching
+                // keeps line attribution sane on broken input.
+                if stack.len() > 1 {
+                    let mut done = stack.pop().expect("stack len checked");
+                    done.close_line = t.line;
+                    stack
+                        .last_mut()
+                        .expect("root never popped")
+                        .children
+                        .push(Tree::Group(done));
+                }
+            }
+            _ => stack
+                .last_mut()
+                .expect("root always present")
+                .children
+                .push(Tree::Tok(t.clone())),
+        }
+    }
+    // Implicitly close anything left open.
+    while stack.len() > 1 {
+        let mut done = stack.pop().expect("len checked");
+        done.close_line = last_line;
+        stack
+            .last_mut()
+            .expect("root never popped")
+            .children
+            .push(Tree::Group(done));
+    }
+    stack.pop().expect("root")
+}
+
+/// Walks a group's child sequence recognising `fn`/`impl`/`mod` items and
+/// their attribute prefixes; recurses into item bodies so nested items
+/// (fns in impls, mods in mods) are found with inherited test scope.
+fn collect_items(group: &Group, inherited_test: bool, out: &mut Vec<Item>) {
+    let kids = &group.children;
+    let mut i = 0;
+    // Attribute state for the *next* item at this level.
+    let mut attr_test = false;
+    let mut attr_start: Option<usize> = None;
+    while i < kids.len() {
+        // `#[…]` or `#![…]` attribute?
+        if kids[i].is_punct("#") {
+            let mut j = i + 1;
+            if kids.get(j).is_some_and(|k| k.is_punct("!")) {
+                j += 1; // inner attribute — applies to the enclosing item; skip
+            }
+            if let Some(Tree::Group(attr)) = kids.get(j) {
+                if attr.delim == '[' {
+                    if j == i + 1 {
+                        // Outer attribute: may mark the next item as test.
+                        if attr_start.is_none() {
+                            attr_start = Some(kids[i].line());
+                        }
+                        attr_test |= is_test_attr(attr);
+                    }
+                    i = j + 1;
+                    continue;
+                }
+            }
+        }
+
+        let kind = kids[i].tok().and_then(|t| match t.text.as_str() {
+            "fn" => Some(ItemKind::Fn),
+            "impl" => Some(ItemKind::Impl),
+            "mod" => Some(ItemKind::Mod),
+            _ => None,
+        });
+        let Some(kind) = kind else {
+            // Any other token resets pending attributes once we hit a
+            // non-attribute, non-keyword token that ends a potential item
+            // header (`;`, `}` bodies of non-item constructs, …). Keep
+            // attributes while scanning through visibility/`unsafe`/
+            // `async`/`const`/`extern` prefixes and generic params.
+            if let Tree::Tok(t) = &kids[i] {
+                let keeps_attrs = matches!(
+                    t.text.as_str(),
+                    "pub" | "unsafe" | "async" | "const" | "extern"
+                ) || t.kind == TokKind::Str;
+                if !keeps_attrs {
+                    attr_test = false;
+                    attr_start = None;
+                }
+            } else if let Tree::Group(g) = &kids[i] {
+                // `pub(crate)` keeps attrs; any other group ends the header.
+                let is_vis = g.delim == '(' && i > 0 && kids[i - 1].is_ident("pub");
+                if !is_vis {
+                    attr_test = false;
+                    attr_start = None;
+                }
+                // Recurse into stray groups (match arms, closures, blocks…)
+                // so nested items inside them are still discovered.
+                collect_items(g, inherited_test, out);
+            }
+            i += 1;
+            continue;
+        };
+
+        // Item keyword found: name is the next ident (impl may have none).
+        let is_test = inherited_test || attr_test;
+        let name = kids
+            .get(i + 1)
+            .and_then(Tree::tok)
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text.clone())
+            .unwrap_or_default();
+        let line_start = attr_start.unwrap_or_else(|| kids[i].line());
+        attr_test = false;
+        attr_start = None;
+
+        // Find the body: the next `{` group at this level before a `;`.
+        let mut j = i + 1;
+        let mut body: Option<&Group> = None;
+        while let Some(k) = kids.get(j) {
+            if k.is_punct(";") {
+                break;
+            }
+            if let Tree::Group(g) = k {
+                if g.delim == '{' {
+                    body = Some(g);
+                    break;
+                }
+            }
+            j += 1;
+        }
+        let line_end = body.map(|g| g.close_line).unwrap_or_else(|| kids[i].line());
+        out.push(Item {
+            kind,
+            name,
+            cfg_test: is_test,
+            line_start,
+            line_end,
+        });
+        if let Some(b) = body {
+            collect_items(b, is_test, out);
+        }
+        i = j + 1;
+    }
+}
+
+/// Binding names from a parameter-list group: the ident directly before
+/// each top-level `:`. `self` receivers carry no `:` and drop out naturally.
+fn param_names(params: &Group) -> Vec<String> {
+    let kids = &params.children;
+    let mut out = Vec::new();
+    let mut angle_depth = 0i64;
+    for (i, k) in kids.iter().enumerate() {
+        let Some(t) = k.tok() else { continue };
+        match t.text.as_str() {
+            "<" => angle_depth += 1,
+            ">" => angle_depth -= 1,
+            ":" if angle_depth == 0 && t.kind == TokKind::Punct => {
+                if let Some(prev) = i
+                    .checked_sub(1)
+                    .and_then(|p| kids.get(p))
+                    .and_then(Tree::tok)
+                {
+                    if prev.kind == TokKind::Ident && prev.text != "self" {
+                        out.push(prev.text.clone());
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+    out
+}
+
+/// `#[cfg(test)]`, `#[cfg(all(test, …))]`, `#[test]`, `#[tokio::test]`, ….
+fn is_test_attr(attr: &Group) -> bool {
+    let kids = &attr.children;
+    match kids.first() {
+        Some(t) if t.is_ident("cfg") => {
+            // Any `test` ident anywhere in the cfg predicate counts —
+            // conservative: cfg(not(test)) is vanishingly rare in-tree.
+            kids.get(1)
+                .and_then(Tree::group)
+                .is_some_and(group_mentions_test)
+        }
+        Some(t) if t.is_ident("test") => true,
+        // `#[foo::test]` (tokio, async-std, …): last path segment is `test`.
+        Some(_) => {
+            let mut last_ident = None;
+            for k in kids {
+                if let Some(t) = k.tok() {
+                    if t.kind == TokKind::Ident {
+                        last_ident = Some(t.text.as_str());
+                    } else if !t.is_punct("::") {
+                        return false;
+                    }
+                } else {
+                    return false;
+                }
+            }
+            last_ident == Some("test")
+        }
+        None => false,
+    }
+}
+
+fn group_mentions_test(g: &Group) -> bool {
+    g.children.iter().any(|k| match k {
+        Tree::Tok(t) => t.is_ident("test"),
+        Tree::Group(inner) => group_mentions_test(inner),
+    })
+}
+
+/// The functions of a file, with their body groups, in source order.
+/// `impl`-block methods and free fns alike; test fns are included (callers
+/// filter with [`Item::cfg_test`] via the returned flag).
+pub struct FnBody<'a> {
+    pub name: String,
+    pub line: usize,
+    pub cfg_test: bool,
+    /// Parameter names (patterns reduced to their binding ident; `self` and
+    /// `&self` receivers excluded).
+    pub params: Vec<String>,
+    pub body: &'a Group,
+}
+
+/// Recovers `(fn name, body group)` pairs by re-walking the tree with the
+/// same recogniser as [`collect_items`] — borrowed, so semantic analyses
+/// can hold the bodies without cloning the tree.
+pub fn functions<'a>(analysis: &'a FileAnalysis) -> Vec<FnBody<'a>> {
+    let mut out = Vec::new();
+    collect_fns(&analysis.root, false, &mut out);
+    out
+}
+
+fn collect_fns<'a>(group: &'a Group, inherited_test: bool, out: &mut Vec<FnBody<'a>>) {
+    let kids = &group.children;
+    let mut i = 0;
+    let mut attr_test = false;
+    while i < kids.len() {
+        if kids[i].is_punct("#") {
+            if let Some(Tree::Group(attr)) = kids.get(i + 1) {
+                if attr.delim == '[' {
+                    attr_test |= is_test_attr(attr);
+                    i += 2;
+                    continue;
+                }
+            }
+        }
+        if kids[i].is_ident("fn") {
+            let is_test = inherited_test || attr_test;
+            attr_test = false;
+            let name = kids
+                .get(i + 1)
+                .and_then(Tree::tok)
+                .filter(|t| t.kind == TokKind::Ident)
+                .map(|t| t.text.clone())
+                .unwrap_or_default();
+            let line = kids[i].line();
+            let mut j = i + 1;
+            let mut body = None;
+            let mut params_group: Option<&Group> = None;
+            while let Some(k) = kids.get(j) {
+                if k.is_punct(";") {
+                    break;
+                }
+                if let Tree::Group(g) = k {
+                    if g.delim == '(' && params_group.is_none() {
+                        params_group = Some(g);
+                    }
+                    if g.delim == '{' {
+                        body = Some(g);
+                        break;
+                    }
+                }
+                j += 1;
+            }
+            if let Some(b) = body {
+                out.push(FnBody {
+                    name,
+                    line,
+                    cfg_test: is_test,
+                    params: params_group.map(param_names).unwrap_or_default(),
+                    body: b,
+                });
+                collect_fns(b, is_test, out);
+            }
+            i = j + 1;
+            continue;
+        }
+        if kids[i].is_ident("mod") || kids[i].is_ident("impl") {
+            // Scan to the body so `#[cfg(test)] mod tests { … }` (and impl
+            // blocks with generics) propagate test scope into their fns.
+            let is_test = inherited_test || attr_test;
+            attr_test = false;
+            let mut j = i + 1;
+            let mut body = None;
+            while let Some(k) = kids.get(j) {
+                if k.is_punct(";") {
+                    break;
+                }
+                if let Tree::Group(g) = k {
+                    if g.delim == '{' {
+                        body = Some(g);
+                        break;
+                    }
+                }
+                j += 1;
+            }
+            if let Some(b) = body {
+                collect_fns(b, is_test, out);
+            }
+            i = j + 1;
+            continue;
+        }
+        if let Tree::Group(g) = &kids[i] {
+            collect_fns(g, inherited_test, out);
+        }
+        if let Tree::Tok(t) = &kids[i] {
+            let keeps = matches!(
+                t.text.as_str(),
+                "pub" | "unsafe" | "async" | "const" | "extern"
+            );
+            if !keeps {
+                attr_test = false;
+            }
+        }
+        i += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn brace_matching_and_line_ranges() {
+        let a = analyze("fn f() {\n    let x = 1;\n}\n");
+        assert_eq!(a.items.len(), 1);
+        assert_eq!(a.items[0].kind, ItemKind::Fn);
+        assert_eq!(a.items[0].name, "f");
+        assert_eq!(a.items[0].line_start, 1);
+        assert_eq!(a.items[0].line_end, 3);
+    }
+
+    #[test]
+    fn cfg_test_scoping_covers_nested_items() {
+        let src = "fn prod() {}\n#[cfg(test)]\nmod tests {\n    fn t() { x.unwrap(); }\n}\n";
+        let a = analyze(src);
+        assert!(!a.in_test[0]);
+        assert!(a.in_test[2] && a.in_test[3] && a.in_test[4]);
+        let fns = functions(&a);
+        let t = fns.iter().find(|f| f.name == "t").unwrap();
+        assert!(t.cfg_test);
+        let p = fns.iter().find(|f| f.name == "prod").unwrap();
+        assert!(!p.cfg_test);
+    }
+
+    #[test]
+    fn test_attribute_marks_single_fn() {
+        let src = "#[test]\nfn t() {}\nfn prod() {}\n";
+        let a = analyze(src);
+        assert!(a.in_test[0] && a.in_test[1]);
+        assert!(!a.in_test[2]);
+    }
+
+    #[test]
+    fn cfg_all_test_counts() {
+        let src = "#[cfg(all(test, feature = \"x\"))]\nmod helpers {\n    fn h() {}\n}\n";
+        let a = analyze(src);
+        assert!(a.in_test.iter().all(|&b| b));
+    }
+
+    #[test]
+    fn attributes_survive_pub_and_unsafe() {
+        let src = "#[cfg(test)]\npub unsafe fn t() {}\n";
+        let a = analyze(src);
+        assert!(a.items[0].cfg_test);
+    }
+
+    #[test]
+    fn other_attrs_do_not_mark_test() {
+        let src = "#[derive(Debug)]\n#[allow(dead_code)]\nfn f() {}\n";
+        let a = analyze(src);
+        assert!(!a.items[0].cfg_test);
+    }
+
+    #[test]
+    fn unbalanced_input_still_parses() {
+        let a = analyze("fn f() {\n    let x = (1;\n");
+        assert_eq!(a.items.len(), 1);
+        assert_eq!(a.items[0].line_end, 2);
+    }
+
+    #[test]
+    fn functions_inside_impl_blocks() {
+        let src = "impl Foo {\n    fn method(&self) {}\n}\n";
+        let a = analyze(src);
+        let fns = functions(&a);
+        assert_eq!(fns.len(), 1);
+        assert_eq!(fns[0].name, "method");
+        let items: Vec<_> = a.items.iter().map(|i| (i.kind, i.name.as_str())).collect();
+        assert!(items.contains(&(ItemKind::Impl, "Foo")));
+        assert!(items.contains(&(ItemKind::Fn, "method")));
+    }
+
+    #[test]
+    fn code_lines_skip_comments_and_string_interiors() {
+        let src = "// comment only\nlet s = \"a\nb\nc\";\n";
+        let a = analyze(src);
+        assert!(!a.code_lines[0]);
+        assert!(a.code_lines[1]);
+        assert!(!a.code_lines[2]); // interior of the multiline string
+    }
+}

@@ -1,0 +1,257 @@
+//! CLI contract tests for the `xtask lint` binary: exit codes, `--json`
+//! output stability, incremental-cache behaviour, SARIF emission, and the
+//! suppression-debt ratchet — all driven against throwaway mini-workspaces
+//! under the OS temp dir via `--root`.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+/// A fresh, empty mini-workspace for one test.
+fn temp_ws(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("qem-lint-cli-{}-{name}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    fs::create_dir_all(dir.join("crates/core/src")).expect("create temp workspace");
+    dir
+}
+
+fn write(root: &Path, rel: &str, content: &str) {
+    let path = root.join(rel);
+    if let Some(dir) = path.parent() {
+        fs::create_dir_all(dir).expect("mkdir");
+    }
+    fs::write(path, content).expect("write");
+}
+
+fn fixture(name: &str) -> String {
+    let path = format!("{}/tests/fixtures/{name}", env!("CARGO_MANIFEST_DIR"));
+    fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {path}: {e}"))
+}
+
+/// Runs `xtask lint --root <root> <args…>`; returns (exit code, stdout, stderr).
+fn lint(root: &Path, args: &[&str]) -> (i32, String, String) {
+    let out = Command::new(env!("CARGO_BIN_EXE_xtask"))
+        .arg("lint")
+        .arg("--root")
+        .arg(root)
+        .args(args)
+        .output()
+        .expect("spawn xtask");
+    (
+        out.status.code().unwrap_or(-1),
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+    )
+}
+
+const CLEAN_FILE: &str = "pub fn ok(x: u64) -> u64 {\n    x + 1\n}\n";
+const BAD_FILE: &str = "pub fn f(v: &[u64]) -> u64 {\n    *v.first().unwrap()\n}\n";
+
+#[test]
+fn exit_code_zero_on_clean_workspace() {
+    let ws = temp_ws("clean");
+    write(&ws, "crates/core/src/lib.rs", CLEAN_FILE);
+    let (code, out, err) = lint(&ws, &["--no-cache"]);
+    assert_eq!(code, 0, "stdout: {out}\nstderr: {err}");
+    assert!(out.is_empty(), "clean run prints no findings: {out}");
+}
+
+#[test]
+fn exit_code_one_on_findings() {
+    let ws = temp_ws("findings");
+    write(&ws, "crates/core/src/lib.rs", BAD_FILE);
+    let (code, out, _) = lint(&ws, &["--no-cache"]);
+    assert_eq!(code, 1);
+    assert!(out.contains("no-panic-path"), "{out}");
+}
+
+#[test]
+fn exit_code_two_on_usage_errors() {
+    let ws = temp_ws("usage");
+    write(&ws, "crates/core/src/lib.rs", CLEAN_FILE);
+    let (code, _, err) = lint(&ws, &["--frobnicate"]);
+    assert_eq!(code, 2, "{err}");
+    let (code, _, _) = lint(&ws, &["--sarif"]); // missing path operand
+    assert_eq!(code, 2);
+    // No subcommand at all.
+    let out = Command::new(env!("CARGO_BIN_EXE_xtask"))
+        .output()
+        .expect("spawn");
+    assert_eq!(out.status.code(), Some(2));
+}
+
+#[test]
+fn json_output_is_canonically_sorted_and_stable() {
+    let ws = temp_ws("json");
+    write(&ws, "crates/core/src/b.rs", BAD_FILE);
+    write(&ws, "crates/core/src/a.rs", BAD_FILE);
+    write(
+        &ws,
+        "crates/core/src/c.rs",
+        "pub fn g(v: &[f64]) -> f64 {\n    let x = v.first().unwrap();\n    if *x == 0.5 { 1.0 } else { *x }\n}\n",
+    );
+    let (code1, out1, _) = lint(&ws, &["--json", "--no-cache"]);
+    let (code2, out2, _) = lint(&ws, &["--json", "--no-cache"]);
+    assert_eq!(code1, 1);
+    assert_eq!(code1, code2);
+    assert_eq!(out1, out2, "two identical runs must emit identical JSON");
+    // Each line parses, and (path, line) keys are non-decreasing.
+    let mut keys = Vec::new();
+    for line in out1.lines() {
+        let v = xtask::json::parse(line).expect("each line is a JSON object");
+        let path = v
+            .get("path")
+            .and_then(|p| p.as_str())
+            .expect("path")
+            .to_string();
+        let lineno = v.get("line").and_then(|l| l.as_u64()).expect("line");
+        assert!(v.get("rule").is_some() && v.get("message").is_some());
+        keys.push((path, lineno));
+    }
+    assert!(keys.len() >= 3, "{out1}");
+    let mut sorted = keys.clone();
+    sorted.sort();
+    assert_eq!(keys, sorted, "output must be sorted by (path, line)");
+}
+
+#[test]
+fn incremental_cache_reuses_and_invalidates_per_file() {
+    let ws = temp_ws("cache");
+    write(&ws, "crates/core/src/a.rs", CLEAN_FILE);
+    write(&ws, "crates/core/src/b.rs", CLEAN_FILE);
+    let (code, _, err) = lint(&ws, &["--cache-stats"]);
+    assert_eq!(code, 0);
+    assert!(err.contains("0 cache hit(s)"), "cold run: {err}");
+    let (_, _, err) = lint(&ws, &["--cache-stats"]);
+    assert!(err.contains("2 cache hit(s)"), "warm run: {err}");
+    // Edit one file: only the other is served from cache, and the new
+    // finding in the edited file surfaces.
+    write(&ws, "crates/core/src/b.rs", BAD_FILE);
+    let (code, out, err) = lint(&ws, &["--cache-stats"]);
+    assert_eq!(code, 1);
+    assert!(err.contains("1 cache hit(s)"), "after edit: {err}");
+    assert!(out.contains("crates/core/src/b.rs"), "{out}");
+}
+
+#[test]
+fn cache_poisoning_falls_back_to_real_analysis() {
+    let ws = temp_ws("poison");
+    write(&ws, "crates/core/src/a.rs", CLEAN_FILE);
+    let (code, _, _) = lint(&ws, &[]);
+    assert_eq!(code, 0);
+    let cache_path = ws.join("target/qem-lint-cache.json");
+
+    // Hash-mismatch poisoning: plant a bogus finding under a wrong hash.
+    let cache = fs::read_to_string(&cache_path).expect("cache written");
+    let poisoned = cache.replace(
+        "\"diags\": []",
+        "\"diags\": [{\"rule\": \"no-panic-path\", \"line\": 1, \"message\": \"planted\"}]",
+    );
+    let poisoned = {
+        // Break the hash so the entry cannot be trusted.
+        let start = poisoned.find("\"hash\": \"").expect("hash field") + "\"hash\": \"".len();
+        let mut p = poisoned.clone();
+        p.replace_range(start..start + 16, "0000000000000000");
+        p
+    };
+    fs::write(&cache_path, poisoned).expect("poison cache");
+    let (code, out, err) = lint(&ws, &["--cache-stats"]);
+    assert_eq!(
+        code, 0,
+        "re-analysis must ignore the planted finding: {out}"
+    );
+    assert!(err.contains("0 cache hit(s)"), "{err}");
+
+    // Structural corruption: degrade to a full (correct) scan, no crash.
+    fs::write(&cache_path, "{ this is not json").expect("corrupt cache");
+    let (code, _, err) = lint(&ws, &["--cache-stats"]);
+    assert_eq!(code, 0);
+    assert!(err.contains("0 cache hit(s)"), "{err}");
+}
+
+#[test]
+fn sarif_report_is_written_and_valid() {
+    let ws = temp_ws("sarif");
+    write(&ws, "crates/core/src/lib.rs", BAD_FILE);
+    let sarif_path = ws.join("lint.sarif");
+    let (code, _, _) = lint(
+        &ws,
+        &["--no-cache", "--sarif", sarif_path.to_str().expect("utf-8")],
+    );
+    assert_eq!(code, 1);
+    let doc = xtask::json::parse(&fs::read_to_string(&sarif_path).expect("sarif file"))
+        .expect("valid JSON");
+    assert_eq!(doc.get("version").and_then(|v| v.as_str()), Some("2.1.0"));
+    let results = doc
+        .get("runs")
+        .and_then(|r| r.as_arr())
+        .and_then(|r| r.first())
+        .and_then(|run| run.get("results"))
+        .and_then(|r| r.as_arr())
+        .expect("results array");
+    assert!(!results.is_empty());
+}
+
+#[test]
+fn suppression_debt_gate_and_ratchet() {
+    let ws = temp_ws("debt");
+    write(
+        &ws,
+        "crates/core/src/lib.rs",
+        &fixture("suppression_debt_bad.rs"),
+    );
+
+    // No ledger: any suppression is growth over an implicit zero baseline.
+    let (code, out, _) = lint(&ws, &["--no-cache"]);
+    assert_eq!(code, 1);
+    assert!(out.contains("suppression-debt"), "{out}");
+
+    // Consciously seed the ledger: the gate opens.
+    let (code, _, _) = lint(&ws, &["--no-cache", "--update-debt"]);
+    assert_eq!(code, 0);
+    let ledger = fs::read_to_string(ws.join("results/LINT_DEBT.json")).expect("ledger");
+    assert!(ledger.contains("\"total\": 1"), "{ledger}");
+    let (code, _, _) = lint(&ws, &["--no-cache"]);
+    assert_eq!(code, 0, "counts matching the ledger pass");
+
+    // Fix the code: the ledger auto-ratchets down and stays down.
+    write(
+        &ws,
+        "crates/core/src/lib.rs",
+        &fixture("suppression_debt_clean.rs"),
+    );
+    let (code, _, _) = lint(&ws, &["--no-cache"]);
+    assert_eq!(code, 0);
+    let ledger = fs::read_to_string(ws.join("results/LINT_DEBT.json")).expect("ledger");
+    assert!(ledger.contains("\"total\": 0"), "ratcheted: {ledger}");
+
+    // Regression: re-adding the suppression now fails against the ratchet.
+    write(
+        &ws,
+        "crates/core/src/lib.rs",
+        &fixture("suppression_debt_bad.rs"),
+    );
+    let (code, out, _) = lint(&ws, &["--no-cache"]);
+    assert_eq!(code, 1);
+    assert!(out.contains("suppression debt grew"), "{out}");
+}
+
+#[test]
+fn suppression_debt_cannot_be_inline_suppressed() {
+    // The ledger is the only way to carry debt: an inline
+    // allow(suppression-debt) does not silence the gate — and being a valid
+    // suppression, it *adds* to the debt it is trying to hide.
+    let ws = temp_ws("debt-meta");
+    write(
+        &ws,
+        "crates/core/src/lib.rs",
+        "// qem-lint: allow(suppression-debt) — trying to hide the ledger\npub fn f(v: &[u64]) -> u64 {\n    // qem-lint: allow(no-panic-path) — caller contract\n    *v.first().unwrap()\n}\n",
+    );
+    let (code, out, _) = lint(&ws, &["--no-cache"]);
+    assert_eq!(code, 1);
+    assert!(out.contains("suppression-debt"), "{out}");
+    assert!(
+        out.contains("2 `qem-lint: allow` escape(s)"),
+        "both suppressions count: {out}"
+    );
+}

@@ -4,20 +4,21 @@
 //! Fixtures are read as text (not compiled) and linted under a synthetic
 //! workspace path that puts them in the rule's scope.
 
-use xtask::lexer::analyze;
 use xtask::rules::{lint_file, Diagnostic};
+use xtask::tree::analyze;
 
 /// Lints a fixture as if it lived at `virtual_path` in the workspace.
 fn lint_fixture(name: &str, virtual_path: &str) -> Vec<Diagnostic> {
     let path = format!("{}/tests/fixtures/{name}", env!("CARGO_MANIFEST_DIR"));
     let src = std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {path}: {e}"));
-    lint_file(virtual_path, &analyze(&src))
+    lint_file(virtual_path, &analyze(&src)).0
 }
 
 /// Scope path per rule: the crate/file combination the rule watches.
 fn scope_path(rule: &str) -> &'static str {
     match rule {
-        "relaxed-ordering" => "crates/telemetry/src/recorder.rs",
+        "relaxed-ordering" => "crates/telemetry/src/metrics.rs",
+        "atomic-ordering-policy" => "crates/telemetry/src/recorder.rs",
         "telemetry-name-registry" => "crates/core/src/fixture.rs",
         "kernel-invariant-hook" => "crates/linalg/src/flat_dist.rs",
         _ => "crates/core/src/fixture.rs",
@@ -115,9 +116,13 @@ fn relaxed_ordering_pair() {
 }
 
 #[test]
-fn relaxed_ordering_only_in_named_files() {
-    // The same Relaxed usage in a differently named file is out of scope.
-    let diags = lint_fixture("relaxed_ordering_bad.rs", "crates/telemetry/src/metrics.rs");
+fn relaxed_ordering_exempt_in_atomic_policy_files() {
+    // Files with an `ATOMIC_POLICIES` row are checked site-by-site by
+    // `atomic-ordering-policy` instead of the blanket relaxed ban.
+    let diags = lint_fixture(
+        "relaxed_ordering_bad.rs",
+        "crates/telemetry/src/recorder.rs",
+    );
     assert!(
         diags.iter().all(|d| d.rule != "relaxed-ordering"),
         "{diags:?}"
@@ -160,11 +165,39 @@ fn new_rule_suppressions_honour_the_reason_contract() {
         "no-unsynced-static",
         "no-unseeded-rng",
         "kernel-invariant-hook",
+        "lock-order-policy",
+        "atomic-ordering-policy",
     ] {
         let stem = rule.replace('-', "_");
         let diags = lint_fixture(&format!("{stem}_suppressed.rs"), scope_path(rule));
         assert!(diags.is_empty(), "{rule}: {diags:?}");
     }
+}
+
+#[test]
+fn lock_order_policy_pair() {
+    // Undeclared nesting, a leaf violation, and a declared a->b->a cycle.
+    check_pair("lock-order-policy", 3);
+}
+
+#[test]
+fn atomic_ordering_policy_pair() {
+    // A SeqCst store and an Acquire RMW against a Relaxed-only policy row.
+    check_pair("atomic-ordering-policy", 2);
+}
+
+#[test]
+fn atomic_ordering_policy_only_in_policy_files() {
+    // The same sites in a file without an ATOMIC_POLICIES row fall under
+    // the blanket relaxed-ordering rule instead, not this one.
+    let diags = lint_fixture(
+        "atomic_ordering_policy_bad.rs",
+        "crates/telemetry/src/metrics.rs",
+    );
+    assert!(
+        diags.iter().all(|d| d.rule != "atomic-ordering-policy"),
+        "{diags:?}"
+    );
 }
 
 #[test]

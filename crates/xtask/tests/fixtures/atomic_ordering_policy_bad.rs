@@ -1,0 +1,9 @@
+// Fixture: orderings outside the file's declared policy row.
+// lock-order: none
+use std::sync::atomic::{AtomicU64, Ordering};
+
+pub fn publish(flag: &AtomicU64) {
+    // recorder.rs policy allows Relaxed only: both sites must be findings.
+    flag.store(1, Ordering::SeqCst);
+    flag.fetch_add(1, Ordering::Acquire);
+}

@@ -1,0 +1,14 @@
+// Fixture: every ordering matches the policy row; non-atomic `.load(path)`
+// calls are not atomic sites.
+// lock-order: none
+use std::sync::atomic::{AtomicU64, Ordering};
+
+pub fn bump(counter: &AtomicU64) -> u64 {
+    counter.fetch_add(1, Ordering::Relaxed);
+    counter.load(Ordering::Relaxed)
+}
+
+pub fn decoy(loader: &Loader, path: &str) {
+    loader.load(path);
+    loader.store(path, 1);
+}

@@ -1,0 +1,9 @@
+// Fixture: a reasoned suppression silences one policy violation.
+// lock-order: none
+use std::sync::atomic::{AtomicU64, Ordering};
+
+pub fn publish(flag: &AtomicU64) {
+    // qem-lint: allow(atomic-ordering-policy) — interim SeqCst while the
+    // handoff protocol is being redesigned; remove with the next policy bump
+    flag.store(1, Ordering::SeqCst);
+}

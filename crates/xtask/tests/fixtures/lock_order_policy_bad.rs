@@ -1,0 +1,25 @@
+// Fixture: undeclared lock nesting, a leaf violation, and a declared cycle.
+// lock-order: leaf(stats)
+// lock-order: a -> b
+// lock-order: b -> a
+use std::sync::Mutex;
+
+pub struct S {
+    queue: Mutex<Vec<u64>>,
+    stats: Mutex<u64>,
+    side: Mutex<u64>,
+}
+
+impl S {
+    pub fn undeclared_nesting(&self) {
+        let q = self.queue.lock().unwrap_or_else(|p| p.into_inner());
+        let s = self.side.lock().unwrap_or_else(|p| p.into_inner());
+        drop((q, s));
+    }
+
+    pub fn leaf_violation(&self) {
+        let s = self.stats.lock().unwrap_or_else(|p| p.into_inner());
+        let q = self.queue.lock().unwrap_or_else(|p| p.into_inner());
+        drop((s, q));
+    }
+}

@@ -1,0 +1,35 @@
+// Fixture: every nesting is declared; temporaries and condition guards do
+// not count as held.
+// lock-order: queue -> side
+// lock-order: leaf(stats)
+use std::sync::Mutex;
+
+pub struct S {
+    queue: Mutex<Vec<u64>>,
+    stats: Mutex<u64>,
+    side: Mutex<u64>,
+}
+
+impl S {
+    pub fn declared_nesting(&self) {
+        let q = self.queue.lock().unwrap_or_else(|p| p.into_inner());
+        let s = self.side.lock().unwrap_or_else(|p| p.into_inner());
+        drop((q, s));
+    }
+
+    pub fn statement_temp_then_leaf(&self) {
+        // The queue guard drops at the end of its statement...
+        self.queue.lock().unwrap_or_else(|p| p.into_inner()).clear();
+        // ...and a condition temporary drops before its block runs.
+        if *self.stats.lock().unwrap_or_else(|p| p.into_inner()) > 0 {
+            let q = self.queue.lock().unwrap_or_else(|p| p.into_inner());
+            drop(q);
+        }
+    }
+
+    pub fn deref_copy_is_not_held(&self) {
+        let n = *self.stats.lock().unwrap_or_else(|p| p.into_inner());
+        let q = self.queue.lock().unwrap_or_else(|p| p.into_inner());
+        drop((n, q));
+    }
+}

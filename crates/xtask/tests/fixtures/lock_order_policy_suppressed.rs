@@ -1,0 +1,17 @@
+// Fixture: a reasoned suppression silences one lock-order finding.
+use std::sync::Mutex;
+
+pub struct S {
+    queue: Mutex<Vec<u64>>,
+    side: Mutex<u64>,
+}
+
+impl S {
+    pub fn transitional(&self) {
+        let q = self.queue.lock().unwrap_or_else(|p| p.into_inner());
+        // qem-lint: allow(lock-order-policy) — migration shim until the side
+        // table merges into queue; tracked in the debt ledger
+        let s = self.side.lock().unwrap_or_else(|p| p.into_inner());
+        drop((q, s));
+    }
+}

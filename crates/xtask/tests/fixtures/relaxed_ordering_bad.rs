@@ -1,4 +1,5 @@
-// Fixture: Relaxed atomic in a concurrency-sensitive file (scoped by name).
+// Fixture: Relaxed atomic in a file without an ATOMIC_POLICIES row —
+// the lexical rule still demands a justification there.
 use std::sync::atomic::{AtomicU64, Ordering};
 
 pub fn bump(c: &AtomicU64) {

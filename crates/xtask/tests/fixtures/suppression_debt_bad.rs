@@ -1,0 +1,5 @@
+// Fixture: one reasoned suppression — debt that a zeroed ledger rejects.
+pub fn demo(v: &[f64]) -> f64 {
+    // qem-lint: allow(no-panic-path) — length checked by the caller's contract
+    v.first().unwrap() + 1.0
+}

@@ -1,0 +1,4 @@
+// Fixture: no suppressions, no debt.
+pub fn demo(v: &[f64]) -> Option<f64> {
+    v.first().map(|x| x + 1.0)
+}
