@@ -78,8 +78,19 @@ fn cache() -> &'static Mutex<Shard> {
 
 /// FNV-1a over the matrix shape and the exact bit patterns of its entries.
 /// Bit-exact keying means "same inverse" is decided by the arithmetic that
-/// produced the matrix, never by a tolerance.
+/// produced the matrix, never by a tolerance. Production paths go through
+/// [`content_hash_with_meta`]; this meta-free form anchors the hash tests.
+#[cfg(test)]
 fn content_hash(m: &Matrix) -> u64 {
+    content_hash_with_meta(m, &[])
+}
+
+/// [`content_hash`] extended with caller-supplied metadata limbs mixed in
+/// after the matrix content. Wide (>64-qubit) plan construction salts the
+/// key with the patch's two-limb qubit mask and register width, so
+/// bit-identical blocks on different heavy-hex patches occupy distinct
+/// buckets; an empty `meta` reduces to the plain content hash.
+fn content_hash_with_meta(m: &Matrix, meta: &[u64]) -> u64 {
     // Seeded corruption hook: collapse every matrix into one hash bucket.
     // FNV-1a preimages cannot be crafted by hand, so this is how the
     // sanitizer tests exercise the collision guard for real.
@@ -101,6 +112,10 @@ fn content_hash(m: &Matrix) -> u64 {
         for j in 0..m.cols() {
             mix(m[(i, j)].to_bits());
         }
+    }
+    mix(meta.len() as u64);
+    for &v in meta {
+        mix(v);
     }
     h
 }
@@ -128,7 +143,16 @@ fn bit_identical(a: &Matrix, b: &Matrix) -> bool {
 /// re-characterisation over unchanged patches, persistence round-trips —
 /// pay for LU once and share the stored inverse thereafter.
 pub fn invert_cached(m: &Matrix) -> Result<Arc<Matrix>> {
-    let key = content_hash(m);
+    invert_cached_with_meta(m, &[])
+}
+
+/// [`invert_cached`] with metadata limbs salted into the cache key (see
+/// [`content_hash_with_meta`]). Correctness does not depend on the salt —
+/// the inverse is a function of the matrix alone and every hash hit is
+/// still guarded by bit-exact forward comparison — so salting only spreads
+/// wide-plan patches across buckets.
+pub fn invert_cached_with_meta(m: &Matrix, meta: &[u64]) -> Result<Arc<Matrix>> {
+    let key = content_hash_with_meta(m, meta);
     {
         let guard = cache().lock().unwrap_or_else(|p| p.into_inner());
         if let Some(bucket) = guard.get(&key) {
@@ -231,6 +255,22 @@ mod tests {
         n[(0, 0)] = f64::from_bits(v.to_bits() + 1);
         assert!(!bit_identical(&m, &n));
         assert_ne!(content_hash(&m), content_hash(&n));
+    }
+
+    #[test]
+    fn meta_limbs_salt_the_hash() {
+        let m = flip_channel(0.1, 0.2).unwrap();
+        // Two-limb qubit masks from 128-bit plan keys: crossing the limb
+        // boundary must change the key, and the empty salt must reduce to
+        // the plain content hash.
+        let low = qem_linalg::K128::new(0, 1 << 63);
+        let high = qem_linalg::K128::new(1, 0);
+        let h_plain = content_hash(&m);
+        let h_low = content_hash_with_meta(&m, &[low.lo(), low.hi(), 127]);
+        let h_high = content_hash_with_meta(&m, &[high.lo(), high.hi(), 127]);
+        assert_eq!(h_plain, content_hash_with_meta(&m, &[]));
+        assert_ne!(h_plain, h_low);
+        assert_ne!(h_low, h_high, "adjacent masks across the limb boundary");
     }
 
     #[test]

@@ -6,7 +6,7 @@ use crate::error::Result;
 use crate::plan::MitigationPlan;
 use qem_linalg::dense::Matrix;
 use qem_linalg::error::LinalgError;
-use qem_linalg::flat_dist::Workspace;
+use qem_linalg::flat_dist::{FlatDist, StateKey, Workspace, K128};
 use qem_linalg::sparse_apply::{apply_operator_sparse, SparseDist};
 use qem_linalg::stochastic::apply_on_qubits;
 use qem_sim::counts::Counts;
@@ -143,8 +143,26 @@ impl SparseMitigator {
     /// through the process-wide [`inverse_cache`](crate::inverse_cache), so
     /// repeated builds over bit-identical patches (resilience retries,
     /// drift re-characterisation, persistence round-trips) invert once.
+    ///
+    /// On registers wider than 64 qubits the cache key is salted with the
+    /// patch's two-limb qubit mask, so wide-plan metadata participates in
+    /// the content hash and identical blocks on different heavy-hex patches
+    /// hash to distinct buckets.
     pub fn push_inverse(&mut self, cal: &CalibrationMatrix) -> Result<()> {
-        let inv = crate::inverse_cache::invert_cached(cal.matrix())?;
+        let inv = if self.n > crate::plan::NARROW_KEY_QUBITS {
+            let mut mask = K128::ZERO;
+            for &q in cal.qubits() {
+                if q < K128::BITS as usize {
+                    mask |= K128::from_bit(q);
+                }
+            }
+            crate::inverse_cache::invert_cached_with_meta(
+                cal.matrix(),
+                &[mask.lo(), mask.hi(), self.n as u64],
+            )?
+        } else {
+            crate::inverse_cache::invert_cached(cal.matrix())?
+        };
         self.push_step(cal.qubits().to_vec(), (*inv).clone())
     }
 
@@ -246,6 +264,41 @@ impl SparseMitigator {
                 d.cull(self.cull_threshold);
             }
         }
+        d.clamp_negative();
+        Ok(d)
+    }
+
+    /// Mitigates a wide (two-limb-keyed) flat distribution through the
+    /// compiled 128-bit kernel. This is the single-histogram entry point
+    /// for registers beyond 64 qubits — IBM Eagle/Heron heavy-hex class —
+    /// where basis states no longer fit the `u64`-keyed [`SparseDist`]
+    /// boundary type. Output is culled, negative-clamped and renormalised
+    /// exactly like [`SparseMitigator::mitigate_dist`].
+    pub fn mitigate_flat_wide(&self, dist: &FlatDist<K128>) -> Result<FlatDist<K128>> {
+        let _span = qem_telemetry::span!(
+            qem_telemetry::names::CORE_MITIGATOR_APPLY,
+            steps = self.steps.len()
+        );
+        let plan = self.plan()?;
+        let mut ws = Workspace::new();
+        let (mut d, flops) = plan.apply_flat_wide(dist, self.cull_threshold, &mut ws)?;
+        d.clamp_negative();
+        qem_telemetry::counter_add(qem_telemetry::names::CORE_MITIGATOR_FLOPS_ESTIMATE, flops);
+        qem_telemetry::gauge_set(
+            qem_telemetry::names::CORE_MITIGATOR_FLOPS_PER_HISTOGRAM,
+            flops as f64,
+        );
+        qem_telemetry::counter_add(qem_telemetry::names::CORE_MITIGATOR_APPLIES_TOTAL, 1);
+        Ok(d)
+    }
+
+    /// Hash-map serial reference for [`SparseMitigator::mitigate_flat_wide`]
+    /// (one exact-accumulation pass per layer, cull at each layer boundary,
+    /// then the same negative clamp). Kept for equivalence testing and the
+    /// scaling benchmark; emits no telemetry.
+    pub fn mitigate_flat_wide_serial(&self, dist: &FlatDist<K128>) -> Result<FlatDist<K128>> {
+        let plan = self.plan()?;
+        let mut d = plan.apply_flat_wide_reference(dist, self.cull_threshold)?;
         d.clamp_negative();
         Ok(d)
     }

@@ -23,12 +23,28 @@
 //! plan is shared by every histogram the mitigator touches — including
 //! whole batches via
 //! [`SparseMitigator::mitigate_batch`](crate::mitigator::SparseMitigator::mitigate_batch).
+//!
+//! # Key-width selection
+//!
+//! The compiled kernel is generic over the basis-state key
+//! (`qem_linalg::flat_dist::StateKey`). [`MitigationPlan::compile`] picks
+//! the width from the mitigator's register size: up to 64 qubits the plan
+//! compiles to the narrow `u64` kernel (bit-identical behavior and codegen
+//! to the pre-generic engine), and 65–128-qubit registers — IBM's
+//! 127-qubit Eagle / 133-qubit Heron heavy-hex class — compile to the
+//! two-limb [`K128`] kernel. The selection is an internal enum
+//! ([`MitigationPlan`] stays a single concrete type), so callers only
+//! choose an entry point: [`MitigationPlan::apply_flat`] for narrow plans,
+//! [`MitigationPlan::apply_flat_wide`] for wide ones.
 
 use crate::error::Result;
 use crate::mitigator::SparseMitigator;
 use qem_linalg::checks;
 use qem_linalg::checks::mutation::{self, Mutation};
-use qem_linalg::flat_dist::{apply_layer, FlatDist, ScatterStep, Workspace};
+use qem_linalg::error::LinalgError;
+use qem_linalg::flat_dist::{
+    apply_layer, apply_layer_reference, FlatDist, ScatterStep, StateKey, Workspace, K128,
+};
 use qem_linalg::sparse_apply::SparseDist;
 
 /// Cap on a layer's combined per-entry fan-out (product of its steps'
@@ -37,32 +53,46 @@ use qem_linalg::sparse_apply::SparseDist;
 /// while still fusing e.g. three dense 2-qubit inverses (4³ = 64).
 pub const MAX_LAYER_FANOUT: usize = 64;
 
+/// Fan-out cap for wide ([`K128`]) layers. Wide plans run in the
+/// shot-bounded regime where the post-cull support stays near the input
+/// support, so fusing steps multiplies the generated-product volume
+/// (`fanout × support` per layer) without shrinking the surviving set.
+/// A tight cap keeps a 127-qubit plan's total product generation — the
+/// dominant cost once generation-time culling has removed the sort — at
+/// roughly `Σ step_fanout × support` instead of
+/// `layers × fused_fanout × support`.
+pub const MAX_WIDE_LAYER_FANOUT: usize = 4;
+
+/// Register widths above this compile to the wide ([`K128`]) kernel.
+pub const NARROW_KEY_QUBITS: usize = 64;
+
 /// True when `mask` is qubit-disjoint from the most recent layer (or there
 /// is no layer yet). Split out of the greedy-layering match guard so the
 /// seeded-mutation hook has one place to lie about disjointness.
-fn layer_disjoint(layers: &[PlanLayer], mask: u64) -> bool {
-    layers.last().is_none_or(|l| l.mask & mask == 0)
+fn layer_disjoint<K: StateKey>(layers: &[PlanLayer<K>], mask: K) -> bool {
+    layers.last().is_none_or(|l| (l.mask & mask).is_zero())
 }
 
 /// One compiled layer: scatter steps on pairwise-disjoint qubit sets,
-/// applied in a single sweep.
+/// applied in a single sweep. Generic over the state-key width; the
+/// default `u64` covers registers up to 64 qubits.
 #[derive(Clone, Debug)]
-pub struct PlanLayer {
-    steps: Vec<ScatterStep>,
+pub struct PlanLayer<K = u64> {
+    steps: Vec<ScatterStep<K>>,
     /// Union of the layer's qubit masks.
-    mask: u64,
+    mask: K,
     /// Product of the steps' worst-case per-entry fan-outs.
     fanout: usize,
 }
 
-impl PlanLayer {
+impl<K: StateKey> PlanLayer<K> {
     /// The layer's compiled steps.
-    pub fn steps(&self) -> &[ScatterStep] {
+    pub fn steps(&self) -> &[ScatterStep<K>] {
         &self.steps
     }
 
     /// Bitmask of every qubit the layer touches.
-    pub fn mask(&self) -> u64 {
+    pub fn mask(&self) -> K {
         self.mask
     }
 
@@ -72,11 +102,64 @@ impl PlanLayer {
     }
 }
 
+/// The width-selected layer list behind a [`MitigationPlan`].
+#[derive(Clone, Debug)]
+enum PlanKernel {
+    /// `u64` keys — registers up to [`NARROW_KEY_QUBITS`] qubits.
+    Narrow(Vec<PlanLayer<u64>>),
+    /// Two-limb [`K128`] keys — 65–128-qubit registers.
+    Wide(Vec<PlanLayer<K128>>),
+}
+
+/// Greedy order-preserving layering of a step chain at one key width: a
+/// step joins the previous layer only when qubit-disjoint from everything
+/// already in it and the combined fan-out stays within the width's cap —
+/// [`MAX_LAYER_FANOUT`] for narrow keys, [`MAX_WIDE_LAYER_FANOUT`] for
+/// wide; otherwise it opens a new layer.
+fn compile_layers<K: StateKey>(mit: &SparseMitigator) -> Result<Vec<PlanLayer<K>>> {
+    let fanout_cap = if K::BITS > NARROW_KEY_QUBITS as u32 {
+        MAX_WIDE_LAYER_FANOUT
+    } else {
+        MAX_LAYER_FANOUT
+    };
+    let mut layers: Vec<PlanLayer<K>> = Vec::new();
+    for step in mit.steps() {
+        let compiled = ScatterStep::<K>::compile(&step.operator, &step.qubits)?;
+        let fanout = compiled.max_fanout().max(1);
+        // Seeded corruption hook: pretend an overlapping step is
+        // disjoint, so the fused layer would double-apply on the shared
+        // qubits. The post-compile disjointness audit must catch it.
+        let disjoint =
+            layer_disjoint(&layers, compiled.mask()) || mutation::armed(Mutation::OverlapLayers);
+        match layers.last_mut() {
+            Some(layer) if disjoint && layer.fanout.saturating_mul(fanout) <= fanout_cap => {
+                layer.mask |= compiled.mask();
+                layer.fanout *= fanout;
+                layer.steps.push(compiled);
+            }
+            _ => layers.push(PlanLayer {
+                mask: compiled.mask(),
+                fanout,
+                steps: vec![compiled],
+            }),
+        }
+    }
+    if checks::ENABLED {
+        for layer in &layers {
+            checks::check_disjoint_masks(
+                "MitigationPlan::compile",
+                layer.steps.iter().map(|s| s.mask()),
+            );
+        }
+    }
+    Ok(layers)
+}
+
 /// A mitigator chain compiled into layers of branch-free scatter steps.
 #[derive(Clone, Debug)]
 pub struct MitigationPlan {
     n: usize,
-    layers: Vec<PlanLayer>,
+    kernel: PlanKernel,
     step_count: usize,
 }
 
@@ -87,53 +170,40 @@ impl MitigationPlan {
     /// the step immediately before it only when it is qubit-disjoint from
     /// *every* step already in that layer (disjoint ⇒ commuting ⇒ the fused
     /// sweep equals sequential application) and the layer's combined
-    /// fan-out stays within [`MAX_LAYER_FANOUT`]; otherwise it opens a new
+    /// fan-out stays within the key width's cap ([`MAX_LAYER_FANOUT`]
+    /// narrow, [`MAX_WIDE_LAYER_FANOUT`] wide); otherwise it opens a new
     /// layer. Overlapping steps are therefore never reordered.
+    ///
+    /// The state-key width is selected here from the register size:
+    /// `≤ `[`NARROW_KEY_QUBITS`]` qubits` compiles the narrow `u64` kernel,
+    /// anything wider (to 128 qubits) the two-limb [`K128`] kernel.
     pub fn compile(mit: &SparseMitigator) -> Result<MitigationPlan> {
         let _span = qem_telemetry::span!(
             qem_telemetry::names::CORE_PLAN_COMPILE,
             steps = mit.steps().len()
         );
-        let mut layers: Vec<PlanLayer> = Vec::new();
-        for step in mit.steps() {
-            let compiled = ScatterStep::compile(&step.operator, &step.qubits)?;
-            let fanout = compiled.max_fanout().max(1);
-            // Seeded corruption hook: pretend an overlapping step is
-            // disjoint, so the fused layer would double-apply on the shared
-            // qubits. The post-compile disjointness audit must catch it.
-            let disjoint = layer_disjoint(&layers, compiled.mask())
-                || mutation::armed(Mutation::OverlapLayers);
-            match layers.last_mut() {
-                Some(layer)
-                    if disjoint && layer.fanout.saturating_mul(fanout) <= MAX_LAYER_FANOUT =>
-                {
-                    layer.mask |= compiled.mask();
-                    layer.fanout *= fanout;
-                    layer.steps.push(compiled);
-                }
-                _ => layers.push(PlanLayer {
-                    mask: compiled.mask(),
-                    fanout,
-                    steps: vec![compiled],
-                }),
-            }
-        }
-        if checks::ENABLED {
-            for layer in &layers {
-                checks::check_disjoint_masks(
-                    "MitigationPlan::compile",
-                    layer.steps.iter().map(|s| s.mask()),
-                );
-            }
-        }
+        let kernel = if mit.num_qubits() <= NARROW_KEY_QUBITS {
+            PlanKernel::Narrow(compile_layers::<u64>(mit)?)
+        } else {
+            qem_telemetry::counter_add(qem_telemetry::names::KERNEL_SCALING_WIDE_PLANS_TOTAL, 1);
+            PlanKernel::Wide(compile_layers::<K128>(mit)?)
+        };
+        let (layer_count, width) = match &kernel {
+            PlanKernel::Narrow(layers) => (layers.len(), u64::BITS),
+            PlanKernel::Wide(layers) => (layers.len(), K128::BITS),
+        };
         qem_telemetry::counter_add(qem_telemetry::names::CORE_PLAN_COMPILES_TOTAL, 1);
         qem_telemetry::gauge_set(
             qem_telemetry::names::CORE_PLAN_LAYER_COUNT,
-            layers.len() as f64,
+            layer_count as f64,
+        );
+        qem_telemetry::gauge_set(
+            qem_telemetry::names::KERNEL_SCALING_KEY_WIDTH_BITS,
+            width as f64,
         );
         Ok(MitigationPlan {
             n: mit.num_qubits(),
-            layers,
+            kernel,
             step_count: mit.steps().len(),
         })
     }
@@ -143,9 +213,38 @@ impl MitigationPlan {
         self.n
     }
 
-    /// Compiled layers in application order.
+    /// State-key width the plan compiled to (64 or 128 bits).
+    pub fn key_width_bits(&self) -> u32 {
+        match &self.kernel {
+            PlanKernel::Narrow(_) => u64::BITS,
+            PlanKernel::Wide(_) => K128::BITS,
+        }
+    }
+
+    /// Number of compiled layers (either key width).
+    pub fn num_layers(&self) -> usize {
+        match &self.kernel {
+            PlanKernel::Narrow(layers) => layers.len(),
+            PlanKernel::Wide(layers) => layers.len(),
+        }
+    }
+
+    /// Compiled narrow-kernel layers in application order. Empty when the
+    /// plan compiled to the wide kernel — see [`MitigationPlan::wide_layers`].
     pub fn layers(&self) -> &[PlanLayer] {
-        &self.layers
+        match &self.kernel {
+            PlanKernel::Narrow(layers) => layers,
+            PlanKernel::Wide(_) => &[],
+        }
+    }
+
+    /// Compiled wide-kernel layers in application order. Empty when the
+    /// plan compiled to the narrow kernel — see [`MitigationPlan::layers`].
+    pub fn wide_layers(&self) -> &[PlanLayer<K128>] {
+        match &self.kernel {
+            PlanKernel::Narrow(_) => &[],
+            PlanKernel::Wide(layers) => layers,
+        }
     }
 
     /// Number of original mitigation steps the plan covers.
@@ -159,15 +258,33 @@ impl MitigationPlan {
     /// number of scatter multiply-adds performed — counted *inside* the
     /// kernel on post-cull supports, so the figure reflects work actually
     /// done rather than a pre-cull upper bound.
+    ///
+    /// Narrow (`≤ 64` qubit) plans only; a wide plan returns an error
+    /// because its output keys cannot fit a `u64` — use
+    /// [`MitigationPlan::apply_flat_wide`].
     pub fn apply_flat(
         &self,
         dist: &FlatDist,
         cull: f64,
         ws: &mut Workspace,
     ) -> Result<(FlatDist, u64)> {
+        let layers = match &self.kernel {
+            PlanKernel::Narrow(layers) => layers,
+            PlanKernel::Wide(_) => {
+                return Err(LinalgError::DimensionMismatch {
+                    op: "MitigationPlan::apply_flat",
+                    detail: format!(
+                        "plan for {} qubits compiled to the 128-bit kernel; \
+                         use apply_flat_wide",
+                        self.n
+                    ),
+                }
+                .into());
+            }
+        };
         let mut d = dist.clone();
         let mut flops = 0u64;
-        for layer in &self.layers {
+        for layer in layers {
             let (next, f) = apply_layer(&d, &layer.steps, cull, ws)?;
             d = next;
             flops += f;
@@ -177,6 +294,104 @@ impl MitigationPlan {
             );
         }
         Ok((d, flops))
+    }
+
+    /// Wide-kernel counterpart of [`MitigationPlan::apply_flat`]: applies a
+    /// wide ([`K128`]-keyed) plan to a wide flat distribution. Narrow plans
+    /// return an error (their layers hold `u64` scatter tables).
+    pub fn apply_flat_wide(
+        &self,
+        dist: &FlatDist<K128>,
+        cull: f64,
+        ws: &mut Workspace<K128>,
+    ) -> Result<(FlatDist<K128>, u64)> {
+        let layers = match &self.kernel {
+            PlanKernel::Wide(layers) => layers,
+            PlanKernel::Narrow(_) => {
+                return Err(LinalgError::DimensionMismatch {
+                    op: "MitigationPlan::apply_flat_wide",
+                    detail: format!(
+                        "plan for {} qubits compiled to the 64-bit kernel; \
+                         use apply_flat",
+                        self.n
+                    ),
+                }
+                .into());
+            }
+        };
+        let mut d = dist.clone();
+        let mut flops = 0u64;
+        for layer in layers {
+            let (next, f) = apply_layer(&d, &layer.steps, cull, ws)?;
+            d = next;
+            flops += f;
+            qem_telemetry::histogram_record(
+                qem_telemetry::names::CORE_PLAN_LAYER_ENTRIES,
+                d.len() as f64,
+            );
+        }
+        qem_telemetry::counter_add(qem_telemetry::names::KERNEL_SCALING_WIDE_APPLIES_TOTAL, 1);
+        qem_telemetry::gauge_set(
+            qem_telemetry::names::KERNEL_SCALING_SUPPORT_ENTRIES,
+            d.len() as f64,
+        );
+        Ok((d, flops))
+    }
+
+    /// Hash-map serial reference for a wide plan: applies each layer
+    /// through `apply_layer_reference` (exact HashMap accumulation, one
+    /// cull per layer — the compiled kernel's cull points), so the result
+    /// is the oracle the scaling bench and the 127-qubit equivalence test
+    /// compare [`MitigationPlan::apply_flat_wide`] against.
+    pub fn apply_flat_wide_reference(
+        &self,
+        dist: &FlatDist<K128>,
+        cull: f64,
+    ) -> Result<FlatDist<K128>> {
+        let layers = match &self.kernel {
+            PlanKernel::Wide(layers) => layers,
+            PlanKernel::Narrow(_) => {
+                return Err(LinalgError::DimensionMismatch {
+                    op: "MitigationPlan::apply_flat_wide_reference",
+                    detail: format!(
+                        "plan for {} qubits compiled to the 64-bit kernel; \
+                         use apply_flat",
+                        self.n
+                    ),
+                }
+                .into());
+            }
+        };
+        let mut d = dist.clone();
+        for layer in layers {
+            d = apply_layer_reference(&d, &layer.steps, cull)?;
+        }
+        Ok(d)
+    }
+
+    /// Narrow-kernel twin of [`MitigationPlan::apply_flat_wide_reference`]:
+    /// the same hash-map layer oracle over `u64` keys, so the scaling bench
+    /// can assert L1 parity at identical cull points on every grid row.
+    pub fn apply_flat_reference(&self, dist: &FlatDist, cull: f64) -> Result<FlatDist> {
+        let layers = match &self.kernel {
+            PlanKernel::Narrow(layers) => layers,
+            PlanKernel::Wide(_) => {
+                return Err(LinalgError::DimensionMismatch {
+                    op: "MitigationPlan::apply_flat_reference",
+                    detail: format!(
+                        "plan for {} qubits compiled to the 128-bit kernel; \
+                         use apply_flat_wide_reference",
+                        self.n
+                    ),
+                }
+                .into());
+            }
+        };
+        let mut d = dist.clone();
+        for layer in layers {
+            d = apply_layer_reference(&d, &layer.steps, cull)?;
+        }
+        Ok(d)
     }
 
     /// [`MitigationPlan::apply_flat`] with hash-map distributions at the
@@ -222,6 +437,7 @@ mod tests {
         assert_eq!(plan.num_steps(), 3);
         assert_eq!(plan.layers().len(), 1, "disjoint 1q steps share a layer");
         assert_eq!(plan.layers()[0].fanout(), 8);
+        assert_eq!(plan.key_width_bits(), 64);
     }
 
     #[test]
@@ -259,5 +475,48 @@ mod tests {
         for (s, &e) in reference.iter().enumerate() {
             assert!((got.get(s as u64) - e).abs() < 1e-12, "state {s}");
         }
+    }
+
+    #[test]
+    fn wide_registers_compile_to_wide_kernel() {
+        // Steps straddling the 64-qubit boundary force the K128 kernel; the
+        // narrow entry points refuse and the wide ones work.
+        let mit = chain(100, &[vec![0, 1], vec![63, 64], vec![98, 99]]);
+        let plan = MitigationPlan::compile(&mit).unwrap();
+        assert_eq!(plan.key_width_bits(), 128);
+        assert!(plan.layers().is_empty());
+        assert_eq!(plan.wide_layers().len(), plan.num_layers());
+        assert!(plan
+            .apply_flat(&FlatDist::new(), 0.0, &mut Workspace::new())
+            .is_err());
+
+        let dist = FlatDist::<K128>::from_pairs([
+            (K128::new(0, 3), 0.5),
+            (K128::new(1 << 34, 1 << 63), 0.5),
+        ]);
+        let (got, flops) = plan
+            .apply_flat_wide(&dist, 0.0, &mut Workspace::new())
+            .unwrap();
+        assert!(flops > 0);
+        let reference = plan.apply_flat_wide_reference(&dist, 0.0).unwrap();
+        assert!(
+            got.l1_distance(&reference) < 1e-12,
+            "wide plan vs reference l1 = {}",
+            got.l1_distance(&reference)
+        );
+        assert!((got.total() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn narrow_plan_refuses_wide_entry_points() {
+        let mit = chain(4, &[vec![0, 1]]);
+        let plan = MitigationPlan::compile(&mit).unwrap();
+        assert_eq!(plan.key_width_bits(), 64);
+        assert!(plan
+            .apply_flat_wide(&FlatDist::new(), 0.0, &mut Workspace::new())
+            .is_err());
+        assert!(plan
+            .apply_flat_wide_reference(&FlatDist::new(), 0.0)
+            .is_err());
     }
 }

@@ -133,6 +133,30 @@ fn distinct_matrices_race_to_distinct_entries() {
 }
 
 #[test]
+fn wide_meta_hits_survive_forced_collisions() {
+    let _guard = serial();
+    inverse_cache::clear();
+    // Collapse every key into one bucket, then look up two distinct
+    // matrices under distinct 128-bit qubit-mask salts (the wide-plan
+    // metadata a >64-qubit chain feeds in): the bit-equality guard must
+    // still pair each forward matrix with its own inverse.
+    let _collide = mutation::arm(Mutation::ForceHashCollision);
+    let a = flip_channel(0.11, 0.04).expect("valid channel");
+    let b = flip_channel(0.07, 0.09).expect("valid channel");
+    let mask_a = qem_linalg::K128::new(0, 0b11); // qubits 0,1
+    let mask_b = qem_linalg::K128::new(0b11, 0); // qubits 64,65
+    let meta_a = [mask_a.lo(), mask_a.hi(), 127];
+    let meta_b = [mask_b.lo(), mask_b.hi(), 127];
+    let inv_a = inverse_cache::invert_cached_with_meta(&a, &meta_a).expect("invertible");
+    let inv_b = inverse_cache::invert_cached_with_meta(&b, &meta_b).expect("invertible");
+    assert_is_inverse(&a, &inv_a);
+    assert_is_inverse(&b, &inv_b);
+    // Same matrix + same salt shares the colliding bucket entry.
+    let again = inverse_cache::invert_cached_with_meta(&a, &meta_a).expect("invertible");
+    assert!(Arc::ptr_eq(&inv_a, &again));
+}
+
+#[test]
 fn collision_guard_survives_threaded_single_bucket_traffic() {
     let _guard = serial();
     inverse_cache::clear();

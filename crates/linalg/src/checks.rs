@@ -60,7 +60,7 @@ macro_rules! kernel_assert {
 /// representation invariant of `FlatDist` and of every run the layer kernel
 /// merges. No-op unless `invariant-checks` is enabled.
 #[cfg(feature = "invariant-checks")]
-pub fn check_sorted_unique(op: &str, entries: &[(u64, f64)]) {
+pub fn check_sorted_unique<K: Copy + Ord + std::fmt::Display>(op: &str, entries: &[(K, f64)]) {
     for w in entries.windows(2) {
         assert!(
             w[0].0 < w[1].0,
@@ -74,12 +74,15 @@ pub fn check_sorted_unique(op: &str, entries: &[(u64, f64)]) {
 /// No-op stub compiled without `invariant-checks`.
 #[cfg(not(feature = "invariant-checks"))]
 #[inline(always)]
-pub fn check_sorted_unique(_op: &str, _entries: &[(u64, f64)]) {}
+pub fn check_sorted_unique<K: Copy + Ord + std::fmt::Display>(_op: &str, _entries: &[(K, f64)]) {}
 
 /// Asserts every weight is non-negative (post-projection distributions;
 /// quasi-probability intermediates are exempt by not calling this).
 #[cfg(feature = "invariant-checks")]
-pub fn check_nonnegative<I: IntoIterator<Item = (u64, f64)>>(op: &str, iter: I) {
+pub fn check_nonnegative<K: std::fmt::Display, I: IntoIterator<Item = (K, f64)>>(
+    op: &str,
+    iter: I,
+) {
     for (state, w) in iter {
         assert!(
             w >= 0.0,
@@ -91,7 +94,11 @@ pub fn check_nonnegative<I: IntoIterator<Item = (u64, f64)>>(op: &str, iter: I) 
 /// No-op stub compiled without `invariant-checks`.
 #[cfg(not(feature = "invariant-checks"))]
 #[inline(always)]
-pub fn check_nonnegative<I: IntoIterator<Item = (u64, f64)>>(_op: &str, _iter: I) {}
+pub fn check_nonnegative<K: std::fmt::Display, I: IntoIterator<Item = (K, f64)>>(
+    _op: &str,
+    _iter: I,
+) {
+}
 
 /// Asserts an uncalled layer sweep conserved total weight: the columns of
 /// every mitigation operator sum to 1 (stochastic forward channels *and*
@@ -131,15 +138,16 @@ pub fn mass_slack(_l1_in: f64, _col_dev_sum: f64) -> f64 {
 
 /// Asserts a dense-accumulator scatter index is in bounds *before* the
 /// write. The caller sizes the accumulator from the OR of all input keys
-/// with the layer mask; an out-of-range index means that bound was computed
-/// wrong (the PR-4 dense-bound bug) and probability mass is about to be
-/// written out of bounds.
+/// with the layer mask (and derives the index via `StateKey::dense_index`,
+/// so the check is key-width agnostic); an out-of-range index means that
+/// bound was computed wrong (the PR-4 dense-bound bug) and probability mass
+/// is about to be written out of bounds.
 #[cfg(feature = "invariant-checks")]
 #[inline(always)]
-pub fn check_scatter_index(op: &str, key: u64, dim: usize) {
+pub fn check_scatter_index(op: &str, idx: usize, dim: usize) {
     assert!(
-        (key as usize) < dim,
-        "invariant[{op}]: scatter key {key} out of dense-accumulator bounds {dim}; \
+        idx < dim,
+        "invariant[{op}]: scatter index {idx} out of dense-accumulator bounds {dim}; \
          the accumulator bound must cover the OR of all input keys with the layer mask"
     );
 }
@@ -147,16 +155,25 @@ pub fn check_scatter_index(op: &str, key: u64, dim: usize) {
 /// No-op stub compiled without `invariant-checks`.
 #[cfg(not(feature = "invariant-checks"))]
 #[inline(always)]
-pub fn check_scatter_index(_op: &str, _key: u64, _dim: usize) {}
+pub fn check_scatter_index(_op: &str, _idx: usize, _dim: usize) {}
 
 /// Asserts the masks are pairwise disjoint — the commuting-layer
 /// precondition of the fused sweep.
 #[cfg(feature = "invariant-checks")]
-pub fn check_disjoint_masks<I: IntoIterator<Item = u64>>(op: &str, masks: I) {
-    let mut union = 0u64;
+pub fn check_disjoint_masks<K, I>(op: &str, masks: I)
+where
+    K: Copy
+        + Default
+        + PartialEq
+        + std::ops::BitAnd<Output = K>
+        + std::ops::BitOrAssign
+        + std::fmt::LowerHex,
+    I: IntoIterator<Item = K>,
+{
+    let mut union = K::default();
     for (i, m) in masks.into_iter().enumerate() {
         assert!(
-            union & m == 0,
+            union & m == K::default(),
             "invariant[{op}]: step {i} mask {m:#x} overlaps earlier steps {union:#x}; \
              layer steps must act on pairwise-disjoint qubit sets"
         );
@@ -167,7 +184,17 @@ pub fn check_disjoint_masks<I: IntoIterator<Item = u64>>(op: &str, masks: I) {
 /// No-op stub compiled without `invariant-checks`.
 #[cfg(not(feature = "invariant-checks"))]
 #[inline(always)]
-pub fn check_disjoint_masks<I: IntoIterator<Item = u64>>(_op: &str, _masks: I) {}
+pub fn check_disjoint_masks<K, I>(_op: &str, _masks: I)
+where
+    K: Copy
+        + Default
+        + PartialEq
+        + std::ops::BitAnd<Output = K>
+        + std::ops::BitOrAssign
+        + std::fmt::LowerHex,
+    I: IntoIterator<Item = K>,
+{
+}
 
 /// The seeded-corruption harness behind the mutation self-tests.
 ///
@@ -272,7 +299,7 @@ mod tests {
     #[test]
     fn sorted_unique_passes_and_trips() {
         check_sorted_unique("test", &[(0, 0.5), (3, 0.25), (9, 0.25)]);
-        check_sorted_unique("test", &[]);
+        check_sorted_unique::<u64>("test", &[]);
         let dup = std::panic::catch_unwind(|| check_sorted_unique("test", &[(3, 0.5), (3, 0.5)]));
         assert!(dup.is_err(), "duplicate key must trip");
         let unsorted =

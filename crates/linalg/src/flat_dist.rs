@@ -9,17 +9,34 @@
 //! precomputed scatter table, sort the chunk-local output runs, and merge
 //! them — with duplicate accumulation and low-weight culling fused into the
 //! final merge pass. Chunks expand and sort in parallel (rayon), merge in a
-//! parallel binary tree, and all scratch buffers live in a reusable
-//! [`Workspace`] so a batched caller allocates once per thread, not once
-//! per step.
+//! parallel binary tree of cache-blocked merge nodes, and all scratch
+//! buffers live in a reusable [`Workspace`] so a batched caller allocates
+//! once per thread, not once per step.
 //!
 //! [`ScatterStep`] is the compiled form of one `2^k × 2^k` operator on a
 //! qubit subset: a branch-free bit-gather (state → operator column) plus a
-//! per-column table of `(scattered bits, coefficient)` nonzeros. A slice of
-//! steps on pairwise-disjoint qubit sets forms a *layer* that
-//! [`apply_layer`] sweeps in one pass: each entry chains through every step
-//! of the layer in registers before anything is sorted or merged, so the
-//! expensive passes are paid once per layer instead of once per step.
+//! structure-of-arrays table of per-column `(scattered bits, coefficient)`
+//! nonzeros — key deltas and coefficients in separate contiguous arrays so
+//! the hot scatter loop streams two dense lanes instead of chasing
+//! per-column `Vec`s. A slice of steps on pairwise-disjoint qubit sets
+//! forms a *layer* that [`apply_layer`] sweeps in one pass: each entry
+//! chains through every step of the layer in registers before anything is
+//! sorted or merged, so the expensive passes are paid once per layer
+//! instead of once per step.
+//!
+//! # State keys wider than 64 bits
+//!
+//! Everything here is generic over a [`StateKey`] — the sealed family of
+//! basis-state key types. [`u64`] keys cover registers up to 64 qubits and
+//! keep the exact pre-generic representation (the default type parameter
+//! means existing call sites monomorphize to the identical code). [`K128`]
+//! is a two-limb key for 65–128-qubit registers — IBM's 127-qubit Eagle and
+//! 133-qubit Heron heavy-hex devices — with branch-free limb-wise mask and
+//! gather ops and a derived lexicographic `Ord` that coincides with numeric
+//! order. The dense-accumulator fast path sizes itself through
+//! [`StateKey::dense_dim`], which is `None` for any key space wider than
+//! [`DENSE_DIM_LIMIT`], so wide layers can never ask for an oversized
+//! scratch allocation.
 
 use crate::checks;
 use crate::checks::mutation::{self, Mutation};
@@ -29,6 +46,8 @@ use crate::sparse_apply::SparseDist;
 use crate::stochastic::qubit_count;
 use crate::tol;
 use rayon::prelude::*;
+use std::fmt;
+use std::ops::{BitAnd, BitOr, BitOrAssign, Not};
 
 /// Below this many generated entries the serial path beats rayon's
 /// fork/join overhead (mirrors `qem_sim::state::PAR_THRESHOLD`).
@@ -44,18 +63,251 @@ const CHUNKS_PER_THREAD: usize = 4;
 /// sorting entirely and scatter straight into an indexed array.
 const DENSE_DIM_LIMIT: u64 = 1 << 22;
 
+/// Merge nodes longer than this (entries, both inputs combined) are split
+/// into key-range segments merged in parallel. 2^14 entries × 16 bytes is
+/// 256 KiB per input run — two runs fit in a typical per-core L2, so a
+/// blocked merge streams cache-resident segments instead of thrashing LLC
+/// on the multi-megabyte final merges a 127-qubit support produces.
+const MERGE_BLOCK: usize = 1 << 14;
+
+mod sealed {
+    /// Closes [`super::StateKey`] to the two key widths the kernel is
+    /// monomorphized over.
+    pub trait Sealed {}
+    impl Sealed for u64 {}
+    impl Sealed for super::K128 {}
+}
+
+/// Basis-state key of a flat distribution: `u64` (≤ 64 qubits, the
+/// default) or [`K128`] (≤ 128 qubits).
+///
+/// The trait is sealed — the kernel paths are monomorphized over exactly
+/// these two widths, and `u64` call sites compile to the same code they did
+/// before the kernel was generic. All mask algebra goes through the
+/// inherited `BitAnd`/`BitOr`/`Not` operators, which both widths implement
+/// branch-free (limb-wise for [`K128`]).
+pub trait StateKey:
+    sealed::Sealed
+    + Copy
+    + Ord
+    + Eq
+    + std::hash::Hash
+    + fmt::Debug
+    + fmt::Display
+    + fmt::LowerHex
+    + Default
+    + BitAnd<Output = Self>
+    + BitOr<Output = Self>
+    + BitOrAssign
+    + Not<Output = Self>
+    + Send
+    + Sync
+    + 'static
+{
+    /// Key width in bits — the largest register this key type can address.
+    const BITS: u32;
+    /// The all-zeros key.
+    const ZERO: Self;
+    /// Key with exactly bit `q` set (`q < Self::BITS`).
+    fn from_bit(q: usize) -> Self;
+    /// Widens a 64-bit key (bit-exact embed into the low limb).
+    fn from_u64(v: u64) -> Self;
+    /// Value (0 or 1) of bit `q`.
+    fn bit(self, q: usize) -> u64;
+    /// True when no bit is set.
+    fn is_zero(self) -> bool {
+        self == Self::ZERO
+    }
+    /// Dense-accumulator size needed to index every key `≤ self`, or `None`
+    /// when that space exceeds [`DENSE_DIM_LIMIT`] — which it statically
+    /// does for any key with bits above the low 22, so wide-mask layers can
+    /// never select the dense path.
+    fn dense_dim(self) -> Option<usize>;
+    /// The key as a dense-accumulator index. Only meaningful when the
+    /// bounding key's [`dense_dim`](Self::dense_dim) was `Some`.
+    fn dense_index(self) -> usize;
+    /// The low 64 bits of the key.
+    fn low_u64(self) -> u64;
+}
+
+impl StateKey for u64 {
+    const BITS: u32 = 64;
+    const ZERO: u64 = 0;
+    #[inline(always)]
+    fn from_bit(q: usize) -> u64 {
+        1u64 << q
+    }
+    #[inline(always)]
+    fn from_u64(v: u64) -> u64 {
+        v
+    }
+    #[inline(always)]
+    fn bit(self, q: usize) -> u64 {
+        (self >> q) & 1
+    }
+    #[inline(always)]
+    fn dense_dim(self) -> Option<usize> {
+        if self < DENSE_DIM_LIMIT {
+            Some(self as usize + 1)
+        } else {
+            None
+        }
+    }
+    #[inline(always)]
+    fn dense_index(self) -> usize {
+        self as usize
+    }
+    #[inline(always)]
+    fn low_u64(self) -> u64 {
+        self
+    }
+}
+
+/// Two-limb 128-bit basis-state key for 65–128-qubit registers.
+///
+/// Field order (`hi` before `lo`) makes the derived lexicographic `Ord`
+/// coincide with numeric order, so sorted runs, binary searches and merges
+/// work unchanged. All mask ops are limb-wise and branch-free.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct K128 {
+    hi: u64,
+    lo: u64,
+}
+
+impl K128 {
+    /// Key from explicit high and low limbs (`hi` holds qubits 64–127).
+    pub const fn new(hi: u64, lo: u64) -> K128 {
+        K128 { hi, lo }
+    }
+    /// The high limb (qubits 64–127).
+    pub const fn hi(self) -> u64 {
+        self.hi
+    }
+    /// The low limb (qubits 0–63).
+    pub const fn lo(self) -> u64 {
+        self.lo
+    }
+}
+
+impl BitAnd for K128 {
+    type Output = K128;
+    #[inline(always)]
+    fn bitand(self, rhs: K128) -> K128 {
+        K128 {
+            hi: self.hi & rhs.hi,
+            lo: self.lo & rhs.lo,
+        }
+    }
+}
+
+impl BitOr for K128 {
+    type Output = K128;
+    #[inline(always)]
+    fn bitor(self, rhs: K128) -> K128 {
+        K128 {
+            hi: self.hi | rhs.hi,
+            lo: self.lo | rhs.lo,
+        }
+    }
+}
+
+impl BitOrAssign for K128 {
+    #[inline(always)]
+    fn bitor_assign(&mut self, rhs: K128) {
+        self.hi |= rhs.hi;
+        self.lo |= rhs.lo;
+    }
+}
+
+impl Not for K128 {
+    type Output = K128;
+    #[inline(always)]
+    fn not(self) -> K128 {
+        K128 {
+            hi: !self.hi,
+            lo: !self.lo,
+        }
+    }
+}
+
+impl fmt::Display for K128 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.hi == 0 {
+            fmt::Display::fmt(&self.lo, f)
+        } else {
+            write!(f, "{:#x}:{:016x}", self.hi, self.lo)
+        }
+    }
+}
+
+impl fmt::LowerHex for K128 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.hi == 0 {
+            fmt::LowerHex::fmt(&self.lo, f)
+        } else {
+            if f.alternate() {
+                write!(f, "0x")?;
+            }
+            write!(f, "{:x}{:016x}", self.hi, self.lo)
+        }
+    }
+}
+
+impl StateKey for K128 {
+    const BITS: u32 = 128;
+    const ZERO: K128 = K128 { hi: 0, lo: 0 };
+    #[inline(always)]
+    fn from_bit(q: usize) -> K128 {
+        // Branch-free limb select: exactly one of the two shifts carries
+        // the set bit, the other is masked to zero.
+        K128 {
+            hi: ((q >= 64) as u64) << (q & 63),
+            lo: ((q < 64) as u64) << (q & 63),
+        }
+    }
+    #[inline(always)]
+    fn from_u64(v: u64) -> K128 {
+        K128 { hi: 0, lo: v }
+    }
+    #[inline(always)]
+    fn bit(self, q: usize) -> u64 {
+        let limb = if q < 64 { self.lo } else { self.hi };
+        (limb >> (q & 63)) & 1
+    }
+    #[inline(always)]
+    fn dense_dim(self) -> Option<usize> {
+        // Any high-limb bit puts the key space beyond DENSE_DIM_LIMIT, so
+        // the dense accumulator is unreachable for wide masks by
+        // construction — no oversized scratch allocation is possible.
+        if self.hi == 0 && self.lo < DENSE_DIM_LIMIT {
+            Some(self.lo as usize + 1)
+        } else {
+            None
+        }
+    }
+    #[inline(always)]
+    fn dense_index(self) -> usize {
+        self.lo as usize
+    }
+    #[inline(always)]
+    fn low_u64(self) -> u64 {
+        self.lo
+    }
+}
+
 /// Sparse quasi-probability distribution as a run of `(state, weight)`
 /// pairs sorted by state with unique keys.
 ///
 /// The flat layout is what makes the mitigation kernel fast: lookups are
 /// binary searches, merges are linear scans, and the whole distribution is
-/// one contiguous allocation that can be reused across steps.
+/// one contiguous allocation that can be reused across steps. The key type
+/// defaults to `u64`; wide registers use [`FlatDist<K128>`].
 #[derive(Clone, Debug, Default, PartialEq)]
-pub struct FlatDist {
-    entries: Vec<(u64, f64)>,
+pub struct FlatDist<K = u64> {
+    entries: Vec<(K, f64)>,
 }
 
-impl FlatDist {
+impl<K: StateKey> FlatDist<K> {
     /// Empty distribution.
     pub fn new() -> Self {
         FlatDist {
@@ -65,8 +317,8 @@ impl FlatDist {
 
     /// Builds from arbitrary `(state, weight)` pairs: sorts, accumulates
     /// duplicates and drops exact zeros.
-    pub fn from_pairs(pairs: impl IntoIterator<Item = (u64, f64)>) -> Self {
-        let mut entries: Vec<(u64, f64)> = pairs.into_iter().collect();
+    pub fn from_pairs(pairs: impl IntoIterator<Item = (K, f64)>) -> Self {
+        let mut entries: Vec<(K, f64)> = pairs.into_iter().collect();
         entries.sort_unstable_by_key(|&(s, _)| s);
         let mut d = FlatDist {
             entries: combine_sorted(entries, 0.0),
@@ -74,16 +326,6 @@ impl FlatDist {
         // qem-lint: allow(no-float-eq) — exact-zero drop preserves sparsity, not a tolerance test
         d.entries.retain(|&(_, w)| w != 0.0);
         d
-    }
-
-    /// Converts from the hash-map representation.
-    pub fn from_sparse(dist: &SparseDist) -> Self {
-        FlatDist::from_pairs(dist.iter())
-    }
-
-    /// Converts into the hash-map representation.
-    pub fn to_sparse(&self) -> SparseDist {
-        SparseDist::from_pairs(self.entries.iter().copied())
     }
 
     /// Number of stored entries.
@@ -97,7 +339,7 @@ impl FlatDist {
     }
 
     /// Weight of `state` (0 when absent) via binary search.
-    pub fn get(&self, state: u64) -> f64 {
+    pub fn get(&self, state: K) -> f64 {
         match self.entries.binary_search_by_key(&state, |&(s, _)| s) {
             Ok(i) => self.entries.get(i).map_or(0.0, |&(_, w)| w),
             Err(_) => 0.0,
@@ -105,18 +347,51 @@ impl FlatDist {
     }
 
     /// Iterates `(state, weight)` pairs in ascending state order.
-    pub fn iter(&self) -> impl Iterator<Item = (u64, f64)> + '_ {
+    pub fn iter(&self) -> impl Iterator<Item = (K, f64)> + '_ {
         self.entries.iter().copied()
     }
 
     /// The sorted entry run.
-    pub fn entries(&self) -> &[(u64, f64)] {
+    pub fn entries(&self) -> &[(K, f64)] {
         &self.entries
     }
 
     /// Sum of all weights.
     pub fn total(&self) -> f64 {
         self.entries.iter().map(|&(_, w)| w).sum()
+    }
+
+    /// Sum of absolute weights (L1 norm).
+    pub fn l1_norm(&self) -> f64 {
+        self.entries.iter().map(|&(_, w)| w.abs()).sum()
+    }
+
+    /// L1 distance to another flat distribution (two-pointer sweep over the
+    /// sorted runs; no allocation).
+    pub fn l1_distance(&self, other: &FlatDist<K>) -> f64 {
+        let (a, b) = (&self.entries, &other.entries);
+        let (mut i, mut j) = (0usize, 0usize);
+        let mut acc = 0.0f64;
+        while i < a.len() && j < b.len() {
+            match a[i].0.cmp(&b[j].0) {
+                std::cmp::Ordering::Less => {
+                    acc += a[i].1.abs();
+                    i += 1;
+                }
+                std::cmp::Ordering::Greater => {
+                    acc += b[j].1.abs();
+                    j += 1;
+                }
+                std::cmp::Ordering::Equal => {
+                    acc += (a[i].1 - b[j].1).abs();
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        acc += a[i..].iter().map(|&(_, w)| w.abs()).sum::<f64>();
+        acc += b[j..].iter().map(|&(_, w)| w.abs()).sum::<f64>();
+        acc
     }
 
     /// Removes entries with `|w| < threshold`; returns the number removed.
@@ -143,11 +418,35 @@ impl FlatDist {
     }
 }
 
+impl FlatDist<u64> {
+    /// Converts from the hash-map representation.
+    pub fn from_sparse(dist: &SparseDist) -> Self {
+        FlatDist::from_pairs(dist.iter())
+    }
+
+    /// Converts into the hash-map representation.
+    pub fn to_sparse(&self) -> SparseDist {
+        SparseDist::from_pairs(self.entries.iter().copied())
+    }
+
+    /// Widens every key into the low limb of a [`K128`] (bit-exact lift for
+    /// feeding a ≤64-qubit distribution through a wide-key plan).
+    pub fn widen(&self) -> FlatDist<K128> {
+        FlatDist {
+            entries: self
+                .entries
+                .iter()
+                .map(|&(s, w)| (K128::from_u64(s), w))
+                .collect(),
+        }
+    }
+}
+
 /// Accumulates duplicate keys of a sorted run in place and drops entries
 /// with `|w| < cull` (0 disables culling — exact zeros are kept so the
 /// result stays faithful to the unculled arithmetic). Operates on the
 /// buffer in place so callers can keep its capacity alive across calls.
-fn combine_sorted_in_place(run: &mut Vec<(u64, f64)>, cull: f64) {
+fn combine_sorted_in_place<K: StateKey>(run: &mut Vec<(K, f64)>, cull: f64) {
     let mut write = 0usize;
     let mut read = 0usize;
     while read < run.len() {
@@ -166,14 +465,14 @@ fn combine_sorted_in_place(run: &mut Vec<(u64, f64)>, cull: f64) {
 }
 
 /// By-value convenience wrapper over [`combine_sorted_in_place`].
-fn combine_sorted(mut run: Vec<(u64, f64)>, cull: f64) -> Vec<(u64, f64)> {
+fn combine_sorted<K: StateKey>(mut run: Vec<(K, f64)>, cull: f64) -> Vec<(K, f64)> {
     combine_sorted_in_place(&mut run, cull);
     run
 }
 
 /// Merges two sorted unique runs, summing equal keys and culling merged
 /// weights below `cull` — the merge-cull fusion of the plan kernel.
-fn merge_runs(a: &[(u64, f64)], b: &[(u64, f64)], cull: f64, out: &mut Vec<(u64, f64)>) {
+fn merge_runs<K: StateKey>(a: &[(K, f64)], b: &[(K, f64)], cull: f64, out: &mut Vec<(K, f64)>) {
     out.clear();
     out.reserve(a.len() + b.len());
     let (mut i, mut j) = (0usize, 0usize);
@@ -207,39 +506,103 @@ fn merge_runs(a: &[(u64, f64)], b: &[(u64, f64)], cull: f64, out: &mut Vec<(u64,
     }
 }
 
+/// Cache-blocked [`merge_runs`]: merge nodes whose combined input exceeds
+/// [`MERGE_BLOCK`] entries are partitioned into key-range segments (pivots
+/// drawn from the larger run at even strides, both runs cut with
+/// `partition_point` so equal keys land in the same segment) that merge in
+/// parallel and concatenate. Each segment's inputs stay L2-resident, and
+/// the result is entry-for-entry identical to the unblocked merge — the
+/// per-key sum `wa + wb` and the cull decision are computed by the same
+/// [`merge_runs`] arithmetic on the same operands.
+fn merge_runs_blocked<K: StateKey>(a: &[(K, f64)], b: &[(K, f64)], cull: f64) -> Vec<(K, f64)> {
+    let total = a.len() + b.len();
+    if total <= MERGE_BLOCK {
+        let mut out = Vec::new();
+        merge_runs(a, b, cull, &mut out);
+        return out;
+    }
+    let big: &[(K, f64)] = if a.len() >= b.len() { a } else { b };
+    let segments = total.div_ceil(MERGE_BLOCK);
+    let mut cuts: Vec<(usize, usize)> = Vec::with_capacity(segments + 1);
+    cuts.push((0, 0));
+    for seg in 1..segments {
+        let pivot = big
+            .get(seg * big.len() / segments)
+            .map_or(K::ZERO, |&(s, _)| s);
+        // Strictly-less cuts in *both* runs: a key equal to the pivot sorts
+        // into the right-hand segment of whichever run holds it, so a key
+        // present in both runs is summed inside one segment, never split.
+        cuts.push((
+            a.partition_point(|&(s, _)| s < pivot),
+            b.partition_point(|&(s, _)| s < pivot),
+        ));
+    }
+    cuts.push((a.len(), b.len()));
+    let windows: Vec<((usize, usize), (usize, usize))> =
+        cuts.windows(2).map(|w| (w[0], w[1])).collect();
+    let pieces: Vec<Vec<(K, f64)>> = windows
+        .into_par_iter()
+        .map(|((a0, b0), (a1, b1))| {
+            let mut out = Vec::new();
+            merge_runs(&a[a0..a1], &b[b0..b1], cull, &mut out);
+            out
+        })
+        .collect();
+    let mut out: Vec<(K, f64)> = Vec::with_capacity(pieces.iter().map(Vec::len).sum());
+    for p in &pieces {
+        out.extend_from_slice(p);
+    }
+    out
+}
+
 /// Reusable scratch space for [`apply_layer`]: expansion ping-pong buffers
 /// and the merge-tree output. One `Workspace` per mitigation call (or per
 /// rayon worker in a batch) keeps the hot loop allocation-free after the
 /// first layer.
 #[derive(Debug, Default)]
-pub struct Workspace {
-    expand: Vec<(u64, f64)>,
-    scratch_a: Vec<(u64, f64)>,
-    scratch_b: Vec<(u64, f64)>,
+pub struct Workspace<K = u64> {
+    expand: Vec<(K, f64)>,
+    scratch_a: Vec<(K, f64)>,
+    scratch_b: Vec<(K, f64)>,
     /// Dense accumulator, kept all-zero between calls (the compaction scan
     /// resets every slot it reads).
     dense: Vec<f64>,
 }
 
-impl Workspace {
+impl<K: StateKey> Workspace<K> {
     /// Fresh, empty workspace.
     pub fn new() -> Self {
-        Workspace::default()
+        Workspace {
+            expand: Vec::new(),
+            scratch_a: Vec::new(),
+            scratch_b: Vec::new(),
+            dense: Vec::new(),
+        }
     }
 }
 
 /// One compiled mitigation step: a dense `2^k × 2^k` operator on a qubit
-/// subset, lowered to a branch-free bit-gather plus per-column scatter
-/// tables of its nonzero entries.
+/// subset, lowered to a branch-free bit-gather plus a structure-of-arrays
+/// scatter table of its nonzero entries.
+///
+/// The table stores all columns' nonzeros back to back: `col_off[c]..
+/// col_off[c + 1]` indexes column `c`'s slice of the parallel `deltas`
+/// (scattered output bits) and `coeffs` (coefficients) arrays. Splitting
+/// keys from weights keeps each lane dense — the scatter loop streams
+/// contiguous homogeneous data the vectorizer and prefetcher both like,
+/// instead of hopping between per-column heap allocations.
 #[derive(Clone, Debug)]
-pub struct ScatterStep {
+pub struct ScatterStep<K = u64> {
     /// Union of the step's qubit bits in the register bitstring.
-    mask: u64,
+    mask: K,
     /// `(register qubit, operator bit)` pairs: `col = Σ ((s >> q) & 1) << bit`.
     gather: Vec<(u32, u32)>,
-    /// Per operator column: `(scattered output bits, coefficient)` for each
-    /// nonzero entry of that column.
-    cols: Vec<Vec<(u64, f64)>>,
+    /// Per-column offsets into `deltas`/`coeffs` (`sub_dim + 1` entries).
+    col_off: Vec<u32>,
+    /// Scattered output bits of every nonzero, column-contiguous.
+    deltas: Vec<K>,
+    /// Coefficient of every nonzero, parallel to `deltas`.
+    coeffs: Vec<f64>,
     /// Largest per-column nonzero count — the step's worst-case fan-out.
     max_fanout: usize,
     /// Largest `|Σ_col − 1|` over the operator's columns. Mitigation
@@ -249,9 +612,9 @@ pub struct ScatterStep {
     col_dev: f64,
 }
 
-impl ScatterStep {
+impl<K: StateKey> ScatterStep<K> {
     /// Compiles a dense operator on qubits `qs` into scatter form.
-    pub fn compile(m: &Matrix, qs: &[usize]) -> Result<ScatterStep> {
+    pub fn compile(m: &Matrix, qs: &[usize]) -> Result<ScatterStep<K>> {
         let k = qubit_count(m)?;
         if qs.len() != k {
             return Err(LinalgError::DimensionMismatch {
@@ -259,21 +622,21 @@ impl ScatterStep {
                 detail: format!("{k}-qubit operator given {} targets", qs.len()),
             });
         }
-        let mut mask = 0u64;
+        let mut mask = K::ZERO;
         for &q in qs {
-            if q >= 64 {
+            if q >= K::BITS as usize {
                 return Err(LinalgError::DimensionMismatch {
                     op: "ScatterStep::compile",
-                    detail: format!("qubit index {q} exceeds u64 bitstring width"),
+                    detail: format!("qubit index {q} exceeds {}-bit state-key width", K::BITS),
                 });
             }
-            if mask & (1u64 << q) != 0 {
+            if !(mask & K::from_bit(q)).is_zero() {
                 return Err(LinalgError::DimensionMismatch {
                     op: "ScatterStep::compile",
                     detail: format!("duplicate target qubit {q}"),
                 });
             }
-            mask |= 1u64 << q;
+            mask |= K::from_bit(q);
         }
         let gather: Vec<(u32, u32)> = qs
             .iter()
@@ -281,11 +644,15 @@ impl ScatterStep {
             .map(|(bit, &q)| (q as u32, bit as u32))
             .collect();
         let sub_dim = 1usize << k;
-        let mut cols: Vec<Vec<(u64, f64)>> = Vec::with_capacity(sub_dim);
+        let mut col_off: Vec<u32> = Vec::with_capacity(sub_dim + 1);
+        let mut deltas: Vec<K> = Vec::new();
+        let mut coeffs: Vec<f64> = Vec::new();
+        let mut max_fanout = 0usize;
         let mut col_dev = 0.0f64;
+        col_off.push(0);
         for col in 0..sub_dim {
-            let mut nz = Vec::new();
             let mut col_sum = 0.0f64;
+            let start = deltas.len();
             for row in 0..sub_dim {
                 let a = m[(row, col)];
                 col_sum += a;
@@ -293,27 +660,32 @@ impl ScatterStep {
                 if a == 0.0 {
                     continue;
                 }
-                let mut scattered = 0u64;
+                let mut scattered = K::ZERO;
                 for (bit, &q) in qs.iter().enumerate() {
-                    scattered |= (((row >> bit) & 1) as u64) << q;
+                    if (row >> bit) & 1 == 1 {
+                        scattered |= K::from_bit(q);
+                    }
                 }
-                nz.push((scattered, a));
+                deltas.push(scattered);
+                coeffs.push(a);
             }
             col_dev = col_dev.max((col_sum - 1.0).abs());
-            cols.push(nz);
+            max_fanout = max_fanout.max(deltas.len() - start);
+            col_off.push(deltas.len() as u32);
         }
-        let max_fanout = cols.iter().map(Vec::len).max().unwrap_or(0);
         Ok(ScatterStep {
             mask,
             gather,
-            cols,
+            col_off,
+            deltas,
+            coeffs,
             max_fanout,
             col_dev,
         })
     }
 
     /// Bitmask of the step's target qubits.
-    pub fn mask(&self) -> u64 {
+    pub fn mask(&self) -> K {
         self.mask
     }
 
@@ -334,36 +706,81 @@ impl ScatterStep {
 
     /// Extracts the operator column index of a basis state (branch-free).
     #[inline(always)]
-    fn col_of(&self, s: u64) -> usize {
+    fn col_of(&self, s: K) -> usize {
         let mut col = 0u64;
         for &(q, bit) in &self.gather {
-            col |= ((s >> q) & 1) << bit;
+            col |= s.bit(q as usize) << bit;
         }
         col as usize
     }
+
+    /// Column `col`'s nonzeros as parallel `(deltas, coeffs)` lanes.
+    /// Column indices come from the gathered bits, which are `< 2^k` by
+    /// construction, so the offset lookups cannot miss.
+    #[inline(always)]
+    fn col_nonzeros(&self, col: usize) -> (&[K], &[f64]) {
+        let lo = self.col_off[col] as usize;
+        let hi = self.col_off[col + 1] as usize;
+        (&self.deltas[lo..hi], &self.coeffs[lo..hi])
+    }
+}
+
+/// Ceiling on the exponent in the generation-cull bound `cull / 2^bits`.
+/// Past 52 qubits in one layer the quotient is denormal-adjacent noise and
+/// the `1u64 << bits` shift would overflow; real layers stay far below
+/// this (the plan's fan-out cap bounds a layer to a handful of qubits).
+const GEN_CULL_MAX_BITS: usize = 52;
+
+/// Generation-time cull threshold for one layer: the weight below which a
+/// single generated product provably cannot lift any output key over the
+/// layer `cull`, so it can be dropped *before* the sort/merge instead of
+/// after.
+///
+/// Bound: for a fixed output key, each input entry contributes at most one
+/// product (composite deltas within the layer's union mask are distinct),
+/// and only inputs agreeing outside the union can reach it — at most
+/// `2^union_bits` products per output key. If every one of them is below
+/// `cull / 2^union_bits` their sum is below `cull` and the key would be
+/// culled anyway; a key that also receives larger products keeps them, and
+/// its merged weight is perturbed by less than `cull` — inside the
+/// approximation budget the caller already granted by setting `cull`.
+///
+/// Returns `0.0` (no generation cull) for narrow keys so the `≤ 64`-qubit
+/// kernel stays bit-identical to its pre-wide behaviour, and for
+/// `cull <= 0` where exact application was requested.
+fn layer_gen_cull<K: StateKey>(layer: &[ScatterStep<K>], cull: f64) -> f64 {
+    if K::BITS <= 64 || cull <= 0.0 {
+        return 0.0;
+    }
+    let union_bits: usize = layer.iter().map(ScatterStep::num_qubits).sum();
+    cull / (1u64 << union_bits.min(GEN_CULL_MAX_BITS)) as f64
 }
 
 /// Expands the entries of `chunk` through every step of `layer` in order,
 /// appending the generated `(state, weight)` pairs to `out`. Returns the
 /// number of scatter outputs generated (the layer's actual multiply-add
 /// count for these entries). `scratch_a`/`scratch_b` are the per-entry
-/// ping-pong buffers.
-fn expand_chunk(
-    chunk: &[(u64, f64)],
-    layer: &[ScatterStep],
-    out: &mut Vec<(u64, f64)>,
-    scratch_a: &mut Vec<(u64, f64)>,
-    scratch_b: &mut Vec<(u64, f64)>,
+/// ping-pong buffers. Fully-composed products below `gen_cull` (see
+/// [`layer_gen_cull`]) are dropped at generation; pass `0.0` to keep all.
+fn expand_chunk<K: StateKey>(
+    chunk: &[(K, f64)],
+    layer: &[ScatterStep<K>],
+    gen_cull: f64,
+    out: &mut Vec<(K, f64)>,
+    scratch_a: &mut Vec<(K, f64)>,
+    scratch_b: &mut Vec<(K, f64)>,
 ) -> u64 {
     let mut flops = 0u64;
     // Single-step layers skip the per-entry ping-pong entirely.
     if let [step] = layer {
         for &(s, w) in chunk {
             let base = s & !step.mask;
-            if let Some(nz) = step.cols.get(step.col_of(s)) {
-                flops += nz.len() as u64;
-                for &(scattered, a) in nz {
-                    out.push((base | scattered, w * a));
+            let (deltas, coeffs) = step.col_nonzeros(step.col_of(s));
+            flops += deltas.len() as u64;
+            for (&d, &a) in deltas.iter().zip(coeffs) {
+                let v = w * a;
+                if gen_cull <= 0.0 || v.abs() >= gen_cull {
+                    out.push((base | d, v));
                 }
             }
         }
@@ -376,19 +793,21 @@ fn expand_chunk(
             scratch_b.clear();
             for &(cs, cw) in scratch_a.iter() {
                 let base = cs & !step.mask;
-                let col = step.col_of(cs);
-                // Column tables are indexed by the gathered bits, which are
-                // `< 2^k` by construction.
-                if let Some(nz) = step.cols.get(col) {
-                    flops += nz.len() as u64;
-                    for &(scattered, a) in nz {
-                        scratch_b.push((base | scattered, cw * a));
-                    }
+                let (deltas, coeffs) = step.col_nonzeros(step.col_of(cs));
+                flops += deltas.len() as u64;
+                for (&d, &a) in deltas.iter().zip(coeffs) {
+                    scratch_b.push((base | d, cw * a));
                 }
             }
             std::mem::swap(scratch_a, scratch_b);
         }
-        out.extend_from_slice(scratch_a);
+        if gen_cull <= 0.0 {
+            out.extend_from_slice(scratch_a);
+        } else {
+            // Only fully-composed products are tested: intermediate partial
+            // products can still grow under later (inverse) coefficients.
+            out.extend(scratch_a.iter().filter(|&&(_, v)| v.abs() >= gen_cull));
+        }
     }
     flops
 }
@@ -396,12 +815,13 @@ fn expand_chunk(
 /// Like [`expand_chunk`] but accumulates the generated pairs straight into
 /// an indexed dense array instead of appending to a run — the
 /// sorting-free path for layers whose output key space is small and dense.
-fn expand_into_dense(
-    chunk: &[(u64, f64)],
-    layer: &[ScatterStep],
+fn expand_into_dense<K: StateKey>(
+    chunk: &[(K, f64)],
+    layer: &[ScatterStep<K>],
+    gen_cull: f64,
     dense: &mut [f64],
-    scratch_a: &mut Vec<(u64, f64)>,
-    scratch_b: &mut Vec<(u64, f64)>,
+    scratch_a: &mut Vec<(K, f64)>,
+    scratch_b: &mut Vec<(K, f64)>,
 ) -> u64 {
     let mut flops = 0u64;
     // Single-step layers scatter straight from input to accumulator.
@@ -412,12 +832,16 @@ fn expand_into_dense(
     if let [step] = layer {
         for &(s, w) in chunk {
             let base = s & !step.mask;
-            if let Some(nz) = step.cols.get(step.col_of(s)) {
-                flops += nz.len() as u64;
-                for &(scattered, a) in nz {
-                    checks::check_scatter_index("apply_layer", base | scattered, dense.len());
-                    dense[(base | scattered) as usize] += w * a;
+            let (deltas, coeffs) = step.col_nonzeros(step.col_of(s));
+            flops += deltas.len() as u64;
+            for (&d, &a) in deltas.iter().zip(coeffs) {
+                let v = w * a;
+                if gen_cull > 0.0 && v.abs() < gen_cull {
+                    continue;
                 }
+                let idx = (base | d).dense_index();
+                checks::check_scatter_index("apply_layer", idx, dense.len());
+                dense[idx] += v;
             }
         }
         return flops;
@@ -429,19 +853,21 @@ fn expand_into_dense(
             scratch_b.clear();
             for &(cs, cw) in scratch_a.iter() {
                 let base = cs & !step.mask;
-                let col = step.col_of(cs);
-                if let Some(nz) = step.cols.get(col) {
-                    flops += nz.len() as u64;
-                    for &(scattered, a) in nz {
-                        scratch_b.push((base | scattered, cw * a));
-                    }
+                let (deltas, coeffs) = step.col_nonzeros(step.col_of(cs));
+                flops += deltas.len() as u64;
+                for (&d, &a) in deltas.iter().zip(coeffs) {
+                    scratch_b.push((base | d, cw * a));
                 }
             }
             std::mem::swap(scratch_a, scratch_b);
         }
         for &(key, val) in scratch_a.iter() {
-            checks::check_scatter_index("apply_layer", key, dense.len());
-            dense[key as usize] += val;
+            if gen_cull > 0.0 && val.abs() < gen_cull {
+                continue;
+            }
+            let idx = key.dense_index();
+            checks::check_scatter_index("apply_layer", idx, dense.len());
+            dense[idx] += val;
         }
     }
     flops
@@ -452,7 +878,12 @@ fn expand_into_dense(
 /// an uncalled sweep must conserve L1 mass up to the steps' column
 /// deviation. A culled sweep legitimately sheds the culled weights, so the
 /// mass check only applies at `cull <= 0`.
-fn check_layer_result(dist_in: &FlatDist, layer: &[ScatterStep], cull: f64, out: &[(u64, f64)]) {
+fn check_layer_result<K: StateKey>(
+    dist_in: &FlatDist<K>,
+    layer: &[ScatterStep<K>],
+    cull: f64,
+    out: &[(K, f64)],
+) {
     if !checks::ENABLED {
         return;
     }
@@ -474,9 +905,10 @@ fn check_layer_result(dist_in: &FlatDist, layer: &[ScatterStep], cull: f64, out:
 
 /// Applies one layer of steps on pairwise-disjoint qubit sets to a flat
 /// distribution in a single sweep: parallel chunk expansion + chunk sort,
-/// then a parallel merge tree with duplicate accumulation and `cull`
-/// filtering fused into the merges. Returns the culled output and the
-/// number of scatter outputs generated (actual multiply-adds).
+/// then a parallel merge tree of cache-blocked merge nodes with duplicate
+/// accumulation and `cull` filtering fused into the merges. Returns the
+/// culled output and the number of scatter outputs generated (actual
+/// multiply-adds).
 ///
 /// When the layer's output key space is small (every output key is bounded
 /// by the OR of all input keys with the layer mask) *and* the generated
@@ -484,21 +916,25 @@ fn check_layer_result(dist_in: &FlatDist, layer: &[ScatterStep], cull: f64, out:
 /// accumulator: duplicate
 /// merging becomes `O(1)` per output and the sort disappears entirely.
 /// Accumulation is fully merged before the cull test, so the dense path
-/// keeps the merged-weight culling semantics of the sorted path.
+/// keeps the merged-weight culling semantics of the sorted path. The
+/// bound's [`StateKey::dense_dim`] is `None` whenever the key space
+/// exceeds [`DENSE_DIM_LIMIT`] — in particular for every wide-key layer
+/// touching qubits past bit 21 — so this path cannot request an oversized
+/// accumulator.
 ///
 /// Correctness requires the layer's step masks to be pairwise disjoint
 /// (operators on disjoint qubit subsets commute, so their composition is
 /// order-free); [`apply_layer`] returns an error otherwise.
-pub fn apply_layer(
-    dist: &FlatDist,
-    layer: &[ScatterStep],
+pub fn apply_layer<K: StateKey>(
+    dist: &FlatDist<K>,
+    layer: &[ScatterStep<K>],
     cull: f64,
-    ws: &mut Workspace,
-) -> Result<(FlatDist, u64)> {
-    let mut union = 0u64;
+    ws: &mut Workspace<K>,
+) -> Result<(FlatDist<K>, u64)> {
+    let mut union = K::ZERO;
     let mut fanout = 1usize;
     for step in layer {
-        if union & step.mask != 0 {
+        if !(union & step.mask).is_zero() {
             return Err(LinalgError::DimensionMismatch {
                 op: "apply_layer",
                 detail: "layer steps share a qubit".into(),
@@ -509,6 +945,9 @@ pub fn apply_layer(
     }
     let generated = dist.len().saturating_mul(fanout);
     let entries = dist.entries();
+    // Wide layers shed provably-cullable products at generation (see
+    // `layer_gen_cull`); 0.0 for narrow keys and exact (`cull <= 0`) runs.
+    let gen_cull = layer_gen_cull(layer, cull);
 
     if generated < PAR_THRESHOLD {
         // Serial path: expand into the workspace buffer, sort, combine +
@@ -519,6 +958,7 @@ pub fn apply_layer(
         let flops = expand_chunk(
             entries,
             layer,
+            gen_cull,
             &mut ws.expand,
             &mut ws.scratch_a,
             &mut ws.scratch_b,
@@ -543,22 +983,27 @@ pub fn apply_layer(
     // not: a smaller entry can carry non-union bits above it). When that
     // space fits the scratch ceiling and the generated entries cover at
     // least ~1/8th of it, indexed accumulation beats sort + merge.
-    let mut key_or = entries.iter().fold(0u64, |acc, &(s, _)| acc | s);
+    let mut key_or = entries.iter().fold(K::ZERO, |acc, &(s, _)| acc | s);
     if mutation::armed(Mutation::DenseBoundFromLastKey) {
         // Seeded re-introduction of the PR-4 bound bug: size the accumulator
         // from the *last* key instead of the OR of all keys. The sanitizer's
         // scatter-bound check must catch the resulting out-of-range write.
-        key_or = entries.last().map_or(0, |&(s, _)| s);
+        key_or = entries.last().map_or(K::ZERO, |&(s, _)| s);
     }
     let bound = key_or | union;
-    if !entries.is_empty() && bound < DENSE_DIM_LIMIT && generated as u64 >= (bound + 1) / 8 {
-        let dim = (bound + 1) as usize;
+    let dense_dim = if entries.is_empty() {
+        None
+    } else {
+        bound.dense_dim()
+    };
+    if let Some(dim) = dense_dim.filter(|&dim| generated >= dim / 8) {
         if ws.dense.len() < dim {
             ws.dense.resize(dim, 0.0);
         }
         let flops = expand_into_dense(
             entries,
             layer,
+            gen_cull,
             &mut ws.dense,
             &mut ws.scratch_a,
             &mut ws.scratch_b,
@@ -572,7 +1017,7 @@ pub fn apply_layer(
                 continue;
             }
             if cull <= 0.0 || w.abs() >= cull {
-                out.push((key as u64, w));
+                out.push((K::from_u64(key as u64), w));
             }
         }
         if mutation::armed(Mutation::LeakLastEntry) {
@@ -589,14 +1034,14 @@ pub fn apply_layer(
     // and the serial offline stub (`into_par_iter` over a `Vec`).
     let threads = rayon::current_num_threads().max(1);
     let chunk_len = entries.len().div_ceil(threads * CHUNKS_PER_THREAD).max(1);
-    let chunks: Vec<&[(u64, f64)]> = entries.chunks(chunk_len).collect();
-    let runs: Vec<(Vec<(u64, f64)>, u64)> = chunks
+    let chunks: Vec<&[(K, f64)]> = entries.chunks(chunk_len).collect();
+    let runs: Vec<(Vec<(K, f64)>, u64)> = chunks
         .into_par_iter()
         .map(|chunk| {
             let mut out = Vec::with_capacity(chunk.len().saturating_mul(fanout));
             let mut sa = Vec::with_capacity(fanout);
             let mut sb = Vec::with_capacity(fanout);
-            let flops = expand_chunk(chunk, layer, &mut out, &mut sa, &mut sb);
+            let flops = expand_chunk(chunk, layer, gen_cull, &mut out, &mut sa, &mut sb);
             out.sort_unstable_by_key(|&(s, _)| s);
             // Combine within the run but do not cull yet: a weight split
             // across runs may only cross the threshold once merged.
@@ -604,21 +1049,20 @@ pub fn apply_layer(
         })
         .collect();
     let flops: u64 = runs.iter().map(|&(_, f)| f).sum();
-    let mut sorted_runs: Vec<Vec<(u64, f64)>> = runs.into_iter().map(|(r, _)| r).collect();
+    let mut sorted_runs: Vec<Vec<(K, f64)>> = runs.into_iter().map(|(r, _)| r).collect();
 
     // Merge tree: pair off runs until one remains; cull only in the final
     // merge so threshold crossings are decided on fully-merged weights.
+    // Each merge node is itself cache-blocked, so the last levels — where
+    // runs approach the full support size — split into key-range segments
+    // that merge in parallel instead of one serial LLC-thrashing sweep.
     while sorted_runs.len() > 1 {
         let level_cull = if sorted_runs.len() == 2 { cull } else { 0.0 };
-        let pairs: Vec<&[Vec<(u64, f64)>]> = sorted_runs.chunks(2).collect();
-        let next: Vec<Vec<(u64, f64)>> = pairs
+        let pairs: Vec<&[Vec<(K, f64)>]> = sorted_runs.chunks(2).collect();
+        let next: Vec<Vec<(K, f64)>> = pairs
             .into_par_iter()
             .map(|pair| match pair {
-                [a, b] => {
-                    let mut out = Vec::new();
-                    merge_runs(a, b, level_cull, &mut out);
-                    out
-                }
+                [a, b] => merge_runs_blocked(a, b, level_cull),
                 [a] => a.clone(),
                 _ => Vec::new(),
             })
@@ -636,6 +1080,65 @@ pub fn apply_layer(
     check_layer_result(dist, layer, cull, &merged);
     let result = FlatDist { entries: merged };
     Ok((result, flops))
+}
+
+/// Hash-map reference implementation of [`apply_layer`] — the oracle the
+/// equivalence tests and the scaling bench compare the compiled kernel
+/// against at any key width. Chains each input entry through the whole
+/// layer (composite per-entry products, exactly the kernel's expansion
+/// order), accumulates through a `std::collections::HashMap`, then culls
+/// once on the fully-merged layer output — the same cull point the fused
+/// kernel uses. Wide layers drop the identical sub-[`layer_gen_cull`]
+/// product set the kernel drops, so kernel and oracle differ only in
+/// floating-point summation order for any threshold at any width.
+pub fn apply_layer_reference<K: StateKey>(
+    dist: &FlatDist<K>,
+    layer: &[ScatterStep<K>],
+    cull: f64,
+) -> Result<FlatDist<K>> {
+    use std::collections::HashMap;
+    let mut union = K::ZERO;
+    let mut fanout = 1usize;
+    for step in layer {
+        if !(union & step.mask).is_zero() {
+            return Err(LinalgError::DimensionMismatch {
+                op: "apply_layer_reference",
+                detail: "layer steps share a qubit".into(),
+            });
+        }
+        union |= step.mask;
+        fanout = fanout.saturating_mul(step.max_fanout.max(1));
+    }
+    let gen_cull = layer_gen_cull(layer, cull);
+    let mut acc: HashMap<K, f64> = HashMap::with_capacity(dist.len());
+    let mut scratch_a: Vec<(K, f64)> = Vec::with_capacity(fanout);
+    let mut scratch_b: Vec<(K, f64)> = Vec::with_capacity(fanout);
+    for (s, w) in dist.iter() {
+        scratch_a.clear();
+        scratch_a.push((s, w));
+        for step in layer {
+            scratch_b.clear();
+            for &(cs, cw) in scratch_a.iter() {
+                let base = cs & !step.mask;
+                let (deltas, coeffs) = step.col_nonzeros(step.col_of(cs));
+                for (&d, &a) in deltas.iter().zip(coeffs) {
+                    scratch_b.push((base | d, cw * a));
+                }
+            }
+            std::mem::swap(&mut scratch_a, &mut scratch_b);
+        }
+        for &(key, val) in scratch_a.iter() {
+            if gen_cull > 0.0 && val.abs() < gen_cull {
+                continue;
+            }
+            *acc.entry(key).or_insert(0.0) += val;
+        }
+    }
+    let mut out = FlatDist::from_pairs(acc);
+    if cull > 0.0 {
+        out.cull(cull);
+    }
+    Ok(out)
 }
 
 #[cfg(test)]
@@ -674,6 +1177,36 @@ mod tests {
         d.clamp_negative();
         assert_eq!(d.len(), 1);
         assert!((d.get(0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn k128_orders_numerically_across_limbs() {
+        let a = K128::new(0, u64::MAX);
+        let b = K128::new(1, 0);
+        assert!(a < b, "numeric order must cross the limb boundary");
+        assert_eq!(K128::from_bit(64), K128::new(1, 0));
+        assert_eq!(K128::from_bit(127), K128::new(1 << 63, 0));
+        assert_eq!(K128::from_bit(5), K128::new(0, 32));
+        assert_eq!(K128::from_bit(70).bit(70), 1);
+        assert_eq!(K128::from_bit(70).bit(6), 0);
+        let m = K128::new(0b1010, 0b0101);
+        assert_eq!(m & !K128::new(0b0010, 0b0001), K128::new(0b1000, 0b0100));
+        assert_eq!(m | K128::new(0b0100, 0b1000), K128::new(0b1110, 0b1101));
+        assert_eq!(K128::from_u64(42), K128::new(0, 42));
+        assert_eq!(K128::new(3, 7).low_u64(), 7);
+    }
+
+    #[test]
+    fn k128_dense_dim_gates_wide_masks() {
+        assert_eq!(K128::new(0, 100).dense_dim(), Some(101));
+        assert_eq!(K128::new(0, DENSE_DIM_LIMIT).dense_dim(), None);
+        assert_eq!(
+            K128::new(1, 0).dense_dim(),
+            None,
+            "any high-limb bit must make the dense path unreachable"
+        );
+        assert_eq!(100u64.dense_dim(), Some(101));
+        assert_eq!(DENSE_DIM_LIMIT.dense_dim(), None);
     }
 
     #[test]
@@ -734,10 +1267,68 @@ mod tests {
     #[test]
     fn compile_rejects_bad_targets() {
         let a = stochastic2(0.1, 0.05);
-        assert!(ScatterStep::compile(&a, &[64]).is_err());
-        assert!(ScatterStep::compile(&a, &[0, 1]).is_err());
+        assert!(ScatterStep::<u64>::compile(&a, &[64]).is_err());
+        assert!(ScatterStep::<u64>::compile(&a, &[0, 1]).is_err());
         let two = a.kron(&a);
-        assert!(ScatterStep::compile(&two, &[3, 3]).is_err());
+        assert!(ScatterStep::<u64>::compile(&two, &[3, 3]).is_err());
+        // The wide key accepts qubits 64–127 and rejects 128.
+        assert!(ScatterStep::<K128>::compile(&a, &[64]).is_ok());
+        assert!(ScatterStep::<K128>::compile(&a, &[127]).is_ok());
+        assert!(ScatterStep::<K128>::compile(&a, &[128]).is_err());
+        assert!(ScatterStep::<K128>::compile(&two, &[70, 70]).is_err());
+    }
+
+    #[test]
+    fn wide_layer_crossing_limbs_matches_reference() {
+        // A two-qubit step straddling the limb boundary (qubits 3 and 70)
+        // on a support whose keys populate both limbs.
+        let op = stochastic2(0.07, 0.02).kron(&stochastic2(0.05, 0.01));
+        let step = ScatterStep::<K128>::compile(&op, &[3, 70]).unwrap();
+        let pairs: Vec<(K128, f64)> = (0..64u64)
+            .map(|i| (K128::new(i.wrapping_mul(0x9e37) >> 3, i * 37), 1.0 / 64.0))
+            .collect();
+        let flat = FlatDist::from_pairs(pairs);
+        let layer = std::slice::from_ref(&step);
+        let (got, flops) = apply_layer(&flat, layer, 0.0, &mut Workspace::new()).unwrap();
+        assert!(flops > 0);
+        let expect = apply_layer_reference(&flat, layer, 0.0).unwrap();
+        assert!(
+            got.l1_distance(&expect) < 1e-14,
+            "wide kernel vs reference l1 = {}",
+            got.l1_distance(&expect)
+        );
+        assert!((got.total() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn wide_parallel_path_matches_reference() {
+        // Enough wide-key entries to cross PAR_THRESHOLD; high-limb bits
+        // keep the dense path unreachable, so this lands on the parallel
+        // merge tree with blocked merge nodes.
+        let op = stochastic2(0.1, 0.07).kron(&stochastic2(0.04, 0.09));
+        let step = ScatterStep::<K128>::compile(&op, &[66, 100]).unwrap();
+        let pairs: Vec<(K128, f64)> = (0..8192u64)
+            .map(|i| (K128::new(i >> 5, i.wrapping_mul(0x2545_f491)), 1.0 / 8192.0))
+            .collect();
+        let flat = FlatDist::from_pairs(pairs);
+        let layer = std::slice::from_ref(&step);
+        let (got, _) = apply_layer(&flat, layer, 0.0, &mut Workspace::new()).unwrap();
+        let expect = apply_layer_reference(&flat, layer, 0.0).unwrap();
+        assert!(
+            got.l1_distance(&expect) < 1e-12,
+            "l1 = {}",
+            got.l1_distance(&expect)
+        );
+
+        // And with a cull threshold, both sides cull fully-merged weights.
+        let cull = 1e-6;
+        let (culled, _) = apply_layer(&flat, layer, cull, &mut Workspace::new()).unwrap();
+        let expect_culled = apply_layer_reference(&flat, layer, cull).unwrap();
+        assert!(
+            culled.l1_distance(&expect_culled) < 1e-12,
+            "culled l1 = {}",
+            culled.l1_distance(&expect_culled)
+        );
     }
 
     #[test]
@@ -758,6 +1349,31 @@ mod tests {
             assert!((par.get(s) - w).abs() < 1e-13);
         }
         assert!((par.total() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn blocked_merge_matches_plain_merge() {
+        // Two interleaved runs large enough to trigger key-range blocking,
+        // with enough shared keys to exercise the same-segment guarantee.
+        let a: Vec<(u64, f64)> = (0..3 * MERGE_BLOCK as u64)
+            .map(|i| (i * 2, (i as f64).sin() * 1e-3))
+            .collect();
+        let b: Vec<(u64, f64)> = (0..3 * MERGE_BLOCK as u64)
+            .map(|i| (i * 3, (i as f64).cos() * 1e-3))
+            .collect();
+        for cull in [0.0, 5e-4] {
+            let mut plain = Vec::new();
+            merge_runs(&a, &b, cull, &mut plain);
+            let blocked = merge_runs_blocked(&a, &b, cull);
+            assert_eq!(
+                plain, blocked,
+                "blocked merge must be entry-for-entry identical (cull {cull})"
+            );
+        }
+        // Degenerate shapes: one run empty, both tiny.
+        assert_eq!(merge_runs_blocked(&a, &[], 0.0).len(), a.len());
+        let tiny = merge_runs_blocked(&[(1u64, 0.5)], &[(1u64, 0.25)], 0.0);
+        assert_eq!(tiny, vec![(1u64, 0.75)]);
     }
 
     #[test]

@@ -83,7 +83,10 @@ pub fn check_fractional_power(_op: &str, _input: &Matrix, _t: f64, _out: &Matrix
 /// Asserts every weight in a sparse distribution is finite. Quasi-probability
 /// weights may be negative, but NaN/∞ mean a culled division blew up.
 #[cfg(feature = "invariant-checks")]
-pub fn check_finite_weights<I: IntoIterator<Item = (u64, f64)>>(op: &str, iter: I) {
+pub fn check_finite_weights<K: std::fmt::Display, I: IntoIterator<Item = (K, f64)>>(
+    op: &str,
+    iter: I,
+) {
     for (state, w) in iter {
         assert!(
             w.is_finite(),
@@ -95,7 +98,11 @@ pub fn check_finite_weights<I: IntoIterator<Item = (u64, f64)>>(op: &str, iter: 
 /// No-op stub compiled without `invariant-checks`.
 #[cfg(not(feature = "invariant-checks"))]
 #[inline(always)]
-pub fn check_finite_weights<I: IntoIterator<Item = (u64, f64)>>(_op: &str, _iter: I) {}
+pub fn check_finite_weights<K: std::fmt::Display, I: IntoIterator<Item = (K, f64)>>(
+    _op: &str,
+    _iter: I,
+) {
+}
 
 #[cfg(all(test, feature = "invariant-checks"))]
 mod tests {

@@ -17,7 +17,8 @@
 //!   sparse patch products scale where a dense `2^n × 2^n` matrix cannot;
 //! * [`flat_dist`] — flat sorted-run sparse distributions and the compiled
 //!   scatter kernel used by mitigation plans (layered apply, fused
-//!   merge-cull, reusable workspaces);
+//!   merge-cull, reusable workspaces), generic over 64- and 128-bit state
+//!   keys so 127-qubit heavy-hex registers compile to the same kernel;
 //! * [`checks`] — the feature-gated kernel invariant sanitizer (sorted-run,
 //!   mass-conservation, scatter-bound assertions) and its seeded-mutation
 //!   harness;
@@ -53,7 +54,9 @@ pub use cdense::CMatrix;
 pub use complex::{c64, C64};
 pub use dense::Matrix;
 pub use error::{LinalgError, Result};
-pub use flat_dist::{apply_layer, FlatDist, ScatterStep, Workspace};
+pub use flat_dist::{
+    apply_layer, apply_layer_reference, FlatDist, ScatterStep, StateKey, Workspace, K128,
+};
 pub use iterative::{bicgstab, LinearOperator};
 pub use sparse::{Coo, Csr};
 pub use sparse_apply::{apply_operator_sparse, SparseDist};

@@ -200,6 +200,32 @@ proptest! {
         for (s, w) in got.iter() {
             prop_assert!((reference.get(s) - w).abs() < 1e-12, "extra state {s}");
         }
+
+        // Same inputs through the wide (two-limb) kernel: each key is
+        // duplicated into both limbs and the operator lands across the
+        // 64-bit boundary, so the gather/scatter exercises hi and lo words
+        // at once. The oracle is the exact hash-map layer reference.
+        use qem_linalg::flat_dist::{apply_layer_reference, K128};
+        let wide_qs = [q0 + 57, q0 + 64];
+        let wide_step = ScatterStep::<K128>::compile(&op, &wide_qs).unwrap();
+        let wide_flat = FlatDist::<K128>::from_pairs(flat.iter().map(|(k, w)| (K128::new(k, k), w)));
+        let (wide_got, _) = apply_layer(
+            &wide_flat,
+            std::slice::from_ref(&wide_step),
+            0.0,
+            &mut Workspace::new(),
+        ).unwrap();
+        let wide_ref = apply_layer_reference(&wide_flat, std::slice::from_ref(&wide_step), 0.0).unwrap();
+        prop_assert!(
+            (wide_got.total() - wide_flat.total()).abs() < 1e-9,
+            "wide apply lost mass: {} vs {}", wide_got.total(), wide_flat.total()
+        );
+        prop_assert!(
+            wide_got.l1_distance(&wide_ref) < 1e-10,
+            "wide kernel diverged from reference: l1 = {}",
+            wide_got.l1_distance(&wide_ref)
+        );
+        prop_assert_eq!(wide_got.len(), wide_ref.len(), "wide support mismatch");
     }
 
     #[test]

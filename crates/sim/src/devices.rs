@@ -81,6 +81,56 @@ pub fn simulated_nairobi(seed: u64) -> Backend {
     Backend::new(coupling, noise)
 }
 
+/// Coupling map plus noise truth for a register too wide to execute on the
+/// statevector backend (> 64 qubits, where `2^n` amplitudes and `u64`
+/// bitstrings both run out). Calibration-chain construction, scheduling and
+/// the wide-key (128-bit) mitigation kernel need exactly this pair and
+/// never run circuits, so heavy-hex-scale devices are modelled as profiles
+/// rather than [`Backend`]s.
+#[derive(Clone, Debug)]
+pub struct DeviceProfile {
+    /// Device name for reports.
+    pub name: String,
+    /// Physical two-qubit connectivity.
+    pub coupling: CouplingMap,
+    /// The noise truth (per-qubit biases plus correlated events).
+    pub noise: NoiseModel,
+}
+
+impl DeviceProfile {
+    /// Register width.
+    pub fn num_qubits(&self) -> usize {
+        self.noise.n
+    }
+}
+
+fn aligned_profile(coupling: CouplingMap, seed: u64) -> DeviceProfile {
+    let n = coupling.num_qubits();
+    let mut noise = NoiseModel::random_biased(n, READOUT_LO, READOUT_HI, seed);
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xC0_11E1A7);
+    for e in coupling.graph.edges() {
+        noise.add_correlated(&[e.a, e.b], correlated_strength(&mut rng));
+    }
+    DeviceProfile {
+        name: coupling.name.clone(),
+        coupling,
+        noise,
+    }
+}
+
+/// Simulated IBM Eagle (127-qubit heavy-hex, Washington/Sherbrooke class):
+/// the exact production coupling map with correlated errors aligned on its
+/// edges — the at-scale target of the wide-key (128-bit) mitigation kernel.
+pub fn simulated_eagle(seed: u64) -> DeviceProfile {
+    aligned_profile(devices::ibm_eagle_127(), seed.wrapping_add(404))
+}
+
+/// Simulated IBM Heron (133-qubit heavy-hex, Torino class), edge-aligned
+/// correlated errors on the idealised 133-qubit map.
+pub fn simulated_heron(seed: u64) -> DeviceProfile {
+    aligned_profile(devices::ibm_heron_133(), seed.wrapping_add(505))
+}
+
 /// Biased-readout-only backend over an arbitrary coupling map (the Fig. 13–15
 /// simulated-architecture setting: "biased but not correlated").
 pub fn biased_backend(coupling: CouplingMap, seed: u64) -> Backend {
@@ -152,6 +202,28 @@ mod tests {
                 );
                 let d = b.coupling.graph.distance(u, v).unwrap();
                 assert!(d <= 2, "{}: correlation {u},{v} not local (d={d})", b.name);
+            }
+        }
+    }
+
+    #[test]
+    fn heavy_hex_presets_scale_and_alignment() {
+        let eagle = simulated_eagle(1);
+        assert_eq!(eagle.num_qubits(), 127);
+        assert_eq!(eagle.noise.correlated.len(), 144, "one event per edge");
+        let heron = simulated_heron(1);
+        assert_eq!(heron.num_qubits(), 133);
+        assert_eq!(heron.noise.correlated.len(), 150);
+        for b in [eagle, heron] {
+            assert!(b.num_qubits() > 64, "wide-kernel territory");
+            assert!(b.coupling.graph.is_connected());
+            for ev in &b.noise.correlated {
+                assert!(
+                    b.coupling.graph.has_edge(ev.qubits[0], ev.qubits[1]),
+                    "{}: correlation {:?} off the coupling map",
+                    b.name,
+                    ev.qubits
+                );
             }
         }
     }

@@ -125,6 +125,12 @@ pub const CORE_PLAN_COMPILES_TOTAL: &str = "core.plan.compiles_total";
 pub const CORE_PLAN_INVERSE_CACHE_HITS_TOTAL: &str = "core.plan.inverse_cache_hits_total";
 /// Patch inversions computed and inserted into the inverse cache.
 pub const CORE_PLAN_INVERSE_CACHE_MISSES_TOTAL: &str = "core.plan.inverse_cache_misses_total";
+/// Wide-kernel (128-bit key) plan applications performed.
+pub const KERNEL_SCALING_WIDE_APPLIES_TOTAL: &str = "kernel.scaling.wide_applies_total";
+/// Mitigation plans compiled to the wide (128-bit key) kernel.
+pub const KERNEL_SCALING_WIDE_PLANS_TOTAL: &str = "kernel.scaling.wide_plans_total";
+/// Heavy-hex coupling maps generated.
+pub const TOPOLOGY_HEAVYHEX_GENERATED_TOTAL: &str = "topology.heavyhex.generated_total";
 /// Recalibration scheduler cycles run.
 pub const CORE_RECALIB_CYCLES_TOTAL: &str = "core.recalib.cycles_total";
 /// Patch re-characterisations downgraded or left stale.
@@ -201,6 +207,14 @@ pub const CORE_RECALIB_PATCH_STALENESS_MAX: &str = "core.recalib.patch_staleness
 pub const CORE_RECALIB_PATCH_STALENESS_MEAN: &str = "core.recalib.patch_staleness_mean";
 /// Ladder rung of the currently serving mitigation level (0 = best).
 pub const CORE_RECALIB_SERVING_LEVEL_RUNG: &str = "core.recalib.serving_level_rung";
+/// State-key width (bits) selected by the most recent plan compile.
+pub const KERNEL_SCALING_KEY_WIDTH_BITS: &str = "kernel.scaling.key_width_bits";
+/// Post-cull support size of the most recent wide-kernel application.
+pub const KERNEL_SCALING_SUPPORT_ENTRIES: &str = "kernel.scaling.support_entries";
+/// Edge count of the most recently generated heavy-hex coupling map.
+pub const TOPOLOGY_HEAVYHEX_EDGES: &str = "topology.heavyhex.edges";
+/// Qubit count of the most recently generated heavy-hex coupling map.
+pub const TOPOLOGY_HEAVYHEX_QUBITS: &str = "topology.heavyhex.qubits";
 
 // ----------------------------------------------------------- histograms --
 
@@ -266,6 +280,9 @@ pub const ALL: &[&str] = &[
     CORE_PLAN_COMPILES_TOTAL,
     CORE_PLAN_INVERSE_CACHE_HITS_TOTAL,
     CORE_PLAN_INVERSE_CACHE_MISSES_TOTAL,
+    KERNEL_SCALING_WIDE_APPLIES_TOTAL,
+    KERNEL_SCALING_WIDE_PLANS_TOTAL,
+    TOPOLOGY_HEAVYHEX_GENERATED_TOTAL,
     CORE_RECALIB_CYCLES_TOTAL,
     CORE_RECALIB_PATCH_DOWNGRADES_TOTAL,
     CORE_RECALIB_PATCHES_DEFERRED_TOTAL,
@@ -301,6 +318,10 @@ pub const ALL: &[&str] = &[
     CORE_RECALIB_PATCH_STALENESS_MAX,
     CORE_RECALIB_PATCH_STALENESS_MEAN,
     CORE_RECALIB_SERVING_LEVEL_RUNG,
+    KERNEL_SCALING_KEY_WIDTH_BITS,
+    KERNEL_SCALING_SUPPORT_ENTRIES,
+    TOPOLOGY_HEAVYHEX_EDGES,
+    TOPOLOGY_HEAVYHEX_QUBITS,
     CORE_ERR_PAIR_WEIGHT,
     CORE_PLAN_LAYER_ENTRIES,
     BENCH_ALG1_SPEEDUP,

@@ -137,6 +137,78 @@ pub fn heavy_hex(rows: usize, cols: usize) -> CouplingMap {
     CouplingMap::new(format!("heavy-hex-{rows}x{cols}"), g)
 }
 
+/// Production heavy-hex lattice at code distance `d` (odd, ≥ 3) — the exact
+/// row/bridge structure of IBM's Eagle-class processors rather than the
+/// generic brick-wall of [`heavy_hex`].
+///
+/// The lattice has `d` qubit rows: the first and last hold `2d` qubits
+/// (the last shifted right by one column), the `d − 2` middle rows `2d + 1`.
+/// Each of the `d − 1` row gaps carries `(d + 1)/2` degree-2 bridge qubits,
+/// on columns `0, 4, 8, …` for even gaps and `2, 6, 10, …` for odd gaps, so
+/// bridges alternate like the rungs of the heavy-hex unit cell and no data
+/// qubit exceeds degree 3. Qubits are numbered row by row with each gap's
+/// bridges between its rows, matching IBM's device numbering convention.
+///
+/// `d = 7` reproduces the 127-qubit / 144-edge Eagle coupling map
+/// ([`crate::devices::ibm_eagle_127`]); `d = 5` gives 65 qubits.
+pub fn heavy_hex_lattice(d: usize) -> CouplingMap {
+    assert!(
+        d >= 3 && d % 2 == 1,
+        "heavy-hex distance must be odd and >= 3, got {d}"
+    );
+    let rows = d;
+    let gaps = d - 1;
+    let bridges_per_gap = d.div_ceil(2);
+    // Per-row starting column and length: end rows are one qubit short —
+    // the first row misses the rightmost column, the last the leftmost.
+    let row_col0 = |r: usize| usize::from(r == rows - 1);
+    let row_len = |r: usize| {
+        if r == 0 || r == rows - 1 {
+            2 * d
+        } else {
+            2 * d + 1
+        }
+    };
+    // Base id of each row, interleaving each gap's bridges after its row.
+    let mut row_base = vec![0usize; rows];
+    let mut next = 0usize;
+    for (r, base) in row_base.iter_mut().enumerate() {
+        *base = next;
+        next += row_len(r);
+        if r < gaps {
+            next += bridges_per_gap;
+        }
+    }
+    let n = next;
+    let at = |r: usize, c: usize| row_base[r] + c - row_col0(r);
+
+    let mut g = Graph::new(n);
+    for (r, &base) in row_base.iter().enumerate() {
+        for k in 1..row_len(r) {
+            g.add_edge(base + k - 1, base + k);
+        }
+    }
+    for (gap, &gap_row_base) in row_base.iter().enumerate().take(gaps) {
+        let bridge_base = gap_row_base + row_len(gap);
+        for k in 0..bridges_per_gap {
+            let col = 4 * k + if gap % 2 == 1 { 2 } else { 0 };
+            let bridge = bridge_base + k;
+            g.add_edge(at(gap, col), bridge);
+            g.add_edge(bridge, at(gap + 1, col));
+        }
+    }
+    qem_telemetry::counter_add(qem_telemetry::names::TOPOLOGY_HEAVYHEX_GENERATED_TOTAL, 1);
+    qem_telemetry::gauge_set(
+        qem_telemetry::names::TOPOLOGY_HEAVYHEX_QUBITS,
+        g.num_vertices() as f64,
+    );
+    qem_telemetry::gauge_set(
+        qem_telemetry::names::TOPOLOGY_HEAVYHEX_EDGES,
+        g.num_edges() as f64,
+    );
+    CouplingMap::new(format!("heavy-hex-d{d}"), g)
+}
+
 /// Chain of octagons (Rigetti Aspen style): each cell is an 8-ring; adjacent
 /// cells are joined by two bridge edges, matching Aspen's inter-octagon
 /// couplings.
@@ -264,6 +336,55 @@ mod tests {
             assert_eq!(cm.graph.degree(v), 2, "bridge qubit {v}");
         }
         assert!(cm.graph.is_connected());
+    }
+
+    #[test]
+    fn heavy_hex_lattice_counts_and_degree() {
+        // Closed forms: 2·2d end-row + (d−2)(2d+1) middle-row +
+        // (d−1)(d+1)/2 bridge qubits; (2d−1) + 2 + (d−2)·2d horizontal...
+        // checked against the generator for the small odd distances.
+        for (d, qubits, edges) in [(3usize, 23usize, 24usize), (5, 65, 72), (7, 127, 144)] {
+            let cm = heavy_hex_lattice(d);
+            assert_eq!(cm.num_qubits(), qubits, "d = {d}");
+            assert_eq!(cm.num_edges(), edges, "d = {d}");
+            assert!(cm.graph.is_connected(), "d = {d}");
+            for v in 0..cm.num_qubits() {
+                assert!(cm.graph.degree(v) <= 3, "d = {d} vertex {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn heavy_hex_lattice_bridges_have_degree_two() {
+        let d = 7usize;
+        let cm = heavy_hex_lattice(d);
+        // Bridge ids sit between consecutive rows: for each gap they are the
+        // block after that row's qubits. Reconstruct the blocks and check
+        // every bridge couples exactly its two row neighbours.
+        let row_len = |r: usize| {
+            if r == 0 || r == d - 1 {
+                2 * d
+            } else {
+                2 * d + 1
+            }
+        };
+        let mut next = 0usize;
+        for r in 0..d {
+            next += row_len(r);
+            if r < d - 1 {
+                for bridge in next..next + (d + 1) / 2 {
+                    assert_eq!(cm.graph.degree(bridge), 2, "bridge {bridge}");
+                }
+                next += (d + 1) / 2;
+            }
+        }
+        assert_eq!(next, cm.num_qubits());
+    }
+
+    #[test]
+    #[should_panic(expected = "odd")]
+    fn heavy_hex_lattice_rejects_even_distance() {
+        heavy_hex_lattice(4);
     }
 
     #[test]

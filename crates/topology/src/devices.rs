@@ -112,6 +112,51 @@ pub fn washington() -> CouplingMap {
     cm
 }
 
+/// IBM Eagle r3 (Washington/Sherbrooke/Brisbane family): the exact
+/// 127-qubit / 144-edge production heavy-hex coupling map, generated as
+/// [`crate::coupling::heavy_hex_lattice`] at distance 7.
+pub fn ibm_eagle_127() -> CouplingMap {
+    let mut cm = crate::coupling::heavy_hex_lattice(7);
+    cm.name = "ibm-eagle-127".into();
+    cm
+}
+
+/// IBM Heron r2 (Torino class), idealised: 133 qubits / 150 edges. Seven
+/// uniform rows of 15 qubits joined by four bridge qubits per gap (even
+/// gaps on columns 0/4/8/12, odd on 2/6/10/14, as in the heavy-hex unit
+/// cell), plus the four trailing degree-1 couplers Heron hangs below its
+/// last row.
+pub fn ibm_heron_133() -> CouplingMap {
+    const ROWS: usize = 7;
+    const ROW_LEN: usize = 15;
+    const BRIDGES: usize = 4;
+    // Row-major numbering with each gap's bridges interleaved, then the
+    // trailing couplers last.
+    let row_base = |r: usize| r * (ROW_LEN + BRIDGES);
+    let n = ROWS * ROW_LEN + (ROWS - 1) * BRIDGES + BRIDGES;
+    let mut g = Graph::new(n);
+    for r in 0..ROWS {
+        for k in 1..ROW_LEN {
+            g.add_edge(row_base(r) + k - 1, row_base(r) + k);
+        }
+    }
+    for gap in 0..ROWS - 1 {
+        let bridge_base = row_base(gap) + ROW_LEN;
+        for k in 0..BRIDGES {
+            let col = 4 * k + if gap % 2 == 1 { 2 } else { 0 };
+            g.add_edge(row_base(gap) + col, bridge_base + k);
+            g.add_edge(bridge_base + k, row_base(gap + 1) + col);
+        }
+    }
+    // Trailing couplers below the last row continue the alternation: the
+    // gap below row 6 is even, so they hang from columns 0/4/8/12.
+    let trailing_base = row_base(ROWS - 1) + ROW_LEN;
+    for k in 0..BRIDGES {
+        g.add_edge(row_base(ROWS - 1) + 4 * k, trailing_base + k);
+    }
+    CouplingMap::new("ibm-heron-133", g)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -150,6 +195,32 @@ mod tests {
         }
         // Linear edge growth (Table III).
         assert!(cm.num_edges() < 2 * cm.num_qubits());
+    }
+
+    #[test]
+    fn eagle_127_matches_production_map() {
+        let cm = ibm_eagle_127();
+        assert_eq!(cm.num_qubits(), 127);
+        assert_eq!(cm.num_edges(), 144);
+        assert!(cm.graph.is_connected());
+        for v in 0..cm.num_qubits() {
+            assert!(cm.graph.degree(v) <= 3, "vertex {v}");
+        }
+    }
+
+    #[test]
+    fn heron_133_counts_and_degree() {
+        let cm = ibm_heron_133();
+        assert_eq!(cm.num_qubits(), 133);
+        assert_eq!(cm.num_edges(), 150);
+        assert!(cm.graph.is_connected());
+        for v in 0..cm.num_qubits() {
+            assert!(cm.graph.degree(v) <= 3, "vertex {v}");
+        }
+        // The four trailing couplers (the last four ids) are degree-1 leaves.
+        for v in cm.num_qubits() - 4..cm.num_qubits() {
+            assert_eq!(cm.graph.degree(v), 1, "trailing coupler {v}");
+        }
     }
 
     #[test]

@@ -73,6 +73,16 @@ COMMANDS:
                                          wall-clock timings and speedups; --compare diffs
                                          the speedups against a committed baseline and
                                          exits non-zero on a >15% regression
+    bench-snapshot --suite scaling [--reps N] [--out FILE] [--test]
+                   [--compare BASELINE.json]
+                                         qubit-count × support-size speedup grid: compiled
+                                         flat kernel vs the hash-map layer reference on
+                                         20q/64q narrow-key chains and the 127q Eagle
+                                         heavy-hex chain (128-bit keys), shot-bounded
+                                         culling; hard-fails if kernel-vs-reference L1
+                                         exceeds 1e-10; writes BENCH_scaling.json;
+                                         --test shrinks to a 20q/72q CI grid; --compare
+                                         applies the same >15% regression gate
 
 COMMON OPTIONS:
     --device         quito | lima | manila | nairobi
@@ -173,6 +183,20 @@ fn cmd_devices() {
             name,
             b.num_qubits(),
             b.coupling.num_edges()
+        );
+    }
+    // Heavy-hex profiles: too wide for the statevector simulator, so they
+    // carry a coupling map + noise model only (calibration/mitigation
+    // planning and the scaling bench, not circuit execution).
+    for (name, p) in [
+        ("eagle", devices::simulated_eagle(1)),
+        ("heron", devices::simulated_heron(1)),
+    ] {
+        println!(
+            "{:<10} {:>6} {:>6}  heavy-hex profile, edge-aligned correlations (no simulator)",
+            name,
+            p.num_qubits(),
+            p.coupling.num_edges()
         );
     }
 }
@@ -689,8 +713,15 @@ const BENCH_SCHEMA_VERSION: u32 = 1;
 /// per-stage span timings and circuit counts written to a schema-versioned
 /// JSON snapshot.
 fn cmd_bench_snapshot(args: &Args, seed: u64) -> Result<(), String> {
-    if args.get("suite") == Some("mitigation") {
-        return cmd_bench_mitigation(args, seed);
+    match args.get("suite") {
+        Some("mitigation") => return cmd_bench_mitigation(args, seed),
+        Some("scaling") => return cmd_bench_scaling(args, seed),
+        Some(other) => {
+            return Err(format!(
+                "unknown suite '{other}' (expected mitigation|scaling)"
+            ))
+        }
+        None => {}
     }
     let device = args.get("device").unwrap_or("manila");
     let backend = backend_by_name(device, seed)
@@ -1014,6 +1045,320 @@ fn cmd_bench_mitigation(args: &Args, seed: u64) -> Result<(), String> {
                     100.0 * BENCH_REGRESSION_FACTOR
                 ));
             }
+        }
+        if !failures.is_empty() {
+            return Err(format!(
+                "perf regression gate failed: {}",
+                failures.join("; ")
+            ));
+        }
+        println!("  perf gate passed against {base_path}");
+    }
+    Ok(())
+}
+
+/// Schema stamped into `bench-snapshot --suite scaling` output.
+const BENCH_SCALING_SCHEMA_VERSION: u32 = 1;
+
+/// The scaling bench runs in the shot-bounded sparse regime of
+/// Yang/Raymond/Uno: with a support of `S` roughly-equal weights, any
+/// scatter product below `~1/S` is unresolvable at that shot count, so the
+/// cull threshold is `CULL_SCALE / S` and the post-mitigation support stays
+/// within a small factor of `S` at any register width — there is no `2^n`
+/// state-space cap doing that job past 64 qubits.
+const BENCH_SCALING_CULL_SCALE: f64 = 0.1;
+
+/// Hard parity gate: the compiled kernel must stay within this L1 distance
+/// of the hash-map layer reference on every grid cell.
+const BENCH_SCALING_L1_GATE: f64 = 1e-10;
+
+/// Eagle bench-chain readout rates, base + per-index increment — kept ~30×
+/// below hardware rates so the 271-step chain's total flip intensity stays
+/// O(0.5) and scatter products fall below the shot-bounded cull (§15 of
+/// DESIGN.md; same regime as the 127q plan-equivalence test).
+const EAGLE_BENCH_P0: f64 = 7e-4;
+const EAGLE_BENCH_P0_STEP: f64 = 1e-5;
+const EAGLE_BENCH_P1: f64 = 1e-3;
+const EAGLE_BENCH_P1_STEP: f64 = 1.3e-5;
+const EAGLE_BENCH_EDGE_P: f64 = 7e-4;
+const EAGLE_BENCH_EDGE_P_STEP: f64 = 7e-6;
+
+/// One row of the scaling grid: a named register width plus the mitigation
+/// chain shape benchmarked on it.
+enum ScalingRow {
+    /// `steps` correlated 4×4 inverses on qubit pairs spread across an
+    /// `n`-qubit register (crossing the 63/64 limb boundary when n > 64).
+    Chain { n: usize, steps: usize },
+    /// The full 127-qubit Eagle heavy-hex chain: one 2×2 readout inverse
+    /// per qubit plus one correlated 4×4 inverse per coupling-map edge.
+    Eagle,
+}
+
+/// Builds the mitigator for one scaling-grid row. Chain rows push explicit
+/// inverses of random synthetic channels (the mitigation-bench recipe);
+/// the Eagle row goes through `push_inverse` on deterministic mild
+/// (p ≈ 1e-3) calibration channels, exercising the wide-key inverse-cache
+/// salting on all 271 heavy-hex patches.
+fn scaling_mitigator(
+    row: &ScalingRow,
+    seed: u64,
+) -> Result<(qem::core::SparseMitigator, usize, usize), String> {
+    use qem::core::{CalibrationMatrix, SparseMitigator};
+    use qem::linalg::Matrix;
+
+    match *row {
+        ScalingRow::Chain { n, steps } => {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut mit = SparseMitigator::identity(n);
+            let mut pairs: Vec<usize> = (0..steps).map(|k| k * (n - 2) / (steps - 1)).collect();
+            if n > 64 {
+                // Pin one step across the 63/64 limb boundary so the wide
+                // kernel's cross-limb gather/scatter is on the hot path.
+                pairs[steps / 2] = 63;
+            }
+            for q in pairs {
+                let inv = qem::linalg::lu::inverse(&synthetic_channel4(&mut rng)?)
+                    .map_err(|e| e.to_string())?;
+                mit.push_step(vec![q, q + 1], inv)
+                    .map_err(|e| e.to_string())?;
+            }
+            Ok((mit, n, steps))
+        }
+        ScalingRow::Eagle => {
+            let coupling = qem::topology::devices::ibm_eagle_127();
+            let n = coupling.num_qubits();
+            let flip = |q: usize| {
+                let p0 = EAGLE_BENCH_P0 + EAGLE_BENCH_P0_STEP * (q % 17) as f64;
+                let p1 = EAGLE_BENCH_P1 + EAGLE_BENCH_P1_STEP * (q % 13) as f64;
+                Matrix::from_rows(&[&[1.0 - p0, p1], &[p0, 1.0 - p1]])
+            };
+            let mut mit = SparseMitigator::identity(n);
+            for q in 0..n {
+                let cal = CalibrationMatrix::new(vec![q], flip(q)).map_err(|e| e.to_string())?;
+                mit.push_inverse(&cal).map_err(|e| e.to_string())?;
+            }
+            let edges = coupling.graph.edges().to_vec();
+            for (i, e) in edges.iter().enumerate() {
+                let p = EAGLE_BENCH_EDGE_P + EAGLE_BENCH_EDGE_P_STEP * (i % 29) as f64;
+                let mut joint = Matrix::zeros(4, 4);
+                for c in 0..4usize {
+                    joint[(c, c)] += 1.0 - p;
+                    joint[(c ^ 3, c)] += p;
+                }
+                let op = joint
+                    .matmul(&flip(e.b).kron(&flip(e.a)))
+                    .map_err(|e| e.to_string())?;
+                let cal = CalibrationMatrix::new(
+                    vec![e.a, e.b],
+                    qem::linalg::stochastic::normalize_columns(&op),
+                )
+                .map_err(|e| e.to_string())?;
+                mit.push_inverse(&cal).map_err(|e| e.to_string())?;
+            }
+            let steps = n + edges.len();
+            Ok((mit, n, steps))
+        }
+    }
+}
+
+/// The `bench-snapshot --suite scaling` command: compiled flat kernel vs
+/// the hash-map layer reference (identical cull points, so L1 parity is a
+/// hard ≤ 1e-10 gate) over a qubit-count × support-size grid — 20q and 64q
+/// narrow-key chains and the 127q Eagle heavy-hex chain on the wide
+/// 128-bit-key kernel. `--test` shrinks the grid to 20q/72q with small
+/// supports for CI; `--compare` applies the standard speedup-ratio
+/// regression gate against a committed baseline.
+fn cmd_bench_scaling(args: &Args, seed: u64) -> Result<(), String> {
+    use qem::linalg::{FlatDist, Workspace, K128};
+    use rand::Rng;
+
+    let test_mode = args.has_flag("test");
+    let reps = args.get_u64("reps", if test_mode { 1 } else { 3 });
+    let out: PathBuf = args.get("out").unwrap_or("BENCH_scaling.json").into();
+
+    let rows: Vec<(&str, ScalingRow)> = if test_mode {
+        vec![
+            ("chain-20q", ScalingRow::Chain { n: 20, steps: 16 }),
+            ("chain-72q", ScalingRow::Chain { n: 72, steps: 16 }),
+        ]
+    } else {
+        vec![
+            ("chain-20q", ScalingRow::Chain { n: 20, steps: 16 }),
+            ("chain-64q", ScalingRow::Chain { n: 64, steps: 16 }),
+            ("eagle-127q", ScalingRow::Eagle),
+        ]
+    };
+    let supports: &[usize] = if test_mode {
+        &[512, 4096]
+    } else {
+        &[4096, 65_536]
+    };
+
+    println!(
+        "bench-snapshot --suite scaling: {} rows × supports {supports:?}, best of {reps}{}",
+        rows.len(),
+        if test_mode { " (--test grid)" } else { "" }
+    );
+
+    let mut grid = Vec::new();
+    let mut gates = Vec::new();
+    let mut eagle_sub_second = true;
+    for (name, row) in &rows {
+        let (mit, n, steps) = scaling_mitigator(row, seed)?;
+        let plan = mit.plan().map_err(|e| e.to_string())?;
+        let wide = plan.key_width_bits() == 128;
+        println!(
+            "  {name}: {n} qubits, {steps} steps, {}-bit keys, {} layers",
+            plan.key_width_bits(),
+            plan.num_layers()
+        );
+
+        let mut cells = Vec::new();
+        for &support in supports {
+            let cull = BENCH_SCALING_CULL_SCALE / support as f64;
+            let mut rng = StdRng::seed_from_u64(seed ^ support as u64);
+            let weights: Vec<f64> = (0..support).map(|_| rng.gen_range(0.5..1.5)).collect();
+            let total: f64 = weights.iter().sum();
+
+            let (compiled_micros, serial_micros, out_len, l1) = if wide {
+                let hi_mask = (1u64 << (n - 64)) - 1;
+                let input = FlatDist::<K128>::from_pairs(weights.iter().map(|&w| {
+                    (
+                        K128::new(rng.gen::<u64>() & hi_mask, rng.gen::<u64>()),
+                        w / total,
+                    )
+                }));
+                let mut ws = Workspace::<K128>::new();
+                // Warm once: plan apply allocates scratch, later reps reuse.
+                let (warm, _) = plan
+                    .apply_flat_wide(&input, cull, &mut ws)
+                    .map_err(|e| e.to_string())?;
+                let compiled = time_best_micros(reps, || {
+                    let _ = plan.apply_flat_wide(&input, cull, &mut ws);
+                });
+                let t = std::time::Instant::now();
+                let reference = plan
+                    .apply_flat_wide_reference(&input, cull)
+                    .map_err(|e| e.to_string())?;
+                let serial = t.elapsed().as_micros() as u64;
+                (compiled, serial, warm.len(), warm.l1_distance(&reference))
+            } else {
+                let key_mask = if n == 64 { u64::MAX } else { (1u64 << n) - 1 };
+                let input = FlatDist::<u64>::from_pairs(
+                    weights
+                        .iter()
+                        .map(|&w| (rng.gen::<u64>() & key_mask, w / total)),
+                );
+                let mut ws = Workspace::<u64>::new();
+                let (warm, _) = plan
+                    .apply_flat(&input, cull, &mut ws)
+                    .map_err(|e| e.to_string())?;
+                let compiled = time_best_micros(reps, || {
+                    let _ = plan.apply_flat(&input, cull, &mut ws);
+                });
+                let t = std::time::Instant::now();
+                let reference = plan
+                    .apply_flat_reference(&input, cull)
+                    .map_err(|e| e.to_string())?;
+                let serial = t.elapsed().as_micros() as u64;
+                (compiled, serial, warm.len(), warm.l1_distance(&reference))
+            };
+
+            if l1 > BENCH_SCALING_L1_GATE {
+                return Err(format!(
+                    "{name} support {support}: compiled kernel diverged from the \
+                     serial reference (l1 = {l1:.3e} > {BENCH_SCALING_L1_GATE:e})"
+                ));
+            }
+            let speedup = serial_micros as f64 / compiled_micros.max(1) as f64;
+            println!(
+                "    support {support:>6}: compiled {compiled_micros:>8} µs, \
+                 reference {serial_micros:>8} µs ({speedup:.1}x), out {out_len}, \
+                 l1 {l1:.1e}"
+            );
+            if *name == "eagle-127q" && compiled_micros >= 1_000_000 {
+                eagle_sub_second = false;
+            }
+            cells.push(Json::obj(vec![
+                ("support", Json::UInt(support as u64)),
+                ("cull_threshold", Json::Float(cull)),
+                ("support_out", Json::UInt(out_len as u64)),
+                ("compiled_micros", Json::UInt(compiled_micros)),
+                ("reference_micros", Json::UInt(serial_micros)),
+                ("speedup", Json::Float(speedup)),
+                ("l1_vs_reference", Json::Float(l1)),
+            ]));
+            gates.push((
+                format!("{name}/s{support}"),
+                Json::obj(vec![("speedup", Json::Float(speedup))]),
+            ));
+        }
+        grid.push(Json::obj(vec![
+            ("name", Json::str(*name)),
+            ("qubits", Json::UInt(n as u64)),
+            ("steps", Json::UInt(steps as u64)),
+            ("key_width_bits", Json::UInt(plan.key_width_bits() as u64)),
+            ("layers", Json::UInt(plan.num_layers() as u64)),
+            ("cells", Json::Arr(cells)),
+        ]));
+    }
+
+    if !test_mode {
+        println!(
+            "  127q single-histogram mitigation {} the 1 s target",
+            if eagle_sub_second { "meets" } else { "MISSES" }
+        );
+    }
+
+    let doc = Json::obj(vec![
+        (
+            "schema_version",
+            Json::UInt(BENCH_SCALING_SCHEMA_VERSION as u64),
+        ),
+        ("benchmark", Json::str("kernel_scaling_grid")),
+        ("seed", Json::UInt(seed)),
+        ("reps", Json::UInt(reps)),
+        ("test_mode", Json::Bool(test_mode)),
+        ("cull_scale", Json::Float(BENCH_SCALING_CULL_SCALE)),
+        ("eagle_sub_second", Json::Bool(eagle_sub_second)),
+        ("grid", Json::Arr(grid)),
+        ("gates", Json::Obj(gates.clone())),
+    ]);
+    std::fs::write(&out, doc.to_string_pretty()).map_err(|e| e.to_string())?;
+    println!("scaling bench snapshot -> {}", out.display());
+
+    if let Some(base_path) = args.get("compare") {
+        let base = std::fs::read_to_string(base_path)
+            .map_err(|e| format!("cannot read baseline {base_path}: {e}"))?;
+        let mut failures = Vec::new();
+        let mut matched = 0usize;
+        for (key, cell) in &gates {
+            let current = match cell {
+                Json::Obj(fields) => match fields.iter().find(|(k, _)| k == "speedup") {
+                    Some((_, Json::Float(v))) => *v,
+                    _ => continue,
+                },
+                _ => continue,
+            };
+            let Some(baseline) = extract_speedup(&base, key) else {
+                println!("  compare {key}: not in baseline, skipped");
+                continue;
+            };
+            matched += 1;
+            let floor = baseline * BENCH_REGRESSION_FACTOR;
+            let verdict = if current < floor { "REGRESSED" } else { "ok" };
+            println!(
+                "  compare {key}: current {current:.2}x vs baseline {baseline:.2}x \
+                 (floor {floor:.2}x) — {verdict}"
+            );
+            if current < floor {
+                failures.push(format!("{key} speedup {current:.2}x below {floor:.2}x"));
+            }
+        }
+        if matched == 0 {
+            return Err(format!(
+                "baseline {base_path} shares no grid cells with this run"
+            ));
         }
         if !failures.is_empty() {
             return Err(format!(
