@@ -29,6 +29,34 @@ impl Counts {
         c
     }
 
+    /// Validating constructor for counts that cross a trust boundary
+    /// (deserialized payloads, wire input): rejects widths over 64 bits,
+    /// outcomes outside the stated width, and totals that would overflow
+    /// the `u64` shot accumulator — instead of the debug-only assertion in
+    /// [`Counts::record_many`].
+    pub fn validated(
+        n_bits: usize,
+        pairs: impl IntoIterator<Item = (u64, u64)>,
+    ) -> Result<Self, String> {
+        if n_bits > 64 {
+            return Err(format!(
+                "counts width {n_bits} exceeds the 64-bit key space"
+            ));
+        }
+        let mut c = Counts::new(n_bits);
+        let mut total = 0u64;
+        for (s, k) in pairs {
+            if n_bits < 64 && s >= (1u64 << n_bits) {
+                return Err(format!("outcome {s:#x} out of range for {n_bits} bits"));
+            }
+            total = total
+                .checked_add(k)
+                .ok_or_else(|| "total shot count overflows u64".to_string())?;
+            c.record_many(s, k);
+        }
+        Ok(c)
+    }
+
     /// Number of measured bits.
     pub fn num_bits(&self) -> usize {
         self.n_bits
@@ -139,6 +167,29 @@ mod tests {
         assert_eq!(c.distinct(), 2);
         assert!((c.probability(0b101) - 2.0 / 3.0).abs() < 1e-15);
         assert_eq!(c.probability(0b111), 0.0);
+    }
+
+    #[test]
+    fn validated_accepts_in_range_counts() {
+        let c = Counts::validated(3, [(0b101u64, 2u64), (0b010, 1)]).unwrap();
+        assert_eq!(c.shots(), 3);
+        assert_eq!(c.get(0b101), 2);
+        // Full-width keys are fine at exactly 64 bits.
+        let c = Counts::validated(64, [(u64::MAX, 1u64)]).unwrap();
+        assert_eq!(c.get(u64::MAX), 1);
+    }
+
+    #[test]
+    fn validated_rejects_bad_width_and_range() {
+        assert!(Counts::validated(65, std::iter::empty()).is_err());
+        let err = Counts::validated(3, [(0b1000u64, 1u64)]).unwrap_err();
+        assert!(err.contains("out of range"), "{err}");
+    }
+
+    #[test]
+    fn validated_rejects_shot_overflow() {
+        let err = Counts::validated(2, [(0u64, u64::MAX), (1, 1)]).unwrap_err();
+        assert!(err.contains("overflow"), "{err}");
     }
 
     #[test]

@@ -1,20 +1,34 @@
-//! File-hash-keyed incremental cache for the lint engine.
+//! File-hash-keyed incremental cache for the two-phase lint engine.
 //!
 //! Stored at `target/qem-lint-cache.json`. Each entry keys a workspace-
-//! relative path to the FNV-1a hash of its contents plus the diagnostics
-//! and valid-suppression count produced last run; a hit skips re-analysis
-//! entirely. The cache is stamped with [`ENGINE_VERSION`] — bumping it (any
-//! rule/parser change) invalidates everything. A corrupt or mismatched
-//! cache never errors: it degrades to a full scan.
+//! relative path to:
+//!
+//! - the FNV-1a hash of its contents plus the per-file (phase-1) outputs:
+//!   local diagnostics, valid-suppression count, workspace-rule suppression
+//!   pairs, and the file's [`crate::summary::FileSummary`];
+//! - the phase-2 outputs: a workspace key (`ws_key`) and the cross-file
+//!   diagnostics (`ws_diags`) produced under that key.
+//!
+//! A phase-1 hit skips re-lexing entirely. A phase-2 hit requires `ws_key`
+//! to match the key recomputed from the *current* call graph — the key
+//! folds in the graph's resolution signature, the file's own summary hash,
+//! and the summary hashes of its transitive callee closure, so a body edit
+//! anywhere a file's verdicts depend on forces re-emission even when the
+//! file itself is byte-identical (warm cache included).
+//!
+//! The cache is stamped with [`ENGINE_VERSION`] — bumping it (any
+//! rule/parser/registry change) invalidates everything. A corrupt or
+//! mismatched cache never errors: it degrades to a full scan.
 
 use std::collections::BTreeMap;
 
 use crate::json::{self, Value};
-use crate::rules::Diagnostic;
+use crate::rules::{Diagnostic, TraceStep};
+use crate::summary::FileSummary;
 
-/// Bump on ANY change to lexer/tree/rules/semantic so stale caches can
-/// never mask new findings.
-pub const ENGINE_VERSION: u32 = 2;
+/// Bump on ANY change to lexer/tree/rules/semantic/summary/workspace
+/// (registries included) so stale caches can never mask new findings.
+pub const ENGINE_VERSION: u32 = 3;
 
 pub const CACHE_REL_PATH: &str = "target/qem-lint-cache.json";
 
@@ -24,6 +38,14 @@ pub struct Entry {
     pub hash: u64,
     pub diags: Vec<Diagnostic>,
     pub suppressions: usize,
+    /// `(rule, line)` pairs silenced for workspace rules in this file.
+    pub silenced_ws: Vec<(String, usize)>,
+    /// The file's call-graph summary (phase-2 input).
+    pub summary: FileSummary,
+    /// Dependency-aware workspace key; 0 = never computed.
+    pub ws_key: u64,
+    /// Workspace findings rooted in this file, valid under `ws_key`.
+    pub ws_diags: Vec<Diagnostic>,
 }
 
 #[derive(Debug, Default, Clone)]
@@ -62,43 +84,51 @@ impl Cache {
             let Some(suppressions) = v.get("suppressions").and_then(Value::as_u64) else {
                 continue;
             };
-            let Some(diag_vals) = v.get("diags").and_then(Value::as_arr) else {
+            let Some(diags) = v
+                .get("diags")
+                .and_then(Value::as_arr)
+                .and_then(|a| parse_diags(a, path))
+            else {
                 continue;
             };
-            let mut diags = Vec::with_capacity(diag_vals.len());
-            let mut ok = true;
-            for d in diag_vals {
-                let (Some(rule), Some(line), Some(message)) = (
-                    d.get("rule").and_then(Value::as_str),
-                    d.get("line").and_then(Value::as_u64),
-                    d.get("message").and_then(Value::as_str),
-                ) else {
-                    ok = false;
-                    break;
-                };
-                // Rule names intern to the static registry; an unknown name
-                // (older engine) invalidates the entry.
-                let Some(rule) = crate::rules::RULE_NAMES.iter().find(|r| **r == rule) else {
-                    ok = false;
-                    break;
-                };
-                diags.push(Diagnostic {
-                    rule,
-                    path: path.clone(),
-                    line: line as usize,
-                    message: message.to_string(),
-                });
-            }
-            if ok {
-                entries.insert(
-                    path.clone(),
-                    Entry {
-                        hash,
-                        diags,
-                        suppressions: suppressions as usize,
-                    },
-                );
-            }
+            let Some(ws_diags) = v
+                .get("wsDiags")
+                .and_then(Value::as_arr)
+                .and_then(|a| parse_diags(a, path))
+            else {
+                continue;
+            };
+            let Some(ws_key) = v.get("wsKey").and_then(parse_hex_hash) else {
+                continue;
+            };
+            let Some(summary) = v.get("summary").and_then(FileSummary::from_json) else {
+                continue;
+            };
+            let Some(silenced_ws) = v.get("silencedWs").and_then(Value::as_arr).and_then(|a| {
+                a.iter()
+                    .map(|p| {
+                        let arr = p.as_arr()?;
+                        Some((
+                            arr.first()?.as_str()?.to_string(),
+                            arr.get(1)?.as_u64()? as usize,
+                        ))
+                    })
+                    .collect::<Option<Vec<_>>>()
+            }) else {
+                continue;
+            };
+            entries.insert(
+                path.clone(),
+                Entry {
+                    hash,
+                    diags,
+                    suppressions: suppressions as usize,
+                    silenced_ws,
+                    summary,
+                    ws_key,
+                    ws_diags,
+                },
+            );
         }
         Cache { entries }
     }
@@ -120,20 +150,22 @@ impl Cache {
                 e.hash,
                 e.suppressions
             ));
-            let mut first_diag = true;
-            for d in &e.diags {
-                if !first_diag {
+            write_diags(&mut out, &e.diags);
+            out.push_str(&format!(
+                "], \"wsKey\": \"{:016x}\", \"wsDiags\": [",
+                e.ws_key
+            ));
+            write_diags(&mut out, &e.ws_diags);
+            out.push_str("], \"silencedWs\": [");
+            for (i, (rule, line)) in e.silenced_ws.iter().enumerate() {
+                if i > 0 {
                     out.push(',');
                 }
-                first_diag = false;
-                out.push_str(&format!(
-                    "{{\"rule\": {}, \"line\": {}, \"message\": {}}}",
-                    json::escape(d.rule),
-                    d.line,
-                    json::escape(&d.message)
-                ));
+                out.push_str(&format!("[{}, {}]", json::escape(rule), line));
             }
-            out.push_str("]}");
+            out.push_str("], \"summary\": ");
+            out.push_str(&e.summary.to_json());
+            out.push('}');
         }
         if !first_file {
             out.push_str("\n  ");
@@ -141,6 +173,75 @@ impl Cache {
         out.push_str("}\n}\n");
         out
     }
+}
+
+fn write_diags(out: &mut String, diags: &[Diagnostic]) {
+    let mut first = true;
+    for d in diags {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        out.push_str(&format!(
+            "{{\"rule\": {}, \"line\": {}, \"message\": {}",
+            json::escape(d.rule),
+            d.line,
+            json::escape(&d.message)
+        ));
+        if !d.trace.is_empty() {
+            out.push_str(", \"trace\": [");
+            for (i, s) in d.trace.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push_str(&format!(
+                    "[{}, {}, {}]",
+                    json::escape(&s.path),
+                    s.line,
+                    json::escape(&s.note)
+                ));
+            }
+            out.push(']');
+        }
+        out.push('}');
+    }
+}
+
+/// Parses one diagnostics array; `None` on any malformed or unknown-rule
+/// entry (older engine), which drops the whole file entry.
+fn parse_diags(vals: &[Value], path: &str) -> Option<Vec<Diagnostic>> {
+    let mut diags = Vec::with_capacity(vals.len());
+    for d in vals {
+        let rule = d.get("rule")?.as_str()?;
+        let line = d.get("line")?.as_u64()?;
+        let message = d.get("message")?.as_str()?;
+        // Rule names intern to the static registry; an unknown name
+        // (older engine) invalidates the entry.
+        let rule = crate::rules::RULE_NAMES.iter().find(|r| **r == rule)?;
+        let trace = match d.get("trace") {
+            Some(t) => t
+                .as_arr()?
+                .iter()
+                .map(|s| {
+                    let arr = s.as_arr()?;
+                    Some(TraceStep {
+                        path: arr.first()?.as_str()?.to_string(),
+                        line: arr.get(1)?.as_u64()? as usize,
+                        note: arr.get(2)?.as_str()?.to_string(),
+                    })
+                })
+                .collect::<Option<Vec<_>>>()?,
+            None => Vec::new(),
+        };
+        diags.push(Diagnostic {
+            rule,
+            path: path.to_string(),
+            line: line as usize,
+            message: message.to_string(),
+            trace,
+        });
+    }
+    Some(diags)
 }
 
 /// Hashes serialize as 16-hex-digit strings (u64 doesn't survive f64).
@@ -164,8 +265,25 @@ mod tests {
                 path: "crates/core/src/x.rs".into(),
                 line: 7,
                 message: "msg \"quoted\"".into(),
+                trace: Vec::new(),
             }],
             suppressions: 3,
+            silenced_ws: vec![("untrusted-input-taint".into(), 12)],
+            summary: crate::summary::summarize(&crate::tree::analyze(
+                "fn f(x: C) { helper(x); }\n",
+            )),
+            ws_key: 0xdead_beef_0000_1111,
+            ws_diags: vec![Diagnostic {
+                rule: "panic-reachability",
+                path: "crates/core/src/x.rs".into(),
+                line: 2,
+                message: "reaches a panic".into(),
+                trace: vec![TraceStep {
+                    path: "crates/core/src/y.rs".into(),
+                    line: 40,
+                    note: "calls `helper`".into(),
+                }],
+            }],
         }
     }
 
@@ -182,6 +300,10 @@ mod tests {
                 hash: 1,
                 diags: vec![],
                 suppressions: 0,
+                silenced_ws: Vec::new(),
+                summary: FileSummary::default(),
+                ws_key: 0,
+                ws_diags: vec![],
             },
         );
         let parsed = Cache::parse(&c.serialize());

@@ -1,15 +1,28 @@
-//! Lint-run orchestration: file collection, incremental cache, rule
-//! execution, and the suppression-debt gate. The binary (`main.rs`) only
-//! parses flags and formats [`LintOutcome`].
+//! Lint-run orchestration: file collection, the two-phase incremental
+//! cache, rule execution (per-file and workspace), and the
+//! suppression-debt gate. The binary (`main.rs`) only parses flags and
+//! formats [`LintOutcome`].
+//!
+//! Phase 1 is per-file: content-hash cached, produces local diagnostics,
+//! the suppression counts, and the file's call-graph summary. Phase 2 is
+//! workspace-wide: the call graph is rebuilt from all summaries every run
+//! (summaries are small — this is the cheap part), and each file's
+//! workspace findings are re-emitted only when its *dependency-aware* key
+//! changes: the graph's resolution signature plus the summary hashes of
+//! the file and its transitive callee closure. A body edit in a leaf
+//! invalidates every caller whose verdicts can see it, warm cache or not.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 use std::fs;
 use std::path::{Path, PathBuf};
+use std::process::Command;
 
 use crate::cache::{self, Cache, Entry};
 use crate::debt::{self, Ledger};
 use crate::rules::{self, Diagnostic};
+use crate::summary::FileSummary;
 use crate::tree;
+use crate::workspace::Graph;
 
 /// Flags that shape one lint run.
 #[derive(Debug, Default, Clone)]
@@ -19,20 +32,29 @@ pub struct LintOptions {
     /// Rewrite `results/LINT_DEBT.json` from the observed counts instead of
     /// checking against it.
     pub update_debt: bool,
+    /// Report only findings in git-changed files and their reverse
+    /// dependency closure. The full analysis still runs (correctness is
+    /// workspace-global); only the report is scoped, and the debt ledger is
+    /// left untouched.
+    pub changed: bool,
 }
 
 /// Everything a front end needs to report a run.
 pub struct LintOutcome {
-    /// All findings, canonically sorted (path, line, rule).
+    /// All findings, canonically sorted (path, line, rule, message).
     pub diags: Vec<Diagnostic>,
     /// Workspace-relative paths that were in scope.
     pub files: Vec<String>,
-    /// How many of those were served from the incremental cache.
+    /// How many files skipped phase-1 re-analysis (content hash hit).
     pub cache_hits: usize,
+    /// How many files reused their workspace findings (dependency key hit).
+    pub ws_cache_hits: usize,
     /// Total valid suppressions observed.
     pub suppressions: usize,
     /// The debt ledger was rewritten (ratchet or `--update-debt`).
     pub debt_written: bool,
+    /// `--changed` mode: how many files the report was scoped to.
+    pub scope: Option<usize>,
 }
 
 /// Runs the full lint over the workspace at `root`.
@@ -54,6 +76,7 @@ pub fn run(root: &Path, opts: &LintOptions) -> Result<LintOutcome, String> {
         }
     }
 
+    // ------------------------------------------------- phase 1: per file --
     let mut new_cache = Cache::default();
     let mut diags = Vec::new();
     let mut counts: BTreeMap<String, usize> = BTreeMap::new();
@@ -69,11 +92,17 @@ pub fn run(root: &Path, opts: &LintOptions) -> Result<LintOutcome, String> {
             _ => {
                 let src = String::from_utf8(src).map_err(|_| format!("{rel} is not UTF-8"))?;
                 let analysis = tree::analyze(&src);
-                let (file_diags, suppressions) = rules::lint_file(rel, &analysis);
+                let lint = rules::lint_file(rel, &analysis);
                 Entry {
                     hash,
-                    diags: file_diags,
-                    suppressions,
+                    diags: lint.diags,
+                    suppressions: lint.suppressions,
+                    silenced_ws: lint.silenced_ws,
+                    summary: crate::summary::summarize(&analysis),
+                    // Never computed for this content yet; phase 2 will
+                    // treat the file as dirty.
+                    ws_key: 0,
+                    ws_diags: Vec::new(),
                 }
             }
         };
@@ -82,6 +111,45 @@ pub fn run(root: &Path, opts: &LintOptions) -> Result<LintOutcome, String> {
             counts.insert(rel.clone(), entry.suppressions);
         }
         new_cache.entries.insert(rel.clone(), entry);
+    }
+
+    // ----------------------------------------------- phase 2: workspace --
+    let summaries: Vec<(String, FileSummary)> = files
+        .iter()
+        .map(|rel| (rel.clone(), new_cache.entries[rel].summary.clone()))
+        .collect();
+    let graph = Graph::build(&summaries);
+    let signature = graph.signature();
+    let closure = graph.file_closure();
+    let summary_hashes: Vec<u64> = summaries
+        .iter()
+        .map(|(_, s)| cache::hash(s.to_json().as_bytes()))
+        .collect();
+    // The fixpoint always runs — it is a cheap pass over summaries, and
+    // emission needs the converged facts regardless of cache state.
+    let analysis = graph.analyze();
+    let mut ws_cache_hits = 0;
+    for (i, rel) in files.iter().enumerate() {
+        let mut key_text = format!("{signature:016x}|{:016x}", summary_hashes[i]);
+        for &d in &closure[i] {
+            key_text.push_str(&format!("|{}:{:016x}", files[d], summary_hashes[d]));
+        }
+        let ws_key = cache::hash(key_text.as_bytes());
+        let entry = new_cache.entries.get_mut(rel).expect("inserted above");
+        if entry.ws_key == ws_key {
+            ws_cache_hits += 1;
+        } else {
+            let mut ws_diags = analysis.findings_for(&graph, i);
+            ws_diags.retain(|d| {
+                !entry
+                    .silenced_ws
+                    .iter()
+                    .any(|(r, l)| r == d.rule && *l == d.line)
+            });
+            entry.ws_key = ws_key;
+            entry.ws_diags = ws_diags;
+        }
+        diags.extend(entry.ws_diags.iter().cloned());
     }
 
     // ------------------------------------------------- suppression debt --
@@ -103,11 +171,46 @@ pub fn run(root: &Path, opts: &LintOptions) -> Result<LintOutcome, String> {
                 path,
                 line,
                 message,
+                trace: Vec::new(),
             });
         }
         if let Some(ratcheted) = outcome.ratcheted {
-            write_ledger(&ledger_path, &ratcheted)?;
-            debt_written = true;
+            // `--changed` is a developer fast path: it must never mutate the
+            // committed ledger out from under the full run / CI gate.
+            if !opts.changed {
+                write_ledger(&ledger_path, &ratcheted)?;
+                debt_written = true;
+            }
+        }
+    }
+
+    // ------------------------------------------------- --changed scoping --
+    let mut scope = None;
+    if opts.changed {
+        match changed_files(root) {
+            Some(changed) => {
+                // A file is in scope when it changed or can *see* a changed
+                // file through its dependency closure — its workspace
+                // verdicts may have moved even though it is byte-identical.
+                let in_scope: BTreeSet<&String> = files
+                    .iter()
+                    .enumerate()
+                    .filter(|(i, rel)| {
+                        changed.contains(rel.as_str())
+                            || closure[*i]
+                                .iter()
+                                .any(|&d| changed.contains(files[d].as_str()))
+                    })
+                    .map(|(_, rel)| rel)
+                    .collect();
+                diags.retain(|d| in_scope.contains(&d.path));
+                scope = Some(in_scope.len());
+            }
+            None => {
+                eprintln!(
+                    "qem-lint: warning: `--changed` could not query git; reporting the full workspace"
+                );
+            }
         }
     }
 
@@ -125,9 +228,37 @@ pub fn run(root: &Path, opts: &LintOptions) -> Result<LintOutcome, String> {
         diags,
         files,
         cache_hits,
+        ws_cache_hits,
         suppressions,
         debt_written,
+        scope,
     })
+}
+
+/// Workspace-relative paths git considers modified (vs `HEAD`) or
+/// untracked. `None` when git is unavailable or `root` is not a work tree.
+fn changed_files(root: &Path) -> Option<BTreeSet<String>> {
+    let run = |args: &[&str]| -> Option<Vec<String>> {
+        let out = Command::new("git")
+            .arg("-C")
+            .arg(root)
+            .args(args)
+            .output()
+            .ok()?;
+        if !out.status.success() {
+            return None;
+        }
+        Some(
+            String::from_utf8_lossy(&out.stdout)
+                .lines()
+                .map(|l| l.trim().replace('\\', "/"))
+                .filter(|l| !l.is_empty())
+                .collect(),
+        )
+    };
+    let mut set: BTreeSet<String> = run(&["diff", "--name-only", "HEAD"])?.into_iter().collect();
+    set.extend(run(&["ls-files", "--others", "--exclude-standard"])?);
+    Some(set)
 }
 
 fn write_ledger(path: &Path, ledger: &Ledger) -> Result<(), String> {

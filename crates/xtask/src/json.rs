@@ -23,6 +23,12 @@ impl Value {
             _ => None,
         }
     }
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
     pub fn as_str(&self) -> Option<&str> {
         match self {
             Value::Str(s) => Some(s),
@@ -173,12 +179,16 @@ fn parse_string(b: &[u8], i: &mut usize) -> Result<String, String> {
                 *i += 1;
             }
             _ => {
-                // Copy the full UTF-8 sequence.
-                let s = std::str::from_utf8(&b[*i..])
-                    .map_err(|_| format!("invalid UTF-8 at byte {i}"))?;
-                let ch = s.chars().next().ok_or("unterminated string")?;
-                out.push(ch);
-                *i += ch.len_utf8();
+                // Copy the longest run free of quotes and escapes with one
+                // UTF-8 validation — validating the whole tail per character
+                // is quadratic and shows up hard on megabyte cache files.
+                let start = *i;
+                while b.get(*i).is_some_and(|&c| c != b'"' && c != b'\\') {
+                    *i += 1;
+                }
+                let s = std::str::from_utf8(&b[start..*i])
+                    .map_err(|_| format!("invalid UTF-8 at byte {start}"))?;
+                out.push_str(s);
             }
         }
     }

@@ -75,7 +75,16 @@ const JOINED: &[&str] = &[
 
 /// Tokenizes `src`. Unterminated literals and stray bytes are tolerated —
 /// the linter must never panic on source it cannot fully understand.
+///
+/// CRLF sources are normalized to LF up front: a stray `\r` used to survive
+/// as whitespace, shifting comment text extents and (worse) letting a
+/// `\r\n`-saved suppression comment detach from its target line. All
+/// line/suppression bookkeeping downstream assumes LF.
 pub fn lex(src: &str) -> Lexed {
+    if src.contains('\r') {
+        let normalized = src.replace("\r\n", "\n").replace('\r', "\n");
+        return lex(&normalized);
+    }
     let b = src.as_bytes();
     let mut tokens = Vec::new();
     let mut comments: Vec<(usize, String)> = Vec::new();
@@ -469,6 +478,21 @@ mod tests {
             vec![(1, "one".to_string()), (2, "two".to_string())]
         );
         assert_eq!(l.tokens[1].line, 2);
+    }
+
+    #[test]
+    fn crlf_is_normalized() {
+        let unix = lex("// note\nfn f() {\n    let x = 1;\n}\n");
+        let dos = lex("// note\r\nfn f() {\r\n    let x = 1;\r\n}\r\n");
+        assert_eq!(unix.comments, dos.comments);
+        let lines = |l: &Lexed| {
+            l.tokens
+                .iter()
+                .map(|t| (t.kind, t.line))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(lines(&unix), lines(&dos));
+        assert!(dos.tokens.iter().all(|t| !t.text.contains('\r')));
     }
 
     #[test]

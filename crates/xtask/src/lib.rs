@@ -2,9 +2,11 @@
 //! lint engine against fixture files without spawning the binary.
 //!
 //! Front end: [`lexer`] (tokens) → [`tree`] (brace-matched token trees +
-//! item model). Analyses: [`rules`] (lexical rules + suppression contract)
-//! and [`semantic`] (lock-order, atomic-ordering policies). Infrastructure:
-//! [`engine`] (orchestration), [`cache`] (incremental), [`debt`]
+//! item model). Analyses: [`rules`] (lexical rules + suppression contract),
+//! [`semantic`] (lock-order, atomic-ordering policies), [`summary`]
+//! (per-file call/dataflow summaries) and [`workspace`] (cross-file call
+//! graph + interprocedural taint/reachability rules). Infrastructure:
+//! [`engine`] (two-phase orchestration), [`cache`] (incremental), [`debt`]
 //! (suppression ratchet), [`sarif`] (code-scanning output), [`json`]
 //! (dependency-free JSON).
 
@@ -16,4 +18,6 @@ pub mod lexer;
 pub mod rules;
 pub mod sarif;
 pub mod semantic;
+pub mod summary;
 pub mod tree;
+pub mod workspace;

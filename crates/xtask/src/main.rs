@@ -5,10 +5,12 @@
 //! 2 means usage or I/O error.
 //!
 //! Flags:
-//! - `--json`        one JSON object per line (`{"rule","path","line","message"}`)
+//! - `--json`        one JSON object per line (`{"rule","path","line","message"}`,
+//!   plus a `"trace"` step array on workspace findings)
 //! - `--sarif PATH`  also write a SARIF 2.1.0 report for code scanning
 //! - `--no-cache`    skip the incremental cache (full rescan, no write)
 //! - `--update-debt` rewrite `results/LINT_DEBT.json` from observed counts
+//! - `--changed`     report only git-changed files + their dependents
 //! - `--root PATH`   lint a different workspace root (tests use this)
 //! - `--cache-stats` print files-scanned / cache-hit counts to stderr
 
@@ -34,6 +36,7 @@ fn main() -> ExitCode {
             "--json" => json_out = true,
             "--no-cache" => opts.no_cache = true,
             "--update-debt" => opts.update_debt = true,
+            "--changed" => opts.changed = true,
             "--cache-stats" => cache_stats = true,
             "--sarif" => match it.next() {
                 Some(p) => sarif_path = Some(PathBuf::from(p)),
@@ -73,24 +76,57 @@ fn main() -> ExitCode {
 
     for d in &outcome.diags {
         if json_out {
-            println!(
-                "{{\"rule\":{},\"path\":{},\"line\":{},\"message\":{}}}",
+            let mut line = format!(
+                "{{\"rule\":{},\"path\":{},\"line\":{},\"message\":{}",
                 json::escape(d.rule),
                 json::escape(&d.path),
                 d.line,
                 json::escape(&d.message)
             );
+            if !d.trace.is_empty() {
+                line.push_str(",\"trace\":[");
+                for (i, s) in d.trace.iter().enumerate() {
+                    if i > 0 {
+                        line.push(',');
+                    }
+                    line.push_str(&format!(
+                        "{{\"path\":{},\"line\":{},\"note\":{}}}",
+                        json::escape(&s.path),
+                        s.line,
+                        json::escape(&s.note)
+                    ));
+                }
+                line.push(']');
+            }
+            line.push('}');
+            println!("{line}");
         } else {
             println!("{}:{}: [{}] {}", d.path, d.line, d.rule, d.message);
+            for s in &d.trace {
+                if s.path.is_empty() {
+                    println!("    {}", s.note);
+                } else {
+                    println!("    {}:{}: {}", s.path, s.line, s.note);
+                }
+            }
         }
     }
     if cache_stats {
         eprintln!(
-            "qem-lint: {} files, {} cache hit(s), {} suppression(s)",
+            "qem-lint: {} files, {} cache hit(s), {} workspace hit(s), {} suppression(s)",
             outcome.files.len(),
             outcome.cache_hits,
+            outcome.ws_cache_hits,
             outcome.suppressions
         );
+    }
+    if let Some(scope) = outcome.scope {
+        if !json_out {
+            eprintln!(
+                "qem-lint: --changed scoped the report to {scope} of {} files",
+                outcome.files.len()
+            );
+        }
     }
     if outcome.debt_written && !json_out {
         eprintln!("qem-lint: wrote {}", xtask::debt::DEBT_PATH);
@@ -120,7 +156,7 @@ fn usage(msg: &str) -> ExitCode {
 
 fn print_help() {
     eprintln!(
-        "usage: cargo run -p xtask -- lint [--json] [--sarif PATH] [--no-cache] [--update-debt] [--root PATH] [--cache-stats]"
+        "usage: cargo run -p xtask -- lint [--json] [--sarif PATH] [--no-cache] [--update-debt] [--changed] [--root PATH] [--cache-stats]"
     );
     eprintln!();
     eprintln!("rules: {}", rules::RULE_NAMES.join(", "));

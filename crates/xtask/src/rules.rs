@@ -29,6 +29,20 @@ pub struct Diagnostic {
     pub line: usize,
     /// Human explanation of the specific finding.
     pub message: String,
+    /// Interprocedural evidence for workspace findings: the taint path or
+    /// call chain, in flow order. Empty for single-file rules. Rendered as
+    /// SARIF code flows and `--json` trace arrays.
+    pub trace: Vec<TraceStep>,
+}
+
+/// One step of a workspace finding's evidence chain.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TraceStep {
+    pub path: String,
+    pub line: usize,
+    /// What happens at this step (`untrusted input deserialized by …`,
+    /// `calls …`, `reaches kernel sink …`).
+    pub note: String,
 }
 
 /// Names of every rule, for `--help` and the suppression validator.
@@ -48,7 +62,51 @@ pub const RULE_NAMES: &[&str] = &[
     "lock-order-policy",
     "atomic-ordering-policy",
     "suppression-debt",
+    "untrusted-input-taint",
+    "panic-reachability",
+    "shot-budget-conservation",
+    "dropped-result",
 ];
+
+/// The workspace (cross-file) rules, evaluated by [`crate::workspace`] over
+/// the call graph rather than per file.
+pub const WS_RULES: &[&str] = &[
+    "untrusted-input-taint",
+    "panic-reachability",
+    "shot-budget-conservation",
+    "dropped-result",
+];
+
+/// One-line rule summaries, surfaced as SARIF rule metadata and `--help`.
+pub fn rule_description(rule: &str) -> &'static str {
+    match rule {
+        "no-panic-path" => "No panicking constructs (unwrap/expect/panic!) on production paths",
+        "no-direct-index" => "No literal subscripts that can panic; use checked accessors",
+        "no-float-eq" => "Float comparisons must go through a named tolerance",
+        "no-raw-float-cast" => "Float-to-int casts must make rounding explicit",
+        "no-inline-tolerance" => "Tolerances must be named consts, not inline literals",
+        "validated-matrix-construction" => {
+            "Calibration matrices are built through validated stochastic constructors"
+        }
+        "core-error-type" => "Public APIs return the crate error type, not linalg's Result",
+        "telemetry-name-registry" => "Telemetry names come from the registry, never literals",
+        "relaxed-ordering" => "Relaxed atomics require a declared per-file ordering policy",
+        "no-unsynced-static" => "No unsynchronised globals; use atomics, locks, or thread_local!",
+        "no-unseeded-rng" => "Production randomness must be seeded for reproducibility",
+        "kernel-invariant-hook" => "Kernel invariants route through the feature-gated checks layer",
+        "lock-order-policy" => "Multi-lock functions follow the declared lock order",
+        "atomic-ordering-policy" => "Atomic call sites match the file's declared policy",
+        "suppression-debt" => "Per-file suppression counts may only shrink (ratchet)",
+        "untrusted-input-taint" => {
+            "Deserialized input passes a validated constructor before any kernel sink"
+        }
+        "panic-reachability" => "No panic site reachable within a serve entrypoint's hop budget",
+        "shot-budget-conservation" => "Every shot-spending path transits per_circuit_execution",
+        "dropped-result" => "Core-crate Results must be handled, not discarded",
+        "invalid-suppression" => "Suppression comments must name a rule and carry a reason",
+        _ => "",
+    }
+}
 
 /// Statics exempt from `no-unsynced-static`, as `(file name, static name)`
 /// pairs. Deliberately empty: every global in the workspace today is a
@@ -57,12 +115,21 @@ pub const RULE_NAMES: &[&str] = &[
 /// a comment — prefer a suppression, which forces the reason inline.
 const UNSYNCED_STATIC_ALLOWLIST: &[(&str, &str)] = &[];
 
-/// Canonical diagnostic order: `(path, line, rule)`. Both the human
-/// listing and `--json`/`--sarif` output sort with this, so a lint run is
-/// byte-for-byte deterministic regardless of directory-walk or
-/// rule-evaluation order.
+/// Canonical diagnostic order: `(path, line, rule, message)`. Both the
+/// human listing and `--json`/`--sarif` output sort with this, so a lint
+/// run is byte-for-byte deterministic regardless of directory-walk or
+/// rule-evaluation order. The message tiebreaker matters for workspace
+/// rules, which can anchor several findings on one line (e.g. two panic
+/// sites reachable from one entrypoint annotation).
 pub fn sort_diagnostics(diags: &mut [Diagnostic]) {
-    diags.sort_by(|a, b| (a.path.as_str(), a.line, a.rule).cmp(&(b.path.as_str(), b.line, b.rule)));
+    diags.sort_by(|a, b| {
+        (a.path.as_str(), a.line, a.rule, a.message.as_str()).cmp(&(
+            b.path.as_str(),
+            b.line,
+            b.rule,
+            b.message.as_str(),
+        ))
+    });
 }
 
 /// Which crate a path belongs to: `crates/<name>/…` or the root `qem` crate.
@@ -124,6 +191,13 @@ pub fn rule_applies(rule: &str, path: &str) -> bool {
         // Kernel files must route invariant assertions through the
         // feature-gated `qem_linalg::checks` layer, not bare debug_assert!.
         "kernel-invariant-hook" => file_name == "flat_dist.rs" || file_name == "plan.rs",
+        // Workspace rules cover everything the call graph covers; only the
+        // lint tool itself (whose sources mention all the trigger tokens)
+        // stays out.
+        "untrusted-input-taint"
+        | "panic-reachability"
+        | "shot-budget-conservation"
+        | "dropped-result" => krate != "xtask",
         _ => false,
     }
 }
@@ -188,6 +262,7 @@ fn scan_suppressions(
                 path: path.to_string(),
                 line: s.comment_line,
                 message: format!("unknown rule {:?} in qem-lint allow", s.rule),
+                trace: Vec::new(),
             });
             continue;
         }
@@ -200,6 +275,7 @@ fn scan_suppressions(
                     "suppression of {:?} needs a reason: `qem-lint: allow({}) — why`",
                     s.rule, s.rule
                 ),
+                trace: Vec::new(),
             });
             continue;
         }
@@ -221,10 +297,19 @@ fn scan_suppressions(
     }
 }
 
+/// Per-file lint output: local findings, the valid-suppression count (the
+/// debt unit), and the suppression pairs retained for workspace rules
+/// (whose findings are produced later, by the cross-file pass, and must
+/// still honor in-file `allow` comments).
+pub struct FileLint {
+    pub diags: Vec<Diagnostic>,
+    pub suppressions: usize,
+    /// `(rule, line)` pairs for [`WS_RULES`] silenced in this file.
+    pub silenced_ws: Vec<(String, usize)>,
+}
+
 /// Lints one file; `path` must be workspace-relative with `/` separators.
-/// Returns the findings plus the file's valid-suppression count (fed to the
-/// `suppression-debt` ledger by the engine).
-pub fn lint_file(path: &str, analysis: &FileAnalysis) -> (Vec<Diagnostic>, usize) {
+pub fn lint_file(path: &str, analysis: &FileAnalysis) -> FileLint {
     let mut diags = Vec::new();
     let sup = scan_suppressions(path, analysis, &mut diags);
 
@@ -254,9 +339,19 @@ pub fn lint_file(path: &str, analysis: &FileAnalysis) -> (Vec<Diagnostic>, usize
             path: path.to_string(),
             line,
             message,
+            trace: Vec::new(),
         });
     }
-    (diags, sup.valid_count)
+    let silenced_ws = sup
+        .silenced
+        .into_iter()
+        .filter(|(r, _)| WS_RULES.contains(&r.as_str()))
+        .collect();
+    FileLint {
+        diags,
+        suppressions: sup.valid_count,
+        silenced_ws,
+    }
 }
 
 /// Context flags threaded through the recursive token-tree scan.
@@ -781,7 +876,7 @@ mod tests {
     use crate::tree::analyze;
 
     fn lint_src(path: &str, src: &str) -> Vec<Diagnostic> {
-        lint_file(path, &analyze(src)).0
+        lint_file(path, &analyze(src)).diags
     }
 
     #[test]
@@ -878,9 +973,23 @@ mod tests {
     #[test]
     fn valid_suppressions_are_counted() {
         let src = "// qem-lint: allow(no-panic-path) — reason one\nfn a() { x.unwrap(); }\n// qem-lint: allow(no-float-eq) — reason two\nfn b() { if x == 0.0 {} }\n";
-        let (diags, count) = lint_file("crates/core/src/a.rs", &analyze(src));
-        assert!(diags.is_empty(), "{diags:?}");
-        assert_eq!(count, 2);
+        let lint = lint_file("crates/core/src/a.rs", &analyze(src));
+        assert!(lint.diags.is_empty(), "{:?}", lint.diags);
+        assert_eq!(lint.suppressions, 2);
+    }
+
+    #[test]
+    fn ws_suppressions_are_retained_for_the_workspace_pass() {
+        let src = "// qem-lint: allow(untrusted-input-taint) — validated upstream\nfn a() {}\n// qem-lint: allow(no-panic-path) — infallible\nfn b() { x.unwrap(); }\n";
+        let lint = lint_file("crates/core/src/a.rs", &analyze(src));
+        assert!(lint.diags.is_empty(), "{:?}", lint.diags);
+        // Only workspace-rule pairs are kept (comment line + next code line).
+        assert!(lint
+            .silenced_ws
+            .iter()
+            .all(|(r, _)| r == "untrusted-input-taint"));
+        assert_eq!(lint.silenced_ws.len(), 2);
+        assert_eq!(lint.suppressions, 2);
     }
 
     #[test]
@@ -1034,6 +1143,7 @@ mod tests {
             path: path.to_string(),
             line,
             message: String::new(),
+            trace: Vec::new(),
         };
         let sorted = vec![
             mk("a.rs", 1, "no-panic-path"),

@@ -1,13 +1,15 @@
 //! SARIF 2.1.0 output for GitHub code scanning.
 //!
-//! One run, one `qem-lint` driver, one rule entry per rule that fired, one
-//! result per diagnostic. Minimal but schema-valid: `uri` is the workspace-
-//! relative path (GitHub resolves against the checkout root via
-//! `checkout_uri`-less runs), `level` is always `error` because qem-lint
-//! has no warning tier — a finding fails the build.
+//! One run, one `qem-lint` driver, one rule entry per rule that fired (with
+//! name + short description metadata), one result per diagnostic. `level`
+//! is always `error` because qem-lint has no warning tier — a finding fails
+//! the build. Workspace findings carry their interprocedural evidence as a
+//! `codeFlows` thread flow (the taint path or call chain, in flow order)
+//! plus `relatedLocations`, so code scanning renders the cross-file story
+//! step by step.
 
 use crate::json::escape;
-use crate::rules::Diagnostic;
+use crate::rules::{self, Diagnostic};
 
 const SCHEMA: &str = "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/Schemata/sarif-schema-2.1.0.json";
 
@@ -35,8 +37,10 @@ pub fn render(diags: &[Diagnostic]) -> String {
             out.push(',');
         }
         out.push_str(&format!(
-            "\n            {{\"id\": {}, \"defaultConfiguration\": {{\"level\": \"error\"}}}}",
-            escape(rule)
+            "\n            {{\"id\": {id}, \"name\": {name}, \"shortDescription\": {{\"text\": {desc}}}, \"defaultConfiguration\": {{\"level\": \"error\"}}}}",
+            id = escape(rule),
+            name = escape(&pascal_case(rule)),
+            desc = escape(rules::rule_description(rule)),
         ));
     }
     if !rules_seen.is_empty() {
@@ -49,12 +53,35 @@ pub fn render(diags: &[Diagnostic]) -> String {
             out.push(',');
         }
         out.push_str(&format!(
-            "\n        {{\"ruleId\": {}, \"level\": \"error\", \"message\": {{\"text\": {}}}, \"locations\": [{{\"physicalLocation\": {{\"artifactLocation\": {{\"uri\": {}}}, \"region\": {{\"startLine\": {}}}}}}}]}}",
+            "\n        {{\"ruleId\": {}, \"level\": \"error\", \"message\": {{\"text\": {}}}, \"locations\": [{}]",
             escape(d.rule),
             escape(&d.message),
-            escape(&d.path),
-            d.line.max(1)
+            location(&d.path, d.line, None),
         ));
+        if !d.trace.is_empty() {
+            // The evidence chain: one thread flow, one step per hop.
+            out.push_str(", \"codeFlows\": [{\"threadFlows\": [{\"locations\": [");
+            let steps: Vec<&crate::rules::TraceStep> =
+                d.trace.iter().filter(|s| !s.path.is_empty()).collect();
+            for (j, s) in steps.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                out.push_str(&format!(
+                    "{{\"location\": {}}}",
+                    location(&s.path, s.line, Some(&s.note))
+                ));
+            }
+            out.push_str("]}]}], \"relatedLocations\": [");
+            for (j, s) in steps.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                out.push_str(&location(&s.path, s.line, Some(&s.note)));
+            }
+            out.push(']');
+        }
+        out.push('}');
     }
     if !diags.is_empty() {
         out.push_str("\n      ");
@@ -63,10 +90,39 @@ pub fn render(diags: &[Diagnostic]) -> String {
     out
 }
 
+/// One SARIF `location` object, optionally with a step message.
+fn location(path: &str, line: usize, message: Option<&str>) -> String {
+    let mut out = format!(
+        "{{\"physicalLocation\": {{\"artifactLocation\": {{\"uri\": {}}}, \"region\": {{\"startLine\": {}}}}}",
+        escape(path),
+        line.max(1)
+    );
+    if let Some(m) = message {
+        out.push_str(&format!(", \"message\": {{\"text\": {}}}", escape(m)));
+    }
+    out.push('}');
+    out
+}
+
+/// `untrusted-input-taint` → `UntrustedInputTaint` (SARIF rule `name`s are
+/// conventionally PascalCase identifiers).
+fn pascal_case(rule: &str) -> String {
+    rule.split('-')
+        .map(|w| {
+            let mut c = w.chars();
+            match c.next() {
+                Some(f) => f.to_uppercase().chain(c).collect::<String>(),
+                None => String::new(),
+            }
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::json;
+    use crate::rules::TraceStep;
 
     fn diag(rule: &'static str, path: &str, line: usize) -> Diagnostic {
         Diagnostic {
@@ -74,6 +130,7 @@ mod tests {
             path: path.into(),
             line,
             message: format!("finding in {path}"),
+            trace: Vec::new(),
         }
     }
 
@@ -102,6 +159,101 @@ mod tests {
             .as_arr()
             .unwrap();
         assert_eq!(rules.len(), 2, "one rule entry per distinct rule");
+    }
+
+    #[test]
+    fn rule_metadata_carries_name_and_description() {
+        let doc = json::parse(&render(&[diag(
+            "untrusted-input-taint",
+            "crates/core/src/a.rs",
+            3,
+        )]))
+        .unwrap();
+        let rules = doc.get("runs").unwrap().as_arr().unwrap()[0]
+            .get("tool")
+            .unwrap()
+            .get("driver")
+            .unwrap()
+            .get("rules")
+            .unwrap()
+            .as_arr()
+            .unwrap();
+        assert_eq!(
+            rules[0].get("name").unwrap().as_str(),
+            Some("UntrustedInputTaint")
+        );
+        let desc = rules[0]
+            .get("shortDescription")
+            .unwrap()
+            .get("text")
+            .unwrap()
+            .as_str()
+            .unwrap();
+        assert!(desc.contains("validated constructor"), "{desc}");
+    }
+
+    #[test]
+    fn traces_become_code_flows() {
+        let mut d = diag("panic-reachability", "src/main.rs", 1);
+        d.trace = vec![
+            TraceStep {
+                path: "src/main.rs".into(),
+                line: 2,
+                note: "`serve` entrypoint `main`".into(),
+            },
+            TraceStep {
+                path: "crates/core/src/x.rs".into(),
+                line: 40,
+                note: "calls `helper`".into(),
+            },
+            TraceStep {
+                path: "crates/core/src/x.rs".into(),
+                line: 44,
+                note: "`unwrap` panic site".into(),
+            },
+        ];
+        let doc = json::parse(&render(&[d])).unwrap();
+        let result = &doc.get("runs").unwrap().as_arr().unwrap()[0]
+            .get("results")
+            .unwrap()
+            .as_arr()
+            .unwrap()[0];
+        let flows = result.get("codeFlows").unwrap().as_arr().unwrap();
+        let steps = flows[0].get("threadFlows").unwrap().as_arr().unwrap()[0]
+            .get("locations")
+            .unwrap()
+            .as_arr()
+            .unwrap();
+        assert_eq!(steps.len(), 3);
+        let step1 = steps[1].get("location").unwrap();
+        assert_eq!(
+            step1
+                .get("physicalLocation")
+                .unwrap()
+                .get("artifactLocation")
+                .unwrap()
+                .get("uri")
+                .unwrap()
+                .as_str(),
+            Some("crates/core/src/x.rs")
+        );
+        assert_eq!(
+            step1.get("message").unwrap().get("text").unwrap().as_str(),
+            Some("calls `helper`")
+        );
+        let related = result.get("relatedLocations").unwrap().as_arr().unwrap();
+        assert_eq!(related.len(), 3);
+    }
+
+    #[test]
+    fn local_findings_have_no_code_flows() {
+        let doc = json::parse(&render(&[diag("no-panic-path", "a.rs", 3)])).unwrap();
+        let result = &doc.get("runs").unwrap().as_arr().unwrap()[0]
+            .get("results")
+            .unwrap()
+            .as_arr()
+            .unwrap()[0];
+        assert!(result.get("codeFlows").is_none());
     }
 
     #[test]

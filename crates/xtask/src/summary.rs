@@ -1,0 +1,1735 @@
+//! Per-file workspace summaries: the substrate of the cross-file analysis
+//! pass ([`crate::workspace`]).
+//!
+//! A [`FileSummary`] is everything the workspace layer needs to know about
+//! one file without re-reading it: every non-test function with its impl
+//! owner and trait, every call site with a resolvable [`CallRef`] and the
+//! *local dataflow origins* feeding it, panic sites, `let _ =`/`.ok()`
+//! result discards, and `// entrypoint:` boundary annotations. Summaries
+//! are registry-agnostic — which calls count as taint sources, sanitizers,
+//! or kernel sinks is decided by [`crate::workspace`]'s registries, so a
+//! registry change is an engine change ([`crate::cache::ENGINE_VERSION`]
+//! bump), never a cache-schema change.
+//!
+//! The local dataflow is a forward may-analysis over *origins*: a value in
+//! a function body is summarized as the set of [`Origin`]s (parameters and
+//! call results) that may flow into it. `let` bindings union the origins of
+//! their right-hand side; method chains thread the receiver's origins into
+//! each call site; `return` statements and the body's tail expression feed
+//! [`FnSummary::returns_from`]. The analysis runs twice over each body so
+//! loop-carried bindings converge. Match-arm pattern bindings are not
+//! tracked (the whole `match` expression unions instead) — a documented
+//! precision loss, never a false positive against the sink registries.
+
+use crate::json::{self, Value};
+use crate::lexer::TokKind;
+use crate::tree::{self, FileAnalysis, Group, Tree};
+
+/// Hop budget for `// entrypoint: serve` when none is declared.
+pub const DEFAULT_MAX_HOPS: u32 = 2;
+
+/// Widest hop budget the grammar accepts; beyond this the whole-graph
+/// reachability question should be asked differently (a deeper budget is a
+/// policy smell, not an analysis limit).
+pub const MAX_HOPS_LIMIT: u32 = 16;
+
+/// How a call site names its callee; resolution happens workspace-side.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CallRef {
+    /// `foo(..)`, `path::foo(..)` — full path segments, last is the name.
+    Free { path: Vec<String> },
+    /// `Type::method(..)`; `Self::` is rewritten to the impl owner.
+    Assoc { ty: String, name: String },
+    /// `recv.method(..)`; `recv_ty` is empty when the receiver type is
+    /// unknown to the local heuristics.
+    Method { recv_ty: String, name: String },
+}
+
+impl CallRef {
+    /// The bare callee name.
+    pub fn name(&self) -> &str {
+        match self {
+            CallRef::Free { path } => path.last().map(String::as_str).unwrap_or(""),
+            CallRef::Assoc { name, .. } | CallRef::Method { name, .. } => name,
+        }
+    }
+
+    /// The qualifier used for registry matching: the assoc type, receiver
+    /// type, or second-to-last path segment.
+    pub fn qualifier(&self) -> &str {
+        match self {
+            CallRef::Free { path } => {
+                if path.len() >= 2 {
+                    &path[path.len() - 2]
+                } else {
+                    ""
+                }
+            }
+            CallRef::Assoc { ty, .. } => ty,
+            CallRef::Method { recv_ty, .. } => recv_ty,
+        }
+    }
+
+    /// Display form for diagnostics.
+    pub fn display(&self) -> String {
+        match self {
+            CallRef::Free { path } => path.join("::"),
+            CallRef::Assoc { ty, name } => format!("{ty}::{name}"),
+            CallRef::Method { recv_ty, name } => {
+                if recv_ty.is_empty() {
+                    format!(".{name}")
+                } else {
+                    format!("{recv_ty}::{name}")
+                }
+            }
+        }
+    }
+}
+
+/// Where a local value may come from.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Origin {
+    /// The i-th parameter (a `self` receiver is parameter 0).
+    Param(usize),
+    /// The result of the i-th call site in the same function.
+    Call(usize),
+}
+
+/// One call site inside a function body.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CallSite {
+    pub callee: CallRef,
+    pub line: usize,
+    /// Origins flowing into the receiver and arguments. Call-result
+    /// origins always reference earlier sites, so the site list is a DAG
+    /// in index order.
+    pub inputs: Vec<Origin>,
+    /// Bare function-reference arguments (`.map(Ty::ctor)` style), so the
+    /// workspace layer can honor higher-order sanitizer application.
+    pub fn_ref_args: Vec<CallRef>,
+}
+
+/// A statically panicking construct.
+#[derive(Clone, Debug, PartialEq)]
+pub struct PanicSite {
+    /// `unwrap`, `expect`, `panic!`, `unreachable!`, `todo!`,
+    /// `unimplemented!`, or `index` (literal subscript).
+    pub kind: String,
+    pub line: usize,
+}
+
+/// A discarded call result: `let _ = f(..);` or a statement-final `.ok();`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Discard {
+    /// Index into [`FnSummary::calls`] of the discarded call.
+    pub call: usize,
+    pub line: usize,
+}
+
+/// One non-test function.
+#[derive(Clone, Debug, PartialEq)]
+pub struct FnSummary {
+    pub name: String,
+    /// Impl type name, empty for free functions.
+    pub owner: String,
+    /// Trait name for `impl Trait for Owner` methods, else empty.
+    pub trait_name: String,
+    pub line: usize,
+    /// The return type mentions `Result`.
+    pub ret_result: bool,
+    /// `// entrypoint: serve` hop budget, when annotated.
+    pub entry_hops: Option<u32>,
+    /// Line of the entrypoint annotation (0 when none).
+    pub entry_line: usize,
+    pub calls: Vec<CallSite>,
+    pub panics: Vec<PanicSite>,
+    pub discards: Vec<Discard>,
+    /// Origins that may flow to the return value.
+    pub returns_from: Vec<Origin>,
+}
+
+/// Everything the workspace pass needs from one file.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct FileSummary {
+    pub fns: Vec<FnSummary>,
+    /// Malformed `// entrypoint:` annotations: `(line, problem)`.
+    pub entry_errors: Vec<(usize, String)>,
+}
+
+/// Extracts the summary of one analyzed file. Test-scoped functions are
+/// excluded entirely — nothing inside `#[cfg(test)]` feeds the call graph.
+pub fn summarize(analysis: &FileAnalysis) -> FileSummary {
+    let mut fns = Vec::new();
+    walk(&analysis.root.children, "", "", false, &mut fns);
+    let mut entry_errors = Vec::new();
+    attach_entrypoints(analysis, &mut fns, &mut entry_errors);
+    FileSummary { fns, entry_errors }
+}
+
+// ---------------------------------------------------------------- items --
+
+fn walk(kids: &[Tree], owner: &str, trait_name: &str, in_test: bool, out: &mut Vec<FnSummary>) {
+    let mut i = 0;
+    let mut attr_test = false;
+    while i < kids.len() {
+        if kids[i].is_punct("#") {
+            let mut j = i + 1;
+            if kids.get(j).is_some_and(|k| k.is_punct("!")) {
+                j += 1;
+            }
+            if let Some(Tree::Group(attr)) = kids.get(j) {
+                if attr.delim == '[' {
+                    if j == i + 1 {
+                        attr_test |= tree::is_test_attr(attr);
+                    }
+                    i = j + 1;
+                    continue;
+                }
+            }
+        }
+        if kids[i].is_ident("fn") {
+            let is_test = in_test || attr_test;
+            attr_test = false;
+            let end = scan_fn(kids, i, owner, trait_name, is_test, out);
+            i = end;
+            continue;
+        }
+        if kids[i].is_ident("trait") {
+            // Default trait methods are real call-graph nodes (`impl`
+            // blocks may inherit them); walk the body with the trait as
+            // both owner and trait name so `by_trait` resolution finds
+            // defaults alongside overriding impls.
+            let is_test = in_test || attr_test;
+            attr_test = false;
+            let name = kids
+                .get(i + 1)
+                .and_then(Tree::tok)
+                .filter(|t| t.kind == TokKind::Ident)
+                .map(|t| t.text.clone())
+                .unwrap_or_default();
+            let mut j = i + 1;
+            let mut body = None;
+            while let Some(k) = kids.get(j) {
+                if k.is_punct(";") {
+                    break;
+                }
+                if let Tree::Group(g) = k {
+                    if g.delim == '{' {
+                        body = Some(g);
+                        break;
+                    }
+                }
+                j += 1;
+            }
+            if let Some(b) = body {
+                walk(&b.children, &name, &name, is_test, out);
+            }
+            i = j + 1;
+            continue;
+        }
+        if kids[i].is_ident("impl") {
+            let is_test = in_test || attr_test;
+            attr_test = false;
+            let (ty, tr, body_idx) = parse_impl_header(kids, i);
+            if let Some(bi) = body_idx {
+                if let Tree::Group(body) = &kids[bi] {
+                    walk(&body.children, &ty, &tr, is_test, out);
+                }
+                i = bi + 1;
+            } else {
+                i += 1;
+            }
+            continue;
+        }
+        if kids[i].is_ident("mod") {
+            let is_test = in_test || attr_test;
+            attr_test = false;
+            let mut j = i + 1;
+            let mut body = None;
+            while let Some(k) = kids.get(j) {
+                if k.is_punct(";") {
+                    break;
+                }
+                if let Tree::Group(g) = k {
+                    if g.delim == '{' {
+                        body = Some(g);
+                        break;
+                    }
+                }
+                j += 1;
+            }
+            if let Some(b) = body {
+                walk(&b.children, "", "", is_test, out);
+            }
+            i = j + 1;
+            continue;
+        }
+        if let Tree::Tok(t) = &kids[i] {
+            let keeps = matches!(
+                t.text.as_str(),
+                "pub" | "unsafe" | "async" | "const" | "extern"
+            );
+            if !keeps {
+                attr_test = false;
+            }
+        } else if let Tree::Group(g) = &kids[i] {
+            let is_vis = g.delim == '(' && i > 0 && kids[i - 1].is_ident("pub");
+            if !is_vis {
+                attr_test = false;
+            }
+        }
+        i += 1;
+    }
+}
+
+/// Parses `impl … {`, returning `(owner type, trait name, body index)`.
+/// Handles `impl<G> Ty<G>`, `impl Trait for Ty`, and qualified trait paths.
+fn parse_impl_header(kids: &[Tree], start: usize) -> (String, String, Option<usize>) {
+    let mut j = start + 1;
+    // Skip the generic parameter list: `<` … matching `>`.
+    if kids.get(j).is_some_and(|k| k.is_punct("<")) {
+        let mut depth = 0i64;
+        while let Some(k) = kids.get(j) {
+            if k.is_punct("<") {
+                depth += 1;
+            } else if k.is_punct(">") {
+                depth -= 1;
+                if depth == 0 {
+                    j += 1;
+                    break;
+                }
+            } else if k.is_punct("->") || k.is_punct("=>") {
+                // Defensive: never scan past arrow tokens.
+                break;
+            }
+            j += 1;
+        }
+    }
+    // Collect angle-depth-0 path idents until `for`, `where`, or the body.
+    let mut first: Vec<String> = Vec::new();
+    let mut second: Vec<String> = Vec::new();
+    let mut in_second = false;
+    let mut depth = 0i64;
+    let mut body_idx = None;
+    while let Some(k) = kids.get(j) {
+        match k {
+            Tree::Group(g) if g.delim == '{' && depth == 0 => {
+                body_idx = Some(j);
+                break;
+            }
+            Tree::Tok(t) => {
+                if t.is_punct("<") {
+                    depth += 1;
+                } else if t.is_punct(">") {
+                    depth -= 1;
+                } else if depth == 0 && t.is_ident("for") {
+                    in_second = true;
+                } else if depth == 0 && t.is_ident("where") {
+                    // Type/trait parts are complete; scan on for the body.
+                } else if depth == 0 && t.kind == TokKind::Ident && !t.is_ident("dyn") {
+                    if in_second {
+                        second.push(t.text.clone());
+                    } else {
+                        first.push(t.text.clone());
+                    }
+                }
+            }
+            _ => {}
+        }
+        j += 1;
+    }
+    let (ty, tr) = if in_second {
+        (
+            second.first().cloned().unwrap_or_default(),
+            first.last().cloned().unwrap_or_default(),
+        )
+    } else {
+        (first.first().cloned().unwrap_or_default(), String::new())
+    };
+    (ty, tr, body_idx)
+}
+
+/// Scans one `fn` item starting at the `fn` keyword; returns the index just
+/// past the item. Test functions are skipped (their bodies never reach the
+/// summary).
+fn scan_fn(
+    kids: &[Tree],
+    start: usize,
+    owner: &str,
+    trait_name: &str,
+    is_test: bool,
+    out: &mut Vec<FnSummary>,
+) -> usize {
+    let name = kids
+        .get(start + 1)
+        .and_then(Tree::tok)
+        .filter(|t| t.kind == TokKind::Ident)
+        .map(|t| t.text.clone())
+        .unwrap_or_default();
+    let line = kids[start].line();
+    let mut j = start + 1;
+    let mut params: Option<&Group> = None;
+    let mut body: Option<&Group> = None;
+    let mut ret_result = false;
+    let mut seen_params = false;
+    // Angle depth guards against `Fn(..)` groups inside generic bounds
+    // (`fn f<F: Fn(usize) -> f64>(x: F)`) being mistaken for the params.
+    let mut angle = 0i64;
+    while let Some(k) = kids.get(j) {
+        if k.is_punct(";") {
+            break;
+        }
+        if let Some(t) = k.tok() {
+            if t.is_punct("<") {
+                angle += 1;
+            } else if t.is_punct(">") {
+                angle -= 1;
+            }
+        }
+        match k {
+            Tree::Group(g) if g.delim == '(' && params.is_none() && angle == 0 => {
+                params = Some(g);
+                seen_params = true;
+            }
+            Tree::Group(g) if g.delim == '{' => {
+                body = Some(g);
+                break;
+            }
+            Tree::Tok(t) if seen_params && t.is_ident("Result") => ret_result = true,
+            _ => {}
+        }
+        j += 1;
+    }
+    let end = j + 1;
+    let Some(body) = body else { return end };
+    if is_test {
+        return end;
+    }
+    let param_list = params.map(parse_params).unwrap_or_default();
+    let mut f = FnSummary {
+        name,
+        owner: owner.to_string(),
+        trait_name: trait_name.to_string(),
+        line,
+        ret_result,
+        entry_hops: None,
+        entry_line: 0,
+        calls: Vec::new(),
+        panics: Vec::new(),
+        discards: Vec::new(),
+        returns_from: Vec::new(),
+    };
+    let mut local = Local::new(&param_list, owner);
+    // Two passes: the first converges loop-carried variable origins, the
+    // second records sites/facts against the converged environment. The
+    // body's tail expression is the return value alongside explicit
+    // `return` statements.
+    local.scan_block(&body.children, false);
+    local.reset_facts(&param_list, owner);
+    let tail = local.scan_block(&body.children, true);
+    for o in tail {
+        local.returns_from.insert(o);
+    }
+    f.calls = local.calls;
+    f.panics = local.panics;
+    f.discards = local.discards;
+    let mut returns: Vec<Origin> = local.returns_from.into_iter().collect();
+    returns.sort();
+    returns.dedup();
+    f.returns_from = returns;
+    out.push(f);
+    end
+}
+
+/// `(binding name, first capitalized type ident)` per parameter; a `self`
+/// receiver becomes `("self", owner)` at index 0.
+fn parse_params(params: &Group) -> Vec<(String, String)> {
+    let kids = &params.children;
+    let mut out = Vec::new();
+    // Split at top-level commas (angle-depth aware).
+    let mut depth = 0i64;
+    let mut seg_start = 0usize;
+    let mut segments: Vec<&[Tree]> = Vec::new();
+    for (i, k) in kids.iter().enumerate() {
+        if let Some(t) = k.tok() {
+            if t.is_punct("<") {
+                depth += 1;
+            } else if t.is_punct(">") {
+                depth -= 1;
+            } else if t.is_punct(",") && depth == 0 {
+                segments.push(&kids[seg_start..i]);
+                seg_start = i + 1;
+            }
+        }
+    }
+    if seg_start < kids.len() {
+        segments.push(&kids[seg_start..]);
+    }
+    for seg in segments {
+        if seg.iter().any(|k| k.is_ident("self")) && !seg.iter().any(|k| k.is_punct(":")) {
+            out.push(("self".to_string(), String::new()));
+            continue;
+        }
+        let colon = seg.iter().position(|k| k.is_punct(":"));
+        let Some(ci) = colon else { continue };
+        let name = seg[..ci]
+            .iter()
+            .rev()
+            .find_map(|k| k.tok().filter(|t| t.kind == TokKind::Ident))
+            .map(|t| t.text.clone())
+            .unwrap_or_default();
+        let ty = first_type_ident(&seg[ci + 1..]);
+        if !name.is_empty() && name != "mut" {
+            out.push((name, ty));
+        }
+    }
+    out
+}
+
+/// The first capitalized identifier in a type token run (`&mut StdRng` →
+/// `StdRng`, `&[Circuit]` → `Circuit`, `&dyn Executor` → `Executor`).
+fn first_type_ident(toks: &[Tree]) -> String {
+    for k in toks {
+        match k {
+            Tree::Tok(t)
+                if t.kind == TokKind::Ident
+                    && t.text.chars().next().is_some_and(char::is_uppercase) =>
+            {
+                return t.text.clone();
+            }
+            Tree::Group(g) => {
+                let inner = first_type_ident(&g.children);
+                if !inner.is_empty() {
+                    return inner;
+                }
+            }
+            _ => {}
+        }
+    }
+    String::new()
+}
+
+// ---------------------------------------------------------- entrypoints --
+
+/// Parses `// entrypoint: serve` / `// entrypoint: serve(max_hops = N)`
+/// comments and attaches them to the next function. The grammar is
+/// machine-checked: anything that starts with the marker but does not parse
+/// becomes an `entry_errors` entry (reported as a `panic-reachability`
+/// finding), exactly like the `// lock-order:` header contract.
+fn attach_entrypoints(
+    analysis: &FileAnalysis,
+    fns: &mut [FnSummary],
+    errors: &mut Vec<(usize, String)>,
+) {
+    for (line, text) in &analysis.comments {
+        let Some(rest) = text.trim_start().strip_prefix("entrypoint:") else {
+            continue;
+        };
+        let rest = rest.trim();
+        let hops = match parse_entry_decl(rest) {
+            Ok(h) => h,
+            Err(e) => {
+                errors.push((*line, e));
+                continue;
+            }
+        };
+        // The annotated function: the first summarized fn starting after
+        // the comment line.
+        let target = fns
+            .iter_mut()
+            .filter(|f| f.line > *line)
+            .min_by_key(|f| f.line);
+        match target {
+            Some(f) if f.entry_hops.is_some() => {
+                errors.push((
+                    *line,
+                    format!("fn `{}` has two entrypoint annotations", f.name),
+                ));
+            }
+            Some(f) => {
+                f.entry_hops = Some(hops);
+                f.entry_line = *line;
+            }
+            None => {
+                errors.push((
+                    *line,
+                    "entrypoint annotation is not followed by a function".to_string(),
+                ));
+            }
+        }
+    }
+}
+
+fn parse_entry_decl(rest: &str) -> Result<u32, String> {
+    let (class, args) = match rest.find('(') {
+        Some(p) => {
+            let Some(inner) = rest[p + 1..].strip_suffix(')') else {
+                return Err(format!(
+                    "malformed entrypoint annotation `{rest}`: expected `class(max_hops = N)`"
+                ));
+            };
+            (rest[..p].trim_end(), Some(inner.trim()))
+        }
+        None => (rest, None),
+    };
+    if class != "serve" {
+        return Err(format!(
+            "unknown entrypoint class `{class}`; only `serve` is defined"
+        ));
+    }
+    let Some(args) = args else {
+        return Ok(DEFAULT_MAX_HOPS);
+    };
+    let Some(value) = args.strip_prefix("max_hops") else {
+        return Err(format!("expected `max_hops = N`, got `{args}`"));
+    };
+    let Some(value) = value.trim_start().strip_prefix('=') else {
+        return Err(format!("expected `max_hops = N`, got `{args}`"));
+    };
+    let value = value.trim();
+    match value.parse::<u32>() {
+        Ok(n) if n <= MAX_HOPS_LIMIT => Ok(n),
+        Ok(n) => Err(format!(
+            "max_hops = {n} exceeds the limit of {MAX_HOPS_LIMIT}"
+        )),
+        Err(_) => Err(format!("`{value}` is not a hop count")),
+    }
+}
+
+// ------------------------------------------------------- local dataflow --
+
+use std::collections::{BTreeSet, HashMap};
+
+const PANIC_MACROS: &[&str] = &["panic", "unreachable", "todo", "unimplemented"];
+const INDEX_HEAD_KEYWORDS: &[&str] = &["return", "break", "in", "else", "let", "mut"];
+
+struct Local {
+    vars: HashMap<String, Vec<Origin>>,
+    var_tys: HashMap<String, String>,
+    owner: String,
+    calls: Vec<CallSite>,
+    panics: Vec<PanicSite>,
+    discards: Vec<Discard>,
+    returns_from: BTreeSet<Origin>,
+}
+
+impl Local {
+    fn new(params: &[(String, String)], owner: &str) -> Local {
+        let mut l = Local {
+            vars: HashMap::new(),
+            var_tys: HashMap::new(),
+            owner: owner.to_string(),
+            calls: Vec::new(),
+            panics: Vec::new(),
+            discards: Vec::new(),
+            returns_from: BTreeSet::new(),
+        };
+        l.seed_params(params, owner);
+        l
+    }
+
+    fn seed_params(&mut self, params: &[(String, String)], owner: &str) {
+        for (i, (name, ty)) in params.iter().enumerate() {
+            self.vars.insert(name.clone(), vec![Origin::Param(i)]);
+            let ty = if name == "self" { owner } else { ty };
+            if !ty.is_empty() {
+                self.var_tys.insert(name.clone(), ty.to_string());
+            }
+        }
+    }
+
+    /// Clears recorded facts (sites, panics, discards, returns) while
+    /// keeping the converged variable environment, then reseeds parameter
+    /// origins so the second pass starts from the same base.
+    fn reset_facts(&mut self, params: &[(String, String)], owner: &str) {
+        self.calls.clear();
+        self.panics.clear();
+        self.discards.clear();
+        self.returns_from.clear();
+        let converged = std::mem::take(&mut self.vars);
+        self.vars = converged;
+        self.seed_params(params, owner);
+    }
+
+    fn bind(&mut self, name: &str, origins: &[Origin]) {
+        let slot = self.vars.entry(name.to_string()).or_default();
+        for o in origins {
+            if !slot.contains(o) {
+                slot.push(*o);
+            }
+        }
+    }
+
+    /// Scans a `{}` block's children as statements. When `record` is false
+    /// this is the seeding pass (origins only). The block's tail-expression
+    /// origins are returned (they are the block's value).
+    fn scan_block(&mut self, kids: &[Tree], record: bool) -> Vec<Origin> {
+        let mut stmts: Vec<(&[Tree], bool)> = Vec::new(); // (tokens, has_semi)
+        let mut start = 0usize;
+        for (i, k) in kids.iter().enumerate() {
+            if k.is_punct(";") {
+                stmts.push((&kids[start..i], true));
+                start = i + 1;
+            }
+        }
+        if start < kids.len() {
+            stmts.push((&kids[start..], false));
+        }
+        let mut tail = Vec::new();
+        let n = stmts.len();
+        for (idx, (stmt, has_semi)) in stmts.into_iter().enumerate() {
+            let origins = self.scan_stmt(stmt, record);
+            if idx == n - 1 && !has_semi {
+                tail = origins;
+            }
+        }
+        tail
+    }
+
+    fn scan_stmt(&mut self, stmt: &[Tree], record: bool) -> Vec<Origin> {
+        if stmt.is_empty() {
+            return Vec::new();
+        }
+        // Skip statement-level attributes.
+        let mut s = 0usize;
+        while stmt.get(s).is_some_and(|k| k.is_punct("#")) {
+            s += 1;
+            if stmt
+                .get(s)
+                .and_then(Tree::group)
+                .is_some_and(|g| g.delim == '[')
+            {
+                s += 1;
+            }
+        }
+        let stmt = &stmt[s..];
+        if stmt.is_empty() {
+            return Vec::new();
+        }
+
+        if stmt[0].is_ident("let") {
+            return self.scan_let(stmt, record);
+        }
+        if stmt[0].is_ident("return") {
+            let origins = self.eval(&stmt[1..], record).origins;
+            for o in &origins {
+                self.returns_from.insert(*o);
+            }
+            return Vec::new();
+        }
+        if stmt[0].is_ident("use")
+            || stmt[0].is_ident("mod")
+            || stmt[0].is_ident("const")
+            || stmt[0].is_ident("static")
+            || stmt[0].is_ident("fn")
+            || stmt[0].is_ident("struct")
+            || stmt[0].is_ident("enum")
+            || stmt[0].is_ident("impl")
+        {
+            // Nested items: walk groups for panic sites (a nested fn body's
+            // panics belong to the enclosing function's extent), but keep
+            // their dataflow out of this function's environment.
+            for k in stmt {
+                if let Tree::Group(g) = k {
+                    self.eval(&g.children, record);
+                }
+            }
+            return Vec::new();
+        }
+
+        let info = self.eval(stmt, record);
+        // Statement-final `.ok();` discards the chained Result.
+        if record && stmt.len() >= 3 {
+            let n = stmt.len();
+            let is_ok_tail = stmt[n - 3].is_punct(".")
+                && stmt[n - 2].is_ident("ok")
+                && stmt[n - 1]
+                    .group()
+                    .is_some_and(|g| g.delim == '(' && g.children.is_empty());
+            if is_ok_tail {
+                // The `.ok()` site was just recorded; its input call origin
+                // is the discarded Result.
+                if let Some(ok_site) = self.calls.iter().rposition(|c| c.callee.name() == "ok") {
+                    let discarded = self.calls[ok_site]
+                        .inputs
+                        .iter()
+                        .filter_map(|o| match o {
+                            Origin::Call(j) => Some(*j),
+                            _ => None,
+                        })
+                        .max();
+                    if let Some(j) = discarded {
+                        self.discards.push(Discard {
+                            call: j,
+                            line: self.calls[ok_site].line,
+                        });
+                    }
+                }
+            }
+        }
+        info.origins
+    }
+
+    fn scan_let(&mut self, stmt: &[Tree], record: bool) -> Vec<Origin> {
+        // `let PATTERN [: TYPE] = RHS [else { … }]`
+        let eq = stmt.iter().position(|k| k.is_punct("="));
+        let Some(eq) = eq else {
+            return Vec::new();
+        };
+        let head = &stmt[1..eq];
+        let mut rhs = &stmt[eq + 1..];
+        // let-else: the trailing `else { … }` diverges; scan it, strip it.
+        if rhs.len() >= 2 && rhs[rhs.len() - 2].is_ident("else") {
+            if let Tree::Group(g) = &rhs[rhs.len() - 1] {
+                if g.delim == '{' {
+                    self.scan_block(&g.children, record);
+                    rhs = &rhs[..rhs.len() - 2];
+                }
+            }
+        }
+        // Split the pattern from an optional type ascription.
+        let mut depth = 0i64;
+        let mut colon = None;
+        for (i, k) in head.iter().enumerate() {
+            if let Some(t) = k.tok() {
+                if t.is_punct("<") {
+                    depth += 1;
+                } else if t.is_punct(">") {
+                    depth -= 1;
+                } else if t.is_punct(":") && depth == 0 {
+                    colon = Some(i);
+                    break;
+                }
+            }
+        }
+        let pattern = &head[..colon.unwrap_or(head.len())];
+        let ascribed = colon
+            .map(|c| first_type_ident(&head[c + 1..]))
+            .unwrap_or_default();
+
+        let info = self.eval(rhs, record);
+
+        // Bindings: lowercase idents in the pattern (enum/struct names are
+        // capitalized and skipped). `_` alone marks a discard.
+        let mut bindings: Vec<String> = Vec::new();
+        collect_pattern_idents(pattern, &mut bindings);
+        let is_wild = bindings.is_empty() && pattern.len() == 1 && pattern[0].is_ident("_");
+        if record && is_wild {
+            if let Some(site) = info.principal_call {
+                self.discards.push(Discard {
+                    call: site,
+                    line: self.calls[site].line,
+                });
+            }
+        }
+        for b in &bindings {
+            self.bind(b, &info.origins);
+            if !ascribed.is_empty() {
+                self.var_tys.insert(b.clone(), ascribed.clone());
+            } else if bindings.len() == 1 {
+                if let Some(ty) = &info.ctor_ty {
+                    self.var_tys.insert(b.clone(), ty.clone());
+                }
+            }
+        }
+        Vec::new()
+    }
+
+    /// Evaluates an expression token run: records call sites (when
+    /// `record`), returns the union of origins flowing into the
+    /// expression's value plus chain metadata.
+    // `flush_cur!` resets `cur_ty` at every chain break; some invocations
+    // overwrite it immediately after, which is fine.
+    #[allow(unused_assignments)]
+    fn eval(&mut self, toks: &[Tree], record: bool) -> ExprInfo {
+        let mut origins: Vec<Origin> = Vec::new();
+        // Current postfix-chain value.
+        let mut cur: Vec<Origin> = Vec::new();
+        let mut cur_ty: Option<String> = None;
+        let mut principal_call: Option<usize> = None;
+        let mut ctor_ty: Option<String> = None;
+        let mut i = 0usize;
+
+        macro_rules! flush_cur {
+            () => {
+                for o in cur.drain(..) {
+                    if !origins.contains(&o) {
+                        origins.push(o);
+                    }
+                }
+                cur_ty = None;
+            };
+        }
+
+        while i < toks.len() {
+            // Method segment: `. name [::<…>] (args)` or field access.
+            if toks[i].is_punct(".") {
+                let Some(name_tok) = toks.get(i + 1).and_then(Tree::tok) else {
+                    i += 1;
+                    continue;
+                };
+                if name_tok.kind != TokKind::Ident {
+                    // Tuple index `.0` — value keeps the base's origins.
+                    i += 2;
+                    continue;
+                }
+                let name = name_tok.text.clone();
+                let (args_idx, args) = skip_turbofish(toks, i + 2);
+                if let Some(args) = args {
+                    // Method call.
+                    if name == "unwrap" && args.children.is_empty() {
+                        if record {
+                            self.panics.push(PanicSite {
+                                kind: "unwrap".into(),
+                                line: name_tok.line,
+                            });
+                        }
+                    } else if name == "expect" && record {
+                        self.panics.push(PanicSite {
+                            kind: "expect".into(),
+                            line: name_tok.line,
+                        });
+                    }
+                    let (arg_origins, fn_refs) = self.eval_args(args, record);
+                    let recv_ty = cur_ty.clone().unwrap_or_default();
+                    let mut inputs = cur.clone();
+                    for o in arg_origins {
+                        if !inputs.contains(&o) {
+                            inputs.push(o);
+                        }
+                    }
+                    let site = self.push_site(
+                        CallRef::Method { recv_ty, name },
+                        name_tok.line,
+                        inputs,
+                        fn_refs,
+                        record,
+                    );
+                    cur = vec![Origin::Call(site)];
+                    cur_ty = None;
+                    principal_call = Some(site);
+                    i = args_idx + 1;
+                    continue;
+                }
+                // Field access / `.await`: origins flow through.
+                i += 2;
+                continue;
+            }
+
+            match &toks[i] {
+                Tree::Tok(t) if t.kind == TokKind::Ident => {
+                    // Macro invocation `name!(…)`.
+                    if toks.get(i + 1).is_some_and(|k| k.is_punct("!")) {
+                        if let Some(Tree::Group(g)) = toks.get(i + 2) {
+                            if record && PANIC_MACROS.contains(&t.text.as_str()) {
+                                self.panics.push(PanicSite {
+                                    kind: format!("{}!", t.text),
+                                    line: t.line,
+                                });
+                            }
+                            let info = self.eval(&g.children, record);
+                            flush_cur!();
+                            for o in info.origins {
+                                if !origins.contains(&o) {
+                                    origins.push(o);
+                                }
+                            }
+                            i += 3;
+                            continue;
+                        }
+                        i += 2;
+                        continue;
+                    }
+                    // Path: `a::b::c` possibly ending in a call.
+                    let (path, end) = collect_path(toks, i);
+                    let (args_idx, args) = skip_turbofish(toks, end);
+                    if let Some(args) = args {
+                        // A call. Classify free vs associated by the case
+                        // of the second-to-last segment.
+                        let (arg_origins, fn_refs) = self.eval_args(args, record);
+                        let callee = path_to_callref(&path, &self.owner);
+                        let is_ctor = matches!(
+                            &callee,
+                            CallRef::Assoc { name, .. } if matches!(name.as_str(), "new" | "default" | "with_capacity")
+                        );
+                        let line = toks[i].line();
+                        let site = self.push_site(callee, line, arg_origins, fn_refs, record);
+                        flush_cur!();
+                        cur = vec![Origin::Call(site)];
+                        cur_ty = None;
+                        if is_ctor || ctor_ty.is_none() {
+                            let assoc_ty = path
+                                .iter()
+                                .rev()
+                                .nth(1)
+                                .filter(|s| s.chars().next().is_some_and(char::is_uppercase))
+                                .cloned();
+                            if let Some(ty) = assoc_ty {
+                                cur_ty = Some(ty.clone());
+                                if ctor_ty.is_none() {
+                                    ctor_ty = Some(ty);
+                                }
+                            }
+                        }
+                        principal_call = Some(site);
+                        i = args_idx + 1;
+                        continue;
+                    }
+                    // Plain path value: a variable, `self`, or a constant.
+                    if path.len() == 1 {
+                        let name = &path[0];
+                        flush_cur!();
+                        if let Some(os) = self.vars.get(name.as_str()) {
+                            cur = os.clone();
+                        }
+                        cur_ty = self.var_tys.get(name.as_str()).cloned();
+                        if name == "self" && !self.owner.is_empty() {
+                            cur_ty = Some(self.owner.clone());
+                        }
+                    } else {
+                        flush_cur!();
+                    }
+                    i = end;
+                    continue;
+                }
+                Tree::Tok(t) if t.kind == TokKind::Punct => {
+                    match t.text.as_str() {
+                        // Value-transparent prefixes and postfixes.
+                        "&" | "*" | "?" => {}
+                        "," => {
+                            flush_cur!();
+                        }
+                        // Operators end the current chain; the expression
+                        // value unions both sides.
+                        _ => {
+                            flush_cur!();
+                        }
+                    }
+                    i += 1;
+                    continue;
+                }
+                Tree::Tok(_) => {
+                    // Literals and lifetimes: clean values.
+                    i += 1;
+                    continue;
+                }
+                Tree::Group(g) => {
+                    match g.delim {
+                        '(' => {
+                            // Parenthesized expression or tuple.
+                            let info = self.eval(&g.children, record);
+                            flush_cur!();
+                            cur = info.origins;
+                            cur_ty = None;
+                        }
+                        '[' => {
+                            // Index or array literal: union base and inside.
+                            if record {
+                                self.check_literal_index(toks, i);
+                            }
+                            let info = self.eval(&g.children, record);
+                            for o in info.origins {
+                                if !cur.contains(&o) {
+                                    cur.push(o);
+                                }
+                            }
+                            cur_ty = None;
+                        }
+                        _ => {
+                            // Block: statements plus a tail value.
+                            let tail = self.scan_block(&g.children, record);
+                            flush_cur!();
+                            cur = tail;
+                            cur_ty = None;
+                        }
+                    }
+                    i += 1;
+                    continue;
+                }
+            }
+        }
+        flush_cur!();
+        ExprInfo {
+            origins,
+            principal_call,
+            ctor_ty,
+        }
+    }
+
+    /// Literal-subscript panic site: `ident[3]` — same shape as the
+    /// `no-direct-index` lexical rule, extended workspace-wide through the
+    /// reachability pass.
+    fn check_literal_index(&mut self, toks: &[Tree], idx: usize) {
+        let Some(Tree::Group(g)) = toks.get(idx) else {
+            return;
+        };
+        let literal =
+            g.children.len() == 1 && g.children[0].tok().is_some_and(|t| t.kind == TokKind::Int);
+        if !literal {
+            return;
+        }
+        let Some(prev) = idx
+            .checked_sub(1)
+            .and_then(|p| toks.get(p))
+            .and_then(Tree::tok)
+        else {
+            return;
+        };
+        if prev.kind != TokKind::Ident || INDEX_HEAD_KEYWORDS.contains(&prev.text.as_str()) {
+            return;
+        }
+        self.panics.push(PanicSite {
+            kind: "index".into(),
+            line: g.open_line,
+        });
+    }
+
+    /// Evaluates a call's argument group: per-argument origins unioned,
+    /// plus bare function-reference arguments for higher-order sanitizers.
+    fn eval_args(&mut self, args: &Group, record: bool) -> (Vec<Origin>, Vec<CallRef>) {
+        let mut fn_refs = Vec::new();
+        // A bare-path argument (`Ty::ctor` or `helper`, no call group) is a
+        // function reference. Detect per comma-separated top-level segment.
+        let kids = &args.children;
+        let mut seg_start = 0usize;
+        let mut segments: Vec<&[Tree]> = Vec::new();
+        for (i, k) in kids.iter().enumerate() {
+            if k.is_punct(",") {
+                segments.push(&kids[seg_start..i]);
+                seg_start = i + 1;
+            }
+        }
+        if seg_start < kids.len() {
+            segments.push(&kids[seg_start..]);
+        }
+        for seg in &segments {
+            if seg.is_empty() {
+                continue;
+            }
+            let all_path = seg.iter().all(|k| {
+                k.tok().is_some_and(|t| {
+                    (t.kind == TokKind::Ident && !t.is_ident("self")) || t.is_punct("::")
+                })
+            });
+            if all_path {
+                let mut path = Vec::new();
+                for k in *seg {
+                    if let Some(t) = k.tok() {
+                        if t.kind == TokKind::Ident {
+                            path.push(t.text.clone());
+                        }
+                    }
+                }
+                if !path.is_empty()
+                    && path
+                        .last()
+                        .is_some_and(|n| n.chars().next().is_some_and(char::is_lowercase))
+                {
+                    fn_refs.push(path_to_callref(&path, &self.owner));
+                }
+            }
+        }
+        let info = self.eval(kids, record);
+        (info.origins, fn_refs)
+    }
+
+    fn push_site(
+        &mut self,
+        callee: CallRef,
+        line: usize,
+        inputs: Vec<Origin>,
+        fn_ref_args: Vec<CallRef>,
+        record: bool,
+    ) -> usize {
+        self.calls.push(CallSite {
+            callee,
+            line,
+            inputs,
+            fn_ref_args,
+        });
+        let id = self.calls.len() - 1;
+        if !record {
+            // Seeding pass: sites are still created so origin indices are
+            // meaningful, but the whole list is rebuilt on the record pass.
+        }
+        id
+    }
+}
+
+struct ExprInfo {
+    origins: Vec<Origin>,
+    /// The last top-level call site of the expression (the discard target
+    /// of `let _ = …`).
+    principal_call: Option<usize>,
+    /// `Ty` when the expression is a `Ty::ctor(…)` construction.
+    ctor_ty: Option<String>,
+}
+
+/// Collects a `::`-joined ident path starting at `i`; returns the segments
+/// and the index just past the path.
+fn collect_path(toks: &[Tree], i: usize) -> (Vec<String>, usize) {
+    let mut path = Vec::new();
+    let mut j = i;
+    while let Some(t) = toks.get(j).and_then(Tree::tok) {
+        if t.kind != TokKind::Ident {
+            break;
+        }
+        path.push(t.text.clone());
+        if toks.get(j + 1).is_some_and(|k| k.is_punct("::"))
+            && toks
+                .get(j + 2)
+                .and_then(Tree::tok)
+                .is_some_and(|t| t.kind == TokKind::Ident)
+        {
+            j += 2;
+            continue;
+        }
+        j += 1;
+        break;
+    }
+    (path, j)
+}
+
+/// Skips an optional turbofish `::<…>` after a call name; returns the index
+/// of the argument group (if the next meaningful node is one) plus the
+/// group itself.
+fn skip_turbofish(toks: &[Tree], mut i: usize) -> (usize, Option<&Group>) {
+    if toks.get(i).is_some_and(|k| k.is_punct("::"))
+        && toks.get(i + 1).is_some_and(|k| k.is_punct("<"))
+    {
+        let mut depth = 0i64;
+        let mut j = i + 1;
+        while let Some(k) = toks.get(j) {
+            if k.is_punct("<") {
+                depth += 1;
+            } else if k.is_punct(">") {
+                depth -= 1;
+                if depth == 0 {
+                    j += 1;
+                    break;
+                }
+            }
+            j += 1;
+        }
+        i = j;
+    }
+    match toks.get(i) {
+        Some(Tree::Group(g)) if g.delim == '(' => (i, Some(g)),
+        _ => (i, None),
+    }
+}
+
+fn path_to_callref(path: &[String], owner: &str) -> CallRef {
+    if path.len() >= 2 {
+        let qual = &path[path.len() - 2];
+        if qual.chars().next().is_some_and(char::is_uppercase) || qual == "Self" {
+            let ty = if qual == "Self" {
+                owner.to_string()
+            } else {
+                qual.clone()
+            };
+            return CallRef::Assoc {
+                ty,
+                name: path.last().cloned().unwrap_or_default(),
+            };
+        }
+    }
+    CallRef::Free {
+        path: path.to_vec(),
+    }
+}
+
+/// Lowercase binding idents in a pattern (recursing into groups); skips
+/// keywords and capitalized enum/struct names.
+fn collect_pattern_idents(pattern: &[Tree], out: &mut Vec<String>) {
+    for k in pattern {
+        match k {
+            Tree::Tok(t) if t.kind == TokKind::Ident => {
+                let name = t.text.as_str();
+                if name == "_"
+                    || matches!(name, "mut" | "ref" | "box")
+                    || name.chars().next().is_some_and(char::is_uppercase)
+                {
+                    continue;
+                }
+                out.push(t.text.clone());
+            }
+            Tree::Group(g) => collect_pattern_idents(&g.children, out),
+            _ => {}
+        }
+    }
+}
+
+// --------------------------------------------------------- serialization --
+
+impl FileSummary {
+    /// Canonical JSON form — also the dependency-hash input, so any change
+    /// to a file's summary changes its workspace key.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\"fns\":[");
+        for (i, f) in self.fns.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&f.to_json());
+        }
+        out.push_str("],\"entryErrors\":[");
+        for (i, (line, msg)) in self.entry_errors.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("[{},{}]", line, json::escape(msg)));
+        }
+        out.push_str("]}");
+        out
+    }
+
+    pub fn from_json(v: &Value) -> Option<FileSummary> {
+        let fns = v
+            .get("fns")?
+            .as_arr()?
+            .iter()
+            .map(FnSummary::from_json)
+            .collect::<Option<Vec<_>>>()?;
+        let entry_errors = v
+            .get("entryErrors")?
+            .as_arr()?
+            .iter()
+            .map(|e| {
+                let arr = e.as_arr()?;
+                Some((
+                    arr.first()?.as_u64()? as usize,
+                    arr.get(1)?.as_str()?.to_string(),
+                ))
+            })
+            .collect::<Option<Vec<_>>>()?;
+        Some(FileSummary { fns, entry_errors })
+    }
+}
+
+impl FnSummary {
+    fn to_json(&self) -> String {
+        let mut out = format!(
+            "{{\"name\":{},\"owner\":{},\"trait\":{},\"line\":{},\"retResult\":{},\"entryHops\":{},\"entryLine\":{}",
+            json::escape(&self.name),
+            json::escape(&self.owner),
+            json::escape(&self.trait_name),
+            self.line,
+            self.ret_result,
+            self.entry_hops.map(|h| h.to_string()).unwrap_or_else(|| "null".into()),
+            self.entry_line,
+        );
+        out.push_str(",\"calls\":[");
+        for (i, c) in self.calls.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&c.to_json());
+        }
+        out.push_str("],\"panics\":[");
+        for (i, p) in self.panics.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("[{},{}]", json::escape(&p.kind), p.line));
+        }
+        out.push_str("],\"discards\":[");
+        for (i, d) in self.discards.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("[{},{}]", d.call, d.line));
+        }
+        out.push_str("],\"returns\":[");
+        for (i, o) in self.returns_from.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&origin_json(o));
+        }
+        out.push_str("]}");
+        out
+    }
+
+    fn from_json(v: &Value) -> Option<FnSummary> {
+        let entry_hops = match v.get("entryHops") {
+            Some(h) => h.as_u64().map(|n| n as u32),
+            None => None,
+        };
+        Some(FnSummary {
+            name: v.get("name")?.as_str()?.to_string(),
+            owner: v.get("owner")?.as_str()?.to_string(),
+            trait_name: v.get("trait")?.as_str()?.to_string(),
+            line: v.get("line")?.as_u64()? as usize,
+            ret_result: v.get("retResult")?.as_bool()?,
+            entry_hops,
+            entry_line: v.get("entryLine")?.as_u64()? as usize,
+            calls: v
+                .get("calls")?
+                .as_arr()?
+                .iter()
+                .map(CallSite::from_json)
+                .collect::<Option<Vec<_>>>()?,
+            panics: v
+                .get("panics")?
+                .as_arr()?
+                .iter()
+                .map(|p| {
+                    let arr = p.as_arr()?;
+                    Some(PanicSite {
+                        kind: arr.first()?.as_str()?.to_string(),
+                        line: arr.get(1)?.as_u64()? as usize,
+                    })
+                })
+                .collect::<Option<Vec<_>>>()?,
+            discards: v
+                .get("discards")?
+                .as_arr()?
+                .iter()
+                .map(|d| {
+                    let arr = d.as_arr()?;
+                    Some(Discard {
+                        call: arr.first()?.as_u64()? as usize,
+                        line: arr.get(1)?.as_u64()? as usize,
+                    })
+                })
+                .collect::<Option<Vec<_>>>()?,
+            returns_from: v
+                .get("returns")?
+                .as_arr()?
+                .iter()
+                .map(origin_from_json)
+                .collect::<Option<Vec<_>>>()?,
+        })
+    }
+}
+
+impl CallSite {
+    fn to_json(&self) -> String {
+        let mut out = format!(
+            "{{\"c\":{},\"line\":{},\"in\":[",
+            callref_json(&self.callee),
+            self.line
+        );
+        for (i, o) in self.inputs.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&origin_json(o));
+        }
+        out.push_str("],\"refs\":[");
+        for (i, r) in self.fn_ref_args.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&callref_json(r));
+        }
+        out.push_str("]}");
+        out
+    }
+
+    fn from_json(v: &Value) -> Option<CallSite> {
+        Some(CallSite {
+            callee: callref_from_json(v.get("c")?)?,
+            line: v.get("line")?.as_u64()? as usize,
+            inputs: v
+                .get("in")?
+                .as_arr()?
+                .iter()
+                .map(origin_from_json)
+                .collect::<Option<Vec<_>>>()?,
+            fn_ref_args: v
+                .get("refs")?
+                .as_arr()?
+                .iter()
+                .map(callref_from_json)
+                .collect::<Option<Vec<_>>>()?,
+        })
+    }
+}
+
+fn origin_json(o: &Origin) -> String {
+    match o {
+        Origin::Param(i) => format!("\"p{i}\""),
+        Origin::Call(i) => format!("\"c{i}\""),
+    }
+}
+
+fn origin_from_json(v: &Value) -> Option<Origin> {
+    let s = v.as_str()?;
+    let (kind, num) = s.split_at(1);
+    let n = num.parse::<usize>().ok()?;
+    match kind {
+        "p" => Some(Origin::Param(n)),
+        "c" => Some(Origin::Call(n)),
+        _ => None,
+    }
+}
+
+fn callref_json(c: &CallRef) -> String {
+    match c {
+        CallRef::Free { path } => {
+            let segs: Vec<String> = path.iter().map(|s| json::escape(s)).collect();
+            format!("{{\"k\":\"f\",\"p\":[{}]}}", segs.join(","))
+        }
+        CallRef::Assoc { ty, name } => format!(
+            "{{\"k\":\"a\",\"t\":{},\"n\":{}}}",
+            json::escape(ty),
+            json::escape(name)
+        ),
+        CallRef::Method { recv_ty, name } => format!(
+            "{{\"k\":\"m\",\"t\":{},\"n\":{}}}",
+            json::escape(recv_ty),
+            json::escape(name)
+        ),
+    }
+}
+
+fn callref_from_json(v: &Value) -> Option<CallRef> {
+    match v.get("k")?.as_str()? {
+        "f" => Some(CallRef::Free {
+            path: v
+                .get("p")?
+                .as_arr()?
+                .iter()
+                .map(|s| s.as_str().map(str::to_string))
+                .collect::<Option<Vec<_>>>()?,
+        }),
+        "a" => Some(CallRef::Assoc {
+            ty: v.get("t")?.as_str()?.to_string(),
+            name: v.get("n")?.as_str()?.to_string(),
+        }),
+        "m" => Some(CallRef::Method {
+            recv_ty: v.get("t")?.as_str()?.to_string(),
+            name: v.get("n")?.as_str()?.to_string(),
+        }),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tree::analyze;
+
+    fn summarize_src(src: &str) -> FileSummary {
+        summarize(&analyze(src))
+    }
+
+    #[test]
+    fn fns_and_owners() {
+        let s = summarize_src(
+            "fn free() {}\nimpl Foo {\n    fn method(&self) {}\n}\nimpl Bar for Foo {\n    fn run(&self) {}\n}\n",
+        );
+        assert_eq!(s.fns.len(), 3);
+        assert_eq!(s.fns[0].name, "free");
+        assert_eq!(s.fns[0].owner, "");
+        assert_eq!(s.fns[1].name, "method");
+        assert_eq!(s.fns[1].owner, "Foo");
+        assert_eq!(s.fns[2].trait_name, "Bar");
+        assert_eq!(s.fns[2].owner, "Foo");
+    }
+
+    #[test]
+    fn generic_impl_headers() {
+        let s = summarize_src(
+            "impl<K: StateKey> FlatDist<K> {\n    fn apply(&self) {}\n}\nimpl<K> qem_core::plan::StateKey for Wide<K> {\n    fn width(&self) {}\n}\n",
+        );
+        assert_eq!(s.fns[0].owner, "FlatDist");
+        assert_eq!(s.fns[1].owner, "Wide");
+        assert_eq!(s.fns[1].trait_name, "StateKey");
+    }
+
+    #[test]
+    fn trait_default_methods_are_summarized() {
+        let s = summarize_src(
+            "pub trait MitigationStrategy {\n    fn run(&self, c: Counts) -> Counts;\n    fn run_batch(&self, exec: &E) -> R {\n        self.helper(exec)\n    }\n}\n",
+        );
+        assert_eq!(s.fns.len(), 1, "{:?}", s.fns);
+        assert_eq!(s.fns[0].name, "run_batch");
+        assert_eq!(s.fns[0].owner, "MitigationStrategy");
+        assert_eq!(s.fns[0].trait_name, "MitigationStrategy");
+    }
+
+    #[test]
+    fn fn_bounds_do_not_shadow_params() {
+        let s =
+            summarize_src("fn f<F: Fn(usize) -> f64>(probe: F, c: Counts) {\n    consume(c);\n}\n");
+        let f = &s.fns[0];
+        assert_eq!(f.calls[0].callee.name(), "consume");
+        assert_eq!(f.calls[0].inputs, vec![Origin::Param(1)]);
+    }
+
+    #[test]
+    fn test_fns_are_excluded() {
+        let s = summarize_src(
+            "fn prod() {}\n#[cfg(test)]\nmod tests {\n    fn t() { x.unwrap(); }\n}\n#[test]\nfn t2() { panic!(\"x\"); }\n",
+        );
+        assert_eq!(s.fns.len(), 1);
+        assert_eq!(s.fns[0].name, "prod");
+    }
+
+    #[test]
+    fn call_sites_and_origins() {
+        let s = summarize_src(
+            "fn f(input: &Counts) -> u64 {\n    let x = helper(input);\n    sink(x)\n}\n",
+        );
+        let f = &s.fns[0];
+        assert_eq!(f.calls.len(), 2);
+        assert_eq!(f.calls[0].callee.name(), "helper");
+        assert_eq!(f.calls[0].inputs, vec![Origin::Param(0)]);
+        assert_eq!(f.calls[1].callee.name(), "sink");
+        assert_eq!(f.calls[1].inputs, vec![Origin::Call(0)]);
+        assert_eq!(f.returns_from, vec![Origin::Call(1)]);
+    }
+
+    #[test]
+    fn method_chains_thread_receiver_origins() {
+        let s = summarize_src("fn f(rec: R) -> T {\n    rec.convert().finish()\n}\n");
+        let f = &s.fns[0];
+        assert_eq!(f.calls[0].inputs, vec![Origin::Param(0)]);
+        assert_eq!(f.calls[1].inputs, vec![Origin::Call(0)]);
+    }
+
+    #[test]
+    fn self_is_param_zero() {
+        let s =
+            summarize_src("impl Foo {\n    fn go(&self, x: u64) -> u64 { self.helper(x) }\n}\n");
+        let f = &s.fns[0];
+        assert_eq!(f.calls[0].inputs, vec![Origin::Param(0), Origin::Param(1)]);
+        // Receiver type known from `self`.
+        assert_eq!(
+            f.calls[0].callee,
+            CallRef::Method {
+                recv_ty: "Foo".into(),
+                name: "helper".into()
+            }
+        );
+    }
+
+    #[test]
+    fn assoc_call_and_ctor_typing() {
+        let s = summarize_src(
+            "fn f() {\n    let rec = CmcRecord::load(path);\n    rec.to_calibration();\n}\n",
+        );
+        let f = &s.fns[0];
+        assert_eq!(
+            f.calls[0].callee,
+            CallRef::Assoc {
+                ty: "CmcRecord".into(),
+                name: "load".into()
+            }
+        );
+        assert_eq!(
+            f.calls[1].callee,
+            CallRef::Method {
+                recv_ty: "CmcRecord".into(),
+                name: "to_calibration".into()
+            }
+        );
+        assert_eq!(f.calls[1].inputs, vec![Origin::Call(0)]);
+    }
+
+    #[test]
+    fn panic_sites() {
+        let s = summarize_src(
+            "fn f(v: &[u64]) {\n    let a = v[0];\n    x.unwrap();\n    y.expect(\"msg\");\n    panic!(\"boom\");\n}\n",
+        );
+        let kinds: Vec<&str> = s.fns[0].panics.iter().map(|p| p.kind.as_str()).collect();
+        assert_eq!(kinds, vec!["index", "unwrap", "expect", "panic!"]);
+        assert_eq!(s.fns[0].panics[0].line, 2);
+    }
+
+    #[test]
+    fn variable_index_is_not_a_panic_site() {
+        let s = summarize_src("fn f(v: &[u64], i: usize) -> u64 { v[i] }\n");
+        assert!(s.fns[0].panics.is_empty());
+    }
+
+    #[test]
+    fn discard_sites() {
+        let s = summarize_src(
+            "fn f() {\n    let _ = fallible();\n    self.save(path).ok();\n    let used = fallible();\n}\n",
+        );
+        let f = &s.fns[0];
+        assert_eq!(f.discards.len(), 2);
+        assert_eq!(f.calls[f.discards[0].call].callee.name(), "fallible");
+        assert_eq!(f.calls[f.discards[1].call].callee.name(), "save");
+    }
+
+    #[test]
+    fn let_underscore_without_call_is_not_discard() {
+        let s = summarize_src("fn f(a: u64, b: u64) {\n    let _ = (a, b);\n}\n");
+        assert!(s.fns[0].discards.is_empty());
+    }
+
+    #[test]
+    fn let_else_binds_and_scans_else() {
+        let s = summarize_src(
+            "fn f(stored: S) -> S {\n    let Some(record) = stored else { return fallback(); };\n    record\n}\n",
+        );
+        let f = &s.fns[0];
+        assert_eq!(f.returns_from, vec![Origin::Param(0), Origin::Call(0)]);
+    }
+
+    #[test]
+    fn fn_reference_args_are_captured() {
+        let s = summarize_src(
+            "fn f(recs: R) {\n    let v = recs.iter().map(CalibrationRecord::to_calibration).collect();\n}\n",
+        );
+        let map = s.fns[0]
+            .calls
+            .iter()
+            .find(|c| c.callee.name() == "map")
+            .unwrap();
+        assert_eq!(
+            map.fn_ref_args,
+            vec![CallRef::Assoc {
+                ty: "CalibrationRecord".into(),
+                name: "to_calibration".into()
+            }]
+        );
+    }
+
+    #[test]
+    fn loop_carried_bindings_converge() {
+        // `x` is assigned from `y` before `y` is bound: the two-pass scan
+        // still sees the flow.
+        let s = summarize_src(
+            "fn f(src: S) -> u64 {\n    let mut out = 0;\n    loop {\n        out = consume(y);\n        let y = src;\n    }\n    out\n}\n",
+        );
+        let consume = s.fns[0]
+            .calls
+            .iter()
+            .find(|c| c.callee.name() == "consume")
+            .unwrap();
+        assert_eq!(consume.inputs, vec![Origin::Param(0)]);
+    }
+
+    #[test]
+    fn entrypoint_grammar() {
+        let s = summarize_src("// entrypoint: serve\nfn main() {}\n");
+        assert_eq!(s.fns[0].entry_hops, Some(DEFAULT_MAX_HOPS));
+        assert_eq!(s.fns[0].entry_line, 1);
+        let s = summarize_src("// entrypoint: serve(max_hops = 4)\nfn main() {}\n");
+        assert_eq!(s.fns[0].entry_hops, Some(4));
+        let s = summarize_src("// entrypoint: handler\nfn main() {}\n");
+        assert_eq!(s.entry_errors.len(), 1);
+        assert!(s.entry_errors[0].1.contains("unknown entrypoint class"));
+        let s = summarize_src("// entrypoint: serve(max_hops = nine)\nfn main() {}\n");
+        assert_eq!(s.entry_errors.len(), 1);
+        let s = summarize_src("// entrypoint: serve(max_hops = 99)\nfn main() {}\n");
+        assert_eq!(s.entry_errors.len(), 1);
+        let s = summarize_src("// entrypoint: serve\nconst X: u32 = 1;\n");
+        assert_eq!(s.entry_errors.len(), 1);
+    }
+
+    #[test]
+    fn summary_json_round_trips() {
+        let src = "// entrypoint: serve(max_hops = 3)\nfn main() -> Result<(), E> {\n    let rec = CmcRecord::load(p);\n    let _ = rec.apply();\n    x.unwrap();\n    Ok(())\n}\n";
+        let s = summarize_src(src);
+        let text = s.to_json();
+        let parsed = FileSummary::from_json(&crate::json::parse(&text).unwrap()).unwrap();
+        assert_eq!(parsed, s);
+    }
+}

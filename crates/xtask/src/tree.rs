@@ -330,7 +330,7 @@ fn param_names(params: &Group) -> Vec<String> {
 }
 
 /// `#[cfg(test)]`, `#[cfg(all(test, …))]`, `#[test]`, `#[tokio::test]`, ….
-fn is_test_attr(attr: &Group) -> bool {
+pub(crate) fn is_test_attr(attr: &Group) -> bool {
     let kids = &attr.children;
     match kids.first() {
         Some(t) if t.is_ident("cfg") => {

@@ -1,0 +1,1058 @@
+//! The workspace analysis pass: cross-file call graph + interprocedural
+//! taint dataflow over [`crate::summary::FileSummary`]s, powering the four
+//! workspace rules.
+//!
+//! - `untrusted-input-taint` — a value produced by a registered
+//!   deserialization source ([`SOURCES`]) must pass a registered validated
+//!   constructor ([`SANITIZERS`]) before reaching a kernel sink
+//!   ([`SINKS`]). Findings anchor at the call site where always-tainted
+//!   data meets a sink-ward call, with the full taint path in the trace.
+//! - `panic-reachability` — no `panic!`/`unwrap`/`expect`/literal-index
+//!   site reachable within the declared hop budget of a
+//!   `// entrypoint: serve` boundary; findings anchor at the annotation.
+//! - `shot-budget-conservation` — a `run_batch` implementation that
+//!   transitively spends executor shots ([`SPENDS`]) must also transit
+//!   [`BUDGET_GUARDS`].
+//! - `dropped-result` — a `Result` returned by a resolved `qem-core` /
+//!   `qem-mitigation` function must not be `let _ =` / `.ok()`-discarded.
+//!
+//! Resolution is heuristic but deterministic: free calls resolve by name
+//! with a module-qualifier filter, associated calls by `(type, name)`,
+//! method calls by receiver type when the local dataflow knows it, falling
+//! back to trait-impl fan-out across [`REGISTERED_TRAITS`] and finally a
+//! unique-method match. An unresolved callee is treated as an identity
+//! passthrough for taint (inputs flow to output) and contributes no call
+//! edge — the analysis under-approximates reachability through unknown
+//! code rather than inventing edges.
+//!
+//! The fixpoint computes per-function facts (return taint, parameter-to-
+//! sink flow, shot spending, budget transit) by iterating body evaluation
+//! until no fact changes; facts only ever go from false to true, so
+//! termination is bounded by `functions × facts`. Traces are captured when
+//! a fact first becomes true and never rewritten, keeping iteration
+//! order-stable.
+
+use std::collections::{BTreeSet, HashMap, VecDeque};
+
+use crate::rules::{self, Diagnostic, TraceStep};
+use crate::summary::{CallRef, FileSummary, FnSummary, Origin};
+
+/// Deserialization entry points whose results are untrusted until
+/// sanitized. `("CmcRecord", "load")` covers JSON calibration files today;
+/// CLI/socket sources join this table when `qem-serve` lands.
+pub const SOURCES: &[(&str, &str)] = &[("CmcRecord", "load")];
+
+/// Validated constructors: passing one of these cleanses taint. Matched on
+/// `(qualifier, name)`; an empty qualifier matches any.
+pub const SANITIZERS: &[(&str, &str)] = &[
+    ("", "flip_channel"),
+    ("", "from_bloch_outputs"),
+    ("", "load_or_refresh"),
+    ("", "load_or_refresh_with"),
+    ("", "to_calibration"),
+    ("", "validated"),
+];
+
+/// Kernel sinks: untrusted data must never reach these unvalidated.
+pub const SINKS: &[(&str, &str)] = &[
+    ("", "apply_layer"),
+    ("", "compile"),
+    ("", "invert_cached"),
+    ("", "invert_cached_with_meta"),
+];
+
+/// Calls that spend executor shots.
+pub const SPENDS: &[(&str, &str)] = &[("", "try_execute"), ("", "execute")];
+
+/// The shot-budget accounting gate every spending path must transit.
+pub const BUDGET_GUARDS: &[(&str, &str)] = &[("", "per_circuit_execution")];
+
+/// Function names governed by `shot-budget-conservation`.
+pub const GOVERNED_FNS: &[&str] = &["run_batch"];
+
+/// Traits whose implementors a method call with an unknown receiver type
+/// fans out to.
+pub const REGISTERED_TRAITS: &[&str] = &["MitigationStrategy", "Executor", "StateKey"];
+
+/// Crates whose `Result`-returning functions are covered by
+/// `dropped-result` (the `CoreError` surface).
+const RESULT_CRATES: &[&str] = &["core", "mitigation"];
+
+/// Longest trace carried on a diagnostic; deeper chains truncate in the
+/// middle rather than flooding SARIF.
+const MAX_TRACE: usize = 12;
+
+fn in_registry(reg: &[(&str, &str)], c: &CallRef) -> bool {
+    let name = c.name();
+    let q = c.qualifier();
+    reg.iter()
+        .any(|(rq, rn)| *rn == name && (rq.is_empty() || *rq == q))
+}
+
+/// One function node in the workspace call graph.
+pub struct Node<'a> {
+    /// Index into [`Graph::files`].
+    pub file: usize,
+    pub f: &'a FnSummary,
+}
+
+/// The resolved workspace call graph over all file summaries.
+pub struct Graph<'a> {
+    pub files: &'a [(String, FileSummary)],
+    pub nodes: Vec<Node<'a>>,
+    free_by_name: HashMap<&'a str, Vec<usize>>,
+    by_owner: HashMap<(&'a str, &'a str), Vec<usize>>,
+    by_trait: HashMap<(&'a str, &'a str), Vec<usize>>,
+    by_name: HashMap<&'a str, Vec<usize>>,
+}
+
+impl<'a> Graph<'a> {
+    pub fn build(files: &'a [(String, FileSummary)]) -> Graph<'a> {
+        let mut nodes = Vec::new();
+        let mut free_by_name: HashMap<&str, Vec<usize>> = HashMap::new();
+        let mut by_owner: HashMap<(&str, &str), Vec<usize>> = HashMap::new();
+        let mut by_trait: HashMap<(&str, &str), Vec<usize>> = HashMap::new();
+        let mut by_name: HashMap<&str, Vec<usize>> = HashMap::new();
+        for (fi, (_, summary)) in files.iter().enumerate() {
+            for f in &summary.fns {
+                let idx = nodes.len();
+                nodes.push(Node { file: fi, f });
+                if f.owner.is_empty() {
+                    free_by_name.entry(&f.name).or_default().push(idx);
+                } else {
+                    by_owner.entry((&f.owner, &f.name)).or_default().push(idx);
+                    by_name.entry(&f.name).or_default().push(idx);
+                }
+                if !f.trait_name.is_empty() {
+                    by_trait
+                        .entry((&f.trait_name, &f.name))
+                        .or_default()
+                        .push(idx);
+                }
+            }
+        }
+        Graph {
+            files,
+            nodes,
+            free_by_name,
+            by_owner,
+            by_trait,
+            by_name,
+        }
+    }
+
+    /// Candidate callee nodes for one call reference. Empty = unresolved.
+    pub fn resolve(&self, c: &CallRef) -> Vec<usize> {
+        match c {
+            CallRef::Free { path } => {
+                let Some(name) = path.last() else {
+                    return Vec::new();
+                };
+                let Some(cands) = self.free_by_name.get(name.as_str()) else {
+                    return Vec::new();
+                };
+                if path.len() >= 2 {
+                    let q = &path[path.len() - 2];
+                    if !matches!(q.as_str(), "crate" | "self" | "super") {
+                        let filtered: Vec<usize> = cands
+                            .iter()
+                            .copied()
+                            .filter(|&i| module_matches(&self.files[self.nodes[i].file].0, q))
+                            .collect();
+                        if !filtered.is_empty() {
+                            return filtered;
+                        }
+                    }
+                }
+                cands.clone()
+            }
+            CallRef::Assoc { ty, name } => self
+                .by_owner
+                .get(&(ty.as_str(), name.as_str()))
+                .or_else(|| self.by_trait.get(&(ty.as_str(), name.as_str())))
+                .cloned()
+                .unwrap_or_default(),
+            CallRef::Method { recv_ty, name } => {
+                if !recv_ty.is_empty() {
+                    if let Some(v) = self.by_owner.get(&(recv_ty.as_str(), name.as_str())) {
+                        return v.clone();
+                    }
+                    if let Some(v) = self.by_trait.get(&(recv_ty.as_str(), name.as_str())) {
+                        return v.clone();
+                    }
+                }
+                // Unknown receiver: fan out across the registered traits'
+                // implementors …
+                let mut out: Vec<usize> = Vec::new();
+                for t in REGISTERED_TRAITS {
+                    if let Some(v) = self.by_trait.get(&(*t, name.as_str())) {
+                        out.extend(v.iter().copied());
+                    }
+                }
+                if !out.is_empty() {
+                    out.sort_unstable();
+                    out.dedup();
+                    return out;
+                }
+                // … else bind when the method name is workspace-unique.
+                match self.by_name.get(name.as_str()) {
+                    Some(v) if v.len() == 1 => v.clone(),
+                    _ => Vec::new(),
+                }
+            }
+        }
+    }
+
+    /// Direct file-level dependencies: which files each file's calls
+    /// resolve into (self-edges dropped — a file always depends on itself
+    /// via its own summary hash).
+    pub fn file_deps(&self) -> Vec<BTreeSet<usize>> {
+        let mut deps = vec![BTreeSet::new(); self.files.len()];
+        for node in &self.nodes {
+            for site in &node.f.calls {
+                for c in self.resolve(&site.callee) {
+                    if self.nodes[c].file != node.file {
+                        deps[node.file].insert(self.nodes[c].file);
+                    }
+                }
+                for r in &site.fn_ref_args {
+                    for c in self.resolve(r) {
+                        if self.nodes[c].file != node.file {
+                            deps[node.file].insert(self.nodes[c].file);
+                        }
+                    }
+                }
+            }
+        }
+        deps
+    }
+
+    /// Transitive closure of [`Self::file_deps`] — every file whose summary
+    /// can influence a given file's workspace verdicts.
+    pub fn file_closure(&self) -> Vec<BTreeSet<usize>> {
+        let mut closure = self.file_deps();
+        loop {
+            let mut changed = false;
+            for i in 0..closure.len() {
+                let reachable: Vec<usize> = closure[i].iter().copied().collect();
+                for d in reachable {
+                    let extra: Vec<usize> = closure[d]
+                        .iter()
+                        .copied()
+                        .filter(|&x| x != i && !closure[i].contains(&x))
+                        .collect();
+                    if !extra.is_empty() {
+                        closure[i].extend(extra);
+                        changed = true;
+                    }
+                }
+            }
+            if !changed {
+                return closure;
+            }
+        }
+    }
+
+    /// A resolution signature: hashes every function's identity (file,
+    /// owner, trait, name). Adding, removing, renaming, or moving any
+    /// function changes how calls *anywhere* may resolve, so this digest is
+    /// folded into every file's workspace cache key. Body-only edits leave
+    /// it untouched.
+    pub fn signature(&self) -> u64 {
+        let mut text = String::new();
+        for node in &self.nodes {
+            text.push_str(&self.files[node.file].0);
+            text.push('\x1f');
+            text.push_str(&node.f.owner);
+            text.push('\x1f');
+            text.push_str(&node.f.trait_name);
+            text.push('\x1f');
+            text.push_str(&node.f.name);
+            text.push('\x1e');
+        }
+        crate::cache::hash(text.as_bytes())
+    }
+
+    fn path_of(&self, node: usize) -> &str {
+        &self.files[self.nodes[node].file].0
+    }
+
+    fn display_fn(&self, node: usize) -> String {
+        let f = self.nodes[node].f;
+        if f.owner.is_empty() {
+            f.name.clone()
+        } else {
+            format!("{}::{}", f.owner, f.name)
+        }
+    }
+
+    /// Runs the interprocedural fixpoint.
+    pub fn analyze(&self) -> Analysis {
+        let mut facts = vec![Facts::default(); self.nodes.len()];
+        // Each round can only switch facts from false to true; the loop is
+        // bounded by nodes × fact-kinds, with a hard cap for safety.
+        for _ in 0..self.nodes.len() + 5 {
+            let mut changed = false;
+            for idx in 0..self.nodes.len() {
+                let new = self.eval_fn(idx, &facts, None);
+                let merged = facts[idx].merge(&new);
+                if merged {
+                    changed = true;
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+        Analysis { facts }
+    }
+
+    /// Evaluates one function body against the current fact table. When
+    /// `findings` is provided (emission pass), taint findings rooted in
+    /// this function are appended.
+    fn eval_fn(
+        &self,
+        idx: usize,
+        facts: &[Facts],
+        mut findings: Option<&mut Vec<Diagnostic>>,
+    ) -> Facts {
+        let node = &self.nodes[idx];
+        let path = self.path_of(idx);
+        let f = node.f;
+        let mut new = Facts::default();
+        // Per-site output state: Some(trace) = always-tainted, plus a
+        // separate "depends on a parameter" bit.
+        let mut site_always: Vec<Option<Vec<TraceStep>>> = Vec::with_capacity(f.calls.len());
+        let mut site_param: Vec<bool> = Vec::with_capacity(f.calls.len());
+
+        for site in &f.calls {
+            // Input state: union over receiver + argument origins.
+            let mut in_always: Option<Vec<TraceStep>> = None;
+            let mut in_param = false;
+            for o in &site.inputs {
+                match o {
+                    Origin::Param(_) => in_param = true,
+                    Origin::Call(j) => {
+                        if let Some(trace) = site_always.get(*j).and_then(|t| t.as_ref()) {
+                            if in_always.is_none() {
+                                in_always = Some(trace.clone());
+                            }
+                        }
+                        if site_param.get(*j).copied().unwrap_or(false) {
+                            in_param = true;
+                        }
+                    }
+                }
+            }
+
+            let cands = self.resolve(&site.callee);
+            let sanitizing = in_registry(SANITIZERS, &site.callee)
+                || site.fn_ref_args.iter().any(|r| in_registry(SANITIZERS, r));
+
+            // Sink check happens on the *input* state, before the call's
+            // own effect on the value.
+            let direct_sink = in_registry(SINKS, &site.callee);
+            let sink_cand = cands.iter().copied().find(|&c| facts[c].param_sink);
+            if direct_sink || sink_cand.is_some() {
+                if let Some(trace) = &in_always {
+                    if let Some(out) = findings.as_deref_mut() {
+                        let mut full = trace.clone();
+                        full.push(TraceStep {
+                            path: path.to_string(),
+                            line: site.line,
+                            note: if direct_sink {
+                                format!("reaches kernel sink `{}`", site.callee.display())
+                            } else {
+                                format!(
+                                    "passed to `{}`, which forwards it to a kernel sink",
+                                    site.callee.display()
+                                )
+                            },
+                        });
+                        if !direct_sink {
+                            if let Some(c) = sink_cand {
+                                full.extend(facts[c].sink_trace.iter().cloned());
+                            }
+                        }
+                        cap_trace(&mut full);
+                        out.push(Diagnostic {
+                            rule: "untrusted-input-taint",
+                            path: path.to_string(),
+                            line: site.line,
+                            message: format!(
+                                "untrusted deserialized value reaches kernel sink via `{}` without a registered validated constructor ({})",
+                                site.callee.display(),
+                                sanitizer_hint()
+                            ),
+                            trace: full,
+                        });
+                    }
+                }
+                if in_param && !new.param_sink {
+                    new.param_sink = true;
+                    let mut trace = vec![TraceStep {
+                        path: path.to_string(),
+                        line: site.line,
+                        note: format!(
+                            "parameter of `{}` flows into `{}`",
+                            self.display_fn(idx),
+                            site.callee.display()
+                        ),
+                    }];
+                    if !direct_sink {
+                        if let Some(c) = sink_cand {
+                            trace.extend(facts[c].sink_trace.iter().cloned());
+                        }
+                    }
+                    cap_trace(&mut trace);
+                    new.sink_trace = trace;
+                }
+            }
+
+            // The call's effect on the value.
+            let (out_always, out_param) = if in_registry(SOURCES, &site.callee) {
+                (
+                    Some(vec![TraceStep {
+                        path: path.to_string(),
+                        line: site.line,
+                        note: format!(
+                            "untrusted input deserialized by `{}`",
+                            site.callee.display()
+                        ),
+                    }]),
+                    false,
+                )
+            } else if sanitizing {
+                (None, false)
+            } else if cands.is_empty() {
+                // Unresolved: identity passthrough.
+                (in_always.clone(), in_param)
+            } else {
+                let mut out_always = None;
+                let mut out_param = false;
+                for &c in &cands {
+                    if facts[c].ret_always && out_always.is_none() {
+                        let mut trace = facts[c].ret_trace.clone();
+                        trace.push(TraceStep {
+                            path: path.to_string(),
+                            line: site.line,
+                            note: format!("returned through `{}`", site.callee.display()),
+                        });
+                        cap_trace(&mut trace);
+                        out_always = Some(trace);
+                    }
+                    if facts[c].ret_param {
+                        if out_always.is_none() {
+                            out_always = in_always.clone();
+                        }
+                        out_param |= in_param;
+                    }
+                }
+                (out_always, out_param)
+            };
+            site_always.push(out_always);
+            site_param.push(out_param);
+
+            // Shot accounting facts.
+            if in_registry(SPENDS, &site.callee) && new.spend_trace.is_empty() {
+                new.spend = true;
+                new.spend_trace = vec![TraceStep {
+                    path: path.to_string(),
+                    line: site.line,
+                    note: format!("spends executor shots via `{}`", site.callee.display()),
+                }];
+            }
+            if in_registry(BUDGET_GUARDS, &site.callee) {
+                new.budget = true;
+            }
+            for &c in &cands {
+                if facts[c].spend && !new.spend {
+                    new.spend = true;
+                    let mut trace = vec![TraceStep {
+                        path: path.to_string(),
+                        line: site.line,
+                        note: format!("calls `{}`", site.callee.display()),
+                    }];
+                    trace.extend(facts[c].spend_trace.iter().cloned());
+                    cap_trace(&mut trace);
+                    new.spend_trace = trace;
+                }
+                if facts[c].budget {
+                    new.budget = true;
+                }
+            }
+        }
+
+        // Return facts.
+        for o in &f.returns_from {
+            match o {
+                Origin::Param(_) => new.ret_param = true,
+                Origin::Call(j) => {
+                    if let Some(trace) = site_always.get(*j).and_then(|t| t.as_ref()) {
+                        if !new.ret_always {
+                            new.ret_always = true;
+                            new.ret_trace = trace.clone();
+                        }
+                    }
+                    if site_param.get(*j).copied().unwrap_or(false) {
+                        new.ret_param = true;
+                    }
+                }
+            }
+        }
+        new
+    }
+}
+
+/// `path` is a workspace-relative file path; does the module qualifier `q`
+/// plausibly name it? Matches the file stem (`stochastic` →
+/// `…/stochastic.rs`) or the crate (`qem_core` → `crates/core/…`).
+fn module_matches(path: &str, q: &str) -> bool {
+    let stem = path
+        .rsplit('/')
+        .next()
+        .and_then(|f| f.strip_suffix(".rs"))
+        .unwrap_or("");
+    if stem == q {
+        return true;
+    }
+    let krate = rules::crate_of(path);
+    q == krate || q.strip_prefix("qem_") == Some(krate)
+}
+
+fn sanitizer_hint() -> String {
+    let names: Vec<&str> = SANITIZERS.iter().map(|(_, n)| *n).take(4).collect();
+    format!("e.g. `{}`, …", names.join("`, `"))
+}
+
+fn cap_trace(trace: &mut Vec<TraceStep>) {
+    if trace.len() > MAX_TRACE {
+        let tail = trace.split_off(trace.len() - MAX_TRACE / 2);
+        trace.truncate(MAX_TRACE / 2);
+        trace.push(TraceStep {
+            path: String::new(),
+            line: 0,
+            note: "… trace truncated …".to_string(),
+        });
+        trace.extend(tail);
+    }
+}
+
+/// Per-function interprocedural facts; all flags are monotone.
+#[derive(Clone, Debug, Default)]
+pub struct Facts {
+    /// The return value may carry always-taint (from a source).
+    pub ret_always: bool,
+    /// The return value may depend on a parameter.
+    pub ret_param: bool,
+    /// A parameter may flow into a kernel sink (here or transitively).
+    pub param_sink: bool,
+    /// The function transitively spends executor shots.
+    pub spend: bool,
+    /// The function transitively calls a budget guard.
+    pub budget: bool,
+    ret_trace: Vec<TraceStep>,
+    sink_trace: Vec<TraceStep>,
+    spend_trace: Vec<TraceStep>,
+}
+
+impl Facts {
+    /// Folds newly-true flags in (first trace wins); returns whether any
+    /// flag flipped.
+    fn merge(&mut self, new: &Facts) -> bool {
+        let mut changed = false;
+        if new.ret_always && !self.ret_always {
+            self.ret_always = true;
+            self.ret_trace = new.ret_trace.clone();
+            changed = true;
+        }
+        if new.ret_param && !self.ret_param {
+            self.ret_param = true;
+            changed = true;
+        }
+        if new.param_sink && !self.param_sink {
+            self.param_sink = true;
+            self.sink_trace = new.sink_trace.clone();
+            changed = true;
+        }
+        if new.spend && !self.spend {
+            self.spend = true;
+            self.spend_trace = new.spend_trace.clone();
+            changed = true;
+        }
+        if new.budget && !self.budget {
+            self.budget = true;
+            changed = true;
+        }
+        changed
+    }
+}
+
+/// The converged fact table; emission queries it per file.
+pub struct Analysis {
+    pub facts: Vec<Facts>,
+}
+
+impl Analysis {
+    /// Emits every workspace finding rooted in one file: taint meets at its
+    /// call sites, entrypoint reachability from its annotations, budget
+    /// violations of its governed functions, and its discard sites. Rule
+    /// scoping ([`rules::rule_applies`]) is applied; suppression filtering
+    /// is the caller's job (it owns the comment scan).
+    pub fn findings_for(&self, graph: &Graph, file: usize) -> Vec<Diagnostic> {
+        let path = graph.files[file].0.clone();
+        let mut out = Vec::new();
+
+        // Node indices of this file's functions.
+        let fn_nodes: Vec<usize> = (0..graph.nodes.len())
+            .filter(|&i| graph.nodes[i].file == file)
+            .collect();
+
+        // untrusted-input-taint: re-evaluate bodies with findings capture.
+        let mut taint = Vec::new();
+        for &idx in &fn_nodes {
+            graph.eval_fn(idx, &self.facts, Some(&mut taint));
+        }
+        out.extend(taint);
+
+        // panic-reachability: entrypoint annotations + grammar errors.
+        for (line, msg) in &graph.files[file].1.entry_errors {
+            out.push(Diagnostic {
+                rule: "panic-reachability",
+                path: path.clone(),
+                line: *line,
+                message: msg.clone(),
+                trace: Vec::new(),
+            });
+        }
+        for &idx in &fn_nodes {
+            let f = graph.nodes[idx].f;
+            let Some(max_hops) = f.entry_hops else {
+                continue;
+            };
+            self.check_entrypoint(graph, idx, max_hops, &mut out);
+        }
+
+        // shot-budget-conservation.
+        for &idx in &fn_nodes {
+            let f = graph.nodes[idx].f;
+            if !GOVERNED_FNS.contains(&f.name.as_str()) {
+                continue;
+            }
+            let facts = &self.facts[idx];
+            if facts.spend && !facts.budget {
+                out.push(Diagnostic {
+                    rule: "shot-budget-conservation",
+                    path: path.clone(),
+                    line: f.line,
+                    message: format!(
+                        "`{}` spends executor shots without transiting `per_circuit_execution`; every spending path must account against the shot budget",
+                        graph.display_fn(idx)
+                    ),
+                    trace: facts.spend_trace.clone(),
+                });
+            }
+        }
+
+        // dropped-result.
+        for &idx in &fn_nodes {
+            let f = graph.nodes[idx].f;
+            for d in &f.discards {
+                let Some(site) = f.calls.get(d.call) else {
+                    continue;
+                };
+                let hit = graph.resolve(&site.callee).into_iter().find(|&c| {
+                    graph.nodes[c].f.ret_result
+                        && RESULT_CRATES.contains(&rules::crate_of(graph.path_of(c)))
+                });
+                if let Some(c) = hit {
+                    out.push(Diagnostic {
+                        rule: "dropped-result",
+                        path: path.clone(),
+                        line: d.line,
+                        message: format!(
+                            "`Result` returned by `{}` ({}:{}) is discarded; handle or propagate the error",
+                            site.callee.display(),
+                            graph.path_of(c),
+                            graph.nodes[c].f.line
+                        ),
+                        trace: vec![TraceStep {
+                            path: graph.path_of(c).to_string(),
+                            line: graph.nodes[c].f.line,
+                            note: format!("`{}` defined here", graph.display_fn(c)),
+                        }],
+                    });
+                }
+            }
+        }
+
+        out.retain(|d| rules::rule_applies(d.rule, &d.path));
+        rules::sort_diagnostics(&mut out);
+        out
+    }
+
+    /// BFS over resolved call edges from one annotated entry function.
+    fn check_entrypoint(
+        &self,
+        graph: &Graph,
+        entry: usize,
+        max_hops: u32,
+        out: &mut Vec<Diagnostic>,
+    ) {
+        let entry_fn = graph.nodes[entry].f;
+        let path = graph.path_of(entry).to_string();
+        let anchor = if entry_fn.entry_line > 0 {
+            entry_fn.entry_line
+        } else {
+            entry_fn.line
+        };
+        let mut seen: BTreeSet<usize> = BTreeSet::new();
+        seen.insert(entry);
+        let mut reported: BTreeSet<(usize, usize)> = BTreeSet::new();
+        let mut queue: VecDeque<(usize, u32, Vec<TraceStep>)> = VecDeque::new();
+        queue.push_back((
+            entry,
+            0,
+            vec![TraceStep {
+                path: path.clone(),
+                line: entry_fn.line,
+                note: format!("`serve` entrypoint `{}`", graph.display_fn(entry)),
+            }],
+        ));
+        while let Some((idx, depth, chain)) = queue.pop_front() {
+            let node = &graph.nodes[idx];
+            for p in &node.f.panics {
+                if !reported.insert((node.file, p.line)) {
+                    continue;
+                }
+                let mut trace = chain.clone();
+                trace.push(TraceStep {
+                    path: graph.path_of(idx).to_string(),
+                    line: p.line,
+                    note: format!("`{}` panic site", p.kind),
+                });
+                cap_trace(&mut trace);
+                out.push(Diagnostic {
+                    rule: "panic-reachability",
+                    path: path.clone(),
+                    line: anchor,
+                    message: format!(
+                        "`serve` entrypoint `{}` can reach `{}` panic site at {}:{} ({} hop(s) away, budget {})",
+                        graph.display_fn(entry),
+                        p.kind,
+                        graph.path_of(idx),
+                        p.line,
+                        depth,
+                        max_hops
+                    ),
+                    trace,
+                });
+            }
+            if depth == max_hops {
+                continue;
+            }
+            for site in &node.f.calls {
+                for c in graph.resolve(&site.callee) {
+                    if seen.insert(c) {
+                        let mut chain = chain.clone();
+                        chain.push(TraceStep {
+                            path: graph.path_of(c).to_string(),
+                            line: graph.nodes[c].f.line,
+                            note: format!("calls `{}`", graph.display_fn(c)),
+                        });
+                        cap_trace(&mut chain);
+                        queue.push_back((c, depth + 1, chain));
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Test entry point: runs the full workspace pass over in-memory sources
+/// (`(workspace-relative path, source)` pairs), applying suppression
+/// comments and rule scoping exactly like the engine. Local (single-file)
+/// rules are NOT included — this checks the workspace layer alone.
+pub fn check_sources(sources: &[(&str, &str)]) -> Vec<Diagnostic> {
+    let analyses: Vec<(String, crate::tree::FileAnalysis)> = sources
+        .iter()
+        .map(|(p, s)| (p.to_string(), crate::tree::analyze(s)))
+        .collect();
+    let summaries: Vec<(String, FileSummary)> = analyses
+        .iter()
+        .map(|(p, a)| (p.clone(), crate::summary::summarize(a)))
+        .collect();
+    let graph = Graph::build(&summaries);
+    let analysis = graph.analyze();
+    let mut out = Vec::new();
+    for (i, (path, file_analysis)) in analyses.iter().enumerate() {
+        let lint = rules::lint_file(path, file_analysis);
+        let mut diags = analysis.findings_for(&graph, i);
+        diags.retain(|d| {
+            !lint
+                .silenced_ws
+                .iter()
+                .any(|(r, l)| r == d.rule && *l == d.line)
+        });
+        out.extend(diags);
+    }
+    rules::sort_diagnostics(&mut out);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rules_of(diags: &[Diagnostic]) -> Vec<&'static str> {
+        diags.iter().map(|d| d.rule).collect()
+    }
+
+    #[test]
+    fn taint_source_to_sink_same_file() {
+        let src = "pub fn bad(path: &str) {\n    let rec = CmcRecord::load(path);\n    let plan = MitigationPlan::compile(rec);\n}\n";
+        let diags = check_sources(&[("crates/core/src/a.rs", src)]);
+        assert_eq!(rules_of(&diags), vec!["untrusted-input-taint"], "{diags:?}");
+        assert_eq!(diags[0].line, 3);
+        assert!(diags[0].trace.len() >= 2, "{:?}", diags[0].trace);
+    }
+
+    #[test]
+    fn sanitizer_cleanses_taint() {
+        let src = "pub fn good(path: &str) {\n    let rec = CmcRecord::load(path);\n    let cal = rec.to_calibration();\n    let plan = MitigationPlan::compile(cal);\n}\n";
+        let diags = check_sources(&[("crates/core/src/a.rs", src)]);
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+
+    #[test]
+    fn taint_crosses_files_through_returns() {
+        let loader =
+            "pub fn read_record(path: &str) -> CmcRecord {\n    CmcRecord::load(path)\n}\n";
+        let user = "pub fn consume(path: &str) {\n    let rec = crate::loader::read_record(path);\n    rec.apply_layer(0);\n}\n";
+        let diags = check_sources(&[
+            ("crates/core/src/loader.rs", loader),
+            ("crates/core/src/user.rs", user),
+        ]);
+        assert_eq!(rules_of(&diags), vec!["untrusted-input-taint"], "{diags:?}");
+        assert_eq!(diags[0].path, "crates/core/src/user.rs");
+        // The trace walks back into the defining file.
+        assert!(
+            diags[0]
+                .trace
+                .iter()
+                .any(|s| s.path == "crates/core/src/loader.rs"),
+            "{:?}",
+            diags[0].trace
+        );
+    }
+
+    #[test]
+    fn taint_crosses_files_through_parameters() {
+        // The sink-ward callee is in another file; the meet point (caller
+        // passing tainted data in) carries the finding.
+        let sinker =
+            "pub fn push_into_kernel(c: Counts, ws: &mut W) {\n    ws.apply_layer(c);\n}\n";
+        let caller = "pub fn outer(path: &str) {\n    let rec = CmcRecord::load(path);\n    crate::sinker::push_into_kernel(rec, ws);\n}\n";
+        let diags = check_sources(&[
+            ("crates/core/src/sinker.rs", sinker),
+            ("crates/mitigation/src/caller.rs", caller),
+        ]);
+        assert_eq!(rules_of(&diags), vec!["untrusted-input-taint"], "{diags:?}");
+        assert_eq!(diags[0].path, "crates/mitigation/src/caller.rs");
+        assert_eq!(diags[0].line, 3);
+    }
+
+    #[test]
+    fn suppression_silences_ws_finding() {
+        let src = "pub fn bad(path: &str) {\n    let rec = CmcRecord::load(path);\n    // qem-lint: allow(untrusted-input-taint) — validated upstream by the loader contract\n    let plan = MitigationPlan::compile(rec);\n}\n";
+        let diags = check_sources(&[("crates/core/src/a.rs", src)]);
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+
+    #[test]
+    fn panic_reachability_within_hops() {
+        let src = "// entrypoint: serve(max_hops = 2)\nfn main() {\n    step_one();\n}\nfn step_one() {\n    step_two();\n}\nfn step_two() {\n    x.unwrap();\n}\n";
+        let diags = check_sources(&[("src/main.rs", src)]);
+        assert_eq!(rules_of(&diags), vec!["panic-reachability"], "{diags:?}");
+        assert_eq!(diags[0].line, 1, "anchored at the annotation");
+        assert!(diags[0].message.contains("unwrap"), "{}", diags[0].message);
+        assert!(diags[0].trace.len() >= 3, "{:?}", diags[0].trace);
+    }
+
+    #[test]
+    fn panic_beyond_hop_budget_is_out_of_scope() {
+        let src = "// entrypoint: serve(max_hops = 1)\nfn main() {\n    step_one();\n}\nfn step_one() {\n    step_two();\n}\nfn step_two() {\n    x.unwrap();\n}\n";
+        let diags = check_sources(&[("src/main.rs", src)]);
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+
+    #[test]
+    fn panic_reachable_through_trait_impl_edge() {
+        // The entry calls `strategy.run(…)` on an unknown receiver; the
+        // panic lives in one MitigationStrategy implementor in another file.
+        let entry = "// entrypoint: serve\nfn main() {\n    strategy.run(counts);\n}\n";
+        let imp = "impl MitigationStrategy for M3Strategy {\n    fn run(&self, c: Counts) -> Counts {\n        c.validate().expect(\"bad counts\")\n    }\n}\n";
+        let diags = check_sources(&[("src/main.rs", entry), ("crates/mitigation/src/m3.rs", imp)]);
+        assert_eq!(rules_of(&diags), vec!["panic-reachability"], "{diags:?}");
+        assert_eq!(diags[0].path, "src/main.rs");
+        assert!(
+            diags[0].message.contains("crates/mitigation/src/m3.rs"),
+            "{}",
+            diags[0].message
+        );
+    }
+
+    #[test]
+    fn mutation_removing_annotation_disables_rule() {
+        // Same panic chain, no annotation: the rule has nothing to govern.
+        let src = "fn main() {\n    x.unwrap();\n}\n";
+        let diags = check_sources(&[("src/main.rs", src)]);
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+
+    #[test]
+    fn malformed_entrypoint_is_a_finding() {
+        let src = "// entrypoint: serve(max_hops = banana)\nfn main() {}\n";
+        let diags = check_sources(&[("src/main.rs", src)]);
+        assert_eq!(rules_of(&diags), vec!["panic-reachability"], "{diags:?}");
+        assert!(diags[0].message.contains("banana"), "{}", diags[0].message);
+    }
+
+    #[test]
+    fn shot_budget_pair() {
+        let bad = "impl MitigationStrategy for Fast {\n    fn run_batch(&self, exec: &E, circuits: &[C]) -> R {\n        exec.try_execute(c, shots, rng)\n    }\n}\n";
+        let diags = check_sources(&[("crates/mitigation/src/fast.rs", bad)]);
+        assert_eq!(
+            rules_of(&diags),
+            vec!["shot-budget-conservation"],
+            "{diags:?}"
+        );
+        let good = "impl MitigationStrategy for Fast {\n    fn run_batch(&self, exec: &E, circuits: &[C]) -> R {\n        let per = per_circuit_execution(budget, circuits.len());\n        exec.try_execute(c, per, rng)\n    }\n}\n";
+        let diags = check_sources(&[("crates/mitigation/src/fast.rs", good)]);
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+
+    #[test]
+    fn shot_budget_sees_through_helpers() {
+        // The spend hides one call deeper; the governed fn still owns it.
+        let src = "impl MitigationStrategy for Fast {\n    fn run_batch(&self, exec: &E, circuits: &[C]) -> R {\n        self.helper(exec)\n    }\n}\nimpl Fast {\n    fn helper(&self, exec: &E) -> R {\n        exec.try_execute(c, shots, rng)\n    }\n}\n";
+        let diags = check_sources(&[("crates/mitigation/src/fast.rs", src)]);
+        assert_eq!(
+            rules_of(&diags),
+            vec!["shot-budget-conservation"],
+            "{diags:?}"
+        );
+    }
+
+    #[test]
+    fn dropped_result_pair() {
+        let lib = "impl Saver {\n    pub fn save(&self, path: &str) -> Result<(), CoreError> {\n        Ok(())\n    }\n}\n";
+        let bad = "pub fn f(s: &Saver) {\n    let _ = s.save(\"x\");\n}\n";
+        let diags = check_sources(&[
+            ("crates/core/src/saver.rs", lib),
+            ("crates/core/src/user.rs", bad),
+        ]);
+        assert_eq!(rules_of(&diags), vec!["dropped-result"], "{diags:?}");
+        assert_eq!(diags[0].path, "crates/core/src/user.rs");
+        let good = "pub fn f(s: &Saver) -> Result<(), CoreError> {\n    s.save(\"x\")\n}\n";
+        let diags = check_sources(&[
+            ("crates/core/src/saver.rs", lib),
+            ("crates/core/src/user.rs", good),
+        ]);
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+
+    #[test]
+    fn dropped_result_ok_discard_fires() {
+        let lib = "impl Saver {\n    pub fn save(&self, path: &str) -> Result<(), CoreError> {\n        Ok(())\n    }\n}\n";
+        let bad = "pub fn f(s: &Saver) {\n    s.save(\"x\").ok();\n}\n";
+        let diags = check_sources(&[
+            ("crates/core/src/saver.rs", lib),
+            ("crates/core/src/user.rs", bad),
+        ]);
+        assert_eq!(rules_of(&diags), vec!["dropped-result"], "{diags:?}");
+    }
+
+    #[test]
+    fn dropped_result_outside_core_crates_is_fine() {
+        // A sim-crate Result is not the CoreError surface.
+        let lib = "impl Saver {\n    pub fn save(&self, path: &str) -> Result<(), E> {\n        Ok(())\n    }\n}\n";
+        let bad = "pub fn f(s: &Saver) {\n    let _ = s.save(\"x\");\n}\n";
+        let diags = check_sources(&[
+            ("crates/sim/src/saver.rs", lib),
+            ("crates/sim/src/user.rs", bad),
+        ]);
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+
+    #[test]
+    fn higher_order_sanitizer_is_honored() {
+        // `.map(CalibrationRecord::to_calibration)` sanitizes the stream.
+        let src = "pub fn good(path: &str) {\n    let rec = CmcRecord::load(path);\n    let cals = rec.patches.iter().map(CalibrationRecord::to_calibration).collect();\n    let plan = MitigationPlan::compile(cals);\n}\n";
+        let diags = check_sources(&[("crates/core/src/a.rs", src)]);
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+
+    #[test]
+    fn mutation_removing_sanitizer_fires() {
+        // Identical to the higher-order case minus the sanitizing map.
+        let src = "pub fn bad(path: &str) {\n    let rec = CmcRecord::load(path);\n    let cals = rec.patches.iter().map(identity).collect();\n    let plan = MitigationPlan::compile(cals);\n}\n";
+        let diags = check_sources(&[("crates/core/src/a.rs", src)]);
+        assert_eq!(rules_of(&diags), vec!["untrusted-input-taint"], "{diags:?}");
+    }
+
+    #[test]
+    fn ws_rules_do_not_apply_to_xtask() {
+        let src = "pub fn bad(path: &str) {\n    let rec = CmcRecord::load(path);\n    let plan = MitigationPlan::compile(rec);\n}\n";
+        let diags = check_sources(&[("crates/xtask/src/a.rs", src)]);
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+
+    #[test]
+    fn file_closure_is_transitive() {
+        let a = "pub fn top() { crate::b::mid(); }\n";
+        let b = "pub fn mid() { crate::c::leaf(); }\n";
+        let c = "pub fn leaf() {}\n";
+        let files = vec![
+            ("crates/core/src/a.rs".to_string(), summarize_str(a)),
+            ("crates/core/src/b.rs".to_string(), summarize_str(b)),
+            ("crates/core/src/c.rs".to_string(), summarize_str(c)),
+        ];
+        let graph = Graph::build(&files);
+        let closure = graph.file_closure();
+        assert!(closure[0].contains(&1));
+        assert!(closure[0].contains(&2), "transitive: a → b → c");
+        assert!(closure[1].contains(&2));
+        assert!(closure[2].is_empty());
+    }
+
+    #[test]
+    fn signature_tracks_fn_identity_not_bodies() {
+        let v1 = vec![(
+            "crates/core/src/a.rs".to_string(),
+            summarize_str("pub fn f() { g(); }\n"),
+        )];
+        let v2 = vec![(
+            "crates/core/src/a.rs".to_string(),
+            summarize_str("pub fn f() { h(); }\n"),
+        )];
+        let v3 = vec![(
+            "crates/core/src/a.rs".to_string(),
+            summarize_str("pub fn f2() { g(); }\n"),
+        )];
+        assert_eq!(
+            Graph::build(&v1).signature(),
+            Graph::build(&v2).signature(),
+            "body edits keep the signature"
+        );
+        assert_ne!(
+            Graph::build(&v1).signature(),
+            Graph::build(&v3).signature(),
+            "renames change it"
+        );
+    }
+
+    fn summarize_str(src: &str) -> FileSummary {
+        crate::summary::summarize(&crate::tree::analyze(src))
+    }
+}

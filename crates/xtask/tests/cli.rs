@@ -134,6 +134,131 @@ fn incremental_cache_reuses_and_invalidates_per_file() {
 }
 
 #[test]
+fn warm_cache_still_sees_cross_file_panic_reachability() {
+    // The dependency-aware cache key: introducing a panic in a *leaf* file
+    // must re-fire the entry-point rule in the (byte-identical, phase-1
+    // cached) main file — without --no-cache.
+    let ws = temp_ws("ws-cache");
+    write(
+        &ws,
+        "src/main.rs",
+        "// entrypoint: serve(max_hops = 2)\nfn main() {\n    helper::step();\n}\n",
+    );
+    write(&ws, "src/helper.rs", "pub fn step() {\n    work();\n}\n");
+    let (code, _, _) = lint(&ws, &[]);
+    assert_eq!(code, 0);
+    let (code, _, err) = lint(&ws, &["--cache-stats"]);
+    assert_eq!(code, 0);
+    assert!(err.contains("2 cache hit(s)"), "warm: {err}");
+    assert!(err.contains("2 workspace hit(s)"), "warm: {err}");
+
+    // Panic lands in the leaf; the finding anchors at the entry annotation.
+    write(
+        &ws,
+        "src/helper.rs",
+        "pub fn step() {\n    work().unwrap();\n}\n",
+    );
+    let (code, out, err) = lint(&ws, &["--cache-stats"]);
+    assert_eq!(code, 1, "stdout: {out}\nstderr: {err}");
+    assert!(out.contains("src/main.rs:1: [panic-reachability]"), "{out}");
+    assert!(
+        err.contains("1 cache hit(s)"),
+        "main.rs phase-1 cached: {err}"
+    );
+    assert!(
+        err.contains("0 workspace hit(s)"),
+        "both ws keys moved (dependency closure): {err}"
+    );
+    // The human rendering shows the evidence chain under the finding.
+    assert!(out.contains("src/helper.rs:2"), "trace rendered: {out}");
+
+    // Fixing the leaf clears it again, still cache-on.
+    write(&ws, "src/helper.rs", "pub fn step() {\n    work();\n}\n");
+    let (code, _, _) = lint(&ws, &[]);
+    assert_eq!(code, 0);
+}
+
+fn git(root: &Path, args: &[&str]) {
+    let out = Command::new("git")
+        .arg("-C")
+        .arg(root)
+        .args(["-c", "user.email=ci@example.invalid", "-c", "user.name=ci"])
+        .args(args)
+        .output()
+        .expect("spawn git");
+    assert!(
+        out.status.success(),
+        "git {args:?}: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+}
+
+#[test]
+fn changed_mode_scopes_the_report_to_the_dependency_closure() {
+    let ws = temp_ws("changed");
+    write(&ws, "crates/core/src/a.rs", BAD_FILE);
+    write(&ws, "crates/core/src/b.rs", BAD_FILE);
+    git(&ws, &["init", "-q"]);
+    git(&ws, &["add", "-A"]);
+    git(&ws, &["commit", "-q", "-m", "seed"]);
+
+    // Nothing changed since HEAD: the report is empty (exit 0), even though
+    // the workspace has findings — they are all outside the scope.
+    let (code, out, err) = lint(&ws, &["--changed", "--no-cache"]);
+    assert_eq!(code, 0, "stdout: {out}\nstderr: {err}");
+    assert!(err.contains("scoped the report to 0 of 2 files"), "{err}");
+
+    // Touch one file: only its findings come back.
+    write(
+        &ws,
+        "crates/core/src/b.rs",
+        "pub fn f(v: &[u64]) -> u64 {\n    v[0]\n}\n",
+    );
+    let (code, out, _) = lint(&ws, &["--changed", "--no-cache"]);
+    assert_eq!(code, 1);
+    assert!(out.contains("crates/core/src/b.rs"), "{out}");
+    assert!(
+        !out.contains("crates/core/src/a.rs"),
+        "a.rs unchanged: {out}"
+    );
+
+    // --changed must not ratchet the committed ledger.
+    assert!(
+        !ws.join("results/LINT_DEBT.json").exists(),
+        "no ledger write in --changed mode"
+    );
+}
+
+#[test]
+fn changed_mode_without_git_reports_everything_with_a_warning() {
+    let ws = temp_ws("changed-nogit");
+    write(&ws, "crates/core/src/a.rs", BAD_FILE);
+    let (code, out, err) = lint(&ws, &["--changed", "--no-cache"]);
+    assert_eq!(code, 1);
+    assert!(out.contains("crates/core/src/a.rs"), "{out}");
+    assert!(err.contains("could not query git"), "{err}");
+}
+
+#[test]
+fn ledger_resolves_under_root_not_cwd() {
+    // Regression: the debt ledger must land in `<root>/results/`, never in
+    // the process CWD, when linting a foreign root.
+    let ws = temp_ws("root-ledger");
+    write(
+        &ws,
+        "crates/core/src/lib.rs",
+        &fixture("suppression_debt_bad.rs"),
+    );
+    let (code, _, _) = lint(&ws, &["--no-cache", "--update-debt"]);
+    assert_eq!(code, 0);
+    assert!(ws.join("results/LINT_DEBT.json").exists());
+    // The real workspace ledger is tracked by git; an accidental CWD write
+    // would dirty it. The engine only ever joins against `root`.
+    let here = Path::new(env!("CARGO_MANIFEST_DIR"));
+    assert!(!here.join("results/LINT_DEBT.json").exists());
+}
+
+#[test]
 fn cache_poisoning_falls_back_to_real_analysis() {
     let ws = temp_ws("poison");
     write(&ws, "crates/core/src/a.rs", CLEAN_FILE);
@@ -190,6 +315,58 @@ fn sarif_report_is_written_and_valid() {
         .and_then(|r| r.as_arr())
         .expect("results array");
     assert!(!results.is_empty());
+    // Rule metadata travels with the report.
+    let rules = doc.get("runs").and_then(|r| r.as_arr()).unwrap()[0]
+        .get("tool")
+        .and_then(|t| t.get("driver"))
+        .and_then(|d| d.get("rules"))
+        .and_then(|r| r.as_arr())
+        .expect("rules array");
+    assert!(rules
+        .iter()
+        .all(|r| r.get("name").is_some() && r.get("shortDescription").is_some()));
+}
+
+#[test]
+fn sarif_workspace_findings_carry_code_flows() {
+    let ws = temp_ws("sarif-flows");
+    write(
+        &ws,
+        "src/main.rs",
+        "// entrypoint: serve(max_hops = 2)\nfn main() {\n    helper::step();\n}\n",
+    );
+    write(
+        &ws,
+        "src/helper.rs",
+        "pub fn step() {\n    work().unwrap();\n}\n",
+    );
+    let sarif_path = ws.join("lint.sarif");
+    let (code, _, _) = lint(
+        &ws,
+        &["--no-cache", "--sarif", sarif_path.to_str().expect("utf-8")],
+    );
+    assert_eq!(code, 1);
+    let doc = xtask::json::parse(&fs::read_to_string(&sarif_path).expect("sarif file"))
+        .expect("valid JSON");
+    let results = doc.get("runs").and_then(|r| r.as_arr()).unwrap()[0]
+        .get("results")
+        .and_then(|r| r.as_arr())
+        .expect("results");
+    let pr = results
+        .iter()
+        .find(|r| r.get("ruleId").and_then(|v| v.as_str()) == Some("panic-reachability"))
+        .expect("panic-reachability result");
+    let steps = pr
+        .get("codeFlows")
+        .and_then(|f| f.as_arr())
+        .and_then(|f| f.first())
+        .and_then(|f| f.get("threadFlows"))
+        .and_then(|t| t.as_arr())
+        .and_then(|t| t.first())
+        .and_then(|t| t.get("locations"))
+        .and_then(|l| l.as_arr())
+        .expect("thread flow steps");
+    assert!(steps.len() >= 2, "entry + panic site at minimum");
 }
 
 #[test]

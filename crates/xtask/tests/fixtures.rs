@@ -6,12 +6,13 @@
 
 use xtask::rules::{lint_file, Diagnostic};
 use xtask::tree::analyze;
+use xtask::workspace::check_sources;
 
 /// Lints a fixture as if it lived at `virtual_path` in the workspace.
 fn lint_fixture(name: &str, virtual_path: &str) -> Vec<Diagnostic> {
     let path = format!("{}/tests/fixtures/{name}", env!("CARGO_MANIFEST_DIR"));
     let src = std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {path}: {e}"));
-    lint_file(virtual_path, &analyze(&src)).0
+    lint_file(virtual_path, &analyze(&src)).diags
 }
 
 /// Scope path per rule: the crate/file combination the rule watches.
@@ -197,6 +198,106 @@ fn atomic_ordering_policy_only_in_policy_files() {
     assert!(
         diags.iter().all(|d| d.rule != "atomic-ordering-policy"),
         "{diags:?}"
+    );
+}
+
+/// Lints a fixture through the *workspace* pass (call graph + dataflow),
+/// as the engine would for a file at `virtual_path`.
+fn ws_fixture(name: &str, virtual_path: &str) -> Vec<Diagnostic> {
+    let path = format!("{}/tests/fixtures/{name}", env!("CARGO_MANIFEST_DIR"));
+    let src = std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {path}: {e}"));
+    check_sources(&[(virtual_path, &src)])
+}
+
+fn check_ws_pair(rule: &str, scope: &str, min_bad: usize) {
+    let stem = rule.replace('-', "_");
+    let bad = ws_fixture(&format!("{stem}_bad.rs"), scope);
+    let fired: Vec<_> = bad.iter().filter(|d| d.rule == rule).collect();
+    assert!(
+        fired.len() >= min_bad,
+        "{rule}: expected >= {min_bad} findings on the bad fixture, got {bad:?}"
+    );
+    let clean = ws_fixture(&format!("{stem}_clean.rs"), scope);
+    let leaked: Vec<_> = clean.iter().filter(|d| d.rule == rule).collect();
+    assert!(
+        leaked.is_empty(),
+        "{rule}: clean fixture flagged: {leaked:?}"
+    );
+}
+
+#[test]
+fn untrusted_input_taint_fixture_pair() {
+    check_ws_pair("untrusted-input-taint", "crates/core/src/fixture.rs", 1);
+}
+
+#[test]
+fn panic_reachability_fixture_pair() {
+    check_ws_pair("panic-reachability", "src/main.rs", 1);
+}
+
+#[test]
+fn shot_budget_conservation_fixture_pair() {
+    check_ws_pair(
+        "shot-budget-conservation",
+        "crates/mitigation/src/fixture.rs",
+        1,
+    );
+}
+
+#[test]
+fn dropped_result_fixture_pair() {
+    check_ws_pair("dropped-result", "crates/core/src/fixture.rs", 1);
+}
+
+#[test]
+fn workspace_rule_suppressions_honour_the_reason_contract() {
+    // A reasoned allow() on the finding line silences the workspace rule
+    // without tripping invalid-suppression.
+    for (rule, scope) in [
+        ("untrusted-input-taint", "crates/core/src/fixture.rs"),
+        ("dropped-result", "crates/core/src/fixture.rs"),
+    ] {
+        let stem = rule.replace('-', "_");
+        let diags = ws_fixture(&format!("{stem}_suppressed.rs"), scope);
+        assert!(diags.is_empty(), "{rule}: {diags:?}");
+        let local = lint_fixture(&format!("{stem}_suppressed.rs"), scope);
+        assert!(
+            local.iter().all(|d| d.rule != "invalid-suppression"),
+            "{rule}: {local:?}"
+        );
+    }
+}
+
+#[test]
+fn workspace_fixtures_are_out_of_scope_under_their_real_path() {
+    // Same contract as the local rules: under its actual xtask path, the
+    // deliberately bad fixture is in no workspace rule's scope.
+    let diags = ws_fixture(
+        "untrusted_input_taint_bad.rs",
+        "crates/xtask/tests/fixtures/untrusted_input_taint_bad.rs",
+    );
+    assert!(diags.is_empty(), "{diags:?}");
+}
+
+#[test]
+fn crlf_sources_lint_like_lf_sources() {
+    // The fixture is stored with literal \r\n endings; the lexer normalizes
+    // them, so findings land on the same lines as the LF twin would.
+    let path = format!(
+        "{}/tests/fixtures/crlf_line_endings.rs",
+        env!("CARGO_MANIFEST_DIR")
+    );
+    let raw = std::fs::read(&path).unwrap();
+    assert!(
+        raw.windows(2).any(|w| w == b"\r\n"),
+        "fixture must really be CRLF-encoded"
+    );
+    let diags = lint_fixture("crlf_line_endings.rs", "crates/core/src/fixture.rs");
+    let fired: Vec<_> = diags.iter().filter(|d| d.rule == "no-panic-path").collect();
+    assert_eq!(fired.len(), 1, "{diags:?}");
+    assert_eq!(
+        fired[0].line, 2,
+        "line numbers unaffected by \\r: {diags:?}"
     );
 }
 

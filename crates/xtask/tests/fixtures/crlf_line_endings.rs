@@ -1,0 +1,3 @@
+pub fn f(v: &[u64]) -> u64 {
+    *v.first().unwrap()
+}

@@ -1,0 +1,11 @@
+//! Fixture twin: the Result is propagated, not dropped.
+
+impl Ledger {
+    pub fn persist(&self, path: &str) -> Result<(), CoreError> {
+        Ok(())
+    }
+}
+
+pub fn checkpoint(l: &Ledger) -> Result<(), CoreError> {
+    l.persist("ledger.json")
+}

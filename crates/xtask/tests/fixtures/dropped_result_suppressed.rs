@@ -1,0 +1,12 @@
+//! Fixture: the dropped-result finding silenced by a reasoned suppression.
+
+impl Ledger {
+    pub fn persist(&self, path: &str) -> Result<(), CoreError> {
+        Ok(())
+    }
+}
+
+pub fn checkpoint(l: &Ledger) {
+    // qem-lint: allow(dropped-result) — best-effort checkpoint; failure is retried next tick
+    let _ = l.persist("ledger.json");
+}

@@ -1,0 +1,8 @@
+// entrypoint: serve(max_hops = 2)
+fn main() {
+    dispatch();
+}
+
+fn dispatch() {
+    decode().unwrap();
+}

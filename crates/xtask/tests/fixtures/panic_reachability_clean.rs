@@ -1,0 +1,11 @@
+// entrypoint: serve(max_hops = 2)
+fn main() {
+    dispatch();
+}
+
+fn dispatch() {
+    match decode() {
+        Ok(v) => serve_one(v),
+        Err(e) => reject(e),
+    }
+}

@@ -1,0 +1,8 @@
+//! Fixture: `run_batch` spends shots without going through the
+//! per-circuit budget split.
+
+impl MitigationStrategy for Greedy {
+    fn run_batch(&self, exec: &E, circuits: &[C]) -> R {
+        exec.try_execute(circuit, self.shots, rng)
+    }
+}

@@ -1,0 +1,8 @@
+//! Fixture twin: the spend transits `per_circuit_execution`.
+
+impl MitigationStrategy for Greedy {
+    fn run_batch(&self, exec: &E, circuits: &[C]) -> R {
+        let per = per_circuit_execution(self.budget, circuits.len());
+        exec.try_execute(circuit, per, rng)
+    }
+}

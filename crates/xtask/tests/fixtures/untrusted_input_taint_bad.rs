@@ -1,0 +1,7 @@
+//! Fixture: a deserialized calibration record flows into the mitigation
+//! kernel without passing any validated constructor.
+
+pub fn ingest(path: &str) -> MitigationPlan {
+    let rec = CmcRecord::load(path);
+    MitigationPlan::compile(rec)
+}

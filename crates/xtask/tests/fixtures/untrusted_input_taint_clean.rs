@@ -1,0 +1,8 @@
+//! Fixture twin: the same flow, but the record passes `to_calibration`
+//! (a registered validated constructor) before reaching the kernel.
+
+pub fn ingest(path: &str) -> MitigationPlan {
+    let rec = CmcRecord::load(path);
+    let cal = rec.to_calibration();
+    MitigationPlan::compile(cal)
+}

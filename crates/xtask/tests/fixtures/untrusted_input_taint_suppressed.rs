@@ -1,0 +1,7 @@
+//! Fixture: the taint finding silenced by a reasoned suppression.
+
+pub fn ingest(path: &str) -> MitigationPlan {
+    let rec = CmcRecord::load(path);
+    // qem-lint: allow(untrusted-input-taint) — record is schema-checked by the loader before this call
+    MitigationPlan::compile(rec)
+}

@@ -956,20 +956,31 @@ fn cmd_bench_mitigation(args: &Args, seed: u64) -> Result<(), String> {
         .map_err(|e| e.to_string())?;
     let l1 = legacy_out.l1_distance(&plan_out);
 
+    // Count successes inside the timed closures: an error mid-rep must fail
+    // the bench, not silently time a no-op path.
+    let mut timed_ok = 0u64;
     let single_legacy = time_best_micros(reps, || {
-        let _ = mitigator.mitigate_dist_serial(&single);
+        timed_ok += mitigator.mitigate_dist_serial(&single).is_ok() as u64;
     });
     let single_plan = time_best_micros(reps, || {
-        let _ = mitigator.mitigate_dist(&single);
+        timed_ok += mitigator.mitigate_dist(&single).is_ok() as u64;
     });
     let batch_legacy = time_best_micros(reps, || {
         for counts in &batch {
-            let _ = mitigator.mitigate_dist_serial(&counts.to_distribution());
+            timed_ok += mitigator
+                .mitigate_dist_serial(&counts.to_distribution())
+                .is_ok() as u64;
         }
     });
     let batch_plan = time_best_micros(reps, || {
-        let _ = mitigator.mitigate_batch(&batch);
+        timed_ok += mitigator.mitigate_batch(&batch).is_ok() as u64;
     });
+    let timed_total = reps.max(1) * (3 + batch_size as u64);
+    if timed_ok != timed_total {
+        return Err(format!(
+            "mitigation failed during timing: {timed_ok}/{timed_total} reps succeeded"
+        ));
+    }
 
     let ratio = |legacy: u64, new: u64| legacy as f64 / new.max(1) as f64;
     println!(
@@ -1233,9 +1244,15 @@ fn cmd_bench_scaling(args: &Args, seed: u64) -> Result<(), String> {
                 let (warm, _) = plan
                     .apply_flat_wide(&input, cull, &mut ws)
                     .map_err(|e| e.to_string())?;
+                let mut timed_ok = 0u64;
                 let compiled = time_best_micros(reps, || {
-                    let _ = plan.apply_flat_wide(&input, cull, &mut ws);
+                    timed_ok += plan.apply_flat_wide(&input, cull, &mut ws).is_ok() as u64;
                 });
+                if timed_ok != reps.max(1) {
+                    return Err(format!(
+                        "{name} support {support}: apply_flat_wide failed mid-rep"
+                    ));
+                }
                 let t = std::time::Instant::now();
                 let reference = plan
                     .apply_flat_wide_reference(&input, cull)
@@ -1253,9 +1270,15 @@ fn cmd_bench_scaling(args: &Args, seed: u64) -> Result<(), String> {
                 let (warm, _) = plan
                     .apply_flat(&input, cull, &mut ws)
                     .map_err(|e| e.to_string())?;
+                let mut timed_ok = 0u64;
                 let compiled = time_best_micros(reps, || {
-                    let _ = plan.apply_flat(&input, cull, &mut ws);
+                    timed_ok += plan.apply_flat(&input, cull, &mut ws).is_ok() as u64;
                 });
+                if timed_ok != reps.max(1) {
+                    return Err(format!(
+                        "{name} support {support}: apply_flat failed mid-rep"
+                    ));
+                }
                 let t = std::time::Instant::now();
                 let reference = plan
                     .apply_flat_reference(&input, cull)
@@ -1392,6 +1415,7 @@ fn write_telemetry_exports(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
+// entrypoint: serve(max_hops = 2)
 fn main() -> ExitCode {
     let raw: Vec<String> = std::env::args().skip(1).collect();
     let Some(command) = raw.first().cloned() else {
